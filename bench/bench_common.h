@@ -1,0 +1,119 @@
+#ifndef UINDEX_BENCH_BENCH_COMMON_H_
+#define UINDEX_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "workload/experiment.h"
+
+namespace uindex {
+namespace bench {
+
+/// True when the benches run in quick mode (smaller databases, fewer
+/// repetitions) — set UINDEX_BENCH_QUICK=1. Full mode reproduces the
+/// paper's parameters exactly.
+inline bool QuickMode() {
+  const char* env = std::getenv("UINDEX_BENCH_QUICK");
+  return env != nullptr && env[0] == '1';
+}
+
+inline uint32_t ExperimentObjects() {
+  return QuickMode() ? 30000u : 150000u;  // Paper: 150,000 objects.
+}
+
+inline int ExperimentReps() {
+  return QuickMode() ? 25 : 100;  // Paper: averages over 100 repetitions.
+}
+
+/// The x-axis of the paper's figures: sets queried out of `total`.
+inline std::vector<size_t> SetsQueriedAxis(uint32_t total) {
+  if (total >= 40) return {1, 10, 20, 30, 40};
+  return {1, 2, 4, 6, 8};
+}
+
+inline const char* KeysLabel(const SetWorkloadConfig& cfg) {
+  if (cfg.unique_keys()) return "unique keys";
+  static thread_local char buf[64];
+  std::snprintf(buf, sizeof(buf), "%llu different keys",
+                static_cast<unsigned long long>(cfg.num_distinct_keys));
+  return buf;
+}
+
+/// Runs one figure panel: measures U-index (near and non-near sets) and
+/// CG-tree page reads across the sets-queried axis and prints a table row
+/// per x value. `fraction < 0` means exact match.
+inline Status RunPanel(SetExperiment& exp, double fraction, uint64_t seed) {
+  const SetWorkloadConfig& cfg = exp.config();
+  std::printf("    %-6s  %14s  %18s  %10s\n", "sets", "U-index(near)",
+              "U-index(non-near)", "CG-tree");
+  auto structures = exp.structures();
+  const SetExperiment::Structure& uindex = structures[0];
+  const SetExperiment::Structure& cgtree = structures[1];
+  const int reps = ExperimentReps();
+  for (const size_t m : SetsQueriedAxis(cfg.num_sets)) {
+    Result<double> u_near = exp.Measure(uindex, m, true, fraction, reps,
+                                        seed);
+    if (!u_near.ok()) return u_near.status();
+    Result<double> u_far = exp.Measure(uindex, m, false, fraction, reps,
+                                       seed + 1);
+    if (!u_far.ok()) return u_far.status();
+    // The CG-tree is insensitive to set adjacency (paper §5.1): measure on
+    // the same randomly chosen sets as the near series.
+    Result<double> cg = exp.Measure(cgtree, m, true, fraction, reps, seed);
+    if (!cg.ok()) return cg.status();
+    std::printf("    %-6zu  %14.1f  %18.1f  %10.1f\n", m, u_near.value(),
+                u_far.value(), cg.value());
+  }
+  return Status::OK();
+}
+
+/// Builds the experiment for one (num_sets, num_keys) panel.
+inline Result<std::unique_ptr<SetExperiment>> MakePanel(
+    uint32_t num_sets, uint64_t num_distinct_keys) {
+  SetExperiment::Options opts;
+  opts.workload.num_objects = ExperimentObjects();
+  opts.workload.num_sets = num_sets;
+  opts.workload.num_distinct_keys =
+      num_distinct_keys == 0 ? opts.workload.num_objects
+                             : num_distinct_keys;
+  return SetExperiment::Create(opts);
+}
+
+/// Runs a whole figure: panels over {40, 8} sets x key counts, one
+/// fraction. `key_counts` uses 0 for "unique".
+inline int RunFigure(const char* title, double fraction,
+                     const std::vector<uint64_t>& key_counts) {
+  std::printf("%s\n", title);
+  std::printf("objects=%u, page=1024B, reps=%d%s\n\n", ExperimentObjects(),
+              ExperimentReps(),
+              QuickMode() ? " [QUICK MODE - set UINDEX_BENCH_QUICK=0 for "
+                            "paper-scale]"
+                          : "");
+  for (const uint32_t num_sets : {40u, 8u}) {
+    for (const uint64_t keys : key_counts) {
+      Result<std::unique_ptr<SetExperiment>> exp = MakePanel(num_sets, keys);
+      if (!exp.ok()) {
+        std::fprintf(stderr, "panel setup failed: %s\n",
+                     exp.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("  -- %u sets, %s --\n", num_sets,
+                  KeysLabel(exp.value()->config()));
+      Status s = RunPanel(*exp.value(), fraction,
+                          /*seed=*/num_sets * 1000 + keys);
+      if (!s.ok()) {
+        std::fprintf(stderr, "panel failed: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace uindex
+
+#endif  // UINDEX_BENCH_BENCH_COMMON_H_

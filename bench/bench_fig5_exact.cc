@@ -1,0 +1,12 @@
+// Reproduces Figure 5 of the paper: exact-match queries, U-index vs
+// CG-tree, over 40-set and 8-set hierarchies with unique / 100 / 1000
+// distinct keys. Series: U-index with near (hierarchy-adjacent) and
+// non-near queried sets, and the CG-tree. y = pages read, x = sets queried.
+
+#include "bench/bench_common.h"
+
+int main() {
+  return uindex::bench::RunFigure(
+      "Figure 5: Exact Match Queries (U-index vs CG-tree)",
+      /*fraction=*/-1.0, /*key_counts=*/{0, 100, 1000});
+}

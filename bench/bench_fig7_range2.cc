@@ -1,0 +1,11 @@
+// Reproduces Figure 7 of the paper: range queries spanning 2% of the
+// keyspace, U-index vs CG-tree, over 40-set and 8-set hierarchies with
+// unique / 100 / 1000 distinct keys.
+
+#include "bench/bench_common.h"
+
+int main() {
+  return uindex::bench::RunFigure(
+      "Figure 7: Range Queries (2% of keyspace)",
+      /*fraction=*/0.02, /*key_counts=*/{0, 100, 1000});
+}

@@ -1,0 +1,51 @@
+// Reproduces Figure 8 of the paper: with 1000 distinct keys, (a) 0.5% and
+// (b) 0.2% range queries over 40-set and 8-set hierarchies, plus (c) the
+// near vs non-near queried-set comparison for the U-index at the 10% range
+// (the figure's bottom panel).
+
+#include "bench/bench_common.h"
+
+namespace uindex {
+namespace bench {
+namespace {
+
+int Run() {
+  std::printf("Figure 8: Small ranges (1000 different keys)\n");
+  std::printf("objects=%u, page=1024B, reps=%d%s\n\n", ExperimentObjects(),
+              ExperimentReps(),
+              QuickMode() ? " [QUICK MODE]" : "");
+  for (const uint32_t num_sets : {40u, 8u}) {
+    Result<std::unique_ptr<SetExperiment>> exp = MakePanel(num_sets, 1000);
+    if (!exp.ok()) {
+      std::fprintf(stderr, "setup: %s\n", exp.status().ToString().c_str());
+      return 1;
+    }
+    for (const double fraction : {0.005, 0.002}) {
+      std::printf("  -- range %.1f%% of keyspace, %u sets, 1000 different "
+                  "keys --\n",
+                  fraction * 100, num_sets);
+      Status s = RunPanel(*exp.value(), fraction, num_sets * 77);
+      if (!s.ok()) {
+        std::fprintf(stderr, "panel: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      std::printf("\n");
+    }
+    // Bottom panel: the near/non-near delta at the 10% range.
+    std::printf("  -- near vs non-near sets, range 10%%, %u sets --\n",
+                num_sets);
+    Status s = RunPanel(*exp.value(), 0.10, num_sets * 78);
+    if (!s.ok()) {
+      std::fprintf(stderr, "panel: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace uindex
+
+int main() { return uindex::bench::Run(); }

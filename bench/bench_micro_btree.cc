@@ -1,0 +1,180 @@
+// Microbenchmarks (google-benchmark) for the substrate operations: B-tree
+// insert/point-get/scan, key encode/decode, and Parscan vs forward scan on
+// a fixed workload. CPU-time oriented, complementing the page-read benches.
+
+#include <benchmark/benchmark.h>
+
+#include "btree/btree.h"
+#include "core/uindex.h"
+#include "util/random.h"
+#include "workload/database_generator.h"
+
+namespace uindex {
+namespace {
+
+std::string MakeKey(uint64_t i) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "user/%012llu",
+                static_cast<unsigned long long>(i));
+  return buf;
+}
+
+void BM_BTreeInsertSequential(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Pager pager(1024);
+    BufferManager buffers(&pager);
+    BTree tree(&buffers);
+    state.ResumeTiming();
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      benchmark::DoNotOptimize(
+          tree.Insert(Slice(MakeKey(static_cast<uint64_t>(i))),
+                      Slice("value")));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BTreeInsertSequential)->Arg(10000);
+
+void BM_BTreeInsertRandom(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Pager pager(1024);
+    BufferManager buffers(&pager);
+    BTree tree(&buffers);
+    Random rng(1);
+    state.ResumeTiming();
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      benchmark::DoNotOptimize(
+          tree.Put(Slice(MakeKey(rng.Next() % 1000000)), Slice("value")));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BTreeInsertRandom)->Arg(10000);
+
+void BM_BTreeInsertBatchSorted(benchmark::State& state) {
+  std::vector<std::pair<std::string, std::string>> entries;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    entries.emplace_back(MakeKey(static_cast<uint64_t>(i)), "value");
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    Pager pager(1024);
+    BufferManager buffers(&pager);
+    BTree tree(&buffers);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(tree.InsertBatch(entries));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BTreeInsertBatchSorted)->Arg(10000);
+
+void BM_BTreePointGet(benchmark::State& state) {
+  Pager pager(1024);
+  BufferManager buffers(&pager);
+  BTree tree(&buffers);
+  for (uint64_t i = 0; i < 50000; ++i) {
+    (void)tree.Insert(Slice(MakeKey(i)), Slice("value"));
+  }
+  Random rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Get(Slice(MakeKey(rng.Next() % 50000))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreePointGet);
+
+void BM_BTreeFullScan(benchmark::State& state) {
+  Pager pager(1024);
+  BufferManager buffers(&pager);
+  BTree tree(&buffers);
+  for (uint64_t i = 0; i < 50000; ++i) {
+    (void)tree.Insert(Slice(MakeKey(i)), Slice("value"));
+  }
+  for (auto _ : state) {
+    auto it = tree.NewIterator();
+    uint64_t n = 0;
+    for (it.SeekToFirst(); it.Valid(); it.Next()) ++n;
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * 50000);
+}
+BENCHMARK(BM_BTreeFullScan);
+
+struct ParscanFixture {
+  ParscanFixture()
+      : hier(std::move(BuildSetHierarchy(40)).value()),
+        pager(1024),
+        buffers(&pager),
+        spec(PathSpec::ClassHierarchy(hier.root, "key", Value::Kind::kInt)),
+        index(&buffers, &hier.schema, hier.coder.get(), spec) {
+    SetWorkloadConfig cfg;
+    cfg.num_objects = 60000;
+    cfg.num_sets = 40;
+    cfg.num_distinct_keys = 1000;
+    for (const Posting& p : GeneratePostings(cfg)) {
+      UIndex::Entry entry;
+      entry.path = {{hier.sets[p.set_index], p.oid}};
+      entry.key =
+          index.key_encoder().EncodeEntry(Value::Int(p.key), entry.path);
+      (void)index.InsertEntry(entry);
+    }
+  }
+
+  Query RangeQuery() const {
+    Query q = Query::Range(Value::Int(100), Value::Int(119));
+    ClassSelector sel;
+    for (int i = 0; i < 5; ++i) sel.include.push_back({hier.sets[i], false});
+    q.With(sel, ValueSlot::Wanted());
+    return q;
+  }
+
+  SetHierarchy hier;
+  Pager pager;
+  BufferManager buffers;
+  PathSpec spec;
+  UIndex index;
+};
+
+ParscanFixture& SharedFixture() {
+  static ParscanFixture* fixture = new ParscanFixture();
+  return *fixture;
+}
+
+void BM_ParscanRange(benchmark::State& state) {
+  ParscanFixture& f = SharedFixture();
+  const Query q = f.RangeQuery();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.index.Parscan(q));
+  }
+}
+BENCHMARK(BM_ParscanRange);
+
+void BM_ForwardScanRange(benchmark::State& state) {
+  ParscanFixture& f = SharedFixture();
+  const Query q = f.RangeQuery();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.index.ForwardScan(q));
+  }
+}
+BENCHMARK(BM_ForwardScanRange);
+
+void BM_KeyEncodeDecode(benchmark::State& state) {
+  ParscanFixture& f = SharedFixture();
+  const KeyEncoder& enc = f.index.key_encoder();
+  Random rng(3);
+  for (auto _ : state) {
+    const std::string key = enc.EncodeEntry(
+        Value::Int(static_cast<int64_t>(rng.Uniform(1000))),
+        {{f.hier.sets[rng.Uniform(40)], static_cast<Oid>(rng.Next())}});
+    benchmark::DoNotOptimize(enc.Decode(Slice(key)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KeyEncodeDecode);
+
+}  // namespace
+}  // namespace uindex
+
+BENCHMARK_MAIN();

@@ -1,0 +1,479 @@
+#include "baselines/cgtree/cgtree.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/key_encoding.h"
+#include "util/coding.h"
+
+namespace uindex {
+
+namespace {
+// Data page header:
+//   [next 4][prev 4][set 4][record count 2][dir key len 2] [dir key bytes]
+constexpr uint32_t kDataHeaderSize = 16;
+constexpr char kFlagFinite = 0x00;
+constexpr char kFlagInfinite = 0x01;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DataPage serialization
+// ---------------------------------------------------------------------------
+
+uint32_t CgTree::DataPage::SerializedSize() const {
+  uint32_t size = kDataHeaderSize + static_cast<uint32_t>(dir_key.size());
+  for (const DataRecord& r : records) {
+    size += 2 + static_cast<uint32_t>(r.key.size()) + 2 +
+            4 * static_cast<uint32_t>(r.oids.size());
+  }
+  return size;
+}
+
+Status CgTree::DataPage::SerializeTo(Page* page) const {
+  if (SerializedSize() > page->size()) {
+    return Status::Corruption("CG data page overflow");
+  }
+  page->Clear();
+  char* p = page->data();
+  EncodeFixed32(p, next);
+  EncodeFixed32(p + 4, prev);
+  EncodeFixed32(p + 8, set);
+  EncodeFixed16(p + 12, static_cast<uint16_t>(records.size()));
+  EncodeFixed16(p + 14, static_cast<uint16_t>(dir_key.size()));
+  p += kDataHeaderSize;
+  std::memcpy(p, dir_key.data(), dir_key.size());
+  p += dir_key.size();
+  for (const DataRecord& r : records) {
+    EncodeFixed16(p, static_cast<uint16_t>(r.key.size()));
+    std::memcpy(p + 2, r.key.data(), r.key.size());
+    p += 2 + r.key.size();
+    EncodeFixed16(p, static_cast<uint16_t>(r.oids.size()));
+    p += 2;
+    for (const Oid oid : r.oids) {
+      EncodeFixed32(p, oid);
+      p += 4;
+    }
+  }
+  return Status::OK();
+}
+
+Result<CgTree::DataPage> CgTree::DataPage::Parse(const Page& page) {
+  if (page.size() < kDataHeaderSize) {
+    return Status::Corruption("short CG data page");
+  }
+  const char* p = page.data();
+  const char* limit = page.data() + page.size();
+  DataPage out;
+  out.next = DecodeFixed32(p);
+  out.prev = DecodeFixed32(p + 4);
+  out.set = DecodeFixed32(p + 8);
+  const uint16_t count = DecodeFixed16(p + 12);
+  const uint16_t dir_len = DecodeFixed16(p + 14);
+  p += kDataHeaderSize;
+  if (p + dir_len > limit) return Status::Corruption("bad CG dir key");
+  out.dir_key.assign(p, dir_len);
+  p += dir_len;
+  out.records.reserve(count);
+  for (uint16_t i = 0; i < count; ++i) {
+    if (p + 2 > limit) return Status::Corruption("bad CG record");
+    const uint16_t key_len = DecodeFixed16(p);
+    p += 2;
+    if (p + key_len + 2 > limit) return Status::Corruption("bad CG record");
+    DataRecord r;
+    r.key.assign(p, key_len);
+    p += key_len;
+    const uint16_t oid_count = DecodeFixed16(p);
+    p += 2;
+    if (p + 4 * oid_count > limit) return Status::Corruption("bad CG oids");
+    r.oids.resize(oid_count);
+    for (uint16_t j = 0; j < oid_count; ++j) {
+      r.oids[j] = DecodeFixed32(p + 4 * j);
+    }
+    p += 4 * oid_count;
+    out.records.push_back(std::move(r));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Key helpers
+// ---------------------------------------------------------------------------
+
+std::string CgTree::EncodeKey(const Value& v) const {
+  std::string out;
+  v.AppendOrderPreserving(&out);
+  if (kind_ == Value::Kind::kString) out.push_back('\0');
+  return out;
+}
+
+std::string CgTree::DirKey(ClassId set, const Slice& max_key, PageId page) {
+  std::string out;
+  PutBigEndian32(&out, set);
+  out.push_back(kFlagFinite);
+  out.append(max_key.data(), max_key.size());
+  PutBigEndian32(&out, page);
+  return out;
+}
+
+std::string CgTree::DirKeyInfinite(ClassId set, PageId page) {
+  std::string out;
+  PutBigEndian32(&out, set);
+  out.push_back(kFlagInfinite);
+  PutBigEndian32(&out, page);
+  return out;
+}
+
+std::string CgTree::DirSeekKey(ClassId set, const Slice& enc) {
+  std::string out;
+  PutBigEndian32(&out, set);
+  out.push_back(kFlagFinite);
+  out.append(enc.data(), enc.size());
+  return out;
+}
+
+bool CgTree::DirKeyIsSet(const Slice& dir_key, ClassId set) {
+  return dir_key.size() >= 5 && DecodeBigEndian32(dir_key.data()) == set;
+}
+
+// ---------------------------------------------------------------------------
+// Construction and page access
+// ---------------------------------------------------------------------------
+
+CgTree::CgTree(BufferManager* buffers, Value::Kind kind,
+               BTreeOptions directory_options)
+    : buffers_(buffers), kind_(kind),
+      directory_(buffers, directory_options) {}
+
+Result<PageId> CgTree::FindStart(ClassId set, const Slice& enc) const {
+  // The first directory entry with separator >= enc belongs to the first
+  // page that may hold keys >= enc; the set's infinite entry (flag = 1)
+  // sorts after all finite ones, so a non-empty set is always hit before
+  // the iterator leaves it.
+  BTree::Iterator it = directory_.NewIterator();
+  it.Seek(Slice(DirSeekKey(set, enc)));
+  if (!it.Valid() || !DirKeyIsSet(it.key(), set)) return kInvalidPageId;
+  return static_cast<PageId>(DecodeFixed32(it.value().data()));
+}
+
+Result<CgTree::DataPage> CgTree::LoadDataPage(PageId id) const {
+  Page* page = buffers_->Fetch(id);
+  if (page == nullptr) return Status::Corruption("missing CG data page");
+  return DataPage::Parse(*page);
+}
+
+Result<CgTree::DataPage> CgTree::LoadDataPageUncounted(PageId id) const {
+  const Page* page = buffers_->pager()->GetPage(id);
+  if (page == nullptr) return Status::Corruption("missing CG data page");
+  return DataPage::Parse(*page);
+}
+
+Status CgTree::StoreDataPage(PageId id, const DataPage& page) {
+  Page* raw = buffers_->FetchForWrite(id);
+  if (raw == nullptr) return Status::Corruption("missing CG data page");
+  return page.SerializeTo(raw);
+}
+
+// ---------------------------------------------------------------------------
+// Mutation
+// ---------------------------------------------------------------------------
+
+Status CgTree::Insert(const Value& key, ClassId set, Oid oid) {
+  const std::string enc = EncodeKey(key);
+  Result<PageId> start = FindStart(set, Slice(enc));
+  if (!start.ok()) return start.status();
+
+  if (start.value() == kInvalidPageId) {
+    // First posting of this set: one fresh page, one infinite directory
+    // entry (non-NULL references only — sets without postings own nothing).
+    const PageId id = buffers_->Allocate();
+    DataPage page;
+    page.set = set;
+    page.dir_key = DirKeyInfinite(set, id);
+    page.records.push_back(DataRecord{enc, {oid}});
+    std::string value;
+    PutFixed32(&value, id);
+    UINDEX_RETURN_IF_ERROR(
+        directory_.Insert(Slice(page.dir_key), Slice(value)));
+    return StoreDataPage(id, page);
+  }
+
+  const PageId id = start.value();
+  Result<DataPage> loaded = LoadDataPage(id);
+  if (!loaded.ok()) return loaded.status();
+  DataPage page = std::move(loaded).value();
+
+  // Insert into the sorted record list; append the oid to the last record
+  // carrying this key (records of one key may be split across pages).
+  auto it = std::upper_bound(
+      page.records.begin(), page.records.end(), enc,
+      [](const std::string& k, const DataRecord& r) {
+        return Slice(k) < Slice(r.key);
+      });
+  if (it != page.records.begin() && (it - 1)->key == enc) {
+    (it - 1)->oids.push_back(oid);
+  } else {
+    page.records.insert(it, DataRecord{enc, {oid}});
+  }
+
+  if (page.SerializedSize() <= buffers_->page_size()) {
+    return StoreDataPage(id, page);
+  }
+  return SplitDataPage(id, std::move(page));
+}
+
+Status CgTree::SplitDataPage(PageId id, DataPage page) {
+  // Best splitting key search: the record boundary that most evenly splits
+  // the page's bytes. A one-record page splits the record's oid list.
+  DataPage right;
+  right.set = page.set;
+  if (page.records.size() >= 2) {
+    uint32_t total = 0;
+    for (const DataRecord& r : page.records) {
+      total += 2 + static_cast<uint32_t>(r.key.size()) + 2 +
+               4 * static_cast<uint32_t>(r.oids.size());
+    }
+    uint32_t acc = 0;
+    size_t best = 1;
+    uint32_t best_imbalance = total;
+    for (size_t i = 0; i + 1 < page.records.size(); ++i) {
+      const DataRecord& r = page.records[i];
+      acc += 2 + static_cast<uint32_t>(r.key.size()) + 2 +
+             4 * static_cast<uint32_t>(r.oids.size());
+      const uint32_t imbalance =
+          acc * 2 > total ? acc * 2 - total : total - acc * 2;
+      if (imbalance < best_imbalance) {
+        best_imbalance = imbalance;
+        best = i + 1;
+      }
+    }
+    right.records.assign(
+        std::make_move_iterator(page.records.begin() +
+                                static_cast<ptrdiff_t>(best)),
+        std::make_move_iterator(page.records.end()));
+    page.records.erase(page.records.begin() + static_cast<ptrdiff_t>(best),
+                       page.records.end());
+  } else {
+    DataRecord& r = page.records.front();
+    const size_t half = r.oids.size() / 2;
+    if (half == 0) return Status::InvalidArgument("oversized CG posting");
+    DataRecord spill;
+    spill.key = r.key;
+    spill.oids.assign(r.oids.begin() + static_cast<ptrdiff_t>(half),
+                      r.oids.end());
+    r.oids.erase(r.oids.begin() + static_cast<ptrdiff_t>(half), r.oids.end());
+    right.records.push_back(std::move(spill));
+  }
+
+  const PageId right_id = buffers_->Allocate();
+  // Chain: ... <-> page <-> right <-> old next ...
+  right.next = page.next;
+  right.prev = id;
+  page.next = right_id;
+  if (right.next != kInvalidPageId) {
+    Result<DataPage> successor = LoadDataPage(right.next);
+    if (!successor.ok()) return successor.status();
+    DataPage fixed = std::move(successor).value();
+    fixed.prev = right_id;
+    UINDEX_RETURN_IF_ERROR(StoreDataPage(right.next, fixed));
+  }
+
+  // Directory: the right page inherits the old separator (re-keyed to its
+  // page id); the left page gets a new finite separator at its new max key.
+  const std::string old_dir_key = page.dir_key;
+  UINDEX_RETURN_IF_ERROR(directory_.Delete(Slice(old_dir_key)));
+
+  if (old_dir_key.size() >= 5 && old_dir_key[4] == kFlagInfinite) {
+    right.dir_key = DirKeyInfinite(right.set, right_id);
+  } else {
+    // Finite key layout: set(4) flag(1) max-key(...) page(4).
+    const Slice max_key(old_dir_key.data() + 5, old_dir_key.size() - 9);
+    right.dir_key = DirKey(right.set, max_key, right_id);
+  }
+  page.dir_key = DirKey(page.set, Slice(page.records.back().key), id);
+
+  std::string left_value, right_value;
+  PutFixed32(&left_value, id);
+  PutFixed32(&right_value, right_id);
+  UINDEX_RETURN_IF_ERROR(
+      directory_.Insert(Slice(page.dir_key), Slice(left_value)));
+  UINDEX_RETURN_IF_ERROR(
+      directory_.Insert(Slice(right.dir_key), Slice(right_value)));
+
+  UINDEX_RETURN_IF_ERROR(StoreDataPage(id, page));
+  UINDEX_RETURN_IF_ERROR(StoreDataPage(right_id, right));
+
+  // Extremely long postings may still overflow the right page; recurse.
+  if (right.SerializedSize() > buffers_->page_size()) {
+    return SplitDataPage(right_id, std::move(right));
+  }
+  return Status::OK();
+}
+
+Status CgTree::Remove(const Value& key, ClassId set, Oid oid) {
+  const std::string enc = EncodeKey(key);
+  Result<PageId> start = FindStart(set, Slice(enc));
+  if (!start.ok()) return start.status();
+
+  PageId id = start.value();
+  while (id != kInvalidPageId) {
+    Result<DataPage> loaded = LoadDataPage(id);
+    if (!loaded.ok()) return loaded.status();
+    DataPage page = std::move(loaded).value();
+
+    bool removed = false;
+    bool past_key = false;
+    for (auto it = page.records.begin(); it != page.records.end(); ++it) {
+      if (Slice(enc) < Slice(it->key)) {
+        past_key = true;
+        break;
+      }
+      if (it->key != enc) continue;
+      auto pos = std::find(it->oids.begin(), it->oids.end(), oid);
+      if (pos == it->oids.end()) continue;  // Maybe in a spilled record.
+      it->oids.erase(pos);
+      if (it->oids.empty()) page.records.erase(it);
+      removed = true;
+      break;
+    }
+
+    if (removed) {
+      if (!page.records.empty()) return StoreDataPage(id, page);
+
+      // Page emptied: unlink from the chain and drop its directory entry.
+      UINDEX_RETURN_IF_ERROR(directory_.Delete(Slice(page.dir_key)));
+      if (page.prev != kInvalidPageId) {
+        Result<DataPage> prev = LoadDataPage(page.prev);
+        if (!prev.ok()) return prev.status();
+        DataPage fixed = std::move(prev).value();
+        fixed.next = page.next;
+        // If the removed page carried the set's infinite separator, its
+        // predecessor becomes the last page and takes it over.
+        if (page.dir_key.size() >= 5 && page.dir_key[4] == kFlagInfinite) {
+          UINDEX_RETURN_IF_ERROR(directory_.Delete(Slice(fixed.dir_key)));
+          fixed.dir_key = DirKeyInfinite(fixed.set, page.prev);
+          std::string value;
+          PutFixed32(&value, page.prev);
+          UINDEX_RETURN_IF_ERROR(
+              directory_.Insert(Slice(fixed.dir_key), Slice(value)));
+        }
+        UINDEX_RETURN_IF_ERROR(StoreDataPage(page.prev, fixed));
+      }
+      if (page.next != kInvalidPageId) {
+        Result<DataPage> next = LoadDataPage(page.next);
+        if (!next.ok()) return next.status();
+        DataPage fixed = std::move(next).value();
+        fixed.prev = page.prev;
+        UINDEX_RETURN_IF_ERROR(StoreDataPage(page.next, fixed));
+      }
+      buffers_->Free(id);
+      return Status::OK();
+    }
+    if (past_key) break;
+    id = page.next;
+  }
+  return Status::NotFound("posting");
+}
+
+// ---------------------------------------------------------------------------
+// Retrieval
+// ---------------------------------------------------------------------------
+
+Result<std::vector<Oid>> CgTree::Search(
+    const Value& lo, const Value& hi,
+    const std::vector<ClassId>& sets) const {
+  const std::string enc_lo = EncodeKey(lo);
+  const std::string enc_hi = EncodeKey(hi);
+
+  std::vector<Oid> out;
+  for (const ClassId set : sets) {
+    Result<PageId> start = FindStart(set, Slice(enc_lo));
+    if (!start.ok()) return start.status();
+    PageId id = start.value();
+    while (id != kInvalidPageId) {
+      Result<DataPage> loaded = LoadDataPage(id);
+      if (!loaded.ok()) return loaded.status();
+      const DataPage page = std::move(loaded).value();
+      bool past_hi = false;
+      for (const DataRecord& r : page.records) {
+        if (Slice(r.key) < Slice(enc_lo)) continue;
+        if (Slice(enc_hi) < Slice(r.key)) {
+          past_hi = true;
+          break;
+        }
+        out.insert(out.end(), r.oids.begin(), r.oids.end());
+      }
+      if (past_hi) break;
+      id = page.next;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+Result<CgTree::Stats> CgTree::ComputeStats() const {
+  Stats stats;
+  BTree::Iterator it = directory_.NewIterator();
+  // Uncounted-ish: the directory iterator charges reads; snapshot and
+  // restore is unnecessary for tests, which reset stats themselves.
+  std::vector<PageId> heads;
+  for (it.SeekToFirst(); it.Valid(); it.Next()) {
+    ++stats.directory_entries;
+    const Slice dir_key = it.key();
+    // Chain heads are pages with no predecessor; count pages via records.
+    const PageId id = static_cast<PageId>(DecodeFixed32(it.value().data()));
+    Result<DataPage> page = LoadDataPageUncounted(id);
+    if (!page.ok()) return page.status();
+    ++stats.data_pages;
+    for (const DataRecord& r : page.value().records) {
+      stats.postings += r.oids.size();
+    }
+    (void)dir_key;
+  }
+  return stats;
+}
+
+Status CgTree::Validate() const {
+  BTree::Iterator it = directory_.NewIterator();
+  for (it.SeekToFirst(); it.Valid(); it.Next()) {
+    const PageId id = static_cast<PageId>(DecodeFixed32(it.value().data()));
+    Result<DataPage> loaded = LoadDataPageUncounted(id);
+    if (!loaded.ok()) return loaded.status();
+    const DataPage& page = loaded.value();
+    if (page.dir_key != it.key().ToString()) {
+      return Status::Corruption("CG page dir_key out of sync");
+    }
+    if (page.SerializedSize() > buffers_->page_size()) {
+      return Status::Corruption("CG page oversized");
+    }
+    // Records sorted, and sorted across the chain boundary.
+    for (size_t i = 1; i < page.records.size(); ++i) {
+      if (Slice(page.records[i].key) < Slice(page.records[i - 1].key)) {
+        return Status::Corruption("CG records out of order");
+      }
+    }
+    if (page.records.empty()) {
+      return Status::Corruption("empty CG page still linked");
+    }
+    if (page.next != kInvalidPageId) {
+      Result<DataPage> next = LoadDataPageUncounted(page.next);
+      if (!next.ok()) return next.status();
+      if (next.value().set != page.set) {
+        return Status::Corruption("CG chain crosses sets");
+      }
+      if (next.value().prev != id) {
+        return Status::Corruption("CG chain prev link broken");
+      }
+      if (!next.value().records.empty() &&
+          Slice(next.value().records.front().key) <
+              Slice(page.records.back().key)) {
+        return Status::Corruption("CG chain keys out of order");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace uindex

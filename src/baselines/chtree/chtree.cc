@@ -1,0 +1,148 @@
+#include "baselines/chtree/chtree.h"
+
+#include <algorithm>
+
+#include "baselines/record_codec.h"
+#include "core/key_encoding.h"
+#include "util/coding.h"
+
+namespace uindex {
+
+ChTree::ChTree(BufferManager* buffers, Value::Kind kind, BTreeOptions options)
+    : buffers_(buffers),
+      kind_(kind),
+      tree_(buffers, options),
+      inline_limit_(buffers->page_size() / 4) {}
+
+std::string ChTree::EncodeKey(const Value& v) const {
+  std::string out;
+  v.AppendOrderPreserving(&out);
+  if (kind_ == Value::Kind::kString) out.push_back('\0');
+  return out;
+}
+
+std::string ChTree::EncodeDirectory(
+    const std::vector<std::pair<ClassId, std::vector<Oid>>>& dir) {
+  std::string out;
+  for (const auto& [cls, oids] : dir) {
+    PutFixed32(&out, cls);
+    PutFixed32(&out, static_cast<uint32_t>(oids.size()));
+    for (const Oid oid : oids) PutFixed32(&out, oid);
+  }
+  return out;
+}
+
+Result<std::vector<std::pair<ClassId, std::vector<Oid>>>>
+ChTree::DecodeDirectory(const Slice& bytes) {
+  std::vector<std::pair<ClassId, std::vector<Oid>>> dir;
+  size_t pos = 0;
+  while (pos < bytes.size()) {
+    if (pos + 8 > bytes.size()) return Status::Corruption("bad directory");
+    const ClassId cls = DecodeFixed32(bytes.data() + pos);
+    const uint32_t count = DecodeFixed32(bytes.data() + pos + 4);
+    pos += 8;
+    if (pos + 4ull * count > bytes.size()) {
+      return Status::Corruption("bad directory length");
+    }
+    std::vector<Oid> oids(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      oids[i] = DecodeFixed32(bytes.data() + pos + 4ull * i);
+    }
+    pos += 4ull * count;
+    dir.emplace_back(cls, std::move(oids));
+  }
+  return dir;
+}
+
+Status ChTree::Insert(const Value& key, ClassId set, Oid oid) {
+  const std::string k = EncodeKey(key);
+  std::vector<std::pair<ClassId, std::vector<Oid>>> dir;
+  Result<std::string> stored = tree_.Get(Slice(k));
+  if (stored.ok()) {
+    Result<std::string> payload =
+        RecordCodec::Load(buffers_, Slice(stored.value()));
+    if (!payload.ok()) return payload.status();
+    Result<decltype(dir)> decoded = DecodeDirectory(Slice(payload.value()));
+    if (!decoded.ok()) return decoded.status();
+    dir = std::move(decoded).value();
+    UINDEX_RETURN_IF_ERROR(
+        RecordCodec::Free(buffers_, Slice(stored.value())));
+  } else if (!stored.status().IsNotFound()) {
+    return stored.status();
+  }
+
+  auto it = std::find_if(dir.begin(), dir.end(),
+                         [set](const auto& e) { return e.first == set; });
+  if (it == dir.end()) {
+    dir.emplace_back(set, std::vector<Oid>{oid});
+    std::sort(dir.begin(), dir.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  } else {
+    it->second.push_back(oid);
+  }
+  Result<std::string> restored =
+      RecordCodec::Store(buffers_, Slice(EncodeDirectory(dir)),
+                         inline_limit_);
+  if (!restored.ok()) return restored.status();
+  return tree_.Put(Slice(k), Slice(restored.value()));
+}
+
+Status ChTree::Remove(const Value& key, ClassId set, Oid oid) {
+  const std::string k = EncodeKey(key);
+  Result<std::string> stored = tree_.Get(Slice(k));
+  if (!stored.ok()) return stored.status();
+  Result<std::string> payload =
+      RecordCodec::Load(buffers_, Slice(stored.value()));
+  if (!payload.ok()) return payload.status();
+  Result<std::vector<std::pair<ClassId, std::vector<Oid>>>> decoded =
+      DecodeDirectory(Slice(payload.value()));
+  if (!decoded.ok()) return decoded.status();
+  auto dir = std::move(decoded).value();
+
+  bool found = false;
+  for (auto it = dir.begin(); it != dir.end(); ++it) {
+    if (it->first != set) continue;
+    auto pos = std::find(it->second.begin(), it->second.end(), oid);
+    if (pos == it->second.end()) break;
+    it->second.erase(pos);
+    if (it->second.empty()) dir.erase(it);
+    found = true;
+    break;
+  }
+  if (!found) return Status::NotFound("posting");
+
+  UINDEX_RETURN_IF_ERROR(RecordCodec::Free(buffers_, Slice(stored.value())));
+  if (dir.empty()) return tree_.Delete(Slice(k));
+  Result<std::string> restored =
+      RecordCodec::Store(buffers_, Slice(EncodeDirectory(dir)),
+                         inline_limit_);
+  if (!restored.ok()) return restored.status();
+  return tree_.Put(Slice(k), Slice(restored.value()));
+}
+
+Result<std::vector<Oid>> ChTree::Search(
+    const Value& lo, const Value& hi,
+    const std::vector<ClassId>& sets) const {
+  const std::string klo = EncodeKey(lo);
+  const std::string khi_bound = BytesSuccessor(Slice(EncodeKey(hi)));
+
+  std::vector<Oid> out;
+  BTree::Iterator it = tree_.NewIterator();
+  for (it.Seek(Slice(klo)); it.Valid(); it.Next()) {
+    if (!khi_bound.empty() && !(it.key() < Slice(khi_bound))) break;
+    // Key grouping: the whole directory is materialized (chain reads and
+    // all) even when only a few of its classes are wanted.
+    Result<std::string> payload = RecordCodec::Load(buffers_, it.value());
+    if (!payload.ok()) return payload.status();
+    Result<std::vector<std::pair<ClassId, std::vector<Oid>>>> decoded =
+        DecodeDirectory(Slice(payload.value()));
+    if (!decoded.ok()) return decoded.status();
+    for (const auto& [cls, oids] : decoded.value()) {
+      if (std::find(sets.begin(), sets.end(), cls) == sets.end()) continue;
+      out.insert(out.end(), oids.begin(), oids.end());
+    }
+  }
+  return out;
+}
+
+}  // namespace uindex

@@ -1,0 +1,54 @@
+#ifndef UINDEX_BASELINES_CHTREE_CHTREE_H_
+#define UINDEX_BASELINES_CHTREE_CHTREE_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/set_index.h"
+#include "btree/btree.h"
+#include "storage/buffer_manager.h"
+
+namespace uindex {
+
+/// The classic class-hierarchy index of Kim/Bertino ([7],[9] in the paper):
+/// a B-tree keyed by attribute value whose leaf record is a *set directory*
+/// — for each class of the hierarchy holding the value, the list of member
+/// oids.
+///
+/// This is the archetypal key-grouping scheme: all postings of one key are
+/// clustered regardless of class, so exact-match queries are optimal but
+/// range / multi-set queries must read every key's whole directory in the
+/// range, relevant or not (paper §2). Directories larger than a fraction of
+/// a page spill into overflow chains.
+class ChTree : public SetIndex {
+ public:
+  ChTree(BufferManager* buffers, Value::Kind kind,
+         BTreeOptions options = BTreeOptions());
+
+  Status Insert(const Value& key, ClassId set, Oid oid) override;
+  Status Remove(const Value& key, ClassId set, Oid oid) override;
+  Result<std::vector<Oid>> Search(
+      const Value& lo, const Value& hi,
+      const std::vector<ClassId>& sets) const override;
+  std::string name() const override { return "CH-tree"; }
+
+  const BTree& btree() const { return tree_; }
+
+ private:
+  // Directory wire format: repeated [class 4B][count 4B][oids 4B each].
+  static std::string EncodeDirectory(
+      const std::vector<std::pair<ClassId, std::vector<Oid>>>& dir);
+  static Result<std::vector<std::pair<ClassId, std::vector<Oid>>>>
+  DecodeDirectory(const Slice& bytes);
+
+  std::string EncodeKey(const Value& v) const;
+
+  BufferManager* buffers_;
+  Value::Kind kind_;
+  BTree tree_;
+  uint32_t inline_limit_;
+};
+
+}  // namespace uindex
+
+#endif  // UINDEX_BASELINES_CHTREE_CHTREE_H_

@@ -1,0 +1,67 @@
+#include "baselines/htree/htree.h"
+
+#include "core/key_encoding.h"
+#include "util/coding.h"
+
+namespace uindex {
+
+HTree::HTree(BufferManager* buffers, Value::Kind kind, BTreeOptions options)
+    : buffers_(buffers), kind_(kind), options_(options) {}
+
+std::string HTree::EncodeKey(const Value& v, Oid oid) const {
+  std::string out;
+  v.AppendOrderPreserving(&out);
+  if (kind_ == Value::Kind::kString) out.push_back('\0');
+  PutBigEndian32(&out, oid);
+  return out;
+}
+
+BTree* HTree::TreeFor(ClassId set) {
+  auto it = trees_.find(set);
+  if (it == trees_.end()) {
+    it = trees_.emplace(set, std::make_unique<BTree>(buffers_, options_))
+             .first;
+  }
+  return it->second.get();
+}
+
+const BTree* HTree::TreeFor(ClassId set) const {
+  auto it = trees_.find(set);
+  return it == trees_.end() ? nullptr : it->second.get();
+}
+
+Status HTree::Insert(const Value& key, ClassId set, Oid oid) {
+  return TreeFor(set)->Insert(Slice(EncodeKey(key, oid)), Slice());
+}
+
+Status HTree::Remove(const Value& key, ClassId set, Oid oid) {
+  BTree* tree = TreeFor(set);
+  return tree->Delete(Slice(EncodeKey(key, oid)));
+}
+
+Result<std::vector<Oid>> HTree::Search(
+    const Value& lo, const Value& hi,
+    const std::vector<ClassId>& sets) const {
+  std::string klo;
+  lo.AppendOrderPreserving(&klo);
+  if (kind_ == Value::Kind::kString) klo.push_back('\0');
+  std::string khi_prefix;
+  hi.AppendOrderPreserving(&khi_prefix);
+  if (kind_ == Value::Kind::kString) khi_prefix.push_back('\0');
+  const std::string bound = BytesSuccessor(Slice(khi_prefix));
+
+  std::vector<Oid> out;
+  for (const ClassId set : sets) {
+    const BTree* tree = TreeFor(set);
+    if (tree == nullptr) continue;  // Set never populated.
+    BTree::Iterator it = tree->NewIterator();
+    for (it.Seek(Slice(klo)); it.Valid(); it.Next()) {
+      if (!bound.empty() && !(it.key() < Slice(bound))) break;
+      const Slice k = it.key();
+      out.push_back(DecodeBigEndian32(k.data() + k.size() - 4));
+    }
+  }
+  return out;
+}
+
+}  // namespace uindex

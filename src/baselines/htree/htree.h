@@ -1,0 +1,57 @@
+#ifndef UINDEX_BASELINES_HTREE_HTREE_H_
+#define UINDEX_BASELINES_HTREE_HTREE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/set_index.h"
+#include "btree/btree.h"
+#include "storage/buffer_manager.h"
+
+namespace uindex {
+
+/// The H-tree of Lu/Low/Ooi ([8] in the paper): "a separate B+-tree for
+/// every set", the pure set-grouping scheme.
+///
+/// Each class gets its own B+-tree keyed by `enc(value) ∥ oid`; a query
+/// searches the tree of every queried set, so retrieval cost is directly
+/// proportional to the number of sets — best-in-class for range queries
+/// over few sets, worst for exact matches over many (paper §2, §4.4).
+///
+/// The original maintains nesting links between parent- and sub-class
+/// trees to answer whole-hierarchy queries without naming every class; the
+/// experiments here always name the queried sets explicitly, where the
+/// links do not change the page counts, so they are omitted (see
+/// DESIGN.md).
+class HTree : public SetIndex {
+ public:
+  HTree(BufferManager* buffers, Value::Kind kind,
+        BTreeOptions options = BTreeOptions());
+
+  Status Insert(const Value& key, ClassId set, Oid oid) override;
+  Status Remove(const Value& key, ClassId set, Oid oid) override;
+  Result<std::vector<Oid>> Search(
+      const Value& lo, const Value& hi,
+      const std::vector<ClassId>& sets) const override;
+  std::string name() const override { return "H-tree"; }
+
+  /// Number of per-set trees materialized so far.
+  size_t tree_count() const { return trees_.size(); }
+
+ private:
+  std::string EncodeKey(const Value& v, Oid oid) const;
+
+  BTree* TreeFor(ClassId set);
+  const BTree* TreeFor(ClassId set) const;
+
+  BufferManager* buffers_;
+  Value::Kind kind_;
+  BTreeOptions options_;
+  std::map<ClassId, std::unique_ptr<BTree>> trees_;
+};
+
+}  // namespace uindex
+
+#endif  // UINDEX_BASELINES_HTREE_HTREE_H_

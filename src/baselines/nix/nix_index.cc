@@ -1,0 +1,320 @@
+#include "baselines/nix/nix_index.h"
+
+#include <algorithm>
+
+#include "baselines/record_codec.h"
+#include "core/key_encoding.h"
+#include "util/coding.h"
+
+namespace uindex {
+
+NixIndex::NixIndex(BufferManager* buffers, const Schema* schema,
+                   PathSpec spec, BTreeOptions options)
+    : buffers_(buffers),
+      schema_(schema),
+      spec_(std::move(spec)),
+      options_(options),
+      primary_(buffers, options),
+      inline_limit_(buffers->page_size() / 4) {}
+
+std::string NixIndex::EncodeKey(const Value& v) const {
+  std::string out;
+  v.AppendOrderPreserving(&out);
+  if (spec_.value_kind == Value::Kind::kString) out.push_back('\0');
+  return out;
+}
+
+std::string NixIndex::EncodeDirectory(const Directory& dir) {
+  std::string out;
+  for (const auto& [cls, postings] : dir) {
+    PutFixed32(&out, cls);
+    PutFixed32(&out, static_cast<uint32_t>(postings.size()));
+    for (const auto& [oid, refs] : postings) {
+      PutFixed32(&out, oid);
+      PutFixed32(&out, refs);
+    }
+  }
+  return out;
+}
+
+Result<NixIndex::Directory> NixIndex::DecodeDirectory(const Slice& bytes) {
+  Directory dir;
+  size_t pos = 0;
+  while (pos < bytes.size()) {
+    if (pos + 8 > bytes.size()) return Status::Corruption("bad NIX record");
+    const ClassId cls = DecodeFixed32(bytes.data() + pos);
+    const uint32_t count = DecodeFixed32(bytes.data() + pos + 4);
+    pos += 8;
+    if (pos + 8ull * count > bytes.size()) {
+      return Status::Corruption("bad NIX record length");
+    }
+    std::vector<std::pair<Oid, uint32_t>> postings(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      postings[i].first = DecodeFixed32(bytes.data() + pos + 8ull * i);
+      postings[i].second = DecodeFixed32(bytes.data() + pos + 8ull * i + 4);
+    }
+    pos += 8ull * count;
+    dir.emplace_back(cls, std::move(postings));
+  }
+  return dir;
+}
+
+Result<NixIndex::Directory> NixIndex::LoadDirectory(const Slice& key,
+                                                    bool* found) const {
+  Result<std::string> stored = primary_.Get(key);
+  if (!stored.ok()) {
+    if (stored.status().IsNotFound()) {
+      *found = false;
+      return Directory{};
+    }
+    return stored.status();
+  }
+  *found = true;
+  Result<std::string> payload =
+      RecordCodec::Load(buffers_, Slice(stored.value()));
+  if (!payload.ok()) return payload.status();
+  return DecodeDirectory(Slice(payload.value()));
+}
+
+Status NixIndex::StoreDirectory(const Slice& key, const Directory& dir) {
+  Result<std::string> stored = primary_.Get(key);
+  if (stored.ok()) {
+    UINDEX_RETURN_IF_ERROR(
+        RecordCodec::Free(buffers_, Slice(stored.value())));
+  } else if (!stored.status().IsNotFound()) {
+    return stored.status();
+  }
+  if (dir.empty()) {
+    if (stored.ok()) return primary_.Delete(key);
+    return Status::OK();
+  }
+  Result<std::string> restored = RecordCodec::Store(
+      buffers_, Slice(EncodeDirectory(dir)), inline_limit_);
+  if (!restored.ok()) return restored.status();
+  return primary_.Put(key, Slice(restored.value()));
+}
+
+Status NixIndex::BumpPrimary(const std::string& key, ClassId cls, Oid oid,
+                             int delta) {
+  bool found = false;
+  Result<Directory> loaded = LoadDirectory(Slice(key), &found);
+  if (!loaded.ok()) return loaded.status();
+  Directory dir = std::move(loaded).value();
+
+  auto cls_it = std::find_if(dir.begin(), dir.end(),
+                             [cls](const auto& e) { return e.first == cls; });
+  if (cls_it == dir.end()) {
+    if (delta < 0) return Status::NotFound("NIX class entry");
+    dir.emplace_back(cls, std::vector<std::pair<Oid, uint32_t>>{{oid, 1}});
+    std::sort(dir.begin(), dir.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return StoreDirectory(Slice(key), dir);
+  }
+  auto& postings = cls_it->second;
+  auto it = std::find_if(postings.begin(), postings.end(),
+                         [oid](const auto& p) { return p.first == oid; });
+  if (it == postings.end()) {
+    if (delta < 0) return Status::NotFound("NIX posting");
+    postings.push_back({oid, 1});
+  } else if (delta > 0) {
+    ++it->second;
+  } else {
+    if (--it->second == 0) postings.erase(it);
+    if (postings.empty()) dir.erase(cls_it);
+  }
+  return StoreDirectory(Slice(key), dir);
+}
+
+BTree* NixIndex::AuxFor(size_t pos) {
+  auto it = aux_.find(pos);
+  if (it == aux_.end()) {
+    it = aux_.emplace(pos, std::make_unique<BTree>(buffers_, options_))
+             .first;
+  }
+  return it->second.get();
+}
+
+const BTree* NixIndex::AuxFor(size_t pos) const {
+  auto it = aux_.find(pos);
+  return it == aux_.end() ? nullptr : it->second.get();
+}
+
+Status NixIndex::BumpAux(size_t pos, Oid child, Oid parent, int delta) {
+  BTree* tree = AuxFor(pos);
+  std::string key;
+  PutBigEndian32(&key, child);
+
+  std::vector<std::pair<Oid, uint32_t>> parents;
+  Result<std::string> stored = tree->Get(Slice(key));
+  if (stored.ok()) {
+    Result<std::string> loaded =
+        RecordCodec::Load(buffers_, Slice(stored.value()));
+    if (!loaded.ok()) return loaded.status();
+    const std::string& bytes = loaded.value();
+    parents.resize(bytes.size() / 8);
+    for (size_t i = 0; i < parents.size(); ++i) {
+      parents[i].first = DecodeFixed32(bytes.data() + 8 * i);
+      parents[i].second = DecodeFixed32(bytes.data() + 8 * i + 4);
+    }
+    UINDEX_RETURN_IF_ERROR(
+        RecordCodec::Free(buffers_, Slice(stored.value())));
+  } else if (!stored.status().IsNotFound()) {
+    return stored.status();
+  }
+
+  auto it = std::find_if(parents.begin(), parents.end(),
+                         [parent](const auto& p) {
+                           return p.first == parent;
+                         });
+  if (it == parents.end()) {
+    if (delta < 0) return Status::NotFound("NIX aux parent");
+    parents.push_back({parent, 1});
+  } else if (delta > 0) {
+    ++it->second;
+  } else if (--it->second == 0) {
+    parents.erase(it);
+  }
+
+  if (parents.empty()) return tree->Delete(Slice(key));
+  std::string payload;
+  for (const auto& [p, refs] : parents) {
+    PutFixed32(&payload, p);
+    PutFixed32(&payload, refs);
+  }
+  Result<std::string> restored =
+      RecordCodec::Store(buffers_, Slice(payload), inline_limit_);
+  if (!restored.ok()) return restored.status();
+  return tree->Put(Slice(key), Slice(restored.value()));
+}
+
+Status NixIndex::BuildFrom(const ObjectStore& store) {
+  return ForEachInstantiation(
+      store, spec_, [this, &store](const PathInstantiation& inst) {
+        std::vector<std::pair<ClassId, Oid>> path;
+        path.reserve(inst.oids.size());
+        for (const Oid oid : inst.oids) {
+          Result<const Object*> obj = store.Get(oid);
+          if (!obj.ok()) return obj.status();
+          path.emplace_back(obj.value()->cls, oid);
+        }
+        return Insert(inst.attr, path);
+      });
+}
+
+Status NixIndex::Insert(const Value& key,
+                        const std::vector<std::pair<ClassId, Oid>>& path) {
+  if (path.size() != spec_.Length()) {
+    return Status::InvalidArgument("tuple arity mismatch");
+  }
+  const std::string k = EncodeKey(key);
+  for (size_t pos = 0; pos < path.size(); ++pos) {
+    UINDEX_RETURN_IF_ERROR(
+        BumpPrimary(k, path[pos].first, path[pos].second, +1));
+    if (pos > 0) {
+      UINDEX_RETURN_IF_ERROR(
+          BumpAux(pos, path[pos].second, path[pos - 1].second, +1));
+    }
+  }
+  return Status::OK();
+}
+
+Status NixIndex::Remove(const Value& key,
+                        const std::vector<std::pair<ClassId, Oid>>& path) {
+  if (path.size() != spec_.Length()) {
+    return Status::InvalidArgument("tuple arity mismatch");
+  }
+  const std::string k = EncodeKey(key);
+  for (size_t pos = 0; pos < path.size(); ++pos) {
+    UINDEX_RETURN_IF_ERROR(
+        BumpPrimary(k, path[pos].first, path[pos].second, -1));
+    if (pos > 0) {
+      UINDEX_RETURN_IF_ERROR(
+          BumpAux(pos, path[pos].second, path[pos - 1].second, -1));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Oid>> NixIndex::Lookup(const Value& lo, const Value& hi,
+                                          ClassId cls,
+                                          bool with_subclasses) const {
+  const std::string klo = EncodeKey(lo);
+  const std::string bound = BytesSuccessor(Slice(EncodeKey(hi)));
+
+  std::vector<Oid> out;
+  BTree::Iterator it = primary_.NewIterator();
+  for (it.Seek(Slice(klo)); it.Valid(); it.Next()) {
+    if (!bound.empty() && !(it.key() < Slice(bound))) break;
+    Result<std::string> payload = RecordCodec::Load(buffers_, it.value());
+    if (!payload.ok()) return payload.status();
+    Result<Directory> dir = DecodeDirectory(Slice(payload.value()));
+    if (!dir.ok()) return dir.status();
+    for (const auto& [entry_cls, postings] : dir.value()) {
+      const bool match = with_subclasses
+                             ? schema_->IsSubclassOf(entry_cls, cls)
+                             : entry_cls == cls;
+      if (!match) continue;
+      for (const auto& [oid, refs] : postings) {
+        (void)refs;
+        out.push_back(oid);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Result<std::vector<Oid>> NixIndex::ParentsOf(size_t pos, Oid oid) const {
+  const BTree* tree = AuxFor(pos);
+  if (tree == nullptr) return std::vector<Oid>{};
+  std::string key;
+  PutBigEndian32(&key, oid);
+  Result<std::string> stored = tree->Get(Slice(key));
+  if (!stored.ok()) {
+    if (stored.status().IsNotFound()) return std::vector<Oid>{};
+    return stored.status();
+  }
+  Result<std::string> loaded =
+      RecordCodec::Load(buffers_, Slice(stored.value()));
+  if (!loaded.ok()) return loaded.status();
+  std::vector<Oid> parents(loaded.value().size() / 8);
+  for (size_t i = 0; i < parents.size(); ++i) {
+    parents[i] = DecodeFixed32(loaded.value().data() + 8 * i);
+  }
+  return parents;
+}
+
+Result<std::vector<Oid>> NixIndex::LookupRestricted(
+    const Value& lo, const Value& hi, ClassId cls, bool with_subclasses,
+    size_t position, const std::vector<Oid>& through) const {
+  Result<std::vector<Oid>> heads = Lookup(lo, hi, cls, with_subclasses);
+  if (!heads.ok()) return heads.status();
+
+  // NIX stores no path structure, so each candidate chases the auxiliary
+  // parent chain... inverted: `position` is below the head, so walk from
+  // the restricted objects up to heads? The aux trees map child -> parent
+  // (towards the head), so instead resolve which heads descend to one of
+  // `through`: chase parents from `through` upwards and intersect.
+  std::vector<Oid> reachable;
+  std::vector<Oid> frontier = through;
+  for (size_t pos = position; pos > 0; --pos) {
+    std::vector<Oid> next;
+    for (const Oid oid : frontier) {
+      Result<std::vector<Oid>> parents = ParentsOf(pos, oid);
+      if (!parents.ok()) return parents.status();
+      next.insert(next.end(), parents.value().begin(),
+                  parents.value().end());
+    }
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    frontier = std::move(next);
+  }
+  std::sort(frontier.begin(), frontier.end());
+  std::set_intersection(heads.value().begin(), heads.value().end(),
+                        frontier.begin(), frontier.end(),
+                        std::back_inserter(reachable));
+  return reachable;
+}
+
+}  // namespace uindex

@@ -1,0 +1,108 @@
+#ifndef UINDEX_BASELINES_NIX_NIX_INDEX_H_
+#define UINDEX_BASELINES_NIX_NIX_INDEX_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/pathindex/nested_index.h"
+#include "btree/btree.h"
+#include "core/index_spec.h"
+#include "objects/object_store.h"
+#include "storage/buffer_manager.h"
+
+namespace uindex {
+
+/// The Nested-Inherited Index (NIX) of Bertino/Foscoli ([3] in the paper),
+/// reconstructed from §2's description — the only prior structure that,
+/// like the U-index, serves combined class-hierarchy/path queries:
+///
+///  * a *primary* B-tree keyed by attribute value whose leaf record is a
+///    directory with one entry per class along the path (subclasses
+///    included), each holding the oids of that class's instances on some
+///    path reaching the value — a key-grouping scheme like CH-trees;
+///  * *auxiliary* per-class B+-structures mapping each object to its
+///    parents along the path ("used to speed up the update process"),
+///    kept bidirectionally consistent with the primary structure.
+///
+/// Queries naming a class (or a class sub-tree) at any position read the
+/// value's directory; queries that *restrict* an in-path position to
+/// specific objects must chase the auxiliary trees per candidate — the
+/// U-index's stored-full-path advantage in §4.4. Directory oids carry
+/// reference counts because one company serves many vehicles under the
+/// same key value.
+class NixIndex {
+ public:
+  NixIndex(BufferManager* buffers, const Schema* schema, PathSpec spec,
+           BTreeOptions options = BTreeOptions());
+
+  const PathSpec& spec() const { return spec_; }
+
+  /// Populates primary and auxiliary structures from every complete path
+  /// instantiation in `store`.
+  Status BuildFrom(const ObjectStore& store);
+
+  /// Adds/removes one instantiation: (actual class, oid) per position,
+  /// head → tail, full length.
+  Status Insert(const Value& key,
+                const std::vector<std::pair<ClassId, Oid>>& path);
+  Status Remove(const Value& key,
+                const std::vector<std::pair<ClassId, Oid>>& path);
+
+  /// Oids of instances of `cls` (optionally with its whole sub-tree)
+  /// appearing on any indexed path with value in [lo, hi]. Sorted,
+  /// distinct.
+  Result<std::vector<Oid>> Lookup(const Value& lo, const Value& hi,
+                                  ClassId cls, bool with_subclasses) const;
+
+  /// As Lookup over the head class, but additionally requiring the path to
+  /// pass through one of `through` at head-based `position`; resolved by
+  /// chasing the auxiliary parent trees (costing their page reads).
+  Result<std::vector<Oid>> LookupRestricted(
+      const Value& lo, const Value& hi, ClassId cls, bool with_subclasses,
+      size_t position, const std::vector<Oid>& through) const;
+
+  /// Auxiliary lookup: parents (objects at head-based position `pos - 1`)
+  /// of object `oid` at position `pos`.
+  Result<std::vector<Oid>> ParentsOf(size_t pos, Oid oid) const;
+
+  const BTree& primary() const { return primary_; }
+
+ private:
+  // Primary record: repeated [class 4B][n 4B] n*( [oid 4B][refcount 4B] ).
+  using Directory = std::vector<
+      std::pair<ClassId, std::vector<std::pair<Oid, uint32_t>>>>;
+
+  static std::string EncodeDirectory(const Directory& dir);
+  static Result<Directory> DecodeDirectory(const Slice& bytes);
+
+  std::string EncodeKey(const Value& v) const;
+
+  Result<Directory> LoadDirectory(const Slice& key, bool* found) const;
+  Status StoreDirectory(const Slice& key, const Directory& dir);
+
+  // Adjusts the refcount of (cls, oid) under `key` by +1/-1.
+  Status BumpPrimary(const std::string& key, ClassId cls, Oid oid,
+                     int delta);
+  // Adjusts the refcount of parent under the auxiliary tree of position
+  // `pos`.
+  Status BumpAux(size_t pos, Oid child, Oid parent, int delta);
+
+  BTree* AuxFor(size_t pos);
+  const BTree* AuxFor(size_t pos) const;
+
+  BufferManager* buffers_;
+  const Schema* schema_;
+  PathSpec spec_;
+  BTreeOptions options_;
+  BTree primary_;
+  uint32_t inline_limit_;
+  // aux_[p] serves path position p (1-based: parents of position p live at
+  // p-1); positions 1..L-1 have trees, created lazily.
+  mutable std::map<size_t, std::unique_ptr<BTree>> aux_;
+};
+
+}  // namespace uindex
+
+#endif  // UINDEX_BASELINES_NIX_NIX_INDEX_H_

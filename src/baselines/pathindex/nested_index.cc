@@ -1,0 +1,158 @@
+#include "baselines/pathindex/nested_index.h"
+
+#include <algorithm>
+
+#include "baselines/record_codec.h"
+#include "core/key_encoding.h"
+#include "util/coding.h"
+
+namespace uindex {
+
+Status ForEachInstantiation(
+    const ObjectStore& store, const PathSpec& spec,
+    const std::function<Status(const PathInstantiation&)>& fn) {
+  const Schema& schema = store.schema();
+  const std::vector<Oid> heads = spec.include_subclasses
+                                     ? store.DeepExtentOf(spec.classes[0])
+                                     : store.ExtentOf(spec.classes[0]);
+
+  // Depth-first expansion of the reference chain from each head object.
+  struct Walker {
+    const ObjectStore* store;
+    const Schema* schema;
+    const PathSpec* spec;
+    const std::function<Status(const PathInstantiation&)>* fn;
+    std::vector<Oid> chain;
+
+    Status Expand(size_t pos, Oid oid) {
+      Result<const Object*> obj = store->Get(oid);
+      if (!obj.ok()) return Status::OK();  // Dangling reference.
+      const ClassId expected = spec->classes[pos];
+      const bool fits = spec->include_subclasses
+                            ? schema->IsSubclassOf(obj.value()->cls, expected)
+                            : obj.value()->cls == expected;
+      if (!fits) return Status::OK();
+      chain.push_back(oid);
+      Status status = Status::OK();
+      if (pos + 1 == spec->classes.size()) {
+        const Value* attr = obj.value()->FindAttr(spec->indexed_attr);
+        if (attr != nullptr && attr->kind() == spec->value_kind) {
+          status = (*fn)(PathInstantiation{*attr, chain});
+        }
+      } else {
+        const Value* ref = obj.value()->FindAttr(spec->ref_attrs[pos]);
+        if (ref != nullptr) {
+          if (ref->kind() == Value::Kind::kRef) {
+            status = Expand(pos + 1, ref->AsRef());
+          } else if (ref->kind() == Value::Kind::kRefSet) {
+            for (const Oid t : ref->AsRefSet()) {
+              status = Expand(pos + 1, t);
+              if (!status.ok()) break;
+            }
+          }
+        }
+      }
+      chain.pop_back();
+      return status;
+    }
+  };
+
+  Walker walker{&store, &schema, &spec, &fn, {}};
+  for (const Oid head : heads) {
+    UINDEX_RETURN_IF_ERROR(walker.Expand(0, head));
+  }
+  return Status::OK();
+}
+
+NestedIndex::NestedIndex(BufferManager* buffers, PathSpec spec,
+                         BTreeOptions options)
+    : buffers_(buffers),
+      spec_(std::move(spec)),
+      tree_(buffers, options),
+      inline_limit_(buffers->page_size() / 4) {}
+
+std::string NestedIndex::EncodeKey(const Value& v) const {
+  std::string out;
+  v.AppendOrderPreserving(&out);
+  if (spec_.value_kind == Value::Kind::kString) out.push_back('\0');
+  return out;
+}
+
+Status NestedIndex::BuildFrom(const ObjectStore& store) {
+  return ForEachInstantiation(
+      store, spec_, [this](const PathInstantiation& inst) {
+        return Insert(inst.attr, inst.oids.front());
+      });
+}
+
+Status NestedIndex::Insert(const Value& key, Oid head_oid) {
+  const std::string k = EncodeKey(key);
+  std::vector<Oid> oids;
+  Result<std::string> stored = tree_.Get(Slice(k));
+  if (stored.ok()) {
+    Result<std::string> payload =
+        RecordCodec::Load(buffers_, Slice(stored.value()));
+    if (!payload.ok()) return payload.status();
+    const std::string& bytes = payload.value();
+    oids.resize(bytes.size() / 4);
+    for (size_t i = 0; i < oids.size(); ++i) {
+      oids[i] = DecodeFixed32(bytes.data() + 4 * i);
+    }
+    UINDEX_RETURN_IF_ERROR(
+        RecordCodec::Free(buffers_, Slice(stored.value())));
+  } else if (!stored.status().IsNotFound()) {
+    return stored.status();
+  }
+  oids.push_back(head_oid);
+  std::string payload;
+  for (const Oid o : oids) PutFixed32(&payload, o);
+  Result<std::string> restored =
+      RecordCodec::Store(buffers_, Slice(payload), inline_limit_);
+  if (!restored.ok()) return restored.status();
+  return tree_.Put(Slice(k), Slice(restored.value()));
+}
+
+Status NestedIndex::Remove(const Value& key, Oid head_oid) {
+  const std::string k = EncodeKey(key);
+  Result<std::string> stored = tree_.Get(Slice(k));
+  if (!stored.ok()) return stored.status();
+  Result<std::string> payload =
+      RecordCodec::Load(buffers_, Slice(stored.value()));
+  if (!payload.ok()) return payload.status();
+  const std::string& bytes = payload.value();
+  std::vector<Oid> oids(bytes.size() / 4);
+  for (size_t i = 0; i < oids.size(); ++i) {
+    oids[i] = DecodeFixed32(bytes.data() + 4 * i);
+  }
+  auto it = std::find(oids.begin(), oids.end(), head_oid);
+  if (it == oids.end()) return Status::NotFound("posting");
+  oids.erase(it);
+  UINDEX_RETURN_IF_ERROR(RecordCodec::Free(buffers_, Slice(stored.value())));
+  if (oids.empty()) return tree_.Delete(Slice(k));
+  std::string out;
+  for (const Oid o : oids) PutFixed32(&out, o);
+  Result<std::string> restored =
+      RecordCodec::Store(buffers_, Slice(out), inline_limit_);
+  if (!restored.ok()) return restored.status();
+  return tree_.Put(Slice(k), Slice(restored.value()));
+}
+
+Result<std::vector<Oid>> NestedIndex::Lookup(const Value& lo,
+                                             const Value& hi) const {
+  const std::string klo = EncodeKey(lo);
+  const std::string bound = BytesSuccessor(Slice(EncodeKey(hi)));
+  std::vector<Oid> out;
+  BTree::Iterator it = tree_.NewIterator();
+  for (it.Seek(Slice(klo)); it.Valid(); it.Next()) {
+    if (!bound.empty() && !(it.key() < Slice(bound))) break;
+    Result<std::string> payload = RecordCodec::Load(buffers_, it.value());
+    if (!payload.ok()) return payload.status();
+    const std::string& bytes = payload.value();
+    for (size_t i = 0; i + 4 <= bytes.size(); i += 4) {
+      out.push_back(DecodeFixed32(bytes.data() + i));
+    }
+  }
+  return out;
+}
+
+}  // namespace uindex

@@ -1,0 +1,65 @@
+#ifndef UINDEX_BASELINES_PATHINDEX_NESTED_INDEX_H_
+#define UINDEX_BASELINES_PATHINDEX_NESTED_INDEX_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "btree/btree.h"
+#include "core/index_spec.h"
+#include "objects/object_store.h"
+#include "storage/buffer_manager.h"
+
+namespace uindex {
+
+/// One complete path instantiation: `oids[0]` is the head object, the last
+/// element the tail object owning the indexed attribute; `attr` is that
+/// attribute's value.
+struct PathInstantiation {
+  Value attr;
+  std::vector<Oid> oids;  // head → tail.
+};
+
+/// Enumerates every complete instantiation of `spec` in `store`, invoking
+/// `fn` for each. Shared by the nested- and path-index baselines.
+Status ForEachInstantiation(
+    const ObjectStore& store, const PathSpec& spec,
+    const std::function<Status(const PathInstantiation&)>& fn);
+
+/// The *nested index* of Kim/Bertino ([1] in the paper): maps each value of
+/// the nested attribute directly to the oids of the *head* class objects
+/// reachable through the path. Fast for head-only queries; cannot answer
+/// predicates about in-path classes at all (that needs a path index), and
+/// updates must recompute reachability (not modelled here — the paper's
+/// comparison is retrieval-side).
+class NestedIndex {
+ public:
+  NestedIndex(BufferManager* buffers, PathSpec spec,
+              BTreeOptions options = BTreeOptions());
+
+  const PathSpec& spec() const { return spec_; }
+
+  /// Populates from every complete path instantiation.
+  Status BuildFrom(const ObjectStore& store);
+
+  /// Adds/removes one (value, head oid) posting.
+  Status Insert(const Value& key, Oid head_oid);
+  Status Remove(const Value& key, Oid head_oid);
+
+  /// Head-class oids whose path reaches a value in [lo, hi].
+  Result<std::vector<Oid>> Lookup(const Value& lo, const Value& hi) const;
+
+  const BTree& btree() const { return tree_; }
+
+ private:
+  std::string EncodeKey(const Value& v) const;
+
+  BufferManager* buffers_;
+  PathSpec spec_;
+  BTree tree_;
+  uint32_t inline_limit_;
+};
+
+}  // namespace uindex
+
+#endif  // UINDEX_BASELINES_PATHINDEX_NESTED_INDEX_H_

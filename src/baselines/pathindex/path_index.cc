@@ -1,0 +1,134 @@
+#include "baselines/pathindex/path_index.h"
+
+#include <algorithm>
+
+#include "baselines/record_codec.h"
+#include "core/key_encoding.h"
+#include "util/coding.h"
+
+namespace uindex {
+
+PathIndex::PathIndex(BufferManager* buffers, PathSpec spec,
+                     BTreeOptions options)
+    : buffers_(buffers),
+      spec_(std::move(spec)),
+      tree_(buffers, options),
+      inline_limit_(buffers->page_size() / 4) {}
+
+std::string PathIndex::EncodeKey(const Value& v) const {
+  std::string out;
+  v.AppendOrderPreserving(&out);
+  if (spec_.value_kind == Value::Kind::kString) out.push_back('\0');
+  return out;
+}
+
+std::string PathIndex::EncodeTuples(
+    const std::vector<std::vector<Oid>>& tuples) const {
+  std::string out;
+  for (const auto& tuple : tuples) {
+    for (const Oid o : tuple) PutFixed32(&out, o);
+  }
+  return out;
+}
+
+std::vector<std::vector<Oid>> PathIndex::DecodeTuples(
+    const Slice& bytes) const {
+  const size_t arity = spec_.Length();
+  const size_t stride = 4 * arity;
+  std::vector<std::vector<Oid>> tuples;
+  for (size_t pos = 0; pos + stride <= bytes.size(); pos += stride) {
+    std::vector<Oid> tuple(arity);
+    for (size_t i = 0; i < arity; ++i) {
+      tuple[i] = DecodeFixed32(bytes.data() + pos + 4 * i);
+    }
+    tuples.push_back(std::move(tuple));
+  }
+  return tuples;
+}
+
+Result<std::vector<std::vector<Oid>>> PathIndex::LoadTuples(
+    const Slice& stored) const {
+  Result<std::string> payload = RecordCodec::Load(buffers_, stored);
+  if (!payload.ok()) return payload.status();
+  return DecodeTuples(Slice(payload.value()));
+}
+
+Status PathIndex::BuildFrom(const ObjectStore& store) {
+  return ForEachInstantiation(
+      store, spec_, [this](const PathInstantiation& inst) {
+        return Insert(inst.attr, inst.oids);
+      });
+}
+
+Status PathIndex::Insert(const Value& key, const std::vector<Oid>& oids) {
+  if (oids.size() != spec_.Length()) {
+    return Status::InvalidArgument("tuple arity mismatch");
+  }
+  const std::string k = EncodeKey(key);
+  std::vector<std::vector<Oid>> tuples;
+  Result<std::string> stored = tree_.Get(Slice(k));
+  if (stored.ok()) {
+    Result<std::vector<std::vector<Oid>>> loaded =
+        LoadTuples(Slice(stored.value()));
+    if (!loaded.ok()) return loaded.status();
+    tuples = std::move(loaded).value();
+    UINDEX_RETURN_IF_ERROR(
+        RecordCodec::Free(buffers_, Slice(stored.value())));
+  } else if (!stored.status().IsNotFound()) {
+    return stored.status();
+  }
+  tuples.push_back(oids);
+  Result<std::string> restored = RecordCodec::Store(
+      buffers_, Slice(EncodeTuples(tuples)), inline_limit_);
+  if (!restored.ok()) return restored.status();
+  return tree_.Put(Slice(k), Slice(restored.value()));
+}
+
+Status PathIndex::Remove(const Value& key, const std::vector<Oid>& oids) {
+  const std::string k = EncodeKey(key);
+  Result<std::string> stored = tree_.Get(Slice(k));
+  if (!stored.ok()) return stored.status();
+  Result<std::vector<std::vector<Oid>>> loaded =
+      LoadTuples(Slice(stored.value()));
+  if (!loaded.ok()) return loaded.status();
+  auto tuples = std::move(loaded).value();
+  auto it = std::find(tuples.begin(), tuples.end(), oids);
+  if (it == tuples.end()) return Status::NotFound("tuple");
+  tuples.erase(it);
+  UINDEX_RETURN_IF_ERROR(RecordCodec::Free(buffers_, Slice(stored.value())));
+  if (tuples.empty()) return tree_.Delete(Slice(k));
+  Result<std::string> restored = RecordCodec::Store(
+      buffers_, Slice(EncodeTuples(tuples)), inline_limit_);
+  if (!restored.ok()) return restored.status();
+  return tree_.Put(Slice(k), Slice(restored.value()));
+}
+
+Result<std::vector<std::vector<Oid>>> PathIndex::Lookup(
+    const Value& lo, const Value& hi,
+    const std::vector<PositionFilter>& filters) const {
+  const std::string klo = EncodeKey(lo);
+  const std::string bound = BytesSuccessor(Slice(EncodeKey(hi)));
+
+  std::vector<std::vector<Oid>> out;
+  BTree::Iterator it = tree_.NewIterator();
+  for (it.Seek(Slice(klo)); it.Valid(); it.Next()) {
+    if (!bound.empty() && !(it.key() < Slice(bound))) break;
+    Result<std::vector<std::vector<Oid>>> loaded = LoadTuples(it.value());
+    if (!loaded.ok()) return loaded.status();
+    for (auto& tuple : loaded.value()) {
+      bool pass = true;
+      for (const PositionFilter& f : filters) {
+        if (f.position >= tuple.size() ||
+            std::find(f.oids.begin(), f.oids.end(), tuple[f.position]) ==
+                f.oids.end()) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) out.push_back(std::move(tuple));
+    }
+  }
+  return out;
+}
+
+}  // namespace uindex

@@ -1,0 +1,63 @@
+#ifndef UINDEX_BASELINES_PATHINDEX_PATH_INDEX_H_
+#define UINDEX_BASELINES_PATHINDEX_PATH_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/pathindex/nested_index.h"
+#include "btree/btree.h"
+#include "core/index_spec.h"
+#include "objects/object_store.h"
+#include "storage/buffer_manager.h"
+
+namespace uindex {
+
+/// The *path index* of Kim/Bertino ([1] in the paper): maps each value of
+/// the nested attribute to the full list of path instantiations reaching
+/// it, so predicates on in-path classes can be answered — at the price of
+/// materializing (and scanning) every tuple under a key. Tuples spill into
+/// overflow chains, the "search of many index pages" the paper attributes
+/// to in-path predicates (§2).
+class PathIndex {
+ public:
+  /// Restricts one path position to a set of oids during lookup.
+  struct PositionFilter {
+    size_t position = 0;  ///< 0 = head class.
+    std::vector<Oid> oids;
+  };
+
+  PathIndex(BufferManager* buffers, PathSpec spec,
+            BTreeOptions options = BTreeOptions());
+
+  const PathSpec& spec() const { return spec_; }
+
+  /// Populates from every complete path instantiation.
+  Status BuildFrom(const ObjectStore& store);
+
+  /// Adds/removes one instantiation (`oids` head → tail, full length).
+  Status Insert(const Value& key, const std::vector<Oid>& oids);
+  Status Remove(const Value& key, const std::vector<Oid>& oids);
+
+  /// Instantiations with value in [lo, hi] passing all `filters`.
+  Result<std::vector<std::vector<Oid>>> Lookup(
+      const Value& lo, const Value& hi,
+      const std::vector<PositionFilter>& filters = {}) const;
+
+  const BTree& btree() const { return tree_; }
+
+ private:
+  std::string EncodeKey(const Value& v) const;
+  std::string EncodeTuples(const std::vector<std::vector<Oid>>& tuples) const;
+  std::vector<std::vector<Oid>> DecodeTuples(const Slice& bytes) const;
+  Result<std::vector<std::vector<Oid>>> LoadTuples(
+      const Slice& stored) const;
+
+  BufferManager* buffers_;
+  PathSpec spec_;
+  BTree tree_;
+  uint32_t inline_limit_;
+};
+
+}  // namespace uindex
+
+#endif  // UINDEX_BASELINES_PATHINDEX_PATH_INDEX_H_

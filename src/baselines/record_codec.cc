@@ -1,0 +1,49 @@
+#include "baselines/record_codec.h"
+
+#include "storage/overflow.h"
+#include "util/coding.h"
+
+namespace uindex {
+
+namespace {
+constexpr char kInlineTag = 0x01;
+constexpr char kSpilledTag = 0x02;
+}  // namespace
+
+Result<std::string> RecordCodec::Store(BufferManager* buffers,
+                                       const Slice& payload,
+                                       uint32_t inline_limit) {
+  std::string out;
+  if (payload.size() <= inline_limit) {
+    out.push_back(kInlineTag);
+    out.append(payload.data(), payload.size());
+    return out;
+  }
+  Result<PageId> head = OverflowChain::Write(buffers, payload);
+  if (!head.ok()) return head.status();
+  out.push_back(kSpilledTag);
+  PutFixed32(&out, head.value());
+  return out;
+}
+
+Result<std::string> RecordCodec::Load(BufferManager* buffers,
+                                      const Slice& stored) {
+  if (stored.empty()) return Status::Corruption("empty record");
+  if (stored[0] == kInlineTag) {
+    return std::string(stored.data() + 1, stored.size() - 1);
+  }
+  if (stored[0] == kSpilledTag && stored.size() == 5) {
+    return OverflowChain::Read(buffers, DecodeFixed32(stored.data() + 1));
+  }
+  return Status::Corruption("bad record tag");
+}
+
+Status RecordCodec::Free(BufferManager* buffers, const Slice& stored) {
+  if (stored.empty()) return Status::Corruption("empty record");
+  if (stored[0] == kSpilledTag && stored.size() == 5) {
+    return OverflowChain::Free(buffers, DecodeFixed32(stored.data() + 1));
+  }
+  return Status::OK();
+}
+
+}  // namespace uindex

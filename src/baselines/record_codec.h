@@ -1,0 +1,37 @@
+#ifndef UINDEX_BASELINES_RECORD_CODEC_H_
+#define UINDEX_BASELINES_RECORD_CODEC_H_
+
+#include <string>
+
+#include "storage/buffer_manager.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace uindex {
+
+/// Inline-or-overflow record payloads for the baseline indexes.
+///
+/// Key-grouping structures (CH-tree, nested/path index) keep one record per
+/// key whose directory can outgrow a node; small payloads embed directly in
+/// the B-tree leaf, large ones move to an `OverflowChain` and the leaf holds
+/// just the head pointer. Reading a spilled record costs one page read per
+/// chain link — the key-grouping tax the experiments measure.
+class RecordCodec {
+ public:
+  /// Stored form: [0x01][payload] (inline) or [0x02][head page id, 4B].
+  /// Spills when the payload exceeds `inline_limit` bytes.
+  static Result<std::string> Store(BufferManager* buffers,
+                                   const Slice& payload,
+                                   uint32_t inline_limit);
+
+  /// Recovers the payload (charging chain reads if spilled).
+  static Result<std::string> Load(BufferManager* buffers,
+                                  const Slice& stored);
+
+  /// Releases the overflow chain, if any.
+  static Status Free(BufferManager* buffers, const Slice& stored);
+};
+
+}  // namespace uindex
+
+#endif  // UINDEX_BASELINES_RECORD_CODEC_H_

@@ -1,0 +1,42 @@
+#ifndef UINDEX_BASELINES_SET_INDEX_H_
+#define UINDEX_BASELINES_SET_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "objects/object.h"
+#include "schema/schema.h"
+#include "util/status.h"
+
+namespace uindex {
+
+/// Common interface of the class-hierarchy ("multiple set") index
+/// structures compared in the paper's experiments (§5). Following [Kilger/
+/// Moerkotte], a *set* is one class of the hierarchy; a query names an
+/// attribute value (or range) and the sets whose members it wants.
+///
+/// Implementations route all node/page access through a BufferManager, so
+/// `QueryCost` measures any of them uniformly.
+class SetIndex {
+ public:
+  virtual ~SetIndex() = default;
+
+  /// Adds `oid` (a member of `set`) under `key`.
+  virtual Status Insert(const Value& key, ClassId set, Oid oid) = 0;
+
+  /// Removes a previously inserted posting.
+  virtual Status Remove(const Value& key, ClassId set, Oid oid) = 0;
+
+  /// All oids of members of any of `sets` with key in [lo, hi] (inclusive).
+  /// Order is unspecified.
+  virtual Result<std::vector<Oid>> Search(
+      const Value& lo, const Value& hi,
+      const std::vector<ClassId>& sets) const = 0;
+
+  /// Display name for experiment output.
+  virtual std::string name() const = 0;
+};
+
+}  // namespace uindex
+
+#endif  // UINDEX_BASELINES_SET_INDEX_H_

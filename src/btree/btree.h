@@ -1,0 +1,185 @@
+#ifndef UINDEX_BTREE_BTREE_H_
+#define UINDEX_BTREE_BTREE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "btree/node.h"
+#include "btree/options.h"
+#include "storage/buffer_manager.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace uindex {
+
+/// A single-rooted B+-tree over a `BufferManager`, with variable-length,
+/// front-compressed keys.
+///
+/// This is the substrate of the U-index (paper §3.2): "the index is built
+/// with a B-tree with variable-length, front-compressed keys". It also backs
+/// the H-tree and path/nested-index baselines. Keys are unique byte strings
+/// ordered by `memcmp`; leaf entries carry an opaque payload. Every node
+/// access for reads and mutations goes through the buffer manager, so page
+/// reads are accounted exactly as in the paper's experiments.
+///
+/// Thread-compatibility: a `BTree` is not internally synchronized; callers
+/// serialize access. Iterators are invalidated by any mutation.
+class BTree {
+ public:
+  /// Creates an empty tree (allocates a root leaf page).
+  BTree(BufferManager* buffers, BTreeOptions options = BTreeOptions());
+
+  /// Attaches to an existing tree on `buffers`'s pager — e.g. one restored
+  /// from a `PagerSnapshot` — whose root page id and entry count were
+  /// persisted by the caller. `options` must match the ones the tree was
+  /// built with (compression affects the on-page format's size budget).
+  BTree(BufferManager* buffers, PageId root, uint64_t size,
+        BTreeOptions options);
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  /// Inserts a new key. Fails with AlreadyExists if the key is present.
+  Status Insert(const Slice& key, const Slice& value);
+
+  /// Inserts a strictly-increasing run of new keys, descending once per
+  /// target leaf instead of once per key — the batch B-tree update of
+  /// Tsur/Gudes ([4] in the paper) that §3.5 leans on: because entries for
+  /// one object cluster, its index updates hit few leaves. Fails with
+  /// InvalidArgument on an unsorted batch and AlreadyExists on a
+  /// collision; earlier keys of the batch stay inserted in that case.
+  Status InsertBatch(
+      const std::vector<std::pair<std::string, std::string>>& entries);
+
+  /// Inserts or overwrites.
+  Status Put(const Slice& key, const Slice& value);
+
+  /// Removes a key. Fails with NotFound if absent.
+  Status Delete(const Slice& key);
+
+  /// Frees every page of the tree and resets it to an empty root leaf.
+  Status Clear();
+
+  /// Returns the payload stored under `key`, or NotFound.
+  Result<std::string> Get(const Slice& key) const;
+
+  bool Contains(const Slice& key) const;
+
+  /// Number of live entries.
+  uint64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  PageId root() const { return root_; }
+  const BTreeOptions& options() const { return options_; }
+  BufferManager* buffers() const { return buffers_; }
+
+  /// Loads and parses a node, charging a page read. Exposed so that the
+  /// U-index "parallel" retrieval algorithm (paper Algorithm 1) can drive
+  /// its own descent over internal nodes.
+  Result<Node> LoadNode(PageId id) const;
+
+  /// Forward scanner over leaf entries in key order. Obtain via
+  /// `NewIterator`; invalidated by tree mutation.
+  class Iterator {
+   public:
+    /// Positions at the first entry (invalid if the tree is empty).
+    void SeekToFirst();
+
+    /// Positions at the first entry with key >= `target`.
+    void Seek(const Slice& target);
+
+    bool Valid() const { return valid_; }
+
+    /// Advances to the next entry in key order, following the leaf chain.
+    void Next();
+
+    Slice key() const { return Slice(node_.entries()[index_].key); }
+    Slice value() const { return Slice(node_.entries()[index_].value); }
+
+    /// Page id of the leaf currently under the iterator.
+    PageId page_id() const { return page_id_; }
+
+   private:
+    friend class BTree;
+    explicit Iterator(const BTree* tree) : tree_(tree) {}
+
+    void LoadLeaf(PageId id);
+    void SkipEmptyLeaves();
+
+    const BTree* tree_;
+    PageId page_id_ = kInvalidPageId;
+    Node node_;
+    size_t index_ = 0;
+    bool valid_ = false;
+  };
+
+  Iterator NewIterator() const { return Iterator(this); }
+
+  /// Structure counters gathered by a full (uncounted) walk.
+  struct TreeStats {
+    uint64_t internal_nodes = 0;
+    uint64_t leaf_nodes = 0;
+    uint64_t entries = 0;
+    uint32_t height = 0;  ///< 1 for a lone root leaf.
+    uint64_t total_bytes = 0;  ///< Sum of serialized node sizes.
+  };
+
+  /// Walks the whole tree without touching read counters.
+  Result<TreeStats> ComputeStats() const;
+
+  /// Exhaustively checks structural invariants (key order, separator
+  /// bounds, node sizes, uniform leaf depth, leaf-chain consistency, entry
+  /// count). Intended for tests; does not touch read counters.
+  Status Validate() const;
+
+ private:
+  // One step of a root-to-leaf descent: the node visited and which child
+  // pointer was taken (0 = leftmost, c = entries[c-1].child).
+  struct PathStep {
+    PageId page_id;
+    Node node;
+    size_t child_index;
+  };
+
+  Result<Node> LoadNodeUncounted(PageId id) const;
+  Status WriteNode(PageId id, const Node& node);
+
+  // Descends to the leaf that would hold `key`, filling `path` with the
+  // internal steps (counted reads). If `upper_bound` is non-null it
+  // receives the tightest separator bounding the leaf's key range from
+  // above (empty = unbounded).
+  Status DescendToLeaf(const Slice& key, std::vector<PathStep>* path,
+                       PageId* leaf_id, Node* leaf,
+                       std::string* upper_bound = nullptr) const;
+
+  // Writes back `node` (which may violate the size limit), splitting and
+  // propagating up through `path` as needed.
+  Status StoreWithSplits(std::vector<PathStep> path, PageId node_id,
+                         Node node);
+
+  // Rebalances after a deletion made the node at the end of the implied
+  // path underfull.
+  Status RebalanceAfterDelete(std::vector<PathStep> path, PageId node_id,
+                              Node node);
+
+  bool IsUnderfull(const Node& node) const;
+
+  Status ValidateSubtree(PageId id, const std::string* lo,
+                         const std::string* hi, uint32_t depth,
+                         uint32_t leaf_depth, uint64_t* entries,
+                         std::vector<PageId>* leaves_in_order) const;
+
+  Status ComputeStatsSubtree(PageId id, uint32_t depth, TreeStats* stats,
+                             uint32_t* leaf_depth) const;
+
+  BufferManager* buffers_;
+  BTreeOptions options_;
+  PageId root_;
+  uint64_t size_ = 0;
+};
+
+}  // namespace uindex
+
+#endif  // UINDEX_BTREE_BTREE_H_

@@ -1,0 +1,65 @@
+#include "btree/btree.h"
+
+namespace uindex {
+
+void BTree::Iterator::LoadLeaf(PageId id) {
+  page_id_ = id;
+  index_ = 0;
+  valid_ = false;
+  if (id == kInvalidPageId) return;
+  Result<Node> r = tree_->LoadNode(id);
+  if (!r.ok()) return;
+  node_ = std::move(r).value();
+  valid_ = true;
+}
+
+void BTree::Iterator::SkipEmptyLeaves() {
+  while (valid_ && index_ >= node_.entry_count()) {
+    const PageId next = node_.next_leaf();
+    if (next == kInvalidPageId) {
+      valid_ = false;
+      return;
+    }
+    LoadLeaf(next);
+  }
+}
+
+void BTree::Iterator::SeekToFirst() {
+  PageId id = tree_->root();
+  for (;;) {
+    Result<Node> r = tree_->LoadNode(id);
+    if (!r.ok()) {
+      valid_ = false;
+      return;
+    }
+    if (r.value().is_leaf()) break;
+    id = r.value().leftmost_child();
+  }
+  LoadLeaf(id);
+  SkipEmptyLeaves();
+}
+
+void BTree::Iterator::Seek(const Slice& target) {
+  PageId id = tree_->root();
+  for (;;) {
+    Result<Node> r = tree_->LoadNode(id);
+    if (!r.ok()) {
+      valid_ = false;
+      return;
+    }
+    if (r.value().is_leaf()) break;
+    id = r.value().ChildFor(target);
+  }
+  LoadLeaf(id);
+  if (!valid_) return;
+  index_ = node_.LowerBound(target);
+  SkipEmptyLeaves();
+}
+
+void BTree::Iterator::Next() {
+  if (!valid_) return;
+  ++index_;
+  SkipEmptyLeaves();
+}
+
+}  // namespace uindex

@@ -1,0 +1,182 @@
+#include "btree/node.h"
+
+#include <algorithm>
+
+#include "util/coding.h"
+#include "util/hex.h"
+
+namespace uindex {
+
+namespace {
+
+constexpr uint8_t kInternalTag = 1;
+constexpr uint8_t kLeafTag = 2;
+
+// Per-entry fixed overhead on the page.
+//   internal: prefix_len(2) suffix_len(2) child(4)
+//   leaf:     prefix_len(2) suffix_len(2) value_len(2)
+constexpr uint32_t kInternalEntryOverhead = 8;
+constexpr uint32_t kLeafEntryOverhead = 6;
+
+}  // namespace
+
+Result<Node> Node::Parse(const Page& page) {
+  const char* p = page.data();
+  const char* limit = page.data() + page.size();
+  if (page.size() < kHeaderSize) {
+    return Status::Corruption("page smaller than node header");
+  }
+  const uint8_t tag = static_cast<uint8_t>(p[0]);
+  if (tag != kInternalTag && tag != kLeafTag) {
+    return Status::Corruption("bad node tag");
+  }
+  Node node;
+  node.is_leaf_ = (tag == kLeafTag);
+  const uint16_t count = DecodeFixed16(p + 2);
+  node.aux_ = DecodeFixed32(p + 4);
+  p += kHeaderSize;
+
+  node.entries_.reserve(count);
+  std::string prev_key;
+  for (uint16_t i = 0; i < count; ++i) {
+    const uint32_t overhead =
+        node.is_leaf_ ? kLeafEntryOverhead : kInternalEntryOverhead;
+    if (p + overhead > limit) {
+      return Status::Corruption("entry header overruns page");
+    }
+    const uint16_t prefix_len = DecodeFixed16(p);
+    const uint16_t suffix_len = DecodeFixed16(p + 2);
+    NodeEntry entry;
+    uint16_t value_len = 0;
+    if (node.is_leaf_) {
+      value_len = DecodeFixed16(p + 4);
+      p += kLeafEntryOverhead;
+    } else {
+      entry.child = DecodeFixed32(p + 4);
+      p += kInternalEntryOverhead;
+    }
+    if (prefix_len > prev_key.size()) {
+      return Status::Corruption("prefix length exceeds previous key");
+    }
+    if (p + suffix_len + value_len > limit) {
+      return Status::Corruption("entry body overruns page");
+    }
+    entry.key.assign(prev_key, 0, prefix_len);
+    entry.key.append(p, suffix_len);
+    p += suffix_len;
+    if (node.is_leaf_) {
+      entry.value.assign(p, value_len);
+      p += value_len;
+    }
+    prev_key = entry.key;
+    node.entries_.push_back(std::move(entry));
+  }
+  return node;
+}
+
+size_t Node::LowerBound(const Slice& key) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const NodeEntry& e, const Slice& k) { return Slice(e.key) < k; });
+  return static_cast<size_t>(it - entries_.begin());
+}
+
+size_t Node::UpperBound(const Slice& key) const {
+  auto it = std::upper_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const Slice& k, const NodeEntry& e) { return k < Slice(e.key); });
+  return static_cast<size_t>(it - entries_.begin());
+}
+
+PageId Node::ChildFor(const Slice& key) const {
+  // Child i holds keys in [entries[i].key, entries[i+1].key); the leftmost
+  // child holds keys below entries[0].key.
+  const size_t idx = UpperBound(key);
+  if (idx == 0) return aux_;
+  return entries_[idx - 1].child;
+}
+
+uint32_t Node::SerializedSize(const BTreeOptions& opts) const {
+  uint32_t size = kHeaderSize;
+  const uint32_t overhead =
+      is_leaf_ ? kLeafEntryOverhead : kInternalEntryOverhead;
+  const std::string* prev = nullptr;
+  for (const NodeEntry& e : entries_) {
+    size_t prefix_len = 0;
+    if (opts.prefix_compression && prev != nullptr) {
+      prefix_len = Slice(*prev).CommonPrefixLength(Slice(e.key));
+    }
+    size += overhead;
+    size += static_cast<uint32_t>(e.key.size() - prefix_len);
+    if (is_leaf_) size += static_cast<uint32_t>(e.value.size());
+    prev = &e.key;
+  }
+  return size;
+}
+
+bool Node::Fits(uint32_t page_size, const BTreeOptions& opts) const {
+  if (opts.max_entries_per_node != 0 &&
+      entries_.size() > opts.max_entries_per_node) {
+    return false;
+  }
+  return SerializedSize(opts) <= page_size;
+}
+
+Status Node::SerializeTo(Page* page, const BTreeOptions& opts) const {
+  if (SerializedSize(opts) > page->size()) {
+    return Status::Corruption("node does not fit in page");
+  }
+  if (entries_.size() > 0xFFFF) {
+    return Status::Corruption("too many entries for node format");
+  }
+  page->Clear();
+  char* p = page->data();
+  p[0] = static_cast<char>(is_leaf_ ? kLeafTag : kInternalTag);
+  p[1] = 0;
+  EncodeFixed16(p + 2, static_cast<uint16_t>(entries_.size()));
+  EncodeFixed32(p + 4, aux_);
+  EncodeFixed32(p + 8, 0);
+  p += kHeaderSize;
+
+  const std::string* prev = nullptr;
+  for (const NodeEntry& e : entries_) {
+    size_t prefix_len = 0;
+    if (opts.prefix_compression && prev != nullptr) {
+      prefix_len = Slice(*prev).CommonPrefixLength(Slice(e.key));
+    }
+    const size_t suffix_len = e.key.size() - prefix_len;
+    EncodeFixed16(p, static_cast<uint16_t>(prefix_len));
+    EncodeFixed16(p + 2, static_cast<uint16_t>(suffix_len));
+    if (is_leaf_) {
+      EncodeFixed16(p + 4, static_cast<uint16_t>(e.value.size()));
+      p += kLeafEntryOverhead;
+    } else {
+      EncodeFixed32(p + 4, e.child);
+      p += kInternalEntryOverhead;
+    }
+    std::memcpy(p, e.key.data() + prefix_len, suffix_len);
+    p += suffix_len;
+    if (is_leaf_) {
+      std::memcpy(p, e.value.data(), e.value.size());
+      p += e.value.size();
+    }
+    prev = &e.key;
+  }
+  return Status::OK();
+}
+
+std::string Node::DebugString() const {
+  std::string out = is_leaf_ ? "leaf[" : "internal[";
+  if (!is_leaf_) {
+    out += "L=" + std::to_string(aux_) + " ";
+  }
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += EscapeBytes(Slice(entries_[i].key));
+    if (!is_leaf_) out += "->" + std::to_string(entries_[i].child);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace uindex

@@ -1,0 +1,105 @@
+#ifndef UINDEX_BTREE_NODE_H_
+#define UINDEX_BTREE_NODE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "btree/options.h"
+#include "storage/page.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace uindex {
+
+/// One key/payload pair inside a node (held decompressed in memory).
+///
+/// For leaf entries `value` is the payload and `child` is unused; for
+/// internal entries `child` is the subtree holding keys >= `key` (up to the
+/// next entry's key) and `value` is unused.
+struct NodeEntry {
+  std::string key;
+  std::string value;
+  PageId child = kInvalidPageId;
+};
+
+/// In-memory image of one B-tree node.
+///
+/// Nodes live on `Page`s in a front-compressed format: entry i stores the
+/// length of the prefix it shares with entry i-1 plus the differing suffix
+/// ("variable-length, front-compressed keys", paper §3.2.1). `Node` is the
+/// parsed, fully decompressed form used to read and mutate a node; it
+/// serializes itself back to a page. Whether a node "fits" is decided by its
+/// serialized (compressed) size against the page size, so compression
+/// directly increases fanout — the effect the paper's storage analysis
+/// (§4.2) relies on.
+class Node {
+ public:
+  /// On-page header size in bytes.
+  static constexpr uint32_t kHeaderSize = 12;
+
+  Node() = default;
+
+  /// Builds an empty node of the given kind.
+  static Node MakeLeaf() {
+    Node n;
+    n.is_leaf_ = true;
+    return n;
+  }
+  static Node MakeInternal() {
+    Node n;
+    n.is_leaf_ = false;
+    return n;
+  }
+
+  /// Parses the node stored in `page`. Fails with Corruption on a malformed
+  /// image.
+  static Result<Node> Parse(const Page& page);
+
+  bool is_leaf() const { return is_leaf_; }
+
+  /// Leaf only: id of the next leaf in key order (kInvalidPageId at end).
+  PageId next_leaf() const { return aux_; }
+  void set_next_leaf(PageId id) { aux_ = id; }
+
+  /// Internal only: child holding keys strictly below entries[0].key.
+  PageId leftmost_child() const { return aux_; }
+  void set_leftmost_child(PageId id) { aux_ = id; }
+
+  const std::vector<NodeEntry>& entries() const { return entries_; }
+  std::vector<NodeEntry>& entries() { return entries_; }
+  size_t entry_count() const { return entries_.size(); }
+
+  /// Index of the first entry whose key is >= `key` (== entry_count() if
+  /// none). Keys within a node are strictly increasing.
+  size_t LowerBound(const Slice& key) const;
+
+  /// Index of the first entry whose key is > `key`.
+  size_t UpperBound(const Slice& key) const;
+
+  /// Internal only: the child to descend into when searching for `key`.
+  PageId ChildFor(const Slice& key) const;
+
+  /// Serialized size in bytes under `opts` (header + compressed entries).
+  uint32_t SerializedSize(const BTreeOptions& opts) const;
+
+  /// True if the node fits in a page of `page_size` bytes under `opts`
+  /// (including the optional max-entries cap).
+  bool Fits(uint32_t page_size, const BTreeOptions& opts) const;
+
+  /// Writes the node image into `page`. The caller must have checked
+  /// `Fits`; returns Corruption if it does not fit after all.
+  Status SerializeTo(Page* page, const BTreeOptions& opts) const;
+
+  /// Renders keys/children for debugging.
+  std::string DebugString() const;
+
+ private:
+  bool is_leaf_ = true;
+  PageId aux_ = kInvalidPageId;  // next_leaf (leaf) or leftmost_child.
+  std::vector<NodeEntry> entries_;
+};
+
+}  // namespace uindex
+
+#endif  // UINDEX_BTREE_NODE_H_

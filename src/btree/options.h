@@ -1,0 +1,28 @@
+#ifndef UINDEX_BTREE_OPTIONS_H_
+#define UINDEX_BTREE_OPTIONS_H_
+
+#include <cstdint>
+
+namespace uindex {
+
+/// Tuning knobs for a `BTree`.
+struct BTreeOptions {
+  /// Front-compress keys within each node: entry i stores only the suffix
+  /// that differs from entry i-1. This is the compression the U-index paper
+  /// leans on to make long encoded paths cheap (§3.2); turn it off only for
+  /// the ablation benchmark.
+  bool prefix_compression = true;
+
+  /// A node is considered underfull (and is rebalanced) when its serialized
+  /// size drops below page_size / underflow_divisor after a deletion.
+  uint32_t underflow_divisor = 3;
+
+  /// Optional hard cap on entries per node, on top of the byte-size limit.
+  /// The paper's first experiment uses "a small node size m = 10" records
+  /// per node; 0 means no cap (page size is the only limit).
+  uint32_t max_entries_per_node = 0;
+};
+
+}  // namespace uindex
+
+#endif  // UINDEX_BTREE_OPTIONS_H_

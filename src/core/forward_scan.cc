@@ -1,0 +1,57 @@
+#include "core/uindex.h"
+
+namespace uindex {
+
+// The "simple forward scanning" retrieval (paper §3.3): a single standard
+// B-tree search to the first relevant entry, then a sequential sweep of the
+// leaf chain until past the last possibly-relevant key, filtering entries
+// with only as much key decompression as comparison needs (our leaf parse
+// plays that role; the page-read count is identical).
+Result<QueryResult> UIndex::ForwardScan(const Query& query) const {
+  Result<CompiledQuery> compiled =
+      CompiledQuery::Compile(query, encoder_, *schema_);
+  if (!compiled.ok()) return compiled.status();
+  const CompiledQuery& cq = compiled.value();
+
+  QueryResult result;
+  if (cq.intervals().empty()) return result;
+
+  const bool partial = cq.is_partial();
+  const size_t queried = query.components.size();
+  BTree::Iterator it = tree_->NewIterator();
+  it.Seek(Slice(cq.full_span().lo));
+  const std::string& span_hi = cq.full_span().hi;
+  DecodedKey decoded;
+  while (it.Valid()) {
+    if (!span_hi.empty() && !(it.key() < Slice(span_hi))) break;
+    ++result.entries_scanned;
+    if (cq.Matches(it.key(), &decoded)) {
+      std::vector<Oid> row;
+      if (partial) {
+        // Partial-path semantics: one row per distinct binding of the
+        // queried positions. Same-prefix matches are contiguous, so a
+        // comparison against the last row dedupes exactly — but unlike
+        // Parscan the sweep still reads every page of the cluster.
+        row.reserve(queried);
+        for (size_t i = 0; i < queried && i < decoded.components.size();
+             ++i) {
+          row.push_back(decoded.components[i].oid);
+        }
+        if (!result.rows.empty() && result.rows.back() == row) {
+          it.Next();
+          continue;
+        }
+      } else {
+        row.reserve(decoded.components.size());
+        for (const KeyComponent& kc : decoded.components) {
+          row.push_back(kc.oid);
+        }
+      }
+      result.rows.push_back(std::move(row));
+    }
+    it.Next();
+  }
+  return result;
+}
+
+}  // namespace uindex

@@ -1,0 +1,69 @@
+#ifndef UINDEX_CORE_INDEX_SPEC_H_
+#define UINDEX_CORE_INDEX_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "objects/object.h"
+#include "schema/schema.h"
+
+namespace uindex {
+
+/// Declares what a U-index indexes (paper §3.1).
+///
+/// One spec covers all three variants of the paper:
+///  * class-hierarchy index — a single-class path
+///    (`classes = {Vehicle}`, `indexed_attr = "Color"`);
+///  * path index — `classes = {Vehicle, Company, Employee}` with
+///    `ref_attrs = {"manufactured-by", "president"}` and
+///    `indexed_attr = "Age"` on the tail class, with
+///    `include_subclasses = false`;
+///  * combined class-hierarchy/path index — the same with
+///    `include_subclasses = true`, admitting subclass instances at every
+///    path position (the index neither CH-trees nor path indexes can
+///    provide, §3.1).
+///
+/// `classes` runs head → tail: `classes[0]` is the head (the class queries
+/// normally retrieve), and `classes[i]` holds the reference attribute
+/// `ref_attrs[i]` leading to `classes[i+1]`. Note that the *key layout* is
+/// the reverse — tail first — because REF edges make tail codes smaller
+/// (paper §3.1: "the order of class names in such a path is sorted
+/// lexicographically").
+struct PathSpec {
+  std::vector<ClassId> classes;
+  std::vector<std::string> ref_attrs;
+  std::string indexed_attr;
+  Value::Kind value_kind = Value::Kind::kInt;
+  bool include_subclasses = true;
+
+  /// Optional key namespace, prepended to every key of this index. With
+  /// distinct namespaces several U-indexes can share one physical B-tree
+  /// (paper §4.1: "by encoding the attribute-value as part of the key, one
+  /// can use a single B-tree for all these indexes"). Must not contain
+  /// NUL; keep it short — it is stored once per entry (and compressed
+  /// away by the front compression).
+  std::string key_namespace;
+
+  /// Number of path positions (== classes.size()).
+  size_t Length() const { return classes.size(); }
+
+  /// Convenience: class at key position `i` (0 = tail).
+  ClassId ClassAtKeyPosition(size_t i) const {
+    return classes[classes.size() - 1 - i];
+  }
+
+  /// Builds a class-hierarchy spec over one hierarchy root.
+  static PathSpec ClassHierarchy(ClassId root, std::string attr,
+                                 Value::Kind kind = Value::Kind::kInt) {
+    PathSpec spec;
+    spec.classes = {root};
+    spec.indexed_attr = std::move(attr);
+    spec.value_kind = kind;
+    spec.include_subclasses = true;
+    return spec;
+  }
+};
+
+}  // namespace uindex
+
+#endif  // UINDEX_CORE_INDEX_SPEC_H_

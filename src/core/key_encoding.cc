@@ -1,0 +1,85 @@
+#include "core/key_encoding.h"
+
+#include "schema/class_code.h"
+#include "util/coding.h"
+#include "util/hex.h"
+
+namespace uindex {
+
+std::string BytesSuccessor(const Slice& prefix) {
+  std::string out = prefix.ToString();
+  while (!out.empty() &&
+         static_cast<unsigned char>(out.back()) == 0xFF) {
+    out.pop_back();
+  }
+  if (!out.empty()) ++out.back();
+  return out;  // Empty means +infinity.
+}
+
+std::string KeyEncoder::EncodeAttrValue(const Value& value) const {
+  // The namespace rides in front of every attribute image, so all derived
+  // search intervals stay inside this index's slice of a shared tree.
+  std::string out = spec_->key_namespace;
+  value.AppendOrderPreserving(&out);
+  if (spec_->value_kind == Value::Kind::kString) {
+    out.push_back('\0');  // Terminator keeps prefix strings sorted first.
+  }
+  return out;
+}
+
+std::string KeyEncoder::EncodeEntry(
+    const Value& attr_value,
+    const std::vector<std::pair<ClassId, Oid>>& path) const {
+  std::string key = EncodeAttrValue(attr_value);
+  for (const auto& [cls, oid] : path) {
+    key += coder_->CodeOf(cls);
+    key.push_back(kCodeOidSeparator);
+    PutBigEndian32(&key, oid);
+  }
+  return key;
+}
+
+Result<size_t> KeyEncoder::AttrImageLength(const Slice& key) const {
+  const size_t ns = spec_->key_namespace.size();
+  switch (spec_->value_kind) {
+    case Value::Kind::kInt:
+      if (key.size() < ns + 8) return Status::Corruption("short int key");
+      return ns + 8;
+    case Value::Kind::kString: {
+      for (size_t i = ns; i < key.size(); ++i) {
+        if (key[i] == '\0') return i + 1;
+      }
+      return Status::Corruption("unterminated string key");
+    }
+    default:
+      return Status::NotSupported("unsupported indexed value kind");
+  }
+}
+
+Result<DecodedKey> KeyEncoder::Decode(const Slice& key) const {
+  Result<size_t> attr_len = AttrImageLength(key);
+  if (!attr_len.ok()) return attr_len.status();
+
+  DecodedKey out;
+  out.attr_bytes.assign(key.data(), attr_len.value());
+  Slice rest(key.data() + attr_len.value(), key.size() - attr_len.value());
+  while (!rest.empty()) {
+    size_t sep = 0;
+    while (sep < rest.size() && rest[sep] != kCodeOidSeparator) ++sep;
+    if (sep == rest.size() || sep == 0) {
+      return Status::Corruption("malformed key component in " +
+                                EscapeBytes(key));
+    }
+    if (rest.size() < sep + 1 + 4) {
+      return Status::Corruption("truncated oid in " + EscapeBytes(key));
+    }
+    KeyComponent comp;
+    comp.code.assign(rest.data(), sep);
+    comp.oid = DecodeBigEndian32(rest.data() + sep + 1);
+    out.components.push_back(std::move(comp));
+    rest.RemovePrefix(sep + 1 + 4);
+  }
+  return out;
+}
+
+}  // namespace uindex

@@ -1,0 +1,74 @@
+#ifndef UINDEX_CORE_KEY_ENCODING_H_
+#define UINDEX_CORE_KEY_ENCODING_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/index_spec.h"
+#include "objects/object.h"
+#include "schema/encoder.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace uindex {
+
+/// One parsed path component of an index key.
+struct KeyComponent {
+  std::string code;  ///< Class code (e.g. "C5A").
+  Oid oid = kInvalidOid;
+};
+
+/// A fully decoded U-index key.
+struct DecodedKey {
+  std::string attr_bytes;             ///< Order-preserving attribute image.
+  std::vector<KeyComponent> components;  ///< Tail → head, as stored.
+};
+
+/// Smallest byte string greater than every string prefixed by `prefix`
+/// (increment-with-carry; trailing 0xFF bytes are dropped). Returns the
+/// empty string to mean "+infinity" when the prefix is all-0xFF.
+std::string BytesSuccessor(const Slice& prefix);
+
+/// Encodes and decodes U-index keys (paper §3.2):
+///
+///   key = enc(attr value) ∥ code₁ '$' oid₁ ∥ code₂ '$' oid₂ ∥ …
+///
+/// with components running tail → head so that keys sort by attribute
+/// value, then by the (lexicographically ordered) class codes along the
+/// path, then by oids — producing exactly the clustering of the paper's
+/// leaf-node examples. Entries are "single-value" (one oid chain per key,
+/// §3.2.1); front compression in the B-tree removes the redundancy.
+class KeyEncoder {
+ public:
+  KeyEncoder(const PathSpec* spec, const ClassCoder* coder)
+      : spec_(spec), coder_(coder) {}
+
+  const PathSpec& spec() const { return *spec_; }
+  const ClassCoder& coder() const { return *coder_; }
+
+  /// Order-preserving image of an attribute value of the spec's kind.
+  /// String images carry a NUL terminator (string values must be NUL-free).
+  std::string EncodeAttrValue(const Value& value) const;
+
+  /// Builds the full key for one path instantiation. `path` is tail → head:
+  /// `path[0]` is the object owning the indexed attribute.
+  std::string EncodeEntry(
+      const Value& attr_value,
+      const std::vector<std::pair<ClassId, Oid>>& path) const;
+
+  /// Parses `key` back into its attribute image and components.
+  Result<DecodedKey> Decode(const Slice& key) const;
+
+  /// Length in bytes of the attribute image at the head of `key`
+  /// (fixed 8 for ints; scan-to-NUL for strings).
+  Result<size_t> AttrImageLength(const Slice& key) const;
+
+ private:
+  const PathSpec* spec_;
+  const ClassCoder* coder_;
+};
+
+}  // namespace uindex
+
+#endif  // UINDEX_CORE_KEY_ENCODING_H_

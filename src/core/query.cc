@@ -1,0 +1,454 @@
+#include "core/query.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "schema/class_code.h"
+#include "util/coding.h"
+
+namespace uindex {
+
+namespace {
+
+bool HiIsInf(const ByteInterval& iv) { return iv.hi.empty(); }
+
+// Sorts intervals and merges overlapping/adjacent ones.
+std::vector<ByteInterval> Normalize(std::vector<ByteInterval> ivs) {
+  std::sort(ivs.begin(), ivs.end(),
+            [](const ByteInterval& a, const ByteInterval& b) {
+              return Slice(a.lo) < Slice(b.lo);
+            });
+  std::vector<ByteInterval> out;
+  for (ByteInterval& iv : ivs) {
+    if (!HiIsInf(iv) && !(Slice(iv.lo) < Slice(iv.hi))) continue;  // empty
+    if (!out.empty()) {
+      ByteInterval& last = out.back();
+      // Merge if the previous interval reaches (or passes) this one's start.
+      if (HiIsInf(last) || !(Slice(last.hi) < Slice(iv.lo))) {
+        if (!HiIsInf(last) &&
+            (HiIsInf(iv) || Slice(last.hi) < Slice(iv.hi))) {
+          last.hi = std::move(iv.hi);
+        }
+        continue;
+      }
+    }
+    out.push_back(std::move(iv));
+  }
+  return out;
+}
+
+// Removes `cuts` (normalized) from `base` (normalized); both sorted.
+std::vector<ByteInterval> Subtract(const std::vector<ByteInterval>& base,
+                                   const std::vector<ByteInterval>& cuts) {
+  if (cuts.empty()) return base;
+  std::vector<ByteInterval> out;
+  for (const ByteInterval& iv : base) {
+    std::string lo = iv.lo;
+    bool alive = true;
+    for (const ByteInterval& cut : cuts) {
+      if (!alive) break;
+      // No overlap if cut ends at/before lo or starts at/after iv.hi.
+      if (!HiIsInf(cut) && !(Slice(lo) < Slice(cut.hi))) continue;
+      if (!HiIsInf(iv) && !(Slice(cut.lo) < Slice(iv.hi))) continue;
+      if (Slice(lo) < Slice(cut.lo)) {
+        out.push_back({lo, cut.lo});
+      }
+      if (HiIsInf(cut)) {
+        alive = false;
+      } else {
+        lo = cut.hi;
+        if (!HiIsInf(iv) && !(Slice(lo) < Slice(iv.hi))) alive = false;
+      }
+    }
+    if (alive) out.push_back({lo, iv.hi});
+  }
+  return Normalize(std::move(out));
+}
+
+}  // namespace
+
+std::vector<Oid> QueryResult::Distinct(size_t key_position) const {
+  std::vector<Oid> out;
+  for (const auto& row : rows) {
+    if (key_position < row.size()) out.push_back(row[key_position]);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Result<CompiledQuery> CompiledQuery::Compile(const Query& query,
+                                             const KeyEncoder& encoder,
+                                             const Schema& schema) {
+  const PathSpec& spec = encoder.spec();
+  if (query.components.size() > spec.Length()) {
+    return Status::InvalidArgument("query has more components than the path");
+  }
+  if (query.values.empty() && (query.lo.kind() != spec.value_kind ||
+                               query.hi.kind() != spec.value_kind)) {
+    return Status::InvalidArgument("attribute bound kind mismatch");
+  }
+
+  CompiledQuery out;
+  out.encoder_ = &encoder;
+  out.schema_ = &schema;
+  out.query_ = query;
+  if (!query.values.empty()) {
+    // Explicit value set ("predicate" case): every value is enumerated.
+    for (const Value& v : query.values) {
+      if (v.kind() != spec.value_kind) {
+        return Status::InvalidArgument("value kind mismatch in value set");
+      }
+      out.attr_images_.push_back(encoder.EncodeAttrValue(v));
+    }
+    std::sort(out.attr_images_.begin(), out.attr_images_.end());
+    out.attr_images_.erase(
+        std::unique(out.attr_images_.begin(), out.attr_images_.end()),
+        out.attr_images_.end());
+    out.attr_lo_ = out.attr_images_.front();
+    out.attr_hi_ = out.attr_images_.back();
+  } else {
+    out.attr_lo_ = encoder.EncodeAttrValue(query.lo);
+    out.attr_hi_ = encoder.EncodeAttrValue(query.hi);
+  }
+  if (Slice(out.attr_hi_) < Slice(out.attr_lo_)) {
+    return Status::InvalidArgument("empty attribute range");
+  }
+  for (QueryComponent& comp : out.query_.components) {
+    if (comp.slot.kind == ValueSlot::Kind::kBound) {
+      if (comp.slot.oids.empty()) {
+        return Status::InvalidArgument("bound slot without oids");
+      }
+      std::sort(comp.slot.oids.begin(), comp.slot.oids.end());
+      comp.slot.oids.erase(
+          std::unique(comp.slot.oids.begin(), comp.slot.oids.end()),
+          comp.slot.oids.end());
+    }
+    for (const auto& term : comp.selector.include) {
+      if (!schema.IsValidClass(term.cls)) {
+        return Status::InvalidArgument("bad class in selector");
+      }
+    }
+  }
+
+  // --- Per-component code ranges for parent-node pruning
+  // (PrefixExcludes). ---
+  const ClassCoder& coder = encoder.coder();
+  for (const QueryComponent& comp : out.query_.components) {
+    std::vector<ByteInterval> ranges;
+    if (!comp.selector.include.empty()) {
+      for (const auto& term : comp.selector.include) {
+        const std::string& code = coder.CodeOf(term.cls);
+        if (term.with_subclasses) {
+          ranges.push_back({code, SubtreeUpperBound(Slice(code))});
+        } else {
+          std::string lo = code + kCodeOidSeparator;
+          std::string hi = BytesSuccessor(Slice(lo));
+          ranges.push_back({std::move(lo), std::move(hi)});
+        }
+      }
+      std::vector<ByteInterval> cuts;
+      for (const auto& term : comp.selector.exclude) {
+        const std::string& code = coder.CodeOf(term.cls);
+        if (term.with_subclasses) {
+          cuts.push_back({code, SubtreeUpperBound(Slice(code))});
+        } else {
+          std::string lo = code + kCodeOidSeparator;
+          cuts.push_back({lo, BytesSuccessor(Slice(lo))});
+        }
+      }
+      ranges = Subtract(Normalize(std::move(ranges)),
+                        Normalize(std::move(cuts)));
+    }
+    out.component_ranges_.push_back(std::move(ranges));
+  }
+
+  // --- Expand the attribute predicate into per-value prefixes
+  // (Algorithm 1: "extract next j values for the range") when enumerable.
+  std::vector<std::string> prefixes;
+  if (!out.attr_images_.empty()) {
+    prefixes = out.attr_images_;
+  } else {
+    const bool exact_value = out.attr_lo_ == out.attr_hi_;
+    bool enumerable = exact_value;
+    if (!enumerable && spec.value_kind == Value::Kind::kInt) {
+      const uint64_t span = static_cast<uint64_t>(query.hi.AsInt()) -
+                            static_cast<uint64_t>(query.lo.AsInt());
+      enumerable = span < static_cast<uint64_t>(kMaxEnumeratedValues);
+    }
+    if (!enumerable) {
+      // Wide/opaque range: one covering interval; classes filter at the
+      // leaf.
+      out.intervals_ =
+          Normalize({{out.attr_lo_, BytesSuccessor(Slice(out.attr_hi_))}});
+      out.full_span_ = out.intervals_.front();
+      return out;
+    }
+    if (exact_value) {
+      prefixes.push_back(out.attr_lo_);
+    } else {
+      for (int64_t v = query.lo.AsInt();; ++v) {
+        prefixes.push_back(encoder.EncodeAttrValue(Value::Int(v)));
+        if (v == query.hi.AsInt()) break;
+      }
+    }
+  }
+
+  // --- Extend prefixes through the components while they stay prefixes
+  // (exact class + bound oid); otherwise emit the component's code ranges
+  // and stop. ---
+  std::vector<ByteInterval> intervals;
+  bool prefixes_alive = true;
+  for (const QueryComponent& comp : out.query_.components) {
+    if (comp.selector.include.empty()) break;
+
+    // Relative code extensions for the include terms.
+    struct Ext {
+      std::string bytes;  // "code$" (exact) or "code" (sub-tree).
+      bool exact;
+    };
+    std::vector<Ext> exts;
+    bool all_exact = true;
+    for (const auto& term : comp.selector.include) {
+      const std::string& code = coder.CodeOf(term.cls);
+      const bool subtree =
+          term.with_subclasses && !schema.SubclassesOf(term.cls).empty();
+      if (subtree) {
+        exts.push_back({code, false});
+        all_exact = false;
+      } else {
+        exts.push_back({code + kCodeOidSeparator, true});
+      }
+    }
+    // Relative exclusion ranges.
+    std::vector<ByteInterval> rel_cuts;
+    for (const auto& term : comp.selector.exclude) {
+      const std::string& code = coder.CodeOf(term.cls);
+      if (term.with_subclasses) {
+        rel_cuts.push_back({code, SubtreeUpperBound(Slice(code))});
+      } else {
+        std::string lo = code + kCodeOidSeparator;
+        rel_cuts.push_back({lo, BytesSuccessor(Slice(lo))});
+      }
+    }
+
+    const bool can_continue = all_exact && rel_cuts.empty() &&
+                              comp.slot.kind == ValueSlot::Kind::kBound;
+    if (can_continue) {
+      std::vector<std::string> next;
+      next.reserve(prefixes.size() * exts.size() * comp.slot.oids.size());
+      for (const std::string& p : prefixes) {
+        for (const Ext& ext : exts) {
+          for (const Oid oid : comp.slot.oids) {
+            std::string np = p + ext.bytes;
+            PutBigEndian32(&np, oid);
+            next.push_back(std::move(np));
+          }
+        }
+      }
+      prefixes = std::move(next);
+      continue;
+    }
+
+    // Terminal component: materialize intervals (minus exclusions).
+    for (const std::string& p : prefixes) {
+      std::vector<ByteInterval> local;
+      for (const Ext& ext : exts) {
+        std::string lo = p + ext.bytes;
+        std::string hi = BytesSuccessor(Slice(lo));
+        local.push_back({std::move(lo), std::move(hi)});
+      }
+      std::vector<ByteInterval> cuts;
+      for (const ByteInterval& cut : rel_cuts) {
+        cuts.push_back({p + cut.lo, p + cut.hi});
+      }
+      local = Subtract(Normalize(std::move(local)), Normalize(std::move(cuts)));
+      intervals.insert(intervals.end(), local.begin(), local.end());
+    }
+    prefixes_alive = false;
+    break;
+  }
+
+  if (prefixes_alive) {
+    for (const std::string& p : prefixes) {
+      intervals.push_back({p, BytesSuccessor(Slice(p))});
+    }
+  }
+  out.intervals_ = Normalize(std::move(intervals));
+  if (out.intervals_.empty()) {
+    // Exclusions annihilated everything; keep a degenerate empty span so
+    // scans terminate immediately.
+    out.full_span_ = {out.attr_lo_, out.attr_lo_};
+  } else {
+    out.full_span_ = {out.intervals_.front().lo, out.intervals_.back().hi};
+  }
+  return out;
+}
+
+bool CompiledQuery::Matches(const Slice& key, DecodedKey* decoded) const {
+  Result<DecodedKey> parsed = encoder_->Decode(key);
+  if (!parsed.ok()) return false;
+  const DecodedKey& dk = parsed.value();
+
+  if (Slice(dk.attr_bytes) < Slice(attr_lo_) ||
+      Slice(attr_hi_) < Slice(dk.attr_bytes)) {
+    return false;
+  }
+  if (!attr_images_.empty() &&
+      !std::binary_search(attr_images_.begin(), attr_images_.end(),
+                          dk.attr_bytes)) {
+    return false;
+  }
+  const ClassCoder& coder = encoder_->coder();
+  for (size_t i = 0; i < query_.components.size(); ++i) {
+    if (i >= dk.components.size()) return false;
+    const QueryComponent& comp = query_.components[i];
+    const KeyComponent& kc = dk.components[i];
+
+    if (!comp.selector.include.empty()) {
+      bool hit = false;
+      for (const auto& term : comp.selector.include) {
+        const std::string& code = coder.CodeOf(term.cls);
+        hit = term.with_subclasses
+                  ? CodeIsSelfOrDescendant(Slice(kc.code), Slice(code))
+                  : kc.code == code;
+        if (hit) break;
+      }
+      if (!hit) return false;
+    }
+    for (const auto& term : comp.selector.exclude) {
+      const std::string& code = coder.CodeOf(term.cls);
+      const bool hit = term.with_subclasses
+                           ? CodeIsSelfOrDescendant(Slice(kc.code),
+                                                    Slice(code))
+                           : kc.code == code;
+      if (hit) return false;
+    }
+    if (comp.slot.kind == ValueSlot::Kind::kBound &&
+        !std::binary_search(comp.slot.oids.begin(), comp.slot.oids.end(),
+                            kc.oid)) {
+      return false;
+    }
+  }
+  if (decoded != nullptr) *decoded = dk;
+  return true;
+}
+
+bool CompiledQuery::is_partial() const {
+  return query_.components.size() < encoder_->spec().Length();
+}
+
+Result<size_t> CompiledQuery::QueriedPrefixLength(const Slice& key) const {
+  Result<size_t> attr_len = encoder_->AttrImageLength(key);
+  if (!attr_len.ok()) return attr_len.status();
+  size_t pos = attr_len.value();
+  for (size_t i = 0; i < query_.components.size(); ++i) {
+    size_t sep = pos;
+    while (sep < key.size() && key[sep] != kCodeOidSeparator) ++sep;
+    if (sep + 1 + 4 > key.size()) {
+      return Status::Corruption("key shorter than queried components");
+    }
+    pos = sep + 1 + 4;
+  }
+  return pos;
+}
+
+bool CompiledQuery::PrefixExcludes(const Slice& prefix) const {
+  const PathSpec& spec = encoder_->spec();
+
+  // --- Attribute segment (namespace prefix included in the image). ---
+  const size_t ns = spec.key_namespace.size();
+  size_t attr_len = 0;
+  bool attr_complete = false;
+  if (spec.value_kind == Value::Kind::kInt) {
+    attr_complete = prefix.size() >= ns + 8;
+    attr_len = ns + 8;
+  } else {
+    for (size_t i = ns; i < prefix.size(); ++i) {
+      if (prefix[i] == '\0') {
+        attr_complete = true;
+        attr_len = i + 1;
+        break;
+      }
+    }
+  }
+  if (!attr_complete) {
+    // Every key below shares `prefix` as a prefix of its attribute image:
+    // the images lie in [prefix, BytesSuccessor(prefix)).
+    if (!attr_images_.empty()) {
+      auto it = std::lower_bound(attr_images_.begin(), attr_images_.end(),
+                                 prefix.ToString());
+      return it == attr_images_.end() || !Slice(*it).StartsWith(prefix);
+    }
+    const std::string ub = BytesSuccessor(prefix);
+    if (!ub.empty() && !(Slice(attr_lo_) < Slice(ub))) return true;
+    if (Slice(attr_hi_) < prefix) return true;
+    return false;
+  }
+
+  const Slice attr(prefix.data(), attr_len);
+  if (attr < Slice(attr_lo_) || Slice(attr_hi_) < attr) return true;
+  if (!attr_images_.empty() &&
+      !std::binary_search(attr_images_.begin(), attr_images_.end(),
+                          attr.ToString())) {
+    return true;
+  }
+
+  // --- Components. ---
+  const ClassCoder& coder = encoder_->coder();
+  size_t pos = attr_len;
+  for (size_t i = 0; i < query_.components.size(); ++i) {
+    if (pos >= prefix.size()) return false;
+    const Slice rest(prefix.data() + pos, prefix.size() - pos);
+    size_t sep = 0;
+    while (sep < rest.size() && rest[sep] != kCodeOidSeparator) ++sep;
+    const bool complete = sep < rest.size() && rest.size() >= sep + 1 + 4;
+
+    const QueryComponent& comp = query_.components[i];
+    if (complete) {
+      const Slice code(rest.data(), sep);
+      const Oid oid = DecodeBigEndian32(rest.data() + sep + 1);
+      if (!comp.selector.include.empty()) {
+        bool hit = false;
+        for (const auto& term : comp.selector.include) {
+          const std::string& tcode = coder.CodeOf(term.cls);
+          hit = term.with_subclasses
+                    ? CodeIsSelfOrDescendant(code, Slice(tcode))
+                    : code == Slice(tcode);
+          if (hit) break;
+        }
+        if (!hit) return true;
+      }
+      for (const auto& term : comp.selector.exclude) {
+        const std::string& tcode = coder.CodeOf(term.cls);
+        const bool hit = term.with_subclasses
+                             ? CodeIsSelfOrDescendant(code, Slice(tcode))
+                             : code == Slice(tcode);
+        if (hit) return true;
+      }
+      if (comp.slot.kind == ValueSlot::Kind::kBound &&
+          !std::binary_search(comp.slot.oids.begin(), comp.slot.oids.end(),
+                              oid)) {
+        return true;
+      }
+      pos += sep + 1 + 4;
+      continue;
+    }
+
+    // Partial component: its full byte image extends `rest`, so it lies in
+    // [rest, BytesSuccessor(rest)). Prune when that misses every allowed
+    // code range.
+    const std::vector<ByteInterval>& ranges = component_ranges_[i];
+    if (ranges.empty()) return false;  // Any class allowed: undecided.
+    const std::string ub = BytesSuccessor(rest);
+    for (const ByteInterval& r : ranges) {
+      const bool below = !ub.empty() && !(Slice(r.lo) < Slice(ub));
+      const bool above = !HiIsInf(r) && !(rest < Slice(r.hi));
+      if (!below && !above) return false;  // Overlap: undecided.
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace uindex

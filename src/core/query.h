@@ -1,0 +1,191 @@
+#ifndef UINDEX_CORE_QUERY_H_
+#define UINDEX_CORE_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/key_encoding.h"
+#include "objects/object.h"
+#include "schema/schema.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace uindex {
+
+/// Selects classes at one path position of a query (paper §3.4: "Class-code
+/// ... may be a regular expression"). `include` terms are OR-ed; an empty
+/// `include` admits every class. `exclude` terms veto (the paper's query 4,
+/// "all vehicles which are not compact automobiles").
+struct ClassSelector {
+  struct Term {
+    ClassId cls = kInvalidClassId;
+    /// True: the class and its whole sub-tree (the paper's `C5A*`).
+    bool with_subclasses = false;
+  };
+
+  std::vector<Term> include;
+  std::vector<Term> exclude;
+
+  static ClassSelector Any() { return ClassSelector{}; }
+  static ClassSelector Exactly(ClassId cls) {
+    return ClassSelector{{{cls, false}}, {}};
+  }
+  static ClassSelector Subtree(ClassId cls) {
+    return ClassSelector{{{cls, true}}, {}};
+  }
+};
+
+/// Constrains the object at one path position (the paper's `Val_i`):
+/// unconstrained (null), bound to given oids (an "actual value", possibly a
+/// pre-selected set as in path query 3), or wanted in the output (`?`).
+struct ValueSlot {
+  enum class Kind { kAny, kBound, kWanted };
+  Kind kind = Kind::kAny;
+  std::vector<Oid> oids;  ///< For kBound; kept sorted by Compile.
+
+  static ValueSlot Any() { return ValueSlot{}; }
+  static ValueSlot Wanted() { return ValueSlot{Kind::kWanted, {}}; }
+  static ValueSlot Bound(std::vector<Oid> oids) {
+    return ValueSlot{Kind::kBound, std::move(oids)};
+  }
+};
+
+/// One query component — the pair (class-code pattern, value) of the
+/// paper's general query format (§3.4).
+struct QueryComponent {
+  ClassSelector selector;
+  ValueSlot slot;
+};
+
+/// A query against a U-index:
+///
+///   (attr-value, Class-code₁, Val₁, Class-code₂, Val₂, …)
+///
+/// `components` run tail → head, mirroring the key layout, and may cover
+/// only a prefix of the indexed path (partial-path queries, e.g. the
+/// paper's "find all companies whose President's age is 50" against the
+/// Vehicle path index).
+struct Query {
+  Value lo;  ///< Inclusive lower attribute bound.
+  Value hi;  ///< Inclusive upper attribute bound (== lo for exact match).
+  /// Explicit value set (the paper's "predicate" / value-list case, e.g.
+  /// colors {Red, Blue}). When non-empty it replaces [lo, hi]; each value
+  /// becomes its own family of partial keys.
+  std::vector<Value> values;
+  std::vector<QueryComponent> components;
+
+  static Query ExactValue(Value v) {
+    Query q;
+    q.lo = v;
+    q.hi = std::move(v);
+    return q;
+  }
+  static Query Range(Value lo, Value hi) {
+    Query q;
+    q.lo = std::move(lo);
+    q.hi = std::move(hi);
+    return q;
+  }
+  static Query AnyOf(std::vector<Value> values) {
+    Query q;
+    q.values = std::move(values);
+    return q;
+  }
+
+  /// Appends a component and returns *this for chaining.
+  Query& With(ClassSelector selector, ValueSlot slot = ValueSlot::Any()) {
+    components.push_back(QueryComponent{std::move(selector), std::move(slot)});
+    return *this;
+  }
+};
+
+/// Rows produced by a query: one oid chain (tail → head, as in the key) per
+/// matched index entry. For *partial-path* queries (fewer components than
+/// the path has positions) a row holds only the queried positions and each
+/// distinct binding appears once — the retrieval algorithms skip over the
+/// unqueried tail using the parent-node keys (paper §3.3, query 4
+/// discussion).
+struct QueryResult {
+  std::vector<std::vector<Oid>> rows;
+  uint64_t entries_scanned = 0;  ///< Leaf entries examined by the scan.
+
+  /// Distinct oids bound at key position `i`, sorted ascending.
+  std::vector<Oid> Distinct(size_t key_position) const;
+};
+
+/// A half-open byte-string interval [lo, hi); empty `hi` means +infinity.
+struct ByteInterval {
+  std::string lo;
+  std::string hi;
+};
+
+/// A query compiled against a concrete index: the sorted, disjoint list of
+/// key intervals ("partial keys", paper Algorithm 1) to search, plus an
+/// exact per-entry match predicate.
+///
+/// Interval construction follows §3.4: enumerable attribute ranges expand
+/// value by value; class selectors append code prefixes (sub-tree terms use
+/// the code range [code, SubtreeUpperBound)); bound-oid slots extend the
+/// prefix through `$oid`; exclusions subtract their code ranges. Components
+/// that cannot extend a prefix (unconstrained oids, wildcard classes) end
+/// prefix growth — the remaining constraints are enforced by `Matches`.
+class CompiledQuery {
+ public:
+  /// Compiles `query` for the index described by `encoder`. Fails on
+  /// malformed queries (more components than the path has positions, bound
+  /// slots without oids, value kind mismatches).
+  static Result<CompiledQuery> Compile(const Query& query,
+                                       const KeyEncoder& encoder,
+                                       const Schema& schema);
+
+  /// Sorted, disjoint search intervals. Never empty for a valid query.
+  const std::vector<ByteInterval>& intervals() const { return intervals_; }
+
+  /// The smallest interval covering all search intervals (what a pure
+  /// forward scan must sweep).
+  const ByteInterval& full_span() const { return full_span_; }
+
+  /// Exact predicate: does this index key satisfy the query? On success
+  /// `decoded` (if non-null) receives the parsed key.
+  bool Matches(const Slice& key, DecodedKey* decoded) const;
+
+  /// True when the query constrains only a prefix of the indexed path, so
+  /// retrieval may skip the clustered unqueried tail after each match.
+  bool is_partial() const;
+
+  /// Byte length of `key`'s prefix covering the attribute image and the
+  /// queried components (the "distinct prefix" of partial-path queries).
+  Result<size_t> QueriedPrefixLength(const Slice& key) const;
+
+  /// True if *no* key starting with `prefix` can match the query. This is
+  /// the paper's parent-node pruning (§3.3/§3.4): all keys inside a B-tree
+  /// child gap share the byte prefix common to the gap's bounding
+  /// separators, so a violated prefix rules out the whole child.
+  bool PrefixExcludes(const Slice& prefix) const;
+
+  /// Upper bound used when expanding enumerable attribute ranges; ranges
+  /// wider than this fall back to a single covering interval.
+  static constexpr int64_t kMaxEnumeratedValues = 1 << 18;
+
+ private:
+  CompiledQuery() = default;
+
+  const KeyEncoder* encoder_ = nullptr;
+  const Schema* schema_ = nullptr;
+  Query query_;
+  std::string attr_lo_;  ///< Encoded inclusive lower attribute image.
+  std::string attr_hi_;  ///< Encoded inclusive upper attribute image.
+  /// Sorted encoded images of an explicit value set (empty for ranges).
+  std::vector<std::string> attr_images_;
+  /// Per component: allowed code-level byte ranges within the component's
+  /// key segment (sorted, disjoint; empty = any class allowed). Used by
+  /// PrefixExcludes for partially-covered components.
+  std::vector<std::vector<ByteInterval>> component_ranges_;
+  std::vector<ByteInterval> intervals_;
+  ByteInterval full_span_;
+};
+
+}  // namespace uindex
+
+#endif  // UINDEX_CORE_QUERY_H_

@@ -1,0 +1,33 @@
+#ifndef UINDEX_CORE_QUERY_PARSER_H_
+#define UINDEX_CORE_QUERY_PARSER_H_
+
+#include <string>
+
+#include "core/index_spec.h"
+#include "core/query.h"
+#include "schema/schema.h"
+#include "util/status.h"
+
+namespace uindex {
+
+/// Parses the textual query form used in the paper's examples (§3.3-§3.4),
+/// with class names instead of raw codes:
+///
+///   "(Age=50, Employee, ?, Company, _, Vehicle*, ?)"
+///   "(Color=3..7, Automobile*|Truck !CompactAutomobile, ?)"
+///
+/// Grammar (components are tail → head, matching the index key layout):
+///   query     := '(' attr (',' selector ',' slot)* ')'
+///   attr      := NAME '=' value | NAME '=' value '..' value
+///   value     := integer | '\'' chars '\''
+///   selector  := '_' | term ('|' term)* (' ' '!' term)*
+///   term      := CLASSNAME ['*']          -- '*' = with all subclasses
+///   slot      := '_' | '?' | '#' oid ('+' oid)*
+///
+/// The attribute NAME must match the index's indexed attribute.
+Result<Query> ParseQuery(const std::string& text, const PathSpec& spec,
+                         const Schema& schema);
+
+}  // namespace uindex
+
+#endif  // UINDEX_CORE_QUERY_PARSER_H_

@@ -1,0 +1,209 @@
+#include "core/schema_catalog.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/key_encoding.h"
+#include "schema/class_code.h"
+
+namespace uindex {
+
+namespace {
+constexpr char kClassTag = 'C';
+constexpr char kRefTag = 'R';
+// Multiplicity flag byte placed before the target code (0x00/0x01 are not
+// code-alphabet characters, so parsing is unambiguous).
+constexpr char kSingleValued = 0x00;
+constexpr char kMultiValued = 0x01;
+}  // namespace
+
+SchemaCatalog::SchemaCatalog(BufferManager* buffers, BTreeOptions options)
+    : buffers_(buffers), tree_(buffers, options) {}
+
+SchemaCatalog::SchemaCatalog(BufferManager* buffers, PageId root,
+                             uint64_t size, BTreeOptions options)
+    : buffers_(buffers), tree_(buffers, root, size, options) {}
+
+std::string SchemaCatalog::ClassKey(const Slice& code) {
+  std::string key(1, kClassTag);
+  key.append(code.data(), code.size());
+  key.push_back(kCodeOidSeparator);
+  return key;
+}
+
+std::string SchemaCatalog::RefKey(const Slice& source_code,
+                                  const std::string& attr,
+                                  const Slice& target_code,
+                                  bool multi_valued) {
+  std::string key(1, kRefTag);
+  key.append(source_code.data(), source_code.size());
+  key.push_back(kCodeOidSeparator);
+  key.append(attr);
+  key.push_back('\0');
+  key.push_back(multi_valued ? kMultiValued : kSingleValued);
+  key.append(target_code.data(), target_code.size());
+  return key;
+}
+
+Status SchemaCatalog::AddClass(const Slice& code, const std::string& name) {
+  return tree_.Insert(Slice(ClassKey(code)), Slice(name));
+}
+
+Status SchemaCatalog::AddReference(const Slice& source_code,
+                                   const std::string& attr,
+                                   const Slice& target_code,
+                                   bool multi_valued) {
+  return tree_.Insert(
+      Slice(RefKey(source_code, attr, target_code, multi_valued)), Slice());
+}
+
+Status SchemaCatalog::Store(const Schema& schema, const ClassCoder& coder) {
+  if (!tree_.empty()) return Status::InvalidArgument("catalog not empty");
+  for (ClassId cls = 0; cls < schema.class_count(); ++cls) {
+    UINDEX_RETURN_IF_ERROR(
+        AddClass(Slice(coder.CodeOf(cls)), schema.NameOf(cls)));
+  }
+  for (const RefEdge& e : schema.references()) {
+    UINDEX_RETURN_IF_ERROR(AddReference(Slice(coder.CodeOf(e.source)),
+                                        e.attribute,
+                                        Slice(coder.CodeOf(e.target)),
+                                        e.multi_valued));
+  }
+  return Status::OK();
+}
+
+Result<std::string> SchemaCatalog::NameOf(const Slice& code) const {
+  Result<std::string> r = tree_.Get(Slice(ClassKey(code)));
+  if (!r.ok()) return r.status();
+  return r;
+}
+
+Result<std::vector<std::string>> SchemaCatalog::SubtreeCodes(
+    const Slice& code) const {
+  std::string lo(1, kClassTag);
+  lo.append(code.data(), code.size());
+  const std::string hi = BytesSuccessor(Slice(lo));
+
+  std::vector<std::string> out;
+  BTree::Iterator it = tree_.NewIterator();
+  for (it.Seek(Slice(lo)); it.Valid(); it.Next()) {
+    if (!hi.empty() && !(it.key() < Slice(hi))) break;
+    Slice key = it.key();
+    key.RemovePrefix(1);                      // Tag.
+    // Trim the trailing separator.
+    out.push_back(std::string(key.data(), key.size() - 1));
+  }
+  return out;
+}
+
+Result<std::vector<SchemaCatalog::RefRecord>> SchemaCatalog::ReferencesOf(
+    const Slice& code) const {
+  std::string lo(1, kRefTag);
+  lo.append(code.data(), code.size());
+  lo.push_back(kCodeOidSeparator);
+  const std::string hi = BytesSuccessor(Slice(lo));
+
+  std::vector<RefRecord> out;
+  BTree::Iterator it = tree_.NewIterator();
+  for (it.Seek(Slice(lo)); it.Valid(); it.Next()) {
+    if (!hi.empty() && !(it.key() < Slice(hi))) break;
+    Slice rest = it.key();
+    rest.RemovePrefix(lo.size());
+    RefRecord record;
+    size_t nul = 0;
+    while (nul < rest.size() && rest[nul] != '\0') ++nul;
+    if (nul == rest.size()) {
+      return Status::Corruption("malformed REF record");
+    }
+    record.attribute.assign(rest.data(), nul);
+    rest.RemovePrefix(nul + 1);
+    if (rest.empty()) return Status::Corruption("missing REF flag");
+    record.multi_valued = rest[0] == kMultiValued;
+    rest.RemovePrefix(1);
+    record.target_code.assign(rest.data(), rest.size());
+    out.push_back(std::move(record));
+  }
+  return out;
+}
+
+Status SchemaCatalog::Load(Schema* schema, ClassCoder* coder) const {
+  // 'C' records come back in code order == preorder, so every parent
+  // precedes its children; the parent of a code is its longest proper
+  // prefix that is itself a code.
+  std::map<std::string, ClassId> by_code;
+  std::vector<std::pair<ClassId, std::string>> assignments;
+
+  BTree::Iterator it = tree_.NewIterator();
+  std::string class_lo(1, kClassTag);
+  const std::string class_hi = BytesSuccessor(Slice(class_lo));
+  for (it.Seek(Slice(class_lo)); it.Valid(); it.Next()) {
+    if (!(it.key() < Slice(class_hi))) break;
+    Slice key = it.key();
+    key.RemovePrefix(1);
+    const std::string code(key.data(), key.size() - 1);
+    const std::string name = it.value().ToString();
+
+    // Parent: strip the trailing token.
+    std::string parent_code;
+    size_t pos = 1;
+    size_t last_start = 1;
+    while (pos < code.size()) {
+      const size_t len =
+          FirstTokenLength(Slice(code.data() + pos, code.size() - pos));
+      if (len == 0) return Status::Corruption("undecodable code " + code);
+      last_start = pos;
+      pos += len;
+    }
+    if (last_start > 1) parent_code = code.substr(0, last_start);
+
+    Result<ClassId> added(kInvalidClassId);
+    if (parent_code.empty()) {
+      added = schema->AddClass(name);
+    } else {
+      auto parent = by_code.find(parent_code);
+      if (parent == by_code.end()) {
+        return Status::Corruption("orphan catalog class " + code);
+      }
+      added = schema->AddSubclass(name, parent->second);
+    }
+    if (!added.ok()) return added.status();
+    by_code[code] = added.value();
+    assignments.emplace_back(added.value(), code);
+  }
+
+  Result<ClassCoder> rebuilt = ClassCoder::FromAssignments(assignments);
+  if (!rebuilt.ok()) return rebuilt.status();
+  *coder = std::move(rebuilt).value();
+
+  // 'R' records.
+  std::string ref_lo(1, kRefTag);
+  const std::string ref_hi = BytesSuccessor(Slice(ref_lo));
+  for (it.Seek(Slice(ref_lo)); it.Valid(); it.Next()) {
+    if (!ref_hi.empty() && !(it.key() < Slice(ref_hi))) break;
+    Slice rest = it.key();
+    rest.RemovePrefix(1);
+    size_t sep = 0;
+    while (sep < rest.size() && rest[sep] != kCodeOidSeparator) ++sep;
+    const std::string source_code(rest.data(), sep);
+    rest.RemovePrefix(sep + 1);
+    size_t nul = 0;
+    while (nul < rest.size() && rest[nul] != '\0') ++nul;
+    const std::string attr(rest.data(), nul);
+    rest.RemovePrefix(nul + 1);
+    if (rest.empty()) return Status::Corruption("missing REF flag");
+    const bool multi = rest[0] == kMultiValued;
+    rest.RemovePrefix(1);
+    const std::string target_code(rest.data(), rest.size());
+    auto source = by_code.find(source_code);
+    auto target = by_code.find(target_code);
+    if (source == by_code.end() || target == by_code.end()) {
+      return Status::Corruption("dangling catalog REF");
+    }
+    UINDEX_RETURN_IF_ERROR(schema->AddReference(source->second,
+                                                target->second, attr,
+                                                multi));
+  }
+  return Status::OK();
+}
+
+}  // namespace uindex

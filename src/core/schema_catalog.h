@@ -1,0 +1,86 @@
+#ifndef UINDEX_CORE_SCHEMA_CATALOG_H_
+#define UINDEX_CORE_SCHEMA_CATALOG_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "btree/btree.h"
+#include "schema/encoder.h"
+#include "schema/schema.h"
+#include "storage/buffer_manager.h"
+#include "util/status.h"
+
+namespace uindex {
+
+/// Stores the schema itself inside the same kind of key-compressed B-tree
+/// the U-index uses (paper §4.1: "schema information can be stored in the
+/// same index and retrieved easily ... that information is also
+/// clustered").
+///
+/// Catalog keys reuse the class-code encoding, so everything about one
+/// hierarchy clusters under its code prefix:
+///
+///   'C' code '$'                    → class name            (class record)
+///   'R' code '$' attr '\0' target [M] → —                   (REF edge)
+///
+/// SUP edges need no records: they are the code prefixes themselves — a
+/// range scan of 'C'-records over [code, SubtreeUpperBound(code)) *is* the
+/// sub-tree, in preorder. A whole schema (plus its coder) round-trips
+/// through `Store`/`Load`, which is the library's persistence story for
+/// metadata.
+class SchemaCatalog {
+ public:
+  explicit SchemaCatalog(BufferManager* buffers,
+                         BTreeOptions options = BTreeOptions());
+
+  /// Attaches to a catalog tree restored from a snapshot.
+  SchemaCatalog(BufferManager* buffers, PageId root, uint64_t size,
+                BTreeOptions options);
+
+  /// Writes every class and REF edge of `schema` (coded by `coder`).
+  /// The catalog must be empty.
+  Status Store(const Schema& schema, const ClassCoder& coder);
+
+  /// Adds one class/REF edge incrementally (schema evolution, Fig. 4).
+  Status AddClass(const Slice& code, const std::string& name);
+  Status AddReference(const Slice& source_code, const std::string& attr,
+                      const Slice& target_code, bool multi_valued);
+
+  /// Name of the class with exactly `code`.
+  Result<std::string> NameOf(const Slice& code) const;
+
+  /// Codes of the classes in the sub-tree rooted at `code`, preorder —
+  /// one clustered range scan (the §4.1 clustering claim).
+  Result<std::vector<std::string>> SubtreeCodes(const Slice& code) const;
+
+  /// REF edges leaving exactly the class `code`.
+  struct RefRecord {
+    std::string attribute;
+    std::string target_code;
+    bool multi_valued = false;
+  };
+  Result<std::vector<RefRecord>> ReferencesOf(const Slice& code) const;
+
+  /// Rebuilds a schema and coder equivalent to what was stored.
+  Status Load(Schema* schema, ClassCoder* coder) const;
+
+  /// Empties the catalog (reclaiming its pages) so it can be re-stored,
+  /// e.g. after a re-encode.
+  Status Clear() { return tree_.Clear(); }
+
+  const BTree& btree() const { return tree_; }
+
+ private:
+  static std::string ClassKey(const Slice& code);
+  static std::string RefKey(const Slice& source_code,
+                            const std::string& attr,
+                            const Slice& target_code, bool multi_valued);
+
+  BufferManager* buffers_;
+  BTree tree_;
+};
+
+}  // namespace uindex
+
+#endif  // UINDEX_CORE_SCHEMA_CATALOG_H_

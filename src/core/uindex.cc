@@ -1,0 +1,285 @@
+#include "core/uindex.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/coding.h"
+
+namespace uindex {
+
+UIndex::UIndex(BufferManager* buffers, const Schema* schema,
+               const ClassCoder* coder, PathSpec spec, BTreeOptions options)
+    : buffers_(buffers),
+      schema_(schema),
+      coder_(coder),
+      spec_(std::move(spec)),
+      encoder_(&spec_, coder),
+      owned_tree_(std::make_unique<BTree>(buffers, options)),
+      tree_(owned_tree_.get()) {}
+
+UIndex::UIndex(BufferManager* buffers, const Schema* schema,
+               const ClassCoder* coder, PathSpec spec, BTreeOptions options,
+               PageId root, uint64_t size)
+    : buffers_(buffers),
+      schema_(schema),
+      coder_(coder),
+      spec_(std::move(spec)),
+      encoder_(&spec_, coder),
+      owned_tree_(std::make_unique<BTree>(buffers, root, size, options)),
+      tree_(owned_tree_.get()),
+      entries_(size) {}
+
+UIndex::UIndex(BufferManager* buffers, const Schema* schema,
+               const ClassCoder* coder, PathSpec spec, BTree* shared_tree)
+    : buffers_(buffers),
+      schema_(schema),
+      coder_(coder),
+      spec_(std::move(spec)),
+      encoder_(&spec_, coder),
+      tree_(shared_tree) {
+  assert(!spec_.key_namespace.empty() &&
+         "shared-tree indexes need a key namespace");
+}
+
+bool UIndex::ClassFitsPosition(ClassId cls, size_t pos) const {
+  if (spec_.include_subclasses) {
+    return schema_->IsSubclassOf(cls, spec_.classes[pos]);
+  }
+  return cls == spec_.classes[pos];
+}
+
+namespace {
+
+// Chains of oids covering path positions [pos, L); each starts with `oid`.
+using Chain = std::vector<Oid>;
+
+}  // namespace
+
+Status UIndex::EnumerateAt(const ObjectStore& store, size_t pos, Oid oid,
+                           std::vector<Entry>* out) const {
+  const size_t length = spec_.Length();
+
+  // Downward closure: chains from `pos` to the tail.
+  struct Walker {
+    const UIndex* index;
+    const ObjectStore* store;
+
+    Status Down(size_t p, Oid o, std::vector<Chain>* chains) const {
+      Result<const Object*> obj = store->Get(o);
+      if (!obj.ok()) return Status::OK();  // Dangling reference: no entry.
+      if (!index->ClassFitsPosition(obj.value()->cls, p)) return Status::OK();
+      if (p + 1 == index->spec_.Length()) {
+        chains->push_back({o});
+        return Status::OK();
+      }
+      const Value* ref = obj.value()->FindAttr(index->spec_.ref_attrs[p]);
+      if (ref == nullptr || ref->is_null()) return Status::OK();
+      std::vector<Oid> targets;
+      if (ref->kind() == Value::Kind::kRef) {
+        targets.push_back(ref->AsRef());
+      } else if (ref->kind() == Value::Kind::kRefSet) {
+        targets = ref->AsRefSet();
+      } else {
+        return Status::InvalidArgument("attribute " +
+                                       index->spec_.ref_attrs[p] +
+                                       " is not a reference");
+      }
+      for (const Oid t : targets) {
+        std::vector<Chain> sub;
+        UINDEX_RETURN_IF_ERROR(Down(p + 1, t, &sub));
+        for (Chain& c : sub) {
+          Chain full;
+          full.reserve(c.size() + 1);
+          full.push_back(o);
+          full.insert(full.end(), c.begin(), c.end());
+          chains->push_back(std::move(full));
+        }
+      }
+      return Status::OK();
+    }
+
+    // Chains covering positions [0, p]; each ends with `o` at position p.
+    Status Up(size_t p, Oid o, std::vector<Chain>* chains) const {
+      Result<const Object*> obj = store->Get(o);
+      if (!obj.ok()) return Status::OK();
+      if (!index->ClassFitsPosition(obj.value()->cls, p)) return Status::OK();
+      if (p == 0) {
+        chains->push_back({o});
+        return Status::OK();
+      }
+      const std::vector<Oid> sources =
+          store->ReferrersOf(o, index->spec_.ref_attrs[p - 1]);
+      for (const Oid s : sources) {
+        std::vector<Chain> sub;
+        UINDEX_RETURN_IF_ERROR(Up(p - 1, s, &sub));
+        for (Chain& c : sub) {
+          c.push_back(o);
+          chains->push_back(std::move(c));
+        }
+      }
+      return Status::OK();
+    }
+  };
+
+  Walker walker{this, &store};
+  std::vector<Chain> down;  // positions [pos, L)
+  UINDEX_RETURN_IF_ERROR(walker.Down(pos, oid, &down));
+  if (down.empty()) return Status::OK();
+  std::vector<Chain> up;  // positions [0, pos]
+  UINDEX_RETURN_IF_ERROR(walker.Up(pos, oid, &up));
+
+  for (const Chain& head_part : up) {
+    for (const Chain& tail_part : down) {
+      // head_part ends with `oid`; tail_part starts with it.
+      Chain full = head_part;  // positions 0..pos
+      full.insert(full.end(), tail_part.begin() + 1, tail_part.end());
+      if (full.size() != length) continue;
+
+      // Indexed attribute lives on the tail object.
+      Result<const Object*> tail = store.Get(full.back());
+      if (!tail.ok()) continue;
+      const Value* attr = tail.value()->FindAttr(spec_.indexed_attr);
+      if (attr == nullptr || attr->kind() != spec_.value_kind) continue;
+
+      Entry entry;
+      entry.path.reserve(length);
+      for (size_t i = 0; i < length; ++i) {
+        const size_t p = length - 1 - i;  // tail → head
+        Result<const Object*> o = store.Get(full[p]);
+        if (!o.ok()) break;
+        entry.path.emplace_back(o.value()->cls, full[p]);
+      }
+      if (entry.path.size() != length) continue;
+      entry.key = encoder_.EncodeEntry(*attr, entry.path);
+      out->push_back(std::move(entry));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<UIndex::Entry>> UIndex::EntriesThrough(
+    const ObjectStore& store, Oid oid) const {
+  Result<const Object*> obj = store.Get(oid);
+  if (!obj.ok()) return obj.status();
+  std::vector<Entry> out;
+  for (size_t pos = 0; pos < spec_.Length(); ++pos) {
+    if (!ClassFitsPosition(obj.value()->cls, pos)) continue;
+    UINDEX_RETURN_IF_ERROR(EnumerateAt(store, pos, oid, &out));
+  }
+  // An object fitting several positions can enumerate the same
+  // instantiation more than once; dedupe by key.
+  std::sort(out.begin(), out.end(),
+            [](const Entry& a, const Entry& b) { return a.key < b.key; });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const Entry& a, const Entry& b) {
+                          return a.key == b.key;
+                        }),
+            out.end());
+  return out;
+}
+
+Status UIndex::BuildFrom(const ObjectStore& store) {
+  if (entries_ != 0) {
+    return Status::InvalidArgument("index is not empty");
+  }
+  const ClassId head = spec_.classes[0];
+  const std::vector<Oid> heads = spec_.include_subclasses
+                                     ? store.DeepExtentOf(head)
+                                     : store.ExtentOf(head);
+  // Bulk path: enumerate everything, sort, and batch-insert (one descent
+  // per leaf instead of per entry — the [4]-style batch update of §3.5).
+  std::vector<std::pair<std::string, std::string>> batch;
+  for (const Oid oid : heads) {
+    std::vector<Entry> entries;
+    UINDEX_RETURN_IF_ERROR(EnumerateAt(store, 0, oid, &entries));
+    for (Entry& e : entries) {
+      batch.emplace_back(std::move(e.key), std::string());
+    }
+  }
+  std::sort(batch.begin(), batch.end());
+  UINDEX_RETURN_IF_ERROR(tree_->InsertBatch(batch));
+  entries_ = batch.size();
+  return Status::OK();
+}
+
+Status UIndex::Rebuild(const ObjectStore& store) {
+  if (owned_tree_ != nullptr) {
+    UINDEX_RETURN_IF_ERROR(tree_->Clear());
+  } else {
+    // Shared tree: delete only this index's namespace slice.
+    std::vector<std::string> keys;
+    const std::string bound =
+        BytesSuccessor(Slice(spec_.key_namespace));
+    BTree::Iterator it = tree_->NewIterator();
+    for (it.Seek(Slice(spec_.key_namespace)); it.Valid(); it.Next()) {
+      if (!bound.empty() && !(it.key() < Slice(bound))) break;
+      keys.push_back(it.key().ToString());
+    }
+    for (const std::string& key : keys) {
+      UINDEX_RETURN_IF_ERROR(tree_->Delete(Slice(key)));
+    }
+  }
+  entries_ = 0;
+  return BuildFrom(store);
+}
+
+Result<std::pair<int64_t, int64_t>> UIndex::IntValueRange() const {
+  if (spec_.value_kind != Value::Kind::kInt) {
+    return Status::NotSupported("value range requires an int index");
+  }
+  const size_t ns = spec_.key_namespace.size();
+  auto decode = [ns](const Slice& key) {
+    return static_cast<int64_t>(DecodeBigEndian64(key.data() + ns) ^
+                                0x8000000000000000ull);
+  };
+  // Smallest/largest key *within this index's namespace* (the tree may be
+  // shared with other indexes).
+  BTree::Iterator it = tree_->NewIterator();
+  it.Seek(Slice(spec_.key_namespace));
+  if (!it.Valid() || !it.key().StartsWith(Slice(spec_.key_namespace))) {
+    return Status::NotFound("index empty");
+  }
+  const int64_t lo = decode(it.key());
+
+  if (spec_.key_namespace.empty()) {
+    // Sole owner of the tree: O(height) descent along rightmost children.
+    PageId id = tree_->root();
+    for (;;) {
+      Result<Node> node = tree_->LoadNode(id);
+      if (!node.ok()) return node.status();
+      if (node.value().is_leaf()) {
+        if (node.value().entry_count() == 0) {
+          return Status::Corruption("empty rightmost leaf");
+        }
+        return std::make_pair(
+            lo, decode(Slice(node.value().entries().back().key)));
+      }
+      id = node.value().entries().empty()
+               ? node.value().leftmost_child()
+               : node.value().entries().back().child;
+    }
+  }
+
+  // Shared tree: walk this namespace's slice to its upper bound.
+  const std::string bound = BytesSuccessor(Slice(spec_.key_namespace));
+  int64_t hi = lo;
+  for (; it.Valid(); it.Next()) {
+    if (!bound.empty() && !(it.key() < Slice(bound))) break;
+    hi = decode(it.key());
+  }
+  return std::make_pair(lo, hi);
+}
+
+Status UIndex::InsertEntry(const Entry& entry) {
+  UINDEX_RETURN_IF_ERROR(tree_->Insert(Slice(entry.key), Slice()));
+  ++entries_;
+  return Status::OK();
+}
+
+Status UIndex::RemoveEntry(const Entry& entry) {
+  UINDEX_RETURN_IF_ERROR(tree_->Delete(Slice(entry.key)));
+  --entries_;
+  return Status::OK();
+}
+
+}  // namespace uindex

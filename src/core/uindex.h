@@ -1,0 +1,133 @@
+#ifndef UINDEX_CORE_UINDEX_H_
+#define UINDEX_CORE_UINDEX_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "btree/btree.h"
+#include "core/index_spec.h"
+#include "core/key_encoding.h"
+#include "core/query.h"
+#include "objects/object_store.h"
+#include "schema/encoder.h"
+#include "schema/schema.h"
+#include "storage/buffer_manager.h"
+#include "util/status.h"
+
+namespace uindex {
+
+/// The Uniform Index of the paper: one key-compressed B+-tree serving
+/// class-hierarchy, path, and combined class-hierarchy/path indexing.
+///
+/// Entries are single-value keys
+/// `enc(attr) ∥ code$oid ∥ …` built by `KeyEncoder`; retrieval comes in two
+/// flavours matching the paper's experiments:
+///   * `ForwardScan` — seek to the first relevant entry and sweep forward
+///     (the "simple forward scanning" column of Table 1);
+///   * `Parscan` — Algorithm 1, the "parallel" retrieval that expands the
+///     query into partial keys and descends the B-tree once, pruning
+///     sub-trees no partial key can reach and sharing every fetched page.
+///
+/// Page reads are accounted through the owning `BufferManager`; wrap a
+/// query in `QueryCost` to measure it.
+class UIndex {
+ public:
+  /// An index entry in decoded form: the attribute value's byte image plus
+  /// the oid chain (tail → head).
+  struct Entry {
+    std::string key;
+    std::vector<std::pair<ClassId, Oid>> path;  // tail → head
+  };
+
+  UIndex(BufferManager* buffers, const Schema* schema,
+         const ClassCoder* coder, PathSpec spec,
+         BTreeOptions options = BTreeOptions());
+
+  /// Attaches to an index tree restored from a snapshot (root page id and
+  /// entry count come from persisted metadata).
+  UIndex(BufferManager* buffers, const Schema* schema,
+         const ClassCoder* coder, PathSpec spec, BTreeOptions options,
+         PageId root, uint64_t size);
+
+  /// Builds the index *inside an existing B-tree* shared with other
+  /// indexes (paper §4.1: one B-tree for all indexes). The spec must
+  /// carry a unique, NUL-free `key_namespace`; the tree outlives the
+  /// index.
+  UIndex(BufferManager* buffers, const Schema* schema,
+         const ClassCoder* coder, PathSpec spec, BTree* shared_tree);
+
+  UIndex(const UIndex&) = delete;
+  UIndex& operator=(const UIndex&) = delete;
+
+  const PathSpec& spec() const { return spec_; }
+  const Schema& schema() const { return *schema_; }
+  const KeyEncoder& key_encoder() const { return encoder_; }
+  BTree& btree() { return *tree_; }
+  const BTree& btree() const { return *tree_; }
+  /// Entries belonging to *this* index (not the whole tree when shared).
+  uint64_t entry_count() const { return entries_; }
+  /// True when this index shares its B-tree with others.
+  bool shares_tree() const { return owned_tree_ == nullptr; }
+
+  /// Populates the index from every complete path instantiation in
+  /// `store`. The index must be empty.
+  Status BuildFrom(const ObjectStore& store);
+
+  /// Clears the index's entries and rebuilds them from `store` — required
+  /// after a re-encode changed the class codes its keys embed (§4.3). On a
+  /// shared tree only this index's namespace slice is removed.
+  Status Rebuild(const ObjectStore& store);
+
+  /// Enumerates every index entry whose path passes through `oid`, which
+  /// must be an instance (or subclass instance) of one of the spec's path
+  /// classes. Used by index maintenance (paper §3.5: a mid-path update
+  /// deletes and re-inserts the affected entries, batched by clustering).
+  Result<std::vector<Entry>> EntriesThrough(const ObjectStore& store,
+                                            Oid oid) const;
+
+  /// Inserts/removes one previously enumerated entry.
+  Status InsertEntry(const Entry& entry);
+  Status RemoveEntry(const Entry& entry);
+
+  /// Executes with the naive algorithm: one seek plus a forward sweep over
+  /// the whole relevant span.
+  Result<QueryResult> ForwardScan(const Query& query) const;
+
+  /// Executes with the paper's Algorithm 1 (parallel partial-key scan).
+  Result<QueryResult> Parscan(const Query& query) const;
+
+  /// Default retrieval — Parscan.
+  Result<QueryResult> Execute(const Query& query) const {
+    return Parscan(query);
+  }
+
+  /// Smallest and largest attribute values currently indexed (decoded int
+  /// values; NotFound when empty or not an int index). Used by cost
+  /// estimation.
+  Result<std::pair<int64_t, int64_t>> IntValueRange() const;
+
+ private:
+  friend class IndexedDatabase;
+
+  // True if `cls` may occupy path position `pos` (head-based index).
+  bool ClassFitsPosition(ClassId cls, size_t pos) const;
+
+  // Enumerates instantiations with `oid` fixed at path position `pos`;
+  // appends to `out`.
+  Status EnumerateAt(const ObjectStore& store, size_t pos, Oid oid,
+                     std::vector<Entry>* out) const;
+
+  BufferManager* buffers_;
+  const Schema* schema_;
+  const ClassCoder* coder_;
+  PathSpec spec_;
+  KeyEncoder encoder_;
+  std::unique_ptr<BTree> owned_tree_;
+  BTree* tree_;
+  uint64_t entries_ = 0;
+};
+
+}  // namespace uindex
+
+#endif  // UINDEX_CORE_UINDEX_H_

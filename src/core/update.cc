@@ -1,0 +1,73 @@
+#include "core/update.h"
+
+#include <algorithm>
+
+namespace uindex {
+
+namespace {
+
+bool EntryKeyLess(const UIndex::Entry& a, const UIndex::Entry& b) {
+  return a.key < b.key;
+}
+
+// Applies the difference between the entry sets before and after a store
+// mutation: stale entries (before \ after) are deleted, fresh ones
+// (after \ before) inserted.
+Status ApplyEntryDiff(UIndex* index, std::vector<UIndex::Entry> before,
+                      std::vector<UIndex::Entry> after) {
+  std::sort(before.begin(), before.end(), EntryKeyLess);
+  std::sort(after.begin(), after.end(), EntryKeyLess);
+
+  std::vector<UIndex::Entry> stale;
+  std::set_difference(before.begin(), before.end(), after.begin(),
+                      after.end(), std::back_inserter(stale), EntryKeyLess);
+  std::vector<UIndex::Entry> fresh;
+  std::set_difference(after.begin(), after.end(), before.begin(),
+                      before.end(), std::back_inserter(fresh), EntryKeyLess);
+
+  for (const UIndex::Entry& e : stale) {
+    UINDEX_RETURN_IF_ERROR(index->RemoveEntry(e));
+  }
+  for (const UIndex::Entry& e : fresh) {
+    UINDEX_RETURN_IF_ERROR(index->InsertEntry(e));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status IndexedDatabase::SetAttr(Oid oid, const std::string& name,
+                                Value value) {
+  std::vector<std::vector<UIndex::Entry>> before(indexes_.size());
+  for (size_t i = 0; i < indexes_.size(); ++i) {
+    Result<std::vector<UIndex::Entry>> r =
+        indexes_[i]->EntriesThrough(*store_, oid);
+    if (!r.ok()) return r.status();
+    before[i] = std::move(r).value();
+  }
+
+  UINDEX_RETURN_IF_ERROR(store_->SetAttr(oid, name, std::move(value)));
+
+  for (size_t i = 0; i < indexes_.size(); ++i) {
+    Result<std::vector<UIndex::Entry>> r =
+        indexes_[i]->EntriesThrough(*store_, oid);
+    if (!r.ok()) return r.status();
+    UINDEX_RETURN_IF_ERROR(ApplyEntryDiff(indexes_[i], std::move(before[i]),
+                                          std::move(r).value()));
+  }
+  return Status::OK();
+}
+
+Status IndexedDatabase::DeleteObject(Oid oid) {
+  for (UIndex* index : indexes_) {
+    Result<std::vector<UIndex::Entry>> r =
+        index->EntriesThrough(*store_, oid);
+    if (!r.ok()) return r.status();
+    for (const UIndex::Entry& e : r.value()) {
+      UINDEX_RETURN_IF_ERROR(index->RemoveEntry(e));
+    }
+  }
+  return store_->Delete(oid);
+}
+
+}  // namespace uindex

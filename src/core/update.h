@@ -1,0 +1,65 @@
+#ifndef UINDEX_CORE_UPDATE_H_
+#define UINDEX_CORE_UPDATE_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/uindex.h"
+#include "objects/object_store.h"
+#include "util/status.h"
+
+namespace uindex {
+
+/// Keeps a set of U-indexes consistent with an `ObjectStore` under object
+/// creation, attribute updates, and deletion (paper §3.5).
+///
+/// Every mutation is handled uniformly: enumerate the index entries whose
+/// paths pass through the object before the change, apply the change,
+/// re-enumerate, and apply the key-set difference as plain B-tree
+/// deletes/inserts. Because entries for one mid-path object are clustered
+/// (same key prefix), the deletes and re-inserts land on few leaves — the
+/// paper's "batch" update argument.
+class IndexedDatabase {
+ public:
+  IndexedDatabase(const Schema* schema, ObjectStore* store)
+      : schema_(schema), store_(store) {}
+
+  IndexedDatabase(const IndexedDatabase&) = delete;
+  IndexedDatabase& operator=(const IndexedDatabase&) = delete;
+
+  /// Registers an index for maintenance. The index must already reflect the
+  /// store's current contents (e.g. via BuildFrom, or empty store).
+  void RegisterIndex(UIndex* index) { indexes_.push_back(index); }
+
+  /// Stops maintaining `index` (e.g. before dropping it).
+  void UnregisterIndex(UIndex* index) {
+    indexes_.erase(std::remove(indexes_.begin(), indexes_.end(), index),
+                   indexes_.end());
+  }
+
+  /// Stops maintaining every index (e.g. before a re-encode rebuild).
+  void ClearIndexes() { indexes_.clear(); }
+
+  ObjectStore* store() { return store_; }
+  const Schema& schema() const { return *schema_; }
+
+  /// Creates an object. No index entries result until its attributes are
+  /// set.
+  Result<Oid> CreateObject(ClassId cls) { return store_->Create(cls); }
+
+  /// Sets an attribute, updating every registered index.
+  Status SetAttr(Oid oid, const std::string& name, Value value);
+
+  /// Deletes an object after removing every index entry through it.
+  Status DeleteObject(Oid oid);
+
+ private:
+  const Schema* schema_;
+  ObjectStore* store_;
+  std::vector<UIndex*> indexes_;
+};
+
+}  // namespace uindex
+
+#endif  // UINDEX_CORE_UPDATE_H_

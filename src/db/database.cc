@@ -1,0 +1,661 @@
+#include "db/database.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "storage/snapshot.h"
+#include "util/coding.h"
+
+namespace uindex {
+
+Database::Database(DatabaseOptions options)
+    : options_(options),
+      pager_(std::make_unique<Pager>(options.page_size)),
+      buffers_(pager_.get()),
+      store_(&schema_),
+      maintainer_(&schema_, &store_) {
+  if (options_.maintain_catalog) {
+    catalog_ = std::make_unique<SchemaCatalog>(&buffers_, options_.btree);
+  }
+}
+
+Database::Database(DatabaseOptions options, std::unique_ptr<Pager> pager)
+    : options_(options),
+      pager_(std::move(pager)),
+      buffers_(pager_.get()),
+      store_(&schema_),
+      maintainer_(&schema_, &store_) {}
+
+Result<ClassId> Database::CreateClass(const std::string& name) {
+  Result<ClassId> cls = schema_.AddClass(name);
+  if (!cls.ok()) return cls;
+  UINDEX_RETURN_IF_ERROR(coder_.AssignNewClass(schema_, cls.value()));
+  if (catalog_ != nullptr) {
+    UINDEX_RETURN_IF_ERROR(
+        catalog_->AddClass(Slice(coder_.CodeOf(cls.value())), name));
+  }
+  JournalRecord record;
+  record.op = JournalRecord::Op::kCreateClass;
+  record.name = name;
+  UINDEX_RETURN_IF_ERROR(Log(record));
+  return cls;
+}
+
+Result<ClassId> Database::CreateSubclass(const std::string& name,
+                                         ClassId parent) {
+  Result<ClassId> cls = schema_.AddSubclass(name, parent);
+  if (!cls.ok()) return cls;
+  UINDEX_RETURN_IF_ERROR(coder_.AssignNewClass(schema_, cls.value()));
+  if (catalog_ != nullptr) {
+    UINDEX_RETURN_IF_ERROR(
+        catalog_->AddClass(Slice(coder_.CodeOf(cls.value())), name));
+  }
+  JournalRecord record;
+  record.op = JournalRecord::Op::kCreateClass;
+  record.name = name;
+  record.parent = schema_.NameOf(parent);
+  UINDEX_RETURN_IF_ERROR(Log(record));
+  return cls;
+}
+
+Status Database::CreateReference(ClassId source, ClassId target,
+                                 const std::string& attribute,
+                                 bool multi_valued) {
+  // Incremental evolution cannot reorder codes: the referenced hierarchy
+  // must already sort below the referencing one (§4.3).
+  const std::string& target_root =
+      coder_.CodeOf(schema_.HierarchyRootOf(target));
+  const std::string& source_root =
+      coder_.CodeOf(schema_.HierarchyRootOf(source));
+  if (!(Slice(target_root) < Slice(source_root))) {
+    return Status::InvalidArgument(
+        "REF " + schema_.NameOf(source) + "." + attribute +
+        " would invert the class-code order; a re-encode (rebuild) is "
+        "required (paper §4.3)");
+  }
+  UINDEX_RETURN_IF_ERROR(
+      schema_.AddReference(source, target, attribute, multi_valued));
+  if (catalog_ != nullptr) {
+    UINDEX_RETURN_IF_ERROR(
+        catalog_->AddReference(Slice(coder_.CodeOf(source)), attribute,
+                               Slice(coder_.CodeOf(target)), multi_valued));
+  }
+  JournalRecord record;
+  record.op = JournalRecord::Op::kCreateReference;
+  record.name = attribute;
+  record.parent = schema_.NameOf(target);
+  record.class_names = {schema_.NameOf(source)};
+  record.flag = multi_valued;
+  UINDEX_RETURN_IF_ERROR(Log(record));
+  return Status::OK();
+}
+
+Status Database::CreateReferenceWithReencode(ClassId source, ClassId target,
+                                             const std::string& attribute,
+                                             bool multi_valued) {
+  UINDEX_RETURN_IF_ERROR(
+      schema_.AddReference(source, target, attribute, multi_valued));
+  if (coder_.Verify(schema_).ok()) {
+    if (catalog_ != nullptr) {
+      UINDEX_RETURN_IF_ERROR(catalog_->AddReference(
+          Slice(coder_.CodeOf(source)), attribute,
+          Slice(coder_.CodeOf(target)), multi_valued));
+    }
+  } else {
+    UINDEX_RETURN_IF_ERROR(Reencode());
+  }
+  JournalRecord record;
+  record.op = JournalRecord::Op::kCreateReference;
+  record.name = attribute;
+  record.parent = schema_.NameOf(target);
+  record.class_names = {schema_.NameOf(source)};
+  record.flag = multi_valued;
+  record.kind = 1;  // Replay through the re-encoding variant.
+  UINDEX_RETURN_IF_ERROR(Log(record));
+  return Status::OK();
+}
+
+Status Database::Reencode() {
+  Result<ClassCoder> fresh = ClassCoder::Assign(schema_);
+  if (!fresh.ok()) return fresh.status();
+  coder_ = std::move(fresh).value();
+  if (catalog_ != nullptr) {
+    UINDEX_RETURN_IF_ERROR(catalog_->Clear());
+    UINDEX_RETURN_IF_ERROR(catalog_->Store(schema_, coder_));
+  }
+  for (const auto& index : indexes_) {
+    UINDEX_RETURN_IF_ERROR(index->Rebuild(store_));
+  }
+  return Status::OK();
+}
+
+Status Database::DropIndex(size_t index_pos) {
+  if (index_pos >= indexes_.size()) {
+    return Status::InvalidArgument("no such index");
+  }
+  maintainer_.UnregisterIndex(indexes_[index_pos].get());
+  // Clear() frees the whole tree but re-creates an empty root; release
+  // that final page too since the index object goes away.
+  UINDEX_RETURN_IF_ERROR(indexes_[index_pos]->btree().Clear());
+  buffers_.Free(indexes_[index_pos]->btree().root());
+  indexes_.erase(indexes_.begin() + static_cast<ptrdiff_t>(index_pos));
+  JournalRecord record;
+  record.op = JournalRecord::Op::kDropIndex;
+  record.oid = static_cast<Oid>(index_pos);
+  return Log(record);
+}
+
+Result<size_t> Database::CreateIndex(const PathSpec& spec) {
+  for (const ClassId cls : spec.classes) {
+    if (!schema_.IsValidClass(cls)) {
+      return Status::InvalidArgument("bad class in index spec");
+    }
+  }
+  if (spec.ref_attrs.size() + 1 != spec.classes.size()) {
+    return Status::InvalidArgument("ref attribute count mismatch");
+  }
+  auto index = std::make_unique<UIndex>(&buffers_, &schema_, &coder_, spec,
+                                        options_.btree);
+  UINDEX_RETURN_IF_ERROR(index->BuildFrom(store_));
+  maintainer_.RegisterIndex(index.get());
+  indexes_.push_back(std::move(index));
+
+  JournalRecord record;
+  record.op = JournalRecord::Op::kCreateIndex;
+  record.name = spec.indexed_attr;
+  record.kind = spec.value_kind == Value::Kind::kString ? 1 : 0;
+  record.flag = spec.include_subclasses;
+  for (const ClassId cls : spec.classes) {
+    record.class_names.push_back(schema_.NameOf(cls));
+  }
+  record.ref_attrs = spec.ref_attrs;
+  UINDEX_RETURN_IF_ERROR(Log(record));
+  return indexes_.size() - 1;
+}
+
+Result<Oid> Database::CreateObject(ClassId cls) {
+  Result<Oid> oid = maintainer_.CreateObject(cls);
+  if (!oid.ok()) return oid;
+  JournalRecord record;
+  record.op = JournalRecord::Op::kCreateObject;
+  record.name = schema_.NameOf(cls);
+  record.oid = oid.value();
+  UINDEX_RETURN_IF_ERROR(Log(record));
+  return oid;
+}
+
+Status Database::SetAttr(Oid oid, const std::string& name, Value value) {
+  JournalRecord record;
+  record.op = JournalRecord::Op::kSetAttr;
+  record.name = name;
+  record.oid = oid;
+  record.value = value;
+  UINDEX_RETURN_IF_ERROR(maintainer_.SetAttr(oid, name, std::move(value)));
+  return Log(record);
+}
+
+Status Database::DeleteObject(Oid oid) {
+  UINDEX_RETURN_IF_ERROR(maintainer_.DeleteObject(oid));
+  JournalRecord record;
+  record.op = JournalRecord::Op::kDeleteObject;
+  record.oid = oid;
+  return Log(record);
+}
+
+bool Database::IndexServes(const UIndex& idx, const Selection& selection,
+                           size_t* position) const {
+  const PathSpec& spec = idx.spec();
+  if (spec.indexed_attr != selection.attr) return false;
+  if (spec.value_kind != selection.lo.kind()) return false;
+  // The target class must sit at some path position (the selection's
+  // class or an ancestor declared there).
+  for (size_t pos = 0; pos < spec.Length(); ++pos) {
+    const ClassId declared = spec.classes[pos];
+    const bool fits =
+        spec.include_subclasses
+            ? schema_.IsSubclassOf(selection.cls, declared)
+            : selection.cls == declared;
+    if (fits) {
+      // Key positions run tail -> head.
+      *position = spec.Length() - 1 - pos;
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<Database::SelectResult> Database::Select(
+    const Selection& selection) const {
+  if (!schema_.IsValidClass(selection.cls)) {
+    return Status::InvalidArgument("bad class in selection");
+  }
+  SelectResult out;
+
+  for (const auto& index : indexes_) {
+    size_t position = 0;
+    if (!IndexServes(*index, selection, &position)) continue;
+
+    Query q = Query::Range(selection.lo, selection.hi);
+    // Components tail -> head; constrain only the target position.
+    for (size_t i = 0; i <= position; ++i) {
+      if (i == position) {
+        ClassSelector sel;
+        sel.include.push_back(
+            {selection.cls, selection.with_subclasses});
+        q.With(std::move(sel), ValueSlot::Wanted());
+      } else {
+        q.With(ClassSelector::Any());
+      }
+    }
+    Result<QueryResult> r = index->Parscan(q);
+    if (!r.ok()) return r.status();
+    out.oids = r.value().Distinct(position);
+    out.used_index = true;
+    out.index_description =
+        "U-index on " + schema_.NameOf(index->spec().classes[0]) + "." +
+        index->spec().indexed_attr;
+    return out;
+  }
+
+  // Fallback: extent scan with reference chasing is not available without
+  // a path; plain attribute scan over the class extent.
+  const std::vector<Oid> extent =
+      selection.with_subclasses ? store_.DeepExtentOf(selection.cls)
+                                : store_.ExtentOf(selection.cls);
+  for (const Oid oid : extent) {
+    const Object* obj = store_.Get(oid).value();
+    const Value* attr = obj->FindAttr(selection.attr);
+    if (attr == nullptr || attr->kind() != selection.lo.kind()) continue;
+    std::string image_lo, image_hi, image;
+    selection.lo.AppendOrderPreserving(&image_lo);
+    selection.hi.AppendOrderPreserving(&image_hi);
+    attr->AppendOrderPreserving(&image);
+    if (Slice(image) < Slice(image_lo) || Slice(image_hi) < Slice(image)) {
+      continue;
+    }
+    out.oids.push_back(oid);
+  }
+  std::sort(out.oids.begin(), out.oids.end());
+  out.used_index = false;
+  out.index_description = "extent scan";
+  return out;
+}
+
+Result<QueryResult> Database::Execute(size_t index_pos,
+                                      const Query& query) const {
+  if (index_pos >= indexes_.size()) {
+    return Status::InvalidArgument("no such index");
+  }
+  return indexes_[index_pos]->Parscan(query);
+}
+
+Status Database::Log(const JournalRecord& record) {
+  if (journal_ == nullptr) return Status::OK();
+  return journal_->Append(record);
+}
+
+Status Database::EnableJournal(const std::string& path) {
+  Result<std::unique_ptr<Journal>> journal = Journal::OpenForAppend(path);
+  if (!journal.ok()) return journal.status();
+  journal_ = std::move(journal).value();
+  return Status::OK();
+}
+
+Status Database::Checkpoint(const std::string& snapshot_path) {
+  if (journal_ == nullptr) {
+    return Status::InvalidArgument("no journal enabled");
+  }
+  UINDEX_RETURN_IF_ERROR(Save(snapshot_path));
+  return journal_->Truncate();
+}
+
+Status Database::ApplyRecord(const JournalRecord& r) {
+  switch (r.op) {
+    case JournalRecord::Op::kCreateClass: {
+      if (r.parent.empty()) return CreateClass(r.name).status();
+      Result<ClassId> parent = schema_.FindClass(r.parent);
+      if (!parent.ok()) return parent.status();
+      return CreateSubclass(r.name, parent.value()).status();
+    }
+    case JournalRecord::Op::kCreateReference: {
+      if (r.class_names.size() != 1) {
+        return Status::Corruption("bad REF record");
+      }
+      Result<ClassId> source = schema_.FindClass(r.class_names[0]);
+      if (!source.ok()) return source.status();
+      Result<ClassId> target = schema_.FindClass(r.parent);
+      if (!target.ok()) return target.status();
+      if (r.kind != 0) {
+        return CreateReferenceWithReencode(source.value(), target.value(),
+                                           r.name, r.flag);
+      }
+      return CreateReference(source.value(), target.value(), r.name,
+                             r.flag);
+    }
+    case JournalRecord::Op::kCreateIndex: {
+      PathSpec spec;
+      spec.indexed_attr = r.name;
+      spec.value_kind =
+          r.kind != 0 ? Value::Kind::kString : Value::Kind::kInt;
+      spec.include_subclasses = r.flag;
+      for (const std::string& name : r.class_names) {
+        Result<ClassId> cls = schema_.FindClass(name);
+        if (!cls.ok()) return cls.status();
+        spec.classes.push_back(cls.value());
+      }
+      spec.ref_attrs = r.ref_attrs;
+      return CreateIndex(spec).status();
+    }
+    case JournalRecord::Op::kCreateObject: {
+      Result<ClassId> cls = schema_.FindClass(r.name);
+      if (!cls.ok()) return cls.status();
+      Result<Oid> oid = CreateObject(cls.value());
+      if (!oid.ok()) return oid.status();
+      if (oid.value() != r.oid) {
+        return Status::Corruption("journal replay oid drift: expected " +
+                                  std::to_string(r.oid) + " got " +
+                                  std::to_string(oid.value()));
+      }
+      return Status::OK();
+    }
+    case JournalRecord::Op::kSetAttr:
+      return SetAttr(r.oid, r.name, r.value);
+    case JournalRecord::Op::kDeleteObject:
+      return DeleteObject(r.oid);
+    case JournalRecord::Op::kDropIndex:
+      return DropIndex(r.oid);
+  }
+  return Status::Corruption("unknown journal op");
+}
+
+Result<std::unique_ptr<Database>> Database::OpenDurable(
+    const std::string& snapshot_path, const std::string& journal_path,
+    DatabaseOptions options) {
+  std::unique_ptr<Database> db;
+  Result<std::unique_ptr<Database>> opened = Open(snapshot_path, options);
+  if (opened.ok()) {
+    db = std::move(opened).value();
+  } else if (opened.status().IsNotFound()) {
+    db = std::make_unique<Database>(options);  // Fresh database.
+  } else {
+    return opened.status();
+  }
+
+  size_t valid_bytes = 0;
+  Result<std::vector<JournalRecord>> records =
+      Journal::ReadAll(journal_path, &valid_bytes);
+  if (!records.ok()) return records.status();
+  for (const JournalRecord& record : records.value()) {
+    UINDEX_RETURN_IF_ERROR(db->ApplyRecord(record));
+  }
+  // Drop any torn tail so new appends follow the last good record.
+  if (truncate(journal_path.c_str(),
+               static_cast<off_t>(valid_bytes)) != 0 &&
+      errno != ENOENT) {
+    return Status::ResourceExhausted("cannot truncate torn journal tail");
+  }
+  UINDEX_RETURN_IF_ERROR(db->EnableJournal(journal_path));
+  return db;
+}
+
+Result<Database::Explanation> Database::Explain(
+    const Selection& selection) const {
+  if (!schema_.IsValidClass(selection.cls)) {
+    return Status::InvalidArgument("bad class in selection");
+  }
+  Explanation out;
+  bool have_usable = false;
+
+  for (const auto& index : indexes_) {
+    ExplainCandidate candidate;
+    candidate.description =
+        "U-index on " + schema_.NameOf(index->spec().classes[0]) + "." +
+        index->spec().indexed_attr;
+    size_t position = 0;
+    if (!IndexServes(*index, selection, &position)) {
+      candidate.reason = "attribute or class not covered by this path";
+      out.candidates.push_back(std::move(candidate));
+      continue;
+    }
+    candidate.usable = true;
+
+    // Cost model: one descent (tree height) plus the selectivity-scaled
+    // share of the leaf level. Selectivity comes from the index's own
+    // value range for int indexes; string predicates assume 10%.
+    Result<BTree::TreeStats> stats = index->btree().ComputeStats();
+    if (!stats.ok()) return stats.status();
+    double selectivity = 0.1;
+    if (selection.lo.kind() == Value::Kind::kInt) {
+      Result<std::pair<int64_t, int64_t>> range = index->IntValueRange();
+      if (range.ok()) {
+        const double domain =
+            static_cast<double>(range.value().second) -
+            static_cast<double>(range.value().first) + 1.0;
+        const double span = static_cast<double>(selection.hi.AsInt()) -
+                            static_cast<double>(selection.lo.AsInt()) + 1.0;
+        selectivity = domain > 0 ? std::min(1.0, span / domain) : 1.0;
+      }
+    }
+    candidate.estimated_pages =
+        static_cast<double>(stats.value().height) +
+        selectivity * static_cast<double>(stats.value().leaf_nodes);
+    if (!have_usable) {
+      out.chosen = out.candidates.size();
+      have_usable = true;
+    }
+    out.candidates.push_back(std::move(candidate));
+  }
+
+  // The extent-scan fallback: every candidate object is an in-memory
+  // fetch; approximate one "page" per 10 objects examined.
+  ExplainCandidate scan;
+  scan.description = "extent scan over " + schema_.NameOf(selection.cls);
+  scan.usable = true;
+  const size_t extent_size =
+      selection.with_subclasses
+          ? store_.DeepExtentOf(selection.cls).size()
+          : store_.ExtentOf(selection.cls).size();
+  scan.estimated_pages = static_cast<double>(extent_size) / 10.0;
+  if (!have_usable) out.chosen = out.candidates.size();
+  out.candidates.push_back(std::move(scan));
+  return out;
+}
+
+namespace {
+
+constexpr char kDbMagic[8] = {'U', 'I', 'D', 'X', 'D', 'B', '0', '1'};
+
+void PutString(std::string* out, const std::string& s) {
+  PutFixed32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+Status ReadString(const Slice& blob, size_t* pos, std::string* out) {
+  if (*pos + 4 > blob.size()) return Status::Corruption("truncated string");
+  const uint32_t len = DecodeFixed32(blob.data() + *pos);
+  *pos += 4;
+  if (*pos + len > blob.size()) return Status::Corruption("truncated string");
+  out->assign(blob.data() + *pos, len);
+  *pos += len;
+  return Status::OK();
+}
+
+Status ReadU32(const Slice& blob, size_t* pos, uint32_t* out) {
+  if (*pos + 4 > blob.size()) return Status::Corruption("truncated u32");
+  *out = DecodeFixed32(blob.data() + *pos);
+  *pos += 4;
+  return Status::OK();
+}
+
+Status ReadU64(const Slice& blob, size_t* pos, uint64_t* out) {
+  if (*pos + 8 > blob.size()) return Status::Corruption("truncated u64");
+  *out = DecodeFixed64(blob.data() + *pos);
+  *pos += 8;
+  return Status::OK();
+}
+
+Status ReadU8(const Slice& blob, size_t* pos, uint8_t* out) {
+  if (*pos + 1 > blob.size()) return Status::Corruption("truncated u8");
+  *out = static_cast<uint8_t>(blob[*pos]);
+  *pos += 1;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Database::Save(const std::string& path) const {
+  std::string meta;
+  meta.append(kDbMagic, sizeof(kDbMagic));
+
+  // Schema + codes.
+  PutFixed32(&meta, static_cast<uint32_t>(schema_.class_count()));
+  for (ClassId cls = 0; cls < schema_.class_count(); ++cls) {
+    PutString(&meta, schema_.NameOf(cls));
+    PutFixed32(&meta, schema_.SuperclassOf(cls));
+    PutString(&meta, coder_.CodeOf(cls));
+  }
+  PutFixed32(&meta, static_cast<uint32_t>(schema_.references().size()));
+  for (const RefEdge& e : schema_.references()) {
+    PutFixed32(&meta, e.source);
+    PutFixed32(&meta, e.target);
+    PutString(&meta, e.attribute);
+    meta.push_back(e.multi_valued ? 1 : 0);
+  }
+
+  // Objects.
+  PutString(&meta, store_.Serialize());
+
+  // Catalog.
+  meta.push_back(catalog_ != nullptr ? 1 : 0);
+  if (catalog_ != nullptr) {
+    PutFixed32(&meta, catalog_->btree().root());
+    PutFixed64(&meta, catalog_->btree().size());
+  }
+
+  // Indexes.
+  PutFixed32(&meta, static_cast<uint32_t>(indexes_.size()));
+  for (const auto& index : indexes_) {
+    const PathSpec& spec = index->spec();
+    PutFixed32(&meta, index->btree().root());
+    PutFixed64(&meta, index->btree().size());
+    meta.push_back(spec.include_subclasses ? 1 : 0);
+    meta.push_back(spec.value_kind == Value::Kind::kString ? 1 : 0);
+    PutString(&meta, spec.indexed_attr);
+    PutFixed32(&meta, static_cast<uint32_t>(spec.classes.size()));
+    for (const ClassId cls : spec.classes) PutFixed32(&meta, cls);
+    for (const std::string& attr : spec.ref_attrs) PutString(&meta, attr);
+  }
+
+  return PagerSnapshot::Save(*pager_, meta, path);
+}
+
+Result<std::unique_ptr<Database>> Database::Open(const std::string& path,
+                                                 DatabaseOptions options) {
+  Result<PagerSnapshot::Loaded> loaded = PagerSnapshot::Load(path);
+  if (!loaded.ok()) return loaded.status();
+  options.page_size = loaded.value().pager->page_size();
+
+  std::unique_ptr<Database> db(
+      new Database(options, std::move(loaded.value().pager)));
+  const Slice meta(loaded.value().metadata);
+  size_t pos = 0;
+  if (meta.size() < sizeof(kDbMagic) ||
+      std::memcmp(meta.data(), kDbMagic, sizeof(kDbMagic)) != 0) {
+    return Status::Corruption("not a uindex database file");
+  }
+  pos = sizeof(kDbMagic);
+
+  // Schema + codes.
+  uint32_t class_count = 0;
+  UINDEX_RETURN_IF_ERROR(ReadU32(meta, &pos, &class_count));
+  std::vector<std::pair<ClassId, std::string>> assignments;
+  for (uint32_t i = 0; i < class_count; ++i) {
+    std::string name, code;
+    uint32_t parent = 0;
+    UINDEX_RETURN_IF_ERROR(ReadString(meta, &pos, &name));
+    UINDEX_RETURN_IF_ERROR(ReadU32(meta, &pos, &parent));
+    UINDEX_RETURN_IF_ERROR(ReadString(meta, &pos, &code));
+    Result<ClassId> cls =
+        parent == kInvalidClassId
+            ? db->schema_.AddClass(name)
+            : db->schema_.AddSubclass(name, parent);
+    if (!cls.ok()) return cls.status();
+    if (cls.value() != i) return Status::Corruption("class id drift");
+    assignments.emplace_back(cls.value(), std::move(code));
+  }
+  Result<ClassCoder> coder = ClassCoder::FromAssignments(assignments);
+  if (!coder.ok()) return coder.status();
+  db->coder_ = std::move(coder).value();
+
+  uint32_t ref_count = 0;
+  UINDEX_RETURN_IF_ERROR(ReadU32(meta, &pos, &ref_count));
+  for (uint32_t i = 0; i < ref_count; ++i) {
+    uint32_t source = 0, target = 0;
+    std::string attr;
+    uint8_t multi = 0;
+    UINDEX_RETURN_IF_ERROR(ReadU32(meta, &pos, &source));
+    UINDEX_RETURN_IF_ERROR(ReadU32(meta, &pos, &target));
+    UINDEX_RETURN_IF_ERROR(ReadString(meta, &pos, &attr));
+    UINDEX_RETURN_IF_ERROR(ReadU8(meta, &pos, &multi));
+    UINDEX_RETURN_IF_ERROR(
+        db->schema_.AddReference(source, target, attr, multi != 0));
+  }
+
+  // Objects.
+  std::string store_blob;
+  UINDEX_RETURN_IF_ERROR(ReadString(meta, &pos, &store_blob));
+  UINDEX_RETURN_IF_ERROR(db->store_.Deserialize(Slice(store_blob)));
+
+  // Catalog.
+  uint8_t has_catalog = 0;
+  UINDEX_RETURN_IF_ERROR(ReadU8(meta, &pos, &has_catalog));
+  if (has_catalog != 0) {
+    uint32_t root = 0;
+    uint64_t size = 0;
+    UINDEX_RETURN_IF_ERROR(ReadU32(meta, &pos, &root));
+    UINDEX_RETURN_IF_ERROR(ReadU64(meta, &pos, &size));
+    db->catalog_ = std::make_unique<SchemaCatalog>(&db->buffers_, root,
+                                                   size, options.btree);
+  }
+
+  // Indexes.
+  uint32_t index_count = 0;
+  UINDEX_RETURN_IF_ERROR(ReadU32(meta, &pos, &index_count));
+  for (uint32_t i = 0; i < index_count; ++i) {
+    uint32_t root = 0;
+    uint64_t size = 0;
+    uint8_t with_subclasses = 0, is_string = 0;
+    PathSpec spec;
+    UINDEX_RETURN_IF_ERROR(ReadU32(meta, &pos, &root));
+    UINDEX_RETURN_IF_ERROR(ReadU64(meta, &pos, &size));
+    UINDEX_RETURN_IF_ERROR(ReadU8(meta, &pos, &with_subclasses));
+    UINDEX_RETURN_IF_ERROR(ReadU8(meta, &pos, &is_string));
+    spec.include_subclasses = with_subclasses != 0;
+    spec.value_kind =
+        is_string != 0 ? Value::Kind::kString : Value::Kind::kInt;
+    UINDEX_RETURN_IF_ERROR(ReadString(meta, &pos, &spec.indexed_attr));
+    uint32_t path_len = 0;
+    UINDEX_RETURN_IF_ERROR(ReadU32(meta, &pos, &path_len));
+    for (uint32_t c = 0; c < path_len; ++c) {
+      uint32_t cls = 0;
+      UINDEX_RETURN_IF_ERROR(ReadU32(meta, &pos, &cls));
+      spec.classes.push_back(cls);
+    }
+    for (uint32_t c = 0; c + 1 < path_len; ++c) {
+      std::string attr;
+      UINDEX_RETURN_IF_ERROR(ReadString(meta, &pos, &attr));
+      spec.ref_attrs.push_back(std::move(attr));
+    }
+    auto index = std::make_unique<UIndex>(&db->buffers_, &db->schema_,
+                                          &db->coder_, spec, options.btree,
+                                          root, size);
+    db->maintainer_.RegisterIndex(index.get());
+    db->indexes_.push_back(std::move(index));
+  }
+  return db;
+}
+
+}  // namespace uindex

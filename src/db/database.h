@@ -1,0 +1,225 @@
+#ifndef UINDEX_DB_DATABASE_H_
+#define UINDEX_DB_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/query.h"
+#include "core/schema_catalog.h"
+#include "core/uindex.h"
+#include "core/update.h"
+#include "db/journal.h"
+#include "db/oql.h"
+#include "objects/object_store.h"
+#include "schema/encoder.h"
+#include "schema/schema.h"
+#include "storage/buffer_manager.h"
+#include "storage/pager.h"
+
+namespace uindex {
+
+/// Tuning knobs for a `Database`.
+struct DatabaseOptions {
+  uint32_t page_size = 1024;
+  BTreeOptions btree;
+  /// Keep a SchemaCatalog (the §4.1 schema-in-index) in sync with DDL.
+  bool maintain_catalog = true;
+};
+
+/// The full-system façade: schema DDL, object DML, U-index management, and
+/// query execution with automatic index selection — the layer an
+/// application links against.
+///
+/// One `Database` owns its pager, buffer manager, object store, class
+/// codes, schema catalog, and any number of U-indexes. DDL keeps the codes
+/// and catalog current (paper Fig. 4); DML keeps every index current
+/// (§3.5); `Select` routes a query to an index whose path can serve it, or
+/// falls back to an extent scan.
+class Database {
+ public:
+  explicit Database(DatabaseOptions options = DatabaseOptions());
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Persists the whole database (pages + schema + codes + objects + index
+  /// roots) to `path` atomically.
+  Status Save(const std::string& path) const;
+
+  /// Restores a database saved with `Save`. `options.btree` must match the
+  /// saved database's options.
+  static Result<std::unique_ptr<Database>> Open(
+      const std::string& path, DatabaseOptions options = DatabaseOptions());
+
+  // ----------------------------------------------------------- durability
+  /// Starts logging every DDL/DML mutation to `path` (appending to an
+  /// existing journal). Together with `Checkpoint` this provides
+  /// snapshot+log durability; see db/journal.h.
+  Status EnableJournal(const std::string& path);
+
+  /// Writes a snapshot to `snapshot_path` and truncates the journal (which
+  /// must be enabled): the log's contents are now captured by the
+  /// snapshot.
+  Status Checkpoint(const std::string& snapshot_path);
+
+  /// Opens a durable database: loads `snapshot_path` if it exists (else
+  /// starts empty), replays the journal tail at `journal_path`, and leaves
+  /// the journal enabled for further mutations.
+  static Result<std::unique_ptr<Database>> OpenDurable(
+      const std::string& snapshot_path, const std::string& journal_path,
+      DatabaseOptions options = DatabaseOptions());
+
+  // ------------------------------------------------------------------ DDL
+  /// Creates a hierarchy root / subclass; assigns its class code and
+  /// records it in the catalog.
+  Result<ClassId> CreateClass(const std::string& name);
+  Result<ClassId> CreateSubclass(const std::string& name, ClassId parent);
+
+  /// Declares a REF attribute. Fails (re-encode required) if the edge
+  /// inverts the established code order — the documented limit of
+  /// incremental evolution (§4.3).
+  Status CreateReference(ClassId source, ClassId target,
+                         const std::string& attribute,
+                         bool multi_valued = false);
+
+  /// As CreateReference, but when the new edge inverts the code order it
+  /// performs the full §4.3 re-encode (fresh codes, catalog and index
+  /// rebuild) instead of failing.
+  Status CreateReferenceWithReencode(ClassId source, ClassId target,
+                                     const std::string& attribute,
+                                     bool multi_valued = false);
+
+  /// Builds a U-index over `spec` from current data and registers it for
+  /// maintenance. Returns its position among the database's indexes.
+  Result<size_t> CreateIndex(const PathSpec& spec);
+
+  /// Drops index #`index_pos`, reclaiming its pages. Later indexes shift
+  /// down by one position.
+  Status DropIndex(size_t index_pos);
+
+  /// Re-assigns every class code from scratch (a fresh topological order
+  /// over the current schema) and rebuilds the catalog and every index —
+  /// the paper's §4.3 escape hatch when schema evolution has invalidated
+  /// the incremental encoding (e.g. a REF edge that must point "up" the
+  /// current code order). Call after adding such an edge directly to the
+  /// schema; `CreateReference` names this in its error message.
+  Status Reencode();
+
+  // ------------------------------------------------------------------ DML
+  Result<Oid> CreateObject(ClassId cls);
+  Status SetAttr(Oid oid, const std::string& name, Value value);
+  Status DeleteObject(Oid oid);
+
+  // ---------------------------------------------------------------- query
+  /// A query bound to a target class: "objects of `cls` (and subclasses
+  /// unless `exact`) whose `attr` (possibly reached through the refs of a
+  /// registered index path) satisfies the predicate".
+  struct Selection {
+    ClassId cls = kInvalidClassId;
+    bool with_subclasses = true;
+    std::string attr;
+    Value lo, hi;  ///< Inclusive range; equal for exact match.
+  };
+
+  /// Executes `selection`, preferring a registered U-index that can serve
+  /// it; otherwise scans extents (and reports that it did). Results are
+  /// sorted distinct oids of the target class.
+  struct SelectResult {
+    std::vector<Oid> oids;
+    bool used_index = false;
+    std::string index_description;
+  };
+  Result<SelectResult> Select(const Selection& selection) const;
+
+  /// Runs a raw `Query` against index #`index_pos` (Parscan).
+  Result<QueryResult> Execute(size_t index_pos, const Query& query) const;
+
+  /// Parses and executes an OQL-style statement (see db/oql.h). The
+  /// planner drives the query through a registered U-index when one covers
+  /// the value predicate's reference path (pushing IS restrictions into
+  /// the index components), post-filtering the rest by object traversal;
+  /// with no covering index it evaluates everything by traversal.
+  struct OqlResult {
+    std::vector<Oid> oids;   ///< Sorted distinct bindings (LIMIT applied;
+                             ///< empty for COUNT queries).
+    uint64_t count = 0;      ///< Number of bindings (pre-LIMIT).
+    bool used_index = false;
+    std::string plan;        ///< Human-readable plan description.
+  };
+  Result<OqlResult> ExecuteOql(const std::string& oql) const;
+
+  /// Explains how `selection` would execute: every candidate access path
+  /// with a page-read estimate, and which one `Select` would pick.
+  struct ExplainCandidate {
+    std::string description;
+    bool usable = false;
+    std::string reason;          ///< Why unusable, when applicable.
+    double estimated_pages = 0;  ///< Height + selectivity * leaves.
+  };
+  struct Explanation {
+    std::vector<ExplainCandidate> candidates;  ///< Indexes, then the scan.
+    size_t chosen = 0;                         ///< Index into candidates.
+  };
+  Result<Explanation> Explain(const Selection& selection) const;
+
+  // ------------------------------------------------------------ accessors
+  const Schema& schema() const { return schema_; }
+  const ClassCoder& coder() const { return coder_; }
+  ObjectStore& store() { return store_; }
+  const ObjectStore& store() const { return store_; }
+  BufferManager& buffers() { return buffers_; }
+  const SchemaCatalog* catalog() const { return catalog_.get(); }
+  size_t index_count() const { return indexes_.size(); }
+  const UIndex& index(size_t pos) const { return *indexes_[pos]; }
+
+  /// Total pages owned by all structures (footprint).
+  uint64_t live_pages() const { return pager_->live_page_count(); }
+
+ private:
+  // Restore path: adopts a pager loaded from a snapshot.
+  Database(DatabaseOptions options, std::unique_ptr<Pager> pager);
+
+  // True if index `idx` can answer `selection`, with the key position of
+  // the target class written to `position`.
+  bool IndexServes(const UIndex& idx, const Selection& selection,
+                   size_t* position) const;
+
+  // --- OQL planning helpers (db/oql_planner.cc). ---
+  // A resolved condition path: the ref attrs walked and the class each
+  // step lands on; `attr` non-empty when the path ends in a plain
+  // attribute.
+  struct ResolvedPath {
+    std::vector<std::string> refs;
+    std::vector<ClassId> classes;  // Class after each ref step.
+    std::string attr;
+  };
+  Result<ResolvedPath> ResolveOqlPath(ClassId from,
+                                      const OqlPath& path) const;
+  // Inclusive attribute bounds for a value condition (kCompare/kBetween);
+  // fails for operators inexpressible as inclusive ranges.
+  static Status BoundsFor(const OqlCondition& cond, Value* lo, Value* hi);
+  // Any-semantics traversal evaluation of one condition for `oid`.
+  Result<bool> EvalOqlCondition(Oid oid, const OqlCondition& cond,
+                                const ResolvedPath& resolved) const;
+
+  // Applies a replayed journal record (journaling suppressed).
+  Status ApplyRecord(const JournalRecord& record);
+  // Appends to the journal if one is enabled.
+  Status Log(const JournalRecord& record);
+
+  DatabaseOptions options_;
+  std::unique_ptr<Pager> pager_;
+  BufferManager buffers_;
+  std::unique_ptr<Journal> journal_;
+  Schema schema_;
+  ClassCoder coder_;
+  ObjectStore store_;
+  IndexedDatabase maintainer_;
+  std::unique_ptr<SchemaCatalog> catalog_;
+  std::vector<std::unique_ptr<UIndex>> indexes_;
+};
+
+}  // namespace uindex
+
+#endif  // UINDEX_DB_DATABASE_H_

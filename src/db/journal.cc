@@ -1,0 +1,152 @@
+#include "db/journal.h"
+
+#include "util/coding.h"
+#include "util/crc32.h"
+
+namespace uindex {
+
+namespace {
+
+void PutString(std::string* out, const std::string& s) {
+  PutFixed32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+Status ReadString(const Slice& blob, size_t* pos, std::string* out) {
+  if (*pos + 4 > blob.size()) return Status::Corruption("truncated string");
+  const uint32_t len = DecodeFixed32(blob.data() + *pos);
+  *pos += 4;
+  if (*pos + len > blob.size()) return Status::Corruption("truncated string");
+  out->assign(blob.data() + *pos, len);
+  *pos += len;
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string Journal::EncodeRecord(const JournalRecord& r) {
+  std::string out;
+  out.push_back(static_cast<char>(r.op));
+  PutString(&out, r.name);
+  PutString(&out, r.parent);
+  PutFixed32(&out, static_cast<uint32_t>(r.class_names.size()));
+  for (const std::string& s : r.class_names) PutString(&out, s);
+  PutFixed32(&out, static_cast<uint32_t>(r.ref_attrs.size()));
+  for (const std::string& s : r.ref_attrs) PutString(&out, s);
+  out.push_back(r.flag ? 1 : 0);
+  out.push_back(static_cast<char>(r.kind));
+  PutFixed32(&out, r.oid);
+  AppendValueTo(r.value, &out);
+  return out;
+}
+
+Result<JournalRecord> Journal::DecodeRecord(const Slice& payload) {
+  if (payload.empty()) return Status::Corruption("empty record");
+  JournalRecord r;
+  r.op = static_cast<JournalRecord::Op>(payload[0]);
+  size_t pos = 1;
+  UINDEX_RETURN_IF_ERROR(ReadString(payload, &pos, &r.name));
+  UINDEX_RETURN_IF_ERROR(ReadString(payload, &pos, &r.parent));
+  uint32_t n = 0;
+  if (pos + 4 > payload.size()) return Status::Corruption("truncated");
+  n = DecodeFixed32(payload.data() + pos);
+  pos += 4;
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string s;
+    UINDEX_RETURN_IF_ERROR(ReadString(payload, &pos, &s));
+    r.class_names.push_back(std::move(s));
+  }
+  if (pos + 4 > payload.size()) return Status::Corruption("truncated");
+  n = DecodeFixed32(payload.data() + pos);
+  pos += 4;
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string s;
+    UINDEX_RETURN_IF_ERROR(ReadString(payload, &pos, &s));
+    r.ref_attrs.push_back(std::move(s));
+  }
+  if (pos + 2 + 4 > payload.size()) return Status::Corruption("truncated");
+  r.flag = payload[pos] != 0;
+  r.kind = static_cast<uint8_t>(payload[pos + 1]);
+  pos += 2;
+  r.oid = DecodeFixed32(payload.data() + pos);
+  pos += 4;
+  Result<Value> value = ReadValueFrom(payload, &pos);
+  if (!value.ok()) return value.status();
+  r.value = std::move(value).value();
+  if (pos != payload.size()) {
+    return Status::Corruption("trailing bytes in record");
+  }
+  return r;
+}
+
+Result<std::unique_ptr<Journal>> Journal::OpenForAppend(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    return Status::InvalidArgument("cannot open journal " + path);
+  }
+  return std::unique_ptr<Journal>(new Journal(path, file));
+}
+
+Journal::~Journal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status Journal::Append(const JournalRecord& record) {
+  const std::string payload = EncodeRecord(record);
+  std::string frame;
+  PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
+  PutFixed32(&frame, Crc32(Slice(payload)));
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size() ||
+      std::fwrite(payload.data(), 1, payload.size(), file_) !=
+          payload.size() ||
+      std::fflush(file_) != 0) {
+    return Status::ResourceExhausted("journal write failed");
+  }
+  return Status::OK();
+}
+
+Status Journal::Truncate() {
+  std::fclose(file_);
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::ResourceExhausted("journal truncate failed");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<JournalRecord>> Journal::ReadAll(
+    const std::string& path, size_t* valid_bytes) {
+  std::vector<JournalRecord> out;
+  if (valid_bytes != nullptr) *valid_bytes = 0;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return out;  // No journal: nothing to replay.
+  std::string payload;
+  size_t consumed = 0;
+  for (;;) {
+    char frame[8];
+    const size_t got = std::fread(frame, 1, sizeof(frame), file);
+    if (got == 0) break;  // Clean end.
+    if (got < sizeof(frame)) break;  // Torn tail: stop.
+    const uint32_t len = DecodeFixed32(frame);
+    const uint32_t crc = DecodeFixed32(frame + 4);
+    payload.resize(len);
+    if (std::fread(payload.data(), 1, len, file) != len) break;  // Torn.
+    if (Crc32(Slice(payload)) != crc) {
+      std::fclose(file);
+      return Status::Corruption("journal record checksum mismatch");
+    }
+    Result<JournalRecord> record = DecodeRecord(Slice(payload));
+    if (!record.ok()) {
+      std::fclose(file);
+      return record.status();
+    }
+    out.push_back(std::move(record).value());
+    consumed += sizeof(frame) + len;
+  }
+  std::fclose(file);
+  if (valid_bytes != nullptr) *valid_bytes = consumed;
+  return out;
+}
+
+}  // namespace uindex

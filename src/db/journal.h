@@ -1,0 +1,89 @@
+#ifndef UINDEX_DB_JOURNAL_H_
+#define UINDEX_DB_JOURNAL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/index_spec.h"
+#include "objects/object.h"
+#include "util/status.h"
+
+namespace uindex {
+
+/// A logical journal record: one Database mutation.
+struct JournalRecord {
+  enum class Op : uint8_t {
+    kCreateClass = 1,     // name [+ parent name]
+    kCreateReference = 2, // source, target, attr, multi
+    kCreateIndex = 3,     // attr, kind, subclasses flag, class names, refs
+    kCreateObject = 4,    // class name, expected oid
+    kSetAttr = 5,         // oid, attr, value
+    kDeleteObject = 6,    // oid
+    kDropIndex = 7,       // oid = index position
+  };
+  Op op = Op::kCreateClass;
+  std::string name;                    // Class name / attribute name.
+  std::string parent;                  // Parent or target class name.
+  std::vector<std::string> class_names;
+  std::vector<std::string> ref_attrs;
+  bool flag = false;                   // multi-valued / with-subclasses.
+  uint8_t kind = 0;                    // Value kind for indexes.
+  Oid oid = kInvalidOid;
+  Value value;
+};
+
+/// Append-only, CRC-protected logical log of Database mutations.
+///
+/// Combined with a `PagerSnapshot` this is the library's snapshot+log
+/// durability story: `Database::Checkpoint` writes a snapshot and truncates
+/// the journal; on restart, `Database::OpenDurable` loads the snapshot (if
+/// any) and replays the journal tail. A torn final record (partial write at
+/// crash time) is tolerated and replay stops there; a corrupt record
+/// *inside* the log is an error.
+///
+/// Record framing: [len u32][crc u32][payload]; payload starts with the op
+/// byte. Records reference classes by *name*, so a journal remains valid
+/// across re-encodes of the class codes.
+class Journal {
+ public:
+  /// Opens (creating if absent) the journal at `path` for appending.
+  static Result<std::unique_ptr<Journal>> OpenForAppend(
+      const std::string& path);
+
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Appends one record and flushes it.
+  Status Append(const JournalRecord& record);
+
+  /// Truncates the journal (after a checkpoint made it redundant).
+  Status Truncate();
+
+  const std::string& path() const { return path_; }
+
+  /// Reads every well-formed record from `path`. A clean end or a torn
+  /// final record both end the list; mid-file corruption fails. If
+  /// `valid_bytes` is non-null it receives the byte length of the
+  /// well-formed prefix, so a torn tail can be truncated away before new
+  /// records are appended.
+  static Result<std::vector<JournalRecord>> ReadAll(
+      const std::string& path, size_t* valid_bytes = nullptr);
+
+  /// Serialization helpers (exposed for tests).
+  static std::string EncodeRecord(const JournalRecord& record);
+  static Result<JournalRecord> DecodeRecord(const Slice& payload);
+
+ private:
+  Journal(std::string path, std::FILE* file)
+      : path_(std::move(path)), file_(file) {}
+
+  std::string path_;
+  std::FILE* file_;
+};
+
+}  // namespace uindex
+
+#endif  // UINDEX_DB_JOURNAL_H_

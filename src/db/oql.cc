@@ -1,0 +1,299 @@
+#include "db/oql.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace uindex {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+struct Token {
+  enum class Kind {
+    kIdent,    // names, keywords (case preserved; keyword match is ci)
+    kInt,
+    kString,
+    kSymbol,   // one of = < <= > >= ( ) , . *
+    kEnd,
+  };
+  Kind kind = Kind::kEnd;
+  std::string text;
+  int64_t int_value = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '\'') {
+        const size_t end = text_.find('\'', pos_ + 1);
+        if (end == std::string::npos) {
+          return Status::InvalidArgument("unterminated string literal");
+        }
+        Token t;
+        t.kind = Token::Kind::kString;
+        t.text = text_.substr(pos_ + 1, end - pos_ - 1);
+        out.push_back(std::move(t));
+        pos_ = end + 1;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '-' && pos_ + 1 < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))) {
+        size_t end = pos_ + 1;
+        while (end < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[end]))) {
+          ++end;
+        }
+        Token t;
+        t.kind = Token::Kind::kInt;
+        t.text = text_.substr(pos_, end - pos_);
+        t.int_value = std::strtoll(t.text.c_str(), nullptr, 10);
+        out.push_back(std::move(t));
+        pos_ = end;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        // Identifiers may contain '-' (the paper's "manufactured-by").
+        size_t end = pos_ + 1;
+        while (end < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+                text_[end] == '_' || text_[end] == '-')) {
+          ++end;
+        }
+        Token t;
+        t.kind = Token::Kind::kIdent;
+        t.text = text_.substr(pos_, end - pos_);
+        out.push_back(std::move(t));
+        pos_ = end;
+        continue;
+      }
+      if (c == '<' || c == '>') {
+        Token t;
+        t.kind = Token::Kind::kSymbol;
+        t.text.push_back(c);
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+          t.text.push_back('=');
+          ++pos_;
+        }
+        out.push_back(std::move(t));
+        ++pos_;
+        continue;
+      }
+      if (c == '=' || c == '(' || c == ')' || c == ',' || c == '.' ||
+          c == '*') {
+        Token t;
+        t.kind = Token::Kind::kSymbol;
+        t.text.push_back(c);
+        out.push_back(std::move(t));
+        ++pos_;
+        continue;
+      }
+      return Status::InvalidArgument(std::string("unexpected character '") +
+                                     c + "'");
+    }
+    out.push_back(Token{});  // kEnd sentinel.
+    return out;
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+bool KeywordIs(const Token& t, const char* keyword) {
+  if (t.kind != Token::Kind::kIdent) return false;
+  const std::string& s = t.text;
+  size_t i = 0;
+  for (; keyword[i] != '\0'; ++i) {
+    if (i >= s.size() ||
+        std::toupper(static_cast<unsigned char>(s[i])) != keyword[i]) {
+      return false;
+    }
+  }
+  return i == s.size();
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<OqlQuery> Run() {
+    OqlQuery query;
+    UINDEX_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    if (KeywordIs(Peek(), "COUNT")) {
+      ++pos_;
+      query.count_only = true;
+      UINDEX_RETURN_IF_ERROR(ExpectSymbol("("));
+      UINDEX_RETURN_IF_ERROR(ExpectIdent(&query.var));
+      UINDEX_RETURN_IF_ERROR(ExpectSymbol(")"));
+    } else {
+      UINDEX_RETURN_IF_ERROR(ExpectIdent(&query.var));
+    }
+    UINDEX_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    UINDEX_RETURN_IF_ERROR(ParseClassRef(&query.from));
+    std::string from_var;
+    UINDEX_RETURN_IF_ERROR(ExpectIdent(&from_var));
+    if (from_var != query.var) {
+      return Status::InvalidArgument("FROM variable '" + from_var +
+                                     "' does not match SELECT '" +
+                                     query.var + "'");
+    }
+    UINDEX_RETURN_IF_ERROR(ExpectKeyword("WHERE"));
+    for (;;) {
+      OqlCondition cond;
+      UINDEX_RETURN_IF_ERROR(ParseCondition(query.var, &cond));
+      query.conditions.push_back(std::move(cond));
+      if (!KeywordIs(Peek(), "AND")) break;
+      ++pos_;
+    }
+    if (KeywordIs(Peek(), "LIMIT")) {
+      ++pos_;
+      if (Peek().kind != Token::Kind::kInt || Peek().int_value <= 0) {
+        return Status::InvalidArgument("LIMIT needs a positive integer");
+      }
+      query.limit = static_cast<uint64_t>(Next().int_value);
+    }
+    if (Peek().kind != Token::Kind::kEnd) {
+      return Status::InvalidArgument("trailing input after query: '" +
+                                     Peek().text + "'");
+    }
+    return query;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_++]; }
+
+  Status ExpectKeyword(const char* keyword) {
+    if (!KeywordIs(Peek(), keyword)) {
+      return Status::InvalidArgument(std::string("expected ") + keyword);
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Status ExpectIdent(std::string* out) {
+    if (Peek().kind != Token::Kind::kIdent) {
+      return Status::InvalidArgument("expected identifier, got '" +
+                                     Peek().text + "'");
+    }
+    *out = Next().text;
+    return Status::OK();
+  }
+
+  Status ExpectSymbol(const char* symbol) {
+    if (Peek().kind != Token::Kind::kSymbol || Peek().text != symbol) {
+      return Status::InvalidArgument(std::string("expected '") + symbol +
+                                     "', got '" + Peek().text + "'");
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Status ParseClassRef(OqlClassRef* out) {
+    UINDEX_RETURN_IF_ERROR(ExpectIdent(&out->name));
+    if (Peek().kind == Token::Kind::kSymbol && Peek().text == "*") {
+      out->with_subclasses = true;
+      ++pos_;
+    }
+    return Status::OK();
+  }
+
+  Status ParseValue(Value* out) {
+    if (Peek().kind == Token::Kind::kInt) {
+      *out = Value::Int(Next().int_value);
+      return Status::OK();
+    }
+    if (Peek().kind == Token::Kind::kString) {
+      *out = Value::Str(Next().text);
+      return Status::OK();
+    }
+    return Status::InvalidArgument("expected a value, got '" + Peek().text +
+                                   "'");
+  }
+
+  Status ParseCondition(const std::string& var, OqlCondition* out) {
+    // path := var ('.' name)*
+    std::string head;
+    UINDEX_RETURN_IF_ERROR(ExpectIdent(&head));
+    if (head != var) {
+      return Status::InvalidArgument("unknown variable '" + head + "'");
+    }
+    out->path.var = head;
+    while (Peek().kind == Token::Kind::kSymbol && Peek().text == ".") {
+      ++pos_;
+      std::string step;
+      UINDEX_RETURN_IF_ERROR(ExpectIdent(&step));
+      out->path.steps.push_back(std::move(step));
+    }
+
+    if (KeywordIs(Peek(), "BETWEEN")) {
+      ++pos_;
+      out->kind = OqlCondition::Kind::kBetween;
+      UINDEX_RETURN_IF_ERROR(ParseValue(&out->value1));
+      UINDEX_RETURN_IF_ERROR(ExpectKeyword("AND"));
+      return ParseValue(&out->value2);
+    }
+    if (KeywordIs(Peek(), "IN")) {
+      ++pos_;
+      out->kind = OqlCondition::Kind::kIn;
+      UINDEX_RETURN_IF_ERROR(ExpectSymbol("("));
+      for (;;) {
+        Value v;
+        UINDEX_RETURN_IF_ERROR(ParseValue(&v));
+        out->values.push_back(std::move(v));
+        if (Peek().kind == Token::Kind::kSymbol && Peek().text == ",") {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      return ExpectSymbol(")");
+    }
+    if (KeywordIs(Peek(), "IS")) {
+      ++pos_;
+      out->kind = OqlCondition::Kind::kIs;
+      return ParseClassRef(&out->class_ref);
+    }
+    if (Peek().kind == Token::Kind::kSymbol &&
+        (Peek().text == "=" || Peek().text == "<" || Peek().text == "<=" ||
+         Peek().text == ">" || Peek().text == ">=")) {
+      out->kind = OqlCondition::Kind::kCompare;
+      out->op = Next().text;
+      return ParseValue(&out->value1);
+    }
+    return Status::InvalidArgument("expected an operator after path, got '" +
+                                   Peek().text + "'");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<OqlQuery> ParseOql(const std::string& text) {
+  Lexer lexer(text);
+  Result<std::vector<Token>> tokens = lexer.Run();
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  return parser.Run();
+}
+
+}  // namespace uindex

@@ -1,0 +1,72 @@
+#ifndef UINDEX_DB_OQL_H_
+#define UINDEX_DB_OQL_H_
+
+#include <string>
+#include <vector>
+
+#include "objects/object.h"
+#include "util/status.h"
+
+namespace uindex {
+
+/// A tiny OQL-style query language over the Database façade, covering the
+/// query shapes the paper motivates (§1-§3): attribute predicates reached
+/// through reference paths, class-hierarchy targets, and in-path class
+/// restrictions. Examples:
+///
+///   SELECT v FROM Vehicle* v WHERE v.Color = 'Red'
+///   SELECT v FROM Truck* v
+///     WHERE v.made-by.president.Age BETWEEN 50 AND 60
+///   SELECT c FROM Company* c WHERE c.president.Age > 50
+///   SELECT v FROM Vehicle* v
+///     WHERE v.made-by.president.Age = 50
+///       AND v.made-by IS JapaneseAutoCompany*
+///   SELECT v FROM Vehicle* v WHERE v.Color IN ('Red', 'Blue')
+///
+/// Grammar (keywords case-insensitive; `*` on a class name means "with all
+/// subclasses"):
+///   query := SELECT target FROM ClassName['*'] ident
+///            WHERE cond (AND cond)* [LIMIT integer]
+///   target:= ident | COUNT '(' ident ')'
+///   cond  := path cmp value
+///          | path BETWEEN value AND value
+///          | path IN '(' value (',' value)* ')'
+///          | path IS ClassName['*']
+///   path  := ident ('.' name)*          -- the ident is the FROM variable
+///   cmp   := '=' | '<' | '<=' | '>' | '>='
+///   value := integer | 'string'
+struct OqlClassRef {
+  std::string name;
+  bool with_subclasses = false;
+};
+
+struct OqlPath {
+  std::string var;
+  std::vector<std::string> steps;  ///< Ref attrs, last may be an attribute.
+};
+
+struct OqlCondition {
+  enum class Kind { kCompare, kBetween, kIn, kIs };
+  Kind kind = Kind::kCompare;
+  OqlPath path;
+  std::string op;             ///< For kCompare.
+  Value value1, value2;       ///< Operands (value2 for BETWEEN).
+  std::vector<Value> values;  ///< For kIn.
+  OqlClassRef class_ref;      ///< For kIs.
+};
+
+struct OqlQuery {
+  std::string var;
+  OqlClassRef from;
+  std::vector<OqlCondition> conditions;
+  bool count_only = false;   ///< SELECT COUNT(v).
+  uint64_t limit = 0;        ///< 0 = unlimited.
+};
+
+/// Parses `text` into an AST. Pure syntax: names are resolved against the
+/// schema by the planner (Database::Query).
+Result<OqlQuery> ParseOql(const std::string& text);
+
+}  // namespace uindex
+
+#endif  // UINDEX_DB_OQL_H_

@@ -1,0 +1,305 @@
+#include <algorithm>
+#include <climits>
+
+#include "db/database.h"
+
+namespace uindex {
+
+namespace {
+
+// Order-preserving comparison of two values of the same kind.
+int CompareValues(const Value& a, const Value& b) {
+  std::string ia, ib;
+  a.AppendOrderPreserving(&ia);
+  b.AppendOrderPreserving(&ib);
+  return Slice(ia).Compare(Slice(ib));
+}
+
+}  // namespace
+
+Result<Database::ResolvedPath> Database::ResolveOqlPath(
+    ClassId from, const OqlPath& path) const {
+  ResolvedPath out;
+  ClassId current = from;
+  for (size_t i = 0; i < path.steps.size(); ++i) {
+    Result<RefEdge> edge = schema_.FindReference(current, path.steps[i]);
+    if (edge.ok()) {
+      out.refs.push_back(path.steps[i]);
+      current = edge.value().target;
+      out.classes.push_back(current);
+      continue;
+    }
+    if (i + 1 == path.steps.size()) {
+      out.attr = path.steps[i];  // Terminal attribute.
+      return out;
+    }
+    return Status::InvalidArgument("'" + path.steps[i] +
+                                   "' is not a reference of " +
+                                   schema_.NameOf(current));
+  }
+  return out;  // Pure reference path (IS conditions).
+}
+
+Status Database::BoundsFor(const OqlCondition& cond, Value* lo, Value* hi) {
+  const Value& v = cond.value1;
+  if (cond.kind == OqlCondition::Kind::kBetween) {
+    if (cond.value1.kind() != cond.value2.kind()) {
+      return Status::InvalidArgument("BETWEEN operand kind mismatch");
+    }
+    *lo = cond.value1;
+    *hi = cond.value2;
+    return Status::OK();
+  }
+  if (cond.kind != OqlCondition::Kind::kCompare) {
+    return Status::InvalidArgument("no range for this condition");
+  }
+  if (cond.op == "=") {
+    *lo = v;
+    *hi = v;
+    return Status::OK();
+  }
+  if (v.kind() != Value::Kind::kInt) {
+    // Open-ended string ranges are not expressible as inclusive bounds
+    // here; the caller falls back to traversal for them.
+    return Status::NotSupported("ordered comparison on non-int value");
+  }
+  const int64_t x = v.AsInt();
+  if (cond.op == "<") {
+    if (x == INT64_MIN) return Status::InvalidArgument("empty range");
+    *lo = Value::Int(INT64_MIN);
+    *hi = Value::Int(x - 1);
+  } else if (cond.op == "<=") {
+    *lo = Value::Int(INT64_MIN);
+    *hi = Value::Int(x);
+  } else if (cond.op == ">") {
+    if (x == INT64_MAX) return Status::InvalidArgument("empty range");
+    *lo = Value::Int(x + 1);
+    *hi = Value::Int(INT64_MAX);
+  } else if (cond.op == ">=") {
+    *lo = Value::Int(x);
+    *hi = Value::Int(INT64_MAX);
+  } else {
+    return Status::InvalidArgument("unknown operator " + cond.op);
+  }
+  return Status::OK();
+}
+
+Result<bool> Database::EvalOqlCondition(
+    Oid oid, const OqlCondition& cond,
+    const ResolvedPath& resolved) const {
+  // Recursive any-semantics walk over the reference steps.
+  struct Walker {
+    const Database* db;
+    const OqlCondition* cond;
+    const ResolvedPath* resolved;
+
+    Result<bool> AtEnd(Oid target) const {
+      if (cond->kind == OqlCondition::Kind::kIs) {
+        Result<const Object*> obj = db->store_.Get(target);
+        if (!obj.ok()) return false;
+        Result<ClassId> cls =
+            db->schema_.FindClass(cond->class_ref.name);
+        if (!cls.ok()) return cls.status();
+        return cond->class_ref.with_subclasses
+                   ? db->schema_.IsSubclassOf(obj.value()->cls, cls.value())
+                   : obj.value()->cls == cls.value();
+      }
+      // Value condition: compare the terminal attribute.
+      Result<const Object*> obj = db->store_.Get(target);
+      if (!obj.ok()) return false;
+      const Value* attr = obj.value()->FindAttr(resolved->attr);
+      if (attr == nullptr) return false;
+      switch (cond->kind) {
+        case OqlCondition::Kind::kCompare: {
+          if (attr->kind() != cond->value1.kind()) return false;
+          const int c = CompareValues(*attr, cond->value1);
+          if (cond->op == "=") return c == 0;
+          if (cond->op == "<") return c < 0;
+          if (cond->op == "<=") return c <= 0;
+          if (cond->op == ">") return c > 0;
+          if (cond->op == ">=") return c >= 0;
+          return Status::InvalidArgument("unknown operator " + cond->op);
+        }
+        case OqlCondition::Kind::kBetween:
+          if (attr->kind() != cond->value1.kind()) return false;
+          return CompareValues(*attr, cond->value1) >= 0 &&
+                 CompareValues(*attr, cond->value2) <= 0;
+        case OqlCondition::Kind::kIn: {
+          for (const Value& v : cond->values) {
+            if (attr->kind() == v.kind() && *attr == v) return true;
+          }
+          return false;
+        }
+        case OqlCondition::Kind::kIs:
+          return Status::InvalidArgument("unreachable");
+      }
+      return false;
+    }
+
+    Result<bool> Walk(Oid current, size_t step) const {
+      if (step == resolved->refs.size()) return AtEnd(current);
+      Result<const Object*> obj = db->store_.Get(current);
+      if (!obj.ok()) return false;
+      const Value* ref = obj.value()->FindAttr(resolved->refs[step]);
+      if (ref == nullptr) return false;
+      if (ref->kind() == Value::Kind::kRef) {
+        return Walk(ref->AsRef(), step + 1);
+      }
+      if (ref->kind() == Value::Kind::kRefSet) {
+        for (const Oid t : ref->AsRefSet()) {
+          Result<bool> hit = Walk(t, step + 1);
+          if (!hit.ok()) return hit;
+          if (hit.value()) return true;
+        }
+        return false;
+      }
+      return false;
+    }
+  };
+  return Walker{this, &cond, &resolved}.Walk(oid, 0);
+}
+
+Result<Database::OqlResult> Database::ExecuteOql(const std::string& oql) const {
+  Result<OqlQuery> parsed = ParseOql(oql);
+  if (!parsed.ok()) return parsed.status();
+  const OqlQuery& q = parsed.value();
+
+  Result<ClassId> from = schema_.FindClass(q.from.name);
+  if (!from.ok()) return from.status();
+
+  // Resolve every condition path up front.
+  std::vector<ResolvedPath> resolved(q.conditions.size());
+  for (size_t i = 0; i < q.conditions.size(); ++i) {
+    Result<ResolvedPath> r = ResolveOqlPath(from.value(),
+                                            q.conditions[i].path);
+    if (!r.ok()) return r.status();
+    resolved[i] = std::move(r).value();
+    const bool is_value_cond =
+        q.conditions[i].kind != OqlCondition::Kind::kIs;
+    if (is_value_cond && resolved[i].attr.empty()) {
+      return Status::InvalidArgument(
+          "value condition must end in an attribute");
+    }
+    if (!is_value_cond && !resolved[i].attr.empty()) {
+      return Status::InvalidArgument(
+          "'" + resolved[i].attr + "' is not a reference (IS needs a "
+          "reference path)");
+    }
+  }
+
+  OqlResult out;
+  std::vector<bool> consumed(q.conditions.size(), false);
+
+  // --- Try to drive through a registered U-index. ---
+  for (size_t ci = 0; ci < q.conditions.size() && !out.used_index; ++ci) {
+    const OqlCondition& cond = q.conditions[ci];
+    if (cond.kind == OqlCondition::Kind::kIs) continue;
+
+    Value lo, hi;
+    std::vector<Value> values;
+    if (cond.kind == OqlCondition::Kind::kIn) {
+      values = cond.values;
+    } else if (!BoundsFor(cond, &lo, &hi).ok()) {
+      continue;  // Not index-expressible; may still drive via another cond.
+    }
+
+    for (const auto& index : indexes_) {
+      const PathSpec& spec = index->spec();
+      if (spec.indexed_attr != resolved[ci].attr) continue;
+      if (spec.ref_attrs != resolved[ci].refs) continue;
+      const Value& probe = cond.kind == OqlCondition::Kind::kIn
+                               ? cond.values.front()
+                               : cond.value1;
+      if (spec.value_kind != probe.kind()) continue;
+      const bool head_fits =
+          spec.include_subclasses
+              ? schema_.IsSubclassOf(from.value(), spec.classes[0])
+              : from.value() == spec.classes[0];
+      if (!head_fits) continue;
+
+      // Build the index query: components tail -> head.
+      Query iq;
+      if (cond.kind == OqlCondition::Kind::kIn) {
+        iq.values = values;
+      } else {
+        iq.lo = lo;
+        iq.hi = hi;
+      }
+      const size_t length = spec.Length();
+      for (size_t key_pos = 0; key_pos < length; ++key_pos) {
+        const size_t head_pos = length - 1 - key_pos;  // 0 = FROM class.
+        QueryComponent comp;
+        if (head_pos == 0) {
+          comp.selector.include.push_back(
+              {from.value(), q.from.with_subclasses});
+          comp.slot = ValueSlot::Wanted();
+        } else {
+          // Push down the first unconsumed IS condition whose reference
+          // chain reaches exactly this position.
+          for (size_t oi = 0; oi < q.conditions.size(); ++oi) {
+            if (consumed[oi] ||
+                q.conditions[oi].kind != OqlCondition::Kind::kIs) {
+              continue;
+            }
+            if (resolved[oi].refs.size() != head_pos) continue;
+            if (!std::equal(resolved[oi].refs.begin(),
+                            resolved[oi].refs.end(),
+                            spec.ref_attrs.begin())) {
+              continue;
+            }
+            Result<ClassId> is_cls =
+                schema_.FindClass(q.conditions[oi].class_ref.name);
+            if (!is_cls.ok()) return is_cls.status();
+            comp.selector.include.push_back(
+                {is_cls.value(),
+                 q.conditions[oi].class_ref.with_subclasses});
+            consumed[oi] = true;
+            break;
+          }
+        }
+        iq.components.push_back(std::move(comp));
+      }
+
+      Result<QueryResult> r = index->Parscan(iq);
+      if (!r.ok()) return r.status();
+      out.oids = r.value().Distinct(length - 1);
+      out.used_index = true;
+      consumed[ci] = true;
+      out.plan = "U-index on " + schema_.NameOf(spec.classes[0]) + "." +
+                 spec.indexed_attr + " (path length " +
+                 std::to_string(length) + ")";
+      break;
+    }
+  }
+
+  if (!out.used_index) {
+    out.oids = q.from.with_subclasses ? store_.DeepExtentOf(from.value())
+                                      : store_.ExtentOf(from.value());
+    std::sort(out.oids.begin(), out.oids.end());
+    out.plan = "extent traversal over " + q.from.name;
+  }
+
+  // --- Post-filter with the remaining conditions by traversal. ---
+  std::vector<Oid> filtered;
+  for (const Oid oid : out.oids) {
+    bool keep = true;
+    for (size_t ci = 0; keep && ci < q.conditions.size(); ++ci) {
+      if (consumed[ci]) continue;
+      Result<bool> hit = EvalOqlCondition(oid, q.conditions[ci],
+                                          resolved[ci]);
+      if (!hit.ok()) return hit.status();
+      keep = hit.value();
+    }
+    if (keep) filtered.push_back(oid);
+  }
+  out.oids = std::move(filtered);
+  out.count = out.oids.size();
+  if (q.count_only) {
+    out.oids.clear();
+  } else if (q.limit != 0 && out.oids.size() > q.limit) {
+    out.oids.resize(q.limit);
+  }
+  return out;
+}
+
+}  // namespace uindex

@@ -1,0 +1,151 @@
+#include "objects/object.h"
+
+#include "util/coding.h"
+
+namespace uindex {
+
+void Value::AppendOrderPreserving(std::string* dst) const {
+  switch (kind_) {
+    case Kind::kNull:
+      break;
+    case Kind::kInt:
+      // Flipping the sign bit maps int64 order onto unsigned order.
+      PutBigEndian64(dst,
+                     static_cast<uint64_t>(int_) ^ 0x8000000000000000ull);
+      break;
+    case Kind::kString:
+      dst->append(str_);
+      break;
+    case Kind::kRef:
+      PutBigEndian32(dst, static_cast<Oid>(int_));
+      break;
+    case Kind::kRefSet:
+      for (Oid oid : refs_) PutBigEndian32(dst, oid);
+      break;
+  }
+}
+
+std::string Value::DebugString() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kInt:
+      return std::to_string(int_);
+    case Kind::kString:
+      return "\"" + str_ + "\"";
+    case Kind::kRef:
+      return "ref(" + std::to_string(int_) + ")";
+    case Kind::kRefSet: {
+      std::string out = "refs(";
+      for (size_t i = 0; i < refs_.size(); ++i) {
+        if (i > 0) out += ",";
+        out += std::to_string(refs_[i]);
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.kind_ != b.kind_) return false;
+  switch (a.kind_) {
+    case Value::Kind::kNull:
+      return true;
+    case Value::Kind::kInt:
+    case Value::Kind::kRef:
+      return a.int_ == b.int_;
+    case Value::Kind::kString:
+      return a.str_ == b.str_;
+    case Value::Kind::kRefSet:
+      return a.refs_ == b.refs_;
+  }
+  return false;
+}
+
+
+namespace {
+
+// Value wire tags.
+constexpr uint8_t kNullTag = 0;
+constexpr uint8_t kIntTag = 1;
+constexpr uint8_t kStringTag = 2;
+constexpr uint8_t kRefTag = 3;
+constexpr uint8_t kRefSetTag = 4;
+
+}  // namespace
+
+void AppendValueTo(const Value& v, std::string* out) {
+  switch (v.kind()) {
+    case Value::Kind::kNull:
+      out->push_back(static_cast<char>(kNullTag));
+      break;
+    case Value::Kind::kInt:
+      out->push_back(static_cast<char>(kIntTag));
+      PutFixed64(out, static_cast<uint64_t>(v.AsInt()));
+      break;
+    case Value::Kind::kString:
+      out->push_back(static_cast<char>(kStringTag));
+      PutFixed32(out, static_cast<uint32_t>(v.AsString().size()));
+      out->append(v.AsString());
+      break;
+    case Value::Kind::kRef:
+      out->push_back(static_cast<char>(kRefTag));
+      PutFixed32(out, v.AsRef());
+      break;
+    case Value::Kind::kRefSet:
+      out->push_back(static_cast<char>(kRefSetTag));
+      PutFixed32(out, static_cast<uint32_t>(v.AsRefSet().size()));
+      for (const Oid oid : v.AsRefSet()) PutFixed32(out, oid);
+      break;
+  }
+}
+
+Result<Value> ReadValueFrom(const Slice& blob, size_t* pos) {
+  auto need = [&blob, pos](size_t n) {
+    return *pos + n <= blob.size();
+  };
+  if (!need(1)) return Status::Corruption("truncated value");
+  const uint8_t tag = static_cast<uint8_t>(blob[(*pos)++]);
+  switch (tag) {
+    case kNullTag:
+      return Value();
+    case kIntTag: {
+      if (!need(8)) return Status::Corruption("truncated int");
+      const uint64_t raw = DecodeFixed64(blob.data() + *pos);
+      *pos += 8;
+      return Value::Int(static_cast<int64_t>(raw));
+    }
+    case kStringTag: {
+      if (!need(4)) return Status::Corruption("truncated string len");
+      const uint32_t len = DecodeFixed32(blob.data() + *pos);
+      *pos += 4;
+      if (!need(len)) return Status::Corruption("truncated string");
+      std::string s(blob.data() + *pos, len);
+      *pos += len;
+      return Value::Str(std::move(s));
+    }
+    case kRefTag: {
+      if (!need(4)) return Status::Corruption("truncated ref");
+      const Oid oid = DecodeFixed32(blob.data() + *pos);
+      *pos += 4;
+      return Value::Ref(oid);
+    }
+    case kRefSetTag: {
+      if (!need(4)) return Status::Corruption("truncated refset len");
+      const uint32_t count = DecodeFixed32(blob.data() + *pos);
+      *pos += 4;
+      if (!need(4ull * count)) return Status::Corruption("truncated refset");
+      std::vector<Oid> oids(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        oids[i] = DecodeFixed32(blob.data() + *pos + 4ull * i);
+      }
+      *pos += 4ull * count;
+      return Value::RefSet(std::move(oids));
+    }
+    default:
+      return Status::Corruption("bad value tag");
+  }
+}
+
+}  // namespace uindex

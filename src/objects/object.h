@@ -1,0 +1,99 @@
+#ifndef UINDEX_OBJECTS_OBJECT_H_
+#define UINDEX_OBJECTS_OBJECT_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "schema/schema.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace uindex {
+
+/// Object identifier. The paper's experiments use 4-byte OIDs; so do we.
+using Oid = uint32_t;
+
+constexpr Oid kInvalidOid = 0;
+
+/// A typed attribute value: null, integer, string, a single object
+/// reference, or a set of references (multi-valued attribute, paper §4.3).
+class Value {
+ public:
+  enum class Kind { kNull, kInt, kString, kRef, kRefSet };
+
+  Value() : kind_(Kind::kNull) {}
+
+  static Value Int(int64_t v) {
+    Value out;
+    out.kind_ = Kind::kInt;
+    out.int_ = v;
+    return out;
+  }
+  static Value Str(std::string v) {
+    Value out;
+    out.kind_ = Kind::kString;
+    out.str_ = std::move(v);
+    return out;
+  }
+  static Value Ref(Oid oid) {
+    Value out;
+    out.kind_ = Kind::kRef;
+    out.int_ = oid;
+    return out;
+  }
+  static Value RefSet(std::vector<Oid> oids) {
+    Value out;
+    out.kind_ = Kind::kRefSet;
+    out.refs_ = std::move(oids);
+    return out;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  int64_t AsInt() const { return int_; }
+  const std::string& AsString() const { return str_; }
+  Oid AsRef() const { return static_cast<Oid>(int_); }
+  const std::vector<Oid>& AsRefSet() const { return refs_; }
+
+  /// Appends a byte encoding whose memcmp order equals the logical order
+  /// (within one kind). Integers flip the sign bit and go big-endian;
+  /// strings append their bytes (strings used as index keys must not
+  /// contain NUL). Used as the attribute-value head of every index key.
+  void AppendOrderPreserving(std::string* dst) const;
+
+  std::string DebugString() const;
+
+  friend bool operator==(const Value& a, const Value& b);
+
+ private:
+  Kind kind_;
+  int64_t int_ = 0;
+  std::string str_;
+  std::vector<Oid> refs_;
+};
+
+bool operator==(const Value& a, const Value& b);
+
+/// Wire codec for values (tagged, length-prefixed), shared by the object
+/// store serialization and the database journal.
+void AppendValueTo(const Value& v, std::string* out);
+Result<Value> ReadValueFrom(const Slice& blob, size_t* pos);
+
+/// One database object: identity, class, and attribute values.
+struct Object {
+  Oid oid = kInvalidOid;
+  ClassId cls = kInvalidClassId;
+  std::unordered_map<std::string, Value> attrs;
+
+  const Value* FindAttr(const std::string& name) const {
+    auto it = attrs.find(name);
+    return it == attrs.end() ? nullptr : &it->second;
+  }
+};
+
+}  // namespace uindex
+
+#endif  // UINDEX_OBJECTS_OBJECT_H_

@@ -1,0 +1,206 @@
+#include "objects/object_store.h"
+
+#include <algorithm>
+
+#include "util/coding.h"
+
+namespace uindex {
+
+Result<Oid> ObjectStore::Create(ClassId cls) {
+  if (!schema_->IsValidClass(cls)) {
+    return Status::InvalidArgument("bad class id");
+  }
+  const Oid oid = next_oid_++;
+  Object obj;
+  obj.oid = oid;
+  obj.cls = cls;
+  objects_[oid] = std::move(obj);
+  if (extents_.size() <= cls) extents_.resize(schema_->class_count());
+  extents_[cls].push_back(oid);
+  ++live_count_;
+  return oid;
+}
+
+Status ObjectStore::SetAttr(Oid oid, const std::string& name, Value value) {
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) return Status::NotFound("oid");
+  Value& slot = it->second.attrs[name];
+  RemoveReverse(oid, name, slot);
+  AddReverse(oid, name, value);
+  slot = std::move(value);
+  return Status::OK();
+}
+
+Result<const Object*> ObjectStore::Get(Oid oid) const {
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) return Status::NotFound("oid");
+  return &it->second;
+}
+
+bool ObjectStore::Exists(Oid oid) const { return objects_.count(oid) != 0; }
+
+Status ObjectStore::Delete(Oid oid) {
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) return Status::NotFound("oid");
+  for (const auto& [name, value] : it->second.attrs) {
+    RemoveReverse(oid, name, value);
+  }
+  auto& extent = extents_[it->second.cls];
+  extent.erase(std::remove(extent.begin(), extent.end(), oid), extent.end());
+  objects_.erase(it);
+  --live_count_;
+  return Status::OK();
+}
+
+const std::vector<Oid>& ObjectStore::ExtentOf(ClassId cls) const {
+  static const std::vector<Oid> kEmpty;
+  if (cls >= extents_.size()) return kEmpty;
+  return extents_[cls];
+}
+
+std::vector<Oid> ObjectStore::DeepExtentOf(ClassId cls) const {
+  std::vector<Oid> out;
+  for (const ClassId c : schema_->SubtreeOf(cls)) {
+    const auto& extent = ExtentOf(c);
+    out.insert(out.end(), extent.begin(), extent.end());
+  }
+  return out;
+}
+
+Result<Oid> ObjectStore::Deref(Oid oid, const std::string& attr) const {
+  Result<const Object*> obj = Get(oid);
+  if (!obj.ok()) return obj.status();
+  const Value* value = obj.value()->FindAttr(attr);
+  if (value == nullptr || value->is_null()) {
+    return Status::NotFound("attribute " + attr + " unset");
+  }
+  if (value->kind() != Value::Kind::kRef) {
+    return Status::InvalidArgument("attribute " + attr +
+                                   " is not a single-valued reference");
+  }
+  return value->AsRef();
+}
+
+std::vector<Oid> ObjectStore::ReferrersOf(Oid target,
+                                          const std::string& attr) const {
+  auto it = referrers_.find({target, attr});
+  if (it == referrers_.end()) return {};
+  return it->second;
+}
+
+std::string ObjectStore::Serialize() const {
+  // Layout: next_oid u32 ∥ count u64 ∥ per object (ascending oid):
+  //   oid u32 ∥ class u32 ∥ attr_count u32 ∥
+  //   per attr: name_len u32 ∥ name ∥ value.
+  std::string out;
+  PutFixed32(&out, next_oid_);
+  PutFixed64(&out, live_count_);
+  std::vector<Oid> oids;
+  oids.reserve(objects_.size());
+  for (const auto& [oid, obj] : objects_) {
+    (void)obj;
+    oids.push_back(oid);
+  }
+  std::sort(oids.begin(), oids.end());
+  for (const Oid oid : oids) {
+    const Object& obj = objects_.at(oid);
+    PutFixed32(&out, oid);
+    PutFixed32(&out, obj.cls);
+    PutFixed32(&out, static_cast<uint32_t>(obj.attrs.size()));
+    // Deterministic attribute order.
+    std::vector<const std::string*> names;
+    for (const auto& [name, value] : obj.attrs) {
+      (void)value;
+      names.push_back(&name);
+    }
+    std::sort(names.begin(), names.end(),
+              [](const std::string* a, const std::string* b) {
+                return *a < *b;
+              });
+    for (const std::string* name : names) {
+      PutFixed32(&out, static_cast<uint32_t>(name->size()));
+      out.append(*name);
+      AppendValueTo(obj.attrs.at(*name), &out);
+    }
+  }
+  return out;
+}
+
+Status ObjectStore::Deserialize(const Slice& blob) {
+  if (live_count_ != 0) {
+    return Status::InvalidArgument("store not empty");
+  }
+  size_t pos = 0;
+  if (blob.size() < 12) return Status::Corruption("truncated store blob");
+  const Oid next_oid = DecodeFixed32(blob.data());
+  const uint64_t count = DecodeFixed64(blob.data() + 4);
+  pos = 12;
+  for (uint64_t i = 0; i < count; ++i) {
+    if (pos + 12 > blob.size()) {
+      return Status::Corruption("truncated object header");
+    }
+    const Oid oid = DecodeFixed32(blob.data() + pos);
+    const ClassId cls = DecodeFixed32(blob.data() + pos + 4);
+    const uint32_t attr_count = DecodeFixed32(blob.data() + pos + 8);
+    pos += 12;
+    if (!schema_->IsValidClass(cls)) {
+      return Status::Corruption("unknown class in store blob");
+    }
+    Object obj;
+    obj.oid = oid;
+    obj.cls = cls;
+    for (uint32_t a = 0; a < attr_count; ++a) {
+      if (pos + 4 > blob.size()) {
+        return Status::Corruption("truncated attr name len");
+      }
+      const uint32_t name_len = DecodeFixed32(blob.data() + pos);
+      pos += 4;
+      if (pos + name_len > blob.size()) {
+        return Status::Corruption("truncated attr name");
+      }
+      std::string name(blob.data() + pos, name_len);
+      pos += name_len;
+      Result<Value> value = ReadValueFrom(blob, &pos);
+      if (!value.ok()) return value.status();
+      AddReverse(oid, name, value.value());
+      obj.attrs[std::move(name)] = std::move(value).value();
+    }
+    if (extents_.size() < schema_->class_count()) {
+      extents_.resize(schema_->class_count());
+    }
+    extents_[cls].push_back(oid);
+    objects_[oid] = std::move(obj);
+    ++live_count_;
+  }
+  next_oid_ = next_oid;
+  return Status::OK();
+}
+
+void ObjectStore::AddReverse(Oid source, const std::string& attr,
+                             const Value& value) {
+  if (value.kind() == Value::Kind::kRef) {
+    referrers_[{value.AsRef(), attr}].push_back(source);
+  } else if (value.kind() == Value::Kind::kRefSet) {
+    for (Oid target : value.AsRefSet()) {
+      referrers_[{target, attr}].push_back(source);
+    }
+  }
+}
+
+void ObjectStore::RemoveReverse(Oid source, const std::string& attr,
+                                const Value& value) {
+  auto drop = [this, source, &attr](Oid target) {
+    auto it = referrers_.find({target, attr});
+    if (it == referrers_.end()) return;
+    auto& v = it->second;
+    v.erase(std::remove(v.begin(), v.end(), source), v.end());
+    if (v.empty()) referrers_.erase(it);
+  };
+  if (value.kind() == Value::Kind::kRef) {
+    drop(value.AsRef());
+  } else if (value.kind() == Value::Kind::kRefSet) {
+    for (Oid target : value.AsRefSet()) drop(target);
+  }
+}
+
+}  // namespace uindex

@@ -1,0 +1,83 @@
+#ifndef UINDEX_OBJECTS_OBJECT_STORE_H_
+#define UINDEX_OBJECTS_OBJECT_STORE_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "objects/object.h"
+#include "schema/schema.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace uindex {
+
+/// In-memory extent manager: owns all objects, tracks per-class extents and
+/// reverse references (who points at whom through which attribute).
+///
+/// The reverse-reference map is what makes path-index maintenance possible:
+/// when an object in the middle of a path changes (the paper's "a President
+/// switches companies", §3.5), the affected head-of-path objects are found
+/// by walking referrers.
+class ObjectStore {
+ public:
+  explicit ObjectStore(const Schema* schema) : schema_(schema) {}
+
+  ObjectStore(const ObjectStore&) = delete;
+  ObjectStore& operator=(const ObjectStore&) = delete;
+
+  const Schema& schema() const { return *schema_; }
+
+  /// Creates an object of `cls` and returns its oid (oids start at 1).
+  Result<Oid> Create(ClassId cls);
+
+  /// Sets (or overwrites) an attribute. Reference values update the
+  /// reverse-reference map.
+  Status SetAttr(Oid oid, const std::string& name, Value value);
+
+  Result<const Object*> Get(Oid oid) const;
+  bool Exists(Oid oid) const;
+
+  /// Removes the object and its outgoing reverse-reference entries. The
+  /// caller is responsible for index maintenance *before* deleting.
+  Status Delete(Oid oid);
+
+  /// Direct instances of `cls` (not of its subclasses), in creation order.
+  const std::vector<Oid>& ExtentOf(ClassId cls) const;
+
+  /// Instances of `cls` and all of its subclasses, in hierarchy preorder
+  /// then creation order.
+  std::vector<Oid> DeepExtentOf(ClassId cls) const;
+
+  /// Follows a single-valued reference attribute; NotFound if unset.
+  Result<Oid> Deref(Oid oid, const std::string& attr) const;
+
+  /// Objects whose `attr` references `target` (any multiplicity).
+  std::vector<Oid> ReferrersOf(Oid target, const std::string& attr) const;
+
+  uint64_t size() const { return live_count_; }
+
+  /// Serializes every live object (oids, classes, attributes) to a byte
+  /// blob; `Deserialize` restores it into an empty store over an
+  /// equivalent schema. Reverse references and extents are rebuilt.
+  std::string Serialize() const;
+  Status Deserialize(const Slice& blob);
+
+ private:
+  void AddReverse(Oid source, const std::string& attr, const Value& value);
+  void RemoveReverse(Oid source, const std::string& attr,
+                     const Value& value);
+
+  const Schema* schema_;
+  std::unordered_map<Oid, Object> objects_;
+  std::vector<std::vector<Oid>> extents_;  // indexed by ClassId
+  // (target oid, attribute) -> sources referencing it.
+  std::map<std::pair<Oid, std::string>, std::vector<Oid>> referrers_;
+  Oid next_oid_ = 1;
+  uint64_t live_count_ = 0;
+};
+
+}  // namespace uindex
+
+#endif  // UINDEX_OBJECTS_OBJECT_STORE_H_

@@ -1,0 +1,57 @@
+#include "schema/class_code.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace uindex {
+
+namespace {
+
+// Non-'Z' token tail characters, in lexicographic order.
+constexpr char kTailChars[] = "123456789ABCDEFGHIJKLMNOPQRSTUVWXY";
+constexpr size_t kTailCount = sizeof(kTailChars) - 1;  // 34
+
+bool IsTailChar(char c) {
+  return (c >= '1' && c <= '9') || (c >= 'A' && c <= 'Y');
+}
+
+}  // namespace
+
+std::string TokenForIndex(size_t index) {
+  std::string token(index / kTailCount, 'Z');
+  token.push_back(kTailChars[index % kTailCount]);
+  return token;
+}
+
+size_t IndexForToken(const Slice& token) {
+  if (token.empty()) return SIZE_MAX;
+  size_t z = 0;
+  while (z < token.size() && token[z] == 'Z') ++z;
+  if (z + 1 != token.size() || !IsTailChar(token[z])) return SIZE_MAX;
+  const char tail = token[z];
+  const size_t tail_index = tail <= '9'
+                                ? static_cast<size_t>(tail - '1')
+                                : 9 + static_cast<size_t>(tail - 'A');
+  return z * kTailCount + tail_index;
+}
+
+size_t FirstTokenLength(const Slice& code) {
+  size_t i = 0;
+  while (i < code.size() && code[i] == 'Z') ++i;
+  if (i < code.size() && IsTailChar(code[i])) return i + 1;
+  return 0;
+}
+
+bool CodeIsSelfOrDescendant(const Slice& code, const Slice& ancestor) {
+  return code.StartsWith(ancestor);
+}
+
+std::string SubtreeUpperBound(const Slice& code) {
+  assert(!code.empty());
+  std::string bound = code.ToString();
+  // Token characters are all below 0x7F, so the increment never wraps.
+  ++bound.back();
+  return bound;
+}
+
+}  // namespace uindex

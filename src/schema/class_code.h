@@ -1,0 +1,53 @@
+#ifndef UINDEX_SCHEMA_CLASS_CODE_H_
+#define UINDEX_SCHEMA_CLASS_CODE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "util/slice.h"
+
+namespace uindex {
+
+/// Tokens for class codes (the paper's `COD` relation, §3).
+///
+/// A class code is a concatenation of tokens: one token per level of the
+/// is-a hierarchy, prefixed by a leading 'C' (`Vehicle → C5`,
+/// `Automobile → C5A`, `CompactAutomobile → C5AA`). Tokens come from the
+/// sequence "1".."9", "A".."Y", "Z1".."Z9", "ZA".."ZY", "ZZ1", ... which is
+///   * unbounded (the paper: "the limit on the number of distinct letters
+///     in the alphabet ... is not a real problem"),
+///   * lexicographically increasing with its index, and
+///   * uniquely decodable (every token is Z* followed by one non-Z
+///     character), so no token — and hence no class code — is a prefix of a
+///     *sibling's* code; prefix-ness coincides exactly with is-a descent.
+///
+/// The '$' separator used between a code and an oid in index keys sorts
+/// below every token character ('$' = 0x24 < '1' = 0x31 < 'A' = 0x41),
+/// which gives the paper's clustering: all entries of class C precede the
+/// entries of C's first subclass.
+constexpr char kCodeOidSeparator = '$';
+
+/// The i-th token (0-based) in the token sequence above.
+std::string TokenForIndex(size_t index);
+
+/// Inverse of TokenForIndex: the sequence index of a well-formed token, or
+/// SIZE_MAX for malformed input.
+size_t IndexForToken(const Slice& token);
+
+/// Number of leading bytes of `code` forming its first token, or 0 if the
+/// bytes do not start with a well-formed token.
+size_t FirstTokenLength(const Slice& code);
+
+/// True if `code` denotes `ancestor` itself or a descendant of it (i.e.
+/// `ancestor`'s token sequence is a prefix of `code`'s). Because tokens are
+/// uniquely decodable this is plain byte-prefix testing.
+bool CodeIsSelfOrDescendant(const Slice& code, const Slice& ancestor);
+
+/// The exclusive upper bound of the code range covering `code` and all of
+/// its descendants: `code` with its last byte incremented. Every string in
+/// [code, bound) starts with `code`.
+std::string SubtreeUpperBound(const Slice& code);
+
+}  // namespace uindex
+
+#endif  // UINDEX_SCHEMA_CLASS_CODE_H_

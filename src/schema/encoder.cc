@@ -1,0 +1,192 @@
+#include "schema/encoder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+
+namespace uindex {
+
+Result<ClassCoder> ClassCoder::Assign(
+    const Schema& schema, const std::vector<size_t>& ignored_edges) {
+  Result<std::vector<ClassId>> order =
+      schema.TopologicalRootOrder(ignored_edges);
+  if (!order.ok()) return order.status();
+
+  ClassCoder coder;
+  for (const ClassId root : order.value()) {
+    std::string root_code = "C";
+    root_code += TokenForIndex(coder.next_root_index_++);
+    // Preorder DFS assigns child tokens in declaration order, giving the
+    // paper's C5 / C5A / C5AA / C5B layout.
+    struct Frame {
+      ClassId cls;
+      std::string code;
+    };
+    std::vector<Frame> stack = {{root, root_code}};
+    while (!stack.empty()) {
+      Frame frame = std::move(stack.back());
+      stack.pop_back();
+      coder.code_of_[frame.cls] = frame.code;
+      coder.class_of_[frame.code] = frame.cls;
+      const auto& kids = schema.SubclassesOf(frame.cls);
+      // Tokens are handed out in declaration order; push in reverse so the
+      // stack pops them in order (cosmetic — codes are order-correct either
+      // way).
+      for (size_t i = kids.size(); i > 0; --i) {
+        stack.push_back(
+            {kids[i - 1], frame.code + TokenForIndex(9 + (i - 1))});
+        coder.next_child_index_[frame.cls] = kids.size();
+      }
+    }
+  }
+  return coder;
+}
+
+Result<ClassCoder> ClassCoder::FromAssignments(
+    const std::vector<std::pair<ClassId, std::string>>& assignments) {
+  ClassCoder coder;
+  for (const auto& [cls, code] : assignments) {
+    if (code.size() < 2 || code[0] != 'C') {
+      return Status::InvalidArgument("malformed class code: " + code);
+    }
+    if (coder.code_of_.count(cls) != 0 ||
+        coder.class_of_.count(code) != 0) {
+      return Status::InvalidArgument("duplicate assignment: " + code);
+    }
+    coder.code_of_[cls] = code;
+    coder.class_of_[code] = cls;
+  }
+  // Recover allocation state: for every code, its last token bumps the
+  // parent's next-child counter (or the root counter).
+  for (const auto& [cls, code] : coder.code_of_) {
+    (void)cls;
+    // Split off the last token: walk tokens from position 1 (after 'C').
+    size_t pos = 1;
+    size_t last_start = 1;
+    while (pos < code.size()) {
+      const size_t len =
+          FirstTokenLength(Slice(code.data() + pos, code.size() - pos));
+      if (len == 0) {
+        return Status::InvalidArgument("undecodable class code: " + code);
+      }
+      last_start = pos;
+      pos += len;
+    }
+    const Slice last_token(code.data() + last_start,
+                           code.size() - last_start);
+    const size_t token_index = IndexForToken(last_token);
+    if (token_index == SIZE_MAX) {
+      return Status::InvalidArgument("bad token in class code: " + code);
+    }
+    if (last_start == 1) {
+      coder.next_root_index_ =
+          std::max(coder.next_root_index_, token_index + 1);
+    } else {
+      const std::string parent_code = code.substr(0, last_start);
+      auto parent = coder.class_of_.find(parent_code);
+      if (parent == coder.class_of_.end()) {
+        return Status::InvalidArgument("orphan class code: " + code);
+      }
+      // Child tokens start at index 9 ("A").
+      if (token_index < 9) {
+        return Status::InvalidArgument("non-child token in code: " + code);
+      }
+      size_t& next = coder.next_child_index_[parent->second];
+      next = std::max(next, token_index - 9 + 1);
+    }
+  }
+  return coder;
+}
+
+const std::string& ClassCoder::CodeOf(ClassId cls) const {
+  auto it = code_of_.find(cls);
+  assert(it != code_of_.end() && "class has no code; call AssignNewClass");
+  return it->second;
+}
+
+Result<ClassId> ClassCoder::ClassOf(const Slice& code) const {
+  auto it = class_of_.find(code.ToString());
+  if (it == class_of_.end()) {
+    return Status::NotFound("code " + code.ToString());
+  }
+  return it->second;
+}
+
+bool ClassCoder::HasCode(ClassId cls) const {
+  return code_of_.count(cls) != 0;
+}
+
+std::string ClassCoder::SubtreeUpperBoundOf(ClassId cls) const {
+  return SubtreeUpperBound(Slice(CodeOf(cls)));
+}
+
+std::string ClassCoder::NextChildToken(ClassId parent) {
+  // Child tokens start at index 9 ("A"), matching the paper's letters.
+  const size_t index = next_child_index_[parent]++;
+  return TokenForIndex(9 + index);
+}
+
+Status ClassCoder::AssignNewClass(const Schema& schema, ClassId cls) {
+  if (HasCode(cls)) {
+    return Status::AlreadyExists("class already coded: " +
+                                 schema.NameOf(cls));
+  }
+  const ClassId parent = schema.SuperclassOf(cls);
+  std::string code;
+  if (parent == kInvalidClassId) {
+    // New hierarchy: appended after all existing roots (paper Fig. 4b). If
+    // new REF edges require it to sort earlier, Verify will flag the need
+    // for a re-encode.
+    code = "C";
+    code += TokenForIndex(next_root_index_++);
+  } else {
+    if (!HasCode(parent)) {
+      return Status::InvalidArgument("parent not coded yet: " +
+                                     schema.NameOf(parent));
+    }
+    code = code_of_[parent] + NextChildToken(parent);
+  }
+  code_of_[cls] = code;
+  class_of_[code] = cls;
+  return Status::OK();
+}
+
+Status ClassCoder::Verify(const Schema& schema,
+                          const std::vector<size_t>& ignored_edges) const {
+  // Every class must be coded.
+  for (ClassId cls = 0; cls < schema.class_count(); ++cls) {
+    if (code_of_.count(cls) == 0) {
+      return Status::InvalidArgument("class not coded: " +
+                                     schema.NameOf(cls));
+    }
+  }
+  // Hierarchy: a subclass's code must extend its parent's code.
+  for (ClassId cls = 0; cls < schema.class_count(); ++cls) {
+    const ClassId parent = schema.SuperclassOf(cls);
+    if (parent == kInvalidClassId) continue;
+    if (!CodeIsSelfOrDescendant(Slice(code_of_.at(cls)),
+                                Slice(code_of_.at(parent)))) {
+      return Status::InvalidArgument("code of " + schema.NameOf(cls) +
+                                     " does not extend its superclass");
+    }
+  }
+  // REF: referenced hierarchy sorts strictly before the referencing one.
+  const auto& refs = schema.references();
+  for (size_t e = 0; e < refs.size(); ++e) {
+    bool ignored = false;
+    for (size_t ig : ignored_edges) ignored = ignored || ig == e;
+    if (ignored) continue;
+    const std::string& target_root =
+        code_of_.at(schema.HierarchyRootOf(refs[e].target));
+    const std::string& source_root =
+        code_of_.at(schema.HierarchyRootOf(refs[e].source));
+    if (!(Slice(target_root) < Slice(source_root))) {
+      return Status::InvalidArgument(
+          "REF " + schema.NameOf(refs[e].source) + "." + refs[e].attribute +
+          " violates code order; re-encode required");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace uindex

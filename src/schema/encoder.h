@@ -1,0 +1,76 @@
+#ifndef UINDEX_SCHEMA_ENCODER_H_
+#define UINDEX_SCHEMA_ENCODER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "schema/class_code.h"
+#include "schema/schema.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace uindex {
+
+/// The `COD` relation of the paper: a bijection between classes and codes
+/// whose lexicographic order matches (a) a REF-respecting topological order
+/// of hierarchy roots and (b) preorder within each is-a hierarchy.
+///
+/// Build one with `Assign` over a whole schema; evolve it with
+/// `AssignNewClass` as classes are added (paper Fig. 4). If later schema
+/// changes (new REF edges) invalidate the order, `Verify` reports it and the
+/// index must be re-encoded — the documented trade-off of the scheme.
+class ClassCoder {
+ public:
+  /// An empty coder; fill it via Assign/FromAssignments (assignment) or
+  /// AssignNewClass.
+  ClassCoder() = default;
+
+  /// Codes every class in `schema`. REF edges at indexes in `ignored_edges`
+  /// are excluded from the ordering constraints (cycle breaking, §4.3).
+  static Result<ClassCoder> Assign(const Schema& schema,
+                                   const std::vector<size_t>& ignored_edges =
+                                       {});
+
+  /// Rebuilds a coder from persisted (class, code) assignments (e.g. a
+  /// SchemaCatalog load). Token allocation state is recovered so
+  /// AssignNewClass continues where the persisted coder left off.
+  static Result<ClassCoder> FromAssignments(
+      const std::vector<std::pair<ClassId, std::string>>& assignments);
+
+  /// Code of a class. The class must have been assigned.
+  const std::string& CodeOf(ClassId cls) const;
+
+  /// Class owning exactly `code`, or NotFound.
+  Result<ClassId> ClassOf(const Slice& code) const;
+
+  bool HasCode(ClassId cls) const;
+
+  /// Exclusive upper bound of the code range of `cls` and its descendants.
+  std::string SubtreeUpperBoundOf(ClassId cls) const;
+
+  /// Assigns a code to a class added to `schema` after this coder was
+  /// built: a subclass extends its parent's code with the next free child
+  /// token; a new hierarchy root is appended after all existing roots.
+  Status AssignNewClass(const Schema& schema, ClassId cls);
+
+  /// Re-checks that the code order still satisfies every (non-ignored) REF
+  /// constraint of `schema`; failure means a re-encode is required.
+  Status Verify(const Schema& schema,
+                const std::vector<size_t>& ignored_edges = {}) const;
+
+  /// Number of coded classes.
+  size_t size() const { return code_of_.size(); }
+
+ private:
+  std::string NextChildToken(ClassId parent);
+
+  std::unordered_map<ClassId, std::string> code_of_;
+  std::unordered_map<std::string, ClassId> class_of_;
+  std::unordered_map<ClassId, size_t> next_child_index_;
+  size_t next_root_index_ = 0;
+};
+
+}  // namespace uindex
+
+#endif  // UINDEX_SCHEMA_ENCODER_H_

@@ -1,0 +1,186 @@
+#include "schema/schema.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace uindex {
+
+Result<ClassId> Schema::AddClass(const std::string& name) {
+  if (by_name_.count(name) != 0) {
+    return Status::AlreadyExists("class " + name);
+  }
+  const ClassId id = static_cast<ClassId>(names_.size());
+  names_.push_back(name);
+  supers_.push_back(kInvalidClassId);
+  subs_.emplace_back();
+  by_name_[name] = id;
+  return id;
+}
+
+Result<ClassId> Schema::AddSubclass(const std::string& name, ClassId parent) {
+  if (!IsValidClass(parent)) {
+    return Status::InvalidArgument("bad parent class id");
+  }
+  Result<ClassId> r = AddClass(name);
+  if (!r.ok()) return r;
+  const ClassId id = r.value();
+  supers_[id] = parent;
+  subs_[parent].push_back(id);
+  return id;
+}
+
+Status Schema::AddReference(ClassId source, ClassId target,
+                            const std::string& attribute, bool multi_valued) {
+  if (!IsValidClass(source) || !IsValidClass(target)) {
+    return Status::InvalidArgument("bad class id in reference");
+  }
+  for (const RefEdge& e : refs_) {
+    if (e.source == source && e.attribute == attribute) {
+      return Status::AlreadyExists("reference " + names_[source] + "." +
+                                   attribute);
+    }
+  }
+  refs_.push_back(RefEdge{source, target, attribute, multi_valued});
+  return Status::OK();
+}
+
+Result<ClassId> Schema::FindClass(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return Status::NotFound("class " + name);
+  return it->second;
+}
+
+bool Schema::IsSubclassOf(ClassId cls, ClassId ancestor) const {
+  while (cls != kInvalidClassId) {
+    if (cls == ancestor) return true;
+    cls = supers_[cls];
+  }
+  return false;
+}
+
+ClassId Schema::HierarchyRootOf(ClassId cls) const {
+  while (supers_[cls] != kInvalidClassId) cls = supers_[cls];
+  return cls;
+}
+
+std::vector<ClassId> Schema::SubtreeOf(ClassId root) const {
+  std::vector<ClassId> out;
+  std::vector<ClassId> stack = {root};
+  while (!stack.empty()) {
+    const ClassId cls = stack.back();
+    stack.pop_back();
+    out.push_back(cls);
+    // Push children in reverse so preorder visits them in creation order.
+    const auto& kids = subs_[cls];
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return out;
+}
+
+std::vector<ClassId> Schema::HierarchyRoots() const {
+  std::vector<ClassId> roots;
+  for (ClassId id = 0; id < names_.size(); ++id) {
+    if (supers_[id] == kInvalidClassId) roots.push_back(id);
+  }
+  return roots;
+}
+
+Result<RefEdge> Schema::FindReference(ClassId source,
+                                      const std::string& attribute) const {
+  // An attribute declared on a superclass is inherited by subclasses.
+  for (ClassId cls = source; cls != kInvalidClassId; cls = supers_[cls]) {
+    for (const RefEdge& e : refs_) {
+      if (e.source == cls && e.attribute == attribute) return e;
+    }
+  }
+  return Status::NotFound("reference " + names_[source] + "." + attribute);
+}
+
+Result<std::vector<ClassId>> Schema::TopologicalRootOrder(
+    const std::vector<size_t>& ignored_edges) const {
+  const std::vector<ClassId> roots = HierarchyRoots();
+  std::unordered_map<ClassId, size_t> root_index;
+  for (size_t i = 0; i < roots.size(); ++i) root_index[roots[i]] = i;
+
+  // adj[u] lists root indexes that must come after u; Kahn's algorithm with
+  // a smallest-first tie-break keeps the order stable (creation order).
+  std::vector<std::vector<size_t>> adj(roots.size());
+  std::vector<size_t> indegree(roots.size(), 0);
+  for (size_t e = 0; e < refs_.size(); ++e) {
+    if (std::find(ignored_edges.begin(), ignored_edges.end(), e) !=
+        ignored_edges.end()) {
+      continue;
+    }
+    const size_t from = root_index.at(HierarchyRootOf(refs_[e].target));
+    const size_t to = root_index.at(HierarchyRootOf(refs_[e].source));
+    if (from == to) {
+      return Status::InvalidArgument(
+          "REF edge " + names_[refs_[e].source] + "." + refs_[e].attribute +
+          " stays within one hierarchy; break the cycle first (see "
+          "FindCycleBreakingEdges)");
+    }
+    adj[from].push_back(to);
+    ++indegree[to];
+  }
+
+  std::priority_queue<size_t, std::vector<size_t>, std::greater<>> ready;
+  for (size_t i = 0; i < roots.size(); ++i) {
+    if (indegree[i] == 0) ready.push(i);
+  }
+  std::vector<ClassId> order;
+  order.reserve(roots.size());
+  while (!ready.empty()) {
+    const size_t u = ready.top();
+    ready.pop();
+    order.push_back(roots[u]);
+    for (size_t v : adj[u]) {
+      if (--indegree[v] == 0) ready.push(v);
+    }
+  }
+  if (order.size() != roots.size()) {
+    return Status::InvalidArgument(
+        "REF relationships form a cycle between hierarchies; break it with "
+        "FindCycleBreakingEdges and encode the offenders separately");
+  }
+  return order;
+}
+
+std::vector<size_t> Schema::FindCycleBreakingEdges() const {
+  // Greedy: keep admitting edges; an edge is dropped if it would close a
+  // cycle in the admitted-edge graph (checked by reachability).
+  const std::vector<ClassId> roots = HierarchyRoots();
+  std::unordered_map<ClassId, size_t> root_index;
+  for (size_t i = 0; i < roots.size(); ++i) root_index[roots[i]] = i;
+
+  std::vector<std::vector<size_t>> adj(roots.size());
+  std::vector<size_t> dropped;
+
+  auto reaches = [&adj](size_t from, size_t to) {
+    std::vector<size_t> stack = {from};
+    std::vector<bool> seen(adj.size(), false);
+    while (!stack.empty()) {
+      const size_t u = stack.back();
+      stack.pop_back();
+      if (u == to) return true;
+      if (seen[u]) continue;
+      seen[u] = true;
+      for (size_t v : adj[u]) stack.push_back(v);
+    }
+    return false;
+  };
+
+  for (size_t e = 0; e < refs_.size(); ++e) {
+    const size_t from = root_index.at(HierarchyRootOf(refs_[e].target));
+    const size_t to = root_index.at(HierarchyRootOf(refs_[e].source));
+    if (from == to || reaches(to, from)) {
+      dropped.push_back(e);
+    } else {
+      adj[from].push_back(to);
+    }
+  }
+  return dropped;
+}
+
+}  // namespace uindex

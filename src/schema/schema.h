@@ -1,0 +1,110 @@
+#ifndef UINDEX_SCHEMA_SCHEMA_H_
+#define UINDEX_SCHEMA_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace uindex {
+
+/// Identifier of a class within a `Schema`.
+using ClassId = uint32_t;
+
+constexpr ClassId kInvalidClassId = 0xFFFFFFFF;
+
+/// A reference (REF) attribute: objects of `source` hold the oid of an
+/// object of `target` under attribute `attribute` — an m:1 relationship
+/// pointing from the "many" side to the "one" side (paper §2). When
+/// `multi_valued` is true the attribute holds a *set* of oids instead
+/// (the m:n case discussed in §4.3).
+struct RefEdge {
+  ClassId source = kInvalidClassId;
+  ClassId target = kInvalidClassId;
+  std::string attribute;
+  bool multi_valued = false;
+};
+
+/// An OODB schema: classes, a single-inheritance "is-a" forest (SUP edges),
+/// and named REF relationships.
+///
+/// This models the paper's running example (Fig. 1/Fig. 2): `Vehicle SUP
+/// Automobile`, `Vehicle REF Company` via "manufactured-by", and so on.
+/// Class-hierarchy indexes are built over SUP sub-trees; path indexes are
+/// built along chains of REF edges.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Registers a new root class. Fails with AlreadyExists on a duplicate
+  /// name.
+  Result<ClassId> AddClass(const std::string& name);
+
+  /// Registers a new class as a subclass of `parent`.
+  Result<ClassId> AddSubclass(const std::string& name, ClassId parent);
+
+  /// Declares `attribute` of `source` to reference objects of `target`.
+  Status AddReference(ClassId source, ClassId target,
+                      const std::string& attribute,
+                      bool multi_valued = false);
+
+  size_t class_count() const { return names_.size(); }
+  bool IsValidClass(ClassId id) const { return id < names_.size(); }
+
+  const std::string& NameOf(ClassId id) const { return names_[id]; }
+  Result<ClassId> FindClass(const std::string& name) const;
+
+  /// Parent in the is-a forest, or kInvalidClassId for hierarchy roots.
+  ClassId SuperclassOf(ClassId id) const { return supers_[id]; }
+  const std::vector<ClassId>& SubclassesOf(ClassId id) const {
+    return subs_[id];
+  }
+
+  /// True if `cls` equals `ancestor` or lies below it in the is-a forest.
+  bool IsSubclassOf(ClassId cls, ClassId ancestor) const;
+
+  /// Root of the hierarchy containing `cls`.
+  ClassId HierarchyRootOf(ClassId cls) const;
+
+  /// The classes of the sub-tree rooted at `root`, in preorder (the order
+  /// the U-index clusters them in).
+  std::vector<ClassId> SubtreeOf(ClassId root) const;
+
+  /// All hierarchy roots, in creation order.
+  std::vector<ClassId> HierarchyRoots() const;
+
+  const std::vector<RefEdge>& references() const { return refs_; }
+
+  /// The REF edge leaving `source` (or any of its superclasses) under
+  /// `attribute`, or NotFound.
+  Result<RefEdge> FindReference(ClassId source,
+                                const std::string& attribute) const;
+
+  /// Checks that REF edges impose no cycle between hierarchy roots (the
+  /// paper's precondition for a valid encoding, §4.3) and returns the
+  /// hierarchy roots in a REF-respecting topological order: if X REF Y,
+  /// then root(Y) precedes root(X), so referenced classes get smaller
+  /// codes. Edges listed in `ignored_edges` (by index into `references()`)
+  /// are skipped — this is the paper's cycle-breaking device of encoding a
+  /// class "in duplicate names" in a separate index graph.
+  Result<std::vector<ClassId>> TopologicalRootOrder(
+      const std::vector<size_t>& ignored_edges = {}) const;
+
+  /// Finds a minimal set of REF-edge indexes whose removal makes the root
+  /// graph acyclic (greedy back-edge elimination). Empty when the schema is
+  /// already acyclic.
+  std::vector<size_t> FindCycleBreakingEdges() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<ClassId> supers_;
+  std::vector<std::vector<ClassId>> subs_;
+  std::unordered_map<std::string, ClassId> by_name_;
+  std::vector<RefEdge> refs_;
+};
+
+}  // namespace uindex
+
+#endif  // UINDEX_SCHEMA_SCHEMA_H_

@@ -1,0 +1,4 @@
+#include "storage/buffer_manager.h"
+
+// BufferManager is header-only today; this translation unit anchors the
+// module in the build and reserves room for an eviction policy extension.

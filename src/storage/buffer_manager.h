@@ -1,0 +1,159 @@
+#ifndef UINDEX_STORAGE_BUFFER_MANAGER_H_
+#define UINDEX_STORAGE_BUFFER_MANAGER_H_
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "storage/io_stats.h"
+#include "storage/page.h"
+#include "storage/pager.h"
+
+namespace uindex {
+
+/// Page access layer with the paper's accounting semantics.
+///
+/// Every index structure fetches nodes through a `BufferManager`. Within one
+/// query epoch (bracketed by `BeginQuery`), the first fetch of a page counts
+/// as a page read and later fetches of the same page are free — this models
+/// the paper's retrieval algorithm "utilizing any page which is already in
+/// memory" (§3.3) and is what makes the parallel scan cheaper than repeated
+/// root-to-leaf descents.
+///
+/// Alternatively, `SetCapacity(n)` switches to a bounded LRU cache of `n`
+/// pages that *persists across queries* — the steady-state model of a real
+/// buffer pool (used by the cache-sensitivity ablation). In that mode
+/// `BeginQuery` is a no-op.
+class BufferManager {
+ public:
+  explicit BufferManager(Pager* pager) : pager_(pager) {}
+
+  BufferManager(const BufferManager&) = delete;
+  BufferManager& operator=(const BufferManager&) = delete;
+
+  Pager* pager() { return pager_; }
+  uint32_t page_size() const { return pager_->page_size(); }
+
+  /// Switches to a bounded LRU cache of `pages` frames (0 restores the
+  /// unbounded per-query-epoch mode). Resets residency either way.
+  void SetCapacity(size_t pages) {
+    capacity_ = pages;
+    resident_.clear();
+    lru_.clear();
+    lru_index_.clear();
+  }
+  size_t capacity() const { return capacity_; }
+
+  /// Starts a new query epoch: subsequently, each distinct page costs one
+  /// read again. No-op in bounded-cache mode (the pool persists).
+  void BeginQuery() {
+    if (capacity_ == 0) resident_.clear();
+  }
+
+  /// Fetches a page for reading, updating the read counters.
+  Page* Fetch(PageId id) {
+    Page* page = pager_->GetPage(id);
+    if (page == nullptr) return nullptr;
+    if (capacity_ != 0) {
+      TouchLru(id);
+    } else if (resident_.insert(id).second) {
+      ++stats_.pages_read;
+    } else {
+      ++stats_.cache_hits;
+    }
+    return page;
+  }
+
+  /// Fetches a page for writing. Counts a read (the page must be resident
+  /// to modify it) plus a write.
+  Page* FetchForWrite(PageId id) {
+    Page* page = Fetch(id);
+    if (page != nullptr) ++stats_.pages_written;
+    return page;
+  }
+
+  /// Allocates a fresh page; it is immediately resident (no read charged).
+  PageId Allocate() {
+    PageId id = pager_->Allocate();
+    if (capacity_ != 0) {
+      InsertLru(id, /*charge_read=*/false);
+    } else {
+      resident_.insert(id);
+    }
+    ++stats_.pages_allocated;
+    ++stats_.pages_written;
+    return id;
+  }
+
+  /// Frees a page and drops it from the resident set.
+  void Free(PageId id) {
+    resident_.erase(id);
+    auto it = lru_index_.find(id);
+    if (it != lru_index_.end()) {
+      lru_.erase(it->second);
+      lru_index_.erase(it);
+    }
+    pager_->Free(id);
+  }
+
+  const IoStats& stats() const { return stats_; }
+
+  /// Zeroes all counters (page residency is unaffected).
+  void ResetStats() { stats_ = IoStats(); }
+
+ private:
+  void TouchLru(PageId id) {
+    auto it = lru_index_.find(id);
+    if (it != lru_index_.end()) {
+      ++stats_.cache_hits;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    InsertLru(id, /*charge_read=*/true);
+  }
+
+  void InsertLru(PageId id, bool charge_read) {
+    if (charge_read) ++stats_.pages_read;
+    lru_.push_front(id);
+    lru_index_[id] = lru_.begin();
+    while (lru_.size() > capacity_) {
+      lru_index_.erase(lru_.back());
+      lru_.pop_back();
+    }
+  }
+
+  Pager* pager_;
+  IoStats stats_;
+  size_t capacity_ = 0;  // 0 = unbounded per-query-epoch mode.
+  std::unordered_set<PageId> resident_;
+  // Bounded mode: most-recently-used at the front.
+  std::list<PageId> lru_;
+  std::unordered_map<PageId, std::list<PageId>::iterator> lru_index_;
+};
+
+/// RAII helper measuring the page reads of one query.
+///
+/// Usage:
+///   QueryCost cost(&buffers);
+///   ... run the query ...
+///   uint64_t pages = cost.PagesRead();
+class QueryCost {
+ public:
+  explicit QueryCost(BufferManager* buffers)
+      : buffers_(buffers), base_(buffers->stats()) {
+    buffers_->BeginQuery();
+  }
+
+  uint64_t PagesRead() const {
+    return (buffers_->stats() - base_).pages_read;
+  }
+
+ private:
+  BufferManager* buffers_;
+  IoStats base_;
+};
+
+}  // namespace uindex
+
+#endif  // UINDEX_STORAGE_BUFFER_MANAGER_H_

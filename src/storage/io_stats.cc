@@ -1,0 +1,13 @@
+#include "storage/io_stats.h"
+
+namespace uindex {
+
+std::string IoStats::ToString() const {
+  std::string out = "reads=" + std::to_string(pages_read);
+  out += " writes=" + std::to_string(pages_written);
+  out += " allocated=" + std::to_string(pages_allocated);
+  out += " cache_hits=" + std::to_string(cache_hits);
+  return out;
+}
+
+}  // namespace uindex

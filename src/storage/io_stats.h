@@ -1,0 +1,32 @@
+#ifndef UINDEX_STORAGE_IO_STATS_H_
+#define UINDEX_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace uindex {
+
+/// Counters for page traffic. The experiments in the paper report exactly
+/// one number per query — pages (nodes) read — so this struct is the
+/// measurement interface of the whole reproduction.
+struct IoStats {
+  uint64_t pages_read = 0;      ///< Distinct page fetches (per query epoch).
+  uint64_t pages_written = 0;   ///< Page write-backs.
+  uint64_t pages_allocated = 0; ///< Pages ever allocated.
+  uint64_t cache_hits = 0;      ///< Fetches served without a counted read.
+
+  IoStats operator-(const IoStats& base) const {
+    IoStats d;
+    d.pages_read = pages_read - base.pages_read;
+    d.pages_written = pages_written - base.pages_written;
+    d.pages_allocated = pages_allocated - base.pages_allocated;
+    d.cache_hits = cache_hits - base.cache_hits;
+    return d;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace uindex
+
+#endif  // UINDEX_STORAGE_IO_STATS_H_

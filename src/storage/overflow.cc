@@ -1,0 +1,59 @@
+#include "storage/overflow.h"
+
+#include <vector>
+
+#include "util/coding.h"
+
+namespace uindex {
+
+Result<PageId> OverflowChain::Write(BufferManager* buffers,
+                                    const Slice& data) {
+  if (data.empty()) return kInvalidPageId;
+  const uint32_t payload = PayloadPerPage(*buffers);
+
+  // Allocate all links first so each page can point at its successor.
+  const size_t links = (data.size() + payload - 1) / payload;
+  std::vector<PageId> ids(links);
+  for (size_t i = 0; i < links; ++i) ids[i] = buffers->Allocate();
+
+  size_t offset = 0;
+  for (size_t i = 0; i < links; ++i) {
+    Page* page = buffers->FetchForWrite(ids[i]);
+    if (page == nullptr) return Status::Corruption("lost overflow page");
+    const size_t chunk =
+        std::min<size_t>(payload, data.size() - offset);
+    EncodeFixed32(page->data(), i + 1 < links ? ids[i + 1] : kInvalidPageId);
+    EncodeFixed16(page->data() + 4, static_cast<uint16_t>(chunk));
+    std::memcpy(page->data() + 6, data.data() + offset, chunk);
+    offset += chunk;
+  }
+  return ids[0];
+}
+
+Result<std::string> OverflowChain::Read(BufferManager* buffers, PageId head) {
+  std::string out;
+  PageId id = head;
+  while (id != kInvalidPageId) {
+    Page* page = buffers->Fetch(id);
+    if (page == nullptr) return Status::Corruption("broken overflow chain");
+    const PageId next = DecodeFixed32(page->data());
+    const uint16_t len = DecodeFixed16(page->data() + 4);
+    out.append(page->data() + 6, len);
+    id = next;
+  }
+  return out;
+}
+
+Status OverflowChain::Free(BufferManager* buffers, PageId head) {
+  PageId id = head;
+  while (id != kInvalidPageId) {
+    Page* page = buffers->Fetch(id);
+    if (page == nullptr) return Status::Corruption("broken overflow chain");
+    const PageId next = DecodeFixed32(page->data());
+    buffers->Free(id);
+    id = next;
+  }
+  return Status::OK();
+}
+
+}  // namespace uindex

@@ -1,0 +1,41 @@
+#ifndef UINDEX_STORAGE_OVERFLOW_H_
+#define UINDEX_STORAGE_OVERFLOW_H_
+
+#include <string>
+
+#include "storage/buffer_manager.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace uindex {
+
+/// Chained overflow pages for records that exceed a node's capacity.
+///
+/// CH-trees and the Kim/Bertino nested/path indexes keep per-key oid
+/// directories that can grow far beyond one page (e.g. 1500 oids per key in
+/// the 100-distinct-keys experiment); those structures spill the directory
+/// into a chain of pages and pay a page read per chain link — an inherent
+/// cost of key grouping that the experiments must charge faithfully.
+///
+/// Page layout: [next: 4B][len: 2B][payload bytes].
+class OverflowChain {
+ public:
+  /// Writes `data` into freshly allocated chained pages; returns the head
+  /// page id (kInvalidPageId for empty data).
+  static Result<PageId> Write(BufferManager* buffers, const Slice& data);
+
+  /// Reads a whole chain back (each link costs a page read).
+  static Result<std::string> Read(BufferManager* buffers, PageId head);
+
+  /// Frees every page of the chain.
+  static Status Free(BufferManager* buffers, PageId head);
+
+  /// Bytes of payload per chain page for this buffer manager.
+  static uint32_t PayloadPerPage(const BufferManager& buffers) {
+    return buffers.page_size() - 6;
+  }
+};
+
+}  // namespace uindex
+
+#endif  // UINDEX_STORAGE_OVERFLOW_H_

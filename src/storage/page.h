@@ -1,0 +1,41 @@
+#ifndef UINDEX_STORAGE_PAGE_H_
+#define UINDEX_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace uindex {
+
+/// Identifier of a page within a `Pager`. Page 0 is reserved as "invalid"
+/// so that zero-initialized page references are self-evidently unset.
+using PageId = uint32_t;
+
+constexpr PageId kInvalidPageId = 0;
+
+/// A fixed-size block of bytes, the unit of I/O accounting.
+///
+/// The paper stores index files "in page files with pages of size 1024
+/// bytes" and reports the number of pages read per query; `Page` is that
+/// unit. Index nodes serialize themselves into a page's byte buffer.
+class Page {
+ public:
+  explicit Page(uint32_t size) : bytes_(size, 0) {}
+
+  Page(const Page&) = delete;
+  Page& operator=(const Page&) = delete;
+
+  uint32_t size() const { return static_cast<uint32_t>(bytes_.size()); }
+  char* data() { return bytes_.data(); }
+  const char* data() const { return bytes_.data(); }
+
+  /// Zeroes the whole page.
+  void Clear() { std::memset(bytes_.data(), 0, bytes_.size()); }
+
+ private:
+  std::vector<char> bytes_;
+};
+
+}  // namespace uindex
+
+#endif  // UINDEX_STORAGE_PAGE_H_

@@ -1,0 +1,78 @@
+#include "storage/pager.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace uindex {
+
+Pager::Pager(uint32_t page_size) : page_size_(page_size) {
+  assert(page_size_ >= 64 && "page size too small for any node header");
+}
+
+PageId Pager::Allocate() {
+  ++live_count_;
+  if (!free_list_.empty()) {
+    PageId id = free_list_.back();
+    free_list_.pop_back();
+    pages_[id - 1] = std::make_unique<Page>(page_size_);
+    return id;
+  }
+  pages_.push_back(std::make_unique<Page>(page_size_));
+  return static_cast<PageId>(pages_.size());
+}
+
+void Pager::Free(PageId id) {
+  assert(IsLive(id));
+  pages_[id - 1].reset();
+  free_list_.push_back(id);
+  --live_count_;
+}
+
+Page* Pager::GetPage(PageId id) {
+  if (id == kInvalidPageId || id > pages_.size()) return nullptr;
+  return pages_[id - 1].get();
+}
+
+const Page* Pager::GetPage(PageId id) const {
+  if (id == kInvalidPageId || id > pages_.size()) return nullptr;
+  return pages_[id - 1].get();
+}
+
+std::unique_ptr<Pager> Pager::CreateForRestore(uint32_t page_size,
+                                               PageId max_page_id) {
+  auto pager = std::make_unique<Pager>(page_size);
+  pager->pages_.resize(max_page_id);
+  // Free slots in descending order so future Allocate() reuses low ids
+  // first (cosmetic; any order is correct).
+  for (PageId id = max_page_id; id >= 1; --id) {
+    pager->free_list_.push_back(id);
+  }
+  return pager;
+}
+
+Status Pager::RestorePage(PageId id, const Slice& bytes) {
+  if (id == kInvalidPageId || id > pages_.size()) {
+    return Status::InvalidArgument("restore id out of range");
+  }
+  if (pages_[id - 1] != nullptr) {
+    return Status::AlreadyExists("page restored twice");
+  }
+  if (bytes.size() != page_size_) {
+    return Status::InvalidArgument("restore size mismatch");
+  }
+  auto page = std::make_unique<Page>(page_size_);
+  std::memcpy(page->data(), bytes.data(), bytes.size());
+  pages_[id - 1] = std::move(page);
+  ++live_count_;
+  free_list_.erase(std::remove(free_list_.begin(), free_list_.end(), id),
+                   free_list_.end());
+  return Status::OK();
+}
+
+bool Pager::IsLive(PageId id) const {
+  return id != kInvalidPageId && id <= pages_.size() &&
+         pages_[id - 1] != nullptr;
+}
+
+}  // namespace uindex

@@ -1,0 +1,72 @@
+#ifndef UINDEX_STORAGE_PAGER_H_
+#define UINDEX_STORAGE_PAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/slice.h"
+
+#include "storage/io_stats.h"
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace uindex {
+
+/// An in-memory paged file.
+///
+/// The paper's experiments run on index files with a fixed page size and
+/// measure page reads, not wall-clock I/O, so an in-memory page store with
+/// identical geometry preserves the metric exactly (see DESIGN.md,
+/// "Substitutions"). Pages are allocated sequentially starting at id 1;
+/// freed pages go on a free list and are reused.
+class Pager {
+ public:
+  /// Creates a pager whose pages are all `page_size` bytes.
+  explicit Pager(uint32_t page_size);
+
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  uint32_t page_size() const { return page_size_; }
+
+  /// Allocates a zeroed page and returns its id.
+  PageId Allocate();
+
+  /// Returns the page to the free list. The id must be live.
+  void Free(PageId id);
+
+  /// Borrows a live page for reading/writing. The pointer is stable until
+  /// the page is freed. Returns nullptr for invalid or freed ids.
+  Page* GetPage(PageId id);
+  const Page* GetPage(PageId id) const;
+
+  /// True if `id` names a live (allocated, not freed) page.
+  bool IsLive(PageId id) const;
+
+  /// Number of live pages (the index's storage footprint in pages).
+  uint64_t live_page_count() const { return live_count_; }
+
+  /// Highest page id ever allocated.
+  PageId max_page_id() const {
+    return static_cast<PageId>(pages_.size());
+  }
+
+  /// Restore support (used by `PagerSnapshot`): creates an empty pager
+  /// whose id space reaches `max_page_id`, with every slot initially on
+  /// the free list; `RestorePage` then revives specific ids with content.
+  static std::unique_ptr<Pager> CreateForRestore(uint32_t page_size,
+                                                 PageId max_page_id);
+  Status RestorePage(PageId id, const Slice& bytes);
+
+ private:
+  uint32_t page_size_;
+  // pages_[i] backs page id i+1; nullptr for freed pages.
+  std::vector<std::unique_ptr<Page>> pages_;
+  std::vector<PageId> free_list_;
+  uint64_t live_count_ = 0;
+};
+
+}  // namespace uindex
+
+#endif  // UINDEX_STORAGE_PAGER_H_

@@ -1,0 +1,134 @@
+#include "storage/snapshot.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "util/coding.h"
+#include "util/crc32.h"
+
+namespace uindex {
+
+namespace {
+
+constexpr char kMagic[8] = {'U', 'I', 'D', 'X', 'S', 'N', 'A', 'P'};
+constexpr uint32_t kVersion = 1;
+
+// RAII stdio handle (the library does not use exceptions).
+class File {
+ public:
+  File(const std::string& path, const char* mode)
+      : file_(std::fopen(path.c_str(), mode)) {}
+  ~File() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+  bool Write(const void* data, size_t n) {
+    return std::fwrite(data, 1, n, file_) == n;
+  }
+  bool Read(void* data, size_t n) {
+    return std::fread(data, 1, n, file_) == n;
+  }
+  bool Flush() { return std::fflush(file_) == 0; }
+
+ private:
+  std::FILE* file_;
+};
+
+}  // namespace
+
+Status PagerSnapshot::Save(const Pager& pager, const std::string& metadata,
+                           const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    File file(tmp, "wb");
+    if (!file.ok()) return Status::InvalidArgument("cannot open " + tmp);
+
+    std::string header;
+    header.append(kMagic, sizeof(kMagic));
+    PutFixed32(&header, kVersion);
+    PutFixed32(&header, pager.page_size());
+    PutFixed32(&header, pager.max_page_id());
+    PutFixed64(&header, pager.live_page_count());
+    PutFixed32(&header, static_cast<uint32_t>(metadata.size()));
+    PutFixed32(&header, Crc32(Slice(metadata)));
+    if (!file.Write(header.data(), header.size()) ||
+        !file.Write(metadata.data(), metadata.size())) {
+      return Status::ResourceExhausted("short write to " + tmp);
+    }
+
+    for (PageId id = 1; id <= pager.max_page_id(); ++id) {
+      const Page* page = pager.GetPage(id);
+      if (page == nullptr) continue;
+      std::string frame;
+      PutFixed32(&frame, id);
+      PutFixed32(&frame, Crc32(Slice(page->data(), page->size())));
+      if (!file.Write(frame.data(), frame.size()) ||
+          !file.Write(page->data(), page->size())) {
+        return Status::ResourceExhausted("short write to " + tmp);
+      }
+    }
+    if (!file.Flush()) return Status::ResourceExhausted("flush failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::ResourceExhausted("rename to " + path + " failed");
+  }
+  return Status::OK();
+}
+
+Result<PagerSnapshot::Loaded> PagerSnapshot::Load(const std::string& path) {
+  File file(path, "rb");
+  if (!file.ok()) return Status::NotFound("cannot open " + path);
+
+  char header[8 + 4 + 4 + 4 + 8 + 4 + 4];
+  if (!file.Read(header, sizeof(header))) {
+    return Status::Corruption("truncated snapshot header");
+  }
+  if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad snapshot magic");
+  }
+  const uint32_t version = DecodeFixed32(header + 8);
+  if (version != kVersion) {
+    return Status::NotSupported("snapshot version " +
+                                std::to_string(version));
+  }
+  const uint32_t page_size = DecodeFixed32(header + 12);
+  const PageId max_page_id = DecodeFixed32(header + 16);
+  const uint64_t live_count = DecodeFixed64(header + 20);
+  const uint32_t meta_len = DecodeFixed32(header + 28);
+  const uint32_t meta_crc = DecodeFixed32(header + 32);
+
+  Loaded out;
+  out.metadata.resize(meta_len);
+  if (meta_len > 0 && !file.Read(out.metadata.data(), meta_len)) {
+    return Status::Corruption("truncated snapshot metadata");
+  }
+  if (Crc32(Slice(out.metadata)) != meta_crc) {
+    return Status::Corruption("snapshot metadata checksum mismatch");
+  }
+
+  out.pager = Pager::CreateForRestore(page_size, max_page_id);
+  std::vector<char> buffer(page_size);
+  for (uint64_t i = 0; i < live_count; ++i) {
+    char frame[8];
+    if (!file.Read(frame, sizeof(frame))) {
+      return Status::Corruption("truncated snapshot page frame");
+    }
+    const PageId id = DecodeFixed32(frame);
+    const uint32_t crc = DecodeFixed32(frame + 4);
+    if (!file.Read(buffer.data(), page_size)) {
+      return Status::Corruption("truncated snapshot page body");
+    }
+    if (Crc32(Slice(buffer.data(), page_size)) != crc) {
+      return Status::Corruption("snapshot page " + std::to_string(id) +
+                                " checksum mismatch");
+    }
+    UINDEX_RETURN_IF_ERROR(
+        out.pager->RestorePage(id, Slice(buffer.data(), page_size)));
+  }
+  return out;
+}
+
+}  // namespace uindex

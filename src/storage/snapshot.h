@@ -1,0 +1,43 @@
+#ifndef UINDEX_STORAGE_SNAPSHOT_H_
+#define UINDEX_STORAGE_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+
+#include "storage/pager.h"
+#include "util/status.h"
+
+namespace uindex {
+
+/// Durable snapshots of a pager's page file.
+///
+/// The experiments run in memory (page reads are the metric, see
+/// DESIGN.md), but a library users adopt needs its indexes to survive the
+/// process. A snapshot writes every live page, CRC-32 protected, plus an
+/// opaque metadata blob where callers persist their structure roots (e.g.
+/// serialized B-tree root ids, the index specs).
+///
+/// File layout (all little-endian):
+///   "UIDXSNAP" magic ∥ version u32 ∥ page_size u32 ∥ max_page_id u32
+///   ∥ live_count u64 ∥ meta_len u32 ∥ meta crc u32 ∥ meta bytes
+///   then per live page: page_id u32 ∥ crc u32 ∥ page bytes
+class PagerSnapshot {
+ public:
+  /// Writes `pager`'s live pages and `metadata` to `path` (atomically via
+  /// a temp file + rename).
+  static Status Save(const Pager& pager, const std::string& metadata,
+                     const std::string& path);
+
+  struct Loaded {
+    std::unique_ptr<Pager> pager;
+    std::string metadata;
+  };
+
+  /// Restores a pager and the metadata blob; fails with Corruption on any
+  /// checksum/framing mismatch.
+  static Result<Loaded> Load(const std::string& path);
+};
+
+}  // namespace uindex
+
+#endif  // UINDEX_STORAGE_SNAPSHOT_H_

@@ -1,0 +1,88 @@
+#ifndef UINDEX_UTIL_CODING_H_
+#define UINDEX_UTIL_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace uindex {
+
+// Little-endian fixed-width encodings used by on-page node formats, plus
+// big-endian (order-preserving) encodings used inside index keys.
+
+inline void EncodeFixed16(char* dst, uint16_t v) { std::memcpy(dst, &v, 2); }
+inline void EncodeFixed32(char* dst, uint32_t v) { std::memcpy(dst, &v, 4); }
+inline void EncodeFixed64(char* dst, uint64_t v) { std::memcpy(dst, &v, 8); }
+
+inline uint16_t DecodeFixed16(const char* src) {
+  uint16_t v;
+  std::memcpy(&v, src, 2);
+  return v;
+}
+inline uint32_t DecodeFixed32(const char* src) {
+  uint32_t v;
+  std::memcpy(&v, src, 4);
+  return v;
+}
+inline uint64_t DecodeFixed64(const char* src) {
+  uint64_t v;
+  std::memcpy(&v, src, 8);
+  return v;
+}
+
+inline void PutFixed16(std::string* dst, uint16_t v) {
+  char buf[2];
+  EncodeFixed16(buf, v);
+  dst->append(buf, 2);
+}
+inline void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  EncodeFixed32(buf, v);
+  dst->append(buf, 4);
+}
+inline void PutFixed64(std::string* dst, uint64_t v) {
+  char buf[8];
+  EncodeFixed64(buf, v);
+  dst->append(buf, 8);
+}
+
+/// Appends `v` big-endian, so that the byte-wise (memcmp) order of the
+/// encodings equals the numeric order — the property index keys rely on.
+inline void PutBigEndian64(std::string* dst, uint64_t v) {
+  char buf[8];
+  for (int i = 7; i >= 0; --i) {
+    buf[i] = static_cast<char>(v & 0xFF);
+    v >>= 8;
+  }
+  dst->append(buf, 8);
+}
+
+inline uint64_t DecodeBigEndian64(const char* src) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | static_cast<unsigned char>(src[i]);
+  }
+  return v;
+}
+
+/// Appends `v` big-endian in 4 bytes (order-preserving for uint32 values).
+inline void PutBigEndian32(std::string* dst, uint32_t v) {
+  char buf[4];
+  for (int i = 3; i >= 0; --i) {
+    buf[i] = static_cast<char>(v & 0xFF);
+    v >>= 8;
+  }
+  dst->append(buf, 4);
+}
+
+inline uint32_t DecodeBigEndian32(const char* src) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v = (v << 8) | static_cast<unsigned char>(src[i]);
+  }
+  return v;
+}
+
+}  // namespace uindex
+
+#endif  // UINDEX_UTIL_CODING_H_

@@ -1,0 +1,39 @@
+#include "util/crc32.h"
+
+namespace uindex {
+
+namespace {
+
+// Table generated at first use from the reflected polynomial 0xEDB88320.
+struct Crc32Table {
+  uint32_t entries[256];
+
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0xEDB88320u : 0);
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+const Crc32Table& Table() {
+  static const Crc32Table* table = new Crc32Table();
+  return *table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const Slice& data, uint32_t seed) {
+  const Crc32Table& table = Table();
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < data.size(); ++i) {
+    crc = (crc >> 8) ^
+          table.entries[(crc ^ static_cast<unsigned char>(data[i])) & 0xFF];
+  }
+  return ~crc;
+}
+
+}  // namespace uindex

@@ -1,0 +1,16 @@
+#ifndef UINDEX_UTIL_CRC32_H_
+#define UINDEX_UTIL_CRC32_H_
+
+#include <cstdint>
+
+#include "util/slice.h"
+
+namespace uindex {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over `data`, continuing from
+/// `seed` (pass 0 to start). Used to detect snapshot corruption.
+uint32_t Crc32(const Slice& data, uint32_t seed = 0);
+
+}  // namespace uindex
+
+#endif  // UINDEX_UTIL_CRC32_H_

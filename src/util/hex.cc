@@ -1,0 +1,36 @@
+#include "util/hex.h"
+
+namespace uindex {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+}  // namespace
+
+std::string EscapeBytes(const Slice& bytes) {
+  std::string out;
+  out.reserve(bytes.size());
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    unsigned char c = static_cast<unsigned char>(bytes[i]);
+    if (c >= 0x20 && c < 0x7F && c != '\\') {
+      out.push_back(static_cast<char>(c));
+    } else {
+      out += "\\x";
+      out.push_back(kHexDigits[c >> 4]);
+      out.push_back(kHexDigits[c & 0xF]);
+    }
+  }
+  return out;
+}
+
+std::string ToHex(const Slice& bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    unsigned char c = static_cast<unsigned char>(bytes[i]);
+    out.push_back(kHexDigits[c >> 4]);
+    out.push_back(kHexDigits[c & 0xF]);
+  }
+  return out;
+}
+
+}  // namespace uindex

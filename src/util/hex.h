@@ -1,0 +1,19 @@
+#ifndef UINDEX_UTIL_HEX_H_
+#define UINDEX_UTIL_HEX_H_
+
+#include <string>
+
+#include "util/slice.h"
+
+namespace uindex {
+
+/// Renders `bytes` for debugging: printable characters verbatim, everything
+/// else as `\xNN`. Used by dump/DebugString helpers across the library.
+std::string EscapeBytes(const Slice& bytes);
+
+/// Plain lowercase hex rendering of `bytes`.
+std::string ToHex(const Slice& bytes);
+
+}  // namespace uindex
+
+#endif  // UINDEX_UTIL_HEX_H_

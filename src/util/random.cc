@@ -1,0 +1,65 @@
+#include "util/random.h"
+
+#include <cassert>
+#include <unordered_set>
+
+#include <algorithm>
+
+namespace uindex {
+
+Random::Random(uint64_t seed) : state_(seed ? seed : 0x9E3779B97F4A7C15ull) {}
+
+uint64_t Random::Next() {
+  // xorshift64* (Vigna). Good enough statistical quality for workload
+  // generation and fully deterministic across platforms.
+  uint64_t x = state_;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  state_ = x;
+  return x * 0x2545F4914F6CDD1Dull;
+}
+
+uint64_t Random::Uniform(uint64_t n) {
+  assert(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+uint64_t Random::UniformRange(uint64_t lo, uint64_t hi) {
+  assert(lo <= hi);
+  return lo + Uniform(hi - lo + 1);
+}
+
+bool Random::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return (Next() >> 11) * (1.0 / 9007199254740992.0) < p;
+}
+
+std::vector<uint64_t> Random::SampleWithoutReplacement(uint64_t n,
+                                                       uint64_t k) {
+  assert(k <= n);
+  std::vector<uint64_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  if (k * 2 >= n) {
+    // Dense case: shuffle the full range and take a prefix.
+    std::vector<uint64_t> all(n);
+    for (uint64_t i = 0; i < n; ++i) all[i] = i;
+    Shuffle(all);
+    out.assign(all.begin(), all.begin() + static_cast<ptrdiff_t>(k));
+  } else {
+    std::unordered_set<uint64_t> seen;
+    while (seen.size() < k) seen.insert(Uniform(n));
+    out.assign(seen.begin(), seen.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace uindex

@@ -1,0 +1,49 @@
+#ifndef UINDEX_UTIL_RANDOM_H_
+#define UINDEX_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace uindex {
+
+/// Deterministic pseudo-random generator (xorshift64*), seeded explicitly so
+/// every experiment in the paper reproduction is replayable bit-for-bit.
+class Random {
+ public:
+  explicit Random(uint64_t seed);
+
+  /// Uniform value in [0, 2^64).
+  uint64_t Next();
+
+  /// Uniform value in [0, n); `n` must be positive.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform value in [lo, hi]; requires lo <= hi.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi);
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// k distinct values sampled uniformly from [0, n) without replacement;
+  /// requires k <= n. Output is sorted ascending.
+  std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k);
+
+  /// Fisher-Yates shuffle of `values`.
+  template <typename T>
+  void Shuffle(std::vector<T>& values) {
+    for (size_t i = values.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(i));
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace uindex
+
+#endif  // UINDEX_UTIL_RANDOM_H_

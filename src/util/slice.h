@@ -1,0 +1,92 @@
+#ifndef UINDEX_UTIL_SLICE_H_
+#define UINDEX_UTIL_SLICE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace uindex {
+
+/// A borrowed, non-owning view over a byte range.
+///
+/// Index keys are raw byte strings whose `memcmp` order is their logical
+/// order, so `Slice` exposes byte-wise comparison helpers. The referenced
+/// storage must outlive the slice.
+class Slice {
+ public:
+  Slice() : data_(""), size_(0) {}
+  Slice(const char* data, size_t size) : data_(data), size_(size) {}
+  /// Views a NUL-terminated C string (NUL excluded).
+  Slice(const char* cstr) : data_(cstr), size_(std::strlen(cstr)) {}
+  /// Views the contents of `str`; `str` must outlive the slice.
+  Slice(const std::string& str) : data_(str.data()), size_(str.size()) {}
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  /// Drops the first `n` bytes.
+  void RemovePrefix(size_t n) {
+    assert(n <= size_);
+    data_ += n;
+    size_ -= n;
+  }
+
+  /// Returns the first `n` bytes as a new slice.
+  Slice Prefix(size_t n) const {
+    assert(n <= size_);
+    return Slice(data_, n);
+  }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view ToView() const { return std::string_view(data_, size_); }
+
+  /// Three-way byte-wise comparison: <0, 0, >0 as in `memcmp`.
+  int Compare(const Slice& other) const {
+    const size_t min_len = size_ < other.size_ ? size_ : other.size_;
+    int r = min_len == 0 ? 0 : std::memcmp(data_, other.data_, min_len);
+    if (r == 0) {
+      if (size_ < other.size_) r = -1;
+      else if (size_ > other.size_) r = +1;
+    }
+    return r;
+  }
+
+  bool StartsWith(const Slice& prefix) const {
+    return size_ >= prefix.size_ &&
+           (prefix.size_ == 0 ||
+            std::memcmp(data_, prefix.data_, prefix.size_) == 0);
+  }
+
+  /// Length of the longest common prefix with `other`.
+  size_t CommonPrefixLength(const Slice& other) const {
+    const size_t min_len = size_ < other.size_ ? size_ : other.size_;
+    size_t i = 0;
+    while (i < min_len && data_[i] == other.data_[i]) ++i;
+    return i;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+inline bool operator==(const Slice& a, const Slice& b) {
+  return a.size() == b.size() &&
+         (a.size() == 0 || std::memcmp(a.data(), b.data(), a.size()) == 0);
+}
+inline bool operator!=(const Slice& a, const Slice& b) { return !(a == b); }
+inline bool operator<(const Slice& a, const Slice& b) {
+  return a.Compare(b) < 0;
+}
+
+}  // namespace uindex
+
+#endif  // UINDEX_UTIL_SLICE_H_

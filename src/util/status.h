@@ -1,0 +1,123 @@
+#ifndef UINDEX_UTIL_STATUS_H_
+#define UINDEX_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace uindex {
+
+/// Outcome of a fallible operation.
+///
+/// The library does not use C++ exceptions; every operation that can fail
+/// returns a `Status` (or a `Result<T>` when it also produces a value).
+/// A default-constructed `Status` is OK. The set of codes is deliberately
+/// small: callers branch on "ok or not" and occasionally on `IsNotFound`.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kNotFound = 1,
+    kCorruption = 2,
+    kInvalidArgument = 3,
+    kAlreadyExists = 4,
+    kNotSupported = 5,
+    kResourceExhausted = 6,
+  };
+
+  /// Creates an OK status.
+  Status() : code_(Code::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsResourceExhausted() const {
+    return code_ == Code::kResourceExhausted;
+  }
+
+  Code code() const { return code_; }
+
+  /// Human-readable message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// Renders e.g. "NotFound: key missing" (or "OK").
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// A value-or-error pair. Access `value()` only when `ok()`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value marks success.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit construction from a non-OK status marks failure.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result from Status requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace uindex
+
+/// Evaluates `expr` (a Status expression) and early-returns it on failure.
+#define UINDEX_RETURN_IF_ERROR(expr)             \
+  do {                                           \
+    ::uindex::Status _uindex_status = (expr);    \
+    if (!_uindex_status.ok()) return _uindex_status; \
+  } while (0)
+
+#endif  // UINDEX_UTIL_STATUS_H_

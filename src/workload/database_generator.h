@@ -1,0 +1,92 @@
+#ifndef UINDEX_WORKLOAD_DATABASE_GENERATOR_H_
+#define UINDEX_WORKLOAD_DATABASE_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "objects/object_store.h"
+#include "schema/encoder.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "workload/paper_schema.h"
+
+namespace uindex {
+
+/// Colors used by the Table-1 database. Their alphabetic order matters for
+/// range queries ("colors Blue to Red" spans Blue, Green, Red as in §3.3).
+extern const char* const kColors[];
+extern const size_t kColorCount;
+
+/// Parameters of the paper's first experiment (Table 1): 12,000 vehicle
+/// records over the enhanced Fig. 1 schema, with companies and presidents
+/// behind them, indexed with a small B-tree node (m = 10 records).
+struct PaperDatabaseConfig {
+  uint32_t num_vehicles = 12000;
+  uint32_t num_companies = 60;
+  uint32_t num_employees = 80;
+  uint32_t min_age = 20;
+  uint32_t max_age = 70;
+  uint64_t seed = 1996;
+};
+
+/// The generated Table-1 database: schema, codes, and populated store.
+/// Non-movable: `store` points into `ids.schema`.
+struct PaperDatabase {
+  PaperDatabase() = default;
+  PaperDatabase(const PaperDatabase&) = delete;
+  PaperDatabase& operator=(const PaperDatabase&) = delete;
+
+  PaperSchema ids;
+  std::unique_ptr<ClassCoder> coder;
+  std::unique_ptr<ObjectStore> store;
+};
+
+/// Generates the Table-1 database into `*out` (a fresh PaperDatabase).
+/// Vehicles are spread uniformly over the 12 vehicle classes with uniform
+/// colors and manufacturers; companies over the company hierarchy with
+/// uniform presidents; ages uniform in [min_age, max_age].
+Status GeneratePaperDatabase(const PaperDatabaseConfig& cfg,
+                             PaperDatabase* out);
+
+/// One posting of the §5.1 class-hierarchy ("multiple sets") experiments.
+struct Posting {
+  int64_t key = 0;
+  size_t set_index = 0;  ///< Index into the experiment's set list.
+  Oid oid = kInvalidOid;
+};
+
+/// Parameters of the §5.1 experiments: 150,000 4-byte oids spread uniformly
+/// over 8 or 40 sets, with 100 / 1,000 / 150,000 (unique) distinct keys,
+/// page size 1,024 bytes.
+struct SetWorkloadConfig {
+  uint32_t num_objects = 150000;
+  uint32_t num_sets = 8;
+  uint64_t num_distinct_keys = 100;  ///< == num_objects means unique keys.
+  uint32_t page_size = 1024;
+  uint64_t seed = 0x5EED;
+
+  bool unique_keys() const { return num_distinct_keys >= num_objects; }
+};
+
+/// Generates the posting list for a §5.1 experiment. With unique keys every
+/// key 0..n-1 appears exactly once (shuffled over sets); otherwise keys are
+/// uniform over [0, num_distinct_keys).
+std::vector<Posting> GeneratePostings(const SetWorkloadConfig& cfg);
+
+/// The flat "sets" hierarchy used to encode the §5.1 experiments for the
+/// U-index: an abstract root with `num_sets` concrete subclasses, so
+/// adjacent sets have adjacent class codes (the paper's "near" sets).
+struct SetHierarchy {
+  Schema schema;
+  ClassId root = kInvalidClassId;
+  std::vector<ClassId> sets;
+  std::unique_ptr<ClassCoder> coder;
+};
+
+Result<SetHierarchy> BuildSetHierarchy(uint32_t num_sets);
+
+}  // namespace uindex
+
+#endif  // UINDEX_WORKLOAD_DATABASE_GENERATOR_H_

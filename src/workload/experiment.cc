@@ -1,0 +1,181 @@
+#include "workload/experiment.h"
+
+#include "baselines/chtree/chtree.h"
+#include "baselines/cgtree/cgtree.h"
+#include "baselines/htree/htree.h"
+
+namespace uindex {
+
+UIndexSetAdapter::UIndexSetAdapter(BufferManager* buffers,
+                                   const SetHierarchy* hierarchy,
+                                   BTreeOptions options)
+    : hierarchy_(hierarchy),
+      spec_(PathSpec::ClassHierarchy(hierarchy->root, "key",
+                                     Value::Kind::kInt)),
+      index_(buffers, &hierarchy->schema, hierarchy->coder.get(), spec_,
+             options) {}
+
+Status UIndexSetAdapter::Insert(const Value& key, ClassId set, Oid oid) {
+  UIndex::Entry entry;
+  entry.path = {{set, oid}};
+  entry.key = index_.key_encoder().EncodeEntry(key, entry.path);
+  return index_.InsertEntry(entry);
+}
+
+Status UIndexSetAdapter::Remove(const Value& key, ClassId set, Oid oid) {
+  UIndex::Entry entry;
+  entry.path = {{set, oid}};
+  entry.key = index_.key_encoder().EncodeEntry(key, entry.path);
+  return index_.RemoveEntry(entry);
+}
+
+Query UIndexSetAdapter::BuildQuery(const Value& lo, const Value& hi,
+                                   const std::vector<ClassId>& sets) const {
+  Query q = Query::Range(lo, hi);
+  ClassSelector selector;
+  for (const ClassId set : sets) {
+    selector.include.push_back({set, /*with_subclasses=*/false});
+  }
+  q.With(std::move(selector), ValueSlot::Wanted());
+  return q;
+}
+
+Result<std::vector<Oid>> UIndexSetAdapter::Search(
+    const Value& lo, const Value& hi,
+    const std::vector<ClassId>& sets) const {
+  const Query q = BuildQuery(lo, hi, sets);
+  Result<QueryResult> r =
+      use_parscan_ ? index_.Parscan(q) : index_.ForwardScan(q);
+  if (!r.ok()) return r.status();
+  std::vector<Oid> out;
+  out.reserve(r.value().rows.size());
+  for (const auto& row : r.value().rows) out.push_back(row[0]);
+  return out;
+}
+
+Result<std::unique_ptr<SetExperiment>> SetExperiment::Create(
+    const Options& opts) {
+  std::unique_ptr<SetExperiment> exp(new SetExperiment(opts));
+  Result<SetHierarchy> hierarchy = BuildSetHierarchy(opts.workload.num_sets);
+  if (!hierarchy.ok()) return hierarchy.status();
+  exp->hierarchy_ = std::move(hierarchy).value();
+
+  auto add = [&exp, &opts](const std::string& name,
+                           auto make) -> SetIndex* {
+    Owned owned;
+    owned.name = name;
+    owned.pager = std::make_unique<Pager>(opts.workload.page_size);
+    owned.buffers = std::make_unique<BufferManager>(owned.pager.get());
+    owned.index = make(owned.buffers.get());
+    SetIndex* raw = owned.index.get();
+    exp->owned_.push_back(std::move(owned));
+    return raw;
+  };
+
+  const SetHierarchy* hier = &exp->hierarchy_;
+  add("U-index", [hier](BufferManager* buffers) {
+    return std::make_unique<UIndexSetAdapter>(buffers, hier);
+  });
+  add("CG-tree", [](BufferManager* buffers) {
+    return std::make_unique<CgTree>(buffers, Value::Kind::kInt);
+  });
+  if (opts.with_chtree) {
+    add("CH-tree", [](BufferManager* buffers) {
+      return std::make_unique<ChTree>(buffers, Value::Kind::kInt);
+    });
+  }
+  if (opts.with_htree) {
+    add("H-tree", [](BufferManager* buffers) {
+      return std::make_unique<HTree>(buffers, Value::Kind::kInt);
+    });
+  }
+  if (opts.with_forward_uindex) {
+    SetIndex* fwd = add("U-index(forward)", [hier](BufferManager* buffers) {
+      return std::make_unique<UIndexSetAdapter>(buffers, hier);
+    });
+    static_cast<UIndexSetAdapter*>(fwd)->set_use_parscan(false);
+  }
+
+  // Load the same postings into every structure.
+  const std::vector<Posting> postings = GeneratePostings(opts.workload);
+  for (Owned& owned : exp->owned_) {
+    for (const Posting& p : postings) {
+      UINDEX_RETURN_IF_ERROR(owned.index->Insert(
+          Value::Int(p.key), exp->hierarchy_.sets[p.set_index], p.oid));
+    }
+    owned.buffers->ResetStats();
+  }
+  return exp;
+}
+
+std::vector<SetExperiment::Structure> SetExperiment::structures() {
+  std::vector<Structure> out;
+  for (Owned& owned : owned_) {
+    out.push_back(Structure{owned.name, owned.index.get(),
+                            owned.buffers.get()});
+  }
+  return out;
+}
+
+SetQuerySpec SetExperiment::NextQuery(size_t sets_queried, bool near,
+                                      double fraction, Random& rng) const {
+  if (fraction < 0) {
+    return MakeExactMatchQuery(opts_.workload, sets_queried, near, rng);
+  }
+  return MakeRangeQuery(opts_.workload, fraction, sets_queried, near, rng);
+}
+
+Result<double> SetExperiment::Measure(const Structure& structure,
+                                      size_t sets_queried, bool near,
+                                      double fraction, int reps,
+                                      uint64_t seed) const {
+  Random rng(seed);
+  uint64_t total_pages = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const SetQuerySpec q = NextQuery(sets_queried, near, fraction, rng);
+    std::vector<ClassId> classes;
+    classes.reserve(q.set_indexes.size());
+    for (const size_t i : q.set_indexes) {
+      classes.push_back(hierarchy_.sets[i]);
+    }
+    QueryCost cost(structure.buffers);
+    Result<std::vector<Oid>> r = structure.index->Search(
+        Value::Int(q.lo), Value::Int(q.hi), classes);
+    if (!r.ok()) return r.status();
+    total_pages += cost.PagesRead();
+  }
+  return static_cast<double>(total_pages) / reps;
+}
+
+Status SetExperiment::CrossCheck(size_t sets_queried, double fraction,
+                                 int reps, uint64_t seed) {
+  for (int rep = 0; rep < reps; ++rep) {
+    Random rng(seed + static_cast<uint64_t>(rep));
+    const SetQuerySpec q = NextQuery(sets_queried, /*near=*/rep % 2 == 0,
+                                     fraction, rng);
+    std::vector<ClassId> classes;
+    for (const size_t i : q.set_indexes) {
+      classes.push_back(hierarchy_.sets[i]);
+    }
+    size_t expected = 0;
+    bool first = true;
+    for (Owned& owned : owned_) {
+      owned.buffers->BeginQuery();
+      Result<std::vector<Oid>> r = owned.index->Search(
+          Value::Int(q.lo), Value::Int(q.hi), classes);
+      if (!r.ok()) return r.status();
+      if (first) {
+        expected = r.value().size();
+        first = false;
+      } else if (r.value().size() != expected) {
+        return Status::Corruption(
+            "structure " + owned.name + " returned " +
+            std::to_string(r.value().size()) + " oids, expected " +
+            std::to_string(expected));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace uindex

@@ -1,0 +1,112 @@
+#ifndef UINDEX_WORKLOAD_EXPERIMENT_H_
+#define UINDEX_WORKLOAD_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/set_index.h"
+#include "core/uindex.h"
+#include "storage/buffer_manager.h"
+#include "storage/pager.h"
+#include "workload/database_generator.h"
+#include "workload/query_generator.h"
+
+namespace uindex {
+
+/// Adapts a class-hierarchy `UIndex` to the experiment-facing `SetIndex`
+/// interface: a set is one concrete subclass of the flat hierarchy, a
+/// search is an attribute-range query whose single component selects the
+/// queried classes exactly.
+class UIndexSetAdapter : public SetIndex {
+ public:
+  UIndexSetAdapter(BufferManager* buffers, const SetHierarchy* hierarchy,
+                   BTreeOptions options = BTreeOptions());
+
+  Status Insert(const Value& key, ClassId set, Oid oid) override;
+  Status Remove(const Value& key, ClassId set, Oid oid) override;
+  Result<std::vector<Oid>> Search(
+      const Value& lo, const Value& hi,
+      const std::vector<ClassId>& sets) const override;
+  std::string name() const override {
+    return use_parscan_ ? "U-index" : "U-index(forward)";
+  }
+
+  /// Selects the retrieval algorithm: Parscan (default, Algorithm 1) or
+  /// pure forward scanning (the Table-1 comparison column).
+  void set_use_parscan(bool on) { use_parscan_ = on; }
+
+  const UIndex& index() const { return index_; }
+  UIndex& index() { return index_; }
+
+ private:
+  Query BuildQuery(const Value& lo, const Value& hi,
+                   const std::vector<ClassId>& sets) const;
+
+  const SetHierarchy* hierarchy_;
+  PathSpec spec_;
+  UIndex index_;
+  bool use_parscan_ = true;
+};
+
+/// A fully built §5.1 experiment: the posting workload loaded into a
+/// U-index and a CG-tree (optionally also CH-tree and H-tree), each on its
+/// own pager so page reads are attributed per structure.
+class SetExperiment {
+ public:
+  struct Options {
+    SetWorkloadConfig workload;
+    bool with_chtree = false;
+    bool with_htree = false;
+    /// Extra U-index variant that retrieves by pure forward scanning.
+    bool with_forward_uindex = false;
+  };
+
+  /// One measurable structure.
+  struct Structure {
+    std::string name;
+    SetIndex* index = nullptr;
+    BufferManager* buffers = nullptr;
+  };
+
+  static Result<std::unique_ptr<SetExperiment>> Create(const Options& opts);
+
+  const SetWorkloadConfig& config() const { return opts_.workload; }
+  const SetHierarchy& hierarchy() const { return hierarchy_; }
+
+  std::vector<Structure> structures();
+
+  /// Average pages read by `structure` over `reps` random queries; exact
+  /// match when fraction < 0, else a range covering `fraction` of the
+  /// keyspace. The same seed re-generates the same query sequence, letting
+  /// callers measure different structures on identical queries.
+  Result<double> Measure(const Structure& structure, size_t sets_queried,
+                         bool near, double fraction, int reps,
+                         uint64_t seed) const;
+
+  /// Verifies all structures return the same number of oids on a sample of
+  /// queries (used by integration tests).
+  Status CrossCheck(size_t sets_queried, double fraction, int reps,
+                    uint64_t seed);
+
+ private:
+  explicit SetExperiment(const Options& opts) : opts_(opts) {}
+
+  SetQuerySpec NextQuery(size_t sets_queried, bool near, double fraction,
+                         Random& rng) const;
+
+  Options opts_;
+  SetHierarchy hierarchy_;
+
+  struct Owned {
+    std::string name;
+    std::unique_ptr<Pager> pager;
+    std::unique_ptr<BufferManager> buffers;
+    std::unique_ptr<SetIndex> index;
+  };
+  std::vector<Owned> owned_;
+};
+
+}  // namespace uindex
+
+#endif  // UINDEX_WORKLOAD_EXPERIMENT_H_

@@ -1,0 +1,63 @@
+#include "workload/paper_schema.h"
+
+#include <cassert>
+
+namespace uindex {
+
+PaperSchema PaperSchema::Build() {
+  PaperSchema out;
+  Schema& s = out.schema;
+  auto cls = [&s](const std::string& name) {
+    Result<ClassId> r = s.AddClass(name);
+    assert(r.ok());
+    return r.value();
+  };
+  auto sub = [&s](const std::string& name, ClassId parent) {
+    Result<ClassId> r = s.AddSubclass(name, parent);
+    assert(r.ok());
+    return r.value();
+  };
+
+  // Creation order fixes the topological tie-break, reproducing the
+  // paper's COD table.
+  out.employee = cls("Employee");
+  out.company = cls("Company");
+  out.city = cls("City");
+  out.division = cls("Division");
+  out.vehicle = cls("Vehicle");
+
+  out.automobile = sub("Automobile", out.vehicle);
+  out.compact_automobile = sub("CompactAutomobile", out.automobile);
+  out.foreign_auto = sub("ForeignAuto", out.automobile);
+  out.service_auto = sub("ServiceAuto", out.automobile);
+  out.truck = sub("Truck", out.vehicle);
+  out.heavy_truck = sub("HeavyTruck", out.truck);
+  out.light_truck = sub("LightTruck", out.truck);
+  out.bus = sub("Bus", out.vehicle);
+  out.military_bus = sub("MilitaryBus", out.bus);
+  out.tourist_bus = sub("TouristBus", out.bus);
+  out.passenger_bus = sub("PassengerBus", out.bus);
+
+  out.auto_company = sub("AutoCompany", out.company);
+  out.japanese_auto_company = sub("JapaneseAutoCompany", out.auto_company);
+  out.truck_company = sub("TruckCompany", out.company);
+
+  Status st = s.AddReference(out.vehicle, out.company, "manufactured-by");
+  assert(st.ok());
+  st = s.AddReference(out.company, out.employee, "president");
+  assert(st.ok());
+  st = s.AddReference(out.division, out.company, "belongs");
+  assert(st.ok());
+  st = s.AddReference(out.division, out.city, "located-in");
+  assert(st.ok());
+  (void)st;
+  return out;
+}
+
+std::vector<ClassId> PaperSchema::vehicle_classes() const {
+  return {vehicle,     automobile,  compact_automobile, foreign_auto,
+          service_auto, truck,      heavy_truck,        light_truck,
+          bus,          military_bus, tourist_bus,      passenger_bus};
+}
+
+}  // namespace uindex

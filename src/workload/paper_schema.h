@@ -1,0 +1,34 @@
+#ifndef UINDEX_WORKLOAD_PAPER_SCHEMA_H_
+#define UINDEX_WORKLOAD_PAPER_SCHEMA_H_
+
+#include "schema/encoder.h"
+#include "schema/schema.h"
+
+namespace uindex {
+
+/// The paper's running example schema (Fig. 1/Fig. 2) with the §5
+/// experimental enhancements (Foreign/Service automobiles, Heavy/Light
+/// trucks, the Bus sub-hierarchy). Class creation order reproduces the
+/// paper's codes exactly: Employee=C1, Company=C2, City=C3, Division=C4,
+/// Vehicle=C5, Automobile=C5A, CompactAutomobile=C5AA, ForeignAuto=C5AB,
+/// ServiceAuto=C5AC, Truck=C5B, HeavyTruck=C5BA, LightTruck=C5BB, Bus=C5C,
+/// MilitaryBus=C5CA, TouristBus=C5CB, PassengerBus=C5CC, AutoCompany=C2A,
+/// JapaneseAutoCompany=C2AA, TruckCompany=C2B.
+struct PaperSchema {
+  Schema schema;
+
+  ClassId employee, company, city, division, vehicle;
+  ClassId automobile, compact_automobile, foreign_auto, service_auto;
+  ClassId truck, heavy_truck, light_truck;
+  ClassId bus, military_bus, tourist_bus, passenger_bus;
+  ClassId auto_company, japanese_auto_company, truck_company;
+
+  /// All 12 concrete vehicle-hierarchy classes, preorder.
+  std::vector<ClassId> vehicle_classes() const;
+
+  static PaperSchema Build();
+};
+
+}  // namespace uindex
+
+#endif  // UINDEX_WORKLOAD_PAPER_SCHEMA_H_

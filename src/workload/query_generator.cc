@@ -1,0 +1,71 @@
+#include "workload/query_generator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace uindex {
+
+std::vector<size_t> ChooseNearSets(size_t total, size_t m, Random& rng) {
+  assert(m >= 1 && m <= total);
+  const size_t start = static_cast<size_t>(rng.Uniform(total - m + 1));
+  std::vector<size_t> out(m);
+  for (size_t i = 0; i < m; ++i) out[i] = start + i;
+  return out;
+}
+
+std::vector<size_t> ChooseDistantSets(size_t total, size_t m, Random& rng) {
+  assert(m >= 1 && m <= total);
+  if (m * 2 > total) {
+    // Separation impossible: random subset (paper's observation for
+    // "30 out of 40").
+    std::vector<uint64_t> picks = rng.SampleWithoutReplacement(total, m);
+    return std::vector<size_t>(picks.begin(), picks.end());
+  }
+  // Evenly spaced with a random rotation, then jittered within each slot so
+  // consecutive picks never touch.
+  const size_t stride = total / m;
+  const size_t offset = static_cast<size_t>(rng.Uniform(total));
+  std::vector<size_t> out(m);
+  for (size_t i = 0; i < m; ++i) {
+    const size_t jitter =
+        stride > 2 ? static_cast<size_t>(rng.Uniform(stride - 1)) : 0;
+    out[i] = (offset + i * stride + jitter) % total;
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  // Collisions via modulo wrap are rare; refill randomly if any.
+  while (out.size() < m) {
+    const size_t extra = static_cast<size_t>(rng.Uniform(total));
+    if (std::find(out.begin(), out.end(), extra) == out.end()) {
+      out.push_back(extra);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+SetQuerySpec MakeExactMatchQuery(const SetWorkloadConfig& cfg, size_t m,
+                                 bool near, Random& rng) {
+  SetQuerySpec q;
+  q.lo = q.hi = static_cast<int64_t>(rng.Uniform(cfg.num_distinct_keys));
+  q.set_indexes = near ? ChooseNearSets(cfg.num_sets, m, rng)
+                       : ChooseDistantSets(cfg.num_sets, m, rng);
+  return q;
+}
+
+SetQuerySpec MakeRangeQuery(const SetWorkloadConfig& cfg, double fraction,
+                            size_t m, bool near, Random& rng) {
+  SetQuerySpec q;
+  const uint64_t keys = cfg.num_distinct_keys;
+  uint64_t span = static_cast<uint64_t>(fraction * static_cast<double>(keys));
+  if (span == 0) span = 1;
+  if (span > keys) span = keys;
+  const uint64_t lo = rng.Uniform(keys - span + 1);
+  q.lo = static_cast<int64_t>(lo);
+  q.hi = static_cast<int64_t>(lo + span - 1);
+  q.set_indexes = near ? ChooseNearSets(cfg.num_sets, m, rng)
+                       : ChooseDistantSets(cfg.num_sets, m, rng);
+  return q;
+}
+
+}  // namespace uindex

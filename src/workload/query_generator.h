@@ -1,0 +1,40 @@
+#ifndef UINDEX_WORKLOAD_QUERY_GENERATOR_H_
+#define UINDEX_WORKLOAD_QUERY_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+#include "workload/database_generator.h"
+
+namespace uindex {
+
+/// One query of the §5.1 experiments: an inclusive key interval plus the
+/// indexes (into the experiment's set list) of the queried sets.
+struct SetQuerySpec {
+  int64_t lo = 0;
+  int64_t hi = 0;
+  std::vector<size_t> set_indexes;
+};
+
+/// Picks `m` sets *adjacent* in the hierarchy (a consecutive run — adjacent
+/// class codes, the paper's "near sets" case).
+std::vector<size_t> ChooseNearSets(size_t total, size_t m, Random& rng);
+
+/// Picks `m` sets spread apart ("distant"/non-near). When m*2 > total, true
+/// separation is impossible (the paper notes the same) and the choice
+/// degenerates to a random subset.
+std::vector<size_t> ChooseDistantSets(size_t total, size_t m, Random& rng);
+
+/// An exact-match query on a uniform random key over `m` near/distant sets.
+SetQuerySpec MakeExactMatchQuery(const SetWorkloadConfig& cfg, size_t m,
+                                 bool near, Random& rng);
+
+/// A range query spanning `fraction` of the keyspace (10%, 2%, 0.5%, 0.2%
+/// in the paper) over `m` near/distant sets.
+SetQuerySpec MakeRangeQuery(const SetWorkloadConfig& cfg, double fraction,
+                            size_t m, bool near, Random& rng);
+
+}  // namespace uindex
+
+#endif  // UINDEX_WORKLOAD_QUERY_GENERATOR_H_

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "btree/btree.h"
+#include "util/random.h"
+
+namespace uindex {
+namespace {
+
+std::string K(int i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "k%06d", i);
+  return buf;
+}
+
+class BTreeBatchTest : public ::testing::Test {
+ protected:
+  BTreeBatchTest() : pager_(1024), buffers_(&pager_) {}
+  Pager pager_;
+  BufferManager buffers_;
+};
+
+TEST_F(BTreeBatchTest, BatchEqualsIndividualInserts) {
+  BTree batch_tree(&buffers_);
+  BTree single_tree(&buffers_);
+
+  std::vector<std::pair<std::string, std::string>> entries;
+  for (int i = 0; i < 5000; ++i) {
+    std::string value = "v";
+    value += std::to_string(i % 17);
+    entries.emplace_back(K(i), value);
+  }
+  ASSERT_TRUE(batch_tree.InsertBatch(entries).ok());
+  for (const auto& [k, v] : entries) {
+    ASSERT_TRUE(single_tree.Insert(Slice(k), Slice(v)).ok());
+  }
+  ASSERT_TRUE(batch_tree.Validate().ok());
+  EXPECT_EQ(batch_tree.size(), single_tree.size());
+
+  auto bit = batch_tree.NewIterator();
+  auto sit = single_tree.NewIterator();
+  bit.SeekToFirst();
+  sit.SeekToFirst();
+  while (bit.Valid() && sit.Valid()) {
+    EXPECT_EQ(bit.key().ToString(), sit.key().ToString());
+    EXPECT_EQ(bit.value().ToString(), sit.value().ToString());
+    bit.Next();
+    sit.Next();
+  }
+  EXPECT_FALSE(bit.Valid());
+  EXPECT_FALSE(sit.Valid());
+}
+
+TEST_F(BTreeBatchTest, BatchIntoExistingTree) {
+  BTree tree(&buffers_);
+  for (int i = 0; i < 1000; i += 2) {
+    ASSERT_TRUE(tree.Insert(Slice(K(i)), Slice("even")).ok());
+  }
+  std::vector<std::pair<std::string, std::string>> odds;
+  for (int i = 1; i < 1000; i += 2) odds.emplace_back(K(i), "odd");
+  ASSERT_TRUE(tree.InsertBatch(odds).ok());
+  ASSERT_TRUE(tree.Validate().ok());
+  EXPECT_EQ(tree.size(), 1000u);
+  EXPECT_EQ(tree.Get(Slice(K(501))).value(), "odd");
+  EXPECT_EQ(tree.Get(Slice(K(500))).value(), "even");
+}
+
+TEST_F(BTreeBatchTest, HugeClusterIntoOneLeafSplitsManyWays) {
+  // All keys share a prefix and land in a single (initially empty) leaf:
+  // the multi-way split path.
+  BTree tree(&buffers_);
+  std::vector<std::pair<std::string, std::string>> entries;
+  for (int i = 0; i < 3000; ++i) {
+    entries.emplace_back("cluster/" + K(i), std::string(10, 'x'));
+  }
+  std::sort(entries.begin(), entries.end());
+  ASSERT_TRUE(tree.InsertBatch(entries).ok());
+  ASSERT_TRUE(tree.Validate().ok());
+  EXPECT_EQ(tree.size(), 3000u);
+}
+
+TEST_F(BTreeBatchTest, RejectsUnsortedAndDuplicates) {
+  BTree tree(&buffers_);
+  EXPECT_TRUE(tree.InsertBatch({{K(2), ""}, {K(1), ""}})
+                  .IsInvalidArgument());
+  EXPECT_TRUE(tree.InsertBatch({{K(1), ""}, {K(1), ""}})
+                  .IsInvalidArgument());
+  ASSERT_TRUE(tree.Insert(Slice(K(5)), Slice()).ok());
+  EXPECT_TRUE(tree.InsertBatch({{K(4), ""}, {K(5), ""}, {K(6), ""}})
+                  .IsAlreadyExists());
+  // Keys before the collision were kept; later ones were not reached.
+  EXPECT_TRUE(tree.Contains(Slice(K(4))));
+  EXPECT_FALSE(tree.Contains(Slice(K(6))));
+  ASSERT_TRUE(tree.Validate().ok());
+}
+
+TEST_F(BTreeBatchTest, EmptyBatchIsNoop) {
+  BTree tree(&buffers_);
+  EXPECT_TRUE(tree.InsertBatch({}).ok());
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+TEST_F(BTreeBatchTest, BatchSharesDescents) {
+  // Building sorted via batch must write far fewer pages than one-by-one.
+  std::vector<std::pair<std::string, std::string>> entries;
+  for (int i = 0; i < 20000; ++i) entries.emplace_back(K(i), "value");
+
+  Pager p1(1024), p2(1024);
+  BufferManager b1(&p1), b2(&p2);
+  BTree batch_tree(&b1);
+  BTree single_tree(&b2);
+  ASSERT_TRUE(batch_tree.InsertBatch(entries).ok());
+  for (const auto& [k, v] : entries) {
+    ASSERT_TRUE(single_tree.Insert(Slice(k), Slice(v)).ok());
+  }
+  // Leaf-at-a-time batching writes each leaf ~once; per-key insertion
+  // rewrites the leaf per key.
+  EXPECT_LT(b1.stats().pages_written * 10, b2.stats().pages_written);
+  ASSERT_TRUE(batch_tree.Validate().ok());
+}
+
+TEST_F(BTreeBatchTest, RandomizedBatchesMatchModel) {
+  BTree tree(&buffers_);
+  std::map<std::string, std::string> model;
+  Random rng(99);
+  for (int round = 0; round < 30; ++round) {
+    std::vector<std::pair<std::string, std::string>> batch;
+    for (int j = 0; j < 200; ++j) {
+      std::string key = "r";
+      key += std::to_string(rng.Uniform(100000));
+      if (model.count(key)) continue;
+      batch.emplace_back(key, std::to_string(round));
+    }
+    std::sort(batch.begin(), batch.end());
+    batch.erase(std::unique(batch.begin(), batch.end(),
+                            [](const auto& a, const auto& b) {
+                              return a.first == b.first;
+                            }),
+                batch.end());
+    ASSERT_TRUE(tree.InsertBatch(batch).ok());
+    for (auto& [k, v] : batch) model[k] = v;
+    // Interleave some deletes to stress mixed workloads.
+    for (int d = 0; d < 20 && !model.empty(); ++d) {
+      auto it = model.begin();
+      std::advance(it, static_cast<ptrdiff_t>(rng.Uniform(model.size())));
+      ASSERT_TRUE(tree.Delete(Slice(it->first)).ok());
+      model.erase(it);
+    }
+  }
+  ASSERT_TRUE(tree.Validate().ok());
+  ASSERT_EQ(tree.size(), model.size());
+  auto it = tree.NewIterator();
+  auto mit = model.begin();
+  for (it.SeekToFirst(); it.Valid(); it.Next(), ++mit) {
+    ASSERT_EQ(it.key().ToString(), mit->first);
+  }
+}
+
+}  // namespace
+}  // namespace uindex

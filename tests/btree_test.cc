@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "btree/btree.h"
+#include "util/random.h"
+
+namespace uindex {
+namespace {
+
+class BTreeTest : public ::testing::Test {
+ protected:
+  BTreeTest() : pager_(1024), buffers_(&pager_) {}
+  Pager pager_;
+  BufferManager buffers_;
+};
+
+TEST_F(BTreeTest, EmptyTree) {
+  BTree tree(&buffers_);
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.Get(Slice("x")).status().IsNotFound());
+  EXPECT_TRUE(tree.Delete(Slice("x")).IsNotFound());
+  auto it = tree.NewIterator();
+  it.SeekToFirst();
+  EXPECT_FALSE(it.Valid());
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+TEST_F(BTreeTest, InsertGetDelete) {
+  BTree tree(&buffers_);
+  ASSERT_TRUE(tree.Insert(Slice("k1"), Slice("v1")).ok());
+  ASSERT_TRUE(tree.Insert(Slice("k2"), Slice("v2")).ok());
+  EXPECT_EQ(tree.size(), 2u);
+  EXPECT_EQ(tree.Get(Slice("k1")).value(), "v1");
+  EXPECT_EQ(tree.Get(Slice("k2")).value(), "v2");
+  EXPECT_TRUE(tree.Contains(Slice("k1")));
+  EXPECT_FALSE(tree.Contains(Slice("k3")));
+
+  EXPECT_TRUE(tree.Insert(Slice("k1"), Slice("x")).IsAlreadyExists());
+  ASSERT_TRUE(tree.Put(Slice("k1"), Slice("v1b")).ok());
+  EXPECT_EQ(tree.Get(Slice("k1")).value(), "v1b");
+  EXPECT_EQ(tree.size(), 2u);
+
+  ASSERT_TRUE(tree.Delete(Slice("k1")).ok());
+  EXPECT_FALSE(tree.Contains(Slice("k1")));
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST_F(BTreeTest, SplitsGrowTheTree) {
+  BTree tree(&buffers_);
+  for (int i = 0; i < 2000; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "key%06d", i);
+    ASSERT_TRUE(tree.Insert(Slice(key), Slice("value")).ok());
+  }
+  EXPECT_EQ(tree.size(), 2000u);
+  ASSERT_TRUE(tree.Validate().ok());
+  auto stats = tree.ComputeStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats.value().height, 1u);
+  EXPECT_GT(stats.value().leaf_nodes, 1u);
+  EXPECT_EQ(stats.value().entries, 2000u);
+  for (int i = 0; i < 2000; i += 37) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "key%06d", i);
+    EXPECT_TRUE(tree.Contains(Slice(key)));
+  }
+}
+
+TEST_F(BTreeTest, IteratorScansInOrder) {
+  BTree tree(&buffers_);
+  for (int i = 999; i >= 0; --i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "k%04d", i);
+    ASSERT_TRUE(tree.Insert(Slice(key), Slice(key)).ok());
+  }
+  auto it = tree.NewIterator();
+  int count = 0;
+  std::string prev;
+  for (it.SeekToFirst(); it.Valid(); it.Next()) {
+    EXPECT_TRUE(prev.empty() || Slice(prev) < it.key());
+    prev = it.key().ToString();
+    ++count;
+  }
+  EXPECT_EQ(count, 1000);
+}
+
+TEST_F(BTreeTest, SeekFindsLowerBound) {
+  BTree tree(&buffers_);
+  for (int i = 0; i < 100; i += 2) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "k%04d", i);
+    ASSERT_TRUE(tree.Insert(Slice(key), Slice()).ok());
+  }
+  auto it = tree.NewIterator();
+  it.Seek(Slice("k0013"));
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key().ToString(), "k0014");
+  it.Seek(Slice("k0014"));
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key().ToString(), "k0014");
+  it.Seek(Slice("k9999"));
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST_F(BTreeTest, DeleteEverythingCollapsesToEmptyRoot) {
+  BTree tree(&buffers_);
+  const uint64_t base_pages = pager_.live_page_count();
+  for (int i = 0; i < 1500; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "k%06d", i);
+    ASSERT_TRUE(tree.Insert(Slice(key), Slice("payload-xyz")).ok());
+  }
+  for (int i = 0; i < 1500; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "k%06d", i);
+    ASSERT_TRUE(tree.Delete(Slice(key)).ok());
+  }
+  EXPECT_EQ(tree.size(), 0u);
+  ASSERT_TRUE(tree.Validate().ok());
+  auto stats = tree.ComputeStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().height, 1u);  // Root collapsed back to a leaf.
+  EXPECT_EQ(pager_.live_page_count(), base_pages);  // All pages reclaimed.
+}
+
+TEST_F(BTreeTest, ClearFreesEverythingAndStaysUsable) {
+  BTree tree(&buffers_);
+  const uint64_t empty_pages = pager_.live_page_count();
+  for (int i = 0; i < 3000; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "k%06d", i);
+    ASSERT_TRUE(tree.Insert(Slice(key), Slice("payload")).ok());
+  }
+  EXPECT_GT(pager_.live_page_count(), empty_pages);
+  ASSERT_TRUE(tree.Clear().ok());
+  EXPECT_EQ(pager_.live_page_count(), empty_pages);
+  EXPECT_EQ(tree.size(), 0u);
+  ASSERT_TRUE(tree.Validate().ok());
+  // Fully usable again.
+  ASSERT_TRUE(tree.Insert(Slice("after"), Slice("clear")).ok());
+  EXPECT_EQ(tree.Get(Slice("after")).value(), "clear");
+}
+
+TEST_F(BTreeTest, RejectsEntryLargerThanPage) {
+  BTree tree(&buffers_);
+  const std::string huge(2000, 'x');
+  EXPECT_TRUE(tree.Insert(Slice(huge), Slice()).IsInvalidArgument());
+}
+
+TEST_F(BTreeTest, MaxEntriesPerNodeCapsFanout) {
+  BTreeOptions opts;
+  opts.max_entries_per_node = 10;  // Paper Table 1: "small node size m=10".
+  BTree tree(&buffers_, opts);
+  for (int i = 0; i < 500; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "k%04d", i);
+    ASSERT_TRUE(tree.Insert(Slice(key), Slice()).ok());
+  }
+  ASSERT_TRUE(tree.Validate().ok());
+  auto stats = tree.ComputeStats();
+  ASSERT_TRUE(stats.ok());
+  // 500 entries at <= 10 per leaf: at least 50 leaves and a real hierarchy.
+  EXPECT_GE(stats.value().leaf_nodes, 50u);
+  EXPECT_GE(stats.value().height, 3u);
+}
+
+TEST_F(BTreeTest, IteratorCountsPageReads) {
+  BTree tree(&buffers_);
+  for (int i = 0; i < 3000; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "k%06d", i);
+    ASSERT_TRUE(tree.Insert(Slice(key), Slice("0123456789")).ok());
+  }
+  auto stats = tree.ComputeStats().value();
+  QueryCost cost(&buffers_);
+  auto it = tree.NewIterator();
+  int n = 0;
+  for (it.SeekToFirst(); it.Valid(); it.Next()) ++n;
+  EXPECT_EQ(n, 3000);
+  // Full scan reads every leaf once plus the descent to the first leaf.
+  EXPECT_GE(cost.PagesRead(), stats.leaf_nodes);
+  EXPECT_LE(cost.PagesRead(), stats.leaf_nodes + stats.height);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized differential test against std::map across page sizes,
+// compression settings, and value shapes.
+// ---------------------------------------------------------------------------
+
+class BTreeFuzzTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, bool, uint32_t>> {
+};
+
+TEST_P(BTreeFuzzTest, MatchesStdMap) {
+  const uint32_t page_size = std::get<0>(GetParam());
+  const bool compression = std::get<1>(GetParam());
+  const uint32_t max_value = std::get<2>(GetParam());
+
+  Pager pager(page_size);
+  BufferManager buffers(&pager);
+  BTreeOptions opts;
+  opts.prefix_compression = compression;
+  BTree tree(&buffers, opts);
+  std::map<std::string, std::string> model;
+  Random rng(page_size * 31 + compression * 7 + max_value);
+
+  for (int op = 0; op < 8000; ++op) {
+    const uint64_t k = rng.Uniform(700);
+    // Heavily shared prefixes exercise the front compression.
+    std::string key = "prefix/shared/" + std::to_string(k % 13) + "/" +
+                      std::to_string(k);
+    const int action = static_cast<int>(rng.Uniform(10));
+    if (action < 5) {
+      std::string value(rng.Uniform(max_value + 1), 'v');
+      ASSERT_TRUE(tree.Put(Slice(key), Slice(value)).ok());
+      model[key] = value;
+    } else if (action < 8) {
+      Status s = tree.Delete(Slice(key));
+      if (model.erase(key) > 0) {
+        ASSERT_TRUE(s.ok());
+      } else {
+        ASSERT_TRUE(s.IsNotFound());
+      }
+    } else {
+      Result<std::string> got = tree.Get(Slice(key));
+      auto it = model.find(key);
+      if (it == model.end()) {
+        ASSERT_TRUE(got.status().IsNotFound());
+      } else {
+        ASSERT_TRUE(got.ok());
+        ASSERT_EQ(got.value(), it->second);
+      }
+    }
+    if (op % 1000 == 999) {
+      ASSERT_TRUE(tree.Validate().ok()) << "op " << op;
+    }
+  }
+  ASSERT_TRUE(tree.Validate().ok());
+  ASSERT_EQ(tree.size(), model.size());
+
+  // Final full-scan equivalence.
+  auto it = tree.NewIterator();
+  auto mit = model.begin();
+  for (it.SeekToFirst(); it.Valid(); it.Next(), ++mit) {
+    ASSERT_NE(mit, model.end());
+    EXPECT_EQ(it.key().ToString(), mit->first);
+    EXPECT_EQ(it.value().ToString(), mit->second);
+  }
+  EXPECT_EQ(mit, model.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BTreeFuzzTest,
+    ::testing::Combine(::testing::Values(256u, 512u, 1024u),
+                       ::testing::Bool(), ::testing::Values(0u, 24u)));
+
+}  // namespace
+}  // namespace uindex

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "baselines/cgtree/cgtree.h"
+#include "util/random.h"
+
+namespace uindex {
+namespace {
+
+class CgTreeTest : public ::testing::Test {
+ protected:
+  CgTreeTest()
+      : pager_(1024), buffers_(&pager_), tree_(&buffers_, Value::Kind::kInt) {}
+
+  std::vector<Oid> Sorted(Result<std::vector<Oid>> r) {
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    std::vector<Oid> v = std::move(r).value();
+    std::sort(v.begin(), v.end());
+    return v;
+  }
+
+  Pager pager_;
+  BufferManager buffers_;
+  CgTree tree_;
+};
+
+TEST_F(CgTreeTest, InsertAndExactSearch) {
+  ASSERT_TRUE(tree_.Insert(Value::Int(5), 1, 100).ok());
+  ASSERT_TRUE(tree_.Insert(Value::Int(5), 2, 200).ok());
+  ASSERT_TRUE(tree_.Insert(Value::Int(7), 1, 300).ok());
+  EXPECT_EQ(Sorted(tree_.Search(Value::Int(5), Value::Int(5), {1, 2})),
+            (std::vector<Oid>{100, 200}));
+  EXPECT_EQ(Sorted(tree_.Search(Value::Int(7), Value::Int(7), {1})),
+            (std::vector<Oid>{300}));
+  EXPECT_TRUE(Sorted(tree_.Search(Value::Int(7), Value::Int(7), {2})).empty());
+  ASSERT_TRUE(tree_.Validate().ok());
+}
+
+TEST_F(CgTreeTest, SetChainsArePerSet) {
+  for (int k = 0; k < 2000; ++k) {
+    ASSERT_TRUE(tree_.Insert(Value::Int(k % 500), k % 4,
+                             static_cast<Oid>(k + 1))
+                    .ok());
+  }
+  ASSERT_TRUE(tree_.Validate().ok());
+
+  // A range over one set must not read other sets' data pages: compare
+  // against querying all four sets.
+  auto cost_of = [this](const std::vector<ClassId>& sets) {
+    QueryCost cost(&buffers_);
+    EXPECT_TRUE(tree_.Search(Value::Int(0), Value::Int(249), sets).ok());
+    return cost.PagesRead();
+  };
+  const uint64_t one = cost_of({2});
+  const uint64_t all = cost_of({0, 1, 2, 3});
+  EXPECT_LT(one * 2, all);
+}
+
+TEST_F(CgTreeTest, MultiKeySharingInOnePage) {
+  // A handful of tiny postings across many keys must share data pages.
+  for (int k = 0; k < 50; ++k) {
+    ASSERT_TRUE(tree_.Insert(Value::Int(k), 0, static_cast<Oid>(k + 1)).ok());
+  }
+  const CgTree::Stats stats = std::move(tree_.ComputeStats()).value();
+  EXPECT_EQ(stats.postings, 50u);
+  EXPECT_LE(stats.data_pages, 2u);  // ~14 B per posting, 1 KiB pages.
+}
+
+TEST_F(CgTreeTest, BigPostingSpillsAcrossPages) {
+  // One key with 600 oids (2.4 KB) must spill across >= 3 chained pages.
+  for (Oid oid = 1; oid <= 600; ++oid) {
+    ASSERT_TRUE(tree_.Insert(Value::Int(9), 0, oid).ok());
+  }
+  ASSERT_TRUE(tree_.Validate().ok());
+  const CgTree::Stats stats = std::move(tree_.ComputeStats()).value();
+  EXPECT_GE(stats.data_pages, 3u);
+  EXPECT_EQ(Sorted(tree_.Search(Value::Int(9), Value::Int(9), {0})).size(),
+            600u);
+}
+
+TEST_F(CgTreeTest, RemoveDrainsPagesAndDirectory) {
+  for (int k = 0; k < 400; ++k) {
+    ASSERT_TRUE(tree_.Insert(Value::Int(k), k % 2,
+                             static_cast<Oid>(k + 1))
+                    .ok());
+  }
+  ASSERT_TRUE(tree_.Validate().ok());
+  for (int k = 0; k < 400; ++k) {
+    ASSERT_TRUE(tree_.Remove(Value::Int(k), k % 2,
+                             static_cast<Oid>(k + 1))
+                    .ok());
+  }
+  ASSERT_TRUE(tree_.Validate().ok());
+  const CgTree::Stats stats = std::move(tree_.ComputeStats()).value();
+  EXPECT_EQ(stats.postings, 0u);
+  EXPECT_EQ(stats.data_pages, 0u);
+  EXPECT_EQ(stats.directory_entries, 0u);
+  EXPECT_TRUE(tree_.Remove(Value::Int(3), 1, 4).IsNotFound());
+  // The structure remains usable after full drain.
+  ASSERT_TRUE(tree_.Insert(Value::Int(1), 0, 7).ok());
+  EXPECT_EQ(Sorted(tree_.Search(Value::Int(0), Value::Int(5), {0})),
+            (std::vector<Oid>{7}));
+}
+
+TEST_F(CgTreeTest, DifferentialAgainstNaiveModel) {
+  Random rng(123);
+  std::multimap<std::pair<ClassId, int64_t>, Oid> model;
+  Oid next_oid = 1;
+  for (int op = 0; op < 6000; ++op) {
+    const int64_t key = static_cast<int64_t>(rng.Uniform(300));
+    const ClassId set = static_cast<ClassId>(rng.Uniform(6));
+    if (rng.Bernoulli(0.75) || model.empty()) {
+      const Oid oid = next_oid++;
+      ASSERT_TRUE(tree_.Insert(Value::Int(key), set, oid).ok());
+      model.insert({{set, key}, oid});
+    } else {
+      auto it = model.begin();
+      std::advance(it, static_cast<ptrdiff_t>(rng.Uniform(model.size())));
+      ASSERT_TRUE(tree_.Remove(Value::Int(it->first.second), it->first.first,
+                               it->second)
+                      .ok());
+      model.erase(it);
+    }
+    if (op % 1500 == 1499) {
+      ASSERT_TRUE(tree_.Validate().ok());
+    }
+  }
+  ASSERT_TRUE(tree_.Validate().ok());
+
+  Random qrng(321);
+  for (int q = 0; q < 60; ++q) {
+    const int64_t lo = static_cast<int64_t>(qrng.Uniform(300));
+    const int64_t hi = lo + static_cast<int64_t>(qrng.Uniform(60));
+    std::vector<ClassId> sets;
+    for (ClassId s = 0; s < 6; ++s) {
+      if (qrng.Bernoulli(0.5)) sets.push_back(s);
+    }
+    if (sets.empty()) sets.push_back(0);
+    std::vector<Oid> expected;
+    for (const auto& [sk, oid] : model) {
+      if (sk.second < lo || sk.second > hi) continue;
+      if (std::find(sets.begin(), sets.end(), sk.first) == sets.end()) {
+        continue;
+      }
+      expected.push_back(oid);
+    }
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(Sorted(tree_.Search(Value::Int(lo), Value::Int(hi), sets)),
+              expected)
+        << "query " << q;
+  }
+}
+
+TEST_F(CgTreeTest, ExactMatchCostIsModest) {
+  // Exact-match behaviour: close to a B-tree descent per queried set.
+  Random rng(5);
+  for (int i = 0; i < 30000; ++i) {
+    ASSERT_TRUE(tree_.Insert(Value::Int(static_cast<int64_t>(
+                                 rng.Uniform(1000))),
+                             static_cast<ClassId>(rng.Uniform(8)),
+                             static_cast<Oid>(i + 1))
+                    .ok());
+  }
+  QueryCost cost(&buffers_);
+  ASSERT_TRUE(tree_.Search(Value::Int(500), Value::Int(500), {3}).ok());
+  EXPECT_LE(cost.PagesRead(), 8u);
+}
+
+}  // namespace
+}  // namespace uindex

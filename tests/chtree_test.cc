@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/chtree/chtree.h"
+#include "util/random.h"
+
+namespace uindex {
+namespace {
+
+class ChTreeTest : public ::testing::Test {
+ protected:
+  ChTreeTest()
+      : pager_(1024),
+        buffers_(&pager_),
+        tree_(&buffers_, Value::Kind::kInt) {}
+
+  std::vector<Oid> Sorted(Result<std::vector<Oid>> r) {
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    std::vector<Oid> v = std::move(r).value();
+    std::sort(v.begin(), v.end());
+    return v;
+  }
+
+  Pager pager_;
+  BufferManager buffers_;
+  ChTree tree_;
+};
+
+TEST_F(ChTreeTest, InsertAndExactSearch) {
+  ASSERT_TRUE(tree_.Insert(Value::Int(5), 1, 100).ok());
+  ASSERT_TRUE(tree_.Insert(Value::Int(5), 2, 200).ok());
+  ASSERT_TRUE(tree_.Insert(Value::Int(7), 1, 300).ok());
+  EXPECT_EQ(Sorted(tree_.Search(Value::Int(5), Value::Int(5), {1, 2})),
+            (std::vector<Oid>{100, 200}));
+  EXPECT_EQ(Sorted(tree_.Search(Value::Int(5), Value::Int(5), {1})),
+            (std::vector<Oid>{100}));
+  EXPECT_TRUE(Sorted(tree_.Search(Value::Int(6), Value::Int(6), {1})).empty());
+}
+
+TEST_F(ChTreeTest, RangeSearchSpansKeys) {
+  for (int k = 0; k < 50; ++k) {
+    ASSERT_TRUE(tree_.Insert(Value::Int(k), k % 3,
+                             static_cast<Oid>(k + 1))
+                    .ok());
+  }
+  const auto got = Sorted(tree_.Search(Value::Int(10), Value::Int(19),
+                                       {0, 1, 2}));
+  EXPECT_EQ(got.size(), 10u);
+  const auto set0 = Sorted(tree_.Search(Value::Int(10), Value::Int(19), {0}));
+  for (const Oid oid : set0) EXPECT_EQ((oid - 1) % 3, 0u);
+}
+
+TEST_F(ChTreeTest, RemovePostings) {
+  ASSERT_TRUE(tree_.Insert(Value::Int(5), 1, 100).ok());
+  ASSERT_TRUE(tree_.Insert(Value::Int(5), 1, 101).ok());
+  ASSERT_TRUE(tree_.Remove(Value::Int(5), 1, 100).ok());
+  EXPECT_EQ(Sorted(tree_.Search(Value::Int(5), Value::Int(5), {1})),
+            (std::vector<Oid>{101}));
+  ASSERT_TRUE(tree_.Remove(Value::Int(5), 1, 101).ok());
+  EXPECT_TRUE(
+      Sorted(tree_.Search(Value::Int(5), Value::Int(5), {1})).empty());
+  EXPECT_TRUE(tree_.Remove(Value::Int(5), 1, 101).IsNotFound());
+  EXPECT_TRUE(tree_.Remove(Value::Int(9), 1, 1).IsNotFound());
+}
+
+TEST_F(ChTreeTest, LongDirectoriesSpillToOverflowChains) {
+  // 1500 oids under one key: far beyond one 1 KiB page.
+  for (Oid oid = 1; oid <= 1500; ++oid) {
+    ASSERT_TRUE(tree_.Insert(Value::Int(42), oid % 8, oid).ok());
+  }
+  const uint64_t pages_before_query = pager_.live_page_count();
+  EXPECT_GT(pages_before_query, 6u);  // Chain pages materialized.
+
+  QueryCost cost(&buffers_);
+  const auto got = Sorted(tree_.Search(Value::Int(42), Value::Int(42), {3}));
+  size_t expected = 0;
+  for (Oid oid = 1; oid <= 1500; ++oid) expected += (oid % 8 == 3) ? 1 : 0;
+  EXPECT_EQ(got.size(), expected);
+  // Key grouping: the whole directory chain is read even for one set.
+  EXPECT_GT(cost.PagesRead(), 6u);
+
+  // Removing everything frees the chains.
+  for (Oid oid = 1; oid <= 1500; ++oid) {
+    ASSERT_TRUE(tree_.Remove(Value::Int(42), oid % 8, oid).ok());
+  }
+  EXPECT_LT(pager_.live_page_count(), pages_before_query);
+}
+
+TEST_F(ChTreeTest, DifferentialAgainstNaiveModel) {
+  Random rng(77);
+  // model[key] -> vector of (set, oid)
+  std::map<int64_t, std::vector<std::pair<ClassId, Oid>>> model;
+  Oid next_oid = 1;
+  for (int op = 0; op < 3000; ++op) {
+    const int64_t key = static_cast<int64_t>(rng.Uniform(40));
+    const ClassId set = static_cast<ClassId>(rng.Uniform(5));
+    if (rng.Bernoulli(0.7) || model[key].empty()) {
+      const Oid oid = next_oid++;
+      ASSERT_TRUE(tree_.Insert(Value::Int(key), set, oid).ok());
+      model[key].push_back({set, oid});
+    } else {
+      auto& postings = model[key];
+      const size_t pick = rng.Uniform(postings.size());
+      ASSERT_TRUE(tree_.Remove(Value::Int(key), postings[pick].first,
+                               postings[pick].second)
+                      .ok());
+      postings.erase(postings.begin() + static_cast<ptrdiff_t>(pick));
+    }
+  }
+  for (int64_t lo = 0; lo < 40; lo += 7) {
+    const int64_t hi = lo + 6;
+    for (ClassId set = 0; set < 5; ++set) {
+      std::vector<Oid> expected;
+      for (const auto& [key, postings] : model) {
+        if (key < lo || key > hi) continue;
+        for (const auto& [s, oid] : postings) {
+          if (s == set) expected.push_back(oid);
+        }
+      }
+      std::sort(expected.begin(), expected.end());
+      EXPECT_EQ(Sorted(tree_.Search(Value::Int(lo), Value::Int(hi), {set})),
+                expected);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace uindex

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "schema/class_code.h"
+#include "util/slice.h"
+
+namespace uindex {
+namespace {
+
+TEST(TokenTest, FirstTokensMatchPaperAlphabet) {
+  EXPECT_EQ(TokenForIndex(0), "1");
+  EXPECT_EQ(TokenForIndex(8), "9");
+  EXPECT_EQ(TokenForIndex(9), "A");
+  EXPECT_EQ(TokenForIndex(10), "B");
+  EXPECT_EQ(TokenForIndex(33), "Y");
+  EXPECT_EQ(TokenForIndex(34), "Z1");
+  EXPECT_EQ(TokenForIndex(67), "ZY");
+  EXPECT_EQ(TokenForIndex(68), "ZZ1");
+}
+
+TEST(TokenTest, OrderMatchesIndexOrder) {
+  std::string prev = TokenForIndex(0);
+  for (size_t i = 1; i < 500; ++i) {
+    const std::string token = TokenForIndex(i);
+    EXPECT_TRUE(Slice(prev) < Slice(token))
+        << prev << " !< " << token << " at " << i;
+    prev = token;
+  }
+}
+
+TEST(TokenTest, NoTokenIsPrefixOfAnother) {
+  // Unique decodability: tokens are Z* followed by one non-Z character.
+  for (size_t i = 0; i < 120; ++i) {
+    for (size_t j = 0; j < 120; ++j) {
+      if (i == j) continue;
+      const std::string a = TokenForIndex(i);
+      const std::string b = TokenForIndex(j);
+      EXPECT_FALSE(Slice(b).StartsWith(Slice(a)))
+          << a << " is a prefix of " << b;
+    }
+  }
+}
+
+TEST(TokenTest, FirstTokenLengthDecodesStreams) {
+  EXPECT_EQ(FirstTokenLength(Slice("5AB")), 1u);
+  EXPECT_EQ(FirstTokenLength(Slice("Z1AB")), 2u);
+  EXPECT_EQ(FirstTokenLength(Slice("ZZ9")), 3u);
+  EXPECT_EQ(FirstTokenLength(Slice("")), 0u);
+  EXPECT_EQ(FirstTokenLength(Slice("Z")), 0u);   // Truncated.
+  EXPECT_EQ(FirstTokenLength(Slice("$x")), 0u);  // Not a token char.
+}
+
+TEST(ClassCodeTest, SeparatorSortsBelowAllTokenCharacters) {
+  // The paper's note: '$' is lower lexicographically than 'A' (and '1').
+  EXPECT_LT(kCodeOidSeparator, '1');
+  EXPECT_LT(kCodeOidSeparator, 'A');
+  // Hence a class's own entries sort before its first subclass's entries:
+  // "C5$..." < "C5A$...".
+  EXPECT_TRUE(Slice("C5$xxxx") < Slice("C5A$xxxx"));
+}
+
+TEST(ClassCodeTest, DescendantIsPrefixRelation) {
+  EXPECT_TRUE(CodeIsSelfOrDescendant(Slice("C5A"), Slice("C5")));
+  EXPECT_TRUE(CodeIsSelfOrDescendant(Slice("C5AA"), Slice("C5")));
+  EXPECT_TRUE(CodeIsSelfOrDescendant(Slice("C5"), Slice("C5")));
+  EXPECT_FALSE(CodeIsSelfOrDescendant(Slice("C5"), Slice("C5A")));
+  EXPECT_FALSE(CodeIsSelfOrDescendant(Slice("C6"), Slice("C5")));
+}
+
+TEST(ClassCodeTest, SubtreeUpperBoundCoversDescendantsOnly) {
+  EXPECT_EQ(SubtreeUpperBound(Slice("C5A")), "C5B");
+  EXPECT_EQ(SubtreeUpperBound(Slice("C5")), "C6");
+  // All descendants fall inside [code, bound); siblings fall outside.
+  const std::string bound = SubtreeUpperBound(Slice("C5A"));
+  EXPECT_TRUE(Slice("C5A") < Slice(bound));
+  EXPECT_TRUE(Slice("C5AA$") < Slice(bound));
+  EXPECT_TRUE(Slice("C5AZ3$") < Slice(bound));
+  EXPECT_FALSE(Slice("C5B$") < Slice(bound));
+}
+
+TEST(ClassCodeTest, PreorderPropertyAcrossGeneratedTree) {
+  // Build codes for a small synthetic tree: root "C1" with children and
+  // grandchildren, and check lexicographic order == preorder.
+  std::vector<std::string> preorder;
+  preorder.push_back("C1");
+  for (size_t c = 0; c < 5; ++c) {
+    const std::string child = "C1" + TokenForIndex(9 + c);
+    preorder.push_back(child);
+    for (size_t g = 0; g < 3; ++g) {
+      preorder.push_back(child + TokenForIndex(9 + g));
+    }
+  }
+  for (size_t i = 1; i < preorder.size(); ++i) {
+    EXPECT_TRUE(Slice(preorder[i - 1]) < Slice(preorder[i]))
+        << preorder[i - 1] << " !< " << preorder[i];
+  }
+}
+
+}  // namespace
+}  // namespace uindex

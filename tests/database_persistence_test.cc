@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "db/database.h"
+
+namespace uindex {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+// Builds a small dealership database with two indexes and some data.
+struct Built {
+  std::unique_ptr<Database> db;
+  ClassId employee, company, vehicle, car;
+  Oid president, maker, v1, v2;
+};
+
+Built BuildSample() {
+  Built out;
+  out.db = std::make_unique<Database>();
+  Database& db = *out.db;
+  out.employee = db.CreateClass("Employee").value();
+  out.company = db.CreateClass("Company").value();
+  out.vehicle = db.CreateClass("Vehicle").value();
+  out.car = db.CreateSubclass("Car", out.vehicle).value();
+  EXPECT_TRUE(db.CreateReference(out.vehicle, out.company, "made-by").ok());
+  EXPECT_TRUE(
+      db.CreateReference(out.company, out.employee, "president").ok());
+
+  out.president = db.CreateObject(out.employee).value();
+  EXPECT_TRUE(db.SetAttr(out.president, "Age", Value::Int(50)).ok());
+  out.maker = db.CreateObject(out.company).value();
+  EXPECT_TRUE(
+      db.SetAttr(out.maker, "president", Value::Ref(out.president)).ok());
+  out.v1 = db.CreateObject(out.car).value();
+  EXPECT_TRUE(db.SetAttr(out.v1, "Price", Value::Int(10)).ok());
+  EXPECT_TRUE(db.SetAttr(out.v1, "made-by", Value::Ref(out.maker)).ok());
+  out.v2 = db.CreateObject(out.vehicle).value();
+  EXPECT_TRUE(db.SetAttr(out.v2, "Price", Value::Int(30)).ok());
+  EXPECT_TRUE(db.SetAttr(out.v2, "made-by", Value::Ref(out.maker)).ok());
+
+  EXPECT_TRUE(db.CreateIndex(PathSpec::ClassHierarchy(
+                                 out.vehicle, "Price", Value::Kind::kInt))
+                  .ok());
+  PathSpec age;
+  age.classes = {out.vehicle, out.company, out.employee};
+  age.ref_attrs = {"made-by", "president"};
+  age.indexed_attr = "Age";
+  age.value_kind = Value::Kind::kInt;
+  EXPECT_TRUE(db.CreateIndex(age).ok());
+  return out;
+}
+
+TEST(DatabasePersistenceTest, FullRoundTrip) {
+  const std::string path = TempPath("dealership.udb");
+  Built built = BuildSample();
+  ASSERT_TRUE(built.db->Save(path).ok());
+
+  Result<std::unique_ptr<Database>> reopened = Database::Open(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  Database& db = *reopened.value();
+
+  // Schema, codes, and catalog survive.
+  EXPECT_EQ(db.schema().class_count(), 4u);
+  const ClassId car = db.schema().FindClass("Car").value();
+  EXPECT_EQ(db.coder().CodeOf(car),
+            built.db->coder().CodeOf(built.car));
+  ASSERT_NE(db.catalog(), nullptr);
+  EXPECT_EQ(std::move(db.catalog()
+                          ->NameOf(Slice(db.coder().CodeOf(car))))
+                .value(),
+            "Car");
+
+  // Objects survive with attributes and references.
+  EXPECT_EQ(db.store().size(), 4u);
+  EXPECT_EQ(db.store()
+                .Get(built.v1)
+                .value()
+                ->FindAttr("Price")
+                ->AsInt(),
+            10);
+  EXPECT_EQ(db.store().Deref(built.v1, "made-by").value(), built.maker);
+  // Reverse references were rebuilt.
+  EXPECT_EQ(db.store().ReferrersOf(built.maker, "made-by").size(), 2u);
+
+  // Indexes answer queries without rebuilding.
+  EXPECT_EQ(db.index_count(), 2u);
+  Database::Selection sel;
+  sel.cls = db.schema().FindClass("Vehicle").value();
+  sel.attr = "Price";
+  sel.lo = Value::Int(0);
+  sel.hi = Value::Int(20);
+  auto r = std::move(db.Select(sel)).value();
+  EXPECT_TRUE(r.used_index);
+  EXPECT_EQ(r.oids, (std::vector<Oid>{built.v1}));
+
+  sel.attr = "Age";
+  sel.lo = sel.hi = Value::Int(50);
+  r = std::move(db.Select(sel)).value();
+  EXPECT_TRUE(r.used_index);
+  EXPECT_EQ(r.oids, (std::vector<Oid>{built.v1, built.v2}));
+
+  // The reopened database is fully writable: DML keeps indexes live and
+  // oids continue from where they stopped.
+  const Oid v3 = db.CreateObject(car).value();
+  EXPECT_GT(v3, built.v2);
+  ASSERT_TRUE(db.SetAttr(v3, "Price", Value::Int(15)).ok());
+  sel.attr = "Price";
+  sel.lo = Value::Int(0);
+  sel.hi = Value::Int(20);
+  r = std::move(db.Select(sel)).value();
+  EXPECT_EQ(r.oids, (std::vector<Oid>{built.v1, v3}));
+
+  // DDL continues too (codes keep evolving from the stored state).
+  const ClassId bike = db.CreateSubclass("Bike", sel.cls).value();
+  EXPECT_EQ(db.coder().CodeOf(bike).substr(0, 2),
+            db.coder().CodeOf(sel.cls));
+
+  std::remove(path.c_str());
+}
+
+TEST(DatabasePersistenceTest, SaveReopenSaveAgain) {
+  const std::string path1 = TempPath("gen1.udb");
+  const std::string path2 = TempPath("gen2.udb");
+  Built built = BuildSample();
+  ASSERT_TRUE(built.db->Save(path1).ok());
+
+  auto gen2 = std::move(Database::Open(path1)).value();
+  const ClassId car = gen2->schema().FindClass("Car").value();
+  const Oid v3 = gen2->CreateObject(car).value();
+  ASSERT_TRUE(gen2->SetAttr(v3, "Price", Value::Int(99)).ok());
+  ASSERT_TRUE(gen2->Save(path2).ok());
+
+  auto gen3 = std::move(Database::Open(path2)).value();
+  EXPECT_EQ(gen3->store().size(), 5u);
+  Database::Selection sel;
+  sel.cls = gen3->schema().FindClass("Vehicle").value();
+  sel.attr = "Price";
+  sel.lo = sel.hi = Value::Int(99);
+  EXPECT_EQ(std::move(gen3->Select(sel)).value().oids,
+            (std::vector<Oid>{v3}));
+  std::remove(path1.c_str());
+  std::remove(path2.c_str());
+}
+
+TEST(DatabasePersistenceTest, OpenRejectsGarbage) {
+  const std::string path = TempPath("garbage.udb");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fwrite("garbage", 1, 7, f);
+  std::fclose(f);
+  EXPECT_FALSE(Database::Open(path).ok());
+  std::remove(path.c_str());
+  EXPECT_TRUE(Database::Open(TempPath("nope.udb")).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace uindex

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+
+namespace uindex {
+namespace {
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  DatabaseTest() {
+    employee_ = db_.CreateClass("Employee").value();
+    company_ = db_.CreateClass("Company").value();
+    auto_company_ = db_.CreateSubclass("AutoCompany", company_).value();
+    vehicle_ = db_.CreateClass("Vehicle").value();
+    car_ = db_.CreateSubclass("Car", vehicle_).value();
+    truck_ = db_.CreateSubclass("Truck", vehicle_).value();
+    EXPECT_TRUE(
+        db_.CreateReference(vehicle_, company_, "made-by").ok());
+    EXPECT_TRUE(
+        db_.CreateReference(company_, employee_, "president").ok());
+  }
+
+  Oid NewEmployee(int64_t age) {
+    const Oid oid = db_.CreateObject(employee_).value();
+    EXPECT_TRUE(db_.SetAttr(oid, "Age", Value::Int(age)).ok());
+    return oid;
+  }
+  Oid NewCompany(ClassId cls, Oid president) {
+    const Oid oid = db_.CreateObject(cls).value();
+    EXPECT_TRUE(db_.SetAttr(oid, "president", Value::Ref(president)).ok());
+    return oid;
+  }
+  Oid NewVehicle(ClassId cls, int64_t price, Oid maker) {
+    const Oid oid = db_.CreateObject(cls).value();
+    EXPECT_TRUE(db_.SetAttr(oid, "Price", Value::Int(price)).ok());
+    EXPECT_TRUE(db_.SetAttr(oid, "made-by", Value::Ref(maker)).ok());
+    return oid;
+  }
+
+  Database db_;
+  ClassId employee_, company_, auto_company_, vehicle_, car_, truck_;
+};
+
+TEST_F(DatabaseTest, DdlAssignsCodesAndCatalog) {
+  EXPECT_EQ(db_.coder().CodeOf(employee_), "C1");
+  EXPECT_EQ(db_.coder().CodeOf(company_), "C2");
+  EXPECT_EQ(db_.coder().CodeOf(auto_company_), "C2A");
+  EXPECT_EQ(db_.coder().CodeOf(vehicle_), "C3");
+  EXPECT_EQ(db_.coder().CodeOf(car_), "C3A");
+  ASSERT_NE(db_.catalog(), nullptr);
+  EXPECT_EQ(std::move(db_.catalog()->NameOf(Slice("C3A"))).value(), "Car");
+  const auto refs =
+      std::move(db_.catalog()->ReferencesOf(Slice("C3"))).value();
+  ASSERT_EQ(refs.size(), 1u);
+  EXPECT_EQ(refs[0].attribute, "made-by");
+}
+
+TEST_F(DatabaseTest, RefInvertingCodeOrderIsRejected) {
+  // Employee (C1) referencing Vehicle (C3) would invert the order.
+  EXPECT_TRUE(
+      db_.CreateReference(employee_, vehicle_, "owns").IsInvalidArgument());
+}
+
+TEST_F(DatabaseTest, SelectWithoutIndexScansExtent) {
+  NewVehicle(car_, 10, NewCompany(company_, NewEmployee(50)));
+  NewVehicle(truck_, 30, NewCompany(company_, NewEmployee(60)));
+  Database::Selection sel;
+  sel.cls = vehicle_;
+  sel.attr = "Price";
+  sel.lo = Value::Int(20);
+  sel.hi = Value::Int(40);
+  const auto r = std::move(db_.Select(sel)).value();
+  EXPECT_FALSE(r.used_index);
+  EXPECT_EQ(r.oids.size(), 1u);
+}
+
+TEST_F(DatabaseTest, SelectUsesClassHierarchyIndex) {
+  const Oid president = NewEmployee(50);
+  const Oid maker = NewCompany(auto_company_, president);
+  const Oid cheap = NewVehicle(car_, 10, maker);
+  const Oid mid = NewVehicle(truck_, 25, maker);
+  NewVehicle(car_, 90, maker);
+
+  ASSERT_TRUE(db_.CreateIndex(PathSpec::ClassHierarchy(
+                                  vehicle_, "Price", Value::Kind::kInt))
+                  .ok());
+
+  Database::Selection sel;
+  sel.cls = vehicle_;
+  sel.attr = "Price";
+  sel.lo = Value::Int(5);
+  sel.hi = Value::Int(30);
+  auto r = std::move(db_.Select(sel)).value();
+  EXPECT_TRUE(r.used_index);
+  EXPECT_EQ(r.oids, (std::vector<Oid>{cheap, mid}));
+
+  // Subclass-only selection through the same index.
+  sel.cls = truck_;
+  r = std::move(db_.Select(sel)).value();
+  EXPECT_TRUE(r.used_index);
+  EXPECT_EQ(r.oids, (std::vector<Oid>{mid}));
+
+  // Wrong attribute: falls back to a scan.
+  sel.attr = "Weight";
+  sel.lo = sel.hi = Value::Int(1);
+  r = std::move(db_.Select(sel)).value();
+  EXPECT_FALSE(r.used_index);
+}
+
+TEST_F(DatabaseTest, SelectUsesPathIndexForAnyPosition) {
+  const Oid e50 = NewEmployee(50);
+  const Oid e60 = NewEmployee(60);
+  const Oid maker50 = NewCompany(auto_company_, e50);
+  const Oid maker60 = NewCompany(company_, e60);
+  const Oid v1 = NewVehicle(car_, 10, maker50);
+  const Oid v2 = NewVehicle(truck_, 20, maker60);
+  NewVehicle(car_, 30, maker60);
+
+  PathSpec spec;
+  spec.classes = {vehicle_, company_, employee_};
+  spec.ref_attrs = {"made-by", "president"};
+  spec.indexed_attr = "Age";
+  spec.value_kind = Value::Kind::kInt;
+  ASSERT_TRUE(db_.CreateIndex(spec).ok());
+
+  // Head position: vehicles by president age.
+  Database::Selection sel;
+  sel.cls = vehicle_;
+  sel.attr = "Age";
+  sel.lo = sel.hi = Value::Int(50);
+  auto r = std::move(db_.Select(sel)).value();
+  EXPECT_TRUE(r.used_index);
+  EXPECT_EQ(r.oids, (std::vector<Oid>{v1}));
+
+  // Mid position: companies by president age (partial-path skip).
+  sel.cls = company_;
+  sel.lo = sel.hi = Value::Int(60);
+  r = std::move(db_.Select(sel)).value();
+  EXPECT_TRUE(r.used_index);
+  EXPECT_EQ(r.oids, (std::vector<Oid>{maker60}));
+
+  // Subclass at head: trucks only.
+  sel.cls = truck_;
+  r = std::move(db_.Select(sel)).value();
+  EXPECT_TRUE(r.used_index);
+  EXPECT_EQ(r.oids, (std::vector<Oid>{v2}));
+}
+
+TEST_F(DatabaseTest, DmlKeepsIndexesCurrent) {
+  const Oid maker = NewCompany(auto_company_, NewEmployee(50));
+  const Oid v = NewVehicle(car_, 10, maker);
+  ASSERT_TRUE(db_.CreateIndex(PathSpec::ClassHierarchy(
+                                  vehicle_, "Price", Value::Kind::kInt))
+                  .ok());
+
+  Database::Selection sel;
+  sel.cls = vehicle_;
+  sel.attr = "Price";
+  sel.lo = Value::Int(0);
+  sel.hi = Value::Int(15);
+  EXPECT_EQ(std::move(db_.Select(sel)).value().oids,
+            (std::vector<Oid>{v}));
+
+  ASSERT_TRUE(db_.SetAttr(v, "Price", Value::Int(99)).ok());
+  EXPECT_TRUE(std::move(db_.Select(sel)).value().oids.empty());
+
+  const Oid v2 = NewVehicle(truck_, 5, maker);
+  EXPECT_EQ(std::move(db_.Select(sel)).value().oids,
+            (std::vector<Oid>{v2}));
+
+  ASSERT_TRUE(db_.DeleteObject(v2).ok());
+  EXPECT_TRUE(std::move(db_.Select(sel)).value().oids.empty());
+}
+
+TEST_F(DatabaseTest, ExplainRanksCandidates) {
+  const Oid maker = NewCompany(auto_company_, NewEmployee(50));
+  for (int i = 0; i < 200; ++i) {
+    NewVehicle(i % 2 == 0 ? car_ : truck_, 2 * i, maker);
+  }
+  ASSERT_TRUE(db_.CreateIndex(PathSpec::ClassHierarchy(
+                                  vehicle_, "Price", Value::Kind::kInt))
+                  .ok());
+
+  Database::Selection sel;
+  sel.cls = vehicle_;
+  sel.attr = "Price";
+  sel.lo = Value::Int(0);
+  sel.hi = Value::Int(39);  // ~10% of the 0..398 domain.
+  const auto plan = std::move(db_.Explain(sel)).value();
+  ASSERT_EQ(plan.candidates.size(), 2u);  // Index + scan.
+  EXPECT_EQ(plan.chosen, 0u);
+  EXPECT_TRUE(plan.candidates[0].usable);
+  EXPECT_GT(plan.candidates[0].estimated_pages, 0.0);
+  // A 10% range must be estimated far below a full scan of 200 objects.
+  EXPECT_LT(plan.candidates[0].estimated_pages,
+            plan.candidates[1].estimated_pages);
+
+  // Unservable selection: index is listed but unusable; scan is chosen.
+  sel.attr = "Weight";
+  const auto plan2 = std::move(db_.Explain(sel)).value();
+  EXPECT_FALSE(plan2.candidates[0].usable);
+  EXPECT_EQ(plan2.chosen, 1u);
+  EXPECT_FALSE(plan2.candidates[0].reason.empty());
+}
+
+TEST_F(DatabaseTest, CreateIndexValidatesSpec) {
+  PathSpec bad;
+  bad.classes = {vehicle_, company_};
+  bad.ref_attrs = {};  // Mismatch.
+  bad.indexed_attr = "Age";
+  EXPECT_TRUE(db_.CreateIndex(bad).status().IsInvalidArgument());
+}
+
+TEST_F(DatabaseTest, IndexlessDatabaseWorksWithCatalogDisabled) {
+  DatabaseOptions opts;
+  opts.maintain_catalog = false;
+  Database db(opts);
+  const ClassId cls = db.CreateClass("Thing").value();
+  EXPECT_EQ(db.catalog(), nullptr);
+  const Oid oid = db.CreateObject(cls).value();
+  ASSERT_TRUE(db.SetAttr(oid, "x", Value::Int(1)).ok());
+  Database::Selection sel;
+  sel.cls = cls;
+  sel.attr = "x";
+  sel.lo = sel.hi = Value::Int(1);
+  EXPECT_EQ(std::move(db.Select(sel)).value().oids,
+            (std::vector<Oid>{oid}));
+}
+
+}  // namespace
+}  // namespace uindex

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "schema/encoder.h"
+#include "workload/paper_schema.h"
+
+namespace uindex {
+namespace {
+
+TEST(ClassCoderTest, ReproducesThePapersCodTable) {
+  const PaperSchema p = PaperSchema::Build();
+  Result<ClassCoder> coder = ClassCoder::Assign(p.schema);
+  ASSERT_TRUE(coder.ok());
+  const ClassCoder& c = coder.value();
+  // §3: the COD relation, including the §5 experimental additions.
+  EXPECT_EQ(c.CodeOf(p.employee), "C1");
+  EXPECT_EQ(c.CodeOf(p.company), "C2");
+  EXPECT_EQ(c.CodeOf(p.city), "C3");
+  EXPECT_EQ(c.CodeOf(p.division), "C4");
+  EXPECT_EQ(c.CodeOf(p.vehicle), "C5");
+  EXPECT_EQ(c.CodeOf(p.automobile), "C5A");
+  EXPECT_EQ(c.CodeOf(p.compact_automobile), "C5AA");
+  EXPECT_EQ(c.CodeOf(p.foreign_auto), "C5AB");
+  EXPECT_EQ(c.CodeOf(p.service_auto), "C5AC");
+  EXPECT_EQ(c.CodeOf(p.truck), "C5B");
+  EXPECT_EQ(c.CodeOf(p.heavy_truck), "C5BA");
+  EXPECT_EQ(c.CodeOf(p.light_truck), "C5BB");
+  EXPECT_EQ(c.CodeOf(p.bus), "C5C");
+  EXPECT_EQ(c.CodeOf(p.military_bus), "C5CA");
+  EXPECT_EQ(c.CodeOf(p.tourist_bus), "C5CB");
+  EXPECT_EQ(c.CodeOf(p.passenger_bus), "C5CC");
+  EXPECT_EQ(c.CodeOf(p.auto_company), "C2A");
+  EXPECT_EQ(c.CodeOf(p.japanese_auto_company), "C2AA");
+  EXPECT_EQ(c.CodeOf(p.truck_company), "C2B");
+  EXPECT_TRUE(c.Verify(p.schema).ok());
+}
+
+TEST(ClassCoderTest, ClassOfInvertsCodeOf) {
+  const PaperSchema p = PaperSchema::Build();
+  const ClassCoder c = std::move(ClassCoder::Assign(p.schema)).value();
+  for (ClassId cls = 0; cls < p.schema.class_count(); ++cls) {
+    EXPECT_EQ(c.ClassOf(Slice(c.CodeOf(cls))).value(), cls);
+  }
+  EXPECT_TRUE(c.ClassOf(Slice("C9")).status().IsNotFound());
+}
+
+TEST(ClassCoderTest, SubtreeUpperBoundsIsolateSubtrees) {
+  const PaperSchema p = PaperSchema::Build();
+  const ClassCoder c = std::move(ClassCoder::Assign(p.schema)).value();
+  // §3: "scanning all classes beginning with C2 upto (not including) C3
+  // results exactly with the class-hierarchy of C2 in preorder sequence".
+  EXPECT_EQ(c.SubtreeUpperBoundOf(p.company), "C3");
+  const std::string lo = c.CodeOf(p.company);
+  const std::string hi = c.SubtreeUpperBoundOf(p.company);
+  for (const ClassId cls : p.schema.SubtreeOf(p.company)) {
+    const std::string& code = c.CodeOf(cls);
+    EXPECT_FALSE(Slice(code) < Slice(lo)) << code;
+    EXPECT_TRUE(Slice(code) < Slice(hi)) << code;
+  }
+  // Non-members fall outside.
+  EXPECT_TRUE(Slice(c.CodeOf(p.employee)) < Slice(lo));
+  EXPECT_FALSE(Slice(c.CodeOf(p.city)) < Slice(hi));
+}
+
+TEST(ClassCoderTest, PreorderEqualsCodeOrder) {
+  const PaperSchema p = PaperSchema::Build();
+  const ClassCoder c = std::move(ClassCoder::Assign(p.schema)).value();
+  const std::vector<ClassId> preorder = p.schema.SubtreeOf(p.vehicle);
+  for (size_t i = 1; i < preorder.size(); ++i) {
+    EXPECT_TRUE(Slice(c.CodeOf(preorder[i - 1])) <
+                Slice(c.CodeOf(preorder[i])))
+        << p.schema.NameOf(preorder[i - 1]) << " vs "
+        << p.schema.NameOf(preorder[i]);
+  }
+}
+
+TEST(ClassCoderTest, EvolutionAddsSubclassWithinHierarchy) {
+  // Paper Fig. 4a: a new class within an existing hierarchy extends the
+  // parent's code with the next free token.
+  PaperSchema p = PaperSchema::Build();
+  ClassCoder c = std::move(ClassCoder::Assign(p.schema)).value();
+  const ClassId sports =
+      p.schema.AddSubclass("SportsCar", p.automobile).value();
+  ASSERT_TRUE(c.AssignNewClass(p.schema, sports).ok());
+  EXPECT_EQ(c.CodeOf(sports), "C5AD");  // After C5AA, C5AB, C5AC.
+  EXPECT_TRUE(c.Verify(p.schema).ok());
+  EXPECT_TRUE(c.AssignNewClass(p.schema, sports).IsAlreadyExists());
+}
+
+TEST(ClassCoderTest, EvolutionAddsNewHierarchy) {
+  // Paper Fig. 4b: a new hierarchy is appended after existing roots.
+  PaperSchema p = PaperSchema::Build();
+  ClassCoder c = std::move(ClassCoder::Assign(p.schema)).value();
+  const ClassId dealer = p.schema.AddClass("Dealer").value();
+  ASSERT_TRUE(c.AssignNewClass(p.schema, dealer).ok());
+  EXPECT_EQ(c.CodeOf(dealer), "C6");
+  // A REF from Dealer to Company is fine (C2 < C6)...
+  ASSERT_TRUE(p.schema.AddReference(dealer, p.company, "franchise").ok());
+  EXPECT_TRUE(c.Verify(p.schema).ok());
+  // ...but a REF from Employee to Dealer breaks the order: re-encode.
+  ASSERT_TRUE(p.schema.AddReference(p.employee, dealer, "works-at").ok());
+  EXPECT_TRUE(c.Verify(p.schema).IsInvalidArgument());
+}
+
+TEST(ClassCoderTest, ParentMustBeCodedBeforeChild) {
+  PaperSchema p = PaperSchema::Build();
+  ClassCoder c = std::move(ClassCoder::Assign(p.schema)).value();
+  const ClassId x = p.schema.AddClass("X").value();
+  const ClassId y = p.schema.AddSubclass("Y", x).value();
+  EXPECT_TRUE(c.AssignNewClass(p.schema, y).IsInvalidArgument());
+  ASSERT_TRUE(c.AssignNewClass(p.schema, x).ok());
+  ASSERT_TRUE(c.AssignNewClass(p.schema, y).ok());
+  EXPECT_TRUE(CodeIsSelfOrDescendant(Slice(c.CodeOf(y)),
+                                     Slice(c.CodeOf(x))));
+}
+
+TEST(ClassCoderTest, ManyRootsAndChildrenStayOrdered) {
+  // Stress the token generator past the single-character alphabet.
+  Schema s;
+  std::vector<ClassId> roots;
+  for (int i = 0; i < 50; ++i) {
+    std::string name = "R";
+    name += std::to_string(i);
+    roots.push_back(s.AddClass(name).value());
+  }
+  std::vector<ClassId> kids;
+  for (int i = 0; i < 40; ++i) {
+    std::string name = "K";
+    name += std::to_string(i);
+    kids.push_back(s.AddSubclass(name, roots[0]).value());
+  }
+  const ClassCoder c = std::move(ClassCoder::Assign(s)).value();
+  for (size_t i = 1; i < roots.size(); ++i) {
+    EXPECT_TRUE(Slice(c.CodeOf(roots[i - 1])) < Slice(c.CodeOf(roots[i])));
+  }
+  for (size_t i = 1; i < kids.size(); ++i) {
+    EXPECT_TRUE(Slice(c.CodeOf(kids[i - 1])) < Slice(c.CodeOf(kids[i])));
+    EXPECT_TRUE(CodeIsSelfOrDescendant(Slice(c.CodeOf(kids[i])),
+                                       Slice(c.CodeOf(roots[0]))));
+  }
+  // All 40 children precede root #1's code? No — they must stay inside
+  // root 0's subtree range.
+  const std::string bound = c.SubtreeUpperBoundOf(roots[0]);
+  for (const ClassId kid : kids) {
+    EXPECT_TRUE(Slice(c.CodeOf(kid)) < Slice(bound));
+  }
+}
+
+TEST(ClassCoderTest, CycleBreakingEnablesSeparateEncoding) {
+  Schema s;
+  const ClassId employee = s.AddClass("Employee").value();
+  const ClassId vehicle = s.AddClass("Vehicle").value();
+  ASSERT_TRUE(s.AddReference(employee, vehicle, "OWN").ok());
+  ASSERT_TRUE(s.AddReference(vehicle, employee, "USE").ok());
+  ASSERT_TRUE(ClassCoder::Assign(s).status().IsInvalidArgument());
+  const std::vector<size_t> dropped = s.FindCycleBreakingEdges();
+  Result<ClassCoder> coder = ClassCoder::Assign(s, dropped);
+  ASSERT_TRUE(coder.ok());
+  EXPECT_TRUE(coder.value().Verify(s, dropped).ok());
+}
+
+}  // namespace
+}  // namespace uindex

@@ -1,0 +1,104 @@
+#ifndef UINDEX_TESTS_EXAMPLE_DATABASE_H_
+#define UINDEX_TESTS_EXAMPLE_DATABASE_H_
+
+#include <memory>
+
+#include "objects/object_store.h"
+#include "schema/encoder.h"
+#include "workload/paper_schema.h"
+
+namespace uindex {
+
+/// The paper's Example 1 instance database over the Fig. 1 schema:
+///
+///   v1 Vehicle(Legacy, White, c1)     c1 JapaneseAutoCompany(Subaru, e3)
+///   v2 Automobile(Tipo, White, c2)    c2 AutoCompany(Fiat, e1)
+///   v3 Automobile(Panda, Red, c2)     c3 AutoCompany(Renault, e2)
+///   v4 Compact(R5, Red, c3)           e1 Employee(50)
+///   v5 Compact(Justy, Blue, c1)       e2 Employee(60)
+///   v6 Compact(Uno, White, c2)        e3 Employee(45)
+struct ExampleDatabase {
+  PaperSchema ids;
+  std::unique_ptr<ClassCoder> coder;
+  std::unique_ptr<ObjectStore> store;
+  Oid e1, e2, e3;
+  Oid c1, c2, c3;
+  Oid v1, v2, v3, v4, v5, v6;
+
+  // Non-movable: `store` and `coder` point into `ids.schema`.
+  ExampleDatabase(const ExampleDatabase&) = delete;
+  ExampleDatabase& operator=(const ExampleDatabase&) = delete;
+
+  ExampleDatabase() {
+    ExampleDatabase& db = *this;
+    db.ids = PaperSchema::Build();
+    db.coder = std::make_unique<ClassCoder>(
+        std::move(ClassCoder::Assign(db.ids.schema)).value());
+    db.store = std::make_unique<ObjectStore>(&db.ids.schema);
+    ObjectStore& s = *db.store;
+
+    auto employee = [&s, &db](int64_t age) {
+      const Oid oid = s.Create(db.ids.employee).value();
+      Status st = s.SetAttr(oid, "Age", Value::Int(age));
+      assert(st.ok());
+      (void)st;
+      return oid;
+    };
+    db.e1 = employee(50);
+    db.e2 = employee(60);
+    db.e3 = employee(45);
+
+    auto company = [&s](ClassId cls, const char* name, Oid president) {
+      const Oid oid = s.Create(cls).value();
+      Status st = s.SetAttr(oid, "Name", Value::Str(name));
+      assert(st.ok());
+      st = s.SetAttr(oid, "president", Value::Ref(president));
+      assert(st.ok());
+      (void)st;
+      return oid;
+    };
+    db.c1 = company(db.ids.japanese_auto_company, "Subaru", db.e3);
+    db.c2 = company(db.ids.auto_company, "Fiat", db.e1);
+    db.c3 = company(db.ids.auto_company, "Renault", db.e2);
+
+    auto vehicle = [&s](ClassId cls, const char* name, const char* color,
+                        Oid maker) {
+      const Oid oid = s.Create(cls).value();
+      Status st = s.SetAttr(oid, "Name", Value::Str(name));
+      assert(st.ok());
+      st = s.SetAttr(oid, "Color", Value::Str(color));
+      assert(st.ok());
+      st = s.SetAttr(oid, "manufactured-by", Value::Ref(maker));
+      assert(st.ok());
+      (void)st;
+      return oid;
+    };
+    db.v1 = vehicle(db.ids.vehicle, "Legacy", "White", db.c1);
+    db.v2 = vehicle(db.ids.automobile, "Tipo", "White", db.c2);
+    db.v3 = vehicle(db.ids.automobile, "Panda", "Red", db.c2);
+    db.v4 = vehicle(db.ids.compact_automobile, "R5", "Red", db.c3);
+    db.v5 = vehicle(db.ids.compact_automobile, "Justy", "Blue", db.c1);
+    db.v6 = vehicle(db.ids.compact_automobile, "Uno", "White", db.c2);
+  }
+
+  /// Path spec Vehicle/Company/Employee indexing Age (combined variant).
+  PathSpec AgePathSpec() const {
+    PathSpec spec;
+    spec.classes = {ids.vehicle, ids.company, ids.employee};
+    spec.ref_attrs = {"manufactured-by", "president"};
+    spec.indexed_attr = "Age";
+    spec.value_kind = Value::Kind::kInt;
+    spec.include_subclasses = true;
+    return spec;
+  }
+
+  /// Class-hierarchy spec over Vehicle indexing Color.
+  PathSpec ColorSpec() const {
+    return PathSpec::ClassHierarchy(ids.vehicle, "Color",
+                                    Value::Kind::kString);
+  }
+};
+
+}  // namespace uindex
+
+#endif  // UINDEX_TESTS_EXAMPLE_DATABASE_H_

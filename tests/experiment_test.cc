@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "workload/experiment.h"
+
+namespace uindex {
+namespace {
+
+// Cross-structure consistency on scaled-down versions of every §5.1
+// configuration: all index structures must return identical result counts
+// for identical queries.
+class ExperimentConsistencyTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint64_t>> {};
+
+TEST_P(ExperimentConsistencyTest, AllStructuresAgree) {
+  SetExperiment::Options opts;
+  opts.workload.num_objects = 12000;
+  opts.workload.num_sets = std::get<0>(GetParam());
+  opts.workload.num_distinct_keys = std::get<1>(GetParam());
+  opts.workload.seed = 42;
+  opts.with_chtree = true;
+  opts.with_htree = true;
+  opts.with_forward_uindex = true;
+
+  auto exp = std::move(SetExperiment::Create(opts)).value();
+  EXPECT_TRUE(exp->CrossCheck(1, -1.0, 10, 1).ok());
+  EXPECT_TRUE(exp->CrossCheck(opts.workload.num_sets / 2, -1.0, 10, 2).ok());
+  EXPECT_TRUE(exp->CrossCheck(opts.workload.num_sets, 0.1, 10, 3).ok());
+  EXPECT_TRUE(exp->CrossCheck(2, 0.02, 10, 4).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ExperimentConsistencyTest,
+    ::testing::Combine(::testing::Values(8u, 40u),
+                       ::testing::Values(100ull, 1000ull, 12000ull)));
+
+TEST(ExperimentTest, MeasureIsDeterministicPerSeed) {
+  SetExperiment::Options opts;
+  opts.workload.num_objects = 8000;
+  opts.workload.num_sets = 8;
+  opts.workload.num_distinct_keys = 1000;
+  auto exp = std::move(SetExperiment::Create(opts)).value();
+  const auto structures = exp->structures();
+  ASSERT_EQ(structures.size(), 2u);
+  const double a =
+      std::move(exp->Measure(structures[0], 4, true, 0.1, 20, 7)).value();
+  const double b =
+      std::move(exp->Measure(structures[0], 4, true, 0.1, 20, 7)).value();
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a, 0.0);
+}
+
+TEST(ExperimentTest, PaperShapeExactMatchUniqueKeys) {
+  // Paper §5.2 point 2: for unique-key exact match the U-index beats the
+  // CG-tree and is nearly insensitive to the number of sets queried.
+  SetExperiment::Options opts;
+  opts.workload.num_objects = 20000;
+  opts.workload.num_sets = 8;
+  opts.workload.num_distinct_keys = 20000;
+  auto exp = std::move(SetExperiment::Create(opts)).value();
+  const auto structures = exp->structures();
+  const auto& uindex = structures[0];
+  const auto& cgtree = structures[1];
+
+  const double u1 = std::move(exp->Measure(uindex, 1, true, -1, 60, 5)).value();
+  const double u8 = std::move(exp->Measure(uindex, 8, true, -1, 60, 5)).value();
+  const double c1 = std::move(exp->Measure(cgtree, 1, true, -1, 60, 5)).value();
+  const double c8 = std::move(exp->Measure(cgtree, 8, true, -1, 60, 5)).value();
+
+  EXPECT_LE(u1, c1);            // U-index at least ties at one set...
+  EXPECT_LT(u8, c8);            // ...and clearly wins at all eight.
+  EXPECT_LT(u8 - u1, 1.5);      // U-index nearly flat in #sets.
+  EXPECT_GT(c8, c1 + 2.0);      // CG-tree grows with #sets.
+}
+
+TEST(ExperimentTest, PaperShapeLargeRangeFewSets) {
+  // Paper §5.2 point 5: for large ranges over few sets the CG-tree wins.
+  SetExperiment::Options opts;
+  opts.workload.num_objects = 20000;
+  opts.workload.num_sets = 40;
+  opts.workload.num_distinct_keys = 1000;
+  auto exp = std::move(SetExperiment::Create(opts)).value();
+  const auto structures = exp->structures();
+  const double u =
+      std::move(exp->Measure(structures[0], 2, false, 0.1, 40, 5)).value();
+  const double c =
+      std::move(exp->Measure(structures[1], 2, false, 0.1, 40, 5)).value();
+  EXPECT_LT(c, u);
+}
+
+TEST(ExperimentTest, PaperShapeNearSetsBeatDistantSets) {
+  // Paper §5.2 point 7: clustered (near) sets cost the U-index less than
+  // dispersed sets.
+  SetExperiment::Options opts;
+  opts.workload.num_objects = 30000;
+  opts.workload.num_sets = 40;
+  opts.workload.num_distinct_keys = 30000;  // Unique keys: sharpest effect.
+  auto exp = std::move(SetExperiment::Create(opts)).value();
+  const auto structures = exp->structures();
+  const double near =
+      std::move(exp->Measure(structures[0], 10, true, 0.01, 40, 5)).value();
+  const double distant =
+      std::move(exp->Measure(structures[0], 10, false, 0.01, 40, 5)).value();
+  EXPECT_LE(near, distant);
+}
+
+}  // namespace
+}  // namespace uindex

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/htree/htree.h"
+#include "util/random.h"
+
+namespace uindex {
+namespace {
+
+class HTreeTest : public ::testing::Test {
+ protected:
+  HTreeTest()
+      : pager_(1024), buffers_(&pager_), tree_(&buffers_, Value::Kind::kInt) {}
+
+  std::vector<Oid> Sorted(Result<std::vector<Oid>> r) {
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    std::vector<Oid> v = std::move(r).value();
+    std::sort(v.begin(), v.end());
+    return v;
+  }
+
+  Pager pager_;
+  BufferManager buffers_;
+  HTree tree_;
+};
+
+TEST_F(HTreeTest, PerSetTreesAreLazy) {
+  EXPECT_EQ(tree_.tree_count(), 0u);
+  ASSERT_TRUE(tree_.Insert(Value::Int(1), 3, 10).ok());
+  EXPECT_EQ(tree_.tree_count(), 1u);
+  ASSERT_TRUE(tree_.Insert(Value::Int(1), 5, 11).ok());
+  EXPECT_EQ(tree_.tree_count(), 2u);
+  // Searching a never-populated set is free.
+  QueryCost cost(&buffers_);
+  EXPECT_TRUE(Sorted(tree_.Search(Value::Int(1), Value::Int(1), {9})).empty());
+  EXPECT_EQ(cost.PagesRead(), 0u);
+}
+
+TEST_F(HTreeTest, SearchIsPerSet) {
+  for (int k = 0; k < 100; ++k) {
+    ASSERT_TRUE(
+        tree_.Insert(Value::Int(k), k % 4, static_cast<Oid>(k + 1)).ok());
+  }
+  EXPECT_EQ(Sorted(tree_.Search(Value::Int(0), Value::Int(99), {0})).size(),
+            25u);
+  EXPECT_EQ(
+      Sorted(tree_.Search(Value::Int(0), Value::Int(99), {0, 1, 2, 3}))
+          .size(),
+      100u);
+  EXPECT_EQ(Sorted(tree_.Search(Value::Int(10), Value::Int(13),
+                                {0, 1, 2, 3})),
+            (std::vector<Oid>{11, 12, 13, 14}));
+}
+
+TEST_F(HTreeTest, DuplicateKeysAcrossOids) {
+  for (Oid oid = 1; oid <= 300; ++oid) {
+    ASSERT_TRUE(tree_.Insert(Value::Int(7), 0, oid).ok());
+  }
+  EXPECT_EQ(Sorted(tree_.Search(Value::Int(7), Value::Int(7), {0})).size(),
+            300u);
+  ASSERT_TRUE(tree_.Remove(Value::Int(7), 0, 150).ok());
+  EXPECT_EQ(Sorted(tree_.Search(Value::Int(7), Value::Int(7), {0})).size(),
+            299u);
+  EXPECT_TRUE(tree_.Remove(Value::Int(7), 0, 150).IsNotFound());
+}
+
+TEST_F(HTreeTest, CostScalesWithQueriedSets) {
+  // The defining H-tree property (paper §2): "retrieval costs are directly
+  // proportional to the number of sets queried".
+  for (int i = 0; i < 40000; ++i) {
+    Random rng(static_cast<uint64_t>(i) + 1);
+    const int64_t key = static_cast<int64_t>(rng.Uniform(1000));
+    ASSERT_TRUE(tree_.Insert(Value::Int(key), static_cast<ClassId>(i % 8),
+                             static_cast<Oid>(i + 1))
+                    .ok());
+  }
+  auto cost_of = [this](const std::vector<ClassId>& sets) {
+    QueryCost cost(&buffers_);
+    EXPECT_TRUE(tree_.Search(Value::Int(500), Value::Int(500), sets).ok());
+    return cost.PagesRead();
+  };
+  const uint64_t one = cost_of({0});
+  const uint64_t four = cost_of({0, 1, 2, 3});
+  const uint64_t eight = cost_of({0, 1, 2, 3, 4, 5, 6, 7});
+  EXPECT_GE(four, one * 3);
+  EXPECT_GE(eight, four + one);
+}
+
+}  // namespace
+}  // namespace uindex

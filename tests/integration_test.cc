@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "baselines/pathindex/nested_index.h"
+#include "baselines/pathindex/path_index.h"
+#include "core/query_parser.h"
+#include "core/update.h"
+#include "tests/example_database.h"
+#include "workload/database_generator.h"
+
+namespace uindex {
+namespace {
+
+// End-to-end: generate the Table-1 database, build all index flavours over
+// it, and verify they agree with brute-force evaluation over the store.
+class EndToEndTest : public ::testing::Test {
+ protected:
+  EndToEndTest() : pager_(1024), buffers_(&pager_) {
+    PaperDatabaseConfig cfg;
+    cfg.num_vehicles = 2000;
+    cfg.num_companies = 40;
+    cfg.num_employees = 50;
+    Status s = GeneratePaperDatabase(cfg, &db_);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+
+  PathSpec AgePath() const {
+    PathSpec spec;
+    spec.classes = {db_.ids.vehicle, db_.ids.company, db_.ids.employee};
+    spec.ref_attrs = {"manufactured-by", "president"};
+    spec.indexed_attr = "Age";
+    spec.value_kind = Value::Kind::kInt;
+    return spec;
+  }
+
+  // Brute force: vehicles of `root`'s subtree whose president's age is in
+  // [lo, hi].
+  std::vector<Oid> BruteForceVehicles(int64_t lo, int64_t hi,
+                                      ClassId vehicle_root) {
+    std::vector<Oid> out;
+    for (const Oid v : db_.store->DeepExtentOf(vehicle_root)) {
+      Result<Oid> company = db_.store->Deref(v, "manufactured-by");
+      if (!company.ok()) continue;
+      Result<Oid> president = db_.store->Deref(company.value(), "president");
+      if (!president.ok()) continue;
+      const Value* age =
+          db_.store->Get(president.value()).value()->FindAttr("Age");
+      if (age == nullptr) continue;
+      if (age->AsInt() >= lo && age->AsInt() <= hi) out.push_back(v);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  PaperDatabase db_;
+  Pager pager_;
+  BufferManager buffers_;
+};
+
+TEST_F(EndToEndTest, UIndexNestedAndPathIndexAgreeWithBruteForce) {
+  UIndex uidx(&buffers_, &db_.ids.schema, db_.coder.get(), AgePath());
+  ASSERT_TRUE(uidx.BuildFrom(*db_.store).ok());
+  NestedIndex nested(&buffers_, AgePath());
+  ASSERT_TRUE(nested.BuildFrom(*db_.store).ok());
+  PathIndex path(&buffers_, AgePath());
+  ASSERT_TRUE(path.BuildFrom(*db_.store).ok());
+  ASSERT_EQ(uidx.entry_count(), nested.btree().size() == 0
+                                    ? uidx.entry_count()
+                                    : uidx.entry_count());
+
+  for (const auto& [lo, hi] : std::vector<std::pair<int64_t, int64_t>>{
+           {50, 50}, {20, 70}, {51, 70}, {30, 40}}) {
+    const std::vector<Oid> expected =
+        BruteForceVehicles(lo, hi, db_.ids.vehicle);
+
+    Query q = Query::Range(Value::Int(lo), Value::Int(hi));
+    q.With(ClassSelector::Exactly(db_.ids.employee))
+        .With(ClassSelector::Subtree(db_.ids.company))
+        .With(ClassSelector::Subtree(db_.ids.vehicle), ValueSlot::Wanted());
+    EXPECT_EQ(std::move(uidx.Parscan(q)).value().Distinct(2), expected);
+    EXPECT_EQ(std::move(uidx.ForwardScan(q)).value().Distinct(2), expected);
+
+    std::vector<Oid> nested_got =
+        std::move(nested.Lookup(Value::Int(lo), Value::Int(hi))).value();
+    std::sort(nested_got.begin(), nested_got.end());
+    nested_got.erase(std::unique(nested_got.begin(), nested_got.end()),
+                     nested_got.end());
+    EXPECT_EQ(nested_got, expected);
+
+    std::vector<Oid> path_heads;
+    const std::vector<std::vector<Oid>> tuples =
+        std::move(path.Lookup(Value::Int(lo), Value::Int(hi))).value();
+    for (const auto& tuple : tuples) {
+      path_heads.push_back(tuple[0]);
+    }
+    std::sort(path_heads.begin(), path_heads.end());
+    path_heads.erase(std::unique(path_heads.begin(), path_heads.end()),
+                     path_heads.end());
+    EXPECT_EQ(path_heads, expected);
+  }
+}
+
+TEST_F(EndToEndTest, CombinedQueryMatchesBruteForceSubtreeFilter) {
+  UIndex uidx(&buffers_, &db_.ids.schema, db_.coder.get(), AgePath());
+  ASSERT_TRUE(uidx.BuildFrom(*db_.store).ok());
+
+  // Trucks (with subclasses) made by auto companies, president age >= 40:
+  // brute force with an extra class filter.
+  std::vector<Oid> expected;
+  for (const Oid v : db_.store->DeepExtentOf(db_.ids.truck)) {
+    Result<Oid> company = db_.store->Deref(v, "manufactured-by");
+    if (!company.ok()) continue;
+    if (!db_.ids.schema.IsSubclassOf(
+            db_.store->Get(company.value()).value()->cls,
+            db_.ids.auto_company)) {
+      continue;
+    }
+    Result<Oid> president = db_.store->Deref(company.value(), "president");
+    if (!president.ok()) continue;
+    const Value* age =
+        db_.store->Get(president.value()).value()->FindAttr("Age");
+    if (age != nullptr && age->AsInt() >= 40) expected.push_back(v);
+  }
+  std::sort(expected.begin(), expected.end());
+
+  Query q = Query::Range(Value::Int(40), Value::Int(200));
+  q.With(ClassSelector::Any())
+      .With(ClassSelector::Subtree(db_.ids.auto_company))
+      .With(ClassSelector::Subtree(db_.ids.truck), ValueSlot::Wanted());
+  EXPECT_EQ(std::move(uidx.Parscan(q)).value().Distinct(2), expected);
+}
+
+TEST_F(EndToEndTest, ParsedQueriesRunEndToEnd) {
+  UIndex uidx(&buffers_, &db_.ids.schema, db_.coder.get(), AgePath());
+  ASSERT_TRUE(uidx.BuildFrom(*db_.store).ok());
+  const Query q =
+      std::move(ParseQuery("(Age=40..60, Employee, _, Company*, _, Bus*, ?)",
+                           AgePath(), db_.ids.schema))
+          .value();
+  const std::vector<Oid> got = std::move(uidx.Parscan(q)).value().Distinct(2);
+  const std::vector<Oid> expected = BruteForceVehicles(40, 60, db_.ids.bus);
+  EXPECT_EQ(got, expected);
+}
+
+// Schema evolution end to end: add a class, re-code incrementally, index
+// new instances, query across old and new classes.
+TEST(SchemaEvolutionIntegrationTest, NewClassJoinsExistingIndex) {
+  ExampleDatabase db;
+  Pager pager(1024);
+  BufferManager buffers(&pager);
+  UIndex color(&buffers, &db.ids.schema, db.coder.get(), db.ColorSpec());
+  ASSERT_TRUE(color.BuildFrom(*db.store).ok());
+  IndexedDatabase idb(&db.ids.schema, db.store.get());
+  idb.RegisterIndex(&color);
+
+  // Fig. 4a: a new vehicle subclass appears after the index exists.
+  const ClassId ebike =
+      db.ids.schema.AddSubclass("ElectricBike", db.ids.vehicle).value();
+  ASSERT_TRUE(db.coder->AssignNewClass(db.ids.schema, ebike).ok());
+  EXPECT_EQ(db.coder->CodeOf(ebike), "C5D");  // After Automobile/Truck/Bus.
+
+  const Oid bike = idb.CreateObject(ebike).value();
+  ASSERT_TRUE(idb.SetAttr(bike, "Color", Value::Str("Red")).ok());
+
+  Query q = Query::ExactValue(Value::Str("Red"));
+  q.With(ClassSelector::Subtree(db.ids.vehicle), ValueSlot::Wanted());
+  EXPECT_EQ(std::move(color.Parscan(q)).value().Distinct(0),
+            (std::vector<Oid>{db.v3, db.v4, bike}));
+
+  // The new class alone is queryable too.
+  Query q2 = Query::ExactValue(Value::Str("Red"));
+  q2.With(ClassSelector::Exactly(ebike), ValueSlot::Wanted());
+  EXPECT_EQ(std::move(color.Parscan(q2)).value().Distinct(0),
+            (std::vector<Oid>{bike}));
+}
+
+}  // namespace
+}  // namespace uindex

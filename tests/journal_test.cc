@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "db/database.h"
+
+namespace uindex {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(JournalRecordTest, EncodeDecodeRoundTrip) {
+  JournalRecord r;
+  r.op = JournalRecord::Op::kCreateIndex;
+  r.name = "Age";
+  r.parent = "Company";
+  r.class_names = {"Vehicle", "Company", "Employee"};
+  r.ref_attrs = {"made-by", "president"};
+  r.flag = true;
+  r.kind = 1;
+  r.oid = 42;
+  r.value = Value::Str("hello");
+
+  const std::string payload = Journal::EncodeRecord(r);
+  const JournalRecord back =
+      std::move(Journal::DecodeRecord(Slice(payload))).value();
+  EXPECT_EQ(back.op, r.op);
+  EXPECT_EQ(back.name, r.name);
+  EXPECT_EQ(back.parent, r.parent);
+  EXPECT_EQ(back.class_names, r.class_names);
+  EXPECT_EQ(back.ref_attrs, r.ref_attrs);
+  EXPECT_EQ(back.flag, r.flag);
+  EXPECT_EQ(back.kind, r.kind);
+  EXPECT_EQ(back.oid, r.oid);
+  EXPECT_EQ(back.value, r.value);
+
+  // Truncated payloads fail cleanly at any cut point.
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_FALSE(Journal::DecodeRecord(Slice(payload.data(), cut)).ok());
+  }
+}
+
+TEST(JournalTest, AppendAndReadAll) {
+  const std::string path = TempPath("basic.journal");
+  std::remove(path.c_str());
+  {
+    auto journal = std::move(Journal::OpenForAppend(path)).value();
+    for (int i = 0; i < 10; ++i) {
+      JournalRecord r;
+      r.op = JournalRecord::Op::kSetAttr;
+      r.oid = static_cast<Oid>(i);
+      r.name = "x";
+      r.value = Value::Int(i);
+      ASSERT_TRUE(journal->Append(r).ok());
+    }
+  }
+  const auto records = std::move(Journal::ReadAll(path)).value();
+  ASSERT_EQ(records.size(), 10u);
+  EXPECT_EQ(records[7].value.AsInt(), 7);
+
+  // A torn tail (partial frame) is tolerated.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "ab");
+    const char torn[5] = {10, 0, 0, 0, 99};
+    std::fwrite(torn, 1, sizeof(torn), f);
+    std::fclose(f);
+  }
+  EXPECT_EQ(std::move(Journal::ReadAll(path)).value().size(), 10u);
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, MidFileCorruptionFails) {
+  const std::string path = TempPath("corrupt.journal");
+  std::remove(path.c_str());
+  {
+    auto journal = std::move(Journal::OpenForAppend(path)).value();
+    for (int i = 0; i < 5; ++i) {
+      JournalRecord r;
+      r.op = JournalRecord::Op::kDeleteObject;
+      r.oid = static_cast<Oid>(i);
+      ASSERT_TRUE(journal->Append(r).ok());
+    }
+  }
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    std::fseek(f, 30, SEEK_SET);
+    int c = std::fgetc(f);
+    std::fseek(f, 30, SEEK_SET);
+    std::fputc(c ^ 0x55, f);
+    std::fclose(f);
+  }
+  EXPECT_TRUE(Journal::ReadAll(path).status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end durability through Database.
+// ---------------------------------------------------------------------------
+
+class DurableDatabaseTest : public ::testing::Test {
+ protected:
+  DurableDatabaseTest()
+      : snapshot_(TempPath("durable.udb")),
+        journal_(TempPath("durable.journal")) {
+    std::remove(snapshot_.c_str());
+    std::remove(journal_.c_str());
+  }
+  ~DurableDatabaseTest() override {
+    std::remove(snapshot_.c_str());
+    std::remove(journal_.c_str());
+  }
+
+  std::string snapshot_, journal_;
+};
+
+TEST_F(DurableDatabaseTest, ReplaysJournalFromEmpty) {
+  Oid car_oid = kInvalidOid;
+  {
+    auto db = std::move(Database::OpenDurable(snapshot_, journal_)).value();
+    const ClassId vehicle = db->CreateClass("Vehicle").value();
+    const ClassId car = db->CreateSubclass("Car", vehicle).value();
+    ASSERT_TRUE(db->CreateIndex(PathSpec::ClassHierarchy(
+                                    vehicle, "Price", Value::Kind::kInt))
+                    .ok());
+    car_oid = db->CreateObject(car).value();
+    ASSERT_TRUE(db->SetAttr(car_oid, "Price", Value::Int(25)).ok());
+    // "Crash": no Save, only the journal survives.
+  }
+  auto db = std::move(Database::OpenDurable(snapshot_, journal_)).value();
+  EXPECT_EQ(db->schema().class_count(), 2u);
+  EXPECT_EQ(db->index_count(), 1u);
+  Database::Selection sel;
+  sel.cls = db->schema().FindClass("Vehicle").value();
+  sel.attr = "Price";
+  sel.lo = sel.hi = Value::Int(25);
+  const auto r = std::move(db->Select(sel)).value();
+  EXPECT_TRUE(r.used_index);
+  EXPECT_EQ(r.oids, (std::vector<Oid>{car_oid}));
+}
+
+TEST_F(DurableDatabaseTest, CheckpointPlusTailReplay) {
+  Oid second = kInvalidOid;
+  {
+    auto db = std::move(Database::OpenDurable(snapshot_, journal_)).value();
+    const ClassId thing = db->CreateClass("Thing").value();
+    ASSERT_TRUE(db->CreateIndex(PathSpec::ClassHierarchy(
+                                    thing, "x", Value::Kind::kInt))
+                    .ok());
+    const Oid first = db->CreateObject(thing).value();
+    ASSERT_TRUE(db->SetAttr(first, "x", Value::Int(1)).ok());
+    ASSERT_TRUE(db->Checkpoint(snapshot_).ok());
+    // Post-checkpoint tail.
+    second = db->CreateObject(thing).value();
+    ASSERT_TRUE(db->SetAttr(second, "x", Value::Int(2)).ok());
+    ASSERT_TRUE(db->DeleteObject(first).ok());
+  }
+  auto db = std::move(Database::OpenDurable(snapshot_, journal_)).value();
+  EXPECT_EQ(db->store().size(), 1u);
+  Database::Selection sel;
+  sel.cls = db->schema().FindClass("Thing").value();
+  sel.attr = "x";
+  sel.lo = Value::Int(0);
+  sel.hi = Value::Int(10);
+  EXPECT_EQ(std::move(db->Select(sel)).value().oids,
+            (std::vector<Oid>{second}));
+
+  // Third generation keeps appending to the same journal.
+  const Oid third = db->CreateObject(sel.cls).value();
+  ASSERT_TRUE(db->SetAttr(third, "x", Value::Int(3)).ok());
+  db.reset();
+  auto db3 = std::move(Database::OpenDurable(snapshot_, journal_)).value();
+  EXPECT_EQ(db3->store().size(), 2u);
+}
+
+TEST_F(DurableDatabaseTest, TornJournalTailIsDiscarded) {
+  {
+    auto db = std::move(Database::OpenDurable(snapshot_, journal_)).value();
+    const ClassId thing = db->CreateClass("Thing").value();
+    const Oid a = db->CreateObject(thing).value();
+    ASSERT_TRUE(db->SetAttr(a, "x", Value::Int(1)).ok());
+  }
+  {
+    std::FILE* f = std::fopen(journal_.c_str(), "ab");
+    const char torn[6] = {42, 0, 0, 0, 1, 2};  // Incomplete frame+payload.
+    std::fwrite(torn, 1, sizeof(torn), f);
+    std::fclose(f);
+  }
+  auto db = std::move(Database::OpenDurable(snapshot_, journal_)).value();
+  EXPECT_EQ(db->store().size(), 1u);  // The complete prefix replayed.
+
+  // The torn tail was truncated away, so records appended after the
+  // reopen survive the *next* reopen too.
+  const ClassId thing = db->schema().FindClass("Thing").value();
+  const Oid b = db->CreateObject(thing).value();
+  ASSERT_TRUE(db->SetAttr(b, "x", Value::Int(2)).ok());
+  db.reset();
+  auto db2 = std::move(Database::OpenDurable(snapshot_, journal_)).value();
+  EXPECT_EQ(db2->store().size(), 2u);
+}
+
+}  // namespace
+}  // namespace uindex

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "core/key_encoding.h"
+#include "util/random.h"
+#include "workload/paper_schema.h"
+
+namespace uindex {
+namespace {
+
+class KeyEncodingTest : public ::testing::Test {
+ protected:
+  KeyEncodingTest()
+      : p_(PaperSchema::Build()),
+        coder_(std::move(ClassCoder::Assign(p_.schema)).value()) {}
+
+  PathSpec PathVehicleCompanyEmployee() const {
+    PathSpec spec;
+    spec.classes = {p_.vehicle, p_.company, p_.employee};
+    spec.ref_attrs = {"manufactured-by", "president"};
+    spec.indexed_attr = "Age";
+    spec.value_kind = Value::Kind::kInt;
+    return spec;
+  }
+
+  PaperSchema p_;
+  ClassCoder coder_;
+};
+
+TEST_F(KeyEncodingTest, RoundTripsPathEntries) {
+  const PathSpec spec = PathVehicleCompanyEmployee();
+  const KeyEncoder enc(&spec, &coder_);
+  // The paper's example entry: (Age,50) C1$e1 C2$c1 C5A$v2.
+  const std::string key = enc.EncodeEntry(
+      Value::Int(50),
+      {{p_.employee, 11}, {p_.company, 22}, {p_.automobile, 33}});
+  Result<DecodedKey> dk = enc.Decode(Slice(key));
+  ASSERT_TRUE(dk.ok());
+  ASSERT_EQ(dk.value().components.size(), 3u);
+  EXPECT_EQ(dk.value().components[0].code, "C1");
+  EXPECT_EQ(dk.value().components[0].oid, 11u);
+  EXPECT_EQ(dk.value().components[1].code, "C2");
+  EXPECT_EQ(dk.value().components[1].oid, 22u);
+  EXPECT_EQ(dk.value().components[2].code, "C5A");
+  EXPECT_EQ(dk.value().components[2].oid, 33u);
+  EXPECT_EQ(dk.value().attr_bytes, enc.EncodeAttrValue(Value::Int(50)));
+}
+
+TEST_F(KeyEncodingTest, ValueOrderDominates) {
+  const PathSpec spec = PathVehicleCompanyEmployee();
+  const KeyEncoder enc(&spec, &coder_);
+  const std::string k50 = enc.EncodeEntry(
+      Value::Int(50), {{p_.employee, 1}, {p_.company, 1}, {p_.vehicle, 1}});
+  const std::string k60 = enc.EncodeEntry(
+      Value::Int(60), {{p_.employee, 1}, {p_.company, 1}, {p_.vehicle, 1}});
+  EXPECT_TRUE(Slice(k50) < Slice(k60));
+}
+
+TEST_F(KeyEncodingTest, ClassHierarchyEntriesClusterInPreorder) {
+  // §3.2.1: entries for a value sort by class code, clustering sub-trees.
+  PathSpec spec = PathSpec::ClassHierarchy(p_.vehicle, "Color",
+                                           Value::Kind::kString);
+  const KeyEncoder enc(&spec, &coder_);
+  const Value red = Value::Str("Red");
+  const std::string k_vehicle = enc.EncodeEntry(red, {{p_.vehicle, 1}});
+  const std::string k_auto = enc.EncodeEntry(red, {{p_.automobile, 1}});
+  const std::string k_compact =
+      enc.EncodeEntry(red, {{p_.compact_automobile, 1}});
+  const std::string k_truck = enc.EncodeEntry(red, {{p_.truck, 1}});
+  // Preorder: Vehicle < Automobile < CompactAutomobile < ... < Truck.
+  EXPECT_TRUE(Slice(k_vehicle) < Slice(k_auto));
+  EXPECT_TRUE(Slice(k_auto) < Slice(k_compact));
+  EXPECT_TRUE(Slice(k_compact) < Slice(k_truck));
+  // A class's own entries precede its first subclass's ('$' < 'A').
+  const std::string k_auto_big_oid =
+      enc.EncodeEntry(red, {{p_.automobile, 0xFFFFFFFE}});
+  EXPECT_TRUE(Slice(k_auto_big_oid) < Slice(k_compact));
+}
+
+TEST_F(KeyEncodingTest, PathClusteringMatchesPaperExample) {
+  // §3.3: "all entries for the same company are clustered, all entries for
+  // the same president are clustered, and all entries for the same age are
+  // clustered".
+  const PathSpec spec = PathVehicleCompanyEmployee();
+  const KeyEncoder enc(&spec, &coder_);
+  auto key = [&](Oid e, Oid c, Oid v) {
+    return enc.EncodeEntry(Value::Int(50), {{p_.employee, e},
+                                            {p_.company, c},
+                                            {p_.vehicle, v}});
+  };
+  // Same president e1, companies c1 < c2; within c1, vehicles cluster.
+  EXPECT_TRUE(Slice(key(1, 1, 5)) < Slice(key(1, 1, 9)));
+  EXPECT_TRUE(Slice(key(1, 1, 9)) < Slice(key(1, 2, 1)));
+  EXPECT_TRUE(Slice(key(1, 2, 7)) < Slice(key(2, 1, 1)));
+}
+
+TEST_F(KeyEncodingTest, StringValuesUseTerminator) {
+  PathSpec spec = PathSpec::ClassHierarchy(p_.vehicle, "Color",
+                                           Value::Kind::kString);
+  const KeyEncoder enc(&spec, &coder_);
+  // "Red" < "RedX" even though 'C' (code start) < 'X'.
+  const std::string a = enc.EncodeEntry(Value::Str("Red"), {{p_.truck, 1}});
+  const std::string b =
+      enc.EncodeEntry(Value::Str("RedX"), {{p_.vehicle, 1}});
+  EXPECT_TRUE(Slice(a) < Slice(b));
+  Result<DecodedKey> dk = enc.Decode(Slice(a));
+  ASSERT_TRUE(dk.ok());
+  EXPECT_EQ(dk.value().components[0].code, "C5B");
+}
+
+TEST_F(KeyEncodingTest, DecodeRejectsMalformedKeys) {
+  const PathSpec spec = PathVehicleCompanyEmployee();
+  const KeyEncoder enc(&spec, &coder_);
+  EXPECT_TRUE(enc.Decode(Slice("abc")).status().IsCorruption());
+  std::string key = enc.EncodeAttrValue(Value::Int(5));
+  key += "C1";  // No separator / oid.
+  EXPECT_TRUE(enc.Decode(Slice(key)).status().IsCorruption());
+  key += "$XY";  // Truncated oid.
+  EXPECT_TRUE(enc.Decode(Slice(key)).status().IsCorruption());
+}
+
+TEST_F(KeyEncodingTest, MultiplePathsShareTheTreePrefix) {
+  // §3.3 "Multiple Paths": Division/Company/Employee entries interleave
+  // with Vehicle/Company/Employee entries, clustered by shared prefix.
+  PathSpec vspec = PathVehicleCompanyEmployee();
+  PathSpec dspec;
+  dspec.classes = {p_.division, p_.company, p_.employee};
+  dspec.ref_attrs = {"belongs", "president"};
+  dspec.indexed_attr = "Age";
+  const KeyEncoder venc(&vspec, &coder_);
+  const KeyEncoder denc(&dspec, &coder_);
+  const std::string vkey = venc.EncodeEntry(
+      Value::Int(50), {{p_.employee, 1}, {p_.company, 2}, {p_.vehicle, 3}});
+  const std::string dkey = denc.EncodeEntry(
+      Value::Int(50), {{p_.employee, 1}, {p_.company, 2}, {p_.division, 4}});
+  // Shared (age, employee, company) prefix; Division C4 < Vehicle C5.
+  const size_t shared = Slice(vkey).CommonPrefixLength(Slice(dkey));
+  EXPECT_GE(shared, 8u + 2 + 1 + 4 + 2 + 1 + 4);  // attr + C1$oid + C2$oid.
+  EXPECT_TRUE(Slice(dkey) < Slice(vkey));
+}
+
+TEST_F(KeyEncodingTest, AttrImageLengthForBothKinds) {
+  const PathSpec ispec = PathVehicleCompanyEmployee();
+  const KeyEncoder ienc(&ispec, &coder_);
+  EXPECT_EQ(ienc.AttrImageLength(
+                    Slice(ienc.EncodeEntry(Value::Int(1),
+                                           {{p_.employee, 1},
+                                            {p_.company, 1},
+                                            {p_.vehicle, 1}})))
+                .value(),
+            8u);
+  PathSpec sspec = PathSpec::ClassHierarchy(p_.vehicle, "Color",
+                                            Value::Kind::kString);
+  const KeyEncoder senc(&sspec, &coder_);
+  const std::string skey =
+      senc.EncodeEntry(Value::Str("Blue"), {{p_.vehicle, 1}});
+  EXPECT_EQ(senc.AttrImageLength(Slice(skey)).value(), 5u);  // "Blue\0".
+}
+
+}  // namespace
+}  // namespace uindex

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/nix/nix_index.h"
+#include "tests/example_database.h"
+
+namespace uindex {
+namespace {
+
+class NixIndexTest : public ::testing::Test {
+ protected:
+  NixIndexTest() : pager_(1024), buffers_(&pager_) {
+    index_ = std::make_unique<NixIndex>(&buffers_, &db_.ids.schema,
+                                        db_.AgePathSpec());
+    Status s = index_->BuildFrom(*db_.store);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+
+  std::vector<Oid> Look(int64_t lo, int64_t hi, ClassId cls,
+                        bool subtree) {
+    Result<std::vector<Oid>> r =
+        index_->Lookup(Value::Int(lo), Value::Int(hi), cls, subtree);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+
+  ExampleDatabase db_;
+  Pager pager_;
+  BufferManager buffers_;
+  std::unique_ptr<NixIndex> index_;
+};
+
+TEST_F(NixIndexTest, IndexesEveryClassAlongThePath) {
+  // §2: "(Age, 50) ... will index all vehicles ..., companies ... whose
+  // president's age is 50".
+  EXPECT_EQ(Look(50, 50, db_.ids.vehicle, true),
+            (std::vector<Oid>{db_.v2, db_.v3, db_.v6}));
+  EXPECT_EQ(Look(50, 50, db_.ids.company, true),
+            (std::vector<Oid>{db_.c2}));
+  EXPECT_EQ(Look(50, 50, db_.ids.employee, false),
+            (std::vector<Oid>{db_.e1}));
+}
+
+TEST_F(NixIndexTest, SubclassQueries) {
+  // Compact automobiles whose president's age is 45 (made by c1).
+  EXPECT_EQ(Look(45, 45, db_.ids.compact_automobile, true),
+            (std::vector<Oid>{db_.v5}));
+  // Japanese auto companies at any age.
+  EXPECT_EQ(Look(0, 100, db_.ids.japanese_auto_company, true),
+            (std::vector<Oid>{db_.c1}));
+  // Exact class Vehicle only.
+  EXPECT_EQ(Look(0, 100, db_.ids.vehicle, false),
+            (std::vector<Oid>{db_.v1}));
+}
+
+TEST_F(NixIndexTest, RangeQueries) {
+  EXPECT_EQ(Look(51, 100, db_.ids.vehicle, true),
+            (std::vector<Oid>{db_.v4}));
+  EXPECT_EQ(Look(0, 100, db_.ids.vehicle, true).size(), 6u);
+  EXPECT_EQ(Look(0, 100, db_.ids.company, true).size(), 3u);
+}
+
+TEST_F(NixIndexTest, AuxiliaryParentChains) {
+  // Companies' parents (position 1) are the vehicles they manufacture.
+  const auto parents_c2 =
+      std::move(index_->ParentsOf(1, db_.c2)).value();
+  std::vector<Oid> sorted = parents_c2;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<Oid>{db_.v2, db_.v3, db_.v6}));
+  // Employees' parents (position 2) are the companies they preside over.
+  EXPECT_EQ(std::move(index_->ParentsOf(2, db_.e1)).value(),
+            (std::vector<Oid>{db_.c2}));
+  EXPECT_TRUE(std::move(index_->ParentsOf(2, 9999)).value().empty());
+}
+
+TEST_F(NixIndexTest, RestrictedLookupChasesAuxTrees) {
+  // Vehicles with president age 45 made by company c1 specifically: the
+  // §4.4 case where NIX must consult the auxiliary structures.
+  const auto got = std::move(index_->LookupRestricted(
+                                 Value::Int(45), Value::Int(45),
+                                 db_.ids.vehicle, true, 1, {db_.c1}))
+                       .value();
+  EXPECT_EQ(got, (std::vector<Oid>{db_.v1, db_.v5}));
+  // Restricting to a company whose president is not 45: empty.
+  EXPECT_TRUE(std::move(index_->LookupRestricted(
+                            Value::Int(45), Value::Int(45),
+                            db_.ids.vehicle, true, 1, {db_.c2}))
+                  .value()
+                  .empty());
+}
+
+TEST_F(NixIndexTest, RefcountsSurviveSharedMidPathObjects) {
+  // c2 serves three vehicles; removing one instantiation must keep c2 (and
+  // e1) indexed under 50 until the last one goes.
+  auto path = [&](Oid v) {
+    return std::vector<std::pair<ClassId, Oid>>{
+        {db_.store->Get(v).value()->cls, v},
+        {db_.ids.auto_company, db_.c2},
+        {db_.ids.employee, db_.e1}};
+  };
+  ASSERT_TRUE(index_->Remove(Value::Int(50), path(db_.v2)).ok());
+  EXPECT_EQ(Look(50, 50, db_.ids.vehicle, true),
+            (std::vector<Oid>{db_.v3, db_.v6}));
+  EXPECT_EQ(Look(50, 50, db_.ids.company, true),
+            (std::vector<Oid>{db_.c2}));  // Still referenced twice.
+  ASSERT_TRUE(index_->Remove(Value::Int(50), path(db_.v3)).ok());
+  ASSERT_TRUE(index_->Remove(Value::Int(50), path(db_.v6)).ok());
+  EXPECT_TRUE(Look(50, 50, db_.ids.company, true).empty());
+  EXPECT_TRUE(Look(50, 50, db_.ids.employee, false).empty());
+  // Re-insert works after full drain.
+  ASSERT_TRUE(index_->Insert(Value::Int(50), path(db_.v2)).ok());
+  EXPECT_EQ(Look(50, 50, db_.ids.vehicle, true),
+            (std::vector<Oid>{db_.v2}));
+}
+
+TEST_F(NixIndexTest, ArityValidation) {
+  EXPECT_TRUE(index_->Insert(Value::Int(1), {{db_.ids.vehicle, db_.v1}})
+                  .IsInvalidArgument());
+  EXPECT_TRUE(index_->Remove(Value::Int(1), {{db_.ids.vehicle, db_.v1}})
+                  .IsInvalidArgument());
+}
+
+TEST_F(NixIndexTest, KeyGroupingReadsWholeDirectories) {
+  // Load many postings under one key; a single-class lookup still reads
+  // the whole spilled directory (key grouping, like CH-trees).
+  for (Oid v = 1000; v < 1400; ++v) {
+    ASSERT_TRUE(index_->Insert(Value::Int(33),
+                               {{db_.ids.truck, v},
+                                {db_.ids.truck_company, db_.c3},
+                                {db_.ids.employee, db_.e2}})
+                    .ok());
+  }
+  QueryCost cost(&buffers_);
+  EXPECT_EQ(Look(33, 33, db_.ids.truck, true).size(), 400u);
+  const uint64_t full = cost.PagesRead();
+  QueryCost cost2(&buffers_);
+  EXPECT_EQ(Look(33, 33, db_.ids.employee, false).size(), 1u);
+  // Asking for one employee costs as much as asking for all trucks.
+  EXPECT_GE(cost2.PagesRead() + 1, full);
+}
+
+}  // namespace
+}  // namespace uindex

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "objects/object_store.h"
+#include "workload/paper_schema.h"
+
+namespace uindex {
+namespace {
+
+class ObjectStoreTest : public ::testing::Test {
+ protected:
+  ObjectStoreTest() : p_(PaperSchema::Build()), store_(&p_.schema) {}
+  PaperSchema p_;
+  ObjectStore store_;
+};
+
+TEST_F(ObjectStoreTest, CreateAndGet) {
+  const Oid oid = store_.Create(p_.vehicle).value();
+  EXPECT_NE(oid, kInvalidOid);
+  ASSERT_TRUE(store_.Exists(oid));
+  const Object* obj = store_.Get(oid).value();
+  EXPECT_EQ(obj->oid, oid);
+  EXPECT_EQ(obj->cls, p_.vehicle);
+  EXPECT_TRUE(store_.Get(9999).status().IsNotFound());
+  EXPECT_EQ(store_.size(), 1u);
+}
+
+TEST_F(ObjectStoreTest, AttributesRoundTrip) {
+  const Oid oid = store_.Create(p_.employee).value();
+  ASSERT_TRUE(store_.SetAttr(oid, "Age", Value::Int(50)).ok());
+  ASSERT_TRUE(store_.SetAttr(oid, "Name", Value::Str("Ann")).ok());
+  const Object* obj = store_.Get(oid).value();
+  EXPECT_EQ(obj->FindAttr("Age")->AsInt(), 50);
+  EXPECT_EQ(obj->FindAttr("Name")->AsString(), "Ann");
+  EXPECT_EQ(obj->FindAttr("missing"), nullptr);
+  // Overwrite.
+  ASSERT_TRUE(store_.SetAttr(oid, "Age", Value::Int(51)).ok());
+  EXPECT_EQ(store_.Get(oid).value()->FindAttr("Age")->AsInt(), 51);
+}
+
+TEST_F(ObjectStoreTest, ExtentsTrackDirectInstances) {
+  const Oid v = store_.Create(p_.vehicle).value();
+  const Oid a = store_.Create(p_.automobile).value();
+  const Oid c = store_.Create(p_.compact_automobile).value();
+  EXPECT_EQ(store_.ExtentOf(p_.vehicle).size(), 1u);
+  EXPECT_EQ(store_.ExtentOf(p_.automobile).size(), 1u);
+  const std::vector<Oid> deep = store_.DeepExtentOf(p_.vehicle);
+  EXPECT_EQ(deep.size(), 3u);
+  const std::vector<Oid> auto_deep = store_.DeepExtentOf(p_.automobile);
+  ASSERT_EQ(auto_deep.size(), 2u);
+  EXPECT_EQ(auto_deep[0], a);
+  EXPECT_EQ(auto_deep[1], c);
+  (void)v;
+}
+
+TEST_F(ObjectStoreTest, DerefFollowsSingleReferences) {
+  const Oid company = store_.Create(p_.company).value();
+  const Oid vehicle = store_.Create(p_.vehicle).value();
+  ASSERT_TRUE(
+      store_.SetAttr(vehicle, "manufactured-by", Value::Ref(company)).ok());
+  EXPECT_EQ(store_.Deref(vehicle, "manufactured-by").value(), company);
+  EXPECT_TRUE(store_.Deref(vehicle, "missing").status().IsNotFound());
+  ASSERT_TRUE(store_.SetAttr(vehicle, "tags", Value::RefSet({company}))
+                  .ok());
+  EXPECT_TRUE(store_.Deref(vehicle, "tags").status().IsInvalidArgument());
+}
+
+TEST_F(ObjectStoreTest, ReferrersTrackReverseEdges) {
+  const Oid company = store_.Create(p_.company).value();
+  const Oid v1 = store_.Create(p_.vehicle).value();
+  const Oid v2 = store_.Create(p_.vehicle).value();
+  ASSERT_TRUE(
+      store_.SetAttr(v1, "manufactured-by", Value::Ref(company)).ok());
+  ASSERT_TRUE(
+      store_.SetAttr(v2, "manufactured-by", Value::Ref(company)).ok());
+  auto refs = store_.ReferrersOf(company, "manufactured-by");
+  EXPECT_EQ(refs.size(), 2u);
+
+  // Re-pointing v1 somewhere else removes it from the reverse map.
+  const Oid other = store_.Create(p_.company).value();
+  ASSERT_TRUE(
+      store_.SetAttr(v1, "manufactured-by", Value::Ref(other)).ok());
+  EXPECT_EQ(store_.ReferrersOf(company, "manufactured-by").size(), 1u);
+  EXPECT_EQ(store_.ReferrersOf(other, "manufactured-by").size(), 1u);
+}
+
+TEST_F(ObjectStoreTest, MultiValuedReferences) {
+  const Oid c1 = store_.Create(p_.company).value();
+  const Oid c2 = store_.Create(p_.company).value();
+  const Oid v = store_.Create(p_.vehicle).value();
+  ASSERT_TRUE(
+      store_.SetAttr(v, "manufactured-by", Value::RefSet({c1, c2})).ok());
+  EXPECT_EQ(store_.ReferrersOf(c1, "manufactured-by").size(), 1u);
+  EXPECT_EQ(store_.ReferrersOf(c2, "manufactured-by").size(), 1u);
+  ASSERT_TRUE(store_.SetAttr(v, "manufactured-by", Value::Ref(c1)).ok());
+  EXPECT_TRUE(store_.ReferrersOf(c2, "manufactured-by").empty());
+}
+
+TEST_F(ObjectStoreTest, DeleteCleansUp) {
+  const Oid company = store_.Create(p_.company).value();
+  const Oid v = store_.Create(p_.vehicle).value();
+  ASSERT_TRUE(
+      store_.SetAttr(v, "manufactured-by", Value::Ref(company)).ok());
+  ASSERT_TRUE(store_.Delete(v).ok());
+  EXPECT_FALSE(store_.Exists(v));
+  EXPECT_TRUE(store_.ExtentOf(p_.vehicle).empty());
+  EXPECT_TRUE(store_.ReferrersOf(company, "manufactured-by").empty());
+  EXPECT_TRUE(store_.Delete(v).IsNotFound());
+}
+
+TEST(ValueTest, OrderPreservingIntEncoding) {
+  const int64_t values[] = {INT64_MIN, -5, -1, 0, 1, 42, INT64_MAX};
+  std::string prev;
+  for (const int64_t v : values) {
+    std::string enc;
+    Value::Int(v).AppendOrderPreserving(&enc);
+    if (!prev.empty()) {
+      EXPECT_TRUE(Slice(prev) < Slice(enc)) << v;
+    }
+    prev = enc;
+  }
+}
+
+TEST(ValueTest, EqualityAndDebug) {
+  EXPECT_EQ(Value::Int(5), Value::Int(5));
+  EXPECT_FALSE(Value::Int(5) == Value::Int(6));
+  EXPECT_FALSE(Value::Int(5) == Value::Str("5"));
+  EXPECT_EQ(Value::Str("x"), Value::Str("x"));
+  EXPECT_EQ(Value::Ref(3), Value::Ref(3));
+  EXPECT_EQ(Value::RefSet({1, 2}), Value::RefSet({1, 2}));
+  EXPECT_EQ(Value().DebugString(), "null");
+  EXPECT_EQ(Value::Int(7).DebugString(), "7");
+  EXPECT_EQ(Value::Str("a").DebugString(), "\"a\"");
+  EXPECT_EQ(Value::RefSet({1, 2}).DebugString(), "refs(1,2)");
+}
+
+}  // namespace
+}  // namespace uindex

@@ -1,0 +1,326 @@
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "util/random.h"
+
+namespace uindex {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Parser unit tests.
+// ---------------------------------------------------------------------------
+
+TEST(OqlParserTest, ParsesSimpleQuery) {
+  const OqlQuery q = std::move(ParseOql(
+                                   "SELECT v FROM Vehicle* v WHERE "
+                                   "v.Color = 'Red'"))
+                         .value();
+  EXPECT_EQ(q.var, "v");
+  EXPECT_EQ(q.from.name, "Vehicle");
+  EXPECT_TRUE(q.from.with_subclasses);
+  ASSERT_EQ(q.conditions.size(), 1u);
+  EXPECT_EQ(q.conditions[0].kind, OqlCondition::Kind::kCompare);
+  EXPECT_EQ(q.conditions[0].op, "=");
+  EXPECT_EQ(q.conditions[0].path.steps,
+            (std::vector<std::string>{"Color"}));
+  EXPECT_EQ(q.conditions[0].value1.AsString(), "Red");
+}
+
+TEST(OqlParserTest, ParsesPathBetweenAndIs) {
+  const OqlQuery q =
+      std::move(ParseOql("select v from Truck v where "
+                         "v.made-by.president.Age BETWEEN 50 AND 60 "
+                         "and v.made-by IS JapaneseAutoCompany*"))
+          .value();
+  EXPECT_FALSE(q.from.with_subclasses);
+  ASSERT_EQ(q.conditions.size(), 2u);
+  EXPECT_EQ(q.conditions[0].kind, OqlCondition::Kind::kBetween);
+  EXPECT_EQ(q.conditions[0].path.steps,
+            (std::vector<std::string>{"made-by", "president", "Age"}));
+  EXPECT_EQ(q.conditions[0].value1.AsInt(), 50);
+  EXPECT_EQ(q.conditions[0].value2.AsInt(), 60);
+  EXPECT_EQ(q.conditions[1].kind, OqlCondition::Kind::kIs);
+  EXPECT_EQ(q.conditions[1].class_ref.name, "JapaneseAutoCompany");
+  EXPECT_TRUE(q.conditions[1].class_ref.with_subclasses);
+}
+
+TEST(OqlParserTest, ParsesInListsAndComparisons) {
+  const OqlQuery q =
+      std::move(ParseOql("SELECT x FROM Thing x WHERE "
+                         "x.size >= -3 AND x.Color IN ('Red', 'Blue')"))
+          .value();
+  ASSERT_EQ(q.conditions.size(), 2u);
+  EXPECT_EQ(q.conditions[0].op, ">=");
+  EXPECT_EQ(q.conditions[0].value1.AsInt(), -3);
+  EXPECT_EQ(q.conditions[1].kind, OqlCondition::Kind::kIn);
+  ASSERT_EQ(q.conditions[1].values.size(), 2u);
+  EXPECT_EQ(q.conditions[1].values[1].AsString(), "Blue");
+}
+
+TEST(OqlParserTest, RejectsMalformedInput) {
+  EXPECT_TRUE(ParseOql("").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseOql("SELECT v").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseOql("SELECT v FROM X w WHERE v.a = 1")
+                  .status()
+                  .IsInvalidArgument());  // Variable mismatch.
+  EXPECT_TRUE(ParseOql("SELECT v FROM X v WHERE w.a = 1")
+                  .status()
+                  .IsInvalidArgument());  // Unknown variable.
+  EXPECT_TRUE(ParseOql("SELECT v FROM X v WHERE v.a ! 1")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseOql("SELECT v FROM X v WHERE v.a = 'unterminated")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseOql("SELECT v FROM X v WHERE v.a = 1 garbage")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseOql("SELECT v FROM X v WHERE v.a IN ()")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// Planner/executor tests over a real database.
+// ---------------------------------------------------------------------------
+
+class OqlExecutionTest : public ::testing::Test {
+ protected:
+  OqlExecutionTest() {
+    employee_ = db_.CreateClass("Employee").value();
+    company_ = db_.CreateClass("Company").value();
+    japanese_ = db_.CreateSubclass("JapaneseCompany", company_).value();
+    vehicle_ = db_.CreateClass("Vehicle").value();
+    car_ = db_.CreateSubclass("Car", vehicle_).value();
+    truck_ = db_.CreateSubclass("Truck", vehicle_).value();
+    EXPECT_TRUE(db_.CreateReference(vehicle_, company_, "made-by").ok());
+    EXPECT_TRUE(db_.CreateReference(company_, employee_, "president").ok());
+
+    e50_ = NewEmployee(50);
+    e60_ = NewEmployee(60);
+    subaru_ = NewCompany(japanese_, e50_);
+    fiat_ = NewCompany(company_, e60_);
+    v_red_car_ = NewVehicle(car_, "Red", 20, subaru_);
+    v_blue_car_ = NewVehicle(car_, "Blue", 35, fiat_);
+    v_red_truck_ = NewVehicle(truck_, "Red", 50, fiat_);
+    v_plain_ = NewVehicle(vehicle_, "Green", 10, subaru_);
+  }
+
+  Oid NewEmployee(int64_t age) {
+    const Oid oid = db_.CreateObject(employee_).value();
+    EXPECT_TRUE(db_.SetAttr(oid, "Age", Value::Int(age)).ok());
+    return oid;
+  }
+  Oid NewCompany(ClassId cls, Oid president) {
+    const Oid oid = db_.CreateObject(cls).value();
+    EXPECT_TRUE(db_.SetAttr(oid, "president", Value::Ref(president)).ok());
+    return oid;
+  }
+  Oid NewVehicle(ClassId cls, const char* color, int64_t price, Oid maker) {
+    const Oid oid = db_.CreateObject(cls).value();
+    EXPECT_TRUE(db_.SetAttr(oid, "Color", Value::Str(color)).ok());
+    EXPECT_TRUE(db_.SetAttr(oid, "Price", Value::Int(price)).ok());
+    EXPECT_TRUE(db_.SetAttr(oid, "made-by", Value::Ref(maker)).ok());
+    return oid;
+  }
+
+  Database::OqlResult Run(const std::string& text) {
+    Result<Database::OqlResult> r = db_.ExecuteOql(text);
+    EXPECT_TRUE(r.ok()) << text << ": " << r.status().ToString();
+    return r.ok() ? std::move(r).value() : Database::OqlResult{};
+  }
+
+  Database db_;
+  ClassId employee_, company_, japanese_, vehicle_, car_, truck_;
+  Oid e50_, e60_, subaru_, fiat_;
+  Oid v_red_car_, v_blue_car_, v_red_truck_, v_plain_;
+};
+
+TEST_F(OqlExecutionTest, TraversalFallbackWithoutIndexes) {
+  auto r = Run("SELECT v FROM Vehicle* v WHERE v.Color = 'Red'");
+  EXPECT_FALSE(r.used_index);
+  EXPECT_EQ(r.oids, (std::vector<Oid>{v_red_car_, v_red_truck_}));
+
+  r = Run("SELECT v FROM Car v WHERE v.Price < 30");
+  EXPECT_EQ(r.oids, (std::vector<Oid>{v_red_car_}));
+
+  r = Run("SELECT v FROM Vehicle* v WHERE "
+          "v.made-by.president.Age >= 60");
+  EXPECT_EQ(r.oids, (std::vector<Oid>{v_blue_car_, v_red_truck_}));
+
+  r = Run("SELECT v FROM Vehicle* v WHERE v.made-by IS JapaneseCompany");
+  EXPECT_EQ(r.oids, (std::vector<Oid>{v_red_car_, v_plain_}));
+}
+
+TEST_F(OqlExecutionTest, UsesClassHierarchyIndex) {
+  ASSERT_TRUE(db_.CreateIndex(PathSpec::ClassHierarchy(
+                                  vehicle_, "Price", Value::Kind::kInt))
+                  .ok());
+  auto r = Run("SELECT v FROM Vehicle* v WHERE v.Price BETWEEN 15 AND 40");
+  EXPECT_TRUE(r.used_index) << r.plan;
+  EXPECT_EQ(r.oids, (std::vector<Oid>{v_red_car_, v_blue_car_}));
+
+  // Mixed: Price via index, Color post-filtered by traversal.
+  r = Run("SELECT v FROM Vehicle* v WHERE v.Price BETWEEN 15 AND 40 "
+          "AND v.Color = 'Blue'");
+  EXPECT_TRUE(r.used_index);
+  EXPECT_EQ(r.oids, (std::vector<Oid>{v_blue_car_}));
+
+  // Subclass targets narrow inside the index.
+  r = Run("SELECT v FROM Truck v WHERE v.Price > 15");
+  EXPECT_TRUE(r.used_index);
+  EXPECT_EQ(r.oids, (std::vector<Oid>{v_red_truck_}));
+}
+
+TEST_F(OqlExecutionTest, UsesPathIndexWithIsPushdown) {
+  PathSpec spec;
+  spec.classes = {vehicle_, company_, employee_};
+  spec.ref_attrs = {"made-by", "president"};
+  spec.indexed_attr = "Age";
+  spec.value_kind = Value::Kind::kInt;
+  ASSERT_TRUE(db_.CreateIndex(spec).ok());
+
+  auto r = Run("SELECT v FROM Vehicle* v WHERE "
+               "v.made-by.president.Age = 50");
+  EXPECT_TRUE(r.used_index) << r.plan;
+  EXPECT_EQ(r.oids, (std::vector<Oid>{v_red_car_, v_plain_}));
+
+  // IS restriction on the company position is pushed into the index.
+  r = Run("SELECT v FROM Vehicle* v WHERE "
+          "v.made-by.president.Age <= 60 AND v.made-by IS "
+          "JapaneseCompany*");
+  EXPECT_TRUE(r.used_index);
+  EXPECT_EQ(r.oids, (std::vector<Oid>{v_red_car_, v_plain_}));
+
+  // Combined: subclass target + in-path IS + value range.
+  r = Run("SELECT v FROM Car* v WHERE "
+          "v.made-by.president.Age BETWEEN 40 AND 70 AND "
+          "v.made-by IS Company");
+  EXPECT_TRUE(r.used_index);
+  EXPECT_EQ(r.oids, (std::vector<Oid>{v_blue_car_}));  // fiat is exact.
+}
+
+TEST_F(OqlExecutionTest, InListUsesIndexValueSets) {
+  ASSERT_TRUE(db_.CreateIndex(PathSpec::ClassHierarchy(
+                                  vehicle_, "Color", Value::Kind::kString))
+                  .ok());
+  auto r = Run("SELECT v FROM Vehicle* v WHERE v.Color IN ('Red', 'Green')");
+  EXPECT_TRUE(r.used_index) << r.plan;
+  EXPECT_EQ(r.oids,
+            (std::vector<Oid>{v_red_car_, v_red_truck_, v_plain_}));
+}
+
+TEST_F(OqlExecutionTest, MultiValuedReferencesUseAnySemantics) {
+  // A joint venture: one car made by both companies.
+  const Oid joint = db_.CreateObject(car_).value();
+  ASSERT_TRUE(db_.SetAttr(joint, "Color", Value::Str("White")).ok());
+  ASSERT_TRUE(
+      db_.SetAttr(joint, "made-by", Value::RefSet({subaru_, fiat_})).ok());
+  auto r = Run("SELECT v FROM Vehicle* v WHERE "
+               "v.made-by.president.Age = 60");
+  EXPECT_TRUE(std::find(r.oids.begin(), r.oids.end(), joint) !=
+              r.oids.end());
+  r = Run("SELECT v FROM Vehicle* v WHERE v.made-by IS JapaneseCompany");
+  EXPECT_TRUE(std::find(r.oids.begin(), r.oids.end(), joint) !=
+              r.oids.end());
+}
+
+TEST_F(OqlExecutionTest, PlannerAgreesWithTraversalOracle) {
+  // Build more data, then compare indexed OQL execution against the
+  // traversal fallback (a second, index-less database would be identical;
+  // here we just re-run each query before and after index creation).
+  for (int i = 0; i < 300; ++i) {
+    const Oid maker = i % 2 == 0 ? subaru_ : fiat_;
+    NewVehicle(i % 3 == 0 ? car_ : truck_,
+               i % 2 == 0 ? "Red" : "Blue", i % 97, maker);
+  }
+  const std::vector<std::string> queries = {
+      "SELECT v FROM Vehicle* v WHERE v.Price BETWEEN 10 AND 30",
+      "SELECT v FROM Car* v WHERE v.Price >= 80",
+      "SELECT v FROM Truck v WHERE v.Price < 5",
+      "SELECT v FROM Vehicle* v WHERE v.made-by.president.Age = 50",
+      "SELECT v FROM Vehicle* v WHERE v.made-by.president.Age "
+      "BETWEEN 55 AND 65 AND v.made-by IS Company",
+      "SELECT v FROM Vehicle* v WHERE v.Price IN (7, 13, 42)",
+  };
+  std::vector<std::vector<Oid>> before;
+  for (const std::string& q : queries) {
+    auto r = Run(q);
+    EXPECT_FALSE(r.used_index);
+    before.push_back(r.oids);
+  }
+  ASSERT_TRUE(db_.CreateIndex(PathSpec::ClassHierarchy(
+                                  vehicle_, "Price", Value::Kind::kInt))
+                  .ok());
+  PathSpec spec;
+  spec.classes = {vehicle_, company_, employee_};
+  spec.ref_attrs = {"made-by", "president"};
+  spec.indexed_attr = "Age";
+  spec.value_kind = Value::Kind::kInt;
+  ASSERT_TRUE(db_.CreateIndex(spec).ok());
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto r = Run(queries[i]);
+    EXPECT_TRUE(r.used_index) << queries[i];
+    EXPECT_EQ(r.oids, before[i]) << queries[i];
+  }
+}
+
+TEST_F(OqlExecutionTest, CountAndLimit) {
+  auto r = Run("SELECT COUNT(v) FROM Vehicle* v WHERE v.Price >= 0");
+  EXPECT_EQ(r.count, 4u);
+  EXPECT_TRUE(r.oids.empty());
+
+  r = Run("SELECT v FROM Vehicle* v WHERE v.Price >= 0 LIMIT 2");
+  EXPECT_EQ(r.count, 4u);
+  EXPECT_EQ(r.oids.size(), 2u);
+
+  EXPECT_TRUE(db_.ExecuteOql("SELECT v FROM Vehicle* v WHERE v.Price >= 0 "
+                             "LIMIT 0")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseOql("SELECT COUNT v FROM X v WHERE v.a = 1")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(OqlFuzzTest, ParserNeverCrashesOnGarbage) {
+  Random rng(8888);
+  const char charset[] =
+      "SELECT FROM WHERE AND IS IN BETWEEN LIMIT COUNT v.x'()*,=<>0123 _-";
+  for (int rep = 0; rep < 2000; ++rep) {
+    std::string text;
+    const size_t len = rng.Uniform(80);
+    for (size_t i = 0; i < len; ++i) {
+      text.push_back(charset[rng.Uniform(sizeof(charset) - 1)]);
+    }
+    // Must never crash; status may be anything.
+    (void)ParseOql(text);
+  }
+  // Pure binary garbage too.
+  for (int rep = 0; rep < 500; ++rep) {
+    std::string text;
+    const size_t len = rng.Uniform(60);
+    for (size_t i = 0; i < len; ++i) {
+      text.push_back(static_cast<char>(rng.Next() & 0xFF));
+    }
+    (void)ParseOql(text);
+  }
+}
+
+TEST_F(OqlExecutionTest, SemanticValidation) {
+  EXPECT_TRUE(db_.ExecuteOql("SELECT v FROM NoSuchClass v WHERE v.a = 1")
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(db_.ExecuteOql("SELECT v FROM Vehicle v WHERE "
+                        "v.nonsense.deeper = 1")
+                  .status()
+                  .IsInvalidArgument());
+  // IS on an attribute path is rejected.
+  EXPECT_TRUE(db_.ExecuteOql("SELECT v FROM Vehicle v WHERE v.Color IS Car")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace uindex

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include "core/uindex.h"
+#include "tests/example_database.h"
+#include "workload/database_generator.h"
+
+namespace uindex {
+namespace {
+
+// Tests for the advanced Algorithm-1 behaviours: parent-node prefix
+// pruning (paper §3.3 "lookup the uncompressed part of the key in the
+// parent node"), distinct-prefix skipping for partial-path queries, and
+// explicit value sets.
+
+class PrefixExcludesTest : public ::testing::Test {
+ protected:
+  PrefixExcludesTest() {
+    spec_.classes = {db_.ids.vehicle, db_.ids.company, db_.ids.employee};
+    spec_.ref_attrs = {"manufactured-by", "president"};
+    spec_.indexed_attr = "Age";
+    spec_.value_kind = Value::Kind::kInt;
+    encoder_ = std::make_unique<KeyEncoder>(&spec_, db_.coder.get());
+  }
+
+  CompiledQuery Compile(const Query& q) {
+    return std::move(
+        CompiledQuery::Compile(q, *encoder_, db_.ids.schema)).value();
+  }
+
+  std::string Enc(int64_t v) {
+    return encoder_->EncodeAttrValue(Value::Int(v));
+  }
+
+  ExampleDatabase db_;
+  PathSpec spec_;
+  std::unique_ptr<KeyEncoder> encoder_;
+};
+
+TEST_F(PrefixExcludesTest, AttributePartialPrefix) {
+  Query q = Query::Range(Value::Int(50), Value::Int(60));
+  const CompiledQuery cq = Compile(q);
+  // A prefix that is a strict prefix of enc(55): undecided (not excluded).
+  const std::string e55 = Enc(55);
+  EXPECT_FALSE(cq.PrefixExcludes(Slice(e55.data(), 5)));
+  // enc(200)'s prefix bytes differ above the range: excluded.
+  const std::string e200 = Enc(200);
+  EXPECT_TRUE(cq.PrefixExcludes(Slice(e200)));
+  // Full in-range image passes.
+  EXPECT_FALSE(cq.PrefixExcludes(Slice(e55)));
+  // Full out-of-range image is excluded.
+  EXPECT_TRUE(cq.PrefixExcludes(Slice(Enc(49))));
+  EXPECT_TRUE(cq.PrefixExcludes(Slice(Enc(61))));
+}
+
+TEST_F(PrefixExcludesTest, ValueSetPrefixes) {
+  Query q = Query::AnyOf({Value::Int(50), Value::Int(60)});
+  const CompiledQuery cq = Compile(q);
+  EXPECT_FALSE(cq.PrefixExcludes(Slice(Enc(50))));
+  EXPECT_FALSE(cq.PrefixExcludes(Slice(Enc(60))));
+  EXPECT_TRUE(cq.PrefixExcludes(Slice(Enc(55))));
+}
+
+TEST_F(PrefixExcludesTest, CompleteComponentChecks) {
+  Query q = Query::ExactValue(Value::Int(50));
+  q.With(ClassSelector::Exactly(db_.ids.employee))
+      .With(ClassSelector::Subtree(db_.ids.auto_company));
+  const CompiledQuery cq = Compile(q);
+
+  auto prefix_with = [&](ClassId mid_cls) {
+    std::string p = Enc(50);
+    p += db_.coder->CodeOf(db_.ids.employee);
+    p.push_back('$');
+    p += std::string("\x00\x00\x00\x01", 4);
+    p += db_.coder->CodeOf(mid_cls);
+    p.push_back('$');
+    p += std::string("\x00\x00\x00\x02", 4);
+    return p;
+  };
+  // A company component inside the AutoCompany subtree: allowed.
+  EXPECT_FALSE(cq.PrefixExcludes(Slice(prefix_with(db_.ids.auto_company))));
+  EXPECT_FALSE(cq.PrefixExcludes(
+      Slice(prefix_with(db_.ids.japanese_auto_company))));
+  // TruckCompany is outside the subtree: the whole gap is pruned.
+  EXPECT_TRUE(cq.PrefixExcludes(Slice(prefix_with(db_.ids.truck_company))));
+  // Plain Company (the superclass) is not in the AutoCompany subtree.
+  EXPECT_TRUE(cq.PrefixExcludes(Slice(prefix_with(db_.ids.company))));
+}
+
+TEST_F(PrefixExcludesTest, PartialComponentIntervalCheck) {
+  Query q = Query::ExactValue(Value::Int(50));
+  q.With(ClassSelector::Exactly(db_.ids.employee));
+  const CompiledQuery cq = Compile(q);
+
+  // Prefix ending inside the first component's code bytes.
+  std::string good = Enc(50);
+  good += "C1";  // Employee's code, no separator yet: undecided.
+  EXPECT_FALSE(cq.PrefixExcludes(Slice(good)));
+
+  std::string bad = Enc(50);
+  bad += "C2";  // Company's code: cannot extend into Employee exact.
+  EXPECT_TRUE(cq.PrefixExcludes(Slice(bad)));
+}
+
+TEST_F(PrefixExcludesTest, BoundOidCheck) {
+  Query q = Query::ExactValue(Value::Int(50));
+  q.With(ClassSelector::Exactly(db_.ids.employee), ValueSlot::Bound({7}));
+  const CompiledQuery cq = Compile(q);
+  auto prefix_for = [&](Oid oid) {
+    std::string p = Enc(50);
+    p += "C1";
+    p.push_back('$');
+    char buf[4] = {0, 0, 0, static_cast<char>(oid)};
+    p.append(buf, 4);
+    return p;
+  };
+  EXPECT_FALSE(cq.PrefixExcludes(Slice(prefix_for(7))));
+  EXPECT_TRUE(cq.PrefixExcludes(Slice(prefix_for(8))));
+}
+
+TEST_F(PrefixExcludesTest, QueriedPrefixLength) {
+  Query q = Query::ExactValue(Value::Int(50));
+  q.With(ClassSelector::Exactly(db_.ids.employee))
+      .With(ClassSelector::Subtree(db_.ids.company), ValueSlot::Wanted());
+  const CompiledQuery cq = Compile(q);
+  EXPECT_TRUE(cq.is_partial());
+
+  const std::string key = encoder_->EncodeEntry(
+      Value::Int(50), {{db_.ids.employee, 1},
+                       {db_.ids.auto_company, 2},
+                       {db_.ids.automobile, 3}});
+  const size_t len = std::move(cq.QueriedPrefixLength(Slice(key))).value();
+  // 8 attr + "C1"+$+oid (7) + "C2A"+$+oid (8).
+  EXPECT_EQ(len, 8u + 7 + 8);
+
+  Query full = Query::ExactValue(Value::Int(50));
+  full.With(ClassSelector::Any())
+      .With(ClassSelector::Any())
+      .With(ClassSelector::Any());
+  EXPECT_FALSE(Compile(full).is_partial());
+}
+
+// ---------------------------------------------------------------------------
+// Behavioural tests on a sizeable database.
+// ---------------------------------------------------------------------------
+
+class PruningBehaviourTest : public ::testing::Test {
+ protected:
+  PruningBehaviourTest() : pager_(1024), buffers_(&pager_) {
+    PaperDatabaseConfig cfg;
+    cfg.num_vehicles = 6000;
+    Status s = GeneratePaperDatabase(cfg, &db_);
+    EXPECT_TRUE(s.ok());
+    PathSpec spec;
+    spec.classes = {db_.ids.vehicle, db_.ids.company, db_.ids.employee};
+    spec.ref_attrs = {"manufactured-by", "president"};
+    spec.indexed_attr = "Age";
+    spec.value_kind = Value::Kind::kInt;
+    // The paper's Table-1 node size: small nodes make clusters span many
+    // pages, which is what the parent-node pruning exploits.
+    BTreeOptions options;
+    options.max_entries_per_node = 10;
+    index_ = std::make_unique<UIndex>(&buffers_, &db_.ids.schema,
+                                      db_.coder.get(), spec, options);
+    s = index_->BuildFrom(*db_.store);
+    EXPECT_TRUE(s.ok());
+  }
+
+  PaperDatabase db_;
+  Pager pager_;
+  BufferManager buffers_;
+  std::unique_ptr<UIndex> index_;
+};
+
+TEST_F(PruningBehaviourTest, PartialPathQueryIsFarCheaperThanForward) {
+  // "Companies whose president's age is 50" — Parscan skips each
+  // company's vehicle cluster; the forward sweep reads it all.
+  Query q = Query::ExactValue(Value::Int(50));
+  q.With(ClassSelector::Exactly(db_.ids.employee))
+      .With(ClassSelector::Subtree(db_.ids.company), ValueSlot::Wanted());
+
+  QueryCost parscan_cost(&buffers_);
+  const QueryResult parscan = std::move(index_->Parscan(q)).value();
+  const uint64_t parscan_pages = parscan_cost.PagesRead();
+  QueryCost forward_cost(&buffers_);
+  const QueryResult forward = std::move(index_->ForwardScan(q)).value();
+  const uint64_t forward_pages = forward_cost.PagesRead();
+
+  EXPECT_EQ(parscan.rows, forward.rows);
+  EXPECT_FALSE(parscan.rows.empty());
+  // Each row has only the queried positions.
+  EXPECT_EQ(parscan.rows[0].size(), 2u);
+  // The vehicle clusters dominate the forward cost.
+  EXPECT_LT(parscan_pages * 2, forward_pages);
+}
+
+TEST_F(PruningBehaviourTest, MidPathClassRestrictionPrunesSubtrees) {
+  // Combined query: trucks made by truck companies. The (age, employee)
+  // clusters contain mostly other company/vehicle classes, which prefix
+  // pruning skips.
+  Query q = Query::Range(Value::Int(20), Value::Int(70));
+  q.With(ClassSelector::Exactly(db_.ids.employee))
+      .With(ClassSelector::Exactly(db_.ids.truck_company))
+      .With(ClassSelector::Subtree(db_.ids.truck), ValueSlot::Wanted());
+
+  QueryCost parscan_cost(&buffers_);
+  const QueryResult parscan = std::move(index_->Parscan(q)).value();
+  const uint64_t parscan_pages = parscan_cost.PagesRead();
+  QueryCost forward_cost(&buffers_);
+  const QueryResult forward = std::move(index_->ForwardScan(q)).value();
+  const uint64_t forward_pages = forward_cost.PagesRead();
+
+  EXPECT_EQ(parscan.rows, forward.rows);
+  EXPECT_LT(parscan_pages * 2, forward_pages);
+}
+
+TEST_F(PruningBehaviourTest, ValueSetQueriesMatchRangeSemantics) {
+  // AnyOf{40,45} must equal the union of two exact queries.
+  Query set_query = Query::AnyOf({Value::Int(40), Value::Int(45)});
+  set_query.With(ClassSelector::Exactly(db_.ids.employee))
+      .With(ClassSelector::Subtree(db_.ids.company))
+      .With(ClassSelector::Subtree(db_.ids.vehicle), ValueSlot::Wanted());
+  const QueryResult both = std::move(index_->Parscan(set_query)).value();
+
+  size_t total = 0;
+  for (const int64_t v : {40, 45}) {
+    Query q = Query::ExactValue(Value::Int(v));
+    q.With(ClassSelector::Exactly(db_.ids.employee))
+        .With(ClassSelector::Subtree(db_.ids.company))
+        .With(ClassSelector::Subtree(db_.ids.vehicle), ValueSlot::Wanted());
+    total += std::move(index_->Parscan(q)).value().rows.size();
+  }
+  EXPECT_EQ(both.rows.size(), total);
+  EXPECT_EQ(std::move(index_->ForwardScan(set_query)).value().rows.size(),
+            total);
+}
+
+}  // namespace
+}  // namespace uindex

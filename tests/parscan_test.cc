@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/uindex.h"
+#include "storage/buffer_manager.h"
+#include "util/random.h"
+#include "workload/database_generator.h"
+#include "workload/query_generator.h"
+
+namespace uindex {
+namespace {
+
+// Property test: on randomized class-hierarchy workloads, Parscan returns
+// exactly the rows ForwardScan returns, and never reads more pages.
+class ParscanPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint64_t>> {};
+
+TEST_P(ParscanPropertyTest, AgreesWithForwardScanAndReadsNoMorePages) {
+  const uint32_t num_sets = std::get<0>(GetParam());
+  const uint64_t num_keys = std::get<1>(GetParam());
+
+  SetHierarchy hier = std::move(BuildSetHierarchy(num_sets)).value();
+  Pager pager(1024);
+  BufferManager buffers(&pager);
+  PathSpec spec =
+      PathSpec::ClassHierarchy(hier.root, "key", Value::Kind::kInt);
+  UIndex index(&buffers, &hier.schema, hier.coder.get(), spec);
+
+  SetWorkloadConfig cfg;
+  cfg.num_objects = 6000;
+  cfg.num_sets = num_sets;
+  cfg.num_distinct_keys = num_keys;
+  cfg.seed = num_sets * 1000 + num_keys;
+  for (const Posting& p : GeneratePostings(cfg)) {
+    UIndex::Entry entry;
+    entry.path = {{hier.sets[p.set_index], p.oid}};
+    entry.key =
+        index.key_encoder().EncodeEntry(Value::Int(p.key), entry.path);
+    ASSERT_TRUE(index.InsertEntry(entry).ok());
+  }
+  ASSERT_TRUE(index.btree().Validate().ok());
+
+  Random rng(cfg.seed + 17);
+  for (int rep = 0; rep < 40; ++rep) {
+    // Mix exact matches and ranges over random near/distant class subsets.
+    const size_t m = 1 + static_cast<size_t>(rng.Uniform(num_sets));
+    const bool near = rng.Bernoulli(0.5);
+    const double fraction = rep % 3 == 0 ? -1.0 : 0.02 * (1 + rep % 5);
+    const SetQuerySpec qs =
+        fraction < 0 ? MakeExactMatchQuery(cfg, m, near, rng)
+                     : MakeRangeQuery(cfg, fraction, m, near, rng);
+
+    Query q = Query::Range(Value::Int(qs.lo), Value::Int(qs.hi));
+    ClassSelector sel;
+    for (const size_t i : qs.set_indexes) {
+      sel.include.push_back({hier.sets[i], false});
+    }
+    q.With(sel, ValueSlot::Wanted());
+
+    QueryCost forward_cost(&buffers);
+    const QueryResult forward = std::move(index.ForwardScan(q)).value();
+    const uint64_t forward_pages = forward_cost.PagesRead();
+
+    QueryCost parscan_cost(&buffers);
+    const QueryResult parscan = std::move(index.Parscan(q)).value();
+    const uint64_t parscan_pages = parscan_cost.PagesRead();
+
+    ASSERT_EQ(parscan.rows, forward.rows) << "rep " << rep;
+    // Parscan may pay a couple of extra *internal* nodes (it re-descends
+    // per disjoint key range instead of following the leaf chain), but
+    // never more than the tree height.
+    EXPECT_LE(parscan_pages, forward_pages + 3) << "rep " << rep;
+    // Parscan never examines more leaf entries than the forward sweep.
+    EXPECT_LE(parscan.entries_scanned, forward.entries_scanned);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, ParscanPropertyTest,
+    ::testing::Combine(::testing::Values(4u, 8u, 40u),
+                       ::testing::Values(50ull, 1000ull, 6000ull)));
+
+TEST(ParscanTest, SkipsUnqueriedSubtrees) {
+  // With many classes and an exact-match on a single class, Parscan must
+  // descend once, not sweep the whole value cluster.
+  SetHierarchy hier = std::move(BuildSetHierarchy(40)).value();
+  Pager pager(1024);
+  BufferManager buffers(&pager);
+  PathSpec spec =
+      PathSpec::ClassHierarchy(hier.root, "key", Value::Kind::kInt);
+  UIndex index(&buffers, &hier.schema, hier.coder.get(), spec);
+
+  SetWorkloadConfig cfg;
+  cfg.num_objects = 20000;
+  cfg.num_sets = 40;
+  cfg.num_distinct_keys = 50;  // Long per-key clusters.
+  for (const Posting& p : GeneratePostings(cfg)) {
+    UIndex::Entry entry;
+    entry.path = {{hier.sets[p.set_index], p.oid}};
+    entry.key =
+        index.key_encoder().EncodeEntry(Value::Int(p.key), entry.path);
+    ASSERT_TRUE(index.InsertEntry(entry).ok());
+  }
+
+  // Two dispersed classes: the forward sweep must cross the ~30 classes
+  // between them inside the value cluster; Parscan jumps over the gap
+  // using the internal nodes (the paper's query-4/5 skipping argument).
+  Query q = Query::ExactValue(Value::Int(25));
+  ClassSelector sel;
+  sel.include.push_back({hier.sets[3], false});
+  sel.include.push_back({hier.sets[36], false});
+  q.With(sel, ValueSlot::Wanted());
+
+  QueryCost parscan_cost(&buffers);
+  const QueryResult parscan = std::move(index.Parscan(q)).value();
+  const uint64_t parscan_pages = parscan_cost.PagesRead();
+
+  QueryCost forward_cost(&buffers);
+  const QueryResult forward = std::move(index.ForwardScan(q)).value();
+  const uint64_t forward_pages = forward_cost.PagesRead();
+
+  EXPECT_EQ(parscan.rows, forward.rows);
+  EXPECT_FALSE(parscan.rows.empty());
+  // ~400 postings per key: the skipped middle is worth several leaves.
+  EXPECT_LT(parscan_pages, forward_pages);
+  EXPECT_LT(parscan.entries_scanned, forward.entries_scanned);
+}
+
+TEST(ParscanTest, SharesPagesAcrossRangeValues) {
+  // A range over every class reads each relevant page exactly once: cost
+  // must be close to the pure span size, not span x values.
+  SetHierarchy hier = std::move(BuildSetHierarchy(8)).value();
+  Pager pager(1024);
+  BufferManager buffers(&pager);
+  PathSpec spec =
+      PathSpec::ClassHierarchy(hier.root, "key", Value::Kind::kInt);
+  UIndex index(&buffers, &hier.schema, hier.coder.get(), spec);
+
+  SetWorkloadConfig cfg;
+  cfg.num_objects = 20000;
+  cfg.num_sets = 8;
+  cfg.num_distinct_keys = 1000;
+  for (const Posting& p : GeneratePostings(cfg)) {
+    UIndex::Entry entry;
+    entry.path = {{hier.sets[p.set_index], p.oid}};
+    entry.key =
+        index.key_encoder().EncodeEntry(Value::Int(p.key), entry.path);
+    ASSERT_TRUE(index.InsertEntry(entry).ok());
+  }
+
+  Query q = Query::Range(Value::Int(100), Value::Int(199));  // 10% range.
+  ClassSelector sel;
+  for (const ClassId s : hier.sets) sel.include.push_back({s, false});
+  q.With(sel, ValueSlot::Wanted());
+
+  QueryCost parscan_cost(&buffers);
+  const QueryResult parscan = std::move(index.Parscan(q)).value();
+  const uint64_t parscan_pages = parscan_cost.PagesRead();
+  QueryCost forward_cost(&buffers);
+  const QueryResult forward = std::move(index.ForwardScan(q)).value();
+  const uint64_t forward_pages = forward_cost.PagesRead();
+  EXPECT_EQ(parscan.rows, forward.rows);
+  // All classes queried: both algorithms sweep the same leaves; Parscan
+  // must not multiply reads per enumerated value.
+  EXPECT_LE(parscan_pages, forward_pages + 2);
+}
+
+}  // namespace
+}  // namespace uindex

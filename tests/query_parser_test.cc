@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "core/query_parser.h"
+#include "workload/paper_schema.h"
+
+namespace uindex {
+namespace {
+
+class QueryParserTest : public ::testing::Test {
+ protected:
+  QueryParserTest() : p_(PaperSchema::Build()) {
+    path_spec_.classes = {p_.vehicle, p_.company, p_.employee};
+    path_spec_.ref_attrs = {"manufactured-by", "president"};
+    path_spec_.indexed_attr = "Age";
+    path_spec_.value_kind = Value::Kind::kInt;
+    ch_spec_ = PathSpec::ClassHierarchy(p_.vehicle, "Color",
+                                        Value::Kind::kString);
+  }
+
+  PaperSchema p_;
+  PathSpec path_spec_;
+  PathSpec ch_spec_;
+};
+
+TEST_F(QueryParserTest, ParsesExactIntQuery) {
+  const Query q =
+      std::move(ParseQuery("(Age=50, Employee, _, Company*, ?, Vehicle*, ?)",
+                           path_spec_, p_.schema))
+          .value();
+  EXPECT_EQ(q.lo.AsInt(), 50);
+  EXPECT_EQ(q.hi.AsInt(), 50);
+  ASSERT_EQ(q.components.size(), 3u);
+  EXPECT_EQ(q.components[0].selector.include[0].cls, p_.employee);
+  EXPECT_FALSE(q.components[0].selector.include[0].with_subclasses);
+  EXPECT_EQ(q.components[0].slot.kind, ValueSlot::Kind::kAny);
+  EXPECT_TRUE(q.components[1].selector.include[0].with_subclasses);
+  EXPECT_EQ(q.components[1].slot.kind, ValueSlot::Kind::kWanted);
+}
+
+TEST_F(QueryParserTest, ParsesRanges) {
+  const Query q = std::move(ParseQuery("Age=45..60, Employee, _",
+                                       path_spec_, p_.schema))
+                      .value();
+  EXPECT_EQ(q.lo.AsInt(), 45);
+  EXPECT_EQ(q.hi.AsInt(), 60);
+}
+
+TEST_F(QueryParserTest, ParsesStringValuesAndAlternation) {
+  const Query q =
+      std::move(ParseQuery("(Color='Red', Automobile*|Truck !CompactAutomobile, ?)",
+                           ch_spec_, p_.schema))
+          .value();
+  EXPECT_EQ(q.lo.AsString(), "Red");
+  ASSERT_EQ(q.components.size(), 1u);
+  const ClassSelector& sel = q.components[0].selector;
+  ASSERT_EQ(sel.include.size(), 2u);
+  EXPECT_EQ(sel.include[0].cls, p_.automobile);
+  EXPECT_TRUE(sel.include[0].with_subclasses);
+  EXPECT_EQ(sel.include[1].cls, p_.truck);
+  EXPECT_FALSE(sel.include[1].with_subclasses);
+  ASSERT_EQ(sel.exclude.size(), 1u);
+  EXPECT_EQ(sel.exclude[0].cls, p_.compact_automobile);
+}
+
+TEST_F(QueryParserTest, ParsesBoundSlots) {
+  const Query q =
+      std::move(ParseQuery("(Age=50, Employee, #12+34, Company, ?)",
+                           path_spec_, p_.schema))
+          .value();
+  ASSERT_EQ(q.components.size(), 2u);
+  EXPECT_EQ(q.components[0].slot.kind, ValueSlot::Kind::kBound);
+  ASSERT_EQ(q.components[0].slot.oids.size(), 2u);
+  EXPECT_EQ(q.components[0].slot.oids[0], 12u);
+  EXPECT_EQ(q.components[0].slot.oids[1], 34u);
+}
+
+TEST_F(QueryParserTest, WildcardSelector) {
+  const Query q = std::move(ParseQuery("(Age=50, _, _, Company*, ?)",
+                                       path_spec_, p_.schema))
+                      .value();
+  EXPECT_TRUE(q.components[0].selector.include.empty());
+  EXPECT_TRUE(q.components[0].selector.exclude.empty());
+}
+
+TEST_F(QueryParserTest, RejectsMalformedQueries) {
+  auto bad = [&](const std::string& text) {
+    return ParseQuery(text, path_spec_, p_.schema).status();
+  };
+  EXPECT_TRUE(bad("").IsInvalidArgument());
+  EXPECT_TRUE(bad("Age=50, Employee").IsInvalidArgument());  // Odd pair.
+  EXPECT_TRUE(bad("Age 50").IsInvalidArgument());            // No '='.
+  EXPECT_TRUE(bad("Color=50, _, _").IsInvalidArgument());    // Wrong attr.
+  EXPECT_TRUE(bad("Age=abc, _, _").IsInvalidArgument());
+  EXPECT_TRUE(bad("Age=50, NoSuchClass, _").IsNotFound());
+  EXPECT_TRUE(bad("Age=50, Employee, %").IsInvalidArgument());
+  EXPECT_TRUE(bad("Age=50, Employee, #").IsInvalidArgument());
+  EXPECT_TRUE(bad("Age=50, _, _, _, _, _, _, _, _").IsInvalidArgument());
+  // String value needs quotes under a string-kind spec.
+  EXPECT_TRUE(ParseQuery("Color=Red, _, _", ch_spec_, p_.schema)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace uindex

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "core/uindex.h"
+#include "util/coding.h"
+#include "util/random.h"
+#include "workload/database_generator.h"
+#include "workload/paper_schema.h"
+
+namespace uindex {
+namespace {
+
+// Property suite for the query compiler's three promises, which the
+// retrieval algorithms rely on for correctness:
+//   P1 (interval soundness): every key that Matches lies inside some
+//      compiled interval — Parscan may prune everything outside them.
+//   P2 (prefix-prune soundness): PrefixExcludes never rejects a prefix of
+//      a matching key — parent-node pruning cannot lose results.
+//   P3 (algorithm agreement): Parscan and ForwardScan return identical
+//      rows on arbitrary queries.
+
+class QueryPropertyTest : public ::testing::Test {
+ protected:
+  QueryPropertyTest() : pager_(1024), buffers_(&pager_) {
+    PaperDatabaseConfig cfg;
+    cfg.num_vehicles = 3000;
+    Status s = GeneratePaperDatabase(cfg, &db_);
+    EXPECT_TRUE(s.ok());
+    spec_.classes = {db_.ids.vehicle, db_.ids.company, db_.ids.employee};
+    spec_.ref_attrs = {"manufactured-by", "president"};
+    spec_.indexed_attr = "Age";
+    spec_.value_kind = Value::Kind::kInt;
+    BTreeOptions options;
+    options.max_entries_per_node = 10;  // Deep tree: more prunable gaps.
+    index_ = std::make_unique<UIndex>(&buffers_, &db_.ids.schema,
+                                      db_.coder.get(), spec_, options);
+    s = index_->BuildFrom(*db_.store);
+    EXPECT_TRUE(s.ok());
+  }
+
+  // Builds a random (possibly partial) query over the path spec.
+  Query RandomQuery(Random& rng) {
+    Query q;
+    if (rng.Bernoulli(0.2)) {
+      std::vector<Value> values;
+      const size_t n = 1 + rng.Uniform(3);
+      for (size_t i = 0; i < n; ++i) {
+        values.push_back(Value::Int(
+            static_cast<int64_t>(rng.UniformRange(20, 70))));
+      }
+      q.values = std::move(values);
+    } else {
+      const int64_t lo = static_cast<int64_t>(rng.UniformRange(20, 70));
+      const int64_t hi =
+          rng.Bernoulli(0.5)
+              ? lo
+              : static_cast<int64_t>(
+                    rng.UniformRange(static_cast<uint64_t>(lo), 70));
+      q.lo = Value::Int(lo);
+      q.hi = Value::Int(hi);
+    }
+
+    const ClassId position_roots[3] = {db_.ids.employee, db_.ids.company,
+                                       db_.ids.vehicle};
+    const size_t components = 1 + rng.Uniform(3);  // Partial allowed.
+    for (size_t i = 0; i < components; ++i) {
+      QueryComponent comp;
+      if (!rng.Bernoulli(0.25)) {  // 25% wildcard.
+        // Pick 1-2 include terms from the position's sub-tree.
+        const auto classes = db_.ids.schema.SubtreeOf(position_roots[i]);
+        const size_t terms = 1 + rng.Uniform(2);
+        for (size_t t = 0; t < terms; ++t) {
+          comp.selector.include.push_back(
+              {classes[rng.Uniform(classes.size())], rng.Bernoulli(0.5)});
+        }
+        if (rng.Bernoulli(0.3)) {
+          comp.selector.exclude.push_back(
+              {classes[rng.Uniform(classes.size())], rng.Bernoulli(0.5)});
+        }
+      }
+      if (rng.Bernoulli(0.2)) {
+        // Bind to a few live oids of the position's class family.
+        const auto extent =
+            db_.store->DeepExtentOf(position_roots[i]);
+        if (!extent.empty()) {
+          std::vector<Oid> oids;
+          const size_t n = 1 + rng.Uniform(3);
+          for (size_t t = 0; t < n; ++t) {
+            oids.push_back(extent[rng.Uniform(extent.size())]);
+          }
+          comp.slot = ValueSlot::Bound(std::move(oids));
+        }
+      }
+      q.components.push_back(std::move(comp));
+    }
+    return q;
+  }
+
+  PaperDatabase db_;
+  Pager pager_;
+  BufferManager buffers_;
+  PathSpec spec_;
+  std::unique_ptr<UIndex> index_;
+};
+
+TEST_F(QueryPropertyTest, IntervalAndPrefixSoundness) {
+  // Collect every indexed key once.
+  std::vector<std::string> keys;
+  auto it = index_->btree().NewIterator();
+  for (it.SeekToFirst(); it.Valid(); it.Next()) {
+    keys.push_back(it.key().ToString());
+  }
+  ASSERT_GT(keys.size(), 1000u);
+
+  Random rng(505);
+  for (int rep = 0; rep < 60; ++rep) {
+    const Query q = RandomQuery(rng);
+    Result<CompiledQuery> compiled =
+        CompiledQuery::Compile(q, index_->key_encoder(), db_.ids.schema);
+    ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+    const CompiledQuery& cq = compiled.value();
+
+    for (size_t ki = 0; ki < keys.size(); ki += 7) {
+      const Slice key(keys[ki]);
+      if (!cq.Matches(key, nullptr)) continue;
+
+      // P1: the key lies inside some interval.
+      bool covered = false;
+      for (const ByteInterval& iv : cq.intervals()) {
+        if (!(key < Slice(iv.lo)) &&
+            (iv.hi.empty() || key < Slice(iv.hi))) {
+          covered = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(covered) << "rep " << rep << " key " << ki;
+
+      // P2: no prefix of a matching key is excluded.
+      for (size_t len = 1; len <= key.size(); len += 3) {
+        EXPECT_FALSE(cq.PrefixExcludes(key.Prefix(len)))
+            << "rep " << rep << " key " << ki << " prefix len " << len;
+      }
+      EXPECT_FALSE(cq.PrefixExcludes(key));
+    }
+  }
+}
+
+TEST_F(QueryPropertyTest, ParscanAgreesWithForwardScanOnRandomQueries) {
+  Random rng(707);
+  int nonempty = 0;
+  for (int rep = 0; rep < 80; ++rep) {
+    const Query q = RandomQuery(rng);
+    Result<QueryResult> parscan = index_->Parscan(q);
+    Result<QueryResult> forward = index_->ForwardScan(q);
+    ASSERT_TRUE(parscan.ok()) << parscan.status().ToString();
+    ASSERT_TRUE(forward.ok()) << forward.status().ToString();
+    EXPECT_EQ(parscan.value().rows, forward.value().rows) << "rep " << rep;
+    EXPECT_LE(parscan.value().entries_scanned,
+              forward.value().entries_scanned);
+    if (!parscan.value().rows.empty()) ++nonempty;
+  }
+  // The generator must actually produce meaningful queries.
+  EXPECT_GT(nonempty, 20);
+}
+
+TEST_F(QueryPropertyTest, MatchesAgreesWithSemanticEvaluation) {
+  // Independent oracle: evaluate the query per decoded key component.
+  Random rng(909);
+  std::vector<std::string> keys;
+  auto it = index_->btree().NewIterator();
+  for (it.SeekToFirst(); it.Valid(); it.Next()) {
+    keys.push_back(it.key().ToString());
+  }
+
+  for (int rep = 0; rep < 40; ++rep) {
+    const Query q = RandomQuery(rng);
+    const CompiledQuery cq = std::move(CompiledQuery::Compile(
+                                           q, index_->key_encoder(),
+                                           db_.ids.schema))
+                                 .value();
+    for (size_t ki = 0; ki < keys.size(); ki += 13) {
+      const Slice key(keys[ki]);
+      const DecodedKey dk =
+          std::move(index_->key_encoder().Decode(key)).value();
+
+      // Oracle evaluation.
+      bool expected = true;
+      const int64_t age = static_cast<int64_t>(
+          DecodeBigEndian64(dk.attr_bytes.data()) ^ 0x8000000000000000ull);
+      if (!q.values.empty()) {
+        bool any = false;
+        for (const Value& v : q.values) any = any || v.AsInt() == age;
+        expected = any;
+      } else {
+        expected = age >= q.lo.AsInt() && age <= q.hi.AsInt();
+      }
+      for (size_t i = 0; expected && i < q.components.size(); ++i) {
+        const ClassId cls =
+            db_.coder->ClassOf(Slice(dk.components[i].code)).value();
+        const QueryComponent& comp = q.components[i];
+        if (!comp.selector.include.empty()) {
+          bool any = false;
+          for (const auto& term : comp.selector.include) {
+            any = any ||
+                  (term.with_subclasses
+                       ? db_.ids.schema.IsSubclassOf(cls, term.cls)
+                       : cls == term.cls);
+          }
+          expected = expected && any;
+        }
+        for (const auto& term : comp.selector.exclude) {
+          const bool hit = term.with_subclasses
+                               ? db_.ids.schema.IsSubclassOf(cls, term.cls)
+                               : cls == term.cls;
+          expected = expected && !hit;
+        }
+        if (comp.slot.kind == ValueSlot::Kind::kBound) {
+          bool any = false;
+          for (const Oid oid : comp.slot.oids) {
+            any = any || oid == dk.components[i].oid;
+          }
+          expected = expected && any;
+        }
+      }
+      EXPECT_EQ(cq.Matches(key, nullptr), expected)
+          << "rep " << rep << " key " << ki;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace uindex

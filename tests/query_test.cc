@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "core/query.h"
+#include "workload/paper_schema.h"
+
+namespace uindex {
+namespace {
+
+class QueryCompileTest : public ::testing::Test {
+ protected:
+  QueryCompileTest()
+      : p_(PaperSchema::Build()),
+        coder_(std::move(ClassCoder::Assign(p_.schema)).value()),
+        ch_spec_(PathSpec::ClassHierarchy(p_.vehicle, "Color",
+                                          Value::Kind::kString)),
+        ch_enc_(&ch_spec_, &coder_) {
+    path_spec_.classes = {p_.vehicle, p_.company, p_.employee};
+    path_spec_.ref_attrs = {"manufactured-by", "president"};
+    path_spec_.indexed_attr = "Age";
+    path_spec_.value_kind = Value::Kind::kInt;
+  }
+
+  PaperSchema p_;
+  ClassCoder coder_;
+  PathSpec ch_spec_;
+  KeyEncoder ch_enc_;
+  PathSpec path_spec_;
+};
+
+TEST_F(QueryCompileTest, ExactValueSubtreeSelectorIsOneInterval) {
+  Query q = Query::ExactValue(Value::Str("Red"));
+  q.With(ClassSelector::Subtree(p_.vehicle), ValueSlot::Wanted());
+  const CompiledQuery cq =
+      std::move(CompiledQuery::Compile(q, ch_enc_, p_.schema)).value();
+  ASSERT_EQ(cq.intervals().size(), 1u);
+  // Interval is enc("Red") + "C5" .. enc("Red") + "C6".
+  const std::string prefix = ch_enc_.EncodeAttrValue(Value::Str("Red"));
+  EXPECT_EQ(cq.intervals()[0].lo, prefix + "C5");
+  EXPECT_EQ(cq.intervals()[0].hi, prefix + "C6");
+}
+
+TEST_F(QueryCompileTest, AlternationYieldsDisjointIntervals) {
+  // The paper's query 5: Automobiles or Trucks (with sub-classes).
+  Query q = Query::ExactValue(Value::Str("Red"));
+  ClassSelector sel;
+  sel.include.push_back({p_.automobile, true});
+  sel.include.push_back({p_.truck, true});
+  q.With(sel, ValueSlot::Wanted());
+  const CompiledQuery cq =
+      std::move(CompiledQuery::Compile(q, ch_enc_, p_.schema)).value();
+  ASSERT_EQ(cq.intervals().size(), 1u);  // C5A..C5B and C5B..C5C merge.
+  const std::string prefix = ch_enc_.EncodeAttrValue(Value::Str("Red"));
+  EXPECT_EQ(cq.intervals()[0].lo, prefix + "C5A");
+  EXPECT_EQ(cq.intervals()[0].hi, prefix + "C5C");
+
+  // Non-adjacent alternation stays split.
+  Query q2 = Query::ExactValue(Value::Str("Red"));
+  ClassSelector sel2;
+  sel2.include.push_back({p_.automobile, true});
+  sel2.include.push_back({p_.bus, true});
+  q2.With(sel2, ValueSlot::Wanted());
+  const CompiledQuery cq2 =
+      std::move(CompiledQuery::Compile(q2, ch_enc_, p_.schema)).value();
+  EXPECT_EQ(cq2.intervals().size(), 2u);
+}
+
+TEST_F(QueryCompileTest, ExclusionSubtractsSubtreeRange) {
+  // The paper's query 4: vehicles that are not compact automobiles.
+  Query q = Query::ExactValue(Value::Str("Red"));
+  ClassSelector sel = ClassSelector::Subtree(p_.vehicle);
+  sel.exclude.push_back({p_.compact_automobile, true});
+  q.With(sel, ValueSlot::Wanted());
+  const CompiledQuery cq =
+      std::move(CompiledQuery::Compile(q, ch_enc_, p_.schema)).value();
+  ASSERT_EQ(cq.intervals().size(), 2u);
+  const std::string prefix = ch_enc_.EncodeAttrValue(Value::Str("Red"));
+  EXPECT_EQ(cq.intervals()[0].lo, prefix + "C5");
+  EXPECT_EQ(cq.intervals()[0].hi, prefix + "C5AA");
+  EXPECT_EQ(cq.intervals()[1].lo, prefix + "C5AB");
+  EXPECT_EQ(cq.intervals()[1].hi, prefix + "C6");
+}
+
+TEST_F(QueryCompileTest, IntRangeEnumeratesValues) {
+  PathSpec spec = PathSpec::ClassHierarchy(p_.vehicle, "Size",
+                                           Value::Kind::kInt);
+  const KeyEncoder enc(&spec, &coder_);
+  Query q = Query::Range(Value::Int(10), Value::Int(13));
+  q.With(ClassSelector::Subtree(p_.truck), ValueSlot::Wanted());
+  const CompiledQuery cq =
+      std::move(CompiledQuery::Compile(q, enc, p_.schema)).value();
+  // One interval per enumerated value (paper Algorithm 1's partial keys).
+  EXPECT_EQ(cq.intervals().size(), 4u);
+  for (const ByteInterval& iv : cq.intervals()) {
+    EXPECT_TRUE(Slice(iv.lo) < Slice(iv.hi));
+  }
+  EXPECT_TRUE(Slice(cq.full_span().lo) < Slice(cq.full_span().hi));
+}
+
+TEST_F(QueryCompileTest, HugeRangeFallsBackToOneInterval) {
+  PathSpec spec = PathSpec::ClassHierarchy(p_.vehicle, "Size",
+                                           Value::Kind::kInt);
+  const KeyEncoder enc(&spec, &coder_);
+  Query q = Query::Range(Value::Int(0), Value::Int(INT64_MAX));
+  q.With(ClassSelector::Subtree(p_.vehicle), ValueSlot::Wanted());
+  const CompiledQuery cq =
+      std::move(CompiledQuery::Compile(q, enc, p_.schema)).value();
+  EXPECT_EQ(cq.intervals().size(), 1u);
+}
+
+TEST_F(QueryCompileTest, BoundSlotsExtendPartialKeys) {
+  const KeyEncoder enc(&path_spec_, &coder_);
+  // Exact employee with a bound oid, then a company sub-tree: the partial
+  // key reaches through C1$oid into the company component.
+  Query q = Query::ExactValue(Value::Int(50));
+  q.With(ClassSelector::Exactly(p_.employee), ValueSlot::Bound({7}))
+      .With(ClassSelector::Subtree(p_.company), ValueSlot::Wanted());
+  const CompiledQuery cq =
+      std::move(CompiledQuery::Compile(q, enc, p_.schema)).value();
+  ASSERT_EQ(cq.intervals().size(), 1u);
+  std::string expected = enc.EncodeAttrValue(Value::Int(50));
+  expected += "C1$";
+  expected += std::string("\x00\x00\x00\x07", 4);
+  expected += "C2";
+  EXPECT_EQ(cq.intervals()[0].lo, expected);
+}
+
+TEST_F(QueryCompileTest, ValidationErrors) {
+  const KeyEncoder enc(&path_spec_, &coder_);
+  // Too many components.
+  Query q = Query::ExactValue(Value::Int(1));
+  for (int i = 0; i < 4; ++i) q.With(ClassSelector::Any());
+  EXPECT_TRUE(CompiledQuery::Compile(q, enc, p_.schema)
+                  .status()
+                  .IsInvalidArgument());
+  // Kind mismatch.
+  Query q2 = Query::ExactValue(Value::Str("x"));
+  EXPECT_TRUE(CompiledQuery::Compile(q2, enc, p_.schema)
+                  .status()
+                  .IsInvalidArgument());
+  // Empty bound slot.
+  Query q3 = Query::ExactValue(Value::Int(1));
+  q3.With(ClassSelector::Exactly(p_.employee), ValueSlot::Bound({}));
+  EXPECT_TRUE(CompiledQuery::Compile(q3, enc, p_.schema)
+                  .status()
+                  .IsInvalidArgument());
+  // Inverted range.
+  Query q4 = Query::Range(Value::Int(10), Value::Int(5));
+  EXPECT_TRUE(CompiledQuery::Compile(q4, enc, p_.schema)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(QueryCompileTest, MatchesChecksEverything) {
+  const KeyEncoder enc(&path_spec_, &coder_);
+  const std::string key = enc.EncodeEntry(
+      Value::Int(50),
+      {{p_.employee, 1}, {p_.japanese_auto_company, 2}, {p_.truck, 3}});
+
+  auto matches = [&](Query q) {
+    const CompiledQuery cq =
+        std::move(CompiledQuery::Compile(q, enc, p_.schema)).value();
+    return cq.Matches(Slice(key), nullptr);
+  };
+
+  // Attribute range.
+  EXPECT_TRUE(matches(Query::Range(Value::Int(40), Value::Int(60))));
+  EXPECT_TRUE(matches(Query::ExactValue(Value::Int(50))));
+  EXPECT_FALSE(matches(Query::ExactValue(Value::Int(51))));
+
+  // Class selectors at each position.
+  Query q = Query::ExactValue(Value::Int(50));
+  q.With(ClassSelector::Exactly(p_.employee))
+      .With(ClassSelector::Subtree(p_.auto_company))
+      .With(ClassSelector::Subtree(p_.truck));
+  EXPECT_TRUE(matches(q));
+
+  Query q2 = Query::ExactValue(Value::Int(50));
+  q2.With(ClassSelector::Any()).With(ClassSelector::Exactly(p_.company));
+  EXPECT_FALSE(matches(q2));  // Actual class is a strict subclass.
+
+  // Exclusion.
+  Query q3 = Query::ExactValue(Value::Int(50));
+  ClassSelector sel = ClassSelector::Subtree(p_.employee);
+  q3.With(sel);
+  ClassSelector sel2 = ClassSelector::Subtree(p_.company);
+  sel2.exclude.push_back({p_.japanese_auto_company, false});
+  q3.With(sel2);
+  EXPECT_FALSE(matches(q3));
+
+  // Bound slots.
+  Query q4 = Query::ExactValue(Value::Int(50));
+  q4.With(ClassSelector::Any(), ValueSlot::Bound({1, 9}));
+  EXPECT_TRUE(matches(q4));
+  Query q5 = Query::ExactValue(Value::Int(50));
+  q5.With(ClassSelector::Any(), ValueSlot::Bound({8, 9}));
+  EXPECT_FALSE(matches(q5));
+}
+
+TEST_F(QueryCompileTest, DistinctProjectsAndDedupes) {
+  QueryResult r;
+  r.rows = {{1, 10}, {2, 10}, {1, 20}};
+  const std::vector<Oid> d0 = r.Distinct(0);
+  ASSERT_EQ(d0.size(), 2u);
+  EXPECT_EQ(d0[0], 1u);
+  EXPECT_EQ(d0[1], 2u);
+  const std::vector<Oid> d1 = r.Distinct(1);
+  EXPECT_EQ(d1.size(), 2u);
+  EXPECT_TRUE(r.Distinct(5).empty());
+}
+
+}  // namespace
+}  // namespace uindex

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "db/database.h"
+
+namespace uindex {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+// REF rule (§3.1): the referenced (target) class's code must sort below
+// the referencing (source) class's. Dealer is created first (C1), so
+// an Employee -> Dealer edge is fine, but Dealer -> Employee inverts the
+// order and needs the §4.3 re-encode.
+class ReencodeTest : public ::testing::Test {
+ protected:
+  ReencodeTest() {
+    dealer_ = db_.CreateClass("Dealer").value();
+    franchise_ = db_.CreateSubclass("FranchiseDealer", dealer_).value();
+    employee_ = db_.CreateClass("Employee").value();
+  }
+
+  Database db_;
+  ClassId dealer_, franchise_, employee_;
+};
+
+TEST_F(ReencodeTest, OrderInvertingRefTriggersReencode) {
+  EXPECT_EQ(db_.coder().CodeOf(dealer_), "C1");
+  EXPECT_EQ(db_.coder().CodeOf(employee_), "C2");
+
+  // The plain API refuses the inverting edge...
+  EXPECT_TRUE(db_.CreateReference(dealer_, employee_, "employs")
+                  .IsInvalidArgument());
+  // ...the re-encoding one succeeds and flips the codes.
+  ASSERT_TRUE(
+      db_.CreateReferenceWithReencode(dealer_, employee_, "employs").ok());
+  EXPECT_EQ(db_.coder().CodeOf(employee_), "C1");
+  EXPECT_EQ(db_.coder().CodeOf(dealer_), "C2");
+  EXPECT_EQ(db_.coder().CodeOf(franchise_), "C2A");
+  EXPECT_TRUE(db_.coder().Verify(db_.schema()).ok());
+  // The catalog was rebuilt under the new codes.
+  ASSERT_NE(db_.catalog(), nullptr);
+  EXPECT_EQ(std::move(db_.catalog()->NameOf(Slice("C2"))).value(),
+            "Dealer");
+  EXPECT_EQ(std::move(db_.catalog()->NameOf(Slice("C1"))).value(),
+            "Employee");
+}
+
+TEST_F(ReencodeTest, IndexesAreRebuiltWithNewCodes) {
+  const Oid boss = db_.CreateObject(employee_).value();
+  ASSERT_TRUE(db_.SetAttr(boss, "Age", Value::Int(55)).ok());
+  const Oid shop = db_.CreateObject(franchise_).value();
+  ASSERT_TRUE(db_.SetAttr(shop, "Rating", Value::Int(4)).ok());
+  ASSERT_TRUE(db_.CreateIndex(PathSpec::ClassHierarchy(
+                                  dealer_, "Rating", Value::Kind::kInt))
+                  .ok());
+
+  ASSERT_TRUE(
+      db_.CreateReferenceWithReencode(dealer_, employee_, "employs").ok());
+
+  // The index still answers correctly under the new codes.
+  Database::Selection sel;
+  sel.cls = dealer_;
+  sel.attr = "Rating";
+  sel.lo = Value::Int(1);
+  sel.hi = Value::Int(5);
+  const auto r = std::move(db_.Select(sel)).value();
+  EXPECT_TRUE(r.used_index);
+  EXPECT_EQ(r.oids, (std::vector<Oid>{shop}));
+  // And keeps maintaining through DML.
+  const Oid shop2 = db_.CreateObject(dealer_).value();
+  ASSERT_TRUE(db_.SetAttr(shop2, "Rating", Value::Int(2)).ok());
+  EXPECT_EQ(std::move(db_.Select(sel)).value().oids,
+            (std::vector<Oid>{shop, shop2}));
+}
+
+TEST_F(ReencodeTest, NonInvertingRefSkipsReencodeAndCyclesAreRejected) {
+  ASSERT_TRUE(
+      db_.CreateReferenceWithReencode(dealer_, employee_, "employs").ok());
+  const std::string employee_code = db_.coder().CodeOf(employee_);
+  const std::string dealer_code = db_.coder().CodeOf(dealer_);
+
+  // A later hierarchy referencing an earlier one points "down" the code
+  // order: no re-encode needed.
+  const ClassId product = db_.CreateClass("Product").value();
+  ASSERT_TRUE(
+      db_.CreateReferenceWithReencode(product, dealer_, "sold-at").ok());
+  EXPECT_EQ(db_.coder().CodeOf(employee_), employee_code);
+  EXPECT_EQ(db_.coder().CodeOf(dealer_), dealer_code);
+
+  // The reverse of an existing edge closes a REF cycle; no code order can
+  // satisfy it, so even the re-encoding API reports the paper's §4.3
+  // limit (cycle breaking needs separate duplicate encodings).
+  EXPECT_TRUE(db_.CreateReferenceWithReencode(employee_, dealer_,
+                                              "works-at")
+                  .IsInvalidArgument());
+}
+
+TEST_F(ReencodeTest, DropIndexReclaimsPages) {
+  const Oid shop = db_.CreateObject(dealer_).value();
+  ASSERT_TRUE(db_.SetAttr(shop, "Rating", Value::Int(3)).ok());
+  const uint64_t before = db_.live_pages();
+  const size_t pos = db_.CreateIndex(PathSpec::ClassHierarchy(
+                                         dealer_, "Rating",
+                                         Value::Kind::kInt))
+                         .value();
+  EXPECT_GT(db_.live_pages(), before);
+  ASSERT_TRUE(db_.DropIndex(pos).ok());
+  EXPECT_EQ(db_.live_pages(), before);
+  EXPECT_EQ(db_.index_count(), 0u);
+  EXPECT_TRUE(db_.DropIndex(0).IsInvalidArgument());
+  // Selects fall back to scans afterwards.
+  Database::Selection sel;
+  sel.cls = dealer_;
+  sel.attr = "Rating";
+  sel.lo = sel.hi = Value::Int(3);
+  EXPECT_FALSE(std::move(db_.Select(sel)).value().used_index);
+}
+
+TEST(ReencodeDurabilityTest, ReencodeSurvivesJournalReplay) {
+  const std::string snapshot = TempPath("reencode.udb");
+  const std::string journal = TempPath("reencode.journal");
+  std::remove(snapshot.c_str());
+  std::remove(journal.c_str());
+
+  Oid shop = kInvalidOid;
+  {
+    auto db = std::move(Database::OpenDurable(snapshot, journal)).value();
+    const ClassId dealer = db->CreateClass("Dealer").value();
+    const ClassId employee = db->CreateClass("Employee").value();
+    shop = db->CreateObject(dealer).value();
+    ASSERT_TRUE(db->SetAttr(shop, "Rating", Value::Int(5)).ok());
+    ASSERT_TRUE(db->CreateIndex(PathSpec::ClassHierarchy(
+                                    dealer, "Rating", Value::Kind::kInt))
+                    .ok());
+    ASSERT_TRUE(
+        db->CreateReferenceWithReencode(dealer, employee, "employs").ok());
+    ASSERT_TRUE(db->DropIndex(0).ok());
+    ASSERT_TRUE(db->CreateIndex(PathSpec::ClassHierarchy(
+                                    dealer, "Rating", Value::Kind::kInt))
+                    .ok());
+  }
+  auto db = std::move(Database::OpenDurable(snapshot, journal)).value();
+  EXPECT_TRUE(db->coder().Verify(db->schema()).ok());
+  EXPECT_EQ(db->index_count(), 1u);
+  Database::Selection sel;
+  sel.cls = db->schema().FindClass("Dealer").value();
+  sel.attr = "Rating";
+  sel.lo = sel.hi = Value::Int(5);
+  const auto r = std::move(db->Select(sel)).value();
+  EXPECT_TRUE(r.used_index);
+  EXPECT_EQ(r.oids, (std::vector<Oid>{shop}));
+  std::remove(snapshot.c_str());
+  std::remove(journal.c_str());
+}
+
+}  // namespace
+}  // namespace uindex

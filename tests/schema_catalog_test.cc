@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "core/schema_catalog.h"
+#include "workload/paper_schema.h"
+
+namespace uindex {
+namespace {
+
+class SchemaCatalogTest : public ::testing::Test {
+ protected:
+  SchemaCatalogTest()
+      : p_(PaperSchema::Build()),
+        coder_(std::move(ClassCoder::Assign(p_.schema)).value()),
+        pager_(1024),
+        buffers_(&pager_),
+        catalog_(&buffers_) {
+    Status s = catalog_.Store(p_.schema, coder_);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+
+  PaperSchema p_;
+  ClassCoder coder_;
+  Pager pager_;
+  BufferManager buffers_;
+  SchemaCatalog catalog_;
+};
+
+TEST_F(SchemaCatalogTest, NameLookupByCode) {
+  EXPECT_EQ(std::move(catalog_.NameOf(Slice("C5"))).value(), "Vehicle");
+  EXPECT_EQ(std::move(catalog_.NameOf(Slice("C5AA"))).value(),
+            "CompactAutomobile");
+  EXPECT_EQ(std::move(catalog_.NameOf(Slice("C2AA"))).value(),
+            "JapaneseAutoCompany");
+  EXPECT_TRUE(catalog_.NameOf(Slice("C9")).status().IsNotFound());
+}
+
+TEST_F(SchemaCatalogTest, SubtreeCodesAreOneClusteredScan) {
+  // §4.1: schema information is clustered like everything else.
+  QueryCost cost(&buffers_);
+  const auto codes = std::move(catalog_.SubtreeCodes(Slice("C2"))).value();
+  EXPECT_EQ(codes,
+            (std::vector<std::string>{"C2", "C2A", "C2AA", "C2B"}));
+  EXPECT_LE(cost.PagesRead(), 3u);  // One descent, clustered leaves.
+
+  const auto vehicle = std::move(catalog_.SubtreeCodes(Slice("C5"))).value();
+  EXPECT_EQ(vehicle.size(), 12u);
+  EXPECT_EQ(vehicle.front(), "C5");
+  // Preorder: every code preceded by its prefix ancestors.
+  for (size_t i = 1; i < vehicle.size(); ++i) {
+    EXPECT_TRUE(Slice(vehicle[i - 1]) < Slice(vehicle[i]));
+  }
+}
+
+TEST_F(SchemaCatalogTest, ReferencesOfClass) {
+  const auto refs = std::move(catalog_.ReferencesOf(Slice("C4"))).value();
+  ASSERT_EQ(refs.size(), 2u);  // Division: belongs, located-in.
+  EXPECT_EQ(refs[0].attribute, "belongs");
+  EXPECT_EQ(refs[0].target_code, "C2");
+  EXPECT_FALSE(refs[0].multi_valued);
+  EXPECT_EQ(refs[1].attribute, "located-in");
+  EXPECT_EQ(refs[1].target_code, "C3");
+  EXPECT_TRUE(
+      std::move(catalog_.ReferencesOf(Slice("C3"))).value().empty());
+}
+
+TEST_F(SchemaCatalogTest, RoundTripsSchemaAndCoder) {
+  Schema reloaded;
+  ClassCoder recoder;
+  ASSERT_TRUE(catalog_.Load(&reloaded, &recoder).ok());
+
+  ASSERT_EQ(reloaded.class_count(), p_.schema.class_count());
+  for (ClassId cls = 0; cls < p_.schema.class_count(); ++cls) {
+    const ClassId found =
+        reloaded.FindClass(p_.schema.NameOf(cls)).value();
+    EXPECT_EQ(recoder.CodeOf(found), coder_.CodeOf(cls))
+        << p_.schema.NameOf(cls);
+    // Hierarchy preserved.
+    const ClassId parent = p_.schema.SuperclassOf(cls);
+    if (parent == kInvalidClassId) {
+      EXPECT_EQ(reloaded.SuperclassOf(found), kInvalidClassId);
+    } else {
+      EXPECT_EQ(reloaded.NameOf(reloaded.SuperclassOf(found)),
+                p_.schema.NameOf(parent));
+    }
+  }
+  EXPECT_EQ(reloaded.references().size(), p_.schema.references().size());
+  EXPECT_TRUE(recoder.Verify(reloaded).ok());
+
+  // Evolution continues where the stored coder left off.
+  const ClassId scooter =
+      reloaded.AddSubclass("Scooter",
+                           reloaded.FindClass("Vehicle").value())
+          .value();
+  ASSERT_TRUE(recoder.AssignNewClass(reloaded, scooter).ok());
+  EXPECT_EQ(recoder.CodeOf(scooter), "C5D");  // After C5A, C5B, C5C.
+}
+
+TEST_F(SchemaCatalogTest, IncrementalAdditions) {
+  ASSERT_TRUE(catalog_.AddClass(Slice("C5D"), "Motorbike").ok());
+  EXPECT_EQ(std::move(catalog_.NameOf(Slice("C5D"))).value(), "Motorbike");
+  EXPECT_TRUE(catalog_.AddClass(Slice("C5D"), "Dup").IsAlreadyExists());
+  ASSERT_TRUE(
+      catalog_.AddReference(Slice("C5D"), "garaged-at", Slice("C3"), true)
+          .ok());
+  const auto refs = std::move(catalog_.ReferencesOf(Slice("C5D"))).value();
+  ASSERT_EQ(refs.size(), 1u);
+  EXPECT_TRUE(refs[0].multi_valued);
+  EXPECT_EQ(refs[0].target_code, "C3");
+}
+
+TEST_F(SchemaCatalogTest, StoreRejectsNonEmptyCatalog) {
+  EXPECT_TRUE(catalog_.Store(p_.schema, coder_).IsInvalidArgument());
+}
+
+TEST(ClassCoderFromAssignmentsTest, RejectsMalformedInput) {
+  EXPECT_TRUE(ClassCoder::FromAssignments({{0, "X5"}})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ClassCoder::FromAssignments({{0, "C1"}, {1, "C1"}})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ClassCoder::FromAssignments({{0, "C1"}, {1, "C2A"}})
+                  .status()
+                  .IsInvalidArgument());  // Orphan child.
+}
+
+TEST(TokenInverseTest, RoundTrips) {
+  for (size_t i = 0; i < 300; ++i) {
+    EXPECT_EQ(IndexForToken(Slice(TokenForIndex(i))), i);
+  }
+  EXPECT_EQ(IndexForToken(Slice("")), SIZE_MAX);
+  EXPECT_EQ(IndexForToken(Slice("Z")), SIZE_MAX);
+  EXPECT_EQ(IndexForToken(Slice("$")), SIZE_MAX);
+  EXPECT_EQ(IndexForToken(Slice("1A")), SIZE_MAX);  // Two tokens.
+}
+
+}  // namespace
+}  // namespace uindex

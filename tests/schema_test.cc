@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "schema/schema.h"
+#include "workload/paper_schema.h"
+
+namespace uindex {
+namespace {
+
+TEST(SchemaTest, AddClassesAndSubclasses) {
+  Schema s;
+  const ClassId a = s.AddClass("A").value();
+  const ClassId b = s.AddSubclass("B", a).value();
+  const ClassId c = s.AddSubclass("C", b).value();
+  EXPECT_EQ(s.class_count(), 3u);
+  EXPECT_EQ(s.NameOf(a), "A");
+  EXPECT_EQ(s.SuperclassOf(a), kInvalidClassId);
+  EXPECT_EQ(s.SuperclassOf(c), b);
+  EXPECT_EQ(s.FindClass("B").value(), b);
+  EXPECT_TRUE(s.FindClass("missing").status().IsNotFound());
+  EXPECT_TRUE(s.AddClass("A").status().IsAlreadyExists());
+}
+
+TEST(SchemaTest, SubclassRelations) {
+  Schema s;
+  const ClassId a = s.AddClass("A").value();
+  const ClassId b = s.AddSubclass("B", a).value();
+  const ClassId c = s.AddSubclass("C", b).value();
+  const ClassId d = s.AddClass("D").value();
+  EXPECT_TRUE(s.IsSubclassOf(c, a));
+  EXPECT_TRUE(s.IsSubclassOf(a, a));
+  EXPECT_FALSE(s.IsSubclassOf(a, c));
+  EXPECT_FALSE(s.IsSubclassOf(d, a));
+  EXPECT_EQ(s.HierarchyRootOf(c), a);
+  EXPECT_EQ(s.HierarchyRootOf(d), d);
+}
+
+TEST(SchemaTest, SubtreePreorder) {
+  Schema s;
+  const ClassId a = s.AddClass("A").value();
+  const ClassId b = s.AddSubclass("B", a).value();
+  const ClassId c = s.AddSubclass("C", a).value();
+  const ClassId b1 = s.AddSubclass("B1", b).value();
+  const std::vector<ClassId> tree = s.SubtreeOf(a);
+  ASSERT_EQ(tree.size(), 4u);
+  EXPECT_EQ(tree[0], a);
+  EXPECT_EQ(tree[1], b);
+  EXPECT_EQ(tree[2], b1);
+  EXPECT_EQ(tree[3], c);
+}
+
+TEST(SchemaTest, ReferencesAndInheritance) {
+  Schema s;
+  const ClassId vehicle = s.AddClass("Vehicle").value();
+  const ClassId automobile = s.AddSubclass("Automobile", vehicle).value();
+  const ClassId company = s.AddClass("Company").value();
+  ASSERT_TRUE(s.AddReference(vehicle, company, "made-by").ok());
+  EXPECT_TRUE(s.AddReference(vehicle, company, "made-by")
+                  .IsAlreadyExists());
+  // Subclasses inherit reference attributes.
+  EXPECT_EQ(s.FindReference(automobile, "made-by").value().target, company);
+  EXPECT_TRUE(s.FindReference(company, "made-by").status().IsNotFound());
+}
+
+TEST(SchemaTest, TopologicalRootOrderRespectsRefs) {
+  const PaperSchema p = PaperSchema::Build();
+  const auto order = p.schema.TopologicalRootOrder();
+  ASSERT_TRUE(order.ok());
+  // Employee before Company (Company REF Employee), Company before
+  // Division and Vehicle, City before Division.
+  auto pos = [&order](ClassId cls) {
+    for (size_t i = 0; i < order.value().size(); ++i) {
+      if (order.value()[i] == cls) return i;
+    }
+    return size_t{999};
+  };
+  EXPECT_LT(pos(p.employee), pos(p.company));
+  EXPECT_LT(pos(p.company), pos(p.division));
+  EXPECT_LT(pos(p.city), pos(p.division));
+  EXPECT_LT(pos(p.company), pos(p.vehicle));
+  // Paper's exact order: Employee, Company, City, Division, Vehicle.
+  ASSERT_EQ(order.value().size(), 5u);
+  EXPECT_EQ(order.value()[0], p.employee);
+  EXPECT_EQ(order.value()[1], p.company);
+  EXPECT_EQ(order.value()[2], p.city);
+  EXPECT_EQ(order.value()[3], p.division);
+  EXPECT_EQ(order.value()[4], p.vehicle);
+}
+
+TEST(SchemaTest, DetectsRefCycles) {
+  // The paper's §4.3 example: Employee OWNs Vehicles, Vehicles are USEd by
+  // Employees — a REF cycle between two hierarchies.
+  Schema s;
+  const ClassId employee = s.AddClass("Employee").value();
+  const ClassId vehicle = s.AddClass("Vehicle").value();
+  ASSERT_TRUE(s.AddReference(employee, vehicle, "OWN").ok());
+  ASSERT_TRUE(s.AddReference(vehicle, employee, "USE").ok());
+  EXPECT_TRUE(s.TopologicalRootOrder().status().IsInvalidArgument());
+
+  // Cycle breaking drops one edge; the rest orders fine.
+  const std::vector<size_t> dropped = s.FindCycleBreakingEdges();
+  ASSERT_EQ(dropped.size(), 1u);
+  EXPECT_TRUE(s.TopologicalRootOrder(dropped).ok());
+  // The dropped edge alone is also a valid (single-edge) sub-graph: ignore
+  // the other edge instead and it must order too.
+  const std::vector<size_t> other = {1 - dropped[0]};
+  EXPECT_TRUE(s.TopologicalRootOrder(other).ok());
+}
+
+TEST(SchemaTest, IntraHierarchyRefIsRejected) {
+  Schema s;
+  const ClassId a = s.AddClass("A").value();
+  const ClassId b = s.AddSubclass("B", a).value();
+  ASSERT_TRUE(s.AddReference(a, b, "self").ok());
+  EXPECT_TRUE(s.TopologicalRootOrder().status().IsInvalidArgument());
+  EXPECT_EQ(s.FindCycleBreakingEdges().size(), 1u);
+}
+
+TEST(SchemaTest, AcyclicSchemaNeedsNoBreaking) {
+  const PaperSchema p = PaperSchema::Build();
+  EXPECT_TRUE(p.schema.FindCycleBreakingEdges().empty());
+}
+
+}  // namespace
+}  // namespace uindex

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "core/update.h"
+#include "tests/example_database.h"
+
+namespace uindex {
+namespace {
+
+// §4.1: "by encoding the attribute-value as part of the key, one can use a
+// single B-tree for all these indexes". Two U-indexes — the Color
+// class-hierarchy index and the Age combined path index — live in ONE
+// physical B-tree, separated by key namespaces.
+class SharedTreeTest : public ::testing::Test {
+ protected:
+  SharedTreeTest() : pager_(1024), buffers_(&pager_), tree_(&buffers_) {
+    PathSpec color_spec = db_.ColorSpec();
+    color_spec.key_namespace = "c";
+    color_ = std::make_unique<UIndex>(&buffers_, &db_.ids.schema,
+                                      db_.coder.get(), color_spec, &tree_);
+    PathSpec age_spec = db_.AgePathSpec();
+    age_spec.key_namespace = "g";
+    age_ = std::make_unique<UIndex>(&buffers_, &db_.ids.schema,
+                                    db_.coder.get(), age_spec, &tree_);
+    EXPECT_TRUE(color_->BuildFrom(*db_.store).ok());
+    EXPECT_TRUE(age_->BuildFrom(*db_.store).ok());
+  }
+
+  ExampleDatabase db_;
+  Pager pager_;
+  BufferManager buffers_;
+  BTree tree_;
+  std::unique_ptr<UIndex> color_, age_;
+};
+
+TEST_F(SharedTreeTest, BothIndexesShareOnePhysicalTree) {
+  EXPECT_TRUE(color_->shares_tree());
+  EXPECT_TRUE(age_->shares_tree());
+  EXPECT_EQ(&color_->btree(), &tree_);
+  EXPECT_EQ(&age_->btree(), &tree_);
+  EXPECT_EQ(tree_.size(), 12u);  // 6 color + 6 age entries.
+  EXPECT_EQ(color_->entry_count(), 6u);
+  EXPECT_EQ(age_->entry_count(), 6u);
+  EXPECT_TRUE(tree_.Validate().ok());
+}
+
+TEST_F(SharedTreeTest, QueriesStayInsideTheirNamespace) {
+  Query cq = Query::ExactValue(Value::Str("Red"));
+  cq.With(ClassSelector::Subtree(db_.ids.vehicle), ValueSlot::Wanted());
+  EXPECT_EQ(std::move(color_->Parscan(cq)).value().Distinct(0),
+            (std::vector<Oid>{db_.v3, db_.v4}));
+  EXPECT_EQ(std::move(color_->ForwardScan(cq)).value().Distinct(0),
+            (std::vector<Oid>{db_.v3, db_.v4}));
+
+  Query aq = Query::ExactValue(Value::Int(50));
+  aq.With(ClassSelector::Exactly(db_.ids.employee))
+      .With(ClassSelector::Subtree(db_.ids.company))
+      .With(ClassSelector::Subtree(db_.ids.vehicle), ValueSlot::Wanted());
+  EXPECT_EQ(std::move(age_->Parscan(aq)).value().Distinct(2),
+            (std::vector<Oid>{db_.v2, db_.v3, db_.v6}));
+}
+
+TEST_F(SharedTreeTest, SharedResultsMatchDedicatedTrees) {
+  // The same indexes on their own trees must return identical results.
+  Pager solo_pager(1024);
+  BufferManager solo_buffers(&solo_pager);
+  UIndex solo_color(&solo_buffers, &db_.ids.schema, db_.coder.get(),
+                    db_.ColorSpec());
+  UIndex solo_age(&solo_buffers, &db_.ids.schema, db_.coder.get(),
+                  db_.AgePathSpec());
+  ASSERT_TRUE(solo_color.BuildFrom(*db_.store).ok());
+  ASSERT_TRUE(solo_age.BuildFrom(*db_.store).ok());
+
+  for (const char* color : {"Red", "Blue", "White"}) {
+    Query q = Query::ExactValue(Value::Str(color));
+    q.With(ClassSelector::Subtree(db_.ids.automobile), ValueSlot::Wanted());
+    EXPECT_EQ(std::move(color_->Parscan(q)).value().rows,
+              std::move(solo_color.Parscan(q)).value().rows)
+        << color;
+  }
+  for (const int64_t age : {45, 50, 60}) {
+    Query q = Query::ExactValue(Value::Int(age));
+    q.With(ClassSelector::Exactly(db_.ids.employee))
+        .With(ClassSelector::Subtree(db_.ids.company), ValueSlot::Wanted());
+    EXPECT_EQ(std::move(age_->Parscan(q)).value().rows,
+              std::move(solo_age.Parscan(q)).value().rows)
+        << age;
+  }
+}
+
+TEST_F(SharedTreeTest, MaintenanceThroughSharedTree) {
+  IndexedDatabase idb(&db_.ids.schema, db_.store.get());
+  idb.RegisterIndex(color_.get());
+  idb.RegisterIndex(age_.get());
+
+  // Fiat's president changes: only age entries move.
+  ASSERT_TRUE(idb.SetAttr(db_.c2, "president", Value::Ref(db_.e2)).ok());
+  EXPECT_EQ(tree_.size(), 12u);
+  Query q60 = Query::ExactValue(Value::Int(60));
+  q60.With(ClassSelector::Exactly(db_.ids.employee))
+      .With(ClassSelector::Subtree(db_.ids.company))
+      .With(ClassSelector::Subtree(db_.ids.vehicle), ValueSlot::Wanted());
+  EXPECT_EQ(std::move(age_->Parscan(q60)).value().Distinct(2).size(), 4u);
+
+  // Deleting a vehicle removes one entry from each namespace.
+  ASSERT_TRUE(idb.DeleteObject(db_.v6).ok());
+  EXPECT_EQ(tree_.size(), 10u);
+  EXPECT_EQ(color_->entry_count(), 5u);
+  EXPECT_EQ(age_->entry_count(), 5u);
+  EXPECT_TRUE(tree_.Validate().ok());
+}
+
+TEST_F(SharedTreeTest, RebuildTouchesOnlyOwnNamespace) {
+  ASSERT_TRUE(db_.store->SetAttr(db_.e1, "Age", Value::Int(52)).ok());
+  ASSERT_TRUE(age_->Rebuild(*db_.store).ok());
+  EXPECT_EQ(tree_.size(), 12u);
+  EXPECT_EQ(color_->entry_count(), 6u);
+  // Color index untouched.
+  Query cq = Query::ExactValue(Value::Str("Red"));
+  cq.With(ClassSelector::Subtree(db_.ids.vehicle), ValueSlot::Wanted());
+  EXPECT_EQ(std::move(color_->Parscan(cq)).value().rows.size(), 2u);
+  // Age index reflects the new value.
+  Query aq = Query::ExactValue(Value::Int(52));
+  aq.With(ClassSelector::Exactly(db_.ids.employee))
+      .With(ClassSelector::Subtree(db_.ids.company))
+      .With(ClassSelector::Subtree(db_.ids.vehicle), ValueSlot::Wanted());
+  EXPECT_EQ(std::move(age_->Parscan(aq)).value().Distinct(2).size(), 3u);
+  EXPECT_TRUE(tree_.Validate().ok());
+}
+
+TEST_F(SharedTreeTest, IntValueRangeScopedToNamespace) {
+  const auto range = std::move(age_->IntValueRange()).value();
+  EXPECT_EQ(range.first, 45);
+  EXPECT_EQ(range.second, 60);
+}
+
+}  // namespace
+}  // namespace uindex

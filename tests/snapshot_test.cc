@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "btree/btree.h"
+#include "storage/snapshot.h"
+#include "util/coding.h"
+#include "util/crc32.h"
+#include "util/random.h"
+
+namespace uindex {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(Crc32Test, KnownVectorsAndIncrementality) {
+  // The classic check value for "123456789".
+  EXPECT_EQ(Crc32(Slice("123456789")), 0xCBF43926u);
+  EXPECT_EQ(Crc32(Slice("")), 0u);
+  // Streaming in two chunks equals one pass.
+  const uint32_t once = Crc32(Slice("hello world"));
+  const uint32_t twice = Crc32(Slice(" world"), Crc32(Slice("hello")));
+  EXPECT_EQ(once, twice);
+  EXPECT_NE(Crc32(Slice("hello")), Crc32(Slice("hellp")));
+}
+
+TEST(PagerRestoreTest, RestoreRebuildsIdSpace) {
+  auto pager = Pager::CreateForRestore(128, 5);
+  EXPECT_EQ(pager->live_page_count(), 0u);
+  std::string bytes(128, 'a');
+  ASSERT_TRUE(pager->RestorePage(3, Slice(bytes)).ok());
+  EXPECT_TRUE(pager->IsLive(3));
+  EXPECT_FALSE(pager->IsLive(2));
+  EXPECT_TRUE(pager->RestorePage(3, Slice(bytes)).IsAlreadyExists());
+  EXPECT_TRUE(pager->RestorePage(9, Slice(bytes)).IsInvalidArgument());
+  EXPECT_TRUE(
+      pager->RestorePage(2, Slice("short")).IsInvalidArgument());
+  // Holes are allocatable again.
+  const PageId fresh = pager->Allocate();
+  EXPECT_NE(fresh, 3u);
+  EXPECT_LE(fresh, 5u);
+}
+
+TEST(SnapshotTest, BTreeRoundTripsThroughDisk) {
+  const std::string path = TempPath("btree.snap");
+  PageId saved_root = kInvalidPageId;
+  uint64_t saved_size = 0;
+
+  {
+    Pager pager(1024);
+    BufferManager buffers(&pager);
+    BTree tree(&buffers);
+    for (int i = 0; i < 5000; ++i) {
+      char key[16];
+      std::snprintf(key, sizeof(key), "key%06d", i);
+      ASSERT_TRUE(tree.Insert(Slice(key), Slice("v")).ok());
+    }
+    // Delete some to exercise free-list holes in the snapshot.
+    for (int i = 0; i < 5000; i += 3) {
+      char key[16];
+      std::snprintf(key, sizeof(key), "key%06d", i);
+      ASSERT_TRUE(tree.Delete(Slice(key)).ok());
+    }
+    saved_root = tree.root();
+    saved_size = tree.size();
+
+    std::string meta;
+    PutFixed32(&meta, saved_root);
+    PutFixed64(&meta, saved_size);
+    ASSERT_TRUE(PagerSnapshot::Save(pager, meta, path).ok());
+  }
+
+  Result<PagerSnapshot::Loaded> loaded = PagerSnapshot::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().metadata.size(), 12u);
+  const PageId root = DecodeFixed32(loaded.value().metadata.data());
+  const uint64_t size = DecodeFixed64(loaded.value().metadata.data() + 4);
+  EXPECT_EQ(root, saved_root);
+  EXPECT_EQ(size, saved_size);
+
+  BufferManager buffers(loaded.value().pager.get());
+  BTree tree(&buffers, root, size, BTreeOptions());
+  ASSERT_TRUE(tree.Validate().ok());
+  EXPECT_EQ(tree.size(), saved_size);
+  EXPECT_FALSE(tree.Contains(Slice("key000000")));  // Deleted pre-save.
+  EXPECT_TRUE(tree.Contains(Slice("key000001")));
+  // The restored tree is fully writable.
+  ASSERT_TRUE(tree.Insert(Slice("zzz"), Slice("new")).ok());
+  EXPECT_EQ(tree.Get(Slice("zzz")).value(), "new");
+  ASSERT_TRUE(tree.Validate().ok());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, DetectsCorruption) {
+  const std::string path = TempPath("corrupt.snap");
+  {
+    Pager pager(256);
+    BufferManager buffers(&pager);
+    BTree tree(&buffers);
+    for (int i = 0; i < 100; ++i) {
+      std::string key = "k";
+      key += std::to_string(i);
+      ASSERT_TRUE(tree.Insert(Slice(key), Slice("v")).ok());
+    }
+    ASSERT_TRUE(PagerSnapshot::Save(pager, "meta", path).ok());
+  }
+  // Flip one byte in the middle of the file.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 200, SEEK_SET);
+    int c = std::fgetc(f);
+    std::fseek(f, 200, SEEK_SET);
+    std::fputc(c ^ 0xFF, f);
+    std::fclose(f);
+  }
+  EXPECT_TRUE(PagerSnapshot::Load(path).status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, DetectsTruncation) {
+  const std::string path = TempPath("trunc.snap");
+  {
+    Pager pager(256);
+    BufferManager buffers(&pager);
+    BTree tree(&buffers);
+    for (int i = 0; i < 200; ++i) {
+      std::string key = "k";
+      key += std::to_string(i);
+      ASSERT_TRUE(tree.Insert(Slice(key), Slice("v")).ok());
+    }
+    ASSERT_TRUE(PagerSnapshot::Save(pager, "", path).ok());
+  }
+  // Truncate the file.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long full = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::string data(static_cast<size_t>(full), 0);
+    ASSERT_EQ(std::fread(data.data(), 1, data.size(), f), data.size());
+    std::fclose(f);
+    std::FILE* out = std::fopen(path.c_str(), "wb");
+    ASSERT_EQ(std::fwrite(data.data(), 1, data.size() / 2, out),
+              data.size() / 2);
+    std::fclose(out);
+  }
+  EXPECT_TRUE(PagerSnapshot::Load(path).status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, MissingFileIsNotFound) {
+  EXPECT_TRUE(
+      PagerSnapshot::Load(TempPath("missing.snap")).status().IsNotFound());
+}
+
+TEST(SnapshotTest, RejectsBadMagic) {
+  const std::string path = TempPath("magic.snap");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  const char junk[64] = "not a snapshot at all.............";
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+  EXPECT_TRUE(PagerSnapshot::Load(path).status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace uindex

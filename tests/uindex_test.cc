@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include "core/uindex.h"
+#include "tests/example_database.h"
+
+namespace uindex {
+namespace {
+
+class UIndexTest : public ::testing::Test {
+ protected:
+  UIndexTest()
+      : pager_(1024), buffers_(&pager_) {}
+
+  std::unique_ptr<UIndex> MakeColorIndex() {
+    auto index = std::make_unique<UIndex>(&buffers_, &db_.ids.schema,
+                                          db_.coder.get(), db_.ColorSpec());
+    Status s = index->BuildFrom(*db_.store);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return index;
+  }
+
+  std::unique_ptr<UIndex> MakeAgeIndex() {
+    auto index = std::make_unique<UIndex>(&buffers_, &db_.ids.schema,
+                                          db_.coder.get(), db_.AgePathSpec());
+    Status s = index->BuildFrom(*db_.store);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return index;
+  }
+
+  ExampleDatabase db_;
+  Pager pager_;
+  BufferManager buffers_;
+};
+
+TEST_F(UIndexTest, BuildsOneEntryPerVehicle) {
+  auto index = MakeColorIndex();
+  EXPECT_EQ(index->entry_count(), 6u);
+  EXPECT_TRUE(index->btree().Validate().ok());
+  EXPECT_TRUE(index->BuildFrom(*db_.store).IsInvalidArgument());
+}
+
+TEST_F(UIndexTest, Query1AllRedVehicles) {
+  // §3.3 query 1: find all vehicles (of all types) with red color.
+  auto index = MakeColorIndex();
+  Query q = Query::ExactValue(Value::Str("Red"));
+  q.With(ClassSelector::Subtree(db_.ids.vehicle), ValueSlot::Wanted());
+  const QueryResult r = std::move(index->Parscan(q)).value();
+  const std::vector<Oid> got = r.Distinct(0);
+  EXPECT_EQ(got, (std::vector<Oid>{db_.v3, db_.v4}));
+}
+
+TEST_F(UIndexTest, Query2RedAutomobilesOnly) {
+  // §3.3 query 2: find all automobiles (exact class) with red color.
+  auto index = MakeColorIndex();
+  Query q = Query::ExactValue(Value::Str("Red"));
+  q.With(ClassSelector::Exactly(db_.ids.automobile), ValueSlot::Wanted());
+  const QueryResult r = std::move(index->Parscan(q)).value();
+  EXPECT_EQ(r.Distinct(0), (std::vector<Oid>{db_.v3}));
+}
+
+TEST_F(UIndexTest, Query3AutomobileSubtree) {
+  // §3.3 query 3: automobiles and their sub-classes with red color.
+  auto index = MakeColorIndex();
+  Query q = Query::ExactValue(Value::Str("Red"));
+  q.With(ClassSelector::Subtree(db_.ids.automobile), ValueSlot::Wanted());
+  const QueryResult r = std::move(index->Parscan(q)).value();
+  EXPECT_EQ(r.Distinct(0), (std::vector<Oid>{db_.v3, db_.v4}));
+}
+
+TEST_F(UIndexTest, Query4VehiclesExceptCompacts) {
+  // §3.3 query 4: vehicles that are NOT compact automobiles, red color.
+  auto index = MakeColorIndex();
+  Query q = Query::ExactValue(Value::Str("Red"));
+  ClassSelector sel = ClassSelector::Subtree(db_.ids.vehicle);
+  sel.exclude.push_back({db_.ids.compact_automobile, true});
+  q.With(sel, ValueSlot::Wanted());
+  const QueryResult r = std::move(index->Parscan(q)).value();
+  EXPECT_EQ(r.Distinct(0), (std::vector<Oid>{db_.v3}));
+}
+
+TEST_F(UIndexTest, Query5AutomobilesOrTrucks) {
+  // §3.3 query 5: automobiles or trucks (with sub-classes), red color.
+  auto index = MakeColorIndex();
+  Query q = Query::ExactValue(Value::Str("Red"));
+  ClassSelector sel;
+  sel.include.push_back({db_.ids.automobile, true});
+  sel.include.push_back({db_.ids.truck, true});
+  q.With(sel, ValueSlot::Wanted());
+  const QueryResult r = std::move(index->Parscan(q)).value();
+  EXPECT_EQ(r.Distinct(0), (std::vector<Oid>{db_.v3, db_.v4}));
+}
+
+TEST_F(UIndexTest, ColorRangeQuery) {
+  // §3.3: "all Trucks with colors Blue to Red" — here compacts, Blue..Red.
+  auto index = MakeColorIndex();
+  Query q = Query::Range(Value::Str("Blue"), Value::Str("Red"));
+  q.With(ClassSelector::Exactly(db_.ids.compact_automobile),
+         ValueSlot::Wanted());
+  const QueryResult r = std::move(index->Parscan(q)).value();
+  EXPECT_EQ(r.Distinct(0), (std::vector<Oid>{db_.v4, db_.v5}));
+}
+
+TEST_F(UIndexTest, PathIndexBuildsAllInstantiations) {
+  auto index = MakeAgeIndex();
+  EXPECT_EQ(index->entry_count(), 6u);  // One per vehicle.
+  EXPECT_TRUE(index->btree().Validate().ok());
+}
+
+TEST_F(UIndexTest, PathQueryVehiclesByPresidentAge) {
+  // §3.3 path query 1: vehicles made by a company whose president is 50.
+  auto index = MakeAgeIndex();
+  Query q = Query::ExactValue(Value::Int(50));
+  q.With(ClassSelector::Exactly(db_.ids.employee))
+      .With(ClassSelector::Subtree(db_.ids.company))
+      .With(ClassSelector::Subtree(db_.ids.vehicle), ValueSlot::Wanted());
+  const QueryResult r = std::move(index->Parscan(q)).value();
+  EXPECT_EQ(r.Distinct(2), (std::vector<Oid>{db_.v2, db_.v3, db_.v6}));
+}
+
+TEST_F(UIndexTest, PathQueryWithBoundCompany) {
+  // §3.3 path query 2: same, "for a particular company".
+  auto index = MakeAgeIndex();
+  Query q = Query::ExactValue(Value::Int(50));
+  q.With(ClassSelector::Exactly(db_.ids.employee))
+      .With(ClassSelector::Subtree(db_.ids.company),
+            ValueSlot::Bound({db_.c2}))
+      .With(ClassSelector::Subtree(db_.ids.vehicle), ValueSlot::Wanted());
+  const QueryResult r = std::move(index->Parscan(q)).value();
+  EXPECT_EQ(r.Distinct(2), (std::vector<Oid>{db_.v2, db_.v3, db_.v6}));
+
+  // Binding a different company yields nothing (president isn't 50).
+  Query q2 = Query::ExactValue(Value::Int(50));
+  q2.With(ClassSelector::Exactly(db_.ids.employee))
+      .With(ClassSelector::Subtree(db_.ids.company),
+            ValueSlot::Bound({db_.c1}))
+      .With(ClassSelector::Subtree(db_.ids.vehicle), ValueSlot::Wanted());
+  EXPECT_TRUE(std::move(index->Parscan(q2)).value().rows.empty());
+}
+
+TEST_F(UIndexTest, PathQueryWithPreselectedCompanies) {
+  // §3.3 path query 3: companies pre-restricted by a select, then joined.
+  auto index = MakeAgeIndex();
+  Query q = Query::ExactValue(Value::Int(60));
+  q.With(ClassSelector::Exactly(db_.ids.employee))
+      .With(ClassSelector::Subtree(db_.ids.company),
+            ValueSlot::Bound({db_.c2, db_.c3}))
+      .With(ClassSelector::Subtree(db_.ids.vehicle), ValueSlot::Wanted());
+  const QueryResult r = std::move(index->Parscan(q)).value();
+  EXPECT_EQ(r.Distinct(2), (std::vector<Oid>{db_.v4}));
+}
+
+TEST_F(UIndexTest, PartialPathQueryCompaniesOnly) {
+  // §3.3 path query 4: companies whose president's age is 50, answered
+  // from the vehicle path index.
+  auto index = MakeAgeIndex();
+  Query q = Query::ExactValue(Value::Int(50));
+  q.With(ClassSelector::Exactly(db_.ids.employee))
+      .With(ClassSelector::Subtree(db_.ids.company), ValueSlot::Wanted());
+  const QueryResult r = std::move(index->Parscan(q)).value();
+  EXPECT_EQ(r.Distinct(1), (std::vector<Oid>{db_.c2}));
+}
+
+TEST_F(UIndexTest, CombinedQueryJapaneseAutoCompanies) {
+  // §3.3 combined index: vehicles made by Japanese auto companies whose
+  // president's age is 45.
+  auto index = MakeAgeIndex();
+  Query q = Query::ExactValue(Value::Int(45));
+  q.With(ClassSelector::Any())
+      .With(ClassSelector::Subtree(db_.ids.japanese_auto_company))
+      .With(ClassSelector::Subtree(db_.ids.vehicle), ValueSlot::Wanted());
+  const QueryResult r = std::move(index->Parscan(q)).value();
+  EXPECT_EQ(r.Distinct(2), (std::vector<Oid>{db_.v1, db_.v5}));
+}
+
+TEST_F(UIndexTest, AgeRangeQuery) {
+  // "President's age above 50": range [51, 200].
+  auto index = MakeAgeIndex();
+  Query q = Query::Range(Value::Int(51), Value::Int(200));
+  q.With(ClassSelector::Exactly(db_.ids.employee))
+      .With(ClassSelector::Subtree(db_.ids.company))
+      .With(ClassSelector::Subtree(db_.ids.vehicle), ValueSlot::Wanted());
+  const QueryResult r = std::move(index->Parscan(q)).value();
+  EXPECT_EQ(r.Distinct(2), (std::vector<Oid>{db_.v4}));  // c3/e2 is 60.
+}
+
+TEST_F(UIndexTest, ForwardScanAgreesWithParscan) {
+  auto color = MakeColorIndex();
+  auto age = MakeAgeIndex();
+  std::vector<Query> color_queries;
+  {
+    Query q = Query::ExactValue(Value::Str("White"));
+    q.With(ClassSelector::Subtree(db_.ids.vehicle), ValueSlot::Wanted());
+    color_queries.push_back(q);
+    Query q2 = Query::Range(Value::Str("Blue"), Value::Str("White"));
+    q2.With(ClassSelector::Subtree(db_.ids.automobile), ValueSlot::Wanted());
+    color_queries.push_back(q2);
+  }
+  for (const Query& q : color_queries) {
+    const QueryResult a = std::move(color->Parscan(q)).value();
+    const QueryResult b = std::move(color->ForwardScan(q)).value();
+    EXPECT_EQ(a.rows, b.rows);
+  }
+  Query q = Query::Range(Value::Int(45), Value::Int(60));
+  q.With(ClassSelector::Exactly(db_.ids.employee))
+      .With(ClassSelector::Subtree(db_.ids.auto_company))
+      .With(ClassSelector::Subtree(db_.ids.vehicle), ValueSlot::Wanted());
+  EXPECT_EQ(std::move(age->Parscan(q)).value().rows,
+            std::move(age->ForwardScan(q)).value().rows);
+}
+
+TEST_F(UIndexTest, EntriesThroughEnumeratesAffectedPaths) {
+  auto index = MakeAgeIndex();
+  // Through company c2: one entry per vehicle made by c2.
+  const auto through_c2 =
+      std::move(index->EntriesThrough(*db_.store, db_.c2)).value();
+  EXPECT_EQ(through_c2.size(), 3u);
+  // Through employee e1 (president of c2): same three.
+  const auto through_e1 =
+      std::move(index->EntriesThrough(*db_.store, db_.e1)).value();
+  EXPECT_EQ(through_e1.size(), 3u);
+  // Through a single vehicle: exactly one.
+  const auto through_v1 =
+      std::move(index->EntriesThrough(*db_.store, db_.v1)).value();
+  EXPECT_EQ(through_v1.size(), 1u);
+}
+
+TEST_F(UIndexTest, ExactClassPathIndexIgnoresSubclassInstances) {
+  // include_subclasses = false: the plain Kim/Bertino path semantics.
+  PathSpec spec = db_.AgePathSpec();
+  spec.include_subclasses = false;
+  UIndex index(&buffers_, &db_.ids.schema, db_.coder.get(), spec);
+  ASSERT_TRUE(index.BuildFrom(*db_.store).ok());
+  // Only v1 is an exact Vehicle, but c1 is a strict subclass of Company,
+  // so no complete exact-class instantiation exists at all.
+  EXPECT_EQ(index.entry_count(), 0u);
+}
+
+TEST_F(UIndexTest, IntValueRangeReflectsIndexedValues) {
+  auto index = MakeAgeIndex();
+  const auto range = std::move(index->IntValueRange()).value();
+  EXPECT_EQ(range.first, 45);   // Subaru's president.
+  EXPECT_EQ(range.second, 60);  // Renault's president.
+  // String index refuses.
+  auto color = MakeColorIndex();
+  EXPECT_TRUE(color->IntValueRange().status().IsNotSupported());
+  // Empty index reports NotFound.
+  Pager pager(1024);
+  BufferManager buffers(&pager);
+  UIndex empty(&buffers, &db_.ids.schema, db_.coder.get(),
+               db_.AgePathSpec());
+  EXPECT_TRUE(empty.IntValueRange().status().IsNotFound());
+}
+
+TEST_F(UIndexTest, RebuildMatchesFreshBuild) {
+  auto index = MakeAgeIndex();
+  const uint64_t entries = index->entry_count();
+  // Mutate the store directly (index now stale), then rebuild.
+  ASSERT_TRUE(
+      db_.store->SetAttr(db_.e1, "Age", Value::Int(51)).ok());
+  ASSERT_TRUE(index->Rebuild(*db_.store).ok());
+  EXPECT_EQ(index->entry_count(), entries);
+  Query q = Query::ExactValue(Value::Int(51));
+  q.With(ClassSelector::Exactly(db_.ids.employee))
+      .With(ClassSelector::Subtree(db_.ids.company))
+      .With(ClassSelector::Subtree(db_.ids.vehicle), ValueSlot::Wanted());
+  EXPECT_EQ(std::move(index->Parscan(q)).value().Distinct(2),
+            (std::vector<Oid>{db_.v2, db_.v3, db_.v6}));
+  EXPECT_TRUE(index->btree().Validate().ok());
+}
+
+TEST_F(UIndexTest, MultiValuedReferenceFansOut) {
+  // A vehicle made by two companies indexes once per manufacturer (§4.3).
+  ASSERT_TRUE(db_.store
+                  ->SetAttr(db_.v1, "manufactured-by",
+                            Value::RefSet({db_.c1, db_.c2}))
+                  .ok());
+  auto index = MakeAgeIndex();
+  EXPECT_EQ(index->entry_count(), 7u);
+  Query q = Query::ExactValue(Value::Int(50));
+  q.With(ClassSelector::Exactly(db_.ids.employee))
+      .With(ClassSelector::Subtree(db_.ids.company))
+      .With(ClassSelector::Subtree(db_.ids.vehicle), ValueSlot::Wanted());
+  const QueryResult r = std::move(index->Parscan(q)).value();
+  EXPECT_EQ(r.Distinct(2),
+            (std::vector<Oid>{db_.v1, db_.v2, db_.v3, db_.v6}));
+}
+
+}  // namespace
+}  // namespace uindex

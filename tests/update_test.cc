@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "core/update.h"
+#include "tests/example_database.h"
+#include "util/random.h"
+
+namespace uindex {
+namespace {
+
+class UpdateTest : public ::testing::Test {
+ protected:
+  UpdateTest()
+      : pager_(1024),
+        buffers_(&pager_),
+        color_index_(&buffers_, &db_.ids.schema, db_.coder.get(),
+                     db_.ColorSpec()),
+        age_index_(&buffers_, &db_.ids.schema, db_.coder.get(),
+                   db_.AgePathSpec()),
+        idb_(&db_.ids.schema, db_.store.get()) {
+    EXPECT_TRUE(color_index_.BuildFrom(*db_.store).ok());
+    EXPECT_TRUE(age_index_.BuildFrom(*db_.store).ok());
+    idb_.RegisterIndex(&color_index_);
+    idb_.RegisterIndex(&age_index_);
+  }
+
+  std::vector<Oid> RedVehicles() {
+    Query q = Query::ExactValue(Value::Str("Red"));
+    q.With(ClassSelector::Subtree(db_.ids.vehicle), ValueSlot::Wanted());
+    return std::move(color_index_.Parscan(q)).value().Distinct(0);
+  }
+
+  std::vector<Oid> VehiclesByPresidentAge(int64_t age) {
+    Query q = Query::ExactValue(Value::Int(age));
+    q.With(ClassSelector::Exactly(db_.ids.employee))
+        .With(ClassSelector::Subtree(db_.ids.company))
+        .With(ClassSelector::Subtree(db_.ids.vehicle), ValueSlot::Wanted());
+    return std::move(age_index_.Parscan(q)).value().Distinct(2);
+  }
+
+  ExampleDatabase db_;
+  Pager pager_;
+  BufferManager buffers_;
+  UIndex color_index_;
+  UIndex age_index_;
+  IndexedDatabase idb_;
+};
+
+TEST_F(UpdateTest, CreateThenSetAttrsIndexesNewObject) {
+  const Oid truck = idb_.CreateObject(db_.ids.truck).value();
+  EXPECT_EQ(color_index_.entry_count(), 6u);  // Not yet indexed.
+  ASSERT_TRUE(idb_.SetAttr(truck, "Color", Value::Str("Red")).ok());
+  EXPECT_EQ(color_index_.entry_count(), 7u);
+  EXPECT_EQ(RedVehicles(), (std::vector<Oid>{db_.v3, db_.v4, truck}));
+  // The age path index gains an entry once the manufacturer is set.
+  EXPECT_EQ(age_index_.entry_count(), 6u);
+  ASSERT_TRUE(
+      idb_.SetAttr(truck, "manufactured-by", Value::Ref(db_.c2)).ok());
+  EXPECT_EQ(age_index_.entry_count(), 7u);
+  EXPECT_EQ(VehiclesByPresidentAge(50),
+            (std::vector<Oid>{db_.v2, db_.v3, db_.v6, truck}));
+}
+
+TEST_F(UpdateTest, AttributeValueChangeMovesEntry) {
+  ASSERT_TRUE(idb_.SetAttr(db_.v3, "Color", Value::Str("Blue")).ok());
+  EXPECT_EQ(color_index_.entry_count(), 6u);
+  EXPECT_EQ(RedVehicles(), (std::vector<Oid>{db_.v4}));
+}
+
+TEST_F(UpdateTest, PresidentSwitchRebatchesPathEntries) {
+  // §3.5 / §4.2: "a company replaces its president" — all entries under
+  // the old (president, company) cluster move to the new one.
+  EXPECT_EQ(VehiclesByPresidentAge(50),
+            (std::vector<Oid>{db_.v2, db_.v3, db_.v6}));
+  ASSERT_TRUE(idb_.SetAttr(db_.c2, "president", Value::Ref(db_.e2)).ok());
+  EXPECT_TRUE(VehiclesByPresidentAge(50).empty());
+  EXPECT_EQ(VehiclesByPresidentAge(60),
+            (std::vector<Oid>{db_.v2, db_.v3, db_.v4, db_.v6}));
+  EXPECT_EQ(age_index_.entry_count(), 6u);
+  EXPECT_TRUE(age_index_.btree().Validate().ok());
+}
+
+TEST_F(UpdateTest, MidPathAgeChangeRekeysDependentVehicles) {
+  // e1 (president of c2) has a birthday: every vehicle through c2 re-keys.
+  ASSERT_TRUE(idb_.SetAttr(db_.e1, "Age", Value::Int(51)).ok());
+  EXPECT_TRUE(VehiclesByPresidentAge(50).empty());
+  EXPECT_EQ(VehiclesByPresidentAge(51),
+            (std::vector<Oid>{db_.v2, db_.v3, db_.v6}));
+}
+
+TEST_F(UpdateTest, RepointManufacturerMovesOneEntry) {
+  ASSERT_TRUE(
+      idb_.SetAttr(db_.v6, "manufactured-by", Value::Ref(db_.c3)).ok());
+  EXPECT_EQ(VehiclesByPresidentAge(50), (std::vector<Oid>{db_.v2, db_.v3}));
+  EXPECT_EQ(VehiclesByPresidentAge(60), (std::vector<Oid>{db_.v4, db_.v6}));
+}
+
+TEST_F(UpdateTest, DeleteObjectRemovesAllItsEntries) {
+  ASSERT_TRUE(idb_.DeleteObject(db_.v3).ok());
+  EXPECT_EQ(color_index_.entry_count(), 5u);
+  EXPECT_EQ(age_index_.entry_count(), 5u);
+  EXPECT_EQ(RedVehicles(), (std::vector<Oid>{db_.v4}));
+
+  // Deleting a mid-path object removes every entry through it.
+  ASSERT_TRUE(idb_.DeleteObject(db_.c2).ok());
+  EXPECT_EQ(age_index_.entry_count(), 3u);  // v2, v6 lost their paths.
+  EXPECT_EQ(color_index_.entry_count(), 5u);  // Color entries unaffected.
+  EXPECT_TRUE(VehiclesByPresidentAge(50).empty());
+}
+
+TEST_F(UpdateTest, DeleteTailEmployeeRemovesDependentPaths) {
+  ASSERT_TRUE(idb_.DeleteObject(db_.e1).ok());
+  EXPECT_EQ(age_index_.entry_count(), 3u);
+  EXPECT_TRUE(VehiclesByPresidentAge(50).empty());
+  EXPECT_TRUE(age_index_.btree().Validate().ok());
+}
+
+TEST_F(UpdateTest, RandomizedMaintenanceStaysConsistent) {
+  // Apply random mutations through IndexedDatabase, then verify the index
+  // matches a freshly built one entry-for-entry.
+  Random rng(2024);
+  std::vector<Oid> vehicles = {db_.v1, db_.v2, db_.v3, db_.v4, db_.v5,
+                               db_.v6};
+  const std::vector<Oid> companies = {db_.c1, db_.c2, db_.c3};
+  const std::vector<Oid> employees = {db_.e1, db_.e2, db_.e3};
+  const char* colors[] = {"Red", "Blue", "Green", "White"};
+
+  for (int op = 0; op < 300; ++op) {
+    const int action = static_cast<int>(rng.Uniform(5));
+    if (action == 0) {
+      const Oid v = vehicles[rng.Uniform(vehicles.size())];
+      ASSERT_TRUE(
+          idb_.SetAttr(v, "Color", Value::Str(colors[rng.Uniform(4)])).ok());
+    } else if (action == 1) {
+      const Oid v = vehicles[rng.Uniform(vehicles.size())];
+      ASSERT_TRUE(idb_.SetAttr(v, "manufactured-by",
+                               Value::Ref(companies[rng.Uniform(3)]))
+                      .ok());
+    } else if (action == 2) {
+      const Oid c = companies[rng.Uniform(3)];
+      ASSERT_TRUE(
+          idb_.SetAttr(c, "president", Value::Ref(employees[rng.Uniform(3)]))
+              .ok());
+    } else if (action == 3) {
+      const Oid e = employees[rng.Uniform(3)];
+      ASSERT_TRUE(idb_.SetAttr(e, "Age",
+                               Value::Int(static_cast<int64_t>(
+                                   rng.UniformRange(20, 70))))
+                      .ok());
+    } else {
+      const Oid v = idb_.CreateObject(db_.ids.truck).value();
+      ASSERT_TRUE(
+          idb_.SetAttr(v, "Color", Value::Str(colors[rng.Uniform(4)])).ok());
+      ASSERT_TRUE(idb_.SetAttr(v, "manufactured-by",
+                               Value::Ref(companies[rng.Uniform(3)]))
+                      .ok());
+      vehicles.push_back(v);
+    }
+  }
+  ASSERT_TRUE(color_index_.btree().Validate().ok());
+  ASSERT_TRUE(age_index_.btree().Validate().ok());
+
+  // Rebuild from scratch and compare full key sequences.
+  Pager fresh_pager(1024);
+  BufferManager fresh_buffers(&fresh_pager);
+  UIndex fresh_color(&fresh_buffers, &db_.ids.schema, db_.coder.get(),
+                     db_.ColorSpec());
+  UIndex fresh_age(&fresh_buffers, &db_.ids.schema, db_.coder.get(),
+                   db_.AgePathSpec());
+  ASSERT_TRUE(fresh_color.BuildFrom(*db_.store).ok());
+  ASSERT_TRUE(fresh_age.BuildFrom(*db_.store).ok());
+
+  auto keys_of = [](const UIndex& index) {
+    std::vector<std::string> keys;
+    auto it = index.btree().NewIterator();
+    for (it.SeekToFirst(); it.Valid(); it.Next()) {
+      keys.push_back(it.key().ToString());
+    }
+    return keys;
+  };
+  EXPECT_EQ(keys_of(color_index_), keys_of(fresh_color));
+  EXPECT_EQ(keys_of(age_index_), keys_of(fresh_age));
+}
+
+}  // namespace
+}  // namespace uindex

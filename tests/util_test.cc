@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/key_encoding.h"
+#include "util/coding.h"
+#include "util/hex.h"
+#include "util/random.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace uindex {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, CodesAndMessages) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_EQ(Status::NotFound("key 17").ToString(), "NotFound: key 17");
+  EXPECT_FALSE(Status::NotFound("x").ok());
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> ok_result(42);
+  ASSERT_TRUE(ok_result.ok());
+  EXPECT_EQ(ok_result.value(), 42);
+
+  Result<int> err(Status::NotFound("nope"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_TRUE(err.status().IsNotFound());
+}
+
+TEST(ResultTest, WorksWithMoveOnlyAndNonDefaultConstructible) {
+  struct NoDefault {
+    explicit NoDefault(int x) : v(x) {}
+    int v;
+  };
+  Result<NoDefault> r(NoDefault(7));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().v, 7);
+}
+
+TEST(SliceTest, BasicAccessors) {
+  Slice s("hello");
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_EQ(s[1], 'e');
+  EXPECT_FALSE(s.empty());
+  EXPECT_TRUE(Slice().empty());
+  EXPECT_EQ(s.ToString(), "hello");
+}
+
+TEST(SliceTest, CompareIsMemcmpOrder) {
+  EXPECT_LT(Slice("a").Compare(Slice("b")), 0);
+  EXPECT_GT(Slice("b").Compare(Slice("a")), 0);
+  EXPECT_EQ(Slice("ab").Compare(Slice("ab")), 0);
+  // Prefix sorts first.
+  EXPECT_LT(Slice("ab").Compare(Slice("abc")), 0);
+  // Unsigned byte comparison.
+  EXPECT_LT(Slice("a").Compare(Slice("\xff")), 0);
+}
+
+TEST(SliceTest, PrefixHelpers) {
+  Slice s("abcdef");
+  EXPECT_TRUE(s.StartsWith(Slice("abc")));
+  EXPECT_FALSE(s.StartsWith(Slice("abd")));
+  EXPECT_TRUE(s.StartsWith(Slice()));
+  EXPECT_EQ(s.CommonPrefixLength(Slice("abxyz")), 2u);
+  EXPECT_EQ(s.CommonPrefixLength(Slice("abcdef")), 6u);
+  EXPECT_EQ(s.Prefix(3).ToString(), "abc");
+  Slice t = s;
+  t.RemovePrefix(2);
+  EXPECT_EQ(t.ToString(), "cdef");
+}
+
+TEST(CodingTest, FixedRoundTrip) {
+  std::string buf;
+  PutFixed16(&buf, 0xBEEF);
+  PutFixed32(&buf, 0xDEADBEEF);
+  PutFixed64(&buf, 0x0123456789ABCDEFull);
+  EXPECT_EQ(DecodeFixed16(buf.data()), 0xBEEF);
+  EXPECT_EQ(DecodeFixed32(buf.data() + 2), 0xDEADBEEF);
+  EXPECT_EQ(DecodeFixed64(buf.data() + 6), 0x0123456789ABCDEFull);
+}
+
+TEST(CodingTest, BigEndianIsOrderPreserving) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t a = rng.Next();
+    const uint64_t b = rng.Next();
+    std::string ea, eb;
+    PutBigEndian64(&ea, a);
+    PutBigEndian64(&eb, b);
+    EXPECT_EQ(a < b, Slice(ea) < Slice(eb)) << a << " vs " << b;
+    EXPECT_EQ(DecodeBigEndian64(ea.data()), a);
+  }
+  std::string e32;
+  PutBigEndian32(&e32, 0x01020304);
+  EXPECT_EQ(DecodeBigEndian32(e32.data()), 0x01020304u);
+}
+
+TEST(BytesSuccessorTest, CoversAllPrefixedStrings) {
+  EXPECT_EQ(BytesSuccessor(Slice("abc")), "abd");
+  // Trailing 0xFF bytes are dropped before the increment.
+  std::string with_ff = "ab";
+  with_ff.push_back('\xff');
+  EXPECT_EQ(BytesSuccessor(Slice(with_ff)), "ac");
+  // All-0xFF means +infinity (empty).
+  std::string all_ff(3, '\xff');
+  EXPECT_EQ(BytesSuccessor(Slice(all_ff)), "");
+  // Property: prefix <= any extension < successor.
+  const std::string p = "key9";
+  const std::string succ = BytesSuccessor(Slice(p));
+  EXPECT_TRUE(Slice(p) < Slice(succ));
+  EXPECT_TRUE(Slice(p + "zzzz") < Slice(succ));
+}
+
+TEST(RandomTest, DeterministicPerSeed) {
+  Random a(123), b(123), c(124);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RandomTest, UniformStaysInRange) {
+  Random rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    const uint64_t v = rng.UniformRange(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(RandomTest, UniformCoversDomain) {
+  Random rng(6);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RandomTest, SampleWithoutReplacement) {
+  Random rng(9);
+  for (uint64_t k : {0ull, 1ull, 5ull, 99ull, 100ull}) {
+    const auto sample = rng.SampleWithoutReplacement(100, k);
+    EXPECT_EQ(sample.size(), k);
+    std::set<uint64_t> uniq(sample.begin(), sample.end());
+    EXPECT_EQ(uniq.size(), k);
+    EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+    for (uint64_t v : sample) EXPECT_LT(v, 100u);
+  }
+}
+
+TEST(RandomTest, BernoulliExtremes) {
+  Random rng(10);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(HexTest, EscapeBytes) {
+  EXPECT_EQ(EscapeBytes(Slice("abc")), "abc");
+  std::string raw = "a";
+  raw.push_back('\x01');
+  EXPECT_EQ(EscapeBytes(Slice(raw)), "a\\x01");
+  EXPECT_EQ(ToHex(Slice("\x0f")), "0f");
+}
+
+}  // namespace
+}  // namespace uindex

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/database_generator.h"
+#include "workload/query_generator.h"
+#include "workload/paper_schema.h"
+
+namespace uindex {
+namespace {
+
+TEST(PaperSchemaTest, HasAllTwentyClasses) {
+  const PaperSchema p = PaperSchema::Build();
+  EXPECT_EQ(p.schema.class_count(), 19u);
+  EXPECT_EQ(p.vehicle_classes().size(), 12u);
+  EXPECT_TRUE(p.schema.IsSubclassOf(p.passenger_bus, p.vehicle));
+  EXPECT_TRUE(p.schema.IsSubclassOf(p.japanese_auto_company, p.company));
+}
+
+TEST(PaperDatabaseTest, GeneratesConfiguredCounts) {
+  PaperDatabaseConfig cfg;
+  cfg.num_vehicles = 500;
+  cfg.num_companies = 20;
+  cfg.num_employees = 30;
+  PaperDatabase db;
+  ASSERT_TRUE(GeneratePaperDatabase(cfg, &db).ok());
+  EXPECT_EQ(db.store->size(), 550u);
+  EXPECT_EQ(db.store->DeepExtentOf(db.ids.vehicle).size(), 500u);
+  EXPECT_EQ(db.store->DeepExtentOf(db.ids.company).size(), 20u);
+  // Every vehicle has a color and a manufacturer with a president.
+  for (const Oid v : db.store->DeepExtentOf(db.ids.vehicle)) {
+    const Object* obj = db.store->Get(v).value();
+    ASSERT_NE(obj->FindAttr("Color"), nullptr);
+    const Oid company = db.store->Deref(v, "manufactured-by").value();
+    const Oid president = db.store->Deref(company, "president").value();
+    const Object* emp = db.store->Get(president).value();
+    const Value* age = emp->FindAttr("Age");
+    ASSERT_NE(age, nullptr);
+    EXPECT_GE(age->AsInt(), 20);
+    EXPECT_LE(age->AsInt(), 70);
+  }
+}
+
+TEST(PaperDatabaseTest, DeterministicPerSeed) {
+  PaperDatabaseConfig cfg;
+  cfg.num_vehicles = 100;
+  PaperDatabase a, b;
+  ASSERT_TRUE(GeneratePaperDatabase(cfg, &a).ok());
+  ASSERT_TRUE(GeneratePaperDatabase(cfg, &b).ok());
+  for (Oid oid = 1; oid <= 100; ++oid) {
+    const Object* oa = a.store->Get(oid).value();
+    const Object* ob = b.store->Get(oid).value();
+    EXPECT_EQ(oa->cls, ob->cls);
+  }
+}
+
+TEST(PostingsTest, UniqueKeysArePermutation) {
+  SetWorkloadConfig cfg;
+  cfg.num_objects = 5000;
+  cfg.num_distinct_keys = 5000;
+  cfg.num_sets = 8;
+  const auto postings = GeneratePostings(cfg);
+  ASSERT_EQ(postings.size(), 5000u);
+  std::set<int64_t> keys;
+  for (const Posting& p : postings) {
+    keys.insert(p.key);
+    EXPECT_LT(p.set_index, 8u);
+    EXPECT_NE(p.oid, kInvalidOid);
+  }
+  EXPECT_EQ(keys.size(), 5000u);  // Every key exactly once.
+  EXPECT_EQ(*keys.begin(), 0);
+  EXPECT_EQ(*keys.rbegin(), 4999);
+}
+
+TEST(PostingsTest, NonUniqueKeysStayInDomainAndCoverSets) {
+  SetWorkloadConfig cfg;
+  cfg.num_objects = 20000;
+  cfg.num_distinct_keys = 100;
+  cfg.num_sets = 40;
+  const auto postings = GeneratePostings(cfg);
+  std::set<size_t> sets;
+  std::set<int64_t> keys;
+  for (const Posting& p : postings) {
+    EXPECT_GE(p.key, 0);
+    EXPECT_LT(p.key, 100);
+    keys.insert(p.key);
+    sets.insert(p.set_index);
+  }
+  EXPECT_EQ(keys.size(), 100u);
+  EXPECT_EQ(sets.size(), 40u);
+}
+
+TEST(SetHierarchyTest, FlatHierarchyWithOrderedCodes) {
+  const SetHierarchy h = std::move(BuildSetHierarchy(40)).value();
+  ASSERT_EQ(h.sets.size(), 40u);
+  for (size_t i = 0; i < h.sets.size(); ++i) {
+    EXPECT_EQ(h.schema.SuperclassOf(h.sets[i]), h.root);
+    if (i > 0) {
+      EXPECT_TRUE(Slice(h.coder->CodeOf(h.sets[i - 1])) <
+                  Slice(h.coder->CodeOf(h.sets[i])));
+    }
+  }
+}
+
+TEST(QueryGeneratorTest, NearSetsAreConsecutive) {
+  Random rng(4);
+  for (int rep = 0; rep < 50; ++rep) {
+    const auto sets = ChooseNearSets(40, 10, rng);
+    ASSERT_EQ(sets.size(), 10u);
+    for (size_t i = 1; i < sets.size(); ++i) {
+      EXPECT_EQ(sets[i], sets[i - 1] + 1);
+    }
+    EXPECT_LT(sets.back(), 40u);
+  }
+}
+
+TEST(QueryGeneratorTest, DistantSetsAreSeparatedWhenPossible) {
+  Random rng(4);
+  for (int rep = 0; rep < 50; ++rep) {
+    const auto sets = ChooseDistantSets(40, 10, rng);
+    ASSERT_EQ(sets.size(), 10u);
+    std::set<size_t> uniq(sets.begin(), sets.end());
+    EXPECT_EQ(uniq.size(), 10u);
+  }
+  // Degenerate case: more than half the sets — still m distinct picks.
+  const auto many = ChooseDistantSets(40, 30, rng);
+  std::set<size_t> uniq(many.begin(), many.end());
+  EXPECT_EQ(uniq.size(), 30u);
+}
+
+TEST(QueryGeneratorTest, RangeQueriesStayInDomain) {
+  SetWorkloadConfig cfg;
+  cfg.num_distinct_keys = 1000;
+  cfg.num_sets = 8;
+  Random rng(9);
+  for (const double fraction : {0.1, 0.02, 0.005, 0.002}) {
+    for (int rep = 0; rep < 100; ++rep) {
+      const SetQuerySpec q = MakeRangeQuery(cfg, fraction, 3, true, rng);
+      EXPECT_GE(q.lo, 0);
+      EXPECT_LE(q.hi, 999);
+      const int64_t expected_span =
+          std::max<int64_t>(1, static_cast<int64_t>(fraction * 1000));
+      EXPECT_EQ(q.hi - q.lo + 1, expected_span);
+      EXPECT_EQ(q.set_indexes.size(), 3u);
+    }
+  }
+  const SetQuerySpec exact = MakeExactMatchQuery(cfg, 2, false, rng);
+  EXPECT_EQ(exact.lo, exact.hi);
+}
+
+TEST(ColorsTest, PaletteIsSortedAlphabetically) {
+  // Range queries like "Blue to Red" rely on alphabetic color order.
+  for (size_t i = 1; i < kColorCount; ++i) {
+    EXPECT_LT(std::string(kColors[i - 1]), std::string(kColors[i]));
+  }
+}
+
+}  // namespace
+}  // namespace uindex

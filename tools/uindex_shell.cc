@@ -1,0 +1,455 @@
+// uindex_shell — an interactive (or scripted) REPL over the Database
+// façade: declare schema, create objects, build U-indexes, and run queries
+// with live page-read accounting.
+//
+//   ./build/tools/uindex_shell            # interactive
+//   ./build/tools/uindex_shell < script   # batch: exits non-zero on error
+//
+// Commands (see `help`):
+//   class Vehicle            | class Car under Vehicle
+//   ref Vehicle made-by -> Company [multi]
+//   index hierarchy Vehicle Price int
+//   index path Age int Vehicle made-by Company president Employee
+//   new Car                  -> prints the oid
+//   set 3 Price = 25         | set 3 name = 'Uno' | set 3 made-by = @2
+//   del 3
+//   select Car* Price 10 30  ('*' = with subclasses; one bound = exact)
+//   query 0 (Age=50, Employee, _, Company*, ?)
+//   codes | schema | stats | help | quit
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/query_parser.h"
+#include "db/database.h"
+
+namespace uindex {
+namespace {
+
+class Shell {
+ public:
+  explicit Shell(bool interactive) : interactive_(interactive) {}
+
+  // Returns false once the shell should exit.
+  bool HandleLine(const std::string& line) {
+    std::istringstream in(line);
+    std::string command;
+    if (!(in >> command) || command[0] == '#') return true;  // Blank/comment.
+
+    Status status = Status::OK();
+    if (command == "quit" || command == "exit") return false;
+    if (command == "help") {
+      PrintHelp();
+    } else if (command == "class") {
+      status = HandleClass(in);
+    } else if (command == "ref") {
+      status = HandleRef(in);
+    } else if (command == "index") {
+      status = HandleIndex(in);
+    } else if (command == "new") {
+      status = HandleNew(in);
+    } else if (command == "set") {
+      status = HandleSet(in);
+    } else if (command == "del") {
+      status = HandleDel(in);
+    } else if (command == "select") {
+      status = HandleSelect(in);
+    } else if (command == "query") {
+      status = HandleQuery(in, line);
+    } else if (command == "oql") {
+      status = HandleOql(line.substr(line.find("oql") + 3));
+    } else if (command == "explain") {
+      status = HandleExplain(in);
+    } else if (command == "save") {
+      std::string path;
+      if (!(in >> path)) {
+        status = Status::InvalidArgument("save <path>");
+      } else {
+        status = db_.Save(path);
+        if (status.ok()) std::printf("saved to %s\n", path.c_str());
+      }
+    } else if (command == "codes") {
+      PrintCodes();
+    } else if (command == "schema") {
+      PrintSchema();
+    } else if (command == "stats") {
+      PrintStats();
+    } else {
+      status = Status::InvalidArgument("unknown command '" + command +
+                                       "' (try: help)");
+    }
+    if (!status.ok()) {
+      std::printf("error: %s\n", status.ToString().c_str());
+      ++errors_;
+      if (!interactive_) return false;
+    }
+    return true;
+  }
+
+  int errors() const { return errors_; }
+
+ private:
+  Result<ClassId> FindClass(const std::string& name) {
+    return db_.schema().FindClass(name);
+  }
+
+  Status HandleClass(std::istringstream& in) {
+    std::string name, under, parent;
+    if (!(in >> name)) return Status::InvalidArgument("class <Name>");
+    if (in >> under) {
+      if (under != "under" || !(in >> parent)) {
+        return Status::InvalidArgument("class <Name> [under <Parent>]");
+      }
+      Result<ClassId> parent_id = FindClass(parent);
+      if (!parent_id.ok()) return parent_id.status();
+      Result<ClassId> cls = db_.CreateSubclass(name, parent_id.value());
+      if (!cls.ok()) return cls.status();
+      std::printf("class %s = %s (under %s)\n", name.c_str(),
+                  db_.coder().CodeOf(cls.value()).c_str(), parent.c_str());
+    } else {
+      Result<ClassId> cls = db_.CreateClass(name);
+      if (!cls.ok()) return cls.status();
+      std::printf("class %s = %s\n", name.c_str(),
+                  db_.coder().CodeOf(cls.value()).c_str());
+    }
+    return Status::OK();
+  }
+
+  Status HandleRef(std::istringstream& in) {
+    std::string source, attr, arrow, target, multi;
+    if (!(in >> source >> attr >> arrow >> target) || arrow != "->") {
+      return Status::InvalidArgument(
+          "ref <Source> <attr> -> <Target> [multi]");
+    }
+    const bool multi_valued = static_cast<bool>(in >> multi) &&
+                              multi == "multi";
+    Result<ClassId> s = FindClass(source);
+    if (!s.ok()) return s.status();
+    Result<ClassId> t = FindClass(target);
+    if (!t.ok()) return t.status();
+    UINDEX_RETURN_IF_ERROR(
+        db_.CreateReference(s.value(), t.value(), attr, multi_valued));
+    std::printf("ref %s.%s -> %s%s\n", source.c_str(), attr.c_str(),
+                target.c_str(), multi_valued ? " (multi)" : "");
+    return Status::OK();
+  }
+
+  static Result<Value::Kind> ParseKind(const std::string& text) {
+    if (text == "int") return Value::Kind::kInt;
+    if (text == "str" || text == "string") return Value::Kind::kString;
+    return Status::InvalidArgument("value kind must be int|str");
+  }
+
+  Status HandleIndex(std::istringstream& in) {
+    std::string mode;
+    if (!(in >> mode)) {
+      return Status::InvalidArgument("index hierarchy|path ...");
+    }
+    PathSpec spec;
+    if (mode == "hierarchy") {
+      std::string cls_name, attr, kind;
+      if (!(in >> cls_name >> attr >> kind)) {
+        return Status::InvalidArgument(
+            "index hierarchy <Class> <attr> int|str");
+      }
+      Result<ClassId> cls = FindClass(cls_name);
+      if (!cls.ok()) return cls.status();
+      Result<Value::Kind> k = ParseKind(kind);
+      if (!k.ok()) return k.status();
+      spec = PathSpec::ClassHierarchy(cls.value(), attr, k.value());
+    } else if (mode == "path") {
+      std::string attr, kind;
+      if (!(in >> attr >> kind)) {
+        return Status::InvalidArgument(
+            "index path <attr> int|str <Class> (<ref> <Class>)...");
+      }
+      Result<Value::Kind> k = ParseKind(kind);
+      if (!k.ok()) return k.status();
+      spec.indexed_attr = attr;
+      spec.value_kind = k.value();
+      std::string cls_name;
+      if (!(in >> cls_name)) {
+        return Status::InvalidArgument("missing head class");
+      }
+      Result<ClassId> cls = FindClass(cls_name);
+      if (!cls.ok()) return cls.status();
+      spec.classes.push_back(cls.value());
+      std::string ref;
+      while (in >> ref) {
+        if (!(in >> cls_name)) {
+          return Status::InvalidArgument("dangling ref " + ref);
+        }
+        cls = FindClass(cls_name);
+        if (!cls.ok()) return cls.status();
+        spec.ref_attrs.push_back(ref);
+        spec.classes.push_back(cls.value());
+      }
+    } else {
+      return Status::InvalidArgument("index hierarchy|path ...");
+    }
+    Result<size_t> pos = db_.CreateIndex(spec);
+    if (!pos.ok()) return pos.status();
+    std::printf("index #%zu created (%llu entries)\n", pos.value(),
+                static_cast<unsigned long long>(
+                    db_.index(pos.value()).entry_count()));
+    return Status::OK();
+  }
+
+  Status HandleNew(std::istringstream& in) {
+    std::string cls_name;
+    if (!(in >> cls_name)) return Status::InvalidArgument("new <Class>");
+    Result<ClassId> cls = FindClass(cls_name);
+    if (!cls.ok()) return cls.status();
+    Result<Oid> oid = db_.CreateObject(cls.value());
+    if (!oid.ok()) return oid.status();
+    std::printf("oid %u\n", oid.value());
+    return Status::OK();
+  }
+
+  static Result<Value> ParseShellValue(const std::string& text) {
+    if (text.empty()) return Status::InvalidArgument("empty value");
+    if (text[0] == '\'') {
+      if (text.size() < 2 || text.back() != '\'') {
+        return Status::InvalidArgument("unterminated string");
+      }
+      return Value::Str(text.substr(1, text.size() - 2));
+    }
+    if (text[0] == '@') {
+      // @3 single ref, @3,@4 set.
+      std::vector<Oid> oids;
+      std::istringstream refs(text);
+      std::string part;
+      while (std::getline(refs, part, ',')) {
+        if (part.empty() || part[0] != '@') {
+          return Status::InvalidArgument("bad reference " + part);
+        }
+        oids.push_back(static_cast<Oid>(std::strtoul(
+            part.c_str() + 1, nullptr, 10)));
+      }
+      if (oids.size() == 1) return Value::Ref(oids[0]);
+      return Value::RefSet(std::move(oids));
+    }
+    char* end = nullptr;
+    const long long v = std::strtoll(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0') {
+      return Status::InvalidArgument("bad value " + text);
+    }
+    return Value::Int(v);
+  }
+
+  Status HandleSet(std::istringstream& in) {
+    std::string oid_text, attr, eq, value_text;
+    if (!(in >> oid_text >> attr >> eq) || eq != "=" ||
+        !std::getline(in, value_text)) {
+      return Status::InvalidArgument("set <oid> <attr> = <value>");
+    }
+    // Trim the value.
+    size_t b = value_text.find_first_not_of(' ');
+    if (b == std::string::npos) {
+      return Status::InvalidArgument("missing value");
+    }
+    value_text = value_text.substr(b);
+    Result<Value> value = ParseShellValue(value_text);
+    if (!value.ok()) return value.status();
+    const Oid oid =
+        static_cast<Oid>(std::strtoul(oid_text.c_str(), nullptr, 10));
+    return db_.SetAttr(oid, attr, std::move(value).value());
+  }
+
+  Status HandleDel(std::istringstream& in) {
+    std::string oid_text;
+    if (!(in >> oid_text)) return Status::InvalidArgument("del <oid>");
+    return db_.DeleteObject(
+        static_cast<Oid>(std::strtoul(oid_text.c_str(), nullptr, 10)));
+  }
+
+  Status HandleSelect(std::istringstream& in) {
+    std::string cls_name, attr, lo_text, hi_text;
+    if (!(in >> cls_name >> attr >> lo_text)) {
+      return Status::InvalidArgument(
+          "select <Class>[*] <attr> <lo> [<hi>]");
+    }
+    Database::Selection sel;
+    sel.with_subclasses = !cls_name.empty() && cls_name.back() == '*';
+    if (sel.with_subclasses) cls_name.pop_back();
+    Result<ClassId> cls = FindClass(cls_name);
+    if (!cls.ok()) return cls.status();
+    sel.cls = cls.value();
+    sel.attr = attr;
+    Result<Value> lo = ParseShellValue(lo_text);
+    if (!lo.ok()) return lo.status();
+    sel.lo = lo.value();
+    if (in >> hi_text) {
+      Result<Value> hi = ParseShellValue(hi_text);
+      if (!hi.ok()) return hi.status();
+      sel.hi = std::move(hi).value();
+    } else {
+      sel.hi = sel.lo;
+    }
+
+    QueryCost cost(&db_.buffers());
+    Result<Database::SelectResult> r = db_.Select(sel);
+    if (!r.ok()) return r.status();
+    std::printf("%zu oid(s) via %s, %llu pages: [", r.value().oids.size(),
+                r.value().index_description.c_str(),
+                static_cast<unsigned long long>(cost.PagesRead()));
+    for (size_t i = 0; i < r.value().oids.size(); ++i) {
+      std::printf("%s%u", i ? ", " : "", r.value().oids[i]);
+    }
+    std::printf("]\n");
+    return Status::OK();
+  }
+
+  Status HandleQuery(std::istringstream& in, const std::string& line) {
+    size_t index_pos = 0;
+    if (!(in >> index_pos) || index_pos >= db_.index_count()) {
+      return Status::InvalidArgument("query <index#> (<query text>)");
+    }
+    const size_t paren = line.find('(');
+    if (paren == std::string::npos) {
+      return Status::InvalidArgument("missing query text");
+    }
+    const UIndex& index = db_.index(index_pos);
+    Result<Query> q = ParseQuery(line.substr(paren), index.spec(),
+                                 db_.schema());
+    if (!q.ok()) return q.status();
+    QueryCost cost(&db_.buffers());
+    Result<QueryResult> r = db_.Execute(index_pos, q.value());
+    if (!r.ok()) return r.status();
+    std::printf("%zu row(s), %llu pages\n", r.value().rows.size(),
+                static_cast<unsigned long long>(cost.PagesRead()));
+    const size_t shown = std::min<size_t>(r.value().rows.size(), 20);
+    for (size_t i = 0; i < shown; ++i) {
+      std::printf("  (");
+      for (size_t j = 0; j < r.value().rows[i].size(); ++j) {
+        std::printf("%s%u", j ? ", " : "", r.value().rows[i][j]);
+      }
+      std::printf(")\n");
+    }
+    if (shown < r.value().rows.size()) std::printf("  ...\n");
+    return Status::OK();
+  }
+
+  Status HandleExplain(std::istringstream& in) {
+    std::string cls_name, attr, lo_text, hi_text;
+    if (!(in >> cls_name >> attr >> lo_text)) {
+      return Status::InvalidArgument(
+          "explain <Class>[*] <attr> <lo> [<hi>]");
+    }
+    Database::Selection sel;
+    sel.with_subclasses = !cls_name.empty() && cls_name.back() == '*';
+    if (sel.with_subclasses) cls_name.pop_back();
+    Result<ClassId> cls = FindClass(cls_name);
+    if (!cls.ok()) return cls.status();
+    sel.cls = cls.value();
+    sel.attr = attr;
+    Result<Value> lo = ParseShellValue(lo_text);
+    if (!lo.ok()) return lo.status();
+    sel.lo = lo.value();
+    sel.hi = (in >> hi_text)
+                 ? std::move(ParseShellValue(hi_text)).value()
+                 : sel.lo;
+    Result<Database::Explanation> plan = db_.Explain(sel);
+    if (!plan.ok()) return plan.status();
+    for (size_t i = 0; i < plan.value().candidates.size(); ++i) {
+      const auto& c = plan.value().candidates[i];
+      std::printf("  %s %-44s %s", i == plan.value().chosen ? "->" : "  ",
+                  c.description.c_str(), c.usable ? "" : "unusable: ");
+      if (c.usable) {
+        std::printf("~%.1f pages", c.estimated_pages);
+      } else {
+        std::printf("%s", c.reason.c_str());
+      }
+      std::printf("\n");
+    }
+    return Status::OK();
+  }
+
+  Status HandleOql(const std::string& text) {
+    QueryCost cost(&db_.buffers());
+    Result<Database::OqlResult> r = db_.ExecuteOql(text);
+    if (!r.ok()) return r.status();
+    std::printf("%llu oid(s) via %s, %llu pages",
+                static_cast<unsigned long long>(r.value().count),
+                r.value().plan.c_str(),
+                static_cast<unsigned long long>(cost.PagesRead()));
+    if (!r.value().oids.empty()) {
+      std::printf(": [");
+      for (size_t i = 0; i < r.value().oids.size(); ++i) {
+        std::printf("%s%u", i ? ", " : "", r.value().oids[i]);
+      }
+      std::printf("]");
+    }
+    std::printf("\n");
+    return Status::OK();
+  }
+
+  void PrintCodes() {
+    for (ClassId cls = 0; cls < db_.schema().class_count(); ++cls) {
+      std::printf("  %-24s COD %s\n", db_.schema().NameOf(cls).c_str(),
+                  db_.coder().CodeOf(cls).c_str());
+    }
+  }
+
+  void PrintSchema() {
+    PrintCodes();
+    for (const RefEdge& e : db_.schema().references()) {
+      std::printf("  %s.%s -> %s%s\n",
+                  db_.schema().NameOf(e.source).c_str(),
+                  e.attribute.c_str(),
+                  db_.schema().NameOf(e.target).c_str(),
+                  e.multi_valued ? " (multi)" : "");
+    }
+  }
+
+  void PrintStats() {
+    std::printf("classes=%zu objects=%llu indexes=%zu pages=%llu %s\n",
+                db_.schema().class_count(),
+                static_cast<unsigned long long>(db_.store().size()),
+                db_.index_count(),
+                static_cast<unsigned long long>(db_.live_pages()),
+                db_.buffers().stats().ToString().c_str());
+  }
+
+  void PrintHelp() {
+    std::printf(
+        "commands:\n"
+        "  class <Name> [under <Parent>]\n"
+        "  ref <Source> <attr> -> <Target> [multi]\n"
+        "  index hierarchy <Class> <attr> int|str\n"
+        "  index path <attr> int|str <Head> (<ref> <Class>)...\n"
+        "  new <Class> | set <oid> <attr> = <value> | del <oid>\n"
+        "      values: 42, 'text', @3 (ref), @3,@4 (ref set)\n"
+        "  select <Class>[*] <attr> <lo> [<hi>]\n"
+        "  query <index#> (Age=50, Employee, _, Company*, ?)\n"
+        "  oql SELECT v FROM Vehicle* v WHERE v.made-by.president.Age = 50\n"
+        "  explain <Class>[*] <attr> <lo> [<hi>]\n"
+        "  save <path>\n"
+        "  codes | schema | stats | help | quit\n");
+  }
+
+  Database db_;
+  bool interactive_;
+  int errors_ = 0;
+};
+
+}  // namespace
+}  // namespace uindex
+
+int main(int argc, char** /*argv*/) {
+  const bool interactive = isatty(0) != 0 && argc < 2;
+  uindex::Shell shell(interactive);
+  if (interactive) {
+    std::printf("uindex shell — 'help' for commands, 'quit' to exit\n");
+  }
+  std::string line;
+  while (true) {
+    if (interactive) std::printf("uindex> ");
+    if (!std::getline(std::cin, line)) break;
+    if (!shell.HandleLine(line)) break;
+  }
+  return shell.errors() == 0 ? 0 : 1;
+}
