@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pathindexes.dir/bench_ablation_pathindexes.cc.o"
+  "CMakeFiles/bench_ablation_pathindexes.dir/bench_ablation_pathindexes.cc.o.d"
+  "bench_ablation_pathindexes"
+  "bench_ablation_pathindexes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pathindexes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

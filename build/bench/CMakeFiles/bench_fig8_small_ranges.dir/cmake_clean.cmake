@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_small_ranges.dir/bench_fig8_small_ranges.cc.o"
+  "CMakeFiles/bench_fig8_small_ranges.dir/bench_fig8_small_ranges.cc.o.d"
+  "bench_fig8_small_ranges"
+  "bench_fig8_small_ranges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_small_ranges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

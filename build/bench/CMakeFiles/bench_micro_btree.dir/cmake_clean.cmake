@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_btree.dir/bench_micro_btree.cc.o"
+  "CMakeFiles/bench_micro_btree.dir/bench_micro_btree.cc.o.d"
+  "bench_micro_btree"
+  "bench_micro_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_queries.dir/path_queries.cpp.o"
+  "CMakeFiles/path_queries.dir/path_queries.cpp.o.d"
+  "path_queries"
+  "path_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistent_database.dir/persistent_database.cpp.o"
+  "CMakeFiles/persistent_database.dir/persistent_database.cpp.o.d"
+  "persistent_database"
+  "persistent_database.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistent_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vehicle_database.dir/vehicle_database.cpp.o"
+  "CMakeFiles/vehicle_database.dir/vehicle_database.cpp.o.d"
+  "vehicle_database"
+  "vehicle_database.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vehicle_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

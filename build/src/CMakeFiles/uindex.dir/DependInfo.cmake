@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cgtree/cgtree.cc" "src/CMakeFiles/uindex.dir/baselines/cgtree/cgtree.cc.o" "gcc" "src/CMakeFiles/uindex.dir/baselines/cgtree/cgtree.cc.o.d"
+  "/root/repo/src/baselines/chtree/chtree.cc" "src/CMakeFiles/uindex.dir/baselines/chtree/chtree.cc.o" "gcc" "src/CMakeFiles/uindex.dir/baselines/chtree/chtree.cc.o.d"
+  "/root/repo/src/baselines/htree/htree.cc" "src/CMakeFiles/uindex.dir/baselines/htree/htree.cc.o" "gcc" "src/CMakeFiles/uindex.dir/baselines/htree/htree.cc.o.d"
+  "/root/repo/src/baselines/nix/nix_index.cc" "src/CMakeFiles/uindex.dir/baselines/nix/nix_index.cc.o" "gcc" "src/CMakeFiles/uindex.dir/baselines/nix/nix_index.cc.o.d"
+  "/root/repo/src/baselines/pathindex/nested_index.cc" "src/CMakeFiles/uindex.dir/baselines/pathindex/nested_index.cc.o" "gcc" "src/CMakeFiles/uindex.dir/baselines/pathindex/nested_index.cc.o.d"
+  "/root/repo/src/baselines/pathindex/path_index.cc" "src/CMakeFiles/uindex.dir/baselines/pathindex/path_index.cc.o" "gcc" "src/CMakeFiles/uindex.dir/baselines/pathindex/path_index.cc.o.d"
+  "/root/repo/src/baselines/record_codec.cc" "src/CMakeFiles/uindex.dir/baselines/record_codec.cc.o" "gcc" "src/CMakeFiles/uindex.dir/baselines/record_codec.cc.o.d"
+  "/root/repo/src/btree/btree.cc" "src/CMakeFiles/uindex.dir/btree/btree.cc.o" "gcc" "src/CMakeFiles/uindex.dir/btree/btree.cc.o.d"
+  "/root/repo/src/btree/cursor.cc" "src/CMakeFiles/uindex.dir/btree/cursor.cc.o" "gcc" "src/CMakeFiles/uindex.dir/btree/cursor.cc.o.d"
+  "/root/repo/src/btree/node.cc" "src/CMakeFiles/uindex.dir/btree/node.cc.o" "gcc" "src/CMakeFiles/uindex.dir/btree/node.cc.o.d"
+  "/root/repo/src/core/forward_scan.cc" "src/CMakeFiles/uindex.dir/core/forward_scan.cc.o" "gcc" "src/CMakeFiles/uindex.dir/core/forward_scan.cc.o.d"
+  "/root/repo/src/core/key_encoding.cc" "src/CMakeFiles/uindex.dir/core/key_encoding.cc.o" "gcc" "src/CMakeFiles/uindex.dir/core/key_encoding.cc.o.d"
+  "/root/repo/src/core/parscan.cc" "src/CMakeFiles/uindex.dir/core/parscan.cc.o" "gcc" "src/CMakeFiles/uindex.dir/core/parscan.cc.o.d"
+  "/root/repo/src/core/query.cc" "src/CMakeFiles/uindex.dir/core/query.cc.o" "gcc" "src/CMakeFiles/uindex.dir/core/query.cc.o.d"
+  "/root/repo/src/core/query_parser.cc" "src/CMakeFiles/uindex.dir/core/query_parser.cc.o" "gcc" "src/CMakeFiles/uindex.dir/core/query_parser.cc.o.d"
+  "/root/repo/src/core/schema_catalog.cc" "src/CMakeFiles/uindex.dir/core/schema_catalog.cc.o" "gcc" "src/CMakeFiles/uindex.dir/core/schema_catalog.cc.o.d"
+  "/root/repo/src/core/uindex.cc" "src/CMakeFiles/uindex.dir/core/uindex.cc.o" "gcc" "src/CMakeFiles/uindex.dir/core/uindex.cc.o.d"
+  "/root/repo/src/core/update.cc" "src/CMakeFiles/uindex.dir/core/update.cc.o" "gcc" "src/CMakeFiles/uindex.dir/core/update.cc.o.d"
+  "/root/repo/src/db/database.cc" "src/CMakeFiles/uindex.dir/db/database.cc.o" "gcc" "src/CMakeFiles/uindex.dir/db/database.cc.o.d"
+  "/root/repo/src/db/journal.cc" "src/CMakeFiles/uindex.dir/db/journal.cc.o" "gcc" "src/CMakeFiles/uindex.dir/db/journal.cc.o.d"
+  "/root/repo/src/db/oql.cc" "src/CMakeFiles/uindex.dir/db/oql.cc.o" "gcc" "src/CMakeFiles/uindex.dir/db/oql.cc.o.d"
+  "/root/repo/src/db/oql_planner.cc" "src/CMakeFiles/uindex.dir/db/oql_planner.cc.o" "gcc" "src/CMakeFiles/uindex.dir/db/oql_planner.cc.o.d"
+  "/root/repo/src/objects/object.cc" "src/CMakeFiles/uindex.dir/objects/object.cc.o" "gcc" "src/CMakeFiles/uindex.dir/objects/object.cc.o.d"
+  "/root/repo/src/objects/object_store.cc" "src/CMakeFiles/uindex.dir/objects/object_store.cc.o" "gcc" "src/CMakeFiles/uindex.dir/objects/object_store.cc.o.d"
+  "/root/repo/src/schema/class_code.cc" "src/CMakeFiles/uindex.dir/schema/class_code.cc.o" "gcc" "src/CMakeFiles/uindex.dir/schema/class_code.cc.o.d"
+  "/root/repo/src/schema/encoder.cc" "src/CMakeFiles/uindex.dir/schema/encoder.cc.o" "gcc" "src/CMakeFiles/uindex.dir/schema/encoder.cc.o.d"
+  "/root/repo/src/schema/schema.cc" "src/CMakeFiles/uindex.dir/schema/schema.cc.o" "gcc" "src/CMakeFiles/uindex.dir/schema/schema.cc.o.d"
+  "/root/repo/src/storage/buffer_manager.cc" "src/CMakeFiles/uindex.dir/storage/buffer_manager.cc.o" "gcc" "src/CMakeFiles/uindex.dir/storage/buffer_manager.cc.o.d"
+  "/root/repo/src/storage/io_stats.cc" "src/CMakeFiles/uindex.dir/storage/io_stats.cc.o" "gcc" "src/CMakeFiles/uindex.dir/storage/io_stats.cc.o.d"
+  "/root/repo/src/storage/overflow.cc" "src/CMakeFiles/uindex.dir/storage/overflow.cc.o" "gcc" "src/CMakeFiles/uindex.dir/storage/overflow.cc.o.d"
+  "/root/repo/src/storage/pager.cc" "src/CMakeFiles/uindex.dir/storage/pager.cc.o" "gcc" "src/CMakeFiles/uindex.dir/storage/pager.cc.o.d"
+  "/root/repo/src/storage/snapshot.cc" "src/CMakeFiles/uindex.dir/storage/snapshot.cc.o" "gcc" "src/CMakeFiles/uindex.dir/storage/snapshot.cc.o.d"
+  "/root/repo/src/util/crc32.cc" "src/CMakeFiles/uindex.dir/util/crc32.cc.o" "gcc" "src/CMakeFiles/uindex.dir/util/crc32.cc.o.d"
+  "/root/repo/src/util/hex.cc" "src/CMakeFiles/uindex.dir/util/hex.cc.o" "gcc" "src/CMakeFiles/uindex.dir/util/hex.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/uindex.dir/util/random.cc.o" "gcc" "src/CMakeFiles/uindex.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/uindex.dir/util/status.cc.o" "gcc" "src/CMakeFiles/uindex.dir/util/status.cc.o.d"
+  "/root/repo/src/workload/database_generator.cc" "src/CMakeFiles/uindex.dir/workload/database_generator.cc.o" "gcc" "src/CMakeFiles/uindex.dir/workload/database_generator.cc.o.d"
+  "/root/repo/src/workload/experiment.cc" "src/CMakeFiles/uindex.dir/workload/experiment.cc.o" "gcc" "src/CMakeFiles/uindex.dir/workload/experiment.cc.o.d"
+  "/root/repo/src/workload/paper_schema.cc" "src/CMakeFiles/uindex.dir/workload/paper_schema.cc.o" "gcc" "src/CMakeFiles/uindex.dir/workload/paper_schema.cc.o.d"
+  "/root/repo/src/workload/query_generator.cc" "src/CMakeFiles/uindex.dir/workload/query_generator.cc.o" "gcc" "src/CMakeFiles/uindex.dir/workload/query_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgtree_test.dir/cgtree_test.cc.o"
+  "CMakeFiles/cgtree_test.dir/cgtree_test.cc.o.d"
+  "cgtree_test"
+  "cgtree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

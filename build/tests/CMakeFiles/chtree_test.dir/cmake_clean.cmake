@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chtree_test.dir/chtree_test.cc.o"
+  "CMakeFiles/chtree_test.dir/chtree_test.cc.o.d"
+  "chtree_test"
+  "chtree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

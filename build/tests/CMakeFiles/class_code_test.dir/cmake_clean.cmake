@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/class_code_test.dir/class_code_test.cc.o"
+  "CMakeFiles/class_code_test.dir/class_code_test.cc.o.d"
+  "class_code_test"
+  "class_code_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/class_code_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

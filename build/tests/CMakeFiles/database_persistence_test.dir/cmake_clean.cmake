@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/database_persistence_test.dir/database_persistence_test.cc.o"
+  "CMakeFiles/database_persistence_test.dir/database_persistence_test.cc.o.d"
+  "database_persistence_test"
+  "database_persistence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/database_persistence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htree_test.dir/htree_test.cc.o"
+  "CMakeFiles/htree_test.dir/htree_test.cc.o.d"
+  "htree_test"
+  "htree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

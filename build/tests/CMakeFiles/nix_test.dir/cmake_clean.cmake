@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nix_test.dir/nix_test.cc.o"
+  "CMakeFiles/nix_test.dir/nix_test.cc.o.d"
+  "nix_test"
+  "nix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

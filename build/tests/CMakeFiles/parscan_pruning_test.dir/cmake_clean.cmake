@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parscan_pruning_test.dir/parscan_pruning_test.cc.o"
+  "CMakeFiles/parscan_pruning_test.dir/parscan_pruning_test.cc.o.d"
+  "parscan_pruning_test"
+  "parscan_pruning_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parscan_pruning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parscan_test.dir/parscan_test.cc.o"
+  "CMakeFiles/parscan_test.dir/parscan_test.cc.o.d"
+  "parscan_test"
+  "parscan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parscan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathindex_test.dir/pathindex_test.cc.o"
+  "CMakeFiles/pathindex_test.dir/pathindex_test.cc.o.d"
+  "pathindex_test"
+  "pathindex_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathindex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_tree_test.dir/shared_tree_test.cc.o"
+  "CMakeFiles/shared_tree_test.dir/shared_tree_test.cc.o.d"
+  "shared_tree_test"
+  "shared_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uindex_test.dir/uindex_test.cc.o"
+  "CMakeFiles/uindex_test.dir/uindex_test.cc.o.d"
+  "uindex_test"
+  "uindex_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uindex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

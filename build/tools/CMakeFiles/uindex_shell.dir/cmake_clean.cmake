@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uindex_shell.dir/uindex_shell.cc.o"
+  "CMakeFiles/uindex_shell.dir/uindex_shell.cc.o.d"
+  "uindex_shell"
+  "uindex_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uindex_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
