@@ -31,8 +31,8 @@ class ParscanDriver {
         partial_(cq->is_partial()),
         queried_components_(queried_components) {}
 
-  Status Run(PageId root, size_t interval_count) {
-    return Visit(root, 0, interval_count, nullptr, nullptr);
+  Status Run(PageId root, size_t lo, size_t hi) {
+    return Visit(root, lo, hi, nullptr, nullptr);
   }
 
  private:
@@ -147,16 +147,21 @@ class ParscanDriver {
 }  // namespace
 
 Result<QueryResult> UIndex::Parscan(const Query& query) const {
-  Result<CompiledQuery> compiled =
-      CompiledQuery::Compile(query, encoder_, *schema_);
+  Result<CompiledQuery> compiled = CompileParscan(query);
   if (!compiled.ok()) return compiled.status();
   const CompiledQuery& cq = compiled.value();
 
   QueryResult result;
-  if (cq.intervals().empty()) return result;
-  ParscanDriver driver(tree_, &cq, query.components.size(), &result);
-  UINDEX_RETURN_IF_ERROR(driver.Run(tree_->root(), cq.intervals().size()));
+  UINDEX_RETURN_IF_ERROR(
+      ParscanIntervals(cq, 0, cq.intervals().size(), &result));
   return result;
+}
+
+Status UIndex::ParscanIntervals(const CompiledQuery& cq, size_t lo, size_t hi,
+                                QueryResult* result) const {
+  if (lo >= hi || cq.intervals().empty()) return Status::OK();
+  ParscanDriver driver(tree_, &cq, cq.query().components.size(), result);
+  return driver.Run(tree_->root(), lo, hi);
 }
 
 }  // namespace uindex

@@ -142,6 +142,9 @@ class CompiledQuery {
   /// Sorted, disjoint search intervals. Never empty for a valid query.
   const std::vector<ByteInterval>& intervals() const { return intervals_; }
 
+  /// The source query this plan was compiled from.
+  const Query& query() const { return query_; }
+
   /// The smallest interval covering all search intervals (what a pure
   /// forward scan must sweep).
   const ByteInterval& full_span() const { return full_span_; }

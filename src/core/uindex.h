@@ -97,6 +97,25 @@ class UIndex {
   /// Executes with the paper's Algorithm 1 (parallel partial-key scan).
   Result<QueryResult> Parscan(const Query& query) const;
 
+  /// Compiles `query` into its Parscan plan — the sorted partial-key
+  /// intervals of Algorithm 1 — without executing it. The plan is the unit
+  /// of parallelism: `exec::ParallelParscan` partitions its intervals into
+  /// shards and runs each shard with `ParscanIntervals` on a pool worker.
+  Result<CompiledQuery> CompileParscan(const Query& query) const {
+    return CompiledQuery::Compile(query, encoder_, *schema_);
+  }
+
+  /// Runs Algorithm 1 over the plan's intervals [lo, hi), appending matches
+  /// to `result`. Because the plan's intervals are sorted and disjoint and
+  /// every key cluster lies inside one interval, running disjoint ranges
+  /// and concatenating their results in range order reproduces the serial
+  /// scan's rows exactly; with a shared `BufferManager` epoch the page-read
+  /// total is also identical (first touch pays, duplicates hit cache).
+  /// Safe to call concurrently from several threads on disjoint ranges as
+  /// long as the tree is not mutated meanwhile.
+  Status ParscanIntervals(const CompiledQuery& cq, size_t lo, size_t hi,
+                          QueryResult* result) const;
+
   /// Default retrieval — Parscan.
   Result<QueryResult> Execute(const Query& query) const {
     return Parscan(query);

@@ -5,7 +5,10 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <mutex>
+#include <shared_mutex>
 
+#include "exec/parallel_parscan.h"
 #include "storage/snapshot.h"
 #include "util/coding.h"
 
@@ -30,6 +33,7 @@ Database::Database(DatabaseOptions options, std::unique_ptr<Pager> pager)
       maintainer_(&schema_, &store_) {}
 
 Result<ClassId> Database::CreateClass(const std::string& name) {
+  std::unique_lock lock(latch_);
   Result<ClassId> cls = schema_.AddClass(name);
   if (!cls.ok()) return cls;
   UINDEX_RETURN_IF_ERROR(coder_.AssignNewClass(schema_, cls.value()));
@@ -46,6 +50,7 @@ Result<ClassId> Database::CreateClass(const std::string& name) {
 
 Result<ClassId> Database::CreateSubclass(const std::string& name,
                                          ClassId parent) {
+  std::unique_lock lock(latch_);
   Result<ClassId> cls = schema_.AddSubclass(name, parent);
   if (!cls.ok()) return cls;
   UINDEX_RETURN_IF_ERROR(coder_.AssignNewClass(schema_, cls.value()));
@@ -64,6 +69,7 @@ Result<ClassId> Database::CreateSubclass(const std::string& name,
 Status Database::CreateReference(ClassId source, ClassId target,
                                  const std::string& attribute,
                                  bool multi_valued) {
+  std::unique_lock lock(latch_);
   // Incremental evolution cannot reorder codes: the referenced hierarchy
   // must already sort below the referencing one (§4.3).
   const std::string& target_root =
@@ -96,6 +102,7 @@ Status Database::CreateReference(ClassId source, ClassId target,
 Status Database::CreateReferenceWithReencode(ClassId source, ClassId target,
                                              const std::string& attribute,
                                              bool multi_valued) {
+  std::unique_lock lock(latch_);
   UINDEX_RETURN_IF_ERROR(
       schema_.AddReference(source, target, attribute, multi_valued));
   if (coder_.Verify(schema_).ok()) {
@@ -105,7 +112,7 @@ Status Database::CreateReferenceWithReencode(ClassId source, ClassId target,
           Slice(coder_.CodeOf(target)), multi_valued));
     }
   } else {
-    UINDEX_RETURN_IF_ERROR(Reencode());
+    UINDEX_RETURN_IF_ERROR(ReencodeLocked());
   }
   JournalRecord record;
   record.op = JournalRecord::Op::kCreateReference;
@@ -119,6 +126,11 @@ Status Database::CreateReferenceWithReencode(ClassId source, ClassId target,
 }
 
 Status Database::Reencode() {
+  std::unique_lock lock(latch_);
+  return ReencodeLocked();
+}
+
+Status Database::ReencodeLocked() {
   Result<ClassCoder> fresh = ClassCoder::Assign(schema_);
   if (!fresh.ok()) return fresh.status();
   coder_ = std::move(fresh).value();
@@ -133,6 +145,7 @@ Status Database::Reencode() {
 }
 
 Status Database::DropIndex(size_t index_pos) {
+  std::unique_lock lock(latch_);
   if (index_pos >= indexes_.size()) {
     return Status::InvalidArgument("no such index");
   }
@@ -149,6 +162,7 @@ Status Database::DropIndex(size_t index_pos) {
 }
 
 Result<size_t> Database::CreateIndex(const PathSpec& spec) {
+  std::unique_lock lock(latch_);
   for (const ClassId cls : spec.classes) {
     if (!schema_.IsValidClass(cls)) {
       return Status::InvalidArgument("bad class in index spec");
@@ -177,6 +191,7 @@ Result<size_t> Database::CreateIndex(const PathSpec& spec) {
 }
 
 Result<Oid> Database::CreateObject(ClassId cls) {
+  std::unique_lock lock(latch_);
   Result<Oid> oid = maintainer_.CreateObject(cls);
   if (!oid.ok()) return oid;
   JournalRecord record;
@@ -188,6 +203,7 @@ Result<Oid> Database::CreateObject(ClassId cls) {
 }
 
 Status Database::SetAttr(Oid oid, const std::string& name, Value value) {
+  std::unique_lock lock(latch_);
   JournalRecord record;
   record.op = JournalRecord::Op::kSetAttr;
   record.name = name;
@@ -198,6 +214,7 @@ Status Database::SetAttr(Oid oid, const std::string& name, Value value) {
 }
 
 Status Database::DeleteObject(Oid oid) {
+  std::unique_lock lock(latch_);
   UINDEX_RETURN_IF_ERROR(maintainer_.DeleteObject(oid));
   JournalRecord record;
   record.op = JournalRecord::Op::kDeleteObject;
@@ -229,6 +246,7 @@ bool Database::IndexServes(const UIndex& idx, const Selection& selection,
 
 Result<Database::SelectResult> Database::Select(
     const Selection& selection) const {
+  std::shared_lock lock(latch_);
   if (!schema_.IsValidClass(selection.cls)) {
     return Status::InvalidArgument("bad class in selection");
   }
@@ -286,10 +304,22 @@ Result<Database::SelectResult> Database::Select(
 
 Result<QueryResult> Database::Execute(size_t index_pos,
                                       const Query& query) const {
+  std::shared_lock lock(latch_);
   if (index_pos >= indexes_.size()) {
     return Status::InvalidArgument("no such index");
   }
   return indexes_[index_pos]->Parscan(query);
+}
+
+Result<QueryResult> Database::ExecuteParallel(size_t index_pos,
+                                              const Query& query,
+                                              exec::ThreadPool* pool) const {
+  std::shared_lock lock(latch_);
+  if (index_pos >= indexes_.size()) {
+    return Status::InvalidArgument("no such index");
+  }
+  if (pool == nullptr) return indexes_[index_pos]->Parscan(query);
+  return exec::ParallelParscan(*indexes_[index_pos], query, pool);
 }
 
 Status Database::Log(const JournalRecord& record) {
@@ -298,6 +328,7 @@ Status Database::Log(const JournalRecord& record) {
 }
 
 Status Database::EnableJournal(const std::string& path) {
+  std::unique_lock lock(latch_);
   Result<std::unique_ptr<Journal>> journal = Journal::OpenForAppend(path);
   if (!journal.ok()) return journal.status();
   journal_ = std::move(journal).value();
@@ -305,10 +336,11 @@ Status Database::EnableJournal(const std::string& path) {
 }
 
 Status Database::Checkpoint(const std::string& snapshot_path) {
+  std::unique_lock lock(latch_);
   if (journal_ == nullptr) {
     return Status::InvalidArgument("no journal enabled");
   }
-  UINDEX_RETURN_IF_ERROR(Save(snapshot_path));
+  UINDEX_RETURN_IF_ERROR(SaveLocked(snapshot_path));
   return journal_->Truncate();
 }
 
@@ -403,6 +435,7 @@ Result<std::unique_ptr<Database>> Database::OpenDurable(
 
 Result<Database::Explanation> Database::Explain(
     const Selection& selection) const {
+  std::shared_lock lock(latch_);
   if (!schema_.IsValidClass(selection.cls)) {
     return Status::InvalidArgument("bad class in selection");
   }
@@ -507,6 +540,11 @@ Status ReadU8(const Slice& blob, size_t* pos, uint8_t* out) {
 }  // namespace
 
 Status Database::Save(const std::string& path) const {
+  std::shared_lock lock(latch_);
+  return SaveLocked(path);
+}
+
+Status Database::SaveLocked(const std::string& path) const {
   std::string meta;
   meta.append(kDbMagic, sizeof(kDbMagic));
 

@@ -2,6 +2,7 @@
 #define UINDEX_DB_DATABASE_H_
 
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,10 @@
 #include "storage/pager.h"
 
 namespace uindex {
+
+namespace exec {
+class ThreadPool;
+}  // namespace exec
 
 /// Tuning knobs for a `Database`.
 struct DatabaseOptions {
@@ -36,6 +41,16 @@ struct DatabaseOptions {
 /// and catalog current (paper Fig. 4); DML keeps every index current
 /// (§3.5); `Select` routes a query to an index whose path can serve it, or
 /// falls back to an extent scan.
+///
+/// Concurrency: a database-wide shared/exclusive latch serializes DDL/DML
+/// (exclusive) against queries (shared), so any number of threads may run
+/// `Select`/`Execute`/`ExecuteOql`/`Explain`/`Save` concurrently with each
+/// other — including the pool workers of `ExecuteParallel` — while writers
+/// wait for a quiescent point. `Session` (db/session.h) is the per-client
+/// handle layering per-session statistics and an `exec::ExecutionContext`
+/// on top of this API. Note the per-query-epoch page-read accounting is
+/// database-wide: concurrent queries share one epoch, so per-query counts
+/// (`QueryCost`) are only exact when queries don't overlap.
 class Database {
  public:
   explicit Database(DatabaseOptions options = DatabaseOptions());
@@ -135,6 +150,13 @@ class Database {
   /// Runs a raw `Query` against index #`index_pos` (Parscan).
   Result<QueryResult> Execute(size_t index_pos, const Query& query) const;
 
+  /// As `Execute`, but shards the query's partial-key intervals across
+  /// `pool`'s workers (exec/parallel_parscan.h). Results and page-read
+  /// totals are identical to the serial run; a null pool falls back to it.
+  /// The shared latch is held for the whole scan, so concurrent DML waits.
+  Result<QueryResult> ExecuteParallel(size_t index_pos, const Query& query,
+                                      exec::ThreadPool* pool) const;
+
   /// Parses and executes an OQL-style statement (see db/oql.h). The
   /// planner drives the query through a registered U-index when one covers
   /// the value predicate's reference path (pushing IS restrictions into
@@ -169,6 +191,7 @@ class Database {
   ObjectStore& store() { return store_; }
   const ObjectStore& store() const { return store_; }
   BufferManager& buffers() { return buffers_; }
+  const BufferManager& buffers() const { return buffers_; }
   const SchemaCatalog* catalog() const { return catalog_.get(); }
   size_t index_count() const { return indexes_.size(); }
   const UIndex& index(size_t pos) const { return *indexes_[pos]; }
@@ -179,6 +202,11 @@ class Database {
  private:
   // Restore path: adopts a pager loaded from a snapshot.
   Database(DatabaseOptions options, std::unique_ptr<Pager> pager);
+
+  // Latch-free bodies for public entry points that other entry points call
+  // while already holding the latch (the latch is not recursive).
+  Status ReencodeLocked();
+  Status SaveLocked(const std::string& path) const;
 
   // True if index `idx` can answer `selection`, with the key position of
   // the target class written to `position`.
@@ -208,6 +236,8 @@ class Database {
   // Appends to the journal if one is enabled.
   Status Log(const JournalRecord& record);
 
+  // DDL/DML exclusive vs. queries shared; see the class comment.
+  mutable std::shared_mutex latch_;
   DatabaseOptions options_;
   std::unique_ptr<Pager> pager_;
   BufferManager buffers_;

@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <climits>
+#include <shared_mutex>
 
 #include "db/database.h"
 
@@ -160,6 +161,7 @@ Result<bool> Database::EvalOqlCondition(
 }
 
 Result<Database::OqlResult> Database::ExecuteOql(const std::string& oql) const {
+  std::shared_lock lock(latch_);
   Result<OqlQuery> parsed = ParseOql(oql);
   if (!parsed.ok()) return parsed.status();
   const OqlQuery& q = parsed.value();

@@ -1,0 +1,47 @@
+#include "db/session.h"
+
+namespace uindex {
+
+std::string Session::Stats::ToString() const {
+  return "queries=" + std::to_string(queries) +
+         " failed=" + std::to_string(failed) +
+         " rows=" + std::to_string(rows) +
+         " pages_read=" + std::to_string(pages_read);
+}
+
+void Session::Account(bool ok, uint64_t rows, uint64_t pages_before) {
+  if (ok) {
+    ++stats_.queries;
+    stats_.rows += rows;
+  } else {
+    ++stats_.failed;
+  }
+  const uint64_t now = db_->buffers().stats().pages_read;
+  stats_.pages_read += now - pages_before;
+}
+
+Result<Database::SelectResult> Session::Select(
+    const Database::Selection& selection) {
+  const uint64_t before = db_->buffers().stats().pages_read;
+  Result<Database::SelectResult> r = db_->Select(selection);
+  Account(r.ok(), r.ok() ? r.value().oids.size() : 0, before);
+  return r;
+}
+
+Result<QueryResult> Session::Execute(size_t index_pos, const Query& query) {
+  const uint64_t before = db_->buffers().stats().pages_read;
+  Result<QueryResult> r =
+      parallel() ? db_->ExecuteParallel(index_pos, query, ctx_->pool())
+                 : db_->Execute(index_pos, query);
+  Account(r.ok(), r.ok() ? r.value().rows.size() : 0, before);
+  return r;
+}
+
+Result<Database::OqlResult> Session::ExecuteOql(const std::string& oql) {
+  const uint64_t before = db_->buffers().stats().pages_read;
+  Result<Database::OqlResult> r = db_->ExecuteOql(oql);
+  Account(r.ok(), r.ok() ? r.value().count : 0, before);
+  return r;
+}
+
+}  // namespace uindex

@@ -1,0 +1,75 @@
+#ifndef UINDEX_DB_SESSION_H_
+#define UINDEX_DB_SESSION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "db/database.h"
+#include "exec/execution_context.h"
+
+namespace uindex {
+
+/// A per-client read handle on a `Database`.
+///
+/// Many sessions run concurrently against one database: every call goes
+/// through the database's shared latch (queries run in parallel with each
+/// other, DDL/DML waits for exclusivity), and when the session's
+/// `ExecutionContext` carries a worker pool, raw index queries additionally
+/// shard their Parscan across it (exec/parallel_parscan.h).
+///
+/// A `Session` itself is NOT thread-safe — it is the "one client" object;
+/// give each client thread its own session (they are cheap: two pointers
+/// and a stats block). Per-session statistics count this session's queries
+/// and rows exactly; `pages_read` is attributed from the database-wide
+/// counters, so with overlapping sessions it includes pages other sessions
+/// touched mid-query (the per-query-epoch accounting model is global — see
+/// the `Database` class comment).
+class Session {
+ public:
+  struct Stats {
+    uint64_t queries = 0;      ///< Calls that returned OK.
+    uint64_t failed = 0;       ///< Calls that returned an error.
+    uint64_t rows = 0;         ///< Rows/oids returned across all calls.
+    uint64_t pages_read = 0;   ///< Page reads attributed to this session.
+    std::string ToString() const;
+  };
+
+  /// A serial session (no worker pool).
+  explicit Session(const Database* db) : db_(db) {}
+
+  /// A session executing raw queries with `ctx`'s pool (not owned; null ctx
+  /// or a serial ctx behaves like the serial constructor).
+  Session(const Database* db, const exec::ExecutionContext* ctx)
+      : db_(db), ctx_(ctx) {}
+
+  const Database& database() const { return *db_; }
+  const Stats& stats() const { return stats_; }
+
+  /// True when queries on this session shard across a worker pool.
+  bool parallel() const {
+    return ctx_ != nullptr && ctx_->pool() != nullptr;
+  }
+
+  /// `Database::Select` under the shared latch, with session accounting.
+  Result<Database::SelectResult> Select(
+      const Database::Selection& selection);
+
+  /// Raw index query: parallel Parscan when the context has a pool, serial
+  /// otherwise. Results are identical either way.
+  Result<QueryResult> Execute(size_t index_pos, const Query& query);
+
+  /// `Database::ExecuteOql` under the shared latch, with accounting.
+  Result<Database::OqlResult> ExecuteOql(const std::string& oql);
+
+ private:
+  // Folds one finished call into the session stats.
+  void Account(bool ok, uint64_t rows, uint64_t pages_before);
+
+  const Database* db_;
+  const exec::ExecutionContext* ctx_ = nullptr;
+  Stats stats_;
+};
+
+}  // namespace uindex
+
+#endif  // UINDEX_DB_SESSION_H_

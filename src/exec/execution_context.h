@@ -1,0 +1,49 @@
+#ifndef UINDEX_EXEC_EXECUTION_CONTEXT_H_
+#define UINDEX_EXEC_EXECUTION_CONTEXT_H_
+
+#include <cstddef>
+#include <memory>
+
+#include "exec/thread_pool.h"
+
+namespace uindex {
+namespace exec {
+
+/// Execution resources handed to query sessions: the worker pool and the
+/// parallelism policy. One context is typically process-wide and shared by
+/// every `Session` (the pool is thread-safe); a context with
+/// `parallelism() <= 1` (or a null pool) degrades every parallel entry
+/// point to the serial algorithm, which is how `.parallel 0` in the shell
+/// and single-threaded tests run through the same code path.
+class ExecutionContext {
+ public:
+  /// A context owning a fresh pool of `num_threads` workers. 0 threads
+  /// means serial execution (no pool is created).
+  explicit ExecutionContext(size_t num_threads) {
+    if (num_threads > 1) {
+      owned_pool_ = std::make_unique<ThreadPool>(num_threads);
+      pool_ = owned_pool_.get();
+    }
+  }
+
+  /// A context borrowing an existing pool (not owned; may be null).
+  explicit ExecutionContext(ThreadPool* shared_pool) : pool_(shared_pool) {}
+
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+  /// The worker pool, or null when execution is serial.
+  ThreadPool* pool() const { return pool_; }
+
+  /// Workers available to one query (1 = serial).
+  size_t parallelism() const { return pool_ != nullptr ? pool_->size() : 1; }
+
+ private:
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_ = nullptr;
+};
+
+}  // namespace exec
+}  // namespace uindex
+
+#endif  // UINDEX_EXEC_EXECUTION_CONTEXT_H_

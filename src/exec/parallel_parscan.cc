@@ -1,0 +1,70 @@
+#include "exec/parallel_parscan.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace uindex {
+namespace exec {
+
+Result<QueryResult> ParallelParscan(const UIndex& index, const Query& query,
+                                    ThreadPool* pool,
+                                    const ParallelScanOptions& options) {
+  Result<CompiledQuery> compiled = index.CompileParscan(query);
+  if (!compiled.ok()) return compiled.status();
+  const CompiledQuery& cq = compiled.value();
+
+  const size_t n = cq.intervals().size();
+  QueryResult merged;
+  if (n == 0) return merged;
+
+  size_t shards = options.shards != 0 ? options.shards : pool->size();
+  shards = std::min(shards, n);
+  if (shards <= 1) {
+    UINDEX_RETURN_IF_ERROR(index.ParscanIntervals(cq, 0, n, &merged));
+    return merged;
+  }
+
+  // Contiguous, even split of the sorted interval list. The last shard runs
+  // on the calling thread: it overlaps with the workers and keeps a
+  // single-worker pool from serializing submit-then-wait.
+  std::vector<QueryResult> partials(shards);
+  std::vector<Future<Status>> futures;
+  futures.reserve(shards - 1);
+  const size_t chunk = n / shards;
+  const size_t remainder = n % shards;
+  size_t lo = 0;
+  for (size_t s = 0; s < shards; ++s) {
+    const size_t hi = lo + chunk + (s < remainder ? 1 : 0);
+    if (s + 1 < shards) {
+      futures.push_back(pool->Submit([&index, &cq, lo, hi,
+                                      out = &partials[s]]() -> Status {
+        return index.ParscanIntervals(cq, lo, hi, out);
+      }));
+    } else {
+      UINDEX_RETURN_IF_ERROR(
+          index.ParscanIntervals(cq, lo, hi, &partials[s]));
+    }
+    lo = hi;
+  }
+
+  Status failed = Status::OK();
+  for (Future<Status>& f : futures) {
+    // Always drain every future — partials must outlive the workers.
+    Status s = f.Take();
+    if (!s.ok() && failed.ok()) failed = std::move(s);
+  }
+  UINDEX_RETURN_IF_ERROR(failed);
+
+  size_t total_rows = 0;
+  for (const QueryResult& p : partials) total_rows += p.rows.size();
+  merged.rows.reserve(total_rows);
+  for (QueryResult& p : partials) {
+    merged.entries_scanned += p.entries_scanned;
+    std::move(p.rows.begin(), p.rows.end(), std::back_inserter(merged.rows));
+  }
+  return merged;
+}
+
+}  // namespace exec
+}  // namespace uindex

@@ -1,0 +1,49 @@
+#ifndef UINDEX_EXEC_PARALLEL_PARSCAN_H_
+#define UINDEX_EXEC_PARALLEL_PARSCAN_H_
+
+#include <cstddef>
+
+#include "core/query.h"
+#include "core/uindex.h"
+#include "exec/thread_pool.h"
+
+namespace uindex {
+namespace exec {
+
+/// Tuning for `ParallelParscan`.
+struct ParallelScanOptions {
+  /// Number of shards to split the plan's intervals into; 0 means one
+  /// shard per pool worker. Clamped to the interval count.
+  size_t shards = 0;
+};
+
+/// The paper's Algorithm 1, actually parallel.
+///
+/// §3.4 notes the partial-key descent "can easily be parallelized": each
+/// partial key's search is independent. This function realizes that — it
+/// compiles `query` into its sorted partial-key intervals (the paper's
+/// partial key array), splits them into contiguous shards, and runs each
+/// shard's B-tree descent on a pool worker over a shared read snapshot of
+/// the tree.
+///
+/// Determinism guarantees (asserted by tests/parallel_determinism_test):
+///  * rows — shards are contiguous ranges of the sorted, disjoint interval
+///    list, and every key cluster lies inside one interval, so
+///    concatenating shard results in shard order is byte-identical to the
+///    serial scan;
+///  * page reads — every worker fetches through the index's shared
+///    `BufferManager` epoch, whose residency set dedupes across threads:
+///    the union of pages the shards visit equals the serial scan's visited
+///    set, so the charged total is identical regardless of interleaving.
+///
+/// The tree must not be mutated while the scan runs (hold the database's
+/// shared latch, or quiesce writers). The caller brackets the query epoch
+/// (`QueryCost` / `BeginQuery`) as for a serial scan.
+Result<QueryResult> ParallelParscan(const UIndex& index, const Query& query,
+                                    ThreadPool* pool,
+                                    const ParallelScanOptions& options = {});
+
+}  // namespace exec
+}  // namespace uindex
+
+#endif  // UINDEX_EXEC_PARALLEL_PARSCAN_H_

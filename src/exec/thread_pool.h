@@ -1,0 +1,130 @@
+#ifndef UINDEX_EXEC_THREAD_POOL_H_
+#define UINDEX_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace uindex {
+namespace exec {
+
+/// A one-shot completion handle for a value produced on another thread.
+///
+/// The repo is exception-free, so this is deliberately smaller than
+/// `std::future`: no exception transport (tasks return `Status`/`Result`
+/// to signal failure), single consumer, and `Take()` both waits and moves
+/// the value out. Obtain one from `Promise<T>::GetFuture` or
+/// `ThreadPool::Submit`.
+template <typename T>
+class Future {
+ public:
+  Future() = default;
+
+  /// True when this future is connected to a promise.
+  bool valid() const { return state_ != nullptr; }
+
+  /// Blocks until the value is set.
+  void Wait() const {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [&] { return state_->value.has_value(); });
+  }
+
+  /// Blocks until the value is set, then moves it out. Call at most once.
+  T Take() {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [&] { return state_->value.has_value(); });
+    T out = std::move(*state_->value);
+    state_->value.reset();
+    return out;
+  }
+
+ private:
+  template <typename U>
+  friend class Promise;
+
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::optional<T> value;
+  };
+
+  explicit Future(std::shared_ptr<State> state) : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+/// The producing end of a `Future<T>`. Copyable (the shared state is
+/// reference-counted) so it can be captured into a `std::function` task.
+template <typename T>
+class Promise {
+ public:
+  Promise() : state_(std::make_shared<typename Future<T>::State>()) {}
+
+  Future<T> GetFuture() const { return Future<T>(state_); }
+
+  /// Publishes the value and wakes the waiter. Call exactly once.
+  void Set(T value) {
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      state_->value.emplace(std::move(value));
+    }
+    state_->cv.notify_all();
+  }
+
+ private:
+  std::shared_ptr<typename Future<T>::State> state_;
+};
+
+/// A fixed-size pool of worker threads draining one FIFO queue.
+///
+/// Deliberately work-stealing-free: the unit of work here is a Parscan
+/// interval shard — coarse, pre-partitioned, and uniform enough that a
+/// single queue keeps all workers busy without stealing's complexity.
+/// Tasks must not block on other tasks' futures unless more workers than
+/// dependency depth exist (no re-entrant execution on `Take`).
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return threads_.size(); }
+
+  /// Enqueues fire-and-forget work.
+  void Schedule(std::function<void()> fn);
+
+  /// Enqueues `fn` and returns the handle to its result.
+  template <typename Fn>
+  auto Submit(Fn fn) -> Future<decltype(fn())> {
+    using R = decltype(fn());
+    Promise<R> promise;
+    Future<R> future = promise.GetFuture();
+    Schedule([promise, fn = std::move(fn)]() mutable { promise.Set(fn()); });
+    return future;
+  }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace exec
+}  // namespace uindex
+
+#endif  // UINDEX_EXEC_THREAD_POOL_H_

@@ -1,8 +1,12 @@
 #ifndef UINDEX_STORAGE_BUFFER_MANAGER_H_
 #define UINDEX_STORAGE_BUFFER_MANAGER_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <list>
+#include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -25,6 +29,15 @@ namespace uindex {
 /// pages that *persists across queries* — the steady-state model of a real
 /// buffer pool (used by the cache-sensitivity ablation). In that mode
 /// `BeginQuery` is a no-op.
+///
+/// Thread-safety: concurrent `Fetch`es are safe — the residency set is
+/// sharded by page id under per-shard mutexes (LRU mode uses one mutex, as
+/// the recency list is inherently global) and all counters are relaxed
+/// atomics, so the parallel Parscan (src/exec/) charges exactly the same
+/// page-read total as a serial walk over the same pages: the first thread
+/// to touch a page pays the read, every later thread gets the cache hit.
+/// Mutations (`Allocate`/`Free`) and mode switches (`SetCapacity`) require
+/// external exclusive access, as does the underlying `Pager`.
 class BufferManager {
  public:
   explicit BufferManager(Pager* pager) : pager_(pager) {}
@@ -39,28 +52,49 @@ class BufferManager {
   /// unbounded per-query-epoch mode). Resets residency either way.
   void SetCapacity(size_t pages) {
     capacity_ = pages;
-    resident_.clear();
+    ClearResidency();
+    std::lock_guard<std::mutex> lock(lru_mu_);
     lru_.clear();
     lru_index_.clear();
   }
   size_t capacity() const { return capacity_; }
 
+  /// Simulated device latency charged per counted page read, in
+  /// microseconds (0 = off, the default). A modeling knob for wall-clock
+  /// benchmarks: the paper reports page reads because I/O dominates query
+  /// time, and an in-memory pager hides that; with a latency every counted
+  /// read sleeps, so concurrent readers overlap their "I/O" exactly as
+  /// parallel descents overlap real device reads. Cache hits stay free.
+  void SetSimulatedReadLatency(uint32_t micros) {
+    sim_read_latency_us_.store(micros, std::memory_order_relaxed);
+  }
+  uint32_t simulated_read_latency_us() const {
+    return sim_read_latency_us_.load(std::memory_order_relaxed);
+  }
+
   /// Starts a new query epoch: subsequently, each distinct page costs one
   /// read again. No-op in bounded-cache mode (the pool persists).
   void BeginQuery() {
-    if (capacity_ == 0) resident_.clear();
+    if (capacity_ == 0) ClearResidency();
   }
 
   /// Fetches a page for reading, updating the read counters.
   Page* Fetch(PageId id) {
     Page* page = pager_->GetPage(id);
     if (page == nullptr) return nullptr;
+    bool charged = false;
     if (capacity_ != 0) {
-      TouchLru(id);
-    } else if (resident_.insert(id).second) {
-      ++stats_.pages_read;
+      charged = TouchLru(id);
     } else {
-      ++stats_.cache_hits;
+      Shard& shard = shards_[id % kShards];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      charged = shard.resident.insert(id).second;
+    }
+    if (charged) {
+      stats_.pages_read.fetch_add(1, std::memory_order_relaxed);
+      SimulateReadLatency();
+    } else {
+      stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
     }
     return page;
   }
@@ -69,7 +103,9 @@ class BufferManager {
   /// to modify it) plus a write.
   Page* FetchForWrite(PageId id) {
     Page* page = Fetch(id);
-    if (page != nullptr) ++stats_.pages_written;
+    if (page != nullptr) {
+      stats_.pages_written.fetch_add(1, std::memory_order_relaxed);
+    }
     return page;
   }
 
@@ -77,22 +113,31 @@ class BufferManager {
   PageId Allocate() {
     PageId id = pager_->Allocate();
     if (capacity_ != 0) {
-      InsertLru(id, /*charge_read=*/false);
+      InsertLru(id);
     } else {
-      resident_.insert(id);
+      Shard& shard = shards_[id % kShards];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.resident.insert(id);
     }
-    ++stats_.pages_allocated;
-    ++stats_.pages_written;
+    stats_.pages_allocated.fetch_add(1, std::memory_order_relaxed);
+    stats_.pages_written.fetch_add(1, std::memory_order_relaxed);
     return id;
   }
 
   /// Frees a page and drops it from the resident set.
   void Free(PageId id) {
-    resident_.erase(id);
-    auto it = lru_index_.find(id);
-    if (it != lru_index_.end()) {
-      lru_.erase(it->second);
-      lru_index_.erase(it);
+    {
+      Shard& shard = shards_[id % kShards];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.resident.erase(id);
+    }
+    {
+      std::lock_guard<std::mutex> lock(lru_mu_);
+      auto it = lru_index_.find(id);
+      if (it != lru_index_.end()) {
+        lru_.erase(it->second);
+        lru_index_.erase(it);
+      }
     }
     pager_->Free(id);
   }
@@ -103,18 +148,43 @@ class BufferManager {
   void ResetStats() { stats_ = IoStats(); }
 
  private:
-  void TouchLru(PageId id) {
-    auto it = lru_index_.find(id);
-    if (it != lru_index_.end()) {
-      ++stats_.cache_hits;
-      lru_.splice(lru_.begin(), lru_, it->second);
-      return;
+  static constexpr size_t kShards = 16;
+
+  struct Shard {
+    std::mutex mu;
+    std::unordered_set<PageId> resident;
+  };
+
+  void ClearResidency() {
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.resident.clear();
     }
-    InsertLru(id, /*charge_read=*/true);
   }
 
-  void InsertLru(PageId id, bool charge_read) {
-    if (charge_read) ++stats_.pages_read;
+  void SimulateReadLatency() {
+    const uint32_t us = sim_read_latency_us_.load(std::memory_order_relaxed);
+    if (us != 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+
+  // Returns true when the touch charged a read (the page was not cached).
+  bool TouchLru(PageId id) {
+    std::lock_guard<std::mutex> lock(lru_mu_);
+    auto it = lru_index_.find(id);
+    if (it != lru_index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return false;
+    }
+    InsertLruLocked(id);
+    return true;
+  }
+
+  void InsertLru(PageId id) {
+    std::lock_guard<std::mutex> lock(lru_mu_);
+    InsertLruLocked(id);
+  }
+
+  void InsertLruLocked(PageId id) {
     lru_.push_front(id);
     lru_index_[id] = lru_.begin();
     while (lru_.size() > capacity_) {
@@ -126,8 +196,12 @@ class BufferManager {
   Pager* pager_;
   IoStats stats_;
   size_t capacity_ = 0;  // 0 = unbounded per-query-epoch mode.
-  std::unordered_set<PageId> resident_;
-  // Bounded mode: most-recently-used at the front.
+  std::atomic<uint32_t> sim_read_latency_us_{0};
+  // Per-query-epoch mode: residency sharded by page id to keep concurrent
+  // readers off each other's locks.
+  Shard shards_[kShards];
+  // Bounded mode: most-recently-used at the front, one lock (global order).
+  std::mutex lru_mu_;
   std::list<PageId> lru_;
   std::unordered_map<PageId, std::list<PageId>::iterator> lru_index_;
 };

@@ -3,10 +3,14 @@
 namespace uindex {
 
 std::string IoStats::ToString() const {
-  std::string out = "reads=" + std::to_string(pages_read);
-  out += " writes=" + std::to_string(pages_written);
-  out += " allocated=" + std::to_string(pages_allocated);
-  out += " cache_hits=" + std::to_string(cache_hits);
+  std::string out =
+      "reads=" + std::to_string(pages_read.load(std::memory_order_relaxed));
+  out += " writes=" +
+         std::to_string(pages_written.load(std::memory_order_relaxed));
+  out += " allocated=" +
+         std::to_string(pages_allocated.load(std::memory_order_relaxed));
+  out += " cache_hits=" +
+         std::to_string(cache_hits.load(std::memory_order_relaxed));
   return out;
 }
 

@@ -1,6 +1,7 @@
 #ifndef UINDEX_STORAGE_IO_STATS_H_
 #define UINDEX_STORAGE_IO_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -9,11 +10,34 @@ namespace uindex {
 /// Counters for page traffic. The experiments in the paper report exactly
 /// one number per query — pages (nodes) read — so this struct is the
 /// measurement interface of the whole reproduction.
+///
+/// Counters are 64-bit atomics: concurrent query sessions (src/exec/) bump
+/// them from many threads, and 64 bits cannot overflow at any realistic
+/// page rate. All operations use relaxed ordering — the counters are pure
+/// statistics and never synchronize other memory. Copying (`QueryCost`
+/// snapshots a baseline, `operator-` returns a delta) loads each counter
+/// individually; a copy taken while other threads are counting is a
+/// per-counter-consistent snapshot, not a global one.
 struct IoStats {
-  uint64_t pages_read = 0;      ///< Distinct page fetches (per query epoch).
-  uint64_t pages_written = 0;   ///< Page write-backs.
-  uint64_t pages_allocated = 0; ///< Pages ever allocated.
-  uint64_t cache_hits = 0;      ///< Fetches served without a counted read.
+  std::atomic<uint64_t> pages_read{0};     ///< Distinct page fetches (per query epoch).
+  std::atomic<uint64_t> pages_written{0};  ///< Page write-backs.
+  std::atomic<uint64_t> pages_allocated{0};///< Pages ever allocated.
+  std::atomic<uint64_t> cache_hits{0};     ///< Fetches served without a counted read.
+
+  IoStats() = default;
+  IoStats(const IoStats& other) { *this = other; }
+  IoStats& operator=(const IoStats& other) {
+    pages_read.store(other.pages_read.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    pages_written.store(other.pages_written.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    pages_allocated.store(
+        other.pages_allocated.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    cache_hits.store(other.cache_hits.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    return *this;
+  }
 
   IoStats operator-(const IoStats& base) const {
     IoStats d;

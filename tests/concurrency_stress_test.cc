@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "db/database.h"
+#include "db/session.h"
+#include "exec/execution_context.h"
+
+namespace uindex {
+namespace {
+
+// Concurrency stress over the Database façade. Build with
+// -DUINDEX_SANITIZE=thread to run these under TSan (the CI matrix does);
+// without a sanitizer they still exercise the latching and assert result
+// sanity.
+class ConcurrencyStressTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>();
+    root_ = db_->CreateClass("Item").value();
+    for (int i = 0; i < 4; ++i) {
+      subs_.push_back(
+          db_->CreateSubclass("Item" + std::to_string(i), root_).value());
+    }
+    ASSERT_TRUE(db_->CreateIndex(PathSpec::ClassHierarchy(
+                                     root_, "price", Value::Kind::kInt))
+                    .ok());
+    // Mutate: create, price, and delete some objects so the index has seen
+    // real maintenance before the concurrent phase begins.
+    std::vector<Oid> victims;
+    for (int i = 0; i < kObjects; ++i) {
+      const Oid oid = db_->CreateObject(subs_[i % subs_.size()]).value();
+      ASSERT_TRUE(db_->SetAttr(oid, "price", Value::Int(i % kPrices)).ok());
+      if (i % 17 == 0) victims.push_back(oid);
+    }
+    for (const Oid oid : victims) {
+      ASSERT_TRUE(db_->DeleteObject(oid).ok());
+    }
+    live_ = kObjects - victims.size();
+  }
+
+  Database::Selection PriceRange(int64_t lo, int64_t hi,
+                                 bool subclasses = true) const {
+    Database::Selection sel;
+    sel.cls = root_;
+    sel.with_subclasses = subclasses;
+    sel.attr = "price";
+    sel.lo = Value::Int(lo);
+    sel.hi = Value::Int(hi);
+    return sel;
+  }
+
+  static constexpr int kObjects = 2000;
+  static constexpr int kPrices = 97;
+  std::unique_ptr<Database> db_;
+  ClassId root_ = kInvalidClassId;
+  std::vector<ClassId> subs_;
+  size_t live_ = 0;
+};
+
+TEST_F(ConcurrencyStressTest, ReadersOverQuiescedDatabase) {
+  // N reader threads x M queries over the mutated-then-quiesced database.
+  // Every query must succeed and agree with the single-threaded answer.
+  constexpr int kReaders = 8;
+  constexpr int kQueriesPerReader = 40;
+
+  std::vector<size_t> expected;
+  for (int q = 0; q < kQueriesPerReader; ++q) {
+    Result<Database::SelectResult> r =
+        db_->Select(PriceRange(q % kPrices, (q % kPrices) + 10));
+    ASSERT_TRUE(r.ok());
+    expected.push_back(r.value().oids.size());
+  }
+
+  exec::ExecutionContext ctx(static_cast<size_t>(4));
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      // Odd readers share the parallel execution context, even readers run
+      // serial sessions; both classes hammer the same latch and buffers.
+      Session session(db_.get(), t % 2 == 1 ? &ctx : nullptr);
+      for (int q = 0; q < kQueriesPerReader; ++q) {
+        Result<Database::SelectResult> r =
+            session.Select(PriceRange(q % kPrices, (q % kPrices) + 10));
+        if (!r.ok() || r.value().oids.size() != expected[q]) {
+          failures.fetch_add(1);
+        }
+      }
+      if (session.stats().queries !=
+          static_cast<uint64_t>(kQueriesPerReader)) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(ConcurrencyStressTest, ReadersRacingOneWriter) {
+  // Readers query while one writer mutates. The latch serializes writer
+  // against readers; every read sees a consistent database (the result
+  // size is bounded by the live population, queries never error).
+  constexpr int kReaders = 4;
+  constexpr int kWrites = 300;
+  constexpr int kQueriesPerReader = 60;
+
+  std::atomic<int> failures{0};
+  std::atomic<bool> writer_done{false};
+
+  std::thread writer([&] {
+    for (int i = 0; i < kWrites; ++i) {
+      Result<Oid> oid = db_->CreateObject(subs_[i % subs_.size()]);
+      if (!oid.ok() ||
+          !db_->SetAttr(oid.value(), "price", Value::Int(i % kPrices))
+               .ok()) {
+        failures.fetch_add(1);
+        continue;
+      }
+      if (i % 3 == 0 && !db_->DeleteObject(oid.value()).ok()) {
+        failures.fetch_add(1);
+      }
+    }
+    writer_done.store(true);
+  });
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      Session session(db_.get());
+      const size_t upper_bound = live_ + kWrites;
+      for (int q = 0; q < kQueriesPerReader; ++q) {
+        Result<Database::SelectResult> r =
+            session.Select(PriceRange(0, kPrices, t % 2 == 0));
+        if (!r.ok() || r.value().oids.size() > upper_bound) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  writer.join();
+  EXPECT_TRUE(writer_done.load());
+  EXPECT_EQ(failures.load(), 0);
+
+  // Quiesced again: the index still validates and serves exact answers.
+  Result<Database::SelectResult> final_read =
+      db_->Select(PriceRange(0, kPrices));
+  ASSERT_TRUE(final_read.ok());
+  EXPECT_TRUE(final_read.value().used_index);
+}
+
+TEST_F(ConcurrencyStressTest, OqlAndRawQueriesInterleaved) {
+  constexpr int kReaders = 6;
+  std::atomic<int> failures{0};
+  exec::ExecutionContext ctx(static_cast<size_t>(3));
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      Session session(db_.get(), &ctx);
+      for (int q = 0; q < 30; ++q) {
+        if ((t + q) % 2 == 0) {
+          Result<Database::OqlResult> r = session.ExecuteOql(
+              "SELECT i FROM Item* i WHERE i.price = " +
+              std::to_string(q % kPrices));
+          if (!r.ok()) failures.fetch_add(1);
+        } else {
+          Query raw = Query::Range(Value::Int(0), Value::Int(q % kPrices));
+          ClassSelector sel;
+          sel.include.push_back({subs_[q % subs_.size()], true});
+          raw.With(std::move(sel), ValueSlot::Wanted());
+          Result<QueryResult> r = session.Execute(0, raw);
+          if (!r.ok()) failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace uindex

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/uindex.h"
+#include "exec/execution_context.h"
+#include "exec/parallel_parscan.h"
+#include "exec/thread_pool.h"
+#include "storage/buffer_manager.h"
+#include "workload/database_generator.h"
+
+namespace uindex {
+namespace {
+
+using exec::ExecutionContext;
+using exec::Future;
+using exec::ParallelParscan;
+using exec::ParallelScanOptions;
+using exec::Promise;
+using exec::ThreadPool;
+
+TEST(FutureTest, ValueSetBeforeTake) {
+  Promise<int> p;
+  Future<int> f = p.GetFuture();
+  p.Set(42);
+  EXPECT_TRUE(f.valid());
+  EXPECT_EQ(f.Take(), 42);
+}
+
+TEST(FutureTest, TakeBlocksUntilSet) {
+  Promise<std::string> p;
+  Future<std::string> f = p.GetFuture();
+  std::thread producer([&p] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    p.Set("done");
+  });
+  EXPECT_EQ(f.Take(), "done");
+  producer.join();
+}
+
+TEST(FutureTest, DefaultConstructedIsInvalid) {
+  Future<int> f;
+  EXPECT_FALSE(f.valid());
+}
+
+TEST(ThreadPoolTest, RunsAllScheduledTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    for (int i = 0; i < 200; ++i) {
+      pool.Schedule([&counter] {
+        counter.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    // Destructor drains the queue before joining.
+  }
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsValues) {
+  ThreadPool pool(3);
+  std::vector<Future<int>> futures;
+  futures.reserve(50);
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(futures[i].Take(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.Submit([] { return 7; }).Take(), 7);
+}
+
+TEST(ExecutionContextTest, SerialAndPooledModes) {
+  ExecutionContext serial(static_cast<size_t>(0));
+  EXPECT_EQ(serial.pool(), nullptr);
+  EXPECT_EQ(serial.parallelism(), 1u);
+
+  ExecutionContext one(static_cast<size_t>(1));
+  EXPECT_EQ(one.pool(), nullptr);  // 1 worker = serial, no pool overhead.
+
+  ExecutionContext parallel(static_cast<size_t>(4));
+  ASSERT_NE(parallel.pool(), nullptr);
+  EXPECT_EQ(parallel.parallelism(), 4u);
+
+  ThreadPool shared(2);
+  ExecutionContext borrowing(&shared);
+  EXPECT_EQ(borrowing.pool(), &shared);
+  EXPECT_EQ(borrowing.parallelism(), 2u);
+}
+
+// --- ParallelParscan vs. serial Parscan over a multi-set workload. ---
+
+class ParallelParscanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    hier_ = std::move(BuildSetHierarchy(kSets)).value();
+    pager_ = std::make_unique<Pager>(1024);
+    buffers_ = std::make_unique<BufferManager>(pager_.get());
+    PathSpec spec =
+        PathSpec::ClassHierarchy(hier_.root, "key", Value::Kind::kInt);
+    index_ = std::make_unique<UIndex>(buffers_.get(), &hier_.schema,
+                                      hier_.coder.get(), spec);
+
+    SetWorkloadConfig cfg;
+    cfg.num_objects = 8000;
+    cfg.num_sets = kSets;
+    cfg.num_distinct_keys = 500;
+    cfg.seed = 20260806;
+    for (const Posting& p : GeneratePostings(cfg)) {
+      UIndex::Entry entry;
+      entry.path = {{hier_.sets[p.set_index], p.oid}};
+      entry.key =
+          index_->key_encoder().EncodeEntry(Value::Int(p.key), entry.path);
+      ASSERT_TRUE(index_->InsertEntry(entry).ok());
+    }
+  }
+
+  // A multi-interval query: a key range over every other set.
+  Query MultiSetQuery(int64_t lo, int64_t hi) const {
+    Query q = Query::Range(Value::Int(lo), Value::Int(hi));
+    ClassSelector sel;
+    for (size_t i = 0; i < kSets; i += 2) {
+      sel.include.push_back({hier_.sets[i], false});
+    }
+    q.With(sel, ValueSlot::Wanted());
+    return q;
+  }
+
+  void ExpectParallelMatchesSerial(const Query& q, ThreadPool* pool,
+                                   const ParallelScanOptions& opts = {}) {
+    QueryCost serial_cost(buffers_.get());
+    Result<QueryResult> serial = index_->Parscan(q);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    const uint64_t serial_pages = serial_cost.PagesRead();
+
+    QueryCost parallel_cost(buffers_.get());
+    Result<QueryResult> parallel = ParallelParscan(*index_, q, pool, opts);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+
+    EXPECT_EQ(parallel.value().rows, serial.value().rows);
+    EXPECT_EQ(parallel.value().entries_scanned,
+              serial.value().entries_scanned);
+    EXPECT_EQ(parallel_cost.PagesRead(), serial_pages);
+  }
+
+  static constexpr size_t kSets = 8;
+  SetHierarchy hier_;
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<BufferManager> buffers_;
+  std::unique_ptr<UIndex> index_;
+};
+
+TEST_F(ParallelParscanTest, MatchesSerialAcrossPoolSizes) {
+  const Query q = MultiSetQuery(100, 200);
+  for (const size_t threads : {1u, 2u, 3u, 8u}) {
+    ThreadPool pool(threads);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ExpectParallelMatchesSerial(q, &pool);
+  }
+}
+
+TEST_F(ParallelParscanTest, MatchesSerialAcrossShardCounts) {
+  ThreadPool pool(4);
+  const Query q = MultiSetQuery(0, 499);
+  for (const size_t shards : {1u, 2u, 5u, 64u, 1000u}) {
+    ParallelScanOptions opts;
+    opts.shards = shards;  // Clamped to the interval count internally.
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    ExpectParallelMatchesSerial(q, &pool, opts);
+  }
+}
+
+TEST_F(ParallelParscanTest, EmptyResultAndSingleInterval) {
+  ThreadPool pool(4);
+  // No key in range: compiles to intervals that match nothing.
+  ExpectParallelMatchesSerial(MultiSetQuery(100000, 100010), &pool);
+  // Exact key in a single set: a single interval, degrades to serial.
+  Query one = Query::ExactValue(Value::Int(42));
+  one.With(ClassSelector::Exactly(hier_.sets[3]), ValueSlot::Wanted());
+  ExpectParallelMatchesSerial(one, &pool);
+}
+
+TEST_F(ParallelParscanTest, ConcurrentQueriesOnOnePool) {
+  // Several threads each running parallel scans against one shared pool:
+  // results must stay correct under queue interleaving.
+  ThreadPool pool(4);
+  const Query q = MultiSetQuery(50, 300);
+  Result<QueryResult> expected = index_->Parscan(q);
+  ASSERT_TRUE(expected.ok());
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  clients.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&] {
+      for (int rep = 0; rep < 10; ++rep) {
+        Result<QueryResult> r = ParallelParscan(*index_, q, &pool);
+        if (!r.ok() || r.value().rows != expected.value().rows) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace uindex

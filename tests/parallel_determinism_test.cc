@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/uindex.h"
+#include "exec/parallel_parscan.h"
+#include "exec/thread_pool.h"
+#include "storage/buffer_manager.h"
+#include "workload/database_generator.h"
+
+namespace uindex {
+namespace {
+
+// The determinism contract of exec::ParallelParscan: for every Table-1
+// query shape (full/sub-tree class hierarchies, value sets, exclusions,
+// partial paths, combined class+path) the parallel scan returns
+// byte-identical result sets, identical entries-scanned counts, and an
+// identical page-read total as the serial Algorithm 1, at every pool size.
+//
+// Runs on a scaled-down Table-1 database (same schema and query set; fewer
+// vehicles) so the whole matrix stays fast in unit-test time.
+class ParallelDeterminismTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    cfg_ = new PaperDatabaseConfig();
+    cfg_->num_vehicles = 3000;
+    db_ = new PaperDatabase();
+    ASSERT_TRUE(GeneratePaperDatabase(*cfg_, db_).ok());
+
+    pager_ = new Pager(1024);
+    buffers_ = new BufferManager(pager_);
+    BTreeOptions options;
+    options.max_entries_per_node = 10;
+
+    const PaperSchema& ids = db_->ids;
+    color_ = new UIndex(buffers_, &ids.schema, db_->coder.get(),
+                        PathSpec::ClassHierarchy(ids.vehicle, "Color",
+                                                 Value::Kind::kString),
+                        options);
+    ASSERT_TRUE(color_->BuildFrom(*db_->store).ok());
+
+    PathSpec age_spec;
+    age_spec.classes = {ids.vehicle, ids.company, ids.employee};
+    age_spec.ref_attrs = {"manufactured-by", "president"};
+    age_spec.indexed_attr = "Age";
+    age_spec.value_kind = Value::Kind::kInt;
+    age_ = new UIndex(buffers_, &ids.schema, db_->coder.get(), age_spec,
+                      options);
+    ASSERT_TRUE(age_->BuildFrom(*db_->store).ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete age_;
+    delete color_;
+    delete buffers_;
+    delete pager_;
+    delete db_;
+    delete cfg_;
+    age_ = nullptr;
+    color_ = nullptr;
+    buffers_ = nullptr;
+    pager_ = nullptr;
+    db_ = nullptr;
+    cfg_ = nullptr;
+  }
+
+  struct NamedQuery {
+    std::string id;
+    Query query;
+    const UIndex* index;
+  };
+
+  // The full Table-1 query set (bench/bench_table1.cc, §5 queries 1-6b).
+  static std::vector<NamedQuery> Table1Queries() {
+    const PaperSchema& ids = db_->ids;
+    const Value red = Value::Str("Red");
+    const Value blue = Value::Str("Blue");
+    const Value green = Value::Str("Green");
+
+    auto color_query = [](std::vector<Value> colors, ClassSelector sel) {
+      Query q = colors.empty()
+                    ? Query::AnyOf({Value::Str("Black"), Value::Str("Blue"),
+                                    Value::Str("Green"), Value::Str("Red"),
+                                    Value::Str("White"),
+                                    Value::Str("Yellow")})
+                    : Query::AnyOf(std::move(colors));
+      q.With(std::move(sel), ValueSlot::Wanted());
+      return q;
+    };
+
+    ClassSelector buses = ClassSelector::Subtree(ids.bus);
+    ClassSelector passenger = ClassSelector::Subtree(ids.passenger_bus);
+    ClassSelector autos = ClassSelector::Subtree(ids.automobile);
+    ClassSelector compact_or_service;
+    compact_or_service.include.push_back({ids.compact_automobile, true});
+    compact_or_service.include.push_back({ids.service_auto, true});
+
+    Query q5a = Query::ExactValue(Value::Int(50));
+    q5a.With(ClassSelector::Exactly(ids.employee))
+        .With(ClassSelector::Subtree(ids.company), ValueSlot::Wanted());
+    Query q5b = Query::Range(Value::Int(51), Value::Int(70));
+    q5b.With(ClassSelector::Exactly(ids.employee))
+        .With(ClassSelector::Subtree(ids.company), ValueSlot::Wanted());
+    Query q6a = Query::Range(Value::Int(51), Value::Int(70));
+    q6a.With(ClassSelector::Exactly(ids.employee))
+        .With(ClassSelector::Subtree(ids.auto_company))
+        .With(ClassSelector::Subtree(ids.automobile), ValueSlot::Wanted());
+    Query q6b = Query::Range(Value::Int(51), Value::Int(70));
+    q6b.With(ClassSelector::Exactly(ids.employee))
+        .With(ClassSelector::Subtree(ids.auto_company))
+        .With(ClassSelector::Subtree(ids.truck), ValueSlot::Wanted());
+
+    return {
+        {"1", color_query({}, buses), color_},
+        {"1a", color_query({red}, buses), color_},
+        {"1b", color_query({red, blue}, buses), color_},
+        {"1c", color_query({red, blue, green}, buses), color_},
+        {"2", color_query({}, passenger), color_},
+        {"2a", color_query({red}, passenger), color_},
+        {"2b", color_query({red, blue}, passenger), color_},
+        {"2c", color_query({red, blue, green}, passenger), color_},
+        {"3", color_query({}, autos), color_},
+        {"3a", color_query({red}, autos), color_},
+        {"3b", color_query({red, blue}, autos), color_},
+        {"3c", color_query({red, blue, green}, autos), color_},
+        {"4", color_query({}, compact_or_service), color_},
+        {"4a", color_query({red}, compact_or_service), color_},
+        {"4b", color_query({red, blue}, compact_or_service), color_},
+        {"4c", color_query({red, blue, green}, compact_or_service), color_},
+        {"5a", q5a, age_},
+        {"5b", q5b, age_},
+        {"6a", q6a, age_},
+        {"6b", q6b, age_},
+    };
+  }
+
+  static PaperDatabaseConfig* cfg_;
+  static PaperDatabase* db_;
+  static Pager* pager_;
+  static BufferManager* buffers_;
+  static UIndex* color_;
+  static UIndex* age_;
+};
+
+PaperDatabaseConfig* ParallelDeterminismTest::cfg_ = nullptr;
+PaperDatabase* ParallelDeterminismTest::db_ = nullptr;
+Pager* ParallelDeterminismTest::pager_ = nullptr;
+BufferManager* ParallelDeterminismTest::buffers_ = nullptr;
+UIndex* ParallelDeterminismTest::color_ = nullptr;
+UIndex* ParallelDeterminismTest::age_ = nullptr;
+
+TEST_F(ParallelDeterminismTest, AllTable1QueriesAtAllPoolSizes) {
+  for (const size_t threads : {2u, 4u, 8u}) {
+    exec::ThreadPool pool(threads);
+    for (const NamedQuery& nq : Table1Queries()) {
+      SCOPED_TRACE("query " + nq.id + " threads=" +
+                   std::to_string(threads));
+
+      QueryCost serial_cost(buffers_);
+      Result<QueryResult> serial = nq.index->Parscan(nq.query);
+      ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+      const uint64_t serial_pages = serial_cost.PagesRead();
+
+      QueryCost parallel_cost(buffers_);
+      Result<QueryResult> parallel =
+          exec::ParallelParscan(*nq.index, nq.query, &pool);
+      ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+
+      EXPECT_EQ(parallel.value().rows, serial.value().rows)
+          << "result sets diverge";
+      EXPECT_EQ(parallel.value().entries_scanned,
+                serial.value().entries_scanned);
+      EXPECT_EQ(parallel_cost.PagesRead(), serial_pages)
+          << "page-read totals diverge";
+    }
+  }
+}
+
+TEST_F(ParallelDeterminismTest, RepeatedRunsAreStable) {
+  // Re-running the same parallel query must reproduce itself exactly —
+  // thread scheduling may differ between runs, the output must not.
+  exec::ThreadPool pool(8);
+  const std::vector<NamedQuery> queries = Table1Queries();
+  const NamedQuery& nq = queries[8];  // Query 3: the forward-scan shape.
+  QueryCost first_cost(buffers_);
+  Result<QueryResult> first = exec::ParallelParscan(*nq.index, nq.query,
+                                                    &pool);
+  ASSERT_TRUE(first.ok());
+  const uint64_t first_pages = first_cost.PagesRead();
+  for (int rep = 0; rep < 5; ++rep) {
+    QueryCost cost(buffers_);
+    Result<QueryResult> r = exec::ParallelParscan(*nq.index, nq.query,
+                                                  &pool);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().rows, first.value().rows);
+    EXPECT_EQ(cost.PagesRead(), first_pages);
+  }
+}
+
+}  // namespace
+}  // namespace uindex

@@ -15,16 +15,19 @@
 //   del 3
 //   select Car* Price 10 30  ('*' = with subclasses; one bound = exact)
 //   query 0 (Age=50, Employee, _, Company*, ?)
+//   parallel 8               (run `query` via exec::ParallelParscan)
 //   codes | schema | stats | help | quit
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/query_parser.h"
 #include "db/database.h"
+#include "exec/execution_context.h"
 
 namespace uindex {
 namespace {
@@ -59,6 +62,8 @@ class Shell {
       status = HandleSelect(in);
     } else if (command == "query") {
       status = HandleQuery(in, line);
+    } else if (command == "parallel" || command == ".parallel") {
+      status = HandleParallel(in);
     } else if (command == "oql") {
       status = HandleOql(line.substr(line.find("oql") + 3));
     } else if (command == "explain") {
@@ -317,10 +322,12 @@ class Shell {
                                  db_.schema());
     if (!q.ok()) return q.status();
     QueryCost cost(&db_.buffers());
-    Result<QueryResult> r = db_.Execute(index_pos, q.value());
+    exec::ThreadPool* pool = ctx_ ? ctx_->pool() : nullptr;
+    Result<QueryResult> r = db_.ExecuteParallel(index_pos, q.value(), pool);
     if (!r.ok()) return r.status();
-    std::printf("%zu row(s), %llu pages\n", r.value().rows.size(),
-                static_cast<unsigned long long>(cost.PagesRead()));
+    std::printf("%zu row(s), %llu pages%s\n", r.value().rows.size(),
+                static_cast<unsigned long long>(cost.PagesRead()),
+                pool ? " (parallel)" : "");
     const size_t shown = std::min<size_t>(r.value().rows.size(), 20);
     for (size_t i = 0; i < shown; ++i) {
       std::printf("  (");
@@ -330,6 +337,27 @@ class Shell {
       std::printf(")\n");
     }
     if (shown < r.value().rows.size()) std::printf("  ...\n");
+    return Status::OK();
+  }
+
+  Status HandleParallel(std::istringstream& in) {
+    size_t threads = 0;
+    if (!(in >> threads)) {
+      std::printf("parallel execution: %zu thread(s)\n",
+                  ctx_ ? ctx_->parallelism() : 1);
+      return Status::OK();
+    }
+    constexpr size_t kMaxThreads = 64;
+    if (threads > kMaxThreads) {
+      return Status::InvalidArgument("parallel <N> with N <= 64");
+    }
+    if (threads <= 1) {
+      ctx_.reset();
+      std::printf("parallel execution off (serial Parscan)\n");
+    } else {
+      ctx_ = std::make_unique<exec::ExecutionContext>(threads);
+      std::printf("parallel execution on: %zu worker threads\n", threads);
+    }
     return Status::OK();
   }
 
@@ -425,6 +453,7 @@ class Shell {
         "      values: 42, 'text', @3 (ref), @3,@4 (ref set)\n"
         "  select <Class>[*] <attr> <lo> [<hi>]\n"
         "  query <index#> (Age=50, Employee, _, Company*, ?)\n"
+        "  parallel <N>  (N>1: run 'query' on N threads; 1: serial)\n"
         "  oql SELECT v FROM Vehicle* v WHERE v.made-by.president.Age = 50\n"
         "  explain <Class>[*] <attr> <lo> [<hi>]\n"
         "  save <path>\n"
@@ -432,6 +461,7 @@ class Shell {
   }
 
   Database db_;
+  std::unique_ptr<exec::ExecutionContext> ctx_;
   bool interactive_;
   int errors_ = 0;
 };
