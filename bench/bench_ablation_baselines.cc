@@ -46,6 +46,7 @@ int Run() {
   };
 
   auto structures = exp.value()->structures();
+  JsonReport report("ablation_baselines");
   std::printf("%-24s", "scenario");
   for (const auto& s : structures) std::printf(" %16s", s.name.c_str());
   std::printf("\n");
@@ -61,9 +62,11 @@ int Run() {
         return 1;
       }
       std::printf(" %16.1f", pages.value());
+      report.AddPages(std::string(sc.label) + "/" + s.name, pages.value());
     }
     std::printf("\n");
   }
+  report.Write();
   std::printf(
       "\nExpected (paper §2/§4.4): CH-tree good on exact match but degrades\n"
       "on ranges (key grouping); H-tree best on ranges over few sets, cost\n"

@@ -29,6 +29,7 @@ int Run() {
     return 1;
   }
   auto structures = exp.value()->structures();
+  JsonReport report("ablation_cache");
 
   const size_t capacities[] = {16, 64, 256, 1024, 0};  // 0 = paper model.
   std::printf("%-18s", "pool (pages)");
@@ -62,12 +63,19 @@ int Run() {
         }
         if (pass == 1) {
           std::printf(" %15.1f %15.1f", exact.value(), range.value());
+          const std::string base =
+              (capacity == 0 ? std::string("pool=unbounded")
+                             : "pool=" + std::to_string(capacity)) +
+              "/" + s.name;
+          report.AddPages(base + "/exact", exact.value());
+          report.AddPages(base + "/range2%", range.value());
         }
       }
       s.buffers->SetCapacity(0);  // Restore for the next row's fairness.
     }
     std::printf("\n");
   }
+  report.Write();
   std::printf(
       "\nExpected: reads fall as the pool grows (upper levels pin); the\n"
       "relative ordering of the structures is capacity-stable, so the\n"

@@ -79,6 +79,7 @@ int Run() {
               cfg.num_objects);
   std::printf("%-16s %12s %12s %14s %14s\n", "compression", "pages",
               "leaf nodes", "exact reads", "range2% reads");
+  JsonReport report("ablation_compression");
   for (const bool compression : {true, false}) {
     Result<BuildResult> r =
         BuildAndMeasure(hier, postings, cfg, compression);
@@ -91,7 +92,13 @@ int Run() {
                 static_cast<unsigned long long>(r.value().pages),
                 static_cast<unsigned long long>(r.value().leaf_nodes),
                 r.value().exact_reads, r.value().range_reads);
+    const std::string base = compression ? "compression=on" : "compression=off";
+    report.AddPages(base + "/build_pages",
+                    static_cast<double>(r.value().pages));
+    report.AddPages(base + "/exact_reads", r.value().exact_reads);
+    report.AddPages(base + "/range2%_reads", r.value().range_reads);
   }
+  report.Write();
   std::printf(
       "\nExpected: compression shrinks the tree (higher fanout) and with it\n"
       "every page-read figure — the effect §4.2 credits for making the\n"

@@ -61,8 +61,10 @@ int Run() {
   std::printf("%-44s %8s %8s %8s %8s\n", "query (pages read)", "U-index",
               "nested", "path", "NIX");
 
-  auto print_row = [](const char* label, uint64_t u, uint64_t n, uint64_t p,
-                      uint64_t x, size_t rows) {
+  JsonReport report("ablation_pathindexes");
+  auto print_row = [&report](const char* slug, const char* label, uint64_t u,
+                             uint64_t n, uint64_t p, uint64_t x,
+                             size_t rows) {
     char l2[96];
     std::snprintf(l2, sizeof(l2), "%s [%zu rows]", label, rows);
     auto cell = [](uint64_t v, char* buf, size_t cap) {
@@ -78,6 +80,16 @@ int Run() {
     cell(p, cp, 24);
     cell(x, cx, 24);
     std::printf("%-44s %8s %8s %8s %8s\n", l2, cu, cn, cp, cx);
+    auto add = [&](const char* structure, uint64_t v) {
+      if (v != UINT64_MAX) {
+        report.AddPages(std::string(slug) + "/" + structure,
+                        static_cast<double>(v));
+      }
+    };
+    add("uindex", u);
+    add("nested", n);
+    add("path", p);
+    add("nix", x);
   };
 
   // --- A: head-class query (vehicles, president age 50). ---
@@ -98,7 +110,7 @@ int Run() {
     QueryCost cx(&xb);
     (void)nix.Lookup(Value::Int(50), Value::Int(50), ids.vehicle, true);
     const uint64_t x = cx.PagesRead();
-    print_row("A: vehicles, president age = 50", u, n, p, x, rows);
+    print_row("A", "A: vehicles, president age = 50", u, n, p, x, rows);
   }
 
   // --- B: same with an in-path restriction to one company. ---
@@ -121,8 +133,8 @@ int Run() {
     (void)nix.LookupRestricted(Value::Int(20), Value::Int(70), ids.vehicle,
                                true, 1, {company});
     const uint64_t x = cx.PagesRead();
-    print_row("B: vehicles of ONE company, any age", u, UINT64_MAX, p, x,
-              rows);
+    print_row("B", "B: vehicles of ONE company, any age", u, UINT64_MAX,
+              p, x, rows);
   }
 
   // --- C: combined class-hierarchy/path query (trucks by truck
@@ -143,8 +155,8 @@ int Run() {
     QueryCost cx(&xb);
     (void)nix.Lookup(Value::Int(20), Value::Int(70), ids.truck, true);
     const uint64_t x = cx.PagesRead();
-    print_row("C: trucks by truck companies (combined)", u, UINT64_MAX,
-              p, x, rows);
+    print_row("C", "C: trucks by truck companies (combined)", u,
+              UINT64_MAX, p, x, rows);
   }
 
   // --- D: partial path (companies only). ---
@@ -158,10 +170,11 @@ int Run() {
     QueryCost cx(&xb);
     (void)nix.Lookup(Value::Int(50), Value::Int(50), ids.company, true);
     const uint64_t x = cx.PagesRead();
-    print_row("D: companies, president age = 50", u, UINT64_MAX, UINT64_MAX,
-              x, rows);
+    print_row("D", "D: companies, president age = 50", u, UINT64_MAX,
+              UINT64_MAX, x, rows);
   }
 
+  report.Write();
   std::printf(
       "\nExpected (paper §4.4): single-class queries comparable between\n"
       "U-index and NIX; in-path oid restrictions favour the U-index (it\n"

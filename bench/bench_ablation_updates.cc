@@ -137,6 +137,14 @@ int Run() {
               p_cost.writes / n);
   std::printf("%-12s %14.1f %14.1f\n", "NIX", x_cost.reads / n,
               x_cost.writes / n);
+  JsonReport report("ablation_updates");
+  report.AddPages("uindex/reads_per_switch", u_cost.reads / n);
+  report.AddPages("uindex/writes_per_switch", u_cost.writes / n);
+  report.AddPages("pathindex/reads_per_switch", p_cost.reads / n);
+  report.AddPages("pathindex/writes_per_switch", p_cost.writes / n);
+  report.AddPages("nix/reads_per_switch", x_cost.reads / n);
+  report.AddPages("nix/writes_per_switch", x_cost.writes / n);
+  report.Write();
   std::printf(
       "\nExpected (§3.5/§4.2/§4.4): the U-index's clustered single-value\n"
       "entries keep the delete+reinsert on few leaves; the path index\n"

@@ -1,11 +1,15 @@
 #ifndef UINDEX_BENCH_BENCH_COMMON_H_
 #define UINDEX_BENCH_BENCH_COMMON_H_
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <vector>
 
+#include "storage/buffer_manager.h"
 #include "workload/experiment.h"
 
 namespace uindex {
@@ -33,6 +37,118 @@ inline std::vector<size_t> SetsQueriedAxis(uint32_t total) {
   return {1, 2, 4, 6, 8};
 }
 
+/// Measures one bracket of work: wall time plus the IoStats delta (page
+/// reads, node parses, decoded-node cache hits) of a buffer manager.
+class StatsTimer {
+ public:
+  explicit StatsTimer(const BufferManager* buffers)
+      : buffers_(buffers),
+        base_(buffers->stats()),
+        start_(std::chrono::steady_clock::now()) {}
+
+  double ElapsedNs() const {
+    return std::chrono::duration<double, std::nano>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  IoStats Delta() const { return buffers_->stats() - base_; }
+
+ private:
+  const BufferManager* buffers_;
+  IoStats base_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Machine-readable companion to each bench's stdout table: one JSON file
+/// per binary under $UINDEX_BENCH_OUT_DIR (default "bench_results/"),
+/// carrying per-row wall time and the I/O + node-parse counters so CI can
+/// diff runs without scraping text.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name)
+      : name_(std::move(bench_name)) {}
+
+  /// Adds one measured row. `delta` is the counter delta of the bracket
+  /// (StatsTimer::Delta()); `wall_ns` < 0 means "not timed".
+  void Add(const std::string& row_name, double wall_ns,
+           const IoStats& delta) {
+    Row r;
+    r.name = row_name;
+    r.wall_ns = wall_ns;
+    r.pages_read = delta.pages_read.load(std::memory_order_relaxed);
+    r.nodes_parsed = delta.nodes_parsed.load(std::memory_order_relaxed);
+    r.node_cache_hits =
+        delta.node_cache_hits.load(std::memory_order_relaxed);
+    r.bytes_decoded = delta.bytes_decoded.load(std::memory_order_relaxed);
+    rows_.push_back(std::move(r));
+  }
+
+  /// Adds a row with an explicit page count and no counter bracket (the
+  /// figure benches report averages computed inside the harness).
+  void AddPages(const std::string& row_name, double pages) {
+    Row r;
+    r.name = row_name;
+    r.wall_ns = -1;
+    r.avg_pages = pages;
+    rows_.push_back(std::move(r));
+  }
+
+  /// Writes `<out_dir>/<bench_name>.json`. Returns false (with a warning on
+  /// stderr) if the directory or file cannot be written; benches treat that
+  /// as non-fatal so a read-only working directory never fails a run.
+  bool Write() const {
+    const char* env = std::getenv("UINDEX_BENCH_OUT_DIR");
+    const std::filesystem::path dir = env != nullptr ? env : "bench_results";
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    const std::filesystem::path path = dir / (name_ + ".json");
+    std::FILE* f = std::fopen(path.string().c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n",
+                   path.string().c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"quick_mode\": %s,\n",
+                 name_.c_str(), QuickMode() ? "true" : "false");
+    std::fprintf(f, "  \"rows\": [\n");
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      std::fprintf(f, "    {\"name\": \"%s\"", r.name.c_str());
+      if (r.wall_ns >= 0) std::fprintf(f, ", \"wall_ns\": %.0f", r.wall_ns);
+      if (r.avg_pages >= 0) {
+        std::fprintf(f, ", \"avg_pages_read\": %.3f", r.avg_pages);
+      } else {
+        std::fprintf(
+            f,
+            ", \"pages_read\": %llu, \"nodes_parsed\": %llu"
+            ", \"node_cache_hits\": %llu, \"bytes_decoded\": %llu",
+            static_cast<unsigned long long>(r.pages_read),
+            static_cast<unsigned long long>(r.nodes_parsed),
+            static_cast<unsigned long long>(r.node_cache_hits),
+            static_cast<unsigned long long>(r.bytes_decoded));
+      }
+      std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.string().c_str());
+    return true;
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    double wall_ns = -1;
+    double avg_pages = -1;
+    uint64_t pages_read = 0;
+    uint64_t nodes_parsed = 0;
+    uint64_t node_cache_hits = 0;
+    uint64_t bytes_decoded = 0;
+  };
+  std::string name_;
+  std::vector<Row> rows_;
+};
+
 inline const char* KeysLabel(const SetWorkloadConfig& cfg) {
   if (cfg.unique_keys()) return "unique keys";
   static thread_local char buf[64];
@@ -43,8 +159,11 @@ inline const char* KeysLabel(const SetWorkloadConfig& cfg) {
 
 /// Runs one figure panel: measures U-index (near and non-near sets) and
 /// CG-tree page reads across the sets-queried axis and prints a table row
-/// per x value. `fraction < 0` means exact match.
-inline Status RunPanel(SetExperiment& exp, double fraction, uint64_t seed) {
+/// per x value. `fraction < 0` means exact match. When `report` is non-null
+/// every measurement lands in it as `<panel_label>/m=<m>/<series>`.
+inline Status RunPanel(SetExperiment& exp, double fraction, uint64_t seed,
+                       JsonReport* report = nullptr,
+                       const std::string& panel_label = "") {
   const SetWorkloadConfig& cfg = exp.config();
   std::printf("    %-6s  %14s  %18s  %10s\n", "sets", "U-index(near)",
               "U-index(non-near)", "CG-tree");
@@ -65,6 +184,12 @@ inline Status RunPanel(SetExperiment& exp, double fraction, uint64_t seed) {
     if (!cg.ok()) return cg.status();
     std::printf("    %-6zu  %14.1f  %18.1f  %10.1f\n", m, u_near.value(),
                 u_far.value(), cg.value());
+    if (report != nullptr) {
+      const std::string base = panel_label + "/m=" + std::to_string(m);
+      report->AddPages(base + "/uindex_near", u_near.value());
+      report->AddPages(base + "/uindex_nonnear", u_far.value());
+      report->AddPages(base + "/cgtree", cg.value());
+    }
   }
   return Status::OK();
 }
@@ -82,8 +207,9 @@ inline Result<std::unique_ptr<SetExperiment>> MakePanel(
 }
 
 /// Runs a whole figure: panels over {40, 8} sets x key counts, one
-/// fraction. `key_counts` uses 0 for "unique".
-inline int RunFigure(const char* title, double fraction,
+/// fraction. `key_counts` uses 0 for "unique". `slug` names the JSON
+/// artifact (bench_results/<slug>.json).
+inline int RunFigure(const char* title, const char* slug, double fraction,
                      const std::vector<uint64_t>& key_counts) {
   std::printf("%s\n", title);
   std::printf("objects=%u, page=1024B, reps=%d%s\n\n", ExperimentObjects(),
@@ -91,6 +217,7 @@ inline int RunFigure(const char* title, double fraction,
               QuickMode() ? " [QUICK MODE - set UINDEX_BENCH_QUICK=0 for "
                             "paper-scale]"
                           : "");
+  JsonReport report(slug);
   for (const uint32_t num_sets : {40u, 8u}) {
     for (const uint64_t keys : key_counts) {
       Result<std::unique_ptr<SetExperiment>> exp = MakePanel(num_sets, keys);
@@ -101,8 +228,10 @@ inline int RunFigure(const char* title, double fraction,
       }
       std::printf("  -- %u sets, %s --\n", num_sets,
                   KeysLabel(exp.value()->config()));
+      const std::string panel = "sets=" + std::to_string(num_sets) +
+                                "/keys=" + std::to_string(keys);
       Status s = RunPanel(*exp.value(), fraction,
-                          /*seed=*/num_sets * 1000 + keys);
+                          /*seed=*/num_sets * 1000 + keys, &report, panel);
       if (!s.ok()) {
         std::fprintf(stderr, "panel failed: %s\n", s.ToString().c_str());
         return 1;
@@ -110,6 +239,7 @@ inline int RunFigure(const char* title, double fraction,
       std::printf("\n");
     }
   }
+  report.Write();
   return 0;
 }
 

@@ -7,6 +7,6 @@
 
 int main() {
   return uindex::bench::RunFigure(
-      "Figure 5: Exact Match Queries (U-index vs CG-tree)",
+      "Figure 5: Exact Match Queries (U-index vs CG-tree)", "fig5_exact",
       /*fraction=*/-1.0, /*key_counts=*/{0, 100, 1000});
 }

@@ -6,6 +6,6 @@
 
 int main() {
   return uindex::bench::RunFigure(
-      "Figure 6: Range Queries (10% of keyspace)",
+      "Figure 6: Range Queries (10% of keyspace)", "fig6_range10",
       /*fraction=*/0.10, /*key_counts=*/{0, 100, 1000});
 }

@@ -6,6 +6,6 @@
 
 int main() {
   return uindex::bench::RunFigure(
-      "Figure 7: Range Queries (2% of keyspace)",
+      "Figure 7: Range Queries (2% of keyspace)", "fig7_range2",
       /*fraction=*/0.02, /*key_counts=*/{0, 100, 1000});
 }

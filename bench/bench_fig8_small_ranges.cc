@@ -14,6 +14,7 @@ int Run() {
   std::printf("objects=%u, page=1024B, reps=%d%s\n\n", ExperimentObjects(),
               ExperimentReps(),
               QuickMode() ? " [QUICK MODE]" : "");
+  JsonReport report("fig8_small_ranges");
   for (const uint32_t num_sets : {40u, 8u}) {
     Result<std::unique_ptr<SetExperiment>> exp = MakePanel(num_sets, 1000);
     if (!exp.ok()) {
@@ -24,7 +25,11 @@ int Run() {
       std::printf("  -- range %.1f%% of keyspace, %u sets, 1000 different "
                   "keys --\n",
                   fraction * 100, num_sets);
-      Status s = RunPanel(*exp.value(), fraction, num_sets * 77);
+      char panel[64];
+      std::snprintf(panel, sizeof(panel), "sets=%u/range=%.1f%%", num_sets,
+                    fraction * 100);
+      Status s = RunPanel(*exp.value(), fraction, num_sets * 77, &report,
+                          panel);
       if (!s.ok()) {
         std::fprintf(stderr, "panel: %s\n", s.ToString().c_str());
         return 1;
@@ -34,13 +39,15 @@ int Run() {
     // Bottom panel: the near/non-near delta at the 10% range.
     std::printf("  -- near vs non-near sets, range 10%%, %u sets --\n",
                 num_sets);
-    Status s = RunPanel(*exp.value(), 0.10, num_sets * 78);
+    Status s = RunPanel(*exp.value(), 0.10, num_sets * 78, &report,
+                        "sets=" + std::to_string(num_sets) + "/range=10%");
     if (!s.ok()) {
       std::fprintf(stderr, "panel: %s\n", s.ToString().c_str());
       return 1;
     }
     std::printf("\n");
   }
+  report.Write();
   return 0;
 }
 

@@ -1,9 +1,19 @@
 // Microbenchmarks (google-benchmark) for the substrate operations: B-tree
 // insert/point-get/scan, key encode/decode, and Parscan vs forward scan on
 // a fixed workload. CPU-time oriented, complementing the page-read benches.
+//
+// Before the registered benchmarks run, a custom main() executes the
+// decoded-node cache A/B proof: a Table-1-style query mix (value ranges
+// crossed with set subsets, answered by both Parscan and forward scanning,
+// repeated) with the cache on and off. Rows and page reads must be
+// identical and Node::Parse calls must drop at least 3x, or the binary
+// exits non-zero.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
+#include "bench/bench_common.h"
 #include "btree/btree.h"
 #include "core/uindex.h"
 #include "util/random.h"
@@ -174,7 +184,115 @@ void BM_KeyEncodeDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_KeyEncodeDecode);
 
+// The tentpole acceptance check: the decoded-node cache must cut
+// Node::Parse calls >= 3x on a Table-1-style query mix while leaving the
+// result rows and the paper's page-read metric untouched.
+int RunCacheExperiment() {
+  ParscanFixture& f = SharedFixture();
+  NodeCache* const cache = f.index.btree().node_cache();
+  bench::JsonReport report("micro_btree");
+  if (cache == nullptr) {
+    std::fprintf(stderr,
+                 "decoded-node cache disabled (UINDEX_NODE_CACHE=off or a "
+                 "zero budget); skipping the parse-reduction check\n");
+    report.Write();
+    return 0;
+  }
+
+  // Table-1-style mix: five value ranges, each crossed with a different
+  // 8-set subset of the 40-set hierarchy (the query 1-4 shape).
+  std::vector<Query> queries;
+  for (int lo = 0; lo < 1000; lo += 200) {
+    Query q = Query::Range(Value::Int(lo), Value::Int(lo + 19));
+    ClassSelector sel;
+    for (int i = 0; i < 8; ++i) {
+      sel.include.push_back({f.hier.sets[(lo / 200 + i * 5) % 40], false});
+    }
+    q.With(sel, ValueSlot::Wanted());
+    queries.push_back(std::move(q));
+  }
+
+  const int reps = 3;
+  struct Outcome {
+    size_t rows = 0;
+    double ns = 0;
+    IoStats delta;
+    bool ok = true;
+  };
+  auto run_mix = [&](bool enabled) {
+    Outcome out;
+    cache->set_enabled(enabled);
+    bench::StatsTimer timer(&f.buffers);
+    for (int r = 0; r < reps; ++r) {
+      for (const Query& q : queries) {
+        f.buffers.BeginQuery();  // Fresh read epoch: count this query's pages.
+        Result<QueryResult> par = f.index.Parscan(q);
+        Result<QueryResult> fwd = f.index.ForwardScan(q);
+        if (!par.ok() || !fwd.ok() ||
+            par.value().rows != fwd.value().rows) {
+          out.ok = false;
+          continue;
+        }
+        out.rows += par.value().rows.size();
+      }
+    }
+    out.ns = timer.ElapsedNs();
+    out.delta = timer.Delta();
+    return out;
+  };
+
+  const Outcome on = run_mix(true);
+  const Outcome off = run_mix(false);
+  cache->set_enabled(true);
+
+  report.Add("cache=on/table1_mix", on.ns, on.delta);
+  report.Add("cache=off/table1_mix", off.ns, off.delta);
+  report.Write();
+
+  const uint64_t parses_on =
+      on.delta.nodes_parsed.load(std::memory_order_relaxed);
+  const uint64_t parses_off =
+      off.delta.nodes_parsed.load(std::memory_order_relaxed);
+  const uint64_t pages_on =
+      on.delta.pages_read.load(std::memory_order_relaxed);
+  const uint64_t pages_off =
+      off.delta.pages_read.load(std::memory_order_relaxed);
+  std::printf(
+      "node-cache A/B (Table-1 mix, %d reps x %zu queries):\n"
+      "  rows    on=%zu off=%zu\n"
+      "  pages   on=%llu off=%llu\n"
+      "  parses  on=%llu off=%llu (%.1fx fewer)\n\n",
+      reps, queries.size(), on.rows, off.rows,
+      static_cast<unsigned long long>(pages_on),
+      static_cast<unsigned long long>(pages_off),
+      static_cast<unsigned long long>(parses_on),
+      static_cast<unsigned long long>(parses_off),
+      static_cast<double>(parses_off) /
+          static_cast<double>(parses_on > 0 ? parses_on : 1));
+  if (!on.ok || !off.ok || on.rows != off.rows) {
+    std::fprintf(stderr, "FAIL: result rows differ with the cache on/off\n");
+    return 1;
+  }
+  if (pages_on != pages_off) {
+    std::fprintf(stderr, "FAIL: page reads differ with the cache on/off\n");
+    return 1;
+  }
+  if (parses_off < 3 * (parses_on > 0 ? parses_on : 1)) {
+    std::fprintf(stderr, "FAIL: node cache saved < 3x Node::Parse calls\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace uindex
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const int rc = uindex::RunCacheExperiment();
+  if (rc != 0) return rc;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

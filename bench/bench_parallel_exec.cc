@@ -39,6 +39,7 @@ struct RunResult {
   double millis = 0;
   uint64_t pages = 0;
   bool matches_serial = true;
+  IoStats delta;  // Counter delta over all reps.
 };
 
 int Run() {
@@ -102,10 +103,12 @@ int Run() {
 
   const std::vector<size_t> thread_counts = {1, 2, 4, 8};
   bool all_ok = true;
+  bench::JsonReport report("parallel_exec");
 
   auto measure = [&](size_t threads) {
     RunResult out;
     exec::ThreadPool pool(threads);
+    bench::StatsTimer timer(&buffers);
     const auto start = std::chrono::steady_clock::now();
     for (int r = 0; r < reps; ++r) {
       QueryCost cost(&buffers);
@@ -117,6 +120,7 @@ int Run() {
       if (out.pages != serial_pages) out.matches_serial = false;
     }
     out.millis = MillisSince(start) / reps;
+    out.delta = timer.Delta();
     return out;
   };
 
@@ -138,10 +142,73 @@ int Run() {
                   base_ms > 0 ? base_ms / r.millis : 0.0,
                   static_cast<unsigned long long>(r.pages),
                   r.matches_serial ? "yes" : "NO");
+      report.Add(std::string("model") + (simulated ? "B" : "A") +
+                     "/threads=" + std::to_string(threads),
+                 r.millis * 1e6, r.delta);
     }
     std::printf("\n");
   }
   buffers.SetSimulatedReadLatency(0);
+
+  // Decoded-node cache ablation: the same 4-worker query with the cache on
+  // vs off. Rows and page reads must be identical — the cache only skips
+  // re-decoding, never re-reading — and Node::Parse calls must drop >= 3x.
+  NodeCache* const cache = index.btree().node_cache();
+  if (cache != nullptr) {
+    exec::ThreadPool pool(4);
+    auto run_counted = [&](bool enabled, double* ns, IoStats* delta) {
+      cache->set_enabled(enabled);
+      bench::StatsTimer timer(&buffers);
+      for (int r = 0; r < reps; ++r) {
+        buffers.BeginQuery();  // Fresh read epoch: count this rep's pages.
+        Result<QueryResult> res = exec::ParallelParscan(index, query, &pool);
+        if (!res.ok() || res.value().rows != serial.value().rows) {
+          return false;
+        }
+      }
+      *ns = timer.ElapsedNs();
+      *delta = timer.Delta();
+      return true;
+    };
+    double on_ns = 0, off_ns = 0;
+    IoStats on, off;
+    const bool rows_ok = run_counted(true, &on_ns, &on) &&
+                         run_counted(false, &off_ns, &off);
+    cache->set_enabled(true);
+    if (!rows_ok) {
+      std::fprintf(stderr,
+                   "FAIL: cache-ablation run diverged from the serial scan\n");
+      return 1;
+    }
+    report.Add("cache=on/threads=4", on_ns, on);
+    report.Add("cache=off/threads=4", off_ns, off);
+    const uint64_t parses_on =
+        on.nodes_parsed.load(std::memory_order_relaxed);
+    const uint64_t parses_off =
+        off.nodes_parsed.load(std::memory_order_relaxed);
+    const uint64_t pages_on = on.pages_read.load(std::memory_order_relaxed);
+    const uint64_t pages_off = off.pages_read.load(std::memory_order_relaxed);
+    std::printf(
+        "decoded-node cache, 4 workers x %d reps: parses on=%llu off=%llu "
+        "(%.1fx fewer), pages on=%llu off=%llu\n\n",
+        reps, static_cast<unsigned long long>(parses_on),
+        static_cast<unsigned long long>(parses_off),
+        static_cast<double>(parses_off) /
+            static_cast<double>(parses_on > 0 ? parses_on : 1),
+        static_cast<unsigned long long>(pages_on),
+        static_cast<unsigned long long>(pages_off));
+    if (pages_on != pages_off) {
+      std::fprintf(stderr,
+                   "FAIL: page reads differ with the node cache on/off\n");
+      return 1;
+    }
+    if (parses_off < 3 * (parses_on > 0 ? parses_on : 1)) {
+      std::fprintf(stderr, "FAIL: node cache saved < 3x Node::Parse calls\n");
+      return 1;
+    }
+  }
+
+  report.Write();
 
   if (!all_ok) {
     std::fprintf(stderr,

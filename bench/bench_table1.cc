@@ -135,25 +135,32 @@ int Run() {
       {"6b", q6b, &age, 21, -1},
   };
 
+  bench::JsonReport report("table1");
   std::printf("%-6s %10s %10s %14s %14s %8s\n", "query", "parallel",
               "forward", "paper-parallel", "paper-forward", "rows");
   for (const Row& row : rows) {
     QueryCost parallel_cost(&buffers);
+    bench::StatsTimer parallel_timer(&buffers);
     Result<QueryResult> parallel = row.index->Parscan(row.query);
     if (!parallel.ok()) {
       std::fprintf(stderr, "query %s: %s\n", row.id,
                    parallel.status().ToString().c_str());
       return 1;
     }
+    report.Add(std::string("q") + row.id + "/parallel",
+               parallel_timer.ElapsedNs(), parallel_timer.Delta());
     const uint64_t parallel_pages = parallel_cost.PagesRead();
 
     QueryCost forward_cost(&buffers);
+    bench::StatsTimer forward_timer(&buffers);
     Result<QueryResult> forward = row.index->ForwardScan(row.query);
     if (!forward.ok()) {
       std::fprintf(stderr, "query %s fwd: %s\n", row.id,
                    forward.status().ToString().c_str());
       return 1;
     }
+    report.Add(std::string("q") + row.id + "/forward",
+               forward_timer.ElapsedNs(), forward_timer.Delta());
     const uint64_t forward_pages = forward_cost.PagesRead();
     if (forward.value().rows.size() != parallel.value().rows.size()) {
       std::fprintf(stderr, "query %s: algorithms disagree!\n", row.id);
@@ -176,6 +183,7 @@ int Run() {
                 paper_parallel, paper_forward,
                 parallel.value().rows.size());
   }
+  report.Write();
   std::printf(
       "\nExpected shapes (paper §5): sub-tree queries (2*) cheaper than\n"
       "full-tree (1*); range values add few nodes; parallel ~2x better\n"

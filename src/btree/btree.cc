@@ -28,6 +28,10 @@ size_t FindSplitIndex(const Node& node) {
 
 BTree::BTree(BufferManager* buffers, BTreeOptions options)
     : buffers_(buffers), options_(options) {
+  if (options_.node_cache_bytes > 0 && NodeCache::EnvEnabled()) {
+    node_cache_ =
+        std::make_unique<NodeCache>(buffers_, options_.node_cache_bytes);
+  }
   root_ = buffers_->Allocate();
   Node root = Node::MakeLeaf();
   Status s = WriteNode(root_, root);
@@ -39,6 +43,10 @@ BTree::BTree(BufferManager* buffers, PageId root, uint64_t size,
              BTreeOptions options)
     : buffers_(buffers), options_(options), root_(root), size_(size) {
   assert(buffers_->pager()->IsLive(root_) && "attached root must be live");
+  if (options_.node_cache_bytes > 0 && NodeCache::EnvEnabled()) {
+    node_cache_ =
+        std::make_unique<NodeCache>(buffers_, options_.node_cache_bytes);
+  }
 }
 
 Result<Node> BTree::LoadNode(PageId id) const {
@@ -46,7 +54,37 @@ Result<Node> BTree::LoadNode(PageId id) const {
   if (page == nullptr) {
     return Status::Corruption("missing page " + std::to_string(id));
   }
-  return Node::Parse(*page);
+  Result<Node> node = Node::Parse(*page);
+  if (node.ok()) buffers_->RecordNodeParse(node.value().DecodedBytes());
+  return node;
+}
+
+Result<std::shared_ptr<const Node>> BTree::FetchNode(PageId id) const {
+  if (node_cache_ == nullptr) {
+    Result<Node> r = LoadNode(id);
+    if (!r.ok()) return r.status();
+    return std::make_shared<const Node>(std::move(r).value());
+  }
+  // Read the version BEFORE the page bytes: a write that lands in between
+  // bumps it, so the entry we might insert below is already stale and the
+  // next Lookup drops it instead of serving it.
+  const BufferManager::PageVersion version = buffers_->page_version(id);
+  // Always charge the page read first — pages_read must be byte-identical
+  // whether the decoded image then comes from the cache or a fresh parse.
+  Page* page = buffers_->Fetch(id);
+  if (page == nullptr) {
+    return Status::Corruption("missing page " + std::to_string(id));
+  }
+  if (std::shared_ptr<const Node> cached = node_cache_->Lookup(id)) {
+    buffers_->RecordNodeCacheHit();
+    return cached;
+  }
+  Result<Node> r = Node::Parse(*page);
+  if (!r.ok()) return r.status();
+  auto node = std::make_shared<const Node>(std::move(r).value());
+  buffers_->RecordNodeParse(node->DecodedBytes());
+  node_cache_->Insert(id, version, node);
+  return node;
 }
 
 Result<Node> BTree::LoadNodeUncounted(PageId id) const {
@@ -95,14 +133,42 @@ Status BTree::DescendToLeaf(const Slice& key, std::vector<PathStep>* path,
 }
 
 Result<std::string> BTree::Get(const Slice& key) const {
-  PageId leaf_id = kInvalidPageId;
-  Node leaf;
-  UINDEX_RETURN_IF_ERROR(DescendToLeaf(key, nullptr, &leaf_id, &leaf));
-  const size_t pos = leaf.LowerBound(key);
-  if (pos < leaf.entry_count() && Slice(leaf.entries()[pos].key) == key) {
-    return leaf.entries()[pos].value;
+  // Cold point lookups are the worst case for front compression: a classic
+  // descent pays a full Node::Parse (every entry decompressed into heap
+  // strings) per level just to follow one child pointer. Answer each step
+  // from the compressed page image instead — a cached decoded node when one
+  // is current, otherwise SearchCompressed, which materializes nothing but
+  // the matched payload. Page reads are charged exactly as before.
+  PageId id = root_;
+  for (;;) {
+    Page* page = buffers_->Fetch(id);
+    if (page == nullptr) {
+      return Status::Corruption("missing page " + std::to_string(id));
+    }
+    if (node_cache_ != nullptr) {
+      if (std::shared_ptr<const Node> cached = node_cache_->Lookup(id)) {
+        buffers_->RecordNodeCacheHit();
+        if (cached->is_leaf()) {
+          const size_t pos = cached->LowerBound(key);
+          if (pos < cached->entry_count() &&
+              Slice(cached->entries()[pos].key) == key) {
+            return cached->entries()[pos].value;
+          }
+          return Status::NotFound("key " + EscapeBytes(key));
+        }
+        id = cached->ChildFor(key);
+        continue;
+      }
+    }
+    Result<Node::CompressedSearch> r = Node::SearchCompressed(*page, key);
+    if (!r.ok()) return r.status();
+    Node::CompressedSearch& found = r.value();
+    if (found.is_leaf) {
+      if (found.found) return std::move(found.value);
+      return Status::NotFound("key " + EscapeBytes(key));
+    }
+    id = found.child;
   }
-  return Status::NotFound("key " + EscapeBytes(key));
 }
 
 bool BTree::Contains(const Slice& key) const { return Get(key).ok(); }

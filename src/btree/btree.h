@@ -2,11 +2,13 @@
 #define UINDEX_BTREE_BTREE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "btree/node.h"
+#include "btree/node_cache.h"
 #include "btree/options.h"
 #include "storage/buffer_manager.h"
 #include "util/slice.h"
@@ -77,8 +79,21 @@ class BTree {
 
   /// Loads and parses a node, charging a page read. Exposed so that the
   /// U-index "parallel" retrieval algorithm (paper Algorithm 1) can drive
-  /// its own descent over internal nodes.
+  /// its own descent over internal nodes. Always pays a full `Node::Parse`;
+  /// read paths that tolerate a shared immutable node should prefer
+  /// `FetchNode`.
   Result<Node> LoadNode(PageId id) const;
+
+  /// Like `LoadNode` but served through the decoded-node cache: charges the
+  /// page read identically, then returns the cached decoded image when its
+  /// page version is still current, parsing (and caching) only on a miss.
+  /// The returned node is immutable and may be shared by concurrent
+  /// readers; it stays valid after tree mutations (it just goes stale).
+  Result<std::shared_ptr<const Node>> FetchNode(PageId id) const;
+
+  /// The tree's decoded-node cache, or null when disabled
+  /// (`BTreeOptions::node_cache_bytes == 0` or UINDEX_NODE_CACHE=off).
+  NodeCache* node_cache() const { return node_cache_.get(); }
 
   /// Forward scanner over leaf entries in key order. Obtain via
   /// `NewIterator`; invalidated by tree mutation.
@@ -95,8 +110,8 @@ class BTree {
     /// Advances to the next entry in key order, following the leaf chain.
     void Next();
 
-    Slice key() const { return Slice(node_.entries()[index_].key); }
-    Slice value() const { return Slice(node_.entries()[index_].value); }
+    Slice key() const { return Slice(node_->entries()[index_].key); }
+    Slice value() const { return Slice(node_->entries()[index_].value); }
 
     /// Page id of the leaf currently under the iterator.
     PageId page_id() const { return page_id_; }
@@ -110,7 +125,7 @@ class BTree {
 
     const BTree* tree_;
     PageId page_id_ = kInvalidPageId;
-    Node node_;
+    std::shared_ptr<const Node> node_;
     size_t index_ = 0;
     bool valid_ = false;
   };
@@ -178,6 +193,10 @@ class BTree {
   BTreeOptions options_;
   PageId root_;
   uint64_t size_ = 0;
+  // Decoded-node cache shared by read paths; null when disabled. Mutations
+  // need no hooks into it: invalidation rides on the buffer manager's page
+  // versions (see btree/node_cache.h).
+  std::unique_ptr<NodeCache> node_cache_;
 };
 
 }  // namespace uindex

@@ -2,20 +2,26 @@
 
 namespace uindex {
 
+// Iterators read leaves through the tree's decoded-node cache (FetchNode):
+// a scan that revisits a hot leaf chain — or runs next to other scans —
+// shares one immutable decoded image per page instead of re-parsing the
+// front-compressed entries on every load. Page reads are charged exactly as
+// with LoadNode.
+
 void BTree::Iterator::LoadLeaf(PageId id) {
   page_id_ = id;
   index_ = 0;
   valid_ = false;
   if (id == kInvalidPageId) return;
-  Result<Node> r = tree_->LoadNode(id);
+  Result<std::shared_ptr<const Node>> r = tree_->FetchNode(id);
   if (!r.ok()) return;
   node_ = std::move(r).value();
   valid_ = true;
 }
 
 void BTree::Iterator::SkipEmptyLeaves() {
-  while (valid_ && index_ >= node_.entry_count()) {
-    const PageId next = node_.next_leaf();
+  while (valid_ && index_ >= node_->entry_count()) {
+    const PageId next = node_->next_leaf();
     if (next == kInvalidPageId) {
       valid_ = false;
       return;
@@ -27,13 +33,13 @@ void BTree::Iterator::SkipEmptyLeaves() {
 void BTree::Iterator::SeekToFirst() {
   PageId id = tree_->root();
   for (;;) {
-    Result<Node> r = tree_->LoadNode(id);
+    Result<std::shared_ptr<const Node>> r = tree_->FetchNode(id);
     if (!r.ok()) {
       valid_ = false;
       return;
     }
-    if (r.value().is_leaf()) break;
-    id = r.value().leftmost_child();
+    if (r.value()->is_leaf()) break;
+    id = r.value()->leftmost_child();
   }
   LoadLeaf(id);
   SkipEmptyLeaves();
@@ -42,17 +48,17 @@ void BTree::Iterator::SeekToFirst() {
 void BTree::Iterator::Seek(const Slice& target) {
   PageId id = tree_->root();
   for (;;) {
-    Result<Node> r = tree_->LoadNode(id);
+    Result<std::shared_ptr<const Node>> r = tree_->FetchNode(id);
     if (!r.ok()) {
       valid_ = false;
       return;
     }
-    if (r.value().is_leaf()) break;
-    id = r.value().ChildFor(target);
+    if (r.value()->is_leaf()) break;
+    id = r.value()->ChildFor(target);
   }
   LoadLeaf(id);
   if (!valid_) return;
-  index_ = node_.LowerBound(target);
+  index_ = node_->LowerBound(target);
   SkipEmptyLeaves();
 }
 

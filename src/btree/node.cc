@@ -74,6 +74,97 @@ Result<Node> Node::Parse(const Page& page) {
   return node;
 }
 
+Result<Node::CompressedSearch> Node::SearchCompressed(const Page& page,
+                                                      const Slice& target) {
+  const char* p = page.data();
+  const char* limit = page.data() + page.size();
+  if (page.size() < kHeaderSize) {
+    return Status::Corruption("page smaller than node header");
+  }
+  const uint8_t tag = static_cast<uint8_t>(p[0]);
+  if (tag != kInternalTag && tag != kLeafTag) {
+    return Status::Corruption("bad node tag");
+  }
+  CompressedSearch out;
+  out.is_leaf = (tag == kLeafTag);
+  out.count = DecodeFixed16(p + 2);
+  out.aux = DecodeFixed32(p + 4);
+  out.child = out.aux;  // Leftmost child until an entry key is <= target.
+  out.lower_bound = out.count;
+  p += kHeaderSize;
+
+  const uint32_t overhead =
+      out.is_leaf ? kLeafEntryOverhead : kInternalEntryOverhead;
+  // Invariant entering iteration i: every entry before i is < target,
+  // `match` is the exact length of the common prefix of target and entry
+  // i-1's key, and `prev_len` is that key's length.
+  size_t match = 0;
+  size_t prev_len = 0;
+  for (uint16_t i = 0; i < out.count; ++i) {
+    if (p + overhead > limit) {
+      return Status::Corruption("entry header overruns page");
+    }
+    const uint16_t prefix_len = DecodeFixed16(p);
+    const uint16_t suffix_len = DecodeFixed16(p + 2);
+    uint16_t value_len = 0;
+    PageId entry_child = kInvalidPageId;
+    if (out.is_leaf) {
+      value_len = DecodeFixed16(p + 4);
+      p += kLeafEntryOverhead;
+    } else {
+      entry_child = DecodeFixed32(p + 4);
+      p += kInternalEntryOverhead;
+    }
+    if (prefix_len > prev_len) {
+      return Status::Corruption("prefix length exceeds previous key");
+    }
+    if (p + suffix_len + value_len > limit) {
+      return Status::Corruption("entry body overruns page");
+    }
+    const Slice suffix(p, suffix_len);
+
+    int cmp;
+    if (prefix_len > match) {
+      // The entry shares more of the previous key than the target does, so
+      // it diverges from the target exactly where the previous key did —
+      // below it. `match` is unchanged.
+      cmp = -1;
+    } else {
+      // First prefix_len bytes equal target's; the suffix decides.
+      Slice rest = target;
+      rest.RemovePrefix(prefix_len);
+      cmp = suffix.Compare(rest);
+      if (cmp < 0) match = prefix_len + suffix.CommonPrefixLength(rest);
+    }
+
+    if (cmp >= 0) {
+      out.lower_bound = i;
+      out.found = (cmp == 0);
+      if (out.found) {
+        if (out.is_leaf) {
+          out.value.assign(p + suffix_len, value_len);
+        } else {
+          // UpperBound(target) == i + 1: the separator routes right.
+          out.child = entry_child;
+        }
+      }
+      return out;
+    }
+    if (!out.is_leaf) out.child = entry_child;
+    p += suffix_len + value_len;
+    prev_len = static_cast<size_t>(prefix_len) + suffix_len;
+  }
+  return out;
+}
+
+size_t Node::DecodedBytes() const {
+  size_t bytes = sizeof(Node) + entries_.capacity() * sizeof(NodeEntry);
+  for (const NodeEntry& e : entries_) {
+    bytes += e.key.size() + e.value.size();
+  }
+  return bytes;
+}
+
 size_t Node::LowerBound(const Slice& key) const {
   auto it = std::lower_bound(
       entries_.begin(), entries_.end(), key,

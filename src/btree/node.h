@@ -56,6 +56,34 @@ class Node {
   /// image.
   static Result<Node> Parse(const Page& page);
 
+  /// Outcome of `SearchCompressed`: one descent/lookup step answered
+  /// directly from the compressed page image.
+  struct CompressedSearch {
+    bool is_leaf = false;
+    uint16_t count = 0;           ///< Entries in the node.
+    PageId aux = kInvalidPageId;  ///< next_leaf (leaf) / leftmost_child.
+    size_t lower_bound = 0;  ///< First index whose key is >= the target.
+    bool found = false;      ///< entries[lower_bound].key == target.
+    std::string value;       ///< Leaf and found: the payload.
+    PageId child = kInvalidPageId;  ///< Internal: ChildFor(target).
+  };
+
+  /// Searches the node image in `page` for `target` without materializing
+  /// any entry: a single left-to-right pass over the front-compressed
+  /// entries that tracks only the length of the prefix the target is known
+  /// to share with the previous key, so each step compares at most the
+  /// entry's stored suffix (cf. the sequential search of prefix B-trees).
+  /// The one allocation is the matched payload on an exact leaf hit.
+  ///
+  /// Exactly equivalent to `Parse` + `LowerBound`/`ChildFor`/payload read
+  /// on any image `Parse` accepts (it does not assume the stored prefix
+  /// lengths are maximal, only that keys are increasing — the node
+  /// invariant). Malformed images fail with Corruption; the scan validates
+  /// every entry it passes, and stops validating at the answer just as it
+  /// stops decompressing.
+  static Result<CompressedSearch> SearchCompressed(const Page& page,
+                                                   const Slice& target);
+
   bool is_leaf() const { return is_leaf_; }
 
   /// Leaf only: id of the next leaf in key order (kInvalidPageId at end).
@@ -82,6 +110,10 @@ class Node {
 
   /// Serialized size in bytes under `opts` (header + compressed entries).
   uint32_t SerializedSize(const BTreeOptions& opts) const;
+
+  /// Approximate heap footprint of the decompressed form: the budget unit
+  /// of the decoded-node cache (btree/node_cache.h).
+  size_t DecodedBytes() const;
 
   /// True if the node fits in a page of `page_size` bytes under `opts`
   /// (including the optional max-entries cap).

@@ -1,0 +1,99 @@
+#include "btree/node_cache.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace uindex {
+
+NodeCache::NodeCache(const BufferManager* buffers, size_t byte_budget)
+    : buffers_(buffers),
+      shard_budget_(byte_budget / kShards == 0 ? 1
+                                               : byte_budget / kShards) {}
+
+bool NodeCache::EnvEnabled() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("UINDEX_NODE_CACHE");
+    if (env == nullptr) return true;
+    return std::strcmp(env, "off") != 0 && std::strcmp(env, "OFF") != 0 &&
+           std::strcmp(env, "0") != 0 && std::strcmp(env, "false") != 0;
+  }();
+  return enabled;
+}
+
+std::shared_ptr<const Node> NodeCache::Lookup(PageId id) {
+  if (!enabled()) return nullptr;
+  Shard& shard = shards_[id % kShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(id);
+  if (it == shard.map.end()) return nullptr;
+  if (!(buffers_->page_version(id) == it->second.version)) {
+    EraseLocked(&shard, it);
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+  return it->second.node;
+}
+
+void NodeCache::Insert(PageId id, const BufferManager::PageVersion& version,
+                       std::shared_ptr<const Node> node) {
+  if (!enabled() || node == nullptr) return;
+  const size_t bytes = node->DecodedBytes();
+  if (bytes > shard_budget_) return;
+  Shard& shard = shards_[id % kShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(id);
+  if (it != shard.map.end()) EraseLocked(&shard, it);
+  shard.lru.push_front(id);
+  Entry entry;
+  entry.node = std::move(node);
+  entry.version = version;
+  entry.bytes = bytes;
+  entry.lru_it = shard.lru.begin();
+  shard.map.emplace(id, std::move(entry));
+  shard.bytes += bytes;
+  while (shard.bytes > shard_budget_ && !shard.lru.empty()) {
+    EraseLocked(&shard, shard.map.find(shard.lru.back()));
+  }
+}
+
+void NodeCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+    shard.lru.clear();
+    shard.bytes = 0;
+  }
+}
+
+void NodeCache::set_enabled(bool on) {
+  enabled_.store(on, std::memory_order_relaxed);
+  if (!on) Clear();
+}
+
+size_t NodeCache::bytes_cached() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(const_cast<Shard&>(shard).mu);
+    total += shard.bytes;
+  }
+  return total;
+}
+
+size_t NodeCache::entry_count() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(const_cast<Shard&>(shard).mu);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+void NodeCache::EraseLocked(
+    Shard* shard, std::unordered_map<PageId, Entry>::iterator it) {
+  shard->bytes -= it->second.bytes;
+  shard->lru.erase(it->second.lru_it);
+  shard->map.erase(it);
+}
+
+}  // namespace uindex

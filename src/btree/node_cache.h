@@ -1,0 +1,124 @@
+#ifndef UINDEX_BTREE_NODE_CACHE_H_
+#define UINDEX_BTREE_NODE_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "btree/node.h"
+#include "storage/buffer_manager.h"
+#include "storage/page.h"
+
+namespace uindex {
+
+/// A sharded, versioned cache of decoded B-tree nodes.
+///
+/// The paper's economics make front compression free at the I/O level —
+/// more entries per page, fewer pages read — but our in-memory form pays
+/// for it in CPU: `Node::Parse` decompresses every entry of a page into
+/// per-entry heap strings on each fetch. This cache is the second level on
+/// top of the `BufferManager`'s page accounting: read paths fetch a
+/// `std::shared_ptr<const Node>` keyed by `PageId` and only parse on a
+/// miss, so a resident page is decoded once, not once per descent.
+///
+/// Correctness is delegated to the `BufferManager`'s page versions: every
+/// entry is tagged with the `PageVersion` read *before* the page bytes
+/// were parsed, and `Lookup` revalidates against the current version —
+/// any `FetchForWrite`/`Free`/`SetCapacity` in between makes the entry
+/// stale and it is dropped. The cache therefore never needs write hooks of
+/// its own, and a tree mutated through any path (splits, merges, frees,
+/// even a different `BTree` object attached to the same pager) can never
+/// be served a stale decoded node.
+///
+/// Page-read accounting is untouched: callers charge `BufferManager::Fetch`
+/// before consulting this cache, so `pages_read` is byte-identical with
+/// the cache on, off, or thrashing. The cache only moves `nodes_parsed`.
+///
+/// Thread-safety: all methods are safe to call concurrently (entries are
+/// immutable `shared_ptr<const Node>`s under per-shard mutexes); the usual
+/// external contract that writers are excluded while readers run is
+/// inherited from the `BufferManager`.
+///
+/// Eviction: least-recently-used per shard, bounded by an overall byte
+/// budget of decoded bytes (`Node::DecodedBytes`), split evenly across
+/// shards.
+class NodeCache {
+ public:
+  /// `byte_budget` bounds the decoded bytes retained (minimum one node per
+  /// shard is always admitted if it fits its shard budget).
+  NodeCache(const BufferManager* buffers, size_t byte_budget);
+
+  NodeCache(const NodeCache&) = delete;
+  NodeCache& operator=(const NodeCache&) = delete;
+
+  /// False when the UINDEX_NODE_CACHE environment variable is "off", "0",
+  /// or "false" — the global escape hatch that forces every tree onto the
+  /// reference Parse-per-fetch path. Read once per process.
+  static bool EnvEnabled();
+
+  /// Returns the cached decoded node for `id` if present and still valid
+  /// against the buffer manager's current page version; null on a miss
+  /// (stale entries are dropped on the way). Refreshes LRU recency.
+  std::shared_ptr<const Node> Lookup(PageId id);
+
+  /// Caches `node` for `id`, tagged with `version` — which the caller must
+  /// have read from the buffer manager BEFORE reading the page bytes it
+  /// parsed (so an intervening write makes the entry self-invalidating).
+  /// Evicts LRU entries beyond the shard's byte budget. No-op while
+  /// disabled or when the node alone exceeds the shard budget.
+  void Insert(PageId id, const BufferManager::PageVersion& version,
+              std::shared_ptr<const Node> node);
+
+  /// Drops every entry.
+  void Clear();
+
+  /// Runtime toggle (benchmark A/B legs and the escape hatch). Disabling
+  /// clears the cache so a later re-enable starts cold.
+  void set_enabled(bool on);
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  size_t byte_budget() const { return shard_budget_ * kShards; }
+
+  /// Decoded bytes currently retained (sums shards; approximate under
+  /// concurrency).
+  size_t bytes_cached() const;
+
+  /// Entries currently retained (sums shards; approximate under
+  /// concurrency).
+  size_t entry_count() const;
+
+ private:
+  static constexpr size_t kShards = 8;
+
+  struct Entry {
+    std::shared_ptr<const Node> node;
+    BufferManager::PageVersion version;
+    size_t bytes = 0;
+    std::list<PageId>::iterator lru_it;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<PageId, Entry> map;
+    std::list<PageId> lru;  // Most recent at the front.
+    size_t bytes = 0;
+  };
+
+  // Removes `it` from `shard` (caller holds the shard lock).
+  void EraseLocked(Shard* shard,
+                   std::unordered_map<PageId, Entry>::iterator it);
+
+  const BufferManager* buffers_;
+  size_t shard_budget_;
+  std::atomic<bool> enabled_{true};
+  Shard shards_[kShards];
+};
+
+}  // namespace uindex
+
+#endif  // UINDEX_BTREE_NODE_CACHE_H_

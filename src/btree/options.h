@@ -1,6 +1,7 @@
 #ifndef UINDEX_BTREE_OPTIONS_H_
 #define UINDEX_BTREE_OPTIONS_H_
 
+#include <cstddef>
 #include <cstdint>
 
 namespace uindex {
@@ -21,6 +22,14 @@ struct BTreeOptions {
   /// The paper's first experiment uses "a small node size m = 10" records
   /// per node; 0 means no cap (page size is the only limit).
   uint32_t max_entries_per_node = 0;
+
+  /// Byte budget of the tree's decoded-node cache (btree/node_cache.h):
+  /// decompressed `Node` images shared by read paths so a hot page is
+  /// front-decoded once, not on every descent. 0 disables the cache; the
+  /// environment variable UINDEX_NODE_CACHE=off disables it globally
+  /// (the reference escape hatch — CI runs the full suite both ways).
+  /// Page-read accounting is identical either way.
+  size_t node_cache_bytes = size_t{8} << 20;
 };
 
 }  // namespace uindex

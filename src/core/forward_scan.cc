@@ -5,8 +5,9 @@ namespace uindex {
 // The "simple forward scanning" retrieval (paper §3.3): a single standard
 // B-tree search to the first relevant entry, then a sequential sweep of the
 // leaf chain until past the last possibly-relevant key, filtering entries
-// with only as much key decompression as comparison needs (our leaf parse
-// plays that role; the page-read count is identical).
+// with only as much key decompression as comparison needs. The iterator
+// reads the leaf chain through the decoded-node cache, so a hot sweep
+// re-parses nothing; the page-read count is identical either way.
 Result<QueryResult> UIndex::ForwardScan(const Query& query) const {
   Result<CompiledQuery> compiled =
       CompiledQuery::Compile(query, encoder_, *schema_);

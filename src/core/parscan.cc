@@ -38,9 +38,12 @@ class ParscanDriver {
  private:
   Status Visit(PageId id, size_t lo, size_t hi, const std::string* bound_lo,
                const std::string* bound_hi) {
-    Result<Node> loaded = tree_->LoadNode(id);
+    // Fetch through the decoded-node cache: concurrent Parscan workers (and
+    // repeated queries over a hot index) share one immutable decoded image
+    // per page instead of each paying a full front-decompression.
+    Result<std::shared_ptr<const Node>> loaded = tree_->FetchNode(id);
     if (!loaded.ok()) return loaded.status();
-    const Node node = std::move(loaded).value();
+    const Node& node = *loaded.value();
     const auto& intervals = cq_->intervals();
 
     if (node.is_leaf()) {

@@ -6,30 +6,35 @@ std::string Session::Stats::ToString() const {
   return "queries=" + std::to_string(queries) +
          " failed=" + std::to_string(failed) +
          " rows=" + std::to_string(rows) +
-         " pages_read=" + std::to_string(pages_read);
+         " pages_read=" + std::to_string(pages_read) +
+         " nodes_parsed=" + std::to_string(nodes_parsed) +
+         " node_cache_hits=" + std::to_string(node_cache_hits);
 }
 
-void Session::Account(bool ok, uint64_t rows, uint64_t pages_before) {
+void Session::Account(bool ok, uint64_t rows, const IoStats& before) {
   if (ok) {
     ++stats_.queries;
     stats_.rows += rows;
   } else {
     ++stats_.failed;
   }
-  const uint64_t now = db_->buffers().stats().pages_read;
-  stats_.pages_read += now - pages_before;
+  const IoStats delta = db_->buffers().stats() - before;
+  stats_.pages_read += delta.pages_read.load(std::memory_order_relaxed);
+  stats_.nodes_parsed += delta.nodes_parsed.load(std::memory_order_relaxed);
+  stats_.node_cache_hits +=
+      delta.node_cache_hits.load(std::memory_order_relaxed);
 }
 
 Result<Database::SelectResult> Session::Select(
     const Database::Selection& selection) {
-  const uint64_t before = db_->buffers().stats().pages_read;
+  const IoStats before = db_->buffers().stats();
   Result<Database::SelectResult> r = db_->Select(selection);
   Account(r.ok(), r.ok() ? r.value().oids.size() : 0, before);
   return r;
 }
 
 Result<QueryResult> Session::Execute(size_t index_pos, const Query& query) {
-  const uint64_t before = db_->buffers().stats().pages_read;
+  const IoStats before = db_->buffers().stats();
   Result<QueryResult> r =
       parallel() ? db_->ExecuteParallel(index_pos, query, ctx_->pool())
                  : db_->Execute(index_pos, query);
@@ -38,7 +43,7 @@ Result<QueryResult> Session::Execute(size_t index_pos, const Query& query) {
 }
 
 Result<Database::OqlResult> Session::ExecuteOql(const std::string& oql) {
-  const uint64_t before = db_->buffers().stats().pages_read;
+  const IoStats before = db_->buffers().stats();
   Result<Database::OqlResult> r = db_->ExecuteOql(oql);
   Account(r.ok(), r.ok() ? r.value().count : 0, before);
   return r;

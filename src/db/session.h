@@ -6,6 +6,7 @@
 
 #include "db/database.h"
 #include "exec/execution_context.h"
+#include "storage/io_stats.h"
 
 namespace uindex {
 
@@ -31,6 +32,8 @@ class Session {
     uint64_t failed = 0;       ///< Calls that returned an error.
     uint64_t rows = 0;         ///< Rows/oids returned across all calls.
     uint64_t pages_read = 0;   ///< Page reads attributed to this session.
+    uint64_t nodes_parsed = 0;    ///< Full node decompressions attributed.
+    uint64_t node_cache_hits = 0; ///< Decoded-node cache hits attributed.
     std::string ToString() const;
   };
 
@@ -62,8 +65,9 @@ class Session {
   Result<Database::OqlResult> ExecuteOql(const std::string& oql);
 
  private:
-  // Folds one finished call into the session stats.
-  void Account(bool ok, uint64_t rows, uint64_t pages_before);
+  // Folds one finished call into the session stats; `before` is the
+  // database-wide counter snapshot taken when the call started.
+  void Account(bool ok, uint64_t rows, const IoStats& before);
 
   const Database* db_;
   const exec::ExecutionContext* ctx_ = nullptr;

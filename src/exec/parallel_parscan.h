@@ -36,6 +36,12 @@ struct ParallelScanOptions {
 ///    the union of pages the shards visit equals the serial scan's visited
 ///    set, so the charged total is identical regardless of interleaving.
 ///
+/// Workers descend through the tree's decoded-node cache (BTree::FetchNode):
+/// a node visited by several shards is front-decompressed once and shared as
+/// an immutable `std::shared_ptr<const Node>`, instead of each worker paying
+/// its own `Node::Parse`. This moves only the `nodes_parsed` counter — the
+/// page-read guarantee above is unaffected.
+///
 /// The tree must not be mutated while the scan runs (hold the database's
 /// shared latch, or quiesce writers). The caller brackets the query epoch
 /// (`QueryCost` / `BeginQuery`) as for a serial scan.

@@ -30,16 +30,33 @@ namespace uindex {
 /// buffer pool (used by the cache-sensitivity ablation). In that mode
 /// `BeginQuery` is a no-op.
 ///
+/// Besides residency, the manager is the version authority for the decoded-
+/// node cache (btree/node_cache.h): every page carries a version that
+/// `FetchForWrite` and `Free` bump (and `SetCapacity` bumps globally via an
+/// epoch), so a cache of values derived from page bytes can validate its
+/// entries without this layer knowing what was derived.
+///
 /// Thread-safety: concurrent `Fetch`es are safe — the residency set is
 /// sharded by page id under per-shard mutexes (LRU mode uses one mutex, as
 /// the recency list is inherently global) and all counters are relaxed
 /// atomics, so the parallel Parscan (src/exec/) charges exactly the same
 /// page-read total as a serial walk over the same pages: the first thread
 /// to touch a page pays the read, every later thread gets the cache hit.
-/// Mutations (`Allocate`/`Free`) and mode switches (`SetCapacity`) require
-/// external exclusive access, as does the underlying `Pager`.
+/// Mutations (`Allocate`/`Free`/`FetchForWrite`) and mode switches
+/// (`SetCapacity`) require external exclusive access (no concurrent reader
+/// of the same pages), as does the underlying `Pager`.
 class BufferManager {
  public:
+  /// Validation token for caches of values derived from a page's bytes.
+  /// Two equal versions of the same page id guarantee the page bytes were
+  /// not written, freed, or invalidated in between (given the external-
+  /// exclusion contract on mutations).
+  struct PageVersion {
+    uint64_t epoch = 0;   ///< Global invalidation epoch (SetCapacity).
+    uint64_t writes = 0;  ///< Per-page write/free count.
+    friend bool operator==(const PageVersion&, const PageVersion&) = default;
+  };
+
   explicit BufferManager(Pager* pager) : pager_(pager) {}
 
   BufferManager(const BufferManager&) = delete;
@@ -49,9 +66,13 @@ class BufferManager {
   uint32_t page_size() const { return pager_->page_size(); }
 
   /// Switches to a bounded LRU cache of `pages` frames (0 restores the
-  /// unbounded per-query-epoch mode). Resets residency either way.
+  /// unbounded per-query-epoch mode). Resets residency either way and bumps
+  /// the global invalidation epoch (derived-value caches start cold, like
+  /// the page pool itself). Requires external exclusion (see class
+  /// comment).
   void SetCapacity(size_t pages) {
     capacity_ = pages;
+    epoch_.fetch_add(1, std::memory_order_relaxed);
     ClearResidency();
     std::lock_guard<std::mutex> lock(lru_mu_);
     lru_.clear();
@@ -73,7 +94,9 @@ class BufferManager {
   }
 
   /// Starts a new query epoch: subsequently, each distinct page costs one
-  /// read again. No-op in bounded-cache mode (the pool persists).
+  /// read again. No-op in bounded-cache mode (the pool persists). Does NOT
+  /// touch page versions — decoded-node caches legitimately survive across
+  /// queries (they change CPU cost only, never the page-read metric).
   void BeginQuery() {
     if (capacity_ == 0) ClearResidency();
   }
@@ -100,11 +123,14 @@ class BufferManager {
   }
 
   /// Fetches a page for writing. Counts a read (the page must be resident
-  /// to modify it) plus a write.
+  /// to modify it) plus a write, and bumps the page's version so derived-
+  /// value caches drop their now-stale entries. Requires external
+  /// exclusion against readers of this page (see class comment).
   Page* FetchForWrite(PageId id) {
     Page* page = Fetch(id);
     if (page != nullptr) {
       stats_.pages_written.fetch_add(1, std::memory_order_relaxed);
+      BumpVersion(id);
     }
     return page;
   }
@@ -124,14 +150,18 @@ class BufferManager {
     return id;
   }
 
-  /// Frees a page and drops it from the resident set.
+  /// Frees a page and drops it from the resident set, bumping its version
+  /// (a later `Allocate` may recycle the id for unrelated content).
   void Free(PageId id) {
     {
       Shard& shard = shards_[id % kShards];
       std::lock_guard<std::mutex> lock(shard.mu);
       shard.resident.erase(id);
+      ++shard.versions[id];
     }
-    {
+    // The recency list only exists in bounded mode; per-query-epoch frees
+    // (the common case — every split/merge path) skip its global lock.
+    if (capacity_ != 0) {
       std::lock_guard<std::mutex> lock(lru_mu_);
       auto it = lru_index_.find(id);
       if (it != lru_index_.end()) {
@@ -142,17 +172,50 @@ class BufferManager {
     pager_->Free(id);
   }
 
+  /// Current version of `id`. Read it BEFORE reading the page bytes a
+  /// derived value is computed from; a cache entry tagged with that version
+  /// is valid exactly while `page_version(id)` still compares equal.
+  PageVersion page_version(PageId id) const {
+    PageVersion v;
+    v.epoch = epoch_.load(std::memory_order_relaxed);
+    const Shard& shard = shards_[id % kShards];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.versions.find(id);
+    v.writes = it == shard.versions.end() ? 0 : it->second;
+    return v;
+  }
+
   const IoStats& stats() const { return stats_; }
 
-  /// Zeroes all counters (page residency is unaffected).
-  void ResetStats() { stats_ = IoStats(); }
+  /// Decoded-node accounting hooks (btree layer): one full `Node::Parse`
+  /// materializing `decoded_bytes`, or one fetch served by the decoded-
+  /// node cache without a parse.
+  void RecordNodeParse(uint64_t decoded_bytes) {
+    stats_.nodes_parsed.fetch_add(1, std::memory_order_relaxed);
+    stats_.bytes_decoded.fetch_add(decoded_bytes, std::memory_order_relaxed);
+  }
+  void RecordNodeCacheHit() {
+    stats_.node_cache_hits.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Zeroes all counters (page residency is unaffected). Each counter is
+  /// cleared with an individual atomic store — safe against concurrent
+  /// `Fetch`es at the type level, but counts landing mid-reset are split
+  /// across the old and new baseline; callers needing an exact zero must
+  /// exclude concurrent queries externally (e.g. hold the database latch).
+  void ResetStats() { stats_.Reset(); }
 
  private:
   static constexpr size_t kShards = 16;
 
   struct Shard {
-    std::mutex mu;
+    // `mutable` so the const read-side (`page_version`) can lock it.
+    mutable std::mutex mu;
     std::unordered_set<PageId> resident;
+    // Write/free count per page id; absent means 0 (never written since
+    // construction). Grows with distinct pages ever written — bounded by
+    // the pager's page count, a few machine words per page.
+    std::unordered_map<PageId, uint64_t> versions;
   };
 
   void ClearResidency() {
@@ -160,6 +223,12 @@ class BufferManager {
       std::lock_guard<std::mutex> lock(shard.mu);
       shard.resident.clear();
     }
+  }
+
+  void BumpVersion(PageId id) {
+    Shard& shard = shards_[id % kShards];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ++shard.versions[id];
   }
 
   void SimulateReadLatency() {
@@ -197,8 +266,11 @@ class BufferManager {
   IoStats stats_;
   size_t capacity_ = 0;  // 0 = unbounded per-query-epoch mode.
   std::atomic<uint32_t> sim_read_latency_us_{0};
+  // Global invalidation epoch: part of every PageVersion, bumped by
+  // SetCapacity to invalidate all derived-value cache entries at once.
+  std::atomic<uint64_t> epoch_{0};
   // Per-query-epoch mode: residency sharded by page id to keep concurrent
-  // readers off each other's locks.
+  // readers off each other's locks. Page versions share the shards.
   Shard shards_[kShards];
   // Bounded mode: most-recently-used at the front, one lock (global order).
   std::mutex lru_mu_;

@@ -11,6 +11,12 @@ std::string IoStats::ToString() const {
          std::to_string(pages_allocated.load(std::memory_order_relaxed));
   out += " cache_hits=" +
          std::to_string(cache_hits.load(std::memory_order_relaxed));
+  out += " nodes_parsed=" +
+         std::to_string(nodes_parsed.load(std::memory_order_relaxed));
+  out += " node_cache_hits=" +
+         std::to_string(node_cache_hits.load(std::memory_order_relaxed));
+  out += " bytes_decoded=" +
+         std::to_string(bytes_decoded.load(std::memory_order_relaxed));
   return out;
 }
 

@@ -18,11 +18,22 @@ namespace uindex {
 /// snapshots a baseline, `operator-` returns a delta) loads each counter
 /// individually; a copy taken while other threads are counting is a
 /// per-counter-consistent snapshot, not a global one.
+///
+/// Besides the paper's page counters, three CPU-side counters expose the
+/// cost of the front-compressed node format: `nodes_parsed` counts full
+/// `Node::Parse` decompressions on counted paths, `node_cache_hits` counts
+/// fetches served from the decoded-node cache without re-parsing, and
+/// `bytes_decoded` sums the decompressed bytes those parses materialized.
+/// They never affect `pages_read` — the paper metric is unchanged whether
+/// the decoded-node cache is on or off.
 struct IoStats {
   std::atomic<uint64_t> pages_read{0};     ///< Distinct page fetches (per query epoch).
   std::atomic<uint64_t> pages_written{0};  ///< Page write-backs.
   std::atomic<uint64_t> pages_allocated{0};///< Pages ever allocated.
   std::atomic<uint64_t> cache_hits{0};     ///< Fetches served without a counted read.
+  std::atomic<uint64_t> nodes_parsed{0};   ///< Full node decompressions (Node::Parse).
+  std::atomic<uint64_t> node_cache_hits{0};///< Fetches served by the decoded-node cache.
+  std::atomic<uint64_t> bytes_decoded{0};  ///< Decompressed bytes materialized by parses.
 
   IoStats() = default;
   IoStats(const IoStats& other) { *this = other; }
@@ -36,7 +47,29 @@ struct IoStats {
         std::memory_order_relaxed);
     cache_hits.store(other.cache_hits.load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
+    nodes_parsed.store(other.nodes_parsed.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    node_cache_hits.store(
+        other.node_cache_hits.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    bytes_decoded.store(other.bytes_decoded.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
     return *this;
+  }
+
+  /// Zeroes every counter with an individual atomic store. Each store is
+  /// atomic, but the set of stores is not one transaction: counts arriving
+  /// from concurrent threads mid-reset land in whichever counters were not
+  /// yet cleared. Callers that need an exact zero baseline must exclude
+  /// concurrent counting externally (e.g. the database latch).
+  void Reset() {
+    pages_read.store(0, std::memory_order_relaxed);
+    pages_written.store(0, std::memory_order_relaxed);
+    pages_allocated.store(0, std::memory_order_relaxed);
+    cache_hits.store(0, std::memory_order_relaxed);
+    nodes_parsed.store(0, std::memory_order_relaxed);
+    node_cache_hits.store(0, std::memory_order_relaxed);
+    bytes_decoded.store(0, std::memory_order_relaxed);
   }
 
   IoStats operator-(const IoStats& base) const {
@@ -45,6 +78,9 @@ struct IoStats {
     d.pages_written = pages_written - base.pages_written;
     d.pages_allocated = pages_allocated - base.pages_allocated;
     d.cache_hits = cache_hits - base.cache_hits;
+    d.nodes_parsed = nodes_parsed - base.nodes_parsed;
+    d.node_cache_hits = node_cache_hits - base.node_cache_hits;
+    d.bytes_decoded = bytes_decoded - base.bytes_decoded;
     return d;
   }
 

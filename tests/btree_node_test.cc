@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+#include <vector>
+
 #include "btree/node.h"
 #include "storage/page.h"
 #include "util/random.h"
@@ -163,6 +167,253 @@ TEST(NodeTest, SerializeFailsWhenTooLarge) {
   Page page(64);
   BTreeOptions opts;
   EXPECT_TRUE(node.SerializeTo(&page, opts).IsCorruption());
+}
+
+// ---- SearchCompressed: the zero-materialization in-node search ----------
+
+// A random sorted key set over a 4-letter alphabet: short alphabet means
+// long shared prefixes, the regime front compression (and its search) is
+// built for.
+std::vector<std::string> RandomSortedKeys(Random* rng, size_t n) {
+  std::set<std::string> keys;
+  while (keys.size() < n) {
+    std::string k;
+    const size_t len = 1 + rng->Next() % 12;
+    for (size_t i = 0; i < len; ++i) {
+      k += static_cast<char>('a' + rng->Next() % 4);
+    }
+    keys.insert(std::move(k));
+  }
+  return std::vector<std::string>(keys.begin(), keys.end());
+}
+
+// Probes around each key: the key itself, neighbours, and random strings.
+std::vector<std::string> Probes(Random* rng, const std::vector<std::string>& keys) {
+  std::vector<std::string> probes;
+  for (const std::string& k : keys) {
+    probes.push_back(k);
+    probes.push_back(k + "a");
+    if (!k.empty()) {
+      std::string below = k;
+      below.back() = static_cast<char>(below.back() - 1);
+      probes.push_back(below);
+      probes.push_back(k.substr(0, k.size() - 1));
+    }
+  }
+  probes.push_back("");
+  probes.push_back("zzzz");
+  for (int i = 0; i < 32; ++i) {
+    std::string p;
+    const size_t len = rng->Next() % 10;
+    for (size_t j = 0; j < len; ++j) {
+      p += static_cast<char>('a' + rng->Next() % 5);
+    }
+    probes.push_back(std::move(p));
+  }
+  return probes;
+}
+
+// SearchCompressed must agree with Parse + LowerBound/payload on every
+// probe, for both serialization modes (its correctness argument does not
+// assume maximal prefix lengths, so the uncompressed image must work too).
+TEST(NodeTest, SearchCompressedMatchesParseOnLeaves) {
+  Random rng(1213);
+  for (const bool compressed : {true, false}) {
+    BTreeOptions opts;
+    opts.prefix_compression = compressed;
+    for (int round = 0; round < 20; ++round) {
+      Node node = Node::MakeLeaf();
+      node.set_next_leaf(321);
+      const auto keys = RandomSortedKeys(&rng, 1 + rng.Next() % 30);
+      for (const std::string& k : keys) {
+        node.entries().push_back(LeafEntry(k, "val_" + k));
+      }
+      Page page(4096);
+      ASSERT_TRUE(node.SerializeTo(&page, opts).ok());
+      Result<Node> parsed = Node::Parse(page);
+      ASSERT_TRUE(parsed.ok());
+
+      for (const std::string& probe : Probes(&rng, keys)) {
+        Result<Node::CompressedSearch> r =
+            Node::SearchCompressed(page, Slice(probe));
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        const Node::CompressedSearch& s = r.value();
+        EXPECT_TRUE(s.is_leaf);
+        EXPECT_EQ(s.count, keys.size());
+        EXPECT_EQ(s.aux, 321u);
+        const size_t lb = parsed.value().LowerBound(Slice(probe));
+        EXPECT_EQ(s.lower_bound, lb) << "probe=" << probe;
+        const bool expect_found =
+            lb < keys.size() && keys[lb] == probe;
+        EXPECT_EQ(s.found, expect_found) << "probe=" << probe;
+        if (expect_found) {
+          EXPECT_EQ(s.value, "val_" + probe);
+        }
+      }
+    }
+  }
+}
+
+TEST(NodeTest, SearchCompressedMatchesParseOnInternals) {
+  Random rng(77);
+  for (const bool compressed : {true, false}) {
+    BTreeOptions opts;
+    opts.prefix_compression = compressed;
+    for (int round = 0; round < 20; ++round) {
+      Node node = Node::MakeInternal();
+      node.set_leftmost_child(1000);
+      const auto keys = RandomSortedKeys(&rng, 1 + rng.Next() % 30);
+      for (size_t i = 0; i < keys.size(); ++i) {
+        node.entries().push_back(
+            InternalEntry(keys[i], static_cast<PageId>(1001 + i)));
+      }
+      Page page(4096);
+      ASSERT_TRUE(node.SerializeTo(&page, opts).ok());
+      Result<Node> parsed = Node::Parse(page);
+      ASSERT_TRUE(parsed.ok());
+
+      for (const std::string& probe : Probes(&rng, keys)) {
+        Result<Node::CompressedSearch> r =
+            Node::SearchCompressed(page, Slice(probe));
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        const Node::CompressedSearch& s = r.value();
+        EXPECT_FALSE(s.is_leaf);
+        EXPECT_EQ(s.aux, 1000u);
+        EXPECT_EQ(s.child, parsed.value().ChildFor(Slice(probe)))
+            << "probe=" << probe;
+        EXPECT_EQ(s.lower_bound, parsed.value().LowerBound(Slice(probe)));
+      }
+    }
+  }
+}
+
+TEST(NodeTest, SearchCompressedEmptyNode) {
+  Node node = Node::MakeLeaf();
+  Page page(128);
+  BTreeOptions opts;
+  ASSERT_TRUE(node.SerializeTo(&page, opts).ok());
+  Result<Node::CompressedSearch> r =
+      Node::SearchCompressed(page, Slice("anything"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().count, 0u);
+  EXPECT_FALSE(r.value().found);
+  EXPECT_EQ(r.value().lower_bound, 0u);
+}
+
+TEST(NodeTest, SearchCompressedRejectsGarbageTag) {
+  Page page(64);
+  page.data()[0] = 0x7F;
+  EXPECT_TRUE(
+      Node::SearchCompressed(page, Slice("x")).status().IsCorruption());
+}
+
+TEST(NodeTest, SearchCompressedRejectsTinyPage) {
+  Page page(4);
+  EXPECT_TRUE(
+      Node::SearchCompressed(page, Slice("x")).status().IsCorruption());
+}
+
+TEST(NodeTest, SearchCompressedRejectsOverrunningEntries) {
+  Node node = Node::MakeLeaf();
+  node.entries().push_back(LeafEntry("abc", "v"));
+  Page page(64);
+  BTreeOptions opts;
+  ASSERT_TRUE(node.SerializeTo(&page, opts).ok());
+  page.data()[2] = 40;  // Count overrun: the scan must hit the page limit.
+  EXPECT_TRUE(
+      Node::SearchCompressed(page, Slice("zzz")).status().IsCorruption());
+}
+
+TEST(NodeTest, SearchCompressedRejectsBadPrefixLength) {
+  Node node = Node::MakeLeaf();
+  node.entries().push_back(LeafEntry("aa", "1"));
+  node.entries().push_back(LeafEntry("ab", "2"));
+  Page page(128);
+  BTreeOptions opts;
+  ASSERT_TRUE(node.SerializeTo(&page, opts).ok());
+  // Entry 1's prefix_len claims more than entry 0's key length.
+  // Layout: header(12) + entry0 (6 overhead + 2 key + 1 value) = 21.
+  page.data()[Node::kHeaderSize + 9] = 9;
+  EXPECT_TRUE(Node::Parse(page).status().IsCorruption());
+  EXPECT_TRUE(
+      Node::SearchCompressed(page, Slice("zz")).status().IsCorruption());
+}
+
+// Corruption fuzz: random garbage and randomly flipped bytes of valid
+// images must never crash the compressed search, and whenever the full
+// Parse still accepts the image the search must agree with it. (The search
+// is allowed to succeed where Parse rejects: it stops validating at its
+// answer, just as it stops decompressing.)
+TEST(NodeTest, SearchCompressedCorruptionFuzz) {
+  Random rng(20260806);
+  for (int round = 0; round < 400; ++round) {
+    Page page(256);
+    if (round % 2 == 0) {
+      for (uint32_t i = 0; i < page.size(); ++i) {
+        page.data()[i] = static_cast<char>(rng.Next() & 0xFF);
+      }
+    } else {
+      Node node = round % 4 == 1 ? Node::MakeLeaf() : Node::MakeInternal();
+      const auto keys = RandomSortedKeys(&rng, 1 + rng.Next() % 12);
+      for (size_t i = 0; i < keys.size(); ++i) {
+        node.entries().push_back(node.is_leaf()
+                                     ? LeafEntry(keys[i], "v")
+                                     : InternalEntry(keys[i], i));
+      }
+      BTreeOptions opts;
+      opts.prefix_compression = (rng.Next() % 2 == 0);
+      ASSERT_TRUE(node.SerializeTo(&page, opts).ok());
+      const int flips = 1 + rng.Next() % 8;
+      for (int f = 0; f < flips; ++f) {
+        page.data()[rng.Next() % page.size()] =
+            static_cast<char>(rng.Next() & 0xFF);
+      }
+    }
+    std::string probe;
+    const size_t len = rng.Next() % 8;
+    for (size_t j = 0; j < len; ++j) {
+      probe += static_cast<char>(rng.Next() & 0xFF);
+    }
+
+    Result<Node::CompressedSearch> r =
+        Node::SearchCompressed(page, Slice(probe));
+    Result<Node> parsed = Node::Parse(page);
+    if (parsed.ok()) {
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      const Node& node = parsed.value();
+      EXPECT_EQ(r.value().is_leaf, node.is_leaf());
+      // Equivalence with LowerBound/ChildFor additionally needs the node
+      // invariant (strictly increasing keys), which Parse does not check —
+      // flipped suffix bytes can silently reorder decoded keys, and on an
+      // unsorted array both searches return arbitrary (different) answers.
+      bool sorted = true;
+      for (size_t i = 1; i < node.entry_count(); ++i) {
+        if (!(Slice(node.entries()[i - 1].key) <
+              Slice(node.entries()[i].key))) {
+          sorted = false;
+          break;
+        }
+      }
+      if (sorted) {
+        EXPECT_EQ(r.value().lower_bound, node.LowerBound(Slice(probe)));
+        if (!node.is_leaf()) {
+          EXPECT_EQ(r.value().child, node.ChildFor(Slice(probe)));
+        }
+      }
+    }
+  }
+}
+
+TEST(NodeTest, DecodedBytesTracksContent) {
+  Node small = Node::MakeLeaf();
+  small.entries().push_back(LeafEntry("k", "v"));
+  Node big = Node::MakeLeaf();
+  for (int i = 0; i < 50; ++i) {
+    big.entries().push_back(
+        LeafEntry("key_" + std::to_string(i), std::string(32, 'v')));
+  }
+  EXPECT_GE(small.DecodedBytes(), sizeof(Node) + 2);
+  EXPECT_GT(big.DecodedBytes(), small.DecodedBytes() + 50 * 32);
 }
 
 }  // namespace

@@ -1,0 +1,329 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "btree/btree.h"
+#include "btree/node_cache.h"
+#include "util/random.h"
+
+namespace uindex {
+namespace {
+
+std::string Key(int i) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "key%06d", i);
+  return buf;
+}
+
+class NodeCacheTest : public ::testing::Test {
+ protected:
+  NodeCacheTest() : pager_(512), buffers_(&pager_) {}
+
+  // The whole fixture exercises the cache; under UINDEX_NODE_CACHE=off
+  // (CI's cache-off leg) trees are built without one, so skip.
+  void SetUp() override {
+    if (!NodeCache::EnvEnabled()) {
+      GTEST_SKIP() << "decoded-node cache disabled via UINDEX_NODE_CACHE";
+    }
+  }
+
+  Pager pager_;
+  BufferManager buffers_;
+};
+
+TEST_F(NodeCacheTest, FetchNodeSharesOneDecodedImage) {
+  BTree tree(&buffers_);
+  ASSERT_NE(tree.node_cache(), nullptr);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(tree.Insert(Slice(Key(i)), Slice("v")).ok());
+  }
+  const uint64_t parses_before =
+      buffers_.stats().nodes_parsed.load(std::memory_order_relaxed);
+  Result<std::shared_ptr<const Node>> a = tree.FetchNode(tree.root());
+  Result<std::shared_ptr<const Node>> b = tree.FetchNode(tree.root());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Second fetch is the same decoded object, and only the first parsed.
+  EXPECT_EQ(a.value().get(), b.value().get());
+  EXPECT_EQ(
+      buffers_.stats().nodes_parsed.load(std::memory_order_relaxed),
+      parses_before + 1);
+  EXPECT_GE(
+      buffers_.stats().node_cache_hits.load(std::memory_order_relaxed), 1u);
+}
+
+TEST_F(NodeCacheTest, PageReadsIdenticalWithCacheOnAndOff) {
+  Pager pager_off(512);
+  BufferManager buffers_off(&pager_off);
+  BTreeOptions opts_off;
+  opts_off.node_cache_bytes = 0;
+
+  BTree on(&buffers_);
+  BTree off(&buffers_off, opts_off);
+  ASSERT_NE(on.node_cache(), nullptr);
+  ASSERT_EQ(off.node_cache(), nullptr);
+
+  for (int i = 0; i < 800; ++i) {
+    ASSERT_TRUE(on.Insert(Slice(Key(i)), Slice("v")).ok());
+    ASSERT_TRUE(off.Insert(Slice(Key(i)), Slice("v")).ok());
+  }
+  auto run_queries = [](const BTree& tree, BufferManager* buffers) {
+    std::vector<std::string> rows;
+    uint64_t pages = 0;
+    for (int q = 0; q < 50; ++q) {
+      QueryCost cost(buffers);
+      Result<std::string> got = tree.Get(Slice(Key(q * 13)));
+      rows.push_back(got.ok() ? got.value() : "miss");
+      auto it = tree.NewIterator();
+      for (it.Seek(Slice(Key(q * 7))); it.Valid() && rows.size() % 97 != 0;
+           it.Next()) {
+        rows.push_back(it.key().ToString());
+      }
+      pages += cost.PagesRead();
+    }
+    return std::make_pair(rows, pages);
+  };
+  const auto [rows_on, pages_on] = run_queries(on, &buffers_);
+  const auto [rows_off, pages_off] = run_queries(off, &buffers_off);
+  EXPECT_EQ(rows_on, rows_off);
+  EXPECT_EQ(pages_on, pages_off);  // The cache never touches pages_read.
+  EXPECT_LT(buffers_.stats().nodes_parsed.load(std::memory_order_relaxed),
+            buffers_off.stats().nodes_parsed.load(std::memory_order_relaxed));
+}
+
+// Interleaved Insert/Remove/range-scan against a reference map: a stale
+// decoded node would surface as a wrong row, a missing row, or a deleted
+// row coming back.
+TEST_F(NodeCacheTest, NeverServesStaleNodesAcrossMutations) {
+  BTreeOptions opts;
+  opts.node_cache_bytes = 64 << 10;  // Small enough to also exercise eviction.
+  BTree tree(&buffers_, opts);
+  ASSERT_NE(tree.node_cache(), nullptr);
+  std::map<std::string, std::string> reference;
+  Random rng(42);
+
+  auto check_scan = [&] {
+    auto it = tree.NewIterator();
+    auto ref = reference.begin();
+    for (it.SeekToFirst(); it.Valid(); it.Next(), ++ref) {
+      ASSERT_NE(ref, reference.end());
+      ASSERT_EQ(it.key().ToString(), ref->first);
+      ASSERT_EQ(it.value().ToString(), ref->second);
+    }
+    ASSERT_EQ(ref, reference.end());
+  };
+
+  for (int op = 0; op < 6000; ++op) {
+    const int k = static_cast<int>(rng.Next() % 700);
+    const std::string key = Key(k);
+    switch (rng.Next() % 3) {
+      case 0: {
+        std::string value = std::to_string(op);
+        value.insert(value.begin(), 'v');
+        ASSERT_TRUE(tree.Put(Slice(key), Slice(value)).ok());
+        reference[key] = value;
+        break;
+      }
+      case 1: {
+        const Status s = tree.Delete(Slice(key));
+        ASSERT_EQ(s.ok(), reference.erase(key) == 1) << s.ToString();
+        break;
+      }
+      default: {
+        Result<std::string> got = tree.Get(Slice(key));
+        auto ref = reference.find(key);
+        if (ref == reference.end()) {
+          ASSERT_TRUE(got.status().IsNotFound());
+        } else {
+          ASSERT_TRUE(got.ok());
+          ASSERT_EQ(got.value(), ref->second);
+        }
+        break;
+      }
+    }
+    if (op % 500 == 499) check_scan();
+  }
+  check_scan();
+  ASSERT_TRUE(tree.Validate().ok());
+}
+
+TEST_F(NodeCacheTest, SetCapacityInvalidatesEverything) {
+  BTree tree(&buffers_);
+  ASSERT_NE(tree.node_cache(), nullptr);
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(tree.Insert(Slice(Key(i)), Slice("v")).ok());
+  }
+  ASSERT_TRUE(tree.FetchNode(tree.root()).ok());
+  ASSERT_NE(tree.node_cache()->Lookup(tree.root()), nullptr);
+  buffers_.SetCapacity(8);  // Epoch bump: every cached version is stale.
+  EXPECT_EQ(tree.node_cache()->Lookup(tree.root()), nullptr);
+  buffers_.SetCapacity(0);
+  EXPECT_EQ(tree.node_cache()->Lookup(tree.root()), nullptr);
+  // And the tree still answers correctly afterwards.
+  EXPECT_EQ(tree.Get(Slice(Key(123))).value(), "v");
+}
+
+TEST_F(NodeCacheTest, FreeInvalidatesRecycledPage) {
+  BTree tree(&buffers_);
+  ASSERT_NE(tree.node_cache(), nullptr);
+  // Grow past one page, cache every node, then shrink until merges free
+  // pages; a recycled page must never be served from its old decoded image.
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(tree.Insert(Slice(Key(i)), Slice("v1")).ok());
+  }
+  auto it = tree.NewIterator();
+  for (it.SeekToFirst(); it.Valid(); it.Next()) {
+  }
+  for (int i = 0; i < 390; ++i) {
+    ASSERT_TRUE(tree.Delete(Slice(Key(i))).ok());
+  }
+  for (int i = 0; i < 390; ++i) {
+    ASSERT_TRUE(tree.Insert(Slice(Key(i)), Slice("v2")).ok());
+  }
+  for (int i = 0; i < 390; ++i) {
+    ASSERT_EQ(tree.Get(Slice(Key(i))).value(), "v2") << i;
+  }
+  ASSERT_TRUE(tree.Validate().ok());
+}
+
+TEST_F(NodeCacheTest, EvictionRespectsByteBudget) {
+  BTreeOptions opts;
+  opts.node_cache_bytes = 16 << 10;
+  BTree tree(&buffers_, opts);
+  ASSERT_NE(tree.node_cache(), nullptr);
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(tree.Insert(Slice(Key(i)), Slice("value")).ok());
+  }
+  auto it = tree.NewIterator();
+  for (it.SeekToFirst(); it.Valid(); it.Next()) {
+  }
+  EXPECT_GT(tree.node_cache()->entry_count(), 0u);
+  EXPECT_LE(tree.node_cache()->bytes_cached(),
+            tree.node_cache()->byte_budget());
+}
+
+TEST_F(NodeCacheTest, RuntimeDisableClearsAndBypasses) {
+  BTree tree(&buffers_);
+  ASSERT_NE(tree.node_cache(), nullptr);
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(tree.Insert(Slice(Key(i)), Slice("v")).ok());
+  }
+  ASSERT_TRUE(tree.FetchNode(tree.root()).ok());
+  tree.node_cache()->set_enabled(false);
+  EXPECT_EQ(tree.node_cache()->entry_count(), 0u);
+  EXPECT_EQ(tree.node_cache()->Lookup(tree.root()), nullptr);
+  const uint64_t hits_before =
+      buffers_.stats().node_cache_hits.load(std::memory_order_relaxed);
+  ASSERT_TRUE(tree.FetchNode(tree.root()).ok());
+  ASSERT_TRUE(tree.FetchNode(tree.root()).ok());
+  EXPECT_EQ(buffers_.stats().node_cache_hits.load(std::memory_order_relaxed),
+            hits_before);
+  EXPECT_EQ(tree.Get(Slice(Key(7))).value(), "v");
+  tree.node_cache()->set_enabled(true);
+  EXPECT_EQ(tree.Get(Slice(Key(7))).value(), "v");
+}
+
+// Concurrent readers against an excluded writer, the contract the parallel
+// executor runs under (database latch). Readers hammer point lookups and
+// leaf-chain scans through the cache while the writer, under the exclusive
+// side of a shared_mutex, keeps mutating — TSan must see no race on the
+// cache, the versions, or the shared decoded nodes.
+TEST_F(NodeCacheTest, ConcurrentReadersWithExcludedWriter) {
+  BTree tree(&buffers_);
+  ASSERT_NE(tree.node_cache(), nullptr);
+  constexpr int kKeys = 600;
+  for (int i = 0; i < kKeys; ++i) {
+    ASSERT_TRUE(tree.Insert(Slice(Key(i)), Slice("stable")).ok());
+  }
+
+  std::shared_mutex latch;
+  std::atomic<bool> stop{false};
+  std::atomic<int> errors{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      Random rng(1000 + t);
+      for (int iter = 0; iter < 250; ++iter) {
+        // Glibc's rwlock prefers readers; briefly drop off the lock so the
+        // writer actually interleaves instead of starving.
+        if (iter % 8 == 7) std::this_thread::yield();
+        std::shared_lock<std::shared_mutex> lock(latch);
+        // Stable keys (never mutated by the writer) must always be present
+        // and exact; churn keys may come and go but never corrupt a scan.
+        const int k = static_cast<int>(rng.Next() % (kKeys / 2));
+        Result<std::string> got = tree.Get(Slice(Key(k)));
+        if (!got.ok() || got.value() != "stable") {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        }
+        auto it = tree.NewIterator();
+        std::string prev;
+        int seen = 0;
+        for (it.Seek(Slice(Key(k))); it.Valid() && seen < 40; it.Next()) {
+          if (!prev.empty() && !(Slice(prev) < it.key())) {
+            errors.fetch_add(1, std::memory_order_relaxed);
+          }
+          prev = it.key().ToString();
+          ++seen;
+        }
+      }
+    });
+  }
+
+  std::thread writer([&] {
+    Random rng(9);
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::unique_lock<std::shared_mutex> lock(latch);
+      // Churn only the upper half of the key space.
+      const int k = kKeys / 2 + static_cast<int>(rng.Next() % (kKeys / 2));
+      if (rng.Next() % 2 == 0) {
+        (void)tree.Put(Slice(Key(k)), Slice("churn"));
+      } else {
+        (void)tree.Delete(Slice(Key(k)));
+      }
+    }
+  });
+
+  for (std::thread& r : readers) r.join();
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  EXPECT_EQ(errors.load(), 0);
+  ASSERT_TRUE(tree.Validate().ok());
+}
+
+TEST(NodeCacheUnitTest, InsertLookupClear) {
+  Pager pager(512);
+  BufferManager buffers(&pager);
+  const PageId id = buffers.Allocate();
+  NodeCache cache(&buffers, 1 << 20);
+
+  auto node = std::make_shared<const Node>(Node::MakeLeaf());
+  const BufferManager::PageVersion v = buffers.page_version(id);
+  cache.Insert(id, v, node);
+  EXPECT_EQ(cache.Lookup(id).get(), node.get());
+
+  // A write bump makes the entry stale even though the bytes were cached.
+  ASSERT_NE(buffers.FetchForWrite(id), nullptr);
+  EXPECT_EQ(cache.Lookup(id), nullptr);
+  EXPECT_EQ(cache.entry_count(), 0u);
+
+  // An Insert tagged with a version read before the write is dead on
+  // arrival — the self-invalidation that closes the read/write race.
+  cache.Insert(id, v, node);
+  EXPECT_EQ(cache.Lookup(id), nullptr);
+
+  cache.Insert(id, buffers.page_version(id), node);
+  EXPECT_NE(cache.Lookup(id), nullptr);
+  cache.Clear();
+  EXPECT_EQ(cache.Lookup(id), nullptr);
+  EXPECT_EQ(cache.bytes_cached(), 0u);
+}
+
+}  // namespace
+}  // namespace uindex
