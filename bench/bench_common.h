@@ -80,6 +80,11 @@ class JsonReport {
     r.node_cache_hits =
         delta.node_cache_hits.load(std::memory_order_relaxed);
     r.bytes_decoded = delta.bytes_decoded.load(std::memory_order_relaxed);
+    r.prefetch_issued =
+        delta.prefetch_issued.load(std::memory_order_relaxed);
+    r.prefetch_hits = delta.prefetch_hits.load(std::memory_order_relaxed);
+    r.prefetch_wasted =
+        delta.prefetch_wasted.load(std::memory_order_relaxed);
     rows_.push_back(std::move(r));
   }
 
@@ -121,11 +126,16 @@ class JsonReport {
         std::fprintf(
             f,
             ", \"pages_read\": %llu, \"nodes_parsed\": %llu"
-            ", \"node_cache_hits\": %llu, \"bytes_decoded\": %llu",
+            ", \"node_cache_hits\": %llu, \"bytes_decoded\": %llu"
+            ", \"prefetch_issued\": %llu, \"prefetch_hits\": %llu"
+            ", \"prefetch_wasted\": %llu",
             static_cast<unsigned long long>(r.pages_read),
             static_cast<unsigned long long>(r.nodes_parsed),
             static_cast<unsigned long long>(r.node_cache_hits),
-            static_cast<unsigned long long>(r.bytes_decoded));
+            static_cast<unsigned long long>(r.bytes_decoded),
+            static_cast<unsigned long long>(r.prefetch_issued),
+            static_cast<unsigned long long>(r.prefetch_hits),
+            static_cast<unsigned long long>(r.prefetch_wasted));
       }
       std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
     }
@@ -144,6 +154,9 @@ class JsonReport {
     uint64_t nodes_parsed = 0;
     uint64_t node_cache_hits = 0;
     uint64_t bytes_decoded = 0;
+    uint64_t prefetch_issued = 0;
+    uint64_t prefetch_hits = 0;
+    uint64_t prefetch_wasted = 0;
   };
   std::string name_;
   std::vector<Row> rows_;
@@ -171,10 +184,27 @@ inline Status RunPanel(SetExperiment& exp, double fraction, uint64_t seed,
   const SetExperiment::Structure& uindex = structures[0];
   const SetExperiment::Structure& cgtree = structures[1];
   const int reps = ExperimentReps();
+  bool prefetch_checked = false;
   for (const size_t m : SetsQueriedAxis(cfg.num_sets)) {
     Result<double> u_near = exp.Measure(uindex, m, true, fraction, reps,
                                         seed);
     if (!u_near.ok()) return u_near.status();
+    if (!prefetch_checked) {
+      // Page-read identity gate: the paper metric must not move when the
+      // prefetch pipeline is detached (a no-op when it was never built).
+      prefetch_checked = true;
+      exp.SetPrefetchEnabled(false);
+      Result<double> u_off = exp.Measure(uindex, m, true, fraction, reps,
+                                         seed);
+      exp.SetPrefetchEnabled(true);
+      if (!u_off.ok()) return u_off.status();
+      if (u_off.value() != u_near.value()) {
+        return Status::Corruption(
+            "prefetch changed avg pages_read: on=" +
+            std::to_string(u_near.value()) +
+            " off=" + std::to_string(u_off.value()));
+      }
+    }
     Result<double> u_far = exp.Measure(uindex, m, false, fraction, reps,
                                        seed + 1);
     if (!u_far.ok()) return u_far.status();
@@ -194,7 +224,9 @@ inline Status RunPanel(SetExperiment& exp, double fraction, uint64_t seed,
   return Status::OK();
 }
 
-/// Builds the experiment for one (num_sets, num_keys) panel.
+/// Builds the experiment for one (num_sets, num_keys) panel. Prefetch is
+/// attached (subject to UINDEX_PREFETCH) so RunPanel's identity gate
+/// exercises the real pipeline; it cannot affect the reported page counts.
 inline Result<std::unique_ptr<SetExperiment>> MakePanel(
     uint32_t num_sets, uint64_t num_distinct_keys) {
   SetExperiment::Options opts;
@@ -203,6 +235,7 @@ inline Result<std::unique_ptr<SetExperiment>> MakePanel(
   opts.workload.num_distinct_keys =
       num_distinct_keys == 0 ? opts.workload.num_objects
                              : num_distinct_keys;
+  opts.prefetch_threads = 2;
   return SetExperiment::Create(opts);
 }
 

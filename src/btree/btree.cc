@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "storage/prefetch.h"
 #include "util/hex.h"
 
 namespace uindex {
@@ -85,6 +86,32 @@ Result<std::shared_ptr<const Node>> BTree::FetchNode(PageId id) const {
   buffers_->RecordNodeParse(node->DecodedBytes());
   node_cache_->Insert(id, version, node);
   return node;
+}
+
+void BTree::WarmNode(PageId id) const {
+  if (node_cache_ == nullptr || !node_cache_->enabled()) return;
+  // Version BEFORE bytes, exactly like FetchNode: a write landing between
+  // the two makes the inserted entry stale and Lookup drops it.
+  const BufferManager::PageVersion version = buffers_->page_version(id);
+  const Page* page = buffers_->pager()->GetPage(id);
+  if (page == nullptr) return;  // Freed while queued; nothing to warm.
+  Result<Node> r = Node::Parse(*page);
+  if (!r.ok()) return;  // The demand fetch will surface the corruption.
+  node_cache_->Insert(id, version,
+                      std::make_shared<const Node>(std::move(r).value()));
+}
+
+std::shared_ptr<const Node> BTree::TryGetWarmNode(PageId id) const {
+  if (node_cache_ != nullptr) {
+    if (std::shared_ptr<const Node> cached = node_cache_->Lookup(id)) {
+      return cached;
+    }
+  }
+  PrefetchScheduler* prefetcher = buffers_->prefetcher();
+  if (prefetcher == nullptr || !prefetcher->IsStaged(id)) return nullptr;
+  Result<Node> r = LoadNodeUncounted(id);
+  if (!r.ok()) return nullptr;
+  return std::make_shared<const Node>(std::move(r).value());
 }
 
 Result<Node> BTree::LoadNodeUncounted(PageId id) const {

@@ -95,8 +95,40 @@ class BTree {
   /// (`BTreeOptions::node_cache_bytes == 0` or UINDEX_NODE_CACHE=off).
   NodeCache* node_cache() const { return node_cache_.get(); }
 
+  /// Background warm hook for the prefetch scheduler (storage/prefetch.h):
+  /// decodes page `id` into the decoded-node cache under the usual
+  /// version-before-bytes protocol, charging nothing — the demand fetch
+  /// that later consumes the page gets the parse for free. Tolerates a
+  /// freed/invalid id and a disabled cache (both are no-ops); thread-safe
+  /// against concurrent readers (writers are excluded by the scheduler's
+  /// drain contract).
+  void WarmNode(PageId id) const;
+
+  /// Uncounted lookup of a decoded node that is already in memory: served
+  /// from the decoded-node cache, or parsed from the pager's bytes when the
+  /// prefetch scheduler has the page staged. Returns null when the page is
+  /// not known to be in memory — callers must NOT treat that as an error,
+  /// and must NOT use this on a demand path (it would bypass page-read
+  /// accounting); it exists for iterator readahead to walk discovery
+  /// internal nodes without charging reads the demand scan never performs.
+  std::shared_ptr<const Node> TryGetWarmNode(PageId id) const;
+
   /// Forward scanner over leaf entries in key order. Obtain via
   /// `NewIterator`; invalidated by tree mutation.
+  ///
+  /// While a `PrefetchScheduler` is attached to the tree's buffer manager
+  /// (and `BTreeOptions::readahead_leaves > 0`), the iterator keeps a
+  /// window of upcoming leaves in background reads ahead of its position.
+  /// The leaf ids come from the internal nodes recorded during the seek
+  /// descent — a parent names many consecutive leaves, so readahead runs a
+  /// full window deep instead of the one-step lookahead a `next_leaf`
+  /// pointer would allow. Crossing into the next parent's subtree requires
+  /// that parent's sibling, which the demand scan never reads (the leaf
+  /// chain crosses on its own): readahead fetches such discovery internals
+  /// in the background too, reads them via `TryGetWarmNode` (uncounted),
+  /// and stalls — never blocks — while one is still in flight. Those
+  /// discovery reads surface as `prefetch_wasted` by design; `pages_read`
+  /// stays byte-identical with readahead on or off.
   class Iterator {
    public:
     /// Positions at the first entry (invalid if the tree is empty).
@@ -106,6 +138,12 @@ class BTree {
     void Seek(const Slice& target);
 
     bool Valid() const { return valid_; }
+
+    /// OK while positioned or cleanly exhausted; the `FetchNode` error
+    /// (Corruption/NotFound) that stopped the scan otherwise. Callers that
+    /// treat `!Valid()` as end-of-scan must check this — a failed node
+    /// load also clears `Valid()`.
+    const Status& status() const { return status_; }
 
     /// Advances to the next entry in key order, following the leaf chain.
     void Next();
@@ -123,11 +161,41 @@ class BTree {
     void LoadLeaf(PageId id);
     void SkipEmptyLeaves();
 
+    // One internal level of the readahead enumerator's position. `depth`
+    // is the level's distance from the root; children of the deepest
+    // recorded level are leaves.
+    struct RaStep {
+      std::shared_ptr<const Node> node;
+      size_t next_child;  // Next child index to enumerate (0 = leftmost).
+      size_t depth;
+    };
+
+    // Starts readahead from the internal nodes visited by a seek descent
+    // (each paired with the child index the descent took); no-op when no
+    // scheduler is attached or the window is 0.
+    void ArmReadahead(std::vector<RaStep> path);
+    // Issues background leaf reads until the window is full, the
+    // enumerator stalls on a discovery internal, or the tree is exhausted.
+    void TopUpReadahead();
+    // Next upcoming leaf id in chain order; kInvalidPageId when stalled
+    // (discovery read in flight) or done.
+    PageId NextReadaheadLeaf();
+
     const BTree* tree_;
     PageId page_id_ = kInvalidPageId;
     std::shared_ptr<const Node> node_;
     size_t index_ = 0;
     bool valid_ = false;
+    Status status_;
+
+    // Readahead state; dead weight unless ArmReadahead enables it.
+    bool ra_active_ = false;
+    std::vector<RaStep> ra_path_;
+    size_t ra_leaf_parent_depth_ = 0;
+    PageId ra_stall_ = kInvalidPageId;  // Discovery internal in flight.
+    size_t ra_stall_depth_ = 0;
+    size_t ra_issued_ = 0;    // Leaf ids handed to the scheduler.
+    size_t ra_consumed_ = 0;  // Leaves the scan moved onto since arming.
   };
 
   Iterator NewIterator() const { return Iterator(this); }

@@ -1,5 +1,7 @@
 #include "btree/btree.h"
 
+#include "storage/prefetch.h"
+
 namespace uindex {
 
 // Iterators read leaves through the tree's decoded-node cache (FetchNode):
@@ -7,14 +9,27 @@ namespace uindex {
 // shares one immutable decoded image per page instead of re-parsing the
 // front-compressed entries on every load. Page reads are charged exactly as
 // with LoadNode.
+//
+// When a PrefetchScheduler is attached, the seek descent additionally arms
+// leaf-chain readahead (see the Iterator class comment in btree.h): the
+// internal nodes just visited enumerate the upcoming leaves, so the demand
+// loads below find their pages already read in the background. Readahead
+// never charges a page read and never blocks the scan.
 
 void BTree::Iterator::LoadLeaf(PageId id) {
   page_id_ = id;
   index_ = 0;
   valid_ = false;
   if (id == kInvalidPageId) return;
+  if (ra_active_) {
+    ++ra_consumed_;
+    TopUpReadahead();
+  }
   Result<std::shared_ptr<const Node>> r = tree_->FetchNode(id);
-  if (!r.ok()) return;
+  if (!r.ok()) {
+    status_ = r.status();
+    return;
+  }
   node_ = std::move(r).value();
   valid_ = true;
 }
@@ -31,31 +46,47 @@ void BTree::Iterator::SkipEmptyLeaves() {
 }
 
 void BTree::Iterator::SeekToFirst() {
+  status_ = Status::OK();
+  std::vector<RaStep> path;
   PageId id = tree_->root();
   for (;;) {
     Result<std::shared_ptr<const Node>> r = tree_->FetchNode(id);
     if (!r.ok()) {
+      status_ = r.status();
       valid_ = false;
       return;
     }
     if (r.value()->is_leaf()) break;
     id = r.value()->leftmost_child();
+    path.push_back({std::move(r).value(), 1, path.size()});
   }
+  ArmReadahead(std::move(path));
   LoadLeaf(id);
   SkipEmptyLeaves();
 }
 
 void BTree::Iterator::Seek(const Slice& target) {
+  status_ = Status::OK();
+  std::vector<RaStep> path;
   PageId id = tree_->root();
   for (;;) {
     Result<std::shared_ptr<const Node>> r = tree_->FetchNode(id);
     if (!r.ok()) {
+      status_ = r.status();
       valid_ = false;
       return;
     }
     if (r.value()->is_leaf()) break;
-    id = r.value()->ChildFor(target);
+    // ChildFor(target) is the child before the first entry with key >
+    // target; record the index form so readahead can resume at the next
+    // sibling.
+    const std::shared_ptr<const Node>& node = r.value();
+    const size_t child_index = node->UpperBound(target);
+    id = child_index == 0 ? node->leftmost_child()
+                          : node->entries()[child_index - 1].child;
+    path.push_back({std::move(r).value(), child_index + 1, path.size()});
   }
+  ArmReadahead(std::move(path));
   LoadLeaf(id);
   if (!valid_) return;
   index_ = node_->LowerBound(target);
@@ -66,6 +97,81 @@ void BTree::Iterator::Next() {
   if (!valid_) return;
   ++index_;
   SkipEmptyLeaves();
+}
+
+void BTree::Iterator::ArmReadahead(std::vector<RaStep> path) {
+  ra_active_ = false;
+  ra_stall_ = kInvalidPageId;
+  ra_issued_ = 0;
+  ra_consumed_ = 0;
+  if (path.empty()) return;  // Root is the leaf: nothing to enumerate.
+  if (tree_->options().readahead_leaves == 0) return;
+  if (tree_->buffers()->prefetcher() == nullptr) return;
+  ra_path_ = std::move(path);
+  ra_leaf_parent_depth_ = ra_path_.size() - 1;
+  ra_active_ = true;
+  TopUpReadahead();
+}
+
+void BTree::Iterator::TopUpReadahead() {
+  PrefetchScheduler* prefetcher = tree_->buffers()->prefetcher();
+  if (prefetcher == nullptr) {
+    ra_active_ = false;
+    return;
+  }
+  const BTree* tree = tree_;
+  PrefetchScheduler::WarmFn warm = [tree](PageId id) { tree->WarmNode(id); };
+  const size_t window = tree_->options().readahead_leaves;
+  std::vector<PageId> batch;
+  while (ra_active_ && ra_issued_ < ra_consumed_ + window) {
+    const PageId id = NextReadaheadLeaf();
+    if (id == kInvalidPageId) break;
+    ++ra_issued_;
+    batch.push_back(id);
+  }
+  if (!batch.empty()) prefetcher->Prefetch(batch, warm);
+  if (ra_stall_ != kInvalidPageId) {
+    // (Re-)issue the discovery read; dedup makes this free while it is
+    // still in flight, and it revives a read dropped by an epoch reset.
+    prefetcher->Prefetch(&ra_stall_, 1, warm);
+  }
+}
+
+PageId BTree::Iterator::NextReadaheadLeaf() {
+  for (;;) {
+    if (ra_stall_ != kInvalidPageId) {
+      std::shared_ptr<const Node> node = tree_->TryGetWarmNode(ra_stall_);
+      if (node == nullptr) return kInvalidPageId;  // Still in flight.
+      ra_stall_ = kInvalidPageId;
+      if (node->is_leaf()) {
+        // Only possible if the tree was mutated under us; drop readahead
+        // rather than enumerate garbage (the iterator is invalid anyway).
+        ra_active_ = false;
+        return kInvalidPageId;
+      }
+      ra_path_.push_back({std::move(node), 0, ra_stall_depth_});
+    }
+    if (ra_path_.empty()) {
+      ra_active_ = false;  // Whole tree enumerated.
+      return kInvalidPageId;
+    }
+    RaStep& step = ra_path_.back();
+    if (step.next_child > step.node->entry_count()) {
+      ra_path_.pop_back();
+      continue;
+    }
+    const size_t child_index = step.next_child++;
+    const PageId child = child_index == 0
+                             ? step.node->leftmost_child()
+                             : step.node->entries()[child_index - 1].child;
+    if (step.depth == ra_leaf_parent_depth_) return child;
+    // An internal node the demand scan will never read (the leaf chain
+    // crosses subtrees on its own): read it in the background and stall
+    // until it is staged. TopUpReadahead issues the actual prefetch.
+    ra_stall_ = child;
+    ra_stall_depth_ = step.depth + 1;
+    return kInvalidPageId;
+  }
 }
 
 }  // namespace uindex

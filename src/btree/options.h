@@ -30,6 +30,15 @@ struct BTreeOptions {
   /// (the reference escape hatch — CI runs the full suite both ways).
   /// Page-read accounting is identical either way.
   size_t node_cache_bytes = size_t{8} << 20;
+
+  /// Leaf-chain readahead window for forward iterators: while a
+  /// `PrefetchScheduler` is attached to the buffer manager, an iterator
+  /// keeps up to this many upcoming leaves (enumerated from the internal
+  /// nodes of its descent path) in background reads ahead of its position.
+  /// 0 disables readahead for this tree; UINDEX_PREFETCH=off disables the
+  /// whole prefetch pipeline globally. Page-read accounting is identical
+  /// either way.
+  uint32_t readahead_leaves = 8;
 };
 
 }  // namespace uindex

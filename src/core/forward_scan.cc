@@ -7,7 +7,10 @@ namespace uindex {
 // leaf chain until past the last possibly-relevant key, filtering entries
 // with only as much key decompression as comparison needs. The iterator
 // reads the leaf chain through the decoded-node cache, so a hot sweep
-// re-parses nothing; the page-read count is identical either way.
+// re-parses nothing; the page-read count is identical either way. With a
+// prefetch scheduler attached, the iterator's leaf-chain readahead keeps
+// the next window of leaves in background reads, so the sweep overlaps its
+// page waits instead of paying them one at a time.
 Result<QueryResult> UIndex::ForwardScan(const Query& query) const {
   Result<CompiledQuery> compiled =
       CompiledQuery::Compile(query, encoder_, *schema_);
@@ -52,6 +55,10 @@ Result<QueryResult> UIndex::ForwardScan(const Query& query) const {
     }
     it.Next();
   }
+  // An iterator stops on a failed node load exactly like on a clean end of
+  // scan; only status() tells them apart. Returning a truncated result for
+  // a corrupted tree would silently drop rows.
+  if (!it.status().ok()) return it.status();
   return result;
 }
 

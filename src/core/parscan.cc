@@ -1,5 +1,7 @@
 #include "core/uindex.h"
 
+#include "storage/prefetch.h"
+
 namespace uindex {
 
 namespace {
@@ -70,49 +72,96 @@ class ParscanDriver {
     // Internal node: child c covers the key gap [K_{c-1}, K_c). Intervals
     // handed to this node intersect its whole range; the node's true
     // bounds arrive from the parent for the prefix prune.
+    //
+    // Before descending, hand the surviving child set to the prefetch
+    // scheduler (when one is attached): Algorithm 1 knows every child it
+    // will visit *before* it visits the first, so their page reads can
+    // overlap in the background while the recursion works through them in
+    // order. The pre-pass snapshots resume_ — it only grows during the
+    // descent below, so the set is a conservative superset of what the
+    // demand loop visits: extra entries become prefetch_wasted, and the
+    // demand loop itself is untouched, keeping pages_read byte-identical.
     const auto& entries = node.entries();
+    PrefetchScheduler* prefetcher = tree_->buffers()->prefetcher();
+    if (prefetcher != nullptr) {
+      std::vector<PageId> batch;
+      size_t pre_ii = lo;
+      for (size_t c = 0; c <= entries.size(); ++c) {
+        const std::string* gap_lo = c == 0 ? bound_lo : &entries[c - 1].key;
+        const std::string* gap_hi =
+            c == entries.size() ? bound_hi : &entries[c].key;
+        size_t pre_jj = 0;
+        const GapAction action =
+            DecideGap(gap_lo, gap_hi, hi, &pre_ii, &pre_jj);
+        if (action == GapAction::kStop) break;
+        if (action == GapAction::kSkip) continue;
+        batch.push_back(c == 0 ? node.leftmost_child()
+                               : entries[c - 1].child);
+      }
+      if (batch.size() >= 2) {
+        // A lone survivor is fetched immediately below; backgrounding it
+        // buys nothing and costs a scheduling round trip.
+        const BTree* tree = tree_;
+        prefetcher->Prefetch(batch,
+                             [tree](PageId id) { tree->WarmNode(id); });
+      }
+    }
+
     size_t ii = lo;
     for (size_t c = 0; c <= entries.size(); ++c) {
       const std::string* gap_lo = c == 0 ? bound_lo : &entries[c - 1].key;
       const std::string* gap_hi =
           c == entries.size() ? bound_hi : &entries[c].key;
-
-      // Distinct-prefix skip: the whole gap is below the resume point.
-      if (!resume_.empty() && gap_hi != nullptr &&
-          !(Slice(resume_) < Slice(*gap_hi))) {
-        continue;
-      }
-      // Skip intervals that end at or before this gap.
-      while (ii < hi && gap_lo != nullptr && !intervals[ii].hi.empty() &&
-             !(Slice(*gap_lo) < Slice(intervals[ii].hi))) {
-        ++ii;
-      }
-      if (ii >= hi) break;
-      // Extend over the intervals that start inside this gap. The last one
-      // may spill into later gaps, so `ii` itself does not advance here.
-      size_t jj = ii;
-      while (jj < hi && (gap_hi == nullptr ||
-                         Slice(intervals[jj].lo) < Slice(*gap_hi))) {
-        ++jj;
-      }
-      if (jj == ii) continue;
-
-      // Parent-node prune: all keys in the gap share the bounds' common
-      // prefix; a violated prefix rules out the whole child.
-      if (gap_lo != nullptr && gap_hi != nullptr) {
-        const size_t shared =
-            Slice(*gap_lo).CommonPrefixLength(Slice(*gap_hi));
-        if (shared > 0 &&
-            cq_->PrefixExcludes(Slice(gap_lo->data(), shared))) {
-          continue;
-        }
-      }
-
+      size_t jj = 0;
+      const GapAction action = DecideGap(gap_lo, gap_hi, hi, &ii, &jj);
+      if (action == GapAction::kStop) break;
+      if (action == GapAction::kSkip) continue;
       const PageId child =
           c == 0 ? node.leftmost_child() : entries[c - 1].child;
       UINDEX_RETURN_IF_ERROR(Visit(child, ii, jj, gap_lo, gap_hi));
     }
     return Status::OK();
+  }
+
+  enum class GapAction { kDescend, kSkip, kStop };
+
+  // The per-gap pruning decision of the internal-node loop, shared by the
+  // demand descent and the prefetch pre-pass so both walk the same
+  // surviving child set. Advances *ii past intervals that end at or before
+  // the gap (kStop once none remain) and sets *jj one past the last
+  // interval overlapping it; the current resume_ drives the
+  // distinct-prefix skip.
+  GapAction DecideGap(const std::string* gap_lo, const std::string* gap_hi,
+                      size_t hi, size_t* ii, size_t* jj) const {
+    const auto& intervals = cq_->intervals();
+    // Distinct-prefix skip: the whole gap is below the resume point.
+    if (!resume_.empty() && gap_hi != nullptr &&
+        !(Slice(resume_) < Slice(*gap_hi))) {
+      return GapAction::kSkip;
+    }
+    // Skip intervals that end at or before this gap.
+    while (*ii < hi && gap_lo != nullptr && !intervals[*ii].hi.empty() &&
+           !(Slice(*gap_lo) < Slice(intervals[*ii].hi))) {
+      ++*ii;
+    }
+    if (*ii >= hi) return GapAction::kStop;
+    // Extend over the intervals that start inside this gap. The last one
+    // may spill into later gaps, so *ii itself does not advance here.
+    *jj = *ii;
+    while (*jj < hi && (gap_hi == nullptr ||
+                        Slice(intervals[*jj].lo) < Slice(*gap_hi))) {
+      ++*jj;
+    }
+    if (*jj == *ii) return GapAction::kSkip;
+    // Parent-node prune: all keys in the gap share the bounds' common
+    // prefix; a violated prefix rules out the whole child.
+    if (gap_lo != nullptr && gap_hi != nullptr) {
+      const size_t shared = Slice(*gap_lo).CommonPrefixLength(Slice(*gap_hi));
+      if (shared > 0 && cq_->PrefixExcludes(Slice(gap_lo->data(), shared))) {
+        return GapAction::kSkip;
+      }
+    }
+    return GapAction::kDescend;
   }
 
   Status Emit(const Slice& key, const DecodedKey& decoded) {

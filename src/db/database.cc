@@ -9,6 +9,7 @@
 #include <shared_mutex>
 
 #include "exec/parallel_parscan.h"
+#include "storage/prefetch.h"
 #include "storage/snapshot.h"
 #include "util/coding.h"
 
@@ -23,6 +24,7 @@ Database::Database(DatabaseOptions options)
   if (options_.maintain_catalog) {
     catalog_ = std::make_unique<SchemaCatalog>(&buffers_, options_.btree);
   }
+  AttachPrefetcher();
 }
 
 Database::Database(DatabaseOptions options, std::unique_ptr<Pager> pager)
@@ -30,10 +32,36 @@ Database::Database(DatabaseOptions options, std::unique_ptr<Pager> pager)
       pager_(std::move(pager)),
       buffers_(pager_.get()),
       store_(&schema_),
-      maintainer_(&schema_, &store_) {}
+      maintainer_(&schema_, &store_) {
+  AttachPrefetcher();
+}
+
+Database::~Database() {
+  // Shutdown ordering (satisfied implicitly by member order, made explicit
+  // here): first the scheduler — its destructor drains every background
+  // read and detaches from buffers_ — then the pool's workers join, and
+  // only then may indexes, buffers, and the pager be destroyed. Reversing
+  // any of these would let a background read touch freed pages.
+  prefetcher_.reset();
+  io_pool_.reset();
+}
+
+void Database::AttachPrefetcher() {
+  if (options_.prefetch_threads == 0) return;
+  if (!PrefetchScheduler::EnvEnabled()) return;
+  io_pool_ = std::make_unique<exec::ThreadPool>(options_.prefetch_threads);
+  prefetcher_ =
+      std::make_unique<PrefetchScheduler>(&buffers_, io_pool_.get());
+  buffers_.SetPrefetcher(prefetcher_.get());
+}
+
+void Database::QuiescePrefetch() {
+  if (prefetcher_ != nullptr) prefetcher_->Drain();
+}
 
 Result<ClassId> Database::CreateClass(const std::string& name) {
   std::unique_lock lock(latch_);
+  QuiescePrefetch();
   Result<ClassId> cls = schema_.AddClass(name);
   if (!cls.ok()) return cls;
   UINDEX_RETURN_IF_ERROR(coder_.AssignNewClass(schema_, cls.value()));
@@ -51,6 +79,7 @@ Result<ClassId> Database::CreateClass(const std::string& name) {
 Result<ClassId> Database::CreateSubclass(const std::string& name,
                                          ClassId parent) {
   std::unique_lock lock(latch_);
+  QuiescePrefetch();
   Result<ClassId> cls = schema_.AddSubclass(name, parent);
   if (!cls.ok()) return cls;
   UINDEX_RETURN_IF_ERROR(coder_.AssignNewClass(schema_, cls.value()));
@@ -70,6 +99,7 @@ Status Database::CreateReference(ClassId source, ClassId target,
                                  const std::string& attribute,
                                  bool multi_valued) {
   std::unique_lock lock(latch_);
+  QuiescePrefetch();
   // Incremental evolution cannot reorder codes: the referenced hierarchy
   // must already sort below the referencing one (§4.3).
   const std::string& target_root =
@@ -103,6 +133,7 @@ Status Database::CreateReferenceWithReencode(ClassId source, ClassId target,
                                              const std::string& attribute,
                                              bool multi_valued) {
   std::unique_lock lock(latch_);
+  QuiescePrefetch();
   UINDEX_RETURN_IF_ERROR(
       schema_.AddReference(source, target, attribute, multi_valued));
   if (coder_.Verify(schema_).ok()) {
@@ -127,6 +158,7 @@ Status Database::CreateReferenceWithReencode(ClassId source, ClassId target,
 
 Status Database::Reencode() {
   std::unique_lock lock(latch_);
+  QuiescePrefetch();
   return ReencodeLocked();
 }
 
@@ -146,6 +178,7 @@ Status Database::ReencodeLocked() {
 
 Status Database::DropIndex(size_t index_pos) {
   std::unique_lock lock(latch_);
+  QuiescePrefetch();
   if (index_pos >= indexes_.size()) {
     return Status::InvalidArgument("no such index");
   }
@@ -163,6 +196,7 @@ Status Database::DropIndex(size_t index_pos) {
 
 Result<size_t> Database::CreateIndex(const PathSpec& spec) {
   std::unique_lock lock(latch_);
+  QuiescePrefetch();
   for (const ClassId cls : spec.classes) {
     if (!schema_.IsValidClass(cls)) {
       return Status::InvalidArgument("bad class in index spec");
@@ -192,6 +226,7 @@ Result<size_t> Database::CreateIndex(const PathSpec& spec) {
 
 Result<Oid> Database::CreateObject(ClassId cls) {
   std::unique_lock lock(latch_);
+  QuiescePrefetch();
   Result<Oid> oid = maintainer_.CreateObject(cls);
   if (!oid.ok()) return oid;
   JournalRecord record;
@@ -204,6 +239,7 @@ Result<Oid> Database::CreateObject(ClassId cls) {
 
 Status Database::SetAttr(Oid oid, const std::string& name, Value value) {
   std::unique_lock lock(latch_);
+  QuiescePrefetch();
   JournalRecord record;
   record.op = JournalRecord::Op::kSetAttr;
   record.name = name;
@@ -215,6 +251,7 @@ Status Database::SetAttr(Oid oid, const std::string& name, Value value) {
 
 Status Database::DeleteObject(Oid oid) {
   std::unique_lock lock(latch_);
+  QuiescePrefetch();
   UINDEX_RETURN_IF_ERROR(maintainer_.DeleteObject(oid));
   JournalRecord record;
   record.op = JournalRecord::Op::kDeleteObject;
@@ -329,6 +366,7 @@ Status Database::Log(const JournalRecord& record) {
 
 Status Database::EnableJournal(const std::string& path) {
   std::unique_lock lock(latch_);
+  QuiescePrefetch();
   Result<std::unique_ptr<Journal>> journal = Journal::OpenForAppend(path);
   if (!journal.ok()) return journal.status();
   journal_ = std::move(journal).value();
@@ -337,6 +375,7 @@ Status Database::EnableJournal(const std::string& path) {
 
 Status Database::Checkpoint(const std::string& snapshot_path) {
   std::unique_lock lock(latch_);
+  QuiescePrefetch();
   if (journal_ == nullptr) {
     return Status::InvalidArgument("no journal enabled");
   }

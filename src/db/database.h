@@ -30,6 +30,13 @@ struct DatabaseOptions {
   BTreeOptions btree;
   /// Keep a SchemaCatalog (the §4.1 schema-in-index) in sync with DDL.
   bool maintain_catalog = true;
+  /// Workers on the background I/O pool that drives the asynchronous
+  /// prefetch pipeline (storage/prefetch.h): leaf-chain readahead for
+  /// forward scans and Parscan child-subtree prefetch. 0 — or the global
+  /// UINDEX_PREFETCH=off escape hatch — disables prefetching (every fetch
+  /// is a synchronous demand read). Page-read accounting is identical
+  /// either way.
+  size_t prefetch_threads = 4;
 };
 
 /// The full-system façade: schema DDL, object DML, U-index management, and
@@ -54,6 +61,12 @@ struct DatabaseOptions {
 class Database {
  public:
   explicit Database(DatabaseOptions options = DatabaseOptions());
+
+  /// Teardown order matters once background I/O exists: the prefetch
+  /// scheduler must drain (and detach from the buffer manager) while the
+  /// pool, indexes, buffers, and pager are all still alive. The explicit
+  /// destructor documents and enforces that ordering; see its definition.
+  ~Database();
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
@@ -199,6 +212,10 @@ class Database {
   /// Total pages owned by all structures (footprint).
   uint64_t live_pages() const { return pager_->live_page_count(); }
 
+  /// The attached prefetch scheduler, or null when prefetching is disabled
+  /// (`prefetch_threads == 0` or UINDEX_PREFETCH=off).
+  PrefetchScheduler* prefetcher() const { return prefetcher_.get(); }
+
  private:
   // Restore path: adopts a pager loaded from a snapshot.
   Database(DatabaseOptions options, std::unique_ptr<Pager> pager);
@@ -207,6 +224,18 @@ class Database {
   // while already holding the latch (the latch is not recursive).
   Status ReencodeLocked();
   Status SaveLocked(const std::string& path) const;
+
+  // Creates the background I/O pool and prefetch scheduler when enabled;
+  // both constructors call it after the buffer manager exists.
+  void AttachPrefetcher();
+
+  // Waits out all in-flight background reads. Every mutation entry point
+  // calls this right after taking the exclusive latch: background reads
+  // are readers of page bytes, and the latch only excludes foreground
+  // readers. New prefetches cannot start while the latch is held (all
+  // producers run under the shared latch), so the quiescence holds for the
+  // whole critical section.
+  void QuiescePrefetch();
 
   // True if index `idx` can answer `selection`, with the key position of
   // the target class written to `position`.
@@ -248,6 +277,12 @@ class Database {
   IndexedDatabase maintainer_;
   std::unique_ptr<SchemaCatalog> catalog_;
   std::vector<std::unique_ptr<UIndex>> indexes_;
+  // Background prefetch machinery, declared last so default member
+  // destruction alone would already run it down first (the scheduler's
+  // destructor drains and detaches); the explicit ~Database makes the
+  // ordering visible. The pool must outlive the scheduler.
+  std::unique_ptr<exec::ThreadPool> io_pool_;
+  std::unique_ptr<PrefetchScheduler> prefetcher_;
 };
 
 }  // namespace uindex

@@ -8,7 +8,10 @@ std::string Session::Stats::ToString() const {
          " rows=" + std::to_string(rows) +
          " pages_read=" + std::to_string(pages_read) +
          " nodes_parsed=" + std::to_string(nodes_parsed) +
-         " node_cache_hits=" + std::to_string(node_cache_hits);
+         " node_cache_hits=" + std::to_string(node_cache_hits) +
+         " prefetch_issued=" + std::to_string(prefetch_issued) +
+         " prefetch_hits=" + std::to_string(prefetch_hits) +
+         " prefetch_wasted=" + std::to_string(prefetch_wasted);
 }
 
 void Session::Account(bool ok, uint64_t rows, const IoStats& before) {
@@ -23,6 +26,11 @@ void Session::Account(bool ok, uint64_t rows, const IoStats& before) {
   stats_.nodes_parsed += delta.nodes_parsed.load(std::memory_order_relaxed);
   stats_.node_cache_hits +=
       delta.node_cache_hits.load(std::memory_order_relaxed);
+  stats_.prefetch_issued +=
+      delta.prefetch_issued.load(std::memory_order_relaxed);
+  stats_.prefetch_hits += delta.prefetch_hits.load(std::memory_order_relaxed);
+  stats_.prefetch_wasted +=
+      delta.prefetch_wasted.load(std::memory_order_relaxed);
 }
 
 Result<Database::SelectResult> Session::Select(

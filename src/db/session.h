@@ -34,6 +34,9 @@ class Session {
     uint64_t pages_read = 0;   ///< Page reads attributed to this session.
     uint64_t nodes_parsed = 0;    ///< Full node decompressions attributed.
     uint64_t node_cache_hits = 0; ///< Decoded-node cache hits attributed.
+    uint64_t prefetch_issued = 0; ///< Background reads started.
+    uint64_t prefetch_hits = 0;   ///< Demand reads served by a prefetch.
+    uint64_t prefetch_wasted = 0; ///< Prefetches that served no demand read.
     std::string ToString() const;
   };
 

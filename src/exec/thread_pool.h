@@ -101,6 +101,14 @@ class ThreadPool {
 
   size_t size() const { return threads_.size(); }
 
+  /// Tasks enqueued but not yet picked up by a worker. Approximate under
+  /// concurrency; a diagnostic for sizing (e.g. whether a prefetch window
+  /// outruns its I/O pool), not a synchronization primitive.
+  size_t queued() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
   /// Enqueues fire-and-forget work.
   void Schedule(std::function<void()> fn);
 
@@ -117,7 +125,7 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool stopping_ = false;

@@ -1,4 +1,41 @@
 #include "storage/buffer_manager.h"
 
-// BufferManager is header-only today; this translation unit anchors the
-// module in the build and reserves room for an eviction policy extension.
+#include <cstdlib>
+
+#include "storage/prefetch.h"
+
+// Out-of-line bridge to the prefetch scheduler. These live here (not in the
+// header) because prefetch.h includes buffer_manager.h; the hot no-scheduler
+// path is still just one relaxed atomic load.
+
+namespace uindex {
+
+void BufferManager::FinishChargedRead(PageId id) {
+  PrefetchScheduler* prefetcher = prefetcher_.load(std::memory_order_acquire);
+  if (prefetcher != nullptr && prefetcher->JoinDemand(id)) {
+    // The background read already paid (or is finishing) the device wait;
+    // JoinDemand returned after it completed, so nothing is left to wait
+    // for. The read itself was charged by our caller as usual.
+    return;
+  }
+  SimulateReadLatency();
+}
+
+void BufferManager::NotifyFreed(PageId id) {
+  PrefetchScheduler* prefetcher = prefetcher_.load(std::memory_order_acquire);
+  if (prefetcher != nullptr) prefetcher->Invalidate(id);
+}
+
+void BufferManager::NotifyEpochReset() {
+  PrefetchScheduler* prefetcher = prefetcher_.load(std::memory_order_acquire);
+  if (prefetcher != nullptr) prefetcher->OnEpochReset();
+}
+
+uint32_t BufferManager::EnvSimReadLatencyUs() {
+  const char* env = std::getenv("UINDEX_SIM_READ_LATENCY");
+  if (env == nullptr) return 0;
+  const long value = std::strtol(env, nullptr, 10);
+  return value > 0 ? static_cast<uint32_t>(value) : 0;
+}
+
+}  // namespace uindex

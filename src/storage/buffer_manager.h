@@ -16,6 +16,8 @@
 
 namespace uindex {
 
+class PrefetchScheduler;
+
 /// Page access layer with the paper's accounting semantics.
 ///
 /// Every index structure fetches nodes through a `BufferManager`. Within one
@@ -57,7 +59,12 @@ class BufferManager {
     friend bool operator==(const PageVersion&, const PageVersion&) = default;
   };
 
-  explicit BufferManager(Pager* pager) : pager_(pager) {}
+  /// The simulated read latency (below) defaults from the
+  /// UINDEX_SIM_READ_LATENCY environment variable (microseconds), so
+  /// benchmarks and the shell can model device latency without a code
+  /// change; `SetSimulatedReadLatency` still overrides it.
+  explicit BufferManager(Pager* pager)
+      : pager_(pager), sim_read_latency_us_(EnvSimReadLatencyUs()) {}
 
   BufferManager(const BufferManager&) = delete;
   BufferManager& operator=(const BufferManager&) = delete;
@@ -74,9 +81,12 @@ class BufferManager {
     capacity_ = pages;
     epoch_.fetch_add(1, std::memory_order_relaxed);
     ClearResidency();
-    std::lock_guard<std::mutex> lock(lru_mu_);
-    lru_.clear();
-    lru_index_.clear();
+    {
+      std::lock_guard<std::mutex> lock(lru_mu_);
+      lru_.clear();
+      lru_index_.clear();
+    }
+    NotifyEpochReset();
   }
   size_t capacity() const { return capacity_; }
 
@@ -98,7 +108,38 @@ class BufferManager {
   /// touch page versions — decoded-node caches legitimately survive across
   /// queries (they change CPU cost only, never the page-read metric).
   void BeginQuery() {
-    if (capacity_ == 0) ClearResidency();
+    if (capacity_ == 0) {
+      ClearResidency();
+      NotifyEpochReset();
+    }
+  }
+
+  /// Attaches (or detaches, with nullptr) an asynchronous prefetch
+  /// scheduler (storage/prefetch.h). While attached, every *charged* read
+  /// first asks the scheduler whether a background read of that page is
+  /// staged or in flight (`JoinDemand`) and skips the simulated device
+  /// wait on a hit; `Free` and epoch resets forward invalidations so stale
+  /// prefetches can never be served. Accounting is unchanged either way —
+  /// prefetch moves wall-clock time, never `pages_read`. The scheduler is
+  /// borrowed; it detaches itself on destruction.
+  void SetPrefetcher(PrefetchScheduler* prefetcher) {
+    prefetcher_.store(prefetcher, std::memory_order_release);
+  }
+  PrefetchScheduler* prefetcher() const {
+    return prefetcher_.load(std::memory_order_acquire);
+  }
+
+  /// True when fetching `id` right now would be a free cache hit (it is in
+  /// the current epoch's resident set, or the bounded LRU). Used by the
+  /// prefetch scheduler to skip pages a background read could not help.
+  bool IsResident(PageId id) const {
+    if (capacity_ != 0) {
+      std::lock_guard<std::mutex> lock(lru_mu_);
+      return lru_index_.find(id) != lru_index_.end();
+    }
+    const Shard& shard = shards_[id % kShards];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    return shard.resident.find(id) != shard.resident.end();
   }
 
   /// Fetches a page for reading, updating the read counters.
@@ -115,7 +156,7 @@ class BufferManager {
     }
     if (charged) {
       stats_.pages_read.fetch_add(1, std::memory_order_relaxed);
-      SimulateReadLatency();
+      FinishChargedRead(id);
     } else {
       stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
     }
@@ -169,6 +210,7 @@ class BufferManager {
         lru_index_.erase(it);
       }
     }
+    NotifyFreed(id);
     pager_->Free(id);
   }
 
@@ -196,6 +238,19 @@ class BufferManager {
   }
   void RecordNodeCacheHit() {
     stats_.node_cache_hits.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Prefetch accounting hooks (storage/prefetch.cc): a background read
+  /// started, a charged demand read served by one, or an issued read that
+  /// ended up serving nobody. None of these touch `pages_read`.
+  void RecordPrefetchIssued() {
+    stats_.prefetch_issued.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordPrefetchHit() {
+    stats_.prefetch_hits.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordPrefetchWasted() {
+    stats_.prefetch_wasted.fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Zeroes all counters (page residency is unaffected). Each counter is
@@ -236,6 +291,17 @@ class BufferManager {
     if (us != 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
   }
 
+  // Out-of-line prefetch bridge (storage/buffer_manager.cc) — the header
+  // cannot include prefetch.h without a cycle. FinishChargedRead pays the
+  // simulated device wait for a read already charged to `pages_read`,
+  // unless an attached scheduler performed (or is performing) it in the
+  // background. The Notify* hooks forward invalidations; all three are
+  // no-ops when no scheduler is attached.
+  void FinishChargedRead(PageId id);
+  void NotifyFreed(PageId id);
+  void NotifyEpochReset();
+  static uint32_t EnvSimReadLatencyUs();
+
   // Returns true when the touch charged a read (the page was not cached).
   bool TouchLru(PageId id) {
     std::lock_guard<std::mutex> lock(lru_mu_);
@@ -266,6 +332,8 @@ class BufferManager {
   IoStats stats_;
   size_t capacity_ = 0;  // 0 = unbounded per-query-epoch mode.
   std::atomic<uint32_t> sim_read_latency_us_{0};
+  // Borrowed; nullptr when no async prefetch is attached (the default).
+  std::atomic<PrefetchScheduler*> prefetcher_{nullptr};
   // Global invalidation epoch: part of every PageVersion, bumped by
   // SetCapacity to invalidate all derived-value cache entries at once.
   std::atomic<uint64_t> epoch_{0};
@@ -273,7 +341,8 @@ class BufferManager {
   // readers off each other's locks. Page versions share the shards.
   Shard shards_[kShards];
   // Bounded mode: most-recently-used at the front, one lock (global order).
-  std::mutex lru_mu_;
+  // `mutable` so the const read-side (`IsResident`) can lock it.
+  mutable std::mutex lru_mu_;
   std::list<PageId> lru_;
   std::unordered_map<PageId, std::list<PageId>::iterator> lru_index_;
 };

@@ -17,6 +17,12 @@ std::string IoStats::ToString() const {
          std::to_string(node_cache_hits.load(std::memory_order_relaxed));
   out += " bytes_decoded=" +
          std::to_string(bytes_decoded.load(std::memory_order_relaxed));
+  out += " prefetch_issued=" +
+         std::to_string(prefetch_issued.load(std::memory_order_relaxed));
+  out += " prefetch_hits=" +
+         std::to_string(prefetch_hits.load(std::memory_order_relaxed));
+  out += " prefetch_wasted=" +
+         std::to_string(prefetch_wasted.load(std::memory_order_relaxed));
   return out;
 }
 

@@ -26,6 +26,17 @@ namespace uindex {
 /// `bytes_decoded` sums the decompressed bytes those parses materialized.
 /// They never affect `pages_read` — the paper metric is unchanged whether
 /// the decoded-node cache is on or off.
+///
+/// Three more counters track the asynchronous prefetch pipeline
+/// (storage/prefetch.h): `prefetch_issued` counts background reads the
+/// scheduler actually started, `prefetch_hits` counts demand fetches that
+/// were served by a completed or in-flight prefetch (the demand read is
+/// still charged to `pages_read`; only the simulated device wait is
+/// skipped), and `prefetch_wasted` counts issued reads that never served a
+/// demand fetch (superseded by the demand path, dropped at an epoch reset,
+/// or invalidated by a page free). Like the node-cache counters they never
+/// move `pages_read`: prefetch on, off (`UINDEX_PREFETCH=off`), or
+/// thrashing charges the identical demand totals.
 struct IoStats {
   std::atomic<uint64_t> pages_read{0};     ///< Distinct page fetches (per query epoch).
   std::atomic<uint64_t> pages_written{0};  ///< Page write-backs.
@@ -34,6 +45,9 @@ struct IoStats {
   std::atomic<uint64_t> nodes_parsed{0};   ///< Full node decompressions (Node::Parse).
   std::atomic<uint64_t> node_cache_hits{0};///< Fetches served by the decoded-node cache.
   std::atomic<uint64_t> bytes_decoded{0};  ///< Decompressed bytes materialized by parses.
+  std::atomic<uint64_t> prefetch_issued{0};///< Background reads started.
+  std::atomic<uint64_t> prefetch_hits{0};  ///< Demand reads served by a prefetch.
+  std::atomic<uint64_t> prefetch_wasted{0};///< Issued reads that served no demand fetch.
 
   IoStats() = default;
   IoStats(const IoStats& other) { *this = other; }
@@ -54,6 +68,14 @@ struct IoStats {
         std::memory_order_relaxed);
     bytes_decoded.store(other.bytes_decoded.load(std::memory_order_relaxed),
                         std::memory_order_relaxed);
+    prefetch_issued.store(
+        other.prefetch_issued.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    prefetch_hits.store(other.prefetch_hits.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    prefetch_wasted.store(
+        other.prefetch_wasted.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
     return *this;
   }
 
@@ -70,6 +92,9 @@ struct IoStats {
     nodes_parsed.store(0, std::memory_order_relaxed);
     node_cache_hits.store(0, std::memory_order_relaxed);
     bytes_decoded.store(0, std::memory_order_relaxed);
+    prefetch_issued.store(0, std::memory_order_relaxed);
+    prefetch_hits.store(0, std::memory_order_relaxed);
+    prefetch_wasted.store(0, std::memory_order_relaxed);
   }
 
   IoStats operator-(const IoStats& base) const {
@@ -81,6 +106,9 @@ struct IoStats {
     d.nodes_parsed = nodes_parsed - base.nodes_parsed;
     d.node_cache_hits = node_cache_hits - base.node_cache_hits;
     d.bytes_decoded = bytes_decoded - base.bytes_decoded;
+    d.prefetch_issued = prefetch_issued - base.prefetch_issued;
+    d.prefetch_hits = prefetch_hits - base.prefetch_hits;
+    d.prefetch_wasted = prefetch_wasted - base.prefetch_wasted;
     return d;
   }
 

@@ -1,0 +1,222 @@
+#include "storage/prefetch.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "storage/buffer_manager.h"
+
+namespace uindex {
+
+PrefetchScheduler::PrefetchScheduler(BufferManager* buffers,
+                                     exec::ThreadPool* pool)
+    : buffers_(buffers), pool_(pool) {}
+
+PrefetchScheduler::~PrefetchScheduler() {
+  // Detach first so no new demand fetch can start waiting on us, then let
+  // every queued/running read finish while buffers_ and pool_ are still
+  // alive. After Drain no task references `this`.
+  if (buffers_->prefetcher() == this) buffers_->SetPrefetcher(nullptr);
+  Drain();
+}
+
+bool PrefetchScheduler::EnvEnabled() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("UINDEX_PREFETCH");
+    if (env == nullptr) return true;
+    return std::strcmp(env, "off") != 0 && std::strcmp(env, "OFF") != 0 &&
+           std::strcmp(env, "0") != 0 && std::strcmp(env, "false") != 0;
+  }();
+  return enabled;
+}
+
+size_t PrefetchScheduler::Prefetch(const std::vector<PageId>& ids,
+                                   WarmFn warm) {
+  return Prefetch(ids.data(), ids.size(), std::move(warm));
+}
+
+size_t PrefetchScheduler::Prefetch(const PageId* ids, size_t count,
+                                   WarmFn warm) {
+  size_t issued = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const PageId id = ids[i];
+    if (id == kInvalidPageId) continue;
+    // Already in memory this epoch: the demand fetch would be a free cache
+    // hit anyway, a background read could only be waste.
+    if (buffers_->IsResident(id)) continue;
+    uint64_t ticket;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto [it, inserted] = flights_.try_emplace(id);
+      if (!inserted) continue;  // In flight or staged: dedupe.
+      it->second.generation = generation_;
+      it->second.ticket = ++last_ticket_;
+      ticket = it->second.ticket;
+      ++pending_;
+    }
+    buffers_->RecordPrefetchIssued();
+    ++issued;
+    pool_->Schedule(
+        [this, id, ticket, warm] { RunRead(id, ticket, warm); });
+  }
+  return issued;
+}
+
+void PrefetchScheduler::RunRead(PageId id, uint64_t ticket,
+                                const WarmFn& warm) {
+  // Every exit decrements pending_, touches counters, and notifies while
+  // STILL HOLDING mu_: the moment a drainer can observe pending_ == 0 the
+  // scheduler (and with it cv_/buffers_) may be destroyed, so nothing here
+  // may run after the unlock that publishes the decrement.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = flights_.find(id);
+    if (it == flights_.end() || it->second.ticket != ticket) {
+      // Stolen by a demand fetch or invalidated before we ran; whoever
+      // removed the flight accounted for it.
+      --pending_;
+      cv_.notify_all();
+      return;
+    }
+    if (it->second.canceled ||
+        (it->second.generation != generation_ && it->second.waiters == 0)) {
+      // Freed, or the epoch that wanted this page ended before the read
+      // started: reading now could serve nobody.
+      flights_.erase(it);
+      buffers_->RecordPrefetchWasted();
+      --pending_;
+      cv_.notify_all();
+      return;
+    }
+    it->second.started = true;
+  }
+
+  // The "device read". Residency is deliberately NOT touched: only the
+  // demand fetch that consumes this page may charge pages_read. With a
+  // simulated latency the sleep below is the read; the in-memory page
+  // bytes are reachable through the pager the whole time. Safe to run
+  // unlocked: a drain cannot complete while pending_ > 0.
+  const uint32_t us = buffers_->simulated_read_latency_us();
+  if (us != 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+  if (warm != nullptr) warm(id);
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = flights_.find(id);
+    if (it != flights_.end() && it->second.ticket == ticket) {
+      if (it->second.canceled ||
+          (it->second.generation != generation_ &&
+           it->second.waiters == 0)) {
+        flights_.erase(it);
+        buffers_->RecordPrefetchWasted();
+      } else {
+        it->second.done = true;  // Staged; JoinDemand may now consume it.
+      }
+    }
+    --pending_;
+    cv_.notify_all();
+  }
+}
+
+bool PrefetchScheduler::JoinDemand(PageId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = flights_.find(id);
+  if (it == flights_.end() || it->second.canceled) return false;
+  if (!it->second.started) {
+    // Queued but no worker has picked it up: steal it. Waiting here would
+    // make a demand fetch depend on pool scheduling; reading it ourselves
+    // is never slower. The orphaned task sees the ticket gone and exits.
+    flights_.erase(it);
+    lock.unlock();
+    buffers_->RecordPrefetchWasted();
+    return false;
+  }
+  if (!it->second.done) {
+    // The read is running: wait out its remainder instead of paying a full
+    // device read. The flight cannot be erased from under us — every
+    // removal path skips entries with waiters.
+    ++it->second.waiters;
+    cv_.wait(lock, [&] {
+      auto cur = flights_.find(id);
+      return cur == flights_.end() || cur->second.done ||
+             cur->second.canceled;
+    });
+    it = flights_.find(id);
+    if (it == flights_.end()) return false;  // Defensive; see above.
+    --it->second.waiters;
+    if (it->second.canceled) return false;
+  }
+  flights_.erase(it);
+  lock.unlock();
+  buffers_->RecordPrefetchHit();
+  return true;
+}
+
+bool PrefetchScheduler::IsStaged(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = flights_.find(id);
+  return it != flights_.end() && it->second.done && !it->second.canceled;
+}
+
+void PrefetchScheduler::OnEpochReset() {
+  uint64_t wasted = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++generation_;
+    for (auto it = flights_.begin(); it != flights_.end();) {
+      // Drop staged pages the finished epoch never consumed. In-flight
+      // reads stay (their task owns the exit path) and will be wasted on
+      // completion unless a new-epoch demand fetch joins them first.
+      if (it->second.done && it->second.waiters == 0) {
+        it = flights_.erase(it);
+        ++wasted;
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (uint64_t i = 0; i < wasted; ++i) buffers_->RecordPrefetchWasted();
+}
+
+void PrefetchScheduler::Invalidate(PageId id) {
+  bool wasted = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = flights_.find(id);
+    if (it == flights_.end()) return;
+    if (it->second.started && !it->second.done) {
+      // A worker is mid-read (external exclusion should rule this out, but
+      // stay safe): poison it; the task's exit path counts the waste.
+      it->second.canceled = true;
+      cv_.notify_all();
+      return;
+    }
+    flights_.erase(it);
+    wasted = true;
+  }
+  if (wasted) buffers_->RecordPrefetchWasted();
+}
+
+void PrefetchScheduler::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return pending_ == 0; });
+}
+
+size_t PrefetchScheduler::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_;
+}
+
+size_t PrefetchScheduler::staged() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [id, flight] : flights_) {
+    if (flight.done && !flight.canceled) ++n;
+  }
+  return n;
+}
+
+}  // namespace uindex

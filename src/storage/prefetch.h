@@ -1,0 +1,180 @@
+#ifndef UINDEX_STORAGE_PREFETCH_H_
+#define UINDEX_STORAGE_PREFETCH_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "storage/page.h"
+
+namespace uindex {
+
+class BufferManager;
+
+/// Asynchronous page readahead over a background I/O pool.
+///
+/// The paper's cost model is page reads, and every read path in this repo
+/// used to be a synchronous, demand-driven round trip: a forward scan
+/// stalled on every leaf even though the next leaves are fully predictable,
+/// and Parscan (Algorithm 1) stalled on every child even though it computes
+/// the whole surviving child set of an internal node *before* descending.
+/// This scheduler hides that latency the way classic storage engines do
+/// (iterator readahead, async buffer-pool I/O): producers hand it batches
+/// of page ids they are about to need, workers on an `exec::ThreadPool`
+/// perform the reads off the caller's thread, and the demand fetch that
+/// eventually consumes the page *joins* the background read instead of
+/// re-issuing it.
+///
+/// ## The paper metric is preserved bit-for-bit
+///
+/// A background read never touches `pages_read`: it does not enter the
+/// buffer manager's residency set and charges nothing. The demand fetch
+/// that consumes a prefetched page goes through `BufferManager::Fetch`
+/// unchanged — first touch per epoch is charged exactly as before — and
+/// only then asks this scheduler whether the device wait was already paid
+/// in the background (`JoinDemand`). So `pages_read` is byte-identical with
+/// prefetch on, off (`UINDEX_PREFETCH=off`), or thrashing; what moves is
+/// wall-clock time under real or simulated device latency, plus the three
+/// dedicated counters (`prefetch_issued` / `prefetch_hits` /
+/// `prefetch_wasted`).
+///
+/// ## Demand-join protocol
+///
+/// Each prefetched id has one in-flight record. `JoinDemand` (called by
+/// `BufferManager::Fetch` on every *charged* read) resolves it:
+///   * read complete ("staged") — consume it: `prefetch_hits`, skip the
+///     demand-side device wait;
+///   * read running — wait for it to finish, then consume it (the wait is
+///     the remaining fraction of the device latency, not a fresh read);
+///   * read queued but not yet started — *steal* it: the demand fetch
+///     performs its own read (no cross-dependency on pool scheduling, so a
+///     saturated or shared pool can never deadlock a demand fetch) and the
+///     orphaned background task is dropped as `prefetch_wasted`.
+///
+/// `prefetch_wasted` also absorbs staged pages nobody consumed before the
+/// next epoch reset (`BeginQuery`/`SetCapacity`) and pages freed while a
+/// prefetch was pending — so after a `Drain` + epoch reset,
+/// `prefetch_issued == prefetch_hits + prefetch_wasted`.
+///
+/// ## Warming
+///
+/// A batch may carry a `WarmFn` (typically `BTree::WarmNode`): after the
+/// read, the worker decodes the page into the decoded-node cache under the
+/// usual version protocol, so the demand path gets both the page *and* the
+/// parse for free. Warming reads page bytes, which makes the scheduler a
+/// reader under the repo's concurrency contract:
+///
+/// ## Concurrency contract
+///
+/// All methods are thread-safe. However, background reads are *readers of
+/// page bytes*, and the `BufferManager`'s rule that mutations require
+/// external exclusion against readers extends to them: a writer must
+/// `Drain()` the scheduler after acquiring its exclusive latch and before
+/// touching pages (`Database` does this in every DDL/DML entry point, and
+/// its teardown drains before the buffer manager and pager are destroyed —
+/// see db/database.h). The pool must outlive the scheduler; the destructor
+/// drains so no task outlives `this`.
+///
+/// Deadlock-freedom: prefetch tasks never call `BufferManager::Fetch` (a
+/// background read that charged the metric would break the invariant
+/// above), so they never block on other prefetches; and the steal rule
+/// means a demand fetch never waits on a task that has not been scheduled
+/// onto a worker yet. The scheduler can therefore share its pool with
+/// compute tasks, though a dedicated small I/O pool is the intended shape.
+class PrefetchScheduler {
+ public:
+  /// Decodes a freshly read page into a derived-value cache; runs on a pool
+  /// worker after the (simulated) device read. Must not touch counted
+  /// fetch paths and must tolerate a concurrently freed/recycled id.
+  using WarmFn = std::function<void(PageId)>;
+
+  /// `buffers` and `pool` are borrowed and must outlive the scheduler.
+  PrefetchScheduler(BufferManager* buffers, exec::ThreadPool* pool);
+
+  /// Drains outstanding reads and detaches from the buffer manager if it
+  /// still points here, so no background task touches freed structures.
+  ~PrefetchScheduler();
+
+  PrefetchScheduler(const PrefetchScheduler&) = delete;
+  PrefetchScheduler& operator=(const PrefetchScheduler&) = delete;
+
+  /// False when the UINDEX_PREFETCH environment variable is "off", "0", or
+  /// "false" — the global escape hatch that keeps every fetch a synchronous
+  /// demand read. Read once per process. (Mirrors NodeCache::EnvEnabled:
+  /// creation sites check it; a directly constructed scheduler is always
+  /// live so tests can exercise it under any environment.)
+  static bool EnvEnabled();
+
+  /// Queues background reads for every id in `ids` that is not already
+  /// resident in the buffer manager's current epoch, in flight, or staged.
+  /// Returns how many reads were actually issued. Never blocks on I/O.
+  size_t Prefetch(const std::vector<PageId>& ids, WarmFn warm = nullptr);
+  size_t Prefetch(const PageId* ids, size_t count, WarmFn warm = nullptr);
+
+  /// Demand-side hook, called by `BufferManager::Fetch` for every read it
+  /// charged. Returns true when the read was served by a completed or
+  /// running prefetch (the caller skips its own device wait); false when
+  /// there was no usable prefetch (including the steal case above).
+  bool JoinDemand(PageId id);
+
+  /// True when `id`'s background read has completed and not been consumed.
+  /// Does not consume the entry; used by readahead producers that want the
+  /// decoded bytes without issuing a counted fetch (BTree::TryGetWarmNode).
+  bool IsStaged(PageId id);
+
+  /// Epoch boundary (BufferManager::BeginQuery / SetCapacity): staged pages
+  /// nobody consumed become `prefetch_wasted`; reads still in flight are
+  /// marked stale and will be wasted on completion unless a demand fetch
+  /// joins them first.
+  void OnEpochReset();
+
+  /// Page freed (BufferManager::Free): a staged or in-flight read of `id`
+  /// can never be served — the id may be recycled for unrelated content —
+  /// so it is dropped as wasted and later `JoinDemand(id)` misses.
+  void Invalidate(PageId id);
+
+  /// Blocks until every queued or running read has finished. Writers call
+  /// this under their exclusive latch before mutating pages.
+  void Drain();
+
+  /// Queued-or-running background reads (approximate under concurrency;
+  /// exact after Drain, where it is 0).
+  size_t pending() const;
+
+  /// Staged (completed, unconsumed) reads.
+  size_t staged() const;
+
+ private:
+  // One prefetched page id, from Schedule to consumption/waste.
+  struct Flight {
+    uint64_t ticket = 0;      // Identity: ties a pool task to its flight,
+                              // so a task whose flight was stolen/erased
+                              // cannot act on a later flight for the same
+                              // (possibly recycled) page id.
+    uint64_t generation = 0;  // Epoch it was issued in.
+    bool started = false;     // A worker is performing the read.
+    bool done = false;        // Read complete; page is staged.
+    bool canceled = false;    // Freed/stolen; must not be served.
+    int waiters = 0;          // Demand fetches blocked in JoinDemand.
+  };
+
+  void RunRead(PageId id, uint64_t ticket, const WarmFn& warm);
+
+  BufferManager* buffers_;
+  exec::ThreadPool* pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  // Signals read completion and drain.
+  std::unordered_map<PageId, Flight> flights_;
+  uint64_t last_ticket_ = 0;
+  uint64_t generation_ = 0;
+  size_t pending_ = 0;  // Scheduled tasks that have not finished RunRead.
+};
+
+}  // namespace uindex
+
+#endif  // UINDEX_STORAGE_PREFETCH_H_

@@ -105,7 +105,34 @@ Result<std::unique_ptr<SetExperiment>> SetExperiment::Create(
     }
     owned.buffers->ResetStats();
   }
+
+  // Attach background I/O after loading: the structures are read-only from
+  // here on, so schedulers need no drain coordination with mutations.
+  if (opts.prefetch_threads > 0 && PrefetchScheduler::EnvEnabled()) {
+    exp->io_pool_ =
+        std::make_unique<exec::ThreadPool>(opts.prefetch_threads);
+    for (Owned& owned : exp->owned_) {
+      owned.prefetcher = std::make_unique<PrefetchScheduler>(
+          owned.buffers.get(), exp->io_pool_.get());
+      owned.buffers->SetPrefetcher(owned.prefetcher.get());
+    }
+  }
   return exp;
+}
+
+void SetExperiment::SetPrefetchEnabled(bool on) {
+  for (Owned& owned : owned_) {
+    if (owned.prefetcher == nullptr) continue;
+    if (on) {
+      owned.buffers->SetPrefetcher(owned.prefetcher.get());
+    } else {
+      // Detach first so no new demand fetch joins, then let in-flight
+      // reads finish; stale staged entries are accounted wasted at the
+      // next epoch reset.
+      owned.buffers->SetPrefetcher(nullptr);
+      owned.prefetcher->Drain();
+    }
+  }
 }
 
 std::vector<SetExperiment::Structure> SetExperiment::structures() {

@@ -7,8 +7,10 @@
 
 #include "baselines/set_index.h"
 #include "core/uindex.h"
+#include "exec/thread_pool.h"
 #include "storage/buffer_manager.h"
 #include "storage/pager.h"
+#include "storage/prefetch.h"
 #include "workload/database_generator.h"
 #include "workload/query_generator.h"
 
@@ -60,6 +62,13 @@ class SetExperiment {
     bool with_htree = false;
     /// Extra U-index variant that retrieves by pure forward scanning.
     bool with_forward_uindex = false;
+    /// Workers for a background I/O pool shared by all structures; when
+    /// > 0 (and UINDEX_PREFETCH is not off) every structure's buffer
+    /// manager gets a PrefetchScheduler, so iterator readahead and Parscan
+    /// child prefetch run during `Measure`. 0 (the default) keeps the
+    /// harness fully synchronous. Page-read measurements are identical
+    /// either way — prefetch only moves wall-clock time.
+    size_t prefetch_threads = 0;
   };
 
   /// One measurable structure.
@@ -89,6 +98,13 @@ class SetExperiment {
   Status CrossCheck(size_t sets_queried, double fraction, int reps,
                     uint64_t seed);
 
+  /// Runtime A/B toggle for the prefetch pipeline built by
+  /// `Options::prefetch_threads`: detaches (draining first) or re-attaches
+  /// every structure's scheduler, so a benchmark can run the identical
+  /// query sequence with and without background I/O. No-op when the
+  /// pipeline was never built.
+  void SetPrefetchEnabled(bool on);
+
  private:
   explicit SetExperiment(const Options& opts) : opts_(opts) {}
 
@@ -98,11 +114,18 @@ class SetExperiment {
   Options opts_;
   SetHierarchy hierarchy_;
 
+  // Declared before owned_ so the pool outlives every structure's
+  // scheduler (each Owned's prefetcher drains and detaches on destruction
+  // while its buffers and pager are still alive — members destroy in
+  // reverse order).
+  std::unique_ptr<exec::ThreadPool> io_pool_;
+
   struct Owned {
     std::string name;
     std::unique_ptr<Pager> pager;
     std::unique_ptr<BufferManager> buffers;
     std::unique_ptr<SetIndex> index;
+    std::unique_ptr<PrefetchScheduler> prefetcher;  // Null when disabled.
   };
   std::vector<Owned> owned_;
 };

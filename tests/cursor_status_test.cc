@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "btree/btree.h"
+#include "core/uindex.h"
+#include "exec/thread_pool.h"
+#include "storage/prefetch.h"
+#include "workload/database_generator.h"
+
+namespace uindex {
+namespace {
+
+// Regression tests for the iterator error contract: a FetchNode failure
+// mid-scan used to silently end the iteration (Valid() false, no way to
+// distinguish "end of data" from "corrupt page"). The iterator now parks
+// the failure in `status()` and ForwardScan checks it after the sweep.
+
+// Scribbles garbage over the page, going through FetchForWrite so the page
+// version bumps and any decoded-node cache entry is dropped — exactly what
+// a torn write by a buggy writer would look like to a reader.
+void CorruptPage(BufferManager* buffers, PageId id) {
+  Page* page = buffers->FetchForWrite(id);
+  ASSERT_NE(page, nullptr);
+  std::memset(page->data(), 0xFF, page->size());
+}
+
+// Finds the leaf whose smallest key is largest — the *last* leaf in key
+// order, so a forward scan must traverse the healthy prefix of the chain
+// before it trips over the corruption.
+PageId FindLastLeaf(const Pager& pager) {
+  PageId best = kInvalidPageId;
+  std::string best_key;
+  for (PageId id = 1; id <= pager.max_page_id(); ++id) {
+    const Page* page = pager.GetPage(id);
+    if (page == nullptr) continue;
+    Result<Node> node = Node::Parse(*page);
+    if (!node.ok() || !node.value().is_leaf()) continue;
+    if (node.value().entries().empty()) continue;
+    const std::string& first = node.value().entries().front().key;
+    if (best == kInvalidPageId || first > best_key) {
+      best = id;
+      best_key = first;
+    }
+  }
+  return best;
+}
+
+class CursorStatusTest : public ::testing::Test {
+ protected:
+  CursorStatusTest() : pager_(1024), buffers_(&pager_) {}
+
+  void BuildTree(BTree* tree, int keys) {
+    for (int i = 0; i < keys; ++i) {
+      char key[16];
+      std::snprintf(key, sizeof(key), "key%06d", i);
+      ASSERT_TRUE(tree->Insert(Slice(key), Slice("v")).ok());
+    }
+  }
+
+  Pager pager_;
+  BufferManager buffers_;
+};
+
+TEST_F(CursorStatusTest, CleanScanHasOkStatus) {
+  BTree tree(&buffers_);
+  BuildTree(&tree, 500);
+  auto it = tree.NewIterator();
+  size_t n = 0;
+  for (it.SeekToFirst(); it.Valid(); it.Next()) ++n;
+  EXPECT_EQ(n, 500u);
+  EXPECT_TRUE(it.status().ok());
+}
+
+TEST_F(CursorStatusTest, MidScanCorruptionSurfacesInStatus) {
+  BTree tree(&buffers_);
+  BuildTree(&tree, 2000);
+  const PageId victim = FindLastLeaf(pager_);
+  ASSERT_NE(victim, kInvalidPageId);
+  CorruptPage(&buffers_, victim);
+
+  auto it = tree.NewIterator();
+  size_t n = 0;
+  for (it.SeekToFirst(); it.Valid(); it.Next()) ++n;
+  EXPECT_FALSE(it.Valid());
+  EXPECT_FALSE(it.status().ok());
+  EXPECT_TRUE(it.status().IsCorruption()) << it.status().ToString();
+  // The healthy prefix was scanned; the corrupt tail was not invented.
+  EXPECT_GT(n, 0u);
+  EXPECT_LT(n, 2000u);
+}
+
+TEST_F(CursorStatusTest, SeekIntoCorruptLeafSetsStatus) {
+  BTree tree(&buffers_);
+  BuildTree(&tree, 2000);
+  const PageId victim = FindLastLeaf(pager_);
+  ASSERT_NE(victim, kInvalidPageId);
+  const Page* page = pager_.GetPage(victim);
+  const std::string target =
+      Node::Parse(*page).value().entries().front().key;
+  CorruptPage(&buffers_, victim);
+
+  auto it = tree.NewIterator();
+  it.Seek(Slice(target));
+  EXPECT_FALSE(it.Valid());
+  EXPECT_FALSE(it.status().ok());
+  EXPECT_TRUE(it.status().IsCorruption()) << it.status().ToString();
+}
+
+TEST_F(CursorStatusTest, CorruptionSurfacesWithReadaheadActive) {
+  BTree tree(&buffers_);
+  BuildTree(&tree, 2000);
+  const PageId victim = FindLastLeaf(pager_);
+  ASSERT_NE(victim, kInvalidPageId);
+  CorruptPage(&buffers_, victim);
+
+  // Readahead warms corrupt bytes tolerantly (WarmNode drops parse
+  // failures); the *demand* load must still report the corruption.
+  exec::ThreadPool pool(2);
+  PrefetchScheduler scheduler(&buffers_, &pool);
+  buffers_.SetPrefetcher(&scheduler);
+  auto it = tree.NewIterator();
+  size_t n = 0;
+  for (it.SeekToFirst(); it.Valid(); it.Next()) ++n;
+  EXPECT_FALSE(it.status().ok());
+  EXPECT_TRUE(it.status().IsCorruption()) << it.status().ToString();
+  EXPECT_LT(n, 2000u);
+  buffers_.SetPrefetcher(nullptr);
+  scheduler.Drain();
+}
+
+TEST_F(CursorStatusTest, ForwardScanReturnsTheIteratorError) {
+  SetHierarchy hier = std::move(BuildSetHierarchy(4)).value();
+  PathSpec spec =
+      PathSpec::ClassHierarchy(hier.root, "key", Value::Kind::kInt);
+  UIndex index(&buffers_, &hier.schema, hier.coder.get(), spec);
+
+  SetWorkloadConfig cfg;
+  cfg.num_objects = 4000;
+  cfg.num_sets = 4;
+  cfg.num_distinct_keys = 100;
+  for (const Posting& p : GeneratePostings(cfg)) {
+    UIndex::Entry entry;
+    entry.path = {{hier.sets[p.set_index], p.oid}};
+    entry.key =
+        index.key_encoder().EncodeEntry(Value::Int(p.key), entry.path);
+    ASSERT_TRUE(index.InsertEntry(entry).ok());
+  }
+
+  Query query = Query::Range(Value::Int(0), Value::Int(99));
+  ClassSelector sel;
+  for (size_t i = 0; i < 4; ++i) {
+    sel.include.push_back({hier.sets[i], false});
+  }
+  query.With(std::move(sel), ValueSlot::Wanted());
+  ASSERT_TRUE(index.ForwardScan(query).ok());  // Healthy baseline.
+
+  const PageId victim = FindLastLeaf(pager_);
+  ASSERT_NE(victim, kInvalidPageId);
+  CorruptPage(&buffers_, victim);
+
+  Result<QueryResult> r = index.ForwardScan(query);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption()) << r.status().ToString();
+}
+
+}  // namespace
+}  // namespace uindex

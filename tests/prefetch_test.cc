@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "btree/btree.h"
+#include "core/uindex.h"
+#include "exec/thread_pool.h"
+#include "storage/prefetch.h"
+#include "workload/database_generator.h"
+
+namespace uindex {
+namespace {
+
+uint64_t Issued(const BufferManager& b) {
+  return b.stats().prefetch_issued.load(std::memory_order_relaxed);
+}
+uint64_t Hits(const BufferManager& b) {
+  return b.stats().prefetch_hits.load(std::memory_order_relaxed);
+}
+uint64_t Wasted(const BufferManager& b) {
+  return b.stats().prefetch_wasted.load(std::memory_order_relaxed);
+}
+
+class PrefetchSchedulerTest : public ::testing::Test {
+ protected:
+  PrefetchSchedulerTest() : pager_(1024), buffers_(&pager_), pool_(2) {}
+
+  std::vector<PageId> AllocatePages(size_t n) {
+    std::vector<PageId> ids;
+    for (size_t i = 0; i < n; ++i) ids.push_back(pager_.Allocate());
+    return ids;
+  }
+
+  Pager pager_;
+  BufferManager buffers_;
+  exec::ThreadPool pool_;
+};
+
+TEST_F(PrefetchSchedulerTest, DedupesInFlightAndStagedIds) {
+  PrefetchScheduler scheduler(&buffers_, &pool_);
+  const std::vector<PageId> ids = AllocatePages(4);
+
+  EXPECT_EQ(scheduler.Prefetch(ids), 4u);
+  // Same batch again: every id is in flight or already staged.
+  EXPECT_EQ(scheduler.Prefetch(ids), 0u);
+  scheduler.Drain();
+  EXPECT_EQ(scheduler.pending(), 0u);
+  EXPECT_EQ(scheduler.staged(), 4u);
+  EXPECT_EQ(scheduler.Prefetch(ids), 0u);
+  EXPECT_EQ(Issued(buffers_), 4u);
+
+  // Nothing consumed: the epoch boundary reclassifies all of it as wasted
+  // and the ledger balances.
+  scheduler.OnEpochReset();
+  EXPECT_EQ(scheduler.staged(), 0u);
+  EXPECT_EQ(Issued(buffers_), Hits(buffers_) + Wasted(buffers_));
+  EXPECT_EQ(Wasted(buffers_), 4u);
+}
+
+TEST_F(PrefetchSchedulerTest, SkipsResidentAndInvalidIds) {
+  PrefetchScheduler scheduler(&buffers_, &pool_);
+  const std::vector<PageId> ids = AllocatePages(2);
+  buffers_.BeginQuery();
+  EXPECT_NE(buffers_.Fetch(ids[0]), nullptr);  // Resident this epoch.
+  // A resident page would be pure waste to prefetch; invalid ids are
+  // ignored outright.
+  EXPECT_EQ(scheduler.Prefetch({ids[0], kInvalidPageId}), 0u);
+  EXPECT_EQ(scheduler.Prefetch(ids), 1u);  // Only the non-resident one.
+  scheduler.Drain();
+  buffers_.BeginQuery();  // New epoch: nothing resident any more.
+  EXPECT_EQ(scheduler.Prefetch({ids[0]}), 1u);
+  scheduler.Drain();
+}
+
+TEST_F(PrefetchSchedulerTest, DemandFetchJoinsStagedRead) {
+  PrefetchScheduler scheduler(&buffers_, &pool_);
+  buffers_.SetPrefetcher(&scheduler);
+  const std::vector<PageId> ids = AllocatePages(3);
+  buffers_.BeginQuery();
+
+  ASSERT_EQ(scheduler.Prefetch(ids), 3u);
+  scheduler.Drain();
+  const uint64_t reads_before =
+      buffers_.stats().pages_read.load(std::memory_order_relaxed);
+
+  // The demand fetch is charged exactly as without prefetch, and consumes
+  // the staged read.
+  EXPECT_NE(buffers_.Fetch(ids[0]), nullptr);
+  EXPECT_EQ(buffers_.stats().pages_read.load(std::memory_order_relaxed),
+            reads_before + 1);
+  EXPECT_EQ(Hits(buffers_), 1u);
+  EXPECT_EQ(scheduler.staged(), 2u);
+
+  // Second fetch of the same id is resident — no read, no join.
+  EXPECT_NE(buffers_.Fetch(ids[0]), nullptr);
+  EXPECT_EQ(buffers_.stats().pages_read.load(std::memory_order_relaxed),
+            reads_before + 1);
+  EXPECT_EQ(Hits(buffers_), 1u);
+
+  buffers_.SetPrefetcher(nullptr);
+  scheduler.Drain();
+}
+
+TEST_F(PrefetchSchedulerTest, DemandStealsQueuedNotStartedRead) {
+  // A single-worker pool wedged on a blocker task: prefetches queue behind
+  // it and can never start. The demand fetch must steal them instead of
+  // waiting on pool scheduling (the deadlock-freedom rule).
+  exec::ThreadPool one(1);
+  PrefetchScheduler scheduler(&buffers_, &one);
+  buffers_.SetPrefetcher(&scheduler);
+  const std::vector<PageId> ids = AllocatePages(2);
+  buffers_.BeginQuery();
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  one.Schedule([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+
+  ASSERT_EQ(scheduler.Prefetch(ids), 2u);
+  EXPECT_NE(buffers_.Fetch(ids[0]), nullptr);  // Steal, not deadlock.
+  EXPECT_EQ(Hits(buffers_), 0u);
+  EXPECT_EQ(Wasted(buffers_), 1u);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  scheduler.Drain();
+  EXPECT_NE(buffers_.Fetch(ids[1]), nullptr);  // Staged after the drain.
+  EXPECT_EQ(Hits(buffers_), 1u);
+  scheduler.OnEpochReset();
+  EXPECT_EQ(Issued(buffers_), Hits(buffers_) + Wasted(buffers_));
+  buffers_.SetPrefetcher(nullptr);
+}
+
+TEST_F(PrefetchSchedulerTest, FreedPageInvalidatesItsPrefetch) {
+  PrefetchScheduler scheduler(&buffers_, &pool_);
+  buffers_.SetPrefetcher(&scheduler);
+  const std::vector<PageId> ids = AllocatePages(2);
+  buffers_.BeginQuery();
+
+  ASSERT_EQ(scheduler.Prefetch(ids), 2u);
+  scheduler.Drain();
+  buffers_.Free(ids[0]);  // Staged read of a freed id can never be served.
+  EXPECT_EQ(Wasted(buffers_), 1u);
+  EXPECT_EQ(scheduler.staged(), 1u);
+
+  // The id may be recycled with unrelated content: a fresh fetch of the
+  // recycled id must not join the dead flight.
+  const PageId recycled = pager_.Allocate();
+  ASSERT_EQ(recycled, ids[0]);
+  buffers_.BeginQuery();
+  EXPECT_NE(buffers_.Fetch(recycled), nullptr);
+  EXPECT_EQ(Hits(buffers_), 0u);
+  buffers_.SetPrefetcher(nullptr);
+  scheduler.Drain();
+}
+
+TEST_F(PrefetchSchedulerTest, EpochResetWastesInFlightReadsOnCompletion) {
+  PrefetchScheduler scheduler(&buffers_, &pool_);
+  buffers_.SetPrefetcher(&scheduler);
+  buffers_.SetSimulatedReadLatency(2000);  // Keep reads in flight briefly.
+  const std::vector<PageId> ids = AllocatePages(4);
+  buffers_.BeginQuery();
+
+  ASSERT_EQ(scheduler.Prefetch(ids), 4u);
+  buffers_.BeginQuery();  // Stale generation: nobody will consume these.
+  scheduler.Drain();
+  EXPECT_EQ(scheduler.staged(), 0u);
+  EXPECT_EQ(Issued(buffers_), Hits(buffers_) + Wasted(buffers_));
+  EXPECT_EQ(Wasted(buffers_), 4u);
+  buffers_.SetPrefetcher(nullptr);
+}
+
+TEST_F(PrefetchSchedulerTest, WarmFnRunsAfterTheBackgroundRead) {
+  PrefetchScheduler scheduler(&buffers_, &pool_);
+  const std::vector<PageId> ids = AllocatePages(3);
+  buffers_.BeginQuery();
+
+  std::atomic<int> warmed{0};
+  ASSERT_EQ(
+      scheduler.Prefetch(ids, [&](PageId) { warmed.fetch_add(1); }), 3u);
+  scheduler.Drain();
+  EXPECT_EQ(warmed.load(), 3);
+}
+
+// End-to-end equivalence: the iterator readahead and the Parscan pre-pass
+// must not change a single row or page read — only the three prefetch
+// counters and wall-clock time may move.
+class PrefetchEquivalenceTest : public ::testing::Test {
+ protected:
+  PrefetchEquivalenceTest() : pager_(1024), buffers_(&pager_), pool_(2) {}
+
+  Pager pager_;
+  BufferManager buffers_;
+  exec::ThreadPool pool_;
+};
+
+TEST_F(PrefetchEquivalenceTest, IteratorScanIdenticalWithReadahead) {
+  BTree tree(&buffers_);
+  for (int i = 0; i < 3000; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "key%06d", i);
+    ASSERT_TRUE(tree.Insert(Slice(key), Slice(key)).ok());
+  }
+
+  auto scan = [&] {
+    QueryCost cost(&buffers_);
+    std::vector<std::string> keys;
+    auto it = tree.NewIterator();
+    for (it.SeekToFirst(); it.Valid(); it.Next()) {
+      keys.push_back(std::string(it.key().data(), it.key().size()));
+    }
+    EXPECT_TRUE(it.status().ok());
+    return std::make_pair(std::move(keys), cost.PagesRead());
+  };
+
+  const auto baseline = scan();
+  EXPECT_EQ(baseline.first.size(), 3000u);
+
+  PrefetchScheduler scheduler(&buffers_, &pool_);
+  buffers_.SetPrefetcher(&scheduler);
+  const auto with_readahead = scan();
+  buffers_.SetPrefetcher(nullptr);
+  scheduler.Drain();
+
+  EXPECT_EQ(with_readahead.first, baseline.first);
+  EXPECT_EQ(with_readahead.second, baseline.second);
+  EXPECT_GT(Issued(buffers_), 0u);  // Readahead actually engaged.
+}
+
+TEST_F(PrefetchEquivalenceTest, ParscanIdenticalWithChildPrefetch) {
+  SetHierarchy hier = std::move(BuildSetHierarchy(8)).value();
+  PathSpec spec =
+      PathSpec::ClassHierarchy(hier.root, "key", Value::Kind::kInt);
+  UIndex index(&buffers_, &hier.schema, hier.coder.get(), spec);
+
+  SetWorkloadConfig cfg;
+  cfg.num_objects = 8000;
+  cfg.num_sets = 8;
+  cfg.num_distinct_keys = 200;
+  for (const Posting& p : GeneratePostings(cfg)) {
+    UIndex::Entry entry;
+    entry.path = {{hier.sets[p.set_index], p.oid}};
+    entry.key =
+        index.key_encoder().EncodeEntry(Value::Int(p.key), entry.path);
+    ASSERT_TRUE(index.InsertEntry(entry).ok());
+  }
+
+  Query query = Query::Range(Value::Int(0), Value::Int(60));
+  ClassSelector sel;
+  for (size_t i = 0; i < 8; i += 2) {
+    sel.include.push_back({hier.sets[i], false});
+  }
+  query.With(std::move(sel), ValueSlot::Wanted());
+
+  auto run = [&] {
+    QueryCost cost(&buffers_);
+    Result<QueryResult> r = index.Parscan(query);
+    EXPECT_TRUE(r.ok());
+    return std::make_pair(std::move(r).value().rows, cost.PagesRead());
+  };
+
+  const auto baseline = run();
+  EXPECT_FALSE(baseline.first.empty());
+
+  PrefetchScheduler scheduler(&buffers_, &pool_);
+  buffers_.SetPrefetcher(&scheduler);
+  const auto with_prefetch = run();
+  const auto forward_on = [&] {
+    QueryCost cost(&buffers_);
+    Result<QueryResult> r = index.ForwardScan(query);
+    EXPECT_TRUE(r.ok());
+    return std::make_pair(std::move(r).value().rows, cost.PagesRead());
+  }();
+  buffers_.SetPrefetcher(nullptr);
+  scheduler.Drain();
+  const auto forward_off = [&] {
+    QueryCost cost(&buffers_);
+    Result<QueryResult> r = index.ForwardScan(query);
+    EXPECT_TRUE(r.ok());
+    return std::make_pair(std::move(r).value().rows, cost.PagesRead());
+  }();
+
+  EXPECT_EQ(with_prefetch.first, baseline.first);
+  EXPECT_EQ(with_prefetch.second, baseline.second);
+  EXPECT_EQ(forward_on.first, forward_off.first);
+  EXPECT_EQ(forward_on.second, forward_off.second);
+  EXPECT_GT(Issued(buffers_), 0u);
+}
+
+}  // namespace
+}  // namespace uindex
