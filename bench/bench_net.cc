@@ -1,0 +1,271 @@
+// Multi-client load benchmark of the wire-protocol server (src/net/):
+// the fig5 exact-match workload (class-hierarchy index on an int key,
+// point queries over the full hierarchy) executed two ways —
+//
+//   * in-process — one serial db::Session, the repo's baseline path;
+//   * remote — a net::Server in this process, 8 blocking net::Client
+//     threads driving the same query list over loopback TCP through
+//     framing, admission control, and the shared exec::ThreadPool.
+//
+// Correctness is asserted, not sampled: every remote query must return a
+// byte-identical oid vector to its in-process twin, and each phase runs
+// in a fresh buffer-manager epoch so the phase-aggregate pages_read
+// (first touch per distinct page) must match exactly — the paper's cost
+// metric survives the socket. The bench exits non-zero on any mismatch
+// or if the remote phase sustains < 10k QPS.
+//
+// Reports QPS and p50/p99 per-query latency to stdout and to
+// $UINDEX_BENCH_OUT_DIR/net.json (default bench_results/net.json).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "db/database.h"
+#include "db/session.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "util/random.h"
+
+namespace uindex {
+namespace {
+
+constexpr int kClients = 8;
+constexpr uint32_t kSubclasses = 8;
+constexpr int64_t kKeys = 1000;
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct PhaseResult {
+  std::vector<std::vector<Oid>> oids;  // Per query, in query-list order.
+  uint64_t pages_read = 0;             // Phase-aggregate (fresh epoch).
+  double wall_ms = 0;
+  std::vector<double> latencies_us;    // Remote phase only.
+};
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0;
+  const size_t i = static_cast<size_t>(p * (sorted.size() - 1));
+  return sorted[i];
+}
+
+int Run() {
+  const uint32_t num_objects = bench::QuickMode() ? 20000u : 100000u;
+  const int num_queries = bench::QuickMode() ? 4000 : 16000;
+
+  // Fig5-shaped database behind the façade: one root, kSubclasses leaves,
+  // a class-hierarchy index on an int key, uniform key assignment.
+  // Prefetch threads are off so background readahead cannot perturb the
+  // per-epoch page counts the two phases are compared on.
+  DatabaseOptions options;
+  options.prefetch_threads = 0;
+  Database db(options);
+  const ClassId root = db.CreateClass("Item").value();
+  std::vector<ClassId> subs;
+  for (uint32_t i = 0; i < kSubclasses; ++i) {
+    subs.push_back(
+        db.CreateSubclass("Item" + std::to_string(i), root).value());
+  }
+  if (Result<size_t> idx = db.CreateIndex(
+          PathSpec::ClassHierarchy(root, "Key", Value::Kind::kInt));
+      !idx.ok()) {
+    std::fprintf(stderr, "index: %s\n", idx.status().ToString().c_str());
+    return 1;
+  }
+  Random rng(0xF165);
+  for (uint32_t i = 0; i < num_objects; ++i) {
+    Result<Oid> oid = db.CreateObject(subs[i % subs.size()]);
+    if (!oid.ok() ||
+        !db.SetAttr(oid.value(), "Key",
+                    Value::Int(static_cast<int64_t>(rng.Uniform(kKeys))))
+             .ok()) {
+      std::fprintf(stderr, "load failed at object %u\n", i);
+      return 1;
+    }
+  }
+
+  // One shared query list; both phases execute it in full.
+  std::vector<std::string> queries;
+  queries.reserve(num_queries);
+  Random qrng(0xBEEF);
+  for (int q = 0; q < num_queries; ++q) {
+    queries.push_back("SELECT i FROM Item* i WHERE i.Key = " +
+                      std::to_string(qrng.Uniform(kKeys)));
+  }
+
+  // Phase 1: in-process serial baseline.
+  PhaseResult local;
+  local.oids.resize(queries.size());
+  {
+    db.buffers().BeginQuery();  // Fresh epoch: count each page once.
+    const IoStats base = db.buffers().stats();
+    Session session(&db);
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t q = 0; q < queries.size(); ++q) {
+      Result<Database::OqlResult> r = session.ExecuteOql(queries[q]);
+      if (!r.ok()) {
+        std::fprintf(stderr, "in-process query %zu: %s\n", q,
+                     r.status().ToString().c_str());
+        return 1;
+      }
+      local.oids[q] = std::move(r.value().oids);
+    }
+    local.wall_ms = MillisSince(start);
+    local.pages_read = (db.buffers().stats() - base)
+                           .pages_read.load(std::memory_order_relaxed);
+  }
+
+  // Phase 2: the same list through the server, kClients blocking clients
+  // on contiguous slices. max_queued covers all clients so nothing sheds
+  // Busy (a shed would break the identical-results contract).
+  net::ServerOptions server_options;
+  server_options.worker_threads = kClients;
+  server_options.max_queued_queries = kClients * 2;
+  Result<std::unique_ptr<net::Server>> started =
+      net::Server::Start(&db, server_options);
+  if (!started.ok()) {
+    std::fprintf(stderr, "server: %s\n", started.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<net::Server> server = std::move(started).value();
+
+  PhaseResult remote;
+  remote.oids.resize(queries.size());
+  std::vector<std::vector<double>> latencies(kClients);
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  db.buffers().BeginQuery();
+  const IoStats remote_base = db.buffers().stats();
+  const auto remote_start = std::chrono::steady_clock::now();
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      Result<std::unique_ptr<net::Client>> client =
+          net::Client::Connect("127.0.0.1", server->port());
+      if (!client.ok()) {
+        std::fprintf(stderr, "client %d: %s\n", t,
+                     client.status().ToString().c_str());
+        failures.fetch_add(1);
+        return;
+      }
+      const size_t per = (queries.size() + kClients - 1) / kClients;
+      const size_t lo = t * per;
+      const size_t hi = std::min(queries.size(), lo + per);
+      latencies[t].reserve(hi - lo);
+      for (size_t q = lo; q < hi; ++q) {
+        const auto sent = std::chrono::steady_clock::now();
+        Result<net::Client::QueryResult> r =
+            client.value()->Query(queries[q]);
+        if (!r.ok()) {
+          std::fprintf(stderr, "remote query %zu: %s\n", q,
+                       r.status().ToString().c_str());
+          failures.fetch_add(1);
+          return;
+        }
+        latencies[t].push_back(MillisSince(sent) * 1000.0);
+        remote.oids[q] = std::move(r.value().oids);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  remote.wall_ms = MillisSince(remote_start);
+  remote.pages_read = (db.buffers().stats() - remote_base)
+                          .pages_read.load(std::memory_order_relaxed);
+  server->Shutdown();
+  if (failures.load() != 0) return 1;
+
+  // Byte-identical rows, query by query.
+  for (size_t q = 0; q < queries.size(); ++q) {
+    if (remote.oids[q] != local.oids[q]) {
+      std::fprintf(stderr, "FAIL: query %zu rows differ (%zu vs %zu oids)\n",
+                   q, remote.oids[q].size(), local.oids[q].size());
+      return 1;
+    }
+  }
+  // Identical phase-aggregate page reads: each phase started a fresh
+  // epoch and ran the same queries, so the distinct-page first-touch
+  // count must agree no matter how the remote phase interleaved.
+  if (remote.pages_read != local.pages_read) {
+    std::fprintf(stderr,
+                 "FAIL: aggregate pages_read differ: in-process %llu, "
+                 "remote %llu\n",
+                 static_cast<unsigned long long>(local.pages_read),
+                 static_cast<unsigned long long>(remote.pages_read));
+    return 1;
+  }
+
+  for (std::vector<double>& l : latencies) {
+    remote.latencies_us.insert(remote.latencies_us.end(), l.begin(),
+                               l.end());
+  }
+  std::sort(remote.latencies_us.begin(), remote.latencies_us.end());
+  const double qps = queries.size() / (remote.wall_ms / 1000.0);
+  const double p50 = Percentile(remote.latencies_us, 0.50);
+  const double p99 = Percentile(remote.latencies_us, 0.99);
+  const double local_qps = queries.size() / (local.wall_ms / 1000.0);
+
+  std::printf("bench_net: fig5 exact-match, %u objects, %d queries, %d "
+              "clients%s\n",
+              num_objects, num_queries, kClients,
+              bench::QuickMode() ? " (quick mode)" : "");
+  std::printf("  %-22s %10s %12s %10s %10s\n", "phase", "wall ms", "QPS",
+              "p50 us", "p99 us");
+  std::printf("  %-22s %10.1f %12.0f %10s %10s\n", "in-process serial",
+              local.wall_ms, local_qps, "-", "-");
+  std::printf("  %-22s %10.1f %12.0f %10.1f %10.1f\n", "remote 8 clients",
+              remote.wall_ms, qps, p50, p99);
+  std::printf("  rows byte-identical: yes; aggregate pages_read: %llu == "
+              "%llu\n",
+              static_cast<unsigned long long>(local.pages_read),
+              static_cast<unsigned long long>(remote.pages_read));
+
+  const char* env = std::getenv("UINDEX_BENCH_OUT_DIR");
+  const std::filesystem::path dir = env != nullptr ? env : "bench_results";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::filesystem::path path = dir / "net.json";
+  if (std::FILE* f = std::fopen(path.string().c_str(), "w")) {
+    std::fprintf(f,
+                 "{\n  \"bench\": \"net\",\n  \"quick_mode\": %s,\n"
+                 "  \"objects\": %u,\n  \"queries\": %d,\n"
+                 "  \"clients\": %d,\n"
+                 "  \"in_process\": {\"wall_ms\": %.1f, \"qps\": %.0f, "
+                 "\"pages_read\": %llu},\n"
+                 "  \"remote\": {\"wall_ms\": %.1f, \"qps\": %.0f, "
+                 "\"p50_us\": %.1f, \"p99_us\": %.1f, "
+                 "\"pages_read\": %llu},\n"
+                 "  \"rows_identical\": true\n}\n",
+                 bench::QuickMode() ? "true" : "false", num_objects,
+                 num_queries, kClients, local.wall_ms, local_qps,
+                 static_cast<unsigned long long>(local.pages_read),
+                 remote.wall_ms, qps, p50, p99,
+                 static_cast<unsigned long long>(remote.pages_read));
+    std::fclose(f);
+    std::printf("wrote %s\n", path.string().c_str());
+  } else {
+    std::fprintf(stderr, "warning: cannot write %s\n",
+                 path.string().c_str());
+  }
+
+  if (qps < 10000.0) {
+    std::fprintf(stderr, "FAIL: remote QPS %.0f below the 10k floor\n", qps);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace uindex
+
+int main() { return uindex::Run(); }

@@ -4,178 +4,205 @@
 #include <cstdlib>
 #include <vector>
 
+#include "util/diag.h"
+
 namespace uindex {
 
 namespace {
 
-std::string Trim(const std::string& s) {
+// A trimmed piece of the query text that remembers where it came from, so
+// every error can point a caret at the offending byte of the original
+// input.
+struct Fragment {
+  std::string text;
+  size_t offset = 0;  ///< Byte offset of `text[0]` in the source string.
+};
+
+Fragment TrimFrag(const std::string& s, size_t base) {
   size_t b = 0, e = s.size();
   while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
   while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
-  return s.substr(b, e - b);
+  return Fragment{s.substr(b, e - b), base + b};
 }
 
-std::vector<std::string> Split(const std::string& s, char sep) {
-  std::vector<std::string> out;
+std::vector<Fragment> SplitFrag(const Fragment& f, char sep) {
+  std::vector<Fragment> out;
   size_t start = 0;
-  for (size_t i = 0; i <= s.size(); ++i) {
-    if (i == s.size() || s[i] == sep) {
-      out.push_back(Trim(s.substr(start, i - start)));
+  for (size_t i = 0; i <= f.text.size(); ++i) {
+    if (i == f.text.size() || f.text[i] == sep) {
+      out.push_back(
+          TrimFrag(f.text.substr(start, i - start), f.offset + start));
       start = i + 1;
     }
   }
   return out;
 }
 
-Result<Value> ParseValue(const std::string& text, Value::Kind kind) {
+Result<Value> ParseValue(const std::string& source, const Fragment& f,
+                         Value::Kind kind) {
   if (kind == Value::Kind::kString) {
-    if (text.size() < 2 || text.front() != '\'' || text.back() != '\'') {
-      return Status::InvalidArgument("string value needs quotes: " + text);
+    if (f.text.size() < 2 || f.text.front() != '\'' ||
+        f.text.back() != '\'') {
+      return ParseErrorAt(source, f.offset,
+                          "string value needs quotes: " + f.text);
     }
-    return Value::Str(text.substr(1, text.size() - 2));
+    return Value::Str(f.text.substr(1, f.text.size() - 2));
   }
   char* end = nullptr;
-  const long long v = std::strtoll(text.c_str(), &end, 10);
-  if (end == text.c_str() || *end != '\0') {
-    return Status::InvalidArgument("bad integer: " + text);
+  const long long v = std::strtoll(f.text.c_str(), &end, 10);
+  if (end == f.text.c_str() || *end != '\0') {
+    return ParseErrorAt(source, f.offset, "bad integer: " + f.text);
   }
   return Value::Int(v);
 }
 
-Result<ClassSelector::Term> ParseTerm(const std::string& text,
+Result<ClassSelector::Term> ParseTerm(const Fragment& f,
                                       const Schema& schema) {
-  std::string name = text;
+  std::string name = f.text;
   ClassSelector::Term term;
   if (!name.empty() && name.back() == '*') {
     term.with_subclasses = true;
     name.pop_back();
   }
-  Result<ClassId> cls = schema.FindClass(Trim(name));
+  Result<ClassId> cls = schema.FindClass(TrimFrag(name, 0).text);
   if (!cls.ok()) return cls.status();
   term.cls = cls.value();
   return term;
 }
 
-Result<ClassSelector> ParseSelector(const std::string& text,
+Result<ClassSelector> ParseSelector(const std::string& source,
+                                    const Fragment& f,
                                     const Schema& schema) {
   ClassSelector sel;
-  if (text == "_" || text == "*") return sel;  // Any class.
+  if (f.text == "_" || f.text == "*") return sel;  // Any class.
 
-  // Exclusions are whitespace-separated "!Term" suffixes.
-  std::string includes = text;
-  std::vector<std::string> exclude_texts;
-  size_t bang = includes.find('!');
-  while (bang != std::string::npos) {
-    std::string rest = includes.substr(bang + 1);
-    size_t stop = rest.find('!');
-    exclude_texts.push_back(Trim(stop == std::string::npos
-                                     ? rest
-                                     : rest.substr(0, stop)));
-    includes = includes.substr(0, bang);
-    bang = includes.find('!');
+  // '!'-separated: the first piece holds '|'-alternated includes, every
+  // later piece is one exclusion term.
+  std::vector<Fragment> pieces;
+  size_t start = 0;
+  for (size_t i = 0; i <= f.text.size(); ++i) {
+    if (i == f.text.size() || f.text[i] == '!') {
+      pieces.push_back(
+          TrimFrag(f.text.substr(start, i - start), f.offset + start));
+      start = i + 1;
+    }
   }
-  for (const std::string& part : Split(Trim(includes), '|')) {
-    if (part.empty()) continue;
+  for (const Fragment& part : SplitFrag(pieces[0], '|')) {
+    if (part.text.empty()) continue;
     Result<ClassSelector::Term> term = ParseTerm(part, schema);
     if (!term.ok()) return term.status();
     sel.include.push_back(term.value());
   }
-  for (const std::string& part : exclude_texts) {
-    if (part.empty()) continue;
-    Result<ClassSelector::Term> term = ParseTerm(part, schema);
+  for (size_t i = 1; i < pieces.size(); ++i) {
+    if (pieces[i].text.empty()) continue;
+    Result<ClassSelector::Term> term = ParseTerm(pieces[i], schema);
     if (!term.ok()) return term.status();
     sel.exclude.push_back(term.value());
   }
   if (sel.include.empty() && sel.exclude.empty()) {
-    return Status::InvalidArgument("empty selector: " + text);
+    return ParseErrorAt(source, f.offset, "empty selector: " + f.text);
   }
   return sel;
 }
 
-Result<ValueSlot> ParseSlot(const std::string& text) {
-  if (text == "_") return ValueSlot::Any();
-  if (text == "?") return ValueSlot::Wanted();
-  if (!text.empty() && text[0] == '#') {
+Result<ValueSlot> ParseSlot(const std::string& source, const Fragment& f) {
+  if (f.text == "_") return ValueSlot::Any();
+  if (f.text == "?") return ValueSlot::Wanted();
+  if (!f.text.empty() && f.text[0] == '#') {
     std::vector<Oid> oids;
-    for (const std::string& part : Split(text.substr(1), '+')) {
+    for (const Fragment& part :
+         SplitFrag(Fragment{f.text.substr(1), f.offset + 1}, '+')) {
       char* end = nullptr;
-      const unsigned long v = std::strtoul(part.c_str(), &end, 10);
-      if (end == part.c_str() || *end != '\0') {
-        return Status::InvalidArgument("bad oid: " + part);
+      const unsigned long v = std::strtoul(part.text.c_str(), &end, 10);
+      if (end == part.text.c_str() || *end != '\0') {
+        return ParseErrorAt(source, part.offset, "bad oid: " + part.text);
       }
       oids.push_back(static_cast<Oid>(v));
     }
-    if (oids.empty()) return Status::InvalidArgument("empty oid list");
+    if (oids.empty()) {
+      return ParseErrorAt(source, f.offset, "empty oid list");
+    }
     return ValueSlot::Bound(std::move(oids));
   }
-  return Status::InvalidArgument("bad slot: " + text);
+  return ParseErrorAt(source, f.offset, "bad slot: " + f.text);
 }
 
 }  // namespace
 
 Result<Query> ParseQuery(const std::string& text, const PathSpec& spec,
                          const Schema& schema) {
-  std::string body = Trim(text);
-  if (!body.empty() && body.front() == '(' && body.back() == ')') {
-    body = Trim(body.substr(1, body.size() - 2));
+  Fragment body = TrimFrag(text, 0);
+  if (!body.text.empty() && body.text.front() == '(' &&
+      body.text.back() == ')') {
+    body = TrimFrag(body.text.substr(1, body.text.size() - 2),
+                    body.offset + 1);
   }
-  std::vector<std::string> parts = Split(body, ',');
-  if (parts.empty() || parts[0].empty()) {
-    return Status::InvalidArgument("empty query");
+  std::vector<Fragment> parts = SplitFrag(body, ',');
+  if (parts.empty() || parts[0].text.empty()) {
+    return ParseErrorAt(text, body.offset, "empty query");
   }
   if (parts.size() % 2 == 0) {
-    return Status::InvalidArgument(
+    return ParseErrorAt(
+        text, parts.back().offset,
         "query needs an attribute predicate plus selector/slot pairs");
   }
 
   // Attribute predicate: NAME=value or NAME=lo..hi.
-  const std::string& attr_text = parts[0];
-  const size_t eq = attr_text.find('=');
+  const Fragment& attr = parts[0];
+  const size_t eq = attr.text.find('=');
   if (eq == std::string::npos) {
-    return Status::InvalidArgument("attribute predicate needs '='");
+    return ParseErrorAt(text, attr.offset,
+                        "attribute predicate needs '='");
   }
-  const std::string name = Trim(attr_text.substr(0, eq));
-  if (name != spec.indexed_attr) {
-    return Status::InvalidArgument("attribute " + name +
-                                   " is not the indexed attribute (" +
-                                   spec.indexed_attr + ")");
+  const Fragment name = TrimFrag(attr.text.substr(0, eq), attr.offset);
+  if (name.text != spec.indexed_attr) {
+    return ParseErrorAt(text, name.offset,
+                        "attribute " + name.text +
+                            " is not the indexed attribute (" +
+                            spec.indexed_attr + ")");
   }
-  const std::string value_text = Trim(attr_text.substr(eq + 1));
-  const size_t dots = value_text.find("..");
+  const Fragment value_frag =
+      TrimFrag(attr.text.substr(eq + 1), attr.offset + eq + 1);
+  const size_t dots = value_frag.text.find("..");
   Query query;
-  if (value_text.find('|') != std::string::npos) {
+  if (value_frag.text.find('|') != std::string::npos) {
     // Value alternation, e.g. Color='Red'|'Blue'.
-    for (const std::string& part : Split(value_text, '|')) {
-      Result<Value> v = ParseValue(part, spec.value_kind);
+    for (const Fragment& part : SplitFrag(value_frag, '|')) {
+      Result<Value> v = ParseValue(text, part, spec.value_kind);
       if (!v.ok()) return v.status();
       query.values.push_back(std::move(v).value());
     }
   } else if (dots == std::string::npos) {
-    Result<Value> v = ParseValue(value_text, spec.value_kind);
+    Result<Value> v = ParseValue(text, value_frag, spec.value_kind);
     if (!v.ok()) return v.status();
     query.lo = v.value();
     query.hi = v.value();
   } else {
-    Result<Value> lo =
-        ParseValue(Trim(value_text.substr(0, dots)), spec.value_kind);
+    Result<Value> lo = ParseValue(
+        text, TrimFrag(value_frag.text.substr(0, dots), value_frag.offset),
+        spec.value_kind);
     if (!lo.ok()) return lo.status();
-    Result<Value> hi =
-        ParseValue(Trim(value_text.substr(dots + 2)), spec.value_kind);
+    Result<Value> hi = ParseValue(
+        text,
+        TrimFrag(value_frag.text.substr(dots + 2),
+                 value_frag.offset + dots + 2),
+        spec.value_kind);
     if (!hi.ok()) return hi.status();
     query.lo = lo.value();
     query.hi = hi.value();
   }
 
   for (size_t i = 1; i + 1 < parts.size(); i += 2) {
-    Result<ClassSelector> sel = ParseSelector(parts[i], schema);
+    Result<ClassSelector> sel = ParseSelector(text, parts[i], schema);
     if (!sel.ok()) return sel.status();
-    Result<ValueSlot> slot = ParseSlot(parts[i + 1]);
+    Result<ValueSlot> slot = ParseSlot(text, parts[i + 1]);
     if (!slot.ok()) return slot.status();
     query.components.push_back(
         QueryComponent{std::move(sel).value(), std::move(slot).value()});
   }
   if (query.components.size() > spec.Length()) {
-    return Status::InvalidArgument("more components than path positions");
+    return ParseErrorAt(text, parts[1].offset,
+                        "more components than path positions");
   }
   return query;
 }

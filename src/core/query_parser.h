@@ -25,6 +25,9 @@ namespace uindex {
 ///   slot      := '_' | '?' | '#' oid ('+' oid)*
 ///
 /// The attribute NAME must match the index's indexed attribute.
+///
+/// Syntax errors are `InvalidArgument` with the byte offset of the
+/// offending fragment and a caret-context snippet (util/diag.h).
 Result<Query> ParseQuery(const std::string& text, const PathSpec& spec,
                          const Schema& schema);
 

@@ -1,7 +1,7 @@
 #include "db/journal.h"
 
 #include "util/coding.h"
-#include "util/crc32.h"
+#include "util/framing.h"
 
 namespace uindex {
 
@@ -94,13 +94,8 @@ Journal::~Journal() {
 
 Status Journal::Append(const JournalRecord& record) {
   const std::string payload = EncodeRecord(record);
-  std::string frame;
-  PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
-  PutFixed32(&frame, Crc32(Slice(payload)));
-  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size() ||
-      std::fwrite(payload.data(), 1, payload.size(), file_) !=
-          payload.size() ||
-      std::fflush(file_) != 0) {
+  UINDEX_RETURN_IF_ERROR(WriteFrameToFile(file_, Slice(payload)));
+  if (std::fflush(file_) != 0) {
     return Status::ResourceExhausted("journal write failed");
   }
   return Status::OK();
@@ -124,25 +119,21 @@ Result<std::vector<JournalRecord>> Journal::ReadAll(
   std::string payload;
   size_t consumed = 0;
   for (;;) {
-    char frame[8];
-    const size_t got = std::fread(frame, 1, sizeof(frame), file);
-    if (got == 0) break;  // Clean end.
-    if (got < sizeof(frame)) break;  // Torn tail: stop.
-    const uint32_t len = DecodeFixed32(frame);
-    const uint32_t crc = DecodeFixed32(frame + 4);
-    payload.resize(len);
-    if (std::fread(payload.data(), 1, len, file) != len) break;  // Torn.
-    if (Crc32(Slice(payload)) != crc) {
+    // Shared framing policy (util/framing.h): a torn tail ends the list, a
+    // corrupt record *inside* the log is an error.
+    Result<FrameRead> read =
+        ReadFrameFromFile(file, &payload, UINT32_MAX, &consumed);
+    if (!read.ok()) {
       std::fclose(file);
-      return Status::Corruption("journal record checksum mismatch");
+      return read.status();
     }
+    if (read.value() != FrameRead::kFrame) break;  // Clean end or torn tail.
     Result<JournalRecord> record = DecodeRecord(Slice(payload));
     if (!record.ok()) {
       std::fclose(file);
       return record.status();
     }
     out.push_back(std::move(record).value());
-    consumed += sizeof(frame) + len;
   }
   std::fclose(file);
   if (valid_bytes != nullptr) *valid_bytes = consumed;

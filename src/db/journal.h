@@ -43,9 +43,10 @@ struct JournalRecord {
 /// crash time) is tolerated and replay stops there; a corrupt record
 /// *inside* the log is an error.
 ///
-/// Record framing: [len u32][crc u32][payload]; payload starts with the op
-/// byte. Records reference classes by *name*, so a journal remains valid
-/// across re-encodes of the class codes.
+/// Record framing: the repo-wide [len u32][crc u32][payload] convention
+/// (util/framing.h, shared with the wire protocol in net/); payload starts
+/// with the op byte. Records reference classes by *name*, so a journal
+/// remains valid across re-encodes of the class codes.
 class Journal {
  public:
   /// Opens (creating if absent) the journal at `path` for appending.

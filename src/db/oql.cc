@@ -3,6 +3,8 @@
 #include <cctype>
 #include <cstdlib>
 
+#include "util/diag.h"
+
 namespace uindex {
 
 namespace {
@@ -22,6 +24,7 @@ struct Token {
   Kind kind = Kind::kEnd;
   std::string text;
   int64_t int_value = 0;
+  size_t offset = 0;  ///< Byte offset of the token's first character.
 };
 
 class Lexer {
@@ -39,9 +42,10 @@ class Lexer {
       if (c == '\'') {
         const size_t end = text_.find('\'', pos_ + 1);
         if (end == std::string::npos) {
-          return Status::InvalidArgument("unterminated string literal");
+          return ParseErrorAt(text_, pos_, "unterminated string literal");
         }
         Token t;
+        t.offset = pos_;
         t.kind = Token::Kind::kString;
         t.text = text_.substr(pos_ + 1, end - pos_ - 1);
         out.push_back(std::move(t));
@@ -57,6 +61,7 @@ class Lexer {
           ++end;
         }
         Token t;
+        t.offset = pos_;
         t.kind = Token::Kind::kInt;
         t.text = text_.substr(pos_, end - pos_);
         t.int_value = std::strtoll(t.text.c_str(), nullptr, 10);
@@ -73,6 +78,7 @@ class Lexer {
           ++end;
         }
         Token t;
+        t.offset = pos_;
         t.kind = Token::Kind::kIdent;
         t.text = text_.substr(pos_, end - pos_);
         out.push_back(std::move(t));
@@ -81,6 +87,7 @@ class Lexer {
       }
       if (c == '<' || c == '>') {
         Token t;
+        t.offset = pos_;
         t.kind = Token::Kind::kSymbol;
         t.text.push_back(c);
         if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
@@ -94,16 +101,19 @@ class Lexer {
       if (c == '=' || c == '(' || c == ')' || c == ',' || c == '.' ||
           c == '*') {
         Token t;
+        t.offset = pos_;
         t.kind = Token::Kind::kSymbol;
         t.text.push_back(c);
         out.push_back(std::move(t));
         ++pos_;
         continue;
       }
-      return Status::InvalidArgument(std::string("unexpected character '") +
-                                     c + "'");
+      return ParseErrorAt(text_, pos_,
+                          std::string("unexpected character '") + c + "'");
     }
-    out.push_back(Token{});  // kEnd sentinel.
+    Token end_token;  // kEnd sentinel pointing just past the input.
+    end_token.offset = text_.size();
+    out.push_back(std::move(end_token));
     return out;
   }
 
@@ -131,7 +141,8 @@ bool KeywordIs(const Token& t, const char* keyword) {
 
 class Parser {
  public:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+  Parser(const std::string& text, std::vector<Token> tokens)
+      : text_(text), tokens_(std::move(tokens)) {}
 
   Result<OqlQuery> Run() {
     OqlQuery query;
@@ -147,12 +158,13 @@ class Parser {
     }
     UINDEX_RETURN_IF_ERROR(ExpectKeyword("FROM"));
     UINDEX_RETURN_IF_ERROR(ParseClassRef(&query.from));
+    const size_t from_var_at = Peek().offset;
     std::string from_var;
     UINDEX_RETURN_IF_ERROR(ExpectIdent(&from_var));
     if (from_var != query.var) {
-      return Status::InvalidArgument("FROM variable '" + from_var +
-                                     "' does not match SELECT '" +
-                                     query.var + "'");
+      return ParseErrorAt(text_, from_var_at,
+                          "FROM variable '" + from_var +
+                              "' does not match SELECT '" + query.var + "'");
     }
     UINDEX_RETURN_IF_ERROR(ExpectKeyword("WHERE"));
     for (;;) {
@@ -165,13 +177,12 @@ class Parser {
     if (KeywordIs(Peek(), "LIMIT")) {
       ++pos_;
       if (Peek().kind != Token::Kind::kInt || Peek().int_value <= 0) {
-        return Status::InvalidArgument("LIMIT needs a positive integer");
+        return Fail("LIMIT needs a positive integer");
       }
       query.limit = static_cast<uint64_t>(Next().int_value);
     }
     if (Peek().kind != Token::Kind::kEnd) {
-      return Status::InvalidArgument("trailing input after query: '" +
-                                     Peek().text + "'");
+      return Fail("trailing input after query: '" + Peek().text + "'");
     }
     return query;
   }
@@ -180,9 +191,14 @@ class Parser {
   const Token& Peek() const { return tokens_[pos_]; }
   const Token& Next() { return tokens_[pos_++]; }
 
+  // Every parse error points at the current token's byte offset.
+  Status Fail(const std::string& message) const {
+    return ParseErrorAt(text_, Peek().offset, message);
+  }
+
   Status ExpectKeyword(const char* keyword) {
     if (!KeywordIs(Peek(), keyword)) {
-      return Status::InvalidArgument(std::string("expected ") + keyword);
+      return Fail(std::string("expected ") + keyword);
     }
     ++pos_;
     return Status::OK();
@@ -190,8 +206,7 @@ class Parser {
 
   Status ExpectIdent(std::string* out) {
     if (Peek().kind != Token::Kind::kIdent) {
-      return Status::InvalidArgument("expected identifier, got '" +
-                                     Peek().text + "'");
+      return Fail("expected identifier, got '" + Peek().text + "'");
     }
     *out = Next().text;
     return Status::OK();
@@ -199,8 +214,8 @@ class Parser {
 
   Status ExpectSymbol(const char* symbol) {
     if (Peek().kind != Token::Kind::kSymbol || Peek().text != symbol) {
-      return Status::InvalidArgument(std::string("expected '") + symbol +
-                                     "', got '" + Peek().text + "'");
+      return Fail(std::string("expected '") + symbol + "', got '" +
+                  Peek().text + "'");
     }
     ++pos_;
     return Status::OK();
@@ -224,16 +239,16 @@ class Parser {
       *out = Value::Str(Next().text);
       return Status::OK();
     }
-    return Status::InvalidArgument("expected a value, got '" + Peek().text +
-                                   "'");
+    return Fail("expected a value, got '" + Peek().text + "'");
   }
 
   Status ParseCondition(const std::string& var, OqlCondition* out) {
     // path := var ('.' name)*
+    const size_t head_at = Peek().offset;
     std::string head;
     UINDEX_RETURN_IF_ERROR(ExpectIdent(&head));
     if (head != var) {
-      return Status::InvalidArgument("unknown variable '" + head + "'");
+      return ParseErrorAt(text_, head_at, "unknown variable '" + head + "'");
     }
     out->path.var = head;
     while (Peek().kind == Token::Kind::kSymbol && Peek().text == ".") {
@@ -278,10 +293,11 @@ class Parser {
       out->op = Next().text;
       return ParseValue(&out->value1);
     }
-    return Status::InvalidArgument("expected an operator after path, got '" +
-                                   Peek().text + "'");
+    return Fail("expected an operator after path, got '" + Peek().text +
+              "'");
   }
 
+  const std::string& text_;
   std::vector<Token> tokens_;
   size_t pos_ = 0;
 };
@@ -292,7 +308,7 @@ Result<OqlQuery> ParseOql(const std::string& text) {
   Lexer lexer(text);
   Result<std::vector<Token>> tokens = lexer.Run();
   if (!tokens.ok()) return tokens.status();
-  Parser parser(std::move(tokens).value());
+  Parser parser(text, std::move(tokens).value());
   return parser.Run();
 }
 

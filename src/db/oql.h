@@ -64,7 +64,13 @@ struct OqlQuery {
 };
 
 /// Parses `text` into an AST. Pure syntax: names are resolved against the
-/// schema by the planner (Database::Query).
+/// schema by the planner (Database::Query). Parse errors are
+/// `InvalidArgument` and carry the byte offset of the offending token plus
+/// a caret-context snippet (util/diag.h), e.g.:
+///
+///   expected FROM at byte 9
+///     SELECT v FORM Vehicle* v
+///              ^
 Result<OqlQuery> ParseOql(const std::string& text);
 
 }  // namespace uindex

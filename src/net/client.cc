@@ -1,0 +1,120 @@
+#include "net/client.h"
+
+#include <utility>
+
+namespace uindex {
+namespace net {
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                uint16_t port,
+                                                int timeout_ms) {
+  Result<std::unique_ptr<Conn>> conn = Conn::Dial(host, port, timeout_ms);
+  UINDEX_RETURN_IF_ERROR(conn.status());
+  conn.value()->set_io_timeout_ms(timeout_ms);
+  std::unique_ptr<Client> client(new Client(std::move(conn).value()));
+  client->timeout_ms_ = timeout_ms;
+  Result<Response> hello = client->RoundTrip(EncodeHello());
+  UINDEX_RETURN_IF_ERROR(hello.status());
+  const Response& welcome = hello.value();
+  if (welcome.op == Op::kError) return ErrorResponseToStatus(welcome);
+  if (welcome.op == Op::kBusy) {
+    return Status::ResourceExhausted("server busy: " + welcome.message);
+  }
+  if (welcome.op != Op::kWelcome) {
+    return Status::Corruption("handshake: expected kWelcome");
+  }
+  if (welcome.version != kProtocolVersion) {
+    return Status::InvalidArgument(
+        "protocol version mismatch: server " +
+        std::to_string(welcome.version) + ", client " +
+        std::to_string(kProtocolVersion));
+  }
+  return client;
+}
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (conn_ == nullptr) return;
+  if (poisoned_.ok()) conn_->WriteFrame(Slice(EncodeGoodbye()));
+  conn_->ShutdownBoth();
+  conn_.reset();
+}
+
+Result<Response> Client::RoundTrip(const std::string& request) {
+  if (conn_ == nullptr) return Status::InvalidArgument("client closed");
+  if (!poisoned_.ok()) return poisoned_;
+  Status sent = conn_->WriteFrame(Slice(request));
+  if (!sent.ok()) {
+    poisoned_ = sent;
+    return sent;
+  }
+  std::string payload;
+  Result<ReadOutcome> outcome =
+      conn_->ReadFrame(&payload, kMaxResponseFrame, timeout_ms_);
+  if (!outcome.ok()) {
+    poisoned_ = outcome.status();
+    return poisoned_;
+  }
+  if (outcome.value() != ReadOutcome::kFrame) {
+    poisoned_ = Status::ResourceExhausted(
+        outcome.value() == ReadOutcome::kClosed
+            ? "server closed the connection"
+            : "response timeout");
+    return poisoned_;
+  }
+  Result<Response> response = DecodeResponse(Slice(payload));
+  if (!response.ok()) poisoned_ = response.status();
+  return response;
+}
+
+Result<Client::QueryResult> Client::Query(const std::string& oql) {
+  Result<Response> result = RoundTrip(EncodeQuery(oql));
+  UINDEX_RETURN_IF_ERROR(result.status());
+  Response& response = result.value();
+  switch (response.op) {
+    case Op::kRows: {
+      QueryResult out;
+      out.oids = std::move(response.oids);
+      out.count = response.count;
+      out.used_index = response.used_index;
+      out.plan = std::move(response.plan);
+      out.stats = response.query_stats;
+      return out;
+    }
+    case Op::kBusy:
+      return Status::ResourceExhausted("server busy: " + response.message);
+    case Op::kError:
+      return ErrorResponseToStatus(response);
+    default:
+      poisoned_ = Status::Corruption("unexpected response to kQuery");
+      return poisoned_;
+  }
+}
+
+Status Client::Ping() {
+  Result<Response> result = RoundTrip(EncodePing());
+  UINDEX_RETURN_IF_ERROR(result.status());
+  const Response& response = result.value();
+  if (response.op == Op::kError) return ErrorResponseToStatus(response);
+  if (response.op != Op::kPong) {
+    poisoned_ = Status::Corruption("unexpected response to kPing");
+    return poisoned_;
+  }
+  return Status::OK();
+}
+
+Result<Session::Stats> Client::SessionStats() {
+  Result<Response> result = RoundTrip(EncodeSessionStatsRequest());
+  UINDEX_RETURN_IF_ERROR(result.status());
+  const Response& response = result.value();
+  if (response.op == Op::kError) return ErrorResponseToStatus(response);
+  if (response.op != Op::kStats) {
+    poisoned_ = Status::Corruption("unexpected response to kSessionStats");
+    return poisoned_;
+  }
+  return response.session_stats;
+}
+
+}  // namespace net
+}  // namespace uindex

@@ -1,0 +1,83 @@
+#ifndef UINDEX_NET_CLIENT_H_
+#define UINDEX_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/session.h"
+#include "net/conn.h"
+#include "net/protocol.h"
+#include "objects/object.h"
+#include "util/status.h"
+
+namespace uindex {
+namespace net {
+
+/// A blocking client for the U-index wire protocol.
+///
+/// `Connect` dials the server and completes the `kHello`/`kWelcome`
+/// handshake; after that each method is one request/response round trip.
+/// Not thread-safe — one client per thread, mirroring the server's
+/// one-session-per-connection model.
+///
+/// Error mapping: a `kError` response reconstructs the server-side
+/// `Status` (so a remote parse error surfaces with the same caret
+/// diagnostics as a local one); a `kBusy` response becomes
+/// `ResourceExhausted("server busy: ...")` — retryable by the caller; any
+/// transport or framing failure poisons the client (subsequent calls fail
+/// fast with the same sticky error).
+class Client {
+ public:
+  /// A remote query result: the same shape `Database::ExecuteOql` returns,
+  /// plus the per-query stats delta the server attributed to it.
+  struct QueryResult {
+    std::vector<Oid> oids;
+    uint64_t count = 0;
+    bool used_index = false;
+    std::string plan;
+    WireQueryStats stats;
+  };
+
+  /// Dials `host:port` and performs the protocol handshake.
+  /// `timeout_ms` bounds the connect and every subsequent I/O wait.
+  static Result<std::unique_ptr<Client>> Connect(const std::string& host,
+                                                 uint16_t port,
+                                                 int timeout_ms = 5000);
+
+  /// Executes OQL remotely. Server-side failures come back as the original
+  /// `Status`; shed queries as `ResourceExhausted("server busy: ...")`.
+  Result<QueryResult> Query(const std::string& oql);
+
+  /// Round-trip liveness check.
+  Status Ping();
+
+  /// The server-side `Session::Stats` for this connection.
+  Result<Session::Stats> SessionStats();
+
+  /// Sends `kGoodbye` and closes. Called by the destructor; safe to call
+  /// early or twice.
+  void Close();
+
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+ private:
+  explicit Client(std::unique_ptr<Conn> conn) : conn_(std::move(conn)) {}
+
+  // One request frame out, one response frame back. Transport errors
+  // stick in `poisoned_`.
+  Result<Response> RoundTrip(const std::string& request);
+
+  std::unique_ptr<Conn> conn_;
+  Status poisoned_ = Status::OK();
+  int timeout_ms_ = 5000;
+};
+
+}  // namespace net
+}  // namespace uindex
+
+#endif  // UINDEX_NET_CLIENT_H_

@@ -1,0 +1,141 @@
+#ifndef UINDEX_NET_PROTOCOL_H_
+#define UINDEX_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "db/session.h"
+#include "objects/object.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace uindex {
+namespace net {
+
+/// The U-index wire protocol: a request/response binary protocol over TCP
+/// that puts one `Database` behind a socket. Every message travels in the
+/// repo-wide record frame (util/framing.h, the same convention as the
+/// durability journal):
+///
+///   [len u32][crc u32][payload]
+///
+/// and the payload starts with a one-byte op code. Requests (client →
+/// server) and responses (server → client) use disjoint op ranges so a
+/// garbled direction is caught at decode time. One request yields exactly
+/// one response; there is no pipelining (the blocking client is the
+/// intended consumer; the server tolerates — and answers — back-to-back
+/// frames in order).
+///
+/// Robustness rules (enforced by conn/server, asserted by
+/// tests/net_protocol_test and tests/net_server_test):
+///  * frames above the direction's size limit, CRC mismatches, torn
+///    frames, and undecodable payloads poison ONLY the offending
+///    connection — the server answers with `kError` when the transport
+///    still permits, then closes that connection;
+///  * queries past the admission-control cap and wait queue are shed with
+///    a typed `kBusy` response, never silently dropped;
+///  * during graceful shutdown in-flight queries drain and their
+///    responses are delivered, while new frames are refused with
+///    `kError` (code `kResourceExhausted`, message "server shutting
+///    down").
+
+/// Protocol revision; bumped on any incompatible layout change. The server
+/// rejects a `kHello` carrying a different major version.
+inline constexpr uint32_t kProtocolVersion = 1;
+
+/// First bytes of every `kHello` payload after the op byte.
+inline constexpr char kProtocolMagic[4] = {'U', 'I', 'D', 'X'};
+
+/// Frame-size ceilings per direction. Requests carry OQL text (small);
+/// responses carry row sets — 8 MiB fits ~2M oids, far beyond any
+/// benchmarked result set.
+inline constexpr uint32_t kMaxRequestFrame = 1u << 20;   // 1 MiB
+inline constexpr uint32_t kMaxResponseFrame = 8u << 20;  // 8 MiB
+
+enum class Op : uint8_t {
+  // Requests (client → server).
+  kHello = 0x01,         ///< magic + version; answered by kWelcome.
+  kQuery = 0x02,         ///< OQL text; answered by kRows/kError/kBusy.
+  kPing = 0x03,          ///< answered by kPong.
+  kSessionStats = 0x04,  ///< answered by kStats.
+  kGoodbye = 0x05,       ///< clean close; no response.
+
+  // Responses (server → client).
+  kWelcome = 0x81,  ///< server protocol version.
+  kRows = 0x82,     ///< query result + per-query IoStats delta.
+  kError = 0x83,    ///< Status code + message (incl. parse diagnostics).
+  kBusy = 0x84,     ///< admission control shed this query; retry later.
+  kPong = 0x85,
+  kStats = 0x86,    ///< the connection's Session::Stats.
+};
+
+/// The per-query IoStats delta shipped with every `kRows` response, so a
+/// remote client sees the same observability the shell's `stats` has.
+/// Under concurrent queries the delta is attributed from the database-wide
+/// counters (the global per-query-epoch accounting model — see the
+/// `Database` class comment), exactly as `Session` reports it locally.
+struct WireQueryStats {
+  uint64_t pages_read = 0;
+  uint64_t nodes_parsed = 0;
+  uint64_t node_cache_hits = 0;
+  uint64_t prefetch_issued = 0;
+  uint64_t prefetch_hits = 0;
+  uint64_t prefetch_wasted = 0;
+};
+
+/// A decoded request frame.
+struct Request {
+  Op op = Op::kPing;
+  uint32_t version = 0;  ///< kHello.
+  std::string oql;       ///< kQuery.
+};
+
+/// A decoded response frame. Exactly the members implied by `op` are
+/// meaningful.
+struct Response {
+  Op op = Op::kPong;
+  uint32_t version = 0;            ///< kWelcome.
+  // kRows.
+  std::vector<Oid> oids;           ///< Sorted distinct bindings.
+  uint64_t count = 0;              ///< Bindings pre-LIMIT (COUNT queries).
+  bool used_index = false;
+  std::string plan;
+  WireQueryStats query_stats;
+  // kError / kBusy.
+  uint8_t error_code = 0;          ///< Status::Code as uint8.
+  std::string message;
+  // kStats.
+  Session::Stats session_stats;
+};
+
+// --------------------------------------------------------------- encoders
+std::string EncodeHello();
+std::string EncodeQuery(const std::string& oql);
+std::string EncodePing();
+std::string EncodeSessionStatsRequest();
+std::string EncodeGoodbye();
+
+std::string EncodeWelcome();
+std::string EncodeRows(const std::vector<Oid>& oids, uint64_t count,
+                       bool used_index, const std::string& plan,
+                       const WireQueryStats& stats);
+std::string EncodeError(const Status& status);
+std::string EncodeBusy(const std::string& message);
+std::string EncodePong();
+std::string EncodeStats(const Session::Stats& stats);
+
+// --------------------------------------------------------------- decoders
+/// Both decoders reject empty payloads, ops outside their direction, and
+/// any truncated or trailing bytes with `Status::Corruption` — a malformed
+/// payload can never be half-decoded.
+Result<Request> DecodeRequest(const Slice& payload);
+Result<Response> DecodeResponse(const Slice& payload);
+
+/// Reconstructs the `Status` carried by a `kError` response.
+Status ErrorResponseToStatus(const Response& response);
+
+}  // namespace net
+}  // namespace uindex
+
+#endif  // UINDEX_NET_PROTOCOL_H_

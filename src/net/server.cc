@@ -1,0 +1,319 @@
+#include "net/server.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+namespace uindex {
+namespace net {
+
+namespace {
+
+// How often the accept loop wakes to check the stopping flag and reap
+// finished connection threads.
+constexpr int kAcceptTickMs = 200;
+
+// Per-query delta between two session-stat snapshots.
+WireQueryStats StatsDelta(const Session::Stats& before,
+                          const Session::Stats& after) {
+  WireQueryStats d;
+  d.pages_read = after.pages_read - before.pages_read;
+  d.nodes_parsed = after.nodes_parsed - before.nodes_parsed;
+  d.node_cache_hits = after.node_cache_hits - before.node_cache_hits;
+  d.prefetch_issued = after.prefetch_issued - before.prefetch_issued;
+  d.prefetch_hits = after.prefetch_hits - before.prefetch_hits;
+  d.prefetch_wasted = after.prefetch_wasted - before.prefetch_wasted;
+  return d;
+}
+
+}  // namespace
+
+Server::Server(const Database* db, ServerOptions options,
+               exec::ThreadPool* shared_pool)
+    : db_(db), options_(std::move(options)) {
+  if (shared_pool != nullptr) {
+    pool_ = shared_pool;
+  } else {
+    owned_pool_ = std::make_unique<exec::ThreadPool>(
+        options_.worker_threads == 0 ? 1 : options_.worker_threads);
+    pool_ = owned_pool_.get();
+  }
+  if (options_.max_inflight_queries == 0) {
+    options_.max_inflight_queries = pool_->size();
+  }
+}
+
+Result<std::unique_ptr<Server>> Server::Start(const Database* db,
+                                              ServerOptions options,
+                                              exec::ThreadPool* shared_pool) {
+  std::unique_ptr<Server> server(
+      new Server(db, std::move(options), shared_pool));
+  UINDEX_RETURN_IF_ERROR(server->Listen());
+  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  return server;
+}
+
+Server::~Server() { Shutdown(); }
+
+Status Server::Listen() {
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  struct addrinfo* res = nullptr;
+  const std::string port_text = std::to_string(options_.port);
+  if (::getaddrinfo(options_.host.c_str(), port_text.c_str(), &hints, &res) !=
+          0 ||
+      res == nullptr) {
+    return Status::InvalidArgument("cannot resolve " + options_.host);
+  }
+  Status last = Status::ResourceExhausted("no addresses for " + options_.host);
+  for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    const int fd =
+        ::socket(ai->ai_family, ai->ai_socktype | SOCK_NONBLOCK, 0);
+    if (fd < 0) continue;
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) != 0 ||
+        ::listen(fd, 128) != 0) {
+      last = Status::ResourceExhausted(std::string("bind/listen: ") +
+                                       std::strerror(errno));
+      ::close(fd);
+      continue;
+    }
+    struct sockaddr_storage bound;
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound),
+                      &bound_len) == 0) {
+      if (bound.ss_family == AF_INET) {
+        port_ = ntohs(reinterpret_cast<struct sockaddr_in*>(&bound)->sin_port);
+      } else if (bound.ss_family == AF_INET6) {
+        port_ =
+            ntohs(reinterpret_cast<struct sockaddr_in6*>(&bound)->sin6_port);
+      }
+    }
+    listen_fd_ = fd;
+    ::freeaddrinfo(res);
+    return Status::OK();
+  }
+  ::freeaddrinfo(res);
+  return last;
+}
+
+void Server::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    struct pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int n = ::poll(&pfd, 1, kAcceptTickMs);
+    ReapFinished(/*join_all=*/false);
+    if (n <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    if (active_connections() >= options_.max_connections) {
+      // Over the connection cap: typed rejection, then close.
+      Conn reject(fd);
+      reject.set_io_timeout_ms(options_.io_timeout_ms);
+      reject.WriteFrame(Slice(EncodeBusy("too many connections")));
+      counters_.busy_rejected.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    counters_.accepted.fetch_add(1, std::memory_order_relaxed);
+    counters_.active_connections.fetch_add(1, std::memory_order_relaxed);
+    auto state = std::make_unique<ConnState>();
+    state->conn = std::make_unique<Conn>(fd);
+    state->conn->set_io_timeout_ms(options_.io_timeout_ms);
+    ConnState* raw = state.get();
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(std::move(state));
+    }
+    raw->thread = std::thread([this, raw] { ServeConnection(raw); });
+  }
+}
+
+void Server::ServeConnection(ConnState* state) {
+  Conn* conn = state->conn.get();
+  Session session(db_);
+  std::string payload;
+  for (;;) {
+    Result<ReadOutcome> outcome =
+        conn->ReadFrame(&payload, kMaxRequestFrame, options_.idle_timeout_ms);
+    if (!outcome.ok()) {
+      // Torn frame, CRC mismatch, oversize, or mid-frame stall: poison this
+      // connection only — best-effort error, then close.
+      counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      conn->WriteFrame(Slice(EncodeError(outcome.status())));
+      break;
+    }
+    if (outcome.value() != ReadOutcome::kFrame) break;  // closed or idle
+    if (stopping_.load(std::memory_order_acquire)) {
+      conn->WriteFrame(Slice(
+          EncodeError(Status::ResourceExhausted("server shutting down"))));
+      break;
+    }
+    Result<Request> request = DecodeRequest(Slice(payload));
+    if (!request.ok()) {
+      counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      conn->WriteFrame(Slice(EncodeError(request.status())));
+      break;
+    }
+    if (!HandleRequest(conn, &session, request.value())) break;
+  }
+  conn->ShutdownBoth();
+  counters_.active_connections.fetch_sub(1, std::memory_order_relaxed);
+  state->done.store(true, std::memory_order_release);
+}
+
+bool Server::HandleRequest(Conn* conn, Session* session,
+                           const Request& request) {
+  switch (request.op) {
+    case Op::kHello: {
+      if (request.version != kProtocolVersion) {
+        conn->WriteFrame(Slice(EncodeError(Status::InvalidArgument(
+            "protocol version mismatch: client " +
+            std::to_string(request.version) + ", server " +
+            std::to_string(kProtocolVersion)))));
+        return false;
+      }
+      return conn->WriteFrame(Slice(EncodeWelcome())).ok();
+    }
+    case Op::kPing:
+      return conn->WriteFrame(Slice(EncodePong())).ok();
+    case Op::kSessionStats:
+      return conn->WriteFrame(Slice(EncodeStats(session->stats()))).ok();
+    case Op::kGoodbye:
+      return false;
+    case Op::kQuery:
+      break;
+    default:
+      // DecodeRequest already rejected unknown ops; response ops cannot
+      // reach here.
+      return false;
+  }
+
+  switch (AdmitQuery()) {
+    case Admission::kShuttingDown:
+      conn->WriteFrame(Slice(
+          EncodeError(Status::ResourceExhausted("server shutting down"))));
+      return false;
+    case Admission::kBusy:
+      counters_.busy_rejected.fetch_add(1, std::memory_order_relaxed);
+      return conn
+          ->WriteFrame(Slice(EncodeBusy(
+              "query shed by admission control; retry later")))
+          .ok();
+    case Admission::kAdmitted:
+      break;
+  }
+
+  // Execute on the shared pool; this thread blocks on the handle. The
+  // session is handed to exactly one worker at a time, so its serial
+  // contract holds. Admission is released only after the response hits the
+  // socket — that is what lets Shutdown's drain guarantee delivery.
+  const Session::Stats before = session->stats();
+  exec::Future<Result<Database::OqlResult>> future =
+      pool_->Submit([session, oql = request.oql] {
+        return session->ExecuteOql(oql);
+      });
+  Result<Database::OqlResult> result = future.Take();
+
+  std::string response;
+  if (result.ok()) {
+    counters_.queries_ok.fetch_add(1, std::memory_order_relaxed);
+    const Database::OqlResult& rows = result.value();
+    response = EncodeRows(rows.oids, rows.count, rows.used_index, rows.plan,
+                          StatsDelta(before, session->stats()));
+  } else {
+    counters_.queries_failed.fetch_add(1, std::memory_order_relaxed);
+    response = EncodeError(result.status());
+  }
+  const Status write = conn->WriteFrame(Slice(response));
+  ReleaseQuery();
+  return write.ok();
+}
+
+Server::Admission Server::AdmitQuery() {
+  std::unique_lock<std::mutex> lock(admission_mu_);
+  if (stopping_.load(std::memory_order_acquire)) {
+    return Admission::kShuttingDown;
+  }
+  if (inflight_ < options_.max_inflight_queries) {
+    ++inflight_;
+    return Admission::kAdmitted;
+  }
+  if (waiting_ >= options_.max_queued_queries) return Admission::kBusy;
+  ++waiting_;
+  admission_cv_.wait(lock, [&] {
+    return stopping_.load(std::memory_order_acquire) ||
+           inflight_ < options_.max_inflight_queries;
+  });
+  --waiting_;
+  if (stopping_.load(std::memory_order_acquire)) {
+    return Admission::kShuttingDown;
+  }
+  ++inflight_;
+  return Admission::kAdmitted;
+}
+
+void Server::ReleaseQuery() {
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    --inflight_;
+  }
+  admission_cv_.notify_all();
+}
+
+void Server::WaitQueriesDrained() {
+  std::unique_lock<std::mutex> lock(admission_mu_);
+  admission_cv_.wait(lock, [&] { return inflight_ == 0; });
+}
+
+void Server::ReapFinished(bool join_all) {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if (join_all || (*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::Shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    // 1. Refuse new work: connections see `stopping_` on their next frame,
+    //    admission waiters wake and bail, the accept loop exits.
+    stopping_.store(true, std::memory_order_release);
+    admission_cv_.notify_all();
+    if (accept_thread_.joinable()) accept_thread_.join();
+    // 2. Drain: every admitted query finishes AND its response reaches the
+    //    socket before this returns (ReleaseQuery runs post-write).
+    WaitQueriesDrained();
+    // 3. Tear down: unblock readers parked in ReadFrame, then join.
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      for (const auto& state : conns_) state->conn->ShutdownBoth();
+    }
+    ReapFinished(/*join_all=*/true);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    // The owned pool (if any) dies with the server, after all users.
+  });
+}
+
+}  // namespace net
+}  // namespace uindex

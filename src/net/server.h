@@ -1,0 +1,156 @@
+#ifndef UINDEX_NET_SERVER_H_
+#define UINDEX_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "db/database.h"
+#include "db/session.h"
+#include "exec/thread_pool.h"
+#include "net/conn.h"
+#include "net/protocol.h"
+
+namespace uindex {
+namespace net {
+
+/// Tuning knobs for a `Server`.
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  ///< 0 = ephemeral; read the bound port from `port()`.
+
+  /// Workers on the query pool when the server owns it (a borrowed pool —
+  /// see `Server::Start` — ignores this).
+  size_t worker_threads = 4;
+
+  /// Admission control: at most this many queries execute at once
+  /// (0 = the pool's worker count)...
+  size_t max_inflight_queries = 0;
+  /// ...and at most this many more wait for a slot; beyond that the query
+  /// is shed with a typed `kBusy` response.
+  size_t max_queued_queries = 64;
+
+  /// Connections above this cap are answered with `kBusy` and closed.
+  size_t max_connections = 256;
+
+  /// Per-connection timeouts: `io_timeout_ms` bounds every mid-frame read
+  /// and every write (a stall poisons the connection);
+  /// `idle_timeout_ms` is how long a connection may sit between requests
+  /// before the server drops it.
+  int io_timeout_ms = 5000;
+  int idle_timeout_ms = 120000;
+};
+
+/// A multi-threaded TCP server putting one `Database` behind the wire
+/// protocol (net/protocol.h).
+///
+/// Threading model: one listener thread accepts; every connection gets its
+/// own thread and its own `db::Session` (sessions are cheap and not
+/// thread-safe — one per client is the intended shape). Query execution is
+/// submitted to the shared `exec::ThreadPool`, bounded by admission
+/// control; the connection thread blocks on the result future and streams
+/// the response. Sessions are deliberately serial (no ExecutionContext):
+/// parallelism comes from many queries in flight across pool workers, and
+/// a query that itself sharded onto the same pool could deadlock a
+/// saturated pool.
+///
+/// Robustness: malformed frames, CRC mismatches, oversized requests, and
+/// mid-frame stalls poison only the offending connection (best-effort
+/// `kError`, then close); admission overflow is shed with `kBusy`;
+/// `Shutdown` refuses new frames, drains in-flight queries (their
+/// responses are delivered), tears down connections, and only then
+/// returns — so the caller can safely destroy the database afterwards.
+class Server {
+ public:
+  /// Observability counters (tests and the server binary read these).
+  struct Counters {
+    std::atomic<uint64_t> accepted{0};
+    std::atomic<uint64_t> active_connections{0};
+    std::atomic<uint64_t> queries_ok{0};
+    std::atomic<uint64_t> queries_failed{0};
+    std::atomic<uint64_t> busy_rejected{0};
+    std::atomic<uint64_t> protocol_errors{0};
+  };
+
+  /// Binds, listens, and starts the listener thread. `db` must outlive the
+  /// server. A non-null `shared_pool` is borrowed for query execution
+  /// (and must outlive the server); otherwise the server owns a pool of
+  /// `options.worker_threads` workers.
+  static Result<std::unique_ptr<Server>> Start(
+      const Database* db, ServerOptions options,
+      exec::ThreadPool* shared_pool = nullptr);
+
+  /// Graceful shutdown (idempotent): stop accepting, refuse new frames,
+  /// drain in-flight queries, tear down connections, join every thread.
+  void Shutdown();
+
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound TCP port (useful with `options.port == 0`).
+  uint16_t port() const { return port_; }
+
+  const Counters& counters() const { return counters_; }
+
+  /// Live connection count right now (drops to 0 after Shutdown).
+  size_t active_connections() const {
+    return counters_.active_connections.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct ConnState {
+    std::unique_ptr<Conn> conn;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  Server(const Database* db, ServerOptions options,
+         exec::ThreadPool* shared_pool);
+
+  Status Listen();
+  void AcceptLoop();
+  void ServeConnection(ConnState* state);
+  // One decoded request --> one response written (or connection poisoned).
+  // Returns false when the connection should close.
+  bool HandleRequest(Conn* conn, Session* session, const Request& request);
+  void ReapFinished(bool join_all);
+
+  // Admission control for in-flight queries.
+  enum class Admission { kAdmitted, kBusy, kShuttingDown };
+  Admission AdmitQuery();
+  void ReleaseQuery();
+  void WaitQueriesDrained();
+
+  const Database* db_;
+  ServerOptions options_;
+  exec::ThreadPool* pool_;  // owned_pool_.get() or the borrowed pool.
+  std::unique_ptr<exec::ThreadPool> owned_pool_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+
+  std::mutex conns_mu_;
+  std::list<std::unique_ptr<ConnState>> conns_;
+
+  std::mutex admission_mu_;
+  std::condition_variable admission_cv_;
+  size_t inflight_ = 0;
+  size_t waiting_ = 0;
+
+  Counters counters_;
+  std::once_flag shutdown_once_;
+};
+
+}  // namespace net
+}  // namespace uindex
+
+#endif  // UINDEX_NET_SERVER_H_

@@ -1,0 +1,31 @@
+#include "util/diag.h"
+
+namespace uindex {
+
+std::string CaretContext(const std::string& text, size_t offset) {
+  if (offset > text.size()) offset = text.size();
+  size_t line_start = 0;
+  if (offset > 0) {
+    const size_t nl = text.rfind('\n', offset - 1);
+    if (nl != std::string::npos) line_start = nl + 1;
+  }
+  size_t line_end = text.find('\n', offset);
+  if (line_end == std::string::npos) line_end = text.size();
+  std::string out = "  ";
+  out.append(text, line_start, line_end - line_start);
+  out += "\n  ";
+  out.append(offset - line_start, ' ');
+  out += '^';
+  return out;
+}
+
+Status ParseErrorAt(const std::string& text, size_t offset,
+                    const std::string& message) {
+  return Status::InvalidArgument(message + " at byte " +
+                                 std::to_string(offset > text.size()
+                                                    ? text.size()
+                                                    : offset) +
+                                 "\n" + CaretContext(text, offset));
+}
+
+}  // namespace uindex

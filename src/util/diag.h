@@ -1,0 +1,27 @@
+#ifndef UINDEX_UTIL_DIAG_H_
+#define UINDEX_UTIL_DIAG_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace uindex {
+
+/// A two-line context snippet for a diagnostic at byte `offset` of `text`:
+/// the line containing the offset, then a caret under the offending column.
+/// Offsets past the end clamp to end-of-input (errors like "expected more
+/// tokens" point just past the last character).
+std::string CaretContext(const std::string& text, size_t offset);
+
+/// The one parse-error shape both query languages use
+/// (db/oql, core/query_parser):
+///
+///   <message> at byte <offset>
+///     SELECT v FROM Vehicle* v WHRE v.Color = 'Red'
+///                               ^
+Status ParseErrorAt(const std::string& text, size_t offset,
+                    const std::string& message);
+
+}  // namespace uindex
+
+#endif  // UINDEX_UTIL_DIAG_H_

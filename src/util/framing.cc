@@ -1,0 +1,66 @@
+#include "util/framing.h"
+
+#include "util/coding.h"
+#include "util/crc32.h"
+
+namespace uindex {
+
+FrameHeader DecodeFrameHeader(const char* bytes) {
+  FrameHeader h;
+  h.len = DecodeFixed32(bytes);
+  h.crc = DecodeFixed32(bytes + 4);
+  return h;
+}
+
+void AppendFrame(const Slice& payload, std::string* out) {
+  PutFixed32(out, static_cast<uint32_t>(payload.size()));
+  PutFixed32(out, Crc32(payload));
+  out->append(payload.data(), payload.size());
+}
+
+Status CheckFrameLength(const FrameHeader& header, uint32_t max_len) {
+  if (header.len > max_len) {
+    return Status::Corruption("frame length " + std::to_string(header.len) +
+                              " exceeds limit " + std::to_string(max_len));
+  }
+  return Status::OK();
+}
+
+Status VerifyFramePayload(const FrameHeader& header, const Slice& payload) {
+  if (payload.size() != header.len) {
+    return Status::Corruption("frame payload length mismatch");
+  }
+  if (Crc32(payload) != header.crc) {
+    return Status::Corruption("frame checksum mismatch");
+  }
+  return Status::OK();
+}
+
+Result<FrameRead> ReadFrameFromFile(std::FILE* file, std::string* payload,
+                                    uint32_t max_len, size_t* consumed) {
+  char header_bytes[kFrameHeaderSize];
+  const size_t got = std::fread(header_bytes, 1, sizeof(header_bytes), file);
+  if (got == 0) return FrameRead::kEnd;
+  if (got < sizeof(header_bytes)) return FrameRead::kTorn;
+  const FrameHeader header = DecodeFrameHeader(header_bytes);
+  UINDEX_RETURN_IF_ERROR(CheckFrameLength(header, max_len));
+  payload->resize(header.len);
+  if (std::fread(payload->data(), 1, header.len, file) != header.len) {
+    return FrameRead::kTorn;
+  }
+  UINDEX_RETURN_IF_ERROR(VerifyFramePayload(header, Slice(*payload)));
+  if (consumed != nullptr) *consumed += kFrameHeaderSize + header.len;
+  return FrameRead::kFrame;
+}
+
+Status WriteFrameToFile(std::FILE* file, const Slice& payload) {
+  std::string frame;
+  frame.reserve(kFrameHeaderSize + payload.size());
+  AppendFrame(payload, &frame);
+  if (std::fwrite(frame.data(), 1, frame.size(), file) != frame.size()) {
+    return Status::ResourceExhausted("frame write failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace uindex

@@ -1,0 +1,69 @@
+#ifndef UINDEX_UTIL_FRAMING_H_
+#define UINDEX_UTIL_FRAMING_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace uindex {
+
+/// The repo's one record-framing convention, shared by the durability
+/// journal (db/journal) and the wire protocol (net/protocol):
+///
+///   [len u32][crc u32][payload]
+///
+/// `len` is the payload byte length, `crc` is CRC-32 of the payload, both
+/// little-endian fixed32. The corruption policy is likewise shared:
+///
+///  * A *torn tail* — the stream ends mid-header or mid-payload — is
+///    tolerated and reported as `FrameRead::kTorn`; it is the expected
+///    shape of a crash mid-append (journal) and is treated as a protocol
+///    violation by the connection layer (net), but never misread as data.
+///  * A *corrupt record* — CRC mismatch, or a length beyond the caller's
+///    limit — is `Status::Corruption`; whatever follows it cannot be
+///    trusted, so readers stop there.
+inline constexpr size_t kFrameHeaderSize = 8;
+
+struct FrameHeader {
+  uint32_t len = 0;
+  uint32_t crc = 0;
+};
+
+/// Decodes the 8-byte header at `bytes` (which must hold at least
+/// `kFrameHeaderSize` bytes).
+FrameHeader DecodeFrameHeader(const char* bytes);
+
+/// Appends `[len][crc][payload]` for `payload` to `*out`.
+void AppendFrame(const Slice& payload, std::string* out);
+
+/// Verifies `payload` against `header`: length and CRC must both match.
+/// `max_len` rejects oversized frames before any payload is read — pass
+/// the protocol's frame limit, or `UINT32_MAX` for no limit (the journal,
+/// whose records are bounded by what `Append` wrote).
+Status VerifyFramePayload(const FrameHeader& header, const Slice& payload);
+Status CheckFrameLength(const FrameHeader& header, uint32_t max_len);
+
+enum class FrameRead {
+  kFrame,  ///< One well-formed frame was read into `*payload`.
+  kEnd,    ///< Clean end of stream at a frame boundary.
+  kTorn,   ///< Stream ended mid-frame (tolerated tail; stop reading).
+};
+
+/// Reads the next frame from `file` into `*payload`. Returns the outcome
+/// above, `Status::Corruption` on a CRC mismatch or a header whose length
+/// exceeds `max_len`. On `kFrame`, `*consumed` (if non-null) is advanced
+/// by the frame's total byte size (header + payload).
+Result<FrameRead> ReadFrameFromFile(std::FILE* file, std::string* payload,
+                                    uint32_t max_len,
+                                    size_t* consumed = nullptr);
+
+/// Writes `[len][crc][payload]` to `file` (no flush — the caller owns the
+/// durability policy). Returns ResourceExhausted on a short write.
+Status WriteFrameToFile(std::FILE* file, const Slice& payload);
+
+}  // namespace uindex
+
+#endif  // UINDEX_UTIL_FRAMING_H_

@@ -9,6 +9,8 @@
 #include "db/database.h"
 #include "db/session.h"
 #include "exec/execution_context.h"
+#include "net/client.h"
+#include "net/server.h"
 
 namespace uindex {
 namespace {
@@ -185,6 +187,81 @@ TEST_F(ConcurrencyStressTest, OqlAndRawQueriesInterleaved) {
   }
   for (std::thread& t : readers) t.join();
   EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(ConcurrencyStressTest, RemoteClientsRacingOneWriter) {
+  // The same reader/writer race, but readers go through the full server
+  // path: TCP, framing, admission control, pool execution, per-connection
+  // sessions. Under TSan this covers the whole net/ stack against
+  // concurrent DML.
+  constexpr int kClients = 6;
+  constexpr int kWrites = 200;
+  constexpr int kQueriesPerClient = 30;
+
+  Result<std::unique_ptr<net::Server>> started =
+      net::Server::Start(db_.get(), net::ServerOptions());
+  ASSERT_TRUE(started.ok()) << started.status().ToString();
+  std::unique_ptr<net::Server> server = std::move(started).value();
+
+  std::atomic<int> failures{0};
+  std::thread writer([&] {
+    for (int i = 0; i < kWrites; ++i) {
+      Result<Oid> oid = db_->CreateObject(subs_[i % subs_.size()]);
+      if (!oid.ok() ||
+          !db_->SetAttr(oid.value(), "price", Value::Int(i % kPrices))
+               .ok()) {
+        failures.fetch_add(1);
+        continue;
+      }
+      if (i % 3 == 0 && !db_->DeleteObject(oid.value()).ok()) {
+        failures.fetch_add(1);
+      }
+    }
+  });
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      Result<std::unique_ptr<net::Client>> client =
+          net::Client::Connect("127.0.0.1", server->port());
+      if (!client.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      const size_t upper_bound = live_ + kWrites;
+      for (int q = 0; q < kQueriesPerClient; ++q) {
+        Result<net::Client::QueryResult> r = client.value()->Query(
+            "SELECT i FROM Item* i WHERE i.price = " +
+            std::to_string((t * 13 + q) % kPrices));
+        // Busy is a legitimate shed under load; anything else must be a
+        // consistent answer.
+        if (!r.ok()) {
+          if (!r.status().IsResourceExhausted()) failures.fetch_add(1);
+          continue;
+        }
+        if (r.value().oids.size() > upper_bound) failures.fetch_add(1);
+      }
+      Result<Session::Stats> stats = client.value()->SessionStats();
+      if (!stats.ok() ||
+          stats.value().queries + stats.value().failed >
+              static_cast<uint64_t>(kQueriesPerClient)) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  writer.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Graceful shutdown with the database still alive, then a quiesced
+  // in-process read must still validate.
+  server->Shutdown();
+  EXPECT_EQ(server->active_connections(), 0u);
+  Result<Database::SelectResult> final_read =
+      db_->Select(PriceRange(0, kPrices));
+  ASSERT_TRUE(final_read.ok());
+  EXPECT_TRUE(final_read.value().used_index);
 }
 
 }  // namespace

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+#include "util/framing.h"
+#include "util/random.h"
+
+namespace uindex {
+namespace net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// util/framing — the shared [len][crc][payload] convention
+// ---------------------------------------------------------------------------
+
+class TempFile {
+ public:
+  TempFile() {
+    std::snprintf(path_, sizeof(path_), "/tmp/uindex_framing_XXXXXX");
+    const int fd = mkstemp(path_);
+    file_ = fdopen(fd, "wb+");
+  }
+  ~TempFile() {
+    std::fclose(file_);
+    std::remove(path_);
+  }
+  std::FILE* get() { return file_; }
+
+ private:
+  char path_[64];
+  std::FILE* file_;
+};
+
+TEST(FramingTest, RoundTripThroughFile) {
+  TempFile f;
+  ASSERT_TRUE(WriteFrameToFile(f.get(), Slice("hello")).ok());
+  ASSERT_TRUE(WriteFrameToFile(f.get(), Slice("")).ok());
+  ASSERT_TRUE(WriteFrameToFile(f.get(), Slice(std::string(5000, 'x'))).ok());
+  std::rewind(f.get());
+
+  std::string payload;
+  size_t consumed = 0;
+  Result<FrameRead> r =
+      ReadFrameFromFile(f.get(), &payload, UINT32_MAX, &consumed);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), FrameRead::kFrame);
+  EXPECT_EQ(payload, "hello");
+  EXPECT_EQ(consumed, kFrameHeaderSize + 5);
+
+  r = ReadFrameFromFile(f.get(), &payload, UINT32_MAX, &consumed);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), FrameRead::kFrame);
+  EXPECT_TRUE(payload.empty());
+
+  r = ReadFrameFromFile(f.get(), &payload, UINT32_MAX, &consumed);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), FrameRead::kFrame);
+  EXPECT_EQ(payload.size(), 5000u);
+
+  r = ReadFrameFromFile(f.get(), &payload, UINT32_MAX, &consumed);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), FrameRead::kEnd);
+}
+
+TEST(FramingTest, TornTailIsToleratedNotMisread) {
+  // A frame whose payload is cut short (crash mid-append) reads as kTorn.
+  std::string frame;
+  AppendFrame(Slice("abcdefgh"), &frame);
+  for (size_t keep = 1; keep < frame.size(); ++keep) {
+    TempFile f;
+    std::fwrite(frame.data(), 1, keep, f.get());
+    std::rewind(f.get());
+    std::string payload;
+    Result<FrameRead> r = ReadFrameFromFile(f.get(), &payload, UINT32_MAX);
+    ASSERT_TRUE(r.ok()) << "keep=" << keep;
+    EXPECT_EQ(r.value(), FrameRead::kTorn) << "keep=" << keep;
+  }
+}
+
+TEST(FramingTest, CorruptPayloadIsCorruption) {
+  std::string frame;
+  AppendFrame(Slice("payload-bytes"), &frame);
+  frame[kFrameHeaderSize + 3] ^= 0x40;  // Flip one payload bit.
+  TempFile f;
+  std::fwrite(frame.data(), 1, frame.size(), f.get());
+  std::rewind(f.get());
+  std::string payload;
+  Result<FrameRead> r = ReadFrameFromFile(f.get(), &payload, UINT32_MAX);
+  EXPECT_TRUE(r.status().IsCorruption());
+}
+
+TEST(FramingTest, OversizedHeaderIsCorruption) {
+  std::string frame;
+  AppendFrame(Slice("xyz"), &frame);
+  TempFile f;
+  std::fwrite(frame.data(), 1, frame.size(), f.get());
+  std::rewind(f.get());
+  std::string payload;
+  Result<FrameRead> r = ReadFrameFromFile(f.get(), &payload, /*max_len=*/2);
+  EXPECT_TRUE(r.status().IsCorruption());
+}
+
+TEST(FramingTest, HeaderVerifiers) {
+  std::string frame;
+  AppendFrame(Slice("data"), &frame);
+  const FrameHeader header = DecodeFrameHeader(frame.data());
+  EXPECT_EQ(header.len, 4u);
+  EXPECT_TRUE(CheckFrameLength(header, 4).ok());
+  EXPECT_TRUE(CheckFrameLength(header, 3).IsCorruption());
+  EXPECT_TRUE(VerifyFramePayload(header, Slice("data")).ok());
+  EXPECT_TRUE(VerifyFramePayload(header, Slice("dato")).IsCorruption());
+  EXPECT_TRUE(VerifyFramePayload(header, Slice("dat")).IsCorruption());
+}
+
+// ---------------------------------------------------------------------------
+// net/protocol — encode/decode round trips
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolTest, RequestRoundTrips) {
+  Result<Request> hello = DecodeRequest(Slice(EncodeHello()));
+  ASSERT_TRUE(hello.ok());
+  EXPECT_EQ(hello.value().op, Op::kHello);
+  EXPECT_EQ(hello.value().version, kProtocolVersion);
+
+  const std::string oql = "SELECT v FROM Vehicle* v WHERE v.Color = 'Red'";
+  Result<Request> query = DecodeRequest(Slice(EncodeQuery(oql)));
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query.value().op, Op::kQuery);
+  EXPECT_EQ(query.value().oql, oql);
+
+  EXPECT_EQ(DecodeRequest(Slice(EncodePing())).value().op, Op::kPing);
+  EXPECT_EQ(DecodeRequest(Slice(EncodeSessionStatsRequest())).value().op,
+            Op::kSessionStats);
+  EXPECT_EQ(DecodeRequest(Slice(EncodeGoodbye())).value().op, Op::kGoodbye);
+}
+
+TEST(ProtocolTest, ResponseRoundTrips) {
+  WireQueryStats stats;
+  stats.pages_read = 7;
+  stats.nodes_parsed = 5;
+  stats.node_cache_hits = 3;
+  stats.prefetch_issued = 2;
+  stats.prefetch_hits = 1;
+  stats.prefetch_wasted = 1;
+  const std::vector<Oid> oids = {3, 9, 12, 4096};
+  Result<Response> rows = DecodeResponse(
+      Slice(EncodeRows(oids, 4, true, "uindex #0 exact", stats)));
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value().op, Op::kRows);
+  EXPECT_EQ(rows.value().oids, oids);
+  EXPECT_EQ(rows.value().count, 4u);
+  EXPECT_TRUE(rows.value().used_index);
+  EXPECT_EQ(rows.value().plan, "uindex #0 exact");
+  EXPECT_EQ(rows.value().query_stats.pages_read, 7u);
+  EXPECT_EQ(rows.value().query_stats.prefetch_wasted, 1u);
+
+  Result<Response> error = DecodeResponse(
+      Slice(EncodeError(Status::InvalidArgument("expected FROM at byte 9"))));
+  ASSERT_TRUE(error.ok());
+  EXPECT_EQ(error.value().op, Op::kError);
+  Status roundtripped = ErrorResponseToStatus(error.value());
+  EXPECT_TRUE(roundtripped.IsInvalidArgument());
+  EXPECT_EQ(roundtripped.message(), "expected FROM at byte 9");
+
+  Result<Response> busy = DecodeResponse(Slice(EncodeBusy("try later")));
+  ASSERT_TRUE(busy.ok());
+  EXPECT_EQ(busy.value().op, Op::kBusy);
+  EXPECT_EQ(busy.value().message, "try later");
+
+  Session::Stats session;
+  session.queries = 11;
+  session.failed = 2;
+  session.rows = 400;
+  session.pages_read = 77;
+  Result<Response> stats_r = DecodeResponse(Slice(EncodeStats(session)));
+  ASSERT_TRUE(stats_r.ok());
+  EXPECT_EQ(stats_r.value().session_stats.queries, 11u);
+  EXPECT_EQ(stats_r.value().session_stats.failed, 2u);
+  EXPECT_EQ(stats_r.value().session_stats.rows, 400u);
+  EXPECT_EQ(stats_r.value().session_stats.pages_read, 77u);
+}
+
+TEST(ProtocolTest, DirectionsAreDisjoint) {
+  // A response op fed to the request decoder (and vice versa) is rejected.
+  EXPECT_TRUE(DecodeRequest(Slice(EncodePong())).status().IsCorruption());
+  EXPECT_TRUE(DecodeResponse(Slice(EncodePing())).status().IsCorruption());
+}
+
+TEST(ProtocolTest, MalformedPayloadsNeverDecode) {
+  // Empty, bad magic, and truncation at every byte boundary.
+  EXPECT_TRUE(DecodeRequest(Slice("")).status().IsCorruption());
+  EXPECT_TRUE(DecodeResponse(Slice("")).status().IsCorruption());
+
+  std::string hello = EncodeHello();
+  hello[2] = 'Z';  // Corrupt the magic.
+  EXPECT_TRUE(DecodeRequest(Slice(hello)).status().IsCorruption());
+
+  const std::string query = EncodeQuery("SELECT v FROM V v WHERE v.a = 1");
+  for (size_t keep = 1; keep < query.size(); ++keep) {
+    EXPECT_TRUE(DecodeRequest(Slice(query.data(), keep))
+                    .status()
+                    .IsCorruption())
+        << "keep=" << keep;
+  }
+  WireQueryStats stats;
+  const std::string rows =
+      EncodeRows({1, 2, 3}, 3, true, "plan", stats);
+  for (size_t keep = 1; keep < rows.size(); ++keep) {
+    EXPECT_TRUE(DecodeResponse(Slice(rows.data(), keep))
+                    .status()
+                    .IsCorruption())
+        << "keep=" << keep;
+  }
+  // Trailing garbage is also rejected.
+  EXPECT_TRUE(
+      DecodeRequest(Slice(query + "x")).status().IsCorruption());
+  EXPECT_TRUE(DecodeResponse(Slice(rows + "x")).status().IsCorruption());
+}
+
+TEST(ProtocolTest, FuzzedPayloadsNeverCrash) {
+  // Random garbage and randomly mutated valid messages must either decode
+  // or fail with a Status — never crash, hang, or read out of bounds
+  // (ASan/TSan legs make that assertion real).
+  Random rng(0xF00D);
+  const std::string seeds[] = {
+      EncodeHello(), EncodeQuery("SELECT v FROM V v WHERE v.a = 1"),
+      EncodeRows({1, 2, 3}, 3, false, "p", WireQueryStats{}),
+      EncodeError(Status::NotFound("x")), EncodeStats(Session::Stats{})};
+  for (int iter = 0; iter < 5000; ++iter) {
+    std::string blob;
+    if (iter % 2 == 0) {
+      blob = seeds[static_cast<size_t>(rng.Next()) % std::size(seeds)];
+      const size_t flips = 1 + rng.Next() % 8;
+      for (size_t i = 0; i < flips && !blob.empty(); ++i) {
+        blob[rng.Next() % blob.size()] ^=
+            static_cast<char>(1 + rng.Next() % 255);
+      }
+    } else {
+      blob.resize(rng.Next() % 64);
+      for (char& c : blob) c = static_cast<char>(rng.Next());
+    }
+    (void)DecodeRequest(Slice(blob));
+    (void)DecodeResponse(Slice(blob));
+  }
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace uindex

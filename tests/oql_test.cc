@@ -80,6 +80,54 @@ TEST(OqlParserTest, RejectsMalformedInput) {
                   .IsInvalidArgument());
 }
 
+TEST(OqlParserTest, ErrorsCarryByteOffsetAndCaret) {
+  // A misspelled keyword points at the offending token...
+  //   SELECT v FORM Vehicle* v WHERE v.Color = 'Red'
+  //            ^ byte 9
+  const std::string text =
+      "SELECT v FORM Vehicle* v WHERE v.Color = 'Red'";
+  const Status s = ParseOql(text).status();
+  ASSERT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("expected FROM at byte 9"), std::string::npos)
+      << s.message();
+  // ...and the caret sits under that byte in the echoed line.
+  const size_t line_at = s.message().find("  " + text);
+  ASSERT_NE(line_at, std::string::npos) << s.message();
+  const size_t caret_line = s.message().find('\n', line_at) + 1;
+  EXPECT_EQ(s.message().substr(caret_line, 2 + 9 + 1),
+            "  " + std::string(9, ' ') + "^");
+}
+
+TEST(OqlParserTest, ErrorOffsetsPointAtTheRightToken) {
+  struct Case {
+    const char* text;
+    size_t offset;
+  };
+  const Case cases[] = {
+      // Unknown variable 'w' in the WHERE clause.
+      {"SELECT v FROM X v WHERE w.a = 1", 24},
+      // FROM variable mismatch points at the FROM variable.
+      {"SELECT v FROM X w WHERE v.a = 1", 16},
+      // Unexpected character mid-input.
+      {"SELECT v FROM X v WHERE v.a ! 1", 28},
+      // Unterminated string points at its opening quote.
+      {"SELECT v FROM X v WHERE v.a = 'oops", 30},
+      // Trailing garbage after a complete query.
+      {"SELECT v FROM X v WHERE v.a = 1 garbage", 32},
+      // Errors at end-of-input point one past the last byte.
+      {"SELECT v FROM X v WHERE", 23},
+  };
+  for (const Case& c : cases) {
+    const Status s = ParseOql(c.text).status();
+    ASSERT_TRUE(s.IsInvalidArgument()) << c.text;
+    EXPECT_NE(
+        s.message().find("at byte " + std::to_string(c.offset) + "\n"),
+        std::string::npos)
+        << c.text << " -> " << s.message();
+    EXPECT_NE(s.message().find('^'), std::string::npos) << c.text;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Planner/executor tests over a real database.
 // ---------------------------------------------------------------------------

@@ -1,0 +1,92 @@
+#!/bin/sh
+# End-to-end smoke of the wire protocol: start uindex_server on an
+# ephemeral port, run N scripted shell clients against it, then SIGTERM it
+# and require a clean (exit 0) drain. Run from anywhere:
+#
+#   tools/server_smoke.sh <path-to-uindex_server> <path-to-uindex_shell>
+#
+# Exits non-zero if the server fails to start, any client errors, or the
+# server does not shut down cleanly. Under ASan/TSan a report fails the
+# server's exit code, so sanitizer legs get leak/race coverage for free.
+set -eu
+
+SERVER="$1"
+SHELL_BIN="$2"
+CLIENTS="${3:-4}"
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+"$SERVER" --demo --port 0 >"$WORK/server.out" 2>"$WORK/server.err" &
+SERVER_PID=$!
+
+# Wait for the "listening on host:port" line (the server prints it once
+# the socket is bound).
+PORT=""
+for _ in $(seq 1 50); do
+  PORT="$(sed -n 's/^listening on .*:\([0-9][0-9]*\)$/\1/p' \
+      "$WORK/server.out" 2>/dev/null | head -n1)"
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || {
+    echo "server died before listening:" >&2
+    cat "$WORK/server.err" >&2
+    exit 1
+  }
+  sleep 0.1
+done
+[ -n "$PORT" ] || { echo "server never listened" >&2; exit 1; }
+
+cat >"$WORK/client_script.txt" <<EOF
+connect 127.0.0.1 $PORT
+ping
+oql SELECT v FROM Vehicle* v WHERE v.Color = 'Red'
+oql SELECT v FROM Vehicle* v WHERE v.made-by.president.Age = 50
+oql SELECT v FROM Vehicle* v WHERE v.made-by.president.Age BETWEEN 40 AND 49 AND v.made-by IS JapaneseAutoCompany*
+oql SELECT COUNT(v) FROM Vehicle* v WHERE v.Color = 'White'
+stats
+disconnect
+quit
+EOF
+
+i=1
+while [ "$i" -le "$CLIENTS" ]; do
+  "$SHELL_BIN" <"$WORK/client_script.txt" >"$WORK/client_$i.out" 2>&1 &
+  eval "CLIENT_$i=\$!"
+  i=$((i + 1))
+done
+
+FAIL=0
+i=1
+while [ "$i" -le "$CLIENTS" ]; do
+  eval "pid=\$CLIENT_$i"
+  if ! wait "$pid"; then
+    echo "client $i failed:" >&2
+    cat "$WORK/client_$i.out" >&2
+    FAIL=1
+  fi
+  i=$((i + 1))
+done
+
+# Every client must have seen the Example-1 answer for the Red query
+# (oids 9, 10) through the socket.
+i=1
+while [ "$i" -le "$CLIENTS" ]; do
+  grep -q '\[9, 10\]' "$WORK/client_$i.out" || {
+    echo "client $i missing expected rows:" >&2
+    cat "$WORK/client_$i.out" >&2
+    FAIL=1
+  }
+  i=$((i + 1))
+done
+
+kill -TERM "$SERVER_PID"
+if ! wait "$SERVER_PID"; then
+  echo "server exited non-zero after SIGTERM:" >&2
+  cat "$WORK/server.err" >&2
+  exit 1
+fi
+grep -q '^shutdown:' "$WORK/server.out" || {
+  echo "server did not report a clean shutdown" >&2
+  exit 1
+}
+exit "$FAIL"

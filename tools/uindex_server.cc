@@ -1,0 +1,194 @@
+// uindex_server — serves one Database over the wire protocol (src/net/).
+//
+//   ./build/tools/uindex_server --demo                # Example-1 database
+//   ./build/tools/uindex_server --snapshot db.usnap   # a saved database
+//   ./build/tools/uindex_server --demo --port 0       # ephemeral port
+//
+// Prints exactly one "listening on <host>:<port>" line once ready (scripts
+// parse it — see tools/server_smoke.sh), then serves until SIGTERM/SIGINT,
+// which triggers a graceful shutdown: in-flight queries drain and their
+// responses are delivered, new work is refused, connections close, exit 0.
+//
+// Flags:
+//   --host H          bind address          (default 127.0.0.1)
+//   --port N          TCP port, 0=ephemeral (default 4666)
+//   --demo            populate the paper's Example-1 database
+//   --snapshot PATH   load a database saved with the shell's `save`
+//   --workers N       query worker threads  (default 4)
+//   --max-inflight N  concurrent queries    (default = workers)
+//   --max-queue N     admission wait queue  (default 64)
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "db/database.h"
+#include "net/server.h"
+
+namespace uindex {
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int /*sig*/) { g_stop.store(true); }
+
+// The paper's Example-1 database (the same content tools/demo_script.txt
+// builds interactively): vehicles made by companies with presidents, a
+// class-hierarchy index on Color and a path index on Age.
+Status BuildDemoDatabase(Database* db) {
+#define DEMO_ASSIGN(var, expr)              \
+  auto var##_r = (expr);                    \
+  if (!var##_r.ok()) return var##_r.status(); \
+  auto var = std::move(var##_r).value()
+  DEMO_ASSIGN(employee, db->CreateClass("Employee"));
+  DEMO_ASSIGN(company, db->CreateClass("Company"));
+  DEMO_ASSIGN(auto_co, db->CreateSubclass("AutoCompany", company));
+  DEMO_ASSIGN(jp_auto, db->CreateSubclass("JapaneseAutoCompany", auto_co));
+  DEMO_ASSIGN(vehicle, db->CreateClass("Vehicle"));
+  DEMO_ASSIGN(automobile, db->CreateSubclass("Automobile", vehicle));
+  DEMO_ASSIGN(compact, db->CreateSubclass("CompactAutomobile", automobile));
+  UINDEX_RETURN_IF_ERROR(
+      db->CreateReference(vehicle, company, "made-by", false));
+  UINDEX_RETURN_IF_ERROR(
+      db->CreateReference(company, employee, "president", false));
+
+  const int64_t ages[] = {50, 60, 45};
+  Oid e[3];
+  for (int i = 0; i < 3; ++i) {
+    DEMO_ASSIGN(oid, db->CreateObject(employee));
+    e[i] = oid;
+    UINDEX_RETURN_IF_ERROR(db->SetAttr(e[i], "Age", Value::Int(ages[i])));
+  }
+  const struct { ClassId cls; const char* name; int president; } cos[] = {
+      {jp_auto, "Subaru", 2}, {auto_co, "Fiat", 0}, {auto_co, "Renault", 1}};
+  Oid c[3];
+  for (int i = 0; i < 3; ++i) {
+    DEMO_ASSIGN(oid, db->CreateObject(cos[i].cls));
+    c[i] = oid;
+    UINDEX_RETURN_IF_ERROR(
+        db->SetAttr(c[i], "name", Value::Str(cos[i].name)));
+    UINDEX_RETURN_IF_ERROR(
+        db->SetAttr(c[i], "president", Value::Ref(e[cos[i].president])));
+  }
+  const struct { ClassId cls; const char* color; int maker; } vs[] = {
+      {vehicle, "White", 0},    {automobile, "White", 1},
+      {automobile, "Red", 1},   {compact, "Red", 2},
+      {compact, "Blue", 0},     {compact, "White", 1}};
+  for (const auto& v : vs) {
+    DEMO_ASSIGN(oid, db->CreateObject(v.cls));
+    UINDEX_RETURN_IF_ERROR(db->SetAttr(oid, "Color", Value::Str(v.color)));
+    UINDEX_RETURN_IF_ERROR(
+        db->SetAttr(oid, "made-by", Value::Ref(c[v.maker])));
+  }
+
+  UINDEX_RETURN_IF_ERROR(
+      db->CreateIndex(
+            PathSpec::ClassHierarchy(vehicle, "Color", Value::Kind::kString))
+          .status());
+  PathSpec age_path;
+  age_path.indexed_attr = "Age";
+  age_path.value_kind = Value::Kind::kInt;
+  age_path.classes = {vehicle, company, employee};
+  age_path.ref_attrs = {"made-by", "president"};
+  UINDEX_RETURN_IF_ERROR(db->CreateIndex(age_path).status());
+#undef DEMO_ASSIGN
+  return Status::OK();
+}
+
+int Run(int argc, char** argv) {
+  net::ServerOptions options;
+  options.port = 4666;
+  bool demo = false;
+  std::string snapshot;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--demo") {
+      demo = true;
+    } else if (arg == "--host" && next() != nullptr) {
+      options.host = argv[i];
+    } else if (arg == "--port" && next() != nullptr) {
+      options.port = static_cast<uint16_t>(std::strtoul(argv[i], nullptr, 10));
+    } else if (arg == "--snapshot" && next() != nullptr) {
+      snapshot = argv[i];
+    } else if (arg == "--workers" && next() != nullptr) {
+      options.worker_threads = std::strtoul(argv[i], nullptr, 10);
+    } else if (arg == "--max-inflight" && next() != nullptr) {
+      options.max_inflight_queries = std::strtoul(argv[i], nullptr, 10);
+    } else if (arg == "--max-queue" && next() != nullptr) {
+      options.max_queued_queries = std::strtoul(argv[i], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  std::unique_ptr<Database> owned;
+  if (!snapshot.empty()) {
+    Result<std::unique_ptr<Database>> opened = Database::Open(snapshot);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "cannot open %s: %s\n", snapshot.c_str(),
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    owned = std::move(opened).value();
+  } else {
+    owned = std::make_unique<Database>();
+    if (demo) {
+      const Status built = BuildDemoDatabase(owned.get());
+      if (!built.ok()) {
+        std::fprintf(stderr, "demo build failed: %s\n",
+                     built.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = HandleSignal;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
+  Result<std::unique_ptr<net::Server>> server =
+      net::Server::Start(owned.get(), options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "cannot start server: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("listening on %s:%u\n", options.host.c_str(),
+              server.value()->port());
+  std::fflush(stdout);
+
+  while (!g_stop.load()) {
+    ::usleep(100 * 1000);
+  }
+
+  // Drain in-flight queries, refuse new frames, tear everything down; only
+  // then is the database destroyed (it outlives the server by scope).
+  server.value()->Shutdown();
+  const auto& counters = server.value()->counters();
+  std::printf("shutdown: %llu conns, %llu ok, %llu failed, %llu busy, "
+              "%llu protocol errors\n",
+              static_cast<unsigned long long>(counters.accepted.load()),
+              static_cast<unsigned long long>(counters.queries_ok.load()),
+              static_cast<unsigned long long>(counters.queries_failed.load()),
+              static_cast<unsigned long long>(counters.busy_rejected.load()),
+              static_cast<unsigned long long>(
+                  counters.protocol_errors.load()));
+  return 0;
+}
+
+}  // namespace
+}  // namespace uindex
+
+int main(int argc, char** argv) { return uindex::Run(argc, argv); }

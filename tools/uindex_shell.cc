@@ -16,6 +16,8 @@
 //   select Car* Price 10 30  ('*' = with subclasses; one bound = exact)
 //   query 0 (Age=50, Employee, _, Company*, ?)
 //   parallel 8               (run `query` via exec::ParallelParscan)
+//   connect 127.0.0.1 4666   (oql/stats/ping go to a uindex_server)
+//   disconnect | ping
 //   codes | schema | stats | help | quit
 
 #include <cstdio>
@@ -28,6 +30,7 @@
 #include "core/query_parser.h"
 #include "db/database.h"
 #include "exec/execution_context.h"
+#include "net/client.h"
 
 namespace uindex {
 namespace {
@@ -66,6 +69,14 @@ class Shell {
       status = HandleParallel(in);
     } else if (command == "oql") {
       status = HandleOql(line.substr(line.find("oql") + 3));
+    } else if (command == "connect") {
+      status = HandleConnect(in);
+    } else if (command == "disconnect") {
+      status = HandleDisconnect();
+    } else if (command == "ping") {
+      status = remote_ ? remote_->Ping()
+                       : Status::InvalidArgument("not connected");
+      if (status.ok() && remote_) std::printf("pong\n");
     } else if (command == "explain") {
       status = HandleExplain(in);
     } else if (command == "save") {
@@ -396,7 +407,50 @@ class Shell {
     return Status::OK();
   }
 
+  // connect <host> <port>: route subsequent `oql` (and `stats`, `ping`)
+  // to a uindex_server instead of the in-process database.
+  Status HandleConnect(std::istringstream& in) {
+    std::string host;
+    uint16_t port = 0;
+    if (!(in >> host >> port)) {
+      return Status::InvalidArgument("connect <host> <port>");
+    }
+    Result<std::unique_ptr<net::Client>> client =
+        net::Client::Connect(host, port);
+    if (!client.ok()) return client.status();
+    remote_ = std::move(client).value();
+    std::printf("connected to %s:%u (oql/stats/ping now remote)\n",
+                host.c_str(), port);
+    return Status::OK();
+  }
+
+  Status HandleDisconnect() {
+    if (!remote_) return Status::InvalidArgument("not connected");
+    remote_.reset();
+    std::printf("disconnected\n");
+    return Status::OK();
+  }
+
+  Status HandleRemoteOql(const std::string& text) {
+    Result<net::Client::QueryResult> r = remote_->Query(text);
+    if (!r.ok()) return r.status();
+    std::printf("%llu oid(s) via %s, %llu pages (remote)",
+                static_cast<unsigned long long>(r.value().count),
+                r.value().plan.c_str(),
+                static_cast<unsigned long long>(r.value().stats.pages_read));
+    if (!r.value().oids.empty()) {
+      std::printf(": [");
+      for (size_t i = 0; i < r.value().oids.size(); ++i) {
+        std::printf("%s%u", i ? ", " : "", r.value().oids[i]);
+      }
+      std::printf("]");
+    }
+    std::printf("\n");
+    return Status::OK();
+  }
+
   Status HandleOql(const std::string& text) {
+    if (remote_) return HandleRemoteOql(text);
     QueryCost cost(&db_.buffers());
     Result<Database::OqlResult> r = db_.ExecuteOql(text);
     if (!r.ok()) return r.status();
@@ -434,6 +488,15 @@ class Shell {
   }
 
   void PrintStats() {
+    if (remote_) {
+      Result<Session::Stats> stats = remote_->SessionStats();
+      if (!stats.ok()) {
+        std::printf("error: %s\n", stats.status().ToString().c_str());
+        return;
+      }
+      std::printf("remote session: %s\n", stats.value().ToString().c_str());
+      return;
+    }
     std::printf("classes=%zu objects=%llu indexes=%zu pages=%llu %s\n",
                 db_.schema().class_count(),
                 static_cast<unsigned long long>(db_.store().size()),
@@ -457,11 +520,14 @@ class Shell {
         "  oql SELECT v FROM Vehicle* v WHERE v.made-by.president.Age = 50\n"
         "  explain <Class>[*] <attr> <lo> [<hi>]\n"
         "  save <path>\n"
+        "  connect <host> <port>   (oql/stats/ping go to a uindex_server)\n"
+        "  disconnect | ping\n"
         "  codes | schema | stats | help | quit\n");
   }
 
   Database db_;
   std::unique_ptr<exec::ExecutionContext> ctx_;
+  std::unique_ptr<net::Client> remote_;
   bool interactive_;
   int errors_ = 0;
 };
