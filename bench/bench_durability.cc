@@ -1,0 +1,297 @@
+// Durability-layer benchmark: what the crash-consistency fixes cost, and
+// proof that they cost the paper's metric nothing.
+//
+//   * journal append throughput, default-durable (fdatasync per Append)
+//     vs batched (one Sync at the commit point) — the knob's price tag;
+//   * journaled DML load and Checkpoint wall time on a real file system
+//     (stage journal + snapshot sync/rename/dir-sync + publish);
+//   * the page-read identity gate: the same query list on the live
+//     database and on an OpenDurable-recovered twin must return
+//     byte-identical rows and an identical fresh-epoch pages_read
+//     aggregate. Recovery replays the journal through the ordinary DML
+//     entry points, so the recovered trees are the same trees — the bench
+//     exits non-zero if the durability machinery moved the cost metric.
+//
+// Reports to stdout and $UINDEX_BENCH_OUT_DIR/durability.json (default
+// bench_results/durability.json).
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "db/database.h"
+#include "db/journal.h"
+#include "storage/env/env.h"
+#include "util/random.h"
+
+namespace uindex {
+namespace {
+
+constexpr uint32_t kSubclasses = 4;
+constexpr int64_t kKeys = 500;
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+JournalRecord SetAttrRecord(Oid oid, int64_t v) {
+  JournalRecord r;
+  r.op = JournalRecord::Op::kSetAttr;
+  r.name = "Key";
+  r.oid = oid;
+  r.value = Value::Int(v);
+  return r;
+}
+
+// Appends `n` records with the given sync policy and returns the wall
+// time; batched mode syncs once at the end (inside the measured bracket —
+// that final fdatasync is part of the batched commit's cost).
+Result<double> AppendRun(Env* env, const std::string& path, bool durable,
+                        int n) {
+  env->RemoveFile(path);
+  JournalOptions options;
+  options.sync_on_append = durable;
+  Result<std::unique_ptr<Journal>> journal =
+      Journal::OpenForAppend(env, path, /*generation=*/0, options);
+  if (!journal.ok()) return journal.status();
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < n; ++i) {
+    UINDEX_RETURN_IF_ERROR(
+        journal.value()->Append(SetAttrRecord(static_cast<Oid>(i), i)));
+  }
+  if (!durable) UINDEX_RETURN_IF_ERROR(journal.value()->Sync());
+  return MillisSince(start);
+}
+
+int Run() {
+  const int durable_appends = bench::QuickMode() ? 500 : 5000;
+  const int batched_appends = bench::QuickMode() ? 20000 : 200000;
+  const uint32_t num_objects = bench::QuickMode() ? 2000u : 10000u;
+  const int num_queries = bench::QuickMode() ? 500 : 2000;
+
+  Env* env = Env::Default();
+  std::error_code ec;
+  const std::filesystem::path work =
+      std::filesystem::temp_directory_path() / "uindex_bench_durability";
+  std::filesystem::remove_all(work, ec);
+  std::filesystem::create_directories(work, ec);
+  const std::string wal = (work / "bench.journal").string();
+  const std::string snap = (work / "bench.udb").string();
+
+  // --- Phase 1: append throughput, durable vs batched. -------------------
+  Result<double> durable_ms =
+      AppendRun(env, wal, /*durable=*/true, durable_appends);
+  if (!durable_ms.ok()) {
+    std::fprintf(stderr, "durable append run: %s\n",
+                 durable_ms.status().ToString().c_str());
+    return 1;
+  }
+  Result<double> batched_ms =
+      AppendRun(env, wal, /*durable=*/false, batched_appends);
+  if (!batched_ms.ok()) {
+    std::fprintf(stderr, "batched append run: %s\n",
+                 batched_ms.status().ToString().c_str());
+    return 1;
+  }
+  const double durable_rate = durable_appends / (durable_ms.value() / 1e3);
+  const double batched_rate = batched_appends / (batched_ms.value() / 1e3);
+  env->RemoveFile(wal);
+
+  // --- Phase 2: journaled load + checkpoint on the real file system. -----
+  DatabaseOptions options;
+  options.prefetch_threads = 0;  // Identical epochs live vs recovered.
+  Result<std::unique_ptr<Database>> opened =
+      Database::OpenDurable(snap, wal, options);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "OpenDurable: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<Database> db = std::move(opened).value();
+
+  const auto load_start = std::chrono::steady_clock::now();
+  const ClassId root = db->CreateClass("Item").value();
+  std::vector<ClassId> subs;
+  for (uint32_t i = 0; i < kSubclasses; ++i) {
+    subs.push_back(
+        db->CreateSubclass("Item" + std::to_string(i), root).value());
+  }
+  if (Result<size_t> idx = db->CreateIndex(
+          PathSpec::ClassHierarchy(root, "Key", Value::Kind::kInt));
+      !idx.ok()) {
+    std::fprintf(stderr, "index: %s\n", idx.status().ToString().c_str());
+    return 1;
+  }
+  Random rng(0xD17A);
+  std::vector<Oid> oids;
+  oids.reserve(num_objects);
+  for (uint32_t i = 0; i < num_objects; ++i) {
+    Result<Oid> oid = db->CreateObject(subs[i % subs.size()]);
+    if (!oid.ok() ||
+        !db->SetAttr(oid.value(), "Key",
+                     Value::Int(static_cast<int64_t>(rng.Uniform(kKeys))))
+             .ok()) {
+      std::fprintf(stderr, "load failed at object %u\n", i);
+      return 1;
+    }
+    oids.push_back(oid.value());
+  }
+  const double load_ms = MillisSince(load_start);
+
+  const auto ckpt_start = std::chrono::steady_clock::now();
+  if (Status st = db->Checkpoint(snap); !st.ok()) {
+    std::fprintf(stderr, "checkpoint: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  const double checkpoint_ms = MillisSince(ckpt_start);
+  Result<uint64_t> snap_bytes = env->FileSize(snap);
+
+  // A post-checkpoint tail so recovery exercises snapshot + replay, not
+  // just the snapshot.
+  for (uint32_t i = 0; i < num_objects / 10; ++i) {
+    if (!db->SetAttr(oids[rng.Uniform(oids.size())], "Key",
+                     Value::Int(static_cast<int64_t>(rng.Uniform(kKeys))))
+             .ok()) {
+      std::fprintf(stderr, "tail update %u failed\n", i);
+      return 1;
+    }
+  }
+
+  // --- Phase 3: page-read identity gate, live vs recovered twin. ---------
+  std::vector<Database::Selection> queries;
+  queries.reserve(num_queries);
+  Random qrng(0xCAFE);
+  for (int q = 0; q < num_queries; ++q) {
+    Database::Selection sel;
+    sel.cls = root;
+    sel.attr = "Key";
+    sel.lo = sel.hi = Value::Int(static_cast<int64_t>(qrng.Uniform(kKeys)));
+    queries.push_back(sel);
+  }
+
+  auto run_queries = [&](Database& target, std::vector<std::vector<Oid>>* rows,
+                         uint64_t* pages) -> Status {
+    target.buffers().BeginQuery();  // Fresh epoch: count each page once.
+    const IoStats base = target.buffers().stats();
+    rows->clear();
+    rows->reserve(queries.size());
+    for (const Database::Selection& sel : queries) {
+      Result<Database::SelectResult> r = target.Select(sel);
+      if (!r.ok()) return r.status();
+      if (!r.value().used_index) {
+        return Status::Corruption("query fell back to an extent scan");
+      }
+      rows->push_back(std::move(r.value().oids));
+    }
+    *pages = (target.buffers().stats() - base)
+                 .pages_read.load(std::memory_order_relaxed);
+    return Status::OK();
+  };
+
+  std::vector<std::vector<Oid>> live_rows;
+  uint64_t live_pages = 0;
+  if (Status st = run_queries(*db, &live_rows, &live_pages); !st.ok()) {
+    std::fprintf(stderr, "live query phase: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  db.reset();
+
+  const auto recover_start = std::chrono::steady_clock::now();
+  Result<std::unique_ptr<Database>> recovered =
+      Database::OpenDurable(snap, wal, options);
+  if (!recovered.ok()) {
+    std::fprintf(stderr, "recovery: %s\n",
+                 recovered.status().ToString().c_str());
+    return 1;
+  }
+  const double recover_ms = MillisSince(recover_start);
+
+  std::vector<std::vector<Oid>> twin_rows;
+  uint64_t twin_pages = 0;
+  if (Status st = run_queries(*recovered.value(), &twin_rows, &twin_pages);
+      !st.ok()) {
+    std::fprintf(stderr, "recovered query phase: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  bool identical = live_rows == twin_rows;
+  if (!identical) {
+    std::fprintf(stderr, "FAIL: recovered twin returned different rows\n");
+  }
+  if (live_pages != twin_pages) {
+    identical = false;
+    std::fprintf(stderr,
+                 "FAIL: pages_read moved across recovery: live %llu, "
+                 "recovered %llu\n",
+                 static_cast<unsigned long long>(live_pages),
+                 static_cast<unsigned long long>(twin_pages));
+  }
+
+  std::printf("bench_durability: %u objects, %d queries%s\n", num_objects,
+              num_queries, bench::QuickMode() ? " (quick mode)" : "");
+  std::printf("  %-34s %10s %14s\n", "phase", "wall ms", "rate");
+  std::printf("  %-34s %10.1f %11.0f/s\n", "journal append (sync each)",
+              durable_ms.value(), durable_rate);
+  std::printf("  %-34s %10.1f %11.0f/s\n", "journal append (batched sync)",
+              batched_ms.value(), batched_rate);
+  std::printf("  %-34s %10.1f %14s\n", "journaled DML load", load_ms, "-");
+  std::printf("  %-34s %10.1f %11llu B\n", "checkpoint (snapshot+rotate)",
+              checkpoint_ms,
+              static_cast<unsigned long long>(
+                  snap_bytes.ok() ? snap_bytes.value() : 0));
+  std::printf("  %-34s %10.1f %14s\n", "recovery (snapshot+replay)",
+              recover_ms, "-");
+  std::printf("  identity gate: rows %s, pages_read %llu %s %llu\n",
+              live_rows == twin_rows ? "identical" : "DIFFER",
+              static_cast<unsigned long long>(live_pages),
+              live_pages == twin_pages ? "==" : "!=",
+              static_cast<unsigned long long>(twin_pages));
+
+  const char* out_env = std::getenv("UINDEX_BENCH_OUT_DIR");
+  const std::filesystem::path dir =
+      out_env != nullptr ? out_env : "bench_results";
+  std::filesystem::create_directories(dir, ec);
+  const std::filesystem::path json = dir / "durability.json";
+  if (std::FILE* f = std::fopen(json.string().c_str(), "w")) {
+    std::fprintf(
+        f,
+        "{\n  \"bench\": \"durability\",\n  \"quick_mode\": %s,\n"
+        "  \"append_sync_each\": {\"n\": %d, \"wall_ms\": %.1f, "
+        "\"per_sec\": %.0f},\n"
+        "  \"append_batched\": {\"n\": %d, \"wall_ms\": %.1f, "
+        "\"per_sec\": %.0f},\n"
+        "  \"load_wall_ms\": %.1f,\n  \"checkpoint_wall_ms\": %.1f,\n"
+        "  \"snapshot_bytes\": %llu,\n  \"recover_wall_ms\": %.1f,\n"
+        "  \"pages_read\": {\"live\": %llu, \"recovered\": %llu},\n"
+        "  \"identity\": %s\n}\n",
+        bench::QuickMode() ? "true" : "false", durable_appends,
+        durable_ms.value(), durable_rate, batched_appends,
+        batched_ms.value(), batched_rate, load_ms, checkpoint_ms,
+        static_cast<unsigned long long>(
+            snap_bytes.ok() ? snap_bytes.value() : 0),
+        recover_ms, static_cast<unsigned long long>(live_pages),
+        static_cast<unsigned long long>(twin_pages),
+        identical ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", json.string().c_str());
+  } else {
+    std::fprintf(stderr, "warning: cannot write %s\n",
+                 json.string().c_str());
+  }
+
+  std::filesystem::remove_all(work, ec);
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace uindex
+
+int main() { return uindex::Run(); }

@@ -1,14 +1,12 @@
 #include "db/database.h"
 
-#include <unistd.h>
-
 #include <algorithm>
-#include <cerrno>
 #include <cstring>
 #include <mutex>
 #include <shared_mutex>
 
 #include "exec/parallel_parscan.h"
+#include "storage/env/env.h"
 #include "storage/prefetch.h"
 #include "storage/snapshot.h"
 #include "util/coding.h"
@@ -17,6 +15,7 @@ namespace uindex {
 
 Database::Database(DatabaseOptions options)
     : options_(options),
+      env_(options.env != nullptr ? options.env : Env::Default()),
       pager_(std::make_unique<Pager>(options.page_size)),
       buffers_(pager_.get()),
       store_(&schema_),
@@ -29,6 +28,7 @@ Database::Database(DatabaseOptions options)
 
 Database::Database(DatabaseOptions options, std::unique_ptr<Pager> pager)
     : options_(options),
+      env_(options.env != nullptr ? options.env : Env::Default()),
       pager_(std::move(pager)),
       buffers_(pager_.get()),
       store_(&schema_),
@@ -367,7 +367,8 @@ Status Database::Log(const JournalRecord& record) {
 Status Database::EnableJournal(const std::string& path) {
   std::unique_lock lock(latch_);
   QuiescePrefetch();
-  Result<std::unique_ptr<Journal>> journal = Journal::OpenForAppend(path);
+  Result<std::unique_ptr<Journal>> journal =
+      Journal::OpenForAppend(env_, path, generation_);
   if (!journal.ok()) return journal.status();
   journal_ = std::move(journal).value();
   return Status::OK();
@@ -379,8 +380,46 @@ Status Database::Checkpoint(const std::string& snapshot_path) {
   if (journal_ == nullptr) {
     return Status::InvalidArgument("no journal enabled");
   }
-  UINDEX_RETURN_IF_ERROR(SaveLocked(snapshot_path));
-  return journal_->Truncate();
+  // Crash-atomic checkpoint in three steps (DESIGN.md "Durability & crash
+  // recovery"). 1: stage the generation-g+1 journal at `path + ".new"` —
+  // durable but not yet visible at the journal path, so a crash here
+  // changes nothing recovery sees.
+  Result<std::unique_ptr<Journal>> staged =
+      Journal::Stage(env_, journal_->path(), generation_ + 1);
+  if (!staged.ok()) return staged.status();
+
+  // 2: commit the snapshot, stamped g+1. Until its rename lands, recovery
+  // still loads the old snapshot and replays the old (generation-g)
+  // journal; after, it loads the new one and ignores that journal as
+  // stale. Either way every acked mutation is recovered exactly once.
+  ++generation_;
+  bool rename_attempted = false;
+  Status st = SaveLocked(snapshot_path, &rename_attempted);
+  if (!st.ok()) {
+    --generation_;
+    if (rename_attempted) {
+      // The failure came *after* the commit rename was issued, so the g+1
+      // snapshot may be the one on disk — in which case recovery would
+      // ignore the old journal we are still holding. Acking any further
+      // append into it could silently lose that mutation: fail stop. (A
+      // leftover `.new` staging file is harmless; the next Stage truncates
+      // it, and recovery never reads it.)
+      journal_->Poison("checkpoint failed after snapshot commit: " +
+                       st.ToString());
+    }
+    return st;
+  }
+
+  // 3: publish the staged journal over the old one. On failure the old
+  // journal file may or may not still be at the path, but both it and the
+  // staged object are now poisoned — same fail-stop rationale as above.
+  Status published = staged.value()->Publish();
+  if (!published.ok()) {
+    journal_->Poison("checkpoint publish failed: " + published.ToString());
+    return published;
+  }
+  journal_ = std::move(staged).value();
+  return Status::OK();
 }
 
 Status Database::ApplyRecord(const JournalRecord& r) {
@@ -445,6 +484,7 @@ Status Database::ApplyRecord(const JournalRecord& r) {
 Result<std::unique_ptr<Database>> Database::OpenDurable(
     const std::string& snapshot_path, const std::string& journal_path,
     DatabaseOptions options) {
+  Env* env = options.env != nullptr ? options.env : Env::Default();
   std::unique_ptr<Database> db;
   Result<std::unique_ptr<Database>> opened = Open(snapshot_path, options);
   if (opened.ok()) {
@@ -455,19 +495,32 @@ Result<std::unique_ptr<Database>> Database::OpenDurable(
     return opened.status();
   }
 
-  size_t valid_bytes = 0;
-  Result<std::vector<JournalRecord>> records =
-      Journal::ReadAll(journal_path, &valid_bytes);
-  if (!records.ok()) return records.status();
-  for (const JournalRecord& record : records.value()) {
-    UINDEX_RETURN_IF_ERROR(db->ApplyRecord(record));
+  Result<Journal::Replay> replay = Journal::ReadAll(env, journal_path);
+  if (!replay.ok()) return replay.status();
+  if (replay.value().header_valid) {
+    if (replay.value().generation > db->generation_) {
+      // The journal extends a snapshot newer than the one we loaded — that
+      // snapshot is missing (lost rename, deleted file). Replaying against
+      // the older snapshot would corrupt it, and skipping would silently
+      // drop acked mutations: refuse.
+      return Status::Corruption(
+          "journal generation " +
+          std::to_string(replay.value().generation) +
+          " is newer than snapshot generation " +
+          std::to_string(db->generation_) +
+          "; the snapshot it extends is missing");
+    }
+    if (replay.value().generation == db->generation_) {
+      for (const JournalRecord& record : replay.value().records) {
+        UINDEX_RETURN_IF_ERROR(db->ApplyRecord(record));
+      }
+    }
+    // Older generation: a checkpoint leftover whose records the snapshot
+    // already contains — EnableJournal below replaces it.
   }
-  // Drop any torn tail so new appends follow the last good record.
-  if (truncate(journal_path.c_str(),
-               static_cast<off_t>(valid_bytes)) != 0 &&
-      errno != ENOENT) {
-    return Status::ResourceExhausted("cannot truncate torn journal tail");
-  }
+  // EnableJournal reconciles the file with our generation: same-generation
+  // journals keep their records (minus any torn tail), anything else is
+  // atomically replaced by a fresh one.
   UINDEX_RETURN_IF_ERROR(db->EnableJournal(journal_path));
   return db;
 }
@@ -583,7 +636,8 @@ Status Database::Save(const std::string& path) const {
   return SaveLocked(path);
 }
 
-Status Database::SaveLocked(const std::string& path) const {
+Status Database::SaveLocked(const std::string& path,
+                            bool* rename_attempted) const {
   std::string meta;
   meta.append(kDbMagic, sizeof(kDbMagic));
 
@@ -626,12 +680,17 @@ Status Database::SaveLocked(const std::string& path) const {
     for (const std::string& attr : spec.ref_attrs) PutString(&meta, attr);
   }
 
-  return PagerSnapshot::Save(*pager_, meta, path);
+  // Checkpoint generation (absent in pre-generation snapshots, which read
+  // back as generation 0).
+  PutFixed64(&meta, generation_);
+
+  return PagerSnapshot::Save(env_, *pager_, meta, path, rename_attempted);
 }
 
 Result<std::unique_ptr<Database>> Database::Open(const std::string& path,
                                                  DatabaseOptions options) {
-  Result<PagerSnapshot::Loaded> loaded = PagerSnapshot::Load(path);
+  Env* env = options.env != nullptr ? options.env : Env::Default();
+  Result<PagerSnapshot::Loaded> loaded = PagerSnapshot::Load(env, path);
   if (!loaded.ok()) return loaded.status();
   options.page_size = loaded.value().pager->page_size();
 
@@ -731,6 +790,12 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& path,
                                           root, size);
     db->maintainer_.RegisterIndex(index.get());
     db->indexes_.push_back(std::move(index));
+  }
+
+  // Trailing checkpoint generation; snapshots from before generations
+  // existed end right after the index section and stay at generation 0.
+  if (pos < meta.size()) {
+    UINDEX_RETURN_IF_ERROR(ReadU64(meta, &pos, &db->generation_));
   }
   return db;
 }

@@ -28,6 +28,11 @@ class ThreadPool;
 struct DatabaseOptions {
   uint32_t page_size = 1024;
   BTreeOptions btree;
+  /// File system used by the durability layer (Save/Open, journal,
+  /// checkpoint). Null means `Env::Default()` — the real POSIX one. Tests
+  /// inject a `FaultInjectingEnv` here to crash the database at any chosen
+  /// write/sync/rename and check what recovery finds.
+  Env* env = nullptr;
   /// Keep a SchemaCatalog (the §4.1 schema-in-index) in sync with DDL.
   bool maintain_catalog = true;
   /// Workers on the background I/O pool that drives the asynchronous
@@ -82,18 +87,27 @@ class Database {
 
   // ----------------------------------------------------------- durability
   /// Starts logging every DDL/DML mutation to `path` (appending to an
-  /// existing journal). Together with `Checkpoint` this provides
+  /// existing journal of the database's current generation; anything else
+  /// at `path` is replaced). Together with `Checkpoint` this provides
   /// snapshot+log durability; see db/journal.h.
   Status EnableJournal(const std::string& path);
 
-  /// Writes a snapshot to `snapshot_path` and truncates the journal (which
-  /// must be enabled): the log's contents are now captured by the
-  /// snapshot.
+  /// Writes a snapshot to `snapshot_path` and rotates in a fresh journal
+  /// (one must be enabled): the log's contents are now captured by the
+  /// snapshot. Crash-atomic — the sequence is stage the next-generation
+  /// journal, commit the snapshot (sync + rename + dir sync), publish the
+  /// journal; a crash anywhere leaves a state `OpenDurable` recovers
+  /// exactly (see DESIGN.md "Durability & crash recovery"). On failure the
+  /// database may refuse further journaled mutations (fail-stop) rather
+  /// than risk acking writes recovery would not replay.
   Status Checkpoint(const std::string& snapshot_path);
 
   /// Opens a durable database: loads `snapshot_path` if it exists (else
-  /// starts empty), replays the journal tail at `journal_path`, and leaves
-  /// the journal enabled for further mutations.
+  /// starts empty), replays the journal at `journal_path` when its
+  /// generation matches the snapshot's (an older journal is a checkpoint
+  /// leftover and is ignored; a *newer* one means its snapshot is missing
+  /// and is refused as Corruption), and leaves the journal enabled for
+  /// further mutations.
   static Result<std::unique_ptr<Database>> OpenDurable(
       const std::string& snapshot_path, const std::string& journal_path,
       DatabaseOptions options = DatabaseOptions());
@@ -222,8 +236,11 @@ class Database {
 
   // Latch-free bodies for public entry points that other entry points call
   // while already holding the latch (the latch is not recursive).
+  // `rename_attempted` is PagerSnapshot::Save's commit-point signal; see
+  // Checkpoint.
   Status ReencodeLocked();
-  Status SaveLocked(const std::string& path) const;
+  Status SaveLocked(const std::string& path,
+                    bool* rename_attempted = nullptr) const;
 
   // Creates the background I/O pool and prefetch scheduler when enabled;
   // both constructors call it after the buffer manager exists.
@@ -268,6 +285,11 @@ class Database {
   // DDL/DML exclusive vs. queries shared; see the class comment.
   mutable std::shared_mutex latch_;
   DatabaseOptions options_;
+  Env* env_;  // Resolved from options_.env; never null.
+  // Checkpoint counter pairing the snapshot with its journal: the snapshot
+  // metadata and the journal header both carry it, and recovery only
+  // replays a journal whose generation matches the snapshot it loaded.
+  uint64_t generation_ = 0;
   std::unique_ptr<Pager> pager_;
   BufferManager buffers_;
   std::unique_ptr<Journal> journal_;

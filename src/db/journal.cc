@@ -1,11 +1,39 @@
 #include "db/journal.h"
 
+#include <cstring>
+
 #include "util/coding.h"
 #include "util/framing.h"
 
 namespace uindex {
 
 namespace {
+
+constexpr char kHeaderMagic[4] = {'U', 'J', 'R', 'N'};
+constexpr uint32_t kHeaderVersion = 1;
+constexpr size_t kHeaderPayloadSize = 4 + 4 + 8;  // magic + version + gen
+
+std::string EncodeHeaderPayload(uint64_t generation) {
+  std::string out;
+  out.append(kHeaderMagic, sizeof(kHeaderMagic));
+  PutFixed32(&out, kHeaderVersion);
+  PutFixed64(&out, generation);
+  return out;
+}
+
+// Decodes a header-frame payload; wrong magic/size/version is Corruption
+// (the framing CRC already passed, so this is not a torn tail).
+Result<uint64_t> DecodeHeaderPayload(const Slice& payload) {
+  if (payload.size() != kHeaderPayloadSize ||
+      std::memcmp(payload.data(), kHeaderMagic, sizeof(kHeaderMagic)) != 0) {
+    return Status::Corruption("bad journal header");
+  }
+  const uint32_t version = DecodeFixed32(payload.data() + 4);
+  if (version != kHeaderVersion) {
+    return Status::NotSupported("journal version " + std::to_string(version));
+  }
+  return DecodeFixed64(payload.data() + 8);
+}
 
 void PutString(std::string* out, const std::string& s) {
   PutFixed32(out, static_cast<uint32_t>(s.size()));
@@ -79,64 +107,145 @@ Result<JournalRecord> Journal::DecodeRecord(const Slice& payload) {
   return r;
 }
 
-Result<std::unique_ptr<Journal>> Journal::OpenForAppend(
-    const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "ab");
-  if (file == nullptr) {
-    return Status::InvalidArgument("cannot open journal " + path);
+Result<std::unique_ptr<Journal>> Journal::Stage(Env* env,
+                                                const std::string& path,
+                                                uint64_t generation,
+                                                JournalOptions options) {
+  if (env == nullptr) env = Env::Default();
+  const std::string staged = path + ".new";
+  Result<std::unique_ptr<WritableFile>> file =
+      env->NewWritableFile(staged, Env::WriteMode::kTruncate);
+  if (!file.ok()) return file.status();
+  const std::string header = EncodeHeaderPayload(generation);
+  Status st = WriteFrameToFile(file.value().get(), Slice(header));
+  if (st.ok()) st = file.value()->Flush();
+  // The header must be durable before Publish can make this file the
+  // journal: a crash after the publish rename but before these bytes hit
+  // media would leave a headerless journal that recovery mistakes for a
+  // stale one.
+  if (st.ok()) st = file.value()->Sync();
+  if (!st.ok()) {
+    env->RemoveFile(staged);  // Best effort.
+    return st;
   }
-  return std::unique_ptr<Journal>(new Journal(path, file));
+  return std::unique_ptr<Journal>(new Journal(
+      env, path, staged, std::move(file).value(), generation, options));
 }
 
-Journal::~Journal() {
-  if (file_ != nullptr) std::fclose(file_);
+Status Journal::Publish() {
+  if (staged_path_.empty()) return Status::OK();
+  Status st = env_->RenameFile(staged_path_, path_);
+  if (st.ok()) st = env_->SyncDir(DirnameOf(path_));
+  if (!st.ok()) {
+    Poison("journal publish failed: " + st.ToString());
+    return st;
+  }
+  staged_path_.clear();
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Journal>> Journal::OpenForAppend(
+    Env* env, const std::string& path, uint64_t generation,
+    JournalOptions options) {
+  if (env == nullptr) env = Env::Default();
+  Result<Replay> replay = ReadAll(env, path);
+  if (!replay.ok()) return replay.status();
+
+  if (!replay.value().header_valid ||
+      replay.value().generation != generation) {
+    // Absent, empty-or-torn header, or another checkpoint's journal: start
+    // a fresh generation-stamped file. Stage+Publish rather than opening
+    // `path` with truncation, so a crash mid-header cannot destroy an old
+    // journal some other recovery path might still want to inspect.
+    Result<std::unique_ptr<Journal>> staged =
+        Stage(env, path, generation, options);
+    if (!staged.ok()) return staged.status();
+    UINDEX_RETURN_IF_ERROR(staged.value()->Publish());
+    return staged;
+  }
+
+  // Same generation: keep the records, drop any torn tail so new appends
+  // land after the last intact frame.
+  Result<uint64_t> size = env->FileSize(path);
+  if (!size.ok()) return size.status();
+  if (replay.value().valid_bytes < size.value()) {
+    UINDEX_RETURN_IF_ERROR(
+        env->TruncateFile(path, replay.value().valid_bytes));
+  }
+  Result<std::unique_ptr<WritableFile>> file =
+      env->NewWritableFile(path, Env::WriteMode::kAppend);
+  if (!file.ok()) return file.status();
+  return std::unique_ptr<Journal>(new Journal(
+      env, path, /*staged_path=*/"", std::move(file).value(), generation,
+      options));
 }
 
 Status Journal::Append(const JournalRecord& record) {
+  if (poisoned_) {
+    return Status::ResourceExhausted("journal poisoned: " + poison_reason_);
+  }
   const std::string payload = EncodeRecord(record);
-  UINDEX_RETURN_IF_ERROR(WriteFrameToFile(file_, Slice(payload)));
-  if (std::fflush(file_) != 0) {
-    return Status::ResourceExhausted("journal write failed");
+  Status st = WriteFrameToFile(file_.get(), Slice(payload));
+  if (st.ok()) st = file_->Flush();
+  if (st.ok() && options_.sync_on_append) st = file_->Sync();
+  if (!st.ok()) {
+    // The file may now end in a torn frame; appending more would turn that
+    // recoverable tail into mid-file corruption. Fail every later append.
+    Poison("append failed: " + st.ToString());
   }
-  return Status::OK();
+  return st;
 }
 
-Status Journal::Truncate() {
-  std::fclose(file_);
-  file_ = std::fopen(path_.c_str(), "wb");
-  if (file_ == nullptr) {
-    return Status::ResourceExhausted("journal truncate failed");
+Status Journal::Sync() {
+  if (poisoned_) {
+    return Status::ResourceExhausted("journal poisoned: " + poison_reason_);
   }
-  return Status::OK();
+  Status st = file_->Flush();
+  if (st.ok()) st = file_->Sync();
+  if (!st.ok()) Poison("sync failed: " + st.ToString());
+  return st;
 }
 
-Result<std::vector<JournalRecord>> Journal::ReadAll(
-    const std::string& path, size_t* valid_bytes) {
-  std::vector<JournalRecord> out;
-  if (valid_bytes != nullptr) *valid_bytes = 0;
-  std::FILE* file = std::fopen(path.c_str(), "rb");
-  if (file == nullptr) return out;  // No journal: nothing to replay.
+void Journal::Poison(const std::string& reason) {
+  if (poisoned_) return;
+  poisoned_ = true;
+  poison_reason_ = reason;
+}
+
+Result<Journal::Replay> Journal::ReadAll(Env* env, const std::string& path) {
+  if (env == nullptr) env = Env::Default();
+  Replay out;
+  Result<std::unique_ptr<SequentialFile>> opened =
+      env->NewSequentialFile(path);
+  if (!opened.ok()) {
+    if (opened.status().IsNotFound()) return out;  // Nothing to replay.
+    return opened.status();
+  }
+  SequentialFile* file = opened.value().get();
+
   std::string payload;
   size_t consumed = 0;
+  Result<FrameRead> read =
+      ReadFrameFromFile(file, &payload, kMaxRecordPayload, &consumed);
+  if (!read.ok()) return read.status();
+  if (read.value() != FrameRead::kFrame) return out;  // Empty or torn header.
+  Result<uint64_t> generation = DecodeHeaderPayload(Slice(payload));
+  if (!generation.ok()) return generation.status();
+  out.header_valid = true;
+  out.generation = generation.value();
+  out.valid_bytes = consumed;
+
   for (;;) {
-    // Shared framing policy (util/framing.h): a torn tail ends the list, a
-    // corrupt record *inside* the log is an error.
-    Result<FrameRead> read =
-        ReadFrameFromFile(file, &payload, UINT32_MAX, &consumed);
-    if (!read.ok()) {
-      std::fclose(file);
-      return read.status();
-    }
+    // Shared framing policy (util/framing.h): a torn or CRC-corrupt tail
+    // ends the list, a corrupt record *inside* the log is an error.
+    read = ReadFrameFromFile(file, &payload, kMaxRecordPayload, &consumed);
+    if (!read.ok()) return read.status();
     if (read.value() != FrameRead::kFrame) break;  // Clean end or torn tail.
     Result<JournalRecord> record = DecodeRecord(Slice(payload));
-    if (!record.ok()) {
-      std::fclose(file);
-      return record.status();
-    }
-    out.push_back(std::move(record).value());
+    if (!record.ok()) return record.status();
+    out.records.push_back(std::move(record).value());
+    out.valid_bytes = consumed;
   }
-  std::fclose(file);
-  if (valid_bytes != nullptr) *valid_bytes = consumed;
   return out;
 }
 

@@ -1,13 +1,14 @@
 #ifndef UINDEX_DB_JOURNAL_H_
 #define UINDEX_DB_JOURNAL_H_
 
-#include <cstdio>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/index_spec.h"
 #include "objects/object.h"
+#include "storage/env/env.h"
 #include "util/status.h"
 
 namespace uindex {
@@ -34,55 +35,136 @@ struct JournalRecord {
   Value value;
 };
 
+/// Durability policy knobs for a `Journal`.
+struct JournalOptions {
+  /// Default-durable: every `Append` fdatasyncs before reporting success.
+  /// Turning this off batches syncs — the caller must then call `Sync()`
+  /// at its own commit points; records appended after the last sync are
+  /// lost on a crash (and recovered as a clean torn tail).
+  bool sync_on_append = true;
+};
+
 /// Append-only, CRC-protected logical log of Database mutations.
 ///
 /// Combined with a `PagerSnapshot` this is the library's snapshot+log
-/// durability story: `Database::Checkpoint` writes a snapshot and truncates
-/// the journal; on restart, `Database::OpenDurable` loads the snapshot (if
-/// any) and replays the journal tail. A torn final record (partial write at
-/// crash time) is tolerated and replay stops there; a corrupt record
-/// *inside* the log is an error.
+/// durability story: `Database::Checkpoint` writes a snapshot and rotates
+/// in a fresh journal; on restart, `Database::OpenDurable` loads the
+/// snapshot (if any) and replays the journal tail. All file I/O goes
+/// through an `Env`, so appends are durable (fdatasync) when they return,
+/// and the crash-fault harness (storage/env/fault_env.h) can exercise
+/// every write/sync/rename the journal performs.
 ///
-/// Record framing: the repo-wide [len u32][crc u32][payload] convention
-/// (util/framing.h, shared with the wire protocol in net/); payload starts
-/// with the op byte. Records reference classes by *name*, so a journal
-/// remains valid across re-encodes of the class codes.
+/// File layout: a header frame whose payload is
+/// `"UJRN" ∥ version u32 ∥ generation u64`, then one frame per record, all
+/// in the repo-wide `[len u32][crc u32][payload]` framing (util/framing.h,
+/// shared with the wire protocol in net/). Record payloads start with the
+/// op byte and reference classes by *name*, so a journal remains valid
+/// across re-encodes of the class codes.
+///
+/// The *generation* pairs a journal with the snapshot whose state it
+/// extends: `Database::Checkpoint` writes a snapshot stamped generation
+/// g+1 and atomically rotates in a generation-g+1 journal. Recovery
+/// replays the journal only when the generations match; an older journal
+/// is a checkpoint's leftover (its records are inside the snapshot) and is
+/// discarded, and a *newer* one means the snapshot it belongs to is
+/// missing — that is refused, not silently dropped.
+///
+/// Corruption policy on replay (shared with util/framing.h): a torn or
+/// CRC-corrupt *tail* — the shape of a crash mid-append — ends the record
+/// list and is truncated away on reopen; corruption *mid-file* is refused
+/// with a diagnostic, because everything after it is untrustworthy.
 class Journal {
  public:
-  /// Opens (creating if absent) the journal at `path` for appending.
-  static Result<std::unique_ptr<Journal>> OpenForAppend(
-      const std::string& path);
+  /// Upper bound on one record frame; real records are far smaller, and
+  /// the bound keeps a torn header's garbage length from looking like a
+  /// giant allocation.
+  static constexpr uint32_t kMaxRecordPayload = 64u << 20;
 
-  ~Journal();
+  /// Opens the journal at `path` for appending, reconciled with
+  /// `generation`: a valid journal of the same generation keeps its
+  /// records (any torn tail is truncated so new appends follow the last
+  /// good record); an absent/empty/torn-header file, or one from another
+  /// generation, is atomically replaced by a fresh journal. Mid-file
+  /// corruption is refused.
+  static Result<std::unique_ptr<Journal>> OpenForAppend(
+      Env* env, const std::string& path, uint64_t generation,
+      JournalOptions options = JournalOptions());
+
+  /// Writes a fresh generation-`generation` journal at `path + ".new"` —
+  /// durably, but invisible at `path` until `Publish`. This is the first
+  /// half of the crash-atomic truncation `Database::Checkpoint` performs:
+  /// stage, commit the snapshot, then publish; a crash in between leaves
+  /// the old journal (still replayable) untouched.
+  static Result<std::unique_ptr<Journal>> Stage(
+      Env* env, const std::string& path, uint64_t generation,
+      JournalOptions options = JournalOptions());
+
+  /// Renames the staged file over `path` and syncs the directory. On
+  /// failure the journal poisons itself (see `Append`).
+  Status Publish();
+
+  ~Journal() = default;
   Journal(const Journal&) = delete;
   Journal& operator=(const Journal&) = delete;
 
-  /// Appends one record and flushes it.
+  /// Appends one record; with `sync_on_append` (the default) it is on
+  /// stable media when this returns OK. After any append or sync failure
+  /// the journal is *poisoned*: every later `Append` fails too, because
+  /// the file may end in a torn frame and appending after it would turn a
+  /// recoverable tail into unrecoverable mid-file corruption.
   Status Append(const JournalRecord& record);
 
-  /// Truncates the journal (after a checkpoint made it redundant).
-  Status Truncate();
+  /// Forces appended records to stable media (for batched-sync callers).
+  Status Sync();
+
+  /// Marks the journal unusable with `reason` (e.g. when the caller can no
+  /// longer prove the file matches the database state it acked).
+  void Poison(const std::string& reason);
+  bool poisoned() const { return poisoned_; }
 
   const std::string& path() const { return path_; }
+  uint64_t generation() const { return generation_; }
 
-  /// Reads every well-formed record from `path`. A clean end or a torn
-  /// final record both end the list; mid-file corruption fails. If
-  /// `valid_bytes` is non-null it receives the byte length of the
-  /// well-formed prefix, so a torn tail can be truncated away before new
-  /// records are appended.
-  static Result<std::vector<JournalRecord>> ReadAll(
-      const std::string& path, size_t* valid_bytes = nullptr);
+  /// Everything `ReadAll` learned from a journal file.
+  struct Replay {
+    std::vector<JournalRecord> records;
+    uint64_t generation = 0;
+    /// False when the file is absent, empty, or its header frame is torn
+    /// — all "nothing to replay, start fresh" conditions.
+    bool header_valid = false;
+    /// Byte length of the well-formed prefix (header + intact records),
+    /// so a torn tail can be truncated away before appending.
+    size_t valid_bytes = 0;
+  };
+
+  /// Reads the journal at `path`. A clean end or a crash-shaped tail
+  /// (torn or CRC-corrupt final frame) ends the record list; corruption
+  /// mid-file fails with Corruption.
+  static Result<Replay> ReadAll(Env* env, const std::string& path);
 
   /// Serialization helpers (exposed for tests).
   static std::string EncodeRecord(const JournalRecord& record);
   static Result<JournalRecord> DecodeRecord(const Slice& payload);
 
  private:
-  Journal(std::string path, std::FILE* file)
-      : path_(std::move(path)), file_(file) {}
+  Journal(Env* env, std::string path, std::string staged_path,
+          std::unique_ptr<WritableFile> file, uint64_t generation,
+          JournalOptions options)
+      : env_(env),
+        path_(std::move(path)),
+        staged_path_(std::move(staged_path)),
+        file_(std::move(file)),
+        generation_(generation),
+        options_(options) {}
 
+  Env* env_;
   std::string path_;
-  std::FILE* file_;
+  std::string staged_path_;  // Non-empty between Stage and Publish.
+  std::unique_ptr<WritableFile> file_;
+  uint64_t generation_;
+  JournalOptions options_;
+  bool poisoned_ = false;
+  std::string poison_reason_;
 };
 
 }  // namespace uindex

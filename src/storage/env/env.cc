@@ -1,0 +1,172 @@
+#include "storage/env/env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace uindex {
+
+std::string DirnameOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+namespace {
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::ResourceExhausted(what + " " + path + ": " +
+                                   std::strerror(errno));
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(std::string path, int fd)
+      : path_(std::move(path)), fd_(fd) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(const Slice& data) override {
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      const ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Errno("write to", path_);
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  // Appends go straight to the fd, so there is no user-space buffer left
+  // to push; Flush is a no-op kept for the interface's layering contract.
+  Status Flush() override { return Status::OK(); }
+
+  Status Sync() override {
+    if (::fdatasync(fd_) != 0) return Errno("fdatasync", path_);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    const int rc = ::close(fd_);
+    fd_ = -1;
+    if (rc != 0) return Errno("close", path_);
+    return Status::OK();
+  }
+
+ private:
+  std::string path_;
+  int fd_;
+};
+
+class PosixSequentialFile : public SequentialFile {
+ public:
+  PosixSequentialFile(std::string path, int fd)
+      : path_(std::move(path)), fd_(fd) {}
+  ~PosixSequentialFile() override { ::close(fd_); }
+
+  Result<size_t> Read(size_t n, char* scratch) override {
+    size_t got = 0;
+    while (got < n) {
+      const ssize_t r = ::read(fd_, scratch + got, n - got);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return Errno("read from", path_);
+      }
+      if (r == 0) break;  // EOF.
+      got += static_cast<size_t>(r);
+    }
+    return got;
+  }
+
+ private:
+  std::string path_;
+  int fd_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, WriteMode mode) override {
+    const int flags =
+        O_WRONLY | O_CREAT |
+        (mode == WriteMode::kTruncate ? O_TRUNC : O_APPEND);
+    const int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return Errno("open for write", path);
+    return std::unique_ptr<WritableFile>(new PosixWritableFile(path, fd));
+  }
+
+  Result<std::unique_ptr<SequentialFile>> NewSequentialFile(
+      const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      if (errno == ENOENT) return Status::NotFound("no such file " + path);
+      return Errno("open for read", path);
+    }
+    return std::unique_ptr<SequentialFile>(
+        new PosixSequentialFile(path, fd));
+  }
+
+  bool FileExists(const std::string& path) override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  Result<uint64_t> FileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      if (errno == ENOENT) return Status::NotFound("no such file " + path);
+      return Errno("stat", path);
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  Status RenameFile(const std::string& from,
+                    const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return Errno("rename " + from + " to", to);
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return Errno("unlink", path);
+    }
+    return Status::OK();
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return Errno("truncate", path);
+    }
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& dir) override {
+    const int fd = ::open(dir.c_str(), O_RDONLY);
+    if (fd < 0) return Errno("open directory", dir);
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) return Errno("fsync directory", dir);
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();
+  return env;
+}
+
+}  // namespace uindex

@@ -1,0 +1,101 @@
+#ifndef UINDEX_STORAGE_ENV_ENV_H_
+#define UINDEX_STORAGE_ENV_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace uindex {
+
+/// The file-system boundary of the durability layer.
+///
+/// Everything the library persists — `PagerSnapshot` files and the
+/// `Journal` — goes through this abstraction instead of raw stdio, for two
+/// reasons:
+///
+///  1. *Real durability.* `std::fflush` only moves bytes to the OS cache;
+///     surviving a power cut additionally requires `fdatasync` on the file
+///     and, for renames and newly created files, `fsync` on the parent
+///     directory (a rename or a fresh directory entry is metadata owned by
+///     the directory, not the file). `PosixEnv` (the `Env::Default()`
+///     implementation) provides exactly those calls.
+///
+///  2. *Provable durability.* `FaultInjectingEnv` (env/fault_env.h)
+///     implements the same interface over a deterministic in-memory file
+///     system that models the volatile-cache / durable-media split, so a
+///     test can crash the "machine" at any write/sync/rename and check
+///     what recovery sees. tools/crash_torture enumerates every such
+///     point in the checkpoint+append+rotate workload.
+///
+/// The contract every implementation must honor:
+///  * `WritableFile::Append` data is volatile until `Sync` returns OK.
+///  * `RenameFile` is atomic (the destination is always the old or the new
+///    file, never a mix) but volatile until `SyncDir` on the parent
+///    directory returns OK. The same holds for file creation and removal.
+///  * `TruncateFile` only shrinks and is applied in place; callers use it
+///    solely to drop a torn journal tail, where a lost truncate is
+///    harmless (recovery re-drops the tail on the next open).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Buffered append; durable only after `Sync`.
+  virtual Status Append(const Slice& data) = 0;
+
+  /// Pushes user-space buffers to the OS. No durability guarantee.
+  virtual Status Flush() = 0;
+
+  /// Forces the file's data to stable storage (fdatasync semantics).
+  virtual Status Sync() = 0;
+
+  /// Flushes and releases the handle. Not a durability point.
+  virtual Status Close() = 0;
+};
+
+/// Forward-only reader. `Read` returns the number of bytes actually read;
+/// a short count (including zero) means end of file, so exact-length reads
+/// need no separate EOF probe.
+class SequentialFile {
+ public:
+  virtual ~SequentialFile() = default;
+  virtual Result<size_t> Read(size_t n, char* scratch) = 0;
+};
+
+class Env {
+ public:
+  enum class WriteMode {
+    kTruncate,  ///< Create or replace content.
+    kAppend,    ///< Create if absent; append to existing content.
+  };
+
+  virtual ~Env() = default;
+
+  /// The process-wide `PosixEnv` singleton.
+  static Env* Default();
+
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, WriteMode mode) = 0;
+  virtual Result<std::unique_ptr<SequentialFile>> NewSequentialFile(
+      const std::string& path) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Result<uint64_t> FileSize(const std::string& path) = 0;
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+
+  /// Makes the directory's entries (creations, renames, removals of files
+  /// directly inside it) durable.
+  virtual Status SyncDir(const std::string& dir) = 0;
+};
+
+/// The directory component of `path` ("." when there is none), for
+/// `Env::SyncDir` after renaming a file into place.
+std::string DirnameOf(const std::string& path);
+
+}  // namespace uindex
+
+#endif  // UINDEX_STORAGE_ENV_ENV_H_

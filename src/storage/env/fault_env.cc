@@ -1,0 +1,378 @@
+#include "storage/env/fault_env.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace uindex {
+
+namespace {
+
+/// Readers snapshot the file's current bytes at open: a reader never sees
+/// a concurrent writer's partial op, and stays valid across Reboot (the
+/// "process" that opened it is the one being simulated, so the harness
+/// simply never reads across a crash).
+class FaultSequentialFile : public SequentialFile {
+ public:
+  explicit FaultSequentialFile(std::string data) : data_(std::move(data)) {}
+
+  Result<size_t> Read(size_t n, char* scratch) override {
+    const size_t got = std::min(n, data_.size() - pos_);
+    std::memcpy(scratch, data_.data() + pos_, got);
+    pos_ += got;
+    return got;
+  }
+
+ private:
+  std::string data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+/// Writable handle: all state and fault logic live in the env; the handle
+/// only carries its node and the epoch it was opened in.
+class FaultWritableFile : public WritableFile {
+ public:
+  FaultWritableFile(FaultInjectingEnv* env, FaultInjectingEnv::NodePtr node,
+                    std::string path, uint64_t epoch)
+      : env_(env), node_(std::move(node)), path_(std::move(path)),
+        epoch_(epoch) {}
+
+  Status Append(const Slice& data) override {
+    return env_->FileAppend(epoch_, node_, path_, data);
+  }
+  Status Flush() override {
+    return env_->FileOp(epoch_, node_, path_,
+                        FaultInjectingEnv::OpKind::kFlush);
+  }
+  Status Sync() override {
+    return env_->FileOp(epoch_, node_, path_,
+                        FaultInjectingEnv::OpKind::kSync);
+  }
+  Status Close() override {
+    return env_->FileOp(epoch_, node_, path_,
+                        FaultInjectingEnv::OpKind::kClose);
+  }
+
+ private:
+  FaultInjectingEnv* env_;
+  FaultInjectingEnv::NodePtr node_;
+  std::string path_;
+  uint64_t epoch_;
+};
+
+const char* FaultInjectingEnv::OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kCreate: return "create";
+    case OpKind::kWrite: return "write";
+    case OpKind::kFlush: return "flush";
+    case OpKind::kSync: return "sync";
+    case OpKind::kClose: return "close";
+    case OpKind::kRename: return "rename";
+    case OpKind::kTruncate: return "truncate";
+    case OpKind::kRemove: return "remove";
+    case OpKind::kSyncDir: return "syncdir";
+  }
+  return "?";
+}
+
+Status FaultInjectingEnv::PoweredOffError() const {
+  return Status::ResourceExhausted("simulated power failure");
+}
+
+FaultInjectingEnv::Fate FaultInjectingEnv::BeginOp(OpKind kind,
+                                                   const std::string& path,
+                                                   uint64_t bytes) {
+  const uint64_t index = op_count_++;
+  trace_.push_back({kind, path, bytes});
+
+  Fate fate = Fate::kProceed;
+  if (crash_at_op_.has_value() && *crash_at_op_ == index) {
+    switch (crash_outcome_) {
+      case CrashOutcome::kNone:
+        fate = Fate::kCrashNone;
+        break;
+      case CrashOutcome::kPartial:
+        // Only writes can tear; for any other op a partial outcome
+        // degenerates to "no effect".
+        fate = kind == OpKind::kWrite ? Fate::kCrashPartial
+                                      : Fate::kCrashNone;
+        break;
+      case CrashOutcome::kFull:
+        fate = Fate::kCrashFull;
+        break;
+    }
+  }
+  for (auto it = kind_faults_.begin();
+       fate == Fate::kProceed && it != kind_faults_.end();) {
+    if (it->kind == kind && --it->remaining == 0) {
+      if (it->crash) {
+        fate = it->outcome == CrashOutcome::kFull ? Fate::kCrashFull
+               : it->outcome == CrashOutcome::kPartial &&
+                       kind == OpKind::kWrite
+                   ? Fate::kCrashPartial
+                   : Fate::kCrashNone;
+      } else {
+        fate = Fate::kFail;
+      }
+      it = kind_faults_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (fate == Fate::kCrashNone || fate == Fate::kCrashPartial ||
+      fate == Fate::kCrashFull) {
+    powered_off_ = true;
+  }
+  return fate;
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectingEnv::NewWritableFile(
+    const std::string& path, WriteMode mode) {
+  std::lock_guard lock(mu_);
+  if (powered_off_) return PoweredOffError();
+  const Fate fate = BeginOp(OpKind::kCreate, path, 0);
+  if (fate == Fate::kFail || fate == Fate::kCrashNone ||
+      fate == Fate::kCrashPartial) {
+    return Status::ResourceExhausted("injected fault: create " + path);
+  }
+
+  NodePtr node;
+  auto it = current_.find(path);
+  if (mode == WriteMode::kAppend && it != current_.end()) {
+    node = it->second;
+  } else {
+    // kTruncate replaces the *volatile* content in place; the durable view
+    // keeps the old bytes until the truncation itself is synced — which is
+    // exactly why callers must write-new-then-rename, never truncate a
+    // file whose old content still matters.
+    node = std::make_shared<FileNode>();
+    current_[path] = node;
+  }
+  if (fate == Fate::kCrashFull) {
+    durable_[path] = node;
+    return Status::ResourceExhausted("injected crash: create " + path);
+  }
+  return std::unique_ptr<WritableFile>(
+      new FaultWritableFile(this, std::move(node), path, epoch_));
+}
+
+Status FaultInjectingEnv::FileAppend(uint64_t epoch, const NodePtr& node,
+                                     const std::string& path,
+                                     const Slice& data) {
+  std::lock_guard lock(mu_);
+  if (powered_off_) return PoweredOffError();
+  if (epoch != epoch_) {
+    return Status::ResourceExhausted("stale file handle " + path);
+  }
+  const Fate fate = BeginOp(OpKind::kWrite, path, data.size());
+  switch (fate) {
+    case Fate::kProceed:
+      node->data.append(data.data(), data.size());
+      return Status::OK();
+    case Fate::kCrashPartial: {
+      // A torn write: the first half of this op's bytes hit the media
+      // (along with anything earlier in the file, per physical prefix
+      // persistence), the rest never will.
+      const size_t kept = data.size() / 2;
+      node->data.append(data.data(), kept);
+      node->synced = node->data.size();
+      return Status::ResourceExhausted("injected crash: torn write " + path);
+    }
+    case Fate::kCrashFull:
+      node->data.append(data.data(), data.size());
+      node->synced = node->data.size();
+      return Status::ResourceExhausted("injected crash: write " + path);
+    case Fate::kCrashNone:
+      return Status::ResourceExhausted("injected crash: write " + path);
+    case Fate::kFail:
+      return Status::ResourceExhausted("injected fault: write " + path);
+  }
+  return Status::OK();
+}
+
+Status FaultInjectingEnv::FileOp(uint64_t epoch, const NodePtr& node,
+                                 const std::string& path, OpKind kind) {
+  std::lock_guard lock(mu_);
+  if (powered_off_) return PoweredOffError();
+  if (epoch != epoch_) {
+    return Status::ResourceExhausted("stale file handle " + path);
+  }
+  const Fate fate = BeginOp(kind, path, 0);
+  const bool effect = fate == Fate::kProceed || fate == Fate::kCrashFull;
+  if (effect && kind == OpKind::kSync) node->synced = node->data.size();
+  // kFlush and kClose move nothing toward the media: volatile either way.
+  if (fate == Fate::kProceed) return Status::OK();
+  return Status::ResourceExhausted(
+      std::string(fate == Fate::kFail ? "injected fault: " :
+                                        "injected crash: ") +
+      OpKindName(kind) + " " + path);
+}
+
+Result<std::unique_ptr<SequentialFile>> FaultInjectingEnv::NewSequentialFile(
+    const std::string& path) {
+  std::lock_guard lock(mu_);
+  if (powered_off_) return PoweredOffError();
+  auto it = current_.find(path);
+  if (it == current_.end()) return Status::NotFound("no such file " + path);
+  return std::unique_ptr<SequentialFile>(
+      new FaultSequentialFile(it->second->data));
+}
+
+bool FaultInjectingEnv::FileExists(const std::string& path) {
+  std::lock_guard lock(mu_);
+  return current_.find(path) != current_.end();
+}
+
+Result<uint64_t> FaultInjectingEnv::FileSize(const std::string& path) {
+  std::lock_guard lock(mu_);
+  auto it = current_.find(path);
+  if (it == current_.end()) return Status::NotFound("no such file " + path);
+  return static_cast<uint64_t>(it->second->data.size());
+}
+
+Status FaultInjectingEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  std::lock_guard lock(mu_);
+  if (powered_off_) return PoweredOffError();
+  const Fate fate = BeginOp(OpKind::kRename, from + " -> " + to, 0);
+  if (fate == Fate::kFail || fate == Fate::kCrashNone ||
+      fate == Fate::kCrashPartial) {
+    return Status::ResourceExhausted("injected fault: rename " + from);
+  }
+  auto it = current_.find(from);
+  if (it == current_.end()) {
+    return Status::NotFound("rename: no such file " + from);
+  }
+  NodePtr node = it->second;
+  current_.erase(it);
+  current_[to] = node;
+  if (fate == Fate::kCrashFull) {
+    // The file system journaled the rename before power died.
+    durable_.erase(from);
+    durable_[to] = node;
+    return Status::ResourceExhausted("injected crash: rename " + from);
+  }
+  return Status::OK();
+}
+
+Status FaultInjectingEnv::RemoveFile(const std::string& path) {
+  std::lock_guard lock(mu_);
+  if (powered_off_) return PoweredOffError();
+  const Fate fate = BeginOp(OpKind::kRemove, path, 0);
+  if (fate == Fate::kFail || fate == Fate::kCrashNone ||
+      fate == Fate::kCrashPartial) {
+    return Status::ResourceExhausted("injected fault: remove " + path);
+  }
+  current_.erase(path);
+  if (fate == Fate::kCrashFull) {
+    durable_.erase(path);
+    return Status::ResourceExhausted("injected crash: remove " + path);
+  }
+  return Status::OK();
+}
+
+Status FaultInjectingEnv::TruncateFile(const std::string& path,
+                                       uint64_t size) {
+  std::lock_guard lock(mu_);
+  if (powered_off_) return PoweredOffError();
+  const Fate fate = BeginOp(OpKind::kTruncate, path, size);
+  if (fate == Fate::kFail || fate == Fate::kCrashNone ||
+      fate == Fate::kCrashPartial) {
+    return Status::ResourceExhausted("injected fault: truncate " + path);
+  }
+  auto it = current_.find(path);
+  if (it == current_.end()) {
+    return Status::NotFound("truncate: no such file " + path);
+  }
+  FileNode& node = *it->second;
+  if (size < node.data.size()) node.data.resize(size);
+  node.synced = std::min<size_t>(node.synced, node.data.size());
+  if (fate == Fate::kCrashFull) {
+    return Status::ResourceExhausted("injected crash: truncate " + path);
+  }
+  return Status::OK();
+}
+
+Status FaultInjectingEnv::SyncDir(const std::string& dir) {
+  std::lock_guard lock(mu_);
+  if (powered_off_) return PoweredOffError();
+  const Fate fate = BeginOp(OpKind::kSyncDir, dir, 0);
+  const bool effect = fate == Fate::kProceed || fate == Fate::kCrashFull;
+  if (effect) {
+    std::vector<std::string> stale;
+    for (const auto& [path, node] : durable_) {
+      if (DirnameOf(path) == dir && current_.find(path) == current_.end()) {
+        stale.push_back(path);
+      }
+    }
+    for (const std::string& path : stale) durable_.erase(path);
+    for (const auto& [path, node] : current_) {
+      if (DirnameOf(path) == dir) durable_[path] = node;
+    }
+  }
+  if (fate == Fate::kProceed) return Status::OK();
+  return Status::ResourceExhausted(
+      std::string(fate == Fate::kFail ? "injected fault: syncdir "
+                                      : "injected crash: syncdir ") +
+      dir);
+}
+
+void FaultInjectingEnv::ScheduleCrashAtOp(uint64_t op_index,
+                                          CrashOutcome outcome) {
+  std::lock_guard lock(mu_);
+  crash_at_op_ = op_index;
+  crash_outcome_ = outcome;
+}
+
+void FaultInjectingEnv::ScheduleCrashAtKthOpOfKind(OpKind kind, int k,
+                                                   CrashOutcome outcome) {
+  std::lock_guard lock(mu_);
+  kind_faults_.push_back({kind, k, /*crash=*/true, outcome});
+}
+
+void FaultInjectingEnv::FailKthOpOfKind(OpKind kind, int k) {
+  std::lock_guard lock(mu_);
+  kind_faults_.push_back({kind, k, /*crash=*/false, CrashOutcome::kNone});
+}
+
+void FaultInjectingEnv::Reboot() {
+  std::lock_guard lock(mu_);
+  // Power-cut resolution: only synced bytes of durably-linked files
+  // survive; every unsynced namespace change (creations, renames,
+  // removals since the owning directory's last sync) rolls back.
+  for (auto& [path, node] : durable_) {
+    if (node->data.size() > node->synced) node->data.resize(node->synced);
+  }
+  current_ = durable_;
+  ++epoch_;
+  powered_off_ = false;
+  crash_at_op_.reset();
+  crash_outcome_ = CrashOutcome::kNone;
+  kind_faults_.clear();
+}
+
+uint64_t FaultInjectingEnv::op_count() const {
+  std::lock_guard lock(mu_);
+  return op_count_;
+}
+
+std::vector<FaultInjectingEnv::OpRecord> FaultInjectingEnv::trace() const {
+  std::lock_guard lock(mu_);
+  return trace_;
+}
+
+bool FaultInjectingEnv::powered_off() const {
+  std::lock_guard lock(mu_);
+  return powered_off_;
+}
+
+Result<std::string> FaultInjectingEnv::ReadFileBytes(
+    const std::string& path) const {
+  std::lock_guard lock(mu_);
+  auto it = current_.find(path);
+  if (it == current_.end()) return Status::NotFound("no such file " + path);
+  return it->second->data;
+}
+
+}  // namespace uindex

@@ -1,0 +1,148 @@
+#ifndef UINDEX_STORAGE_ENV_FAULT_ENV_H_
+#define UINDEX_STORAGE_ENV_FAULT_ENV_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/env/env.h"
+
+namespace uindex {
+
+/// A deterministic, crashable in-memory file system.
+///
+/// Every file tracks two lengths: what has been written (volatile, the
+/// model of the OS page cache) and what has been synced (durable media).
+/// Every directory likewise has a current and a durable view of its
+/// entries: creations, renames and removals become durable only at
+/// `SyncDir` — exactly the POSIX contract `PosixEnv` relies on.
+///
+/// Faults are scheduled against the *op index*: every mutating call
+/// (create/write/flush/sync/close/rename/truncate/remove/syncdir) gets the
+/// next index and is recorded in `trace()`. Because the library's
+/// durability code is deterministic, running the same workload twice
+/// yields the same op sequence, so a harness can first count ops
+/// fault-free and then re-run the workload crashing at each index in turn
+/// (tools/crash_torture does exactly that).
+///
+/// A scheduled crash "powers off the machine" at its op with one of three
+/// outcomes for that op:
+///   * `kNone`    — the op had no durable effect (power died first);
+///   * `kPartial` — writes only: a prefix of the data reached the media
+///                  (a torn write); other ops treat this as `kNone`;
+///   * `kFull`    — the op's effect reached the media, but completion was
+///                  never observed by the caller.
+/// The crashing op and every op after it fail with ResourceExhausted until
+/// `Reboot()`, which discards all volatile state — unsynced bytes, and
+/// namespace changes whose directory was never synced — exactly like a
+/// power cut, then clears the schedule so recovery code can run.
+///
+/// `FailKthOpOfKind` injects a *non-crash* fault instead: the k-th
+/// upcoming op of that kind returns an error with no effect (a failed
+/// fdatasync, a short write reported honestly) and execution continues.
+class FaultInjectingEnv : public Env {
+ public:
+  enum class OpKind {
+    kCreate,
+    kWrite,
+    kFlush,
+    kSync,
+    kClose,
+    kRename,
+    kTruncate,
+    kRemove,
+    kSyncDir,
+  };
+  enum class CrashOutcome { kNone, kPartial, kFull };
+
+  struct OpRecord {
+    OpKind kind;
+    std::string path;
+    uint64_t bytes = 0;  ///< Payload size for writes, else 0.
+  };
+
+  FaultInjectingEnv() = default;
+
+  // ------------------------------------------------------------- Env API
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, WriteMode mode) override;
+  Result<std::unique_ptr<SequentialFile>> NewSequentialFile(
+      const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Result<uint64_t> FileSize(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+  Status SyncDir(const std::string& dir) override;
+
+  // ------------------------------------------------------ fault schedule
+  /// Powers off at op `op_index` with `outcome` for that op.
+  void ScheduleCrashAtOp(uint64_t op_index, CrashOutcome outcome);
+
+  /// Powers off at the k-th (1-based) upcoming op of `kind`.
+  void ScheduleCrashAtKthOpOfKind(OpKind kind, int k, CrashOutcome outcome);
+
+  /// The k-th (1-based) upcoming op of `kind` fails without effect; no
+  /// power-off.
+  void FailKthOpOfKind(OpKind kind, int k);
+
+  /// Applies the power-cut semantics (drop unsynced data and unsynced
+  /// namespace changes), clears all schedules and the powered-off state,
+  /// and invalidates every handle opened before the reboot.
+  void Reboot();
+
+  // ----------------------------------------------------------- inspection
+  uint64_t op_count() const;
+  std::vector<OpRecord> trace() const;
+  bool powered_off() const;
+  /// Current (volatile) content of `path`; NotFound if absent.
+  Result<std::string> ReadFileBytes(const std::string& path) const;
+
+  static const char* OpKindName(OpKind kind);
+
+ private:
+  friend class FaultWritableFile;
+
+  struct FileNode {
+    std::string data;
+    size_t synced = 0;  ///< data[0, synced) is on durable media.
+  };
+  using NodePtr = std::shared_ptr<FileNode>;
+
+  enum class Fate { kProceed, kFail, kCrashNone, kCrashPartial, kCrashFull };
+
+  struct KindFault {
+    OpKind kind;
+    int remaining;  ///< Fires when it reaches zero.
+    bool crash;
+    CrashOutcome outcome;
+  };
+
+  // Records the op, consults the schedule. Requires mu_ held.
+  Fate BeginOp(OpKind kind, const std::string& path, uint64_t bytes);
+  Status PoweredOffError() const;
+
+  // Handle-delegated operations (mu_ taken inside).
+  Status FileAppend(uint64_t epoch, const NodePtr& node,
+                    const std::string& path, const Slice& data);
+  Status FileOp(uint64_t epoch, const NodePtr& node, const std::string& path,
+                OpKind kind);  // kFlush / kSync / kClose.
+
+  mutable std::mutex mu_;
+  std::map<std::string, NodePtr> current_;
+  std::map<std::string, NodePtr> durable_;
+  std::vector<OpRecord> trace_;
+  uint64_t op_count_ = 0;
+  uint64_t epoch_ = 0;  ///< Bumped by Reboot; stale handles fail.
+  bool powered_off_ = false;
+  std::optional<uint64_t> crash_at_op_;
+  CrashOutcome crash_outcome_ = CrashOutcome::kNone;
+  std::vector<KindFault> kind_faults_;
+};
+
+}  // namespace uindex
+
+#endif  // UINDEX_STORAGE_ENV_FAULT_ENV_H_

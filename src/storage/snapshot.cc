@@ -1,8 +1,9 @@
 #include "storage/snapshot.h"
 
-#include <cstdio>
+#include <cstring>
 #include <vector>
 
+#include "storage/env/env.h"
 #include "util/coding.h"
 #include "util/crc32.h"
 
@@ -13,79 +14,90 @@ namespace {
 constexpr char kMagic[8] = {'U', 'I', 'D', 'X', 'S', 'N', 'A', 'P'};
 constexpr uint32_t kVersion = 1;
 
-// RAII stdio handle (the library does not use exceptions).
-class File {
- public:
-  File(const std::string& path, const char* mode)
-      : file_(std::fopen(path.c_str(), mode)) {}
-  ~File() {
-    if (file_ != nullptr) std::fclose(file_);
-  }
-  File(const File&) = delete;
-  File& operator=(const File&) = delete;
-
-  bool ok() const { return file_ != nullptr; }
-  bool Write(const void* data, size_t n) {
-    return std::fwrite(data, 1, n, file_) == n;
-  }
-  bool Read(void* data, size_t n) {
-    return std::fread(data, 1, n, file_) == n;
-  }
-  bool Flush() { return std::fflush(file_) == 0; }
-
- private:
-  std::FILE* file_;
-};
-
-}  // namespace
-
-Status PagerSnapshot::Save(const Pager& pager, const std::string& metadata,
-                           const std::string& path) {
-  const std::string tmp = path + ".tmp";
-  {
-    File file(tmp, "wb");
-    if (!file.ok()) return Status::InvalidArgument("cannot open " + tmp);
-
-    std::string header;
-    header.append(kMagic, sizeof(kMagic));
-    PutFixed32(&header, kVersion);
-    PutFixed32(&header, pager.page_size());
-    PutFixed32(&header, pager.max_page_id());
-    PutFixed64(&header, pager.live_page_count());
-    PutFixed32(&header, static_cast<uint32_t>(metadata.size()));
-    PutFixed32(&header, Crc32(Slice(metadata)));
-    if (!file.Write(header.data(), header.size()) ||
-        !file.Write(metadata.data(), metadata.size())) {
-      return Status::ResourceExhausted("short write to " + tmp);
-    }
-
-    for (PageId id = 1; id <= pager.max_page_id(); ++id) {
-      const Page* page = pager.GetPage(id);
-      if (page == nullptr) continue;
-      std::string frame;
-      PutFixed32(&frame, id);
-      PutFixed32(&frame, Crc32(Slice(page->data(), page->size())));
-      if (!file.Write(frame.data(), frame.size()) ||
-          !file.Write(page->data(), page->size())) {
-        return Status::ResourceExhausted("short write to " + tmp);
-      }
-    }
-    if (!file.Flush()) return Status::ResourceExhausted("flush failed");
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return Status::ResourceExhausted("rename to " + path + " failed");
+// Exact-length read; a short count is a truncated snapshot.
+Status ReadExact(SequentialFile* file, char* out, size_t n,
+                 const char* what) {
+  Result<size_t> got = file->Read(n, out);
+  if (!got.ok()) return got.status();
+  if (got.value() != n) {
+    return Status::Corruption(std::string("truncated snapshot ") + what);
   }
   return Status::OK();
 }
 
-Result<PagerSnapshot::Loaded> PagerSnapshot::Load(const std::string& path) {
-  File file(path, "rb");
-  if (!file.ok()) return Status::NotFound("cannot open " + path);
+// Writes header + metadata + every live page to `file` and syncs it. One
+// Append per section / per page, so the fault-injection harness gets one
+// crash point for each.
+Status WriteBody(const Pager& pager, const std::string& metadata,
+                 WritableFile* file) {
+  std::string header;
+  header.append(kMagic, sizeof(kMagic));
+  PutFixed32(&header, kVersion);
+  PutFixed32(&header, pager.page_size());
+  PutFixed32(&header, pager.max_page_id());
+  PutFixed64(&header, pager.live_page_count());
+  PutFixed32(&header, static_cast<uint32_t>(metadata.size()));
+  PutFixed32(&header, Crc32(Slice(metadata)));
+  UINDEX_RETURN_IF_ERROR(file->Append(Slice(header)));
+  UINDEX_RETURN_IF_ERROR(file->Append(Slice(metadata)));
+
+  for (PageId id = 1; id <= pager.max_page_id(); ++id) {
+    const Page* page = pager.GetPage(id);
+    if (page == nullptr) continue;
+    std::string frame;
+    frame.reserve(8 + page->size());
+    PutFixed32(&frame, id);
+    PutFixed32(&frame, Crc32(Slice(page->data(), page->size())));
+    frame.append(page->data(), page->size());
+    UINDEX_RETURN_IF_ERROR(file->Append(Slice(frame)));
+  }
+  UINDEX_RETURN_IF_ERROR(file->Flush());
+  // The new snapshot's bytes must be on stable media BEFORE the rename
+  // below can make them reachable: a rename that survives a crash while
+  // the content did not would serve a torn file as the database.
+  UINDEX_RETURN_IF_ERROR(file->Sync());
+  return file->Close();
+}
+
+}  // namespace
+
+Status PagerSnapshot::Save(Env* env, const Pager& pager,
+                           const std::string& metadata,
+                           const std::string& path,
+                           bool* rename_attempted) {
+  if (env == nullptr) env = Env::Default();
+  if (rename_attempted != nullptr) *rename_attempted = false;
+
+  const std::string tmp = path + ".tmp";
+  Result<std::unique_ptr<WritableFile>> file =
+      env->NewWritableFile(tmp, Env::WriteMode::kTruncate);
+  if (!file.ok()) return file.status();
+  Status st = WriteBody(pager, metadata, file.value().get());
+  if (!st.ok()) {
+    env->RemoveFile(tmp);  // Best effort; a leftover .tmp is harmless.
+    return st;
+  }
+
+  // Commit point: after this rename, `Load(path)` sees the new snapshot.
+  if (rename_attempted != nullptr) *rename_attempted = true;
+  UINDEX_RETURN_IF_ERROR(env->RenameFile(tmp, path));
+  // The rename itself is directory metadata: without this sync a crash can
+  // roll `path` back to the old snapshot. That is still *consistent*
+  // (old-or-new), but callers sequencing against the snapshot — the
+  // journal rotation in Database::Checkpoint — need it durable now.
+  return env->SyncDir(DirnameOf(path));
+}
+
+Result<PagerSnapshot::Loaded> PagerSnapshot::Load(Env* env,
+                                                  const std::string& path) {
+  if (env == nullptr) env = Env::Default();
+  Result<std::unique_ptr<SequentialFile>> opened =
+      env->NewSequentialFile(path);
+  if (!opened.ok()) return opened.status();
+  SequentialFile* file = opened.value().get();
 
   char header[8 + 4 + 4 + 4 + 8 + 4 + 4];
-  if (!file.Read(header, sizeof(header))) {
-    return Status::Corruption("truncated snapshot header");
-  }
+  UINDEX_RETURN_IF_ERROR(ReadExact(file, header, sizeof(header), "header"));
   if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
     return Status::Corruption("bad snapshot magic");
   }
@@ -102,8 +114,9 @@ Result<PagerSnapshot::Loaded> PagerSnapshot::Load(const std::string& path) {
 
   Loaded out;
   out.metadata.resize(meta_len);
-  if (meta_len > 0 && !file.Read(out.metadata.data(), meta_len)) {
-    return Status::Corruption("truncated snapshot metadata");
+  if (meta_len > 0) {
+    UINDEX_RETURN_IF_ERROR(
+        ReadExact(file, out.metadata.data(), meta_len, "metadata"));
   }
   if (Crc32(Slice(out.metadata)) != meta_crc) {
     return Status::Corruption("snapshot metadata checksum mismatch");
@@ -113,14 +126,12 @@ Result<PagerSnapshot::Loaded> PagerSnapshot::Load(const std::string& path) {
   std::vector<char> buffer(page_size);
   for (uint64_t i = 0; i < live_count; ++i) {
     char frame[8];
-    if (!file.Read(frame, sizeof(frame))) {
-      return Status::Corruption("truncated snapshot page frame");
-    }
+    UINDEX_RETURN_IF_ERROR(
+        ReadExact(file, frame, sizeof(frame), "page frame"));
     const PageId id = DecodeFixed32(frame);
     const uint32_t crc = DecodeFixed32(frame + 4);
-    if (!file.Read(buffer.data(), page_size)) {
-      return Status::Corruption("truncated snapshot page body");
-    }
+    UINDEX_RETURN_IF_ERROR(
+        ReadExact(file, buffer.data(), page_size, "page body"));
     if (Crc32(Slice(buffer.data(), page_size)) != crc) {
       return Status::Corruption("snapshot page " + std::to_string(id) +
                                 " checksum mismatch");

@@ -9,6 +9,8 @@
 
 namespace uindex {
 
+class Env;
+
 /// Durable snapshots of a pager's page file.
 ///
 /// The experiments run in memory (page reads are the metric, see
@@ -17,16 +19,27 @@ namespace uindex {
 /// opaque metadata blob where callers persist their structure roots (e.g.
 /// serialized B-tree root ids, the index specs).
 ///
+/// Crash atomicity (see DESIGN.md "Durability & crash recovery"): `Save`
+/// writes `path + ".tmp"`, syncs the file, renames it over `path`, and
+/// syncs the parent directory. A crash at any point leaves either the old
+/// snapshot or the new one — never a torn file reachable at `path` —
+/// because the rename is the only step that changes what `Load(path)`
+/// sees, and it only happens after the new bytes are on stable media.
+///
 /// File layout (all little-endian):
 ///   "UIDXSNAP" magic ∥ version u32 ∥ page_size u32 ∥ max_page_id u32
 ///   ∥ live_count u64 ∥ meta_len u32 ∥ meta crc u32 ∥ meta bytes
 ///   then per live page: page_id u32 ∥ crc u32 ∥ page bytes
 class PagerSnapshot {
  public:
-  /// Writes `pager`'s live pages and `metadata` to `path` (atomically via
-  /// a temp file + rename).
-  static Status Save(const Pager& pager, const std::string& metadata,
-                     const std::string& path);
+  /// Writes `pager`'s live pages and `metadata` durably to `path` via
+  /// `env` (null = `Env::Default()`). If `rename_attempted` is non-null it
+  /// is set to true once the commit rename has been issued: on failure
+  /// after that point the caller must assume the new snapshot MAY be the
+  /// one on disk (the fail-stop signal `Database::Checkpoint` uses).
+  static Status Save(Env* env, const Pager& pager,
+                     const std::string& metadata, const std::string& path,
+                     bool* rename_attempted = nullptr);
 
   struct Loaded {
     std::unique_ptr<Pager> pager;
@@ -35,7 +48,7 @@ class PagerSnapshot {
 
   /// Restores a pager and the metadata blob; fails with Corruption on any
   /// checksum/framing mismatch.
-  static Result<Loaded> Load(const std::string& path);
+  static Result<Loaded> Load(Env* env, const std::string& path);
 };
 
 }  // namespace uindex

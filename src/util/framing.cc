@@ -1,5 +1,8 @@
 #include "util/framing.h"
 
+#include <algorithm>
+
+#include "storage/env/env.h"
 #include "util/coding.h"
 #include "util/crc32.h"
 
@@ -61,6 +64,73 @@ Status WriteFrameToFile(std::FILE* file, const Slice& payload) {
     return Status::ResourceExhausted("frame write failed");
   }
   return Status::OK();
+}
+
+namespace {
+
+// True iff `file` has no bytes left. Consumes at most one byte, which is
+// fine: every caller stops reading on the paths that probe.
+Result<bool> AtEof(SequentialFile* file) {
+  char probe;
+  Result<size_t> got = file->Read(1, &probe);
+  if (!got.ok()) return got.status();
+  return got.value() == 0;
+}
+
+}  // namespace
+
+Result<FrameRead> ReadFrameFromFile(SequentialFile* file,
+                                    std::string* payload, uint32_t max_len,
+                                    size_t* consumed) {
+  char header_bytes[kFrameHeaderSize];
+  Result<size_t> got = file->Read(kFrameHeaderSize, header_bytes);
+  if (!got.ok()) return got.status();
+  if (got.value() == 0) return FrameRead::kEnd;
+  if (got.value() < kFrameHeaderSize) return FrameRead::kTorn;
+  const FrameHeader header = DecodeFrameHeader(header_bytes);
+
+  if (header.len > max_len) {
+    // An oversized length in the final header is what a torn header looks
+    // like (garbage length bytes); only if at least `max_len` + 1 payload
+    // bytes actually follow is this mid-stream corruption.
+    char skip[4096];
+    uint64_t remaining = static_cast<uint64_t>(max_len) + 1;
+    while (remaining > 0) {
+      const size_t want =
+          static_cast<size_t>(std::min<uint64_t>(remaining, sizeof(skip)));
+      Result<size_t> r = file->Read(want, skip);
+      if (!r.ok()) return r.status();
+      if (r.value() < want) return FrameRead::kTorn;
+      remaining -= r.value();
+    }
+    return Status::Corruption(
+        "frame length " + std::to_string(header.len) + " exceeds limit " +
+        std::to_string(max_len));
+  }
+
+  payload->resize(header.len);
+  got = file->Read(header.len, payload->data());
+  if (!got.ok()) return got.status();
+  if (got.value() < header.len) return FrameRead::kTorn;
+
+  if (Crc32(Slice(*payload)) != header.crc) {
+    Result<bool> eof = AtEof(file);
+    if (!eof.ok()) return eof.status();
+    // A corrupt frame that is the last thing in the file is the shape of
+    // a crash mid-append (torn sectors): recoverable. Corruption with
+    // trusted-looking bytes after it is not.
+    if (eof.value()) return FrameRead::kTorn;
+    return Status::Corruption("frame checksum mismatch mid-stream");
+  }
+  if (consumed != nullptr) *consumed += kFrameHeaderSize + header.len;
+  return FrameRead::kFrame;
+}
+
+Status WriteFrameToFile(WritableFile* file, const Slice& payload) {
+  std::string frame;
+  frame.reserve(kFrameHeaderSize + payload.size());
+  AppendFrame(payload, &frame);
+  return file->Append(Slice(frame));
 }
 
 }  // namespace uindex

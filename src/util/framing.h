@@ -24,8 +24,15 @@ namespace uindex {
 ///    violation by the connection layer (net), but never misread as data.
 ///  * A *corrupt record* — CRC mismatch, or a length beyond the caller's
 ///    limit — is `Status::Corruption`; whatever follows it cannot be
-///    trusted, so readers stop there.
+///    trusted, so readers stop there. One refinement applies to the
+///    `Env`-backed file reader below: a corrupt frame that ends *exactly at
+///    end of file* has the shape of a crash (a torn sector in the final
+///    append), so it is reported as `kTorn` — recoverable — while a corrupt
+///    frame with bytes after it is mid-stream corruption and stays fatal.
 inline constexpr size_t kFrameHeaderSize = 8;
+
+class SequentialFile;  // storage/env/env.h
+class WritableFile;
 
 struct FrameHeader {
   uint32_t len = 0;
@@ -63,6 +70,20 @@ Result<FrameRead> ReadFrameFromFile(std::FILE* file, std::string* payload,
 /// Writes `[len][crc][payload]` to `file` (no flush — the caller owns the
 /// durability policy). Returns ResourceExhausted on a short write.
 Status WriteFrameToFile(std::FILE* file, const Slice& payload);
+
+/// `Env`-backed variants, used by the durability journal so the same code
+/// runs against `PosixEnv` and `FaultInjectingEnv`. The reader applies the
+/// crash-shaped-tail policy documented above: torn or CRC-corrupt frames
+/// ending exactly at EOF are `kTorn`; corruption followed by more bytes is
+/// `Status::Corruption`.
+Result<FrameRead> ReadFrameFromFile(SequentialFile* file,
+                                    std::string* payload, uint32_t max_len,
+                                    size_t* consumed = nullptr);
+
+/// Writes one frame via `WritableFile::Append` (one write call per frame,
+/// so a crash can tear at most the final frame). No sync — the caller owns
+/// the durability policy.
+Status WriteFrameToFile(WritableFile* file, const Slice& payload);
 
 }  // namespace uindex
 

@@ -1,0 +1,262 @@
+// Crash-recovery tests: the database runs on FaultInjectingEnv, the
+// "machine" dies at chosen write/sync/rename points, and recovery must
+// restore exactly the acked state. tools/crash_torture extends the same
+// technique to an exhaustive enumeration of every env op in a larger
+// workload; these tests pin the individual durability fixes so a
+// regression names the broken protocol step directly.
+
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "storage/env/fault_env.h"
+
+namespace uindex {
+namespace {
+
+using OpKind = FaultInjectingEnv::OpKind;
+using Outcome = FaultInjectingEnv::CrashOutcome;
+
+// Snapshot and journal deliberately live in *different* directories, so a
+// missing parent-directory sync on either side is its own distinct crash
+// state (and, for the snapshot, shows up as a future-generation journal).
+constexpr char kSnap[] = "/snap/db.udb";
+constexpr char kWal[] = "/wal/db.journal";
+
+DatabaseOptions OptionsFor(Env* env) {
+  DatabaseOptions options;
+  options.env = env;
+  options.prefetch_threads = 0;  // Keep runs small and deterministic.
+  return options;
+}
+
+// Logical-state fingerprint: serialized objects, schema/index counts, and
+// the rows + access path of a fixed query. Recovery is correct iff the
+// fingerprint matches a never-crashed run's — byte-identical query rows
+// included. Computing it performs no env ops, so it never perturbs the
+// op schedule.
+std::string Fingerprint(Database& db) {
+  std::string fp = db.store().Serialize();
+  fp += '|';
+  fp += std::to_string(db.schema().class_count());
+  fp += '|';
+  fp += std::to_string(db.index_count());
+  Result<ClassId> thing = db.schema().FindClass("Thing");
+  if (thing.ok()) {
+    Database::Selection sel;
+    sel.cls = thing.value();
+    sel.attr = "x";
+    sel.lo = Value::Int(-1000);
+    sel.hi = Value::Int(1000);
+    Result<Database::SelectResult> r = db.Select(sel);
+    fp += "|q:";
+    if (r.ok()) {
+      for (Oid oid : r.value().oids) {
+        fp += std::to_string(oid);
+        fp += ',';
+      }
+      fp += r.value().used_index ? "#index" : "#scan";
+    } else {
+      fp += r.status().ToString();
+    }
+  }
+  return fp;
+}
+
+struct Workload {
+  std::unique_ptr<Database> db;
+  std::vector<Oid> oids;
+};
+
+constexpr int kStepCount = 8;
+
+// One deterministic mutation per step — each a single journal record —
+// covering DDL, object creation, attribute updates, and deletion.
+Status ApplyStep(Workload& w, int step) {
+  Database& db = *w.db;
+  switch (step) {
+    case 0:
+      return db.CreateClass("Thing").status();
+    case 1:
+      return db
+          .CreateIndex(PathSpec::ClassHierarchy(
+              db.schema().FindClass("Thing").value(), "x",
+              Value::Kind::kInt))
+          .status();
+    case 2:
+    case 3: {
+      Result<Oid> oid =
+          db.CreateObject(db.schema().FindClass("Thing").value());
+      if (!oid.ok()) return oid.status();
+      w.oids.push_back(oid.value());
+      return Status::OK();
+    }
+    case 4:
+      return db.SetAttr(w.oids[0], "x", Value::Int(1));
+    case 5:
+      return db.SetAttr(w.oids[1], "x", Value::Int(2));
+    case 6:
+      return db.SetAttr(w.oids[0], "x", Value::Int(10));
+    case 7:
+      return db.DeleteObject(w.oids[1]);
+  }
+  return Status::InvalidArgument("no such step");
+}
+
+// Opens a fresh durable database on `env` and applies every step.
+Workload OpenAndFill(FaultInjectingEnv& env) {
+  Workload w;
+  w.db = std::move(Database::OpenDurable(kSnap, kWal, OptionsFor(&env)))
+             .value();
+  for (int step = 0; step < kStepCount; ++step) {
+    EXPECT_TRUE(ApplyStep(w, step).ok()) << "step " << step;
+  }
+  return w;
+}
+
+// A checkpoint is logically a no-op, so no matter which of its env ops the
+// crash lands on — staging the new journal, writing/syncing/renaming the
+// snapshot, syncing either directory, publishing — recovery must restore
+// the exact pre-checkpoint state. Enumerates every op at every outcome.
+TEST(CrashRecoveryTest, CheckpointCrashAtEveryOpRecoversExactState) {
+  uint64_t base_ops = 0, end_ops = 0;
+  {
+    FaultInjectingEnv env;
+    Workload w = OpenAndFill(env);
+    base_ops = env.op_count();
+    ASSERT_TRUE(w.db->Checkpoint(kSnap).ok());
+    end_ops = env.op_count();
+  }
+  ASSERT_GT(end_ops, base_ops);
+
+  for (uint64_t op = base_ops; op < end_ops; ++op) {
+    for (Outcome outcome :
+         {Outcome::kNone, Outcome::kPartial, Outcome::kFull}) {
+      FaultInjectingEnv env;
+      Workload w = OpenAndFill(env);
+      const std::string expected = Fingerprint(*w.db);
+      env.ScheduleCrashAtOp(op, outcome);
+      EXPECT_FALSE(w.db->Checkpoint(kSnap).ok());
+      w.db.reset();
+      env.Reboot();
+
+      Result<std::unique_ptr<Database>> re =
+          Database::OpenDurable(kSnap, kWal, OptionsFor(&env));
+      ASSERT_TRUE(re.ok()) << "crash at op " << op << " ("
+                           << static_cast<int>(outcome)
+                           << "): " << re.status().ToString();
+      EXPECT_EQ(Fingerprint(*re.value()), expected)
+          << "crash at op " << op << " outcome "
+          << static_cast<int>(outcome);
+    }
+  }
+}
+
+// Crash at every journal write of the mutation workload, all outcomes.
+// Recovery must land on the last acked step's state — or, when the dying
+// write's bytes did reach the media (kFull), at most one step further.
+TEST(CrashRecoveryTest, CrashDuringAppendsRecoversEveryAckedMutation) {
+  std::vector<std::string> fps;  // fps[i]: state after i acked steps.
+  size_t step_writes = 0;
+  {
+    FaultInjectingEnv env;
+    Workload w;
+    w.db = std::move(Database::OpenDurable(kSnap, kWal, OptionsFor(&env)))
+               .value();
+    const size_t trace_before = env.trace().size();
+    fps.push_back(Fingerprint(*w.db));
+    for (int step = 0; step < kStepCount; ++step) {
+      ASSERT_TRUE(ApplyStep(w, step).ok());
+      fps.push_back(Fingerprint(*w.db));
+    }
+    const auto trace = env.trace();
+    for (size_t i = trace_before; i < trace.size(); ++i) {
+      if (trace[i].kind == OpKind::kWrite) ++step_writes;
+    }
+  }
+  ASSERT_EQ(step_writes, static_cast<size_t>(kStepCount));
+
+  for (size_t k = 1; k <= step_writes; ++k) {
+    for (Outcome outcome :
+         {Outcome::kNone, Outcome::kPartial, Outcome::kFull}) {
+      FaultInjectingEnv env;
+      Workload w;
+      w.db = std::move(
+                 Database::OpenDurable(kSnap, kWal, OptionsFor(&env)))
+                 .value();
+      env.ScheduleCrashAtKthOpOfKind(OpKind::kWrite, static_cast<int>(k),
+                                     outcome);
+      size_t acked = 0;
+      for (int step = 0; step < kStepCount; ++step) {
+        if (!ApplyStep(w, step).ok()) break;
+        ++acked;
+      }
+      ASSERT_EQ(acked, k - 1);  // The k-th logged mutation died.
+      w.db.reset();
+      env.Reboot();
+
+      Result<std::unique_ptr<Database>> re =
+          Database::OpenDurable(kSnap, kWal, OptionsFor(&env));
+      ASSERT_TRUE(re.ok()) << "write " << k << ": "
+                           << re.status().ToString();
+      const std::string got = Fingerprint(*re.value());
+      // The dying write was never acked, so both "lost" and (for kFull)
+      // "applied" are legal — anything else lost an *acked* mutation or
+      // invented one.
+      EXPECT_TRUE(got == fps[acked] ||
+                  (outcome == Outcome::kFull && got == fps[acked + 1]))
+          << "write " << k << " outcome " << static_cast<int>(outcome)
+          << "\n got: " << got << "\n pre: " << fps[acked];
+    }
+  }
+}
+
+// A failed fdatasync means the ack would be a lie; the journal must
+// fail-stop rather than keep acking records that may not be recoverable.
+TEST(CrashRecoveryTest, FailedAppendSyncFailsStopTheDatabase) {
+  FaultInjectingEnv env;
+  Workload w = OpenAndFill(env);
+  env.FailKthOpOfKind(OpKind::kSync, 1);
+  EXPECT_FALSE(w.db->SetAttr(w.oids[0], "x", Value::Int(77)).ok());
+  // Still refused after the fault cleared: the file may end torn.
+  const Status later = w.db->SetAttr(w.oids[0], "x", Value::Int(78));
+  EXPECT_FALSE(later.ok());
+  EXPECT_NE(later.ToString().find("poisoned"), std::string::npos);
+}
+
+// A journal from a generation *newer* than the snapshot means the snapshot
+// it extends is missing (e.g. its directory entry was never synced).
+// Silently dropping it would lose acked mutations: recovery must refuse.
+TEST(CrashRecoveryTest, FutureGenerationJournalIsRefused) {
+  FaultInjectingEnv env;
+  {
+    auto journal = std::move(Journal::OpenForAppend(&env, kWal, 7)).value();
+    JournalRecord r;
+    r.op = JournalRecord::Op::kCreateClass;
+    r.name = "Thing";
+    ASSERT_TRUE(journal->Append(r).ok());
+  }
+  const Status refused =
+      Database::OpenDurable(kSnap, kWal, OptionsFor(&env)).status();
+  EXPECT_TRUE(refused.IsCorruption());
+  EXPECT_NE(refused.ToString().find("generation"), std::string::npos);
+}
+
+// After a successful checkpoint the acked tail keeps extending the *new*
+// journal; a crash right after more appends must recover snapshot + tail.
+TEST(CrashRecoveryTest, PostCheckpointTailSurvivesPowerCut) {
+  FaultInjectingEnv env;
+  Workload w = OpenAndFill(env);
+  ASSERT_TRUE(w.db->Checkpoint(kSnap).ok());
+  ASSERT_TRUE(w.db->SetAttr(w.oids[0], "x", Value::Int(42)).ok());
+  const std::string expected = Fingerprint(*w.db);
+  w.db.reset();
+  env.Reboot();  // Power cut: only synced state survives.
+
+  auto re =
+      std::move(Database::OpenDurable(kSnap, kWal, OptionsFor(&env)))
+          .value();
+  EXPECT_EQ(Fingerprint(*re), expected);
+}
+
+}  // namespace
+}  // namespace uindex

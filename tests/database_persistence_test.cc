@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "db/database.h"
+#include "storage/env/fault_env.h"
 
 namespace uindex {
 namespace {
@@ -18,9 +19,9 @@ struct Built {
   Oid president, maker, v1, v2;
 };
 
-Built BuildSample() {
+Built BuildSample(DatabaseOptions options = DatabaseOptions()) {
   Built out;
-  out.db = std::make_unique<Database>();
+  out.db = std::make_unique<Database>(options);
   Database& db = *out.db;
   out.employee = db.CreateClass("Employee").value();
   out.company = db.CreateClass("Company").value();
@@ -144,6 +145,54 @@ TEST(DatabasePersistenceTest, SaveReopenSaveAgain) {
             (std::vector<Oid>{v3}));
   std::remove(path1.c_str());
   std::remove(path2.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// The same persistence path on the crashable in-memory file system: the
+// snapshot layer must behave identically, and a failed sync must leave the
+// previously saved file untouched (the failure happens before the commit
+// rename).
+// ---------------------------------------------------------------------------
+
+TEST(DatabasePersistenceFaultTest, SaveOpenParityOnFaultEnv) {
+  FaultInjectingEnv env;
+  DatabaseOptions options;
+  options.env = &env;
+  const std::string path = "/db/dealership.udb";
+  Built built = BuildSample(options);
+  ASSERT_TRUE(built.db->Save(path).ok());
+
+  auto db = std::move(Database::Open(path, options)).value();
+  // Byte-identical object store, same index answers as the live database.
+  EXPECT_EQ(db->store().Serialize(), built.db->store().Serialize());
+  EXPECT_EQ(db->index_count(), 2u);
+  Database::Selection sel;
+  sel.cls = db->schema().FindClass("Vehicle").value();
+  sel.attr = "Age";
+  sel.lo = sel.hi = Value::Int(50);
+  const auto r = std::move(db->Select(sel)).value();
+  EXPECT_TRUE(r.used_index);
+  EXPECT_EQ(r.oids, std::move(built.db->Select(sel)).value().oids);
+}
+
+TEST(DatabasePersistenceFaultTest, FailedSyncLeavesOldSnapshotIntact) {
+  FaultInjectingEnv env;
+  DatabaseOptions options;
+  options.env = &env;
+  const std::string path = "/db/keep.udb";
+  Built built = BuildSample(options);
+  ASSERT_TRUE(built.db->Save(path).ok());
+  const std::string before = env.ReadFileBytes(path).value();
+
+  ASSERT_TRUE(
+      built.db->SetAttr(built.v1, "Price", Value::Int(11)).ok());
+  env.FailKthOpOfKind(FaultInjectingEnv::OpKind::kSync, 1);
+  EXPECT_FALSE(built.db->Save(path).ok());
+
+  // The failure came before the rename, so `path` still holds the first
+  // save, byte for byte, and it still opens.
+  EXPECT_EQ(env.ReadFileBytes(path).value(), before);
+  EXPECT_TRUE(Database::Open(path, options).ok());
 }
 
 TEST(DatabasePersistenceTest, OpenRejectsGarbage) {

@@ -3,12 +3,22 @@
 #include <cstdio>
 
 #include "db/database.h"
+#include "storage/env/fault_env.h"
 
 namespace uindex {
 namespace {
 
 std::string TempPath(const char* name) {
   return std::string(::testing::TempDir()) + "/" + name;
+}
+
+JournalRecord SetAttrRecord(Oid oid, int64_t v) {
+  JournalRecord r;
+  r.op = JournalRecord::Op::kSetAttr;
+  r.oid = oid;
+  r.name.push_back('x');  // = "x" trips a GCC 12 -Wrestrict false positive.
+  r.value = Value::Int(v);
+  return r;
 }
 
 TEST(JournalRecordTest, EncodeDecodeRoundTrip) {
@@ -46,53 +56,191 @@ TEST(JournalTest, AppendAndReadAll) {
   const std::string path = TempPath("basic.journal");
   std::remove(path.c_str());
   {
-    auto journal = std::move(Journal::OpenForAppend(path)).value();
+    auto journal =
+        std::move(Journal::OpenForAppend(nullptr, path, /*generation=*/3))
+            .value();
     for (int i = 0; i < 10; ++i) {
-      JournalRecord r;
-      r.op = JournalRecord::Op::kSetAttr;
-      r.oid = static_cast<Oid>(i);
-      r.name = "x";
-      r.value = Value::Int(i);
-      ASSERT_TRUE(journal->Append(r).ok());
+      ASSERT_TRUE(journal->Append(SetAttrRecord(static_cast<Oid>(i), i)).ok());
     }
   }
-  const auto records = std::move(Journal::ReadAll(path)).value();
-  ASSERT_EQ(records.size(), 10u);
-  EXPECT_EQ(records[7].value.AsInt(), 7);
+  const auto replay = std::move(Journal::ReadAll(nullptr, path)).value();
+  ASSERT_TRUE(replay.header_valid);
+  EXPECT_EQ(replay.generation, 3u);
+  ASSERT_EQ(replay.records.size(), 10u);
+  EXPECT_EQ(replay.records[7].value.AsInt(), 7);
 
-  // A torn tail (partial frame) is tolerated.
+  // A torn tail (partial frame) is tolerated and excluded from the valid
+  // prefix, so a reopen can truncate it away.
+  const size_t intact_bytes = replay.valid_bytes;
   {
     std::FILE* f = std::fopen(path.c_str(), "ab");
     const char torn[5] = {10, 0, 0, 0, 99};
     std::fwrite(torn, 1, sizeof(torn), f);
     std::fclose(f);
   }
-  EXPECT_EQ(std::move(Journal::ReadAll(path)).value().size(), 10u);
+  const auto torn = std::move(Journal::ReadAll(nullptr, path)).value();
+  EXPECT_EQ(torn.records.size(), 10u);
+  EXPECT_EQ(torn.valid_bytes, intact_bytes);
   std::remove(path.c_str());
 }
 
-TEST(JournalTest, MidFileCorruptionFails) {
+TEST(JournalTest, ReopenSameGenerationKeepsRecordsAndDropsTornTail) {
+  const std::string path = TempPath("reopen.journal");
+  std::remove(path.c_str());
+  {
+    auto journal =
+        std::move(Journal::OpenForAppend(nullptr, path, 1)).value();
+    ASSERT_TRUE(journal->Append(SetAttrRecord(1, 11)).ok());
+  }
+  {  // Simulate a crash mid-append: garbage half-frame at the end.
+    std::FILE* f = std::fopen(path.c_str(), "ab");
+    const char torn[7] = {99, 0, 0, 0, 1, 2, 3};
+    std::fwrite(torn, 1, sizeof(torn), f);
+    std::fclose(f);
+  }
+  {
+    auto journal =
+        std::move(Journal::OpenForAppend(nullptr, path, 1)).value();
+    ASSERT_TRUE(journal->Append(SetAttrRecord(2, 22)).ok());
+  }
+  const auto replay = std::move(Journal::ReadAll(nullptr, path)).value();
+  ASSERT_EQ(replay.records.size(), 2u);  // Tail dropped, both appends kept.
+  EXPECT_EQ(replay.records[1].value.AsInt(), 22);
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, OpenWithOtherGenerationStartsFresh) {
+  const std::string path = TempPath("gen.journal");
+  std::remove(path.c_str());
+  {
+    auto journal =
+        std::move(Journal::OpenForAppend(nullptr, path, 1)).value();
+    ASSERT_TRUE(journal->Append(SetAttrRecord(1, 11)).ok());
+  }
+  // A different generation means "this is some other checkpoint's log":
+  // its records must not leak into the new one.
+  {
+    auto journal =
+        std::move(Journal::OpenForAppend(nullptr, path, 2)).value();
+    ASSERT_TRUE(journal->Append(SetAttrRecord(9, 99)).ok());
+  }
+  const auto replay = std::move(Journal::ReadAll(nullptr, path)).value();
+  EXPECT_EQ(replay.generation, 2u);
+  ASSERT_EQ(replay.records.size(), 1u);
+  EXPECT_EQ(replay.records[0].value.AsInt(), 99);
+  std::remove(path.c_str());
+}
+
+// Satellite policy test: a CRC-corrupt *final* record is the shape of a
+// crash (torn sectors in the last append) — recover to the last good
+// record. The same corruption mid-file means the medium lied: refuse.
+TEST(JournalTest, CorruptFinalRecordIsRecoveredCorruptMiddleRefused) {
   const std::string path = TempPath("corrupt.journal");
   std::remove(path.c_str());
   {
-    auto journal = std::move(Journal::OpenForAppend(path)).value();
+    auto journal =
+        std::move(Journal::OpenForAppend(nullptr, path, 1)).value();
     for (int i = 0; i < 5; ++i) {
-      JournalRecord r;
-      r.op = JournalRecord::Op::kDeleteObject;
-      r.oid = static_cast<Oid>(i);
-      ASSERT_TRUE(journal->Append(r).ok());
+      ASSERT_TRUE(journal->Append(SetAttrRecord(static_cast<Oid>(i), i)).ok());
     }
   }
+  // Locate the final record's payload and flip a byte in it.
+  const auto clean = std::move(Journal::ReadAll(nullptr, path)).value();
+  ASSERT_EQ(clean.records.size(), 5u);
   {
     std::FILE* f = std::fopen(path.c_str(), "r+b");
-    std::fseek(f, 30, SEEK_SET);
+    std::fseek(f, static_cast<long>(clean.valid_bytes) - 2, SEEK_SET);
     int c = std::fgetc(f);
-    std::fseek(f, 30, SEEK_SET);
+    std::fseek(f, static_cast<long>(clean.valid_bytes) - 2, SEEK_SET);
     std::fputc(c ^ 0x55, f);
     std::fclose(f);
   }
-  EXPECT_TRUE(Journal::ReadAll(path).status().IsCorruption());
+  const auto recovered = std::move(Journal::ReadAll(nullptr, path)).value();
+  EXPECT_EQ(recovered.records.size(), 4u);  // Last record dropped, rest kept.
+
+  // Now corrupt an *interior* record (the first one, right after the
+  // 24-byte header frame): refuse with a diagnostic.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    std::fseek(f, 24 + 8 + 1, SEEK_SET);
+    int c = std::fgetc(f);
+    std::fseek(f, 24 + 8 + 1, SEEK_SET);
+    std::fputc(c ^ 0x55, f);
+    std::fclose(f);
+  }
+  const Status refused = Journal::ReadAll(nullptr, path).status();
+  EXPECT_TRUE(refused.IsCorruption());
+  EXPECT_NE(refused.ToString().find("mid-stream"), std::string::npos);
   std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// The same journal logic on the crashable in-memory file system.
+// ---------------------------------------------------------------------------
+
+TEST(JournalFaultTest, SyncOnAppendSurvivesPowerCut) {
+  FaultInjectingEnv env;
+  const std::string path = "/wal/a.journal";
+  auto journal = std::move(Journal::OpenForAppend(&env, path, 1)).value();
+  ASSERT_TRUE(journal->Append(SetAttrRecord(1, 11)).ok());
+  ASSERT_TRUE(journal->Append(SetAttrRecord(2, 22)).ok());
+
+  env.Reboot();  // Power cut with no crash scheduled: drop unsynced state.
+  const auto replay = std::move(Journal::ReadAll(&env, path)).value();
+  ASSERT_TRUE(replay.header_valid);
+  ASSERT_EQ(replay.records.size(), 2u);  // Both appends were acked durable.
+  EXPECT_EQ(replay.records[1].value.AsInt(), 22);
+}
+
+TEST(JournalFaultTest, BatchedSyncLosesOnlyUnsyncedTail) {
+  FaultInjectingEnv env;
+  const std::string path = "/wal/b.journal";
+  JournalOptions options;
+  options.sync_on_append = false;
+  auto journal =
+      std::move(Journal::OpenForAppend(&env, path, 1, options)).value();
+  ASSERT_TRUE(journal->Append(SetAttrRecord(1, 11)).ok());
+  ASSERT_TRUE(journal->Sync().ok());  // Caller's commit point.
+  ASSERT_TRUE(journal->Append(SetAttrRecord(2, 22)).ok());  // Never synced.
+
+  env.Reboot();
+  const auto replay = std::move(Journal::ReadAll(&env, path)).value();
+  ASSERT_EQ(replay.records.size(), 1u);  // Only the synced record survives.
+  EXPECT_EQ(replay.records[0].value.AsInt(), 11);
+}
+
+TEST(JournalFaultTest, TornWriteRecoversToLastAckedRecord) {
+  FaultInjectingEnv env;
+  const std::string path = "/wal/c.journal";
+  auto journal = std::move(Journal::OpenForAppend(&env, path, 1)).value();
+  ASSERT_TRUE(journal->Append(SetAttrRecord(1, 11)).ok());
+
+  // The machine dies mid-write on the next append: half the frame's bytes
+  // reach the media.
+  env.ScheduleCrashAtKthOpOfKind(FaultInjectingEnv::OpKind::kWrite, 1,
+                                 FaultInjectingEnv::CrashOutcome::kPartial);
+  EXPECT_FALSE(journal->Append(SetAttrRecord(2, 22)).ok());
+
+  env.Reboot();
+  const auto replay = std::move(Journal::ReadAll(&env, path)).value();
+  ASSERT_EQ(replay.records.size(), 1u);  // The unacked append is gone...
+  EXPECT_EQ(replay.records[0].value.AsInt(), 11);  // ...the acked one isn't.
+}
+
+TEST(JournalFaultTest, FailedSyncPoisonsTheJournal) {
+  FaultInjectingEnv env;
+  const std::string path = "/wal/d.journal";
+  auto journal = std::move(Journal::OpenForAppend(&env, path, 1)).value();
+  ASSERT_TRUE(journal->Append(SetAttrRecord(1, 11)).ok());
+
+  env.FailKthOpOfKind(FaultInjectingEnv::OpKind::kSync, 1);
+  EXPECT_FALSE(journal->Append(SetAttrRecord(2, 22)).ok());
+  EXPECT_TRUE(journal->poisoned());
+  // The file may end in an unsynced frame; appending after it could bury
+  // a torn tail mid-file, so everything later fails fast.
+  const Status later = journal->Append(SetAttrRecord(3, 33));
+  EXPECT_FALSE(later.ok());
+  EXPECT_NE(later.ToString().find("poisoned"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------
@@ -110,6 +258,7 @@ class DurableDatabaseTest : public ::testing::Test {
   ~DurableDatabaseTest() override {
     std::remove(snapshot_.c_str());
     std::remove(journal_.c_str());
+    std::remove((journal_ + ".new").c_str());
   }
 
   std::string snapshot_, journal_;
@@ -198,6 +347,33 @@ TEST_F(DurableDatabaseTest, TornJournalTailIsDiscarded) {
   db.reset();
   auto db2 = std::move(Database::OpenDurable(snapshot_, journal_)).value();
   EXPECT_EQ(db2->store().size(), 2u);
+}
+
+TEST_F(DurableDatabaseTest, StaleJournalAfterCheckpointIsNotReplayedTwice) {
+  {
+    auto db = std::move(Database::OpenDurable(snapshot_, journal_)).value();
+    const ClassId thing = db->CreateClass("Thing").value();
+    const Oid a = db->CreateObject(thing).value();
+    ASSERT_TRUE(db->SetAttr(a, "x", Value::Int(1)).ok());
+    ASSERT_TRUE(db->Checkpoint(snapshot_).ok());
+  }
+  // Regress the journal to its pre-checkpoint (generation-0) content by
+  // replaying history: that is what disk looks like if the checkpoint's
+  // journal rotation is lost but the snapshot rename survived.
+  std::remove(journal_.c_str());
+  {
+    auto journal =
+        std::move(Journal::OpenForAppend(nullptr, journal_, 0)).value();
+    JournalRecord r;
+    r.op = JournalRecord::Op::kCreateClass;
+    r.name = "Thing";
+    ASSERT_TRUE(journal->Append(r).ok());
+  }
+  auto db = std::move(Database::OpenDurable(snapshot_, journal_)).value();
+  // Had the stale record replayed, "Thing" would exist twice (or fail);
+  // the snapshot alone carries the single class and object.
+  EXPECT_EQ(db->schema().class_count(), 1u);
+  EXPECT_EQ(db->store().size(), 1u);
 }
 
 }  // namespace

@@ -69,10 +69,10 @@ TEST(SnapshotTest, BTreeRoundTripsThroughDisk) {
     std::string meta;
     PutFixed32(&meta, saved_root);
     PutFixed64(&meta, saved_size);
-    ASSERT_TRUE(PagerSnapshot::Save(pager, meta, path).ok());
+    ASSERT_TRUE(PagerSnapshot::Save(nullptr, pager, meta, path).ok());
   }
 
-  Result<PagerSnapshot::Loaded> loaded = PagerSnapshot::Load(path);
+  Result<PagerSnapshot::Loaded> loaded = PagerSnapshot::Load(nullptr, path);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   ASSERT_EQ(loaded.value().metadata.size(), 12u);
   const PageId root = DecodeFixed32(loaded.value().metadata.data());
@@ -104,7 +104,7 @@ TEST(SnapshotTest, DetectsCorruption) {
       key += std::to_string(i);
       ASSERT_TRUE(tree.Insert(Slice(key), Slice("v")).ok());
     }
-    ASSERT_TRUE(PagerSnapshot::Save(pager, "meta", path).ok());
+    ASSERT_TRUE(PagerSnapshot::Save(nullptr, pager, "meta", path).ok());
   }
   // Flip one byte in the middle of the file.
   {
@@ -116,7 +116,7 @@ TEST(SnapshotTest, DetectsCorruption) {
     std::fputc(c ^ 0xFF, f);
     std::fclose(f);
   }
-  EXPECT_TRUE(PagerSnapshot::Load(path).status().IsCorruption());
+  EXPECT_TRUE(PagerSnapshot::Load(nullptr, path).status().IsCorruption());
   std::remove(path.c_str());
 }
 
@@ -131,7 +131,7 @@ TEST(SnapshotTest, DetectsTruncation) {
       key += std::to_string(i);
       ASSERT_TRUE(tree.Insert(Slice(key), Slice("v")).ok());
     }
-    ASSERT_TRUE(PagerSnapshot::Save(pager, "", path).ok());
+    ASSERT_TRUE(PagerSnapshot::Save(nullptr, pager, "", path).ok());
   }
   // Truncate the file.
   {
@@ -148,13 +148,14 @@ TEST(SnapshotTest, DetectsTruncation) {
               data.size() / 2);
     std::fclose(out);
   }
-  EXPECT_TRUE(PagerSnapshot::Load(path).status().IsCorruption());
+  EXPECT_TRUE(PagerSnapshot::Load(nullptr, path).status().IsCorruption());
   std::remove(path.c_str());
 }
 
 TEST(SnapshotTest, MissingFileIsNotFound) {
-  EXPECT_TRUE(
-      PagerSnapshot::Load(TempPath("missing.snap")).status().IsNotFound());
+  EXPECT_TRUE(PagerSnapshot::Load(nullptr, TempPath("missing.snap"))
+                  .status()
+                  .IsNotFound());
 }
 
 TEST(SnapshotTest, RejectsBadMagic) {
@@ -163,7 +164,7 @@ TEST(SnapshotTest, RejectsBadMagic) {
   const char junk[64] = "not a snapshot at all.............";
   std::fwrite(junk, 1, sizeof(junk), f);
   std::fclose(f);
-  EXPECT_TRUE(PagerSnapshot::Load(path).status().IsCorruption());
+  EXPECT_TRUE(PagerSnapshot::Load(nullptr, path).status().IsCorruption());
   std::remove(path.c_str());
 }
 

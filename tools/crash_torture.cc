@@ -1,0 +1,285 @@
+// crash_torture: exhaustive crash-fault injection for the snapshot+journal
+// durability layer.
+//
+// The idea: run a deterministic checkpoint+append+rotate workload once on
+// FaultInjectingEnv with no faults, recording (a) every env op the library
+// performs (create/write/flush/sync/close/rename/truncate/remove/syncdir)
+// and (b) the logical-state fingerprint after every workload step. Then
+// re-run the workload once per (op index x crash outcome) — every op, not
+// a sample — powering the machine off at that op, rebooting, and reopening
+// with Database::OpenDurable. Recovery must
+//
+//   1. succeed (a crash must never leave an unopenable database), and
+//   2. land exactly on the fingerprint of the last *acked* step — or, when
+//      the dying op's effect did reach the media (kFull/kPartial), at most
+//      the next step's fingerprint. Anything else lost an acked mutation
+//      or invented one. Fingerprints include query rows, so "recovered"
+//      means byte-identical answers, not just a file that parses.
+//   3. stay live: one more mutation after recovery must itself survive a
+//      further reopen.
+//
+// Writes a per-crash-point coverage summary (default
+// crash_torture_coverage.txt) and exits non-zero on any failure.
+//
+// Usage: crash_torture [--quick] [--out=FILE]
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "storage/env/fault_env.h"
+
+namespace uindex {
+namespace {
+
+using Outcome = FaultInjectingEnv::CrashOutcome;
+
+// Different directories on purpose: the snapshot's and the journal's
+// parent-directory syncs are then separate ops, so forgetting either one
+// is a distinct, detectable crash state.
+constexpr char kSnap[] = "/snap/db.udb";
+constexpr char kWal[] = "/wal/db.journal";
+
+DatabaseOptions OptionsFor(Env* env) {
+  DatabaseOptions options;
+  options.env = env;
+  options.prefetch_threads = 0;
+  return options;
+}
+
+// Serialized objects + schema/index counts + rows and access path of a
+// fixed index query. No env ops, so computing it never shifts the op
+// schedule.
+std::string Fingerprint(Database& db) {
+  std::string fp = db.store().Serialize();
+  fp += '|';
+  fp += std::to_string(db.schema().class_count());
+  fp += '|';
+  fp += std::to_string(db.index_count());
+  Result<ClassId> thing = db.schema().FindClass("Thing");
+  if (thing.ok()) {
+    Database::Selection sel;
+    sel.cls = thing.value();
+    sel.attr = "x";
+    sel.lo = Value::Int(-1);
+    sel.hi = Value::Int(1 << 20);
+    Result<Database::SelectResult> r = db.Select(sel);
+    fp += "|q:";
+    if (r.ok()) {
+      for (Oid oid : r.value().oids) {
+        fp += std::to_string(oid);
+        fp += ',';
+      }
+      fp += r.value().used_index ? "#index" : "#scan";
+    } else {
+      fp += r.status().ToString();
+    }
+  }
+  return fp;
+}
+
+// The workload: DDL, 2n object creations/updates, a checkpoint, an update
+// wave, a delete, a second checkpoint (journal rotation on a non-empty
+// journal), and a post-rotation tail. Step numbering must be identical in
+// the twin and every crashed run; oids are recorded as they are created.
+int StepCount(int n) { return 3 * n + 7; }
+
+Status RunStep(Database& db, std::vector<Oid>& oids, int step, int n,
+               const std::string& snap) {
+  if (step == 0) return db.CreateClass("Thing").status();
+  if (step == 1) {
+    return db
+        .CreateIndex(PathSpec::ClassHierarchy(
+            db.schema().FindClass("Thing").value(), "x", Value::Kind::kInt))
+        .status();
+  }
+  if (step < 2 + 2 * n) {
+    const int j = step - 2;
+    if (j % 2 == 0) {
+      Result<Oid> oid =
+          db.CreateObject(db.schema().FindClass("Thing").value());
+      if (!oid.ok()) return oid.status();
+      oids.push_back(oid.value());
+      return Status::OK();
+    }
+    return db.SetAttr(oids[j / 2], "x", Value::Int(j / 2));
+  }
+  if (step == 2 + 2 * n) return db.Checkpoint(snap);
+  if (step < 3 + 3 * n) {
+    const int i = step - (3 + 2 * n);
+    return db.SetAttr(oids[i], "x", Value::Int(100 + i));
+  }
+  if (step == 3 + 3 * n) return db.DeleteObject(oids[1]);
+  if (step == 4 + 3 * n) return db.Checkpoint(snap);
+  if (step == 5 + 3 * n) return db.SetAttr(oids[2], "x", Value::Int(777));
+  if (step == 6 + 3 * n) return db.SetAttr(oids[3], "x", Value::Int(888));
+  return Status::InvalidArgument("no such step");
+}
+
+struct Failure {
+  uint64_t op;
+  Outcome outcome;
+  std::string what;
+};
+
+const char* OutcomeName(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kNone: return "none";
+    case Outcome::kPartial: return "partial";
+    case Outcome::kFull: return "full";
+  }
+  return "?";
+}
+
+int Run(bool quick, const std::string& out_path) {
+  const int n = quick ? 4 : 10;
+  const int steps = StepCount(n);
+
+  // Fault-free twin: op trace + per-step fingerprints.
+  std::vector<std::string> fps;
+  std::vector<FaultInjectingEnv::OpRecord> trace;
+  {
+    FaultInjectingEnv env;
+    Result<std::unique_ptr<Database>> opened =
+        Database::OpenDurable(kSnap, kWal, OptionsFor(&env));
+    if (!opened.ok()) {
+      std::fprintf(stderr, "fault-free open failed: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    std::unique_ptr<Database> db = std::move(opened).value();
+    std::vector<Oid> oids;
+    fps.push_back(Fingerprint(*db));
+    for (int step = 0; step < steps; ++step) {
+      const Status st = RunStep(*db, oids, step, n, kSnap);
+      if (!st.ok()) {
+        std::fprintf(stderr, "fault-free step %d failed: %s\n", step,
+                     st.ToString().c_str());
+        return 1;
+      }
+      fps.push_back(Fingerprint(*db));
+    }
+    trace = env.trace();
+  }
+
+  std::fprintf(stderr,
+               "workload: %d steps, %zu env ops to crash at (%s mode)\n",
+               steps, trace.size(), quick ? "quick" : "full");
+
+  std::vector<Failure> failures;
+  std::ofstream coverage(out_path);
+  coverage << "# crash_torture coverage: one line per enumerated env op\n"
+           << "# op kind path outcomes verdict\n";
+  uint64_t runs = 0;
+
+  for (uint64_t op = 0; op < trace.size(); ++op) {
+    std::vector<Outcome> outcomes = {Outcome::kNone, Outcome::kFull};
+    if (trace[op].kind == FaultInjectingEnv::OpKind::kWrite) {
+      outcomes.push_back(Outcome::kPartial);
+    }
+    bool op_ok = true;
+    for (const Outcome outcome : outcomes) {
+      ++runs;
+      FaultInjectingEnv env;
+      env.ScheduleCrashAtOp(op, outcome);
+
+      // The dying run. Steps acked before the power cut are the contract:
+      // each must be recovered; the dying step may go either way.
+      size_t acked = 0;
+      {
+        std::unique_ptr<Database> db;
+        std::vector<Oid> oids;
+        Result<std::unique_ptr<Database>> opened =
+            Database::OpenDurable(kSnap, kWal, OptionsFor(&env));
+        if (opened.ok()) {
+          db = std::move(opened).value();
+          for (int step = 0; step < steps; ++step) {
+            if (!RunStep(*db, oids, step, n, kSnap).ok()) break;
+            ++acked;
+          }
+        }
+      }
+      auto fail = [&](std::string what) {
+        failures.push_back({op, outcome, std::move(what)});
+        op_ok = false;
+      };
+      if (!env.powered_off()) {
+        fail("scheduled crash never fired");
+        continue;
+      }
+      env.Reboot();
+
+      Result<std::unique_ptr<Database>> re =
+          Database::OpenDurable(kSnap, kWal, OptionsFor(&env));
+      if (!re.ok()) {
+        fail("recovery failed: " + re.status().ToString());
+        continue;
+      }
+      std::unique_ptr<Database> db = std::move(re).value();
+      const std::string got = Fingerprint(*db);
+      const bool pre = got == fps[acked];
+      const bool post = acked + 1 < fps.size() && got == fps[acked + 1];
+      if (!pre && !post) {
+        fail("recovered state matches neither step " +
+             std::to_string(acked) + " nor step " +
+             std::to_string(acked + 1) + " after " +
+             std::to_string(acked) + " acked steps");
+        continue;
+      }
+
+      // Liveness: the recovered database must accept and persist new work.
+      if (!db->CreateClass("Liveness").ok()) {
+        fail("recovered database refused a new mutation");
+        continue;
+      }
+      db.reset();
+      Result<std::unique_ptr<Database>> re2 =
+          Database::OpenDurable(kSnap, kWal, OptionsFor(&env));
+      if (!re2.ok() ||
+          !re2.value()->schema().FindClass("Liveness").ok()) {
+        fail("post-recovery mutation did not survive a reopen");
+      }
+    }
+    coverage << op << ' ' << FaultInjectingEnv::OpKindName(trace[op].kind)
+             << ' ' << trace[op].path << ' ' << outcomes.size() << ' '
+             << (op_ok ? "pass" : "FAIL") << '\n';
+  }
+
+  coverage << "# " << trace.size() << " crash points, " << runs
+           << " crash runs, " << failures.size() << " failures\n";
+  coverage.close();
+
+  for (const Failure& f : failures) {
+    std::fprintf(stderr, "FAIL op %llu (%s %s %s): %s\n",
+                 static_cast<unsigned long long>(f.op),
+                 FaultInjectingEnv::OpKindName(trace[f.op].kind),
+                 trace[f.op].path.c_str(), OutcomeName(f.outcome),
+                 f.what.c_str());
+  }
+  std::fprintf(stderr, "crash_torture: %zu points, %llu runs, %zu failures\n",
+               trace.size(), static_cast<unsigned long long>(runs),
+               failures.size());
+  return failures.empty() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace uindex
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out = "crash_torture_coverage.txt";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out=FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+  return uindex::Run(quick, out);
+}
