@@ -98,6 +98,17 @@ class JsonReport {
     rows_.push_back(std::move(r));
   }
 
+  /// Adds a row carrying one named scalar (e.g. a buffer-pool hit rate).
+  void AddScalar(const std::string& row_name, const std::string& key,
+                 double value) {
+    Row r;
+    r.name = row_name;
+    r.wall_ns = -1;
+    r.scalar_key = key;
+    r.scalar_value = value;
+    rows_.push_back(std::move(r));
+  }
+
   /// Writes `<out_dir>/<bench_name>.json`. Returns false (with a warning on
   /// stderr) if the directory or file cannot be written; benches treat that
   /// as non-fatal so a read-only working directory never fails a run.
@@ -120,7 +131,10 @@ class JsonReport {
       const Row& r = rows_[i];
       std::fprintf(f, "    {\"name\": \"%s\"", r.name.c_str());
       if (r.wall_ns >= 0) std::fprintf(f, ", \"wall_ns\": %.0f", r.wall_ns);
-      if (r.avg_pages >= 0) {
+      if (!r.scalar_key.empty()) {
+        std::fprintf(f, ", \"%s\": %.6f", r.scalar_key.c_str(),
+                     r.scalar_value);
+      } else if (r.avg_pages >= 0) {
         std::fprintf(f, ", \"avg_pages_read\": %.3f", r.avg_pages);
       } else {
         std::fprintf(
@@ -150,6 +164,8 @@ class JsonReport {
     std::string name;
     double wall_ns = -1;
     double avg_pages = -1;
+    std::string scalar_key;
+    double scalar_value = 0;
     uint64_t pages_read = 0;
     uint64_t nodes_parsed = 0;
     uint64_t node_cache_hits = 0;

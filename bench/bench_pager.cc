@@ -1,0 +1,209 @@
+// bench_pager: the disk-backed pager proof-of-equivalence panel.
+//
+// Builds the §5.1 set experiment three times — in-memory reference, file
+// backend with LRU eviction, file backend with CLOCK eviction — on caches
+// sized well below the database (live pages >= 10x cache frames, enforced),
+// then runs the fig5–8 query series on all three. Two hard gates:
+//
+//   1. Identity: for every (figure, sets-queried, structure) point the
+//      average pages_read AND an FNV-1a hash of every result row must be
+//      byte-identical across all three configurations. The paper metric is
+//      a property of the index structure, not of the storage backend.
+//   2. Pressure: the file configurations must actually evict (a pool that
+//      never sheds a frame proves nothing about larger-than-RAM behavior).
+//
+// Reports per-structure pool hit rates, evictions, and write-backs for
+// LRU vs CLOCK, and writes bench_results/BENCH_pager.json.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "storage/buffer_pool.h"
+
+namespace uindex {
+namespace bench {
+namespace {
+
+struct PagerConfig {
+  std::string name;
+  std::unique_ptr<SetExperiment> exp;
+};
+
+int RunBenchPager() {
+  std::printf("bench_pager: storage-backend equivalence (fig5-8 series)\n");
+  std::printf("objects=%u, page=1024B, reps=%d%s\n\n", ExperimentObjects(),
+              ExperimentReps(),
+              QuickMode() ? " [QUICK MODE - set UINDEX_BENCH_QUICK=0 for "
+                            "paper-scale]"
+                          : "");
+
+  SetExperiment::Options base;
+  base.workload.num_objects = ExperimentObjects();
+  base.workload.num_sets = 40;
+  base.workload.num_distinct_keys = base.workload.num_objects;
+
+  // The in-memory reference; its footprint sizes the file caches.
+  Result<std::unique_ptr<SetExperiment>> mem = SetExperiment::Create(base);
+  if (!mem.ok()) {
+    std::fprintf(stderr, "memory experiment setup failed: %s\n",
+                 mem.status().ToString().c_str());
+    return 1;
+  }
+  size_t min_live = static_cast<size_t>(-1);
+  for (const SetExperiment::Structure& s : mem.value()->structures()) {
+    const size_t live = s.buffers->pager()->live_page_count();
+    std::printf("  %-10s %zu live pages\n", s.name.c_str(), live);
+    if (live < min_live) min_live = live;
+  }
+  const size_t cache_pages = std::max<size_t>(8, min_live / 16);
+  std::printf("  cache: %zu frames (smallest structure is %.1fx larger)\n\n",
+              cache_pages,
+              static_cast<double>(min_live) / cache_pages);
+  if (min_live < 10 * cache_pages) {
+    std::fprintf(stderr,
+                 "GATE FAIL: smallest structure has %zu live pages, need "
+                 ">= 10x the %zu-frame cache\n",
+                 min_live, cache_pages);
+    return 1;
+  }
+
+  std::vector<PagerConfig> configs;
+  configs.push_back({"memory", std::move(mem).value()});
+  for (const BufferPool::Eviction eviction :
+       {BufferPool::Eviction::kLru, BufferPool::Eviction::kClock}) {
+    SetExperiment::Options opts = base;
+    opts.file_backend = true;
+    opts.cache_pages = cache_pages;
+    opts.eviction = eviction;
+    Result<std::unique_ptr<SetExperiment>> exp = SetExperiment::Create(opts);
+    if (!exp.ok()) {
+      std::fprintf(stderr, "file experiment setup failed: %s\n",
+                   exp.status().ToString().c_str());
+      return 1;
+    }
+    configs.push_back(
+        {eviction == BufferPool::Eviction::kLru ? "file-lru" : "file-clock",
+         std::move(exp).value()});
+  }
+
+  JsonReport report("pager");
+  struct Series {
+    const char* label;
+    double fraction;
+  };
+  const std::vector<Series> series = {
+      {"fig5_exact", -1.0},
+      {"fig6_range10", 0.10},
+      {"fig7_range2", 0.02},
+      {"fig8_small", 0.005},
+  };
+  const int reps = ExperimentReps();
+  int mismatches = 0;
+
+  for (size_t fi = 0; fi < series.size(); ++fi) {
+    std::printf("  -- %s --\n", series[fi].label);
+    std::printf("    %-6s  %14s  %10s\n", "sets", "U-index", "CG-tree");
+    for (const size_t m : SetsQueriedAxis(base.workload.num_sets)) {
+      const uint64_t seed = 0xBE9C0000ull + fi * 1000 + m;
+      double row_pages[2] = {0, 0};
+      for (size_t si = 0; si < 2; ++si) {
+        double pages0 = 0;
+        uint64_t hash0 = 0;
+        for (size_t ci = 0; ci < configs.size(); ++ci) {
+          std::vector<SetExperiment::Structure> structures =
+              configs[ci].exp->structures();
+          uint64_t hash = 0;
+          Result<double> pages = configs[ci].exp->Measure(
+              structures[si], m, /*near=*/true, series[fi].fraction, reps,
+              seed, &hash);
+          if (!pages.ok()) {
+            std::fprintf(stderr, "measure failed (%s, %s): %s\n",
+                         configs[ci].name.c_str(),
+                         structures[si].name.c_str(),
+                         pages.status().ToString().c_str());
+            return 1;
+          }
+          if (ci == 0) {
+            pages0 = pages.value();
+            hash0 = hash;
+            row_pages[si] = pages0;
+            report.AddPages(std::string(series[fi].label) + "/m=" +
+                                std::to_string(m) + "/" + structures[si].name,
+                            pages0);
+          } else if (pages.value() != pages0 || hash != hash0) {
+            std::fprintf(stderr,
+                         "IDENTITY FAIL %s m=%zu %s on %s: pages %.3f vs "
+                         "%.3f, hash %016llx vs %016llx\n",
+                         series[fi].label, m, structures[si].name.c_str(),
+                         configs[ci].name.c_str(), pages.value(), pages0,
+                         static_cast<unsigned long long>(hash),
+                         static_cast<unsigned long long>(hash0));
+            ++mismatches;
+          }
+        }
+      }
+      std::printf("    %-6zu  %14.1f  %10.1f\n", m, row_pages[0],
+                  row_pages[1]);
+    }
+    std::printf("\n");
+  }
+
+  // Pool behavior: LRU vs CLOCK over the identical query stream. Hit rates
+  // differ (that is the point); the page counts above did not.
+  std::printf("  -- buffer pool (cumulative over all series) --\n");
+  std::printf("    %-12s %-10s %10s %12s %12s %12s\n", "config",
+              "structure", "hit_rate", "misses", "evictions", "writebacks");
+  bool evicted = false;
+  for (size_t ci = 1; ci < configs.size(); ++ci) {
+    for (const SetExperiment::Structure& s :
+         configs[ci].exp->structures()) {
+      const IoStats& st = s.buffers->stats();
+      const uint64_t hits = st.pool_hits.load(std::memory_order_relaxed);
+      const uint64_t misses = st.pool_misses.load(std::memory_order_relaxed);
+      const uint64_t evictions = st.evictions.load(std::memory_order_relaxed);
+      const uint64_t writebacks =
+          st.writebacks.load(std::memory_order_relaxed);
+      const double rate =
+          hits + misses > 0
+              ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+              : 0.0;
+      if (evictions > 0) evicted = true;
+      std::printf("    %-12s %-10s %10.4f %12llu %12llu %12llu\n",
+                  configs[ci].name.c_str(), s.name.c_str(), rate,
+                  static_cast<unsigned long long>(misses),
+                  static_cast<unsigned long long>(evictions),
+                  static_cast<unsigned long long>(writebacks));
+      const std::string row = "pool/" + configs[ci].name + "/" + s.name;
+      report.AddScalar(row + "/hit_rate", "pool_hit_rate", rate);
+      report.AddScalar(row + "/evictions", "evictions",
+                       static_cast<double>(evictions));
+      report.AddScalar(row + "/writebacks", "writebacks",
+                       static_cast<double>(writebacks));
+    }
+  }
+  std::printf("\n");
+  if (!evicted) {
+    std::fprintf(stderr,
+                 "GATE FAIL: no evictions — the pool never came under "
+                 "pressure, equivalence proves nothing\n");
+    return 1;
+  }
+  if (mismatches > 0) {
+    std::fprintf(stderr, "bench_pager: %d identity mismatches\n", mismatches);
+    return 1;
+  }
+  std::printf("identity gate: pages_read and row hashes byte-identical "
+              "across memory/file-lru/file-clock\n");
+  report.Write();
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace uindex
+
+int main() { return uindex::bench::RunBenchPager(); }

@@ -156,21 +156,21 @@ Result<PageId> CgTree::FindStart(ClassId set, const Slice& enc) const {
 }
 
 Result<CgTree::DataPage> CgTree::LoadDataPage(PageId id) const {
-  Page* page = buffers_->Fetch(id);
+  PageRef page = buffers_->Fetch(id);
   if (page == nullptr) return Status::Corruption("missing CG data page");
   return DataPage::Parse(*page);
 }
 
 Result<CgTree::DataPage> CgTree::LoadDataPageUncounted(PageId id) const {
-  const Page* page = buffers_->pager()->GetPage(id);
+  PageRef page = buffers_->FetchUncounted(id);
   if (page == nullptr) return Status::Corruption("missing CG data page");
   return DataPage::Parse(*page);
 }
 
 Status CgTree::StoreDataPage(PageId id, const DataPage& page) {
-  Page* raw = buffers_->FetchForWrite(id);
+  PageRef raw = buffers_->FetchForWrite(id);
   if (raw == nullptr) return Status::Corruption("missing CG data page");
-  return page.SerializeTo(raw);
+  return page.SerializeTo(raw.get());
 }
 
 // ---------------------------------------------------------------------------

@@ -51,7 +51,7 @@ BTree::BTree(BufferManager* buffers, PageId root, uint64_t size,
 }
 
 Result<Node> BTree::LoadNode(PageId id) const {
-  Page* page = buffers_->Fetch(id);
+  PageRef page = buffers_->Fetch(id);
   if (page == nullptr) {
     return Status::Corruption("missing page " + std::to_string(id));
   }
@@ -72,7 +72,7 @@ Result<std::shared_ptr<const Node>> BTree::FetchNode(PageId id) const {
   const BufferManager::PageVersion version = buffers_->page_version(id);
   // Always charge the page read first — pages_read must be byte-identical
   // whether the decoded image then comes from the cache or a fresh parse.
-  Page* page = buffers_->Fetch(id);
+  PageRef page = buffers_->Fetch(id);
   if (page == nullptr) {
     return Status::Corruption("missing page " + std::to_string(id));
   }
@@ -93,7 +93,7 @@ void BTree::WarmNode(PageId id) const {
   // Version BEFORE bytes, exactly like FetchNode: a write landing between
   // the two makes the inserted entry stale and Lookup drops it.
   const BufferManager::PageVersion version = buffers_->page_version(id);
-  const Page* page = buffers_->pager()->GetPage(id);
+  PageRef page = buffers_->FetchUncounted(id);
   if (page == nullptr) return;  // Freed while queued; nothing to warm.
   Result<Node> r = Node::Parse(*page);
   if (!r.ok()) return;  // The demand fetch will surface the corruption.
@@ -115,7 +115,7 @@ std::shared_ptr<const Node> BTree::TryGetWarmNode(PageId id) const {
 }
 
 Result<Node> BTree::LoadNodeUncounted(PageId id) const {
-  const Page* page = buffers_->pager()->GetPage(id);
+  PageRef page = buffers_->FetchUncounted(id);
   if (page == nullptr) {
     return Status::Corruption("missing page " + std::to_string(id));
   }
@@ -123,11 +123,11 @@ Result<Node> BTree::LoadNodeUncounted(PageId id) const {
 }
 
 Status BTree::WriteNode(PageId id, const Node& node) {
-  Page* page = buffers_->FetchForWrite(id);
+  PageRef page = buffers_->FetchForWrite(id);
   if (page == nullptr) {
     return Status::Corruption("missing page " + std::to_string(id));
   }
-  return node.SerializeTo(page, options_);
+  return node.SerializeTo(page.get(), options_);
 }
 
 Status BTree::DescendToLeaf(const Slice& key, std::vector<PathStep>* path,
@@ -168,7 +168,7 @@ Result<std::string> BTree::Get(const Slice& key) const {
   // the matched payload. Page reads are charged exactly as before.
   PageId id = root_;
   for (;;) {
-    Page* page = buffers_->Fetch(id);
+    PageRef page = buffers_->Fetch(id);
     if (page == nullptr) {
       return Status::Corruption("missing page " + std::to_string(id));
     }

@@ -1,36 +1,106 @@
 #include "db/database.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
 #include <mutex>
 #include <shared_mutex>
 
 #include "exec/parallel_parscan.h"
 #include "storage/env/env.h"
+#include "storage/file_pager.h"
 #include "storage/prefetch.h"
 #include "storage/snapshot.h"
 #include "util/coding.h"
 
 namespace uindex {
 
+namespace {
+
+DatabaseOptions::Backend ResolveBackend(const DatabaseOptions& options) {
+  if (options.backend != DatabaseOptions::Backend::kDefault) {
+    return options.backend;
+  }
+  // The environment override only applies over the real file system: an
+  // injected env usually belongs to a fault-injection test whose crash-op
+  // schedule must not shift when the suite reruns under UINDEX_BACKEND.
+  const char* env = std::getenv("UINDEX_BACKEND");
+  if (env != nullptr && std::string(env) == "file" &&
+      options.env == nullptr) {
+    return DatabaseOptions::Backend::kFile;
+  }
+  return DatabaseOptions::Backend::kMemory;
+}
+
+std::string AutoDataPath() {
+  static std::atomic<uint64_t> counter{0};
+  return "/tmp/uindex-pages-" + std::to_string(::getpid()) + "-" +
+         std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+}  // namespace
+
+BufferPool::Eviction DatabaseOptions::DefaultEviction() {
+  const char* env = std::getenv("UINDEX_EVICTION");
+  if (env != nullptr && std::string(env) == "clock") {
+    return BufferPool::Eviction::kClock;
+  }
+  return BufferPool::Eviction::kLru;
+}
+
+size_t Database::ResolvedCachePages(const DatabaseOptions& options) {
+  if (options.cache_pages != 0) return options.cache_pages;
+  const char* env = std::getenv("UINDEX_CACHE_PAGES");
+  if (env != nullptr) {
+    const long value = std::strtol(env, nullptr, 10);
+    if (value > 0) return static_cast<size_t>(value);
+  }
+  return 256;
+}
+
+Database::StoreSetup Database::MakeFreshStore(const DatabaseOptions& options,
+                                              Env* env) {
+  StoreSetup setup;
+  if (ResolveBackend(options) == DatabaseOptions::Backend::kFile) {
+    setup.owns_data_path = options.data_path.empty();
+    setup.data_path =
+        setup.owns_data_path ? AutoDataPath() : options.data_path;
+    Result<std::unique_ptr<FilePager>> pager =
+        FilePager::Create(env, setup.data_path, options.page_size);
+    if (pager.ok()) {
+      setup.store = std::move(pager).value();
+      return setup;
+    }
+    // Construction cannot fail, so fall back to memory and surface why
+    // through backend_status().
+    setup.status = pager.status();
+    setup.data_path.clear();
+    setup.owns_data_path = false;
+  }
+  setup.store = std::make_unique<Pager>(options.page_size);
+  return setup;
+}
+
 Database::Database(DatabaseOptions options)
-    : options_(options),
-      env_(options.env != nullptr ? options.env : Env::Default()),
-      pager_(std::make_unique<Pager>(options.page_size)),
-      buffers_(pager_.get()),
-      store_(&schema_),
-      maintainer_(&schema_, &store_) {
+    : Database(options, MakeFreshStore(options, options.env != nullptr
+                                                    ? options.env
+                                                    : Env::Default())) {
   if (options_.maintain_catalog) {
     catalog_ = std::make_unique<SchemaCatalog>(&buffers_, options_.btree);
   }
-  AttachPrefetcher();
 }
 
-Database::Database(DatabaseOptions options, std::unique_ptr<Pager> pager)
+Database::Database(DatabaseOptions options, StoreSetup setup)
     : options_(options),
       env_(options.env != nullptr ? options.env : Env::Default()),
-      pager_(std::move(pager)),
-      buffers_(pager_.get()),
+      pager_(std::move(setup.store)),
+      buffers_(pager_.get(), ResolvedCachePages(options), options.eviction),
+      data_path_(std::move(setup.data_path)),
+      owns_data_path_(setup.owns_data_path),
+      backend_status_(std::move(setup.status)),
       store_(&schema_),
       maintainer_(&schema_, &store_) {
   AttachPrefetcher();
@@ -44,6 +114,11 @@ Database::~Database() {
   // any of these would let a background read touch freed pages.
   prefetcher_.reset();
   io_pool_.reset();
+  // An auto-generated data file is scratch space (recovery rebuilds it
+  // from snapshot+journal); unlinking while still open is fine on POSIX.
+  if (owns_data_path_ && !data_path_.empty()) {
+    env_->RemoveFile(data_path_);
+  }
 }
 
 void Database::AttachPrefetcher() {
@@ -380,6 +455,11 @@ Status Database::Checkpoint(const std::string& snapshot_path) {
   if (journal_ == nullptr) {
     return Status::InvalidArgument("no journal enabled");
   }
+  // File backend: push every dirty frame to the data file and sync it
+  // BEFORE any protocol step, so a flush failure aborts the checkpoint
+  // with nothing staged or committed. (The snapshot below re-reads pages
+  // from the store, so it needs the newest bytes there anyway.)
+  UINDEX_RETURN_IF_ERROR(buffers_.Flush(/*sync=*/true));
   // Crash-atomic checkpoint in three steps (DESIGN.md "Durability & crash
   // recovery"). 1: stage the generation-g+1 journal at `path + ".new"` —
   // durable but not yet visible at the journal path, so a crash here
@@ -684,18 +764,46 @@ Status Database::SaveLocked(const std::string& path,
   // back as generation 0).
   PutFixed64(&meta, generation_);
 
+  // The snapshot reads page bytes from the store, not the pool's frames:
+  // write dirty frames back first (no-op on the memory backend). No sync —
+  // the snapshot file carries its own durability protocol.
+  UINDEX_RETURN_IF_ERROR(buffers_.Flush(/*sync=*/false));
   return PagerSnapshot::Save(env_, *pager_, meta, path, rename_attempted);
 }
 
 Result<std::unique_ptr<Database>> Database::Open(const std::string& path,
                                                  DatabaseOptions options) {
   Env* env = options.env != nullptr ? options.env : Env::Default();
-  Result<PagerSnapshot::Loaded> loaded = PagerSnapshot::Load(env, path);
+
+  // Restore into the store the resolved backend calls for: the snapshot
+  // format is backend-agnostic, so a database saved in memory opens on the
+  // file backend and vice versa.
+  StoreSetup setup;
+  PagerSnapshot::StoreFactory factory;
+  if (ResolveBackend(options) == DatabaseOptions::Backend::kFile) {
+    setup.owns_data_path = options.data_path.empty();
+    setup.data_path =
+        setup.owns_data_path ? AutoDataPath() : options.data_path;
+    factory = [env, &setup](
+                  uint32_t page_size) -> Result<std::unique_ptr<PageStore>> {
+      Result<std::unique_ptr<FilePager>> pager =
+          FilePager::Create(env, setup.data_path, page_size);
+      if (!pager.ok()) return pager.status();
+      return std::unique_ptr<PageStore>(std::move(pager).value());
+    };
+  } else {
+    factory = [](uint32_t page_size) {
+      return Result<std::unique_ptr<PageStore>>(
+          std::make_unique<Pager>(page_size));
+    };
+  }
+  Result<PagerSnapshot::Loaded> loaded = PagerSnapshot::Load(env, path,
+                                                             factory);
   if (!loaded.ok()) return loaded.status();
   options.page_size = loaded.value().pager->page_size();
 
-  std::unique_ptr<Database> db(
-      new Database(options, std::move(loaded.value().pager)));
+  setup.store = std::move(loaded.value().pager);
+  std::unique_ptr<Database> db(new Database(options, std::move(setup)));
   const Slice meta(loaded.value().metadata);
   size_t pos = 0;
   if (meta.size() < sizeof(kDbMagic) ||

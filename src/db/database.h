@@ -26,7 +26,31 @@ class ThreadPool;
 
 /// Tuning knobs for a `Database`.
 struct DatabaseOptions {
+  /// Which page store backs the database.
+  ///
+  /// `kMemory` is the classic in-process `Pager` (every page resident).
+  /// `kFile` stores pages in one data file (storage/file_pager.h) behind
+  /// a bounded buffer pool of `cache_pages` frames, so the database can
+  /// exceed RAM. `kDefault` resolves to `kFile` only when the
+  /// UINDEX_BACKEND=file environment override is set AND no custom `env`
+  /// is injected (a fault-injection env's crash-op schedule must never
+  /// shift underneath an unrelated test); otherwise memory.
+  ///
+  /// Per-query page-read accounting is byte-identical across backends —
+  /// the backend moves real I/O, never the paper metric.
+  enum class Backend { kDefault, kMemory, kFile };
+  Backend backend = Backend::kDefault;
   uint32_t page_size = 1024;
+  /// Buffer-pool frames for the file backend (ignored by memory). 0 means
+  /// the UINDEX_CACHE_PAGES environment override, or 256.
+  size_t cache_pages = 0;
+  /// Data-file path for the file backend. Empty auto-generates a
+  /// process-unique path under /tmp that is removed on destruction.
+  std::string data_path;
+  /// Buffer-pool eviction policy; defaults from UINDEX_EVICTION
+  /// ("clock" → CLOCK, anything else → LRU).
+  static BufferPool::Eviction DefaultEviction();
+  BufferPool::Eviction eviction = DefaultEviction();
   BTreeOptions btree;
   /// File system used by the durability layer (Save/Open, journal,
   /// checkpoint). Null means `Env::Default()` — the real POSIX one. Tests
@@ -226,13 +250,35 @@ class Database {
   /// Total pages owned by all structures (footprint).
   uint64_t live_pages() const { return pager_->live_page_count(); }
 
+  /// Non-OK when the requested file backend could not be set up and the
+  /// database silently fell back to memory (construction cannot fail).
+  const Status& backend_status() const { return backend_status_; }
+  /// The file backend's data-file path; empty on the memory backend.
+  const std::string& data_path() const { return data_path_; }
+
   /// The attached prefetch scheduler, or null when prefetching is disabled
   /// (`prefetch_threads == 0` or UINDEX_PREFETCH=off).
   PrefetchScheduler* prefetcher() const { return prefetcher_.get(); }
 
  private:
-  // Restore path: adopts a pager loaded from a snapshot.
-  Database(DatabaseOptions options, std::unique_ptr<Pager> pager);
+  // The resolved page store plus the backend bookkeeping that travels with
+  // it (data-file path ownership, memory-fallback status).
+  struct StoreSetup {
+    std::unique_ptr<PageStore> store;
+    std::string data_path;
+    bool owns_data_path = false;
+    Status status;  // Non-OK: file backend failed, store is the fallback.
+  };
+  // Builds a fresh store per `options` (backend resolution, auto data
+  // path); never fails — a file-backend failure falls back to memory with
+  // the reason in `status`.
+  static StoreSetup MakeFreshStore(const DatabaseOptions& options, Env* env);
+  // `options.cache_pages`, or UINDEX_CACHE_PAGES, or 256.
+  static size_t ResolvedCachePages(const DatabaseOptions& options);
+
+  // All construction funnels here; the public constructor delegates with a
+  // fresh store, `Open` with one restored from a snapshot.
+  Database(DatabaseOptions options, StoreSetup setup);
 
   // Latch-free bodies for public entry points that other entry points call
   // while already holding the latch (the latch is not recursive).
@@ -290,8 +336,14 @@ class Database {
   // metadata and the journal header both carry it, and recovery only
   // replays a journal whose generation matches the snapshot it loaded.
   uint64_t generation_ = 0;
-  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<PageStore> pager_;
   BufferManager buffers_;
+  // File backend only: the data file's path, whether this database created
+  // it (auto temp paths are removed on destruction), and the fallback
+  // status (see backend_status()).
+  std::string data_path_;
+  bool owns_data_path_ = false;
+  Status backend_status_;
   std::unique_ptr<Journal> journal_;
   Schema schema_;
   ClassCoder coder_;

@@ -11,7 +11,17 @@ std::string Session::Stats::ToString() const {
          " node_cache_hits=" + std::to_string(node_cache_hits) +
          " prefetch_issued=" + std::to_string(prefetch_issued) +
          " prefetch_hits=" + std::to_string(prefetch_hits) +
-         " prefetch_wasted=" + std::to_string(prefetch_wasted);
+         " prefetch_wasted=" + std::to_string(prefetch_wasted) +
+         " pool_hits=" + std::to_string(pool_hits) +
+         " pool_misses=" + std::to_string(pool_misses) +
+         " evictions=" + std::to_string(evictions) +
+         " writebacks=" + std::to_string(writebacks) +
+         (pool_hits + pool_misses > 0
+              ? " pool_hit_rate=" +
+                    std::to_string(static_cast<double>(pool_hits) /
+                                   static_cast<double>(pool_hits +
+                                                       pool_misses))
+              : "");
 }
 
 void Session::Account(bool ok, uint64_t rows, const IoStats& before) {
@@ -31,6 +41,10 @@ void Session::Account(bool ok, uint64_t rows, const IoStats& before) {
   stats_.prefetch_hits += delta.prefetch_hits.load(std::memory_order_relaxed);
   stats_.prefetch_wasted +=
       delta.prefetch_wasted.load(std::memory_order_relaxed);
+  stats_.pool_hits += delta.pool_hits.load(std::memory_order_relaxed);
+  stats_.pool_misses += delta.pool_misses.load(std::memory_order_relaxed);
+  stats_.evictions += delta.evictions.load(std::memory_order_relaxed);
+  stats_.writebacks += delta.writebacks.load(std::memory_order_relaxed);
 }
 
 Result<Database::SelectResult> Session::Select(

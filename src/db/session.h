@@ -37,6 +37,10 @@ class Session {
     uint64_t prefetch_issued = 0; ///< Background reads started.
     uint64_t prefetch_hits = 0;   ///< Demand reads served by a prefetch.
     uint64_t prefetch_wasted = 0; ///< Prefetches that served no demand read.
+    uint64_t pool_hits = 0;       ///< Buffer-pool frame pins served in place.
+    uint64_t pool_misses = 0;     ///< Frame pins that read the data file.
+    uint64_t evictions = 0;       ///< Frames evicted from the bounded pool.
+    uint64_t writebacks = 0;      ///< Dirty frames written to the data file.
     std::string ToString() const;
   };
 

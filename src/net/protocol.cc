@@ -100,6 +100,10 @@ std::string EncodeRows(const std::vector<Oid>& oids, uint64_t count,
   PutFixed64(&out, stats.prefetch_issued);
   PutFixed64(&out, stats.prefetch_hits);
   PutFixed64(&out, stats.prefetch_wasted);
+  PutFixed64(&out, stats.pool_hits);
+  PutFixed64(&out, stats.pool_misses);
+  PutFixed64(&out, stats.evictions);
+  PutFixed64(&out, stats.writebacks);
   PutFixed32(&out, static_cast<uint32_t>(oids.size()));
   for (const Oid oid : oids) PutFixed32(&out, oid);
   return out;
@@ -131,6 +135,10 @@ std::string EncodeStats(const Session::Stats& stats) {
   PutFixed64(&out, stats.prefetch_issued);
   PutFixed64(&out, stats.prefetch_hits);
   PutFixed64(&out, stats.prefetch_wasted);
+  PutFixed64(&out, stats.pool_hits);
+  PutFixed64(&out, stats.pool_misses);
+  PutFixed64(&out, stats.evictions);
+  PutFixed64(&out, stats.writebacks);
   return out;
 }
 
@@ -194,6 +202,14 @@ Result<Response> DecodeResponse(const Slice& payload) {
           ReadU64(payload, &pos, &r.query_stats.prefetch_hits));
       UINDEX_RETURN_IF_ERROR(
           ReadU64(payload, &pos, &r.query_stats.prefetch_wasted));
+      UINDEX_RETURN_IF_ERROR(
+          ReadU64(payload, &pos, &r.query_stats.pool_hits));
+      UINDEX_RETURN_IF_ERROR(
+          ReadU64(payload, &pos, &r.query_stats.pool_misses));
+      UINDEX_RETURN_IF_ERROR(
+          ReadU64(payload, &pos, &r.query_stats.evictions));
+      UINDEX_RETURN_IF_ERROR(
+          ReadU64(payload, &pos, &r.query_stats.writebacks));
       uint32_t n = 0;
       UINDEX_RETURN_IF_ERROR(ReadU32(payload, &pos, &n));
       if (payload.size() - pos < static_cast<size_t>(n) * 4) {
@@ -231,6 +247,14 @@ Result<Response> DecodeResponse(const Slice& payload) {
           ReadU64(payload, &pos, &r.session_stats.prefetch_hits));
       UINDEX_RETURN_IF_ERROR(
           ReadU64(payload, &pos, &r.session_stats.prefetch_wasted));
+      UINDEX_RETURN_IF_ERROR(
+          ReadU64(payload, &pos, &r.session_stats.pool_hits));
+      UINDEX_RETURN_IF_ERROR(
+          ReadU64(payload, &pos, &r.session_stats.pool_misses));
+      UINDEX_RETURN_IF_ERROR(
+          ReadU64(payload, &pos, &r.session_stats.evictions));
+      UINDEX_RETURN_IF_ERROR(
+          ReadU64(payload, &pos, &r.session_stats.writebacks));
       break;
     default:
       return Status::Corruption("unknown response op " +

@@ -42,7 +42,9 @@ namespace net {
 
 /// Protocol revision; bumped on any incompatible layout change. The server
 /// rejects a `kHello` carrying a different major version.
-inline constexpr uint32_t kProtocolVersion = 1;
+/// v2: kRows/kStats grew the buffer-pool counters (pool_hits, pool_misses,
+/// evictions, writebacks).
+inline constexpr uint32_t kProtocolVersion = 2;
 
 /// First bytes of every `kHello` payload after the op byte.
 inline constexpr char kProtocolMagic[4] = {'U', 'I', 'D', 'X'};
@@ -82,6 +84,11 @@ struct WireQueryStats {
   uint64_t prefetch_issued = 0;
   uint64_t prefetch_hits = 0;
   uint64_t prefetch_wasted = 0;
+  // Physical buffer-pool traffic (file backend; 0 in memory). v2.
+  uint64_t pool_hits = 0;
+  uint64_t pool_misses = 0;
+  uint64_t evictions = 0;
+  uint64_t writebacks = 0;
 };
 
 /// A decoded request frame.

@@ -31,6 +31,10 @@ WireQueryStats StatsDelta(const Session::Stats& before,
   d.prefetch_issued = after.prefetch_issued - before.prefetch_issued;
   d.prefetch_hits = after.prefetch_hits - before.prefetch_hits;
   d.prefetch_wasted = after.prefetch_wasted - before.prefetch_wasted;
+  d.pool_hits = after.pool_hits - before.pool_hits;
+  d.pool_misses = after.pool_misses - before.pool_misses;
+  d.evictions = after.evictions - before.evictions;
+  d.writebacks = after.writebacks - before.writebacks;
   return d;
 }
 

@@ -5,11 +5,13 @@
 #include <chrono>
 #include <cstddef>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "storage/buffer_pool.h"
 #include "storage/io_stats.h"
 #include "storage/page.h"
 #include "storage/pager.h"
@@ -32,6 +34,20 @@ class PrefetchScheduler;
 /// buffer pool (used by the cache-sensitivity ablation). In that mode
 /// `BeginQuery` is a no-op.
 ///
+/// Over a file-backed store (storage/file_pager.h) the manager owns a
+/// bounded `BufferPool` of real page frames, and every fetch additionally
+/// pins the page's frame: a *charged* read is then an actual `pread` when
+/// the pool misses. The two layers are deliberately independent — the
+/// accounting above is identical on every backend (what keeps per-query
+/// `pages_read` byte-identical, the repo's core invariant), while the
+/// pool's own traffic lands in the physical counters
+/// (`pool_hits`/`pool_misses`/`evictions`/`writebacks`).
+///
+/// Fetches hand out `PageRef` pin guards, never raw `Page*`: the referenced
+/// bytes are valid exactly while the ref lives, so pool eviction can never
+/// invalidate a page a caller is still parsing. Memory-backed refs wrap
+/// the stable in-process page and cost nothing.
+///
 /// Besides residency, the manager is the version authority for the decoded-
 /// node cache (btree/node_cache.h): every page carries a version that
 /// `FetchForWrite` and `Free` bump (and `SetCapacity` bumps globally via an
@@ -40,13 +56,14 @@ class PrefetchScheduler;
 ///
 /// Thread-safety: concurrent `Fetch`es are safe — the residency set is
 /// sharded by page id under per-shard mutexes (LRU mode uses one mutex, as
-/// the recency list is inherently global) and all counters are relaxed
-/// atomics, so the parallel Parscan (src/exec/) charges exactly the same
-/// page-read total as a serial walk over the same pages: the first thread
-/// to touch a page pays the read, every later thread gets the cache hit.
-/// Mutations (`Allocate`/`Free`/`FetchForWrite`) and mode switches
-/// (`SetCapacity`) require external exclusive access (no concurrent reader
-/// of the same pages), as does the underlying `Pager`.
+/// the recency list is inherently global), all counters are relaxed
+/// atomics, and the pool serializes frame I/O under its own lock — so the
+/// parallel Parscan (src/exec/) charges exactly the same page-read total as
+/// a serial walk over the same pages: the first thread to touch a page pays
+/// the read, every later thread gets the cache hit. Mutations
+/// (`Allocate`/`Free`/`FetchForWrite`) and mode switches (`SetCapacity`)
+/// require external exclusive access (no concurrent reader of the same
+/// pages), as does the underlying store.
 class BufferManager {
  public:
   /// Validation token for caches of values derived from a page's bytes.
@@ -63,14 +80,28 @@ class BufferManager {
   /// UINDEX_SIM_READ_LATENCY environment variable (microseconds), so
   /// benchmarks and the shell can model device latency without a code
   /// change; `SetSimulatedReadLatency` still overrides it.
-  explicit BufferManager(Pager* pager)
-      : pager_(pager), sim_read_latency_us_(EnvSimReadLatencyUs()) {}
+  ///
+  /// When `store` is not memory-backed, the manager builds a `BufferPool`
+  /// of `pool_pages` frames (256 if 0) evicting with `eviction`.
+  explicit BufferManager(PageStore* store, size_t pool_pages = 0,
+                         BufferPool::Eviction eviction =
+                             BufferPool::Eviction::kLru)
+      : pager_(store), sim_read_latency_us_(EnvSimReadLatencyUs()) {
+    if (!store->backs_memory()) {
+      pool_ = std::make_unique<BufferPool>(
+          store, pool_pages == 0 ? 256 : pool_pages, eviction, &stats_);
+    }
+  }
 
   BufferManager(const BufferManager&) = delete;
   BufferManager& operator=(const BufferManager&) = delete;
 
-  Pager* pager() { return pager_; }
+  PageStore* pager() { return pager_; }
+  const PageStore* pager() const { return pager_; }
   uint32_t page_size() const { return pager_->page_size(); }
+
+  /// The physical frame pool; null over memory-backed stores.
+  BufferPool* pool() const { return pool_.get(); }
 
   /// Switches to a bounded LRU cache of `pages` frames (0 restores the
   /// unbounded per-query-epoch mode). Resets residency either way and bumps
@@ -78,7 +109,7 @@ class BufferManager {
   /// the page pool itself). Requires external exclusion (see class
   /// comment).
   void SetCapacity(size_t pages) {
-    capacity_ = pages;
+    capacity_.store(pages, std::memory_order_relaxed);
     epoch_.fetch_add(1, std::memory_order_relaxed);
     ClearResidency();
     {
@@ -88,7 +119,9 @@ class BufferManager {
     }
     NotifyEpochReset();
   }
-  size_t capacity() const { return capacity_; }
+  size_t capacity() const {
+    return capacity_.load(std::memory_order_relaxed);
+  }
 
   /// Simulated device latency charged per counted page read, in
   /// microseconds (0 = off, the default). A modeling knob for wall-clock
@@ -108,7 +141,7 @@ class BufferManager {
   /// touch page versions — decoded-node caches legitimately survive across
   /// queries (they change CPU cost only, never the page-read metric).
   void BeginQuery() {
-    if (capacity_ == 0) {
+    if (capacity() == 0) {
       ClearResidency();
       NotifyEpochReset();
     }
@@ -133,7 +166,7 @@ class BufferManager {
   /// the current epoch's resident set, or the bounded LRU). Used by the
   /// prefetch scheduler to skip pages a background read could not help.
   bool IsResident(PageId id) const {
-    if (capacity_ != 0) {
+    if (capacity() != 0) {
       std::lock_guard<std::mutex> lock(lru_mu_);
       return lru_index_.find(id) != lru_index_.end();
     }
@@ -142,45 +175,48 @@ class BufferManager {
     return shard.resident.find(id) != shard.resident.end();
   }
 
-  /// Fetches a page for reading, updating the read counters.
-  Page* Fetch(PageId id) {
-    Page* page = pager_->GetPage(id);
-    if (page == nullptr) return nullptr;
-    bool charged = false;
-    if (capacity_ != 0) {
-      charged = TouchLru(id);
-    } else {
-      Shard& shard = shards_[id % kShards];
-      std::lock_guard<std::mutex> lock(shard.mu);
-      charged = shard.resident.insert(id).second;
-    }
-    if (charged) {
-      stats_.pages_read.fetch_add(1, std::memory_order_relaxed);
-      FinishChargedRead(id);
-    } else {
-      stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
-    }
-    return page;
-  }
+  /// Fetches a page for reading, updating the read counters. Null ref for
+  /// invalid/freed ids (and on a pool I/O failure).
+  PageRef Fetch(PageId id) { return FetchInternal(id, /*dirty=*/false); }
 
   /// Fetches a page for writing. Counts a read (the page must be resident
-  /// to modify it) plus a write, and bumps the page's version so derived-
-  /// value caches drop their now-stale entries. Requires external
-  /// exclusion against readers of this page (see class comment).
-  Page* FetchForWrite(PageId id) {
-    Page* page = Fetch(id);
-    if (page != nullptr) {
+  /// to modify it) plus a write, bumps the page's version so derived-
+  /// value caches drop their now-stale entries, and marks the frame dirty
+  /// for write-back. Requires external exclusion against readers of this
+  /// page (see class comment).
+  PageRef FetchForWrite(PageId id) {
+    PageRef ref = FetchInternal(id, /*dirty=*/true);
+    if (ref != nullptr) {
       stats_.pages_written.fetch_add(1, std::memory_order_relaxed);
       BumpVersion(id);
     }
-    return page;
+    return ref;
+  }
+
+  /// Fetches with NO logical accounting — the decoded-node cache warm path
+  /// and background prefetch use this so their reads never perturb the
+  /// paper metric. Physical pool traffic still counts (it is real I/O).
+  PageRef FetchUncounted(PageId id) {
+    if (!pager_->IsLive(id)) return PageRef();
+    return AcquirePage(id, /*dirty=*/false);
+  }
+
+  /// Physically loads `id` into the pool without pinning or accounting —
+  /// the background half of a prefetch over a file-backed store. No-op
+  /// (beyond the simulated latency handled by the scheduler) in memory
+  /// stores, where page bytes are always reachable.
+  void BackgroundLoad(PageId id) {
+    if (pool_ == nullptr || !pager_->IsLive(id)) return;
+    pool_->Pin(id, /*mark_dirty=*/false);  // Load; drop the pin at once.
   }
 
   /// Allocates a fresh page; it is immediately resident (no read charged).
   PageId Allocate() {
     PageId id = pager_->Allocate();
-    if (capacity_ != 0) {
-      InsertLru(id);
+    const size_t cap = capacity();
+    if (cap != 0) {
+      std::lock_guard<std::mutex> lock(lru_mu_);
+      InsertLruLocked(id, cap);
     } else {
       Shard& shard = shards_[id % kShards];
       std::lock_guard<std::mutex> lock(shard.mu);
@@ -188,11 +224,15 @@ class BufferManager {
     }
     stats_.pages_allocated.fetch_add(1, std::memory_order_relaxed);
     stats_.pages_written.fetch_add(1, std::memory_order_relaxed);
+    // A zeroed dirty frame, never a store read: a recycled id's stale
+    // file bytes must not be served as the fresh page's content.
+    if (pool_ != nullptr) pool_->PinNew(id);
     return id;
   }
 
-  /// Frees a page and drops it from the resident set, bumping its version
-  /// (a later `Allocate` may recycle the id for unrelated content).
+  /// Frees a page and drops it from the resident set (and its pool frame,
+  /// without write-back), bumping its version (a later `Allocate` may
+  /// recycle the id for unrelated content).
   void Free(PageId id) {
     {
       Shard& shard = shards_[id % kShards];
@@ -202,7 +242,7 @@ class BufferManager {
     }
     // The recency list only exists in bounded mode; per-query-epoch frees
     // (the common case — every split/merge path) skip its global lock.
-    if (capacity_ != 0) {
+    if (capacity() != 0) {
       std::lock_guard<std::mutex> lock(lru_mu_);
       auto it = lru_index_.find(id);
       if (it != lru_index_.end()) {
@@ -211,7 +251,17 @@ class BufferManager {
       }
     }
     NotifyFreed(id);
+    if (pool_ != nullptr) pool_->Discard(id);
     pager_->Free(id);
+  }
+
+  /// Writes every dirty pool frame back to the store (in page-id order),
+  /// then syncs the store's data file and allocation state when `sync` is
+  /// set. No-op over memory stores. `Save` calls this before snapshotting
+  /// so the store reads back the newest bytes; `Checkpoint` syncs.
+  Status Flush(bool sync) const {
+    if (pool_ == nullptr) return Status::OK();
+    return pool_->Flush(sync);
   }
 
   /// Current version of `id`. Read it BEFORE reading the page bytes a
@@ -269,9 +319,39 @@ class BufferManager {
     std::unordered_set<PageId> resident;
     // Write/free count per page id; absent means 0 (never written since
     // construction). Grows with distinct pages ever written — bounded by
-    // the pager's page count, a few machine words per page.
+    // the store's page count, a few machine words per page.
     std::unordered_map<PageId, uint64_t> versions;
   };
+
+  // The one fetch body: logical charging first (identical on every
+  // backend), then the physical acquire (pool pin or direct page).
+  PageRef FetchInternal(PageId id, bool dirty) {
+    if (!pager_->IsLive(id)) return PageRef();
+    bool charged = false;
+    const size_t cap = capacity();
+    if (cap != 0) {
+      charged = TouchLru(id, cap);
+    } else {
+      Shard& shard = shards_[id % kShards];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      charged = shard.resident.insert(id).second;
+    }
+    if (charged) {
+      stats_.pages_read.fetch_add(1, std::memory_order_relaxed);
+      FinishChargedRead(id);
+    } else {
+      stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+    }
+    return AcquirePage(id, dirty);
+  }
+
+  PageRef AcquirePage(PageId id, bool dirty) {
+    if (pool_ != nullptr) {
+      Result<PageRef> pinned = pool_->Pin(id, dirty);
+      return pinned.ok() ? std::move(pinned).value() : PageRef();
+    }
+    return PageRef(pager_->DirectPage(id));
+  }
 
   void ClearResidency() {
     for (Shard& shard : shards_) {
@@ -303,34 +383,46 @@ class BufferManager {
   static uint32_t EnvSimReadLatencyUs();
 
   // Returns true when the touch charged a read (the page was not cached).
-  bool TouchLru(PageId id) {
+  bool TouchLru(PageId id, size_t cap) {
     std::lock_guard<std::mutex> lock(lru_mu_);
     auto it = lru_index_.find(id);
     if (it != lru_index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);
       return false;
     }
-    InsertLruLocked(id);
+    InsertLruLocked(id, cap);
     return true;
   }
 
-  void InsertLru(PageId id) {
-    std::lock_guard<std::mutex> lock(lru_mu_);
-    InsertLruLocked(id);
-  }
-
-  void InsertLruLocked(PageId id) {
+  void InsertLruLocked(PageId id, size_t cap) {
     lru_.push_front(id);
     lru_index_[id] = lru_.begin();
-    while (lru_.size() > capacity_) {
-      lru_index_.erase(lru_.back());
-      lru_.pop_back();
+    while (lru_.size() > cap) EvictLruTailLocked();
+  }
+
+  // The bounded-LRU eviction path — every overflowing page leaves through
+  // here, never a silent drop. Over a file store the physical frame is
+  // shed through the pool's victim path (which owns the dirty write-back
+  // and counts the eviction); in memory the logical drop IS the eviction.
+  void EvictLruTailLocked() {
+    const PageId victim = lru_.back();
+    lru_index_.erase(victim);
+    lru_.pop_back();
+    if (pool_ != nullptr) {
+      pool_->Evict(victim);
+    } else {
+      stats_.evictions.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
-  Pager* pager_;
+  PageStore* pager_;
   IoStats stats_;
-  size_t capacity_ = 0;  // 0 = unbounded per-query-epoch mode.
+  // Physical frame pool over non-memory stores; null otherwise.
+  std::unique_ptr<BufferPool> pool_;
+  // Atomic: IsResident/Fetch read the mode while SetCapacity (external
+  // exclusion notwithstanding, e.g. a racing IsResident from a draining
+  // prefetch thread) stores it.
+  std::atomic<size_t> capacity_{0};  // 0 = unbounded per-query-epoch mode.
   std::atomic<uint32_t> sim_read_latency_us_{0};
   // Borrowed; nullptr when no async prefetch is attached (the default).
   std::atomic<PrefetchScheduler*> prefetcher_{nullptr};

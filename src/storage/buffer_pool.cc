@@ -1,0 +1,200 @@
+#include "storage/buffer_pool.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace uindex {
+
+void PageRef::Release() {
+  if (pool_ != nullptr && frame_ != nullptr) pool_->Unpin(frame_);
+  pool_ = nullptr;
+  frame_ = nullptr;
+  page_ = nullptr;
+}
+
+BufferPool::BufferPool(PageStore* store, size_t capacity, Eviction policy,
+                       IoStats* stats)
+    : store_(store), capacity_(capacity == 0 ? 1 : capacity),
+      policy_(policy), stats_(stats) {}
+
+BufferPool::~BufferPool() = default;
+
+void BufferPool::Unpin(BufferPoolFrame* frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(frame->pins > 0);
+  --frame->pins;
+  // A zombie (discarded while pinned) recycles at the last release.
+  if (frame->pins == 0 && !frame->cached) free_.push_back(frame);
+}
+
+void BufferPool::TouchLocked(BufferPoolFrame* frame) {
+  if (policy_ == Eviction::kLru) {
+    lru_.splice(lru_.begin(), lru_, frame->lru_it);
+  } else {
+    frame->ref_bit = true;
+  }
+}
+
+void BufferPool::InstallLocked(BufferPoolFrame* frame, PageId id) {
+  frame->id = id;
+  frame->cached = true;
+  frame->ref_bit = true;
+  frame->dirty = false;
+  table_[id] = frame;
+  if (policy_ == Eviction::kLru) {
+    lru_.push_front(frame);
+    frame->lru_it = lru_.begin();
+  }
+}
+
+Status BufferPool::WriteBackLocked(BufferPoolFrame* frame) {
+  UINDEX_RETURN_IF_ERROR(store_->WritePage(frame->id, frame->page.data()));
+  frame->dirty = false;
+  stats_->writebacks.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Result<BufferPoolFrame*> BufferPool::EvictLocked(BufferPoolFrame* forced) {
+  BufferPoolFrame* victim = forced;
+  if (victim == nullptr && policy_ == Eviction::kLru) {
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      if ((*it)->pins == 0) {
+        victim = *it;
+        break;
+      }
+    }
+  } else if (victim == nullptr) {
+    // CLOCK: sweep the frame table at most twice — the first pass may
+    // only be clearing reference bits.
+    for (size_t step = 0; step < 2 * frames_.size(); ++step) {
+      BufferPoolFrame* frame = frames_[clock_hand_].get();
+      clock_hand_ = (clock_hand_ + 1) % frames_.size();
+      if (!frame->cached || frame->pins != 0) continue;
+      if (frame->ref_bit) {
+        frame->ref_bit = false;
+        continue;
+      }
+      victim = frame;
+      break;
+    }
+  }
+  if (victim == nullptr) {
+    return Status::ResourceExhausted("buffer pool: every frame is pinned");
+  }
+  // Write-back failure keeps the frame cached and dirty: losing the only
+  // copy of a modified page to free a frame is never acceptable.
+  if (victim->dirty) UINDEX_RETURN_IF_ERROR(WriteBackLocked(victim));
+  table_.erase(victim->id);
+  if (policy_ == Eviction::kLru) lru_.erase(victim->lru_it);
+  victim->cached = false;
+  victim->id = kInvalidPageId;
+  stats_->evictions.fetch_add(1, std::memory_order_relaxed);
+  return victim;
+}
+
+Result<BufferPoolFrame*> BufferPool::ObtainFrameLocked() {
+  if (!free_.empty()) {
+    BufferPoolFrame* frame = free_.back();
+    free_.pop_back();
+    return frame;
+  }
+  if (frames_.size() < capacity_) {
+    frames_.push_back(
+        std::make_unique<BufferPoolFrame>(store_->page_size()));
+    return frames_.back().get();
+  }
+  return EvictLocked(nullptr);
+}
+
+Result<PageRef> BufferPool::Pin(PageId id, bool mark_dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = table_.find(id);
+  if (it != table_.end()) {
+    BufferPoolFrame* frame = it->second;
+    TouchLocked(frame);
+    ++frame->pins;
+    frame->dirty |= mark_dirty;
+    stats_->pool_hits.fetch_add(1, std::memory_order_relaxed);
+    return PageRef(this, frame);
+  }
+  Result<BufferPoolFrame*> obtained = ObtainFrameLocked();
+  if (!obtained.ok()) return obtained.status();
+  BufferPoolFrame* frame = obtained.value();
+  Status read = store_->ReadPage(id, frame->page.data());
+  if (!read.ok()) {
+    free_.push_back(frame);
+    return read;
+  }
+  stats_->pool_misses.fetch_add(1, std::memory_order_relaxed);
+  InstallLocked(frame, id);
+  ++frame->pins;
+  frame->dirty = mark_dirty;
+  return PageRef(this, frame);
+}
+
+PageRef BufferPool::PinNew(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(table_.find(id) == table_.end() && "fresh id already pooled");
+  Result<BufferPoolFrame*> obtained = ObtainFrameLocked();
+  if (!obtained.ok()) {
+    // No frame (all pinned, or a write-back failed). The id may be
+    // recycled, so its stale file bytes must still be neutralized: zero
+    // the page in the store directly. If even that fails the store is
+    // failing wholesale and the next read will report it.
+    std::vector<char> zeros(store_->page_size(), '\0');
+    store_->WritePage(id, zeros.data());
+    return PageRef();
+  }
+  BufferPoolFrame* frame = obtained.value();
+  frame->page.Clear();
+  InstallLocked(frame, id);
+  ++frame->pins;
+  frame->dirty = true;
+  return PageRef(this, frame);
+}
+
+void BufferPool::Discard(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = table_.find(id);
+  if (it == table_.end()) return;
+  BufferPoolFrame* frame = it->second;
+  table_.erase(it);
+  if (policy_ == Eviction::kLru) lru_.erase(frame->lru_it);
+  frame->cached = false;
+  frame->dirty = false;
+  frame->id = kInvalidPageId;
+  if (frame->pins == 0) free_.push_back(frame);
+}
+
+void BufferPool::Evict(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = table_.find(id);
+  if (it == table_.end() || it->second->pins != 0) return;
+  Result<BufferPoolFrame*> evicted = EvictLocked(it->second);
+  if (evicted.ok()) free_.push_back(evicted.value());
+  // On write-back failure the frame simply stays cached and dirty.
+}
+
+Status BufferPool::Flush(bool sync) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<BufferPoolFrame*> dirty;
+  for (const auto& frame : frames_) {
+    if (frame->cached && frame->dirty) dirty.push_back(frame.get());
+  }
+  std::sort(dirty.begin(), dirty.end(),
+            [](const BufferPoolFrame* a, const BufferPoolFrame* b) {
+              return a->id < b->id;
+            });
+  for (BufferPoolFrame* frame : dirty) {
+    UINDEX_RETURN_IF_ERROR(WriteBackLocked(frame));
+  }
+  if (sync) return store_->Sync();
+  return Status::OK();
+}
+
+size_t BufferPool::cached_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return table_.size();
+}
+
+}  // namespace uindex

@@ -1,0 +1,189 @@
+#ifndef UINDEX_STORAGE_BUFFER_POOL_H_
+#define UINDEX_STORAGE_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/io_stats.h"
+#include "storage/page.h"
+#include "storage/pager.h"
+
+namespace uindex {
+
+class BufferPool;
+
+/// One frame of the pool: a page-sized buffer plus the pin/dirty state
+/// that governs its lifetime. Frames are owned by the pool and have stable
+/// addresses; `PageRef` pins keep a frame's content in place while any
+/// reference to its bytes is live.
+struct BufferPoolFrame {
+  explicit BufferPoolFrame(uint32_t page_size) : page(page_size) {}
+
+  PageId id = kInvalidPageId;  ///< kInvalidPageId once discarded (zombie).
+  Page page;
+  uint32_t pins = 0;
+  bool dirty = false;
+  bool cached = false;    ///< Reachable through the pool's table.
+  bool ref_bit = false;   ///< CLOCK second-chance bit.
+  std::list<BufferPoolFrame*>::iterator lru_it;  ///< Valid while cached (LRU).
+};
+
+/// RAII pin on a page: the page's bytes are guaranteed valid for exactly
+/// as long as the ref lives. Replaces raw `Page*` in every fetch API so
+/// buffer-pool eviction can never invalidate a reference a caller still
+/// holds. Over a memory-backed store there is nothing to pin and the ref
+/// simply wraps the stable in-process page; the type is the same either
+/// way, so index code is backend-agnostic.
+class PageRef {
+ public:
+  PageRef() = default;
+  /// Unmanaged reference (memory stores): no pool, nothing to release.
+  explicit PageRef(Page* unmanaged) : page_(unmanaged) {}
+  /// Pinned frame (file stores); the pool's Pin/PinNew construct these.
+  PageRef(BufferPool* pool, BufferPoolFrame* frame)
+      : pool_(pool), frame_(frame), page_(&frame->page) {}
+
+  ~PageRef() { Release(); }
+
+  PageRef(const PageRef&) = delete;
+  PageRef& operator=(const PageRef&) = delete;
+  PageRef(PageRef&& other) noexcept
+      : pool_(other.pool_), frame_(other.frame_), page_(other.page_) {
+    other.pool_ = nullptr;
+    other.frame_ = nullptr;
+    other.page_ = nullptr;
+  }
+  PageRef& operator=(PageRef&& other) noexcept {
+    if (this != &other) {
+      Release();
+      pool_ = other.pool_;
+      frame_ = other.frame_;
+      page_ = other.page_;
+      other.pool_ = nullptr;
+      other.frame_ = nullptr;
+      other.page_ = nullptr;
+    }
+    return *this;
+  }
+
+  Page* get() const { return page_; }
+  Page& operator*() const { return *page_; }
+  Page* operator->() const { return page_; }
+  explicit operator bool() const { return page_ != nullptr; }
+  friend bool operator==(const PageRef& ref, std::nullptr_t) {
+    return ref.page_ == nullptr;
+  }
+  friend bool operator!=(const PageRef& ref, std::nullptr_t) {
+    return ref.page_ != nullptr;
+  }
+
+ private:
+  void Release();  // Unpins through the pool; defined in buffer_pool.cc.
+
+  BufferPool* pool_ = nullptr;
+  BufferPoolFrame* frame_ = nullptr;
+  Page* page_ = nullptr;
+};
+
+/// A bounded pool of page frames over a `PageStore` — the *physical* cache
+/// under the `BufferManager`'s accounting. A `Pin` miss reads the page
+/// from the store into a frame (evicting an unpinned victim when the pool
+/// is full, writing it back first if dirty); a hit hands out the resident
+/// frame. Pins are counted; eviction skips pinned frames, so a `PageRef`
+/// can never dangle.
+///
+/// Eviction is LRU by default, or CLOCK (second-chance over the frame
+/// table) when constructed with `Eviction::kClock` — the two are compared
+/// by bench_pager. Both funnel through one victim path that performs the
+/// dirty write-back and bumps the `evictions`/`writebacks` counters.
+///
+/// The pool deliberately does NOT touch the paper's logical counters
+/// (`pages_read`/`cache_hits`): those stay with the `BufferManager`'s
+/// backend-independent accounting, which is what keeps per-query page
+/// reads byte-identical across backends, cache sizes, and policies. The
+/// pool's own traffic lands in `pool_hits`/`pool_misses`.
+///
+/// One mutex covers lookup, eviction, and the store I/O itself. That
+/// serializes concurrent misses (a simplification — correctness first;
+/// the acceptance gates compare counts, not wall-clock), and it is what
+/// makes Pin safe to call from background prefetch threads.
+class BufferPool {
+ public:
+  enum class Eviction { kLru, kClock };
+
+  /// `stats` receives pool_hits/pool_misses/evictions/writebacks; borrowed
+  /// (the buffer manager passes its own `IoStats`).
+  BufferPool(PageStore* store, size_t capacity, Eviction policy,
+             IoStats* stats);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins `id`'s frame, reading it from the store on a miss. `mark_dirty`
+  /// marks the frame for write-back (the caller is about to modify the
+  /// bytes). Fails when the store read fails or every frame is pinned.
+  Result<PageRef> Pin(PageId id, bool mark_dirty);
+
+  /// Pins a zeroed, dirty frame for freshly allocated `id` WITHOUT reading
+  /// the store — a recycled id's stale file bytes must never be served.
+  /// Returns a null ref if no frame could be obtained (the fallback then
+  /// zeroes the page in the store directly).
+  PageRef PinNew(PageId id);
+
+  /// Drops `id`'s frame from the pool without write-back (the page was
+  /// freed). Pinned frames become zombies: unreachable for new pins, the
+  /// frame recycles once the last `PageRef` releases.
+  void Discard(PageId id);
+
+  /// Evicts `id`'s frame through the regular victim path (write-back if
+  /// dirty, eviction counted) if it is cached and unpinned; no-op
+  /// otherwise. The buffer manager's bounded-LRU mode routes its logical
+  /// evictions here so both caches shed together.
+  void Evict(PageId id);
+
+  /// Writes every dirty frame back to the store in page-id order (kept
+  /// deterministic so crash-fault traces replay exactly), then `Sync`s the
+  /// store when `sync` is set.
+  Status Flush(bool sync);
+
+  size_t capacity() const { return capacity_; }
+  /// Frames currently holding a cached page (for tests).
+  size_t cached_count() const;
+
+ private:
+  friend class PageRef;
+
+  void Unpin(BufferPoolFrame* frame);
+
+  // All Locked methods require mu_ held.
+  void TouchLocked(BufferPoolFrame* frame);
+  void InstallLocked(BufferPoolFrame* frame, PageId id);
+  Status WriteBackLocked(BufferPoolFrame* frame);
+  /// The single eviction path: picks a victim by policy (or takes
+  /// `forced`), writes it back if dirty, counts the eviction, and returns
+  /// the recycled frame. Null result + OK status cannot happen; a null
+  /// frame comes with the failure status.
+  Result<BufferPoolFrame*> EvictLocked(BufferPoolFrame* forced);
+  Result<BufferPoolFrame*> ObtainFrameLocked();
+
+  PageStore* store_;
+  const size_t capacity_;
+  const Eviction policy_;
+  IoStats* stats_;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<BufferPoolFrame>> frames_;
+  std::unordered_map<PageId, BufferPoolFrame*> table_;
+  std::list<BufferPoolFrame*> lru_;  ///< Front = most recent (kLru only).
+  std::vector<BufferPoolFrame*> free_;
+  size_t clock_hand_ = 0;  ///< Index into frames_ (kClock only).
+};
+
+}  // namespace uindex
+
+#endif  // UINDEX_STORAGE_BUFFER_POOL_H_

@@ -4,6 +4,8 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 
@@ -17,6 +19,14 @@ std::string DirnameOf(const std::string& path) {
 }
 
 namespace {
+
+// 0 = unlimited; tests cap it to force the short-count loops to iterate.
+std::atomic<size_t> g_posix_io_chunk{0};
+
+size_t ChunkOf(size_t n) {
+  const size_t cap = g_posix_io_chunk.load(std::memory_order_relaxed);
+  return cap == 0 ? n : std::min(n, cap);
+}
 
 Status Errno(const std::string& what, const std::string& path) {
   return Status::ResourceExhausted(what + " " + path + ": " +
@@ -35,7 +45,7 @@ class PosixWritableFile : public WritableFile {
     const char* p = data.data();
     size_t left = data.size();
     while (left > 0) {
-      const ssize_t n = ::write(fd_, p, left);
+      const ssize_t n = ::write(fd_, p, ChunkOf(left));
       if (n < 0) {
         if (errno == EINTR) continue;
         return Errno("write to", path_);
@@ -77,7 +87,7 @@ class PosixSequentialFile : public SequentialFile {
   Result<size_t> Read(size_t n, char* scratch) override {
     size_t got = 0;
     while (got < n) {
-      const ssize_t r = ::read(fd_, scratch + got, n - got);
+      const ssize_t r = ::read(fd_, scratch + got, ChunkOf(n - got));
       if (r < 0) {
         if (errno == EINTR) continue;
         return Errno("read from", path_);
@@ -86,6 +96,67 @@ class PosixSequentialFile : public SequentialFile {
       got += static_cast<size_t>(r);
     }
     return got;
+  }
+
+ private:
+  std::string path_;
+  int fd_;
+};
+
+/// Positioned I/O on one fd. pread/pwrite may return short counts (signals,
+/// quota boundaries), so both directions loop; a short pread that cannot
+/// advance is end of file.
+class PosixRandomRWFile : public RandomRWFile {
+ public:
+  PosixRandomRWFile(std::string path, int fd)
+      : path_(std::move(path)), fd_(fd) {}
+  ~PosixRandomRWFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Result<size_t> ReadAt(uint64_t offset, size_t n, char* scratch) override {
+    size_t got = 0;
+    while (got < n) {
+      const ssize_t r = ::pread(fd_, scratch + got, ChunkOf(n - got),
+                                static_cast<off_t>(offset + got));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return Errno("pread from", path_);
+      }
+      if (r == 0) break;  // EOF.
+      got += static_cast<size_t>(r);
+    }
+    return got;
+  }
+
+  Status WriteAt(uint64_t offset, const Slice& data) override {
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      const ssize_t n = ::pwrite(fd_, p, ChunkOf(left),
+                                 static_cast<off_t>(offset));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Errno("pwrite to", path_);
+      }
+      p += n;
+      offset += static_cast<uint64_t>(n);
+      left -= static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fdatasync(fd_) != 0) return Errno("fdatasync", path_);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    const int rc = ::close(fd_);
+    fd_ = -1;
+    if (rc != 0) return Errno("close", path_);
+    return Status::OK();
   }
 
  private:
@@ -114,6 +185,14 @@ class PosixEnv : public Env {
     }
     return std::unique_ptr<SequentialFile>(
         new PosixSequentialFile(path, fd));
+  }
+
+  Result<std::unique_ptr<RandomRWFile>> NewRandomRWFile(
+      const std::string& path, bool truncate) override {
+    const int flags = O_RDWR | O_CREAT | (truncate ? O_TRUNC : 0);
+    const int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return Errno("open for random rw", path);
+    return std::unique_ptr<RandomRWFile>(new PosixRandomRWFile(path, fd));
   }
 
   bool FileExists(const std::string& path) override {
@@ -163,6 +242,10 @@ class PosixEnv : public Env {
 };
 
 }  // namespace
+
+void SetPosixIoChunkForTesting(size_t max_bytes) {
+  g_posix_io_chunk.store(max_bytes, std::memory_order_relaxed);
+}
 
 Env* Env::Default() {
   static PosixEnv* env = new PosixEnv();

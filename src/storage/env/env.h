@@ -64,6 +64,22 @@ class SequentialFile {
   virtual Result<size_t> Read(size_t n, char* scratch) = 0;
 };
 
+/// Positioned random-access reader/writer — the data file of the
+/// file-backed pager. `WriteAt` data is volatile until `Sync` returns OK
+/// (same contract as `WritableFile::Append`); writes past the current end
+/// extend the file, and the gap (if any) reads as zeros. `ReadAt` returns
+/// the bytes actually read — a short count means the range crosses end of
+/// file, and reading entirely past the end returns 0 (not an error).
+class RandomRWFile {
+ public:
+  virtual ~RandomRWFile() = default;
+  virtual Result<size_t> ReadAt(uint64_t offset, size_t n,
+                                char* scratch) = 0;
+  virtual Status WriteAt(uint64_t offset, const Slice& data) = 0;
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
 class Env {
  public:
   enum class WriteMode {
@@ -80,6 +96,12 @@ class Env {
       const std::string& path, WriteMode mode) = 0;
   virtual Result<std::unique_ptr<SequentialFile>> NewSequentialFile(
       const std::string& path) = 0;
+
+  /// Opens `path` for positioned reads and writes, creating it if absent;
+  /// `truncate` additionally discards any existing content.
+  virtual Result<std::unique_ptr<RandomRWFile>> NewRandomRWFile(
+      const std::string& path, bool truncate) = 0;
+
   virtual bool FileExists(const std::string& path) = 0;
   virtual Result<uint64_t> FileSize(const std::string& path) = 0;
   virtual Status RenameFile(const std::string& from,
@@ -95,6 +117,12 @@ class Env {
 /// The directory component of `path` ("." when there is none), for
 /// `Env::SyncDir` after renaming a file into place.
 std::string DirnameOf(const std::string& path);
+
+/// Test hook: caps the byte count `PosixEnv` passes to any single
+/// read/write/pread/pwrite syscall (0 restores unlimited). Forces the
+/// short-count retry loops to actually iterate so tests can cover them;
+/// never use outside tests.
+void SetPosixIoChunkForTesting(size_t max_bytes);
 
 }  // namespace uindex
 

@@ -61,10 +61,42 @@ class FaultWritableFile : public WritableFile {
   uint64_t epoch_;
 };
 
+/// Random-access handle: same shape as FaultWritableFile — all state and
+/// fault logic live in the env, the handle carries its node and epoch.
+class FaultRandomRWFile : public RandomRWFile {
+ public:
+  FaultRandomRWFile(FaultInjectingEnv* env, FaultInjectingEnv::NodePtr node,
+                    std::string path, uint64_t epoch)
+      : env_(env), node_(std::move(node)), path_(std::move(path)),
+        epoch_(epoch) {}
+
+  Result<size_t> ReadAt(uint64_t offset, size_t n, char* scratch) override {
+    return env_->FileReadAt(epoch_, node_, path_, offset, n, scratch);
+  }
+  Status WriteAt(uint64_t offset, const Slice& data) override {
+    return env_->FileWriteAt(epoch_, node_, path_, offset, data);
+  }
+  Status Sync() override {
+    return env_->FileOp(epoch_, node_, path_,
+                        FaultInjectingEnv::OpKind::kSync);
+  }
+  Status Close() override {
+    return env_->FileOp(epoch_, node_, path_,
+                        FaultInjectingEnv::OpKind::kClose);
+  }
+
+ private:
+  FaultInjectingEnv* env_;
+  FaultInjectingEnv::NodePtr node_;
+  std::string path_;
+  uint64_t epoch_;
+};
+
 const char* FaultInjectingEnv::OpKindName(OpKind kind) {
   switch (kind) {
     case OpKind::kCreate: return "create";
     case OpKind::kWrite: return "write";
+    case OpKind::kWriteAt: return "pwrite";
     case OpKind::kFlush: return "flush";
     case OpKind::kSync: return "sync";
     case OpKind::kClose: return "close";
@@ -95,8 +127,9 @@ FaultInjectingEnv::Fate FaultInjectingEnv::BeginOp(OpKind kind,
       case CrashOutcome::kPartial:
         // Only writes can tear; for any other op a partial outcome
         // degenerates to "no effect".
-        fate = kind == OpKind::kWrite ? Fate::kCrashPartial
-                                      : Fate::kCrashNone;
+        fate = kind == OpKind::kWrite || kind == OpKind::kWriteAt
+                   ? Fate::kCrashPartial
+                   : Fate::kCrashNone;
         break;
       case CrashOutcome::kFull:
         fate = Fate::kCrashFull;
@@ -109,7 +142,7 @@ FaultInjectingEnv::Fate FaultInjectingEnv::BeginOp(OpKind kind,
       if (it->crash) {
         fate = it->outcome == CrashOutcome::kFull ? Fate::kCrashFull
                : it->outcome == CrashOutcome::kPartial &&
-                       kind == OpKind::kWrite
+                       (kind == OpKind::kWrite || kind == OpKind::kWriteAt)
                    ? Fate::kCrashPartial
                    : Fate::kCrashNone;
       } else {
@@ -172,16 +205,16 @@ Status FaultInjectingEnv::FileAppend(uint64_t epoch, const NodePtr& node,
       return Status::OK();
     case Fate::kCrashPartial: {
       // A torn write: the first half of this op's bytes hit the media
-      // (along with anything earlier in the file, per physical prefix
-      // persistence), the rest never will.
+      // (along with every earlier volatile byte of the file — the dying
+      // cache flush is modeled as all-but-the-tail), the rest never will.
       const size_t kept = data.size() / 2;
       node->data.append(data.data(), kept);
-      node->synced = node->data.size();
+      node->durable = node->data;
       return Status::ResourceExhausted("injected crash: torn write " + path);
     }
     case Fate::kCrashFull:
       node->data.append(data.data(), data.size());
-      node->synced = node->data.size();
+      node->durable = node->data;
       return Status::ResourceExhausted("injected crash: write " + path);
     case Fate::kCrashNone:
       return Status::ResourceExhausted("injected crash: write " + path);
@@ -189,6 +222,89 @@ Status FaultInjectingEnv::FileAppend(uint64_t epoch, const NodePtr& node,
       return Status::ResourceExhausted("injected fault: write " + path);
   }
   return Status::OK();
+}
+
+Result<std::unique_ptr<RandomRWFile>> FaultInjectingEnv::NewRandomRWFile(
+    const std::string& path, bool truncate) {
+  std::lock_guard lock(mu_);
+  if (powered_off_) return PoweredOffError();
+  const Fate fate = BeginOp(OpKind::kCreate, path, 0);
+  if (fate == Fate::kFail || fate == Fate::kCrashNone ||
+      fate == Fate::kCrashPartial) {
+    return Status::ResourceExhausted("injected fault: create " + path);
+  }
+
+  NodePtr node;
+  auto it = current_.find(path);
+  if (!truncate && it != current_.end()) {
+    node = it->second;
+  } else {
+    node = std::make_shared<FileNode>();
+    current_[path] = node;
+  }
+  if (fate == Fate::kCrashFull) {
+    durable_[path] = node;
+    return Status::ResourceExhausted("injected crash: create " + path);
+  }
+  return std::unique_ptr<RandomRWFile>(
+      new FaultRandomRWFile(this, std::move(node), path, epoch_));
+}
+
+Status FaultInjectingEnv::FileWriteAt(uint64_t epoch, const NodePtr& node,
+                                      const std::string& path,
+                                      uint64_t offset, const Slice& data) {
+  std::lock_guard lock(mu_);
+  if (powered_off_) return PoweredOffError();
+  if (epoch != epoch_) {
+    return Status::ResourceExhausted("stale file handle " + path);
+  }
+  const Fate fate = BeginOp(OpKind::kWriteAt, path, data.size());
+  auto apply = [&](size_t len) {
+    if (node->data.size() < offset + len) {
+      node->data.resize(offset + len, '\0');
+    }
+    std::memcpy(node->data.data() + offset, data.data(), len);
+  };
+  switch (fate) {
+    case Fate::kProceed:
+      apply(data.size());
+      return Status::OK();
+    case Fate::kCrashPartial:
+      // Torn positioned write: the first half of this op plus every
+      // earlier volatile byte reach the media (same dying-cache-flush
+      // model as appends), the rest never will.
+      apply(data.size() / 2);
+      node->durable = node->data;
+      return Status::ResourceExhausted("injected crash: torn pwrite " +
+                                       path);
+    case Fate::kCrashFull:
+      apply(data.size());
+      node->durable = node->data;
+      return Status::ResourceExhausted("injected crash: pwrite " + path);
+    case Fate::kCrashNone:
+      return Status::ResourceExhausted("injected crash: pwrite " + path);
+    case Fate::kFail:
+      return Status::ResourceExhausted("injected fault: pwrite " + path);
+  }
+  return Status::OK();
+}
+
+Result<size_t> FaultInjectingEnv::FileReadAt(uint64_t epoch,
+                                             const NodePtr& node,
+                                             const std::string& path,
+                                             uint64_t offset, size_t n,
+                                             char* scratch) const {
+  // Reads are not ops (they never shift a crash schedule), but a powered-
+  // off machine cannot serve them and a rebooted process's handle is gone.
+  std::lock_guard lock(mu_);
+  if (powered_off_) return PoweredOffError();
+  if (epoch != epoch_) {
+    return Status::ResourceExhausted("stale file handle " + path);
+  }
+  if (offset >= node->data.size()) return static_cast<size_t>(0);
+  const size_t got = std::min(n, node->data.size() - offset);
+  std::memcpy(scratch, node->data.data() + offset, got);
+  return got;
 }
 
 Status FaultInjectingEnv::FileOp(uint64_t epoch, const NodePtr& node,
@@ -200,7 +316,7 @@ Status FaultInjectingEnv::FileOp(uint64_t epoch, const NodePtr& node,
   }
   const Fate fate = BeginOp(kind, path, 0);
   const bool effect = fate == Fate::kProceed || fate == Fate::kCrashFull;
-  if (effect && kind == OpKind::kSync) node->synced = node->data.size();
+  if (effect && kind == OpKind::kSync) node->durable = node->data;
   // kFlush and kClose move nothing toward the media: volatile either way.
   if (fate == Fate::kProceed) return Status::OK();
   return Status::ResourceExhausted(
@@ -287,7 +403,9 @@ Status FaultInjectingEnv::TruncateFile(const std::string& path,
   }
   FileNode& node = *it->second;
   if (size < node.data.size()) node.data.resize(size);
-  node.synced = std::min<size_t>(node.synced, node.data.size());
+  if (node.durable.size() > node.data.size()) {
+    node.durable.resize(node.data.size());
+  }
   if (fate == Fate::kCrashFull) {
     return Status::ResourceExhausted("injected crash: truncate " + path);
   }
@@ -338,12 +456,10 @@ void FaultInjectingEnv::FailKthOpOfKind(OpKind kind, int k) {
 
 void FaultInjectingEnv::Reboot() {
   std::lock_guard lock(mu_);
-  // Power-cut resolution: only synced bytes of durably-linked files
-  // survive; every unsynced namespace change (creations, renames,
-  // removals since the owning directory's last sync) rolls back.
-  for (auto& [path, node] : durable_) {
-    if (node->data.size() > node->synced) node->data.resize(node->synced);
-  }
+  // Power-cut resolution: durably-linked files revert to their durable
+  // image; every unsynced namespace change (creations, renames, removals
+  // since the owning directory's last sync) rolls back.
+  for (auto& [path, node] : durable_) node->data = node->durable;
   current_ = durable_;
   ++epoch_;
   powered_off_ = false;

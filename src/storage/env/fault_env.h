@@ -48,6 +48,7 @@ class FaultInjectingEnv : public Env {
   enum class OpKind {
     kCreate,
     kWrite,
+    kWriteAt,  ///< Positioned write (RandomRWFile::WriteAt).
     kFlush,
     kSync,
     kClose,
@@ -71,6 +72,8 @@ class FaultInjectingEnv : public Env {
       const std::string& path, WriteMode mode) override;
   Result<std::unique_ptr<SequentialFile>> NewSequentialFile(
       const std::string& path) override;
+  Result<std::unique_ptr<RandomRWFile>> NewRandomRWFile(
+      const std::string& path, bool truncate) override;
   bool FileExists(const std::string& path) override;
   Result<uint64_t> FileSize(const std::string& path) override;
   Status RenameFile(const std::string& from, const std::string& to) override;
@@ -105,10 +108,16 @@ class FaultInjectingEnv : public Env {
 
  private:
   friend class FaultWritableFile;
+  friend class FaultRandomRWFile;
 
+  /// Two full images, not a synced-prefix watermark: positioned writes can
+  /// land *below* any watermark, and a volatile overwrite there must still
+  /// roll back at reboot — only a separate durable image can express that.
+  /// For append-only files the two models agree exactly (`durable` is
+  /// always a prefix of `data`).
   struct FileNode {
-    std::string data;
-    size_t synced = 0;  ///< data[0, synced) is on durable media.
+    std::string data;     ///< Volatile view (the OS page cache).
+    std::string durable;  ///< What the media holds after a power cut.
   };
   using NodePtr = std::shared_ptr<FileNode>;
 
@@ -128,6 +137,12 @@ class FaultInjectingEnv : public Env {
   // Handle-delegated operations (mu_ taken inside).
   Status FileAppend(uint64_t epoch, const NodePtr& node,
                     const std::string& path, const Slice& data);
+  Status FileWriteAt(uint64_t epoch, const NodePtr& node,
+                     const std::string& path, uint64_t offset,
+                     const Slice& data);
+  Result<size_t> FileReadAt(uint64_t epoch, const NodePtr& node,
+                            const std::string& path, uint64_t offset,
+                            size_t n, char* scratch) const;
   Status FileOp(uint64_t epoch, const NodePtr& node, const std::string& path,
                 OpKind kind);  // kFlush / kSync / kClose.
 

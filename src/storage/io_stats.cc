@@ -1,5 +1,7 @@
 #include "storage/io_stats.h"
 
+#include <cstdio>
+
 namespace uindex {
 
 std::string IoStats::ToString() const {
@@ -23,6 +25,22 @@ std::string IoStats::ToString() const {
          std::to_string(prefetch_hits.load(std::memory_order_relaxed));
   out += " prefetch_wasted=" +
          std::to_string(prefetch_wasted.load(std::memory_order_relaxed));
+  const uint64_t hits = pool_hits.load(std::memory_order_relaxed);
+  const uint64_t misses = pool_misses.load(std::memory_order_relaxed);
+  out += " pool_hits=" + std::to_string(hits);
+  out += " pool_misses=" + std::to_string(misses);
+  out += " evictions=" +
+         std::to_string(evictions.load(std::memory_order_relaxed));
+  out += " writebacks=" +
+         std::to_string(writebacks.load(std::memory_order_relaxed));
+  if (hits + misses > 0) {
+    char rate[32];
+    std::snprintf(rate, sizeof(rate), "%.3f",
+                  static_cast<double>(hits) /
+                      static_cast<double>(hits + misses));
+    out += " pool_hit_rate=";
+    out += rate;
+  }
   return out;
 }
 

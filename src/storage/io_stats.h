@@ -48,6 +48,16 @@ struct IoStats {
   std::atomic<uint64_t> prefetch_issued{0};///< Background reads started.
   std::atomic<uint64_t> prefetch_hits{0};  ///< Demand reads served by a prefetch.
   std::atomic<uint64_t> prefetch_wasted{0};///< Issued reads that served no demand fetch.
+  // Physical buffer-pool traffic (file backend only; always 0 over the
+  // in-memory store). Deliberately separate from the logical counters
+  // above: pool_hits/pool_misses split frame pins by residency, evictions
+  // counts victims shed from the bounded cache (both the pool's and the
+  // logical-LRU mode's), writebacks counts dirty frames written to the
+  // data file. None of them ever move `pages_read`.
+  std::atomic<uint64_t> pool_hits{0};      ///< Frame pins served in place.
+  std::atomic<uint64_t> pool_misses{0};    ///< Frame pins that read the store.
+  std::atomic<uint64_t> evictions{0};      ///< Frames/pages evicted from a bounded cache.
+  std::atomic<uint64_t> writebacks{0};     ///< Dirty frames written back to the store.
 
   IoStats() = default;
   IoStats(const IoStats& other) { *this = other; }
@@ -76,6 +86,14 @@ struct IoStats {
     prefetch_wasted.store(
         other.prefetch_wasted.load(std::memory_order_relaxed),
         std::memory_order_relaxed);
+    pool_hits.store(other.pool_hits.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    pool_misses.store(other.pool_misses.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    evictions.store(other.evictions.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    writebacks.store(other.writebacks.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
     return *this;
   }
 
@@ -95,6 +113,10 @@ struct IoStats {
     prefetch_issued.store(0, std::memory_order_relaxed);
     prefetch_hits.store(0, std::memory_order_relaxed);
     prefetch_wasted.store(0, std::memory_order_relaxed);
+    pool_hits.store(0, std::memory_order_relaxed);
+    pool_misses.store(0, std::memory_order_relaxed);
+    evictions.store(0, std::memory_order_relaxed);
+    writebacks.store(0, std::memory_order_relaxed);
   }
 
   IoStats operator-(const IoStats& base) const {
@@ -109,6 +131,10 @@ struct IoStats {
     d.prefetch_issued = prefetch_issued - base.prefetch_issued;
     d.prefetch_hits = prefetch_hits - base.prefetch_hits;
     d.prefetch_wasted = prefetch_wasted - base.prefetch_wasted;
+    d.pool_hits = pool_hits - base.pool_hits;
+    d.pool_misses = pool_misses - base.pool_misses;
+    d.evictions = evictions - base.evictions;
+    d.writebacks = writebacks - base.writebacks;
     return d;
   }
 

@@ -18,7 +18,7 @@ Result<PageId> OverflowChain::Write(BufferManager* buffers,
 
   size_t offset = 0;
   for (size_t i = 0; i < links; ++i) {
-    Page* page = buffers->FetchForWrite(ids[i]);
+    PageRef page = buffers->FetchForWrite(ids[i]);
     if (page == nullptr) return Status::Corruption("lost overflow page");
     const size_t chunk =
         std::min<size_t>(payload, data.size() - offset);
@@ -34,7 +34,7 @@ Result<std::string> OverflowChain::Read(BufferManager* buffers, PageId head) {
   std::string out;
   PageId id = head;
   while (id != kInvalidPageId) {
-    Page* page = buffers->Fetch(id);
+    PageRef page = buffers->Fetch(id);
     if (page == nullptr) return Status::Corruption("broken overflow chain");
     const PageId next = DecodeFixed32(page->data());
     const uint16_t len = DecodeFixed16(page->data() + 4);
@@ -47,9 +47,16 @@ Result<std::string> OverflowChain::Read(BufferManager* buffers, PageId head) {
 Status OverflowChain::Free(BufferManager* buffers, PageId head) {
   PageId id = head;
   while (id != kInvalidPageId) {
-    Page* page = buffers->Fetch(id);
-    if (page == nullptr) return Status::Corruption("broken overflow chain");
-    const PageId next = DecodeFixed32(page->data());
+    PageId next = kInvalidPageId;
+    {
+      // Decode the link, then drop the pin BEFORE freeing: Free discards
+      // the pool frame, and a pinned frame would linger as a zombie.
+      PageRef page = buffers->Fetch(id);
+      if (page == nullptr) {
+        return Status::Corruption("broken overflow chain");
+      }
+      next = DecodeFixed32(page->data());
+    }
     buffers->Free(id);
     id = next;
   }

@@ -39,16 +39,44 @@ const Page* Pager::GetPage(PageId id) const {
   return pages_[id - 1].get();
 }
 
+Status Pager::ReadPage(PageId id, char* out) const {
+  const Page* page = GetPage(id);
+  if (page == nullptr) {
+    return Status::InvalidArgument("read of dead page " +
+                                   std::to_string(id));
+  }
+  std::memcpy(out, page->data(), page->size());
+  return Status::OK();
+}
+
+Status Pager::WritePage(PageId id, const char* bytes) {
+  Page* page = GetPage(id);
+  if (page == nullptr) {
+    return Status::InvalidArgument("write of dead page " +
+                                   std::to_string(id));
+  }
+  std::memcpy(page->data(), bytes, page->size());
+  return Status::OK();
+}
+
 std::unique_ptr<Pager> Pager::CreateForRestore(uint32_t page_size,
                                                PageId max_page_id) {
   auto pager = std::make_unique<Pager>(page_size);
-  pager->pages_.resize(max_page_id);
+  pager->BeginRestore(max_page_id);
+  return pager;
+}
+
+Status Pager::BeginRestore(PageId max_page_id) {
+  pages_.clear();
+  free_list_.clear();
+  live_count_ = 0;
+  pages_.resize(max_page_id);
   // Free slots in descending order so future Allocate() reuses low ids
   // first (cosmetic; any order is correct).
   for (PageId id = max_page_id; id >= 1; --id) {
-    pager->free_list_.push_back(id);
+    free_list_.push_back(id);
   }
-  return pager;
+  return Status::OK();
 }
 
 Status Pager::RestorePage(PageId id, const Slice& bytes) {

@@ -13,6 +13,74 @@
 
 namespace uindex {
 
+/// Where pages live: the storage backend under the buffer manager.
+///
+/// Two implementations exist. `Pager` (below) keeps every page in process
+/// memory — the original reproduction setup, where `pages_read` is the
+/// metric and I/O is simulated. `FilePager` (storage/file_pager.h) keeps
+/// pages in a data file behind `Env` positioned I/O, so databases can
+/// exceed RAM; the buffer manager then caches frames in a bounded
+/// `BufferPool` and a charged read is an actual `pread` on a pool miss.
+///
+/// The allocation interface (Allocate/Free/IsLive/…) is identical for
+/// both. The *access* interface splits: memory stores hand out stable
+/// in-process pages via `DirectPage`; file stores only move whole pages
+/// through `ReadPage`/`WritePage` and return null from `DirectPage`
+/// (`backs_memory` tells the buffer manager which protocol applies).
+/// Implementations are not thread-safe; callers serialize (the buffer
+/// manager routes all file-store I/O through the pool's one lock, and
+/// mutations require external exclusion).
+class PageStore {
+ public:
+  virtual ~PageStore() = default;
+
+  virtual uint32_t page_size() const = 0;
+
+  /// Allocates a page id whose content reads as zeros, and returns it.
+  virtual PageId Allocate() = 0;
+
+  /// Returns the page to the free pool. The id must be live.
+  virtual void Free(PageId id) = 0;
+
+  /// True if `id` names a live (allocated, not freed) page.
+  virtual bool IsLive(PageId id) const = 0;
+
+  /// Number of live pages (the storage footprint in pages).
+  virtual uint64_t live_page_count() const = 0;
+
+  /// Highest page id ever allocated.
+  virtual PageId max_page_id() const = 0;
+
+  /// True when pages are process memory and `DirectPage` works; false for
+  /// file stores, where access goes through `ReadPage`/`WritePage` (and,
+  /// above this layer, the buffer pool's frames).
+  virtual bool backs_memory() const = 0;
+
+  /// Borrows a live page in memory stores (stable until freed); null for
+  /// invalid/freed ids and ALWAYS null in file stores.
+  virtual Page* DirectPage(PageId id) = 0;
+  virtual const Page* DirectPage(PageId id) const = 0;
+
+  /// Copies the page's current content into `out[0, page_size)`. For file
+  /// stores this is positioned file I/O against the data file — callers
+  /// holding newer bytes in pool frames must flush them first.
+  virtual Status ReadPage(PageId id, char* out) const = 0;
+
+  /// Persists `bytes[0, page_size)` as the page's content (volatile until
+  /// `Sync` for file stores).
+  virtual Status WritePage(PageId id, const char* bytes) = 0;
+
+  /// Makes the store durable: file stores write their allocation bitmap
+  /// and header and fdatasync the data file; memory stores no-op.
+  virtual Status Sync() = 0;
+
+  /// Restore support (used by `PagerSnapshot`): resets the store to an
+  /// empty id space reaching `max_page_id`, every slot free;
+  /// `RestorePage` then revives specific ids with content.
+  virtual Status BeginRestore(PageId max_page_id) = 0;
+  virtual Status RestorePage(PageId id, const Slice& bytes) = 0;
+};
+
 /// An in-memory paged file.
 ///
 /// The paper's experiments run on index files with a fixed page size and
@@ -20,7 +88,7 @@ namespace uindex {
 /// identical geometry preserves the metric exactly (see DESIGN.md,
 /// "Substitutions"). Pages are allocated sequentially starting at id 1;
 /// freed pages go on a free list and are reused.
-class Pager {
+class Pager : public PageStore {
  public:
   /// Creates a pager whose pages are all `page_size` bytes.
   explicit Pager(uint32_t page_size);
@@ -28,36 +96,41 @@ class Pager {
   Pager(const Pager&) = delete;
   Pager& operator=(const Pager&) = delete;
 
-  uint32_t page_size() const { return page_size_; }
+  uint32_t page_size() const override { return page_size_; }
 
   /// Allocates a zeroed page and returns its id.
-  PageId Allocate();
+  PageId Allocate() override;
 
   /// Returns the page to the free list. The id must be live.
-  void Free(PageId id);
+  void Free(PageId id) override;
 
   /// Borrows a live page for reading/writing. The pointer is stable until
   /// the page is freed. Returns nullptr for invalid or freed ids.
   Page* GetPage(PageId id);
   const Page* GetPage(PageId id) const;
 
-  /// True if `id` names a live (allocated, not freed) page.
-  bool IsLive(PageId id) const;
+  bool IsLive(PageId id) const override;
 
-  /// Number of live pages (the index's storage footprint in pages).
-  uint64_t live_page_count() const { return live_count_; }
+  uint64_t live_page_count() const override { return live_count_; }
 
-  /// Highest page id ever allocated.
-  PageId max_page_id() const {
+  PageId max_page_id() const override {
     return static_cast<PageId>(pages_.size());
   }
+
+  bool backs_memory() const override { return true; }
+  Page* DirectPage(PageId id) override { return GetPage(id); }
+  const Page* DirectPage(PageId id) const override { return GetPage(id); }
+  Status ReadPage(PageId id, char* out) const override;
+  Status WritePage(PageId id, const char* bytes) override;
+  Status Sync() override { return Status::OK(); }
 
   /// Restore support (used by `PagerSnapshot`): creates an empty pager
   /// whose id space reaches `max_page_id`, with every slot initially on
   /// the free list; `RestorePage` then revives specific ids with content.
   static std::unique_ptr<Pager> CreateForRestore(uint32_t page_size,
                                                  PageId max_page_id);
-  Status RestorePage(PageId id, const Slice& bytes);
+  Status BeginRestore(PageId max_page_id) override;
+  Status RestorePage(PageId id, const Slice& bytes) override;
 
  private:
   uint32_t page_size_;

@@ -101,6 +101,10 @@ void PrefetchScheduler::RunRead(PageId id, uint64_t ticket,
   if (us != 0) {
     std::this_thread::sleep_for(std::chrono::microseconds(us));
   }
+  // File backend: the background half is a REAL read — pull the page into
+  // a pool frame (no pin kept, no logical accounting) so the demand fetch
+  // finds it resident. Memory backend: no-op.
+  buffers_->BackgroundLoad(id);
   if (warm != nullptr) warm(id);
 
   {

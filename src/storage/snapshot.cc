@@ -28,27 +28,30 @@ Status ReadExact(SequentialFile* file, char* out, size_t n,
 // Writes header + metadata + every live page to `file` and syncs it. One
 // Append per section / per page, so the fault-injection harness gets one
 // crash point for each.
-Status WriteBody(const Pager& pager, const std::string& metadata,
+Status WriteBody(const PageStore& store, const std::string& metadata,
                  WritableFile* file) {
   std::string header;
   header.append(kMagic, sizeof(kMagic));
   PutFixed32(&header, kVersion);
-  PutFixed32(&header, pager.page_size());
-  PutFixed32(&header, pager.max_page_id());
-  PutFixed64(&header, pager.live_page_count());
+  PutFixed32(&header, store.page_size());
+  PutFixed32(&header, store.max_page_id());
+  PutFixed64(&header, store.live_page_count());
   PutFixed32(&header, static_cast<uint32_t>(metadata.size()));
   PutFixed32(&header, Crc32(Slice(metadata)));
   UINDEX_RETURN_IF_ERROR(file->Append(Slice(header)));
   UINDEX_RETURN_IF_ERROR(file->Append(Slice(metadata)));
 
-  for (PageId id = 1; id <= pager.max_page_id(); ++id) {
-    const Page* page = pager.GetPage(id);
-    if (page == nullptr) continue;
+  std::vector<char> buffer(store.page_size());
+  for (PageId id = 1; id <= store.max_page_id(); ++id) {
+    if (!store.IsLive(id)) continue;
+    // ReadPage, not DirectPage: on the file backend the page bytes live in
+    // the data file (the caller flushed dirty frames before calling Save).
+    UINDEX_RETURN_IF_ERROR(store.ReadPage(id, buffer.data()));
     std::string frame;
-    frame.reserve(8 + page->size());
+    frame.reserve(8 + buffer.size());
     PutFixed32(&frame, id);
-    PutFixed32(&frame, Crc32(Slice(page->data(), page->size())));
-    frame.append(page->data(), page->size());
+    PutFixed32(&frame, Crc32(Slice(buffer.data(), buffer.size())));
+    frame.append(buffer.data(), buffer.size());
     UINDEX_RETURN_IF_ERROR(file->Append(Slice(frame)));
   }
   UINDEX_RETURN_IF_ERROR(file->Flush());
@@ -61,7 +64,7 @@ Status WriteBody(const Pager& pager, const std::string& metadata,
 
 }  // namespace
 
-Status PagerSnapshot::Save(Env* env, const Pager& pager,
+Status PagerSnapshot::Save(Env* env, const PageStore& store,
                            const std::string& metadata,
                            const std::string& path,
                            bool* rename_attempted) {
@@ -72,7 +75,7 @@ Status PagerSnapshot::Save(Env* env, const Pager& pager,
   Result<std::unique_ptr<WritableFile>> file =
       env->NewWritableFile(tmp, Env::WriteMode::kTruncate);
   if (!file.ok()) return file.status();
-  Status st = WriteBody(pager, metadata, file.value().get());
+  Status st = WriteBody(store, metadata, file.value().get());
   if (!st.ok()) {
     env->RemoveFile(tmp);  // Best effort; a leftover .tmp is harmless.
     return st;
@@ -90,6 +93,14 @@ Status PagerSnapshot::Save(Env* env, const Pager& pager,
 
 Result<PagerSnapshot::Loaded> PagerSnapshot::Load(Env* env,
                                                   const std::string& path) {
+  return Load(env, path, [](uint32_t page_size) {
+    return Result<std::unique_ptr<PageStore>>(
+        std::make_unique<Pager>(page_size));
+  });
+}
+
+Result<PagerSnapshot::Loaded> PagerSnapshot::Load(
+    Env* env, const std::string& path, const StoreFactory& factory) {
   if (env == nullptr) env = Env::Default();
   Result<std::unique_ptr<SequentialFile>> opened =
       env->NewSequentialFile(path);
@@ -122,7 +133,13 @@ Result<PagerSnapshot::Loaded> PagerSnapshot::Load(Env* env,
     return Status::Corruption("snapshot metadata checksum mismatch");
   }
 
-  out.pager = Pager::CreateForRestore(page_size, max_page_id);
+  Result<std::unique_ptr<PageStore>> store = factory(page_size);
+  if (!store.ok()) return store.status();
+  out.pager = std::move(store).value();
+  if (out.pager->page_size() != page_size) {
+    return Status::InvalidArgument("store factory page size mismatch");
+  }
+  UINDEX_RETURN_IF_ERROR(out.pager->BeginRestore(max_page_id));
   std::vector<char> buffer(page_size);
   for (uint64_t i = 0; i < live_count; ++i) {
     char frame[8];

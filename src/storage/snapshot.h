@@ -1,6 +1,7 @@
 #ifndef UINDEX_STORAGE_SNAPSHOT_H_
 #define UINDEX_STORAGE_SNAPSHOT_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -11,7 +12,7 @@ namespace uindex {
 
 class Env;
 
-/// Durable snapshots of a pager's page file.
+/// Durable snapshots of a page store's page file.
 ///
 /// The experiments run in memory (page reads are the metric, see
 /// DESIGN.md), but a library users adopt needs its indexes to survive the
@@ -26,29 +27,47 @@ class Env;
 /// because the rename is the only step that changes what `Load(path)`
 /// sees, and it only happens after the new bytes are on stable media.
 ///
+/// The snapshot is backend-agnostic both ways: `Save` reads pages through
+/// `PageStore::ReadPage` (the caller must flush any dirty buffer-pool
+/// frames first so the store serves current bytes — `Database::SaveLocked`
+/// does), and `Load` restores into whatever store a `StoreFactory`
+/// produces, so a snapshot taken on the in-memory backend opens on the
+/// file backend and vice versa — the bytes at `path` are identical.
+///
 /// File layout (all little-endian):
 ///   "UIDXSNAP" magic ∥ version u32 ∥ page_size u32 ∥ max_page_id u32
 ///   ∥ live_count u64 ∥ meta_len u32 ∥ meta crc u32 ∥ meta bytes
 ///   then per live page: page_id u32 ∥ crc u32 ∥ page bytes
 class PagerSnapshot {
  public:
-  /// Writes `pager`'s live pages and `metadata` durably to `path` via
+  /// Writes `store`'s live pages and `metadata` durably to `path` via
   /// `env` (null = `Env::Default()`). If `rename_attempted` is non-null it
   /// is set to true once the commit rename has been issued: on failure
   /// after that point the caller must assume the new snapshot MAY be the
   /// one on disk (the fail-stop signal `Database::Checkpoint` uses).
-  static Status Save(Env* env, const Pager& pager,
+  static Status Save(Env* env, const PageStore& store,
                      const std::string& metadata, const std::string& path,
                      bool* rename_attempted = nullptr);
 
   struct Loaded {
-    std::unique_ptr<Pager> pager;
+    std::unique_ptr<PageStore> pager;
     std::string metadata;
   };
 
-  /// Restores a pager and the metadata blob; fails with Corruption on any
+  /// Builds the empty store the snapshot's pages restore into, given the
+  /// snapshot's page size. `Load` follows up with `BeginRestore` and one
+  /// `RestorePage` per live page.
+  using StoreFactory =
+      std::function<Result<std::unique_ptr<PageStore>>(uint32_t page_size)>;
+
+  /// Restores into an in-memory `Pager`; fails with Corruption on any
   /// checksum/framing mismatch.
   static Result<Loaded> Load(Env* env, const std::string& path);
+
+  /// Restores into the store `factory` builds (e.g. a `FilePager` for the
+  /// file backend).
+  static Result<Loaded> Load(Env* env, const std::string& path,
+                             const StoreFactory& factory);
 };
 
 }  // namespace uindex

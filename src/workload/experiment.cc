@@ -1,10 +1,26 @@
 #include "workload/experiment.h"
 
+#include <unistd.h>
+
+#include <atomic>
+
 #include "baselines/chtree/chtree.h"
 #include "baselines/cgtree/cgtree.h"
 #include "baselines/htree/htree.h"
+#include "storage/env/env.h"
+#include "storage/file_pager.h"
 
 namespace uindex {
+
+namespace {
+
+std::string NextExperimentDataPath(const std::string& dir) {
+  static std::atomic<uint64_t> counter{0};
+  return dir + "/uindex-exp-" + std::to_string(::getpid()) + "-" +
+         std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+}  // namespace
 
 UIndexSetAdapter::UIndexSetAdapter(BufferManager* buffers,
                                    const SetHierarchy* hierarchy,
@@ -61,11 +77,20 @@ Result<std::unique_ptr<SetExperiment>> SetExperiment::Create(
   exp->hierarchy_ = std::move(hierarchy).value();
 
   auto add = [&exp, &opts](const std::string& name,
-                           auto make) -> SetIndex* {
+                           auto make) -> Result<SetIndex*> {
     Owned owned;
     owned.name = name;
-    owned.pager = std::make_unique<Pager>(opts.workload.page_size);
-    owned.buffers = std::make_unique<BufferManager>(owned.pager.get());
+    if (opts.file_backend) {
+      owned.data_path = NextExperimentDataPath(opts.data_dir);
+      Result<std::unique_ptr<FilePager>> pager = FilePager::Create(
+          Env::Default(), owned.data_path, opts.workload.page_size);
+      if (!pager.ok()) return pager.status();
+      owned.pager = std::move(pager).value();
+    } else {
+      owned.pager = std::make_unique<Pager>(opts.workload.page_size);
+    }
+    owned.buffers = std::make_unique<BufferManager>(
+        owned.pager.get(), opts.cache_pages, opts.eviction);
     owned.index = make(owned.buffers.get());
     SetIndex* raw = owned.index.get();
     exp->owned_.push_back(std::move(owned));
@@ -73,27 +98,41 @@ Result<std::unique_ptr<SetExperiment>> SetExperiment::Create(
   };
 
   const SetHierarchy* hier = &exp->hierarchy_;
-  add("U-index", [hier](BufferManager* buffers) {
-    return std::make_unique<UIndexSetAdapter>(buffers, hier);
-  });
-  add("CG-tree", [](BufferManager* buffers) {
-    return std::make_unique<CgTree>(buffers, Value::Kind::kInt);
-  });
+  UINDEX_RETURN_IF_ERROR(
+      add("U-index",
+          [hier](BufferManager* buffers) {
+            return std::make_unique<UIndexSetAdapter>(buffers, hier);
+          })
+          .status());
+  UINDEX_RETURN_IF_ERROR(add("CG-tree",
+                             [](BufferManager* buffers) {
+                               return std::make_unique<CgTree>(
+                                   buffers, Value::Kind::kInt);
+                             })
+                             .status());
   if (opts.with_chtree) {
-    add("CH-tree", [](BufferManager* buffers) {
-      return std::make_unique<ChTree>(buffers, Value::Kind::kInt);
-    });
+    UINDEX_RETURN_IF_ERROR(add("CH-tree",
+                               [](BufferManager* buffers) {
+                                 return std::make_unique<ChTree>(
+                                     buffers, Value::Kind::kInt);
+                               })
+                               .status());
   }
   if (opts.with_htree) {
-    add("H-tree", [](BufferManager* buffers) {
-      return std::make_unique<HTree>(buffers, Value::Kind::kInt);
-    });
+    UINDEX_RETURN_IF_ERROR(add("H-tree",
+                               [](BufferManager* buffers) {
+                                 return std::make_unique<HTree>(
+                                     buffers, Value::Kind::kInt);
+                               })
+                               .status());
   }
   if (opts.with_forward_uindex) {
-    SetIndex* fwd = add("U-index(forward)", [hier](BufferManager* buffers) {
-      return std::make_unique<UIndexSetAdapter>(buffers, hier);
-    });
-    static_cast<UIndexSetAdapter*>(fwd)->set_use_parscan(false);
+    Result<SetIndex*> fwd =
+        add("U-index(forward)", [hier](BufferManager* buffers) {
+          return std::make_unique<UIndexSetAdapter>(buffers, hier);
+        });
+    if (!fwd.ok()) return fwd.status();
+    static_cast<UIndexSetAdapter*>(fwd.value())->set_use_parscan(false);
   }
 
   // Load the same postings into every structure.
@@ -118,6 +157,15 @@ Result<std::unique_ptr<SetExperiment>> SetExperiment::Create(
     }
   }
   return exp;
+}
+
+SetExperiment::~SetExperiment() {
+  // Data files are scratch (each run rebuilds them); drop them with the
+  // structures. Files must outlive the buffer managers, so only the paths
+  // are removed here — the stores close in owned_'s destruction.
+  for (Owned& owned : owned_) {
+    if (!owned.data_path.empty()) Env::Default()->RemoveFile(owned.data_path);
+  }
 }
 
 void SetExperiment::SetPrefetchEnabled(bool on) {
@@ -155,9 +203,17 @@ SetQuerySpec SetExperiment::NextQuery(size_t sets_queried, bool near,
 Result<double> SetExperiment::Measure(const Structure& structure,
                                       size_t sets_queried, bool near,
                                       double fraction, int reps,
-                                      uint64_t seed) const {
+                                      uint64_t seed,
+                                      uint64_t* oid_hash) const {
   Random rng(seed);
   uint64_t total_pages = 0;
+  uint64_t hash = 1469598103934665603ull;  // FNV-1a offset basis.
+  auto fold = [&hash](uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (v >> (8 * byte)) & 0xff;
+      hash *= 1099511628211ull;  // FNV-1a prime.
+    }
+  };
   for (int rep = 0; rep < reps; ++rep) {
     const SetQuerySpec q = NextQuery(sets_queried, near, fraction, rng);
     std::vector<ClassId> classes;
@@ -170,7 +226,12 @@ Result<double> SetExperiment::Measure(const Structure& structure,
         Value::Int(q.lo), Value::Int(q.hi), classes);
     if (!r.ok()) return r.status();
     total_pages += cost.PagesRead();
+    if (oid_hash != nullptr) {
+      fold(r.value().size());  // Rep boundary: oids can't shift across reps.
+      for (const Oid oid : r.value()) fold(oid);
+    }
   }
+  if (oid_hash != nullptr) *oid_hash = hash;
   return static_cast<double>(total_pages) / reps;
 }
 

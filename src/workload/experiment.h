@@ -69,6 +69,16 @@ class SetExperiment {
     /// harness fully synchronous. Page-read measurements are identical
     /// either way — prefetch only moves wall-clock time.
     size_t prefetch_threads = 0;
+    /// Build every structure on a `FilePager` (one data file per
+    /// structure, removed on destruction) behind a bounded buffer pool of
+    /// `cache_pages` frames (0 → 256) evicting with `eviction` — the
+    /// bench_pager configuration. Page-read measurements are identical to
+    /// the in-memory default; only real I/O moves.
+    bool file_backend = false;
+    size_t cache_pages = 0;
+    /// Directory the per-structure data files are created in.
+    std::string data_dir = "/tmp";
+    BufferPool::Eviction eviction = BufferPool::Eviction::kLru;
   };
 
   /// One measurable structure.
@@ -80,6 +90,9 @@ class SetExperiment {
 
   static Result<std::unique_ptr<SetExperiment>> Create(const Options& opts);
 
+  /// Removes the per-structure data files of a file-backend experiment.
+  ~SetExperiment();
+
   const SetWorkloadConfig& config() const { return opts_.workload; }
   const SetHierarchy& hierarchy() const { return hierarchy_; }
 
@@ -88,10 +101,13 @@ class SetExperiment {
   /// Average pages read by `structure` over `reps` random queries; exact
   /// match when fraction < 0, else a range covering `fraction` of the
   /// keyspace. The same seed re-generates the same query sequence, letting
-  /// callers measure different structures on identical queries.
+  /// callers measure different structures on identical queries. When
+  /// `oid_hash` is non-null it receives an FNV-1a digest of every result
+  /// row across all reps (rep boundaries included), so two runs answered
+  /// byte-identically iff pages AND hash agree.
   Result<double> Measure(const Structure& structure, size_t sets_queried,
-                         bool near, double fraction, int reps,
-                         uint64_t seed) const;
+                         bool near, double fraction, int reps, uint64_t seed,
+                         uint64_t* oid_hash = nullptr) const;
 
   /// Verifies all structures return the same number of oids on a sample of
   /// queries (used by integration tests).
@@ -122,10 +138,11 @@ class SetExperiment {
 
   struct Owned {
     std::string name;
-    std::unique_ptr<Pager> pager;
+    std::unique_ptr<PageStore> pager;
     std::unique_ptr<BufferManager> buffers;
     std::unique_ptr<SetIndex> index;
     std::unique_ptr<PrefetchScheduler> prefetcher;  // Null when disabled.
+    std::string data_path;  // File backend: this structure's data file.
   };
   std::vector<Owned> owned_;
 };

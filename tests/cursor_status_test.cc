@@ -22,7 +22,7 @@ namespace {
 // version bumps and any decoded-node cache entry is dropped — exactly what
 // a torn write by a buggy writer would look like to a reader.
 void CorruptPage(BufferManager* buffers, PageId id) {
-  Page* page = buffers->FetchForWrite(id);
+  PageRef page = buffers->FetchForWrite(id);
   ASSERT_NE(page, nullptr);
   std::memset(page->data(), 0xFF, page->size());
 }

@@ -21,7 +21,11 @@
 // Writes a per-crash-point coverage summary (default
 // crash_torture_coverage.txt) and exits non-zero on any failure.
 //
-// Usage: crash_torture [--quick] [--out=FILE]
+// Usage: crash_torture [--quick] [--backend=memory|file] [--out=FILE]
+//
+// --backend=file runs the same proof over the disk-backed pager: the data
+// file's pwrite/sync ops join the enumerated op schedule, and the buffer
+// pool's write-back path is crashed at every point like any other op.
 
 #include <cstdio>
 #include <cstring>
@@ -42,11 +46,20 @@ using Outcome = FaultInjectingEnv::CrashOutcome;
 // is a distinct, detectable crash state.
 constexpr char kSnap[] = "/snap/db.udb";
 constexpr char kWal[] = "/wal/db.journal";
+constexpr char kData[] = "/data/db.pages";
 
-DatabaseOptions OptionsFor(Env* env) {
+DatabaseOptions OptionsFor(Env* env, bool file_backend) {
   DatabaseOptions options;
   options.env = env;
   options.prefetch_threads = 0;
+  if (file_backend) {
+    options.backend = DatabaseOptions::Backend::kFile;
+    options.data_path = kData;
+    // Big enough that no frame is ever evicted mid-step: data-file
+    // write-backs then happen only inside Flush (checkpoint/save), keeping
+    // the op schedule short and obviously deterministic.
+    options.cache_pages = 4096;
+  }
   return options;
 }
 
@@ -134,7 +147,7 @@ const char* OutcomeName(Outcome outcome) {
   return "?";
 }
 
-int Run(bool quick, const std::string& out_path) {
+int Run(bool quick, bool file_backend, const std::string& out_path) {
   const int n = quick ? 4 : 10;
   const int steps = StepCount(n);
 
@@ -144,7 +157,7 @@ int Run(bool quick, const std::string& out_path) {
   {
     FaultInjectingEnv env;
     Result<std::unique_ptr<Database>> opened =
-        Database::OpenDurable(kSnap, kWal, OptionsFor(&env));
+        Database::OpenDurable(kSnap, kWal, OptionsFor(&env, file_backend));
     if (!opened.ok()) {
       std::fprintf(stderr, "fault-free open failed: %s\n",
                    opened.status().ToString().c_str());
@@ -166,8 +179,10 @@ int Run(bool quick, const std::string& out_path) {
   }
 
   std::fprintf(stderr,
-               "workload: %d steps, %zu env ops to crash at (%s mode)\n",
-               steps, trace.size(), quick ? "quick" : "full");
+               "workload: %d steps, %zu env ops to crash at (%s mode, %s "
+               "backend)\n",
+               steps, trace.size(), quick ? "quick" : "full",
+               file_backend ? "file" : "memory");
 
   std::vector<Failure> failures;
   std::ofstream coverage(out_path);
@@ -177,7 +192,8 @@ int Run(bool quick, const std::string& out_path) {
 
   for (uint64_t op = 0; op < trace.size(); ++op) {
     std::vector<Outcome> outcomes = {Outcome::kNone, Outcome::kFull};
-    if (trace[op].kind == FaultInjectingEnv::OpKind::kWrite) {
+    if (trace[op].kind == FaultInjectingEnv::OpKind::kWrite ||
+        trace[op].kind == FaultInjectingEnv::OpKind::kWriteAt) {
       outcomes.push_back(Outcome::kPartial);
     }
     bool op_ok = true;
@@ -193,7 +209,7 @@ int Run(bool quick, const std::string& out_path) {
         std::unique_ptr<Database> db;
         std::vector<Oid> oids;
         Result<std::unique_ptr<Database>> opened =
-            Database::OpenDurable(kSnap, kWal, OptionsFor(&env));
+            Database::OpenDurable(kSnap, kWal, OptionsFor(&env, file_backend));
         if (opened.ok()) {
           db = std::move(opened).value();
           for (int step = 0; step < steps; ++step) {
@@ -213,7 +229,7 @@ int Run(bool quick, const std::string& out_path) {
       env.Reboot();
 
       Result<std::unique_ptr<Database>> re =
-          Database::OpenDurable(kSnap, kWal, OptionsFor(&env));
+          Database::OpenDurable(kSnap, kWal, OptionsFor(&env, file_backend));
       if (!re.ok()) {
         fail("recovery failed: " + re.status().ToString());
         continue;
@@ -237,7 +253,7 @@ int Run(bool quick, const std::string& out_path) {
       }
       db.reset();
       Result<std::unique_ptr<Database>> re2 =
-          Database::OpenDurable(kSnap, kWal, OptionsFor(&env));
+          Database::OpenDurable(kSnap, kWal, OptionsFor(&env, file_backend));
       if (!re2.ok() ||
           !re2.value()->schema().FindClass("Liveness").ok()) {
         fail("post-recovery mutation did not survive a reopen");
@@ -270,16 +286,23 @@ int Run(bool quick, const std::string& out_path) {
 
 int main(int argc, char** argv) {
   bool quick = false;
+  bool file_backend = false;
   std::string out = "crash_torture_coverage.txt";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--backend=file") == 0) {
+      file_backend = true;
+    } else if (std::strcmp(argv[i], "--backend=memory") == 0) {
+      file_backend = false;
     } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
       out = argv[i] + 6;
     } else {
-      std::fprintf(stderr, "usage: %s [--quick] [--out=FILE]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--backend=memory|file] [--out=FILE]\n",
+                   argv[0]);
       return 2;
     }
   }
-  return uindex::Run(quick, out);
+  return uindex::Run(quick, file_backend, out);
 }

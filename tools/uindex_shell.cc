@@ -4,6 +4,8 @@
 //
 //   ./build/tools/uindex_shell            # interactive
 //   ./build/tools/uindex_shell < script   # batch: exits non-zero on error
+//   ./build/tools/uindex_shell --backend=file --cache-pages=64
+//                                         # disk-backed, 64-frame pool
 //
 // Commands (see `help`):
 //   class Vehicle            | class Car under Vehicle
@@ -20,7 +22,10 @@
 //   disconnect | ping
 //   codes | schema | stats | help | quit
 
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -37,7 +42,14 @@ namespace {
 
 class Shell {
  public:
-  explicit Shell(bool interactive) : interactive_(interactive) {}
+  explicit Shell(bool interactive,
+                 DatabaseOptions options = DatabaseOptions())
+      : db_(options), interactive_(interactive) {
+    if (!db_.backend_status().ok()) {
+      std::fprintf(stderr, "warning: file backend unavailable (%s); using memory\n",
+                   db_.backend_status().ToString().c_str());
+    }
+  }
 
   // Returns false once the shell should exit.
   bool HandleLine(const std::string& line) {
@@ -535,9 +547,33 @@ class Shell {
 }  // namespace
 }  // namespace uindex
 
-int main(int argc, char** /*argv*/) {
-  const bool interactive = isatty(0) != 0 && argc < 2;
-  uindex::Shell shell(interactive);
+int main(int argc, char** argv) {
+  uindex::DatabaseOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--backend=file") {
+      options.backend = uindex::DatabaseOptions::Backend::kFile;
+    } else if (arg == "--backend=memory") {
+      options.backend = uindex::DatabaseOptions::Backend::kMemory;
+    } else if (arg.rfind("--cache-pages=", 0) == 0) {
+      options.cache_pages =
+          static_cast<size_t>(std::strtoul(arg.c_str() + 14, nullptr, 10));
+    } else if (arg.rfind("--data=", 0) == 0) {
+      options.data_path = arg.substr(7);
+    } else if (arg == "--eviction=clock") {
+      options.eviction = uindex::BufferPool::Eviction::kClock;
+    } else if (arg == "--eviction=lru") {
+      options.eviction = uindex::BufferPool::Eviction::kLru;
+    } else {
+      std::fprintf(stderr,
+                   "usage: uindex_shell [--backend=memory|file]"
+                   " [--cache-pages=N] [--data=PATH]"
+                   " [--eviction=lru|clock]\n");
+      return 2;
+    }
+  }
+  const bool interactive = isatty(0) != 0;
+  uindex::Shell shell(interactive, options);
   if (interactive) {
     std::printf("uindex shell — 'help' for commands, 'quit' to exit\n");
   }
