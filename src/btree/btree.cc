@@ -50,6 +50,13 @@ BTree::BTree(BufferManager* buffers, PageId root, uint64_t size,
   }
 }
 
+BTree::BTree(BufferManager* buffers, PageId root, uint64_t size,
+             BTreeOptions options, NodeCache* borrowed_cache)
+    : buffers_(buffers), options_(options), root_(root), size_(size),
+      borrowed_cache_(borrowed_cache) {
+  assert(buffers_->pager()->IsLive(root_) && "attached root must be live");
+}
+
 Result<Node> BTree::LoadNode(PageId id) const {
   PageRef page = buffers_->Fetch(id);
   if (page == nullptr) {
@@ -61,7 +68,7 @@ Result<Node> BTree::LoadNode(PageId id) const {
 }
 
 Result<std::shared_ptr<const Node>> BTree::FetchNode(PageId id) const {
-  if (node_cache_ == nullptr) {
+  if (cache() == nullptr) {
     Result<Node> r = LoadNode(id);
     if (!r.ok()) return r.status();
     return std::make_shared<const Node>(std::move(r).value());
@@ -76,7 +83,17 @@ Result<std::shared_ptr<const Node>> BTree::FetchNode(PageId id) const {
   if (page == nullptr) {
     return Status::Corruption("missing page " + std::to_string(id));
   }
-  if (std::shared_ptr<const Node> cached = node_cache_->Lookup(id)) {
+  if (page.versioned()) {
+    // An MVCC chain revision: these bytes are not the base page's, so the
+    // decoded-node cache (keyed by base-page versions) must neither serve
+    // nor learn them. Parse directly; the read was charged identically.
+    Result<Node> r = Node::Parse(*page);
+    if (!r.ok()) return r.status();
+    auto node = std::make_shared<const Node>(std::move(r).value());
+    buffers_->RecordNodeParse(node->DecodedBytes());
+    return node;
+  }
+  if (std::shared_ptr<const Node> cached = cache()->Lookup(id)) {
     buffers_->RecordNodeCacheHit();
     return cached;
   }
@@ -84,26 +101,32 @@ Result<std::shared_ptr<const Node>> BTree::FetchNode(PageId id) const {
   if (!r.ok()) return r.status();
   auto node = std::make_shared<const Node>(std::move(r).value());
   buffers_->RecordNodeParse(node->DecodedBytes());
-  node_cache_->Insert(id, version, node);
+  cache()->Insert(id, version, node);
   return node;
 }
 
 void BTree::WarmNode(PageId id) const {
-  if (node_cache_ == nullptr || !node_cache_->enabled()) return;
+  if (cache() == nullptr || !cache()->enabled()) return;
   // Version BEFORE bytes, exactly like FetchNode: a write landing between
-  // the two makes the inserted entry stale and Lookup drops it.
+  // the two makes the inserted entry stale and Lookup drops it. This also
+  // covers reclamation's fold-to-base (storage/mvcc.h): the copy is
+  // bracketed by two bumps, so a parse spanning it is keyed with the
+  // mid-window version and can never validate.
   const BufferManager::PageVersion version = buffers_->page_version(id);
   PageRef page = buffers_->FetchUncounted(id);
   if (page == nullptr) return;  // Freed while queued; nothing to warm.
+  // A chain revision's bytes are not the base page's: inserting them under
+  // the base version would serve revision content to base-byte readers.
+  if (page.versioned()) return;
   Result<Node> r = Node::Parse(*page);
   if (!r.ok()) return;  // The demand fetch will surface the corruption.
-  node_cache_->Insert(id, version,
-                      std::make_shared<const Node>(std::move(r).value()));
+  cache()->Insert(id, version,
+                  std::make_shared<const Node>(std::move(r).value()));
 }
 
 std::shared_ptr<const Node> BTree::TryGetWarmNode(PageId id) const {
-  if (node_cache_ != nullptr) {
-    if (std::shared_ptr<const Node> cached = node_cache_->Lookup(id)) {
+  if (cache() != nullptr) {
+    if (std::shared_ptr<const Node> cached = cache()->Lookup(id)) {
       return cached;
     }
   }
@@ -172,8 +195,10 @@ Result<std::string> BTree::Get(const Slice& key) const {
     if (page == nullptr) {
       return Status::Corruption("missing page " + std::to_string(id));
     }
-    if (node_cache_ != nullptr) {
-      if (std::shared_ptr<const Node> cached = node_cache_->Lookup(id)) {
+    // A versioned ref's bytes are not the base page's — skip the cache
+    // (see FetchNode) and search the revision's compressed image below.
+    if (!page.versioned() && cache() != nullptr) {
+      if (std::shared_ptr<const Node> cached = cache()->Lookup(id)) {
         buffers_->RecordNodeCacheHit();
         if (cached->is_leaf()) {
           const size_t pos = cached->LowerBound(key);

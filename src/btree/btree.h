@@ -40,6 +40,15 @@ class BTree {
   BTree(BufferManager* buffers, PageId root, uint64_t size,
         BTreeOptions options);
 
+  /// Attaches as a read-only *view* sharing `borrowed_cache` (may be null)
+  /// instead of owning a decoded-node cache — the MVCC snapshot path:
+  /// per-query `UIndex` views wrap the published root/size of a live tree
+  /// and borrow its cache, so snapshot reads keep hitting warm decoded
+  /// nodes. The borrowed cache must outlive the view (the database holds
+  /// the shared latch over both for the view's whole life).
+  BTree(BufferManager* buffers, PageId root, uint64_t size,
+        BTreeOptions options, NodeCache* borrowed_cache);
+
   BTree(const BTree&) = delete;
   BTree& operator=(const BTree&) = delete;
 
@@ -91,9 +100,10 @@ class BTree {
   /// readers; it stays valid after tree mutations (it just goes stale).
   Result<std::shared_ptr<const Node>> FetchNode(PageId id) const;
 
-  /// The tree's decoded-node cache, or null when disabled
-  /// (`BTreeOptions::node_cache_bytes == 0` or UINDEX_NODE_CACHE=off).
-  NodeCache* node_cache() const { return node_cache_.get(); }
+  /// The tree's decoded-node cache — owned or borrowed — or null when
+  /// disabled (`BTreeOptions::node_cache_bytes == 0` or
+  /// UINDEX_NODE_CACHE=off).
+  NodeCache* node_cache() const { return cache(); }
 
   /// Background warm hook for the prefetch scheduler (storage/prefetch.h):
   /// decodes page `id` into the decoded-node cache under the usual
@@ -257,14 +267,21 @@ class BTree {
   Status ComputeStatsSubtree(PageId id, uint32_t depth, TreeStats* stats,
                              uint32_t* leaf_depth) const;
 
+  // Owned cache, or the borrowed one (snapshot views), or null.
+  NodeCache* cache() const {
+    return borrowed_cache_ != nullptr ? borrowed_cache_ : node_cache_.get();
+  }
+
   BufferManager* buffers_;
   BTreeOptions options_;
   PageId root_;
   uint64_t size_ = 0;
   // Decoded-node cache shared by read paths; null when disabled. Mutations
   // need no hooks into it: invalidation rides on the buffer manager's page
-  // versions (see btree/node_cache.h).
+  // versions (see btree/node_cache.h). Snapshot views borrow the live
+  // tree's cache instead of owning one.
   std::unique_ptr<NodeCache> node_cache_;
+  NodeCache* borrowed_cache_ = nullptr;
 };
 
 }  // namespace uindex

@@ -41,6 +41,19 @@ UIndex::UIndex(BufferManager* buffers, const Schema* schema,
          "shared-tree indexes need a key namespace");
 }
 
+UIndex::UIndex(const UIndex& live, PageId root, uint64_t size,
+               uint64_t entries)
+    : buffers_(live.buffers_),
+      schema_(live.schema_),
+      coder_(live.coder_),
+      spec_(live.spec_),
+      encoder_(&spec_, live.coder_),
+      owned_tree_(std::make_unique<BTree>(live.buffers_, root, size,
+                                          live.tree_->options(),
+                                          live.tree_->node_cache())),
+      tree_(owned_tree_.get()),
+      entries_(entries) {}
+
 bool UIndex::ClassFitsPosition(ClassId cls, size_t pos) const {
   if (spec_.include_subclasses) {
     return schema_->IsSubclassOf(cls, spec_.classes[pos]);

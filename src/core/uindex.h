@@ -57,6 +57,14 @@ class UIndex {
   UIndex(BufferManager* buffers, const Schema* schema,
          const ClassCoder* coder, PathSpec spec, BTree* shared_tree);
 
+  /// Snapshot view: a read-only twin of `live` frozen at a published
+  /// epoch's `root`/`size`/`entries` (db/database.cc's MVCC read path).
+  /// Shares the live tree's decoded-node cache (chain-revision reads
+  /// bypass it; see BTree::FetchNode) and charges page reads identically.
+  /// `live` must outlive the view — the database holds its shared latch
+  /// over both.
+  UIndex(const UIndex& live, PageId root, uint64_t size, uint64_t entries);
+
   UIndex(const UIndex&) = delete;
   UIndex& operator=(const UIndex&) = delete;
 

@@ -1,0 +1,84 @@
+#include "db/commit_queue.h"
+
+#include <algorithm>
+
+#include "storage/buffer_manager.h"
+
+namespace uindex {
+
+void CommitPipeline::Attach(Journal* journal) {
+  std::lock_guard<std::mutex> lock(mu_);
+  journal_ = journal;
+  // Monotonic across rotations; everything appended so far was drained by
+  // the caller (or failed, and those waiters already hold their error).
+  appended_ = synced_ = std::max(appended_, synced_);
+  failed_ = false;
+  failure_ = Status::OK();
+}
+
+uint64_t CommitPipeline::OnAppended() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (journal_ == nullptr) return 0;
+  return ++appended_;
+}
+
+void CommitPipeline::LeadSync(std::unique_lock<std::mutex>& lock,
+                              uint64_t target) {
+  sync_running_ = true;
+  Journal* journal = journal_;
+  const uint64_t base = synced_;
+  lock.unlock();
+  Status st = journal->Sync();
+  lock.lock();
+  sync_running_ = false;
+  if (st.ok()) {
+    synced_ = std::max(synced_, target);
+    if (stats_ != nullptr && target > base) {
+      stats_->RecordCommitBatch(target - base);
+    }
+  } else if (!failed_) {
+    // First failure wins; the journal is now poisoned, so no later sync
+    // can succeed and every unsynced waiter must see this.
+    failed_ = true;
+    failure_ = st;
+  }
+  cv_.notify_all();
+}
+
+Status CommitPipeline::WaitDurable(uint64_t seq) {
+  if (seq == 0) return Status::OK();
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (synced_ >= seq) return Status::OK();
+    if (failed_) return failure_;
+    if (!sync_running_) {
+      // Leader: sync through everything appended so far — the batch. Any
+      // session that appended before this point is covered by this one
+      // fdatasync and acked together with us.
+      LeadSync(lock, appended_);
+      continue;
+    }
+    cv_.wait(lock);
+  }
+}
+
+Status CommitPipeline::SyncAll() {
+  uint64_t target = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    target = appended_;
+  }
+  return WaitDurable(target);
+}
+
+uint64_t CommitPipeline::appended_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appended_;
+}
+
+uint64_t CommitPipeline::synced_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return synced_;
+}
+
+}  // namespace uindex

@@ -1,0 +1,94 @@
+#ifndef UINDEX_DB_COMMIT_QUEUE_H_
+#define UINDEX_DB_COMMIT_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "db/journal.h"
+#include "util/status.h"
+
+namespace uindex {
+
+class BufferManager;
+
+/// Group-commit pipeline in front of a batched-sync `Journal`.
+///
+/// Mutating sessions append their journal record (under the database's
+/// writer serialization, so appends never interleave), register the append
+/// here (`OnAppended`), release the writer lock, and then block in
+/// `WaitDurable` until their record is on stable media. The first waiter
+/// to find no sync in flight becomes the *leader*: it snapshots the
+/// current append high-water mark, performs exactly one `Journal::Sync`,
+/// and wakes every session whose record that sync covered. Sessions that
+/// arrive while a sync is in flight simply wait — the next leader's sync
+/// covers them too. Under contention, N concurrent commits thus cost one
+/// fdatasync, not N.
+///
+/// Failure model is fail-stop, matching the journal's poison semantics: if
+/// the leader's sync fails, every waiter at or below the batch high-water
+/// mark — and every later committer, because the journal is now poisoned —
+/// gets the same sticky error. No session is ever acked whose record is
+/// not provably durable.
+class CommitPipeline {
+ public:
+  /// `stats_sink` (may be null) receives per-batch accounting
+  /// (`RecordCommitBatch`); the pipeline does not own either pointer.
+  explicit CommitPipeline(BufferManager* stats_sink = nullptr)
+      : stats_(stats_sink) {}
+
+  CommitPipeline(const CommitPipeline&) = delete;
+  CommitPipeline& operator=(const CommitPipeline&) = delete;
+
+  /// Points the pipeline at (a new) journal. Caller must hold exclusive
+  /// access AND have drained first (`SyncAll` — the checkpoint rotation
+  /// path does), so no leader can still be inside the old journal's
+  /// `Sync`. Sequence counters are NOT reset — they are tickets, and a
+  /// committer that appended before the rotation may only reach
+  /// `WaitDurable` after it; monotonic counters keep that wait a no-op
+  /// (its record was covered by the pre-rotation drain). Clears any sticky
+  /// failure. A null journal disables the pipeline (`OnAppended` then
+  /// returns 0 and `WaitDurable(0)` is a no-op).
+  void Attach(Journal* journal);
+
+  /// Registers one successfully appended record and returns its commit
+  /// sequence number (monotonic from 1). Call under the same serialization
+  /// as the append itself so sequence order matches file order. Returns 0
+  /// when no journal is attached.
+  uint64_t OnAppended();
+
+  /// Blocks until the record with sequence `seq` is durable (or the
+  /// pipeline has failed). `seq == 0` — no journal write happened —
+  /// returns OK immediately. May elect the calling thread leader to
+  /// perform the batch sync.
+  Status WaitDurable(uint64_t seq);
+
+  /// Drains the pipeline: everything appended so far is made durable (or
+  /// the failure is returned). Used before checkpoint rotation.
+  Status SyncAll();
+
+  /// Introspection for tests.
+  uint64_t appended_seq() const;
+  uint64_t synced_seq() const;
+
+ private:
+  // Leader body: syncs through `target` and publishes the result. Called
+  // with `lock` held; unlocks around the sync itself.
+  void LeadSync(std::unique_lock<std::mutex>& lock, uint64_t target);
+
+  BufferManager* stats_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  Journal* journal_ = nullptr;
+  uint64_t appended_ = 0;      // Highest sequence appended to the file.
+  uint64_t synced_ = 0;        // Highest sequence known durable.
+  bool sync_running_ = false;  // A leader is inside Journal::Sync.
+  // Sticky first failure; once set, commits at sequences the failed sync
+  // did not cover fail with it (fail-stop — the journal is poisoned).
+  Status failure_ = Status::OK();
+  bool failed_ = false;
+};
+
+}  // namespace uindex
+
+#endif  // UINDEX_DB_COMMIT_QUEUE_H_

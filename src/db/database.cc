@@ -94,7 +94,8 @@ Database::Database(DatabaseOptions options)
 }
 
 Database::Database(DatabaseOptions options, StoreSetup setup)
-    : options_(options),
+    : pipeline_(&buffers_),
+      options_(options),
       env_(options.env != nullptr ? options.env : Env::Default()),
       pager_(std::move(setup.store)),
       buffers_(pager_.get(), ResolvedCachePages(options), options.eviction),
@@ -104,6 +105,49 @@ Database::Database(DatabaseOptions options, StoreSetup setup)
       store_(&schema_),
       maintainer_(&schema_, &store_) {
   AttachPrefetcher();
+  // Epoch 0 is published from birth so a reader can always pin a state.
+  PublishState(0);
+}
+
+// ---------------------------------------------------------------- MVCC core
+
+void Database::PublishState(uint64_t epoch) {
+  auto state = std::make_shared<DbState>();
+  state->epoch = epoch;
+  state->indexes.reserve(indexes_.size());
+  for (const auto& index : indexes_) {
+    state->indexes.push_back(IndexSnapshot{index->btree().root(),
+                                           index->btree().size(),
+                                           index->entry_count()});
+  }
+  const bool advanced = epoch > pins_.published();
+  pins_.Publish(epoch, std::move(state));
+  if (advanced) buffers_.RecordEpochPublished();
+}
+
+void Database::ReclaimForWrite() {
+  const uint64_t horizon = pins_.ReclaimHorizon();
+  if (buffers_.pending_free_count() != 0) {
+    // A deferred free may become physical below, and an in-flight
+    // background read of the dying page must not outlive it. The drain is
+    // a fixed point for that page: a free only fires once the horizon
+    // passed its death epoch, so every reader that could stage a *new*
+    // prefetch of it is pinned at an epoch where the page no longer
+    // exists.
+    QuiescePrefetch();
+  }
+  buffers_.ReclaimVersionsThrough(horizon);
+  store_.ReclaimBelow(horizon);
+}
+
+void Database::BeginExclusiveWrite() {
+  QuiescePrefetch();
+  // Fold EVERY chain revision into base storage: exclusive-context writes
+  // go to base pages in place, and a surviving newer revision would shadow
+  // them for all future readers. No reader pin can exist here (pins live
+  // under the shared latch).
+  buffers_.ForceReclaimAll();
+  store_.ReclaimBelow(kLatestEpoch - 1);
 }
 
 Database::~Database() {
@@ -134,106 +178,136 @@ void Database::QuiescePrefetch() {
   if (prefetcher_ != nullptr) prefetcher_->Drain();
 }
 
+// DDL runs under the exclusive latch in legacy in-place mode (see
+// BeginExclusiveWrite); each body republishes the current epoch's state on
+// every exit (RepublishGuard) and waits for journal durability only after
+// the latch is released.
+
 Result<ClassId> Database::CreateClass(const std::string& name) {
-  std::unique_lock lock(latch_);
-  QuiescePrefetch();
-  Result<ClassId> cls = schema_.AddClass(name);
-  if (!cls.ok()) return cls;
-  UINDEX_RETURN_IF_ERROR(coder_.AssignNewClass(schema_, cls.value()));
-  if (catalog_ != nullptr) {
-    UINDEX_RETURN_IF_ERROR(
-        catalog_->AddClass(Slice(coder_.CodeOf(cls.value())), name));
-  }
-  JournalRecord record;
-  record.op = JournalRecord::Op::kCreateClass;
-  record.name = name;
-  UINDEX_RETURN_IF_ERROR(Log(record));
-  return cls;
+  uint64_t seq = 0;
+  Result<ClassId> out = [&]() -> Result<ClassId> {
+    std::unique_lock lock(latch_);
+    BeginExclusiveWrite();
+    RepublishGuard republish(this);
+    Result<ClassId> cls = schema_.AddClass(name);
+    if (!cls.ok()) return cls;
+    UINDEX_RETURN_IF_ERROR(coder_.AssignNewClass(schema_, cls.value()));
+    if (catalog_ != nullptr) {
+      UINDEX_RETURN_IF_ERROR(
+          catalog_->AddClass(Slice(coder_.CodeOf(cls.value())), name));
+    }
+    JournalRecord record;
+    record.op = JournalRecord::Op::kCreateClass;
+    record.name = name;
+    UINDEX_RETURN_IF_ERROR(Log(record, &seq));
+    return cls;
+  }();
+  if (!out.ok()) return out;
+  UINDEX_RETURN_IF_ERROR(pipeline_.WaitDurable(seq));
+  return out;
 }
 
 Result<ClassId> Database::CreateSubclass(const std::string& name,
                                          ClassId parent) {
-  std::unique_lock lock(latch_);
-  QuiescePrefetch();
-  Result<ClassId> cls = schema_.AddSubclass(name, parent);
-  if (!cls.ok()) return cls;
-  UINDEX_RETURN_IF_ERROR(coder_.AssignNewClass(schema_, cls.value()));
-  if (catalog_ != nullptr) {
-    UINDEX_RETURN_IF_ERROR(
-        catalog_->AddClass(Slice(coder_.CodeOf(cls.value())), name));
-  }
-  JournalRecord record;
-  record.op = JournalRecord::Op::kCreateClass;
-  record.name = name;
-  record.parent = schema_.NameOf(parent);
-  UINDEX_RETURN_IF_ERROR(Log(record));
-  return cls;
+  uint64_t seq = 0;
+  Result<ClassId> out = [&]() -> Result<ClassId> {
+    std::unique_lock lock(latch_);
+    BeginExclusiveWrite();
+    RepublishGuard republish(this);
+    Result<ClassId> cls = schema_.AddSubclass(name, parent);
+    if (!cls.ok()) return cls;
+    UINDEX_RETURN_IF_ERROR(coder_.AssignNewClass(schema_, cls.value()));
+    if (catalog_ != nullptr) {
+      UINDEX_RETURN_IF_ERROR(
+          catalog_->AddClass(Slice(coder_.CodeOf(cls.value())), name));
+    }
+    JournalRecord record;
+    record.op = JournalRecord::Op::kCreateClass;
+    record.name = name;
+    record.parent = schema_.NameOf(parent);
+    UINDEX_RETURN_IF_ERROR(Log(record, &seq));
+    return cls;
+  }();
+  if (!out.ok()) return out;
+  UINDEX_RETURN_IF_ERROR(pipeline_.WaitDurable(seq));
+  return out;
 }
 
 Status Database::CreateReference(ClassId source, ClassId target,
                                  const std::string& attribute,
                                  bool multi_valued) {
-  std::unique_lock lock(latch_);
-  QuiescePrefetch();
-  // Incremental evolution cannot reorder codes: the referenced hierarchy
-  // must already sort below the referencing one (§4.3).
-  const std::string& target_root =
-      coder_.CodeOf(schema_.HierarchyRootOf(target));
-  const std::string& source_root =
-      coder_.CodeOf(schema_.HierarchyRootOf(source));
-  if (!(Slice(target_root) < Slice(source_root))) {
-    return Status::InvalidArgument(
-        "REF " + schema_.NameOf(source) + "." + attribute +
-        " would invert the class-code order; a re-encode (rebuild) is "
-        "required (paper §4.3)");
-  }
-  UINDEX_RETURN_IF_ERROR(
-      schema_.AddReference(source, target, attribute, multi_valued));
-  if (catalog_ != nullptr) {
+  uint64_t seq = 0;
+  Status st = [&]() -> Status {
+    std::unique_lock lock(latch_);
+    BeginExclusiveWrite();
+    RepublishGuard republish(this);
+    // Incremental evolution cannot reorder codes: the referenced hierarchy
+    // must already sort below the referencing one (§4.3).
+    const std::string& target_root =
+        coder_.CodeOf(schema_.HierarchyRootOf(target));
+    const std::string& source_root =
+        coder_.CodeOf(schema_.HierarchyRootOf(source));
+    if (!(Slice(target_root) < Slice(source_root))) {
+      return Status::InvalidArgument(
+          "REF " + schema_.NameOf(source) + "." + attribute +
+          " would invert the class-code order; a re-encode (rebuild) is "
+          "required (paper §4.3)");
+    }
     UINDEX_RETURN_IF_ERROR(
-        catalog_->AddReference(Slice(coder_.CodeOf(source)), attribute,
-                               Slice(coder_.CodeOf(target)), multi_valued));
-  }
-  JournalRecord record;
-  record.op = JournalRecord::Op::kCreateReference;
-  record.name = attribute;
-  record.parent = schema_.NameOf(target);
-  record.class_names = {schema_.NameOf(source)};
-  record.flag = multi_valued;
-  UINDEX_RETURN_IF_ERROR(Log(record));
-  return Status::OK();
-}
-
-Status Database::CreateReferenceWithReencode(ClassId source, ClassId target,
-                                             const std::string& attribute,
-                                             bool multi_valued) {
-  std::unique_lock lock(latch_);
-  QuiescePrefetch();
-  UINDEX_RETURN_IF_ERROR(
-      schema_.AddReference(source, target, attribute, multi_valued));
-  if (coder_.Verify(schema_).ok()) {
+        schema_.AddReference(source, target, attribute, multi_valued));
     if (catalog_ != nullptr) {
       UINDEX_RETURN_IF_ERROR(catalog_->AddReference(
           Slice(coder_.CodeOf(source)), attribute,
           Slice(coder_.CodeOf(target)), multi_valued));
     }
-  } else {
-    UINDEX_RETURN_IF_ERROR(ReencodeLocked());
-  }
-  JournalRecord record;
-  record.op = JournalRecord::Op::kCreateReference;
-  record.name = attribute;
-  record.parent = schema_.NameOf(target);
-  record.class_names = {schema_.NameOf(source)};
-  record.flag = multi_valued;
-  record.kind = 1;  // Replay through the re-encoding variant.
-  UINDEX_RETURN_IF_ERROR(Log(record));
-  return Status::OK();
+    JournalRecord record;
+    record.op = JournalRecord::Op::kCreateReference;
+    record.name = attribute;
+    record.parent = schema_.NameOf(target);
+    record.class_names = {schema_.NameOf(source)};
+    record.flag = multi_valued;
+    return Log(record, &seq);
+  }();
+  UINDEX_RETURN_IF_ERROR(st);
+  return pipeline_.WaitDurable(seq);
+}
+
+Status Database::CreateReferenceWithReencode(ClassId source, ClassId target,
+                                             const std::string& attribute,
+                                             bool multi_valued) {
+  uint64_t seq = 0;
+  Status st = [&]() -> Status {
+    std::unique_lock lock(latch_);
+    BeginExclusiveWrite();
+    RepublishGuard republish(this);
+    UINDEX_RETURN_IF_ERROR(
+        schema_.AddReference(source, target, attribute, multi_valued));
+    if (coder_.Verify(schema_).ok()) {
+      if (catalog_ != nullptr) {
+        UINDEX_RETURN_IF_ERROR(catalog_->AddReference(
+            Slice(coder_.CodeOf(source)), attribute,
+            Slice(coder_.CodeOf(target)), multi_valued));
+      }
+    } else {
+      UINDEX_RETURN_IF_ERROR(ReencodeLocked());
+    }
+    JournalRecord record;
+    record.op = JournalRecord::Op::kCreateReference;
+    record.name = attribute;
+    record.parent = schema_.NameOf(target);
+    record.class_names = {schema_.NameOf(source)};
+    record.flag = multi_valued;
+    record.kind = 1;  // Replay through the re-encoding variant.
+    return Log(record, &seq);
+  }();
+  UINDEX_RETURN_IF_ERROR(st);
+  return pipeline_.WaitDurable(seq);
 }
 
 Status Database::Reencode() {
   std::unique_lock lock(latch_);
-  QuiescePrefetch();
+  BeginExclusiveWrite();
+  RepublishGuard republish(this);
   return ReencodeLocked();
 }
 
@@ -252,86 +326,156 @@ Status Database::ReencodeLocked() {
 }
 
 Status Database::DropIndex(size_t index_pos) {
-  std::unique_lock lock(latch_);
-  QuiescePrefetch();
-  if (index_pos >= indexes_.size()) {
-    return Status::InvalidArgument("no such index");
-  }
-  maintainer_.UnregisterIndex(indexes_[index_pos].get());
-  // Clear() frees the whole tree but re-creates an empty root; release
-  // that final page too since the index object goes away.
-  UINDEX_RETURN_IF_ERROR(indexes_[index_pos]->btree().Clear());
-  buffers_.Free(indexes_[index_pos]->btree().root());
-  indexes_.erase(indexes_.begin() + static_cast<ptrdiff_t>(index_pos));
-  JournalRecord record;
-  record.op = JournalRecord::Op::kDropIndex;
-  record.oid = static_cast<Oid>(index_pos);
-  return Log(record);
+  uint64_t seq = 0;
+  Status st = [&]() -> Status {
+    std::unique_lock lock(latch_);
+    BeginExclusiveWrite();
+    if (index_pos >= indexes_.size()) {
+      return Status::InvalidArgument("no such index");
+    }
+    RepublishGuard republish(this);
+    maintainer_.UnregisterIndex(indexes_[index_pos].get());
+    // Clear() frees the whole tree but re-creates an empty root; release
+    // that final page too since the index object goes away.
+    UINDEX_RETURN_IF_ERROR(indexes_[index_pos]->btree().Clear());
+    buffers_.Free(indexes_[index_pos]->btree().root());
+    indexes_.erase(indexes_.begin() + static_cast<ptrdiff_t>(index_pos));
+    JournalRecord record;
+    record.op = JournalRecord::Op::kDropIndex;
+    record.oid = static_cast<Oid>(index_pos);
+    return Log(record, &seq);
+  }();
+  UINDEX_RETURN_IF_ERROR(st);
+  return pipeline_.WaitDurable(seq);
 }
 
 Result<size_t> Database::CreateIndex(const PathSpec& spec) {
-  std::unique_lock lock(latch_);
-  QuiescePrefetch();
-  for (const ClassId cls : spec.classes) {
-    if (!schema_.IsValidClass(cls)) {
-      return Status::InvalidArgument("bad class in index spec");
+  uint64_t seq = 0;
+  Result<size_t> out = [&]() -> Result<size_t> {
+    std::unique_lock lock(latch_);
+    BeginExclusiveWrite();
+    for (const ClassId cls : spec.classes) {
+      if (!schema_.IsValidClass(cls)) {
+        return Status::InvalidArgument("bad class in index spec");
+      }
     }
-  }
-  if (spec.ref_attrs.size() + 1 != spec.classes.size()) {
-    return Status::InvalidArgument("ref attribute count mismatch");
-  }
-  auto index = std::make_unique<UIndex>(&buffers_, &schema_, &coder_, spec,
-                                        options_.btree);
-  UINDEX_RETURN_IF_ERROR(index->BuildFrom(store_));
-  maintainer_.RegisterIndex(index.get());
-  indexes_.push_back(std::move(index));
+    if (spec.ref_attrs.size() + 1 != spec.classes.size()) {
+      return Status::InvalidArgument("ref attribute count mismatch");
+    }
+    RepublishGuard republish(this);
+    auto index = std::make_unique<UIndex>(&buffers_, &schema_, &coder_, spec,
+                                          options_.btree);
+    UINDEX_RETURN_IF_ERROR(index->BuildFrom(store_));
+    maintainer_.RegisterIndex(index.get());
+    indexes_.push_back(std::move(index));
 
-  JournalRecord record;
-  record.op = JournalRecord::Op::kCreateIndex;
-  record.name = spec.indexed_attr;
-  record.kind = spec.value_kind == Value::Kind::kString ? 1 : 0;
-  record.flag = spec.include_subclasses;
-  for (const ClassId cls : spec.classes) {
-    record.class_names.push_back(schema_.NameOf(cls));
-  }
-  record.ref_attrs = spec.ref_attrs;
-  UINDEX_RETURN_IF_ERROR(Log(record));
-  return indexes_.size() - 1;
+    JournalRecord record;
+    record.op = JournalRecord::Op::kCreateIndex;
+    record.name = spec.indexed_attr;
+    record.kind = spec.value_kind == Value::Kind::kString ? 1 : 0;
+    record.flag = spec.include_subclasses;
+    for (const ClassId cls : spec.classes) {
+      record.class_names.push_back(schema_.NameOf(cls));
+    }
+    record.ref_attrs = spec.ref_attrs;
+    UINDEX_RETURN_IF_ERROR(Log(record, &seq));
+    return indexes_.size() - 1;
+  }();
+  if (!out.ok()) return out;
+  UINDEX_RETURN_IF_ERROR(pipeline_.WaitDurable(seq));
+  return out;
 }
 
+// DML runs under the SHARED latch, concurrent with readers: mutating
+// sessions serialize on writer_mu_, copy-on-write their page changes into
+// epoch published+1 (ScopedEpoch makes every layer below stamp that
+// epoch), publish the new epoch atomically, and only after releasing both
+// locks wait for group-commit durability — which is what lets concurrent
+// commits share one fdatasync. The epoch is published even when the
+// operation failed: a failed maintainer op may have partially applied
+// (exactly as it did under the old exclusive latch), and those effects
+// must become visible at a defined epoch, not leak into a later one.
+
 Result<Oid> Database::CreateObject(ClassId cls) {
-  std::unique_lock lock(latch_);
-  QuiescePrefetch();
-  Result<Oid> oid = maintainer_.CreateObject(cls);
+  std::shared_lock lock(latch_);
+  uint64_t seq = 0;
+  Result<Oid> oid = [&]() -> Result<Oid> {
+    std::lock_guard<std::mutex> writer(writer_mu_);
+    ReclaimForWrite();
+    const uint64_t w = pins_.published() + 1;
+    buffers_.BeginWriteEpoch(w);
+    Result<Oid> out = [&]() -> Result<Oid> {
+      ScopedEpoch scope(w);
+      Result<Oid> created = maintainer_.CreateObject(cls);
+      if (!created.ok()) return created;
+      JournalRecord record;
+      record.op = JournalRecord::Op::kCreateObject;
+      record.name = schema_.NameOf(cls);
+      record.oid = created.value();
+      UINDEX_RETURN_IF_ERROR(Log(record, &seq));
+      return created;
+    }();
+    buffers_.EndWriteEpoch();
+    PublishState(w);
+    return out;
+  }();
+  lock.unlock();
   if (!oid.ok()) return oid;
-  JournalRecord record;
-  record.op = JournalRecord::Op::kCreateObject;
-  record.name = schema_.NameOf(cls);
-  record.oid = oid.value();
-  UINDEX_RETURN_IF_ERROR(Log(record));
+  UINDEX_RETURN_IF_ERROR(pipeline_.WaitDurable(seq));
   return oid;
 }
 
 Status Database::SetAttr(Oid oid, const std::string& name, Value value) {
-  std::unique_lock lock(latch_);
-  QuiescePrefetch();
-  JournalRecord record;
-  record.op = JournalRecord::Op::kSetAttr;
-  record.name = name;
-  record.oid = oid;
-  record.value = value;
-  UINDEX_RETURN_IF_ERROR(maintainer_.SetAttr(oid, name, std::move(value)));
-  return Log(record);
+  std::shared_lock lock(latch_);
+  uint64_t seq = 0;
+  Status st = [&]() -> Status {
+    std::lock_guard<std::mutex> writer(writer_mu_);
+    ReclaimForWrite();
+    const uint64_t w = pins_.published() + 1;
+    buffers_.BeginWriteEpoch(w);
+    Status out = [&]() -> Status {
+      ScopedEpoch scope(w);
+      JournalRecord record;
+      record.op = JournalRecord::Op::kSetAttr;
+      record.name = name;
+      record.oid = oid;
+      record.value = value;
+      UINDEX_RETURN_IF_ERROR(
+          maintainer_.SetAttr(oid, name, std::move(value)));
+      return Log(record, &seq);
+    }();
+    buffers_.EndWriteEpoch();
+    PublishState(w);
+    return out;
+  }();
+  lock.unlock();
+  UINDEX_RETURN_IF_ERROR(st);
+  return pipeline_.WaitDurable(seq);
 }
 
 Status Database::DeleteObject(Oid oid) {
-  std::unique_lock lock(latch_);
-  QuiescePrefetch();
-  UINDEX_RETURN_IF_ERROR(maintainer_.DeleteObject(oid));
-  JournalRecord record;
-  record.op = JournalRecord::Op::kDeleteObject;
-  record.oid = oid;
-  return Log(record);
+  std::shared_lock lock(latch_);
+  uint64_t seq = 0;
+  Status st = [&]() -> Status {
+    std::lock_guard<std::mutex> writer(writer_mu_);
+    ReclaimForWrite();
+    const uint64_t w = pins_.published() + 1;
+    buffers_.BeginWriteEpoch(w);
+    Status out = [&]() -> Status {
+      ScopedEpoch scope(w);
+      UINDEX_RETURN_IF_ERROR(maintainer_.DeleteObject(oid));
+      JournalRecord record;
+      record.op = JournalRecord::Op::kDeleteObject;
+      record.oid = oid;
+      return Log(record, &seq);
+    }();
+    buffers_.EndWriteEpoch();
+    PublishState(w);
+    return out;
+  }();
+  lock.unlock();
+  UINDEX_RETURN_IF_ERROR(st);
+  return pipeline_.WaitDurable(seq);
 }
 
 bool Database::IndexServes(const UIndex& idx, const Selection& selection,
@@ -362,11 +506,16 @@ Result<Database::SelectResult> Database::Select(
   if (!schema_.IsValidClass(selection.cls)) {
     return Status::InvalidArgument("bad class in selection");
   }
+  // Snapshot read: pin the published epoch; every page fetch and object
+  // lookup below resolves "as of" it, and index scans go through per-query
+  // views frozen at its roots.
+  ReadPin pin(this);
+  ScopedEpoch scope(pin.epoch());
   SelectResult out;
 
-  for (const auto& index : indexes_) {
+  for (size_t pos = 0; pos < indexes_.size(); ++pos) {
     size_t position = 0;
-    if (!IndexServes(*index, selection, &position)) continue;
+    if (!IndexServes(*indexes_[pos], selection, &position)) continue;
 
     Query q = Query::Range(selection.lo, selection.hi);
     // Components tail -> head; constrain only the target position.
@@ -380,13 +529,15 @@ Result<Database::SelectResult> Database::Select(
         q.With(ClassSelector::Any());
       }
     }
-    Result<QueryResult> r = index->Parscan(q);
+    std::unique_ptr<UIndex> view = pin.View(pos);
+    Result<QueryResult> r = view->Parscan(q);
     if (!r.ok()) return r.status();
     out.oids = r.value().Distinct(position);
     out.used_index = true;
     out.index_description =
-        "U-index on " + schema_.NameOf(index->spec().classes[0]) + "." +
-        index->spec().indexed_attr;
+        "U-index on " +
+        schema_.NameOf(indexes_[pos]->spec().classes[0]) + "." +
+        indexes_[pos]->spec().indexed_attr;
     return out;
   }
 
@@ -420,7 +571,9 @@ Result<QueryResult> Database::Execute(size_t index_pos,
   if (index_pos >= indexes_.size()) {
     return Status::InvalidArgument("no such index");
   }
-  return indexes_[index_pos]->Parscan(query);
+  ReadPin pin(this);
+  ScopedEpoch scope(pin.epoch());
+  return pin.View(index_pos)->Parscan(query);
 }
 
 Result<QueryResult> Database::ExecuteParallel(size_t index_pos,
@@ -430,31 +583,51 @@ Result<QueryResult> Database::ExecuteParallel(size_t index_pos,
   if (index_pos >= indexes_.size()) {
     return Status::InvalidArgument("no such index");
   }
-  if (pool == nullptr) return indexes_[index_pos]->Parscan(query);
-  return exec::ParallelParscan(*indexes_[index_pos], query, pool);
+  ReadPin pin(this);
+  ScopedEpoch scope(pin.epoch());
+  std::unique_ptr<UIndex> view = pin.View(index_pos);
+  if (pool == nullptr) return view->Parscan(query);
+  // ParallelParscan re-establishes this thread's epoch on every worker.
+  return exec::ParallelParscan(*view, query, pool);
 }
 
-Status Database::Log(const JournalRecord& record) {
+Status Database::Log(const JournalRecord& record, uint64_t* seq) {
   if (journal_ == nullptr) return Status::OK();
-  return journal_->Append(record);
+  UINDEX_RETURN_IF_ERROR(journal_->Append(record));
+  if (seq != nullptr) *seq = pipeline_.OnAppended();
+  return Status::OK();
 }
 
 Status Database::EnableJournal(const std::string& path) {
   std::unique_lock lock(latch_);
-  QuiescePrefetch();
+  BeginExclusiveWrite();
+  if (journal_ != nullptr) {
+    // Drain batched appends out of the old journal before replacing it. A
+    // failure here poisoned the old journal; the waiters that cared got
+    // their error, and the file is being replaced anyway.
+    pipeline_.SyncAll();
+  }
+  JournalOptions jopts;
+  jopts.sync_on_append = !options_.group_commit;
   Result<std::unique_ptr<Journal>> journal =
-      Journal::OpenForAppend(env_, path, generation_);
+      Journal::OpenForAppend(env_, path, generation_, jopts);
   if (!journal.ok()) return journal.status();
   journal_ = std::move(journal).value();
+  pipeline_.Attach(options_.group_commit ? journal_.get() : nullptr);
   return Status::OK();
 }
 
 Status Database::Checkpoint(const std::string& snapshot_path) {
   std::unique_lock lock(latch_);
-  QuiescePrefetch();
   if (journal_ == nullptr) {
     return Status::InvalidArgument("no journal enabled");
   }
+  BeginExclusiveWrite();
+  // Drain group commit first: every record appended so far must be durable
+  // in the OLD journal before the snapshot that supersedes it is written —
+  // and a sync failure aborts here, before anything is staged (the journal
+  // is poisoned; fail-stop).
+  UINDEX_RETURN_IF_ERROR(pipeline_.SyncAll());
   // File backend: push every dirty frame to the data file and sync it
   // BEFORE any protocol step, so a flush failure aborts the checkpoint
   // with nothing staged or committed. (The snapshot below re-reads pages
@@ -464,8 +637,10 @@ Status Database::Checkpoint(const std::string& snapshot_path) {
   // recovery"). 1: stage the generation-g+1 journal at `path + ".new"` —
   // durable but not yet visible at the journal path, so a crash here
   // changes nothing recovery sees.
+  JournalOptions jopts;
+  jopts.sync_on_append = !options_.group_commit;
   Result<std::unique_ptr<Journal>> staged =
-      Journal::Stage(env_, journal_->path(), generation_ + 1);
+      Journal::Stage(env_, journal_->path(), generation_ + 1, jopts);
   if (!staged.ok()) return staged.status();
 
   // 2: commit the snapshot, stamped g+1. Until its rename lands, recovery
@@ -499,6 +674,9 @@ Status Database::Checkpoint(const std::string& snapshot_path) {
     return published;
   }
   journal_ = std::move(staged).value();
+  // Re-point group commit at the fresh journal (drained above, so no
+  // leader can still be inside the old one's Sync).
+  pipeline_.Attach(options_.group_commit ? journal_.get() : nullptr);
   return Status::OK();
 }
 
@@ -611,16 +789,19 @@ Result<Database::Explanation> Database::Explain(
   if (!schema_.IsValidClass(selection.cls)) {
     return Status::InvalidArgument("bad class in selection");
   }
+  ReadPin pin(this);
+  ScopedEpoch scope(pin.epoch());
   Explanation out;
   bool have_usable = false;
 
-  for (const auto& index : indexes_) {
+  for (size_t pos = 0; pos < indexes_.size(); ++pos) {
+    const UIndex& index = *indexes_[pos];
     ExplainCandidate candidate;
     candidate.description =
-        "U-index on " + schema_.NameOf(index->spec().classes[0]) + "." +
-        index->spec().indexed_attr;
+        "U-index on " + schema_.NameOf(index.spec().classes[0]) + "." +
+        index.spec().indexed_attr;
     size_t position = 0;
-    if (!IndexServes(*index, selection, &position)) {
+    if (!IndexServes(index, selection, &position)) {
       candidate.reason = "attribute or class not covered by this path";
       out.candidates.push_back(std::move(candidate));
       continue;
@@ -629,12 +810,14 @@ Result<Database::Explanation> Database::Explain(
 
     // Cost model: one descent (tree height) plus the selectivity-scaled
     // share of the leaf level. Selectivity comes from the index's own
-    // value range for int indexes; string predicates assume 10%.
-    Result<BTree::TreeStats> stats = index->btree().ComputeStats();
+    // value range for int indexes; string predicates assume 10%. Stats
+    // walk the pinned epoch's tree (the view), like any other read.
+    std::unique_ptr<UIndex> view = pin.View(pos);
+    Result<BTree::TreeStats> stats = view->btree().ComputeStats();
     if (!stats.ok()) return stats.status();
     double selectivity = 0.1;
     if (selection.lo.kind() == Value::Kind::kInt) {
-      Result<std::pair<int64_t, int64_t>> range = index->IntValueRange();
+      Result<std::pair<int64_t, int64_t>> range = view->IntValueRange();
       if (range.ok()) {
         const double domain =
             static_cast<double>(range.value().second) -
@@ -712,7 +895,11 @@ Status ReadU8(const Slice& blob, size_t* pos, uint8_t* out) {
 }  // namespace
 
 Status Database::Save(const std::string& path) const {
-  std::shared_lock lock(latch_);
+  // Exclusive: the snapshot machinery reads base page bytes directly, so
+  // every chain revision must be folded into base first, which in turn
+  // requires that no reader pin or concurrent writer exists.
+  std::unique_lock lock(latch_);
+  const_cast<Database*>(this)->BeginExclusiveWrite();
   return SaveLocked(path);
 }
 
@@ -905,6 +1092,9 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& path,
   if (pos < meta.size()) {
     UINDEX_RETURN_IF_ERROR(ReadU64(meta, &pos, &db->generation_));
   }
+  // Re-publish epoch 0 now that the restored indexes exist, so the first
+  // readers pin a state carrying their roots.
+  db->PublishState(0);
   return db;
 }
 

@@ -2,6 +2,7 @@
 #define UINDEX_DB_DATABASE_H_
 
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -10,12 +11,14 @@
 #include "core/schema_catalog.h"
 #include "core/uindex.h"
 #include "core/update.h"
+#include "db/commit_queue.h"
 #include "db/journal.h"
 #include "db/oql.h"
 #include "objects/object_store.h"
 #include "schema/encoder.h"
 #include "schema/schema.h"
 #include "storage/buffer_manager.h"
+#include "storage/mvcc.h"
 #include "storage/pager.h"
 
 namespace uindex {
@@ -66,6 +69,14 @@ struct DatabaseOptions {
   /// is a synchronous demand read). Page-read accounting is identical
   /// either way.
   size_t prefetch_threads = 4;
+  /// Group commit (db/commit_queue.h): the journal is opened in
+  /// batched-sync mode, DML appends release the writer serialization
+  /// before waiting for durability, and a leader session fdatasyncs one
+  /// whole batch of concurrent commits together. Off = the classic
+  /// sync-on-every-append journal (the bench_mvcc baseline). Durability
+  /// semantics are identical — a mutation is acked only once its record is
+  /// on stable media; what changes is syncs per acked commit.
+  bool group_commit = true;
 };
 
 /// The full-system façade: schema DDL, object DML, U-index management, and
@@ -78,15 +89,24 @@ struct DatabaseOptions {
 /// (§3.5); `Select` routes a query to an index whose path can serve it, or
 /// falls back to an extent scan.
 ///
-/// Concurrency: a database-wide shared/exclusive latch serializes DDL/DML
-/// (exclusive) against queries (shared), so any number of threads may run
-/// `Select`/`Execute`/`ExecuteOql`/`Explain`/`Save` concurrently with each
-/// other — including the pool workers of `ExecuteParallel` — while writers
-/// wait for a quiescent point. `Session` (db/session.h) is the per-client
-/// handle layering per-session statistics and an `exec::ExecutionContext`
-/// on top of this API. Note the per-query-epoch page-read accounting is
-/// database-wide: concurrent queries share one epoch, so per-query counts
-/// (`QueryCost`) are only exact when queries don't overlap.
+/// Concurrency (DESIGN.md "MVCC & group commit"): queries and DML run
+/// concurrently. Readers take the shared latch, pin the published commit
+/// epoch (storage/mvcc.h), and execute against an immutable snapshot —
+/// per-query `UIndex` views over the epoch's published index roots, chain-
+/// revision page reads, and epoch-filtered object/extent resolution — so a
+/// scan never observes a concurrent mutation. DML also runs under the
+/// *shared* latch: writers serialize among themselves on a writer mutex,
+/// copy-on-write their page changes into epoch `published+1`, publish that
+/// epoch atomically, and (with `group_commit`) wait for durability only
+/// after releasing the writer mutex so concurrent commits batch into one
+/// fdatasync. Only DDL, `Save`, `Checkpoint`, and `EnableJournal` still
+/// take the latch exclusively: they quiesce readers, fold every version
+/// into base storage, and mutate in place. `Session` (db/session.h) is the
+/// per-client handle layering per-session statistics and an
+/// `exec::ExecutionContext` on top of this API. Note the per-query-epoch
+/// page-read accounting is database-wide: concurrent queries share one
+/// epoch, so per-query counts (`QueryCost`) are only exact when queries
+/// don't overlap.
 class Database {
  public:
   explicit Database(DatabaseOptions options = DatabaseOptions());
@@ -260,6 +280,14 @@ class Database {
   /// (`prefetch_threads == 0` or UINDEX_PREFETCH=off).
   PrefetchScheduler* prefetcher() const { return prefetcher_.get(); }
 
+  // ---------------------------------------------------- MVCC introspection
+  /// The current published commit epoch (tests / tools).
+  uint64_t published_epoch() const { return pins_.published(); }
+  /// Reader snapshots currently pinned.
+  size_t active_snapshots() const { return pins_.active_pins(); }
+  /// The group-commit pipeline (tests; inert when group_commit is off).
+  CommitPipeline& commit_pipeline() { return pipeline_; }
+
  private:
   // The resolved page store plus the backend bookkeeping that travels with
   // it (data-file path ownership, memory-fallback status).
@@ -292,12 +320,13 @@ class Database {
   // both constructors call it after the buffer manager exists.
   void AttachPrefetcher();
 
-  // Waits out all in-flight background reads. Every mutation entry point
-  // calls this right after taking the exclusive latch: background reads
-  // are readers of page bytes, and the latch only excludes foreground
-  // readers. New prefetches cannot start while the latch is held (all
-  // producers run under the shared latch), so the quiescence holds for the
-  // whole critical section.
+  // Waits out all in-flight background reads. Exclusive-context entry
+  // points (DDL/Save/Checkpoint) call this right after taking the unique
+  // latch: background reads are readers of page bytes, and the latch only
+  // excludes foreground readers; new prefetches cannot start while it is
+  // held. DML does NOT drain per operation — CoW versioning keeps base
+  // bytes stable under background reads — except when a deferred page free
+  // is about to become physical (see ReclaimForWrite).
   void QuiescePrefetch();
 
   // True if index `idx` can answer `selection`, with the key position of
@@ -325,11 +354,103 @@ class Database {
 
   // Applies a replayed journal record (journaling suppressed).
   Status ApplyRecord(const JournalRecord& record);
-  // Appends to the journal if one is enabled.
-  Status Log(const JournalRecord& record);
+  // Appends to the journal if one is enabled; `*seq` receives the commit
+  // sequence ticket to pass to `pipeline_.WaitDurable` (0 when nothing was
+  // appended or group commit is off).
+  Status Log(const JournalRecord& record, uint64_t* seq);
 
-  // DDL/DML exclusive vs. queries shared; see the class comment.
+  // --------------------------------------------------------- MVCC plumbing
+  // The per-epoch immutable state readers pin: for each index, the tree
+  // root / tree size / entry count as of the epoch. Everything else a
+  // query touches is epoch-resolved at a lower layer (pages through the
+  // version table, objects through revision chains) or only mutated under
+  // the exclusive latch (schema, coder, catalog, index specs).
+  struct IndexSnapshot {
+    PageId root = kInvalidPageId;
+    uint64_t size = 0;
+    uint64_t entries = 0;
+  };
+  struct DbState {
+    uint64_t epoch = 0;
+    std::vector<IndexSnapshot> indexes;
+  };
+  // RAII reader snapshot: pins {epoch, index-root state} atomically, so a
+  // query resolves every page, object, and tree root "as of" one published
+  // commit; reports the pin's held-age to the `reader_pin_max_age` gauge
+  // on release.
+  class ReadPin {
+   public:
+    explicit ReadPin(const Database* db)
+        : db_(db),
+          pin_(db->pins_.PinCurrent()),
+          state_(std::static_pointer_cast<const DbState>(pin_.state)) {}
+    ~ReadPin() {
+      const uint64_t age_us = db_->pins_.Unpin(pin_);
+      const_cast<BufferManager&>(db_->buffers_).RecordPinAge(age_us);
+    }
+    ReadPin(const ReadPin&) = delete;
+    ReadPin& operator=(const ReadPin&) = delete;
+
+    uint64_t epoch() const { return pin_.epoch; }
+
+    // A read-only view of index `pos` frozen at the pinned epoch's
+    // root/size/entries. The live `UIndex` is never scanned directly —
+    // the writer mutates its root/size fields under writer_mu_.
+    std::unique_ptr<UIndex> View(size_t pos) const {
+      const UIndex& live = *db_->indexes_[pos];
+      if (state_ != nullptr && pos < state_->indexes.size()) {
+        const IndexSnapshot& m = state_->indexes[pos];
+        return std::make_unique<UIndex>(live, m.root, m.size, m.entries);
+      }
+      // The state predates this index (created/restored under the
+      // exclusive latch but not yet republished): live fields are stable
+      // here, since any path that grows indexes_ excludes readers.
+      return std::make_unique<UIndex>(live, live.btree().root(),
+                                      live.btree().size(),
+                                      live.entry_count());
+    }
+
+   private:
+    const Database* db_;
+    EpochPinRegistry::Pin pin_;
+    std::shared_ptr<const DbState> state_;
+  };
+  // RAII for DDL bodies: republishes the current epoch's state (with
+  // refreshed index roots) on every exit path — a failed DDL may still
+  // have moved roots (e.g. a partial rebuild), and the published state
+  // must never point at a stale root.
+  struct RepublishGuard {
+    explicit RepublishGuard(Database* db) : db(db) {}
+    ~RepublishGuard() { db->PublishState(db->pins_.published()); }
+    RepublishGuard(const RepublishGuard&) = delete;
+    RepublishGuard& operator=(const RepublishGuard&) = delete;
+    Database* db;
+  };
+
+  // Publishes `epoch` with the live indexes' current roots as its state.
+  // Writer side: called under writer_mu_ (DML) or the exclusive latch
+  // (DDL, which republishes the *same* epoch with refreshed roots).
+  void PublishState(uint64_t epoch);
+  // DML preamble, under writer_mu_: folds every version no pinned reader
+  // can need into base storage (quiescing background reads first when a
+  // deferred page free is about to become physical).
+  void ReclaimForWrite();
+  // Exclusive-context preamble (DDL/Save/Checkpoint), under the unique
+  // latch: drains background I/O and folds ALL versions into base so
+  // legacy in-place writes cannot be shadowed by a chain revision.
+  void BeginExclusiveWrite();
+
+  // DDL/Save/Checkpoint exclusive vs. everything else shared; see the
+  // class comment.
   mutable std::shared_mutex latch_;
+  // Serializes mutating sessions among themselves under the shared latch.
+  // Held across reclaim -> CoW mutation -> journal append -> publish;
+  // released before the group-commit durability wait.
+  std::mutex writer_mu_;
+  // Epoch pins + published state (mutable: readers pin under const entry
+  // points).
+  mutable EpochPinRegistry pins_;
+  CommitPipeline pipeline_;
   DatabaseOptions options_;
   Env* env_;  // Resolved from options_.env; never null.
   // Checkpoint counter pairing the snapshot with its journal: the snapshot

@@ -1,8 +1,10 @@
 #ifndef UINDEX_DB_JOURNAL_H_
 #define UINDEX_DB_JOURNAL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -114,13 +116,21 @@ class Journal {
   /// recoverable tail into unrecoverable mid-file corruption.
   Status Append(const JournalRecord& record);
 
-  /// Forces appended records to stable media (for batched-sync callers).
+  /// Forces appended records to stable media (for batched-sync callers —
+  /// the group-commit leader in db/commit_queue.h). The file data is
+  /// already in the OS (`Append` flushes inline), so this is exactly one
+  /// fdatasync. Safe to call concurrently with one `Append`er: the POSIX
+  /// write/fdatasync pair needs no mutual exclusion, and the poison state
+  /// is atomic.
   Status Sync();
 
   /// Marks the journal unusable with `reason` (e.g. when the caller can no
   /// longer prove the file matches the database state it acked).
+  /// Thread-safe; first reason wins.
   void Poison(const std::string& reason);
-  bool poisoned() const { return poisoned_; }
+  bool poisoned() const {
+    return poisoned_.load(std::memory_order_acquire);
+  }
 
   const std::string& path() const { return path_; }
   uint64_t generation() const { return generation_; }
@@ -163,8 +173,19 @@ class Journal {
   std::unique_ptr<WritableFile> file_;
   uint64_t generation_;
   JournalOptions options_;
-  bool poisoned_ = false;
+  // Poison state is shared between the appender (writer mutex) and the
+  // group-commit leader (any waiter thread): flag atomic, reason under its
+  // own mutex, set-once before the release store so an acquire load
+  // observing the flag also observes the reason.
+  std::atomic<bool> poisoned_{false};
+  mutable std::mutex poison_mu_;
   std::string poison_reason_;
+
+  // Reads the reason after an acquire load saw the flag.
+  std::string poison_reason() const {
+    std::lock_guard<std::mutex> lock(poison_mu_);
+    return poison_reason_;
+  }
 };
 
 }  // namespace uindex

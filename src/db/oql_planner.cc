@@ -162,6 +162,10 @@ Result<bool> Database::EvalOqlCondition(
 
 Result<Database::OqlResult> Database::ExecuteOql(const std::string& oql) const {
   std::shared_lock lock(latch_);
+  // Snapshot read: pin the published epoch — index scans run over views
+  // frozen at its roots, traversals resolve objects as of it.
+  ReadPin pin(this);
+  ScopedEpoch scope(pin.epoch());
   Result<OqlQuery> parsed = ParseOql(oql);
   if (!parsed.ok()) return parsed.status();
   const OqlQuery& q = parsed.value();
@@ -205,8 +209,8 @@ Result<Database::OqlResult> Database::ExecuteOql(const std::string& oql) const {
       continue;  // Not index-expressible; may still drive via another cond.
     }
 
-    for (const auto& index : indexes_) {
-      const PathSpec& spec = index->spec();
+    for (size_t pos = 0; pos < indexes_.size(); ++pos) {
+      const PathSpec& spec = indexes_[pos]->spec();
       if (spec.indexed_attr != resolved[ci].attr) continue;
       if (spec.ref_attrs != resolved[ci].refs) continue;
       const Value& probe = cond.kind == OqlCondition::Kind::kIn
@@ -262,7 +266,8 @@ Result<Database::OqlResult> Database::ExecuteOql(const std::string& oql) const {
         iq.components.push_back(std::move(comp));
       }
 
-      Result<QueryResult> r = index->Parscan(iq);
+      std::unique_ptr<UIndex> view = pin.View(pos);
+      Result<QueryResult> r = view->Parscan(iq);
       if (!r.ok()) return r.status();
       out.oids = r.value().Distinct(length - 1);
       out.used_index = true;

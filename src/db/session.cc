@@ -21,7 +21,16 @@ std::string Session::Stats::ToString() const {
                     std::to_string(static_cast<double>(pool_hits) /
                                    static_cast<double>(pool_hits +
                                                        pool_misses))
-              : "");
+              : "") +
+         " epochs_published=" + std::to_string(epochs_published) +
+         " pages_cow=" + std::to_string(pages_cow) +
+         " commit_batches=" + std::to_string(commit_batches) +
+         " commit_batch_size_avg=" +
+         (commit_batches > 0
+              ? std::to_string(static_cast<double>(commit_records) /
+                               static_cast<double>(commit_batches))
+              : "0") +
+         " reader_pin_max_age_us=" + std::to_string(reader_pin_max_age_us);
 }
 
 void Session::Account(bool ok, uint64_t rows, const IoStats& before) {
@@ -45,6 +54,20 @@ void Session::Account(bool ok, uint64_t rows, const IoStats& before) {
   stats_.pool_misses += delta.pool_misses.load(std::memory_order_relaxed);
   stats_.evictions += delta.evictions.load(std::memory_order_relaxed);
   stats_.writebacks += delta.writebacks.load(std::memory_order_relaxed);
+  stats_.epochs_published +=
+      delta.epochs_published.load(std::memory_order_relaxed);
+  stats_.pages_cow += delta.pages_cow.load(std::memory_order_relaxed);
+  stats_.commit_batches +=
+      delta.commit_batches.load(std::memory_order_relaxed);
+  stats_.commit_records +=
+      delta.commit_records.load(std::memory_order_relaxed);
+  // Gauge: operator- carries the database-wide watermark through; fold it
+  // as a max so the session reports the longest pin it ever observed.
+  const uint64_t pin_age =
+      delta.reader_pin_max_age_us.load(std::memory_order_relaxed);
+  if (pin_age > stats_.reader_pin_max_age_us) {
+    stats_.reader_pin_max_age_us = pin_age;
+  }
 }
 
 Result<Database::SelectResult> Session::Select(

@@ -41,6 +41,14 @@ class Session {
     uint64_t pool_misses = 0;     ///< Frame pins that read the data file.
     uint64_t evictions = 0;       ///< Frames evicted from the bounded pool.
     uint64_t writebacks = 0;      ///< Dirty frames written to the data file.
+    // MVCC + group commit, attributed like the counters above (database-
+    // wide deltas folded per call); `reader_pin_max_age_us` is the max
+    // gauge observed across this session's calls.
+    uint64_t epochs_published = 0;  ///< Commit epochs made visible.
+    uint64_t pages_cow = 0;         ///< Pages copied-on-write into a delta.
+    uint64_t commit_batches = 0;    ///< Group-commit leader syncs.
+    uint64_t commit_records = 0;    ///< Records those syncs covered.
+    uint64_t reader_pin_max_age_us = 0;  ///< Longest-held reader pin seen.
     std::string ToString() const;
   };
 

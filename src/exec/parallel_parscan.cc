@@ -4,6 +4,8 @@
 #include <utility>
 #include <vector>
 
+#include "storage/mvcc.h"
+
 namespace uindex {
 namespace exec {
 
@@ -37,8 +39,13 @@ Result<QueryResult> ParallelParscan(const UIndex& index, const Query& query,
   for (size_t s = 0; s < shards; ++s) {
     const size_t hi = lo + chunk + (s < remainder ? 1 : 0);
     if (s + 1 < shards) {
-      futures.push_back(pool->Submit([&index, &cq, lo, hi,
+      // Workers inherit the caller's epoch: the thread-local EpochContext
+      // does not cross thread boundaries, so re-establish the pinned read
+      // epoch on each shard — every shard must resolve the same snapshot.
+      const uint64_t epoch = EpochContext::current();
+      futures.push_back(pool->Submit([&index, &cq, lo, hi, epoch,
                                       out = &partials[s]]() -> Status {
+        ScopedEpoch scope(epoch);
         return index.ParscanIntervals(cq, lo, hi, out);
       }));
     } else {

@@ -104,6 +104,11 @@ std::string EncodeRows(const std::vector<Oid>& oids, uint64_t count,
   PutFixed64(&out, stats.pool_misses);
   PutFixed64(&out, stats.evictions);
   PutFixed64(&out, stats.writebacks);
+  PutFixed64(&out, stats.epochs_published);
+  PutFixed64(&out, stats.pages_cow);
+  PutFixed64(&out, stats.commit_batches);
+  PutFixed64(&out, stats.commit_records);
+  PutFixed64(&out, stats.reader_pin_max_age_us);
   PutFixed32(&out, static_cast<uint32_t>(oids.size()));
   for (const Oid oid : oids) PutFixed32(&out, oid);
   return out;
@@ -139,6 +144,11 @@ std::string EncodeStats(const Session::Stats& stats) {
   PutFixed64(&out, stats.pool_misses);
   PutFixed64(&out, stats.evictions);
   PutFixed64(&out, stats.writebacks);
+  PutFixed64(&out, stats.epochs_published);
+  PutFixed64(&out, stats.pages_cow);
+  PutFixed64(&out, stats.commit_batches);
+  PutFixed64(&out, stats.commit_records);
+  PutFixed64(&out, stats.reader_pin_max_age_us);
   return out;
 }
 
@@ -210,6 +220,16 @@ Result<Response> DecodeResponse(const Slice& payload) {
           ReadU64(payload, &pos, &r.query_stats.evictions));
       UINDEX_RETURN_IF_ERROR(
           ReadU64(payload, &pos, &r.query_stats.writebacks));
+      UINDEX_RETURN_IF_ERROR(
+          ReadU64(payload, &pos, &r.query_stats.epochs_published));
+      UINDEX_RETURN_IF_ERROR(
+          ReadU64(payload, &pos, &r.query_stats.pages_cow));
+      UINDEX_RETURN_IF_ERROR(
+          ReadU64(payload, &pos, &r.query_stats.commit_batches));
+      UINDEX_RETURN_IF_ERROR(
+          ReadU64(payload, &pos, &r.query_stats.commit_records));
+      UINDEX_RETURN_IF_ERROR(
+          ReadU64(payload, &pos, &r.query_stats.reader_pin_max_age_us));
       uint32_t n = 0;
       UINDEX_RETURN_IF_ERROR(ReadU32(payload, &pos, &n));
       if (payload.size() - pos < static_cast<size_t>(n) * 4) {
@@ -255,6 +275,16 @@ Result<Response> DecodeResponse(const Slice& payload) {
           ReadU64(payload, &pos, &r.session_stats.evictions));
       UINDEX_RETURN_IF_ERROR(
           ReadU64(payload, &pos, &r.session_stats.writebacks));
+      UINDEX_RETURN_IF_ERROR(
+          ReadU64(payload, &pos, &r.session_stats.epochs_published));
+      UINDEX_RETURN_IF_ERROR(
+          ReadU64(payload, &pos, &r.session_stats.pages_cow));
+      UINDEX_RETURN_IF_ERROR(
+          ReadU64(payload, &pos, &r.session_stats.commit_batches));
+      UINDEX_RETURN_IF_ERROR(
+          ReadU64(payload, &pos, &r.session_stats.commit_records));
+      UINDEX_RETURN_IF_ERROR(
+          ReadU64(payload, &pos, &r.session_stats.reader_pin_max_age_us));
       break;
     default:
       return Status::Corruption("unknown response op " +

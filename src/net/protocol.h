@@ -44,7 +44,10 @@ namespace net {
 /// rejects a `kHello` carrying a different major version.
 /// v2: kRows/kStats grew the buffer-pool counters (pool_hits, pool_misses,
 /// evictions, writebacks).
-inline constexpr uint32_t kProtocolVersion = 2;
+/// v3: kRows/kStats grew the MVCC + group-commit counters
+/// (epochs_published, pages_cow, commit_batches, commit_records,
+/// reader_pin_max_age_us).
+inline constexpr uint32_t kProtocolVersion = 3;
 
 /// First bytes of every `kHello` payload after the op byte.
 inline constexpr char kProtocolMagic[4] = {'U', 'I', 'D', 'X'};
@@ -89,6 +92,12 @@ struct WireQueryStats {
   uint64_t pool_misses = 0;
   uint64_t evictions = 0;
   uint64_t writebacks = 0;
+  // MVCC + group commit (db/commit_queue.h, storage/mvcc.h). v3.
+  uint64_t epochs_published = 0;
+  uint64_t pages_cow = 0;
+  uint64_t commit_batches = 0;
+  uint64_t commit_records = 0;
+  uint64_t reader_pin_max_age_us = 0;  ///< Gauge, not a delta.
 };
 
 /// A decoded request frame.

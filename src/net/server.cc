@@ -35,6 +35,12 @@ WireQueryStats StatsDelta(const Session::Stats& before,
   d.pool_misses = after.pool_misses - before.pool_misses;
   d.evictions = after.evictions - before.evictions;
   d.writebacks = after.writebacks - before.writebacks;
+  d.epochs_published = after.epochs_published - before.epochs_published;
+  d.pages_cow = after.pages_cow - before.pages_cow;
+  d.commit_batches = after.commit_batches - before.commit_batches;
+  d.commit_records = after.commit_records - before.commit_records;
+  // Gauge: report the session's current watermark, not a difference.
+  d.reader_pin_max_age_us = after.reader_pin_max_age_us;
   return d;
 }
 

@@ -6,62 +6,139 @@
 
 namespace uindex {
 
+const ObjectStore::Rev* ObjectStore::ResolveLocked(
+    const std::vector<Rev>& chain, uint64_t at) const {
+  const Rev* best = nullptr;
+  for (const Rev& rev : chain) {  // Ascending epochs; last of equals wins.
+    if (rev.epoch > at) break;
+    best = &rev;
+  }
+  if (best == nullptr || best->obj == nullptr) return nullptr;
+  return best;
+}
+
 Result<Oid> ObjectStore::Create(ClassId cls) {
   if (!schema_->IsValidClass(cls)) {
     return Status::InvalidArgument("bad class id");
   }
-  const Oid oid = next_oid_++;
-  Object obj;
-  obj.oid = oid;
-  obj.cls = cls;
-  objects_[oid] = std::move(obj);
-  if (extents_.size() <= cls) extents_.resize(schema_->class_count());
-  extents_[cls].push_back(oid);
-  ++live_count_;
+  const uint64_t w = MutationEpoch();
+  const Oid oid = next_oid_.fetch_add(1, std::memory_order_relaxed);
+  auto obj = std::make_shared<Object>();
+  obj->oid = oid;
+  obj->cls = cls;
+  {
+    Shard& shard = ShardFor(oid);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.chains[oid].push_back(Rev{w, std::move(obj)});
+  }
+  {
+    std::lock_guard<std::mutex> lock(extents_mu_);
+    if (extents_.size() <= cls) extents_.resize(schema_->class_count());
+    extents_[cls].push_back(Interval{oid, w, kLatestEpoch});
+  }
+  live_count_.fetch_add(1, std::memory_order_relaxed);
   return oid;
 }
 
 Status ObjectStore::SetAttr(Oid oid, const std::string& name, Value value) {
-  auto it = objects_.find(oid);
-  if (it == objects_.end()) return Status::NotFound("oid");
-  Value& slot = it->second.attrs[name];
-  RemoveReverse(oid, name, slot);
-  AddReverse(oid, name, value);
+  const uint64_t w = MutationEpoch();
+  std::shared_ptr<const Object> current;
+  {
+    Shard& shard = ShardFor(oid);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.chains.find(oid);
+    if (it == shard.chains.end()) return Status::NotFound("oid");
+    const Rev* rev = ResolveLocked(it->second, w);
+    if (rev == nullptr) return Status::NotFound("oid");
+    current = rev->obj;
+  }
+  // Copy-on-write: the published revision stays untouched for pinned
+  // readers; the new revision is appended (never swapped in place, so
+  // `const Object*` results handed out earlier this mutation stay valid).
+  auto next = std::make_shared<Object>(*current);
+  Value& slot = next->attrs[name];
+  RemoveReverse(oid, name, slot, w);
+  AddReverse(oid, name, value, w);
   slot = std::move(value);
+  {
+    Shard& shard = ShardFor(oid);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.chains[oid].push_back(Rev{w, std::move(next)});
+  }
   return Status::OK();
 }
 
 Result<const Object*> ObjectStore::Get(Oid oid) const {
-  auto it = objects_.find(oid);
-  if (it == objects_.end()) return Status::NotFound("oid");
-  return &it->second;
+  const uint64_t at = EpochContext::Effective();
+  const Shard& shard = ShardFor(oid);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.chains.find(oid);
+  if (it == shard.chains.end()) return Status::NotFound("oid");
+  const Rev* rev = ResolveLocked(it->second, at);
+  if (rev == nullptr) return Status::NotFound("oid");
+  // The raw pointer stays valid until reclamation passes `at` — excluded
+  // while the resolving reader is pinned (see class comment).
+  return rev->obj.get();
 }
 
-bool ObjectStore::Exists(Oid oid) const { return objects_.count(oid) != 0; }
+bool ObjectStore::Exists(Oid oid) const {
+  const uint64_t at = EpochContext::Effective();
+  const Shard& shard = ShardFor(oid);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.chains.find(oid);
+  if (it == shard.chains.end()) return false;
+  return ResolveLocked(it->second, at) != nullptr;
+}
 
 Status ObjectStore::Delete(Oid oid) {
-  auto it = objects_.find(oid);
-  if (it == objects_.end()) return Status::NotFound("oid");
-  for (const auto& [name, value] : it->second.attrs) {
-    RemoveReverse(oid, name, value);
+  const uint64_t w = MutationEpoch();
+  std::shared_ptr<const Object> current;
+  {
+    Shard& shard = ShardFor(oid);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.chains.find(oid);
+    if (it == shard.chains.end()) return Status::NotFound("oid");
+    const Rev* rev = ResolveLocked(it->second, w);
+    if (rev == nullptr) return Status::NotFound("oid");
+    current = rev->obj;
   }
-  auto& extent = extents_[it->second.cls];
-  extent.erase(std::remove(extent.begin(), extent.end(), oid), extent.end());
-  objects_.erase(it);
-  --live_count_;
+  for (const auto& [name, value] : current->attrs) {
+    RemoveReverse(oid, name, value, w);
+  }
+  {
+    std::lock_guard<std::mutex> lock(extents_mu_);
+    auto& extent = extents_[current->cls];
+    for (Interval& iv : extent) {
+      if (iv.oid == oid && iv.died == kLatestEpoch) {
+        iv.died = w;
+        break;
+      }
+    }
+  }
+  {
+    Shard& shard = ShardFor(oid);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.chains[oid].push_back(Rev{w, nullptr});  // Tombstone.
+  }
+  live_count_.fetch_sub(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
-const std::vector<Oid>& ObjectStore::ExtentOf(ClassId cls) const {
-  static const std::vector<Oid> kEmpty;
-  if (cls >= extents_.size()) return kEmpty;
-  return extents_[cls];
+std::vector<Oid> ObjectStore::ExtentOf(ClassId cls) const {
+  const uint64_t at = EpochContext::Effective();
+  std::vector<Oid> out;
+  std::lock_guard<std::mutex> lock(extents_mu_);
+  if (cls >= extents_.size()) return out;
+  for (const Interval& iv : extents_[cls]) {
+    if (Visible(iv.born, iv.died, at)) out.push_back(iv.oid);
+  }
+  return out;
 }
 
 std::vector<Oid> ObjectStore::DeepExtentOf(ClassId cls) const {
   std::vector<Oid> out;
   for (const ClassId c : schema_->SubtreeOf(cls)) {
-    const auto& extent = ExtentOf(c);
+    const std::vector<Oid> extent = ExtentOf(c);
     out.insert(out.end(), extent.begin(), extent.end());
   }
   return out;
@@ -83,33 +160,45 @@ Result<Oid> ObjectStore::Deref(Oid oid, const std::string& attr) const {
 
 std::vector<Oid> ObjectStore::ReferrersOf(Oid target,
                                           const std::string& attr) const {
+  const uint64_t at = EpochContext::Effective();
+  std::vector<Oid> out;
+  std::lock_guard<std::mutex> lock(referrers_mu_);
   auto it = referrers_.find({target, attr});
-  if (it == referrers_.end()) return {};
-  return it->second;
+  if (it == referrers_.end()) return out;
+  for (const Interval& iv : it->second) {
+    if (Visible(iv.born, iv.died, at)) out.push_back(iv.oid);
+  }
+  return out;
 }
 
 std::string ObjectStore::Serialize() const {
   // Layout: next_oid u32 ∥ count u64 ∥ per object (ascending oid):
   //   oid u32 ∥ class u32 ∥ attr_count u32 ∥
   //   per attr: name_len u32 ∥ name ∥ value.
-  std::string out;
-  PutFixed32(&out, next_oid_);
-  PutFixed64(&out, live_count_);
-  std::vector<Oid> oids;
-  oids.reserve(objects_.size());
-  for (const auto& [oid, obj] : objects_) {
-    (void)obj;
-    oids.push_back(oid);
+  const uint64_t at = EpochContext::Effective();
+  std::vector<std::shared_ptr<const Object>> live;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [oid, chain] : shard.chains) {
+      const Rev* rev = ResolveLocked(chain, at);
+      if (rev != nullptr) live.push_back(rev->obj);
+    }
   }
-  std::sort(oids.begin(), oids.end());
-  for (const Oid oid : oids) {
-    const Object& obj = objects_.at(oid);
-    PutFixed32(&out, oid);
-    PutFixed32(&out, obj.cls);
-    PutFixed32(&out, static_cast<uint32_t>(obj.attrs.size()));
+  std::sort(live.begin(), live.end(),
+            [](const std::shared_ptr<const Object>& a,
+               const std::shared_ptr<const Object>& b) {
+              return a->oid < b->oid;
+            });
+  std::string out;
+  PutFixed32(&out, next_oid_.load(std::memory_order_relaxed));
+  PutFixed64(&out, live.size());
+  for (const std::shared_ptr<const Object>& obj : live) {
+    PutFixed32(&out, obj->oid);
+    PutFixed32(&out, obj->cls);
+    PutFixed32(&out, static_cast<uint32_t>(obj->attrs.size()));
     // Deterministic attribute order.
     std::vector<const std::string*> names;
-    for (const auto& [name, value] : obj.attrs) {
+    for (const auto& [name, value] : obj->attrs) {
       (void)value;
       names.push_back(&name);
     }
@@ -120,14 +209,14 @@ std::string ObjectStore::Serialize() const {
     for (const std::string* name : names) {
       PutFixed32(&out, static_cast<uint32_t>(name->size()));
       out.append(*name);
-      AppendValueTo(obj.attrs.at(*name), &out);
+      AppendValueTo(obj->attrs.at(*name), &out);
     }
   }
   return out;
 }
 
 Status ObjectStore::Deserialize(const Slice& blob) {
-  if (live_count_ != 0) {
+  if (live_count_.load(std::memory_order_relaxed) != 0) {
     return Status::InvalidArgument("store not empty");
   }
   size_t pos = 0;
@@ -146,9 +235,9 @@ Status ObjectStore::Deserialize(const Slice& blob) {
     if (!schema_->IsValidClass(cls)) {
       return Status::Corruption("unknown class in store blob");
     }
-    Object obj;
-    obj.oid = oid;
-    obj.cls = cls;
+    auto obj = std::make_shared<Object>();
+    obj->oid = oid;
+    obj->cls = cls;
     for (uint32_t a = 0; a < attr_count; ++a) {
       if (pos + 4 > blob.size()) {
         return Status::Corruption("truncated attr name len");
@@ -162,39 +251,123 @@ Status ObjectStore::Deserialize(const Slice& blob) {
       pos += name_len;
       Result<Value> value = ReadValueFrom(blob, &pos);
       if (!value.ok()) return value.status();
-      AddReverse(oid, name, value.value());
-      obj.attrs[std::move(name)] = std::move(value).value();
+      AddReverse(oid, name, value.value(), 0);
+      obj->attrs[std::move(name)] = std::move(value).value();
     }
-    if (extents_.size() < schema_->class_count()) {
-      extents_.resize(schema_->class_count());
+    {
+      std::lock_guard<std::mutex> lock(extents_mu_);
+      if (extents_.size() < schema_->class_count()) {
+        extents_.resize(schema_->class_count());
+      }
+      extents_[cls].push_back(Interval{oid, 0, kLatestEpoch});
     }
-    extents_[cls].push_back(oid);
-    objects_[oid] = std::move(obj);
-    ++live_count_;
+    {
+      Shard& shard = ShardFor(oid);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.chains[oid].push_back(Rev{0, std::move(obj)});
+    }
+    live_count_.fetch_add(1, std::memory_order_relaxed);
   }
-  next_oid_ = next_oid;
+  next_oid_.store(next_oid, std::memory_order_relaxed);
   return Status::OK();
 }
 
+void ObjectStore::ReclaimBelow(uint64_t horizon) {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.chains.begin();
+    while (it != shard.chains.end()) {
+      std::vector<Rev>& chain = it->second;
+      // Keep the newest revision at or below the horizon (it IS the state
+      // every retained reader resolves) plus everything newer.
+      size_t keep_from = 0;
+      for (size_t i = 0; i < chain.size(); ++i) {
+        if (chain[i].epoch <= horizon) keep_from = i;
+      }
+      if (keep_from > 0) chain.erase(chain.begin(), chain.begin() + keep_from);
+      // A tombstone is always last (oids are never reused); once it is the
+      // horizon state, nobody can resolve the object again.
+      if (chain.size() == 1 && chain[0].obj == nullptr &&
+          chain[0].epoch <= horizon) {
+        it = shard.chains.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(extents_mu_);
+    for (std::vector<Interval>& extent : extents_) {
+      extent.erase(std::remove_if(extent.begin(), extent.end(),
+                                  [horizon](const Interval& iv) {
+                                    return iv.died <= horizon;
+                                  }),
+                   extent.end());
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(referrers_mu_);
+    auto it = referrers_.begin();
+    while (it != referrers_.end()) {
+      std::vector<Interval>& v = it->second;
+      v.erase(std::remove_if(v.begin(), v.end(),
+                             [horizon](const Interval& iv) {
+                               return iv.died <= horizon;
+                             }),
+              v.end());
+      if (v.empty()) {
+        it = referrers_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+size_t ObjectStore::versioned_garbage_count() const {
+  size_t garbage = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [oid, chain] : shard.chains) {
+      (void)oid;
+      if (!chain.empty()) garbage += chain.size() - 1;
+      if (!chain.empty() && chain.back().obj == nullptr) ++garbage;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(extents_mu_);
+    for (const std::vector<Interval>& extent : extents_) {
+      for (const Interval& iv : extent) {
+        if (iv.died != kLatestEpoch) ++garbage;
+      }
+    }
+  }
+  return garbage;
+}
+
 void ObjectStore::AddReverse(Oid source, const std::string& attr,
-                             const Value& value) {
+                             const Value& value, uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(referrers_mu_);
   if (value.kind() == Value::Kind::kRef) {
-    referrers_[{value.AsRef(), attr}].push_back(source);
+    referrers_[{value.AsRef(), attr}].push_back(
+        Interval{source, epoch, kLatestEpoch});
   } else if (value.kind() == Value::Kind::kRefSet) {
     for (Oid target : value.AsRefSet()) {
-      referrers_[{target, attr}].push_back(source);
+      referrers_[{target, attr}].push_back(
+          Interval{source, epoch, kLatestEpoch});
     }
   }
 }
 
 void ObjectStore::RemoveReverse(Oid source, const std::string& attr,
-                                const Value& value) {
-  auto drop = [this, source, &attr](Oid target) {
+                                const Value& value, uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(referrers_mu_);
+  auto drop = [this, source, &attr, epoch](Oid target) {
     auto it = referrers_.find({target, attr});
     if (it == referrers_.end()) return;
-    auto& v = it->second;
-    v.erase(std::remove(v.begin(), v.end(), source), v.end());
-    if (v.empty()) referrers_.erase(it);
+    for (Interval& iv : it->second) {
+      if (iv.oid == source && iv.died == kLatestEpoch) iv.died = epoch;
+    }
   };
   if (value.kind() == Value::Kind::kRef) {
     drop(value.AsRef());

@@ -1,13 +1,17 @@
 #ifndef UINDEX_OBJECTS_OBJECT_STORE_H_
 #define UINDEX_OBJECTS_OBJECT_STORE_H_
 
+#include <atomic>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "objects/object.h"
 #include "schema/schema.h"
+#include "storage/mvcc.h"
 #include "util/slice.h"
 #include "util/status.h"
 
@@ -20,6 +24,23 @@ namespace uindex {
 /// when an object in the middle of a path changes (the paper's "a President
 /// switches companies", §3.5), the affected head-of-path objects are found
 /// by walking referrers.
+///
+/// MVCC (storage/mvcc.h): every piece of state is epoch-stamped so readers
+/// pinned at epoch E see exactly the store as of E while the single writer
+/// mutates at E+1. Objects live in per-oid *revision chains* (immutable
+/// `Object` snapshots; a null object is a deletion tombstone); extent and
+/// reverse-reference membership carries `[born, died)` epoch intervals.
+/// Mutations stamp the thread-local `EpochContext` epoch (`kLatestEpoch`
+/// i.e. standalone use stamps 0, which every reader sees — the exact
+/// pre-MVCC behaviour); reads resolve at `EpochContext::Effective()`.
+/// `ReclaimBelow` prunes revisions/intervals no pinned reader can need.
+///
+/// Thread-safety: concurrent readers are safe against the (externally
+/// serialized, single) writer — chains are sharded by oid under per-shard
+/// mutexes, extents and referrers under their own. Raw `const Object*`
+/// results stay valid until a reclaim passes the epoch they were resolved
+/// at (the database's pin horizon guarantees that never happens while the
+/// resolving reader is pinned).
 class ObjectStore {
  public:
   explicit ObjectStore(const Schema* schema) : schema_(schema) {}
@@ -29,7 +50,8 @@ class ObjectStore {
 
   const Schema& schema() const { return *schema_; }
 
-  /// Creates an object of `cls` and returns its oid (oids start at 1).
+  /// Creates an object of `cls` and returns its oid (oids start at 1 and
+  /// are never reused).
   Result<Oid> Create(ClassId cls);
 
   /// Sets (or overwrites) an attribute. Reference values update the
@@ -43,8 +65,10 @@ class ObjectStore {
   /// caller is responsible for index maintenance *before* deleting.
   Status Delete(Oid oid);
 
-  /// Direct instances of `cls` (not of its subclasses), in creation order.
-  const std::vector<Oid>& ExtentOf(ClassId cls) const;
+  /// Direct instances of `cls` (not of its subclasses), in creation order,
+  /// as of the calling thread's read epoch. By value: the membership is a
+  /// per-epoch filter, not a stable container.
+  std::vector<Oid> ExtentOf(ClassId cls) const;
 
   /// Instances of `cls` and all of its subclasses, in hierarchy preorder
   /// then creation order.
@@ -56,26 +80,81 @@ class ObjectStore {
   /// Objects whose `attr` references `target` (any multiplicity).
   std::vector<Oid> ReferrersOf(Oid target, const std::string& attr) const;
 
-  uint64_t size() const { return live_count_; }
+  /// Live objects at the *newest* state (not epoch-filtered).
+  uint64_t size() const {
+    return live_count_.load(std::memory_order_relaxed);
+  }
 
   /// Serializes every live object (oids, classes, attributes) to a byte
   /// blob; `Deserialize` restores it into an empty store over an
   /// equivalent schema. Reverse references and extents are rebuilt.
+  /// Serialization resolves at the calling thread's read epoch (callers
+  /// hold exclusive access and serialize the newest state).
   std::string Serialize() const;
   Status Deserialize(const Slice& blob);
 
+  /// Epoch-based reclamation: drops every revision and membership
+  /// interval that no reader pinned at or above `horizon` can resolve.
+  /// Caller holds the writer serialization.
+  void ReclaimBelow(uint64_t horizon);
+
+  /// Retained superseded revisions (tests / introspection): chain
+  /// revisions beyond the newest of each live oid, plus dead membership
+  /// intervals.
+  size_t versioned_garbage_count() const;
+
  private:
-  void AddReverse(Oid source, const std::string& attr, const Value& value);
-  void RemoveReverse(Oid source, const std::string& attr,
-                     const Value& value);
+  // One revision of an object: the immutable state published at `epoch`
+  // (null = deletion tombstone). Chains are ascending by epoch; several
+  // same-epoch revisions may exist (each SetAttr appends — older ones are
+  // kept so `const Object*` handed out earlier in the same mutation stay
+  // valid), and resolution takes the last one at or below the read epoch.
+  struct Rev {
+    uint64_t epoch;
+    std::shared_ptr<const Object> obj;
+  };
+  // Epoch-interval membership of an extent or referrer list.
+  struct Interval {
+    Oid oid;  // Extent member, or referring source.
+    uint64_t born;
+    uint64_t died;  // kLatestEpoch while live.
+  };
+
+  static constexpr size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Oid, std::vector<Rev>> chains;
+  };
+  Shard& ShardFor(Oid oid) { return shards_[oid % kShards]; }
+  const Shard& ShardFor(Oid oid) const { return shards_[oid % kShards]; }
+
+  // The epoch a mutation stamps: the thread-local epoch, or 0 for
+  // standalone (un-scoped) use.
+  static uint64_t MutationEpoch() {
+    const uint64_t e = EpochContext::current();
+    return e == kLatestEpoch ? 0 : e;
+  }
+  static bool Visible(uint64_t born, uint64_t died, uint64_t at) {
+    return born <= at && at < died;
+  }
+
+  // Newest revision at or below `at`; null when none or a tombstone.
+  const Rev* ResolveLocked(const std::vector<Rev>& chain, uint64_t at) const;
+
+  void AddReverse(Oid source, const std::string& attr, const Value& value,
+                  uint64_t epoch);
+  void RemoveReverse(Oid source, const std::string& attr, const Value& value,
+                     uint64_t epoch);
 
   const Schema* schema_;
-  std::unordered_map<Oid, Object> objects_;
-  std::vector<std::vector<Oid>> extents_;  // indexed by ClassId
-  // (target oid, attribute) -> sources referencing it.
-  std::map<std::pair<Oid, std::string>, std::vector<Oid>> referrers_;
-  Oid next_oid_ = 1;
-  uint64_t live_count_ = 0;
+  Shard shards_[kShards];
+  mutable std::mutex extents_mu_;
+  std::vector<std::vector<Interval>> extents_;  // indexed by ClassId
+  mutable std::mutex referrers_mu_;
+  // (target oid, attribute) -> sources referencing it, with lifetimes.
+  std::map<std::pair<Oid, std::string>, std::vector<Interval>> referrers_;
+  std::atomic<Oid> next_oid_{1};
+  std::atomic<uint64_t> live_count_{0};
 };
 
 }  // namespace uindex

@@ -13,6 +13,7 @@
 
 #include "storage/buffer_pool.h"
 #include "storage/io_stats.h"
+#include "storage/mvcc.h"
 #include "storage/page.h"
 #include "storage/pager.h"
 
@@ -180,11 +181,27 @@ class BufferManager {
   PageRef Fetch(PageId id) { return FetchInternal(id, /*dirty=*/false); }
 
   /// Fetches a page for writing. Counts a read (the page must be resident
-  /// to modify it) plus a write, bumps the page's version so derived-
-  /// value caches drop their now-stale entries, and marks the frame dirty
-  /// for write-back. Requires external exclusion against readers of this
-  /// page (see class comment).
+  /// to modify it) plus a write.
+  ///
+  /// Legacy mode (no open write epoch, or a caller outside it — DDL under
+  /// the exclusive latch, standalone trees): mutates the base page in
+  /// place, bumping its version so derived-value caches drop their stale
+  /// entries, and marks the frame dirty for write-back. Requires external
+  /// exclusion against readers of this page.
+  ///
+  /// MVCC mode (`BeginWriteEpoch` open and this thread is the writer):
+  /// copies the newest visible bytes into an epoch-stamped chain revision
+  /// (storage/mvcc.h) and mutates the copy — the base stays untouched, so
+  /// concurrent readers pinned at earlier epochs keep their snapshot.
+  /// Pages born in the open epoch are written in place (no published
+  /// reader can reach them). The base version is NOT bumped on a CoW
+  /// write: base bytes did not change, and versioned refs bypass the
+  /// decoded-node cache entirely.
   PageRef FetchForWrite(PageId id) {
+    const uint64_t w = write_epoch_.load(std::memory_order_relaxed);
+    if (w != 0 && EpochContext::current() == w) {
+      return FetchForWriteVersioned(id, w);
+    }
     PageRef ref = FetchInternal(id, /*dirty=*/true);
     if (ref != nullptr) {
       stats_.pages_written.fetch_add(1, std::memory_order_relaxed);
@@ -196,8 +213,18 @@ class BufferManager {
   /// Fetches with NO logical accounting — the decoded-node cache warm path
   /// and background prefetch use this so their reads never perturb the
   /// paper metric. Physical pool traffic still counts (it is real I/O).
+  /// Epoch-aware like `Fetch`: a page with chain revisions resolves to the
+  /// thread's revision, never the base bytes — which is also what keeps
+  /// uncounted readers off base frames while reclamation folds revisions
+  /// into them (the only base-byte writes that can run under concurrent
+  /// readers).
   PageRef FetchUncounted(PageId id) {
     if (!pager_->IsLive(id)) return PageRef();
+    if (!versions_.empty()) {
+      std::shared_ptr<Page> rev =
+          versions_.Resolve(id, EpochContext::Effective());
+      if (rev != nullptr) return PageRef(std::move(rev));
+    }
     return AcquirePage(id, /*dirty=*/false);
   }
 
@@ -227,33 +254,93 @@ class BufferManager {
     // A zeroed dirty frame, never a store read: a recycled id's stale
     // file bytes must not be served as the fresh page's content.
     if (pool_ != nullptr) pool_->PinNew(id);
+    // Born in the open write epoch: unreachable from any published state,
+    // so the writer mutates it in place and a same-epoch free is
+    // immediate.
+    const uint64_t w = write_epoch_.load(std::memory_order_relaxed);
+    if (w != 0 && EpochContext::current() == w) versions_.MarkBorn(id);
     return id;
   }
 
-  /// Frees a page and drops it from the resident set (and its pool frame,
-  /// without write-back), bumping its version (a later `Allocate` may
-  /// recycle the id for unrelated content).
+  /// Frees a page. Legacy mode frees immediately: drops it from the
+  /// resident set (and its pool frame, without write-back), bumps its
+  /// version (a later `Allocate` may recycle the id for unrelated
+  /// content), and returns it to the store. Under an open write epoch the
+  /// free is *deferred* — readers pinned at earlier epochs still walk the
+  /// page — until reclamation passes the freeing epoch; pages born in the
+  /// same epoch never published and free immediately.
   void Free(PageId id) {
-    {
-      Shard& shard = shards_[id % kShards];
-      std::lock_guard<std::mutex> lock(shard.mu);
-      shard.resident.erase(id);
-      ++shard.versions[id];
+    const uint64_t w = write_epoch_.load(std::memory_order_relaxed);
+    if (w != 0 && EpochContext::current() == w &&
+        !versions_.EraseBorn(id)) {
+      versions_.DeferFree(id, w);
+      return;
     }
-    // The recency list only exists in bounded mode; per-query-epoch frees
-    // (the common case — every split/merge path) skip its global lock.
-    if (capacity() != 0) {
-      std::lock_guard<std::mutex> lock(lru_mu_);
-      auto it = lru_index_.find(id);
-      if (it != lru_index_.end()) {
-        lru_.erase(it->second);
-        lru_index_.erase(it);
-      }
-    }
-    NotifyFreed(id);
-    if (pool_ != nullptr) pool_->Discard(id);
-    pager_->Free(id);
+    PhysicalFree(id);
   }
+
+  // ------------------------------------------------------ MVCC lifecycle
+  /// Opens write epoch `w` (db layer: published + 1). Only the opening
+  /// thread's `FetchForWrite`/`Allocate`/`Free` calls run in MVCC mode —
+  /// the thread-local `EpochContext` must equal `w` (the database brackets
+  /// the mutation in a `ScopedEpoch`). Single writer: callers serialize
+  /// externally (the database's writer mutex).
+  void BeginWriteEpoch(uint64_t w) {
+    write_epoch_.store(w, std::memory_order_relaxed);
+  }
+
+  /// Closes the open write epoch at publish time: born pages become
+  /// ordinary published pages (the next epoch CoWs them like any other).
+  void EndWriteEpoch() {
+    versions_.ClearBorn();
+    write_epoch_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Epoch-based reclamation: folds every chain revision stamped at or
+  /// below `horizon` (the registry's oldest pinned epoch) into the base
+  /// store and performs deferred frees whose death epoch has passed. The
+  /// apply path brackets the base overwrite in version bumps — a seqlock
+  /// for the decoded-node cache: an uncounted warm parse racing the copy
+  /// gets keyed with the mid-window version and can never be inserted as
+  /// current. Caller holds the writer serialization.
+  void ReclaimVersionsThrough(uint64_t horizon) {
+    if (versions_.revision_count() == 0 &&
+        versions_.pending_free_count() == 0) {
+      return;
+    }
+    versions_.ReclaimThrough(
+        horizon,
+        [this](PageId id, const Page& bytes) {
+          return ApplyVersionToBase(id, bytes);
+        },
+        [this](PageId id) { PhysicalFree(id); });
+  }
+
+  /// Folds *everything* into base — for exclusive contexts (DDL, Save,
+  /// Checkpoint, teardown) where no reader pin can exist, so the base
+  /// store and snapshot machinery see the newest bytes.
+  void ForceReclaimAll() { ReclaimVersionsThrough(kLatestEpoch - 1); }
+
+  /// Chain revisions currently retained (tests / introspection).
+  size_t versioned_revision_count() const {
+    return versions_.revision_count();
+  }
+  size_t pending_free_count() const {
+    return versions_.pending_free_count();
+  }
+
+  /// MVCC + commit accounting hooks (db layer).
+  void RecordEpochPublished() {
+    stats_.epochs_published.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordPagesCow(uint64_t n) {
+    stats_.pages_cow.fetch_add(n, std::memory_order_relaxed);
+  }
+  void RecordCommitBatch(uint64_t records) {
+    stats_.commit_batches.fetch_add(1, std::memory_order_relaxed);
+    stats_.commit_records.fetch_add(records, std::memory_order_relaxed);
+  }
+  void RecordPinAge(uint64_t age_us) { stats_.RecordPinAge(age_us); }
 
   /// Writes every dirty pool frame back to the store (in page-id order),
   /// then syncs the store's data file and allocation state when `sync` is
@@ -323,10 +410,11 @@ class BufferManager {
     std::unordered_map<PageId, uint64_t> versions;
   };
 
-  // The one fetch body: logical charging first (identical on every
-  // backend), then the physical acquire (pool pin or direct page).
-  PageRef FetchInternal(PageId id, bool dirty) {
-    if (!pager_->IsLive(id)) return PageRef();
+  // Logical read accounting, identical on every backend AND every epoch:
+  // residency is keyed by page id alone, so a reader resolving a chain
+  // revision charges exactly what the same walk over base pages would —
+  // the `pages_read` byte-identity invariant extends over MVCC.
+  void ChargeRead(PageId id) {
     bool charged = false;
     const size_t cap = capacity();
     if (cap != 0) {
@@ -342,7 +430,88 @@ class BufferManager {
     } else {
       stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
     }
+  }
+
+  // The one fetch body: logical charging first, then the physical acquire
+  // — an MVCC chain revision for the thread's read epoch when one exists,
+  // else the base store (pool pin or direct page).
+  PageRef FetchInternal(PageId id, bool dirty) {
+    if (!pager_->IsLive(id)) return PageRef();
+    ChargeRead(id);
+    if (!dirty && !versions_.empty()) {
+      std::shared_ptr<Page> rev =
+          versions_.Resolve(id, EpochContext::Effective());
+      if (rev != nullptr) return PageRef(std::move(rev));
+    }
     return AcquirePage(id, dirty);
+  }
+
+  // MVCC write path: see FetchForWrite.
+  PageRef FetchForWriteVersioned(PageId id, uint64_t w) {
+    if (!pager_->IsLive(id)) return PageRef();
+    ChargeRead(id);
+    stats_.pages_written.fetch_add(1, std::memory_order_relaxed);
+    if (versions_.IsBorn(id)) {
+      // Unpublished page: in-place, with the legacy version bump (the
+      // writer's own warm parses of it must invalidate).
+      BumpVersion(id);
+      return AcquirePage(id, /*dirty=*/true);
+    }
+    bool created = false;
+    std::shared_ptr<Page> rev;
+    if (std::shared_ptr<Page> newest = versions_.Newest(id)) {
+      rev = versions_.GetOrCreateWritable(id, w, *newest, &created);
+    } else {
+      PageRef base = AcquirePage(id, /*dirty=*/false);
+      if (base == nullptr) return PageRef();
+      rev = versions_.GetOrCreateWritable(id, w, *base, &created);
+    }
+    if (created) stats_.pages_cow.fetch_add(1, std::memory_order_relaxed);
+    return PageRef(std::move(rev));
+  }
+
+  // Writes a reclaimed chain revision's bytes over the base page. The
+  // version double-bump is a seqlock for derived-value caches: any parse
+  // racing the copy is keyed with the mid-window version, which never
+  // matches a later validation. False vetoes the fold (transient pool
+  // failure) — the revision stays chained for the next pass.
+  bool ApplyVersionToBase(PageId id, const Page& bytes) {
+    BumpVersion(id);
+    if (pool_ != nullptr) {
+      Result<PageRef> pinned = pool_->Pin(id, /*mark_dirty=*/true);
+      if (!pinned.ok()) return false;
+      std::memcpy(pinned.value()->data(), bytes.data(), bytes.size());
+    } else {
+      Page* base = pager_->DirectPage(id);
+      if (base == nullptr) return false;
+      std::memcpy(base->data(), bytes.data(), bytes.size());
+    }
+    BumpVersion(id);
+    return true;
+  }
+
+  // The immediate-free body (legacy Free, and reclamation's deferred
+  // frees).
+  void PhysicalFree(PageId id) {
+    {
+      Shard& shard = shards_[id % kShards];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.resident.erase(id);
+      ++shard.versions[id];
+    }
+    // The recency list only exists in bounded mode; per-query-epoch frees
+    // (the common case — every split/merge path) skip its global lock.
+    if (capacity() != 0) {
+      std::lock_guard<std::mutex> lock(lru_mu_);
+      auto it = lru_index_.find(id);
+      if (it != lru_index_.end()) {
+        lru_.erase(it->second);
+        lru_index_.erase(it);
+      }
+    }
+    NotifyFreed(id);
+    if (pool_ != nullptr) pool_->Discard(id);
+    pager_->Free(id);
   }
 
   PageRef AcquirePage(PageId id, bool dirty) {
@@ -429,6 +598,10 @@ class BufferManager {
   // Global invalidation epoch: part of every PageVersion, bumped by
   // SetCapacity to invalidate all derived-value cache entries at once.
   std::atomic<uint64_t> epoch_{0};
+  // MVCC: the open write epoch (0 = none) and the epoch-stamped CoW page
+  // chains readers resolve against. Single writer; readers only Resolve.
+  std::atomic<uint64_t> write_epoch_{0};
+  PageVersionTable versions_;
   // Per-query-epoch mode: residency sharded by page id to keep concurrent
   // readers off each other's locks. Page versions share the shards.
   Shard shards_[kShards];

@@ -10,6 +10,8 @@ void PageRef::Release() {
   pool_ = nullptr;
   frame_ = nullptr;
   page_ = nullptr;
+  owned_.reset();
+  versioned_ = false;
 }
 
 BufferPool::BufferPool(PageStore* store, size_t capacity, Eviction policy,

@@ -46,16 +46,25 @@ class PageRef {
   /// Pinned frame (file stores); the pool's Pin/PinNew construct these.
   PageRef(BufferPool* pool, BufferPoolFrame* frame)
       : pool_(pool), frame_(frame), page_(&frame->page) {}
+  /// MVCC chain revision (storage/mvcc.h): shares ownership of an
+  /// epoch-stamped copy-on-write page. Versioned refs bypass the decoded-
+  /// node cache — the cache is keyed by base-page versions, and these
+  /// bytes are not the base's (see BTree::FetchNode).
+  explicit PageRef(std::shared_ptr<Page> versioned)
+      : page_(versioned.get()), owned_(std::move(versioned)),
+        versioned_(true) {}
 
   ~PageRef() { Release(); }
 
   PageRef(const PageRef&) = delete;
   PageRef& operator=(const PageRef&) = delete;
   PageRef(PageRef&& other) noexcept
-      : pool_(other.pool_), frame_(other.frame_), page_(other.page_) {
+      : pool_(other.pool_), frame_(other.frame_), page_(other.page_),
+        owned_(std::move(other.owned_)), versioned_(other.versioned_) {
     other.pool_ = nullptr;
     other.frame_ = nullptr;
     other.page_ = nullptr;
+    other.versioned_ = false;
   }
   PageRef& operator=(PageRef&& other) noexcept {
     if (this != &other) {
@@ -63,12 +72,19 @@ class PageRef {
       pool_ = other.pool_;
       frame_ = other.frame_;
       page_ = other.page_;
+      owned_ = std::move(other.owned_);
+      versioned_ = other.versioned_;
       other.pool_ = nullptr;
       other.frame_ = nullptr;
       other.page_ = nullptr;
+      other.versioned_ = false;
     }
     return *this;
   }
+
+  /// True when this ref resolves an MVCC chain revision rather than base
+  /// store bytes.
+  bool versioned() const { return versioned_; }
 
   Page* get() const { return page_; }
   Page& operator*() const { return *page_; }
@@ -87,6 +103,8 @@ class PageRef {
   BufferPool* pool_ = nullptr;
   BufferPoolFrame* frame_ = nullptr;
   Page* page_ = nullptr;
+  std::shared_ptr<Page> owned_;  ///< Keepalive for versioned refs.
+  bool versioned_ = false;
 };
 
 /// A bounded pool of page frames over a `PageStore` — the *physical* cache

@@ -33,6 +33,24 @@ std::string IoStats::ToString() const {
          std::to_string(evictions.load(std::memory_order_relaxed));
   out += " writebacks=" +
          std::to_string(writebacks.load(std::memory_order_relaxed));
+  out += " epochs_published=" +
+         std::to_string(epochs_published.load(std::memory_order_relaxed));
+  out += " pages_cow=" +
+         std::to_string(pages_cow.load(std::memory_order_relaxed));
+  const uint64_t batches = commit_batches.load(std::memory_order_relaxed);
+  const uint64_t records = commit_records.load(std::memory_order_relaxed);
+  out += " commit_batches=" + std::to_string(batches);
+  out += " commit_records=" + std::to_string(records);
+  if (batches > 0) {
+    char avg[32];
+    std::snprintf(avg, sizeof(avg), "%.2f",
+                  static_cast<double>(records) / static_cast<double>(batches));
+    out += " commit_batch_size_avg=";
+    out += avg;
+  }
+  out += " reader_pin_max_age_us=" +
+         std::to_string(
+             reader_pin_max_age_us.load(std::memory_order_relaxed));
   if (hits + misses > 0) {
     char rate[32];
     std::snprintf(rate, sizeof(rate), "%.3f",

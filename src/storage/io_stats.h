@@ -58,6 +58,25 @@ struct IoStats {
   std::atomic<uint64_t> pool_misses{0};    ///< Frame pins that read the store.
   std::atomic<uint64_t> evictions{0};      ///< Frames/pages evicted from a bounded cache.
   std::atomic<uint64_t> writebacks{0};     ///< Dirty frames written back to the store.
+  // MVCC + group commit (storage/mvcc.h, db/commit_queue.h). The first
+  // four are plain monotone counters; `reader_pin_max_age_us` is a
+  // high-watermark gauge (CAS-max, microseconds a reader snapshot pin was
+  // held) — `operator-` carries the current watermark through rather than
+  // subtracting, so per-query deltas report the max observed age.
+  std::atomic<uint64_t> epochs_published{0};  ///< Commit epochs made visible.
+  std::atomic<uint64_t> pages_cow{0};         ///< Pages copied-on-write into a delta.
+  std::atomic<uint64_t> commit_batches{0};    ///< Group-commit leader syncs.
+  std::atomic<uint64_t> commit_records{0};    ///< Journal records those syncs covered.
+  std::atomic<uint64_t> reader_pin_max_age_us{0};  ///< Longest-held reader pin.
+
+  /// Raises the pin-age high watermark to `age_us` if it exceeds it.
+  void RecordPinAge(uint64_t age_us) {
+    uint64_t seen = reader_pin_max_age_us.load(std::memory_order_relaxed);
+    while (age_us > seen &&
+           !reader_pin_max_age_us.compare_exchange_weak(
+               seen, age_us, std::memory_order_relaxed)) {
+    }
+  }
 
   IoStats() = default;
   IoStats(const IoStats& other) { *this = other; }
@@ -94,6 +113,20 @@ struct IoStats {
                     std::memory_order_relaxed);
     writebacks.store(other.writebacks.load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
+    epochs_published.store(
+        other.epochs_published.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    pages_cow.store(other.pages_cow.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    commit_batches.store(
+        other.commit_batches.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    commit_records.store(
+        other.commit_records.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    reader_pin_max_age_us.store(
+        other.reader_pin_max_age_us.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
     return *this;
   }
 
@@ -117,6 +150,11 @@ struct IoStats {
     pool_misses.store(0, std::memory_order_relaxed);
     evictions.store(0, std::memory_order_relaxed);
     writebacks.store(0, std::memory_order_relaxed);
+    epochs_published.store(0, std::memory_order_relaxed);
+    pages_cow.store(0, std::memory_order_relaxed);
+    commit_batches.store(0, std::memory_order_relaxed);
+    commit_records.store(0, std::memory_order_relaxed);
+    reader_pin_max_age_us.store(0, std::memory_order_relaxed);
   }
 
   IoStats operator-(const IoStats& base) const {
@@ -135,6 +173,12 @@ struct IoStats {
     d.pool_misses = pool_misses - base.pool_misses;
     d.evictions = evictions - base.evictions;
     d.writebacks = writebacks - base.writebacks;
+    d.epochs_published = epochs_published - base.epochs_published;
+    d.pages_cow = pages_cow - base.pages_cow;
+    d.commit_batches = commit_batches - base.commit_batches;
+    d.commit_records = commit_records - base.commit_records;
+    // Gauge: carry the current high watermark, not a difference.
+    d.reader_pin_max_age_us = reader_pin_max_age_us.load();
     return d;
   }
 

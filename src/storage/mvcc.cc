@@ -1,0 +1,7 @@
+#include "storage/mvcc.h"
+
+namespace uindex {
+
+thread_local uint64_t EpochContext::tl_epoch_ = kLatestEpoch;
+
+}  // namespace uindex

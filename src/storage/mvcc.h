@@ -1,0 +1,371 @@
+#ifndef UINDEX_STORAGE_MVCC_H_
+#define UINDEX_STORAGE_MVCC_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "storage/page.h"
+
+namespace uindex {
+
+/// The epoch machinery behind MVCC snapshot reads (DESIGN.md "MVCC & group
+/// commit").
+///
+/// A *commit epoch* is a monotonically increasing number stamped on every
+/// published database state. Readers pin the epoch that was current when
+/// they started and resolve every versioned read (page bytes, object
+/// revisions, extent membership) "as of" that epoch; the single writer
+/// mutates at epoch `published + 1` and makes that epoch visible with one
+/// atomic publish. Reclamation folds versions no pinned reader can need
+/// back into the base storage.
+///
+/// `kLatestEpoch` is the thread-local default: code running outside any
+/// pinned snapshot (standalone index tests, benches driving a BTree
+/// directly, the writer before an epoch is opened) reads the newest
+/// version of everything — which is exactly the pre-MVCC behaviour when no
+/// version chains exist.
+inline constexpr uint64_t kLatestEpoch = ~0ull;
+
+/// Reading "at latest" must still satisfy `born <= E && E < died` checks
+/// where a live entry's `died` is `kLatestEpoch`; clamp the read epoch one
+/// below so strict comparisons against live sentinels work out.
+inline constexpr uint64_t EffectiveReadEpoch(uint64_t epoch) {
+  return epoch == kLatestEpoch ? kLatestEpoch - 1 : epoch;
+}
+
+/// Thread-local epoch context. Set by `ScopedEpoch` RAII around reader
+/// queries (pinned epoch) and writer critical sections (the pending
+/// epoch); everything below the database — buffer manager, object store —
+/// reads it instead of threading an epoch parameter through every call.
+class EpochContext {
+ public:
+  static uint64_t current() { return tl_epoch_; }
+  static uint64_t Effective() { return EffectiveReadEpoch(tl_epoch_); }
+
+ private:
+  friend class ScopedEpoch;
+  static thread_local uint64_t tl_epoch_;
+};
+
+/// RAII: sets the thread-local epoch, restoring the previous value on
+/// destruction (scopes nest — a worker running under a pinned reader keeps
+/// the pin).
+class ScopedEpoch {
+ public:
+  explicit ScopedEpoch(uint64_t epoch) : saved_(EpochContext::tl_epoch_) {
+    EpochContext::tl_epoch_ = epoch;
+  }
+  ~ScopedEpoch() { EpochContext::tl_epoch_ = saved_; }
+  ScopedEpoch(const ScopedEpoch&) = delete;
+  ScopedEpoch& operator=(const ScopedEpoch&) = delete;
+
+ private:
+  uint64_t saved_;
+};
+
+/// Registry of pinned reader epochs plus the published state they pin.
+///
+/// Pinning and publishing share one mutex so a reader can never observe a
+/// state newer than the epoch it pinned (and vice versa): `PinCurrent`
+/// atomically reads {published epoch, published state} and registers the
+/// pin. The published state is an opaque shared_ptr — the database stores
+/// its index-root snapshot there; the registry only needs its lifetime.
+///
+/// `ReclaimHorizon` is the epoch-based-reclamation bound: every version
+/// stamped at or below it can be folded into base storage, because the
+/// oldest pinned reader (or, with no readers, the published state itself)
+/// already sees those versions' effects.
+class EpochPinRegistry {
+ public:
+  struct Pin {
+    uint64_t epoch = 0;
+    std::shared_ptr<const void> state;
+    std::chrono::steady_clock::time_point since;
+  };
+
+  Pin PinCurrent() {
+    std::lock_guard<std::mutex> lock(mu_);
+    Pin pin;
+    pin.epoch = published_;
+    pin.state = state_;
+    pin.since = std::chrono::steady_clock::now();
+    ++pins_[pin.epoch];
+    return pin;
+  }
+
+  /// Releases `pin`; returns how long it was held, in microseconds (the
+  /// `reader_pin_max_age` gauge).
+  uint64_t Unpin(const Pin& pin) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = pins_.find(pin.epoch);
+      if (it != pins_.end() && --it->second == 0) pins_.erase(it);
+    }
+    const auto held = std::chrono::steady_clock::now() - pin.since;
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(held).count());
+  }
+
+  /// Publishes `epoch` with `state` as the new current snapshot. Epochs
+  /// must not decrease; re-publishing the current epoch (a DDL refresh of
+  /// the state payload under exclusive access) is allowed.
+  void Publish(uint64_t epoch, std::shared_ptr<const void> state) {
+    std::lock_guard<std::mutex> lock(mu_);
+    published_ = epoch;
+    state_ = std::move(state);
+  }
+
+  uint64_t published() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return published_;
+  }
+
+  std::shared_ptr<const void> state() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return state_;
+  }
+
+  /// Oldest pinned epoch, or the published epoch when nothing is pinned.
+  uint64_t ReclaimHorizon() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!pins_.empty()) return pins_.begin()->first;
+    return published_;
+  }
+
+  size_t active_pins() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t n = 0;
+    for (const auto& [epoch, count] : pins_) n += count;
+    return n;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t published_ = 0;
+  std::shared_ptr<const void> state_;
+  std::map<uint64_t, uint32_t> pins_;  // epoch -> pin count (ordered).
+};
+
+/// Epoch-stamped copy-on-write page versions — the page half of MVCC,
+/// owned by the `BufferManager`.
+///
+/// The base store (`Pager`/`FilePager`) always holds the *oldest retained*
+/// version of a page. A writer's first `FetchForWrite` of a page in epoch
+/// W copies the newest visible bytes into a private chain revision stamped
+/// W and mutates that copy; the base bytes stay untouched, so concurrent
+/// readers pinned at E < W keep resolving exactly what they saw at E.
+/// Pages *allocated* in the open epoch ("born" pages) are written in place
+/// — no published reader can reach them. Frees are deferred: a page freed
+/// in epoch W stays live (old readers still walk it) until the reclaim
+/// horizon passes W.
+///
+/// Reclamation (`ReclaimThrough`) folds every revision stamped at or below
+/// the horizon into the base store — apply the newest such revision's
+/// bytes, drop the rest — and performs the deferred frees. Ordering makes
+/// this safe under concurrent readers: the revision stays resolvable in
+/// the chain until *after* its bytes land in base, and any reader old
+/// enough to need a pre-revision base is, by the horizon's definition, no
+/// longer pinned.
+///
+/// Thread-safety: chains are sharded by page id under per-shard mutexes
+/// (readers resolve concurrently with the writer's CoW and with
+/// reclamation); the born/pending-free books are writer-side state under
+/// their own mutex.
+class PageVersionTable {
+ public:
+  PageVersionTable() = default;
+  PageVersionTable(const PageVersionTable&) = delete;
+  PageVersionTable& operator=(const PageVersionTable&) = delete;
+
+  /// Fast-path check: true when no page has any chain revision (the
+  /// steady state between write bursts, and always true for databases
+  /// that never saw concurrent DML).
+  bool empty() const {
+    return revisions_.load(std::memory_order_acquire) == 0;
+  }
+
+  /// Newest revision of `id` stamped at or below `epoch`; null when the
+  /// base store serves this reader.
+  std::shared_ptr<Page> Resolve(PageId id, uint64_t epoch) const {
+    const Shard& shard = ShardFor(id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.chains.find(id);
+    if (it == shard.chains.end()) return nullptr;
+    std::shared_ptr<Page> best;
+    for (const Rev& rev : it->second) {  // Ascending epoch order.
+      if (rev.epoch > epoch) break;
+      best = rev.page;
+    }
+    return best;
+  }
+
+  /// Writer CoW: the chain revision of `id` for the open epoch, creating
+  /// it by copying `current` (the newest visible bytes — the caller
+  /// resolves chain-vs-base) on first touch. `*created` reports whether a
+  /// copy was made (the `pages_cow` counter).
+  std::shared_ptr<Page> GetOrCreateWritable(PageId id, uint64_t epoch,
+                                            const Page& current,
+                                            bool* created) {
+    Shard& shard = ShardFor(id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    std::vector<Rev>& chain = shard.chains[id];
+    if (!chain.empty() && chain.back().epoch == epoch) {
+      *created = false;
+      return chain.back().page;
+    }
+    auto page = std::make_shared<Page>(current.size());
+    std::memcpy(page->data(), current.data(), current.size());
+    chain.push_back(Rev{epoch, page});
+    revisions_.fetch_add(1, std::memory_order_acq_rel);
+    *created = true;
+    return page;
+  }
+
+  /// Newest revision regardless of epoch (the CoW copy source when the
+  /// base is stale); null when the base is newest.
+  std::shared_ptr<Page> Newest(PageId id) const {
+    const Shard& shard = ShardFor(id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.chains.find(id);
+    if (it == shard.chains.end() || it->second.empty()) return nullptr;
+    return it->second.back().page;
+  }
+
+  // ------------------------------------------------- open-epoch page books
+  void MarkBorn(PageId id) {
+    std::lock_guard<std::mutex> lock(aux_mu_);
+    born_.insert(id);
+  }
+  bool IsBorn(PageId id) const {
+    std::lock_guard<std::mutex> lock(aux_mu_);
+    return born_.count(id) != 0;
+  }
+  /// Un-registers a born page (freed before it was ever published — the
+  /// free can be immediate). True when `id` was born in the open epoch.
+  bool EraseBorn(PageId id) {
+    std::lock_guard<std::mutex> lock(aux_mu_);
+    return born_.erase(id) != 0;
+  }
+  /// Publish: born pages become ordinary published pages (the next epoch
+  /// must CoW them like any other).
+  void ClearBorn() {
+    std::lock_guard<std::mutex> lock(aux_mu_);
+    born_.clear();
+  }
+
+  void DeferFree(PageId id, uint64_t death_epoch) {
+    std::lock_guard<std::mutex> lock(aux_mu_);
+    pending_free_.emplace_back(death_epoch, id);
+  }
+
+  /// Folds everything stamped at or below `horizon` into base storage.
+  /// `apply(id, bytes)` writes a revision's bytes to the base store (the
+  /// buffer manager brackets it with version bumps for the decoded-node
+  /// cache's seqlock) and returns false to veto (e.g. a transient pool
+  /// failure) — the revision then stays in its chain for the next pass.
+  /// `free_page(id)` performs a deferred physical free. Caller must hold
+  /// the writer serialization (single reclaimer).
+  void ReclaimThrough(
+      uint64_t horizon, const std::function<bool(PageId, const Page&)>& apply,
+      const std::function<void(PageId)>& free_page) {
+    // Deferred frees first: a freed page's chain is dropped, not applied.
+    std::vector<PageId> freeable;
+    {
+      std::lock_guard<std::mutex> lock(aux_mu_);
+      auto it = pending_free_.begin();
+      while (it != pending_free_.end()) {
+        if (it->first <= horizon) {
+          freeable.push_back(it->second);
+          it = pending_free_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    for (const PageId id : freeable) {
+      Shard& shard = ShardFor(id);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.chains.find(id);
+      if (it != shard.chains.end()) {
+        revisions_.fetch_sub(it->second.size(), std::memory_order_acq_rel);
+        shard.chains.erase(it);
+      }
+    }
+    for (const PageId id : freeable) free_page(id);
+
+    // Fold chains: apply the newest revision <= horizon while it is still
+    // resolvable, then drop every revision <= horizon. Readers that need
+    // those bytes keep finding the revision until the base already equals
+    // it.
+    for (Shard& shard : shards_) {
+      std::vector<std::pair<PageId, std::shared_ptr<Page>>> to_apply;
+      {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        for (auto& [id, chain] : shard.chains) {
+          std::shared_ptr<Page> newest;
+          for (const Rev& rev : chain) {
+            if (rev.epoch > horizon) break;
+            newest = rev.page;
+          }
+          if (newest != nullptr) to_apply.emplace_back(id, newest);
+        }
+      }
+      for (const auto& [id, page] : to_apply) {
+        if (!apply(id, *page)) continue;
+        std::lock_guard<std::mutex> lock(shard.mu);
+        auto it = shard.chains.find(id);
+        if (it == shard.chains.end()) continue;
+        size_t dropped = 0;
+        auto& chain = it->second;
+        while (!chain.empty() && chain.front().epoch <= horizon) {
+          chain.erase(chain.begin());
+          ++dropped;
+        }
+        if (chain.empty()) shard.chains.erase(it);
+        revisions_.fetch_sub(dropped, std::memory_order_acq_rel);
+      }
+    }
+  }
+
+  // ------------------------------------------------------------ inspection
+  size_t revision_count() const {
+    return revisions_.load(std::memory_order_acquire);
+  }
+  size_t pending_free_count() const {
+    std::lock_guard<std::mutex> lock(aux_mu_);
+    return pending_free_.size();
+  }
+
+ private:
+  struct Rev {
+    uint64_t epoch;
+    std::shared_ptr<Page> page;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<PageId, std::vector<Rev>> chains;
+  };
+  static constexpr size_t kShards = 16;
+
+  Shard& ShardFor(PageId id) { return shards_[id % kShards]; }
+  const Shard& ShardFor(PageId id) const { return shards_[id % kShards]; }
+
+  Shard shards_[kShards];
+  std::atomic<size_t> revisions_{0};  ///< Total chain revisions (fast path).
+  mutable std::mutex aux_mu_;
+  std::unordered_set<PageId> born_;  ///< Allocated in the open epoch.
+  std::vector<std::pair<uint64_t, PageId>> pending_free_;  // (death, id)
+};
+
+}  // namespace uindex
+
+#endif  // UINDEX_STORAGE_MVCC_H_

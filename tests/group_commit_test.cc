@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "db/commit_queue.h"
+#include "db/database.h"
+#include "db/journal.h"
+#include "storage/env/fault_env.h"
+
+namespace uindex {
+namespace {
+
+using OpKind = FaultInjectingEnv::OpKind;
+
+uint64_t CountSyncs(const FaultInjectingEnv& env) {
+  uint64_t n = 0;
+  for (const FaultInjectingEnv::OpRecord& op : env.trace()) {
+    if (op.kind == OpKind::kSync) ++n;
+  }
+  return n;
+}
+
+JournalRecord SetAttrRecord(Oid oid, int64_t v) {
+  JournalRecord record;
+  record.op = JournalRecord::Op::kSetAttr;
+  record.oid = oid;
+  record.name = "price";
+  record.value = Value::Int(v);
+  return record;
+}
+
+class CommitPipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    JournalOptions jopts;
+    jopts.sync_on_append = false;  // Group commit: the pipeline syncs.
+    journal_ = std::move(
+        Journal::OpenForAppend(&env_, "/journal", 0, jopts)).value();
+    pipeline_.Attach(journal_.get());
+    base_syncs_ = CountSyncs(env_);
+  }
+
+  /// Appends one record under the writer serialization and returns its
+  /// commit ticket.
+  uint64_t Append(int64_t v) {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    EXPECT_TRUE(journal_->Append(SetAttrRecord(1, v)).ok());
+    return pipeline_.OnAppended();
+  }
+
+  uint64_t SyncsSinceSetup() { return CountSyncs(env_) - base_syncs_; }
+
+  FaultInjectingEnv env_;
+  std::unique_ptr<Journal> journal_;
+  CommitPipeline pipeline_;
+  std::mutex writer_mu_;
+  uint64_t base_syncs_ = 0;
+};
+
+TEST_F(CommitPipelineTest, OneSyncCoversAWholeBatch) {
+  for (int i = 0; i < 5; ++i) Append(i);
+  EXPECT_EQ(pipeline_.appended_seq(), 5u);
+  EXPECT_EQ(pipeline_.synced_seq(), 0u);
+  EXPECT_EQ(SyncsSinceSetup(), 0u);  // Appends write+flush, never sync.
+
+  // The first waiter leads: one fdatasync makes all five durable.
+  ASSERT_TRUE(pipeline_.WaitDurable(5).ok());
+  EXPECT_EQ(pipeline_.synced_seq(), 5u);
+  EXPECT_EQ(SyncsSinceSetup(), 1u);
+
+  // Already-covered tickets return without touching the file.
+  ASSERT_TRUE(pipeline_.WaitDurable(3).ok());
+  EXPECT_EQ(SyncsSinceSetup(), 1u);
+
+  // Everything acked really is on the (simulated) durable media.
+  env_.Reboot();
+  Journal::Replay replay =
+      std::move(Journal::ReadAll(&env_, "/journal")).value();
+  EXPECT_EQ(replay.records.size(), 5u);
+}
+
+TEST_F(CommitPipelineTest, ZeroTicketIsANoOp) {
+  ASSERT_TRUE(pipeline_.WaitDurable(0).ok());
+  EXPECT_EQ(SyncsSinceSetup(), 0u);
+}
+
+TEST_F(CommitPipelineTest, DetachedPipelineHandsOutZeroTickets) {
+  pipeline_.Attach(nullptr);
+  EXPECT_EQ(pipeline_.OnAppended(), 0u);
+  ASSERT_TRUE(pipeline_.WaitDurable(0).ok());
+}
+
+TEST_F(CommitPipelineTest, ConcurrentCommittersBatchTheirSyncs) {
+  constexpr int kWriters = 8;
+  constexpr int kCommitsPerWriter = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kCommitsPerWriter; ++i) {
+        const uint64_t seq = Append(t * kCommitsPerWriter + i);
+        if (!pipeline_.WaitDurable(seq).ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+
+  constexpr uint64_t kTotal = kWriters * kCommitsPerWriter;
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(pipeline_.appended_seq(), kTotal);
+  EXPECT_EQ(pipeline_.synced_seq(), kTotal);
+  // Never more syncs than commits; batching can only reduce the count.
+  EXPECT_GE(SyncsSinceSetup(), 1u);
+  EXPECT_LE(SyncsSinceSetup(), kTotal);
+
+  env_.Reboot();
+  Journal::Replay replay =
+      std::move(Journal::ReadAll(&env_, "/journal")).value();
+  EXPECT_EQ(replay.records.size(), kTotal);
+}
+
+TEST_F(CommitPipelineTest, LeaderSyncFailurePoisonsTheWholeBatch) {
+  for (int i = 0; i < 3; ++i) Append(i);
+  env_.FailKthOpOfKind(OpKind::kSync, 1);
+
+  // The leader's sync fails: its own ticket and every ticket the batch
+  // covered get the same sticky error — fail-stop, no partial acks.
+  EXPECT_FALSE(pipeline_.WaitDurable(2).ok());
+  EXPECT_FALSE(pipeline_.WaitDurable(1).ok());
+  EXPECT_FALSE(pipeline_.WaitDurable(3).ok());
+  EXPECT_TRUE(journal_->poisoned());
+
+  // Later committers cannot even append — the journal is poisoned.
+  EXPECT_FALSE(journal_->Append(SetAttrRecord(1, 99)).ok());
+  EXPECT_FALSE(pipeline_.SyncAll().ok());
+}
+
+TEST_F(CommitPipelineTest, AttachAfterDrainKeepsTicketsValid) {
+  const uint64_t seq = Append(7);
+  ASSERT_TRUE(pipeline_.SyncAll().ok());
+
+  // Checkpoint-style rotation: drain, then point at a fresh journal.
+  JournalOptions jopts;
+  jopts.sync_on_append = false;
+  std::unique_ptr<Journal> fresh = std::move(
+      Journal::OpenForAppend(&env_, "/journal2", 1, jopts)).value();
+  pipeline_.Attach(fresh.get());
+
+  // A committer that appended before the rotation but waits after it must
+  // not block (its record was covered by the drain) and must not sync the
+  // new journal.
+  const uint64_t syncs = CountSyncs(env_);
+  ASSERT_TRUE(pipeline_.WaitDurable(seq).ok());
+  EXPECT_EQ(CountSyncs(env_), syncs);
+}
+
+// ------------------------------------------------------- database level
+
+class GroupCommitDatabaseTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<Database> MakeDb(bool group_commit) {
+    DatabaseOptions options;
+    options.env = &env_;
+    options.group_commit = group_commit;
+    auto db = std::make_unique<Database>(options);
+    // Journal first: recovery starts from an empty snapshot, so the DDL
+    // must be in the log too.
+    EXPECT_TRUE(db->EnableJournal("/journal").ok());
+    cls_ = db->CreateClass("Item").value();
+    EXPECT_TRUE(db->CreateIndex(PathSpec::ClassHierarchy(
+                                    cls_, "price", Value::Kind::kInt))
+                    .ok());
+    return db;
+  }
+
+  size_t CountItems(Database& db) {
+    Database::Selection sel;
+    sel.cls = cls_;
+    sel.attr = "price";
+    sel.lo = Value::Int(0);
+    sel.hi = Value::Int(1u << 20);
+    return std::move(db.Select(sel)).value().oids.size();
+  }
+
+  FaultInjectingEnv env_;
+  ClassId cls_ = kInvalidClassId;
+};
+
+TEST_F(GroupCommitDatabaseTest, ConcurrentDmlBatchesAndRecoversExactly) {
+  constexpr int kWriters = 8;
+  constexpr int kItemsPerWriter = 10;
+  std::unique_ptr<Database> db = MakeDb(/*group_commit=*/true);
+
+  const uint64_t syncs_before = CountSyncs(env_);
+  const uint64_t records_before = db->buffers().stats().commit_records.load();
+  const uint64_t batches_before = db->buffers().stats().commit_batches.load();
+  const uint64_t seq_before = db->commit_pipeline().appended_seq();
+  std::atomic<int> failures{0};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < kItemsPerWriter; ++i) {
+        Result<Oid> oid = db->CreateObject(cls_);
+        if (!oid.ok() ||
+            !db->SetAttr(oid.value(), "price", Value::Int(i)).ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  // Two journal records per item; each acked commit is covered by exactly
+  // one leader sync, and every sync since EnableJournal was a leader sync.
+  constexpr uint64_t kRecords = 2ull * kWriters * kItemsPerWriter;
+  const IoStats& stats = db->buffers().stats();
+  const uint64_t batches = stats.commit_batches.load() - batches_before;
+  EXPECT_EQ(stats.commit_records.load() - records_before, kRecords);
+  EXPECT_GE(batches, 1u);
+  EXPECT_LE(batches, kRecords);
+  EXPECT_EQ(CountSyncs(env_) - syncs_before, batches);
+  EXPECT_EQ(db->commit_pipeline().appended_seq(), seq_before + kRecords);
+  EXPECT_EQ(db->commit_pipeline().synced_seq(), seq_before + kRecords);
+
+  // Every acked mutation is durable: a power cut now loses nothing.
+  db.reset();
+  env_.Reboot();
+  Result<std::unique_ptr<Database>> reopened = Database::OpenDurable(
+      "/snapshot", "/journal", [this] {
+        DatabaseOptions options;
+        options.env = &env_;
+        return options;
+      }());
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(CountItems(*reopened.value()),
+            static_cast<size_t>(kWriters * kItemsPerWriter));
+}
+
+TEST_F(GroupCommitDatabaseTest, SyncEachModeLeavesThePipelineInert) {
+  std::unique_ptr<Database> db = MakeDb(/*group_commit=*/false);
+  const uint64_t syncs_before = CountSyncs(env_);
+  const Oid oid = db->CreateObject(cls_).value();
+  ASSERT_TRUE(db->SetAttr(oid, "price", Value::Int(5)).ok());
+  // Classic journal: one fdatasync per append, none from the pipeline.
+  EXPECT_EQ(CountSyncs(env_) - syncs_before, 2u);
+  EXPECT_EQ(db->buffers().stats().commit_batches.load(), 0u);
+  EXPECT_EQ(db->commit_pipeline().appended_seq(), 0u);
+}
+
+TEST_F(GroupCommitDatabaseTest, FailedLeaderSyncFailsEveryLaterCommit) {
+  std::unique_ptr<Database> db = MakeDb(/*group_commit=*/true);
+  const Oid oid = db->CreateObject(cls_).value();
+
+  env_.FailKthOpOfKind(OpKind::kSync, 1);
+  // The commit whose leader sync failed is rejected...
+  EXPECT_FALSE(db->SetAttr(oid, "price", Value::Int(1)).ok());
+  // ...and the journal is poisoned, so no later DML can ack either
+  // (fail-stop: the file may end in a frame recovery would replay even
+  // though its committer was told "failed").
+  EXPECT_FALSE(db->SetAttr(oid, "price", Value::Int(2)).ok());
+  EXPECT_FALSE(db->CreateObject(cls_).ok());
+}
+
+}  // namespace
+}  // namespace uindex
