@@ -2,6 +2,7 @@
 #define UINDEX_BENCH_BENCH_COMMON_H_
 
 #include <chrono>
+#include <cstdarg>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -59,10 +60,61 @@ class StatsTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
+/// Every directory a JSON artifact lands in: $UINDEX_BENCH_OUT_DIR when
+/// set, plus always the local `bench_results/` mirror — so CI's upload
+/// step and a developer's working tree see one uniform layout no matter
+/// which binary wrote the file (EXPERIMENTS.md, "Benchmark artifacts").
+inline std::vector<std::filesystem::path> ArtifactDirs() {
+  std::vector<std::filesystem::path> dirs;
+  const char* env = std::getenv("UINDEX_BENCH_OUT_DIR");
+  if (env != nullptr && env[0] != '\0') dirs.emplace_back(env);
+  const std::filesystem::path local = "bench_results";
+  if (dirs.empty() || dirs[0] != local) dirs.push_back(local);
+  return dirs;
+}
+
+/// Writes `<dir>/<name>.json` holding `content` into every ArtifactDirs()
+/// entry. Returns true if at least one copy landed; an unwritable
+/// directory warns and is skipped (a read-only working directory must
+/// never fail a bench run). All benches — JsonReport users and the
+/// hand-rolled writers alike — go through this, so the artifact layout
+/// cannot drift per binary.
+inline bool WriteArtifact(const std::string& name,
+                          const std::string& content) {
+  bool any = false;
+  for (const std::filesystem::path& dir : ArtifactDirs()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    const std::filesystem::path path = dir / (name + ".json");
+    std::FILE* f = std::fopen(path.string().c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n",
+                   path.string().c_str());
+      continue;
+    }
+    std::fwrite(content.data(), 1, content.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.string().c_str());
+    any = true;
+  }
+  return any;
+}
+
+/// printf-append onto a std::string (JSON assembly helper).
+inline void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[1024];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  *out += buf;
+}
+
 /// Machine-readable companion to each bench's stdout table: one JSON file
-/// per binary under $UINDEX_BENCH_OUT_DIR (default "bench_results/"),
-/// carrying per-row wall time and the I/O + node-parse counters so CI can
-/// diff runs without scraping text.
+/// per binary, written through WriteArtifact (so it lands both under
+/// $UINDEX_BENCH_OUT_DIR and in "bench_results/"), carrying per-row wall
+/// time and the I/O + node-parse counters so CI can diff runs without
+/// scraping text.
 class JsonReport {
  public:
   explicit JsonReport(std::string bench_name)
@@ -109,36 +161,27 @@ class JsonReport {
     rows_.push_back(std::move(r));
   }
 
-  /// Writes `<out_dir>/<bench_name>.json`. Returns false (with a warning on
-  /// stderr) if the directory or file cannot be written; benches treat that
-  /// as non-fatal so a read-only working directory never fails a run.
+  /// Writes `<bench_name>.json` into every artifact directory. Returns
+  /// false (with a warning on stderr) if no copy could be written; benches
+  /// treat that as non-fatal so a read-only working directory never fails
+  /// a run.
   bool Write() const {
-    const char* env = std::getenv("UINDEX_BENCH_OUT_DIR");
-    const std::filesystem::path dir = env != nullptr ? env : "bench_results";
-    std::error_code ec;
-    std::filesystem::create_directories(dir, ec);
-    const std::filesystem::path path = dir / (name_ + ".json");
-    std::FILE* f = std::fopen(path.string().c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "warning: cannot write %s\n",
-                   path.string().c_str());
-      return false;
-    }
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"quick_mode\": %s,\n",
-                 name_.c_str(), QuickMode() ? "true" : "false");
-    std::fprintf(f, "  \"rows\": [\n");
+    std::string out;
+    AppendF(&out, "{\n  \"bench\": \"%s\",\n  \"quick_mode\": %s,\n",
+            name_.c_str(), QuickMode() ? "true" : "false");
+    AppendF(&out, "  \"rows\": [\n");
     for (size_t i = 0; i < rows_.size(); ++i) {
       const Row& r = rows_[i];
-      std::fprintf(f, "    {\"name\": \"%s\"", r.name.c_str());
-      if (r.wall_ns >= 0) std::fprintf(f, ", \"wall_ns\": %.0f", r.wall_ns);
+      AppendF(&out, "    {\"name\": \"%s\"", r.name.c_str());
+      if (r.wall_ns >= 0) AppendF(&out, ", \"wall_ns\": %.0f", r.wall_ns);
       if (!r.scalar_key.empty()) {
-        std::fprintf(f, ", \"%s\": %.6f", r.scalar_key.c_str(),
-                     r.scalar_value);
+        AppendF(&out, ", \"%s\": %.6f", r.scalar_key.c_str(),
+                r.scalar_value);
       } else if (r.avg_pages >= 0) {
-        std::fprintf(f, ", \"avg_pages_read\": %.3f", r.avg_pages);
+        AppendF(&out, ", \"avg_pages_read\": %.3f", r.avg_pages);
       } else {
-        std::fprintf(
-            f,
+        AppendF(
+            &out,
             ", \"pages_read\": %llu, \"nodes_parsed\": %llu"
             ", \"node_cache_hits\": %llu, \"bytes_decoded\": %llu"
             ", \"prefetch_issued\": %llu, \"prefetch_hits\": %llu"
@@ -151,12 +194,10 @@ class JsonReport {
             static_cast<unsigned long long>(r.prefetch_hits),
             static_cast<unsigned long long>(r.prefetch_wasted));
       }
-      std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
+      AppendF(&out, "}%s\n", i + 1 < rows_.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("wrote %s\n", path.string().c_str());
-    return true;
+    AppendF(&out, "  ]\n}\n");
+    return WriteArtifact(name_, out);
   }
 
  private:

@@ -255,14 +255,10 @@ int Run() {
               live_pages == twin_pages ? "==" : "!=",
               static_cast<unsigned long long>(twin_pages));
 
-  const char* out_env = std::getenv("UINDEX_BENCH_OUT_DIR");
-  const std::filesystem::path dir =
-      out_env != nullptr ? out_env : "bench_results";
-  std::filesystem::create_directories(dir, ec);
-  const std::filesystem::path json = dir / "durability.json";
-  if (std::FILE* f = std::fopen(json.string().c_str(), "w")) {
-    std::fprintf(
-        f,
+  std::string json_text;
+  {
+    bench::AppendF(
+        &json_text,
         "{\n  \"bench\": \"durability\",\n  \"quick_mode\": %s,\n"
         "  \"append_sync_each\": {\"n\": %d, \"wall_ms\": %.1f, "
         "\"per_sec\": %.0f},\n"
@@ -280,11 +276,7 @@ int Run() {
         recover_ms, static_cast<unsigned long long>(live_pages),
         static_cast<unsigned long long>(twin_pages),
         identical ? "true" : "false");
-    std::fclose(f);
-    std::printf("wrote %s\n", json.string().c_str());
-  } else {
-    std::fprintf(stderr, "warning: cannot write %s\n",
-                 json.string().c_str());
+    bench::WriteArtifact("durability", json_text);
   }
 
   std::filesystem::remove_all(work, ec);

@@ -375,14 +375,10 @@ int Run() {
               "write QPS, 8 writers, group commit", qps_group.value(),
               qps_ratio);
 
-  const char* out_env = std::getenv("UINDEX_BENCH_OUT_DIR");
-  const std::filesystem::path dir =
-      out_env != nullptr ? out_env : "bench_results";
-  std::filesystem::create_directories(dir, ec);
-  const std::filesystem::path json = dir / "mvcc.json";
-  if (std::FILE* f = std::fopen(json.string().c_str(), "w")) {
-    std::fprintf(
-        f,
+  std::string json_text;
+  {
+    bench::AppendF(
+        &json_text,
         "{\n  \"bench\": \"mvcc\",\n  \"quick_mode\": %s,\n"
         "  \"reader_p99_us\": {\"read_only\": %.1f, \"concurrent\": %.1f, "
         "\"ratio\": %.3f},\n"
@@ -398,10 +394,7 @@ int Run() {
         static_cast<unsigned long long>(concurrent_pages),
         static_cast<unsigned long long>(writer_commits), batch_avg, kWriters,
         qps_sync_each.value(), qps_group.value(), qps_ratio);
-    std::fclose(f);
-    std::printf("wrote %s\n", json.string().c_str());
-  } else {
-    std::fprintf(stderr, "warning: cannot write %s\n", json.string().c_str());
+    bench::WriteArtifact("mvcc", json_text);
   }
 
   std::filesystem::remove_all(work, ec);

@@ -230,13 +230,8 @@ int Run() {
               static_cast<unsigned long long>(local.pages_read),
               static_cast<unsigned long long>(remote.pages_read));
 
-  const char* env = std::getenv("UINDEX_BENCH_OUT_DIR");
-  const std::filesystem::path dir = env != nullptr ? env : "bench_results";
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  const std::filesystem::path path = dir / "net.json";
-  if (std::FILE* f = std::fopen(path.string().c_str(), "w")) {
-    std::fprintf(f,
+  std::string json;
+  bench::AppendF(&json,
                  "{\n  \"bench\": \"net\",\n  \"quick_mode\": %s,\n"
                  "  \"objects\": %u,\n  \"queries\": %d,\n"
                  "  \"clients\": %d,\n"
@@ -251,12 +246,7 @@ int Run() {
                  static_cast<unsigned long long>(local.pages_read),
                  remote.wall_ms, qps, p50, p99,
                  static_cast<unsigned long long>(remote.pages_read));
-    std::fclose(f);
-    std::printf("wrote %s\n", path.string().c_str());
-  } else {
-    std::fprintf(stderr, "warning: cannot write %s\n",
-                 path.string().c_str());
-  }
+  bench::WriteArtifact("net", json);
 
   if (qps < 10000.0) {
     std::fprintf(stderr, "FAIL: remote QPS %.0f below the 10k floor\n", qps);

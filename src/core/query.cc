@@ -65,6 +65,39 @@ std::vector<ByteInterval> Subtract(const std::vector<ByteInterval>& base,
   return Normalize(std::move(out));
 }
 
+// Intersects two normalized interval lists.
+std::vector<ByteInterval> Intersect(const std::vector<ByteInterval>& a,
+                                    const std::vector<ByteInterval>& b) {
+  std::vector<ByteInterval> out;
+  for (const ByteInterval& x : a) {
+    for (const ByteInterval& y : b) {
+      const std::string& lo = Slice(x.lo) < Slice(y.lo) ? y.lo : x.lo;
+      std::string hi;
+      if (HiIsInf(x)) {
+        hi = y.hi;
+      } else if (HiIsInf(y)) {
+        hi = x.hi;
+      } else {
+        hi = Slice(x.hi) < Slice(y.hi) ? x.hi : y.hi;
+      }
+      if (hi.empty() || Slice(lo) < Slice(hi)) out.push_back({lo, hi});
+    }
+  }
+  return Normalize(std::move(out));
+}
+
+// True when class code `code` lies in one of `ranges` ([lo, hi) bytewise,
+// empty hi = +infinity). Code ranges at sub-tree (or finer) granularity
+// make this plain byte comparison: a descendant's code never sorts outside
+// its ancestor's [code, SubtreeUpperBound) span.
+bool CodeInRanges(const Slice& code, const std::vector<ByteInterval>& ranges) {
+  for (const ByteInterval& r : ranges) {
+    if (code < Slice(r.lo)) continue;
+    if (r.hi.empty() || code < Slice(r.hi)) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 std::vector<Oid> QueryResult::Distinct(size_t key_position) const {
@@ -135,6 +168,17 @@ Result<CompiledQuery> CompiledQuery::Compile(const Query& query,
   // (PrefixExcludes). ---
   const ClassCoder& coder = encoder.coder();
   for (const QueryComponent& comp : out.query_.components) {
+    std::vector<ByteInterval> cuts;
+    for (const auto& term : comp.selector.exclude) {
+      const std::string& code = coder.CodeOf(term.cls);
+      if (term.with_subclasses) {
+        cuts.push_back({code, SubtreeUpperBound(Slice(code))});
+      } else {
+        std::string lo = code + kCodeOidSeparator;
+        cuts.push_back({lo, BytesSuccessor(Slice(lo))});
+      }
+    }
+    cuts = Normalize(std::move(cuts));
     std::vector<ByteInterval> ranges;
     if (!comp.selector.include.empty()) {
       for (const auto& term : comp.selector.include) {
@@ -147,18 +191,16 @@ Result<CompiledQuery> CompiledQuery::Compile(const Query& query,
           ranges.push_back({std::move(lo), std::move(hi)});
         }
       }
-      std::vector<ByteInterval> cuts;
-      for (const auto& term : comp.selector.exclude) {
-        const std::string& code = coder.CodeOf(term.cls);
-        if (term.with_subclasses) {
-          cuts.push_back({code, SubtreeUpperBound(Slice(code))});
-        } else {
-          std::string lo = code + kCodeOidSeparator;
-          cuts.push_back({lo, BytesSuccessor(Slice(lo))});
-        }
-      }
-      ranges = Subtract(Normalize(std::move(ranges)),
-                        Normalize(std::move(cuts)));
+      ranges = Subtract(Normalize(std::move(ranges)), cuts);
+    }
+    if (!comp.selector.code_ranges.empty()) {
+      // Raw code-range restriction (sharding): intersect with whatever the
+      // class terms admit; with no include terms the ranges stand alone
+      // (minus exclusions).
+      std::vector<ByteInterval> served =
+          Normalize(std::vector<ByteInterval>(comp.selector.code_ranges));
+      ranges = comp.selector.include.empty() ? Subtract(served, cuts)
+                                             : Intersect(ranges, served);
     }
     out.component_ranges_.push_back(std::move(ranges));
   }
@@ -200,7 +242,42 @@ Result<CompiledQuery> CompiledQuery::Compile(const Query& query,
   std::vector<ByteInterval> intervals;
   bool prefixes_alive = true;
   for (const QueryComponent& comp : out.query_.components) {
-    if (comp.selector.include.empty()) break;
+    if (comp.selector.include.empty() && comp.selector.code_ranges.empty()) {
+      break;
+    }
+    if (comp.selector.include.empty()) {
+      // Pure code-range restriction (a shard's served slice with no class
+      // terms): materialize [prefix+lo, prefix+hi) per range and stop —
+      // ranges are contiguous code spans, never single-class prefixes, so
+      // the prefix cannot extend further.
+      std::vector<ByteInterval> rel_cuts;
+      for (const auto& term : comp.selector.exclude) {
+        const std::string& code = coder.CodeOf(term.cls);
+        if (term.with_subclasses) {
+          rel_cuts.push_back({code, SubtreeUpperBound(Slice(code))});
+        } else {
+          std::string lo = code + kCodeOidSeparator;
+          rel_cuts.push_back({lo, BytesSuccessor(Slice(lo))});
+        }
+      }
+      for (const std::string& p : prefixes) {
+        std::vector<ByteInterval> local;
+        for (const ByteInterval& r : comp.selector.code_ranges) {
+          std::string lo = p + r.lo;
+          std::string hi = r.hi.empty() ? BytesSuccessor(Slice(p)) : p + r.hi;
+          local.push_back({std::move(lo), std::move(hi)});
+        }
+        std::vector<ByteInterval> cuts;
+        for (const ByteInterval& cut : rel_cuts) {
+          cuts.push_back({p + cut.lo, p + cut.hi});
+        }
+        local =
+            Subtract(Normalize(std::move(local)), Normalize(std::move(cuts)));
+        intervals.insert(intervals.end(), local.begin(), local.end());
+      }
+      prefixes_alive = false;
+      break;
+    }
 
     // Relative code extensions for the include terms.
     struct Ext {
@@ -233,6 +310,7 @@ Result<CompiledQuery> CompiledQuery::Compile(const Query& query,
     }
 
     const bool can_continue = all_exact && rel_cuts.empty() &&
+                              comp.selector.code_ranges.empty() &&
                               comp.slot.kind == ValueSlot::Kind::kBound;
     if (can_continue) {
       std::vector<std::string> next;
@@ -250,7 +328,8 @@ Result<CompiledQuery> CompiledQuery::Compile(const Query& query,
       continue;
     }
 
-    // Terminal component: materialize intervals (minus exclusions).
+    // Terminal component: materialize intervals (minus exclusions,
+    // clipped to any raw code-range restriction).
     for (const std::string& p : prefixes) {
       std::vector<ByteInterval> local;
       for (const Ext& ext : exts) {
@@ -263,6 +342,15 @@ Result<CompiledQuery> CompiledQuery::Compile(const Query& query,
         cuts.push_back({p + cut.lo, p + cut.hi});
       }
       local = Subtract(Normalize(std::move(local)), Normalize(std::move(cuts)));
+      if (!comp.selector.code_ranges.empty()) {
+        std::vector<ByteInterval> served;
+        for (const ByteInterval& r : comp.selector.code_ranges) {
+          served.push_back(
+              {p + r.lo,
+               r.hi.empty() ? BytesSuccessor(Slice(p)) : p + r.hi});
+        }
+        local = Intersect(local, Normalize(std::move(served)));
+      }
       intervals.insert(intervals.end(), local.begin(), local.end());
     }
     prefixes_alive = false;
@@ -323,6 +411,10 @@ bool CompiledQuery::Matches(const Slice& key, DecodedKey* decoded) const {
                                                     Slice(code))
                            : kc.code == code;
       if (hit) return false;
+    }
+    if (!comp.selector.code_ranges.empty() &&
+        !CodeInRanges(Slice(kc.code), comp.selector.code_ranges)) {
+      return false;
     }
     if (comp.slot.kind == ValueSlot::Kind::kBound &&
         !std::binary_search(comp.slot.oids.begin(), comp.slot.oids.end(),
@@ -425,6 +517,10 @@ bool CompiledQuery::PrefixExcludes(const Slice& prefix) const {
                              ? CodeIsSelfOrDescendant(code, Slice(tcode))
                              : code == Slice(tcode);
         if (hit) return true;
+      }
+      if (!comp.selector.code_ranges.empty() &&
+          !CodeInRanges(code, comp.selector.code_ranges)) {
+        return true;
       }
       if (comp.slot.kind == ValueSlot::Kind::kBound &&
           !std::binary_search(comp.slot.oids.begin(), comp.slot.oids.end(),

@@ -13,6 +13,12 @@
 
 namespace uindex {
 
+/// A half-open byte-string interval [lo, hi); empty `hi` means +infinity.
+struct ByteInterval {
+  std::string lo;
+  std::string hi;
+};
+
 /// Selects classes at one path position of a query (paper §3.4: "Class-code
 /// ... may be a regular expression"). `include` terms are OR-ed; an empty
 /// `include` admits every class. `exclude` terms veto (the paper's query 4,
@@ -27,12 +33,20 @@ struct ClassSelector {
   std::vector<Term> include;
   std::vector<Term> exclude;
 
+  /// Raw class-code byte ranges this position is additionally restricted
+  /// to, intersected with whatever `include`/`exclude` admit. The COD
+  /// encoding keeps every class sub-tree a contiguous code range, so a
+  /// horizontal shard's served slice [lo, hi) — class-code boundaries, not
+  /// ClassIds — plugs in here without naming classes (a boundary may even
+  /// split a sub-tree mid-range). Empty = no restriction.
+  std::vector<ByteInterval> code_ranges;
+
   static ClassSelector Any() { return ClassSelector{}; }
   static ClassSelector Exactly(ClassId cls) {
-    return ClassSelector{{{cls, false}}, {}};
+    return ClassSelector{{{cls, false}}, {}, {}};
   }
   static ClassSelector Subtree(ClassId cls) {
-    return ClassSelector{{{cls, true}}, {}};
+    return ClassSelector{{{cls, true}}, {}, {}};
   }
 };
 
@@ -112,12 +126,6 @@ struct QueryResult {
 
   /// Distinct oids bound at key position `i`, sorted ascending.
   std::vector<Oid> Distinct(size_t key_position) const;
-};
-
-/// A half-open byte-string interval [lo, hi); empty `hi` means +infinity.
-struct ByteInterval {
-  std::string lo;
-  std::string hi;
 };
 
 /// A query compiled against a concrete index: the sorted, disjoint list of

@@ -242,6 +242,48 @@ class Database {
   };
   Result<OqlResult> ExecuteOql(const std::string& oql) const;
 
+  // ------------------------------------------------------------- sharding
+  /// The slice of the class-code space this database serves when it is one
+  /// horizontal shard of a cluster (DESIGN.md "Sharding & scatter-gather"):
+  /// raw class-code byte bounds [lo, hi) — empty `hi` means +infinity —
+  /// plus the ShardMap version that installed them. The COD encoding keeps
+  /// every class sub-tree contiguous in code space, so a range needs no
+  /// class names and may even split a sub-tree mid-range.
+  struct ServedRange {
+    std::string lo;
+    std::string hi;
+    uint64_t version = 0;
+  };
+
+  /// Installs (or replaces) this database's served range. Thread-safe
+  /// against concurrent queries: in-flight queries keep the range they
+  /// started with; later queries see the new one. Every query then binds
+  /// result objects only to classes whose code falls in [lo, hi) — the
+  /// index path pushes the range into the head component's compiled
+  /// intervals, the extent path filters by object class code.
+  void SetServedRange(ServedRange range);
+
+  /// The installed served range, or null when this database serves the
+  /// whole code space (the single-node default).
+  std::shared_ptr<const ServedRange> served_range() const;
+
+  /// Router-facing compilation of an OQL statement — the planning half of
+  /// `ExecuteOql` with no execution: which sorted, disjoint raw class-code
+  /// intervals the statement's result (head) bindings can fall in, so a
+  /// shard router can intersect them with its ShardMap and prune shards
+  /// whose served ranges cannot own a result. Also surfaces the LIMIT /
+  /// COUNT shape the router needs to merge shard streams.
+  struct RoutingPlan {
+    /// Sorted disjoint class-code intervals (empty hi = +infinity) that
+    /// cover every class a result object may belong to.
+    std::vector<ByteInterval> code_spans;
+    bool used_index = false;  ///< Whether shards will drive an index.
+    uint64_t limit = 0;       ///< The statement's LIMIT (0 = none).
+    bool count_only = false;  ///< COUNT query: merge counts, not rows.
+    std::string plan;         ///< Human-readable routing description.
+  };
+  Result<RoutingPlan> PlanOqlRouting(const std::string& oql) const;
+
   /// Explains how `selection` would execute: every candidate access path
   /// with a page-read estimate, and which one `Select` would pick.
   struct ExplainCandidate {
@@ -466,6 +508,11 @@ class Database {
   bool owns_data_path_ = false;
   Status backend_status_;
   std::unique_ptr<Journal> journal_;
+  // Served-range slot (sharding). Swapped whole under served_mu_ so an
+  // install during a query is safe: readers copy the shared_ptr once up
+  // front and never observe a half-written range.
+  mutable std::mutex served_mu_;
+  std::shared_ptr<const ServedRange> served_;
   Schema schema_;
   ClassCoder coder_;
   ObjectStore store_;

@@ -1,8 +1,12 @@
 #include <algorithm>
 #include <climits>
+#include <memory>
+#include <mutex>
 #include <shared_mutex>
+#include <utility>
 
 #include "db/database.h"
+#include "schema/class_code.h"
 
 namespace uindex {
 
@@ -14,6 +18,12 @@ int CompareValues(const Value& a, const Value& b) {
   a.AppendOrderPreserving(&ia);
   b.AppendOrderPreserving(&ib);
   return Slice(ia).Compare(Slice(ib));
+}
+
+// Is `code` inside the half-open served slice [lo, hi) (empty hi = +inf)?
+bool CodeServed(const Slice& code, const Database::ServedRange& served) {
+  if (code < Slice(served.lo)) return false;
+  return served.hi.empty() || code < Slice(served.hi);
 }
 
 }  // namespace
@@ -166,6 +176,9 @@ Result<Database::OqlResult> Database::ExecuteOql(const std::string& oql) const {
   // frozen at its roots, traversals resolve objects as of it.
   ReadPin pin(this);
   ScopedEpoch scope(pin.epoch());
+  // One coherent served-range view for the whole statement: a concurrent
+  // shard-map install must not split a query across two range versions.
+  const std::shared_ptr<const ServedRange> served = served_range();
   Result<OqlQuery> parsed = ParseOql(oql);
   if (!parsed.ok()) return parsed.status();
   const OqlQuery& q = parsed.value();
@@ -238,6 +251,13 @@ Result<Database::OqlResult> Database::ExecuteOql(const std::string& oql) const {
         if (head_pos == 0) {
           comp.selector.include.push_back(
               {from.value(), q.from.with_subclasses});
+          if (served != nullptr) {
+            // Shard restriction: result bindings must belong to classes
+            // inside the served code slice. Compile intersects this with
+            // the include term's code range, so out-of-range sub-trees
+            // never even reach the scan.
+            comp.selector.code_ranges.push_back({served->lo, served->hi});
+          }
           comp.slot = ValueSlot::Wanted();
         } else {
           // Push down the first unconsumed IS condition whose reference
@@ -282,8 +302,24 @@ Result<Database::OqlResult> Database::ExecuteOql(const std::string& oql) const {
   if (!out.used_index) {
     out.oids = q.from.with_subclasses ? store_.DeepExtentOf(from.value())
                                       : store_.ExtentOf(from.value());
+    if (served != nullptr) {
+      // Same shard restriction as the index path, by object class code.
+      std::vector<Oid> kept;
+      kept.reserve(out.oids.size());
+      for (const Oid oid : out.oids) {
+        Result<const Object*> obj = store_.Get(oid);
+        if (!obj.ok()) continue;
+        if (CodeServed(Slice(coder_.CodeOf(obj.value()->cls)), *served)) {
+          kept.push_back(oid);
+        }
+      }
+      out.oids = std::move(kept);
+    }
     std::sort(out.oids.begin(), out.oids.end());
     out.plan = "extent traversal over " + q.from.name;
+  }
+  if (served != nullptr) {
+    out.plan += " [shard v" + std::to_string(served->version) + "]";
   }
 
   // --- Post-filter with the remaining conditions by traversal. ---
@@ -306,6 +342,100 @@ Result<Database::OqlResult> Database::ExecuteOql(const std::string& oql) const {
   } else if (q.limit != 0 && out.oids.size() > q.limit) {
     out.oids.resize(q.limit);
   }
+  return out;
+}
+
+void Database::SetServedRange(ServedRange range) {
+  auto next = std::make_shared<const ServedRange>(std::move(range));
+  std::lock_guard<std::mutex> guard(served_mu_);
+  served_ = std::move(next);
+}
+
+std::shared_ptr<const Database::ServedRange> Database::served_range() const {
+  std::lock_guard<std::mutex> guard(served_mu_);
+  return served_;
+}
+
+Result<Database::RoutingPlan> Database::PlanOqlRouting(
+    const std::string& oql) const {
+  std::shared_lock lock(latch_);
+  Result<OqlQuery> parsed = ParseOql(oql);
+  if (!parsed.ok()) return parsed.status();
+  const OqlQuery& q = parsed.value();
+
+  Result<ClassId> from = schema_.FindClass(q.from.name);
+  if (!from.ok()) return from.status();
+
+  // Validate every condition up front so a malformed statement fails here,
+  // at the router, instead of surfacing as a scatter-wide shard failure.
+  for (const OqlCondition& cond : q.conditions) {
+    Result<ResolvedPath> r = ResolveOqlPath(from.value(), cond.path);
+    if (!r.ok()) return r.status();
+    const bool is_value_cond = cond.kind != OqlCondition::Kind::kIs;
+    if (is_value_cond && r.value().attr.empty()) {
+      return Status::InvalidArgument(
+          "value condition must end in an attribute");
+    }
+    if (!is_value_cond) {
+      if (!r.value().attr.empty()) {
+        return Status::InvalidArgument(
+            "'" + r.value().attr + "' is not a reference (IS needs a "
+            "reference path)");
+      }
+      Result<ClassId> is_cls = schema_.FindClass(cond.class_ref.name);
+      if (!is_cls.ok()) return is_cls.status();
+    }
+  }
+
+  RoutingPlan out;
+  out.limit = q.limit;
+  out.count_only = q.count_only;
+
+  // Result bindings are objects of the FROM class (or its sub-tree): with
+  // the COD encoding that is one contiguous code interval. An exact FROM
+  // pins the single code — descendants all *extend* the code string, so
+  // [code, code + '\0') contains the code and nothing else.
+  const std::string& code = coder_.CodeOf(from.value());
+  ByteInterval span;
+  span.lo = code;
+  span.hi = q.from.with_subclasses ? SubtreeUpperBound(Slice(code))
+                                   : code + '\0';
+  out.code_spans.push_back(std::move(span));
+
+  // Mirror ExecuteOql's index selection (without executing) so the router
+  // can report how shards will run the statement.
+  for (size_t ci = 0; ci < q.conditions.size() && !out.used_index; ++ci) {
+    const OqlCondition& cond = q.conditions[ci];
+    if (cond.kind == OqlCondition::Kind::kIs) continue;
+    Value lo, hi;
+    if (cond.kind != OqlCondition::Kind::kIn &&
+        !BoundsFor(cond, &lo, &hi).ok()) {
+      continue;
+    }
+    Result<ResolvedPath> r = ResolveOqlPath(from.value(), cond.path);
+    if (!r.ok()) return r.status();
+    for (size_t pos = 0; pos < indexes_.size(); ++pos) {
+      const PathSpec& spec = indexes_[pos]->spec();
+      if (spec.indexed_attr != r.value().attr) continue;
+      if (spec.ref_attrs != r.value().refs) continue;
+      const Value& probe = cond.kind == OqlCondition::Kind::kIn
+                               ? cond.values.front()
+                               : cond.value1;
+      if (spec.value_kind != probe.kind()) continue;
+      const bool head_fits =
+          spec.include_subclasses
+              ? schema_.IsSubclassOf(from.value(), spec.classes[0])
+              : from.value() == spec.classes[0];
+      if (head_fits) {
+        out.used_index = true;
+        break;
+      }
+    }
+  }
+
+  out.plan = std::string("route ") + q.from.name +
+             (q.from.with_subclasses ? "*" : "") + " via " +
+             (out.used_index ? "U-index" : "extent traversal");
   return out;
 }
 

@@ -1,0 +1,37 @@
+#include "exec/shard_route.h"
+
+#include <algorithm>
+
+#include "util/slice.h"
+
+namespace uindex {
+namespace exec {
+
+std::vector<size_t> CandidateShards(
+    const std::vector<ByteInterval>& spans,
+    const std::vector<std::string>& boundaries) {
+  std::vector<size_t> out;
+  if (boundaries.empty()) return out;
+  for (const ByteInterval& span : spans) {
+    // First shard whose range can reach span.lo: the last boundary <=
+    // span.lo (boundaries[0] == "" guarantees one exists).
+    size_t i = static_cast<size_t>(
+                   std::upper_bound(boundaries.begin(), boundaries.end(),
+                                    span.lo) -
+                   boundaries.begin());
+    i = i == 0 ? 0 : i - 1;
+    for (; i < boundaries.size(); ++i) {
+      // Shard i's range starts at boundaries[i]; stop once it starts at or
+      // past the span's end.
+      if (!span.hi.empty() && !(Slice(boundaries[i]) < Slice(span.hi))) break;
+      if (out.empty() || out.back() != i) out.push_back(i);
+    }
+  }
+  // Spans are sorted and disjoint, so appends are non-decreasing; dedup
+  // adjacent repeats from spans that fall in the same shard.
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace exec
+}  // namespace uindex

@@ -1,0 +1,27 @@
+#ifndef UINDEX_EXEC_SHARD_ROUTE_H_
+#define UINDEX_EXEC_SHARD_ROUTE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/query.h"
+
+namespace uindex {
+namespace exec {
+
+/// Intersects a query's sorted, disjoint class-code spans (empty `hi` =
+/// +infinity, as in `CompiledQuery::intervals`) with a shard map's sorted
+/// range boundaries and returns the ascending indices of every shard whose
+/// served range [boundaries[i], boundaries[i+1]) — the last range is
+/// unbounded above — overlaps at least one span. `boundaries` must be
+/// non-empty, start with "" (the map covers the whole code space), and be
+/// strictly increasing; the result is the router's scatter set, so pruning
+/// here is what turns an exact-class query into a single-shard probe.
+std::vector<size_t> CandidateShards(const std::vector<ByteInterval>& spans,
+                                    const std::vector<std::string>& boundaries);
+
+}  // namespace exec
+}  // namespace uindex
+
+#endif  // UINDEX_EXEC_SHARD_ROUTE_H_

@@ -92,6 +92,78 @@ Result<Client::QueryResult> Client::Query(const std::string& oql) {
   }
 }
 
+Result<Client::QueryResult> Client::ShardQuery(uint64_t map_version,
+                                               const std::string& oql,
+                                               uint64_t* server_version) {
+  Result<Response> result = RoundTrip(EncodeShardQuery(map_version, oql));
+  UINDEX_RETURN_IF_ERROR(result.status());
+  Response& response = result.value();
+  switch (response.op) {
+    case Op::kRows: {
+      QueryResult out;
+      out.oids = std::move(response.oids);
+      out.count = response.count;
+      out.used_index = response.used_index;
+      out.plan = std::move(response.plan);
+      out.stats = response.query_stats;
+      return out;
+    }
+    case Op::kStaleMap:
+      if (server_version != nullptr) *server_version = response.map_version;
+      return Status::StaleVersion(response.message);
+    case Op::kBusy:
+      return Status::ResourceExhausted("server busy: " + response.message);
+    case Op::kError:
+      return ErrorResponseToStatus(response);
+    default:
+      poisoned_ = Status::Corruption("unexpected response to kShardQuery");
+      return poisoned_;
+  }
+}
+
+namespace {
+
+Result<Client::ShardState> ShardStateFrom(Response* response) {
+  Client::ShardState out;
+  out.active = response->shard_active;
+  out.self_index = response->self_index;
+  if (out.active) {
+    Result<ShardMap> map = ShardMap::DecodeBlob(Slice(response->map_blob));
+    UINDEX_RETURN_IF_ERROR(map.status());
+    out.map = std::move(map).value();
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Client::ShardState> Client::InstallShard(const ShardMap& map,
+                                                uint32_t self_index) {
+  std::string blob;
+  map.EncodeBlob(&blob);
+  Result<Response> result = RoundTrip(EncodeInstallShard(self_index, blob));
+  UINDEX_RETURN_IF_ERROR(result.status());
+  Response& response = result.value();
+  if (response.op == Op::kError) return ErrorResponseToStatus(response);
+  if (response.op != Op::kShardState) {
+    poisoned_ = Status::Corruption("unexpected response to kInstallShard");
+    return poisoned_;
+  }
+  return ShardStateFrom(&response);
+}
+
+Result<Client::ShardState> Client::GetShard() {
+  Result<Response> result = RoundTrip(EncodeGetShard());
+  UINDEX_RETURN_IF_ERROR(result.status());
+  Response& response = result.value();
+  if (response.op == Op::kError) return ErrorResponseToStatus(response);
+  if (response.op != Op::kShardState) {
+    poisoned_ = Status::Corruption("unexpected response to kGetShard");
+    return poisoned_;
+  }
+  return ShardStateFrom(&response);
+}
+
 Status Client::Ping() {
   Result<Response> result = RoundTrip(EncodePing());
   UINDEX_RETURN_IF_ERROR(result.status());

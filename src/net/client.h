@@ -9,6 +9,7 @@
 #include "db/session.h"
 #include "net/conn.h"
 #include "net/protocol.h"
+#include "net/shard_map.h"
 #include "objects/object.h"
 #include "util/status.h"
 
@@ -50,6 +51,26 @@ class Client {
   /// `Status`; shed queries as `ResourceExhausted("server busy: ...")`.
   Result<QueryResult> Query(const std::string& oql);
 
+  /// Executes a version-fenced shard sub-query (`kShardQuery`). A
+  /// `kStaleMap` rejection becomes `Status::StaleVersion`, with the
+  /// server's installed version written to `*server_version` (if non-null)
+  /// so the caller knows what to refresh to.
+  Result<QueryResult> ShardQuery(uint64_t map_version, const std::string& oql,
+                                 uint64_t* server_version = nullptr);
+
+  /// A server's installed shard identity (`kGetShard`/`kInstallShard`).
+  struct ShardState {
+    bool active = false;
+    uint32_t self_index = 0;
+    ShardMap map;  ///< Meaningful only when `active`.
+  };
+
+  /// Installs `map` on the server as shard `self_index` of it.
+  Result<ShardState> InstallShard(const ShardMap& map, uint32_t self_index);
+
+  /// Fetches the server's installed shard identity.
+  Result<ShardState> GetShard();
+
   /// Round-trip liveness check.
   Status Ping();
 
@@ -61,6 +82,11 @@ class Client {
   void Close();
 
   ~Client();
+
+  /// False once a transport or framing failure has poisoned this client
+  /// (every further call would fail fast) — a connection pool's eviction
+  /// test.
+  bool healthy() const { return conn_ != nullptr && poisoned_.ok(); }
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;

@@ -81,6 +81,23 @@ std::string EncodeSessionStatsRequest() {
 }
 std::string EncodeGoodbye() { return OpOnly(Op::kGoodbye); }
 
+std::string EncodeShardQuery(uint64_t map_version, const std::string& oql) {
+  std::string out = OpOnly(Op::kShardQuery);
+  PutFixed64(&out, map_version);
+  PutString(&out, oql);
+  return out;
+}
+
+std::string EncodeInstallShard(uint32_t self_index,
+                               const std::string& map_blob) {
+  std::string out = OpOnly(Op::kInstallShard);
+  PutFixed32(&out, self_index);
+  PutString(&out, map_blob);
+  return out;
+}
+
+std::string EncodeGetShard() { return OpOnly(Op::kGetShard); }
+
 std::string EncodeWelcome() {
   std::string out = OpOnly(Op::kWelcome);
   PutFixed32(&out, kProtocolVersion);
@@ -129,6 +146,23 @@ std::string EncodeBusy(const std::string& message) {
 
 std::string EncodePong() { return OpOnly(Op::kPong); }
 
+std::string EncodeStaleMap(uint64_t server_version,
+                           const std::string& message) {
+  std::string out = OpOnly(Op::kStaleMap);
+  PutFixed64(&out, server_version);
+  PutString(&out, message);
+  return out;
+}
+
+std::string EncodeShardState(bool active, uint32_t self_index,
+                             const std::string& map_blob) {
+  std::string out = OpOnly(Op::kShardState);
+  out.push_back(active ? 1 : 0);
+  PutFixed32(&out, self_index);
+  PutString(&out, map_blob);
+  return out;
+}
+
 std::string EncodeStats(const Session::Stats& stats) {
   std::string out = OpOnly(Op::kStats);
   PutFixed64(&out, stats.queries);
@@ -173,9 +207,18 @@ Result<Request> DecodeRequest(const Slice& payload) {
     case Op::kQuery:
       UINDEX_RETURN_IF_ERROR(ReadString(payload, &pos, &r.oql));
       break;
+    case Op::kShardQuery:
+      UINDEX_RETURN_IF_ERROR(ReadU64(payload, &pos, &r.map_version));
+      UINDEX_RETURN_IF_ERROR(ReadString(payload, &pos, &r.oql));
+      break;
+    case Op::kInstallShard:
+      UINDEX_RETURN_IF_ERROR(ReadU32(payload, &pos, &r.self_index));
+      UINDEX_RETURN_IF_ERROR(ReadString(payload, &pos, &r.map_blob));
+      break;
     case Op::kPing:
     case Op::kSessionStats:
     case Op::kGoodbye:
+    case Op::kGetShard:
       break;
     default:
       return Status::Corruption("unknown request op " +
@@ -249,6 +292,18 @@ Result<Response> DecodeResponse(const Slice& payload) {
     case Op::kBusy:
       UINDEX_RETURN_IF_ERROR(ReadString(payload, &pos, &r.message));
       break;
+    case Op::kStaleMap:
+      UINDEX_RETURN_IF_ERROR(ReadU64(payload, &pos, &r.map_version));
+      UINDEX_RETURN_IF_ERROR(ReadString(payload, &pos, &r.message));
+      break;
+    case Op::kShardState: {
+      uint8_t active = 0;
+      UINDEX_RETURN_IF_ERROR(ReadU8(payload, &pos, &active));
+      r.shard_active = active != 0;
+      UINDEX_RETURN_IF_ERROR(ReadU32(payload, &pos, &r.self_index));
+      UINDEX_RETURN_IF_ERROR(ReadString(payload, &pos, &r.map_blob));
+      break;
+    }
     case Op::kPong:
       break;
     case Op::kStats:
@@ -308,6 +363,10 @@ Status ErrorResponseToStatus(const Response& response) {
       return Status::NotSupported(response.message);
     case Status::Code::kResourceExhausted:
       return Status::ResourceExhausted(response.message);
+    case Status::Code::kUnavailable:
+      return Status::Unavailable(response.message);
+    case Status::Code::kStaleVersion:
+      return Status::StaleVersion(response.message);
     case Status::Code::kOk:
       break;
   }

@@ -47,7 +47,10 @@ namespace net {
 /// v3: kRows/kStats grew the MVCC + group-commit counters
 /// (epochs_published, pages_cow, commit_batches, commit_records,
 /// reader_pin_max_age_us).
-inline constexpr uint32_t kProtocolVersion = 3;
+/// v4: sharding — kShardQuery (version-fenced sub-query), kInstallShard /
+/// kGetShard (ShardMap exchange), kStaleMap (typed stale-version
+/// rejection), kShardState.
+inline constexpr uint32_t kProtocolVersion = 4;
 
 /// First bytes of every `kHello` payload after the op byte.
 inline constexpr char kProtocolMagic[4] = {'U', 'I', 'D', 'X'};
@@ -65,6 +68,10 @@ enum class Op : uint8_t {
   kPing = 0x03,          ///< answered by kPong.
   kSessionStats = 0x04,  ///< answered by kStats.
   kGoodbye = 0x05,       ///< clean close; no response.
+  // v4 (sharding).
+  kShardQuery = 0x06,    ///< map-versioned sub-query; kRows or kStaleMap.
+  kInstallShard = 0x07,  ///< ShardMap + own index; answered by kShardState.
+  kGetShard = 0x08,      ///< answered by kShardState.
 
   // Responses (server → client).
   kWelcome = 0x81,  ///< server protocol version.
@@ -73,6 +80,9 @@ enum class Op : uint8_t {
   kBusy = 0x84,     ///< admission control shed this query; retry later.
   kPong = 0x85,
   kStats = 0x86,    ///< the connection's Session::Stats.
+  // v4 (sharding).
+  kStaleMap = 0x87,     ///< sub-query carried an old map version; refresh.
+  kShardState = 0x88,   ///< the server's installed ShardMap + own index.
 };
 
 /// The per-query IoStats delta shipped with every `kRows` response, so a
@@ -103,8 +113,12 @@ struct WireQueryStats {
 /// A decoded request frame.
 struct Request {
   Op op = Op::kPing;
-  uint32_t version = 0;  ///< kHello.
-  std::string oql;       ///< kQuery.
+  uint32_t version = 0;     ///< kHello.
+  std::string oql;          ///< kQuery / kShardQuery.
+  // kShardQuery / kInstallShard.
+  uint64_t map_version = 0;  ///< The router's ShardMap version fence.
+  uint32_t self_index = 0;   ///< kInstallShard: the server's map entry.
+  std::string map_blob;      ///< kInstallShard: ShardMap::EncodeBlob image.
 };
 
 /// A decoded response frame. Exactly the members implied by `op` are
@@ -123,6 +137,11 @@ struct Response {
   std::string message;
   // kStats.
   Session::Stats session_stats;
+  // kStaleMap / kShardState.
+  uint64_t map_version = 0;   ///< The server's installed map version.
+  bool shard_active = false;  ///< kShardState: a map is installed.
+  uint32_t self_index = 0;    ///< kShardState: the server's map entry.
+  std::string map_blob;       ///< kShardState: installed map image.
 };
 
 // --------------------------------------------------------------- encoders
@@ -131,6 +150,12 @@ std::string EncodeQuery(const std::string& oql);
 std::string EncodePing();
 std::string EncodeSessionStatsRequest();
 std::string EncodeGoodbye();
+std::string EncodeShardQuery(uint64_t map_version, const std::string& oql);
+/// `map_blob` is a `ShardMap::EncodeBlob` image; `self_index` names the
+/// receiving server's own entry (its served range).
+std::string EncodeInstallShard(uint32_t self_index,
+                               const std::string& map_blob);
+std::string EncodeGetShard();
 
 std::string EncodeWelcome();
 std::string EncodeRows(const std::vector<Oid>& oids, uint64_t count,
@@ -140,6 +165,10 @@ std::string EncodeError(const Status& status);
 std::string EncodeBusy(const std::string& message);
 std::string EncodePong();
 std::string EncodeStats(const Session::Stats& stats);
+std::string EncodeStaleMap(uint64_t server_version,
+                           const std::string& message);
+std::string EncodeShardState(bool active, uint32_t self_index,
+                             const std::string& map_blob);
 
 // --------------------------------------------------------------- decoders
 /// Both decoders reject empty payloads, ops outside their direction, and

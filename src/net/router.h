@@ -1,0 +1,153 @@
+#ifndef UINDEX_NET_ROUTER_H_
+#define UINDEX_NET_ROUTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "exec/thread_pool.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/shard_map.h"
+
+namespace uindex {
+namespace net {
+
+/// Tuning knobs for a `Router`.
+struct RouterOptions {
+  /// Bounds each sub-query end to end: the dial, every mid-frame read, and
+  /// the wait for the shard's first response byte. A shard that cannot
+  /// answer in time fails its sub-query (and the whole scatter fails typed
+  /// — never a silent partial result).
+  int subquery_timeout_ms = 5000;
+
+  /// How many times a scatter is retried after a stale-map rejection, each
+  /// preceded by a map refresh. Exhaustion surfaces as `kUnavailable`.
+  int max_stale_retries = 3;
+
+  /// Where `RefreshMap` looks first: the CRC-framed map file the topology
+  /// operator maintains (ShardMap::Save). Empty = ask the shards
+  /// themselves (`kGetShard`) and adopt the highest installed version.
+  std::string map_path;
+
+  /// Workers on the fan-out pool (concurrent sub-queries across all
+  /// callers). 0 = max(8, 2 × shard count at creation).
+  size_t fanout_threads = 0;
+};
+
+/// The scatter-gather shard router: one logical U-index database served by
+/// N `uindex_server` processes, each owning a class-code range of a shared
+/// `ShardMap` (DESIGN.md "Sharding & scatter-gather").
+///
+/// A query is compiled locally against a *planning replica* (a `Database`
+/// opened from the same snapshot, used only for `PlanOqlRouting` — never
+/// row data), yielding the class-code spans its result bindings can occupy.
+/// Spans are intersected with the map's ranges (`exec::CandidateShards`) to
+/// prune shards, sub-queries fan out concurrently over pooled version-
+/// fenced `kShardQuery` connections, and the per-shard row streams — whose
+/// served-range enforcement makes them disjoint — merge into one sorted,
+/// deterministic row set with summed counts and `IoStats`.
+///
+/// Failure semantics: a stale-map rejection from any shard joins the whole
+/// in-flight scatter (the drain), refreshes the map, and retries under the
+/// new version; any other sub-query failure — shard down, timeout,
+/// poisoned connection — fails the query with a typed
+/// `Status::Unavailable` naming the shard. Partial results are never
+/// returned silently.
+///
+/// Thread-safe: any number of threads may call `Query` concurrently (the
+/// `RouterServer` front end does).
+class Router {
+ public:
+  /// Observability counters.
+  struct Counters {
+    std::atomic<uint64_t> queries_ok{0};
+    std::atomic<uint64_t> queries_failed{0};
+    std::atomic<uint64_t> subqueries_sent{0};
+    /// Shards skipped because no code span intersected their range.
+    std::atomic<uint64_t> shards_pruned{0};
+    std::atomic<uint64_t> stale_retries{0};
+    std::atomic<uint64_t> partial_failures{0};
+    std::atomic<uint64_t> conns_created{0};
+    std::atomic<uint64_t> conns_evicted{0};
+  };
+
+  /// A routed query result: `Database::OqlResult` shape plus the aggregate
+  /// per-query stats (summed across shards; `reader_pin_max_age_us` is the
+  /// max) and how many shards were actually queried.
+  struct QueryOutcome {
+    std::vector<Oid> oids;
+    uint64_t count = 0;
+    bool used_index = false;
+    std::string plan;
+    WireQueryStats stats;
+    size_t shards_queried = 0;
+  };
+
+  /// `map` must Validate(); `planner` is the planning replica and must
+  /// outlive the router.
+  static Result<std::unique_ptr<Router>> Create(ShardMap map,
+                                                const Database* planner,
+                                                RouterOptions options);
+
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Scatter-gathers one OQL statement. See the class comment for merge
+  /// and failure semantics.
+  Result<QueryOutcome> Query(const std::string& oql);
+
+  /// Re-reads the map (options.map_path, else the shards) and adopts it if
+  /// its version is newer than the current one.
+  Status RefreshMap();
+
+  /// The map this router currently scatters under.
+  ShardMap CurrentMap() const;
+
+  const Counters& counters() const { return counters_; }
+
+ private:
+  Router(ShardMap map, const Database* planner, RouterOptions options);
+
+  // One endpoint's idle-connection stack, keyed "host:port".
+  std::unique_ptr<Client> AcquireClient(const std::string& host,
+                                        uint16_t port, Status* error);
+  void ReleaseClient(const std::string& host, uint16_t port,
+                     std::unique_ptr<Client> client);
+
+  // One sub-query against shard `shard` of `map`; runs on the fan-out
+  // pool.
+  struct SubResult {
+    size_t shard = 0;
+    Result<Client::QueryResult> result;
+    bool stale = false;              ///< Rejected: map version mismatch.
+    uint64_t server_version = 0;     ///< The shard's installed version.
+    SubResult() : result(Status::Unavailable("sub-query not run")) {}
+  };
+  SubResult RunSubQuery(const ShardMap& map, size_t shard,
+                        const std::string& oql);
+
+  const Database* planner_;
+  RouterOptions options_;
+
+  mutable std::mutex map_mu_;
+  ShardMap map_;
+
+  std::mutex pool_mu_;
+  std::map<std::string, std::vector<std::unique_ptr<Client>>> idle_;
+
+  std::unique_ptr<exec::ThreadPool> fanout_;
+  Counters counters_;
+};
+
+}  // namespace net
+}  // namespace uindex
+
+#endif  // UINDEX_NET_ROUTER_H_

@@ -1,0 +1,249 @@
+#include "net/router_server.h"
+
+#include <errno.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+namespace uindex {
+namespace net {
+
+namespace {
+
+// How often the accept loop wakes to check the stopping flag and reap
+// finished connection threads (matches Server).
+constexpr int kAcceptTickMs = 200;
+
+// Folds one routed query's aggregate stats into the connection's
+// synthesized session stats.
+void FoldIntoSession(const Router::QueryOutcome& outcome,
+                     Session::Stats* stats) {
+  stats->rows += outcome.oids.size();
+  stats->pages_read += outcome.stats.pages_read;
+  stats->nodes_parsed += outcome.stats.nodes_parsed;
+  stats->node_cache_hits += outcome.stats.node_cache_hits;
+  stats->prefetch_issued += outcome.stats.prefetch_issued;
+  stats->prefetch_hits += outcome.stats.prefetch_hits;
+  stats->prefetch_wasted += outcome.stats.prefetch_wasted;
+  stats->pool_hits += outcome.stats.pool_hits;
+  stats->pool_misses += outcome.stats.pool_misses;
+  stats->evictions += outcome.stats.evictions;
+  stats->writebacks += outcome.stats.writebacks;
+  stats->epochs_published += outcome.stats.epochs_published;
+  stats->pages_cow += outcome.stats.pages_cow;
+  stats->commit_batches += outcome.stats.commit_batches;
+  stats->commit_records += outcome.stats.commit_records;
+  stats->reader_pin_max_age_us = std::max(
+      stats->reader_pin_max_age_us, outcome.stats.reader_pin_max_age_us);
+}
+
+}  // namespace
+
+RouterServer::RouterServer(Router* router, RouterServerOptions options)
+    : router_(router), options_(std::move(options)) {}
+
+Result<std::unique_ptr<RouterServer>> RouterServer::Start(
+    Router* router, RouterServerOptions options) {
+  if (router == nullptr) {
+    return Status::InvalidArgument("router server needs a router");
+  }
+  std::unique_ptr<RouterServer> server(
+      new RouterServer(router, std::move(options)));
+  UINDEX_RETURN_IF_ERROR(server->Listen());
+  server->accept_thread_ =
+      std::thread([s = server.get()] { s->AcceptLoop(); });
+  return server;
+}
+
+RouterServer::~RouterServer() { Shutdown(); }
+
+Status RouterServer::Listen() {
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  struct addrinfo* res = nullptr;
+  const std::string port_text = std::to_string(options_.port);
+  if (::getaddrinfo(options_.host.c_str(), port_text.c_str(), &hints, &res) !=
+          0 ||
+      res == nullptr) {
+    return Status::InvalidArgument("cannot resolve " + options_.host);
+  }
+  Status last = Status::ResourceExhausted("no addresses for " + options_.host);
+  for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_NONBLOCK, 0);
+    if (fd < 0) continue;
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) != 0 ||
+        ::listen(fd, 128) != 0) {
+      last = Status::ResourceExhausted(std::string("bind/listen: ") +
+                                       std::strerror(errno));
+      ::close(fd);
+      continue;
+    }
+    struct sockaddr_storage bound;
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound),
+                      &bound_len) == 0) {
+      if (bound.ss_family == AF_INET) {
+        port_ = ntohs(reinterpret_cast<struct sockaddr_in*>(&bound)->sin_port);
+      } else if (bound.ss_family == AF_INET6) {
+        port_ =
+            ntohs(reinterpret_cast<struct sockaddr_in6*>(&bound)->sin6_port);
+      }
+    }
+    listen_fd_ = fd;
+    ::freeaddrinfo(res);
+    return Status::OK();
+  }
+  ::freeaddrinfo(res);
+  return last;
+}
+
+void RouterServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    struct pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int n = ::poll(&pfd, 1, kAcceptTickMs);
+    ReapFinished(/*join_all=*/false);
+    if (n <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    if (active_connections() >= options_.max_connections) {
+      Conn reject(fd);
+      reject.set_io_timeout_ms(options_.io_timeout_ms);
+      reject.WriteFrame(Slice(EncodeBusy("too many connections")));
+      continue;
+    }
+    counters_.accepted.fetch_add(1, std::memory_order_relaxed);
+    counters_.active_connections.fetch_add(1, std::memory_order_relaxed);
+    auto state = std::make_unique<ConnState>();
+    state->conn = std::make_unique<Conn>(fd);
+    state->conn->set_io_timeout_ms(options_.io_timeout_ms);
+    ConnState* raw = state.get();
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(std::move(state));
+    }
+    raw->thread = std::thread([this, raw] { ServeConnection(raw); });
+  }
+}
+
+void RouterServer::ServeConnection(ConnState* state) {
+  Conn* conn = state->conn.get();
+  Session::Stats stats;  // Synthesized cluster-wide per-connection stats.
+  std::string payload;
+  for (;;) {
+    Result<ReadOutcome> outcome =
+        conn->ReadFrame(&payload, kMaxRequestFrame, options_.idle_timeout_ms);
+    if (!outcome.ok()) {
+      counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      conn->WriteFrame(Slice(EncodeError(outcome.status())));
+      break;
+    }
+    if (outcome.value() != ReadOutcome::kFrame) break;  // closed or idle
+    if (stopping_.load(std::memory_order_acquire)) {
+      conn->WriteFrame(Slice(
+          EncodeError(Status::ResourceExhausted("router shutting down"))));
+      break;
+    }
+    Result<Request> request = DecodeRequest(Slice(payload));
+    if (!request.ok()) {
+      counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      conn->WriteFrame(Slice(EncodeError(request.status())));
+      break;
+    }
+    if (!HandleRequest(conn, &stats, request.value())) break;
+  }
+  conn->ShutdownBoth();
+  counters_.active_connections.fetch_sub(1, std::memory_order_relaxed);
+  state->done.store(true, std::memory_order_release);
+}
+
+bool RouterServer::HandleRequest(Conn* conn, Session::Stats* stats,
+                                 const Request& request) {
+  switch (request.op) {
+    case Op::kHello: {
+      if (request.version != kProtocolVersion) {
+        conn->WriteFrame(Slice(EncodeError(Status::InvalidArgument(
+            "protocol version mismatch: client " +
+            std::to_string(request.version) + ", server " +
+            std::to_string(kProtocolVersion)))));
+        return false;
+      }
+      return conn->WriteFrame(Slice(EncodeWelcome())).ok();
+    }
+    case Op::kPing:
+      return conn->WriteFrame(Slice(EncodePong())).ok();
+    case Op::kSessionStats:
+      return conn->WriteFrame(Slice(EncodeStats(*stats))).ok();
+    case Op::kGoodbye:
+      return false;
+    case Op::kQuery:
+      break;
+    default:
+      // The router front end does not serve shard-internal ops; a v4 peer
+      // speaking kShardQuery at a router is a topology mistake.
+      conn->WriteFrame(Slice(EncodeError(Status::NotSupported(
+          "router front end serves kQuery only"))));
+      return true;
+  }
+
+  Result<Router::QueryOutcome> result = router_->Query(request.oql);
+  std::string response;
+  ++stats->queries;
+  if (result.ok()) {
+    counters_.queries_ok.fetch_add(1, std::memory_order_relaxed);
+    const Router::QueryOutcome& rows = result.value();
+    FoldIntoSession(rows, stats);
+    response = EncodeRows(rows.oids, rows.count, rows.used_index, rows.plan,
+                          rows.stats);
+  } else {
+    counters_.queries_failed.fetch_add(1, std::memory_order_relaxed);
+    ++stats->failed;
+    response = EncodeError(result.status());
+  }
+  return conn->WriteFrame(Slice(response)).ok();
+}
+
+void RouterServer::ReapFinished(bool join_all) {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if (join_all || (*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void RouterServer::Shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    stopping_.store(true, std::memory_order_release);
+    if (accept_thread_.joinable()) accept_thread_.join();
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      for (const auto& state : conns_) state->conn->ShutdownBoth();
+    }
+    ReapFinished(/*join_all=*/true);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+  });
+}
+
+}  // namespace net
+}  // namespace uindex

@@ -1,0 +1,103 @@
+#ifndef UINDEX_NET_ROUTER_SERVER_H_
+#define UINDEX_NET_ROUTER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "db/session.h"
+#include "net/conn.h"
+#include "net/protocol.h"
+#include "net/router.h"
+
+namespace uindex {
+namespace net {
+
+/// Tuning knobs for a `RouterServer`.
+struct RouterServerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  ///< 0 = ephemeral; read the bound port from `port()`.
+  size_t max_connections = 256;
+  int io_timeout_ms = 5000;
+  int idle_timeout_ms = 120000;
+};
+
+/// The cluster's client-facing front end: speaks the standard protocol
+/// (`kHello`/`kQuery`/`kPing`/`kSessionStats`/`kGoodbye`) so any existing
+/// client — `uindex_shell` included — talks to a sharded topology
+/// unchanged, while every `kQuery` is executed by scatter-gather through
+/// the `Router`.
+///
+/// Per-connection `Session::Stats` are synthesized from the router's
+/// aggregated per-query stats, so `stats` in the shell shows cluster-wide
+/// page reads. One thread per connection, as in `Server`; concurrency
+/// across connections comes from the router's fan-out pool.
+class RouterServer {
+ public:
+  struct Counters {
+    std::atomic<uint64_t> accepted{0};
+    std::atomic<uint64_t> active_connections{0};
+    std::atomic<uint64_t> queries_ok{0};
+    std::atomic<uint64_t> queries_failed{0};
+    std::atomic<uint64_t> protocol_errors{0};
+  };
+
+  /// Binds, listens, and starts the listener thread. `router` must outlive
+  /// the server.
+  static Result<std::unique_ptr<RouterServer>> Start(
+      Router* router, RouterServerOptions options);
+
+  /// Graceful shutdown (idempotent); in-flight queries finish and their
+  /// responses are delivered.
+  void Shutdown();
+
+  ~RouterServer();
+
+  RouterServer(const RouterServer&) = delete;
+  RouterServer& operator=(const RouterServer&) = delete;
+
+  uint16_t port() const { return port_; }
+  const Counters& counters() const { return counters_; }
+  size_t active_connections() const {
+    return counters_.active_connections.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct ConnState {
+    std::unique_ptr<Conn> conn;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  RouterServer(Router* router, RouterServerOptions options);
+
+  Status Listen();
+  void AcceptLoop();
+  void ServeConnection(ConnState* state);
+  bool HandleRequest(Conn* conn, Session::Stats* stats,
+                     const Request& request);
+  void ReapFinished(bool join_all);
+
+  Router* router_;
+  RouterServerOptions options_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+
+  std::mutex conns_mu_;
+  std::list<std::unique_ptr<ConnState>> conns_;
+
+  Counters counters_;
+  std::once_flag shutdown_once_;
+};
+
+}  // namespace net
+}  // namespace uindex
+
+#endif  // UINDEX_NET_ROUTER_SERVER_H_

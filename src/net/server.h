@@ -15,6 +15,7 @@
 #include "exec/thread_pool.h"
 #include "net/conn.h"
 #include "net/protocol.h"
+#include "net/shard_map.h"
 
 namespace uindex {
 namespace net {
@@ -75,14 +76,18 @@ class Server {
     std::atomic<uint64_t> queries_failed{0};
     std::atomic<uint64_t> busy_rejected{0};
     std::atomic<uint64_t> protocol_errors{0};
+    /// Sub-queries rejected for carrying a ShardMap version other than the
+    /// installed one (the split/rebalance fence).
+    std::atomic<uint64_t> stale_rejected{0};
   };
 
   /// Binds, listens, and starts the listener thread. `db` must outlive the
-  /// server. A non-null `shared_pool` is borrowed for query execution
-  /// (and must outlive the server); otherwise the server owns a pool of
-  /// `options.worker_threads` workers.
+  /// server (non-const because `kInstallShard` installs the database's
+  /// served code range). A non-null `shared_pool` is borrowed for query
+  /// execution (and must outlive the server); otherwise the server owns a
+  /// pool of `options.worker_threads` workers.
   static Result<std::unique_ptr<Server>> Start(
-      const Database* db, ServerOptions options,
+      Database* db, ServerOptions options,
       exec::ThreadPool* shared_pool = nullptr);
 
   /// Graceful shutdown (idempotent): stop accepting, refuse new frames,
@@ -96,6 +101,13 @@ class Server {
 
   /// The bound TCP port (useful with `options.port == 0`).
   uint16_t port() const { return port_; }
+
+  /// Installs `map` with this server as entry `self_index` — the local
+  /// equivalent of a `kInstallShard` frame (the server binary uses it to
+  /// adopt a map file at startup). Validates the map, refuses version
+  /// rollback (`StaleVersion`), and installs the entry's code range as the
+  /// database's served range.
+  Status InstallShard(const ShardMap& map, uint32_t self_index);
 
   const Counters& counters() const { return counters_; }
 
@@ -111,7 +123,7 @@ class Server {
     std::atomic<bool> done{false};
   };
 
-  Server(const Database* db, ServerOptions options,
+  Server(Database* db, ServerOptions options,
          exec::ThreadPool* shared_pool);
 
   Status Listen();
@@ -120,6 +132,9 @@ class Server {
   // One decoded request --> one response written (or connection poisoned).
   // Returns false when the connection should close.
   bool HandleRequest(Conn* conn, Session* session, const Request& request);
+  // The v4 sharding ops (metadata; not admission-controlled).
+  bool HandleInstallShard(Conn* conn, const Request& request);
+  bool HandleGetShard(Conn* conn);
   void ReapFinished(bool join_all);
 
   // Admission control for in-flight queries.
@@ -128,8 +143,18 @@ class Server {
   void ReleaseQuery();
   void WaitQueriesDrained();
 
-  const Database* db_;
+  Database* db_;
   ServerOptions options_;
+
+  // Installed shard identity (kInstallShard). `shard_mu_` also brackets the
+  // version fence around sub-query execution: an install cannot commit
+  // between a sub-query's pre- and post-execution version checks, so a
+  // `kRows` response is always computed entirely under the version it
+  // claims.
+  std::mutex shard_mu_;
+  ShardMap shard_map_;
+  uint32_t shard_self_ = 0;
+  bool shard_active_ = false;
   exec::ThreadPool* pool_;  // owned_pool_.get() or the borrowed pool.
   std::unique_ptr<exec::ThreadPool> owned_pool_;
 

@@ -1,0 +1,144 @@
+#include "net/shard_map.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/coding.h"
+#include "util/framing.h"
+
+namespace uindex {
+namespace net {
+
+namespace {
+
+/// Frame limit for the on-disk map record; a map is tiny, anything bigger
+/// is damage.
+constexpr uint32_t kMaxMapFrame = 1u << 20;
+
+void PutString(std::string* out, const std::string& s) {
+  PutFixed32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+Status ReadString(const Slice& blob, size_t* pos, std::string* out) {
+  if (*pos + 4 > blob.size()) return Status::Corruption("truncated string");
+  const uint32_t len = DecodeFixed32(blob.data() + *pos);
+  *pos += 4;
+  if (len > blob.size() || *pos + len > blob.size()) {
+    return Status::Corruption("truncated string");
+  }
+  out->assign(blob.data() + *pos, len);
+  *pos += len;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ShardMap::Validate() const {
+  if (entries.empty()) return Status::InvalidArgument("shard map is empty");
+  if (!entries[0].lo.empty()) {
+    return Status::InvalidArgument(
+        "shard map must cover the whole code space (first lo must be \"\")");
+  }
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].host.empty()) {
+      return Status::InvalidArgument("shard map entry has no host");
+    }
+    if (i > 0 && !(Slice(entries[i - 1].lo) < Slice(entries[i].lo))) {
+      return Status::InvalidArgument(
+          "shard map boundaries must be strictly increasing");
+    }
+  }
+  return Status::OK();
+}
+
+std::string ShardMap::HiOf(size_t i) const {
+  return i + 1 < entries.size() ? entries[i + 1].lo : std::string();
+}
+
+size_t ShardMap::ShardFor(const Slice& code) const {
+  size_t i = entries.size() - 1;
+  while (i > 0 && code < Slice(entries[i].lo)) --i;
+  return i;
+}
+
+std::vector<std::string> ShardMap::Boundaries() const {
+  std::vector<std::string> out;
+  out.reserve(entries.size());
+  for (const Entry& e : entries) out.push_back(e.lo);
+  return out;
+}
+
+void ShardMap::EncodeBlob(std::string* out) const {
+  PutFixed64(out, version);
+  PutFixed32(out, static_cast<uint32_t>(entries.size()));
+  for (const Entry& e : entries) {
+    PutString(out, e.lo);
+    PutString(out, e.host);
+    PutFixed32(out, e.port);
+  }
+}
+
+Result<ShardMap> ShardMap::DecodeBlob(const Slice& blob) {
+  ShardMap map;
+  size_t pos = 0;
+  if (blob.size() < 12) return Status::Corruption("truncated shard map");
+  map.version = DecodeFixed64(blob.data());
+  const uint32_t n = DecodeFixed32(blob.data() + 8);
+  pos = 12;
+  // Each entry is at least 12 bytes; an absurd count is rejected before
+  // any allocation.
+  if (n > blob.size() / 12) return Status::Corruption("shard map count");
+  map.entries.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    UINDEX_RETURN_IF_ERROR(ReadString(blob, &pos, &map.entries[i].lo));
+    UINDEX_RETURN_IF_ERROR(ReadString(blob, &pos, &map.entries[i].host));
+    if (pos + 4 > blob.size()) return Status::Corruption("truncated port");
+    const uint32_t port = DecodeFixed32(blob.data() + pos);
+    pos += 4;
+    if (port > UINT16_MAX) return Status::Corruption("shard port range");
+    map.entries[i].port = static_cast<uint16_t>(port);
+  }
+  if (pos != blob.size()) {
+    return Status::Corruption("trailing bytes in shard map");
+  }
+  UINDEX_RETURN_IF_ERROR(map.Validate());
+  return map;
+}
+
+Status ShardMap::Save(const std::string& path) const {
+  UINDEX_RETURN_IF_ERROR(Validate());
+  std::string blob;
+  EncodeBlob(&blob);
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::InvalidArgument("cannot create " + tmp);
+  }
+  Status s = WriteFrameToFile(file, Slice(blob));
+  if (s.ok() && std::fflush(file) != 0) {
+    s = Status::ResourceExhausted("flush failed for " + tmp);
+  }
+  std::fclose(file);
+  if (s.ok() && std::rename(tmp.c_str(), path.c_str()) != 0) {
+    s = Status::ResourceExhausted("rename failed for " + path);
+  }
+  if (!s.ok()) std::remove(tmp.c_str());
+  return s;
+}
+
+Result<ShardMap> ShardMap::Load(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return Status::NotFound("no shard map at " + path);
+  std::string payload;
+  Result<FrameRead> read = ReadFrameFromFile(file, &payload, kMaxMapFrame);
+  std::fclose(file);
+  if (!read.ok()) return read.status();
+  if (read.value() != FrameRead::kFrame) {
+    return Status::Corruption("shard map file holds no complete record");
+  }
+  return DecodeBlob(Slice(payload));
+}
+
+}  // namespace net
+}  // namespace uindex

@@ -1,0 +1,73 @@
+#ifndef UINDEX_NET_SHARD_MAP_H_
+#define UINDEX_NET_SHARD_MAP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace uindex {
+namespace net {
+
+/// The cluster's partitioning contract: a versioned, sorted list of
+/// class-code range boundaries, each owning shard addressed by endpoint.
+/// Entry `i` serves the half-open code slice [entries[i].lo,
+/// entries[i+1].lo); the first entry's `lo` is "" and the last range is
+/// unbounded above, so the map always covers the whole code space. The COD
+/// encoding keeps every class sub-tree contiguous in code space, so
+/// boundaries are raw code strings — they need no class names and may split
+/// a sub-tree mid-range (a rebalance moves a boundary, not a schema).
+///
+/// The `version` is the split/rebalance fence: servers remember the version
+/// that installed their served range and reject sub-queries carrying an
+/// older one with a typed stale-version error, which tells the router to
+/// refresh this map and retry. The map travels two ways — CRC-framed on
+/// disk (`Save`/`Load`) and as an opaque blob inside protocol-v4 messages
+/// (`EncodeBlob`/`DecodeBlob`).
+struct ShardMap {
+  struct Entry {
+    std::string lo;    ///< Inclusive class-code lower bound.
+    std::string host;  ///< Endpoint serving [lo, next lo).
+    uint16_t port = 0;
+  };
+
+  uint64_t version = 0;
+  std::vector<Entry> entries;  ///< Sorted by `lo`; entries[0].lo == "".
+
+  /// Structural invariants: at least one entry, entries[0].lo == "",
+  /// strictly increasing `lo`s, non-empty hosts.
+  Status Validate() const;
+
+  /// Exclusive upper bound of entry `i`'s range ("" = +infinity).
+  std::string HiOf(size_t i) const;
+
+  /// The entry index whose range contains `code` (for a Validate()d map).
+  size_t ShardFor(const Slice& code) const;
+
+  /// The sorted `lo` boundaries, the shape `exec::CandidateShards` takes.
+  std::vector<std::string> Boundaries() const;
+
+  /// Wire/disk image: [version u64][n u32] then per entry
+  /// [lo string][host string][port u32], strings length-prefixed (u32).
+  void EncodeBlob(std::string* out) const;
+
+  /// Decodes an `EncodeBlob` image; rejects truncated or trailing bytes
+  /// and anything `Validate` would (a hostile blob never half-applies).
+  static Result<ShardMap> DecodeBlob(const Slice& blob);
+
+  /// Persists the map as one CRC-framed record (util/framing), written to
+  /// a sibling temp file and renamed into place so readers never observe a
+  /// partial map.
+  Status Save(const std::string& path) const;
+
+  /// Loads and validates a `Save`d map; CRC or structural damage is
+  /// Corruption, a missing file NotFound.
+  static Result<ShardMap> Load(const std::string& path);
+};
+
+}  // namespace net
+}  // namespace uindex
+
+#endif  // UINDEX_NET_SHARD_MAP_H_

@@ -20,6 +20,10 @@ const char* CodeName(Status::Code code) {
       return "NotSupported";
     case Status::Code::kResourceExhausted:
       return "ResourceExhausted";
+    case Status::Code::kUnavailable:
+      return "Unavailable";
+    case Status::Code::kStaleVersion:
+      return "StaleVersion";
   }
   return "Unknown";
 }

@@ -24,6 +24,12 @@ class Status {
     kAlreadyExists = 4,
     kNotSupported = 5,
     kResourceExhausted = 6,
+    /// A dependency (e.g. a shard behind the router) failed or timed out;
+    /// the operation may succeed on retry once it recovers.
+    kUnavailable = 7,
+    /// The caller acted on stale versioned metadata (e.g. a shard-map
+    /// version the server has moved past); refresh and retry.
+    kStaleVersion = 8,
   };
 
   /// Creates an OK status.
@@ -53,6 +59,12 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(Code::kResourceExhausted, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
+  static Status StaleVersion(std::string msg) {
+    return Status(Code::kStaleVersion, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -63,6 +75,8 @@ class Status {
   bool IsResourceExhausted() const {
     return code_ == Code::kResourceExhausted;
   }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+  bool IsStaleVersion() const { return code_ == Code::kStaleVersion; }
 
   Code code() const { return code_; }
 

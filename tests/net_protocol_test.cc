@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "net/protocol.h"
+#include "net/shard_map.h"
 #include "util/framing.h"
 #include "util/random.h"
 
@@ -220,15 +221,208 @@ TEST(ProtocolTest, MalformedPayloadsNeverDecode) {
   EXPECT_TRUE(DecodeResponse(Slice(rows + "x")).status().IsCorruption());
 }
 
+// ---------------------------------------------------------------------------
+// protocol v4 — the sharding ops and the ShardMap codec
+// ---------------------------------------------------------------------------
+
+ShardMap TwoShardMap() {
+  ShardMap map;
+  map.version = 7;
+  map.entries.push_back({"", "127.0.0.1", 5001});
+  map.entries.push_back({"C3A", "127.0.0.1", 5002});
+  return map;
+}
+
+TEST(ProtocolV4Test, ShardRequestRoundTrips) {
+  Result<Request> sq = DecodeRequest(
+      Slice(EncodeShardQuery(42, "SELECT i FROM Item* i WHERE i.Key = 1")));
+  ASSERT_TRUE(sq.ok());
+  EXPECT_EQ(sq.value().op, Op::kShardQuery);
+  EXPECT_EQ(sq.value().map_version, 42u);
+  EXPECT_EQ(sq.value().oql, "SELECT i FROM Item* i WHERE i.Key = 1");
+
+  std::string blob;
+  TwoShardMap().EncodeBlob(&blob);
+  Result<Request> install = DecodeRequest(Slice(EncodeInstallShard(1, blob)));
+  ASSERT_TRUE(install.ok());
+  EXPECT_EQ(install.value().op, Op::kInstallShard);
+  EXPECT_EQ(install.value().self_index, 1u);
+  EXPECT_EQ(install.value().map_blob, blob);
+
+  EXPECT_EQ(DecodeRequest(Slice(EncodeGetShard())).value().op, Op::kGetShard);
+}
+
+TEST(ProtocolV4Test, ShardResponseRoundTrips) {
+  Result<Response> stale =
+      DecodeResponse(Slice(EncodeStaleMap(9, "map changed")));
+  ASSERT_TRUE(stale.ok());
+  EXPECT_EQ(stale.value().op, Op::kStaleMap);
+  EXPECT_EQ(stale.value().map_version, 9u);
+  EXPECT_EQ(stale.value().message, "map changed");
+
+  std::string blob;
+  TwoShardMap().EncodeBlob(&blob);
+  Result<Response> state =
+      DecodeResponse(Slice(EncodeShardState(true, 1, blob)));
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(state.value().op, Op::kShardState);
+  EXPECT_TRUE(state.value().shard_active);
+  EXPECT_EQ(state.value().self_index, 1u);
+  EXPECT_EQ(state.value().map_blob, blob);
+
+  Result<Response> inactive =
+      DecodeResponse(Slice(EncodeShardState(false, 0, "")));
+  ASSERT_TRUE(inactive.ok());
+  EXPECT_FALSE(inactive.value().shard_active);
+}
+
+TEST(ProtocolV4Test, NewStatusCodesSurviveTheWire) {
+  // The router's typed failure modes must round-trip as themselves, not
+  // collapse to Unknown.
+  Result<Response> unavailable = DecodeResponse(
+      Slice(EncodeError(Status::Unavailable("shard 1 unreachable"))));
+  ASSERT_TRUE(unavailable.ok());
+  Status s = ErrorResponseToStatus(unavailable.value());
+  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_EQ(s.message(), "shard 1 unreachable");
+
+  Result<Response> stale = DecodeResponse(
+      Slice(EncodeError(Status::StaleVersion("map v3 < installed v4"))));
+  ASSERT_TRUE(stale.ok());
+  EXPECT_TRUE(ErrorResponseToStatus(stale.value()).IsStaleVersion());
+}
+
+TEST(ProtocolV4Test, ShardFramesTruncateAndTrailRejected) {
+  std::string blob;
+  TwoShardMap().EncodeBlob(&blob);
+  const std::string frames[] = {EncodeShardQuery(7, "SELECT i FROM I i"),
+                                EncodeInstallShard(0, blob),
+                                EncodeStaleMap(3, "stale"),
+                                EncodeShardState(true, 1, blob)};
+  for (const std::string& frame : frames) {
+    const bool is_request =
+        static_cast<uint8_t>(frame[0]) < 0x80;  // Responses set the top bit.
+    for (size_t keep = 1; keep < frame.size(); ++keep) {
+      const Slice cut(frame.data(), keep);
+      const Status s = is_request ? DecodeRequest(cut).status()
+                                  : DecodeResponse(cut).status();
+      EXPECT_TRUE(s.IsCorruption()) << "keep=" << keep;
+    }
+    const std::string trailing = frame + "x";
+    const Status s = is_request ? DecodeRequest(Slice(trailing)).status()
+                                : DecodeResponse(Slice(trailing)).status();
+    EXPECT_TRUE(s.IsCorruption());
+  }
+}
+
+TEST(ProtocolV4Test, ShardMapBlobRoundTrips) {
+  const ShardMap map = TwoShardMap();
+  std::string blob;
+  map.EncodeBlob(&blob);
+  Result<ShardMap> back = ShardMap::DecodeBlob(Slice(blob));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().version, 7u);
+  ASSERT_EQ(back.value().entries.size(), 2u);
+  EXPECT_EQ(back.value().entries[0].lo, "");
+  EXPECT_EQ(back.value().entries[1].lo, "C3A");
+  EXPECT_EQ(back.value().entries[1].host, "127.0.0.1");
+  EXPECT_EQ(back.value().entries[1].port, 5002);
+  EXPECT_EQ(back.value().HiOf(0), "C3A");
+  EXPECT_EQ(back.value().HiOf(1), "");
+}
+
+TEST(ProtocolV4Test, MalformedShardRangeFramesRejected) {
+  std::string blob;
+  TwoShardMap().EncodeBlob(&blob);
+
+  // Truncation at every byte.
+  for (size_t keep = 0; keep < blob.size(); ++keep) {
+    EXPECT_FALSE(ShardMap::DecodeBlob(Slice(blob.data(), keep)).ok())
+        << "keep=" << keep;
+  }
+  // Trailing bytes.
+  EXPECT_FALSE(ShardMap::DecodeBlob(Slice(blob + "x")).ok());
+
+  // A declared entry count far beyond the blob (allocation bomb guard).
+  std::string bomb = blob;
+  bomb[8] = '\xff';
+  bomb[9] = '\xff';
+  EXPECT_FALSE(ShardMap::DecodeBlob(Slice(bomb)).ok());
+
+  // Semantic hostility goes through Validate: first lo non-empty, los not
+  // strictly increasing, empty host, zero entries.
+  ShardMap bad = TwoShardMap();
+  bad.entries[0].lo = "A";
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = TwoShardMap();
+  bad.entries[1].lo = "";
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = TwoShardMap();
+  bad.entries[1].host.clear();
+  EXPECT_FALSE(bad.Validate().ok());
+  bad.entries.clear();
+  EXPECT_FALSE(bad.Validate().ok());
+
+  // An invalid map must not survive an encode/decode round trip either:
+  // DecodeBlob re-validates.
+  ShardMap unsorted = TwoShardMap();
+  unsorted.entries[1].lo = "";
+  std::string unsorted_blob;
+  unsorted.EncodeBlob(&unsorted_blob);
+  EXPECT_FALSE(ShardMap::DecodeBlob(Slice(unsorted_blob)).ok());
+}
+
+TEST(ProtocolV4Test, VersionSkewHandshakeIsDetectable) {
+  // A v3 client's hello decodes fine — the version field, not the decode,
+  // is what the server's handshake check rejects.
+  std::string old_hello = EncodeHello();
+  const size_t version_at = old_hello.size() - 4;
+  old_hello[version_at] = 3;  // Patch the little-endian version word.
+  old_hello[version_at + 1] = 0;
+  old_hello[version_at + 2] = 0;
+  old_hello[version_at + 3] = 0;
+  Result<Request> decoded = DecodeRequest(Slice(old_hello));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().op, Op::kHello);
+  EXPECT_EQ(decoded.value().version, 3u);
+  EXPECT_NE(decoded.value().version, kProtocolVersion);
+  EXPECT_EQ(kProtocolVersion, 4u);  // The sharding ops bumped the version.
+}
+
+TEST(ProtocolV4Test, StaleRejectionSemantics) {
+  // kStaleMap carries the server's installed version so a router can tell
+  // whether refreshing would even help (version 0 = no map installed).
+  Result<Response> none = DecodeResponse(
+      Slice(EncodeStaleMap(0, "no shard map installed")));
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none.value().map_version, 0u);
+  Result<Response> newer =
+      DecodeResponse(Slice(EncodeStaleMap(12, "client behind")));
+  ASSERT_TRUE(newer.ok());
+  EXPECT_EQ(newer.value().map_version, 12u);
+}
+
 TEST(ProtocolTest, FuzzedPayloadsNeverCrash) {
   // Random garbage and randomly mutated valid messages must either decode
   // or fail with a Status — never crash, hang, or read out of bounds
   // (ASan/TSan legs make that assertion real).
   Random rng(0xF00D);
+  std::string blob;
+  TwoShardMap().EncodeBlob(&blob);
   const std::string seeds[] = {
       EncodeHello(), EncodeQuery("SELECT v FROM V v WHERE v.a = 1"),
       EncodeRows({1, 2, 3}, 3, false, "p", WireQueryStats{}),
-      EncodeError(Status::NotFound("x")), EncodeStats(Session::Stats{})};
+      EncodeError(Status::NotFound("x")), EncodeStats(Session::Stats{}),
+      EncodeShardQuery(7, "SELECT i FROM I i"), EncodeInstallShard(1, blob),
+      EncodeStaleMap(3, "stale"), EncodeShardState(true, 1, blob)};
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string mangled = blob;
+    if (!mangled.empty()) {
+      mangled[rng.Next() % mangled.size()] ^=
+          static_cast<char>(1 + rng.Next() % 255);
+    }
+    (void)ShardMap::DecodeBlob(Slice(mangled));  // Status or map, no crash.
+  }
   for (int iter = 0; iter < 5000; ++iter) {
     std::string blob;
     if (iter % 2 == 0) {

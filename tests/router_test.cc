@@ -1,0 +1,573 @@
+// Scatter-gather router tests: ShardMap persistence, shard pruning, merge
+// identity against a single node, and — above all — the failure contract:
+// a shard that is down, slow, or stale NEVER yields a silent partial
+// result. Every degraded outcome is either a typed error naming the shard
+// or a transparent refresh-and-retry under the new map version.
+//
+// Topology shape: every shard is a full replica built by the same
+// deterministic loader (the cheap way to stand up a cluster in one
+// process); partitioning is enforced by the served range each
+// `Server::InstallShard` pushes into its database, so shard row sets are
+// disjoint and the merge identity against one unpartitioned replica is
+// exact, not approximate.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "db/database.h"
+#include "exec/shard_route.h"
+#include "net/client.h"
+#include "net/router.h"
+#include "net/router_server.h"
+#include "net/server.h"
+#include "net/shard_map.h"
+
+namespace uindex {
+namespace net {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------- fixture
+
+// N full replicas behind ephemeral-port servers plus one planning replica:
+// Item root with 4 subclasses, int hierarchy index on "price", 400 objects
+// over 97 keys — the net_server_test database, which every replica rebuilds
+// identically.
+class RouterTest : public ::testing::Test {
+ protected:
+  static constexpr int kObjects = 400;
+  static constexpr int kPrices = 97;
+
+  void SetUp() override {
+    planner_ = std::make_unique<Database>();
+    BuildReplica(planner_.get());
+  }
+
+  void BuildReplica(Database* db) {
+    const ClassId root = db->CreateClass("Item").value();
+    std::vector<ClassId> subs;
+    for (int i = 0; i < 4; ++i) {
+      subs.push_back(
+          db->CreateSubclass("Item" + std::to_string(i), root).value());
+    }
+    ASSERT_TRUE(db->CreateIndex(PathSpec::ClassHierarchy(
+                                    root, "price", Value::Kind::kInt))
+                    .ok());
+    for (int i = 0; i < kObjects; ++i) {
+      const Oid oid = db->CreateObject(subs[i % subs.size()]).value();
+      ASSERT_TRUE(db->SetAttr(oid, "price", Value::Int(i % kPrices)).ok());
+    }
+    if (root_ == kInvalidClassId) {
+      root_ = root;
+      subs_ = subs;
+    }
+  }
+
+  // Boundary k of an n-shard map: the code of subclass k*4/n, so shards
+  // partition the four subclass sub-trees evenly. Ports come from the
+  // already-started servers.
+  ShardMap MakeMap(size_t n, uint64_t version) {
+    ShardMap map;
+    map.version = version;
+    for (size_t k = 0; k < n; ++k) {
+      ShardMap::Entry e;
+      e.lo = k == 0 ? "" : planner_->coder().CodeOf(subs_[k * 4 / n]);
+      e.host = "127.0.0.1";
+      e.port = servers_[k]->port();
+      map.entries.push_back(std::move(e));
+    }
+    return map;
+  }
+
+  // Builds the replicas, starts their servers, installs map `version`, and
+  // creates the router. Call at most once per test.
+  void StartTopology(size_t n, uint64_t version,
+                     RouterOptions router_options = RouterOptions()) {
+    for (size_t k = 0; k < n; ++k) {
+      shard_dbs_.push_back(std::make_unique<Database>());
+      BuildReplica(shard_dbs_.back().get());
+      ServerOptions options;
+      options.worker_threads = 2;
+      Result<std::unique_ptr<Server>> server =
+          Server::Start(shard_dbs_.back().get(), options);
+      ASSERT_TRUE(server.ok()) << server.status().ToString();
+      servers_.push_back(std::move(server).value());
+    }
+    map_ = MakeMap(n, version);
+    for (size_t k = 0; k < n; ++k) {
+      ASSERT_TRUE(servers_[k]->InstallShard(map_, k).ok());
+    }
+    Result<std::unique_ptr<Router>> router =
+        Router::Create(map_, planner_.get(), router_options);
+    ASSERT_TRUE(router.ok()) << router.status().ToString();
+    router_ = std::move(router).value();
+  }
+
+  // Installs `map` on every live server (a rebalance push).
+  void InstallEverywhere(const ShardMap& map) {
+    for (size_t k = 0; k < servers_.size(); ++k) {
+      ASSERT_TRUE(servers_[k]->InstallShard(map, k).ok())
+          << "shard " << k;
+    }
+  }
+
+  static std::string PriceQuery(int key) {
+    return "SELECT i FROM Item* i WHERE i.price = " + std::to_string(key);
+  }
+
+  // The routed outcome must be byte-identical to the unpartitioned
+  // planning replica — rows, count, and index usage.
+  void ExpectMatchesSingleNode(const std::string& oql) {
+    Result<Database::OqlResult> local = planner_->ExecuteOql(oql);
+    ASSERT_TRUE(local.ok()) << local.status().ToString();
+    Result<Router::QueryOutcome> routed = router_->Query(oql);
+    ASSERT_TRUE(routed.ok()) << routed.status().ToString();
+    EXPECT_EQ(routed.value().oids, local.value().oids) << oql;
+    EXPECT_EQ(routed.value().count, local.value().count) << oql;
+    EXPECT_EQ(routed.value().used_index, local.value().used_index) << oql;
+  }
+
+  std::unique_ptr<Database> planner_;  // Also the single-node baseline.
+  ClassId root_ = kInvalidClassId;
+  std::vector<ClassId> subs_;
+  std::vector<std::unique_ptr<Database>> shard_dbs_;
+  // Destroyed before the databases (declaration order).
+  std::vector<std::unique_ptr<Server>> servers_;
+  ShardMap map_;
+  std::unique_ptr<Router> router_;
+};
+
+// A scratch file path that cleans up after itself.
+class ScopedPath {
+ public:
+  explicit ScopedPath(const std::string& name)
+      : path_((fs::temp_directory_path() /
+               (name + "." + std::to_string(::getpid())))
+                  .string()) {}
+  ~ScopedPath() {
+    std::error_code ec;
+    fs::remove(path_, ec);
+  }
+  const std::string& get() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// ------------------------------------------------- CandidateShards (unit)
+
+TEST(CandidateShardsTest, EmptySpansScatterNowhere) {
+  EXPECT_TRUE(exec::CandidateShards({}, {""}).empty());
+  EXPECT_TRUE(exec::CandidateShards({}, {"", "m"}).empty());
+}
+
+TEST(CandidateShardsTest, SingleShardOwnsEverything) {
+  const std::vector<std::string> one = {""};
+  EXPECT_EQ(exec::CandidateShards({{"a", "b"}}, one),
+            (std::vector<size_t>{0}));
+  EXPECT_EQ(exec::CandidateShards({{"", ""}}, one),
+            (std::vector<size_t>{0}));
+}
+
+TEST(CandidateShardsTest, SpansLandOnTheRightSideOfABoundary) {
+  const std::vector<std::string> two = {"", "m"};
+  EXPECT_EQ(exec::CandidateShards({{"a", "b"}}, two),
+            (std::vector<size_t>{0}));
+  EXPECT_EQ(exec::CandidateShards({{"m", "z"}}, two),
+            (std::vector<size_t>{1}));
+  // Half-open spans: hi == boundary does NOT touch the upper shard...
+  EXPECT_EQ(exec::CandidateShards({{"a", "m"}}, two),
+            (std::vector<size_t>{0}));
+  // ...but a span straddling the boundary hits both, as does an unbounded
+  // one (empty hi = +infinity).
+  EXPECT_EQ(exec::CandidateShards({{"l", "n"}}, two),
+            (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(exec::CandidateShards({{"l", ""}}, two),
+            (std::vector<size_t>{0, 1}));
+}
+
+TEST(CandidateShardsTest, ManySpansDedupeAndStaySorted) {
+  const std::vector<std::string> three = {"", "h", "t"};
+  const std::vector<ByteInterval> spans = {
+      {"a", "b"}, {"c", "d"}, {"u", "v"}};  // Shards 0, 0, 2.
+  EXPECT_EQ(exec::CandidateShards(spans, three),
+            (std::vector<size_t>{0, 2}));
+}
+
+// ---------------------------------------------------- ShardMap (disk I/O)
+
+TEST(ShardMapDiskTest, SaveLoadRoundTrips) {
+  ScopedPath path("uindex_router_test_map");
+  ShardMap map;
+  map.version = 42;
+  map.entries = {{"", "hostA", 5001}, {"C3A", "hostB", 5002}};
+  ASSERT_TRUE(map.Save(path.get()).ok());
+  Result<ShardMap> loaded = ShardMap::Load(path.get());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().version, 42u);
+  ASSERT_EQ(loaded.value().entries.size(), 2u);
+  EXPECT_EQ(loaded.value().entries[1].lo, "C3A");
+  EXPECT_EQ(loaded.value().entries[1].host, "hostB");
+  EXPECT_EQ(loaded.value().entries[1].port, 5002);
+}
+
+TEST(ShardMapDiskTest, MissingFileIsNotFound) {
+  Result<ShardMap> r = ShardMap::Load("/nonexistent/uindex.map");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound()) << r.status().ToString();
+}
+
+TEST(ShardMapDiskTest, FlippedByteIsCorruption) {
+  ScopedPath path("uindex_router_test_corrupt");
+  ShardMap map;
+  map.version = 7;
+  map.entries = {{"", "127.0.0.1", 5001}};
+  ASSERT_TRUE(map.Save(path.get()).ok());
+  // Flip one payload byte under the CRC frame.
+  std::FILE* f = std::fopen(path.get().c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, -2, SEEK_END), 0);
+  int c = std::fgetc(f);
+  ASSERT_EQ(std::fseek(f, -1, SEEK_CUR), 0);
+  std::fputc(c ^ 0x40, f);
+  std::fclose(f);
+  Result<ShardMap> r = ShardMap::Load(path.get());
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption()) << r.status().ToString();
+}
+
+// -------------------------------------------------- merge & prune (happy)
+
+TEST_F(RouterTest, RoutedQueriesMatchSingleNode) {
+  StartTopology(2, /*version=*/1);
+  for (int key = 0; key < 12; ++key) ExpectMatchesSingleNode(PriceQuery(key));
+  ExpectMatchesSingleNode(
+      "SELECT i FROM Item* i WHERE i.price BETWEEN 10 AND 14");
+  ExpectMatchesSingleNode(
+      "SELECT COUNT(i) FROM Item* i WHERE i.price BETWEEN 0 AND 96");
+  ExpectMatchesSingleNode(
+      "SELECT i FROM Item2 i WHERE i.price BETWEEN 0 AND 50");
+  ExpectMatchesSingleNode(
+      "SELECT i FROM Item* i WHERE i.price >= 0 LIMIT 5");
+  EXPECT_GE(router_->counters().queries_ok.load(), 16u);
+  EXPECT_EQ(router_->counters().queries_failed.load(), 0u);
+  EXPECT_EQ(router_->counters().partial_failures.load(), 0u);
+}
+
+TEST_F(RouterTest, ExactClassQueriesProbeOneShard) {
+  StartTopology(4, /*version=*/1);
+  // Item1 is wholly owned by shard 1 of 4 — three shards must be pruned,
+  // not queried-and-discarded.
+  Result<Router::QueryOutcome> r =
+      router_->Query("SELECT i FROM Item1 i WHERE i.price = 5");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().shards_queried, 1u);
+  EXPECT_EQ(router_->counters().subqueries_sent.load(), 1u);
+  EXPECT_EQ(router_->counters().shards_pruned.load(), 3u);
+  // A root scatter reaches all four.
+  r = router_->Query(PriceQuery(5));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().shards_queried, 4u);
+}
+
+TEST_F(RouterTest, ServedRangeIsEnforcedByTheDatabaseItself) {
+  // The partition holds even without any router: a replica told to serve
+  // [code(Item2), +inf) must answer a hierarchy query with only the rows
+  // whose class falls in that slice, and the two complementary slices must
+  // reassemble the full result exactly.
+  const std::string boundary = planner_->coder().CodeOf(subs_[2]);
+  Database replica;
+  BuildReplica(&replica);
+  Result<Database::OqlResult> full = replica.ExecuteOql(PriceQuery(3));
+  ASSERT_TRUE(full.ok());
+
+  replica.SetServedRange({"", boundary, 1});
+  Result<Database::OqlResult> low = replica.ExecuteOql(PriceQuery(3));
+  ASSERT_TRUE(low.ok());
+  replica.SetServedRange({boundary, "", 1});
+  Result<Database::OqlResult> high = replica.ExecuteOql(PriceQuery(3));
+  ASSERT_TRUE(high.ok());
+
+  ASSERT_FALSE(full.value().oids.empty());
+  EXPECT_LT(low.value().oids.size(), full.value().oids.size());
+  EXPECT_LT(high.value().oids.size(), full.value().oids.size());
+  std::vector<Oid> reunion = low.value().oids;
+  reunion.insert(reunion.end(), high.value().oids.begin(),
+                 high.value().oids.end());
+  std::sort(reunion.begin(), reunion.end());
+  std::vector<Oid> expected = full.value().oids;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(reunion, expected);
+}
+
+// ------------------------------------------------------- failure contract
+
+TEST_F(RouterTest, DeadShardFailsTypedNeverSilentlyPartial) {
+  StartTopology(2, /*version=*/1);
+  ASSERT_TRUE(router_->Query(PriceQuery(1)).ok());
+  servers_[1]->Shutdown();
+
+  // The scatter needs shard 1; the whole query must fail Unavailable and
+  // name the shard — shard 0's perfectly good rows are discarded, never
+  // returned as a partial result.
+  Result<Router::QueryOutcome> r = router_->Query(PriceQuery(2));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsUnavailable()) << r.status().ToString();
+  EXPECT_NE(r.status().message().find("shard 1"), std::string::npos)
+      << r.status().message();
+  EXPECT_GE(router_->counters().partial_failures.load(), 1u);
+  EXPECT_GE(router_->counters().queries_failed.load(), 1u);
+
+  // A query the live shard fully owns still works: pruning routes around
+  // the corpse without ever dialing it.
+  Result<Router::QueryOutcome> alive =
+      router_->Query("SELECT i FROM Item0 i WHERE i.price = 4");
+  ASSERT_TRUE(alive.ok()) << alive.status().ToString();
+  EXPECT_EQ(alive.value().shards_queried, 1u);
+}
+
+TEST_F(RouterTest, SlowShardTripsTheSubqueryTimeout) {
+  RouterOptions options;
+  options.subquery_timeout_ms = 100;
+  StartTopology(2, /*version=*/1, options);
+  ASSERT_TRUE(router_->Query(PriceQuery(1)).ok());
+
+  // Make shard 1 pathologically slow: a 2-page cache (every descent
+  // refetches) at 400ms per simulated page read dwarfs the 100ms budget.
+  shard_dbs_[1]->buffers().SetCapacity(2);
+  shard_dbs_[1]->buffers().SetSimulatedReadLatency(400000);
+
+  Result<Router::QueryOutcome> r = router_->Query(PriceQuery(2));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsUnavailable()) << r.status().ToString();
+  EXPECT_NE(r.status().message().find("shard 1"), std::string::npos)
+      << r.status().message();
+
+  // Let the straggler finish quickly so server Shutdown's drain is short.
+  shard_dbs_[1]->buffers().SetSimulatedReadLatency(0);
+}
+
+TEST_F(RouterTest, PoisonedConnectionsAreEvictedAndRedialed) {
+  StartTopology(2, /*version=*/1);
+  ASSERT_TRUE(router_->Query(PriceQuery(1)).ok());
+  const uint64_t created_before = router_->counters().conns_created.load();
+
+  // Kill shard 0 under the router's pooled connection, then bring a fresh
+  // server up on the SAME endpoint. The poisoned connection must be
+  // evicted (not returned to the pool to fail every later query) and the
+  // next scatter must redial.
+  const uint16_t port0 = servers_[0]->port();
+  servers_[0]->Shutdown();
+  Result<Router::QueryOutcome> down = router_->Query(PriceQuery(2));
+  ASSERT_FALSE(down.ok());
+  EXPECT_TRUE(down.status().IsUnavailable());
+  EXPECT_GE(router_->counters().conns_evicted.load(), 1u);
+
+  ServerOptions options;
+  options.port = port0;
+  options.worker_threads = 2;
+  std::unique_ptr<Server> revived;
+  for (int attempt = 0; attempt < 50 && revived == nullptr; ++attempt) {
+    Result<std::unique_ptr<Server>> server =
+        Server::Start(shard_dbs_[0].get(), options);
+    if (server.ok()) {
+      revived = std::move(server).value();
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  ASSERT_NE(revived, nullptr) << "could not rebind port " << port0;
+  ASSERT_TRUE(revived->InstallShard(map_, 0).ok());
+  servers_[0] = std::move(revived);
+
+  ExpectMatchesSingleNode(PriceQuery(2));
+  EXPECT_GT(router_->counters().conns_created.load(), created_before);
+}
+
+// ------------------------------------------------- version fence & stale
+
+TEST_F(RouterTest, StaleRouterRefreshesFromTheMapFileAndRetries) {
+  ScopedPath path("uindex_router_test_refresh");
+  RouterOptions options;
+  options.map_path = path.get();
+  StartTopology(2, /*version=*/1, options);
+  ASSERT_TRUE(map_.Save(path.get()).ok());
+  ASSERT_TRUE(router_->Query(PriceQuery(1)).ok());
+
+  // Rebalance: move the boundary from subs_[2] to subs_[1] under version 2
+  // — file first (so a stale-rejected router can always refresh), then the
+  // servers. The router still holds v1 and must absorb the rejection
+  // transparently.
+  ShardMap v2 = map_;
+  v2.version = 2;
+  v2.entries[1].lo = planner_->coder().CodeOf(subs_[1]);
+  ASSERT_TRUE(v2.Save(path.get()).ok());
+  InstallEverywhere(v2);
+
+  ExpectMatchesSingleNode(PriceQuery(2));
+  EXPECT_GE(router_->counters().stale_retries.load(), 1u);
+  EXPECT_EQ(router_->CurrentMap().version, 2u);
+  EXPECT_EQ(router_->counters().queries_failed.load(), 0u);
+}
+
+TEST_F(RouterTest, StaleRouterRefreshesFromTheShardsWhenThereIsNoFile) {
+  StartTopology(2, /*version=*/1);  // options.map_path empty.
+  ASSERT_TRUE(router_->Query(PriceQuery(1)).ok());
+  ShardMap v2 = map_;
+  v2.version = 2;
+  InstallEverywhere(v2);
+
+  // With no map file, RefreshMap asks the shards (kGetShard) and adopts
+  // the highest installed version.
+  ExpectMatchesSingleNode(PriceQuery(2));
+  EXPECT_GE(router_->counters().stale_retries.load(), 1u);
+  EXPECT_EQ(router_->CurrentMap().version, 2u);
+}
+
+TEST_F(RouterTest, ServerWithoutAMapRejectsShardQueries) {
+  shard_dbs_.push_back(std::make_unique<Database>());
+  BuildReplica(shard_dbs_.back().get());
+  Result<std::unique_ptr<Server>> server =
+      Server::Start(shard_dbs_.back().get(), ServerOptions());
+  ASSERT_TRUE(server.ok());
+  servers_.push_back(std::move(server).value());
+
+  Result<std::unique_ptr<Client>> client =
+      Client::Connect("127.0.0.1", servers_[0]->port());
+  ASSERT_TRUE(client.ok());
+  uint64_t server_version = 99;
+  Result<Client::QueryResult> r =
+      client.value()->ShardQuery(1, PriceQuery(1), &server_version);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsStaleVersion()) << r.status().ToString();
+  EXPECT_EQ(server_version, 0u);  // "No map installed" advertises v0.
+  // The plain query path is unaffected.
+  EXPECT_TRUE(client.value()->Query(PriceQuery(1)).ok());
+}
+
+TEST_F(RouterTest, InstallRollbackIsRefusedOverTheWire) {
+  shard_dbs_.push_back(std::make_unique<Database>());
+  BuildReplica(shard_dbs_.back().get());
+  Result<std::unique_ptr<Server>> server =
+      Server::Start(shard_dbs_.back().get(), ServerOptions());
+  ASSERT_TRUE(server.ok());
+  servers_.push_back(std::move(server).value());
+  map_ = MakeMap(1, /*version=*/5);
+
+  Result<std::unique_ptr<Client>> client =
+      Client::Connect("127.0.0.1", servers_[0]->port());
+  ASSERT_TRUE(client.ok());
+  Result<Client::ShardState> installed =
+      client.value()->InstallShard(map_, 0);
+  ASSERT_TRUE(installed.ok()) << installed.status().ToString();
+  EXPECT_TRUE(installed.value().active);
+  EXPECT_EQ(installed.value().map.version, 5u);
+
+  ShardMap rollback = map_;
+  rollback.version = 4;
+  Result<Client::ShardState> refused =
+      client.value()->InstallShard(rollback, 0);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_TRUE(refused.status().IsStaleVersion())
+      << refused.status().ToString();
+
+  Result<Client::ShardState> state = client.value()->GetShard();
+  ASSERT_TRUE(state.ok());
+  EXPECT_TRUE(state.value().active);
+  EXPECT_EQ(state.value().map.version, 5u);  // The rollback never landed.
+}
+
+// ---------------------------------------------------- front end & stress
+
+TEST_F(RouterTest, RouterServerSpeaksThePlainProtocol) {
+  StartTopology(2, /*version=*/1);
+  Result<std::unique_ptr<RouterServer>> front =
+      RouterServer::Start(router_.get(), RouterServerOptions());
+  ASSERT_TRUE(front.ok()) << front.status().ToString();
+
+  Result<std::unique_ptr<Client>> client =
+      Client::Connect("127.0.0.1", front.value()->port());
+  ASSERT_TRUE(client.ok());
+  for (int key = 0; key < 5; ++key) {
+    Result<Database::OqlResult> local = planner_->ExecuteOql(PriceQuery(key));
+    ASSERT_TRUE(local.ok());
+    Result<Client::QueryResult> remote = client.value()->Query(PriceQuery(key));
+    ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+    EXPECT_EQ(remote.value().oids, local.value().oids);
+    EXPECT_EQ(remote.value().count, local.value().count);
+  }
+  EXPECT_TRUE(client.value()->Ping().ok());
+  Result<Session::Stats> stats = client.value()->SessionStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().queries, 5u);
+
+  // Shard metadata ops belong to shard servers; at the front end they are
+  // a topology mistake, answered typed (and the connection survives).
+  Result<Client::QueryResult> shard_op =
+      client.value()->ShardQuery(1, PriceQuery(1));
+  ASSERT_FALSE(shard_op.ok());
+  EXPECT_TRUE(shard_op.status().IsNotSupported())
+      << shard_op.status().ToString();
+  EXPECT_TRUE(client.value()->Ping().ok());
+  front.value()->Shutdown();
+}
+
+TEST_F(RouterTest, RebalanceUnderConcurrentLoadLosesNothing) {
+  StartTopology(2, /*version=*/1);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 40;
+  std::atomic<int> failures{0};
+  std::atomic<int> row_mismatches{0};
+  std::atomic<bool> rebalanced{false};
+
+  std::vector<std::vector<Oid>> expected(kPrices);
+  for (int key = 0; key < kPrices; ++key) {
+    expected[key] = planner_->ExecuteOql(PriceQuery(key)).value().oids;
+  }
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int q = 0; q < kPerThread; ++q) {
+        const int key = (t * kPerThread + q) % kPrices;
+        Result<Router::QueryOutcome> r = router_->Query(PriceQuery(key));
+        if (!r.ok()) {
+          failures.fetch_add(1);
+        } else if (r.value().oids != expected[key]) {
+          row_mismatches.fetch_add(1);
+        }
+        if (t == 0 && q == kPerThread / 2 &&
+            !rebalanced.exchange(true)) {
+          ShardMap v2 = map_;
+          v2.version = 2;
+          v2.entries[1].lo = planner_->coder().CodeOf(subs_[3]);
+          InstallEverywhere(v2);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(row_mismatches.load(), 0);
+  EXPECT_TRUE(rebalanced.load());
+  EXPECT_GE(router_->counters().stale_retries.load(), 1u);
+  EXPECT_EQ(router_->CurrentMap().version, 2u);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace uindex

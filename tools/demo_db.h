@@ -1,0 +1,77 @@
+// The paper's Example-1 database (the same content tools/demo_script.txt
+// builds interactively), shared by the server and router binaries so a
+// sharded demo topology and its planning replica agree on every class
+// code: vehicles made by companies with presidents, a class-hierarchy
+// index on Color and a path index on Age.
+#ifndef UINDEX_TOOLS_DEMO_DB_H_
+#define UINDEX_TOOLS_DEMO_DB_H_
+
+#include <utility>
+
+#include "db/database.h"
+
+namespace uindex {
+
+inline Status BuildDemoDatabase(Database* db) {
+#define DEMO_ASSIGN(var, expr)              \
+  auto var##_r = (expr);                    \
+  if (!var##_r.ok()) return var##_r.status(); \
+  auto var = std::move(var##_r).value()
+  DEMO_ASSIGN(employee, db->CreateClass("Employee"));
+  DEMO_ASSIGN(company, db->CreateClass("Company"));
+  DEMO_ASSIGN(auto_co, db->CreateSubclass("AutoCompany", company));
+  DEMO_ASSIGN(jp_auto, db->CreateSubclass("JapaneseAutoCompany", auto_co));
+  DEMO_ASSIGN(vehicle, db->CreateClass("Vehicle"));
+  DEMO_ASSIGN(automobile, db->CreateSubclass("Automobile", vehicle));
+  DEMO_ASSIGN(compact, db->CreateSubclass("CompactAutomobile", automobile));
+  UINDEX_RETURN_IF_ERROR(
+      db->CreateReference(vehicle, company, "made-by", false));
+  UINDEX_RETURN_IF_ERROR(
+      db->CreateReference(company, employee, "president", false));
+
+  const int64_t ages[] = {50, 60, 45};
+  Oid e[3];
+  for (int i = 0; i < 3; ++i) {
+    DEMO_ASSIGN(oid, db->CreateObject(employee));
+    e[i] = oid;
+    UINDEX_RETURN_IF_ERROR(db->SetAttr(e[i], "Age", Value::Int(ages[i])));
+  }
+  const struct { ClassId cls; const char* name; int president; } cos[] = {
+      {jp_auto, "Subaru", 2}, {auto_co, "Fiat", 0}, {auto_co, "Renault", 1}};
+  Oid c[3];
+  for (int i = 0; i < 3; ++i) {
+    DEMO_ASSIGN(oid, db->CreateObject(cos[i].cls));
+    c[i] = oid;
+    UINDEX_RETURN_IF_ERROR(
+        db->SetAttr(c[i], "name", Value::Str(cos[i].name)));
+    UINDEX_RETURN_IF_ERROR(
+        db->SetAttr(c[i], "president", Value::Ref(e[cos[i].president])));
+  }
+  const struct { ClassId cls; const char* color; int maker; } vs[] = {
+      {vehicle, "White", 0},    {automobile, "White", 1},
+      {automobile, "Red", 1},   {compact, "Red", 2},
+      {compact, "Blue", 0},     {compact, "White", 1}};
+  for (const auto& v : vs) {
+    DEMO_ASSIGN(oid, db->CreateObject(v.cls));
+    UINDEX_RETURN_IF_ERROR(db->SetAttr(oid, "Color", Value::Str(v.color)));
+    UINDEX_RETURN_IF_ERROR(
+        db->SetAttr(oid, "made-by", Value::Ref(c[v.maker])));
+  }
+
+  UINDEX_RETURN_IF_ERROR(
+      db->CreateIndex(
+            PathSpec::ClassHierarchy(vehicle, "Color", Value::Kind::kString))
+          .status());
+  PathSpec age_path;
+  age_path.indexed_attr = "Age";
+  age_path.value_kind = Value::Kind::kInt;
+  age_path.classes = {vehicle, company, employee};
+  age_path.ref_attrs = {"made-by", "president"};
+  UINDEX_RETURN_IF_ERROR(db->CreateIndex(age_path).status());
+#undef DEMO_ASSIGN
+  return Status::OK();
+}
+
+}  // namespace uindex
+
+#endif  // UINDEX_TOOLS_DEMO_DB_H_

@@ -1,0 +1,145 @@
+#!/bin/sh
+# End-to-end smoke of the sharded topology: two uindex_server shards, a
+# ShardMap authored and installed with uindex_router, a router front end
+# serving uindex_shell clients, and one class-code split/rebalance while
+# the topology is live. Run from anywhere:
+#
+#   tools/shard_smoke.sh <uindex_server> <uindex_router> <uindex_shell>
+#
+# Checks: every query answered through the router is row-identical to the
+# single-node answer; a v2 map rollout (boundary moved) is picked up by
+# the router via stale-rejection + refresh (the shutdown counters must
+# show stale retries); all three processes drain cleanly on SIGTERM.
+set -eu
+
+SERVER="$1"
+ROUTER="$2"
+SHELL_BIN="$3"
+
+WORK="$(mktemp -d)"
+PIDS=""
+cleanup() {
+  for pid in $PIDS; do kill -TERM "$pid" 2>/dev/null || true; done
+  for pid in $PIDS; do wait "$pid" 2>/dev/null || true; done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Waits for "listening on host:port" in $1 (pid $2), echoes the port.
+wait_port() {
+  port=""
+  i=0
+  while [ "$i" -lt 100 ]; do
+    port="$(sed -n 's/^listening on .*:\([0-9][0-9]*\)$/\1/p' "$1" \
+        2>/dev/null | head -n1)"
+    [ -n "$port" ] && break
+    kill -0 "$2" 2>/dev/null || {
+      echo "process died before listening: $1" >&2
+      cat "$1" >&2
+      return 1
+    }
+    sleep 0.1
+    i=$((i + 1))
+  done
+  [ -n "$port" ] || { echo "never listened: $1" >&2; return 1; }
+  echo "$port"
+}
+
+# --- shards (replicas of the demo database; ranges arrive by install) ---
+"$SERVER" --demo --port 0 >"$WORK/shard0.out" 2>&1 &
+S0=$!; PIDS="$PIDS $S0"
+"$SERVER" --demo --port 0 >"$WORK/shard1.out" 2>&1 &
+S1=$!; PIDS="$PIDS $S1"
+P0="$(wait_port "$WORK/shard0.out" "$S0")"
+P1="$(wait_port "$WORK/shard1.out" "$S1")"
+
+# A plain single-node server for the ground-truth answers.
+"$SERVER" --demo --port 0 >"$WORK/single.out" 2>&1 &
+SN=$!; PIDS="$PIDS $SN"
+PN="$(wait_port "$WORK/single.out" "$SN")"
+
+# --- map v1: split the Vehicle subtree at Automobile, install it -------
+"$ROUTER" --demo --map-version 1 --out "$WORK/cluster.map" \
+    --write-map "@127.0.0.1:$P0,Automobile@127.0.0.1:$P1"
+"$ROUTER" --map "$WORK/cluster.map" --install
+
+# --- router front end --------------------------------------------------
+"$ROUTER" --map "$WORK/cluster.map" --demo --port 0 \
+    >"$WORK/router.out" 2>&1 &
+RT=$!; PIDS="$PIDS $RT"
+PR="$(wait_port "$WORK/router.out" "$RT")"
+
+make_script() {
+  cat >"$1" <<EOF
+connect 127.0.0.1 $2
+oql SELECT v FROM Vehicle* v WHERE v.Color = 'Red'
+oql SELECT v FROM Vehicle* v WHERE v.Color = 'White'
+oql SELECT v FROM CompactAutomobile v WHERE v.Color = 'Red'
+oql SELECT v FROM Vehicle* v WHERE v.made-by.president.Age = 50
+oql SELECT v FROM Vehicle* v WHERE v.made-by.president.Age BETWEEN 40 AND 49 AND v.made-by IS JapaneseAutoCompany*
+oql SELECT COUNT(v) FROM Vehicle* v WHERE v.Color = 'White'
+disconnect
+quit
+EOF
+}
+
+# Normalizes a shell transcript to one "COUNT: [rows]" line per query
+# (plans and page counts legitimately differ between topologies).
+rows_of() {
+  sed -n 's/^\([0-9][0-9]*\) oid(s)[^:]*\(.*\)$/\1\2/p' "$1"
+}
+
+make_script "$WORK/via_router.txt" "$PR"
+make_script "$WORK/via_single.txt" "$PN"
+"$SHELL_BIN" <"$WORK/via_single.txt" >"$WORK/single_client.out" 2>&1
+"$SHELL_BIN" <"$WORK/via_router.txt" >"$WORK/router_client.out" 2>&1
+rows_of "$WORK/single_client.out" >"$WORK/rows.single"
+rows_of "$WORK/router_client.out" >"$WORK/rows.router"
+[ -s "$WORK/rows.single" ] || {
+  echo "single-node client produced no rows:" >&2
+  cat "$WORK/single_client.out" >&2
+  exit 1
+}
+diff -u "$WORK/rows.single" "$WORK/rows.router" || {
+  echo "sharded rows differ from single-node rows" >&2
+  cat "$WORK/router_client.out" >&2
+  exit 1
+}
+grep -q '\[9, 10\]' "$WORK/router_client.out" || {
+  echo "router client missing the Example-1 Red answer" >&2
+  cat "$WORK/router_client.out" >&2
+  exit 1
+}
+
+# --- rebalance: move the boundary to CompactAutomobile (v2) ------------
+# File first, then the servers — a stale-rejected router can always find
+# the new map.
+"$ROUTER" --demo --map-version 2 --out "$WORK/cluster.map" \
+    --write-map "@127.0.0.1:$P0,CompactAutomobile@127.0.0.1:$P1"
+"$ROUTER" --map "$WORK/cluster.map" --install
+
+"$SHELL_BIN" <"$WORK/via_router.txt" >"$WORK/router_client2.out" 2>&1
+rows_of "$WORK/router_client2.out" >"$WORK/rows.router2"
+diff -u "$WORK/rows.single" "$WORK/rows.router2" || {
+  echo "rows differ after rebalance" >&2
+  cat "$WORK/router_client2.out" >&2
+  exit 1
+}
+
+# --- clean shutdown, and proof the rebalance exercised the fence -------
+kill -TERM "$RT"
+wait "$RT" || { echo "router exited non-zero" >&2; cat "$WORK/router.out" >&2; exit 1; }
+STALE="$(sed -n 's/^shutdown:.* \([0-9][0-9]*\) stale retries$/\1/p' "$WORK/router.out")"
+[ -n "$STALE" ] && [ "$STALE" -gt 0 ] || {
+  echo "router never hit the stale-map fence (stale retries: ${STALE:-?})" >&2
+  cat "$WORK/router.out" >&2
+  exit 1
+}
+
+for pid in $S0 $S1 $SN; do
+  kill -TERM "$pid"
+  wait "$pid" || { echo "server $pid exited non-zero" >&2; exit 1; }
+done
+PIDS=""
+echo "shard smoke ok (stale retries: $STALE)"
+exit 0

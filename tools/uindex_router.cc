@@ -1,0 +1,318 @@
+// uindex_router — the sharded topology's front end and map tooling.
+//
+// Serve mode (default): scatter-gather queries across the shards of a map,
+// speaking the standard protocol so uindex_shell works unchanged:
+//
+//   ./build/tools/uindex_router --map cluster.map --demo --port 0
+//
+// Map authoring: write a CRC-framed ShardMap file. The spec is a comma
+// list of LO@host:port entries; the first LO must be empty, and with a
+// planning database (--demo / --snapshot) a LO may be a class *name*,
+// which resolves to that class's code (its subtree then starts the range):
+//
+//   ./build/tools/uindex_router --demo --map-version 1 --out cluster.map
+//       --write-map '@127.0.0.1:5001,Vehicle@127.0.0.1:5002'   (one line)
+//
+// Map rollout: push an authored map to every shard in it (kInstallShard);
+// used for splits/rebalances while a topology is live:
+//
+//   ./build/tools/uindex_router --map cluster.map --install
+//
+// Code listing (--codes, with --demo/--snapshot): prints every class's
+// name, code, and subtree upper bound — the raw material for boundaries.
+//
+// Flags:
+//   --map PATH        ShardMap file: the serve-mode map (and refresh
+//                     source) or the --install input
+//   --demo            Example-1 planning replica (must match the shards)
+//   --snapshot PATH   planning replica from a saved database
+//   --host H          serve bind address      (default 127.0.0.1)
+//   --port N          serve TCP port, 0=ephemeral (default 4667)
+//   --timeout-ms N    per-sub-query timeout   (default 5000)
+//   --retries N       stale-map retries       (default 3)
+//   --write-map SPEC  author mode (see above; needs --out, --map-version)
+//   --map-version N   version stamped into the authored map
+//   --out PATH        where the authored map is written
+//   --install         rollout mode (see above; needs --map)
+//   --codes           print class codes and exit
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "demo_db.h"
+#include "net/client.h"
+#include "net/router.h"
+#include "net/router_server.h"
+#include "net/shard_map.h"
+#include "schema/class_code.h"
+#include "util/hex.h"
+
+namespace uindex {
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int /*sig*/) { g_stop.store(true); }
+
+// Parses one 'LO@host:port' token. LO may be empty; '@' and ':' split at
+// their last occurrence so codes stay free to contain either.
+Status ParseEntry(const std::string& token, net::ShardMap::Entry* out) {
+  const size_t at = token.rfind('@');
+  if (at == std::string::npos) {
+    return Status::InvalidArgument("map entry '" + token + "' has no '@'");
+  }
+  const std::string endpoint = token.substr(at + 1);
+  const size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= endpoint.size()) {
+    return Status::InvalidArgument("map entry '" + token +
+                                   "' needs host:port after '@'");
+  }
+  out->lo = token.substr(0, at);
+  out->host = endpoint.substr(0, colon);
+  const unsigned long port = std::strtoul(endpoint.c_str() + colon + 1,
+                                          nullptr, 10);
+  if (port == 0 || port > 65535) {
+    return Status::InvalidArgument("map entry '" + token + "' has bad port");
+  }
+  out->port = static_cast<uint16_t>(port);
+  return Status::OK();
+}
+
+// A non-empty boundary that names a class in the planning database becomes
+// that class's code; anything else is taken as a raw code string.
+std::string ResolveBoundary(const Database* db, const std::string& lo) {
+  if (db == nullptr || lo.empty()) return lo;
+  Result<ClassId> cls = db->schema().FindClass(lo);
+  if (!cls.ok()) return lo;
+  return db->coder().CodeOf(cls.value());
+}
+
+int WriteMapMode(const Database* db, const std::string& spec,
+                 uint64_t version, const std::string& out_path) {
+  net::ShardMap map;
+  map.version = version;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    const size_t comma = spec.find(',', start);
+    const std::string token =
+        spec.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    net::ShardMap::Entry entry;
+    const Status parsed = ParseEntry(token, &entry);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
+      return 1;
+    }
+    entry.lo = ResolveBoundary(db, entry.lo);
+    map.entries.push_back(std::move(entry));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  const Status saved = map.Save(out_path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", out_path.c_str(),
+                 saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: v%llu, %zu shards\n", out_path.c_str(),
+              static_cast<unsigned long long>(map.version),
+              map.entries.size());
+  return 0;
+}
+
+int InstallMode(const std::string& map_path) {
+  Result<net::ShardMap> map = net::ShardMap::Load(map_path);
+  if (!map.ok()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", map_path.c_str(),
+                 map.status().ToString().c_str());
+    return 1;
+  }
+  int failures = 0;
+  for (size_t i = 0; i < map.value().entries.size(); ++i) {
+    const net::ShardMap::Entry& entry = map.value().entries[i];
+    Result<std::unique_ptr<net::Client>> client =
+        net::Client::Connect(entry.host, entry.port);
+    Status installed = client.status();
+    if (client.ok()) {
+      installed = client.value()
+                      ->InstallShard(map.value(), static_cast<uint32_t>(i))
+                      .status();
+    }
+    if (installed.ok()) {
+      std::printf("shard %zu %s:%u: installed v%llu\n", i,
+                  entry.host.c_str(), entry.port,
+                  static_cast<unsigned long long>(map.value().version));
+    } else {
+      std::fprintf(stderr, "shard %zu %s:%u: %s\n", i, entry.host.c_str(),
+                   entry.port, installed.ToString().c_str());
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int CodesMode(const Database& db) {
+  const Schema& schema = db.schema();
+  for (ClassId cls = 0; schema.IsValidClass(cls); ++cls) {
+    const std::string& code = db.coder().CodeOf(cls);
+    std::printf("%-24s code=%s subtree_hi=%s\n",
+                schema.NameOf(cls).c_str(), ToHex(Slice(code)).c_str(),
+                ToHex(Slice(SubtreeUpperBound(Slice(code)))).c_str());
+  }
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  net::RouterServerOptions serve_options;
+  serve_options.port = 4667;
+  net::RouterOptions router_options;
+  std::string map_path, snapshot, write_spec, out_path;
+  uint64_t map_version = 0;
+  bool demo = false, install = false, codes = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--demo") {
+      demo = true;
+    } else if (arg == "--install") {
+      install = true;
+    } else if (arg == "--codes") {
+      codes = true;
+    } else if (arg == "--map" && next() != nullptr) {
+      map_path = argv[i];
+    } else if (arg == "--snapshot" && next() != nullptr) {
+      snapshot = argv[i];
+    } else if (arg == "--host" && next() != nullptr) {
+      serve_options.host = argv[i];
+    } else if (arg == "--port" && next() != nullptr) {
+      serve_options.port =
+          static_cast<uint16_t>(std::strtoul(argv[i], nullptr, 10));
+    } else if (arg == "--timeout-ms" && next() != nullptr) {
+      router_options.subquery_timeout_ms =
+          static_cast<int>(std::strtol(argv[i], nullptr, 10));
+    } else if (arg == "--retries" && next() != nullptr) {
+      router_options.max_stale_retries =
+          static_cast<int>(std::strtol(argv[i], nullptr, 10));
+    } else if (arg == "--write-map" && next() != nullptr) {
+      write_spec = argv[i];
+    } else if (arg == "--map-version" && next() != nullptr) {
+      map_version = std::strtoull(argv[i], nullptr, 10);
+    } else if (arg == "--out" && next() != nullptr) {
+      out_path = argv[i];
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  if (install) return InstallMode(map_path);
+
+  // Every remaining mode wants the planning database.
+  std::unique_ptr<Database> planner;
+  if (!snapshot.empty()) {
+    Result<std::unique_ptr<Database>> opened = Database::Open(snapshot);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "cannot open %s: %s\n", snapshot.c_str(),
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    planner = std::move(opened).value();
+  } else if (demo) {
+    planner = std::make_unique<Database>();
+    const Status built = BuildDemoDatabase(planner.get());
+    if (!built.ok()) {
+      std::fprintf(stderr, "demo build failed: %s\n",
+                   built.ToString().c_str());
+      return 1;
+    }
+  }
+
+  if (!write_spec.empty()) {
+    if (out_path.empty() || map_version == 0) {
+      std::fprintf(stderr, "--write-map needs --out and --map-version\n");
+      return 2;
+    }
+    return WriteMapMode(planner.get(), write_spec, map_version, out_path);
+  }
+  if (codes) {
+    if (planner == nullptr) {
+      std::fprintf(stderr, "--codes needs --demo or --snapshot\n");
+      return 2;
+    }
+    return CodesMode(*planner);
+  }
+
+  // Serve mode.
+  if (planner == nullptr || map_path.empty()) {
+    std::fprintf(stderr,
+                 "serve mode needs --map and a planning replica "
+                 "(--demo or --snapshot)\n");
+    return 2;
+  }
+  Result<net::ShardMap> map = net::ShardMap::Load(map_path);
+  if (!map.ok()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", map_path.c_str(),
+                 map.status().ToString().c_str());
+    return 1;
+  }
+  router_options.map_path = map_path;
+  Result<std::unique_ptr<net::Router>> router = net::Router::Create(
+      std::move(map).value(), planner.get(), router_options);
+  if (!router.ok()) {
+    std::fprintf(stderr, "cannot create router: %s\n",
+                 router.status().ToString().c_str());
+    return 1;
+  }
+
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = HandleSignal;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
+  Result<std::unique_ptr<net::RouterServer>> server =
+      net::RouterServer::Start(router.value().get(), serve_options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "cannot start router server: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("routing %zu shards (map v%llu)\n",
+              router.value()->CurrentMap().entries.size(),
+              static_cast<unsigned long long>(
+                  router.value()->CurrentMap().version));
+  std::printf("listening on %s:%u\n", serve_options.host.c_str(),
+              server.value()->port());
+  std::fflush(stdout);
+
+  while (!g_stop.load()) {
+    ::usleep(100 * 1000);
+  }
+
+  server.value()->Shutdown();
+  const auto& rc = router.value()->counters();
+  std::printf("shutdown: %llu ok, %llu failed, %llu subqueries, "
+              "%llu pruned, %llu stale retries\n",
+              static_cast<unsigned long long>(rc.queries_ok.load()),
+              static_cast<unsigned long long>(rc.queries_failed.load()),
+              static_cast<unsigned long long>(rc.subqueries_sent.load()),
+              static_cast<unsigned long long>(rc.shards_pruned.load()),
+              static_cast<unsigned long long>(rc.stale_retries.load()));
+  return 0;
+}
+
+}  // namespace
+}  // namespace uindex
+
+int main(int argc, char** argv) { return uindex::Run(argc, argv); }

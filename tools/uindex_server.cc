@@ -17,6 +17,8 @@
 //   --workers N       query worker threads  (default 4)
 //   --max-inflight N  concurrent queries    (default = workers)
 //   --max-queue N     admission wait queue  (default 64)
+//   --shard-map PATH  adopt a ShardMap file at startup (sharded topology)
+//   --shard-index N   this server's entry in that map (default 0)
 
 #include <signal.h>
 #include <unistd.h>
@@ -29,6 +31,7 @@
 #include <string>
 
 #include "db/database.h"
+#include "demo_db.h"
 #include "net/server.h"
 
 namespace uindex {
@@ -38,74 +41,13 @@ std::atomic<bool> g_stop{false};
 
 void HandleSignal(int /*sig*/) { g_stop.store(true); }
 
-// The paper's Example-1 database (the same content tools/demo_script.txt
-// builds interactively): vehicles made by companies with presidents, a
-// class-hierarchy index on Color and a path index on Age.
-Status BuildDemoDatabase(Database* db) {
-#define DEMO_ASSIGN(var, expr)              \
-  auto var##_r = (expr);                    \
-  if (!var##_r.ok()) return var##_r.status(); \
-  auto var = std::move(var##_r).value()
-  DEMO_ASSIGN(employee, db->CreateClass("Employee"));
-  DEMO_ASSIGN(company, db->CreateClass("Company"));
-  DEMO_ASSIGN(auto_co, db->CreateSubclass("AutoCompany", company));
-  DEMO_ASSIGN(jp_auto, db->CreateSubclass("JapaneseAutoCompany", auto_co));
-  DEMO_ASSIGN(vehicle, db->CreateClass("Vehicle"));
-  DEMO_ASSIGN(automobile, db->CreateSubclass("Automobile", vehicle));
-  DEMO_ASSIGN(compact, db->CreateSubclass("CompactAutomobile", automobile));
-  UINDEX_RETURN_IF_ERROR(
-      db->CreateReference(vehicle, company, "made-by", false));
-  UINDEX_RETURN_IF_ERROR(
-      db->CreateReference(company, employee, "president", false));
-
-  const int64_t ages[] = {50, 60, 45};
-  Oid e[3];
-  for (int i = 0; i < 3; ++i) {
-    DEMO_ASSIGN(oid, db->CreateObject(employee));
-    e[i] = oid;
-    UINDEX_RETURN_IF_ERROR(db->SetAttr(e[i], "Age", Value::Int(ages[i])));
-  }
-  const struct { ClassId cls; const char* name; int president; } cos[] = {
-      {jp_auto, "Subaru", 2}, {auto_co, "Fiat", 0}, {auto_co, "Renault", 1}};
-  Oid c[3];
-  for (int i = 0; i < 3; ++i) {
-    DEMO_ASSIGN(oid, db->CreateObject(cos[i].cls));
-    c[i] = oid;
-    UINDEX_RETURN_IF_ERROR(
-        db->SetAttr(c[i], "name", Value::Str(cos[i].name)));
-    UINDEX_RETURN_IF_ERROR(
-        db->SetAttr(c[i], "president", Value::Ref(e[cos[i].president])));
-  }
-  const struct { ClassId cls; const char* color; int maker; } vs[] = {
-      {vehicle, "White", 0},    {automobile, "White", 1},
-      {automobile, "Red", 1},   {compact, "Red", 2},
-      {compact, "Blue", 0},     {compact, "White", 1}};
-  for (const auto& v : vs) {
-    DEMO_ASSIGN(oid, db->CreateObject(v.cls));
-    UINDEX_RETURN_IF_ERROR(db->SetAttr(oid, "Color", Value::Str(v.color)));
-    UINDEX_RETURN_IF_ERROR(
-        db->SetAttr(oid, "made-by", Value::Ref(c[v.maker])));
-  }
-
-  UINDEX_RETURN_IF_ERROR(
-      db->CreateIndex(
-            PathSpec::ClassHierarchy(vehicle, "Color", Value::Kind::kString))
-          .status());
-  PathSpec age_path;
-  age_path.indexed_attr = "Age";
-  age_path.value_kind = Value::Kind::kInt;
-  age_path.classes = {vehicle, company, employee};
-  age_path.ref_attrs = {"made-by", "president"};
-  UINDEX_RETURN_IF_ERROR(db->CreateIndex(age_path).status());
-#undef DEMO_ASSIGN
-  return Status::OK();
-}
-
 int Run(int argc, char** argv) {
   net::ServerOptions options;
   options.port = 4666;
   bool demo = false;
   std::string snapshot;
+  std::string shard_map_path;
+  uint32_t shard_index = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -125,6 +67,11 @@ int Run(int argc, char** argv) {
       options.max_inflight_queries = std::strtoul(argv[i], nullptr, 10);
     } else if (arg == "--max-queue" && next() != nullptr) {
       options.max_queued_queries = std::strtoul(argv[i], nullptr, 10);
+    } else if (arg == "--shard-map" && next() != nullptr) {
+      shard_map_path = argv[i];
+    } else if (arg == "--shard-index" && next() != nullptr) {
+      shard_index =
+          static_cast<uint32_t>(std::strtoul(argv[i], nullptr, 10));
     } else {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return 2;
@@ -164,6 +111,25 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "cannot start server: %s\n",
                  server.status().ToString().c_str());
     return 1;
+  }
+  if (!shard_map_path.empty()) {
+    Result<net::ShardMap> map = net::ShardMap::Load(shard_map_path);
+    if (!map.ok()) {
+      std::fprintf(stderr, "cannot load shard map %s: %s\n",
+                   shard_map_path.c_str(),
+                   map.status().ToString().c_str());
+      return 1;
+    }
+    const Status installed =
+        server.value()->InstallShard(map.value(), shard_index);
+    if (!installed.ok()) {
+      std::fprintf(stderr, "cannot install shard map: %s\n",
+                   installed.ToString().c_str());
+      return 1;
+    }
+    std::printf("shard %u of %zu, map v%llu\n", shard_index,
+                map.value().entries.size(),
+                static_cast<unsigned long long>(map.value().version));
   }
   std::printf("listening on %s:%u\n", options.host.c_str(),
               server.value()->port());
