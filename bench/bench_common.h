@@ -110,6 +110,106 @@ inline void AppendF(std::string* out, const char* fmt, ...) {
   *out += buf;
 }
 
+/// An HDR-style log-linear latency histogram: 64 linear sub-buckets per
+/// power-of-two magnitude, giving ≤1.6% relative error from nanoseconds up
+/// to hours in 20 KiB of counters — so recording is one array increment
+/// and percentiles never require storing (or sorting) per-sample vectors.
+/// Replaces the sorted-vector `Percentile` helpers that were duplicated
+/// across bench_net, bench_mvcc, and bench_shard.
+///
+/// Not thread-safe: record into one per-thread instance and `Merge`.
+class LatencyRecorder {
+ public:
+  LatencyRecorder() : counts_(kMagnitudes * kSubBuckets, 0) {}
+
+  /// Records one latency in microseconds (negative clamps to zero).
+  void Record(double us) {
+    const uint64_t ns =
+        us <= 0 ? 0 : static_cast<uint64_t>(us * 1000.0 + 0.5);
+    ++counts_[IndexOf(ns)];
+    ++count_;
+    sum_us_ += us;
+    if (us > max_us_) max_us_ = us;
+  }
+
+  /// Folds another recorder's samples into this one.
+  void Merge(const LatencyRecorder& other) {
+    for (size_t i = 0; i < counts_.size(); ++i) {
+      counts_[i] += other.counts_[i];
+    }
+    count_ += other.count_;
+    sum_us_ += other.sum_us_;
+    if (other.max_us_ > max_us_) max_us_ = other.max_us_;
+  }
+
+  uint64_t Count() const { return count_; }
+  double MaxUs() const { return max_us_; }
+  double MeanUs() const {
+    return count_ == 0 ? 0.0 : sum_us_ / static_cast<double>(count_);
+  }
+
+  /// The latency (µs) at percentile `p` in [0, 100]; 0 when empty. The
+  /// answer is a bucket midpoint, within the histogram's 1.6% resolution.
+  double PercentileUs(double p) const {
+    if (count_ == 0) return 0.0;
+    uint64_t target =
+        static_cast<uint64_t>(p / 100.0 * static_cast<double>(count_) + 0.5);
+    if (target < 1) target = 1;
+    if (target > count_) target = count_;
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+      cumulative += counts_[i];
+      if (cumulative >= target) return MidpointUs(i);
+    }
+    return max_us_;
+  }
+
+  /// Appends `{"count":…,"mean_us":…,"p50_us":…,"p99_us":…,"p999_us":…,
+  /// "max_us":…}` — the shape every latency block in a BENCH_*.json
+  /// artifact shares.
+  void AppendJson(std::string* out) const {
+    AppendF(out,
+            "{\"count\": %llu, \"mean_us\": %.2f, \"p50_us\": %.2f, "
+            "\"p99_us\": %.2f, \"p999_us\": %.2f, \"max_us\": %.2f}",
+            static_cast<unsigned long long>(count_), MeanUs(),
+            PercentileUs(50), PercentileUs(99), PercentileUs(99.9),
+            max_us_);
+  }
+
+ private:
+  // 64 sub-buckets per magnitude: values < 64 ns index linearly
+  // (magnitude 0); every further power of two shifts right until the
+  // value lands back in [32, 64).
+  static constexpr int kSubBuckets = 64;
+  static constexpr int kMagnitudes = 40;  // up to 2^45 ns ≈ 9.7 hours.
+
+  static size_t IndexOf(uint64_t ns) {
+    if (ns < kSubBuckets) return static_cast<size_t>(ns);
+    int magnitude = 64 - __builtin_clzll(ns) - 6;
+    if (magnitude >= kMagnitudes) {
+      magnitude = kMagnitudes - 1;
+      return static_cast<size_t>(magnitude) * kSubBuckets + kSubBuckets - 1;
+    }
+    const uint64_t sub = ns >> magnitude;  // in [32, 64)
+    return static_cast<size_t>(magnitude) * kSubBuckets +
+           static_cast<size_t>(sub);
+  }
+
+  static double MidpointUs(size_t index) {
+    const int magnitude = static_cast<int>(index / kSubBuckets);
+    const uint64_t sub = index % kSubBuckets;
+    const uint64_t lo = sub << magnitude;
+    const uint64_t width = 1ull << magnitude;
+    return (static_cast<double>(lo) + static_cast<double>(width) / 2.0) /
+           1000.0;
+  }
+
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  double sum_us_ = 0;
+  double max_us_ = 0;
+};
+
 /// Machine-readable companion to each bench's stdout table: one JSON file
 /// per binary, written through WriteArtifact (so it lands both under
 /// $UINDEX_BENCH_OUT_DIR and in "bench_results/"), carrying per-row wall

@@ -108,18 +108,10 @@ std::vector<Database::Selection> MakeQueries(ClassId cls, int n) {
   return queries;
 }
 
-double Percentile(std::vector<double>* samples, double p) {
-  if (samples->empty()) return 0;
-  std::sort(samples->begin(), samples->end());
-  const size_t idx = std::min(
-      samples->size() - 1, static_cast<size_t>(p * samples->size()));
-  return (*samples)[idx];
-}
-
 /// Runs the query list `rounds` times, collecting per-query latencies and
 /// (on the first round) rows + the fresh-epoch pages_read aggregate.
 Status ReaderPass(Database& db, const std::vector<Database::Selection>& qs,
-                  int rounds, std::vector<double>* latencies_us,
+                  int rounds, bench::LatencyRecorder* latencies,
                   std::vector<std::vector<Oid>>* rows, uint64_t* pages) {
   for (int round = 0; round < rounds; ++round) {
     const bool record = round == 0 && rows != nullptr;
@@ -138,7 +130,7 @@ Status ReaderPass(Database& db, const std::vector<Database::Selection>& qs,
       if (!r.value().used_index) {
         return Status::Corruption("query fell back to an extent scan");
       }
-      latencies_us->push_back(us);
+      latencies->Record(us);
       if (record) rows->push_back(std::move(r.value().oids));
     }
     if (record && pages != nullptr) {
@@ -215,7 +207,7 @@ int Run() {
   // --- Phase 1: read-only baseline (reader + CPU burner). ----------------
   std::vector<std::vector<Oid>> baseline_rows;
   uint64_t baseline_pages = 0;
-  std::vector<double> baseline_us;
+  bench::LatencyRecorder baseline_lat;
   {
     std::atomic<bool> stop{false};
     // The competitor mirrors the concurrent phase's writer duty cycle —
@@ -241,7 +233,7 @@ int Run() {
       }
       if (fd >= 0) ::close(fd);
     });
-    Status st = ReaderPass(db, queries, reader_rounds, &baseline_us,
+    Status st = ReaderPass(db, queries, reader_rounds, &baseline_lat,
                            &baseline_rows, &baseline_pages);
     stop.store(true, std::memory_order_release);
     burner.join();
@@ -250,12 +242,12 @@ int Run() {
       return 1;
     }
   }
-  const double p99_read_only = Percentile(&baseline_us, 0.99);
+  const double p99_read_only = baseline_lat.PercentileUs(99);
 
   // --- Phase 2: same scans with a writer committing the whole time. ------
   std::vector<std::vector<Oid>> concurrent_rows;
   uint64_t concurrent_pages = 0;
-  std::vector<double> concurrent_us;
+  bench::LatencyRecorder concurrent_lat;
   uint64_t writer_commits = 0;
   {
     std::atomic<bool> stop{false};
@@ -283,7 +275,7 @@ int Run() {
     // wide counter, so the writer's own page traffic would leak into the
     // delta. It is measured right below, quiesced, with the writer's
     // version chains still in place.
-    Status st = ReaderPass(db, queries, reader_rounds, &concurrent_us,
+    Status st = ReaderPass(db, queries, reader_rounds, &concurrent_lat,
                            &concurrent_rows, /*pages=*/nullptr);
     stop.store(true, std::memory_order_release);
     writer.join();
@@ -299,8 +291,8 @@ int Run() {
     // behind: resolution through the chains must charge the same logical
     // pages as the chain-free baseline.
     std::vector<std::vector<Oid>> post_rows;
-    std::vector<double> post_us;
-    Status st = ReaderPass(db, queries, /*rounds=*/1, &post_us, &post_rows,
+    bench::LatencyRecorder post_lat;
+    Status st = ReaderPass(db, queries, /*rounds=*/1, &post_lat, &post_rows,
                            &concurrent_pages);
     if (!st.ok()) {
       std::fprintf(stderr, "post-quiesce scan: %s\n", st.ToString().c_str());
@@ -311,7 +303,7 @@ int Run() {
       concurrent_pages = ~0ull;  // Force the identity gate to fail.
     }
   }
-  const double p99_concurrent = Percentile(&concurrent_us, 0.99);
+  const double p99_concurrent = concurrent_lat.PercentileUs(99);
   const double p99_ratio =
       p99_read_only > 0 ? p99_concurrent / p99_read_only : 0;
 
@@ -381,15 +373,22 @@ int Run() {
         &json_text,
         "{\n  \"bench\": \"mvcc\",\n  \"quick_mode\": %s,\n"
         "  \"reader_p99_us\": {\"read_only\": %.1f, \"concurrent\": %.1f, "
-        "\"ratio\": %.3f},\n"
+        "\"ratio\": %.3f},\n  \"reader_latency\": {\"read_only\": ",
+        bench::QuickMode() ? "true" : "false", p99_read_only, p99_concurrent,
+        p99_ratio);
+    baseline_lat.AppendJson(&json_text);
+    bench::AppendF(&json_text, ", \"concurrent\": ");
+    concurrent_lat.AppendJson(&json_text);
+    bench::AppendF(
+        &json_text,
+        "},\n"
         "  \"snapshot_identity\": %s,\n"
         "  \"pages_read\": {\"quiesced\": %llu, \"concurrent\": %llu},\n"
         "  \"concurrent_writer_commits\": %llu,\n"
         "  \"commit_batch_size_avg\": %.2f,\n"
         "  \"write_qps\": {\"writers\": %d, \"sync_each\": %.0f, "
         "\"group_commit\": %.0f, \"ratio\": %.3f}\n}\n",
-        bench::QuickMode() ? "true" : "false", p99_read_only, p99_concurrent,
-        p99_ratio, identical ? "true" : "false",
+        identical ? "true" : "false",
         static_cast<unsigned long long>(baseline_pages),
         static_cast<unsigned long long>(concurrent_pages),
         static_cast<unsigned long long>(writer_commits), batch_avg, kWriters,

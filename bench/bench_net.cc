@@ -52,14 +52,7 @@ struct PhaseResult {
   std::vector<std::vector<Oid>> oids;  // Per query, in query-list order.
   uint64_t pages_read = 0;             // Phase-aggregate (fresh epoch).
   double wall_ms = 0;
-  std::vector<double> latencies_us;    // Remote phase only.
 };
-
-double Percentile(std::vector<double> sorted, double p) {
-  if (sorted.empty()) return 0;
-  const size_t i = static_cast<size_t>(p * (sorted.size() - 1));
-  return sorted[i];
-}
 
 int Run() {
   const uint32_t num_objects = bench::QuickMode() ? 20000u : 100000u;
@@ -143,7 +136,7 @@ int Run() {
 
   PhaseResult remote;
   remote.oids.resize(queries.size());
-  std::vector<std::vector<double>> latencies(kClients);
+  std::vector<bench::LatencyRecorder> latencies(kClients);
   std::vector<std::thread> clients;
   std::atomic<int> failures{0};
   db.buffers().BeginQuery();
@@ -162,7 +155,6 @@ int Run() {
       const size_t per = (queries.size() + kClients - 1) / kClients;
       const size_t lo = t * per;
       const size_t hi = std::min(queries.size(), lo + per);
-      latencies[t].reserve(hi - lo);
       for (size_t q = lo; q < hi; ++q) {
         const auto sent = std::chrono::steady_clock::now();
         Result<net::Client::QueryResult> r =
@@ -173,7 +165,7 @@ int Run() {
           failures.fetch_add(1);
           return;
         }
-        latencies[t].push_back(MillisSince(sent) * 1000.0);
+        latencies[t].Record(MillisSince(sent) * 1000.0);
         remote.oids[q] = std::move(r.value().oids);
       }
     });
@@ -205,14 +197,11 @@ int Run() {
     return 1;
   }
 
-  for (std::vector<double>& l : latencies) {
-    remote.latencies_us.insert(remote.latencies_us.end(), l.begin(),
-                               l.end());
-  }
-  std::sort(remote.latencies_us.begin(), remote.latencies_us.end());
+  bench::LatencyRecorder merged;
+  for (const bench::LatencyRecorder& l : latencies) merged.Merge(l);
   const double qps = queries.size() / (remote.wall_ms / 1000.0);
-  const double p50 = Percentile(remote.latencies_us, 0.50);
-  const double p99 = Percentile(remote.latencies_us, 0.99);
+  const double p50 = merged.PercentileUs(50);
+  const double p99 = merged.PercentileUs(99);
   const double local_qps = queries.size() / (local.wall_ms / 1000.0);
 
   std::printf("bench_net: fig5 exact-match, %u objects, %d queries, %d "
@@ -238,14 +227,14 @@ int Run() {
                  "  \"in_process\": {\"wall_ms\": %.1f, \"qps\": %.0f, "
                  "\"pages_read\": %llu},\n"
                  "  \"remote\": {\"wall_ms\": %.1f, \"qps\": %.0f, "
-                 "\"p50_us\": %.1f, \"p99_us\": %.1f, "
-                 "\"pages_read\": %llu},\n"
-                 "  \"rows_identical\": true\n}\n",
+                 "\"pages_read\": %llu, \"latency\": ",
                  bench::QuickMode() ? "true" : "false", num_objects,
                  num_queries, kClients, local.wall_ms, local_qps,
                  static_cast<unsigned long long>(local.pages_read),
-                 remote.wall_ms, qps, p50, p99,
+                 remote.wall_ms, qps,
                  static_cast<unsigned long long>(remote.pages_read));
+  merged.AppendJson(&json);
+  bench::AppendF(&json, "},\n  \"rows_identical\": true\n}\n");
   bench::WriteArtifact("net", json);
 
   if (qps < 10000.0) {

@@ -403,8 +403,9 @@ int Run() {
     db->buffers().SetCapacity(16);
     db->buffers().SetSimulatedReadLatency(kSimLatencyUs);
   }
-  // One timed drive of an n-shard topology; returns wall milliseconds.
-  auto drive = [&](size_t n) -> Result<double> {
+  // One timed drive of an n-shard topology; returns wall milliseconds and
+  // merges per-query latencies into `lat`.
+  auto drive = [&](size_t n, bench::LatencyRecorder* lat) -> Result<double> {
     Result<Topology> topo =
         StartTopology(pool, subs, &planner, n, /*version=*/10 + n,
                       /*worker_threads=*/1);
@@ -412,6 +413,7 @@ int Run() {
     net::Router* router = topo.value().router.get();
     std::atomic<int> failures{0};
     std::vector<std::thread> threads;
+    std::vector<bench::LatencyRecorder> lats(kClients);
     const auto start = std::chrono::steady_clock::now();
     for (int t = 0; t < kClients; ++t) {
       threads.emplace_back([&, t] {
@@ -419,16 +421,19 @@ int Run() {
         const size_t lo = t * per;
         const size_t hi = std::min(load.size(), lo + per);
         for (size_t q = lo; q < hi; ++q) {
+          const auto sent = std::chrono::steady_clock::now();
           Result<net::Router::QueryOutcome> r = router->Query(load[q]);
           if (!r.ok() || r.value().oids != expected[load[q]].oids) {
             failures.fetch_add(1);
             return;
           }
+          lats[t].Record(MillisSince(sent) * 1000.0);
         }
       });
     }
     for (std::thread& t : threads) t.join();
     const double wall_ms = MillisSince(start);
+    for (const bench::LatencyRecorder& l : lats) lat->Merge(l);
     for (auto& server : topo.value().servers) server->Shutdown();
     if (failures.load() != 0) {
       return Status::Unavailable(std::to_string(failures.load()) +
@@ -441,20 +446,30 @@ int Run() {
     // Best of two runs: one scheduler hiccup on a loaded CI box must not
     // masquerade as a scaling regression.
     double wall_ms = 0;
+    bench::LatencyRecorder lat;
     for (int attempt = 0; attempt < 2; ++attempt) {
-      Result<double> run = drive(n);
+      bench::LatencyRecorder attempt_lat;
+      Result<double> run = drive(n, &attempt_lat);
       if (!run.ok()) {
         return Fail("FAIL: phase B, %zu shards: %s\n", n,
                     run.status().ToString().c_str());
       }
-      if (attempt == 0 || run.value() < wall_ms) wall_ms = run.value();
+      if (attempt == 0 || run.value() < wall_ms) {
+        wall_ms = run.value();
+        lat = attempt_lat;
+      }
     }
     const double qps = load.size() / (wall_ms / 1000.0);
     qps_by_n[n] = qps;
     std::printf("    %zu shard(s): %7.0f QPS  (%.1f ms, %zu queries, "
-                "best of 2)\n",
-                n, qps, wall_ms, load.size());
-    report.AddScalar("B/shards=" + std::to_string(n) + "/qps", "qps", qps);
+                "best of 2; p50 %.0f us, p99 %.0f us, p999 %.0f us)\n",
+                n, qps, wall_ms, load.size(), lat.PercentileUs(50),
+                lat.PercentileUs(99), lat.PercentileUs(99.9));
+    const std::string base = "B/shards=" + std::to_string(n);
+    report.AddScalar(base + "/qps", "qps", qps);
+    report.AddScalar(base + "/p50_us", "us", lat.PercentileUs(50));
+    report.AddScalar(base + "/p99_us", "us", lat.PercentileUs(99));
+    report.AddScalar(base + "/p999_us", "us", lat.PercentileUs(99.9));
   }
   for (auto& db : pool) db->buffers().SetSimulatedReadLatency(0);
   const double speedup2 = qps_by_n[2] / qps_by_n[1];

@@ -1,0 +1,411 @@
+#include "http/gateway.h"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "util/json.h"
+
+namespace uindex {
+namespace http {
+
+namespace {
+
+// How often the accept loop wakes to check the stopping flag and reap
+// finished connection threads (matches net::Server).
+constexpr int kAcceptTickMs = 200;
+
+// Status → HTTP code, kept 1:1 with the binary protocol's taxonomy: a
+// shed is 429 (kBusy on the wire), a drain is 503 (kError/"shutting
+// down"), a parse error is 400 carrying the same caret diagnostics.
+int HttpStatusFor(const Status& status) {
+  if (status.IsInvalidArgument() || status.IsCorruption() ||
+      status.IsNotFound()) {
+    return 400;
+  }
+  if (status.IsNotSupported()) return 501;
+  if (status.IsResourceExhausted()) {
+    return status.message().rfind("busy:", 0) == 0 ? 429 : 503;
+  }
+  if (status.IsUnavailable() || status.IsStaleVersion()) return 503;
+  return 500;
+}
+
+void AppendStatsJson(const net::WireQueryStats& s, std::string* out) {
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"pages_read\":%llu,\"nodes_parsed\":%llu,"
+      "\"node_cache_hits\":%llu,\"prefetch_issued\":%llu,"
+      "\"prefetch_hits\":%llu,\"prefetch_wasted\":%llu,"
+      "\"pool_hits\":%llu,\"pool_misses\":%llu,\"evictions\":%llu,"
+      "\"writebacks\":%llu,\"epochs_published\":%llu,\"pages_cow\":%llu,"
+      "\"commit_batches\":%llu,\"commit_records\":%llu,"
+      "\"reader_pin_max_age_us\":%llu}",
+      static_cast<unsigned long long>(s.pages_read),
+      static_cast<unsigned long long>(s.nodes_parsed),
+      static_cast<unsigned long long>(s.node_cache_hits),
+      static_cast<unsigned long long>(s.prefetch_issued),
+      static_cast<unsigned long long>(s.prefetch_hits),
+      static_cast<unsigned long long>(s.prefetch_wasted),
+      static_cast<unsigned long long>(s.pool_hits),
+      static_cast<unsigned long long>(s.pool_misses),
+      static_cast<unsigned long long>(s.evictions),
+      static_cast<unsigned long long>(s.writebacks),
+      static_cast<unsigned long long>(s.epochs_published),
+      static_cast<unsigned long long>(s.pages_cow),
+      static_cast<unsigned long long>(s.commit_batches),
+      static_cast<unsigned long long>(s.commit_records),
+      static_cast<unsigned long long>(s.reader_pin_max_age_us));
+  *out += buf;
+}
+
+uint64_t SteadySeconds() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+HttpGateway::HttpGateway(GatewayBackend* backend, GatewayOptions options)
+    : backend_(backend), options_(std::move(options)) {}
+
+Result<std::unique_ptr<HttpGateway>> HttpGateway::Start(
+    GatewayBackend* backend, GatewayOptions options) {
+  if (backend == nullptr) {
+    return Status::InvalidArgument("gateway needs a backend");
+  }
+  std::unique_ptr<HttpGateway> gw(
+      new HttpGateway(backend, std::move(options)));
+  UINDEX_RETURN_IF_ERROR(
+      gw->listener_.Open(gw->options_.host, gw->options_.port));
+  gw->port_ = gw->listener_.port();
+  gw->qps_bucket_start_ = SteadySeconds();
+  gw->accept_thread_ = std::thread([g = gw.get()] { g->AcceptLoop(); });
+  return gw;
+}
+
+HttpGateway::~HttpGateway() { Shutdown(); }
+
+void HttpGateway::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = listener_.AcceptOnce(kAcceptTickMs);
+    ReapFinished(/*join_all=*/false);
+    if (fd < 0) continue;
+    if (active_connections() >= options_.max_connections) {
+      HttpConn reject(fd, options_.limits);
+      reject.WriteResponse(503, "application/json",
+                           "{\"error\":\"too many connections\"}\n",
+                           /*keep_alive=*/false);
+      continue;
+    }
+    counters_.accepted.fetch_add(1, std::memory_order_relaxed);
+    counters_.active_connections.fetch_add(1, std::memory_order_relaxed);
+    auto state = std::make_unique<ConnState>();
+    state->conn = std::make_unique<HttpConn>(fd, options_.limits);
+    ConnState* raw = state.get();
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(std::move(state));
+    }
+    raw->thread = std::thread([this, raw] { ServeConnection(raw); });
+  }
+}
+
+void HttpGateway::ServeConnection(ConnState* state) {
+  HttpConn* conn = state->conn.get();
+  for (;;) {
+    HttpRequest request;
+    int http_status = 0;
+    std::string error;
+    const HttpConn::Outcome outcome =
+        conn->ReadRequest(&request, &http_status, &error);
+    if (outcome == HttpConn::Outcome::kClosed ||
+        outcome == HttpConn::Outcome::kIdleTimeout) {
+      break;
+    }
+    if (outcome == HttpConn::Outcome::kBadRequest) {
+      counters_.malformed_requests.fetch_add(1, std::memory_order_relaxed);
+      WriteError(conn, http_status, error, /*keep_alive=*/false);
+      break;
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      WriteError(conn, 503, "gateway shutting down", /*keep_alive=*/false);
+      break;
+    }
+    counters_.requests_total.fetch_add(1, std::memory_order_relaxed);
+    RecordRequestForQps();
+    if (!Dispatch(conn, request)) break;
+    if (!request.keep_alive) break;
+  }
+  conn->ShutdownBoth();
+  counters_.active_connections.fetch_sub(1, std::memory_order_relaxed);
+  state->done.store(true, std::memory_order_release);
+}
+
+bool HttpGateway::Dispatch(HttpConn* conn, const HttpRequest& request) {
+  if (request.target == "/healthz") {
+    if (request.method != "GET") {
+      return WriteError(conn, 405, "use GET", request.keep_alive);
+    }
+    return HandleHealthz(conn, request);
+  }
+  if (request.target == "/metrics") {
+    if (request.method != "GET") {
+      return WriteError(conn, 405, "use GET", request.keep_alive);
+    }
+    return HandleMetrics(conn, request);
+  }
+  if (request.target == "/v1/query") {
+    if (request.method != "POST") {
+      return WriteError(conn, 405, "use POST", request.keep_alive);
+    }
+    return HandleQuery(conn, request);
+  }
+  if (request.target == "/v1/dml") {
+    if (request.method != "POST") {
+      return WriteError(conn, 405, "use POST", request.keep_alive);
+    }
+    return HandleDml(conn, request);
+  }
+  return WriteError(conn, 404, "no such endpoint: " + request.target,
+                    request.keep_alive);
+}
+
+bool HttpGateway::HandleHealthz(HttpConn* conn, const HttpRequest& request) {
+  if (backend_->draining() || stopping_.load(std::memory_order_acquire)) {
+    counters_.requests_server_error.fetch_add(1, std::memory_order_relaxed);
+    return conn->WriteResponse(503, "application/json",
+                               "{\"status\":\"draining\"}\n",
+                               request.keep_alive)
+        .ok();
+  }
+  counters_.requests_ok.fetch_add(1, std::memory_order_relaxed);
+  return conn
+      ->WriteResponse(200, "application/json", "{\"status\":\"ok\"}\n",
+                      request.keep_alive)
+      .ok();
+}
+
+bool HttpGateway::HandleMetrics(HttpConn* conn, const HttpRequest& request) {
+  std::string body;
+  body.reserve(2048);
+  auto metric = [&body](const char* name, uint64_t v) {
+    body += name;
+    body += ' ';
+    body += std::to_string(v);
+    body += '\n';
+  };
+  metric("uindex_http_accepted_total", counters_.accepted.load());
+  metric("uindex_http_active_connections",
+         counters_.active_connections.load());
+  metric("uindex_http_requests_total", counters_.requests_total.load());
+  metric("uindex_http_requests_ok_total", counters_.requests_ok.load());
+  metric("uindex_http_requests_client_error_total",
+         counters_.requests_client_error.load());
+  metric("uindex_http_requests_server_error_total",
+         counters_.requests_server_error.load());
+  metric("uindex_http_requests_shed_total", counters_.requests_shed.load());
+  metric("uindex_http_malformed_requests_total",
+         counters_.malformed_requests.load());
+  {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "uindex_http_qps %.2f\n",
+                  QpsOverWindow());
+    body += buf;
+  }
+  backend_->AppendMetrics(&body);
+  counters_.requests_ok.fetch_add(1, std::memory_order_relaxed);
+  return conn
+      ->WriteResponse(200, "text/plain; version=0.0.4", body,
+                      request.keep_alive)
+      .ok();
+}
+
+bool HttpGateway::HandleQuery(HttpConn* conn, const HttpRequest& request) {
+  Result<json::Value> doc = json::Parse(request.body);
+  if (!doc.ok()) {
+    return WriteError(conn, 400, doc.status().message(),
+                      request.keep_alive);
+  }
+  const json::Value* oql = doc.value().Find("oql");
+  if (oql == nullptr || !oql->is_string()) {
+    return WriteError(conn, 400,
+                      "body must be {\"oql\": \"<query text>\"}",
+                      request.keep_alive);
+  }
+  Result<QueryReply> reply = backend_->Query(oql->AsString());
+  if (!reply.ok()) {
+    return WriteError(conn, HttpStatusFor(reply.status()),
+                      reply.status().message(), request.keep_alive);
+  }
+  const QueryReply& r = reply.value();
+  std::string body;
+  body.reserve(64 + r.oids.size() * 8);
+  body += "{\"oids\":[";
+  for (size_t i = 0; i < r.oids.size(); ++i) {
+    if (i != 0) body += ',';
+    body += std::to_string(r.oids[i]);
+  }
+  body += "],\"count\":";
+  body += std::to_string(r.count);
+  body += ",\"used_index\":";
+  body += r.used_index ? "true" : "false";
+  body += ",\"plan\":";
+  json::AppendQuoted(&body, r.plan);
+  body += ",\"stats\":";
+  AppendStatsJson(r.stats, &body);
+  body += "}\n";
+  counters_.requests_ok.fetch_add(1, std::memory_order_relaxed);
+  return conn
+      ->WriteResponse(200, "application/json", body, request.keep_alive)
+      .ok();
+}
+
+bool HttpGateway::HandleDml(HttpConn* conn, const HttpRequest& request) {
+  Result<json::Value> doc = json::Parse(request.body);
+  if (!doc.ok()) {
+    return WriteError(conn, 400, doc.status().message(),
+                      request.keep_alive);
+  }
+  const json::Value& body = doc.value();
+  const json::Value* op = body.Find("op");
+  if (op == nullptr || !op->is_string()) {
+    return WriteError(conn, 400, "body must carry \"op\"",
+                      request.keep_alive);
+  }
+  DmlOp dml;
+  if (op->AsString() == "create_object") {
+    dml.kind = DmlOp::Kind::kCreateObject;
+    const json::Value* cls = body.Find("class");
+    if (cls == nullptr || !cls->is_string()) {
+      return WriteError(conn, 400,
+                        "create_object needs \"class\": \"<name>\"",
+                        request.keep_alive);
+    }
+    dml.class_name = cls->AsString();
+  } else if (op->AsString() == "set_attr") {
+    dml.kind = DmlOp::Kind::kSetAttr;
+    const json::Value* oid = body.Find("oid");
+    const json::Value* attr = body.Find("attr");
+    const json::Value* value = body.Find("value");
+    if (oid == nullptr || !oid->is_int() || attr == nullptr ||
+        !attr->is_string() || value == nullptr) {
+      return WriteError(
+          conn, 400,
+          "set_attr needs \"oid\": <int>, \"attr\": \"<name>\", "
+          "\"value\": <int or string>",
+          request.keep_alive);
+    }
+    dml.oid = static_cast<Oid>(oid->AsInt());
+    dml.attr = attr->AsString();
+    if (value->is_int()) {
+      dml.value = Value::Int(value->AsInt());
+    } else if (value->is_string()) {
+      dml.value = Value::Str(value->AsString());
+    } else {
+      return WriteError(conn, 400,
+                        "\"value\" must be an integer or a string",
+                        request.keep_alive);
+    }
+  } else if (op->AsString() == "delete_object") {
+    dml.kind = DmlOp::Kind::kDeleteObject;
+    const json::Value* oid = body.Find("oid");
+    if (oid == nullptr || !oid->is_int()) {
+      return WriteError(conn, 400, "delete_object needs \"oid\": <int>",
+                        request.keep_alive);
+    }
+    dml.oid = static_cast<Oid>(oid->AsInt());
+  } else {
+    return WriteError(conn, 400,
+                      "unknown op \"" + op->AsString() +
+                          "\" (create_object | set_attr | delete_object)",
+                      request.keep_alive);
+  }
+
+  Oid created = 0;
+  const Status status = backend_->Dml(dml, &created);
+  if (!status.ok()) {
+    return WriteError(conn, HttpStatusFor(status), status.message(),
+                      request.keep_alive);
+  }
+  std::string out;
+  if (dml.kind == DmlOp::Kind::kCreateObject) {
+    out = "{\"oid\":" + std::to_string(created) + "}\n";
+  } else {
+    out = "{\"ok\":true}\n";
+  }
+  counters_.requests_ok.fetch_add(1, std::memory_order_relaxed);
+  return conn->WriteResponse(200, "application/json", out,
+                             request.keep_alive)
+      .ok();
+}
+
+bool HttpGateway::WriteError(HttpConn* conn, int status,
+                             const std::string& message, bool keep_alive) {
+  if (status == 429) {
+    counters_.requests_shed.fetch_add(1, std::memory_order_relaxed);
+  } else if (status >= 500) {
+    counters_.requests_server_error.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    counters_.requests_client_error.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::string body = "{\"error\":";
+  json::AppendQuoted(&body, message);
+  body += "}\n";
+  return conn->WriteResponse(status, "application/json", body, keep_alive)
+      .ok();
+}
+
+void HttpGateway::RecordRequestForQps() {
+  const uint64_t now = SteadySeconds();
+  std::lock_guard<std::mutex> lock(qps_mu_);
+  if (now != qps_bucket_start_) {
+    const uint64_t advance = now - qps_bucket_start_;
+    // Shift the window; anything older than the window zeroes out.
+    for (int i = kQpsWindowSecs - 1; i >= 0; --i) {
+      const int64_t from = i - static_cast<int64_t>(advance);
+      qps_buckets_[i] = from >= 0 ? qps_buckets_[from] : 0;
+    }
+    qps_bucket_start_ = now;
+  }
+  ++qps_buckets_[0];
+}
+
+double HttpGateway::QpsOverWindow() {
+  std::lock_guard<std::mutex> lock(qps_mu_);
+  uint64_t total = 0;
+  // Skip the in-progress current second; average the completed ones.
+  for (int i = 1; i < kQpsWindowSecs; ++i) total += qps_buckets_[i];
+  return static_cast<double>(total) / (kQpsWindowSecs - 1);
+}
+
+void HttpGateway::ReapFinished(bool join_all) {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if (join_all || (*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void HttpGateway::Shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    stopping_.store(true, std::memory_order_release);
+    if (accept_thread_.joinable()) accept_thread_.join();
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      for (const auto& state : conns_) state->conn->ShutdownBoth();
+    }
+    ReapFinished(/*join_all=*/true);
+    listener_.Close();
+  });
+}
+
+}  // namespace http
+}  // namespace uindex

@@ -1,0 +1,302 @@
+#include "http/http_conn.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace uindex {
+namespace http {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::ResourceExhausted(std::string(what) + ": " +
+                                   std::strerror(errno));
+}
+
+Status PollFd(int fd, short events, int timeout_ms, const char* what) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  pfd.revents = 0;
+  for (;;) {
+    const int n = ::poll(&pfd, 1, timeout_ms);
+    if (n > 0) return Status::OK();
+    if (n == 0) {
+      return Status::ResourceExhausted(std::string(what) + " timeout");
+    }
+    if (errno == EINTR) continue;
+    return Errno(what);
+  }
+}
+
+std::string Lowercase(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+// Strips optional whitespace around a header value (RFC 9110 field-value
+// OWS).
+std::string TrimOws(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+const char* StatusReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+HttpConn::HttpConn(int fd, HttpConnLimits limits)
+    : fd_(fd), limits_(limits) {
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+}
+
+HttpConn::~HttpConn() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void HttpConn::ShutdownBoth() { ::shutdown(fd_, SHUT_RDWR); }
+
+Status HttpConn::FillBuffer(int timeout_ms, bool* eof) {
+  *eof = false;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t r = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (r > 0) {
+      buffer_.append(chunk, static_cast<size_t>(r));
+      return Status::OK();
+    }
+    if (r == 0) {
+      *eof = true;
+      return Status::OK();
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      UINDEX_RETURN_IF_ERROR(PollFd(fd_, POLLIN, timeout_ms, "read"));
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Errno("recv");
+  }
+}
+
+HttpConn::Outcome HttpConn::ReadRequest(HttpRequest* request,
+                                        int* http_status,
+                                        std::string* error) {
+  *request = HttpRequest();
+  *http_status = 400;
+  error->clear();
+
+  // ---- head: request line + headers, bounded by max_header_bytes -------
+  size_t head_end = std::string::npos;
+  bool started = !buffer_.empty();  // Pipelined bytes already count.
+  for (;;) {
+    head_end = buffer_.find("\r\n\r\n");
+    if (head_end != std::string::npos) break;
+    if (buffer_.size() > limits_.max_header_bytes) {
+      *http_status = 431;
+      *error = "request head exceeds " +
+               std::to_string(limits_.max_header_bytes) + " bytes";
+      return Outcome::kBadRequest;
+    }
+    bool eof = false;
+    // Before the first byte the peer is merely idle; once a request has
+    // started, a stall is a slow-loris and gets the (shorter) io timeout.
+    const int timeout =
+        started ? limits_.io_timeout_ms : limits_.idle_timeout_ms;
+    const Status st = FillBuffer(timeout, &eof);
+    if (!st.ok()) {
+      if (!started) return Outcome::kIdleTimeout;
+      *http_status = 408;
+      *error = "timed out mid-request (slow read)";
+      return Outcome::kBadRequest;
+    }
+    if (eof) {
+      if (!started) return Outcome::kClosed;
+      *error = "peer closed mid-request head";
+      return Outcome::kBadRequest;
+    }
+    started = true;
+  }
+  if (head_end > limits_.max_header_bytes) {
+    *http_status = 431;
+    *error = "request head exceeds " +
+             std::to_string(limits_.max_header_bytes) + " bytes";
+    return Outcome::kBadRequest;
+  }
+
+  const std::string head = buffer_.substr(0, head_end);
+  buffer_.erase(0, head_end + 4);
+
+  // ---- request line ----------------------------------------------------
+  const size_t line_end = head.find("\r\n");
+  const std::string request_line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  const size_t sp1 = request_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    *error = "malformed request line: \"" + request_line + "\"";
+    return Outcome::kBadRequest;
+  }
+  request->method = request_line.substr(0, sp1);
+  request->target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string version = request_line.substr(sp2 + 1);
+  if (version == "HTTP/1.1") {
+    request->http_1_0 = false;
+  } else if (version == "HTTP/1.0") {
+    request->http_1_0 = true;
+  } else {
+    *error = "unsupported HTTP version: \"" + version + "\"";
+    return Outcome::kBadRequest;
+  }
+  if (request->method.empty() || request->target.empty() ||
+      request->target[0] != '/') {
+    *error = "malformed request line: \"" + request_line + "\"";
+    return Outcome::kBadRequest;
+  }
+
+  // ---- headers ---------------------------------------------------------
+  size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) eol = head.size();
+    const std::string line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      *error = "malformed header line: \"" + line + "\"";
+      return Outcome::kBadRequest;
+    }
+    if (request->headers.size() >= limits_.max_header_count) {
+      *http_status = 431;
+      *error = "more than " + std::to_string(limits_.max_header_count) +
+               " headers";
+      return Outcome::kBadRequest;
+    }
+    request->headers.emplace_back(Lowercase(line.substr(0, colon)),
+                                  TrimOws(line.substr(colon + 1)));
+  }
+
+  // ---- framing: Content-Length only (chunked is a typed 501) -----------
+  if (request->FindHeader("transfer-encoding") != nullptr) {
+    *http_status = 501;
+    *error = "Transfer-Encoding is not supported; use Content-Length";
+    return Outcome::kBadRequest;
+  }
+  size_t content_length = 0;
+  if (const std::string* cl = request->FindHeader("content-length")) {
+    if (cl->empty() || cl->size() > 12 ||
+        cl->find_first_not_of("0123456789") != std::string::npos) {
+      *error = "malformed Content-Length: \"" + *cl + "\"";
+      return Outcome::kBadRequest;
+    }
+    content_length = static_cast<size_t>(std::stoull(*cl));
+  }
+  if (content_length > limits_.max_body_bytes) {
+    *http_status = 413;
+    *error = "body of " + std::to_string(content_length) +
+             " bytes exceeds limit " +
+             std::to_string(limits_.max_body_bytes);
+    return Outcome::kBadRequest;
+  }
+
+  // ---- body ------------------------------------------------------------
+  while (buffer_.size() < content_length) {
+    bool eof = false;
+    const Status st = FillBuffer(limits_.io_timeout_ms, &eof);
+    if (!st.ok()) {
+      *http_status = 408;
+      *error = "timed out reading body (got " +
+               std::to_string(buffer_.size()) + " of " +
+               std::to_string(content_length) + " bytes)";
+      return Outcome::kBadRequest;
+    }
+    if (eof) {
+      *error = "peer closed with truncated body (got " +
+               std::to_string(buffer_.size()) + " of " +
+               std::to_string(content_length) + " bytes)";
+      return Outcome::kBadRequest;
+    }
+  }
+  request->body = buffer_.substr(0, content_length);
+  buffer_.erase(0, content_length);
+
+  // ---- keep-alive ------------------------------------------------------
+  request->keep_alive = !request->http_1_0;
+  if (const std::string* conn = request->FindHeader("connection")) {
+    const std::string token = Lowercase(TrimOws(*conn));
+    if (token == "close") request->keep_alive = false;
+    if (token == "keep-alive") request->keep_alive = true;
+  }
+  return Outcome::kRequest;
+}
+
+Status HttpConn::WriteResponse(int status, const std::string& content_type,
+                               const std::string& body, bool keep_alive) {
+  std::string out;
+  out.reserve(128 + body.size());
+  out += "HTTP/1.1 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += StatusReason(status);
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: ";
+  out += keep_alive ? "keep-alive" : "close";
+  out += "\r\n\r\n";
+  out += body;
+  size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n =
+        ::send(fd_, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      UINDEX_RETURN_IF_ERROR(
+          PollFd(fd_, POLLOUT, limits_.io_timeout_ms, "write"));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Errno("send");
+  }
+  return Status::OK();
+}
+
+}  // namespace http
+}  // namespace uindex

@@ -1,0 +1,78 @@
+#include "net/listener.h"
+
+#include <errno.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace uindex {
+namespace net {
+
+Status Listener::Open(const std::string& host, uint16_t port) {
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  struct addrinfo* res = nullptr;
+  const std::string port_text = std::to_string(port);
+  if (::getaddrinfo(host.c_str(), port_text.c_str(), &hints, &res) != 0 ||
+      res == nullptr) {
+    return Status::InvalidArgument("cannot resolve " + host);
+  }
+  Status last = Status::ResourceExhausted("no addresses for " + host);
+  for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_NONBLOCK, 0);
+    if (fd < 0) continue;
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) != 0 ||
+        ::listen(fd, 128) != 0) {
+      last = Status::ResourceExhausted(std::string("bind/listen: ") +
+                                       std::strerror(errno));
+      ::close(fd);
+      continue;
+    }
+    struct sockaddr_storage bound;
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound),
+                      &bound_len) == 0) {
+      if (bound.ss_family == AF_INET) {
+        port_ = ntohs(reinterpret_cast<struct sockaddr_in*>(&bound)->sin_port);
+      } else if (bound.ss_family == AF_INET6) {
+        port_ =
+            ntohs(reinterpret_cast<struct sockaddr_in6*>(&bound)->sin6_port);
+      }
+    }
+    fd_ = fd;
+    ::freeaddrinfo(res);
+    return Status::OK();
+  }
+  ::freeaddrinfo(res);
+  return last;
+}
+
+int Listener::AcceptOnce(int timeout_ms) {
+  if (fd_ < 0) return -1;
+  struct pollfd pfd;
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  pfd.revents = 0;
+  if (::poll(&pfd, 1, timeout_ms) <= 0) return -1;
+  return ::accept(fd_, nullptr, nullptr);
+}
+
+void Listener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace net
+}  // namespace uindex

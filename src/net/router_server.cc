@@ -1,15 +1,6 @@
 #include "net/router_server.h"
 
-#include <errno.h>
-#include <netdb.h>
-#include <netinet/in.h>
-#include <poll.h>
-#include <string.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include <algorithm>
-#include <cstring>
 #include <utility>
 
 namespace uindex {
@@ -47,7 +38,10 @@ void FoldIntoSession(const Router::QueryOutcome& outcome,
 }  // namespace
 
 RouterServer::RouterServer(Router* router, RouterServerOptions options)
-    : router_(router), options_(std::move(options)) {}
+    : router_(router), options_(std::move(options)) {
+  admission_ = std::make_unique<AdmissionGate>(options_.max_inflight_queries,
+                                               options_.max_queued_queries);
+}
 
 Result<std::unique_ptr<RouterServer>> RouterServer::Start(
     Router* router, RouterServerOptions options) {
@@ -56,7 +50,9 @@ Result<std::unique_ptr<RouterServer>> RouterServer::Start(
   }
   std::unique_ptr<RouterServer> server(
       new RouterServer(router, std::move(options)));
-  UINDEX_RETURN_IF_ERROR(server->Listen());
+  UINDEX_RETURN_IF_ERROR(
+      server->listener_.Open(server->options_.host, server->options_.port));
+  server->port_ = server->listener_.port();
   server->accept_thread_ =
       std::thread([s = server.get()] { s->AcceptLoop(); });
   return server;
@@ -64,61 +60,10 @@ Result<std::unique_ptr<RouterServer>> RouterServer::Start(
 
 RouterServer::~RouterServer() { Shutdown(); }
 
-Status RouterServer::Listen() {
-  struct addrinfo hints;
-  std::memset(&hints, 0, sizeof(hints));
-  hints.ai_family = AF_UNSPEC;
-  hints.ai_socktype = SOCK_STREAM;
-  hints.ai_flags = AI_PASSIVE;
-  struct addrinfo* res = nullptr;
-  const std::string port_text = std::to_string(options_.port);
-  if (::getaddrinfo(options_.host.c_str(), port_text.c_str(), &hints, &res) !=
-          0 ||
-      res == nullptr) {
-    return Status::InvalidArgument("cannot resolve " + options_.host);
-  }
-  Status last = Status::ResourceExhausted("no addresses for " + options_.host);
-  for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
-    const int fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_NONBLOCK, 0);
-    if (fd < 0) continue;
-    int one = 1;
-    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) != 0 ||
-        ::listen(fd, 128) != 0) {
-      last = Status::ResourceExhausted(std::string("bind/listen: ") +
-                                       std::strerror(errno));
-      ::close(fd);
-      continue;
-    }
-    struct sockaddr_storage bound;
-    socklen_t bound_len = sizeof(bound);
-    if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound),
-                      &bound_len) == 0) {
-      if (bound.ss_family == AF_INET) {
-        port_ = ntohs(reinterpret_cast<struct sockaddr_in*>(&bound)->sin_port);
-      } else if (bound.ss_family == AF_INET6) {
-        port_ =
-            ntohs(reinterpret_cast<struct sockaddr_in6*>(&bound)->sin6_port);
-      }
-    }
-    listen_fd_ = fd;
-    ::freeaddrinfo(res);
-    return Status::OK();
-  }
-  ::freeaddrinfo(res);
-  return last;
-}
-
 void RouterServer::AcceptLoop() {
   while (!stopping_.load(std::memory_order_acquire)) {
-    struct pollfd pfd;
-    pfd.fd = listen_fd_;
-    pfd.events = POLLIN;
-    pfd.revents = 0;
-    const int n = ::poll(&pfd, 1, kAcceptTickMs);
+    const int fd = listener_.AcceptOnce(kAcceptTickMs);
     ReapFinished(/*join_all=*/false);
-    if (n <= 0) continue;
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
     if (active_connections() >= options_.max_connections) {
       Conn reject(fd);
@@ -153,11 +98,6 @@ void RouterServer::ServeConnection(ConnState* state) {
       break;
     }
     if (outcome.value() != ReadOutcome::kFrame) break;  // closed or idle
-    if (stopping_.load(std::memory_order_acquire)) {
-      conn->WriteFrame(Slice(
-          EncodeError(Status::ResourceExhausted("router shutting down"))));
-      break;
-    }
     Result<Request> request = DecodeRequest(Slice(payload));
     if (!request.ok()) {
       counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
@@ -200,6 +140,23 @@ bool RouterServer::HandleRequest(Conn* conn, Session::Stats* stats,
       return true;
   }
 
+  // One admission slot per scatter-gather, shared with the HTTP gateway.
+  // The slot is released only AFTER the response write: `Shutdown`'s
+  // WaitDrained therefore guarantees delivery, not just completion.
+  switch (admission_->Admit()) {
+    case AdmissionGate::Outcome::kShuttingDown:
+      conn->WriteFrame(Slice(
+          EncodeError(Status::ResourceExhausted("router shutting down"))));
+      return false;
+    case AdmissionGate::Outcome::kBusy:
+      counters_.busy_rejected.fetch_add(1, std::memory_order_relaxed);
+      conn->WriteFrame(Slice(EncodeBusy(
+          "busy: query shed by admission control; retry later")));
+      return true;
+    case AdmissionGate::Outcome::kAdmitted:
+      break;
+  }
+
   Result<Router::QueryOutcome> result = router_->Query(request.oql);
   std::string response;
   ++stats->queries;
@@ -214,7 +171,9 @@ bool RouterServer::HandleRequest(Conn* conn, Session::Stats* stats,
     ++stats->failed;
     response = EncodeError(result.status());
   }
-  return conn->WriteFrame(Slice(response)).ok();
+  const bool write_ok = conn->WriteFrame(Slice(response)).ok();
+  admission_->Release();
+  return write_ok;
 }
 
 void RouterServer::ReapFinished(bool join_all) {
@@ -231,17 +190,21 @@ void RouterServer::ReapFinished(bool join_all) {
 
 void RouterServer::Shutdown() {
   std::call_once(shutdown_once_, [this] {
+    // 1. Refuse new work: the accept loop exits, queued admission waiters
+    //    wake and bail with "router shutting down".
     stopping_.store(true, std::memory_order_release);
+    admission_->BeginShutdown();
     if (accept_thread_.joinable()) accept_thread_.join();
+    // 2. Drain: every admitted scatter-gather finishes AND its response
+    //    reaches the client socket (Release runs post-write).
+    admission_->WaitDrained();
+    // 3. Tear down: unblock readers parked in ReadFrame, then join.
     {
       std::lock_guard<std::mutex> lock(conns_mu_);
       for (const auto& state : conns_) state->conn->ShutdownBoth();
     }
     ReapFinished(/*join_all=*/true);
-    if (listen_fd_ >= 0) {
-      ::close(listen_fd_);
-      listen_fd_ = -1;
-    }
+    listener_.Close();
   });
 }
 

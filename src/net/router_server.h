@@ -10,7 +10,9 @@
 #include <thread>
 
 #include "db/session.h"
+#include "net/admission.h"
 #include "net/conn.h"
+#include "net/listener.h"
 #include "net/protocol.h"
 #include "net/router.h"
 
@@ -24,6 +26,14 @@ struct RouterServerOptions {
   size_t max_connections = 256;
   int io_timeout_ms = 5000;
   int idle_timeout_ms = 120000;
+
+  /// Admission control over scatter-gather queries, mirroring
+  /// `ServerOptions`: at most this many `Router::Query` calls in flight at
+  /// once (each one fans out across every shard)...
+  size_t max_inflight_queries = 16;
+  /// ...and at most this many more wait for a slot before being shed with
+  /// a typed `kBusy` response.
+  size_t max_queued_queries = 64;
 };
 
 /// The cluster's client-facing front end: speaks the standard protocol
@@ -36,6 +46,13 @@ struct RouterServerOptions {
 /// aggregated per-query stats, so `stats` in the shell shows cluster-wide
 /// page reads. One thread per connection, as in `Server`; concurrency
 /// across connections comes from the router's fan-out pool.
+///
+/// Shutdown mirrors `Server`: new connections and new frames are refused,
+/// but every in-flight scatter-gather completes AND its response reaches
+/// the client socket before `Shutdown` returns (the slot is released only
+/// after the write). The HTTP gateway's router backend shares the same
+/// `AdmissionGate`, so HTTP and binary clients draw from one budget here
+/// too.
 class RouterServer {
  public:
   struct Counters {
@@ -43,6 +60,7 @@ class RouterServer {
     std::atomic<uint64_t> active_connections{0};
     std::atomic<uint64_t> queries_ok{0};
     std::atomic<uint64_t> queries_failed{0};
+    std::atomic<uint64_t> busy_rejected{0};
     std::atomic<uint64_t> protocol_errors{0};
   };
 
@@ -52,7 +70,7 @@ class RouterServer {
       Router* router, RouterServerOptions options);
 
   /// Graceful shutdown (idempotent); in-flight queries finish and their
-  /// responses are delivered.
+  /// responses are delivered before teardown.
   void Shutdown();
 
   ~RouterServer();
@@ -66,6 +84,15 @@ class RouterServer {
     return counters_.active_connections.load(std::memory_order_relaxed);
   }
 
+  /// The router process's admission budget (shared with the HTTP gateway).
+  AdmissionGate& admission() { return *admission_; }
+  const AdmissionGate& admission() const { return *admission_; }
+
+  Router* router() const { return router_; }
+
+  /// True once a graceful shutdown has begun (new work is being refused).
+  bool draining() const { return stopping_.load(std::memory_order_acquire); }
+
  private:
   struct ConnState {
     std::unique_ptr<Conn> conn;
@@ -75,7 +102,6 @@ class RouterServer {
 
   RouterServer(Router* router, RouterServerOptions options);
 
-  Status Listen();
   void AcceptLoop();
   void ServeConnection(ConnState* state);
   bool HandleRequest(Conn* conn, Session::Stats* stats,
@@ -85,13 +111,17 @@ class RouterServer {
   Router* router_;
   RouterServerOptions options_;
 
-  int listen_fd_ = -1;
+  Listener listener_;
   uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
 
   std::mutex conns_mu_;
   std::list<std::unique_ptr<ConnState>> conns_;
+
+  // One scatter-gather budget for every front end (net/admission.h); the
+  // HTTP gateway borrows it through `admission()`.
+  std::unique_ptr<AdmissionGate> admission_;
 
   Counters counters_;
   std::once_flag shutdown_once_;

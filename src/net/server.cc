@@ -59,6 +59,8 @@ Server::Server(Database* db, ServerOptions options,
   if (options_.max_inflight_queries == 0) {
     options_.max_inflight_queries = pool_->size();
   }
+  admission_ = std::make_unique<AdmissionGate>(options_.max_inflight_queries,
+                                               options_.max_queued_queries);
 }
 
 Result<std::unique_ptr<Server>> Server::Start(Database* db,
@@ -66,69 +68,19 @@ Result<std::unique_ptr<Server>> Server::Start(Database* db,
                                               exec::ThreadPool* shared_pool) {
   std::unique_ptr<Server> server(
       new Server(db, std::move(options), shared_pool));
-  UINDEX_RETURN_IF_ERROR(server->Listen());
+  UINDEX_RETURN_IF_ERROR(
+      server->listener_.Open(server->options_.host, server->options_.port));
+  server->port_ = server->listener_.port();
   server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
   return server;
 }
 
 Server::~Server() { Shutdown(); }
 
-Status Server::Listen() {
-  struct addrinfo hints;
-  std::memset(&hints, 0, sizeof(hints));
-  hints.ai_family = AF_UNSPEC;
-  hints.ai_socktype = SOCK_STREAM;
-  hints.ai_flags = AI_PASSIVE;
-  struct addrinfo* res = nullptr;
-  const std::string port_text = std::to_string(options_.port);
-  if (::getaddrinfo(options_.host.c_str(), port_text.c_str(), &hints, &res) !=
-          0 ||
-      res == nullptr) {
-    return Status::InvalidArgument("cannot resolve " + options_.host);
-  }
-  Status last = Status::ResourceExhausted("no addresses for " + options_.host);
-  for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
-    const int fd =
-        ::socket(ai->ai_family, ai->ai_socktype | SOCK_NONBLOCK, 0);
-    if (fd < 0) continue;
-    int one = 1;
-    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) != 0 ||
-        ::listen(fd, 128) != 0) {
-      last = Status::ResourceExhausted(std::string("bind/listen: ") +
-                                       std::strerror(errno));
-      ::close(fd);
-      continue;
-    }
-    struct sockaddr_storage bound;
-    socklen_t bound_len = sizeof(bound);
-    if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound),
-                      &bound_len) == 0) {
-      if (bound.ss_family == AF_INET) {
-        port_ = ntohs(reinterpret_cast<struct sockaddr_in*>(&bound)->sin_port);
-      } else if (bound.ss_family == AF_INET6) {
-        port_ =
-            ntohs(reinterpret_cast<struct sockaddr_in6*>(&bound)->sin6_port);
-      }
-    }
-    listen_fd_ = fd;
-    ::freeaddrinfo(res);
-    return Status::OK();
-  }
-  ::freeaddrinfo(res);
-  return last;
-}
-
 void Server::AcceptLoop() {
   while (!stopping_.load(std::memory_order_acquire)) {
-    struct pollfd pfd;
-    pfd.fd = listen_fd_;
-    pfd.events = POLLIN;
-    pfd.revents = 0;
-    const int n = ::poll(&pfd, 1, kAcceptTickMs);
+    const int fd = listener_.AcceptOnce(kAcceptTickMs);
     ReapFinished(/*join_all=*/false);
-    if (n <= 0) continue;
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
     if (active_connections() >= options_.max_connections) {
       // Over the connection cap: typed rejection, then close.
@@ -236,18 +188,18 @@ bool Server::HandleRequest(Conn* conn, Session* session,
       return false;
   }
 
-  switch (AdmitQuery()) {
-    case Admission::kShuttingDown:
+  switch (admission_->Admit()) {
+    case AdmissionGate::Outcome::kShuttingDown:
       conn->WriteFrame(Slice(
           EncodeError(Status::ResourceExhausted("server shutting down"))));
       return false;
-    case Admission::kBusy:
+    case AdmissionGate::Outcome::kBusy:
       counters_.busy_rejected.fetch_add(1, std::memory_order_relaxed);
       return conn
           ->WriteFrame(Slice(EncodeBusy(
               "query shed by admission control; retry later")))
           .ok();
-    case Admission::kAdmitted:
+    case AdmissionGate::Outcome::kAdmitted:
       break;
   }
 
@@ -288,8 +240,63 @@ bool Server::HandleRequest(Conn* conn, Session* session,
     response = EncodeError(result.status());
   }
   const Status write = conn->WriteFrame(Slice(response));
-  ReleaseQuery();
+  admission_->Release();
   return write.ok();
+}
+
+Result<Database::OqlResult> Server::ExecuteExternal(Session* session,
+                                                    const std::string& oql) {
+  switch (admission_->Admit()) {
+    case AdmissionGate::Outcome::kShuttingDown:
+      return Status::ResourceExhausted("server shutting down");
+    case AdmissionGate::Outcome::kBusy:
+      counters_.busy_rejected.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          "busy: query shed by admission control; retry later");
+    case AdmissionGate::Outcome::kAdmitted:
+      break;
+  }
+  exec::Future<Result<Database::OqlResult>> future =
+      pool_->Submit([session, &oql] { return session->ExecuteOql(oql); });
+  Result<Database::OqlResult> result = future.Take();
+  if (result.ok()) {
+    counters_.queries_ok.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    counters_.queries_failed.fetch_add(1, std::memory_order_relaxed);
+  }
+  admission_->Release();
+  return result;
+}
+
+Status Server::ExecuteExternalDml(const std::function<Status()>& dml) {
+  switch (admission_->Admit()) {
+    case AdmissionGate::Outcome::kShuttingDown:
+      return Status::ResourceExhausted("server shutting down");
+    case AdmissionGate::Outcome::kBusy:
+      counters_.busy_rejected.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          "busy: mutation shed by admission control; retry later");
+    case AdmissionGate::Outcome::kAdmitted:
+      break;
+  }
+  exec::Future<Status> future = pool_->Submit([&dml] { return dml(); });
+  const Status result = future.Take();
+  if (result.ok()) {
+    counters_.queries_ok.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    counters_.queries_failed.fetch_add(1, std::memory_order_relaxed);
+  }
+  admission_->Release();
+  return result;
+}
+
+Server::ShardInfo Server::shard_info() const {
+  std::lock_guard<std::mutex> lock(shard_mu_);
+  ShardInfo info;
+  info.active = shard_active_;
+  info.version = shard_active_ ? shard_map_.version : 0;
+  info.self_index = shard_self_;
+  return info;
 }
 
 Status Server::InstallShard(const ShardMap& map, uint32_t self_index) {
@@ -339,42 +346,6 @@ bool Server::HandleGetShard(Conn* conn) {
       .ok();
 }
 
-Server::Admission Server::AdmitQuery() {
-  std::unique_lock<std::mutex> lock(admission_mu_);
-  if (stopping_.load(std::memory_order_acquire)) {
-    return Admission::kShuttingDown;
-  }
-  if (inflight_ < options_.max_inflight_queries) {
-    ++inflight_;
-    return Admission::kAdmitted;
-  }
-  if (waiting_ >= options_.max_queued_queries) return Admission::kBusy;
-  ++waiting_;
-  admission_cv_.wait(lock, [&] {
-    return stopping_.load(std::memory_order_acquire) ||
-           inflight_ < options_.max_inflight_queries;
-  });
-  --waiting_;
-  if (stopping_.load(std::memory_order_acquire)) {
-    return Admission::kShuttingDown;
-  }
-  ++inflight_;
-  return Admission::kAdmitted;
-}
-
-void Server::ReleaseQuery() {
-  {
-    std::lock_guard<std::mutex> lock(admission_mu_);
-    --inflight_;
-  }
-  admission_cv_.notify_all();
-}
-
-void Server::WaitQueriesDrained() {
-  std::unique_lock<std::mutex> lock(admission_mu_);
-  admission_cv_.wait(lock, [&] { return inflight_ == 0; });
-}
-
 void Server::ReapFinished(bool join_all) {
   std::lock_guard<std::mutex> lock(conns_mu_);
   for (auto it = conns_.begin(); it != conns_.end();) {
@@ -392,21 +363,18 @@ void Server::Shutdown() {
     // 1. Refuse new work: connections see `stopping_` on their next frame,
     //    admission waiters wake and bail, the accept loop exits.
     stopping_.store(true, std::memory_order_release);
-    admission_cv_.notify_all();
+    admission_->BeginShutdown();
     if (accept_thread_.joinable()) accept_thread_.join();
     // 2. Drain: every admitted query finishes AND its response reaches the
-    //    socket before this returns (ReleaseQuery runs post-write).
-    WaitQueriesDrained();
+    //    socket before this returns (Release runs post-write).
+    admission_->WaitDrained();
     // 3. Tear down: unblock readers parked in ReadFrame, then join.
     {
       std::lock_guard<std::mutex> lock(conns_mu_);
       for (const auto& state : conns_) state->conn->ShutdownBoth();
     }
     ReapFinished(/*join_all=*/true);
-    if (listen_fd_ >= 0) {
-      ::close(listen_fd_);
-      listen_fd_ = -1;
-    }
+    listener_.Close();
     // The owned pool (if any) dies with the server, after all users.
   });
 }

@@ -2,8 +2,8 @@
 #define UINDEX_NET_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -13,7 +13,9 @@
 #include "db/database.h"
 #include "db/session.h"
 #include "exec/thread_pool.h"
+#include "net/admission.h"
 #include "net/conn.h"
+#include "net/listener.h"
 #include "net/protocol.h"
 #include "net/shard_map.h"
 
@@ -109,7 +111,39 @@ class Server {
   /// database's served range.
   Status InstallShard(const ShardMap& map, uint32_t self_index);
 
+  /// Executes one OQL statement on behalf of a non-binary front end (the
+  /// HTTP gateway), through the SAME admission gate and worker pool the
+  /// wire protocol uses — an HTTP request and a binary frame compete for
+  /// one budget, and a shed on either side lands in `admission()`'s shed
+  /// counter. `session` is the caller's accounting scope (one per request
+  /// or per connection; not thread-safe). A `ResourceExhausted` beginning
+  /// with "busy:" is an admission shed — retryable.
+  Result<Database::OqlResult> ExecuteExternal(Session* session,
+                                              const std::string& oql);
+
+  /// `ExecuteExternal` for a mutation (the gateway's /v1/dml): the closure
+  /// runs on the worker pool under the shared admission budget. The
+  /// closure must be self-contained — it is executed exactly once.
+  Status ExecuteExternalDml(const std::function<Status()>& dml);
+
   const Counters& counters() const { return counters_; }
+
+  /// The process-wide admission budget (shared with the HTTP gateway).
+  AdmissionGate& admission() { return *admission_; }
+  const AdmissionGate& admission() const { return *admission_; }
+
+  Database* db() const { return db_; }
+
+  /// Installed shard identity, for observability (/metrics).
+  struct ShardInfo {
+    bool active = false;
+    uint64_t version = 0;
+    uint32_t self_index = 0;
+  };
+  ShardInfo shard_info() const;
+
+  /// True once a graceful shutdown has begun (new work is being refused).
+  bool draining() const { return stopping_.load(std::memory_order_acquire); }
 
   /// Live connection count right now (drops to 0 after Shutdown).
   size_t active_connections() const {
@@ -126,7 +160,6 @@ class Server {
   Server(Database* db, ServerOptions options,
          exec::ThreadPool* shared_pool);
 
-  Status Listen();
   void AcceptLoop();
   void ServeConnection(ConnState* state);
   // One decoded request --> one response written (or connection poisoned).
@@ -137,12 +170,6 @@ class Server {
   bool HandleGetShard(Conn* conn);
   void ReapFinished(bool join_all);
 
-  // Admission control for in-flight queries.
-  enum class Admission { kAdmitted, kBusy, kShuttingDown };
-  Admission AdmitQuery();
-  void ReleaseQuery();
-  void WaitQueriesDrained();
-
   Database* db_;
   ServerOptions options_;
 
@@ -151,14 +178,14 @@ class Server {
   // between a sub-query's pre- and post-execution version checks, so a
   // `kRows` response is always computed entirely under the version it
   // claims.
-  std::mutex shard_mu_;
+  mutable std::mutex shard_mu_;
   ShardMap shard_map_;
   uint32_t shard_self_ = 0;
   bool shard_active_ = false;
   exec::ThreadPool* pool_;  // owned_pool_.get() or the borrowed pool.
   std::unique_ptr<exec::ThreadPool> owned_pool_;
 
-  int listen_fd_ = -1;
+  Listener listener_;
   uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
@@ -166,10 +193,9 @@ class Server {
   std::mutex conns_mu_;
   std::list<std::unique_ptr<ConnState>> conns_;
 
-  std::mutex admission_mu_;
-  std::condition_variable admission_cv_;
-  size_t inflight_ = 0;
-  size_t waiting_ = 0;
+  // One execution budget for every protocol front end (net/admission.h);
+  // the HTTP gateway borrows it through `admission()`.
+  std::unique_ptr<AdmissionGate> admission_;
 
   Counters counters_;
   std::once_flag shutdown_once_;

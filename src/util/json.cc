@@ -1,0 +1,402 @@
+#include "util/json.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/diag.h"
+
+namespace uindex {
+namespace json {
+
+namespace {
+
+// Recursion is bounded explicitly: the parser is fed by the network.
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Value> ParseDocument() {
+    SkipWs();
+    Value root;
+    UINDEX_RETURN_IF_ERROR(ParseValue(&root, 0));
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Error("trailing content after JSON value");
+    }
+    return root;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return ParseErrorAt(text_, pos_, message);
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  Status ParseValue(Value* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting deeper than 64 levels");
+    if (AtEnd()) return Error("expected a JSON value");
+    switch (Peek()) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        UINDEX_RETURN_IF_ERROR(ParseString(&s));
+        *out = Value::Str(std::move(s));
+        return Status::OK();
+      }
+      case 't':
+        UINDEX_RETURN_IF_ERROR(Literal("true"));
+        *out = Value::Bool(true);
+        return Status::OK();
+      case 'f':
+        UINDEX_RETURN_IF_ERROR(Literal("false"));
+        *out = Value::Bool(false);
+        return Status::OK();
+      case 'n':
+        UINDEX_RETURN_IF_ERROR(Literal("null"));
+        *out = Value::Null();
+        return Status::OK();
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status Literal(const char* word) {
+    const size_t len = std::strlen(word);
+    if (text_.compare(pos_, len, word) != 0) {
+      return Error(std::string("expected '") + word + "'");
+    }
+    pos_ += len;
+    return Status::OK();
+  }
+
+  Status ParseObject(Value* out, int depth) {
+    ++pos_;  // '{'
+    *out = Value::Object();
+    SkipWs();
+    if (!AtEnd() && Peek() == '}') {
+      ++pos_;
+      return Status::OK();
+    }
+    for (;;) {
+      SkipWs();
+      if (AtEnd() || Peek() != '"') {
+        return Error("expected a quoted object key");
+      }
+      std::string key;
+      UINDEX_RETURN_IF_ERROR(ParseString(&key));
+      if (out->Find(key) != nullptr) {
+        return Error("duplicate object key \"" + key + "\"");
+      }
+      SkipWs();
+      if (AtEnd() || Peek() != ':') {
+        return Error("expected ':' after object key");
+      }
+      ++pos_;
+      SkipWs();
+      Value member;
+      UINDEX_RETURN_IF_ERROR(ParseValue(&member, depth + 1));
+      out->members().emplace_back(std::move(key), std::move(member));
+      SkipWs();
+      if (AtEnd()) return Error("unterminated object");
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return Status::OK();
+      }
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(Value* out, int depth) {
+    ++pos_;  // '['
+    *out = Value::Array();
+    SkipWs();
+    if (!AtEnd() && Peek() == ']') {
+      ++pos_;
+      return Status::OK();
+    }
+    for (;;) {
+      SkipWs();
+      Value item;
+      UINDEX_RETURN_IF_ERROR(ParseValue(&item, depth + 1));
+      out->items().push_back(std::move(item));
+      SkipWs();
+      if (AtEnd()) return Error("unterminated array");
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return Status::OK();
+      }
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  // Appends `cp` (a Unicode scalar value) to `*out` as UTF-8.
+  static void AppendUtf8(std::string* out, uint32_t cp) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Status Hex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) {
+      return Error("truncated \\u escape");
+    }
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + i];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("bad hex digit in \\u escape");
+      }
+    }
+    pos_ += 4;
+    *out = v;
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // '"'
+    out->clear();
+    for (;;) {
+      if (AtEnd()) return Error("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (c < 0x20) {
+        return Error("raw control byte in string (escape it)");
+      }
+      if (c != '\\') {
+        out->push_back(static_cast<char>(c));
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (AtEnd()) return Error("truncated escape sequence");
+      const char e = text_[pos_];
+      ++pos_;
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          uint32_t cp = 0;
+          UINDEX_RETURN_IF_ERROR(Hex4(&cp));
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: the low half must follow immediately.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Error("high surrogate without a \\u low surrogate");
+            }
+            pos_ += 2;
+            uint32_t lo = 0;
+            UINDEX_RETURN_IF_ERROR(Hex4(&lo));
+            if (lo < 0xDC00 || lo > 0xDFFF) {
+              return Error("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Error("unpaired low surrogate");
+          }
+          AppendUtf8(out, cp);
+          break;
+        }
+        default:
+          --pos_;  // Point the caret at the bad escape character.
+          return Error("unknown escape sequence");
+      }
+    }
+  }
+
+  Status ParseNumber(Value* out) {
+    const size_t start = pos_;
+    if (!AtEnd() && Peek() == '-') ++pos_;
+    if (AtEnd() || Peek() < '0' || Peek() > '9') {
+      pos_ = start;
+      return Error("expected a JSON value");
+    }
+    // Integer part: a leading zero admits no more digits (RFC 8259).
+    if (Peek() == '0') {
+      ++pos_;
+    } else {
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    bool integral = true;
+    if (!AtEnd() && Peek() == '.') {
+      integral = false;
+      ++pos_;
+      if (AtEnd() || Peek() < '0' || Peek() > '9') {
+        return Error("expected digits after decimal point");
+      }
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      integral = false;
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (AtEnd() || Peek() < '0' || Peek() > '9') {
+        return Error("expected digits in exponent");
+      }
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0') {
+        *out = Value::Int(static_cast<int64_t>(v));
+        return Status::OK();
+      }
+      // Out of int64 range: fall through to double like every other
+      // magnitude-losing literal.
+    }
+    errno = 0;
+    const double d = std::strtod(token.c_str(), nullptr);
+    if (errno != 0 || !std::isfinite(d)) {
+      pos_ = start;
+      return Error("number out of range");
+    }
+    *out = Value::Double(d);
+    return Status::OK();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+void DumpInto(const Value& v, std::string* out) {
+  switch (v.kind()) {
+    case Value::Kind::kNull:
+      *out += "null";
+      return;
+    case Value::Kind::kBool:
+      *out += v.AsBool() ? "true" : "false";
+      return;
+    case Value::Kind::kInt: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(v.AsInt()));
+      *out += buf;
+      return;
+    }
+    case Value::Kind::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", v.AsDouble());
+      *out += buf;
+      return;
+    }
+    case Value::Kind::kString:
+      AppendQuoted(out, v.AsString());
+      return;
+    case Value::Kind::kArray: {
+      out->push_back('[');
+      for (size_t i = 0; i < v.items().size(); ++i) {
+        if (i > 0) out->push_back(',');
+        DumpInto(v.items()[i], out);
+      }
+      out->push_back(']');
+      return;
+    }
+    case Value::Kind::kObject: {
+      out->push_back('{');
+      for (size_t i = 0; i < v.members().size(); ++i) {
+        if (i > 0) out->push_back(',');
+        AppendQuoted(out, v.members()[i].first);
+        out->push_back(':');
+        DumpInto(v.members()[i].second, out);
+      }
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Result<Value> Parse(const std::string& text) {
+  return Parser(text).ParseDocument();
+}
+
+void AppendQuoted(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (const char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(ch);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+std::string Dump(const Value& value) {
+  std::string out;
+  DumpInto(value, &out);
+  return out;
+}
+
+}  // namespace json
+}  // namespace uindex

@@ -1,0 +1,134 @@
+#ifndef UINDEX_UTIL_JSON_H_
+#define UINDEX_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace uindex {
+namespace json {
+
+/// A parsed JSON document node. The tree is plain value-semantics data:
+/// arrays own their items, objects own their members (insertion order
+/// preserved, duplicate keys rejected by the parser — the HTTP gateway's
+/// request bodies have no legitimate use for them).
+///
+/// Numbers keep their syntactic shape: an integer literal that fits int64
+/// is `kInt`; everything else numeric is `kDouble`. The gateway's DML
+/// endpoint wants that distinction — object attributes are int64 or
+/// string, never floating point.
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Value() = default;
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) {
+    Value v;
+    v.kind_ = Kind::kBool;
+    v.bool_ = b;
+    return v;
+  }
+  static Value Int(int64_t i) {
+    Value v;
+    v.kind_ = Kind::kInt;
+    v.int_ = i;
+    return v;
+  }
+  static Value Double(double d) {
+    Value v;
+    v.kind_ = Kind::kDouble;
+    v.double_ = d;
+    return v;
+  }
+  static Value Str(std::string s) {
+    Value v;
+    v.kind_ = Kind::kString;
+    v.string_ = std::move(s);
+    return v;
+  }
+  static Value Array() {
+    Value v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static Value Object() {
+    Value v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_int() const { return kind_ == Kind::kInt; }
+  bool is_double() const { return kind_ == Kind::kDouble; }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool AsBool() const { return bool_; }
+  int64_t AsInt() const { return int_; }
+  double AsDouble() const {
+    return kind_ == Kind::kInt ? static_cast<double>(int_) : double_;
+  }
+  const std::string& AsString() const { return string_; }
+
+  std::vector<Value>& items() { return items_; }
+  const std::vector<Value>& items() const { return items_; }
+  std::vector<std::pair<std::string, Value>>& members() { return members_; }
+  const std::vector<std::pair<std::string, Value>>& members() const {
+    return members_;
+  }
+
+  /// Object member lookup; null when absent or this is not an object.
+  const Value* Find(const std::string& key) const {
+    if (kind_ != Kind::kObject) return nullptr;
+    for (const auto& [k, v] : members_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+  std::vector<Value> items_;
+  std::vector<std::pair<std::string, Value>> members_;
+};
+
+/// Strictly parses one complete JSON document (RFC 8259 grammar: any value
+/// at top level, no trailing content, no comments, no trailing commas, no
+/// NaN/Infinity, strings must be valid escape sequences with \uXXXX
+/// surrogate pairs folded to UTF-8). Nesting deeper than 64 levels and
+/// duplicate object keys are rejected.
+///
+/// Errors are `InvalidArgument` carrying the byte offset and a caret
+/// context snippet (util/diag.h), exactly like the OQL parser's
+/// diagnostics:
+///
+///   expected ':' after object key at byte 9
+///     {"oql" "SELECT"}
+///              ^
+Result<Value> Parse(const std::string& text);
+
+/// Appends `s` as a quoted JSON string literal (escaping `"`/`\`/control
+/// bytes; everything else passes through, so valid UTF-8 stays UTF-8).
+void AppendQuoted(std::string* out, const std::string& s);
+
+/// Serializes a tree back to compact JSON (writer half of the round trip;
+/// the gateway mostly assembles responses directly with AppendQuoted).
+std::string Dump(const Value& value);
+
+}  // namespace json
+}  // namespace uindex
+
+#endif  // UINDEX_UTIL_JSON_H_

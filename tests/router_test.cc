@@ -568,6 +568,90 @@ TEST_F(RouterTest, RebalanceUnderConcurrentLoadLosesNothing) {
   EXPECT_EQ(router_->CurrentMap().version, 2u);
 }
 
+TEST_F(RouterTest, RouterServerShutdownDrainsInFlightQueries) {
+  StartTopology(2, /*version=*/1);
+  Result<std::unique_ptr<RouterServer>> front =
+      RouterServer::Start(router_.get(), RouterServerOptions());
+  ASSERT_TRUE(front.ok()) << front.status().ToString();
+
+  // Widen the in-flight window: a tight page cache plus simulated read
+  // latency makes every scatter take a few hundred milliseconds.
+  for (auto& db : shard_dbs_) {
+    db->buffers().SetCapacity(2);
+    db->buffers().SetSimulatedReadLatency(20000);
+  }
+
+  Result<std::unique_ptr<Client>> client =
+      Client::Connect("127.0.0.1", front.value()->port());
+  ASSERT_TRUE(client.ok());
+  Result<Client::QueryResult> in_flight = Status::NotFound("unset");
+  std::thread query(
+      [&] { in_flight = client.value()->Query(PriceQuery(7)); });
+  // Wait until the query holds its admission slot.
+  while (front.value()->admission().inflight() == 0) {
+    std::this_thread::yield();
+  }
+
+  // Graceful shutdown must wait for the admitted scatter AND deliver its
+  // response — drained means responded, not merely finished.
+  front.value()->Shutdown();
+  query.join();
+  for (auto& db : shard_dbs_) db->buffers().SetSimulatedReadLatency(0);
+  ASSERT_TRUE(in_flight.ok()) << in_flight.status().ToString();
+  Result<Database::OqlResult> local = planner_->ExecuteOql(PriceQuery(7));
+  ASSERT_TRUE(local.ok());
+  EXPECT_EQ(in_flight.value().oids, local.value().oids);
+
+  // After the drain: no connections, and new dials are refused.
+  EXPECT_EQ(front.value()->active_connections(), 0u);
+  Result<std::unique_ptr<Client>> late =
+      Client::Connect("127.0.0.1", front.value()->port(), 500);
+  EXPECT_FALSE(late.ok());
+}
+
+TEST_F(RouterTest, RouterServerShedsWithTypedBusyWhenSaturated) {
+  StartTopology(2, /*version=*/1);
+  RouterServerOptions options;
+  options.max_inflight_queries = 1;
+  options.max_queued_queries = 0;
+  Result<std::unique_ptr<RouterServer>> front =
+      RouterServer::Start(router_.get(), options);
+  ASSERT_TRUE(front.ok()) << front.status().ToString();
+
+  // Slow the shards so the first query parks in the single slot.
+  for (auto& db : shard_dbs_) {
+    db->buffers().SetCapacity(2);
+    db->buffers().SetSimulatedReadLatency(20000);
+  }
+  Result<std::unique_ptr<Client>> first =
+      Client::Connect("127.0.0.1", front.value()->port());
+  Result<std::unique_ptr<Client>> second =
+      Client::Connect("127.0.0.1", front.value()->port());
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  Result<Client::QueryResult> parked = Status::NotFound("unset");
+  std::thread blocked(
+      [&] { parked = first.value()->Query(PriceQuery(3)); });
+  while (front.value()->admission().inflight() == 0) {
+    std::this_thread::yield();
+  }
+
+  Result<Client::QueryResult> shed = second.value()->Query(PriceQuery(4));
+  ASSERT_FALSE(shed.ok());
+  EXPECT_TRUE(shed.status().IsResourceExhausted())
+      << shed.status().ToString();
+  EXPECT_NE(shed.status().message().find("busy"), std::string::npos);
+  EXPECT_EQ(front.value()->counters().busy_rejected.load(), 1u);
+  EXPECT_EQ(front.value()->admission().shed_total(), 1u);
+
+  blocked.join();
+  for (auto& db : shard_dbs_) db->buffers().SetSimulatedReadLatency(0);
+  ASSERT_TRUE(parked.ok()) << parked.status().ToString();
+  // The shed connection still works once the slot frees up.
+  EXPECT_TRUE(second.value()->Query(PriceQuery(4)).ok());
+  front.value()->Shutdown();
+}
+
 }  // namespace
 }  // namespace net
 }  // namespace uindex

@@ -1,0 +1,66 @@
+// http_probe — a minimal HTTP client CLI for the smoke scripts, so no
+// smoke test depends on curl being installed.
+//
+//   ./build/tools/http_probe <host> <port> get  <path>
+//   ./build/tools/http_probe <host> <port> post <path> <body>
+//
+// Prints "HTTP <status>" on the first line and the response body after
+// it; exits 0 whenever a well-formed HTTP response arrived (scripts
+// assert on the printed status), non-zero on transport/parse failure.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "http/http_client.h"
+
+namespace uindex {
+namespace {
+
+int Run(int argc, char** argv) {
+  if (argc < 5) {
+    std::fprintf(stderr,
+                 "usage: %s <host> <port> get <path>\n"
+                 "       %s <host> <port> post <path> <body>\n",
+                 argv[0], argv[0]);
+    return 2;
+  }
+  const std::string host = argv[1];
+  const uint16_t port =
+      static_cast<uint16_t>(std::strtoul(argv[2], nullptr, 10));
+  const std::string verb = argv[3];
+  const std::string path = argv[4];
+
+  Result<std::unique_ptr<http::HttpClient>> client =
+      http::HttpClient::Connect(host, port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+
+  Result<http::HttpClient::Response> response =
+      Status::InvalidArgument("verb must be get or post");
+  if (verb == "get") {
+    response = client.value()->Get(path);
+  } else if (verb == "post") {
+    if (argc < 6) {
+      std::fprintf(stderr, "post needs a body argument\n");
+      return 2;
+    }
+    response = client.value()->Post(path, argv[5]);
+  }
+  if (!response.ok()) {
+    std::fprintf(stderr, "%s %s: %s\n", verb.c_str(), path.c_str(),
+                 response.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("HTTP %d\n%s", response.value().status,
+              response.value().body.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace uindex
+
+int main(int argc, char** argv) { return uindex::Run(argc, argv); }

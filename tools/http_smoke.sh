@@ -1,0 +1,108 @@
+#!/bin/sh
+# End-to-end smoke of the HTTP/JSON gateway: start uindex_server with
+# --http-port 0, drive every endpoint with http_probe (no curl
+# dependency), mutate through /v1/dml and observe the mutation through
+# /v1/query, check /metrics exposes the admission and IoStats counters,
+# then SIGTERM and require a clean drain. Run from anywhere:
+#
+#   tools/http_smoke.sh <path-to-uindex_server> <path-to-http_probe>
+#
+# Ports are ephemeral and parsed from the server's "listening on" lines
+# (tools/smoke_lib.sh), so parallel ctest runs never collide.
+set -eu
+
+SERVER="$1"
+PROBE="$2"
+
+. "$(dirname "$0")/smoke_lib.sh"
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+"$SERVER" --demo --port 0 --http-port 0 \
+    >"$WORK/server.out" 2>"$WORK/server.err" &
+SERVER_PID=$!
+wait_port "$WORK/server.out" "$SERVER_PID" >/dev/null  # binary port
+HTTP_PORT="$(wait_port "$WORK/server.out" "$SERVER_PID" "http listening on")"
+
+probe() {  # probe <name> <args...>: runs http_probe, tees the transcript
+  name="$1"; shift
+  "$PROBE" 127.0.0.1 "$HTTP_PORT" "$@" >"$WORK/$name.out" 2>&1 || {
+    echo "probe $name failed:" >&2
+    cat "$WORK/$name.out" >&2
+    exit 1
+  }
+}
+expect() {  # expect <name> <grep-pattern>
+  grep -q "$2" "$WORK/$1.out" || {
+    echo "probe $1 missing '$2':" >&2
+    cat "$WORK/$1.out" >&2
+    exit 1
+  }
+}
+
+# --- health ------------------------------------------------------------
+probe healthz get /healthz
+expect healthz '^HTTP 200$'
+expect healthz '"status":"ok"'
+
+# --- query: the Example-1 Red answer, byte-exact oids ------------------
+probe red post /v1/query \
+    '{"oql": "SELECT v FROM Vehicle* v WHERE v.Color = '"'"'Red'"'"'"}'
+expect red '^HTTP 200$'
+expect red '"oids":\[9,10\]'
+expect red '"used_index":true'
+expect red '"stats":{'
+
+# --- query: COUNT shape ------------------------------------------------
+probe count post /v1/query \
+    '{"oql": "SELECT COUNT(v) FROM Vehicle* v WHERE v.Color = '"'"'White'"'"'"}'
+expect count '^HTTP 200$'
+expect count '"oids":\[\]'
+
+# --- DML: create + set Color, then see it in the Red rows --------------
+probe create post /v1/dml '{"op": "create_object", "class": "Vehicle"}'
+expect create '^HTTP 200$'
+expect create '"oid":'
+NEW_OID="$(sed -n 's/.*"oid":\([0-9][0-9]*\).*/\1/p' "$WORK/create.out")"
+[ -n "$NEW_OID" ] || { echo "no oid in create response" >&2; exit 1; }
+
+probe setattr post /v1/dml \
+    '{"op": "set_attr", "oid": '"$NEW_OID"', "attr": "Color", "value": "Red"}'
+expect setattr '"ok":true'
+
+probe red2 post /v1/query \
+    '{"oql": "SELECT v FROM Vehicle* v WHERE v.Color = '"'"'Red'"'"'"}'
+expect red2 '"oids":\[9,10,'"$NEW_OID"'\]'
+
+# --- typed errors ------------------------------------------------------
+probe badjson post /v1/query '{"oql" "no colon"}'
+expect badjson '^HTTP 400$'
+expect badjson '"error":'
+
+probe badpath get /nope
+expect badpath '^HTTP 404$'
+
+# --- metrics: admission + IoStats + HTTP counters, end to end ----------
+probe metrics get /metrics
+expect metrics '^HTTP 200$'
+expect metrics '^uindex_admission_shed_total '
+expect metrics '^uindex_admission_admitted_total '
+expect metrics '^uindex_io_pages_read_total '
+expect metrics '^uindex_mvcc_epochs_published_total '
+expect metrics '^uindex_http_requests_ok_total '
+expect metrics '^uindex_shard_active 0$'
+
+# --- clean drain -------------------------------------------------------
+kill -TERM "$SERVER_PID"
+if ! wait "$SERVER_PID"; then
+  echo "server exited non-zero after SIGTERM:" >&2
+  cat "$WORK/server.err" >&2
+  exit 1
+fi
+grep -q '^shutdown:' "$WORK/server.out" || {
+  echo "server did not report a clean shutdown" >&2
+  exit 1
+}
+echo "http smoke ok (new oid: $NEW_OID)"
+exit 0

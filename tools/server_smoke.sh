@@ -14,27 +14,14 @@ SERVER="$1"
 SHELL_BIN="$2"
 CLIENTS="${3:-4}"
 
+. "$(dirname "$0")/smoke_lib.sh"
+
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
 
 "$SERVER" --demo --port 0 >"$WORK/server.out" 2>"$WORK/server.err" &
 SERVER_PID=$!
-
-# Wait for the "listening on host:port" line (the server prints it once
-# the socket is bound).
-PORT=""
-for _ in $(seq 1 50); do
-  PORT="$(sed -n 's/^listening on .*:\([0-9][0-9]*\)$/\1/p' \
-      "$WORK/server.out" 2>/dev/null | head -n1)"
-  [ -n "$PORT" ] && break
-  kill -0 "$SERVER_PID" 2>/dev/null || {
-    echo "server died before listening:" >&2
-    cat "$WORK/server.err" >&2
-    exit 1
-  }
-  sleep 0.1
-done
-[ -n "$PORT" ] || { echo "server never listened" >&2; exit 1; }
+PORT="$(wait_port "$WORK/server.out" "$SERVER_PID")"
 
 cat >"$WORK/client_script.txt" <<EOF
 connect 127.0.0.1 $PORT

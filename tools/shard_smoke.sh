@@ -16,6 +16,8 @@ SERVER="$1"
 ROUTER="$2"
 SHELL_BIN="$3"
 
+. "$(dirname "$0")/smoke_lib.sh"
+
 WORK="$(mktemp -d)"
 PIDS=""
 cleanup() {
@@ -24,26 +26,6 @@ cleanup() {
   rm -rf "$WORK"
 }
 trap cleanup EXIT
-
-# Waits for "listening on host:port" in $1 (pid $2), echoes the port.
-wait_port() {
-  port=""
-  i=0
-  while [ "$i" -lt 100 ]; do
-    port="$(sed -n 's/^listening on .*:\([0-9][0-9]*\)$/\1/p' "$1" \
-        2>/dev/null | head -n1)"
-    [ -n "$port" ] && break
-    kill -0 "$2" 2>/dev/null || {
-      echo "process died before listening: $1" >&2
-      cat "$1" >&2
-      return 1
-    }
-    sleep 0.1
-    i=$((i + 1))
-  done
-  [ -n "$port" ] || { echo "never listened: $1" >&2; return 1; }
-  echo "$port"
-}
 
 # --- shards (replicas of the demo database; ranges arrive by install) ---
 "$SERVER" --demo --port 0 >"$WORK/shard0.out" 2>&1 &

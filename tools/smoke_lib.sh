@@ -1,0 +1,34 @@
+# Shared helpers for the smoke scripts (tools/*_smoke.sh). POSIX sh only;
+# source it next to the caller:
+#
+#   . "$(dirname "$0")/smoke_lib.sh"
+#
+# Every server binary prints exactly one "listening on <host>:<port>" line
+# once its socket is bound (and "http listening on ..." for the gateway).
+# Parsing that line — rather than passing fixed ports — is what lets every
+# smoke script bind ephemeral ports and run safely under parallel ctest.
+
+# wait_port FILE PID [PREFIX]
+# Waits up to ~10s for "<PREFIX> <host>:<port>" in FILE (default PREFIX
+# "listening on"), echoing the port. Fails fast when PID exits first.
+wait_port() {
+  _wp_file="$1"
+  _wp_pid="$2"
+  _wp_prefix="${3:-listening on}"
+  _wp_port=""
+  _wp_i=0
+  while [ "$_wp_i" -lt 100 ]; do
+    _wp_port="$(sed -n "s/^$_wp_prefix .*:\([0-9][0-9]*\)\$/\1/p" \
+        "$_wp_file" 2>/dev/null | head -n1)"
+    [ -n "$_wp_port" ] && break
+    kill -0 "$_wp_pid" 2>/dev/null || {
+      echo "process died before listening: $_wp_file" >&2
+      cat "$_wp_file" >&2
+      return 1
+    }
+    sleep 0.1
+    _wp_i=$((_wp_i + 1))
+  done
+  [ -n "$_wp_port" ] || { echo "never listened: $_wp_file" >&2; return 1; }
+  echo "$_wp_port"
+}

@@ -35,6 +35,10 @@
 //   --out PATH        where the authored map is written
 //   --install         rollout mode (see above; needs --map)
 //   --codes           print class codes and exit
+//   --http-port N     also serve the HTTP/JSON gateway in serve mode
+//                     (0=ephemeral; off when absent). Queries scatter-
+//                     gather through the router under the router server's
+//                     admission gate; /v1/dml answers 501.
 
 #include <signal.h>
 #include <unistd.h>
@@ -49,6 +53,7 @@
 
 #include "db/database.h"
 #include "demo_db.h"
+#include "http/gateway.h"
 #include "net/client.h"
 #include "net/router.h"
 #include "net/router_server.h"
@@ -178,6 +183,8 @@ int Run(int argc, char** argv) {
   std::string map_path, snapshot, write_spec, out_path;
   uint64_t map_version = 0;
   bool demo = false, install = false, codes = false;
+  bool http_enabled = false;
+  uint16_t http_port = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -210,6 +217,10 @@ int Run(int argc, char** argv) {
       map_version = std::strtoull(argv[i], nullptr, 10);
     } else if (arg == "--out" && next() != nullptr) {
       out_path = argv[i];
+    } else if (arg == "--http-port" && next() != nullptr) {
+      http_enabled = true;
+      http_port =
+          static_cast<uint16_t>(std::strtoul(argv[i], nullptr, 10));
     } else {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return 2;
@@ -294,12 +305,31 @@ int Run(int argc, char** argv) {
                   router.value()->CurrentMap().version));
   std::printf("listening on %s:%u\n", serve_options.host.c_str(),
               server.value()->port());
+
+  http::RouterBackend backend(server.value().get());
+  std::unique_ptr<http::HttpGateway> gateway;
+  if (http_enabled) {
+    http::GatewayOptions gw_options;
+    gw_options.host = serve_options.host;
+    gw_options.port = http_port;
+    Result<std::unique_ptr<http::HttpGateway>> started =
+        http::HttpGateway::Start(&backend, gw_options);
+    if (!started.ok()) {
+      std::fprintf(stderr, "cannot start http gateway: %s\n",
+                   started.status().ToString().c_str());
+      return 1;
+    }
+    gateway = std::move(started).value();
+    std::printf("http listening on %s:%u\n", serve_options.host.c_str(),
+                gateway->port());
+  }
   std::fflush(stdout);
 
   while (!g_stop.load()) {
     ::usleep(100 * 1000);
   }
 
+  if (gateway != nullptr) gateway->Shutdown();
   server.value()->Shutdown();
   const auto& rc = router.value()->counters();
   std::printf("shutdown: %llu ok, %llu failed, %llu subqueries, "

@@ -19,6 +19,10 @@
 //   --max-queue N     admission wait queue  (default 64)
 //   --shard-map PATH  adopt a ShardMap file at startup (sharded topology)
 //   --shard-index N   this server's entry in that map (default 0)
+//   --http-port N     also serve the HTTP/JSON gateway (0=ephemeral; off
+//                     when the flag is absent). Prints one extra
+//                     "http listening on <host>:<port>" line. The gateway
+//                     shares the binary server's admission budget.
 
 #include <signal.h>
 #include <unistd.h>
@@ -32,6 +36,7 @@
 
 #include "db/database.h"
 #include "demo_db.h"
+#include "http/gateway.h"
 #include "net/server.h"
 
 namespace uindex {
@@ -48,6 +53,8 @@ int Run(int argc, char** argv) {
   std::string snapshot;
   std::string shard_map_path;
   uint32_t shard_index = 0;
+  bool http_enabled = false;
+  uint16_t http_port = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -72,6 +79,10 @@ int Run(int argc, char** argv) {
     } else if (arg == "--shard-index" && next() != nullptr) {
       shard_index =
           static_cast<uint32_t>(std::strtoul(argv[i], nullptr, 10));
+    } else if (arg == "--http-port" && next() != nullptr) {
+      http_enabled = true;
+      http_port =
+          static_cast<uint16_t>(std::strtoul(argv[i], nullptr, 10));
     } else {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return 2;
@@ -133,14 +144,36 @@ int Run(int argc, char** argv) {
   }
   std::printf("listening on %s:%u\n", options.host.c_str(),
               server.value()->port());
+
+  // The optional HTTP/JSON front end executes through the binary server
+  // (ExecuteExternal), so both protocols share one admission gate.
+  http::ServerBackend backend(server.value().get());
+  std::unique_ptr<http::HttpGateway> gateway;
+  if (http_enabled) {
+    http::GatewayOptions gw_options;
+    gw_options.host = options.host;
+    gw_options.port = http_port;
+    Result<std::unique_ptr<http::HttpGateway>> started =
+        http::HttpGateway::Start(&backend, gw_options);
+    if (!started.ok()) {
+      std::fprintf(stderr, "cannot start http gateway: %s\n",
+                   started.status().ToString().c_str());
+      return 1;
+    }
+    gateway = std::move(started).value();
+    std::printf("http listening on %s:%u\n", options.host.c_str(),
+                gateway->port());
+  }
   std::fflush(stdout);
 
   while (!g_stop.load()) {
     ::usleep(100 * 1000);
   }
 
-  // Drain in-flight queries, refuse new frames, tear everything down; only
-  // then is the database destroyed (it outlives the server by scope).
+  // Gateway first (it executes through the server), then drain in-flight
+  // queries, refuse new frames, tear everything down; only then is the
+  // database destroyed (it outlives the server by scope).
+  if (gateway != nullptr) gateway->Shutdown();
   server.value()->Shutdown();
   const auto& counters = server.value()->counters();
   std::printf("shutdown: %llu conns, %llu ok, %llu failed, %llu busy, "
