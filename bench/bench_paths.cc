@@ -1,0 +1,721 @@
+// Deep-path workload: skewed reference chains 6–12 hops long (head → …
+// → tail, each level its own class hierarchy), far past the paper's
+// 3-hop Vehicle example. One U-index over the full path answers every
+// query shape — head retrieval, mid-path object binding, structure
+// (subclass) predicates, and full instantiations — where each baseline
+// (nested index, path index, NIX) covers only a subset.
+//
+// Gates (all exit non-zero on violation):
+//  * rows byte-identical to brute-force chain enumeration for every
+//    query shape, before AND after mid-path re-reference churn
+//    maintained incrementally through IndexedDatabase;
+//  * one U-index answers the whole shape mix in fewer pages than the
+//    per-query best capable baseline combined (deterministic page
+//    counts, always armed);
+//  * a churn step that would close a reference cycle surfaces a typed
+//    CycleDetected error and leaves the index byte-identical;
+//  * façade phase (honors UINDEX_BACKEND=file): concurrent readers
+//    never see an error or a malformed chain during churn + subclass
+//    DDL, and the quiesced index matches brute force. Reader p99 is
+//    gated unless UINDEX_BENCH_NO_TIMING_GATES waives timing.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/nix/nix_index.h"
+#include "baselines/pathindex/nested_index.h"
+#include "baselines/pathindex/path_index.h"
+#include "bench/bench_common.h"
+#include "core/uindex.h"
+#include "core/update.h"
+#include "db/database.h"
+#include "util/random.h"
+#include "workload/path_generator.h"
+
+namespace uindex {
+namespace bench {
+namespace {
+
+DeepPathConfig CoreConfig() {
+  if (QuickMode()) return DeepPathConfig::Quick();
+  DeepPathConfig cfg;  // Full scale: 8 hops, 9000 heads.
+  cfg.hops = 10;
+  return cfg;
+}
+
+// Full instantiations as sorted tail→head rows (the Parscan layout).
+std::vector<std::vector<Oid>> BruteChains(const ObjectStore& store,
+                                          const PathSpec& spec, int64_t lo,
+                                          int64_t hi) {
+  std::vector<std::vector<Oid>> out;
+  const Status s = ForEachInstantiation(
+      store, spec, [&](const PathInstantiation& inst) {
+        if (inst.attr.AsInt() >= lo && inst.attr.AsInt() <= hi) {
+          out.emplace_back(inst.oids.rbegin(), inst.oids.rend());
+        }
+        return Status::OK();
+      });
+  if (!s.ok()) {
+    std::fprintf(stderr, "brute force: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Oid> SortedUnique(std::vector<Oid> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+// Heads (row column hops-1) of sorted tail→head chains.
+std::vector<Oid> HeadsOf(const std::vector<std::vector<Oid>>& chains) {
+  std::vector<Oid> heads;
+  heads.reserve(chains.size());
+  for (const auto& c : chains) heads.push_back(c.back());
+  return SortedUnique(heads);
+}
+
+struct CoreStructures {
+  CoreStructures(const DeepPathWorkload& w, BTreeOptions options)
+      : up(1024), pp(1024), np(1024), xp(1024), ub(&up), pb(&pp), nb(&np),
+        xb(&xp), uindex(&ub, &w.schema, w.coder.get(), w.spec(), options),
+        path(&pb, w.spec(), options), nested(&nb, w.spec(), options),
+        nix(&xb, &w.schema, w.spec(), options) {}
+
+  Pager up, pp, np, xp;
+  BufferManager ub, pb, nb, xb;
+  UIndex uindex;
+  PathIndex path;
+  NestedIndex nested;
+  NixIndex nix;
+
+  Status BuildAll(const ObjectStore& store) {
+    if (Status s = uindex.BuildFrom(store); !s.ok()) return s;
+    if (Status s = path.BuildFrom(store); !s.ok()) return s;
+    if (Status s = nested.BuildFrom(store); !s.ok()) return s;
+    return nix.BuildFrom(store);
+  }
+};
+
+// The structures one measurement round runs against. After churn the
+// U-index is the *maintained* original while every baseline is rebuilt
+// from the churned store, so the two can come from different owners.
+struct StructView {
+  UIndex* uindex;
+  BufferManager* ub;
+  PathIndex* path;
+  BufferManager* pb;
+  NestedIndex* nested;
+  BufferManager* nb;
+  NixIndex* nix;
+  BufferManager* xb;
+
+  static StructView Of(CoreStructures& s) {
+    return {&s.uindex, &s.ub, &s.path, &s.pb,
+            &s.nested, &s.nb, &s.nix,  &s.xb};
+  }
+};
+
+// Running totals for the uniformity page gate: U answers every shape;
+// each shape is also answered by the cheapest baseline CAPABLE of it.
+// Queries are only half the cost of owning an index family, so the gate
+// also charges each side its maintenance: the U-index pays the pages its
+// incremental updates touch during churn, the baseline portfolio pays
+// the pages of rebuilding path+nested+NIX from the churned store (none
+// of them can apply a mid-path re-reference in place).
+struct PageTotals {
+  uint64_t u = 0;
+  uint64_t best_capable = 0;
+  uint64_t u_maintain = 0;
+  uint64_t baseline_rebuild = 0;
+};
+
+int CheckIdentity(const char* what, const std::vector<std::vector<Oid>>& got,
+                  const std::vector<std::vector<Oid>>& expected) {
+  if (got != expected) {
+    std::fprintf(stderr,
+                 "GATE FAILED: %s rows differ from brute force (%zu vs "
+                 "%zu chains)\n",
+                 what, got.size(), expected.size());
+    return 1;
+  }
+  return 0;
+}
+
+// Runs the four query shapes against every capable structure, enforcing
+// byte-identity and accumulating the page gate. `tag` prefixes report
+// rows ("fresh" before churn, "churned" after).
+int RunQueryShapes(const DeepPathWorkload& w, const DeepPathConfig& cfg,
+                   const StructView& s, JsonReport* report, const char* tag,
+                   PageTotals* totals) {
+  const PathSpec spec = w.spec();
+  const std::vector<std::vector<Oid>> all_chains =
+      BruteChains(*w.store, spec, 0, cfg.num_distinct_values);
+  if (all_chains.empty()) {
+    std::fprintf(stderr, "no complete chains generated\n");
+    return 1;
+  }
+  const int64_t lo = 10, hi = 10 + cfg.num_distinct_values / 5;
+  const std::vector<std::vector<Oid>> range_chains =
+      BruteChains(*w.store, spec, lo, hi);
+  auto row = [&](const char* q, const char* structure) {
+    return std::string(tag) + "/" + q + "/" + structure;
+  };
+
+  // ---- Q1: head retrieval over a value range. ----
+  {
+    Query q = Query::Range(Value::Int(lo), Value::Int(hi));
+    for (size_t pos = 0; pos < cfg.hops; ++pos) {
+      q.With(ClassSelector::Subtree(w.roots[cfg.hops - 1 - pos]),
+             pos + 1 == cfg.hops ? ValueSlot::Wanted() : ValueSlot::Any());
+    }
+    QueryCost uc(s.ub);
+    Result<QueryResult> ur = s.uindex->Parscan(q);
+    const uint64_t u_pages = uc.PagesRead();
+    QueryCost nc(s.nb);
+    Result<std::vector<Oid>> nr =
+        s.nested->Lookup(Value::Int(lo), Value::Int(hi));
+    const uint64_t nested_pages = nc.PagesRead();
+    QueryCost xc(s.xb);
+    Result<std::vector<Oid>> xr =
+        s.nix->Lookup(Value::Int(lo), Value::Int(hi), w.roots[0], true);
+    const uint64_t nix_pages = xc.PagesRead();
+    if (!ur.ok() || !nr.ok() || !xr.ok()) {
+      std::fprintf(stderr, "Q1 lookup failed\n");
+      return 1;
+    }
+    const std::vector<Oid> expected = HeadsOf(range_chains);
+    for (const auto& [name, got] :
+         std::vector<std::pair<const char*, std::vector<Oid>>>{
+             {"uindex", ur.value().Distinct(cfg.hops - 1)},
+             {"nested", SortedUnique(nr.value())},
+             {"nix", SortedUnique(xr.value())}}) {
+      if (got != expected) {
+        std::fprintf(stderr,
+                     "GATE FAILED: Q1 %s heads differ from brute force "
+                     "(%zu vs %zu)\n",
+                     name, got.size(), expected.size());
+        return 1;
+      }
+    }
+    std::printf("  %s/Q1 heads        %5zu rows  U=%-5llu nested=%-5llu "
+                "NIX=%llu\n",
+                tag, expected.size(),
+                static_cast<unsigned long long>(u_pages),
+                static_cast<unsigned long long>(nested_pages),
+                static_cast<unsigned long long>(nix_pages));
+    report->AddPages(row("q1_heads", "uindex"),
+                     static_cast<double>(u_pages));
+    report->AddPages(row("q1_heads", "nested"),
+                     static_cast<double>(nested_pages));
+    report->AddPages(row("q1_heads", "nix"),
+                     static_cast<double>(nix_pages));
+    totals->u += u_pages;
+    totals->best_capable += std::min(nested_pages, nix_pages);
+  }
+
+  // ---- Q2: mid-path object binding (chains through one level-3
+  // object), full value range. ----
+  {
+    const size_t bound_level = 3;
+    const Oid bound = all_chains[0][cfg.hops - 1 - bound_level];
+    Query q = Query::Range(Value::Int(0),
+                           Value::Int(cfg.num_distinct_values));
+    for (size_t pos = 0; pos < cfg.hops; ++pos) {
+      const size_t level = cfg.hops - 1 - pos;
+      q.With(ClassSelector::Subtree(w.roots[level]),
+             level == bound_level ? ValueSlot::Bound({bound})
+                                  : ValueSlot::Wanted());
+    }
+    QueryCost uc(s.ub);
+    Result<QueryResult> ur = s.uindex->Parscan(q);
+    const uint64_t u_pages = uc.PagesRead();
+    QueryCost pc(s.pb);
+    Result<std::vector<std::vector<Oid>>> pr = s.path->Lookup(
+        Value::Int(0), Value::Int(cfg.num_distinct_values),
+        {PathIndex::PositionFilter{bound_level, {bound}}});
+    const uint64_t path_pages = pc.PagesRead();
+    QueryCost xc(s.xb);
+    Result<std::vector<Oid>> xr = s.nix->LookupRestricted(
+        Value::Int(0), Value::Int(cfg.num_distinct_values), w.roots[0],
+        true, bound_level, {bound});
+    const uint64_t nix_pages = xc.PagesRead();
+    if (!ur.ok() || !pr.ok() || !xr.ok()) {
+      std::fprintf(stderr, "Q2 lookup failed\n");
+      return 1;
+    }
+    std::vector<std::vector<Oid>> expected;
+    for (const auto& chain : all_chains) {
+      if (chain[cfg.hops - 1 - bound_level] == bound) {
+        expected.push_back(chain);
+      }
+    }
+    if (expected.empty()) {
+      std::fprintf(stderr, "Q2 probe object has no chains\n");
+      return 1;
+    }
+    std::vector<std::vector<Oid>> u_rows = std::move(ur).value().rows;
+    std::sort(u_rows.begin(), u_rows.end());
+    if (int rc = CheckIdentity("Q2 uindex", u_rows, expected); rc != 0) {
+      return rc;
+    }
+    std::vector<std::vector<Oid>> path_rows;
+    for (const auto& t : pr.value()) {
+      path_rows.emplace_back(t.rbegin(), t.rend());
+    }
+    std::sort(path_rows.begin(), path_rows.end());
+    if (int rc = CheckIdentity("Q2 pathindex", path_rows, expected);
+        rc != 0) {
+      return rc;
+    }
+    if (SortedUnique(xr.value()) != HeadsOf(expected)) {
+      std::fprintf(stderr, "GATE FAILED: Q2 nix heads differ\n");
+      return 1;
+    }
+    std::printf("  %s/Q2 mid-bound    %5zu rows  U=%-5llu path=%-5llu "
+                "NIX=%llu\n",
+                tag, expected.size(),
+                static_cast<unsigned long long>(u_pages),
+                static_cast<unsigned long long>(path_pages),
+                static_cast<unsigned long long>(nix_pages));
+    report->AddPages(row("q2_bound", "uindex"),
+                     static_cast<double>(u_pages));
+    report->AddPages(row("q2_bound", "pathindex"),
+                     static_cast<double>(path_pages));
+    report->AddPages(row("q2_bound", "nix"),
+                     static_cast<double>(nix_pages));
+    totals->u += u_pages;
+    totals->best_capable += std::min(path_pages, nix_pages);
+  }
+
+  // ---- Q3: structure predicate — only chains whose level-2 object is
+  // an instance of the level's FIRST SUBCLASS. No baseline expresses an
+  // in-path class restriction; U-index vs brute force. ----
+  {
+    const size_t pred_level = 2;
+    const ClassId sub = w.classes[pred_level][1];
+    Query q =
+        Query::Range(Value::Int(lo), Value::Int(hi));
+    for (size_t pos = 0; pos < cfg.hops; ++pos) {
+      const size_t level = cfg.hops - 1 - pos;
+      q.With(level == pred_level ? ClassSelector::Subtree(sub)
+                                 : ClassSelector::Subtree(w.roots[level]),
+             ValueSlot::Wanted());
+    }
+    QueryCost uc(s.ub);
+    Result<QueryResult> ur = s.uindex->Parscan(q);
+    const uint64_t u_pages = uc.PagesRead();
+    if (!ur.ok()) {
+      std::fprintf(stderr, "Q3: %s\n", ur.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<std::vector<Oid>> expected;
+    for (const auto& chain : range_chains) {
+      const Oid at = chain[cfg.hops - 1 - pred_level];
+      if (w.schema.IsSubclassOf(w.store->Get(at).value()->cls, sub)) {
+        expected.push_back(chain);
+      }
+    }
+    std::vector<std::vector<Oid>> u_rows = std::move(ur).value().rows;
+    std::sort(u_rows.begin(), u_rows.end());
+    if (int rc = CheckIdentity("Q3 uindex", u_rows, expected); rc != 0) {
+      return rc;
+    }
+    std::printf("  %s/Q3 structure    %5zu rows  U=%llu (no capable "
+                "baseline)\n",
+                tag, expected.size(),
+                static_cast<unsigned long long>(u_pages));
+    report->AddPages(row("q3_structure", "uindex"),
+                     static_cast<double>(u_pages));
+  }
+
+  // ---- Q4: full instantiations at an exact value (derived from a real
+  // chain: fixed constants can be absent from the small tail set). ----
+  {
+    const int64_t v0 = w.store->Get(all_chains[0][0])
+                           .value()
+                           ->FindAttr(kPathValueAttr)
+                           ->AsInt();
+    Query q = Query::ExactValue(Value::Int(v0));
+    for (size_t pos = 0; pos < cfg.hops; ++pos) {
+      q.With(ClassSelector::Subtree(w.roots[cfg.hops - 1 - pos]),
+             ValueSlot::Wanted());
+    }
+    QueryCost uc(s.ub);
+    Result<QueryResult> ur = s.uindex->Parscan(q);
+    const uint64_t u_pages = uc.PagesRead();
+    QueryCost pc(s.pb);
+    Result<std::vector<std::vector<Oid>>> pr =
+        s.path->Lookup(Value::Int(v0), Value::Int(v0));
+    const uint64_t path_pages = pc.PagesRead();
+    if (!ur.ok() || !pr.ok()) {
+      std::fprintf(stderr, "Q4 lookup failed\n");
+      return 1;
+    }
+    const std::vector<std::vector<Oid>> expected =
+        BruteChains(*w.store, spec, v0, v0);
+    std::vector<std::vector<Oid>> u_rows = std::move(ur).value().rows;
+    std::sort(u_rows.begin(), u_rows.end());
+    if (int rc = CheckIdentity("Q4 uindex", u_rows, expected); rc != 0) {
+      return rc;
+    }
+    std::vector<std::vector<Oid>> path_rows;
+    for (const auto& t : pr.value()) {
+      path_rows.emplace_back(t.rbegin(), t.rend());
+    }
+    std::sort(path_rows.begin(), path_rows.end());
+    if (int rc = CheckIdentity("Q4 pathindex", path_rows, expected);
+        rc != 0) {
+      return rc;
+    }
+    std::printf("  %s/Q4 instantiate  %5zu rows  U=%-5llu path=%llu\n",
+                tag, expected.size(),
+                static_cast<unsigned long long>(u_pages),
+                static_cast<unsigned long long>(path_pages));
+    report->AddPages(row("q4_chains", "uindex"),
+                     static_cast<double>(u_pages));
+    report->AddPages(row("q4_chains", "pathindex"),
+                     static_cast<double>(path_pages));
+    totals->u += u_pages;
+    totals->best_capable += path_pages;
+  }
+  return 0;
+}
+
+// A churn step that closes a reference cycle must fail typed and leave
+// the maintained index byte-identical (the ISSUE's update edge case).
+int RunCycleProbe() {
+  Schema schema;
+  const ClassId node = schema.AddClass("Node").value();
+  if (!schema.AddReference(node, node, "next").ok()) return 1;
+  Result<ClassCoder> coder =
+      ClassCoder::Assign(schema, schema.FindCycleBreakingEdges());
+  if (!coder.ok()) return 1;
+  ObjectStore store(&schema);
+  Pager pager(1024);
+  BufferManager buffers(&pager);
+  PathSpec spec;
+  spec.classes = {node, node, node};
+  spec.ref_attrs = {"next", "next"};
+  spec.indexed_attr = "Value";
+  spec.value_kind = Value::Kind::kInt;
+  UIndex index(&buffers, &schema, &coder.value(), spec);
+  if (!index.BuildFrom(store).ok()) return 1;
+  IndexedDatabase idb(&schema, &store);
+  idb.RegisterIndex(&index);
+
+  const Oid n1 = idb.CreateObject(node).value();
+  const Oid n2 = idb.CreateObject(node).value();
+  if (!idb.SetAttr(n1, "Value", Value::Int(1)).ok()) return 1;
+  if (!idb.SetAttr(n2, "Value", Value::Int(2)).ok()) return 1;
+  if (!idb.SetAttr(n1, "next", Value::Ref(n2)).ok()) return 1;
+  const uint64_t entries_before = index.entry_count();
+  const Status s = idb.SetAttr(n2, "next", Value::Ref(n1));
+  if (!s.IsCycleDetected()) {
+    std::fprintf(stderr,
+                 "GATE FAILED: cycle-closing churn returned \"%s\", want "
+                 "CycleDetected\n",
+                 s.ToString().c_str());
+    return 1;
+  }
+  if (index.entry_count() != entries_before ||
+      !index.btree().Validate().ok() ||
+      !store.ReferrersOf(n1, "next").empty()) {
+    std::fprintf(stderr, "GATE FAILED: cycle rollback left residue\n");
+    return 1;
+  }
+  std::printf("cycle probe: typed CycleDetected, index byte-identical\n");
+  return 0;
+}
+
+// Façade phase: deep paths through `Database` (memory or file backend)
+// under concurrent readers with re-reference churn + subclass DDL.
+int RunFacadePhase(JsonReport* report) {
+  DeepPathConfig cfg = DeepPathConfig::Quick();
+  cfg.heads = QuickMode() ? 800 : 4000;
+  Database db;
+  DeepPathDbInfo info;
+  if (Status s = LoadDeepPathsIntoDatabase(cfg, &db, &info); !s.ok()) {
+    std::fprintf(stderr, "facade load: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("facade phase: backend=%s, %u heads x %u hops\n",
+              db.data_path().empty() ? "memory" : "file", cfg.heads,
+              cfg.hops);
+
+  auto chain_query = [&](int64_t lo, int64_t hi) {
+    Query q = Query::Range(Value::Int(lo), Value::Int(hi));
+    for (size_t pos = 0; pos < cfg.hops; ++pos) {
+      q.With(ClassSelector::Subtree(info.roots[cfg.hops - 1 - pos]),
+             ValueSlot::Wanted());
+    }
+    return q;
+  };
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+  std::vector<LatencyRecorder> recorders(2);
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < recorders.size(); ++t) {
+    readers.emplace_back([&, t] {
+      Random rng(0x5EED + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Throttled so DDL's exclusive latch acquisition can get in.
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        const int64_t lo = static_cast<int64_t>(
+            rng.Uniform(static_cast<uint64_t>(cfg.num_distinct_values)));
+        const auto start = std::chrono::steady_clock::now();
+        Result<QueryResult> r =
+            db.Execute(info.index_pos, chain_query(lo, lo + 20));
+        recorders[t].Record(
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - start)
+                .count());
+        if (!r.ok()) {
+          violations.fetch_add(1);
+          continue;
+        }
+        // Every row must be a well-formed chain: full length, head an
+        // instance of the head hierarchy (torn index states would break
+        // this long before byte-level checks).
+        for (const auto& chain : r.value().rows) {
+          if (chain.size() != cfg.hops) {
+            violations.fetch_add(1);
+            break;
+          }
+          Result<const Object*> head = db.store().Get(chain.back());
+          if (!head.ok() ||
+              !db.schema().IsSubclassOf(head.value()->cls,
+                                        info.roots[0])) {
+            violations.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+
+  // Mid-path re-reference churn through the façade (levels are distinct
+  // hierarchies, so no cycle is possible) + one subclass insertion per
+  // quarter, immediately wired into live chains.
+  Random rng(0xD1CE);
+  const int churn = QuickMode() ? 300 : 1500;
+  int rc = 0;
+  for (int i = 0; i < churn && rc == 0; ++i) {
+    const size_t level =
+        1 + rng.Uniform(static_cast<uint64_t>(cfg.hops - 2));
+    const auto& sources = info.oids[level];
+    const auto& targets = info.oids[level + 1];
+    if (Status s = db.SetAttr(
+            sources[rng.Uniform(sources.size())], info.ref_attrs[level],
+            Value::Ref(targets[rng.Uniform(targets.size())]));
+        !s.ok()) {
+      std::fprintf(stderr, "churn: %s\n", s.ToString().c_str());
+      rc = 1;
+    }
+    if (i % (churn / 4) == churn / 8) {
+      const size_t ddl_level = 2;
+      Result<ClassId> fresh = db.CreateSubclass(
+          "Hop2Evolved" + std::to_string(i), info.roots[ddl_level]);
+      if (!fresh.ok()) {
+        std::fprintf(stderr, "ddl: %s\n",
+                     fresh.status().ToString().c_str());
+        rc = 1;
+        break;
+      }
+      // A new-subclass object spliced into a live chain: its upstream
+      // neighbour re-points at it, it points on downstream.
+      Result<Oid> oid = db.CreateObject(fresh.value());
+      if (!oid.ok() ||
+          !db.SetAttr(oid.value(), info.ref_attrs[ddl_level],
+                      Value::Ref(info.oids[ddl_level + 1][0]))
+               .ok() ||
+          !db.SetAttr(info.oids[ddl_level - 1][i % 50],
+                      info.ref_attrs[ddl_level - 1],
+                      Value::Ref(oid.value()))
+               .ok()) {
+        rc = 1;
+        break;
+      }
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  LatencyRecorder all;
+  for (size_t t = 0; t < readers.size(); ++t) {
+    readers[t].join();
+    all.Merge(recorders[t]);
+  }
+  if (rc != 0) return rc;
+  if (violations.load() != 0) {
+    std::fprintf(stderr,
+                 "GATE FAILED: %d reader errors / malformed chains during "
+                 "churn+DDL\n",
+                 violations.load());
+    return 1;
+  }
+
+  // Quiesced identity: the maintained façade index equals brute force
+  // over the evolved store, new subclass objects included.
+  PathSpec spec;
+  spec.classes = info.roots;
+  spec.ref_attrs = info.ref_attrs;
+  spec.indexed_attr = kPathValueAttr;
+  spec.value_kind = Value::Kind::kInt;
+  Result<QueryResult> final_r = db.Execute(
+      info.index_pos, chain_query(0, cfg.num_distinct_values));
+  if (!final_r.ok()) return 1;
+  std::vector<std::vector<Oid>> rows = std::move(final_r).value().rows;
+  std::sort(rows.begin(), rows.end());
+  if (rows != BruteChains(db.store(), spec, 0, cfg.num_distinct_values)) {
+    std::fprintf(stderr, "GATE FAILED: façade rows diverge from brute "
+                         "force after churn + evolution\n");
+    return 1;
+  }
+
+  std::printf("facade readers: %llu queries, mean %.0fus p50 %.0fus "
+              "p99 %.0fus\n",
+              static_cast<unsigned long long>(all.Count()), all.MeanUs(),
+              all.PercentileUs(50), all.PercentileUs(99));
+  report->AddScalar("facade/reader", "count",
+                    static_cast<double>(all.Count()));
+  report->AddScalar("facade/reader", "mean_us", all.MeanUs());
+  report->AddScalar("facade/reader", "p50_us", all.PercentileUs(50));
+  report->AddScalar("facade/reader", "p99_us", all.PercentileUs(99));
+  const bool no_timing =
+      std::getenv("UINDEX_BENCH_NO_TIMING_GATES") != nullptr;
+  if (!no_timing && all.PercentileUs(99) > 100000.0) {
+    std::fprintf(stderr, "GATE FAILED: reader p99 %.0fus > 100ms\n",
+                 all.PercentileUs(99));
+    return 1;
+  }
+  return 0;
+}
+
+int Run() {
+  const DeepPathConfig cfg = CoreConfig();
+  std::printf("Deep-path workload: %u hops, %u heads, skew %.1f%s\n\n",
+              cfg.hops, cfg.heads, cfg.skew,
+              QuickMode() ? " [QUICK MODE]" : "");
+  DeepPathWorkload w;
+  if (Status s = GenerateDeepPaths(cfg, &w); !s.ok()) {
+    std::fprintf(stderr, "generate: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  JsonReport report("paths");
+  CoreStructures structures(w, BTreeOptions());
+  if (Status s = structures.BuildAll(*w.store); !s.ok()) {
+    std::fprintf(stderr, "build: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  PageTotals totals;
+  if (int rc = RunQueryShapes(w, cfg, StructView::Of(structures), &report,
+                              "fresh", &totals);
+      rc != 0) {
+    return rc;
+  }
+
+  // Mid-path re-reference churn, maintained incrementally; every query
+  // shape must still be byte-identical to brute force afterwards
+  // (baselines are rebuilt from the churned store — only the U-index is
+  // maintained in place).
+  IndexedDatabase idb(&w.schema, w.store.get());
+  idb.RegisterIndex(&structures.uindex);
+  const size_t churn = QuickMode() ? 400 : 2500;
+  QueryCost maintain_cost(&structures.ub);
+  Result<size_t> applied = ChurnRereference(&w, &idb, churn, 0xCAFE);
+  totals.u_maintain =
+      maintain_cost.PagesRead() + maintain_cost.PagesWritten();
+  if (!applied.ok() || applied.value() != churn) {
+    std::fprintf(stderr, "churn failed: %s\n",
+                 applied.ok() ? "short count"
+                              : applied.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n  applied %zu mid-path re-references (U maintained "
+              "in place, baselines rebuilt)\n",
+              applied.value());
+  if (!structures.uindex.btree().Validate().ok()) {
+    std::fprintf(stderr, "GATE FAILED: maintained U-index fails "
+                         "validation after churn\n");
+    return 1;
+  }
+  CoreStructures churned(w, BTreeOptions());
+  {
+    QueryCost pc(&churned.pb);
+    QueryCost nc(&churned.nb);
+    QueryCost xc(&churned.xb);
+    if (Status s = churned.BuildAll(*w.store); !s.ok()) return 1;
+    // Only the three baselines count — the rebuilt U-index below exists
+    // solely to cross-check the maintained one's entry count.
+    totals.baseline_rebuild = pc.PagesRead() + pc.PagesWritten() +
+                              nc.PagesRead() + nc.PagesWritten() +
+                              xc.PagesRead() + xc.PagesWritten();
+  }
+  if (churned.uindex.entry_count() != structures.uindex.entry_count()) {
+    std::fprintf(stderr,
+                 "GATE FAILED: maintained entry count %llu != rebuilt "
+                 "%llu\n",
+                 static_cast<unsigned long long>(
+                     structures.uindex.entry_count()),
+                 static_cast<unsigned long long>(
+                     churned.uindex.entry_count()));
+    return 1;
+  }
+  // The maintained index answers the post-churn round (keeping its own
+  // page totals honest in the gate); the rebuilt baselines answer theirs.
+  StructView churned_view = StructView::Of(churned);
+  churned_view.uindex = &structures.uindex;
+  churned_view.ub = &structures.ub;
+  if (int rc = RunQueryShapes(w, cfg, churned_view, &report, "churned",
+                              &totals);
+      rc != 0) {
+    return rc;
+  }
+
+  const uint64_t u_total = totals.u + totals.u_maintain;
+  const uint64_t portfolio_total =
+      totals.best_capable + totals.baseline_rebuild;
+  report.AddPages("gate/u_queries", totals.u);
+  report.AddPages("gate/u_maintain", totals.u_maintain);
+  report.AddPages("gate/portfolio_queries", totals.best_capable);
+  report.AddPages("gate/portfolio_rebuild", totals.baseline_rebuild);
+  std::printf("\n  pages  U: queries=%llu maintain=%llu | portfolio: "
+              "queries=%llu rebuild=%llu\n",
+              static_cast<unsigned long long>(totals.u),
+              static_cast<unsigned long long>(totals.u_maintain),
+              static_cast<unsigned long long>(totals.best_capable),
+              static_cast<unsigned long long>(totals.baseline_rebuild));
+  if (u_total >= portfolio_total) {
+    std::fprintf(stderr,
+                 "GATE FAILED: uniform index total pages %llu >= baseline "
+                 "portfolio total %llu\n",
+                 static_cast<unsigned long long>(u_total),
+                 static_cast<unsigned long long>(portfolio_total));
+    return 1;
+  }
+  std::printf("uniformity gate: U total=%llu pages (queries+maintenance) "
+              "< baseline portfolio=%llu (per-query cheapest capable + "
+              "rebuild after churn)\n\n",
+              static_cast<unsigned long long>(u_total),
+              static_cast<unsigned long long>(portfolio_total));
+
+  if (int rc = RunCycleProbe(); rc != 0) return rc;
+  if (int rc = RunFacadePhase(&report); rc != 0) return rc;
+  report.Write();
+  std::printf("\nall deep-path gates passed\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace uindex
+
+int main() { return uindex::bench::Run(); }

@@ -1,0 +1,420 @@
+// Roll-up workload: day⊑month⊑year and city⊑state⊑country ontologies as
+// class hierarchies (thousands of classes, sibling counts past the Z*
+// token boundary), facts on the leaves. A roll-up at any level is ONE
+// Parscan code-range scan for the U-index, while the per-class baselines
+// (CG-tree, H-tree) must enumerate every leaf class under the ancestor
+// and NIX walks its per-value class directories.
+//
+// Gates (all exit non-zero on violation):
+//  * rows byte-identical between the U-index, every baseline, and the
+//    brute-force store scan, at every roll-up level;
+//  * the U-index reads fewer pages than the best baseline on multi-level
+//    roll-ups (year/country and root levels) — page counts are
+//    deterministic, so this gate is always armed;
+//  * façade phase (honors UINDEX_BACKEND=file): concurrent readers see
+//    byte-identical rows for classes untouched by mid-run SetAttr churn
+//    and subclass-insertion DDL; reader p99 stays under the bound unless
+//    UINDEX_BENCH_NO_TIMING_GATES waives timing.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/cgtree/cgtree.h"
+#include "baselines/htree/htree.h"
+#include "baselines/nix/nix_index.h"
+#include "bench/bench_common.h"
+#include "core/uindex.h"
+#include "db/database.h"
+#include "util/random.h"
+#include "workload/rollup_generator.h"
+
+namespace uindex {
+namespace bench {
+namespace {
+
+RollupConfig CoreConfig() {
+  if (QuickMode()) return RollupConfig::Quick();
+  RollupConfig cfg;  // Full scale: 13k+ day classes, 120k facts.
+  return cfg;
+}
+
+std::vector<Oid> ParscanOids(const UIndex& index, ClassId cls, int64_t lo,
+                             int64_t hi, Status* status) {
+  Query q = Query::Range(Value::Int(lo), Value::Int(hi));
+  q.With(ClassSelector::Subtree(cls), ValueSlot::Wanted());
+  Result<QueryResult> r = index.Parscan(q);
+  if (!r.ok()) {
+    *status = r.status();
+    return {};
+  }
+  std::vector<Oid> oids = r.value().Distinct(0);
+  return oids;
+}
+
+// One roll-up probe: a class at some ontology level plus a value range.
+struct Probe {
+  std::string label;
+  ClassId cls = kInvalidClassId;
+  int64_t lo = 0;
+  int64_t hi = 0;
+  bool multi_level = false;  ///< Rolls up over >= 2 hierarchy levels.
+};
+
+// Measures every structure on `probe`, appends report rows, enforces the
+// rows-identical gate, and accumulates the multi-level page totals.
+struct PanelState {
+  UIndex* uindex;
+  CgTree* cgtree;
+  HTree* htree;
+  NixIndex* nix;
+  BufferManager* ub;
+  BufferManager* cb;
+  BufferManager* hb;
+  BufferManager* xb;
+  const Schema* schema;
+  const ObjectStore* store;
+  JsonReport* report;
+  uint64_t u_multi_pages = 0;
+  uint64_t best_baseline_multi_pages = 0;
+};
+
+int RunProbe(PanelState& p, const Probe& probe) {
+  const std::vector<Oid> expected =
+      RollupScan(*p.store, probe.cls, probe.lo, probe.hi);
+  const std::vector<ClassId> leaves = LeafClassesUnder(*p.schema, probe.cls);
+
+  Status status = Status::OK();
+  QueryCost uc(p.ub);
+  const std::vector<Oid> u_rows =
+      ParscanOids(*p.uindex, probe.cls, probe.lo, probe.hi, &status);
+  const uint64_t u_pages = uc.PagesRead();
+  if (!status.ok()) {
+    std::fprintf(stderr, "U-index %s: %s\n", probe.label.c_str(),
+                 status.ToString().c_str());
+    return 1;
+  }
+
+  QueryCost cc(p.cb);
+  Result<std::vector<Oid>> cg_rows =
+      p.cgtree->Search(Value::Int(probe.lo), Value::Int(probe.hi), leaves);
+  const uint64_t cg_pages = cc.PagesRead();
+
+  QueryCost hc(p.hb);
+  Result<std::vector<Oid>> h_rows =
+      p.htree->Search(Value::Int(probe.lo), Value::Int(probe.hi), leaves);
+  const uint64_t h_pages = hc.PagesRead();
+
+  QueryCost xc(p.xb);
+  Result<std::vector<Oid>> nix_rows = p.nix->Lookup(
+      Value::Int(probe.lo), Value::Int(probe.hi), probe.cls, true);
+  const uint64_t nix_pages = xc.PagesRead();
+
+  for (const auto& [name, rows] :
+       std::vector<std::pair<const char*, const Result<std::vector<Oid>>*>>{
+           {"cgtree", &cg_rows}, {"htree", &h_rows}, {"nix", &nix_rows}}) {
+    if (!rows->ok()) {
+      std::fprintf(stderr, "%s %s: %s\n", name, probe.label.c_str(),
+                   rows->status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  auto sorted = [](std::vector<Oid> v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+    return v;
+  };
+  for (const auto& [name, rows] :
+       std::vector<std::pair<const char*, std::vector<Oid>>>{
+           {"uindex", u_rows},
+           {"cgtree", sorted(cg_rows.value())},
+           {"htree", sorted(h_rows.value())},
+           {"nix", sorted(nix_rows.value())}}) {
+    if (rows != expected) {
+      std::fprintf(stderr,
+                   "GATE FAILED: %s rows differ from brute force on %s "
+                   "(%zu vs %zu oids)\n",
+                   name, probe.label.c_str(), rows.size(), expected.size());
+      return 1;
+    }
+  }
+
+  std::printf("  %-28s %6zu rows  %5zu leaf classes  U=%-5llu CG=%-5llu "
+              "H=%-5llu NIX=%llu\n",
+              probe.label.c_str(), expected.size(), leaves.size(),
+              static_cast<unsigned long long>(u_pages),
+              static_cast<unsigned long long>(cg_pages),
+              static_cast<unsigned long long>(h_pages),
+              static_cast<unsigned long long>(nix_pages));
+  p.report->AddPages(probe.label + "/uindex", static_cast<double>(u_pages));
+  p.report->AddPages(probe.label + "/cgtree", static_cast<double>(cg_pages));
+  p.report->AddPages(probe.label + "/htree", static_cast<double>(h_pages));
+  p.report->AddPages(probe.label + "/nix", static_cast<double>(nix_pages));
+  if (probe.multi_level) {
+    p.u_multi_pages += u_pages;
+    p.best_baseline_multi_pages +=
+        std::min(std::min(cg_pages, h_pages), nix_pages);
+  }
+  return 0;
+}
+
+int RunCorePanel(const RollupWorkload& w, const RollupOntology& ont,
+                 const char* panel, const std::vector<Oid>& facts,
+                 JsonReport* report) {
+  BTreeOptions options;
+  Pager up(1024), cp(1024), hp(1024), xp(1024);
+  BufferManager ub(&up), cb(&cp), hb(&hp), xb(&xp);
+  const PathSpec spec =
+      PathSpec::ClassHierarchy(ont.root, kRollupValueAttr);
+  UIndex uindex(&ub, &w.schema, w.coder.get(), spec, options);
+  CgTree cgtree(&cb, Value::Kind::kInt, options);
+  HTree htree(&hb, Value::Kind::kInt, options);
+  NixIndex nix(&xb, &w.schema, spec, options);
+  if (Status s = uindex.BuildFrom(*w.store); !s.ok()) {
+    std::fprintf(stderr, "uindex build: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (Status s = nix.BuildFrom(*w.store); !s.ok()) {
+    std::fprintf(stderr, "nix build: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  for (Oid oid : facts) {
+    const Object* obj = w.store->Get(oid).value();
+    const Value* v = obj->FindAttr(kRollupValueAttr);
+    if (Status s = cgtree.Insert(*v, obj->cls, oid); !s.ok()) return 1;
+    if (Status s = htree.Insert(*v, obj->cls, oid); !s.ok()) return 1;
+  }
+
+  PanelState state{&uindex, &cgtree, &htree, &nix, &ub,    &cb,
+                   &hb,     &xb,     &w.schema, w.store.get(), report};
+
+  // Roll-up levels bottom-up; the sampled mid/leaf classes deliberately
+  // include Z*-token siblings (index >= 34). Ranges cover exact-match and
+  // a ~20% value band.
+  const int64_t values = CoreConfig().num_distinct_values;
+  const int64_t band = values / 5;
+  std::vector<Probe> probes;
+  const size_t l1 = ont.level1.size() - 1;  // A Z*-token sibling.
+  probes.push_back({std::string(panel) + "/leaf/exact",
+                    ont.leaves[l1][0][0], 17 % values, 17 % values, false});
+  probes.push_back({std::string(panel) + "/mid/range", ont.level2[l1][0],
+                    10, 10 + band, false});
+  probes.push_back({std::string(panel) + "/level1/range", ont.level1[l1],
+                    10, 10 + band, true});
+  probes.push_back({std::string(panel) + "/root/range", ont.root, 10,
+                    10 + band, true});
+  probes.push_back({std::string(panel) + "/root/exact", ont.root,
+                    23 % values, 23 % values, true});
+  for (const Probe& probe : probes) {
+    if (int rc = RunProbe(state, probe); rc != 0) return rc;
+  }
+
+  if (state.u_multi_pages >= state.best_baseline_multi_pages) {
+    std::fprintf(stderr,
+                 "GATE FAILED: %s multi-level roll-up pages U=%llu >= best "
+                 "baseline=%llu\n",
+                 panel,
+                 static_cast<unsigned long long>(state.u_multi_pages),
+                 static_cast<unsigned long long>(
+                     state.best_baseline_multi_pages));
+    return 1;
+  }
+  std::printf("  %s multi-level gate: U=%llu pages < best baseline=%llu\n\n",
+              panel, static_cast<unsigned long long>(state.u_multi_pages),
+              static_cast<unsigned long long>(
+                  state.best_baseline_multi_pages));
+  return 0;
+}
+
+// Façade phase: the same workload through `Database` (memory or file
+// backend per UINDEX_BACKEND) under concurrent readers, with SetAttr
+// churn and Fig. 4 subclass insertion mid-run.
+int RunFacadePhase(JsonReport* report) {
+  RollupConfig cfg = RollupConfig::Quick();
+  cfg.num_events = QuickMode() ? 8000 : 30000;
+  cfg.num_readings = QuickMode() ? 8000 : 30000;
+  Database db;
+  RollupDbInfo info;
+  if (Status s = LoadRollupIntoDatabase(cfg, &db, &info); !s.ok()) {
+    std::fprintf(stderr, "facade load: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("facade phase: backend=%s, %u+%u facts\n",
+              db.data_path().empty() ? "memory" : "file", cfg.num_events,
+              cfg.num_readings);
+
+  auto select_rollup = [&](ClassId cls, int64_t lo,
+                           int64_t hi) -> Result<std::vector<Oid>> {
+    Database::Selection sel;
+    sel.cls = cls;
+    sel.with_subclasses = true;
+    sel.attr = kRollupValueAttr;
+    sel.lo = Value::Int(lo);
+    sel.hi = Value::Int(hi);
+    Result<Database::SelectResult> r = db.Select(sel);
+    if (!r.ok()) return r.status();
+    if (!r.value().used_index) {
+      return Status::NotSupported("roll-up fell off the index: " +
+                                  r.value().index_description);
+    }
+    return std::move(r).value().oids;
+  };
+
+  // Untouched observers: a year and a state no churn or DDL goes near.
+  const ClassId quiet_year = info.time.level1[12];
+  const ClassId quiet_state = info.geo.level2[0][3];
+  Result<std::vector<Oid>> y0 = select_rollup(quiet_year, 0, 1 << 30);
+  Result<std::vector<Oid>> s0 = select_rollup(quiet_state, 0, 1 << 30);
+  if (!y0.ok() || !s0.ok()) {
+    std::fprintf(stderr, "facade baseline failed\n");
+    return 1;
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> mismatches{0};
+  std::atomic<int> reader_errors{0};
+  std::vector<LatencyRecorder> recorders(2);
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < recorders.size(); ++t) {
+    readers.emplace_back([&, t] {
+      Random rng(0xBEEF + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Throttled so the DDL's exclusive latch can get in.
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        const ClassId cls = (t + rng.Next()) % 2 == 0 ? quiet_year
+                                                      : quiet_state;
+        const auto start = std::chrono::steady_clock::now();
+        Result<std::vector<Oid>> rows = select_rollup(cls, 0, 1 << 30);
+        recorders[t].Record(
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - start)
+                .count());
+        if (!rows.ok()) {
+          reader_errors.fetch_add(1);
+        } else if (rows.value() !=
+                   (cls == quiet_year ? y0.value() : s0.value())) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  // Churn: re-tag fact values (index maintenance through the facade) and
+  // insert subclasses under a Z*-token year, populating each.
+  Random rng(0x40404);
+  const int churn = QuickMode() ? 400 : 2000;
+  const ClassId evolved_month = info.time.level2[35][0];
+  int rc = 0;
+  for (int i = 0; i < churn && rc == 0; ++i) {
+    const Oid fact =
+        info.readings[rng.Uniform(info.readings.size())];
+    if (Status s = db.SetAttr(
+            fact, kRollupValueAttr,
+            Value::Int(static_cast<int64_t>(
+                rng.Uniform(static_cast<uint64_t>(
+                    cfg.num_distinct_values)))));
+        !s.ok()) {
+      std::fprintf(stderr, "churn: %s\n", s.ToString().c_str());
+      rc = 1;
+    }
+    if (i % (churn / 4) == churn / 8) {
+      Result<ClassId> fresh = db.CreateSubclass(
+          "EvolvedDay" + std::to_string(i), evolved_month);
+      if (!fresh.ok()) {
+        std::fprintf(stderr, "ddl: %s\n", fresh.status().ToString().c_str());
+        rc = 1;
+        break;
+      }
+      for (int k = 0; k < 20; ++k) {
+        Result<Oid> oid = db.CreateObject(fresh.value());
+        if (!oid.ok() ||
+            !db.SetAttr(oid.value(), kRollupValueAttr, Value::Int(k)).ok()) {
+          rc = 1;
+          break;
+        }
+      }
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  LatencyRecorder all;
+  for (size_t t = 0; t < readers.size(); ++t) {
+    readers[t].join();
+    all.Merge(recorders[t]);
+  }
+  if (rc != 0) return rc;
+
+  if (mismatches.load() != 0 || reader_errors.load() != 0) {
+    std::fprintf(stderr,
+                 "GATE FAILED: %d row mismatches, %d reader errors on "
+                 "untouched classes during churn+DDL\n",
+                 mismatches.load(), reader_errors.load());
+    return 1;
+  }
+  // Quiesced identity: the index agrees with a store brute force after
+  // all churn and evolution.
+  const std::vector<Oid> final_rows =
+      select_rollup(info.time.level1[35], 0, 1 << 30).value();
+  if (final_rows != RollupScan(db.store(), info.time.level1[35], 0,
+                               1 << 30)) {
+    std::fprintf(stderr, "GATE FAILED: evolved-year rows diverge from "
+                         "brute force after churn\n");
+    return 1;
+  }
+
+  std::printf("facade readers: %llu queries, mean %.0fus p50 %.0fus "
+              "p99 %.0fus\n",
+              static_cast<unsigned long long>(all.Count()), all.MeanUs(),
+              all.PercentileUs(50), all.PercentileUs(99));
+  report->AddScalar("facade/reader", "count",
+                    static_cast<double>(all.Count()));
+  report->AddScalar("facade/reader", "mean_us", all.MeanUs());
+  report->AddScalar("facade/reader", "p50_us", all.PercentileUs(50));
+  report->AddScalar("facade/reader", "p99_us", all.PercentileUs(99));
+
+  const bool no_timing =
+      std::getenv("UINDEX_BENCH_NO_TIMING_GATES") != nullptr;
+  if (!no_timing && all.PercentileUs(99) > 100000.0) {
+    std::fprintf(stderr, "GATE FAILED: reader p99 %.0fus > 100ms\n",
+                 all.PercentileUs(99));
+    return 1;
+  }
+  return 0;
+}
+
+int Run() {
+  const RollupConfig cfg = CoreConfig();
+  std::printf("Roll-up workload: %ux%ux%u time, %ux%ux%u geo, %u+%u "
+              "facts%s\n\n",
+              cfg.years, cfg.months_per_year, cfg.days_per_month,
+              cfg.countries, cfg.states_per_country, cfg.cities_per_state,
+              cfg.num_events, cfg.num_readings,
+              QuickMode() ? " [QUICK MODE]" : "");
+  RollupWorkload w;
+  if (Status s = GenerateRollup(cfg, &w); !s.ok()) {
+    std::fprintf(stderr, "generate: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  JsonReport report("rollup");
+  if (int rc = RunCorePanel(w, w.time, "time", w.events, &report); rc != 0) {
+    return rc;
+  }
+  if (int rc = RunCorePanel(w, w.geo, "geo", w.readings, &report); rc != 0) {
+    return rc;
+  }
+  if (int rc = RunFacadePhase(&report); rc != 0) return rc;
+  report.Write();
+  std::printf("\nall roll-up gates passed\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace uindex
+
+int main() { return uindex::bench::Run(); }

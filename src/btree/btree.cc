@@ -582,10 +582,12 @@ Status BTree::RebalanceAfterDelete(std::vector<PathStep> path, PageId node_id,
     }
     UINDEX_RETURN_IF_ERROR(WriteNode(left_id, left_node));
     UINDEX_RETURN_IF_ERROR(WriteNode(right_id, right_node));
-    UINDEX_RETURN_IF_ERROR(WriteNode(parent.page_id, pnode));
-    // The parent did not shrink, so rebalancing stops here; still unwind to
-    // let the root-collapse logic run if the parent chain is trivial.
-    return Status::OK();
+    // The borrow replaced the pair's separator with a sibling boundary key
+    // that can be *longer* than the one it displaced, so a full parent can
+    // overflow here — store it through the insert-side split path. The
+    // parent never shrinks, so rebalancing stops either way.
+    return StoreWithSplits(std::move(path), parent.page_id,
+                           std::move(pnode));
   }
 }
 

@@ -72,12 +72,26 @@ Status UIndex::EnumerateAt(const ObjectStore& store, size_t pos, Oid oid,
                            std::vector<Entry>* out) const {
   const size_t length = spec_.Length();
 
-  // Downward closure: chains from `pos` to the tail.
+  // Downward closure: chains from `pos` to the tail. `trail` carries the
+  // oids on the current recursion chain: revisiting one means the walk
+  // crossed a reference cycle along the indexed path, which would
+  // enumerate the same objects forever on a longer spec — terminate with
+  // the typed error instead (the caller rolls the mutation back).
   struct Walker {
     const UIndex* index;
     const ObjectStore* store;
 
-    Status Down(size_t p, Oid o, std::vector<Chain>* chains) const {
+    static Status CycleError(Oid o) {
+      return Status::CycleDetected("reference cycle through oid " +
+                                   std::to_string(o) +
+                                   " on an indexed path");
+    }
+
+    Status Down(size_t p, Oid o, Chain* trail,
+                std::vector<Chain>* chains) const {
+      if (std::find(trail->begin(), trail->end(), o) != trail->end()) {
+        return CycleError(o);
+      }
       Result<const Object*> obj = store->Get(o);
       if (!obj.ok()) return Status::OK();  // Dangling reference: no entry.
       if (!index->ClassFitsPosition(obj.value()->cls, p)) return Status::OK();
@@ -97,9 +111,14 @@ Status UIndex::EnumerateAt(const ObjectStore& store, size_t pos, Oid oid,
                                        index->spec_.ref_attrs[p] +
                                        " is not a reference");
       }
+      trail->push_back(o);
       for (const Oid t : targets) {
         std::vector<Chain> sub;
-        UINDEX_RETURN_IF_ERROR(Down(p + 1, t, &sub));
+        Status down = Down(p + 1, t, trail, &sub);
+        if (!down.ok()) {
+          trail->pop_back();
+          return down;
+        }
         for (Chain& c : sub) {
           Chain full;
           full.reserve(c.size() + 1);
@@ -108,11 +127,16 @@ Status UIndex::EnumerateAt(const ObjectStore& store, size_t pos, Oid oid,
           chains->push_back(std::move(full));
         }
       }
+      trail->pop_back();
       return Status::OK();
     }
 
     // Chains covering positions [0, p]; each ends with `o` at position p.
-    Status Up(size_t p, Oid o, std::vector<Chain>* chains) const {
+    Status Up(size_t p, Oid o, Chain* trail,
+              std::vector<Chain>* chains) const {
+      if (std::find(trail->begin(), trail->end(), o) != trail->end()) {
+        return CycleError(o);
+      }
       Result<const Object*> obj = store->Get(o);
       if (!obj.ok()) return Status::OK();
       if (!index->ClassFitsPosition(obj.value()->cls, p)) return Status::OK();
@@ -122,24 +146,31 @@ Status UIndex::EnumerateAt(const ObjectStore& store, size_t pos, Oid oid,
       }
       const std::vector<Oid> sources =
           store->ReferrersOf(o, index->spec_.ref_attrs[p - 1]);
+      trail->push_back(o);
       for (const Oid s : sources) {
         std::vector<Chain> sub;
-        UINDEX_RETURN_IF_ERROR(Up(p - 1, s, &sub));
+        Status up = Up(p - 1, s, trail, &sub);
+        if (!up.ok()) {
+          trail->pop_back();
+          return up;
+        }
         for (Chain& c : sub) {
           c.push_back(o);
           chains->push_back(std::move(c));
         }
       }
+      trail->pop_back();
       return Status::OK();
     }
   };
 
   Walker walker{this, &store};
+  Chain trail;
   std::vector<Chain> down;  // positions [pos, L)
-  UINDEX_RETURN_IF_ERROR(walker.Down(pos, oid, &down));
+  UINDEX_RETURN_IF_ERROR(walker.Down(pos, oid, &trail, &down));
   if (down.empty()) return Status::OK();
   std::vector<Chain> up;  // positions [0, pos]
-  UINDEX_RETURN_IF_ERROR(walker.Up(pos, oid, &up));
+  UINDEX_RETURN_IF_ERROR(walker.Up(pos, oid, &trail, &up));
 
   for (const Chain& head_part : up) {
     for (const Chain& tail_part : down) {
@@ -147,6 +178,13 @@ Status UIndex::EnumerateAt(const ObjectStore& store, size_t pos, Oid oid,
       Chain full = head_part;  // positions 0..pos
       full.insert(full.end(), tail_part.begin() + 1, tail_part.end());
       if (full.size() != length) continue;
+      // The up and down halves are individually acyclic, but an object may
+      // appear once in each: that too is a reference cycle.
+      for (size_t i = 0; i < full.size(); ++i) {
+        for (size_t j = i + 1; j < full.size(); ++j) {
+          if (full[i] == full[j]) return Walker::CycleError(full[i]);
+        }
+      }
 
       // Indexed attribute lives on the tail object.
       Result<const Object*> tail = store.Get(full.back());

@@ -46,14 +46,39 @@ Status IndexedDatabase::SetAttr(Oid oid, const std::string& name,
     before[i] = std::move(r).value();
   }
 
+  // Remember the overwritten value: if post-mutation re-enumeration fails
+  // (e.g. the new reference closed a cycle on an indexed path), the store
+  // mutation is rolled back before the error surfaces, so the store and
+  // every index stay consistent with each other.
+  Result<const Object*> prior = store_->Get(oid);
+  if (!prior.ok()) return prior.status();
+  const Value* prior_attr = prior.value()->FindAttr(name);
+  const Value old_value = prior_attr == nullptr ? Value() : *prior_attr;
+
   UINDEX_RETURN_IF_ERROR(store_->SetAttr(oid, name, std::move(value)));
 
+  // Re-enumerate every index first; only apply diffs once all succeed, so
+  // a failure never leaves a prefix of the indexes updated.
+  std::vector<std::vector<UIndex::Entry>> after(indexes_.size());
   for (size_t i = 0; i < indexes_.size(); ++i) {
     Result<std::vector<UIndex::Entry>> r =
         indexes_[i]->EntriesThrough(*store_, oid);
-    if (!r.ok()) return r.status();
+    if (!r.ok()) {
+      Status undo = store_->SetAttr(oid, name, old_value);
+      if (!undo.ok()) {
+        return Status::Corruption("rollback of " + name + " on oid " +
+                                  std::to_string(oid) +
+                                  " failed: " + undo.ToString() +
+                                  " (after " + r.status().ToString() + ")");
+      }
+      return r.status();
+    }
+    after[i] = std::move(r).value();
+  }
+
+  for (size_t i = 0; i < indexes_.size(); ++i) {
     UINDEX_RETURN_IF_ERROR(ApplyEntryDiff(indexes_[i], std::move(before[i]),
-                                          std::move(r).value()));
+                                          std::move(after[i])));
   }
   return Status::OK();
 }

@@ -367,6 +367,8 @@ Status ErrorResponseToStatus(const Response& response) {
       return Status::Unavailable(response.message);
     case Status::Code::kStaleVersion:
       return Status::StaleVersion(response.message);
+    case Status::Code::kCycleDetected:
+      return Status::CycleDetected(response.message);
     case Status::Code::kOk:
       break;
   }

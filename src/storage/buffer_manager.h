@@ -629,6 +629,13 @@ class QueryCost {
     return (buffers_->stats() - base_).pages_read;
   }
 
+  /// Write-backs since construction — relevant for maintenance work
+  /// (index updates, rebuilds), which is write-heavy where queries are
+  /// read-only.
+  uint64_t PagesWritten() const {
+    return (buffers_->stats() - base_).pages_written;
+  }
+
  private:
   BufferManager* buffers_;
   IoStats base_;

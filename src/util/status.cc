@@ -24,6 +24,8 @@ const char* CodeName(Status::Code code) {
       return "Unavailable";
     case Status::Code::kStaleVersion:
       return "StaleVersion";
+    case Status::Code::kCycleDetected:
+      return "CycleDetected";
   }
   return "Unknown";
 }

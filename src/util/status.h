@@ -30,6 +30,10 @@ class Status {
     /// The caller acted on stale versioned metadata (e.g. a shard-map
     /// version the server has moved past); refresh and retry.
     kStaleVersion = 8,
+    /// A mutation would create — or an enumeration ran into — a reference
+    /// cycle along an indexed path (an object reached again through its
+    /// own references). The mutation was rolled back.
+    kCycleDetected = 9,
   };
 
   /// Creates an OK status.
@@ -65,6 +69,9 @@ class Status {
   static Status StaleVersion(std::string msg) {
     return Status(Code::kStaleVersion, std::move(msg));
   }
+  static Status CycleDetected(std::string msg) {
+    return Status(Code::kCycleDetected, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -77,6 +84,7 @@ class Status {
   }
   bool IsUnavailable() const { return code_ == Code::kUnavailable; }
   bool IsStaleVersion() const { return code_ == Code::kStaleVersion; }
+  bool IsCycleDetected() const { return code_ == Code::kCycleDetected; }
 
   Code code() const { return code_; }
 

@@ -1,0 +1,209 @@
+#include "workload/path_generator.h"
+
+#include <cmath>
+#include <utility>
+
+#include "core/update.h"
+#include "db/database.h"
+#include "util/random.h"
+
+namespace uindex {
+
+const char* const kPathValueAttr = "Value";
+
+DeepPathConfig DeepPathConfig::Quick() {
+  DeepPathConfig cfg;
+  cfg.hops = 6;
+  cfg.subclasses_per_level = 2;
+  cfg.heads = 1500;
+  cfg.min_level_objects = 32;
+  cfg.num_distinct_values = 120;
+  return cfg;
+}
+
+namespace {
+
+// Power-law-skewed index into [0, n): u^skew concentrates mass near 0, so
+// early-created targets are "popular" and fan out into many chains.
+size_t SkewedIndex(Random& rng, size_t n, double skew) {
+  const double u =
+      static_cast<double>(rng.Next() >> 11) * 0x1.0p-53;  // [0, 1)
+  const size_t idx = static_cast<size_t>(std::pow(u, skew) *
+                                         static_cast<double>(n));
+  return idx >= n ? n - 1 : idx;
+}
+
+// Objects at each level: heads at level 0, shrinking geometrically.
+std::vector<uint32_t> LevelPopulations(const DeepPathConfig& cfg) {
+  std::vector<uint32_t> sizes(cfg.hops);
+  double n = static_cast<double>(cfg.heads);
+  for (uint32_t i = 0; i < cfg.hops; ++i) {
+    sizes[i] = static_cast<uint32_t>(n) < cfg.min_level_objects
+                   ? cfg.min_level_objects
+                   : static_cast<uint32_t>(n);
+    n *= cfg.level_shrink;
+  }
+  return sizes;
+}
+
+std::string LevelName(uint32_t level) {
+  return "Hop" + std::to_string(level);
+}
+
+}  // namespace
+
+PathSpec DeepPathWorkload::spec() const {
+  PathSpec s;
+  s.classes = roots;
+  s.ref_attrs = ref_attrs;
+  s.indexed_attr = kPathValueAttr;
+  s.value_kind = Value::Kind::kInt;
+  s.include_subclasses = true;
+  return s;
+}
+
+Status GenerateDeepPaths(const DeepPathConfig& cfg, DeepPathWorkload* out) {
+  if (cfg.hops < 3) {
+    return Status::InvalidArgument("deep-path workload needs >= 3 hops");
+  }
+  Schema& schema = out->schema;
+  out->roots.resize(cfg.hops);
+  out->classes.resize(cfg.hops);
+  // Tail-first creation keeps creation order aligned with code order (the
+  // façade loader requires it; here it just makes the two layouts match).
+  for (uint32_t level = cfg.hops; level-- > 0;) {
+    const std::string name = LevelName(level);
+    Result<ClassId> root = schema.AddClass(name);
+    if (!root.ok()) return root.status();
+    out->roots[level] = root.value();
+    out->classes[level].push_back(root.value());
+    for (uint32_t s = 0; s < cfg.subclasses_per_level; ++s) {
+      Result<ClassId> sub =
+          schema.AddSubclass(name + "Sub" + std::to_string(s), root.value());
+      if (!sub.ok()) return sub.status();
+      out->classes[level].push_back(sub.value());
+    }
+  }
+  out->ref_attrs.reserve(cfg.hops - 1);
+  for (uint32_t i = 0; i + 1 < cfg.hops; ++i) {
+    out->ref_attrs.push_back("hop" + std::to_string(i));
+    UINDEX_RETURN_IF_ERROR(schema.AddReference(
+        out->roots[i], out->roots[i + 1], out->ref_attrs.back()));
+  }
+
+  Result<ClassCoder> coder = ClassCoder::Assign(schema);
+  if (!coder.ok()) return coder.status();
+  out->coder = std::make_unique<ClassCoder>(std::move(coder).value());
+  out->store = std::make_unique<ObjectStore>(&schema);
+
+  Random rng(cfg.seed);
+  const std::vector<uint32_t> sizes = LevelPopulations(cfg);
+  out->oids.resize(cfg.hops);
+  for (uint32_t level = cfg.hops; level-- > 0;) {
+    out->oids[level].reserve(sizes[level]);
+    for (uint32_t i = 0; i < sizes[level]; ++i) {
+      const std::vector<ClassId>& pool = out->classes[level];
+      Result<Oid> oid = out->store->Create(pool[rng.Uniform(pool.size())]);
+      if (!oid.ok()) return oid.status();
+      out->oids[level].push_back(oid.value());
+      if (level + 1 == cfg.hops) {
+        const int64_t v = static_cast<int64_t>(
+            rng.Uniform(static_cast<uint64_t>(cfg.num_distinct_values)));
+        UINDEX_RETURN_IF_ERROR(out->store->SetAttr(
+            oid.value(), kPathValueAttr, Value::Int(v)));
+      } else if (!rng.Bernoulli(cfg.null_ref_fraction)) {
+        const std::vector<Oid>& targets = out->oids[level + 1];
+        UINDEX_RETURN_IF_ERROR(out->store->SetAttr(
+            oid.value(), out->ref_attrs[level],
+            Value::Ref(targets[SkewedIndex(rng, targets.size(),
+                                           cfg.skew)])));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<size_t> ChurnRereference(DeepPathWorkload* w, IndexedDatabase* idb,
+                                size_t count, uint64_t seed) {
+  const size_t hops = w->roots.size();
+  if (hops < 3) return Status::InvalidArgument("not a deep-path workload");
+  Random rng(seed);
+  for (size_t i = 0; i < count; ++i) {
+    // Mid-path levels only: never the head (whose entries are cheap) and
+    // never the tail (which has no outgoing ref).
+    const size_t level = 1 + rng.Uniform(hops - 2);
+    const std::vector<Oid>& sources = w->oids[level];
+    const std::vector<Oid>& targets = w->oids[level + 1];
+    const Oid source = sources[rng.Uniform(sources.size())];
+    const Oid target = targets[SkewedIndex(rng, targets.size(), 2.5)];
+    UINDEX_RETURN_IF_ERROR(idb->SetAttr(source, w->ref_attrs[level],
+                                        Value::Ref(target)));
+  }
+  return count;
+}
+
+Status LoadDeepPathsIntoDatabase(const DeepPathConfig& cfg, Database* db,
+                                 DeepPathDbInfo* out) {
+  if (cfg.hops < 3) {
+    return Status::InvalidArgument("deep-path workload needs >= 3 hops");
+  }
+  out->roots.resize(cfg.hops);
+  out->classes.resize(cfg.hops);
+  for (uint32_t level = cfg.hops; level-- > 0;) {
+    const std::string name = LevelName(level);
+    Result<ClassId> root = db->CreateClass(name);
+    if (!root.ok()) return root.status();
+    out->roots[level] = root.value();
+    out->classes[level].push_back(root.value());
+    for (uint32_t s = 0; s < cfg.subclasses_per_level; ++s) {
+      Result<ClassId> sub =
+          db->CreateSubclass(name + "Sub" + std::to_string(s), root.value());
+      if (!sub.ok()) return sub.status();
+      out->classes[level].push_back(sub.value());
+    }
+  }
+  out->ref_attrs.reserve(cfg.hops - 1);
+  for (uint32_t i = 0; i + 1 < cfg.hops; ++i) {
+    out->ref_attrs.push_back("hop" + std::to_string(i));
+    UINDEX_RETURN_IF_ERROR(db->CreateReference(
+        out->roots[i], out->roots[i + 1], out->ref_attrs.back()));
+  }
+
+  Random rng(cfg.seed);
+  const std::vector<uint32_t> sizes = LevelPopulations(cfg);
+  out->oids.resize(cfg.hops);
+  for (uint32_t level = cfg.hops; level-- > 0;) {
+    out->oids[level].reserve(sizes[level]);
+    for (uint32_t i = 0; i < sizes[level]; ++i) {
+      const std::vector<ClassId>& pool = out->classes[level];
+      Result<Oid> oid = db->CreateObject(pool[rng.Uniform(pool.size())]);
+      if (!oid.ok()) return oid.status();
+      out->oids[level].push_back(oid.value());
+      if (level + 1 == cfg.hops) {
+        const int64_t v = static_cast<int64_t>(
+            rng.Uniform(static_cast<uint64_t>(cfg.num_distinct_values)));
+        UINDEX_RETURN_IF_ERROR(
+            db->SetAttr(oid.value(), kPathValueAttr, Value::Int(v)));
+      } else if (!rng.Bernoulli(cfg.null_ref_fraction)) {
+        const std::vector<Oid>& targets = out->oids[level + 1];
+        UINDEX_RETURN_IF_ERROR(db->SetAttr(
+            oid.value(), out->ref_attrs[level],
+            Value::Ref(targets[SkewedIndex(rng, targets.size(),
+                                           cfg.skew)])));
+      }
+    }
+  }
+
+  PathSpec spec;
+  spec.classes = out->roots;
+  spec.ref_attrs = out->ref_attrs;
+  spec.indexed_attr = kPathValueAttr;
+  spec.value_kind = Value::Kind::kInt;
+  spec.include_subclasses = true;
+  Result<size_t> pos = db->CreateIndex(spec);
+  if (!pos.ok()) return pos.status();
+  out->index_pos = pos.value();
+  return Status::OK();
+}
+
+}  // namespace uindex

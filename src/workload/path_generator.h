@@ -1,0 +1,92 @@
+#ifndef UINDEX_WORKLOAD_PATH_GENERATOR_H_
+#define UINDEX_WORKLOAD_PATH_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/index_spec.h"
+#include "objects/object_store.h"
+#include "schema/encoder.h"
+#include "schema/schema.h"
+#include "util/status.h"
+
+namespace uindex {
+
+class Database;
+class IndexedDatabase;
+
+/// The indexed attribute carried by the tail class of every deep path.
+extern const char* const kPathValueAttr;
+
+/// Parameters of the deep-path workload: a reference chain of `hops`
+/// hierarchies (head → ... → tail, each a root plus subclasses, linked by
+/// single-valued REF attributes "hop0", "hop1", ...), far past the paper's
+/// 3-hop Vehicle→Company→Employee example. Object populations shrink
+/// geometrically toward the tail (the m:1 "many point at few" shape) and
+/// reference targets are power-law skewed, so popular tail objects fan out
+/// into many full chains.
+struct DeepPathConfig {
+  uint32_t hops = 8;  ///< Path positions (classes); ISSUE range is 6–12.
+  uint32_t subclasses_per_level = 3;  ///< Structure predicates need these.
+  uint32_t heads = 9000;              ///< Objects at the head level.
+  double level_shrink = 0.6;  ///< Level i+1 population = level i * shrink.
+  uint32_t min_level_objects = 64;
+  double skew = 2.5;  ///< Power-law exponent for reference-target choice.
+  double null_ref_fraction = 0.03;  ///< Chains broken by an unset ref.
+  int64_t num_distinct_values = 400;
+  uint64_t seed = 96;
+
+  static DeepPathConfig Quick();
+};
+
+/// The generated deep-path database. Non-movable: `store` points into
+/// `schema`. All per-level vectors run head (index 0) → tail.
+struct DeepPathWorkload {
+  DeepPathWorkload() = default;
+  DeepPathWorkload(const DeepPathWorkload&) = delete;
+  DeepPathWorkload& operator=(const DeepPathWorkload&) = delete;
+
+  Schema schema;
+  std::vector<ClassId> roots;  ///< Hierarchy root per level.
+  std::vector<std::vector<ClassId>> classes;  ///< Per level: root + subs.
+  std::vector<std::string> ref_attrs;  ///< ref_attrs[i]: level i → i+1.
+  std::unique_ptr<ClassCoder> coder;
+  std::unique_ptr<ObjectStore> store;
+  std::vector<std::vector<Oid>> oids;  ///< Per level, creation order.
+
+  /// The full-length combined class-hierarchy/path spec (subclasses
+  /// admitted at every position) over the tail's `kPathValueAttr`.
+  PathSpec spec() const;
+};
+
+/// Generates the deep-path database into `*out` (a fresh DeepPathWorkload).
+Status GenerateDeepPaths(const DeepPathConfig& cfg, DeepPathWorkload* out);
+
+/// Mid-path re-reference churn: re-points `count` references at random
+/// non-head levels to fresh power-law-skewed targets through the
+/// maintainer, so every affected chain's index entries are torn down and
+/// rebuilt. Levels are distinct hierarchies, so no churn can close a
+/// reference cycle — every call must succeed. Returns the applied count.
+Result<size_t> ChurnRereference(DeepPathWorkload* w, IndexedDatabase* idb,
+                                size_t count, uint64_t seed);
+
+/// The same deep-path database loaded through the `Database` façade.
+/// Levels are created tail-first so every REF edge points at an
+/// already-coded (smaller-code) hierarchy, matching the incremental
+/// evolution constraint of `CreateReference`.
+struct DeepPathDbInfo {
+  std::vector<ClassId> roots;  ///< Head → tail, as in DeepPathWorkload.
+  std::vector<std::vector<ClassId>> classes;
+  std::vector<std::string> ref_attrs;
+  std::vector<std::vector<Oid>> oids;
+  size_t index_pos = 0;  ///< Position of the full-path U-index.
+};
+
+Status LoadDeepPathsIntoDatabase(const DeepPathConfig& cfg, Database* db,
+                                 DeepPathDbInfo* out);
+
+}  // namespace uindex
+
+#endif  // UINDEX_WORKLOAD_PATH_GENERATOR_H_

@@ -1,0 +1,210 @@
+#include "workload/rollup_generator.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "core/index_spec.h"
+#include "db/database.h"
+#include "util/random.h"
+
+namespace uindex {
+
+const char* const kRollupValueAttr = "Value";
+
+RollupConfig RollupConfig::Quick() {
+  RollupConfig cfg;
+  cfg.years = 36;  // Still > kTailChars: years 26..35 carry Z* tokens.
+  cfg.months_per_year = 6;
+  cfg.days_per_month = 8;
+  cfg.countries = 3;
+  cfg.states_per_country = 36;
+  cfg.cities_per_state = 10;
+  cfg.num_events = 15000;
+  cfg.num_readings = 15000;
+  cfg.num_distinct_values = 200;
+  return cfg;
+}
+
+namespace {
+
+// The per-level sibling counts of one ontology, plus the naming scheme:
+// root "Time", then "Year12", "Year12Month3", "Year12Month3Day7".
+struct OntologyShape {
+  const char* root_name;
+  const char* l1_prefix;
+  const char* l2_prefix;
+  const char* leaf_prefix;
+  uint32_t l1_count;
+  uint32_t l2_count;
+  uint32_t leaf_count;
+};
+
+// `AddSubclass` through a declarative three-level loop. Names concatenate
+// the ancestor name, so they are unique schema-wide by construction.
+template <typename AddRoot, typename AddSub>
+Status BuildOntology(const OntologyShape& shape, AddRoot add_root,
+                     AddSub add_sub, RollupOntology* out) {
+  Result<ClassId> root = add_root(shape.root_name);
+  if (!root.ok()) return root.status();
+  out->root = root.value();
+  out->level1.reserve(shape.l1_count);
+  for (uint32_t a = 0; a < shape.l1_count; ++a) {
+    const std::string l1_name = shape.l1_prefix + std::to_string(a);
+    Result<ClassId> l1 = add_sub(l1_name, out->root);
+    if (!l1.ok()) return l1.status();
+    out->level1.push_back(l1.value());
+    out->level2.emplace_back();
+    out->leaves.emplace_back();
+    for (uint32_t b = 0; b < shape.l2_count; ++b) {
+      const std::string l2_name = l1_name + shape.l2_prefix +
+                                  std::to_string(b);
+      Result<ClassId> l2 = add_sub(l2_name, out->level1.back());
+      if (!l2.ok()) return l2.status();
+      out->level2.back().push_back(l2.value());
+      out->leaves.back().emplace_back();
+      for (uint32_t c = 0; c < shape.leaf_count; ++c) {
+        Result<ClassId> leaf =
+            add_sub(l2_name + shape.leaf_prefix + std::to_string(c),
+                    out->level2.back().back());
+        if (!leaf.ok()) return leaf.status();
+        out->leaves.back().back().push_back(leaf.value());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+OntologyShape TimeShape(const RollupConfig& cfg) {
+  return {"Time", "Year",    "Month",          "Day",
+          cfg.years, cfg.months_per_year, cfg.days_per_month};
+}
+
+OntologyShape GeoShape(const RollupConfig& cfg) {
+  return {"Geo",        "Country",              "State",
+          "City",       cfg.countries,          cfg.states_per_country,
+          cfg.cities_per_state};
+}
+
+// Flattens an ontology's leaf classes for uniform fact placement.
+std::vector<ClassId> AllLeaves(const RollupOntology& o) {
+  std::vector<ClassId> out;
+  for (const auto& l2 : o.leaves) {
+    for (const auto& leaves : l2) {
+      out.insert(out.end(), leaves.begin(), leaves.end());
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Status GenerateRollup(const RollupConfig& cfg, RollupWorkload* out) {
+  Schema& schema = out->schema;
+  auto add_root = [&schema](const std::string& name) {
+    return schema.AddClass(name);
+  };
+  auto add_sub = [&schema](const std::string& name, ClassId parent) {
+    return schema.AddSubclass(name, parent);
+  };
+  UINDEX_RETURN_IF_ERROR(
+      BuildOntology(TimeShape(cfg), add_root, add_sub, &out->time));
+  UINDEX_RETURN_IF_ERROR(
+      BuildOntology(GeoShape(cfg), add_root, add_sub, &out->geo));
+
+  Result<ClassCoder> coder = ClassCoder::Assign(schema);
+  if (!coder.ok()) return coder.status();
+  out->coder = std::make_unique<ClassCoder>(std::move(coder).value());
+  out->store = std::make_unique<ObjectStore>(&schema);
+
+  Random rng(cfg.seed);
+  const std::vector<ClassId> days = AllLeaves(out->time);
+  const std::vector<ClassId> cities = AllLeaves(out->geo);
+  auto place = [&](const std::vector<ClassId>& leaves, uint32_t count,
+                   std::vector<Oid>* oids) -> Status {
+    oids->reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      Result<Oid> oid = out->store->Create(leaves[rng.Uniform(leaves.size())]);
+      if (!oid.ok()) return oid.status();
+      const int64_t v = static_cast<int64_t>(
+          rng.Uniform(static_cast<uint64_t>(cfg.num_distinct_values)));
+      UINDEX_RETURN_IF_ERROR(
+          out->store->SetAttr(oid.value(), kRollupValueAttr, Value::Int(v)));
+      oids->push_back(oid.value());
+    }
+    return Status::OK();
+  };
+  UINDEX_RETURN_IF_ERROR(place(days, cfg.num_events, &out->events));
+  UINDEX_RETURN_IF_ERROR(place(cities, cfg.num_readings, &out->readings));
+  return Status::OK();
+}
+
+std::vector<ClassId> LeafClassesUnder(const Schema& schema, ClassId cls) {
+  std::vector<ClassId> out;
+  for (ClassId c : schema.SubtreeOf(cls)) {
+    if (schema.SubclassesOf(c).empty()) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<Oid> RollupScan(const ObjectStore& store, ClassId cls,
+                            int64_t lo, int64_t hi) {
+  std::vector<Oid> out;
+  for (Oid oid : store.DeepExtentOf(cls)) {
+    Result<const Object*> obj = store.Get(oid);
+    if (!obj.ok()) continue;
+    const Value* v = obj.value()->FindAttr(kRollupValueAttr);
+    if (v == nullptr || v->kind() != Value::Kind::kInt) continue;
+    if (v->AsInt() >= lo && v->AsInt() <= hi) out.push_back(oid);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Status LoadRollupIntoDatabase(const RollupConfig& cfg, Database* db,
+                              RollupDbInfo* out) {
+  auto add_root = [db](const std::string& name) {
+    return db->CreateClass(name);
+  };
+  auto add_sub = [db](const std::string& name, ClassId parent) {
+    return db->CreateSubclass(name, parent);
+  };
+  UINDEX_RETURN_IF_ERROR(
+      BuildOntology(TimeShape(cfg), add_root, add_sub, &out->time));
+  UINDEX_RETURN_IF_ERROR(
+      BuildOntology(GeoShape(cfg), add_root, add_sub, &out->geo));
+
+  Random rng(cfg.seed);
+  const std::vector<ClassId> days = AllLeaves(out->time);
+  const std::vector<ClassId> cities = AllLeaves(out->geo);
+  auto place = [&](const std::vector<ClassId>& leaves, uint32_t count,
+                   std::vector<Oid>* oids) -> Status {
+    oids->reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      Result<Oid> oid = db->CreateObject(leaves[rng.Uniform(leaves.size())]);
+      if (!oid.ok()) return oid.status();
+      const int64_t v = static_cast<int64_t>(
+          rng.Uniform(static_cast<uint64_t>(cfg.num_distinct_values)));
+      UINDEX_RETURN_IF_ERROR(
+          db->SetAttr(oid.value(), kRollupValueAttr, Value::Int(v)));
+      oids->push_back(oid.value());
+    }
+    return Status::OK();
+  };
+  UINDEX_RETURN_IF_ERROR(place(days, cfg.num_events, &out->events));
+  UINDEX_RETURN_IF_ERROR(place(cities, cfg.num_readings, &out->readings));
+
+  // Indexes are created after the facts (bulk BuildFrom); later DML then
+  // exercises incremental maintenance against them.
+  Result<size_t> time_index = db->CreateIndex(PathSpec::ClassHierarchy(
+      out->time.root, kRollupValueAttr, Value::Kind::kInt));
+  if (!time_index.ok()) return time_index.status();
+  out->time_index = time_index.value();
+  Result<size_t> geo_index = db->CreateIndex(PathSpec::ClassHierarchy(
+      out->geo.root, kRollupValueAttr, Value::Kind::kInt));
+  if (!geo_index.ok()) return geo_index.status();
+  out->geo_index = geo_index.value();
+  return Status::OK();
+}
+
+}  // namespace uindex

@@ -1,0 +1,107 @@
+#ifndef UINDEX_WORKLOAD_ROLLUP_GENERATOR_H_
+#define UINDEX_WORKLOAD_ROLLUP_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "objects/object_store.h"
+#include "schema/encoder.h"
+#include "schema/schema.h"
+#include "util/status.h"
+
+namespace uindex {
+
+class Database;
+
+/// The indexed attribute every roll-up object carries.
+extern const char* const kRollupValueAttr;
+
+/// Parameters of the roll-up workload: two three-level containment
+/// ontologies — day ⊑ month ⊑ year and city ⊑ state ⊑ country — encoded as
+/// class hierarchies, with fact objects (events / sensor readings) living
+/// on the *leaf* classes. A roll-up aggregate at any level ("all events in
+/// 1987", "all readings in Utah") is then exactly one Parscan code-range
+/// scan over the ancestor's sub-tree — the uniformity claim stretched past
+/// the paper's 12-class Fig. 1 hierarchy to thousands of classes.
+///
+/// The sibling counts are deliberately pushed past `kTailChars` (34) so
+/// token assignment crosses the 'Y' → "Z1" and "ZY" → "ZZ1" boundaries:
+/// every extended-token ordering bug becomes a wrong roll-up answer here.
+struct RollupConfig {
+  // Time ontology: day ⊑ month ⊑ year.
+  uint32_t years = 40;  ///< > 34 siblings forces Z*-extended tokens.
+  uint32_t months_per_year = 12;
+  uint32_t days_per_month = 28;  ///< Crosses the Y→Z1 boundary per month.
+  // Geo ontology: city ⊑ state ⊑ country.
+  uint32_t countries = 4;
+  uint32_t states_per_country = 120;  ///< Hundreds of siblings, deep Z*.
+  uint32_t cities_per_state = 12;
+  uint32_t num_events = 60000;    ///< Facts on day leaves.
+  uint32_t num_readings = 60000;  ///< Facts on city leaves.
+  int64_t num_distinct_values = 500;
+  uint64_t seed = 1996;
+
+  /// Scaled-down preset for smoke runs; still crosses the Y→Z* token
+  /// boundary at the year and state levels (36 > 34 siblings).
+  static RollupConfig Quick();
+};
+
+/// One generated three-level ontology, root → level1 → level2 → leaves.
+struct RollupOntology {
+  ClassId root = kInvalidClassId;
+  std::vector<ClassId> level1;
+  std::vector<std::vector<ClassId>> level2;            // [l1][l2]
+  std::vector<std::vector<std::vector<ClassId>>> leaves;  // [l1][l2][leaf]
+};
+
+/// The generated roll-up database: schema, codes, populated store, and the
+/// fact oids per ontology. Non-movable: `store` points into `schema`.
+struct RollupWorkload {
+  RollupWorkload() = default;
+  RollupWorkload(const RollupWorkload&) = delete;
+  RollupWorkload& operator=(const RollupWorkload&) = delete;
+
+  Schema schema;
+  RollupOntology time;
+  RollupOntology geo;
+  std::unique_ptr<ClassCoder> coder;
+  std::unique_ptr<ObjectStore> store;
+  std::vector<Oid> events;    ///< Objects on time leaves.
+  std::vector<Oid> readings;  ///< Objects on geo leaves.
+};
+
+/// Generates the roll-up database into `*out` (a fresh RollupWorkload):
+/// both ontologies, then facts spread uniformly over the leaf classes with
+/// uniform values in [0, num_distinct_values).
+Status GenerateRollup(const RollupConfig& cfg, RollupWorkload* out);
+
+/// Concrete leaf classes (no subclasses) of the sub-tree rooted at `cls`,
+/// in hierarchy preorder — the class sets a per-class baseline (CG-tree,
+/// H-tree, NIX) must enumerate to answer a roll-up the U-index answers
+/// with one code range.
+std::vector<ClassId> LeafClassesUnder(const Schema& schema, ClassId cls);
+
+/// Brute-force roll-up reference answer: sorted oids of instances of
+/// `cls`'s sub-tree whose `kRollupValueAttr` lies in [lo, hi].
+std::vector<Oid> RollupScan(const ObjectStore& store, ClassId cls,
+                            int64_t lo, int64_t hi);
+
+/// The same roll-up database loaded through the `Database` façade (DDL +
+/// DML + CreateIndex), for end-to-end runs on either backend under
+/// concurrent readers.
+struct RollupDbInfo {
+  RollupOntology time;
+  RollupOntology geo;
+  size_t time_index = 0;  ///< Index position of the time-ontology U-index.
+  size_t geo_index = 0;   ///< Index position of the geo-ontology U-index.
+  std::vector<Oid> events;
+  std::vector<Oid> readings;
+};
+
+Status LoadRollupIntoDatabase(const RollupConfig& cfg, Database* db,
+                              RollupDbInfo* out);
+
+}  // namespace uindex
+
+#endif  // UINDEX_WORKLOAD_ROLLUP_GENERATOR_H_

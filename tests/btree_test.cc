@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstring>
 #include <map>
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include "btree/btree.h"
 #include "util/random.h"
@@ -184,6 +187,57 @@ TEST_F(BTreeTest, IteratorCountsPageReads) {
   // Full scan reads every leaf once plus the descent to the first leaf.
   EXPECT_GE(cost.PagesRead(), stats.leaf_nodes);
   EXPECT_LE(cost.PagesRead(), stats.leaf_nodes + stats.height);
+}
+
+// Delete-rebalance borrow replaces a parent separator with a sibling
+// boundary key that can be LONGER than the one it displaced; a full
+// parent must then split, not fail serialization ("node does not fit in
+// page"). Needs wildly variable key lengths at a small page — uniform
+// keys never grow a separator. Distilled from deep-path churn at 10
+// hops (bench_paths), which hit this in the original borrow path.
+TEST(BTreeBorrowTest, BorrowGrowsSeparatorInFullParent) {
+  // When a merge is impossible, RebalanceAfterDelete borrows one entry
+  // across the sibling pair and replaces their separator with a sibling
+  // boundary key that can be *longer* than the one it displaced.  With a
+  // full parent the grown separator no longer fits the page; the parent
+  // must go through the insert-side split path.  Key lengths here swing
+  // between 1 and 104 bytes on a 256-byte page so that merges routinely
+  // fail and separators grow by close to a page.  Seed and pattern are
+  // pinned: before the fix this exact sequence died at delete step 347
+  // with Corruption("node does not fit in page").
+  Pager pager(256);
+  BufferManager buffers(&pager);
+  BTree tree(&buffers, BTreeOptions());
+  Random rng(0);
+
+  auto make_key = [](uint32_t id) {
+    const uint32_t h = (id * 2654435761u) ^ 40503u;
+    const size_t len = 1 + h % 104;
+    std::string key(len, static_cast<char>('A' + id % 52));
+    char tail[16];
+    std::snprintf(tail, sizeof(tail), "%08u", id);
+    if (key.size() < 9) key.resize(9);
+    std::memcpy(&key[key.size() - 8], tail, 8);
+    return key;
+  };
+
+  std::vector<uint32_t> ids;
+  for (uint32_t id = 0; id < 400; ++id) ids.push_back(id);
+  for (uint32_t id : ids) {
+    ASSERT_TRUE(tree.Insert(Slice(make_key(id)), Slice("v")).ok()) << id;
+  }
+  rng.Shuffle(ids);
+  size_t step = 0;
+  for (uint32_t id : ids) {
+    ASSERT_TRUE(tree.Delete(Slice(make_key(id))).ok())
+        << "step " << step << " id " << id;
+    if (++step % 37 == 0) {
+      ASSERT_TRUE(tree.Validate().ok()) << "step " << step;
+    }
+  }
+  ASSERT_TRUE(tree.Validate().ok());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.empty());
 }
 
 // ---------------------------------------------------------------------------

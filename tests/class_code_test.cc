@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "schema/class_code.h"
+#include "util/random.h"
 #include "util/slice.h"
 
 namespace uindex {
@@ -93,6 +97,186 @@ TEST(ClassCodeTest, PreorderPropertyAcrossGeneratedTree) {
     EXPECT_TRUE(Slice(preorder[i - 1]) < Slice(preorder[i]))
         << preorder[i - 1] << " !< " << preorder[i];
   }
+}
+
+// --- Z*-extended token region (indices >= 34), the part fig-scale schemas
+// --- never reach but >34-sibling roll-up ontologies depend on.
+
+TEST(TokenFuzzTest, RoundTripHoldsDeepIntoTheExtendedRegion) {
+  // Exhaustive through four 'Z' extensions, then random far beyond.
+  for (size_t i = 0; i < 34 * 5; ++i) {
+    const std::string token = TokenForIndex(i);
+    EXPECT_EQ(IndexForToken(Slice(token)), i) << "token " << token;
+    EXPECT_EQ(FirstTokenLength(Slice(token)), token.size());
+  }
+  Random rng(20260807);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const size_t i = static_cast<size_t>(rng.Uniform(1u << 20));
+    const std::string token = TokenForIndex(i);
+    EXPECT_EQ(IndexForToken(Slice(token)), i) << "token " << token;
+    EXPECT_EQ(FirstTokenLength(Slice(token)), token.size());
+  }
+}
+
+TEST(TokenFuzzTest, OrderingIsMonotoneAcrossEveryZBoundary) {
+  // Adjacent pairs around each Z-run growth point: ...Y -> Z...1.
+  for (size_t run = 0; run < 6; ++run) {
+    const size_t boundary = 34 * (run + 1);
+    const std::string last = TokenForIndex(boundary - 1);
+    const std::string first = TokenForIndex(boundary);
+    EXPECT_TRUE(Slice(last) < Slice(first)) << last << " !< " << first;
+    EXPECT_FALSE(Slice(first).StartsWith(Slice(last)));
+    EXPECT_FALSE(Slice(last).StartsWith(Slice(first)));
+  }
+  // Random pairs: index order == lexicographic order, both directions.
+  Random rng(42);
+  for (int trial = 0; trial < 4000; ++trial) {
+    const size_t a = static_cast<size_t>(rng.Uniform(4096));
+    const size_t b = static_cast<size_t>(rng.Uniform(4096));
+    if (a == b) continue;
+    const std::string ta = TokenForIndex(a);
+    const std::string tb = TokenForIndex(b);
+    EXPECT_EQ(a < b, Slice(ta) < Slice(tb))
+        << ta << " vs " << tb << " at " << a << "," << b;
+  }
+}
+
+TEST(TokenFuzzTest, MalformedTokensAreRejected) {
+  EXPECT_EQ(IndexForToken(Slice("")), SIZE_MAX);
+  EXPECT_EQ(IndexForToken(Slice("Z")), SIZE_MAX);     // Truncated Z-run.
+  EXPECT_EQ(IndexForToken(Slice("ZZ")), SIZE_MAX);
+  EXPECT_EQ(IndexForToken(Slice("0")), SIZE_MAX);     // '0' never used.
+  EXPECT_EQ(IndexForToken(Slice("A1")), SIZE_MAX);    // Trailing garbage.
+  EXPECT_EQ(IndexForToken(Slice("Z1A")), SIZE_MAX);
+  EXPECT_EQ(IndexForToken(Slice("$")), SIZE_MAX);
+  EXPECT_EQ(IndexForToken(Slice("a")), SIZE_MAX);     // Lowercase.
+}
+
+TEST(TokenFuzzTest, ConcatenatedCodesDecodeUniquely) {
+  // A code is a token concatenation; FirstTokenLength must split any
+  // random concatenation back into exactly the tokens that built it.
+  Random rng(7);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const size_t count = 1 + static_cast<size_t>(rng.Uniform(6));
+    std::vector<size_t> indices;
+    std::string code;
+    for (size_t t = 0; t < count; ++t) {
+      // Mix small and Z*-extended tokens.
+      const size_t i = rng.Bernoulli(0.5)
+                           ? static_cast<size_t>(rng.Uniform(34))
+                           : 34 + static_cast<size_t>(rng.Uniform(200));
+      indices.push_back(i);
+      code += TokenForIndex(i);
+    }
+    size_t pos = 0;
+    for (size_t t = 0; t < count; ++t) {
+      const Slice rest(code.data() + pos, code.size() - pos);
+      const size_t len = FirstTokenLength(rest);
+      ASSERT_GT(len, 0u) << code << " at " << pos;
+      EXPECT_EQ(IndexForToken(Slice(code.data() + pos, len)), indices[t]);
+      pos += len;
+    }
+    EXPECT_EQ(pos, code.size());
+  }
+}
+
+// --- SubtreeUpperBound / CodeIsSelfOrDescendant agreement: every
+// --- descendant's code lies in [code, bound); no sibling's ever does.
+
+namespace {
+
+// A random well-formed class code: 'C' plus `depth` tokens, biased toward
+// the Z*-extended region and the ...Y / ...Z boundary tokens.
+std::string RandomCode(Random& rng, size_t depth) {
+  std::string code = "C";
+  for (size_t d = 0; d < depth; ++d) {
+    size_t i;
+    switch (rng.Uniform(4)) {
+      case 0: i = rng.Uniform(34); break;            // Single char.
+      case 1: i = 33; break;                         // 'Y' boundary.
+      case 2: i = 34 + rng.Uniform(34); break;       // 'Z?' region.
+      default: i = rng.Uniform(300); break;          // Anywhere.
+    }
+    code += TokenForIndex(i);
+  }
+  return code;
+}
+
+}  // namespace
+
+TEST(SubtreeBoundPropertyTest, DescendantsInsideSiblingsOutside) {
+  Random rng(19960229);
+  for (int trial = 0; trial < 3000; ++trial) {
+    const std::string code = RandomCode(rng, 1 + rng.Uniform(4));
+    const std::string bound = SubtreeUpperBound(Slice(code));
+
+    // The code itself and any token extension are descendants and must
+    // fall inside [code, bound); agreement with the prefix test.
+    EXPECT_TRUE(CodeIsSelfOrDescendant(Slice(code), Slice(code)));
+    EXPECT_TRUE(!(Slice(code) < Slice(code)) && Slice(code) < Slice(bound));
+    for (int d = 0; d < 4; ++d) {
+      const std::string desc =
+          code + TokenForIndex(9 + rng.Uniform(300));
+      EXPECT_TRUE(CodeIsSelfOrDescendant(Slice(desc), Slice(code)));
+      EXPECT_TRUE(Slice(code) < Slice(desc) && Slice(desc) < Slice(bound))
+          << desc << " outside [" << code << ", " << bound << ")";
+      // Entry keys carry the '$' separator; they must stay inside too.
+      const std::string entry = desc + kCodeOidSeparator + "oid";
+      EXPECT_TRUE(Slice(entry) < Slice(bound));
+    }
+
+    // A sibling replaces the last token with a different one; whatever the
+    // token indices, the sibling and its descendants stay outside.
+    size_t last_start = 1, pos = 1;
+    while (pos < code.size()) {
+      const size_t len =
+          FirstTokenLength(Slice(code.data() + pos, code.size() - pos));
+      ASSERT_GT(len, 0u);
+      last_start = pos;
+      pos += len;
+    }
+    const std::string parent = code.substr(0, last_start);
+    const size_t last_index =
+        IndexForToken(Slice(code.data() + last_start,
+                            code.size() - last_start));
+    ASSERT_NE(last_index, SIZE_MAX);
+    for (int s = 0; s < 4; ++s) {
+      size_t sibling_index = rng.Uniform(300);
+      if (sibling_index == last_index) sibling_index += 1;
+      const std::string sibling = parent + TokenForIndex(sibling_index);
+      EXPECT_FALSE(CodeIsSelfOrDescendant(Slice(sibling), Slice(code)));
+      const bool inside =
+          !(Slice(sibling) < Slice(code)) && Slice(sibling) < Slice(bound);
+      EXPECT_FALSE(inside) << "sibling " << sibling << " inside ["
+                           << code << ", " << bound << ")";
+      // Including the sibling's own entries and descendants.
+      const std::string deeper = sibling + TokenForIndex(9);
+      const bool deeper_inside =
+          !(Slice(deeper) < Slice(code)) && Slice(deeper) < Slice(bound);
+      EXPECT_FALSE(deeper_inside) << deeper;
+    }
+  }
+}
+
+TEST(SubtreeBoundPropertyTest, YToZBoundaryNeighborsStaySeparated) {
+  // The sharpest corner: a code ending in 'Y' (index 33) has bound
+  // ...'Z'; its next sibling's token starts with 'Z' ("Z1"). The sibling
+  // must sort at or after the bound, never inside it.
+  const std::string parent = "C5";
+  const std::string y_child = parent + TokenForIndex(33);   // "C5Y"
+  const std::string z_child = parent + TokenForIndex(34);   // "C5Z1"
+  const std::string bound = SubtreeUpperBound(Slice(y_child));
+  EXPECT_EQ(bound, "C5Z");
+  EXPECT_FALSE(Slice(z_child) < Slice(bound));
+  EXPECT_FALSE(CodeIsSelfOrDescendant(Slice(z_child), Slice(y_child)));
+  // Descendants of the Y child (arbitrarily deep, Z-heavy) stay inside.
+  EXPECT_TRUE(Slice(y_child + "ZZ9" + "$") < Slice(bound));
+  // And the same at a deeper Z-run: "...ZY" vs "...ZZ1".
+  const std::string zy = parent + TokenForIndex(67);        // "C5ZY"
+  const std::string zz1 = parent + TokenForIndex(68);       // "C5ZZ1"
+  const std::string zy_bound = SubtreeUpperBound(Slice(zy));
+  EXPECT_FALSE(Slice(zz1) < Slice(zy_bound));
+  EXPECT_TRUE(Slice(zy + TokenForIndex(9)) < Slice(zy_bound));
 }
 
 }  // namespace

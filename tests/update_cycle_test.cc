@@ -1,0 +1,160 @@
+// Regression tests for reference cycles closed by mid-path re-references
+// (ISSUE 10): `IndexedDatabase::SetAttr` must surface a typed
+// CycleDetected error and roll the store mutation back, leaving store,
+// reverse-reference map, and every index exactly as before the call —
+// never loop, stack-overflow, or half-apply an entry diff.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/uindex.h"
+#include "core/update.h"
+#include "objects/object_store.h"
+#include "schema/encoder.h"
+#include "schema/schema.h"
+#include "storage/buffer_manager.h"
+#include "storage/pager.h"
+
+namespace uindex {
+namespace {
+
+// A self-referential schema (Node.next -> Node) is expressible only at the
+// core layer: the coder ignores the cycle-breaking edge when assigning
+// codes, exactly how an application embedding the core library could set
+// up a linked-structure path index.
+class UpdateCycleTest : public ::testing::Test {
+ protected:
+  UpdateCycleTest() : pager_(1024), buffers_(&pager_) {
+    node_ = schema_.AddClass("Node").value();
+    EXPECT_TRUE(schema_.AddReference(node_, node_, "next").ok());
+    coder_ = std::make_unique<ClassCoder>(
+        ClassCoder::Assign(schema_, schema_.FindCycleBreakingEdges())
+            .value());
+    store_ = std::make_unique<ObjectStore>(&schema_);
+
+    PathSpec spec;
+    spec.classes = {node_, node_, node_};
+    spec.ref_attrs = {"next", "next"};
+    spec.indexed_attr = "Value";
+    spec.value_kind = Value::Kind::kInt;
+    index_ = std::make_unique<UIndex>(&buffers_, &schema_, coder_.get(),
+                                      spec);
+    idb_ = std::make_unique<IndexedDatabase>(&schema_, store_.get());
+    EXPECT_TRUE(index_->BuildFrom(*store_).ok());
+    idb_->RegisterIndex(index_.get());
+  }
+
+  Oid NewNode(int64_t value) {
+    const Oid oid = idb_->CreateObject(node_).value();
+    EXPECT_TRUE(idb_->SetAttr(oid, "Value", Value::Int(value)).ok());
+    return oid;
+  }
+
+  // Rows of the full three-hop query (tail value = `v`), tail → head oids.
+  std::vector<std::vector<Oid>> Chains(int64_t v) {
+    Query q = Query::ExactValue(Value::Int(v));
+    q.With(ClassSelector::Subtree(node_), ValueSlot::Wanted())
+        .With(ClassSelector::Subtree(node_), ValueSlot::Wanted())
+        .With(ClassSelector::Subtree(node_), ValueSlot::Wanted());
+    return std::move(index_->Parscan(q)).value().rows;
+  }
+
+  Schema schema_;
+  ClassId node_ = kInvalidClassId;
+  Pager pager_;
+  BufferManager buffers_;
+  std::unique_ptr<ClassCoder> coder_;
+  std::unique_ptr<ObjectStore> store_;
+  std::unique_ptr<UIndex> index_;
+  std::unique_ptr<IndexedDatabase> idb_;
+};
+
+TEST_F(UpdateCycleTest, SelfReferenceReturnsTypedErrorAndRollsBack) {
+  const Oid n1 = NewNode(7);
+  const Status s = idb_->SetAttr(n1, "next", Value::Ref(n1));
+  EXPECT_TRUE(s.IsCycleDetected()) << s.ToString();
+
+  // Rolled back: the reference is gone from the object and from the
+  // reverse-reference map, and the index is untouched.
+  const Value* next = store_->Get(n1).value()->FindAttr("next");
+  EXPECT_TRUE(next == nullptr || next->is_null());
+  EXPECT_TRUE(store_->ReferrersOf(n1, "next").empty());
+  EXPECT_EQ(index_->entry_count(), 0u);
+
+  // The database remains fully usable: a legitimate chain still indexes.
+  const Oid n2 = NewNode(8);
+  const Oid n3 = NewNode(9);
+  ASSERT_TRUE(idb_->SetAttr(n1, "next", Value::Ref(n2)).ok());
+  ASSERT_TRUE(idb_->SetAttr(n2, "next", Value::Ref(n3)).ok());
+  EXPECT_EQ(index_->entry_count(), 1u);
+  EXPECT_EQ(Chains(9), (std::vector<std::vector<Oid>>{{n3, n2, n1}}));
+}
+
+TEST_F(UpdateCycleTest, TwoNodeCycleReturnsTypedErrorAndRollsBack) {
+  const Oid n1 = NewNode(1);
+  const Oid n2 = NewNode(2);
+  const Oid n3 = NewNode(3);
+  ASSERT_TRUE(idb_->SetAttr(n1, "next", Value::Ref(n2)).ok());
+  ASSERT_TRUE(idb_->SetAttr(n2, "next", Value::Ref(n3)).ok());
+  ASSERT_EQ(index_->entry_count(), 1u);
+
+  // Mid-path re-reference n2: next switches n3 -> n1, closing the 2-node
+  // cycle n1 -> n2 -> n1.
+  const Status s = idb_->SetAttr(n2, "next", Value::Ref(n1));
+  EXPECT_TRUE(s.IsCycleDetected()) << s.ToString();
+
+  // Rolled back: n2 still points at n3, the old entry is still served,
+  // and the reverse map reflects the restored state.
+  EXPECT_EQ(store_->Deref(n2, "next").value(), n3);
+  EXPECT_EQ(store_->ReferrersOf(n3, "next"), (std::vector<Oid>{n2}));
+  EXPECT_TRUE(store_->ReferrersOf(n1, "next").empty());
+  EXPECT_EQ(index_->entry_count(), 1u);
+  EXPECT_EQ(Chains(3), (std::vector<std::vector<Oid>>{{n3, n2, n1}}));
+  EXPECT_TRUE(index_->btree().Validate().ok());
+
+  // A legitimate re-reference of the same attribute still goes through.
+  const Oid n4 = NewNode(4);
+  ASSERT_TRUE(idb_->SetAttr(n2, "next", Value::Ref(n4)).ok());
+  EXPECT_EQ(Chains(4), (std::vector<std::vector<Oid>>{{n4, n2, n1}}));
+  EXPECT_TRUE(Chains(3).empty());
+}
+
+TEST_F(UpdateCycleTest, BuildFromCyclicStoreSurfacesTypedError) {
+  // A cycle created behind the maintainer's back (direct store mutation)
+  // is caught when an index enumerates it.
+  const Oid n1 = store_->Create(node_).value();
+  const Oid n2 = store_->Create(node_).value();
+  ASSERT_TRUE(store_->SetAttr(n1, "Value", Value::Int(1)).ok());
+  ASSERT_TRUE(store_->SetAttr(n2, "Value", Value::Int(2)).ok());
+  ASSERT_TRUE(store_->SetAttr(n1, "next", Value::Ref(n2)).ok());
+  ASSERT_TRUE(store_->SetAttr(n2, "next", Value::Ref(n1)).ok());
+
+  Pager pager(1024);
+  BufferManager buffers(&pager);
+  PathSpec spec;
+  spec.classes = {node_, node_, node_};
+  spec.ref_attrs = {"next", "next"};
+  spec.indexed_attr = "Value";
+  spec.value_kind = Value::Kind::kInt;
+  UIndex fresh(&buffers, &schema_, coder_.get(), spec);
+  const Status s = fresh.BuildFrom(*store_);
+  EXPECT_TRUE(s.IsCycleDetected()) << s.ToString();
+}
+
+TEST_F(UpdateCycleTest, RefSetCycleIsAlsoDetected) {
+  // Multi-valued references close cycles the same way.
+  const Oid n1 = NewNode(1);
+  const Oid n2 = NewNode(2);
+  const Oid n3 = NewNode(3);
+  ASSERT_TRUE(
+      idb_->SetAttr(n1, "next", Value::RefSet({n2, n3})).ok());
+  const Status s = idb_->SetAttr(n2, "next", Value::RefSet({n1}));
+  EXPECT_TRUE(s.IsCycleDetected()) << s.ToString();
+  const Value* next = store_->Get(n2).value()->FindAttr("next");
+  EXPECT_TRUE(next == nullptr || next->is_null());
+}
+
+}  // namespace
+}  // namespace uindex

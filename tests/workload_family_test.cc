@@ -1,0 +1,370 @@
+// Generator invariants for the roll-up & deep-path workload family
+// (ISSUE 10): extended Z* tokens actually occur, U-index answers match
+// brute-force enumeration at every roll-up level and for deep-path
+// instantiations, churn maintenance equals a fresh rebuild, and the
+// Database-façade loaders serve the same answers end to end.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "baselines/pathindex/nested_index.h"
+#include "core/index_spec.h"
+#include "core/uindex.h"
+#include "core/update.h"
+#include "db/database.h"
+#include "objects/object_store.h"
+#include "storage/buffer_manager.h"
+#include "storage/pager.h"
+#include "workload/path_generator.h"
+#include "workload/rollup_generator.h"
+
+namespace uindex {
+namespace {
+
+// Small enough for a unit test, still > kTailChars siblings at the year
+// and state levels so the Y→Z1 token boundary is crossed.
+RollupConfig TinyRollup() {
+  RollupConfig cfg;
+  cfg.years = 36;
+  cfg.months_per_year = 2;
+  cfg.days_per_month = 3;
+  cfg.countries = 2;
+  cfg.states_per_country = 36;
+  cfg.cities_per_state = 3;
+  cfg.num_events = 3000;
+  cfg.num_readings = 3000;
+  cfg.num_distinct_values = 50;
+  return cfg;
+}
+
+DeepPathConfig TinyPaths() {
+  DeepPathConfig cfg = DeepPathConfig::Quick();
+  cfg.heads = 600;
+  cfg.min_level_objects = 24;
+  cfg.num_distinct_values = 60;
+  cfg.null_ref_fraction = 0.05;
+  return cfg;
+}
+
+std::vector<Oid> SortedFirstColumn(const QueryResult& r) {
+  std::vector<Oid> out;
+  out.reserve(r.rows.size());
+  for (const auto& row : r.rows) out.push_back(row.front());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+TEST(RollupGeneratorTest, ExtendedTokensAppearInBothOntologies) {
+  RollupWorkload w;
+  ASSERT_TRUE(GenerateRollup(TinyRollup(), &w).ok());
+
+  // Year and state levels have 36 > 34 siblings, so the later siblings
+  // must carry Z-extended tokens; code order must still follow creation
+  // (sibling) order.
+  size_t z_coded = 0;
+  for (ClassId y : w.time.level1) {
+    if (w.coder->CodeOf(y).find('Z') != std::string::npos) ++z_coded;
+  }
+  EXPECT_GT(z_coded, 0u);
+  EXPECT_LT(w.coder->CodeOf(w.time.level1.front()),
+            w.coder->CodeOf(w.time.level1.back()));
+
+  z_coded = 0;
+  for (const auto& states : w.geo.level2) {
+    for (ClassId s : states) {
+      if (w.coder->CodeOf(s).find('Z') != std::string::npos) ++z_coded;
+    }
+  }
+  EXPECT_GT(z_coded, 0u);
+
+  // Leaf classes have no subclasses; LeafClassesUnder flattens exactly
+  // the generated leaves of a level-1 sub-tree.
+  const ClassId year = w.time.level1[30];
+  std::vector<ClassId> expected;
+  for (const auto& leaves : w.time.leaves[30]) {
+    expected.insert(expected.end(), leaves.begin(), leaves.end());
+  }
+  std::vector<ClassId> got = LeafClassesUnder(w.schema, year);
+  std::sort(expected.begin(), expected.end());
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expected);
+}
+
+TEST(RollupGeneratorTest, UIndexMatchesBruteForceAtEveryLevel) {
+  RollupWorkload w;
+  ASSERT_TRUE(GenerateRollup(TinyRollup(), &w).ok());
+
+  Pager time_pager(1024), geo_pager(1024);
+  BufferManager time_buffers(&time_pager), geo_buffers(&geo_pager);
+  UIndex time_index(&time_buffers, &w.schema, w.coder.get(),
+                    PathSpec::ClassHierarchy(w.time.root, kRollupValueAttr));
+  UIndex geo_index(&geo_buffers, &w.schema, w.coder.get(),
+                   PathSpec::ClassHierarchy(w.geo.root, kRollupValueAttr));
+  ASSERT_TRUE(time_index.BuildFrom(*w.store).ok());
+  ASSERT_TRUE(geo_index.BuildFrom(*w.store).ok());
+
+  struct Probe {
+    UIndex* index;
+    ClassId cls;
+  };
+  // One probe per roll-up level in each ontology, deliberately including
+  // Z-token classes (year 35, state 35).
+  const std::vector<Probe> probes = {
+      {&time_index, w.time.root},
+      {&time_index, w.time.level1[35]},
+      {&time_index, w.time.level2[30][1]},
+      {&time_index, w.time.leaves[0][0][1]},
+      {&geo_index, w.geo.root},
+      {&geo_index, w.geo.level1[1]},
+      {&geo_index, w.geo.level2[1][35]},
+      {&geo_index, w.geo.leaves[1][35][2]},
+  };
+  for (const Probe& p : probes) {
+    for (const auto& [lo, hi] : std::vector<std::pair<int64_t, int64_t>>{
+             {10, 40}, {7, 7}, {0, 49}}) {
+      Query q = Query::Range(Value::Int(lo), Value::Int(hi));
+      q.With(ClassSelector::Subtree(p.cls), ValueSlot::Wanted());
+      Result<QueryResult> r = p.index->Parscan(q);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      EXPECT_EQ(SortedFirstColumn(r.value()),
+                RollupScan(*w.store, p.cls, lo, hi))
+          << "class " << w.schema.NameOf(p.cls) << " range [" << lo << ", "
+          << hi << "]";
+    }
+  }
+  // Non-vacuous: the root roll-up over the full range sees every fact.
+  EXPECT_EQ(RollupScan(*w.store, w.time.root, 0, 49).size(),
+            w.events.size());
+}
+
+TEST(RollupGeneratorTest, FacadeLoaderServesRollupsThroughSelect) {
+  RollupConfig cfg = TinyRollup();
+  cfg.num_events = 1500;
+  cfg.num_readings = 1500;
+  Database db;
+  RollupDbInfo info;
+  ASSERT_TRUE(LoadRollupIntoDatabase(cfg, &db, &info).ok());
+  ASSERT_EQ(db.index_count(), 2u);
+
+  const std::vector<ClassId> probes = {
+      info.time.level1[35], info.time.level2[12][1], info.geo.root,
+      info.geo.level2[1][35]};
+  for (ClassId cls : probes) {
+    Database::Selection sel;
+    sel.cls = cls;
+    sel.with_subclasses = true;
+    sel.attr = kRollupValueAttr;
+    sel.lo = Value::Int(5);
+    sel.hi = Value::Int(25);
+    Result<Database::SelectResult> r = db.Select(sel);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_TRUE(r.value().used_index)
+        << db.schema().NameOf(cls) << ": " << r.value().index_description;
+    EXPECT_EQ(r.value().oids, RollupScan(db.store(), cls, 5, 25));
+  }
+}
+
+TEST(DeepPathGeneratorTest, ShapesAndReferencesAreConsistent) {
+  const DeepPathConfig cfg = TinyPaths();
+  DeepPathWorkload w;
+  ASSERT_TRUE(GenerateDeepPaths(cfg, &w).ok());
+
+  ASSERT_EQ(w.roots.size(), cfg.hops);
+  ASSERT_EQ(w.oids.size(), cfg.hops);
+  ASSERT_EQ(w.ref_attrs.size(), cfg.hops - 1u);
+  // Populations shrink toward the tail (down to the floor).
+  for (size_t i = 0; i + 1 < w.oids.size(); ++i) {
+    EXPECT_GE(w.oids[i].size(), w.oids[i + 1].size());
+  }
+  // Every set reference lands on the next level; tails carry the value.
+  for (size_t level = 0; level + 1 < w.oids.size(); ++level) {
+    size_t set_refs = 0;
+    for (Oid oid : w.oids[level]) {
+      Result<Oid> target = w.store->Deref(oid, w.ref_attrs[level]);
+      if (!target.ok()) continue;
+      ++set_refs;
+      const ClassId cls = w.store->Get(target.value()).value()->cls;
+      EXPECT_TRUE(w.schema.IsSubclassOf(cls, w.roots[level + 1]));
+    }
+    EXPECT_GT(set_refs, w.oids[level].size() * 8 / 10);
+  }
+  for (Oid oid : w.oids.back()) {
+    const Value* v = w.store->Get(oid).value()->FindAttr(kPathValueAttr);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->kind(), Value::Kind::kInt);
+  }
+}
+
+// Full instantiations of `spec` as tail→head rows (the Parscan row
+// layout), optionally restricted to attr == `v`.
+std::vector<std::vector<Oid>> BruteChains(const ObjectStore& store,
+                                          const PathSpec& spec, int64_t lo,
+                                          int64_t hi) {
+  std::vector<std::vector<Oid>> out;
+  const Status s = ForEachInstantiation(
+      store, spec, [&](const PathInstantiation& inst) {
+        if (inst.attr.AsInt() < lo || inst.attr.AsInt() > hi) {
+          return Status::OK();
+        }
+        out.emplace_back(inst.oids.rbegin(), inst.oids.rend());
+        return Status::OK();
+      });
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(DeepPathGeneratorTest, UIndexMatchesBruteForceEnumeration) {
+  const DeepPathConfig cfg = TinyPaths();
+  DeepPathWorkload w;
+  ASSERT_TRUE(GenerateDeepPaths(cfg, &w).ok());
+
+  Pager pager(1024);
+  BufferManager buffers(&pager);
+  UIndex index(&buffers, &w.schema, w.coder.get(), w.spec());
+  ASSERT_TRUE(index.BuildFrom(*w.store).ok());
+
+  const std::vector<std::vector<Oid>> all_chains =
+      BruteChains(*w.store, w.spec(), 0, cfg.num_distinct_values);
+  ASSERT_FALSE(all_chains.empty());
+  // An attribute value that provably has chains (the tail population is
+  // small, so a fixed constant may be absent from it).
+  const int64_t v0 = w.store->Get(all_chains[0][0])
+                         .value()
+                         ->FindAttr(kPathValueAttr)
+                         ->AsInt();
+
+  // Full-chain retrieval at an exact value and over a range: positions run
+  // tail → head in both the query components and the rows.
+  for (const auto& [lo, hi] :
+       std::vector<std::pair<int64_t, int64_t>>{{v0, v0}, {10, 30}}) {
+    Query q = Query::Range(Value::Int(lo), Value::Int(hi));
+    for (size_t pos = 0; pos < cfg.hops; ++pos) {
+      q.With(ClassSelector::Subtree(w.roots[cfg.hops - 1 - pos]),
+             ValueSlot::Wanted());
+    }
+    Result<QueryResult> r = index.Parscan(q);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    std::vector<std::vector<Oid>> rows = r.value().rows;
+    std::sort(rows.begin(), rows.end());
+    const std::vector<std::vector<Oid>> expected =
+        BruteChains(*w.store, w.spec(), lo, hi);
+    ASSERT_FALSE(expected.empty());
+    EXPECT_EQ(rows, expected) << "range [" << lo << ", " << hi << "]";
+  }
+
+  // Mid-path bound slot: chains through one level-3 object known to sit on
+  // a complete chain (null refs may orphan an arbitrary fixed oid).
+  const size_t bound_level = 3;
+  const Oid bound = all_chains[0][cfg.hops - 1 - bound_level];
+  Query q = Query::Range(Value::Int(0),
+                         Value::Int(cfg.num_distinct_values));
+  for (size_t pos = 0; pos < cfg.hops; ++pos) {
+    const size_t level = cfg.hops - 1 - pos;
+    q.With(ClassSelector::Subtree(w.roots[level]),
+           level == bound_level ? ValueSlot::Bound({bound})
+                                : ValueSlot::Wanted());
+  }
+  Result<QueryResult> r = index.Parscan(q);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  std::vector<std::vector<Oid>> expected;
+  for (const auto& chain : all_chains) {
+    // Rows are tail→head, so level L sits at row index hops-1-L.
+    if (chain[cfg.hops - 1 - bound_level] == bound) {
+      expected.push_back(chain);
+    }
+  }
+  std::vector<std::vector<Oid>> rows = r.value().rows;
+  std::sort(rows.begin(), rows.end());
+  ASSERT_FALSE(expected.empty());
+  EXPECT_EQ(rows, expected);
+}
+
+TEST(DeepPathGeneratorTest, ChurnMaintenanceMatchesFreshRebuild) {
+  const DeepPathConfig cfg = TinyPaths();
+  DeepPathWorkload w;
+  ASSERT_TRUE(GenerateDeepPaths(cfg, &w).ok());
+
+  Pager pager(1024);
+  BufferManager buffers(&pager);
+  UIndex maintained(&buffers, &w.schema, w.coder.get(), w.spec());
+  ASSERT_TRUE(maintained.BuildFrom(*w.store).ok());
+  IndexedDatabase idb(&w.schema, w.store.get());
+  idb.RegisterIndex(&maintained);
+
+  Result<size_t> applied = ChurnRereference(&w, &idb, 300, 0xC0DE);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_EQ(applied.value(), 300u);
+
+  Pager fresh_pager(1024);
+  BufferManager fresh_buffers(&fresh_pager);
+  UIndex rebuilt(&fresh_buffers, &w.schema, w.coder.get(), w.spec());
+  ASSERT_TRUE(rebuilt.BuildFrom(*w.store).ok());
+
+  EXPECT_EQ(maintained.entry_count(), rebuilt.entry_count());
+  EXPECT_TRUE(maintained.btree().Validate().ok());
+  Query q = Query::Range(Value::Int(0), Value::Int(cfg.num_distinct_values));
+  for (size_t pos = 0; pos < cfg.hops; ++pos) {
+    q.With(ClassSelector::Any(), ValueSlot::Wanted());
+  }
+  std::vector<std::vector<Oid>> a =
+      std::move(maintained.Parscan(q)).value().rows;
+  std::vector<std::vector<Oid>> b = std::move(rebuilt.Parscan(q)).value().rows;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  ASSERT_FALSE(b.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST(DeepPathGeneratorTest, FacadeLoaderServesDeepPaths) {
+  DeepPathConfig cfg = TinyPaths();
+  cfg.heads = 300;
+  Database db;
+  DeepPathDbInfo info;
+  ASSERT_TRUE(LoadDeepPathsIntoDatabase(cfg, &db, &info).ok());
+  ASSERT_EQ(db.index_count(), 1u);
+
+  PathSpec spec;
+  spec.classes = info.roots;
+  spec.ref_attrs = info.ref_attrs;
+  spec.indexed_attr = kPathValueAttr;
+  spec.value_kind = Value::Kind::kInt;
+
+  // Raw Parscan through the façade equals brute-force enumeration.
+  Query q = Query::ExactValue(Value::Int(7));
+  for (size_t pos = 0; pos < cfg.hops; ++pos) {
+    q.With(ClassSelector::Subtree(info.roots[cfg.hops - 1 - pos]),
+           ValueSlot::Wanted());
+  }
+  Result<QueryResult> r = db.Execute(info.index_pos, q);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  std::vector<std::vector<Oid>> rows = r.value().rows;
+  std::sort(rows.begin(), rows.end());
+  EXPECT_EQ(rows, BruteChains(db.store(), spec, 7, 7));
+
+  // Head-class Select rides the path index.
+  Database::Selection sel;
+  sel.cls = info.roots[0];
+  sel.with_subclasses = true;
+  sel.attr = kPathValueAttr;
+  sel.lo = Value::Int(10);
+  sel.hi = Value::Int(30);
+  Result<Database::SelectResult> s = db.Select(sel);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_TRUE(s.value().used_index) << s.value().index_description;
+  std::vector<Oid> heads;
+  for (const auto& chain : BruteChains(db.store(), spec, 10, 30)) {
+    heads.push_back(chain.back());
+  }
+  std::sort(heads.begin(), heads.end());
+  heads.erase(std::unique(heads.begin(), heads.end()), heads.end());
+  ASSERT_FALSE(heads.empty());
+  EXPECT_EQ(s.value().oids, heads);
+}
+
+}  // namespace
+}  // namespace uindex

@@ -36,6 +36,8 @@
 #include "db/database.h"
 #include "exec/execution_context.h"
 #include "net/client.h"
+#include "workload/path_generator.h"
+#include "workload/rollup_generator.h"
 
 namespace uindex {
 namespace {
@@ -49,6 +51,40 @@ class Shell {
       std::fprintf(stderr, "warning: file backend unavailable (%s); using memory\n",
                    db_.backend_status().ToString().c_str());
     }
+  }
+
+  /// Preloads a generated workload family so `select`/`query`/`stats` have
+  /// something real to chew on: "rollup" (day⊑month⊑year + city⊑state⊑
+  /// country ontologies, roots Time/Geo, attr Value) or "paths" (a 6-hop
+  /// reference chain, hierarchy roots Hop0..Hop5, tail attr Value).
+  Status PreloadWorkload(const std::string& name) {
+    if (name == "rollup") {
+      RollupConfig cfg = RollupConfig::Quick();
+      cfg.months_per_year = 2;
+      cfg.days_per_month = 2;
+      cfg.cities_per_state = 2;
+      cfg.num_events = 800;
+      cfg.num_readings = 800;
+      RollupDbInfo info;
+      UINDEX_RETURN_IF_ERROR(LoadRollupIntoDatabase(cfg, &db_, &info));
+      std::printf("workload rollup: %zu classes, %u+%u facts, 2 U-indexes "
+                  "(try: select Time* Value 0 10)\n",
+                  db_.schema().class_count(), cfg.num_events,
+                  cfg.num_readings);
+      return Status::OK();
+    }
+    if (name == "paths") {
+      DeepPathConfig cfg = DeepPathConfig::Quick();
+      cfg.heads = 400;
+      DeepPathDbInfo info;
+      UINDEX_RETURN_IF_ERROR(LoadDeepPathsIntoDatabase(cfg, &db_, &info));
+      std::printf("workload paths: %u hops, %zu classes, 1 U-index "
+                  "(try: select Hop0* Value 0 20)\n",
+                  cfg.hops, db_.schema().class_count());
+      return Status::OK();
+    }
+    return Status::InvalidArgument("unknown workload '" + name +
+                                   "' (rollup|paths)");
   }
 
   // Returns false once the shell should exit.
@@ -549,9 +585,12 @@ class Shell {
 
 int main(int argc, char** argv) {
   uindex::DatabaseOptions options;
+  std::string workload;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--backend=file") {
+    if (arg.rfind("--workload=", 0) == 0) {
+      workload = arg.substr(11);
+    } else if (arg == "--backend=file") {
       options.backend = uindex::DatabaseOptions::Backend::kFile;
     } else if (arg == "--backend=memory") {
       options.backend = uindex::DatabaseOptions::Backend::kMemory;
@@ -568,12 +607,20 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: uindex_shell [--backend=memory|file]"
                    " [--cache-pages=N] [--data=PATH]"
-                   " [--eviction=lru|clock]\n");
+                   " [--eviction=lru|clock]"
+                   " [--workload=rollup|paths]\n");
       return 2;
     }
   }
   const bool interactive = isatty(0) != 0;
   uindex::Shell shell(interactive, options);
+  if (!workload.empty()) {
+    const uindex::Status s = shell.PreloadWorkload(workload);
+    if (!s.ok()) {
+      std::fprintf(stderr, "workload: %s\n", s.ToString().c_str());
+      return 2;
+    }
+  }
   if (interactive) {
     std::printf("uindex shell — 'help' for commands, 'quit' to exit\n");
   }
